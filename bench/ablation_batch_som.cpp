@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: sequential (the paper's) vs batch SOM training.
+ *
+ * The paper trains sequentially — "randomly select a characteristic
+ * vector; get the best matching unit; adjust the weight" — while
+ * Kohonen's batch map is deterministic and order-independent. This
+ * bench compares map quality (quantization and topographic error) and
+ * the downstream partitions on the SAR machine A characterization.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const core::CaseStudyConfig config = bench::configFromFlags(cl);
+
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+    const workload::SarCounterSynthesizer sar(config.sar);
+    const core::CharacteristicVectors cv = core::characterizeFromSar(
+        sar.collect(suite.profiles(), workload::machineA()));
+
+    som::SomConfig som_config = config.pipeline.som;
+    som_config.rows = 8;
+    som_config.cols = 10;
+
+    // Sequential training at several step budgets.
+    std::cout << "Ablation: sequential vs batch SOM training (SAR "
+                 "machine A, 8x10 map)\n\n";
+    util::TextTable table({"training", "quantization error",
+                           "topographic error",
+                           "ARI vs seq-4000 @ k=6"});
+
+    som::SomConfig reference_config = som_config;
+    reference_config.steps = 4000;
+    const auto reference =
+        som::SelfOrganizingMap::train(cv.features, reference_config);
+    const auto reference_partition =
+        cluster::agglomerate(reference.mapAll(cv.features))
+            .cutAtCount(6);
+
+    auto report = [&](const std::string &label,
+                      const som::SelfOrganizingMap &map) {
+        const auto partition =
+            cluster::agglomerate(map.mapAll(cv.features)).cutAtCount(6);
+        table.addRow(
+            {label, str::fixed(map.quantizationError(cv.features), 3),
+             str::fixed(map.topographicError(cv.features), 3),
+             str::fixed(scoring::adjustedRandIndex(partition,
+                                                   reference_partition),
+                        3)});
+    };
+
+    for (std::size_t steps : {500u, 2000u, 4000u, 8000u}) {
+        som::SomConfig c = som_config;
+        c.steps = steps;
+        report("sequential " + std::to_string(steps),
+               som::SelfOrganizingMap::train(cv.features, c));
+    }
+    for (std::size_t epochs : {3u, 10u, 30u}) {
+        auto map =
+            som::SelfOrganizingMap::initialize(cv.features, som_config);
+        map.trainBatch(epochs);
+        report("batch " + std::to_string(epochs) + " epochs", map);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "batch training reaches comparable quantization error "
+                 "in a handful of deterministic epochs; the paper's "
+                 "sequential rule needs thousands of sampled steps.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: linkage criterion. The paper picks complete linkage
+ * ("the distance of the furthest pair of points"); how much do the
+ * partitions — and therefore the HGM scores — change under single,
+ * average, weighted and Ward linkage on the same SOM positions?
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const core::CaseStudyConfig config = bench::configFromFlags(cl);
+    const core::CaseStudyResult result = core::runCaseStudy(config);
+
+    const linalg::Matrix &positions =
+        result.sarMachineA.analysis.gridPositions;
+    const auto &a = result.scoresA;
+    const auto &b = result.scoresB;
+
+    std::cout << "Ablation: linkage criterion on machine A SOM "
+                 "positions (A/B HGM ratio per k)\n\n";
+
+    const cluster::Linkage linkages[] = {
+        cluster::Linkage::Single, cluster::Linkage::Complete,
+        cluster::Linkage::Average, cluster::Linkage::Weighted,
+        cluster::Linkage::Ward};
+
+    util::TextTable table({"", "single", "complete (paper)", "average",
+                           "weighted", "ward"});
+    std::vector<cluster::Dendrogram> dendrograms;
+    for (cluster::Linkage linkage : linkages)
+        dendrograms.push_back(cluster::agglomerate(positions, linkage));
+
+    for (std::size_t k = 2; k <= 8; ++k) {
+        std::vector<std::string> row = {std::to_string(k) + " Clusters"};
+        for (const auto &dendrogram : dendrograms) {
+            const scoring::Partition p = dendrogram.cutAtCount(k);
+            row.push_back(str::fixed(
+                scoring::hierarchicalGeometricMean(a, p) /
+                    scoring::hierarchicalGeometricMean(b, p),
+                3));
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+
+    // Partition agreement vs the paper's complete linkage at k = 6.
+    const scoring::Partition reference = dendrograms[1].cutAtCount(6);
+    std::cout << "partition agreement with complete linkage at k = 6 "
+                 "(adjusted Rand index):\n";
+    const char *names[] = {"single", "complete", "average", "weighted",
+                           "ward"};
+    for (std::size_t i = 0; i < dendrograms.size(); ++i) {
+        std::cout << "  " << str::padRight(names[i], 10) << " "
+                  << str::fixed(
+                         scoring::adjustedRandIndex(
+                             reference, dendrograms[i].cutAtCount(6)),
+                         3)
+                  << "\n";
+    }
+
+    // Cophenetic fidelity of each linkage to the raw distances.
+    std::cout << "\ncophenetic correlation (tree vs raw distances):\n";
+    for (std::size_t i = 0; i < dendrograms.size(); ++i) {
+        std::cout << "  " << str::padRight(names[i], 10) << " "
+                  << str::fixed(cluster::copheneticCorrelation(
+                                    positions, dendrograms[i]),
+                                3)
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: HGM vs HAM vs HHM vs plain and weighted means, on the same
+ * partitions (the "war of the benchmark means" — Section VI — applied
+ * hierarchically).
+ *
+ * The paper evaluates HGM only; this bench fills in the other two
+ * families it defines in Section II, on the published Table III scores
+ * and the machine A cluster sweep.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+    const auto &partitions = result.sarMachineA.analysis.partitions;
+    const auto &a = result.scoresA;
+    const auto &b = result.scoresB;
+
+    std::cout << "Ablation: mean family on the machine A cluster sweep\n"
+              << "(scores = Table III speedups; each cell is the A/B "
+                 "ratio)\n\n";
+
+    util::TextTable table({"", "plain", "hierarchical arithmetic",
+                           "hierarchical geometric",
+                           "hierarchical harmonic"});
+    for (const auto &partition : partitions) {
+        std::vector<std::string> row = {
+            std::to_string(partition.clusterCount()) + " Clusters", "-"};
+        for (stats::MeanKind kind :
+             {stats::MeanKind::Arithmetic, stats::MeanKind::Geometric,
+              stats::MeanKind::Harmonic}) {
+            const double ratio =
+                scoring::hierarchicalMean(kind, a, partition) /
+                scoring::hierarchicalMean(kind, b, partition);
+            row.push_back(str::fixed(ratio, 3));
+        }
+        table.addRow(std::move(row));
+    }
+    table.addSeparator();
+    std::vector<std::string> plain_row = {"plain (k = n)", ""};
+    for (stats::MeanKind kind :
+         {stats::MeanKind::Arithmetic, stats::MeanKind::Geometric,
+          stats::MeanKind::Harmonic}) {
+        plain_row.push_back(str::fixed(
+            stats::mean(kind, a) / stats::mean(kind, b), 3));
+    }
+    table.addRow(std::move(plain_row));
+    std::cout << table.render() << "\n";
+
+    // Hierarchical-vs-weighted equivalence: the implied weights of the
+    // recommended partition, printed for inspection.
+    const auto rec = result.sarMachineA.recommendation;
+    const scoring::Partition &chosen =
+        partitions[rec.recommended - partitions.front().clusterCount()];
+    std::cout << "implied per-workload weights at recommended k = "
+              << rec.recommended << " (HGM == weighted GM with these):\n";
+    const auto weights = scoring::impliedWeights(chosen);
+    const auto names = workload::paperWorkloadNames();
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        std::cout << "  " << str::padRight(names[i], 22) << " "
+                  << str::fixed(weights[i], 4) << "\n";
+    }
+    return 0;
+}

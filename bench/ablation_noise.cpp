@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: measurement-noise sensitivity.
+ *
+ * How stable are the discovered partitions and the HGM scores when the
+ * SAR counter noise grows? For each noise level the SAR panel is
+ * resynthesized, the full pipeline re-run, and the resulting partition
+ * compared (adjusted Rand index at the recommended k) against the
+ * noise-free clustering; the HGM ratio at k = 6 is tracked alongside.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const auto seed =
+        static_cast<std::uint64_t>(cl.getInt("seed", 0x5eed));
+
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+    const auto a = workload::paper::table3SpeedupsA();
+    const auto b = workload::paper::table3SpeedupsB();
+
+    core::PipelineConfig pipeline;
+    pipeline.som.seed = seed;
+
+    auto analyzeAtNoise = [&](double noise) {
+        workload::SarConfig sar_config;
+        sar_config.seed = seed ^ 0xC0FFEE;
+        sar_config.noiseSigma = noise;
+        const workload::SarCounterSynthesizer sar(sar_config);
+        return core::analyzeClusters(
+            core::characterizeFromSar(
+                sar.collect(suite.profiles(), workload::machineA())),
+            pipeline);
+    };
+
+    std::cout << "Ablation: SAR noise sensitivity (machine A)\n\n";
+    const core::ClusterAnalysis baseline = analyzeAtNoise(0.0);
+
+    util::TextTable table({"noise sigma", "ARI vs noise-free @ k=6",
+                           "HGM ratio @ k=6",
+                           "SciMark2 coagulation"});
+    for (double noise : {0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.40}) {
+        const core::ClusterAnalysis analysis = analyzeAtNoise(noise);
+        const scoring::Partition p6 =
+            analysis.dendrogram.cutAtCount(6);
+        const double ratio =
+            scoring::hierarchicalGeometricMean(a, p6) /
+            scoring::hierarchicalGeometricMean(b, p6);
+        const core::RedundancyReport redundancy =
+            core::analyzeRedundancy(analysis,
+                                    core::paperOriginGroups());
+        table.addRow(
+            {str::fixed(noise, 2),
+             str::fixed(scoring::adjustedRandIndex(
+                            baseline.dendrogram.cutAtCount(6), p6),
+                        3),
+             str::fixed(ratio, 3),
+             str::fixed(redundancy.groups[1].coagulation, 3)});
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "plain GM ratio for reference: "
+              << str::fixed(stats::geometricMean(a) /
+                                stats::geometricMean(b),
+                            3)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: SOM vs PCA as the dimension-reduction stage.
+ *
+ * Section III-A argues SOM preserves more structure than picking two
+ * principal components, especially for the non-linear bit-vector data
+ * of the method-utilization characterization. This bench clusters the
+ * same characteristic vectors three ways — SOM positions, PCA-2D
+ * projections, and the raw high-dimensional vectors (ground truth) —
+ * and compares the resulting partitions and scores.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+compare(const std::string &label, const core::CharacteristicVectors &cv,
+        const std::vector<double> &a, const std::vector<double> &b,
+        std::uint64_t seed)
+{
+    // Ground truth: complete linkage on the raw standardized vectors.
+    const cluster::Dendrogram raw =
+        cluster::agglomerate(cv.features, cluster::Linkage::Complete);
+
+    // SOM reduction.
+    som::SomConfig som_config;
+    som_config.rows = 8;
+    som_config.cols = 10;
+    som_config.steps = 4000;
+    som_config.seed = seed;
+    const som::SelfOrganizingMap map =
+        som::SelfOrganizingMap::train(cv.features, som_config);
+    const cluster::Dendrogram som_tree = cluster::agglomerate(
+        map.mapAll(cv.features), cluster::Linkage::Complete);
+
+    // PCA-2D reduction.
+    const linalg::Pca pca = linalg::Pca::fit(cv.features);
+    const cluster::Dendrogram pca_tree = cluster::agglomerate(
+        pca.projectAll(cv.features, 2), cluster::Linkage::Complete);
+
+    std::cout << label << "\n";
+    std::cout << "  PCA first two components explain "
+              << str::fixed(100.0 * pca.cumulativeExplainedVariance(2), 1)
+              << "% of variance\n";
+    util::TextTable table({"k", "ARI SOM vs raw", "ARI PCA vs raw",
+                           "HGM ratio raw", "HGM ratio SOM",
+                           "HGM ratio PCA"});
+    for (std::size_t k = 2; k <= 8; ++k) {
+        const scoring::Partition p_raw = raw.cutAtCount(k);
+        const scoring::Partition p_som = som_tree.cutAtCount(k);
+        const scoring::Partition p_pca = pca_tree.cutAtCount(k);
+        auto ratio = [&](const scoring::Partition &p) {
+            return scoring::hierarchicalGeometricMean(a, p) /
+                   scoring::hierarchicalGeometricMean(b, p);
+        };
+        table.addRow({std::to_string(k),
+                      str::fixed(scoring::adjustedRandIndex(p_som, p_raw),
+                                 3),
+                      str::fixed(scoring::adjustedRandIndex(p_pca, p_raw),
+                                 3),
+                      str::fixed(ratio(p_raw), 3),
+                      str::fixed(ratio(p_som), 3),
+                      str::fixed(ratio(p_pca), 3)});
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const core::CaseStudyConfig config = bench::configFromFlags(cl);
+    const auto seed =
+        static_cast<std::uint64_t>(cl.getInt("seed", 0x5eed));
+
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+    const auto a = workload::paper::table3SpeedupsA();
+    const auto b = workload::paper::table3SpeedupsB();
+
+    std::cout << "Ablation: SOM vs PCA dimension reduction\n\n";
+
+    const workload::SarCounterSynthesizer sar(config.sar);
+    compare("SAR counters, machine A:",
+            core::characterizeFromSar(
+                sar.collect(suite.profiles(), workload::machineA())),
+            a, b, seed);
+
+    const workload::MethodProfileSynthesizer methods(config.methods);
+    compare("Java method utilization (bit vectors, the non-linear "
+            "case the paper highlights):",
+            core::characterizeFromMethods(
+                methods.generate(suite.profiles()),
+                suite.workloadNames()),
+            a, b, seed);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --seed=N                 master seed for the synthetic substrate
+ *   --scores=paper|simulated score source (default paper; `simulated`
+ *                            drives everything through the execution
+ *                            model instead of the published Table III)
+ *   --mean=gm|am|hm          hierarchical mean family (default gm)
+ */
+
+#ifndef HIERMEANS_BENCH_BENCH_COMMON_H
+#define HIERMEANS_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+
+#include "src/hiermeans.h"
+
+namespace hiermeans {
+namespace bench {
+
+/** Build a case-study config from the standard bench flags. */
+inline core::CaseStudyConfig
+configFromFlags(const util::CommandLine &cl)
+{
+    core::CaseStudyConfig config;
+    config.scoreSource =
+        str::toLower(cl.getString("scores", "paper")) == "simulated"
+            ? core::ScoreSource::Simulated
+            : core::ScoreSource::Paper;
+    config.meanKind = stats::parseMeanKind(cl.getString("mean", "gm"));
+    const auto seed =
+        static_cast<std::uint64_t>(cl.getInt("seed", 0x5eed));
+    config.sar.seed = seed ^ 0xC0FFEE;
+    config.methods.seed = seed ^ 0xBEEF;
+    config.pipeline.som.seed = seed;
+    config.run.seed = seed ^ 0xD1CE;
+    return config;
+}
+
+/** Parse flags and run the case study once. */
+inline core::CaseStudyResult
+runFromFlags(int argc, char **argv)
+{
+    const auto cl = util::CommandLine::parse(argc, argv);
+    return core::runCaseStudy(configFromFlags(cl));
+}
+
+/**
+ * Print a published HGM table (Tables IV/V/VI) side by side with our
+ * measured report so shape agreement is visible at a glance.
+ */
+inline void
+printPaperVsMeasured(std::ostream &os,
+                     const std::vector<workload::paper::HgmRow> &paper,
+                     const scoring::ScoreReport &measured)
+{
+    util::TextTable table({"", "paper A", "paper B", "paper ratio",
+                           "ours A", "ours B", "ours ratio"});
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        std::vector<std::string> row = {
+            std::to_string(paper[i].clusters) + " Clusters",
+            str::fixed(paper[i].scoreA, 2), str::fixed(paper[i].scoreB, 2),
+            str::fixed(paper[i].ratio, 2)};
+        if (i < measured.rows.size()) {
+            row.push_back(str::fixed(measured.rows[i].scoreA, 2));
+            row.push_back(str::fixed(measured.rows[i].scoreB, 2));
+            row.push_back(str::fixed(measured.rows[i].ratio, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.addSeparator();
+    table.addRow({"Geometric Mean", "2.10", "1.94", "1.08",
+                  str::fixed(measured.plainA, 2),
+                  str::fixed(measured.plainB, 2),
+                  str::fixed(measured.plainRatio, 2)});
+    os << table.render();
+}
+
+} // namespace bench
+} // namespace hiermeans
+
+#endif // HIERMEANS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension: consensus clustering across the three characterizations.
+ *
+ * The paper's Section V punchline is that clustering "heavily depends
+ * on how the workloads are characterized" and recommends fixing one
+ * reference distribution by decree. This bench builds the principled
+ * alternative: combine the SAR-on-A, SAR-on-B and method-utilization
+ * partition sweeps through their co-association matrix and score with
+ * the consensus partitions. SciMark2's five kernels co-occur in every
+ * view, so the consensus keeps them fused while contested pairs split.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+    const auto names = workload::paperWorkloadNames();
+
+    // Pool every partition from every characterization's sweep.
+    std::vector<scoring::Partition> views;
+    for (const core::CaseStudyBranch *branch :
+         {&result.sarMachineA, &result.sarMachineB, &result.methods}) {
+        for (const auto &p : branch->analysis.partitions)
+            views.push_back(p);
+    }
+
+    const core::ConsensusResult consensus =
+        core::consensusCluster(views, 2, 8);
+
+    std::cout << "Consensus clustering over " << views.size()
+              << " partitions from 3 characterizations\n";
+    std::cout << "pairwise unanimity: "
+              << str::fixed(100.0 * consensus.unanimity, 1) << "%\n\n";
+
+    // Co-association of the SciMark2 block vs everything else.
+    const auto sc =
+        workload::indicesOfOrigin(workload::SuiteOrigin::SciMark2);
+    double intra = 0.0;
+    std::size_t intra_n = 0;
+    for (std::size_t i : sc) {
+        for (std::size_t j : sc) {
+            if (i < j) {
+                intra += consensus.coAssociation(i, j);
+                ++intra_n;
+            }
+        }
+    }
+    std::cout << "mean SciMark2 pairwise co-association: "
+              << str::fixed(intra / static_cast<double>(intra_n), 3)
+              << " (1.0 = together in every view)\n\n";
+
+    std::cout << cluster::renderVerticalDendrogram(
+        consensus.dendrogram, names,
+        "Consensus dendrogram (height = disagreement fraction)", 12);
+
+    // Score against the consensus partitions.
+    const scoring::ScoreReport report = scoring::buildScoreReport(
+        stats::MeanKind::Geometric, result.scoresA, result.scoresB,
+        consensus.partitions);
+    std::cout << "\nHGM against the consensus partitions:\n\n"
+              << report.render("A", "B") << "\n";
+
+    // Compare the consensus cut with each single-view cut at k = 6.
+    const scoring::Partition consensus6 =
+        consensus.dendrogram.cutAtCount(6);
+    std::cout << "agreement of single views with the consensus at "
+                 "k = 6 (ARI):\n";
+    const struct
+    {
+        const char *label;
+        const core::CaseStudyBranch *branch;
+    } branches[] = {{"SAR machine A", &result.sarMachineA},
+                    {"SAR machine B", &result.sarMachineB},
+                    {"method utilization", &result.methods}};
+    for (const auto &b : branches) {
+        std::cout << "  " << str::padRight(b.label, 20) << " "
+                  << str::fixed(
+                         scoring::adjustedRandIndex(
+                             consensus6,
+                             b.branch->analysis.dendrogram.cutAtCount(
+                                 6)),
+                         3)
+                  << "\n";
+    }
+    return 0;
+}

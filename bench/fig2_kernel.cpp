@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Figure 2: behavior of the h_ci neighborhood kernel as
+ * training progresses — the Gaussian narrows and flattens as both the
+ * learning rate alpha(n) and the radius sigma(n) decay.
+ *
+ * Prints the kernel value series h(d) for several training steps plus
+ * an ASCII profile sketch.
+ */
+
+#include <iostream>
+
+#include "src/hiermeans.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    using namespace hiermeans::som;
+    const auto cl = util::CommandLine::parse(argc, argv);
+
+    const std::size_t steps =
+        static_cast<std::size_t>(cl.getInt("steps", 4000));
+    const DecaySchedule alpha(DecayKind::Exponential, 0.5, 0.01, steps);
+    const DecaySchedule sigma(DecayKind::Exponential, 5.0, 0.4, steps);
+
+    std::cout << "Figure 2: behavior of the h_ci function over training "
+                 "steps\n";
+    std::cout << "h_ci(n) = alpha(n) * exp(-d^2 / (2 sigma^2(n)))\n\n";
+
+    const std::size_t checkpoints[] = {0, steps / 8, steps / 4,
+                                       steps / 2, steps - 1};
+    util::TextTable table({"grid distance d", "n=0", "n=1/8", "n=1/4",
+                           "n=1/2", "n=end"});
+    for (double d = 0.0; d <= 8.0; d += 1.0) {
+        std::vector<std::string> row = {str::fixed(d, 0)};
+        for (std::size_t n : checkpoints) {
+            row.push_back(str::fixed(
+                kernelValue(KernelKind::Gaussian, d * d, alpha.value(n),
+                            sigma.value(n)),
+                4));
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+
+    // ASCII profile: each checkpoint as one bar chart over distance.
+    std::cout << "kernel profile sketch (40 cols = h of 0.5):\n";
+    for (std::size_t n : checkpoints) {
+        std::cout << "  n = " << str::padLeft(std::to_string(n), 6)
+                  << "  alpha = "
+                  << str::fixed(alpha.value(n), 3) << "  sigma = "
+                  << str::fixed(sigma.value(n), 3) << "\n";
+        for (double d = 0.0; d <= 6.0; d += 1.0) {
+            const double h = kernelValue(
+                KernelKind::Gaussian, d * d, alpha.value(n),
+                sigma.value(n));
+            const auto bar = static_cast<std::size_t>(h / 0.5 * 40.0);
+            std::cout << "    d=" << str::fixed(d, 0) << " |"
+                      << str::repeat('#', bar) << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Figure 3: workload distribution on machine A — the SOM
+ * map of the SAR-counter characteristic vectors. The paper's findings
+ * to look for: SPECjvm98 spreads along one dimension, DaCapo along the
+ * other, and the five SciMark2 kernels coagulate into a dense blob.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+
+    std::cout << result.sarMachineA.analysis.renderMap(
+        "Figure 3: Workload Distribution on Machine A (SAR counters)");
+    std::cout << "\nU-matrix (ridges = cluster boundaries):\n";
+    std::cout << som::renderUMatrix(
+        som::uMatrix(result.sarMachineA.analysis.map), "");
+    std::cout << "\nredundancy by origin suite:\n"
+              << result.sarMachineA.redundancy.render();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 4: clustering results on machine A. The paper
+ * shows two cuts of the same dendrogram: merging distance 4 yields 4
+ * clusters ({javac}, {jess, mtrt}, {chart, xalan}, rest) and a lower
+ * distance yields 6 clusters with SciMark2 exclusive.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+    const core::ClusterAnalysis &analysis = result.sarMachineA.analysis;
+    const auto &names = analysis.vectors.workloadNames;
+
+    std::cout << cluster::renderVerticalDendrogram(
+        analysis.dendrogram, names,
+        "(vertical view, as in the paper)", 16);
+    std::cout << "\n";
+    std::cout << analysis.renderDendrogram(
+        "Figure 4: Clustering Results on Machine A (complete linkage, "
+        "Euclidean)");
+    std::cout << "\n"
+              << cluster::renderMergeSchedule(analysis.dendrogram, names);
+
+    // The paper's two cuts: pick the distances that produce 4 and 6
+    // clusters on our dendrogram.
+    std::cout << "\nFigure 4(a) analogue (cut at 4 clusters):\n";
+    std::cout << cluster::renderCutAtCount(analysis.dendrogram, names, 4);
+    std::cout << "\nFigure 4(b) analogue (cut at 6 clusters):\n";
+    std::cout << cluster::renderCutAtCount(analysis.dendrogram, names, 6);
+
+    std::cout << "\npaper narration for comparison (Figure 4(a), "
+                 "merging distance 4):\n";
+    const auto paper_groups =
+        workload::paper::figure4aFourClusterGroups();
+    const scoring::Partition paper_partition =
+        scoring::Partition::fromGroups(paper_groups);
+    std::cout << "  " << paper_partition.toString(names) << "\n";
+    std::cout << "\nagreement with our 4-cluster cut (adjusted Rand "
+                 "index): "
+              << str::fixed(
+                     scoring::adjustedRandIndex(
+                         paper_partition,
+                         analysis.dendrogram.cutAtCount(4)),
+                     3)
+              << "\n";
+    return 0;
+}

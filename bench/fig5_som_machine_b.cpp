@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates Figure 5: workload distribution on machine B. The paper:
+ * "the SciMark2 workloads again form a dense cluster ... This behavior
+ * is significant since SciMark2 workloads appear as a single cluster
+ * on two different machines."
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+
+    std::cout << result.sarMachineB.analysis.renderMap(
+        "Figure 5: Workload Distribution on Machine B (SAR counters)");
+    std::cout << "\nU-matrix (ridges = cluster boundaries):\n";
+    std::cout << som::renderUMatrix(
+        som::uMatrix(result.sarMachineB.analysis.map), "");
+    std::cout << "\nredundancy by origin suite:\n"
+              << result.sarMachineB.redundancy.render();
+
+    // Cross-machine agreement (Section V-B.2): SciMark2 coagulates on
+    // both machines even though the overall clusterings differ.
+    const auto &a = result.sarMachineA.analysis.partitions;
+    const auto &b = result.sarMachineB.analysis.partitions;
+    std::cout << "\ncluster agreement between machines A and B "
+                 "(adjusted Rand index per k):\n";
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        std::cout << "  k = " << a[i].clusterCount() << ": ARI = "
+                  << str::fixed(scoring::adjustedRandIndex(a[i], b[i]), 3)
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Figure 7: workload distribution when characterized with
+ * Java method utilization. The paper: "Since SciMark2 workloads map to
+ * the same single cell, they appear in a single cluster no matter
+ * which merging distance is chosen."
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+
+    std::cout << result.methods.analysis.renderMap(
+        "Figure 7: Workload Distribution (Java method utilization)");
+    std::cout << "\nredundancy by origin suite:\n"
+              << result.methods.redundancy.render();
+
+    const auto sc =
+        workload::indicesOfOrigin(workload::SuiteOrigin::SciMark2);
+    bool one_cell = true;
+    for (std::size_t i : sc) {
+        one_cell &= result.methods.analysis.bmus[i] ==
+                    result.methods.analysis.bmus[sc[0]];
+    }
+    std::cout << "\nSciMark2 on a single cell: "
+              << (one_cell ? "YES (matches the paper)" : "no") << "\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Figure 8: clustering results based on Java method
+ * utilization. The paper's key feature: the five SciMark2 kernels merge
+ * at distance 0 (identical characteristic vectors), so they are one
+ * cluster at every merging distance.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+    const core::ClusterAnalysis &analysis = result.methods.analysis;
+    const auto &names = analysis.vectors.workloadNames;
+
+    std::cout << cluster::renderVerticalDendrogram(
+        analysis.dendrogram, names,
+        "(vertical view, as in the paper)", 16);
+    std::cout << "\n";
+    std::cout << analysis.renderDendrogram(
+        "Figure 8: Clustering Results Based on Java Method Utilization");
+    std::cout << "\n"
+              << cluster::renderMergeSchedule(analysis.dendrogram, names);
+
+    // SciMark2 merges at height zero.
+    std::size_t zero_merges = 0;
+    for (const auto &merge : analysis.dendrogram.merges()) {
+        if (merge.height == 0.0)
+            ++zero_merges;
+    }
+    std::cout << "\nzero-distance merges (identical reduced vectors): "
+              << zero_merges << " (expect 4: the five SciMark2 kernels "
+                                "collapsing pairwise)\n";
+
+    std::cout << "\ncuts at k = 2 and k = 6:\n";
+    std::cout << cluster::renderCutAtCount(analysis.dendrogram, names, 2);
+    std::cout << cluster::renderCutAtCount(analysis.dendrogram, names, 6);
+    return 0;
+}

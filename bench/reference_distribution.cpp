@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Section V-B.2 standardization workflow, made concrete.
+ *
+ * "We should emphasize that, in order to accept the hierarchical means
+ * as a standard, a reference cluster distribution on a reference
+ * machine should be determined first since clusters might appear
+ * differently on different machines."
+ *
+ * This bench (1) derives the reference cluster distribution from the
+ * machine A SAR characterization at the recommended k, (2) scores both
+ * machines against that fixed distribution, (3) shows the discrepancy
+ * that would arise if each vendor instead clustered on its own machine,
+ * and (4) round-trips the distribution through the CSV format the
+ * hmscore tool consumes (`--partition=FILE`).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+    const auto names = workload::paperWorkloadNames();
+
+    // (1) The committee derives the reference distribution once, on
+    // the designated reference setup (machine A here).
+    const std::size_t k =
+        result.sarMachineA.recommendation.recommended;
+    const scoring::Partition reference =
+        result.sarMachineA.analysis.dendrogram.cutAtCount(k);
+    std::cout << "reference cluster distribution (machine A, k = " << k
+              << "):\n  " << reference.toString(names) << "\n\n";
+
+    // (2) Everyone scores against it.
+    const double hgm_a = scoring::hierarchicalGeometricMean(
+        result.scoresA, reference);
+    const double hgm_b = scoring::hierarchicalGeometricMean(
+        result.scoresB, reference);
+    std::cout << "scores against the reference distribution: A = "
+              << str::fixed(hgm_a, 3) << ", B = " << str::fixed(hgm_b, 3)
+              << ", ratio = " << str::fixed(hgm_a / hgm_b, 3) << "\n\n";
+
+    // (3) The failure mode the paper warns about: vendor B clusters on
+    // its own machine and reports a different number. Shown at the
+    // paper's recommended k = 6, where the two machines' clusterings
+    // genuinely differ.
+    const std::size_t k_paper = 6;
+    const scoring::Partition committee_6 =
+        result.sarMachineA.analysis.dendrogram.cutAtCount(k_paper);
+    const scoring::Partition vendor_b =
+        result.sarMachineB.analysis.dendrogram.cutAtCount(k_paper);
+    const double self_a = scoring::hierarchicalGeometricMean(
+        result.scoresA, committee_6);
+    const double self_b = scoring::hierarchicalGeometricMean(
+        result.scoresB, vendor_b);
+    const double std_a = scoring::hierarchicalGeometricMean(
+        result.scoresA, committee_6);
+    const double std_b = scoring::hierarchicalGeometricMean(
+        result.scoresB, committee_6);
+    std::cout << "if each vendor clustered on its own machine at k = "
+              << k_paper << " (the paper's pick):\n";
+    std::cout << "  A reports " << str::fixed(self_a, 3)
+              << " (A-clusters), B reports " << str::fixed(self_b, 3)
+              << " (B-clusters); partition agreement ARI = "
+              << str::fixed(
+                     scoring::adjustedRandIndex(committee_6, vendor_b),
+                     3)
+              << "\n";
+    std::cout << "  ratio computed from mismatched clusterings: "
+              << str::fixed(self_a / self_b, 3)
+              << " vs the standardized "
+              << str::fixed(std_a / std_b, 3) << "\n\n";
+
+    // (4) Publishable artifact: the CSV the hmscore tool consumes.
+    std::cout << "publishable reference file "
+                 "(hmscore --partition=FILE):\n";
+    std::cout << core::partitionToCsv(reference, names);
+
+    // Round-trip sanity (what a vendor's tool would parse back).
+    const scoring::Partition parsed = core::parsePartitionCsv(
+        core::partitionToCsv(reference, names), names);
+    std::cout << "\nround-trip check: "
+              << (parsed == reference ? "OK" : "MISMATCH") << "\n";
+    return 0;
+}

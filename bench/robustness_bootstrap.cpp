@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Robustness: bootstrap confidence intervals for the suite scores.
+ *
+ * Resamples the 10 per-workload run times of the synthetic execution
+ * and rebuilds both the plain GM and the HGM (machine A clustering at
+ * the recommended k), giving the confidence intervals the paper's
+ * point scores lack. Also reports how often the A-beats-B verdict
+ * flips across resamples — the practical robustness question.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const core::CaseStudyConfig config = bench::configFromFlags(cl);
+    const std::size_t runs =
+        static_cast<std::size_t>(cl.getInt("runs", 10));
+    const double noise = cl.getDouble("noise", 0.03);
+
+    // Collect raw run times (not just averages) from the suite.
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+    const workload::ExecutionModel model(noise);
+    rng::Engine engine(config.run.seed);
+
+    std::vector<std::vector<double>> times_a, times_b, times_ref;
+    for (std::size_t w = 0; w < suite.profiles().size(); ++w) {
+        times_a.push_back(model.sampleRuns(
+            suite.work()[w], workload::machineA(), engine, runs));
+        times_b.push_back(model.sampleRuns(
+            suite.work()[w], workload::machineB(), engine, runs));
+        times_ref.push_back(model.sampleRuns(
+            suite.work()[w], workload::referenceMachine(), engine,
+            runs));
+    }
+    // Reference times enter as fixed averages (the paper normalizes
+    // against a fixed published reference).
+    std::vector<double> ref_avg;
+    for (const auto &rt : times_ref)
+        ref_avg.push_back(stats::arithmeticMean(rt));
+
+    // Cluster structure at the recommended k from the case study.
+    const core::CaseStudyResult case_study =
+        core::runCaseStudy(config);
+    const scoring::Partition partition =
+        case_study.sarMachineA.analysis.dendrogram.cutAtCount(
+            case_study.sarMachineA.recommendation.recommended);
+
+    auto interval = [&](const std::vector<std::vector<double>> &times,
+                        bool hierarchical) {
+        return stats::bootstrapScore(
+            times,
+            [&](const std::vector<double> &avg_times) {
+                std::vector<double> speedups(avg_times.size());
+                for (std::size_t w = 0; w < avg_times.size(); ++w)
+                    speedups[w] = ref_avg[w] / avg_times[w];
+                return hierarchical
+                           ? scoring::hierarchicalGeometricMean(
+                                 speedups, partition)
+                           : stats::geometricMean(speedups);
+            });
+    };
+
+    std::cout << "Bootstrap 95% confidence intervals (" << runs
+              << " runs/workload, noise sigma " << str::fixed(noise, 3)
+              << ", k = " << partition.clusterCount() << ")\n\n";
+    util::TextTable table({"score", "point", "95% lower", "95% upper"});
+    const struct
+    {
+        const char *label;
+        std::vector<std::vector<double>> *times;
+        bool hier;
+    } rows[] = {
+        {"plain GM, machine A", &times_a, false},
+        {"plain GM, machine B", &times_b, false},
+        {"HGM, machine A", &times_a, true},
+        {"HGM, machine B", &times_b, true},
+    };
+    for (const auto &row : rows) {
+        const auto ci = interval(*row.times, row.hier);
+        table.addRow({row.label, str::fixed(ci.pointEstimate, 3),
+                      str::fixed(ci.lower, 3),
+                      str::fixed(ci.upper, 3)});
+    }
+    std::cout << table.render() << "\n";
+
+    // Verdict stability: bootstrap the A/B ratio.
+    const auto ratio_ci = stats::bootstrapScore(
+        times_a,
+        [&](const std::vector<double> &avg_a) {
+            // Pair each A resample with the *fixed* B averages: a
+            // conservative one-sided resampling of the ratio.
+            std::vector<double> speed_a(avg_a.size());
+            std::vector<double> speed_b(avg_a.size());
+            for (std::size_t w = 0; w < avg_a.size(); ++w) {
+                speed_a[w] = ref_avg[w] / avg_a[w];
+                speed_b[w] = ref_avg[w] /
+                             stats::arithmeticMean(times_b[w]);
+            }
+            return scoring::hierarchicalGeometricMean(speed_a,
+                                                      partition) /
+                   scoring::hierarchicalGeometricMean(speed_b,
+                                                      partition);
+        });
+    std::cout << "HGM ratio A/B: " << str::fixed(ratio_ci.pointEstimate, 3)
+              << "  [" << str::fixed(ratio_ci.lower, 3) << ", "
+              << str::fixed(ratio_ci.upper, 3) << "]\n";
+    std::cout << (ratio_ci.lower > 1.0
+                      ? "verdict `A beats B` is stable at 95% "
+                        "confidence.\n"
+                      : "verdict `A beats B` is NOT stable at 95% "
+                        "confidence.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table III: relative workload speedup on machines A and B.
+ *
+ * Runs the 13-workload suite 10 times per machine through the synthetic
+ * execution model (component work calibrated to the published
+ * speedups), averages the run times, normalizes against the reference
+ * machine, and prints measured speedups next to the published ones.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+
+    workload::RunConfig run;
+    run.seed = static_cast<std::uint64_t>(cl.getInt("seed", 0xD1CE));
+    run.runsPerWorkload =
+        static_cast<std::size_t>(cl.getInt("runs", 10));
+
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+    const scoring::ScoreTable table = suite.run(run);
+    const std::size_t a = table.machineIndex("A");
+    const std::size_t b = table.machineIndex("B");
+    const std::size_t ref = table.machineIndex("reference");
+
+    std::cout << "Table III: relative workload speedup on machines A "
+                 "and B\n(" << run.runsPerWorkload
+              << " runs averaged per cell; paper values alongside)\n\n";
+
+    util::TextTable out({"", "paper A", "paper B", "paper A/B", "ours A",
+                         "ours B", "ours A/B"});
+    const auto &t3 = workload::paper::table3();
+    for (std::size_t w = 0; w < t3.size(); ++w) {
+        const double sa = table.speedup(w, a, ref);
+        const double sb = table.speedup(w, b, ref);
+        out.addRow({t3[w].workload, str::fixed(t3[w].speedupA, 2),
+                    str::fixed(t3[w].speedupB, 2),
+                    str::fixed(t3[w].ratio, 2), str::fixed(sa, 2),
+                    str::fixed(sb, 2), str::fixed(sa / sb, 2)});
+    }
+    out.addSeparator();
+    const double gm_a =
+        table.plainScore(stats::MeanKind::Geometric, a, ref);
+    const double gm_b =
+        table.plainScore(stats::MeanKind::Geometric, b, ref);
+    out.addRow({"Geometric Mean", "2.10", "1.94", "1.08",
+                str::fixed(gm_a, 2), str::fixed(gm_b, 2),
+                str::fixed(gm_a / gm_b, 2)});
+    std::cout << out.render();
+    return 0;
+}

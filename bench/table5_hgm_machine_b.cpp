@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Regenerates Table V: hierarchical geometric mean based on the
+ * clustering results from machine B (SAR counters), k = 2..8.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+
+    std::cout << "Table V: HGM based on clustering results from "
+                 "machine B (SAR counters)\n\n";
+    bench::printPaperVsMeasured(std::cout, workload::paper::table5(),
+                                result.sarMachineB.report);
+    std::cout << "\nrecommendation: "
+              << result.sarMachineB.recommendation.explain() << "\n";
+    std::cout << "(machine B's clusters differ from machine A's — the "
+                 "paper's argument for fixing a reference cluster "
+                 "distribution)\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Regenerates Table VI: hierarchical geometric mean based on the Java
+ * method-utilization clustering (machine-independent), k = 2..8.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const core::CaseStudyResult result =
+        bench::runFromFlags(argc, argv);
+
+    std::cout << "Table VI: HGM based on Java method utilization\n\n";
+    bench::printPaperVsMeasured(std::cout, workload::paper::table6(),
+                                result.methods.report);
+    std::cout << "\nrecommendation: "
+              << result.methods.recommendation.explain() << "\n";
+    std::cout << "(SciMark2 maps to a single SOM cell, so it is one "
+                 "cluster at every merging distance)\n";
+    return 0;
+}

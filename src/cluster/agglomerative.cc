@@ -1,0 +1,125 @@
+#include "src/cluster/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace cluster {
+
+Dendrogram
+agglomerate(const linalg::Matrix &points, Linkage linkage,
+            linalg::Metric metric)
+{
+    HM_REQUIRE(points.rows() >= 1, "agglomerate: no points");
+    if (linkage == Linkage::Ward) {
+        HM_REQUIRE(metric == linalg::Metric::Euclidean,
+                   "agglomerate: ward linkage requires the Euclidean "
+                   "metric");
+    }
+    return agglomerateFromDistances(linalg::pairwiseDistances(points,
+                                                              metric),
+                                    linkage);
+}
+
+Dendrogram
+agglomerateFromDistances(const linalg::Matrix &distances, Linkage linkage)
+{
+    const std::size_t n = distances.rows();
+    HM_REQUIRE(n >= 1 && distances.cols() == n,
+               "agglomerateFromDistances: matrix is " << distances.rows()
+                                                      << "x"
+                                                      << distances.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+        HM_REQUIRE(distances(i, i) == 0.0,
+                   "agglomerateFromDistances: nonzero diagonal at " << i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            HM_REQUIRE(std::abs(distances(i, j) - distances(j, i)) <= 1e-12,
+                       "agglomerateFromDistances: asymmetric at (" << i
+                                                                   << ", "
+                                                                   << j
+                                                                   << ")");
+            HM_REQUIRE(distances(i, j) >= 0.0,
+                       "agglomerateFromDistances: negative distance");
+        }
+    }
+
+    if (n == 1)
+        return Dendrogram(1, {});
+
+    // active[c] -> current node id of cluster slot c (slots are reused
+    // for merged clusters); -1-style sentinel via `alive`.
+    linalg::Matrix work = distances;
+    std::vector<std::size_t> node_id(n);
+    std::vector<std::size_t> size(n, 1);
+    std::vector<bool> alive(n, true);
+    for (std::size_t i = 0; i < n; ++i)
+        node_id[i] = i;
+
+    std::vector<Merge> merges;
+    merges.reserve(n - 1);
+
+    for (std::size_t step = 0; step < n - 1; ++step) {
+        // Find the closest live pair; ties resolved by smallest node
+        // ids for determinism.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!alive[j])
+                    continue;
+                const double d = work(i, j);
+                if (d < best - 1e-15) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                    found = true;
+                } else if (found && std::abs(d - best) <= 1e-15) {
+                    const auto current =
+                        std::minmax(node_id[i], node_id[j]);
+                    const auto incumbent =
+                        std::minmax(node_id[bi], node_id[bj]);
+                    if (current < incumbent) {
+                        bi = i;
+                        bj = j;
+                    }
+                }
+            }
+        }
+        HM_ASSERT(found, "agglomerate: no live pair found");
+
+        Merge merge;
+        merge.left = std::min(node_id[bi], node_id[bj]);
+        merge.right = std::max(node_id[bi], node_id[bj]);
+        merge.height = best;
+        merge.size = size[bi] + size[bj];
+        merges.push_back(merge);
+
+        // Update distances from every other live cluster to bi (the
+        // surviving slot) via Lance-Williams, then retire bj.
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!alive[k] || k == bi || k == bj)
+                continue;
+            const LanceWilliams lw =
+                lanceWilliams(linkage, size[bi], size[bj], size[k]);
+            const double d = updateDistance(lw, work(k, bi), work(k, bj),
+                                            work(bi, bj));
+            work(k, bi) = d;
+            work(bi, k) = d;
+        }
+        size[bi] += size[bj];
+        alive[bj] = false;
+        node_id[bi] = n + step;
+    }
+    return Dendrogram(n, std::move(merges));
+}
+
+} // namespace cluster
+} // namespace hiermeans

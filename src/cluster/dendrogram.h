@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dendrogram: the full merge history of an agglomerative clustering.
+ *
+ * "Clustering result can be represented as a dendrogram which visualize
+ * which workloads form a cluster at which merging distance. ... By
+ * varying the merging distance, we can determine how many workload
+ * clusters exist in a benchmark suite." (Section III-B)
+ *
+ * Node id convention (as in SciPy): leaves are 0..n-1; the cluster
+ * created by merge step m (0-based) has id n + m. A clustering of n
+ * points has exactly n - 1 merges.
+ */
+
+#ifndef HIERMEANS_CLUSTER_DENDROGRAM_H
+#define HIERMEANS_CLUSTER_DENDROGRAM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+
+namespace hiermeans {
+namespace cluster {
+
+/** One merge step. */
+struct Merge
+{
+    std::size_t left = 0;   ///< node id of one merged cluster.
+    std::size_t right = 0;  ///< node id of the other.
+    double height = 0.0;    ///< merging distance at which they join.
+    std::size_t size = 0;   ///< number of leaves in the new cluster.
+};
+
+/** A complete agglomerative merge history over n leaves. */
+class Dendrogram
+{
+  public:
+    /**
+     * Build from a merge list. Validates the node-id convention and
+     * that each node is merged at most once. @p num_leaves >= 1;
+     * merges.size() must equal num_leaves - 1.
+     */
+    Dendrogram(std::size_t num_leaves, std::vector<Merge> merges);
+
+    std::size_t leafCount() const { return numLeaves_; }
+    const std::vector<Merge> &merges() const { return merges_; }
+
+    /** Merge heights in merge order (monotone for sane linkages). */
+    std::vector<double> heights() const;
+
+    /** True when heights never decrease from one merge to the next. */
+    bool heightsMonotone() const;
+
+    /**
+     * Cut into exactly @p k clusters by undoing the last k - 1 merges.
+     * k must be in [1, leafCount()].
+     */
+    scoring::Partition cutAtCount(std::size_t k) const;
+
+    /**
+     * Cut at a merging distance: apply every merge whose height is
+     * <= @p distance; the remaining components are the clusters
+     * ("workloads that locate closer to each other than the merging
+     * distance form a cluster").
+     */
+    scoring::Partition cutAtDistance(double distance) const;
+
+    /** Number of clusters a cut at @p distance produces. */
+    std::size_t clusterCountAtDistance(double distance) const;
+
+    /**
+     * Partitions for every cluster count in [k_min, k_max] (clamped to
+     * [1, leafCount()]), ascending by k. The input to
+     * scoring::buildScoreReport for the Table IV/V/VI sweeps.
+     */
+    std::vector<scoring::Partition> partitionSweep(std::size_t k_min,
+                                                   std::size_t k_max) const;
+
+    /**
+     * Cophenetic distance matrix: entry (i, j) is the merge height at
+     * which leaves i and j first share a cluster. Feeds the cophenetic
+     * correlation validity index.
+     */
+    linalg::Matrix copheneticDistances() const;
+
+    /** Leaves under node @p node (node id convention above), ascending. */
+    std::vector<std::size_t> leavesUnder(std::size_t node) const;
+
+  private:
+    std::size_t numLeaves_;
+    std::vector<Merge> merges_;
+};
+
+} // namespace cluster
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLUSTER_DENDROGRAM_H

@@ -1,0 +1,124 @@
+#include "src/cluster/gap_statistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/validity.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace cluster {
+
+namespace {
+
+/**
+ * log of the pooled within-cluster dispersion W_k, computed from the
+ * within-cluster sum of squares (guarded against zero for degenerate
+ * all-identical clusters).
+ */
+double
+logDispersion(const linalg::Matrix &points,
+              const scoring::Partition &partition)
+{
+    const double wss = withinClusterSS(points, partition);
+    return std::log(std::max(wss, 1e-12));
+}
+
+} // namespace
+
+GapResult
+gapStatistic(const linalg::Matrix &points, const GapConfig &config)
+{
+    const std::size_t n = points.rows();
+    HM_REQUIRE(n >= 2, "gapStatistic: need >= 2 points");
+    HM_REQUIRE(config.kMin >= 1 && config.kMin <= config.kMax,
+               "gapStatistic: invalid k range");
+    HM_REQUIRE(config.references >= 2,
+               "gapStatistic: need >= 2 reference data sets");
+    const std::size_t k_max = std::min(config.kMax, n);
+
+    // Feature ranges for the uniform reference distribution.
+    const std::size_t d = points.cols();
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t c = 0; c < d; ++c) {
+        lo[c] = hi[c] = points(0, c);
+        for (std::size_t r = 1; r < n; ++r) {
+            lo[c] = std::min(lo[c], points(r, c));
+            hi[c] = std::max(hi[c], points(r, c));
+        }
+    }
+
+    const Dendrogram real_tree = agglomerate(points, Linkage::Complete);
+
+    // Reference dispersions per k.
+    rng::Engine engine(config.seed);
+    std::vector<std::vector<double>> ref_log(k_max + 1);
+    for (std::size_t b = 0; b < config.references; ++b) {
+        linalg::Matrix ref(n, d);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                ref(r, c) = lo[c] == hi[c]
+                                ? lo[c]
+                                : engine.uniform(lo[c], hi[c]);
+            }
+        }
+        const Dendrogram ref_tree = agglomerate(ref, Linkage::Complete);
+        for (std::size_t k = config.kMin; k <= k_max; ++k) {
+            ref_log[k].push_back(
+                logDispersion(ref, ref_tree.cutAtCount(k)));
+        }
+    }
+
+    GapResult result;
+    for (std::size_t k = config.kMin; k <= k_max; ++k) {
+        GapPoint point;
+        point.k = k;
+        point.logDispersion =
+            logDispersion(points, real_tree.cutAtCount(k));
+
+        double mean = 0.0;
+        for (double v : ref_log[k])
+            mean += v;
+        mean /= static_cast<double>(ref_log[k].size());
+        double var = 0.0;
+        for (double v : ref_log[k])
+            var += (v - mean) * (v - mean);
+        var /= static_cast<double>(ref_log[k].size());
+
+        point.referenceMean = mean;
+        point.gap = mean - point.logDispersion;
+        point.standardError =
+            std::sqrt(var) *
+            std::sqrt(1.0 + 1.0 / static_cast<double>(
+                                      config.references));
+        result.points.push_back(point);
+    }
+
+    // Tibshirani's rule: smallest k with gap(k) >= gap(k+1) - se(k+1).
+    result.chosenK = result.points.front().k;
+    bool chosen = false;
+    for (std::size_t i = 0; i + 1 < result.points.size(); ++i) {
+        if (result.points[i].gap >=
+            result.points[i + 1].gap -
+                result.points[i + 1].standardError) {
+            result.chosenK = result.points[i].k;
+            chosen = true;
+            break;
+        }
+    }
+    if (!chosen) {
+        double best = result.points.front().gap;
+        for (const GapPoint &p : result.points) {
+            if (p.gap > best) {
+                best = p.gap;
+                result.chosenK = p.k;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace cluster
+} // namespace hiermeans

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The gap statistic (Tibshirani, Walther & Hastie 2001) for choosing
+ * the number of clusters.
+ *
+ * The paper picks k by eyeballing the dendrogram and the score-ratio
+ * fluctuation; the gap statistic is the standard quantitative
+ * alternative: compare log within-cluster dispersion of the real data
+ * against reference data drawn uniformly over the feature ranges, and
+ * pick the smallest k whose gap is within one standard error of the
+ * next gap. Plugged into the recommendation module as a fourth signal.
+ */
+
+#ifndef HIERMEANS_CLUSTER_GAP_STATISTIC_H
+#define HIERMEANS_CLUSTER_GAP_STATISTIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/dendrogram.h"
+#include "src/linalg/matrix.h"
+
+namespace hiermeans {
+namespace cluster {
+
+/** Gap value and dispersion bookkeeping at one k. */
+struct GapPoint
+{
+    std::size_t k = 0;
+    double logDispersion = 0.0;    ///< log W_k of the real data.
+    double referenceMean = 0.0;    ///< mean log W_k* of references.
+    double gap = 0.0;              ///< referenceMean - logDispersion.
+    double standardError = 0.0;    ///< s_k (already x sqrt(1 + 1/B)).
+};
+
+/** Result of a gap-statistic sweep. */
+struct GapResult
+{
+    std::vector<GapPoint> points; ///< ascending k.
+    /**
+     * The chosen k: smallest k with
+     * gap(k) >= gap(k+1) - se(k+1); falls back to the k with the
+     * largest gap when the criterion never fires.
+     */
+    std::size_t chosenK = 0;
+};
+
+/** Configuration. */
+struct GapConfig
+{
+    std::size_t kMin = 1;
+    std::size_t kMax = 8;
+    /** Reference data sets (B in the paper's notation). */
+    std::size_t references = 20;
+    std::uint64_t seed = 0x6A9;
+};
+
+/**
+ * Gap statistic over @p points, clustering with complete linkage at
+ * every k (the suite's pipeline clustering). kMax is clamped to the
+ * point count.
+ */
+GapResult gapStatistic(const linalg::Matrix &points,
+                       const GapConfig &config = {});
+
+} // namespace cluster
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLUSTER_GAP_STATISTIC_H

@@ -1,0 +1,138 @@
+#include "src/cluster/kmeans.h"
+
+#include <limits>
+
+#include "src/linalg/distance.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace cluster {
+
+namespace {
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+linalg::Matrix
+seedCentroids(const linalg::Matrix &points, std::size_t k,
+              rng::Engine &engine)
+{
+    const std::size_t n = points.rows();
+    linalg::Matrix centroids(k, points.cols());
+    std::vector<double> dist_sq(n,
+                                std::numeric_limits<double>::infinity());
+
+    const std::size_t first =
+        static_cast<std::size_t>(engine.below(n));
+    centroids.setRow(0, points.row(first));
+
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = linalg::squaredEuclidean(
+                points.row(i), centroids.row(c - 1));
+            dist_sq[i] = std::min(dist_sq[i], d);
+            total += dist_sq[i];
+        }
+        std::size_t chosen = 0;
+        if (total > 0.0) {
+            double target = engine.uniform() * total;
+            for (std::size_t i = 0; i < n; ++i) {
+                target -= dist_sq[i];
+                if (target <= 0.0) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            chosen = static_cast<std::size_t>(engine.below(n));
+        }
+        centroids.setRow(c, points.row(chosen));
+    }
+    return centroids;
+}
+
+KMeansResult
+runOnce(const linalg::Matrix &points, const KMeansConfig &config,
+        rng::Engine &engine)
+{
+    const std::size_t n = points.rows();
+    const std::size_t k = config.k;
+    linalg::Matrix centroids = seedCentroids(points, k, engine);
+    std::vector<std::size_t> labels(n, 0);
+
+    std::size_t iterations = 0;
+    bool changed = true;
+    while (changed && iterations < config.maxIterations) {
+        changed = false;
+        ++iterations;
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_dist = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = linalg::squaredEuclidean(
+                    points.row(i), centroids.row(c));
+                if (d < best_dist) {
+                    best_dist = d;
+                    best = c;
+                }
+            }
+            if (labels[i] != best) {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step; empty clusters keep their previous centroid.
+        linalg::Matrix sums(k, points.cols(), 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[labels[i]];
+            for (std::size_t d = 0; d < points.cols(); ++d)
+                sums(labels[i], d) += points(i, d);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t d = 0; d < points.cols(); ++d) {
+                centroids(c, d) =
+                    sums(c, d) / static_cast<double>(counts[c]);
+            }
+        }
+    }
+
+    KMeansResult result;
+    result.partition = scoring::Partition::fromLabels(labels);
+    result.centroids = centroids;
+    result.iterations = iterations;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        result.inertia += linalg::squaredEuclidean(
+            points.row(i), centroids.row(labels[i]));
+    }
+    return result;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const linalg::Matrix &points, const KMeansConfig &config)
+{
+    HM_REQUIRE(points.rows() >= 1, "kmeans: no points");
+    HM_REQUIRE(config.k >= 1 && config.k <= points.rows(),
+               "kmeans: k " << config.k << " outside [1, " << points.rows()
+                            << "]");
+    HM_REQUIRE(config.restarts >= 1, "kmeans: restarts must be >= 1");
+
+    rng::Engine engine(config.seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < config.restarts; ++r) {
+        KMeansResult candidate = runOnce(points, config, engine);
+        if (candidate.inertia < best.inertia)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+} // namespace cluster
+} // namespace hiermeans

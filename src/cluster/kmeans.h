@@ -1,0 +1,51 @@
+/**
+ * @file
+ * K-means clustering (k-means++ seeding), the flat-clustering baseline.
+ *
+ * The paper uses hierarchical clustering exclusively; k-means is
+ * provided so the ablation benches can ask whether the hierarchical
+ * means are sensitive to the clustering algorithm that produced the
+ * partition.
+ */
+
+#ifndef HIERMEANS_CLUSTER_KMEANS_H
+#define HIERMEANS_CLUSTER_KMEANS_H
+
+#include <cstdint>
+
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+
+namespace hiermeans {
+namespace cluster {
+
+/** K-means configuration. */
+struct KMeansConfig
+{
+    std::size_t k = 2;
+    std::size_t maxIterations = 100;
+    /** Number of independent restarts; the best inertia wins. */
+    std::size_t restarts = 4;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** K-means result. */
+struct KMeansResult
+{
+    scoring::Partition partition = scoring::Partition::single(1);
+    linalg::Matrix centroids;
+    double inertia = 0.0; ///< sum of squared distances to centroids.
+    std::size_t iterations = 0;
+};
+
+/**
+ * Cluster the rows of @p points into config.k clusters. Requires
+ * 1 <= k <= points.rows(). Deterministic for a fixed seed.
+ */
+KMeansResult kmeans(const linalg::Matrix &points,
+                    const KMeansConfig &config);
+
+} // namespace cluster
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLUSTER_KMEANS_H

@@ -1,0 +1,263 @@
+#include "src/cluster/render.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace cluster {
+
+namespace {
+
+void
+requireNames(const Dendrogram &dendrogram,
+             const std::vector<std::string> &names)
+{
+    HM_REQUIRE(names.size() == dendrogram.leafCount(),
+               "dendrogram render: " << names.size() << " names for "
+                                     << dendrogram.leafCount()
+                                     << " leaves");
+}
+
+/** Recursive tree printer with box-drawing-free ASCII connectors. */
+void
+printNode(const Dendrogram &dendrogram,
+          const std::vector<std::string> &names, std::size_t node,
+          const std::string &prefix, bool last, std::ostringstream &oss)
+{
+    const std::size_t n = dendrogram.leafCount();
+    oss << prefix;
+    oss << (last ? "`-- " : "|-- ");
+    if (node < n) {
+        oss << names[node] << "\n";
+        return;
+    }
+    const Merge &m = dendrogram.merges()[node - n];
+    oss << "[d = " << str::fixed(m.height, 2) << "]\n";
+    const std::string child_prefix = prefix + (last ? "    " : "|   ");
+    printNode(dendrogram, names, m.left, child_prefix, false, oss);
+    printNode(dendrogram, names, m.right, child_prefix, true, oss);
+}
+
+std::string
+clusterList(const Dendrogram &dendrogram,
+            const std::vector<std::string> &names,
+            const scoring::Partition &partition)
+{
+    (void)dendrogram;
+    std::ostringstream oss;
+    const auto groups = partition.groups();
+    for (std::size_t c = 0; c < groups.size(); ++c) {
+        oss << "    cluster " << c + 1 << ": {";
+        for (std::size_t i = 0; i < groups[c].size(); ++i) {
+            if (i > 0)
+                oss << ", ";
+            oss << names[groups[c][i]];
+        }
+        oss << "}\n";
+    }
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+renderTree(const Dendrogram &dendrogram,
+           const std::vector<std::string> &names, const std::string &title)
+{
+    requireNames(dendrogram, names);
+    std::ostringstream oss;
+    oss << title << "\n" << str::repeat('=', title.size()) << "\n";
+    if (dendrogram.leafCount() == 1) {
+        oss << "`-- " << names[0] << "\n";
+        return oss.str();
+    }
+    // The root is the node created by the final merge.
+    const std::size_t root =
+        dendrogram.leafCount() + dendrogram.merges().size() - 1;
+    const Merge &m = dendrogram.merges().back();
+    oss << "[d = " << str::fixed(m.height, 2) << "]  (root, node " << root
+        << ")\n";
+    printNode(dendrogram, names, m.left, "", false, oss);
+    printNode(dendrogram, names, m.right, "", true, oss);
+    return oss.str();
+}
+
+std::string
+renderCutAtDistance(const Dendrogram &dendrogram,
+                    const std::vector<std::string> &names, double distance)
+{
+    requireNames(dendrogram, names);
+    const scoring::Partition partition =
+        dendrogram.cutAtDistance(distance);
+    std::ostringstream oss;
+    oss << "  merging distance " << str::fixed(distance, 2) << " -> "
+        << partition.clusterCount() << " clusters\n";
+    oss << clusterList(dendrogram, names, partition);
+    return oss.str();
+}
+
+std::string
+renderCutAtCount(const Dendrogram &dendrogram,
+                 const std::vector<std::string> &names, std::size_t k)
+{
+    requireNames(dendrogram, names);
+    const scoring::Partition partition = dendrogram.cutAtCount(k);
+    std::ostringstream oss;
+    oss << "  " << k << " clusters\n";
+    oss << clusterList(dendrogram, names, partition);
+    return oss.str();
+}
+
+std::string
+renderMergeSchedule(const Dendrogram &dendrogram,
+                    const std::vector<std::string> &names)
+{
+    requireNames(dendrogram, names);
+    std::ostringstream oss;
+    oss << "  merge schedule (ascending merging distance):\n";
+    for (std::size_t m = 0; m < dendrogram.merges().size(); ++m) {
+        const Merge &merge = dendrogram.merges()[m];
+        oss << "    d = " << str::fixedWidth(merge.height, 3, 8) << "  {";
+        const auto left = dendrogram.leavesUnder(merge.left);
+        const auto right = dendrogram.leavesUnder(merge.right);
+        for (std::size_t i = 0; i < left.size(); ++i) {
+            if (i > 0)
+                oss << ", ";
+            oss << names[left[i]];
+        }
+        oss << "} + {";
+        for (std::size_t i = 0; i < right.size(); ++i) {
+            if (i > 0)
+                oss << ", ";
+            oss << names[right[i]];
+        }
+        oss << "}\n";
+    }
+    return oss.str();
+}
+
+std::string
+renderVerticalDendrogram(const Dendrogram &dendrogram,
+                         const std::vector<std::string> &names,
+                         const std::string &title,
+                         std::size_t height_rows)
+{
+    requireNames(dendrogram, names);
+    HM_REQUIRE(height_rows >= 4, "renderVerticalDendrogram: need >= 4 "
+                                 "rows");
+    const std::size_t n = dendrogram.leafCount();
+
+    // Leaf order: depth-first from the root so brackets never cross.
+    std::vector<std::size_t> order;
+    if (n == 1) {
+        order.push_back(0);
+    } else {
+        const std::size_t root = n + dendrogram.merges().size() - 1;
+        std::vector<std::size_t> stack = {root};
+        while (!stack.empty()) {
+            const std::size_t node = stack.back();
+            stack.pop_back();
+            if (node < n) {
+                order.push_back(node);
+                continue;
+            }
+            const Merge &m = dendrogram.merges()[node - n];
+            // Push right first so left is visited first.
+            stack.push_back(m.right);
+            stack.push_back(m.left);
+        }
+    }
+    std::vector<std::size_t> column_of_leaf(n, 0);
+    constexpr std::size_t kSpacing = 4;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        column_of_leaf[order[i]] = i * kSpacing + 1;
+    const std::size_t width = (n - 1) * kSpacing + 3;
+
+    double max_height = 0.0;
+    for (const Merge &m : dendrogram.merges())
+        max_height = std::max(max_height, m.height);
+
+    std::vector<std::string> canvas(height_rows,
+                                    std::string(width, ' '));
+    auto put = [&](std::size_t row, std::size_t col, char c) {
+        char &cell = canvas[row][col];
+        if (c == '-' && (cell == '+'))
+            return;
+        if (c == '|' && (cell == '-' || cell == '+'))
+            return;
+        cell = c;
+    };
+    auto row_for = [&](double h) {
+        if (max_height <= 0.0)
+            return height_rows - 1;
+        const double frac = h / max_height;
+        return height_rows - 1 -
+               static_cast<std::size_t>(
+                   frac * static_cast<double>(height_rows - 1) + 0.5);
+    };
+
+    // Per-node stem position: column and the row its stem currently
+    // reaches (leaves start just below the canvas).
+    std::vector<std::size_t> stem_col(n + dendrogram.merges().size());
+    std::vector<std::size_t> stem_row(n + dendrogram.merges().size());
+    for (std::size_t leaf = 0; leaf < n; ++leaf) {
+        stem_col[leaf] = column_of_leaf[leaf];
+        stem_row[leaf] = height_rows; // baseline is below the canvas.
+    }
+    for (std::size_t m = 0; m < dendrogram.merges().size(); ++m) {
+        const Merge &merge = dendrogram.merges()[m];
+        const std::size_t row = row_for(merge.height);
+        for (std::size_t child : {merge.left, merge.right}) {
+            for (std::size_t r = row; r < stem_row[child]; ++r)
+                put(r, stem_col[child], '|');
+        }
+        const std::size_t lo =
+            std::min(stem_col[merge.left], stem_col[merge.right]);
+        const std::size_t hi =
+            std::max(stem_col[merge.left], stem_col[merge.right]);
+        for (std::size_t c = lo + 1; c < hi; ++c)
+            put(row, c, '-');
+        put(row, lo, '+');
+        put(row, hi, '+');
+        stem_col[n + m] = (lo + hi) / 2;
+        stem_row[n + m] = row;
+    }
+
+    // Assemble with a y-axis scale on the left.
+    std::ostringstream oss;
+    oss << title << "\n" << str::repeat('=', title.size()) << "\n";
+    oss << "merging distance\n";
+    for (std::size_t r = 0; r < height_rows; ++r) {
+        const double value =
+            max_height *
+            static_cast<double>(height_rows - 1 - r) /
+            static_cast<double>(height_rows - 1);
+        const bool labeled = r % 4 == 0 || r == height_rows - 1;
+        oss << (labeled ? str::fixedWidth(value, 2, 8)
+                        : std::string(8, ' '))
+            << " |" << canvas[r] << "\n";
+    }
+    oss << std::string(8, ' ') << " +" << str::repeat('-', width)
+        << "\n";
+
+    // Vertical leaf labels under their columns.
+    std::size_t longest = 0;
+    for (std::size_t leaf : order)
+        longest = std::max(longest, names[leaf].size());
+    for (std::size_t i = 0; i < longest; ++i) {
+        std::string line(width, ' ');
+        for (std::size_t leaf : order) {
+            if (i < names[leaf].size())
+                line[column_of_leaf[leaf]] = names[leaf][i];
+        }
+        oss << std::string(10, ' ') << line << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace cluster
+} // namespace hiermeans

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ASCII rendering of dendrograms (Figures 4, 6 and 8).
+ *
+ * Two complementary views are produced:
+ *  - a tree view: the merge hierarchy with the merging distance printed
+ *    at every internal node;
+ *  - a cut table: for a list of merging distances (or cluster counts),
+ *    the cluster composition at that cut — the information the paper's
+ *    figures convey with boxed groups at a given y value.
+ */
+
+#ifndef HIERMEANS_CLUSTER_RENDER_H
+#define HIERMEANS_CLUSTER_RENDER_H
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/dendrogram.h"
+
+namespace hiermeans {
+namespace cluster {
+
+/**
+ * Render the dendrogram as an indented tree, deepest merges last.
+ * @param dendrogram the merge history.
+ * @param names one label per leaf (size must equal leafCount()).
+ * @param title heading, e.g. "Clustering Results on Machine A".
+ */
+std::string renderTree(const Dendrogram &dendrogram,
+                       const std::vector<std::string> &names,
+                       const std::string &title);
+
+/**
+ * Render the cluster composition at one merging distance, mirroring
+ * the paper's "when the merging distance is set to 4, the entire
+ * benchmark suite is divided into 4 clusters" narration.
+ */
+std::string renderCutAtDistance(const Dendrogram &dendrogram,
+                                const std::vector<std::string> &names,
+                                double distance);
+
+/** Render the cluster composition at an exact cluster count. */
+std::string renderCutAtCount(const Dendrogram &dendrogram,
+                             const std::vector<std::string> &names,
+                             std::size_t k);
+
+/**
+ * Render the merge schedule: one line per merge with its height and
+ * the leaves joined — a textual equivalent of reading the y-axis.
+ */
+std::string renderMergeSchedule(const Dendrogram &dendrogram,
+                                const std::vector<std::string> &names);
+
+/**
+ * Render a *vertical* dendrogram, the orientation of the paper's
+ * Figures 4, 6 and 8: leaves along the bottom in dendrogram order,
+ * merge brackets drawn upward at heights proportional to the merging
+ * distance, a numeric scale on the left, and the rotated leaf labels
+ * underneath.
+ *
+ * @param height_rows vertical resolution in character rows (>= 4).
+ */
+std::string renderVerticalDendrogram(
+    const Dendrogram &dendrogram, const std::vector<std::string> &names,
+    const std::string &title, std::size_t height_rows = 16);
+
+} // namespace cluster
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLUSTER_RENDER_H

@@ -1,0 +1,164 @@
+#include "src/cluster/validity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/stats/correlation.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace cluster {
+
+double
+silhouette(const linalg::Matrix &points,
+           const scoring::Partition &partition, linalg::Metric metric)
+{
+    const std::size_t n = points.rows();
+    HM_REQUIRE(partition.size() == n, "silhouette: partition covers "
+                                          << partition.size() << " of "
+                                          << n << " points");
+    HM_REQUIRE(partition.clusterCount() >= 2 &&
+                   partition.clusterCount() <= n,
+               "silhouette: need 2 <= k <= n");
+
+    const linalg::Matrix dist = linalg::pairwiseDistances(points, metric);
+    const auto sizes = partition.clusterSizes();
+
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t ci = partition.label(i);
+        if (sizes[ci] == 1)
+            continue; // convention: singleton silhouette = 0.
+
+        // a(i): mean intra-cluster distance.
+        double a = 0.0;
+        // b(i): min over other clusters of mean distance.
+        std::vector<double> inter(partition.clusterCount(), 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            if (partition.label(j) == ci)
+                a += dist(i, j);
+            else
+                inter[partition.label(j)] += dist(i, j);
+        }
+        a /= static_cast<double>(sizes[ci] - 1);
+        double b = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < partition.clusterCount(); ++c) {
+            if (c == ci)
+                continue;
+            b = std::min(b, inter[c] / static_cast<double>(sizes[c]));
+        }
+        const double denom = std::max(a, b);
+        acc += denom > 0.0 ? (b - a) / denom : 0.0;
+    }
+    return acc / static_cast<double>(n);
+}
+
+double
+daviesBouldin(const linalg::Matrix &points,
+              const scoring::Partition &partition)
+{
+    const std::size_t n = points.rows();
+    const std::size_t k = partition.clusterCount();
+    HM_REQUIRE(partition.size() == n, "daviesBouldin: partition covers "
+                                          << partition.size() << " of "
+                                          << n << " points");
+    HM_REQUIRE(k >= 2, "daviesBouldin: need k >= 2");
+
+    // Centroids and scatters.
+    linalg::Matrix centroids(k, points.cols(), 0.0);
+    const auto sizes = partition.clusterSizes();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d = 0; d < points.cols(); ++d)
+            centroids(partition.label(i), d) += points(i, d);
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < points.cols(); ++d)
+            centroids(c, d) /= static_cast<double>(sizes[c]);
+
+    std::vector<double> scatter(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        scatter[partition.label(i)] += linalg::euclidean(
+            points.row(i), centroids.row(partition.label(i)));
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        scatter[c] /= static_cast<double>(sizes[c]);
+
+    double acc = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+        double worst = 0.0;
+        for (std::size_t d = 0; d < k; ++d) {
+            if (c == d)
+                continue;
+            const double separation =
+                linalg::euclidean(centroids.row(c), centroids.row(d));
+            // Coincident centroids with nonzero scatter -> infinite
+            // similarity; clamp to a large finite penalty.
+            const double ratio =
+                separation > 0.0
+                    ? (scatter[c] + scatter[d]) / separation
+                    : (scatter[c] + scatter[d] > 0.0 ? 1e9 : 0.0);
+            worst = std::max(worst, ratio);
+        }
+        acc += worst;
+    }
+    return acc / static_cast<double>(k);
+}
+
+double
+copheneticCorrelation(const linalg::Matrix &points,
+                      const Dendrogram &dendrogram, linalg::Metric metric)
+{
+    const std::size_t n = points.rows();
+    HM_REQUIRE(dendrogram.leafCount() == n,
+               "copheneticCorrelation: dendrogram has "
+                   << dendrogram.leafCount() << " leaves for " << n
+                   << " points");
+    HM_REQUIRE(n >= 3, "copheneticCorrelation: need >= 3 points");
+
+    const linalg::Matrix original =
+        linalg::pairwiseDistances(points, metric);
+    const linalg::Matrix cophenetic = dendrogram.copheneticDistances();
+
+    std::vector<double> x, y;
+    x.reserve(n * (n - 1) / 2);
+    y.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            x.push_back(original(i, j));
+            y.push_back(cophenetic(i, j));
+        }
+    }
+    return stats::pearson(x, y);
+}
+
+double
+withinClusterSS(const linalg::Matrix &points,
+                const scoring::Partition &partition)
+{
+    const std::size_t n = points.rows();
+    const std::size_t k = partition.clusterCount();
+    HM_REQUIRE(partition.size() == n, "withinClusterSS: partition covers "
+                                          << partition.size() << " of "
+                                          << n << " points");
+
+    linalg::Matrix centroids(k, points.cols(), 0.0);
+    const auto sizes = partition.clusterSizes();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < points.cols(); ++d)
+            centroids(partition.label(i), d) += points(i, d);
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < points.cols(); ++d)
+            centroids(c, d) /= static_cast<double>(sizes[c]);
+
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += linalg::squaredEuclidean(points.row(i),
+                                        centroids.row(partition.label(i)));
+    }
+    return acc;
+}
+
+} // namespace cluster
+} // namespace hiermeans

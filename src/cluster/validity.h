@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cluster validity indices.
+ *
+ * The paper picks the cluster count by eyeballing the dendrogram and
+ * the score-ratio fluctuation; these indices provide the quantitative
+ * complement the core pipeline uses to corroborate that choice, and
+ * the ablation benches use to compare clusterings.
+ */
+
+#ifndef HIERMEANS_CLUSTER_VALIDITY_H
+#define HIERMEANS_CLUSTER_VALIDITY_H
+
+#include "src/cluster/dendrogram.h"
+#include "src/linalg/distance.h"
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+
+namespace hiermeans {
+namespace cluster {
+
+/**
+ * Mean silhouette coefficient of @p partition over @p points, in
+ * [-1, 1]; higher is better-separated. Singleton clusters contribute 0
+ * (the standard convention). Requires 2 <= k <= n.
+ */
+double silhouette(const linalg::Matrix &points,
+                  const scoring::Partition &partition,
+                  linalg::Metric metric = linalg::Metric::Euclidean);
+
+/**
+ * Davies-Bouldin index (average worst-case cluster similarity); lower
+ * is better. Requires k >= 2; singleton clusters have zero scatter.
+ */
+double daviesBouldin(const linalg::Matrix &points,
+                     const scoring::Partition &partition);
+
+/**
+ * Cophenetic correlation coefficient: Pearson correlation between the
+ * original pairwise distances and the dendrogram's cophenetic
+ * distances. Close to 1 means the tree faithfully represents the data.
+ */
+double copheneticCorrelation(const linalg::Matrix &points,
+                             const Dendrogram &dendrogram,
+                             linalg::Metric metric =
+                                 linalg::Metric::Euclidean);
+
+/**
+ * Within-cluster sum of squared Euclidean distances to centroids
+ * (k-means' objective), usable across clustering algorithms.
+ */
+double withinClusterSS(const linalg::Matrix &points,
+                       const scoring::Partition &partition);
+
+} // namespace cluster
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLUSTER_VALIDITY_H

@@ -1,0 +1,115 @@
+#include "src/core/case_study.h"
+
+#include "src/stats/means.h"
+#include "src/util/error.h"
+#include "src/util/str.h"
+#include "src/util/text_table.h"
+#include "src/workload/paper_data.h"
+
+namespace hiermeans {
+namespace core {
+
+namespace {
+
+/** FNV-1a, to derive an independent SOM training per branch. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+CaseStudyBranch
+makeBranch(std::string label, const CharacteristicVectors &vectors,
+           const CaseStudyConfig &config,
+           const std::vector<double> &scores_a,
+           const std::vector<double> &scores_b)
+{
+    // Each branch is an independent SOM training, as in the paper
+    // (one map per machine / characterization).
+    PipelineConfig branch_config = config.pipeline;
+    branch_config.som.seed ^= fnv1a(label);
+    ClusterAnalysis analysis = analyzeClusters(vectors, branch_config);
+    scoring::ScoreReport report = scoreAgainstClusters(
+        analysis, config.meanKind, scores_a, scores_b);
+    ClusterCountRecommendation recommendation =
+        recommendClusterCount(analysis, report);
+    RedundancyReport redundancy =
+        analyzeRedundancy(analysis, paperOriginGroups());
+    return CaseStudyBranch{std::move(label), std::move(analysis),
+                           std::move(report), recommendation,
+                           std::move(redundancy)};
+}
+
+} // namespace
+
+std::string
+CaseStudyResult::renderSpeedupTable() const
+{
+    util::TextTable t({"", "A", "B", "ratio(=A/B)"});
+    const auto &names = table.workloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        t.addRow({names[w], str::fixed(scoresA[w], 2),
+                  str::fixed(scoresB[w], 2),
+                  str::fixed(scoresA[w] / scoresB[w], 2)});
+    }
+    t.addSeparator();
+    t.addRow({"Geometric Mean", str::fixed(plainA, 2),
+              str::fixed(plainB, 2), str::fixed(plainA / plainB, 2)});
+    return t.render();
+}
+
+CaseStudyResult
+runCaseStudy(const CaseStudyConfig &config)
+{
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::paperSuite();
+
+    // --- execution: Table III ---
+    scoring::ScoreTable table = suite.run(config.run);
+    const std::size_t machine_a = table.machineIndex("A");
+    const std::size_t machine_b = table.machineIndex("B");
+    const std::size_t reference = table.machineIndex("reference");
+
+    std::vector<double> scores_a, scores_b;
+    if (config.scoreSource == ScoreSource::Paper) {
+        scores_a = workload::paper::table3SpeedupsA();
+        scores_b = workload::paper::table3SpeedupsB();
+    } else {
+        scores_a = table.speedups(machine_a, reference);
+        scores_b = table.speedups(machine_b, reference);
+    }
+
+    // --- characterization ---
+    const workload::SarCounterSynthesizer sar(config.sar);
+    const CharacteristicVectors sar_a = characterizeFromSar(
+        sar.collect(suite.profiles(), workload::machineA()));
+    const CharacteristicVectors sar_b = characterizeFromSar(
+        sar.collect(suite.profiles(), workload::machineB()));
+
+    const workload::MethodProfileSynthesizer methods(config.methods);
+    const CharacteristicVectors method_vectors = characterizeFromMethods(
+        methods.generate(suite.profiles()), suite.workloadNames());
+
+    // --- the three analysis branches ---
+    CaseStudyResult result{
+        std::move(table),
+        scores_a,
+        scores_b,
+        stats::mean(config.meanKind, scores_a),
+        stats::mean(config.meanKind, scores_b),
+        makeBranch("SAR counters, machine A", sar_a, config, scores_a,
+                   scores_b),
+        makeBranch("SAR counters, machine B", sar_b, config, scores_a,
+                   scores_b),
+        makeBranch("Java method utilization", method_vectors, config,
+                   scores_a, scores_b)};
+    return result;
+}
+
+} // namespace core
+} // namespace hiermeans

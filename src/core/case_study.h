@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's full case study behind one entry point.
+ *
+ * Composes the hypothetical SPECjvm2007-like suite, "runs" it on
+ * machines A, B and the reference machine (Section IV), characterizes
+ * it with SAR counters on both machines and with Java method
+ * utilization (Section IV-C), and produces every artifact of Section V:
+ * Table III, the three SOM maps (Figs. 3/5/7), the three dendrograms
+ * (Figs. 4/6/8) and the three HGM tables (Tables IV/V/VI), plus the
+ * redundancy report and cluster-count recommendations.
+ */
+
+#ifndef HIERMEANS_CORE_CASE_STUDY_H
+#define HIERMEANS_CORE_CASE_STUDY_H
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/recommendation.h"
+#include "src/core/redundancy.h"
+#include "src/scoring/score_report.h"
+#include "src/scoring/score_table.h"
+#include "src/workload/method_profile.h"
+#include "src/workload/sar_counters.h"
+#include "src/workload/suite.h"
+
+namespace hiermeans {
+namespace core {
+
+/** Which per-workload scores feed the score tables. */
+enum class ScoreSource
+{
+    /**
+     * The published Table III speedups — the default for
+     * reproduction, since the paper's Tables IV-VI are deterministic
+     * functions of them.
+     */
+    Paper,
+    /** Speedups measured from the synthetic execution model. */
+    Simulated,
+};
+
+/** Case-study configuration. */
+struct CaseStudyConfig
+{
+    workload::RunConfig run;
+    workload::SarConfig sar;
+    workload::MethodProfileConfig methods;
+    PipelineConfig pipeline;
+    stats::MeanKind meanKind = stats::MeanKind::Geometric;
+    ScoreSource scoreSource = ScoreSource::Paper;
+};
+
+/** One characterization branch (SAR on A, SAR on B, or methods). */
+struct CaseStudyBranch
+{
+    std::string label;
+    ClusterAnalysis analysis;
+    scoring::ScoreReport report;
+    ClusterCountRecommendation recommendation;
+    RedundancyReport redundancy;
+};
+
+/** Everything Section V reports. */
+struct CaseStudyResult
+{
+    scoring::ScoreTable table;      ///< simulated execution times.
+    std::vector<double> scoresA;    ///< per-workload scores in use.
+    std::vector<double> scoresB;
+    double plainA = 0.0;            ///< plain-mean suite scores.
+    double plainB = 0.0;
+
+    CaseStudyBranch sarMachineA;    ///< Figs. 3/4, Table IV.
+    CaseStudyBranch sarMachineB;    ///< Figs. 5/6, Table V.
+    CaseStudyBranch methods;        ///< Figs. 7/8, Table VI.
+
+    /** Render the Table III style speedup table. */
+    std::string renderSpeedupTable() const;
+};
+
+/** Run the whole case study. */
+CaseStudyResult runCaseStudy(const CaseStudyConfig &config = {});
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_CASE_STUDY_H

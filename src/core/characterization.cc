@@ -1,0 +1,98 @@
+#include "src/core/characterization.h"
+
+#include "src/linalg/standardize.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace core {
+
+namespace {
+
+CharacteristicVectors
+finalize(const linalg::Matrix &raw,
+         const std::vector<std::string> &workload_names,
+         const std::vector<std::string> &feature_names,
+         const std::vector<std::size_t> &kept_columns)
+{
+    CharacteristicVectors out;
+    out.workloadNames = workload_names;
+    out.droppedFeatures = feature_names.size() - kept_columns.size();
+    for (std::size_t c : kept_columns)
+        out.featureNames.push_back(feature_names[c]);
+
+    const linalg::Matrix filtered = raw.selectColumns(kept_columns);
+    out.features = linalg::standardizeColumns(filtered).standardized;
+    return out;
+}
+
+} // namespace
+
+CharacteristicVectors
+characterizeFromSar(const workload::SarPanel &panel)
+{
+    HM_REQUIRE(!panel.runs.empty(), "characterizeFromSar: empty panel");
+    std::vector<std::string> workload_names;
+    for (const auto &run : panel.runs)
+        workload_names.push_back(run.workload);
+
+    const linalg::Matrix averaged = panel.averaged();
+    const linalg::ColumnFilterResult filter =
+        linalg::dropConstantColumns(averaged);
+    return finalize(averaged, workload_names, panel.counterNames,
+                    filter.keptColumns);
+}
+
+CharacteristicVectors
+characterizeFromMethods(const workload::MethodProfile &profile,
+                        const std::vector<std::string> &workload_names)
+{
+    HM_REQUIRE(workload_names.size() == profile.bits.rows(),
+               "characterizeFromMethods: " << workload_names.size()
+                                           << " names for "
+                                           << profile.bits.rows()
+                                           << " workloads");
+    const std::vector<std::size_t> kept =
+        workload::selectDiscriminatingMethods(profile.bits);
+    HM_REQUIRE(!kept.empty(),
+               "characterizeFromMethods: no discriminating methods "
+               "survive filtering");
+    return finalize(profile.bits, workload_names, profile.methodNames,
+                    kept);
+}
+
+CharacteristicVectors
+characterizeFromMica(const workload::MicaFeatures &features,
+                     const std::vector<std::string> &workload_names)
+{
+    HM_REQUIRE(workload_names.size() == features.values.rows(),
+               "characterizeFromMica: " << workload_names.size()
+                                        << " names for "
+                                        << features.values.rows()
+                                        << " workloads");
+    return characterizeRaw(features.values, workload_names,
+                           features.featureNames);
+}
+
+CharacteristicVectors
+characterizeRaw(const linalg::Matrix &observations,
+                const std::vector<std::string> &workload_names,
+                const std::vector<std::string> &feature_names)
+{
+    HM_REQUIRE(workload_names.size() == observations.rows(),
+               "characterizeRaw: " << workload_names.size()
+                                   << " names for " << observations.rows()
+                                   << " rows");
+    HM_REQUIRE(feature_names.size() == observations.cols(),
+               "characterizeRaw: " << feature_names.size()
+                                   << " feature names for "
+                                   << observations.cols() << " columns");
+    const linalg::ColumnFilterResult filter =
+        linalg::dropConstantColumns(observations);
+    HM_REQUIRE(!filter.keptColumns.empty(),
+               "characterizeRaw: every column is constant");
+    return finalize(observations, workload_names, feature_names,
+                    filter.keptColumns);
+}
+
+} // namespace core
+} // namespace hiermeans

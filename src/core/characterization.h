@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload characterization: raw measurements -> characteristic vectors.
+ *
+ * Implements the data preparation of Section IV-C for both
+ * characterization styles:
+ *  - SAR counters: average the 15 samples per counter, discard counters
+ *    that do not vary over workloads, z-score standardize each counter;
+ *  - Java method utilization: discard methods used by exactly one or by
+ *    all workloads, standardize the surviving bit fields.
+ */
+
+#ifndef HIERMEANS_CORE_CHARACTERIZATION_H
+#define HIERMEANS_CORE_CHARACTERIZATION_H
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/workload/method_profile.h"
+#include "src/workload/mica_features.h"
+#include "src/workload/sar_counters.h"
+
+namespace hiermeans {
+namespace core {
+
+/** Standardized characteristic vectors ready for dimension reduction. */
+struct CharacteristicVectors
+{
+    std::vector<std::string> workloadNames; ///< row labels.
+    std::vector<std::string> featureNames;  ///< surviving columns.
+    linalg::Matrix features;                ///< standardized, rows=workloads.
+
+    /** Number of features that were discarded by filtering. */
+    std::size_t droppedFeatures = 0;
+};
+
+/**
+ * Characterize from a SAR panel: average samples, drop constant
+ * counters, standardize.
+ */
+CharacteristicVectors characterizeFromSar(
+    const workload::SarPanel &panel);
+
+/**
+ * Characterize from method-utilization bits: drop single-user and
+ * universal methods, standardize the bit fields.
+ */
+CharacteristicVectors characterizeFromMethods(
+    const workload::MethodProfile &profile,
+    const std::vector<std::string> &workload_names);
+
+/**
+ * Characterize from MICA-style microarchitecture-independent features:
+ * drop degenerate columns and standardize. Identical on every machine
+ * by construction (the features are functions of the program alone).
+ */
+CharacteristicVectors characterizeFromMica(
+    const workload::MicaFeatures &features,
+    const std::vector<std::string> &workload_names);
+
+/**
+ * Characterize an arbitrary raw observation matrix (rows = workloads):
+ * drop zero-variance columns and standardize. The generic entry point
+ * for user-supplied measurements.
+ */
+CharacteristicVectors characterizeRaw(
+    const linalg::Matrix &observations,
+    const std::vector<std::string> &workload_names,
+    const std::vector<std::string> &feature_names);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_CHARACTERIZATION_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Consensus clustering across characterizations.
+ *
+ * Section V shows the same suite clustering differently depending on
+ * the characterization (SAR on A, SAR on B, method utilization) and
+ * the paper resolves it by decree — fix one reference distribution.
+ * Consensus clustering is the principled alternative: combine the
+ * partitions from every available characterization through their
+ * co-association matrix (fraction of clusterings in which two
+ * workloads share a cluster) and re-cluster that matrix. Pairs that
+ * coagulate under *every* view (the SciMark2 kernels) stay together;
+ * pairs that only sometimes co-occur get split first.
+ */
+
+#ifndef HIERMEANS_CORE_CONSENSUS_H
+#define HIERMEANS_CORE_CONSENSUS_H
+
+#include <vector>
+
+#include "src/cluster/agglomerative.h"
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+
+namespace hiermeans {
+namespace core {
+
+/**
+ * Co-association matrix of @p partitions: entry (i, j) is the fraction
+ * of partitions in which workloads i and j share a cluster (diagonal
+ * is 1). All partitions must cover the same item count.
+ */
+linalg::Matrix coAssociation(
+    const std::vector<scoring::Partition> &partitions);
+
+/** Result of a consensus run. */
+struct ConsensusResult
+{
+    linalg::Matrix coAssociation;    ///< n x n agreement fractions.
+    cluster::Dendrogram dendrogram;  ///< over 1 - coAssociation.
+    /** Consensus partitions for k = kMin..kMax. */
+    std::vector<scoring::Partition> partitions;
+
+    /**
+     * Pairs with full agreement: fraction of workload pairs whose
+     * co-association is exactly 0 or 1 (how unanimous the views are).
+     */
+    double unanimity = 0.0;
+};
+
+/**
+ * Build the consensus over input partitions (e.g. each
+ * characterization's cut at its recommended k, or entire sweeps from
+ * several views). Distances are 1 - co-association; clustering uses
+ * the paper's complete linkage.
+ */
+ConsensusResult consensusCluster(
+    const std::vector<scoring::Partition> &partitions, std::size_t k_min,
+    std::size_t k_max);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_CONSENSUS_H

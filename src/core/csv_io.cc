@@ -1,0 +1,240 @@
+#include "src/core/csv_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "src/util/csv.h"
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace core {
+
+namespace {
+
+/** Strictly parse a double field; throws on garbage. */
+double
+parseNumber(const std::string &field, const char *context)
+{
+    const std::string trimmed = str::trim(field);
+    HM_REQUIRE(!trimmed.empty(), context << ": empty numeric field");
+    char *end = nullptr;
+    const double value = std::strtod(trimmed.c_str(), &end);
+    HM_REQUIRE(end != nullptr && *end == '\0',
+               context << ": `" << field << "` is not a number");
+    return value;
+}
+
+/** Shared shape validation for both document kinds. */
+void
+validateShape(const util::CsvDocument &doc, const char *kind)
+{
+    HM_REQUIRE(doc.rows.size() >= 3,
+               kind << ": need a header plus at least two workloads");
+    const std::size_t width = doc.rows.front().size();
+    HM_REQUIRE(width >= 2, kind << ": need at least one data column");
+    for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+        HM_REQUIRE(doc.rows[r].size() == width,
+                   kind << ": row " << r + 1 << " has "
+                        << doc.rows[r].size() << " fields, expected "
+                        << width);
+    }
+}
+
+std::vector<std::string>
+workloadColumn(const util::CsvDocument &doc, const char *kind)
+{
+    std::vector<std::string> names;
+    std::set<std::string> seen;
+    for (std::size_t r = 1; r < doc.rows.size(); ++r) {
+        const std::string name = str::trim(doc.rows[r][0]);
+        HM_REQUIRE(!name.empty(), kind << ": row " << r + 1
+                                       << " has an empty workload name");
+        HM_REQUIRE(seen.insert(name).second,
+                   kind << ": duplicate workload `" << name << "`");
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace
+
+std::vector<double>
+ScoresCsv::machineScores(const std::string &machine) const
+{
+    auto it = std::find(machines.begin(), machines.end(), machine);
+    HM_REQUIRE(it != machines.end(), "unknown machine `" << machine
+                                                         << "` in "
+                                                            "scores.csv");
+    const std::size_t col =
+        static_cast<std::size_t>(it - machines.begin());
+    std::vector<double> out;
+    out.reserve(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        out.push_back(scores(w, col));
+    return out;
+}
+
+ScoresCsv
+parseScoresCsv(const std::string &text)
+{
+    const util::CsvDocument doc = util::parseCsv(text);
+    validateShape(doc, "scores.csv");
+
+    ScoresCsv out;
+    for (std::size_t c = 1; c < doc.rows.front().size(); ++c)
+        out.machines.push_back(str::trim(doc.rows.front()[c]));
+    HM_REQUIRE(out.machines.size() >= 2,
+               "scores.csv: need at least two machine columns");
+    out.workloads = workloadColumn(doc, "scores.csv");
+
+    out.scores =
+        linalg::Matrix(out.workloads.size(), out.machines.size());
+    for (std::size_t r = 1; r < doc.rows.size(); ++r) {
+        for (std::size_t c = 1; c < doc.rows[r].size(); ++c) {
+            const double value =
+                parseNumber(doc.rows[r][c], "scores.csv");
+            HM_DOMAIN_CHECK(value > 0.0,
+                            "scores.csv: score for `"
+                                << out.workloads[r - 1]
+                                << "` on machine `"
+                                << out.machines[c - 1]
+                                << "` must be positive, got " << value);
+            out.scores(r - 1, c - 1) = value;
+        }
+    }
+    return out;
+}
+
+FeaturesCsv
+parseFeaturesCsv(const std::string &text)
+{
+    const util::CsvDocument doc = util::parseCsv(text);
+    validateShape(doc, "features.csv");
+
+    FeaturesCsv out;
+    for (std::size_t c = 1; c < doc.rows.front().size(); ++c)
+        out.features.push_back(str::trim(doc.rows.front()[c]));
+    out.workloads = workloadColumn(doc, "features.csv");
+
+    out.values =
+        linalg::Matrix(out.workloads.size(), out.features.size());
+    for (std::size_t r = 1; r < doc.rows.size(); ++r) {
+        for (std::size_t c = 1; c < doc.rows[r].size(); ++c) {
+            out.values(r - 1, c - 1) =
+                parseNumber(doc.rows[r][c], "features.csv");
+        }
+    }
+    return out;
+}
+
+void
+requireAlignedWorkloads(const ScoresCsv &scores,
+                        const FeaturesCsv &features)
+{
+    HM_REQUIRE(scores.workloads.size() == features.workloads.size(),
+               "scores.csv lists " << scores.workloads.size()
+                                   << " workloads, features.csv "
+                                   << features.workloads.size());
+    for (std::size_t i = 0; i < scores.workloads.size(); ++i) {
+        HM_REQUIRE(scores.workloads[i] == features.workloads[i],
+                   "workload mismatch at row " << i + 2 << ": `"
+                                               << scores.workloads[i]
+                                               << "` vs `"
+                                               << features.workloads[i]
+                                               << "`");
+    }
+}
+
+std::string
+scoreReportToCsv(const scoring::ScoreReport &report,
+                 const std::string &label_a, const std::string &label_b)
+{
+    util::CsvDocument doc;
+    doc.rows.push_back({"clusters", label_a, label_b, "ratio",
+                        "partition"});
+    for (const auto &row : report.rows) {
+        doc.rows.push_back({std::to_string(row.clusterCount),
+                            str::fixed(row.scoreA, 6),
+                            str::fixed(row.scoreB, 6),
+                            str::fixed(row.ratio, 6),
+                            row.partition.toString()});
+    }
+    doc.rows.push_back({"plain", str::fixed(report.plainA, 6),
+                        str::fixed(report.plainB, 6),
+                        str::fixed(report.plainRatio, 6), ""});
+    return util::writeCsv(doc);
+}
+
+std::string
+partitionToCsv(const scoring::Partition &partition,
+               const std::vector<std::string> &workloads)
+{
+    HM_REQUIRE(workloads.size() == partition.size(),
+               "partitionToCsv: " << workloads.size() << " names for "
+                                  << partition.size() << " items");
+    util::CsvDocument doc;
+    doc.rows.push_back({"workload", "cluster"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        doc.rows.push_back(
+            {workloads[w], std::to_string(partition.label(w))});
+    }
+    return util::writeCsv(doc);
+}
+
+scoring::Partition
+parsePartitionCsv(const std::string &text,
+                  const std::vector<std::string> &expected_workloads)
+{
+    const util::CsvDocument doc = util::parseCsv(text);
+    HM_REQUIRE(doc.rows.size() >= 2,
+               "partition.csv: need a header plus at least one row");
+    HM_REQUIRE(doc.rows.front().size() == 2,
+               "partition.csv: expected two columns "
+               "(workload,cluster)");
+
+    std::map<std::string, std::size_t> cluster_of;
+    for (std::size_t r = 1; r < doc.rows.size(); ++r) {
+        HM_REQUIRE(doc.rows[r].size() == 2,
+                   "partition.csv: row " << r + 1 << " has "
+                                         << doc.rows[r].size()
+                                         << " fields");
+        const std::string name = str::trim(doc.rows[r][0]);
+        const std::string cluster_field = str::trim(doc.rows[r][1]);
+        char *end = nullptr;
+        const long cluster =
+            std::strtol(cluster_field.c_str(), &end, 10);
+        HM_REQUIRE(end != nullptr && *end == '\0' &&
+                       !cluster_field.empty() && cluster >= 0,
+                   "partition.csv: cluster id `" << cluster_field
+                                                 << "` for `" << name
+                                                 << "` is not a "
+                                                    "non-negative "
+                                                    "integer");
+        HM_REQUIRE(cluster_of
+                       .emplace(name, static_cast<std::size_t>(cluster))
+                       .second,
+                   "partition.csv: duplicate workload `" << name
+                                                         << "`");
+    }
+
+    std::vector<std::size_t> labels;
+    labels.reserve(expected_workloads.size());
+    for (const std::string &name : expected_workloads) {
+        auto it = cluster_of.find(name);
+        HM_REQUIRE(it != cluster_of.end(),
+                   "partition.csv: workload `" << name
+                                               << "` is missing");
+        labels.push_back(it->second);
+    }
+    HM_REQUIRE(cluster_of.size() == expected_workloads.size(),
+               "partition.csv: lists " << cluster_of.size()
+                                       << " workloads, suite has "
+                                       << expected_workloads.size());
+    return scoring::Partition::fromLabels(labels);
+}
+
+} // namespace core
+} // namespace hiermeans

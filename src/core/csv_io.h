@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CSV interchange for user-supplied benchmark data.
+ *
+ * Two document shapes, both with a header row and the workload name in
+ * the first column:
+ *
+ *  scores.csv:    workload,<machine-1>,<machine-2>,...
+ *                 one positive score per machine per workload;
+ *
+ *  features.csv:  workload,<feature-1>,<feature-2>,...
+ *                 one raw characteristic value per feature.
+ *
+ * The `hmscore` tool in tools/ wires these into the full pipeline, and
+ * the exporters round-trip analysis results back to CSV.
+ */
+
+#ifndef HIERMEANS_CORE_CSV_IO_H
+#define HIERMEANS_CORE_CSV_IO_H
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/scoring/score_report.h"
+
+namespace hiermeans {
+namespace core {
+
+/** A parsed scores.csv. */
+struct ScoresCsv
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> machines;
+    linalg::Matrix scores; ///< workloads x machines, all positive.
+
+    /** Scores column for a machine by name; throws when unknown. */
+    std::vector<double> machineScores(const std::string &machine) const;
+};
+
+/** A parsed features.csv. */
+struct FeaturesCsv
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> features;
+    linalg::Matrix values; ///< workloads x features.
+};
+
+/**
+ * Parse a scores document. Throws InvalidArgument on ragged rows,
+ * duplicate workloads, non-numeric or non-positive scores, or fewer
+ * than two machines/workloads.
+ */
+ScoresCsv parseScoresCsv(const std::string &text);
+
+/** Parse a features document (same validation, values unrestricted). */
+FeaturesCsv parseFeaturesCsv(const std::string &text);
+
+/**
+ * Check that the two documents describe the same workloads in the
+ * same order; throws InvalidArgument otherwise.
+ */
+void requireAlignedWorkloads(const ScoresCsv &scores,
+                             const FeaturesCsv &features);
+
+/** Serialize a score report to CSV (one row per cluster count). */
+std::string scoreReportToCsv(const scoring::ScoreReport &report,
+                             const std::string &label_a,
+                             const std::string &label_b);
+
+/**
+ * Serialize a partition as `workload,cluster` rows — the paper's
+ * "reference cluster distribution" (Section V-B.2: "in order to accept
+ * the hierarchical means as a standard, a reference cluster
+ * distribution on a reference machine should be determined first").
+ * A committee publishes this file once; every vendor then scores with
+ * `hmscore --partition=FILE` against the same clusters.
+ */
+std::string partitionToCsv(const scoring::Partition &partition,
+                           const std::vector<std::string> &workloads);
+
+/**
+ * Parse a reference partition and align it to @p expected_workloads
+ * (every expected workload must appear exactly once; order in the
+ * file is free). Cluster ids may be arbitrary non-negative integers.
+ */
+scoring::Partition parsePartitionCsv(
+    const std::string &text,
+    const std::vector<std::string> &expected_workloads);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_CSV_IO_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The end-to-end hierarchical-means pipeline.
+ *
+ * Characteristic vectors -> SOM (dimension reduction) -> hierarchical
+ * clustering on the SOM grid positions -> partitions at k = kMin..kMax
+ * -> hierarchical-mean score report. This is the paper's Figure 3-8 +
+ * Table IV-VI flow packaged behind one call.
+ */
+
+#ifndef HIERMEANS_CORE_PIPELINE_H
+#define HIERMEANS_CORE_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/dendrogram.h"
+#include "src/core/characterization.h"
+#include "src/scoring/score_report.h"
+#include "src/som/render.h"
+#include "src/som/som.h"
+
+namespace hiermeans {
+namespace core {
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    som::SomConfig som;
+    cluster::Linkage linkage = cluster::Linkage::Complete;
+    linalg::Metric metric = linalg::Metric::Euclidean;
+    std::size_t kMin = 2;
+    std::size_t kMax = 8;
+
+    PipelineConfig()
+    {
+        // The paper's maps place 13 workloads comfortably on a 10x8
+        // grid; modest sizes keep training instant.
+        som.rows = 8;
+        som.cols = 10;
+        som.steps = 4000;
+    }
+
+    /**
+     * Auto-size the SOM to the workload count (Kohonen's ~5*sqrt(n)
+     * unit heuristic). Oversized maps grow flat plateaus around tight
+     * workload groups whose members then scatter across the plateau;
+     * right-sizing keeps near-identical workloads on shared or
+     * adjacent cells. Sets som.rows/som.cols in place.
+     */
+    void autoSizeSom(std::size_t num_workloads);
+};
+
+/** The cluster-analysis half of the pipeline (no scores needed). */
+struct ClusterAnalysis
+{
+    CharacteristicVectors vectors;
+    som::SelfOrganizingMap map;
+    std::vector<std::size_t> bmus;     ///< BMU per workload.
+    linalg::Matrix gridPositions;      ///< n x 2 reduced coordinates.
+    cluster::Dendrogram dendrogram;
+    std::vector<scoring::Partition> partitions; ///< k = kMin..kMax.
+
+    /** ASCII workload-distribution map (Figures 3/5/7). */
+    std::string renderMap(const std::string &title) const;
+
+    /** ASCII dendrogram tree (Figures 4/6/8). */
+    std::string renderDendrogram(const std::string &title) const;
+};
+
+/**
+ * Run SOM + hierarchical clustering over characteristic vectors and
+ * derive the partition sweep. kMax is clamped to the workload count.
+ */
+ClusterAnalysis analyzeClusters(const CharacteristicVectors &vectors,
+                                const PipelineConfig &config);
+
+/**
+ * Score two machines' per-workload score vectors against the analysis:
+ * one report row per partition plus the plain-mean footer (the shape
+ * of Tables IV, V and VI).
+ */
+scoring::ScoreReport scoreAgainstClusters(
+    const ClusterAnalysis &analysis, stats::MeanKind kind,
+    const std::vector<double> &scores_a,
+    const std::vector<double> &scores_b);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_PIPELINE_H

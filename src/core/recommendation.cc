@@ -1,0 +1,112 @@
+#include "src/core/recommendation.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "src/cluster/gap_statistic.h"
+#include "src/cluster/validity.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace core {
+
+std::string
+ClusterCountRecommendation::explain() const
+{
+    std::ostringstream oss;
+    oss << "ratio dampening suggests k = " << fromRatioDampening
+        << "; dendrogram gap suggests k = " << fromDendrogramGap
+        << "; silhouette suggests k = " << fromSilhouette
+        << "; gap statistic suggests k = " << fromGapStatistic
+        << "; recommended k = " << recommended;
+    return oss.str();
+}
+
+ClusterCountRecommendation
+recommendClusterCount(const ClusterAnalysis &analysis,
+                      const scoring::ScoreReport &report,
+                      double ratio_tolerance)
+{
+    HM_REQUIRE(!report.rows.empty(), "recommendClusterCount: empty report");
+    HM_REQUIRE(report.rows.size() == analysis.partitions.size(),
+               "recommendClusterCount: report has " << report.rows.size()
+                                                    << " rows, analysis "
+                                                    << analysis.partitions
+                                                           .size()
+                                                    << " partitions");
+
+    ClusterCountRecommendation rec;
+
+    // Signal 1: ratio dampening (the paper's primary criterion).
+    rec.fromRatioDampening =
+        report.rows[report.recommendedRow(ratio_tolerance)].clusterCount;
+
+    // Signal 2: largest relative merge-height gap. Cutting just below
+    // the biggest jump leaves the clusters the jump would have glued.
+    const auto heights = analysis.dendrogram.heights();
+    const std::size_t n = analysis.dendrogram.leafCount();
+    double best_gap = -1.0;
+    std::size_t best_k = report.rows.front().clusterCount;
+    const std::size_t k_lo = report.rows.front().clusterCount;
+    const std::size_t k_hi = report.rows.back().clusterCount;
+    for (std::size_t k = k_lo; k <= k_hi && k <= n; ++k) {
+        // A cut into k clusters undoes the last k-1 merges; the gap
+        // between merge (n-k) and merge (n-k-1) measures how natural
+        // that cut is.
+        if (k >= n)
+            break;
+        const double upper = heights[n - k];       // first undone merge.
+        const double lower = heights[n - k - 1];   // last applied merge.
+        const double gap = upper - lower;
+        if (gap > best_gap) {
+            best_gap = gap;
+            best_k = k;
+        }
+    }
+    rec.fromDendrogramGap = best_k;
+
+    // Signal 3: best silhouette over the swept partitions (on the SOM
+    // grid positions, where the clustering itself was done). Partitions
+    // with k == n (all singletons) are skipped: silhouette is undefined
+    // there in any useful sense.
+    double best_sil = -2.0;
+    std::size_t sil_k = report.rows.front().clusterCount;
+    for (const auto &row : report.rows) {
+        if (row.partition.clusterCount() >= n ||
+            row.partition.clusterCount() < 2) {
+            continue;
+        }
+        const double s = cluster::silhouette(analysis.gridPositions,
+                                             row.partition);
+        if (s > best_sil) {
+            best_sil = s;
+            sil_k = row.clusterCount;
+        }
+    }
+    rec.fromSilhouette = sil_k;
+
+    // Signal 4: the gap statistic on the same reduced coordinates.
+    cluster::GapConfig gap_config;
+    gap_config.kMin = report.rows.front().clusterCount;
+    gap_config.kMax = report.rows.back().clusterCount;
+    gap_config.seed = 0x6A9;
+    rec.fromGapStatistic =
+        cluster::gapStatistic(analysis.gridPositions, gap_config)
+            .chosenK;
+
+    // Combine: lower median of the four signals — robust to one signal
+    // disagreeing and conservative (fewer clusters means stronger
+    // redundancy cancellation), mirroring how the paper cross-checks
+    // the SOM map against the ratio table.
+    std::array<std::size_t, 4> ks = {rec.fromRatioDampening,
+                                     rec.fromDendrogramGap,
+                                     rec.fromSilhouette,
+                                     rec.fromGapStatistic};
+    std::sort(ks.begin(), ks.end());
+    rec.recommended = ks[1];
+    return rec;
+}
+
+} // namespace core
+} // namespace hiermeans

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Recommended cluster-count selection.
+ *
+ * Section V-B.1: "we recommend the 6 clusters case as the norm since
+ * 1) it aligns well with the SOM analysis results, and 2) since the
+ * fluctuation of ratio values tends to dampen around 5, 6 cluster
+ * cases." This module operationalizes that judgment with four
+ * quantitative signals and a combined recommendation:
+ *  - ratio dampening: where consecutive score ratios stop moving;
+ *  - dendrogram gap: the cut just below the largest merge-height jump
+ *    (a big jump means the merge glued genuinely dissimilar clusters);
+ *  - silhouette: the k with the best-separated partition;
+ *  - gap statistic: dispersion vs uniform reference data (Tibshirani).
+ */
+
+#ifndef HIERMEANS_CORE_RECOMMENDATION_H
+#define HIERMEANS_CORE_RECOMMENDATION_H
+
+#include "src/core/pipeline.h"
+#include "src/scoring/score_report.h"
+
+namespace hiermeans {
+namespace core {
+
+/** The individual signals plus the combined recommendation. */
+struct ClusterCountRecommendation
+{
+    std::size_t fromRatioDampening = 0;
+    std::size_t fromDendrogramGap = 0;
+    std::size_t fromSilhouette = 0;
+    std::size_t fromGapStatistic = 0;
+    std::size_t recommended = 0;
+
+    std::string explain() const;
+};
+
+/**
+ * Recommend a cluster count for @p analysis scored by @p report. The
+ * report's rows must come from the analysis' partition sweep.
+ *
+ * @param ratio_tolerance dampening threshold on consecutive ratios.
+ */
+ClusterCountRecommendation recommendClusterCount(
+    const ClusterAnalysis &analysis, const scoring::ScoreReport &report,
+    double ratio_tolerance = 0.02);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_RECOMMENDATION_H

@@ -1,0 +1,176 @@
+#include "src/core/redundancy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/linalg/distance.h"
+#include "src/util/error.h"
+#include "src/util/str.h"
+#include "src/util/text_table.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace core {
+
+namespace {
+
+/** True when @p partition contains @p members as one exact cluster. */
+bool
+hasExactCluster(const scoring::Partition &partition,
+                const std::vector<std::size_t> &members)
+{
+    std::vector<std::size_t> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &group : partition.groups()) {
+        if (group == sorted)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+RedundancyReport::render() const
+{
+    util::TextTable table({"group", "n", "intra", "inter", "coagulation",
+                           "connected@", "exclusive", "max shared cell"});
+    for (const GroupRedundancy &g : groups) {
+        table.addRow({g.name, std::to_string(g.size),
+                      str::fixed(g.meanIntraDistance, 2),
+                      str::fixed(g.meanInterDistance, 2),
+                      str::fixed(g.coagulation, 3),
+                      str::fixed(g.connectedAtDistance, 2),
+                      g.appearsAsExclusiveCluster ? "yes" : "no",
+                      std::to_string(g.maxSharedCell)});
+    }
+    return table.render();
+}
+
+RedundancyReport
+analyzeRedundancy(const ClusterAnalysis &analysis,
+                  const std::vector<WorkloadGroup> &groups)
+{
+    const std::size_t n = analysis.gridPositions.rows();
+    const linalg::Matrix dist =
+        linalg::pairwiseDistances(analysis.gridPositions);
+
+    // Every cut of the dendrogram, for exclusivity checks.
+    std::vector<scoring::Partition> all_cuts;
+    for (std::size_t k = 1; k <= n; ++k)
+        all_cuts.push_back(analysis.dendrogram.cutAtCount(k));
+
+    const auto heights = analysis.dendrogram.heights();
+    const double max_height =
+        heights.empty() ? 0.0 : *std::max_element(heights.begin(),
+                                                  heights.end());
+
+    RedundancyReport report;
+    for (const WorkloadGroup &group : groups) {
+        HM_REQUIRE(group.members.size() >= 2,
+                   "analyzeRedundancy: group `" << group.name
+                                                << "` needs >= 2 members");
+        for (std::size_t m : group.members) {
+            HM_REQUIRE(m < n, "analyzeRedundancy: member " << m
+                                                           << " out of "
+                                                              "range");
+        }
+
+        GroupRedundancy g;
+        g.name = group.name;
+        g.size = group.members.size();
+
+        std::vector<bool> in_group(n, false);
+        for (std::size_t m : group.members)
+            in_group[m] = true;
+
+        double intra = 0.0, inter = 0.0;
+        std::size_t intra_pairs = 0, inter_pairs = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (in_group[i] && in_group[j]) {
+                    intra += dist(i, j);
+                    ++intra_pairs;
+                } else if (in_group[i] != in_group[j]) {
+                    inter += dist(i, j);
+                    ++inter_pairs;
+                }
+            }
+        }
+        g.meanIntraDistance =
+            intra_pairs > 0 ? intra / static_cast<double>(intra_pairs)
+                            : 0.0;
+        g.meanInterDistance =
+            inter_pairs > 0 ? inter / static_cast<double>(inter_pairs)
+                            : 0.0;
+        g.coagulation = g.meanInterDistance > 0.0
+                            ? g.meanIntraDistance / g.meanInterDistance
+                            : (g.meanIntraDistance > 0.0 ? 1e9 : 0.0);
+
+        // Smallest cut distance at which the whole group shares one
+        // cluster (scan cuts from k = n down to 1; the first cut where
+        // the group is within a single cluster corresponds to a merge
+        // height).
+        g.connectedAtDistance = max_height;
+        for (std::size_t k = n; k >= 1; --k) {
+            const scoring::Partition &cut = all_cuts[k - 1];
+            const std::size_t first_label =
+                cut.label(group.members.front());
+            bool together = true;
+            for (std::size_t m : group.members) {
+                if (cut.label(m) != first_label) {
+                    together = false;
+                    break;
+                }
+            }
+            if (together) {
+                // The cut into k clusters applies merges 0..n-k-1;
+                // the group got connected at the height of the last
+                // merge needed, which is bounded by heights[n-k-1]
+                // (0 when the group shares a cell and merges at 0).
+                g.connectedAtDistance =
+                    k == n ? 0.0 : heights[n - k - 1];
+                break;
+            }
+            if (k == 1)
+                break;
+        }
+        g.connectedAtFraction =
+            max_height > 0.0 ? g.connectedAtDistance / max_height : 0.0;
+
+        g.appearsAsExclusiveCluster = false;
+        for (const auto &cut : all_cuts) {
+            if (hasExactCluster(cut, group.members)) {
+                g.appearsAsExclusiveCluster = true;
+                break;
+            }
+        }
+
+        std::map<std::size_t, std::size_t> cell_counts;
+        for (std::size_t m : group.members)
+            ++cell_counts[analysis.bmus[m]];
+        g.maxSharedCell = 0;
+        for (const auto &[cell, count] : cell_counts)
+            g.maxSharedCell = std::max(g.maxSharedCell, count);
+
+        report.groups.push_back(std::move(g));
+    }
+    return report;
+}
+
+std::vector<WorkloadGroup>
+paperOriginGroups()
+{
+    using workload::SuiteOrigin;
+    return {
+        WorkloadGroup{"SPECjvm98",
+                      workload::indicesOfOrigin(SuiteOrigin::SpecJvm98)},
+        WorkloadGroup{"SciMark2",
+                      workload::indicesOfOrigin(SuiteOrigin::SciMark2)},
+        WorkloadGroup{"DaCapo",
+                      workload::indicesOfOrigin(SuiteOrigin::DaCapo)},
+    };
+}
+
+} // namespace core
+} // namespace hiermeans

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quantitative redundancy analysis of a benchmark suite.
+ *
+ * The paper's central diagnosis is qualitative: "SciMark2 workloads
+ * form a dense cluster ... rendering each other in the adoption set
+ * redundant". This module quantifies it, per named workload group
+ * (typically the origin suites of a merged benchmark):
+ *  - coagulation: ratio of mean intra-group to mean inter-group
+ *    distance on the reduced (SOM) coordinates — small means the group
+ *    collapsed into one blob;
+ *  - exclusivity: whether the group appears as an exact cluster in
+ *    some dendrogram cut, and the merging distance at which the group
+ *    becomes internally connected;
+ *  - cell sharing: how many group members share one SOM cell.
+ */
+
+#ifndef HIERMEANS_CORE_REDUNDANCY_H
+#define HIERMEANS_CORE_REDUNDANCY_H
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace hiermeans {
+namespace core {
+
+/** A named group of workload indices (e.g. one origin suite). */
+struct WorkloadGroup
+{
+    std::string name;
+    std::vector<std::size_t> members;
+};
+
+/** Redundancy diagnosis of one group. */
+struct GroupRedundancy
+{
+    std::string name;
+    std::size_t size = 0;
+
+    double meanIntraDistance = 0.0; ///< on the SOM grid coordinates.
+    double meanInterDistance = 0.0;
+    /** intra / inter; < coagulationThreshold flags a dense blob. */
+    double coagulation = 0.0;
+
+    /** Merge height at which the group is internally connected. */
+    double connectedAtDistance = 0.0;
+    /** Fraction of the dendrogram's total height range that is. */
+    double connectedAtFraction = 0.0;
+
+    /** True when some dendrogram cut yields the group as one cluster. */
+    bool appearsAsExclusiveCluster = false;
+
+    /** Largest number of group members sharing one SOM cell. */
+    std::size_t maxSharedCell = 0;
+
+    bool coagulated(double threshold = 0.5) const
+    {
+        return coagulation < threshold;
+    }
+};
+
+/** Whole-suite redundancy report. */
+struct RedundancyReport
+{
+    std::vector<GroupRedundancy> groups;
+
+    /** Render as a text table. */
+    std::string render() const;
+};
+
+/**
+ * Analyze groups over a finished cluster analysis. Each group needs
+ * >= 2 members; indices must be valid for the analysis.
+ */
+RedundancyReport analyzeRedundancy(const ClusterAnalysis &analysis,
+                                   const std::vector<WorkloadGroup> &groups);
+
+/** Groups of the paper suite by origin (SPECjvm98, SciMark2, DaCapo). */
+std::vector<WorkloadGroup> paperOriginGroups();
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_REDUNDANCY_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Markdown report generation for a full case-study run.
+ *
+ * Produces a single self-contained document with the speedup table,
+ * all three characterization branches (map, dendrogram, score table,
+ * recommendation, redundancy diagnosis) and a conclusion section —
+ * the artifact a benchmark committee would circulate.
+ */
+
+#ifndef HIERMEANS_CORE_REPORT_H
+#define HIERMEANS_CORE_REPORT_H
+
+#include <string>
+
+#include "src/core/case_study.h"
+
+namespace hiermeans {
+namespace core {
+
+/** Options for the markdown report. */
+struct ReportOptions
+{
+    std::string title = "Hierarchical Means Case Study";
+    bool includeMaps = true;
+    bool includeDendrograms = true;
+    bool includeRedundancy = true;
+};
+
+/** Render the whole case study as a markdown document. */
+std::string renderMarkdownReport(const CaseStudyResult &result,
+                                 const ReportOptions &options = {});
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_REPORT_H

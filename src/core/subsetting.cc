@@ -1,0 +1,104 @@
+#include "src/core/subsetting.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/linalg/distance.h"
+#include "src/scoring/hierarchical_mean.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace core {
+
+std::vector<std::string>
+SuiteSubset::names(const std::vector<std::string> &all_names) const
+{
+    std::vector<std::string> out;
+    out.reserve(representatives.size());
+    for (std::size_t r : representatives) {
+        HM_REQUIRE(r < all_names.size(),
+                   "SuiteSubset::names: representative " << r
+                                                         << " out of "
+                                                            "range");
+        out.push_back(all_names[r]);
+    }
+    return out;
+}
+
+SuiteSubset
+subsetSuite(const scoring::Partition &partition,
+            const linalg::Matrix &positions,
+            const std::vector<double> &scores, RepresentativeRule rule)
+{
+    HM_REQUIRE(positions.rows() == partition.size(),
+               "subsetSuite: " << positions.rows() << " positions for "
+                               << partition.size() << " workloads");
+    HM_REQUIRE(scores.size() == partition.size(),
+               "subsetSuite: " << scores.size() << " scores for "
+                               << partition.size() << " workloads");
+
+    SuiteSubset out;
+    out.partition = partition;
+    for (const auto &members : partition.groups()) {
+        std::size_t best = members.front();
+        if (members.size() > 1 && rule == RepresentativeRule::Medoid) {
+            double best_cost = std::numeric_limits<double>::infinity();
+            for (std::size_t candidate : members) {
+                double cost = 0.0;
+                for (std::size_t other : members) {
+                    cost += linalg::euclidean(positions.row(candidate),
+                                              positions.row(other));
+                }
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = candidate;
+                }
+            }
+        } else if (members.size() > 1 &&
+                   rule == RepresentativeRule::ScoreCentral) {
+            std::vector<double> cluster_scores;
+            for (std::size_t m : members)
+                cluster_scores.push_back(scores[m]);
+            const double center = hiermeans::stats::geometricMean(
+                cluster_scores);
+            double best_gap = std::numeric_limits<double>::infinity();
+            for (std::size_t candidate : members) {
+                const double gap = std::abs(scores[candidate] - center);
+                if (gap < best_gap) {
+                    best_gap = gap;
+                    best = candidate;
+                }
+            }
+        }
+        out.representatives.push_back(best);
+    }
+    return out;
+}
+
+SubsetFidelity
+evaluateSubset(const SuiteSubset &subset, stats::MeanKind kind,
+               const std::vector<double> &scores)
+{
+    HM_REQUIRE(scores.size() == subset.partition.size(),
+               "evaluateSubset: " << scores.size() << " scores for "
+                                  << subset.partition.size()
+                                  << " workloads");
+    SubsetFidelity f;
+    f.fullPlainMean = stats::mean(kind, scores);
+    f.fullHierarchicalMean =
+        scoring::hierarchicalMean(kind, scores, subset.partition);
+
+    std::vector<double> subset_scores;
+    subset_scores.reserve(subset.representatives.size());
+    for (std::size_t r : subset.representatives)
+        subset_scores.push_back(scores[r]);
+    f.subsetMean = stats::mean(kind, subset_scores);
+
+    f.errorVsHierarchical =
+        std::abs(f.subsetMean / f.fullHierarchicalMean - 1.0);
+    f.errorVsPlain = std::abs(f.subsetMean / f.fullPlainMean - 1.0);
+    return f;
+}
+
+} // namespace core
+} // namespace hiermeans

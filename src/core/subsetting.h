@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Benchmark suite subsetting from cluster structure.
+ *
+ * Related work the paper builds on (Vandierendonck & De Bosschere;
+ * Yi et al.) uses cluster information to *subset* a suite: keep one
+ * representative per cluster and drop the rest. hiermeans supports the
+ * complementary workflow — instead of reweighting via hierarchical
+ * means, shrink the suite — and quantifies the fidelity of the subset:
+ * how closely the subset's plain mean tracks the full suite's
+ * hierarchical mean (they coincide exactly when every representative
+ * equals its cluster's inner mean).
+ */
+
+#ifndef HIERMEANS_CORE_SUBSETTING_H
+#define HIERMEANS_CORE_SUBSETTING_H
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/scoring/partition.h"
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace core {
+
+/** How the representative of a cluster is chosen. */
+enum class RepresentativeRule
+{
+    /** Medoid: member with minimum total distance to cluster-mates. */
+    Medoid,
+    /** Member whose score is closest to the cluster's inner mean. */
+    ScoreCentral,
+};
+
+/** A subsetting decision. */
+struct SuiteSubset
+{
+    /** Chosen representative workload index per cluster. */
+    std::vector<std::size_t> representatives;
+    /** The partition the subset was derived from. */
+    scoring::Partition partition = scoring::Partition::single(1);
+
+    /** Names of the representatives, given the full name list. */
+    std::vector<std::string>
+    names(const std::vector<std::string> &all_names) const;
+};
+
+/**
+ * Pick one representative per cluster of @p partition.
+ *
+ * @param positions n x d reduced coordinates (used by Medoid).
+ * @param scores per-workload scores (used by ScoreCentral; pass the
+ *        machine whose fidelity matters most, or any machine for
+ *        Medoid).
+ */
+SuiteSubset subsetSuite(const scoring::Partition &partition,
+                        const linalg::Matrix &positions,
+                        const std::vector<double> &scores,
+                        RepresentativeRule rule =
+                            RepresentativeRule::Medoid);
+
+/** Fidelity of a subset on one machine's scores. */
+struct SubsetFidelity
+{
+    double fullPlainMean = 0.0;        ///< plain mean of all workloads.
+    double fullHierarchicalMean = 0.0; ///< hierarchical mean, full suite.
+    double subsetMean = 0.0;           ///< plain mean of representatives.
+    /** |subset / hierarchical - 1|: the subsetting error vs the
+     * redundancy-corrected score. */
+    double errorVsHierarchical = 0.0;
+    /** |subset / plain - 1|: error vs the naive full-suite score. */
+    double errorVsPlain = 0.0;
+};
+
+/** Evaluate @p subset against @p scores under @p kind. */
+SubsetFidelity evaluateSubset(const SuiteSubset &subset,
+                              stats::MeanKind kind,
+                              const std::vector<double> &scores);
+
+} // namespace core
+} // namespace hiermeans
+
+#endif // HIERMEANS_CORE_SUBSETTING_H

@@ -1,0 +1,145 @@
+#include "src/linalg/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace linalg {
+
+namespace {
+
+void
+requireSameSize(const Vector &a, const Vector &b)
+{
+    HM_REQUIRE(a.size() == b.size(), "distance: size mismatch "
+                                         << a.size() << " vs " << b.size());
+}
+
+} // namespace
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Euclidean:
+        return "euclidean";
+      case Metric::SquaredEuclidean:
+        return "sqeuclidean";
+      case Metric::Manhattan:
+        return "manhattan";
+      case Metric::Chebyshev:
+        return "chebyshev";
+      case Metric::Cosine:
+        return "cosine";
+    }
+    return "unknown";
+}
+
+Metric
+parseMetric(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "euclidean" || lower == "l2")
+        return Metric::Euclidean;
+    if (lower == "sqeuclidean" || lower == "squared")
+        return Metric::SquaredEuclidean;
+    if (lower == "manhattan" || lower == "l1")
+        return Metric::Manhattan;
+    if (lower == "chebyshev" || lower == "linf")
+        return Metric::Chebyshev;
+    if (lower == "cosine")
+        return Metric::Cosine;
+    throw InvalidArgument("unknown metric `" + name + "`");
+}
+
+double
+euclidean(const Vector &a, const Vector &b)
+{
+    return std::sqrt(squaredEuclidean(a, b));
+}
+
+double
+squaredEuclidean(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+manhattan(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += std::abs(a[i] - b[i]);
+    return acc;
+}
+
+double
+chebyshev(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc = std::max(acc, std::abs(a[i] - b[i]));
+    return acc;
+}
+
+double
+cosine(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b);
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na == 0.0 && nb == 0.0)
+        return 0.0;
+    if (na == 0.0 || nb == 0.0)
+        return 1.0;
+    const double c = dot(a, b) / (na * nb);
+    return 1.0 - std::clamp(c, -1.0, 1.0);
+}
+
+double
+distance(Metric metric, const Vector &a, const Vector &b)
+{
+    switch (metric) {
+      case Metric::Euclidean:
+        return euclidean(a, b);
+      case Metric::SquaredEuclidean:
+        return squaredEuclidean(a, b);
+      case Metric::Manhattan:
+        return manhattan(a, b);
+      case Metric::Chebyshev:
+        return chebyshev(a, b);
+      case Metric::Cosine:
+        return cosine(a, b);
+    }
+    throw InternalError("unhandled metric");
+}
+
+Matrix
+pairwiseDistances(const Matrix &points, Metric metric)
+{
+    const std::size_t n = points.rows();
+    Matrix dist(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vector a = points.row(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = distance(metric, a, points.row(j));
+            dist(i, j) = d;
+            dist(j, i) = d;
+        }
+    }
+    return dist;
+}
+
+} // namespace linalg
+} // namespace hiermeans

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Point-to-point distance metrics and pairwise distance matrices.
+ *
+ * The paper uses Euclidean distance both inside the SOM (BMU search) and
+ * as the point-to-point distance underneath the hierarchical clustering;
+ * the additional metrics support ablation studies.
+ */
+
+#ifndef HIERMEANS_LINALG_DISTANCE_H
+#define HIERMEANS_LINALG_DISTANCE_H
+
+#include <functional>
+#include <string>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace hiermeans {
+namespace linalg {
+
+/** Supported point-to-point metrics. */
+enum class Metric { Euclidean, SquaredEuclidean, Manhattan, Chebyshev,
+                    Cosine };
+
+/** Name of a metric ("euclidean", ...). */
+const char *metricName(Metric metric);
+
+/** Parse a metric name; throws InvalidArgument on unknown names. */
+Metric parseMetric(const std::string &name);
+
+/** Euclidean distance ||a - b||_2. */
+double euclidean(const Vector &a, const Vector &b);
+
+/** Squared Euclidean distance ||a - b||_2^2. */
+double squaredEuclidean(const Vector &a, const Vector &b);
+
+/** Manhattan (L1) distance. */
+double manhattan(const Vector &a, const Vector &b);
+
+/** Chebyshev (L-infinity) distance. */
+double chebyshev(const Vector &a, const Vector &b);
+
+/**
+ * Cosine distance 1 - cos(a, b). Defined as 0 when both vectors are
+ * zero and 1 when exactly one is zero.
+ */
+double cosine(const Vector &a, const Vector &b);
+
+/** Evaluate @p metric on a pair of points. */
+double distance(Metric metric, const Vector &a, const Vector &b);
+
+/**
+ * Symmetric pairwise distance matrix over the rows of @p points
+ * (diagonal is zero).
+ */
+Matrix pairwiseDistances(const Matrix &points,
+                         Metric metric = Metric::Euclidean);
+
+} // namespace linalg
+} // namespace hiermeans
+
+#endif // HIERMEANS_LINALG_DISTANCE_H

@@ -1,0 +1,102 @@
+#include "src/linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace linalg {
+
+EigenDecomposition
+eigenSymmetric(const Matrix &a, double symmetryTol, int sweepLimit)
+{
+    const std::size_t n = a.rows();
+    HM_REQUIRE(a.rows() == a.cols(), "eigenSymmetric: matrix is "
+                                         << a.rows() << "x" << a.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            HM_REQUIRE(std::abs(a(i, j) - a(j, i)) <= symmetryTol,
+                       "eigenSymmetric: asymmetric at (" << i << ", " << j
+                                                         << ")");
+        }
+    }
+
+    Matrix work = a;
+    Matrix vectors = Matrix::identity(n);
+
+    auto off_diagonal_norm = [&]() {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                acc += work(i, j) * work(i, j);
+        return std::sqrt(2.0 * acc);
+    };
+
+    const double eps = 1e-12 * std::max(1.0, off_diagonal_norm());
+    for (int sweep = 0; sweep < sweepLimit; ++sweep) {
+        if (off_diagonal_norm() <= eps)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = work(p, q);
+                if (std::abs(apq) <= eps / (static_cast<double>(n) *
+                                            static_cast<double>(n))) {
+                    continue;
+                }
+                const double app = work(p, p);
+                const double aqq = work(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // Apply the rotation J(p, q, theta)^T * A * J(p, q, theta).
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = work(k, p);
+                    const double akq = work(k, q);
+                    work(k, p) = c * akp - s * akq;
+                    work(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = work(p, k);
+                    const double aqk = work(q, k);
+                    work(p, k) = c * apk - s * aqk;
+                    work(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = vectors(k, p);
+                    const double vkq = vectors(k, q);
+                    vectors(k, p) = c * vkp - s * vkq;
+                    vectors(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    Vector raw(n);
+    for (std::size_t i = 0; i < n; ++i)
+        raw[i] = work(i, i);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return raw[x] > raw[y];
+    });
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.values[i] = raw[order[i]];
+        for (std::size_t k = 0; k < n; ++k)
+            out.vectors(k, i) = vectors(k, order[i]);
+    }
+    return out;
+}
+
+} // namespace linalg
+} // namespace hiermeans

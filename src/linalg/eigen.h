@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method.
+ *
+ * Used by PCA (principal components of the covariance matrix). The
+ * matrices involved are small (dimension = number of features after
+ * filtering, or number of workloads), so the O(d^3) Jacobi sweep is
+ * entirely adequate and numerically robust.
+ */
+
+#ifndef HIERMEANS_LINALG_EIGEN_H
+#define HIERMEANS_LINALG_EIGEN_H
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace hiermeans {
+namespace linalg {
+
+/** Eigendecomposition of a symmetric matrix. */
+struct EigenDecomposition
+{
+    /** Eigenvalues in descending order. */
+    Vector values;
+    /** Eigenvectors as matrix columns; column i pairs with values[i]. */
+    Matrix vectors;
+};
+
+/**
+ * Decompose the symmetric matrix @p a. Throws InvalidArgument when the
+ * matrix is not square or not symmetric within @p symmetryTol.
+ *
+ * @param a symmetric input matrix.
+ * @param symmetryTol allowed |a_ij - a_ji| asymmetry.
+ * @param sweepLimit maximum number of full Jacobi sweeps.
+ */
+EigenDecomposition eigenSymmetric(const Matrix &a,
+                                  double symmetryTol = 1e-9,
+                                  int sweepLimit = 100);
+
+} // namespace linalg
+} // namespace hiermeans
+
+#endif // HIERMEANS_LINALG_EIGEN_H

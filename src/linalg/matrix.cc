@@ -1,0 +1,228 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    const std::size_t cols = rows.front().size();
+    Matrix m(rows.size(), cols);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        HM_REQUIRE(rows[r].size() == cols,
+                   "fromRows: row " << r << " has " << rows[r].size()
+                                    << " columns, expected " << cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    HM_REQUIRE(r < rows_ && c < cols_, "at(" << r << ", " << c
+                                             << ") out of bounds for "
+                                             << rows_ << "x" << cols_);
+    return (*this)(r, c);
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    HM_REQUIRE(r < rows_ && c < cols_, "at(" << r << ", " << c
+                                             << ") out of bounds for "
+                                             << rows_ << "x" << cols_);
+    return (*this)(r, c);
+}
+
+Vector
+Matrix::row(std::size_t r) const
+{
+    HM_REQUIRE(r < rows_, "row " << r << " out of bounds (" << rows_ << ")");
+    return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                  data_.begin() +
+                      static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector
+Matrix::column(std::size_t c) const
+{
+    HM_REQUIRE(c < cols_, "column " << c << " out of bounds (" << cols_
+                                    << ")");
+    Vector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::setRow(std::size_t r, const Vector &values)
+{
+    HM_REQUIRE(r < rows_, "setRow: row " << r << " out of bounds");
+    HM_REQUIRE(values.size() == cols_, "setRow: size " << values.size()
+                                                       << " != cols "
+                                                       << cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        (*this)(r, c) = values[c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    HM_REQUIRE(cols_ == other.rows_, "multiply: " << rows_ << "x" << cols_
+                                                  << " times "
+                                                  << other.rows_ << "x"
+                                                  << other.cols_);
+    Matrix out(rows_, other.cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += a * other(k, c);
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::multiply(const Vector &v) const
+{
+    HM_REQUIRE(v.size() == cols_, "multiply: vector size " << v.size()
+                                                           << " != cols "
+                                                           << cols_);
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectColumns(const std::vector<std::size_t> &columns) const
+{
+    Matrix out(rows_, columns.size());
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        HM_REQUIRE(columns[i] < cols_, "selectColumns: column "
+                                           << columns[i]
+                                           << " out of bounds");
+        for (std::size_t r = 0; r < rows_; ++r)
+            out(r, i) = (*this)(r, columns[i]);
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<std::size_t> &row_ids) const
+{
+    Matrix out(row_ids.size(), cols_);
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+        HM_REQUIRE(row_ids[i] < rows_, "selectRows: row " << row_ids[i]
+                                                          << " out of "
+                                                             "bounds");
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(i, c) = (*this)(row_ids[i], c);
+    }
+    return out;
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Matrix::toString(int decimals) const
+{
+    std::ostringstream oss;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (c > 0)
+                oss << " ";
+            oss << str::fixed((*this)(r, c), decimals);
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+Matrix
+covariance(const Matrix &observations)
+{
+    const std::size_t n = observations.rows();
+    const std::size_t d = observations.cols();
+    HM_REQUIRE(n >= 2, "covariance needs >= 2 observations, got " << n);
+
+    Vector means(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            means[c] += observations(r, c);
+    for (double &m : means)
+        m /= static_cast<double>(n);
+
+    Matrix cov(d, d, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < d; ++i) {
+            const double di = observations(r, i) - means[i];
+            if (di == 0.0)
+                continue;
+            for (std::size_t j = i; j < d; ++j)
+                cov(i, j) += di * (observations(r, j) - means[j]);
+        }
+    }
+    const double denom = static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = i; j < d; ++j) {
+            cov(i, j) /= denom;
+            cov(j, i) = cov(i, j);
+        }
+    }
+    return cov;
+}
+
+} // namespace linalg
+} // namespace hiermeans

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dense row-major matrix.
+ *
+ * Rows typically hold one observation (one workload's characteristic
+ * vector); columns hold one feature (one counter / one method bit).
+ */
+
+#ifndef HIERMEANS_LINALG_MATRIX_H
+#define HIERMEANS_LINALG_MATRIX_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace hiermeans {
+namespace linalg {
+
+/** A dense real matrix with row-major storage. */
+class Matrix
+{
+  public:
+    /** An empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** A rows x cols matrix filled with @p init. */
+    Matrix(std::size_t rows, std::size_t cols, double init = 0.0);
+
+    /** Build from a list of equally-sized rows. */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Element access with bounds checks in debug builds. */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Unchecked element access. */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Copy of row @p r. */
+    Vector row(std::size_t r) const;
+
+    /** Copy of column @p c. */
+    Vector column(std::size_t c) const;
+
+    /** Overwrite row @p r; the size must equal cols(). */
+    void setRow(std::size_t r, const Vector &values);
+
+    /** Pointer to the first element of row @p r (contiguous). */
+    const double *rowData(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+    double *rowData(std::size_t r) { return data_.data() + r * cols_; }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Matrix product this * other; inner dimensions must agree. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product (v.size() == cols()). */
+    Vector multiply(const Vector &v) const;
+
+    /** Select a subset of columns, in the given order. */
+    Matrix selectColumns(const std::vector<std::size_t> &columns) const;
+
+    /** Select a subset of rows, in the given order. */
+    Matrix selectRows(const std::vector<std::size_t> &rows) const;
+
+    /** True when shapes match and elements agree within @p tol. */
+    bool approxEqual(const Matrix &other, double tol) const;
+
+    /** Human-readable dump (for debugging and golden tests). */
+    std::string toString(int decimals = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Sample covariance matrix of @p observations (rows = samples,
+ * columns = features). Uses the n-1 denominator; requires >= 2 rows.
+ */
+Matrix covariance(const Matrix &observations);
+
+} // namespace linalg
+} // namespace hiermeans
+
+#endif // HIERMEANS_LINALG_MATRIX_H

@@ -1,0 +1,108 @@
+#include "src/linalg/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/linalg/eigen.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace linalg {
+
+Pca
+Pca::fit(const Matrix &observations)
+{
+    HM_REQUIRE(observations.rows() >= 2,
+               "Pca::fit needs >= 2 observations, got "
+                   << observations.rows());
+    Pca model;
+
+    const std::size_t d = observations.cols();
+    model.mean_.assign(d, 0.0);
+    for (std::size_t r = 0; r < observations.rows(); ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            model.mean_[c] += observations(r, c);
+    for (double &m : model.mean_)
+        m /= static_cast<double>(observations.rows());
+
+    const Matrix cov = covariance(observations);
+    EigenDecomposition eig = eigenSymmetric(cov);
+
+    // Clamp tiny negative eigenvalues produced by round-off.
+    for (double &v : eig.values)
+        v = std::max(v, 0.0);
+
+    model.eigenvalues_ = std::move(eig.values);
+    model.components_ = std::move(eig.vectors);
+    return model;
+}
+
+double
+Pca::explainedVarianceRatio(std::size_t i) const
+{
+    HM_REQUIRE(i < eigenvalues_.size(), "component " << i
+                                                     << " out of range");
+    double total = 0.0;
+    for (double v : eigenvalues_)
+        total += v;
+    return total > 0.0 ? eigenvalues_[i] / total : 0.0;
+}
+
+double
+Pca::cumulativeExplainedVariance(std::size_t k) const
+{
+    HM_REQUIRE(k <= eigenvalues_.size(), "k " << k << " out of range");
+    double total = 0.0;
+    double head = 0.0;
+    for (std::size_t i = 0; i < eigenvalues_.size(); ++i) {
+        total += eigenvalues_[i];
+        if (i < k)
+            head += eigenvalues_[i];
+    }
+    return total > 0.0 ? head / total : 0.0;
+}
+
+Vector
+Pca::project(const Vector &observation, std::size_t k) const
+{
+    HM_REQUIRE(observation.size() == dimension(),
+               "project: observation has " << observation.size()
+                                           << " features, model expects "
+                                           << dimension());
+    HM_REQUIRE(k >= 1 && k <= dimension(), "project: invalid k " << k);
+    Vector centered = sub(observation, mean_);
+    Vector out(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < dimension(); ++i)
+            acc += components_(i, c) * centered[i];
+        out[c] = acc;
+    }
+    return out;
+}
+
+Matrix
+Pca::projectAll(const Matrix &observations, std::size_t k) const
+{
+    Matrix out(observations.rows(), k);
+    for (std::size_t r = 0; r < observations.rows(); ++r) {
+        const Vector p = project(observations.row(r), k);
+        out.setRow(r, p);
+    }
+    return out;
+}
+
+Vector
+Pca::reconstruct(const Vector &projected) const
+{
+    HM_REQUIRE(projected.size() <= dimension(),
+               "reconstruct: projection wider than model dimension");
+    Vector out = mean_;
+    for (std::size_t c = 0; c < projected.size(); ++c)
+        for (std::size_t i = 0; i < dimension(); ++i)
+            out[i] += components_(i, c) * projected[c];
+    return out;
+}
+
+} // namespace linalg
+} // namespace hiermeans

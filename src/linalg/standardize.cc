@@ -1,0 +1,111 @@
+#include "src/linalg/standardize.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace linalg {
+
+namespace {
+
+/** Column mean and n-1 standard deviation. */
+void
+columnStats(const Matrix &m, Vector &means, Vector &stddevs)
+{
+    const std::size_t n = m.rows();
+    const std::size_t d = m.cols();
+    HM_REQUIRE(n >= 1, "standardize: empty matrix");
+    means.assign(d, 0.0);
+    stddevs.assign(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            means[c] += m(r, c);
+    for (double &v : means)
+        v /= static_cast<double>(n);
+    if (n < 2)
+        return; // stddevs stay zero
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const double diff = m(r, c) - means[c];
+            stddevs[c] += diff * diff;
+        }
+    }
+    for (double &v : stddevs)
+        v = std::sqrt(v / static_cast<double>(n - 1));
+}
+
+} // namespace
+
+ColumnFilterResult
+dropConstantColumns(const Matrix &observations, double tolerance)
+{
+    HM_REQUIRE(tolerance >= 0.0, "tolerance must be >= 0");
+    Vector means, stddevs;
+    columnStats(observations, means, stddevs);
+
+    ColumnFilterResult result;
+    for (std::size_t c = 0; c < observations.cols(); ++c) {
+        if (stddevs[c] > tolerance)
+            result.keptColumns.push_back(c);
+        else
+            result.droppedColumns.push_back(c);
+    }
+    result.filtered = observations.selectColumns(result.keptColumns);
+    return result;
+}
+
+StandardizeResult
+standardizeColumns(const Matrix &observations)
+{
+    StandardizeResult result;
+    columnStats(observations, result.params.means, result.params.stddevs);
+    result.standardized =
+        applyStandardization(observations, result.params);
+    return result;
+}
+
+Matrix
+applyStandardization(const Matrix &observations,
+                     const StandardizeParams &params)
+{
+    HM_REQUIRE(observations.cols() == params.means.size(),
+               "applyStandardization: column count "
+                   << observations.cols() << " != fitted "
+                   << params.means.size());
+    Matrix out(observations.rows(), observations.cols());
+    for (std::size_t c = 0; c < observations.cols(); ++c) {
+        const double mean = params.means[c];
+        const double sd = params.stddevs[c];
+        for (std::size_t r = 0; r < observations.rows(); ++r) {
+            out(r, c) = sd > 0.0 ? (observations(r, c) - mean) / sd : 0.0;
+        }
+    }
+    return out;
+}
+
+Matrix
+minMaxScaleColumns(const Matrix &observations)
+{
+    const std::size_t n = observations.rows();
+    const std::size_t d = observations.cols();
+    HM_REQUIRE(n >= 1, "minMaxScaleColumns: empty matrix");
+    Matrix out(n, d);
+    for (std::size_t c = 0; c < d; ++c) {
+        double lo = observations(0, c);
+        double hi = observations(0, c);
+        for (std::size_t r = 1; r < n; ++r) {
+            lo = std::min(lo, observations(r, c));
+            hi = std::max(hi, observations(r, c));
+        }
+        const double range = hi - lo;
+        for (std::size_t r = 0; r < n; ++r) {
+            out(r, c) =
+                range > 0.0 ? (observations(r, c) - lo) / range : 0.5;
+        }
+    }
+    return out;
+}
+
+} // namespace linalg
+} // namespace hiermeans

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Feature standardization and constant-column filtering.
+ *
+ * Section IV-C of the paper: "Those counters that did not vary over
+ * workloads were discarded because they provide no useful information
+ * in distinguishing workloads. Moreover, each counter was standardized
+ * prior to the cluster analysis, i.e., subtract the mean and divide by
+ * standard deviation."
+ */
+
+#ifndef HIERMEANS_LINALG_STANDARDIZE_H
+#define HIERMEANS_LINALG_STANDARDIZE_H
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace hiermeans {
+namespace linalg {
+
+/** Result of a column-filtering pass. */
+struct ColumnFilterResult
+{
+    /** The matrix restricted to the surviving columns. */
+    Matrix filtered;
+    /** Original indices of the columns that survived, ascending. */
+    std::vector<std::size_t> keptColumns;
+    /** Original indices of the columns that were dropped, ascending. */
+    std::vector<std::size_t> droppedColumns;
+};
+
+/**
+ * Drop columns whose sample standard deviation is <= @p tolerance
+ * (constant or near-constant features carry no discriminating power).
+ */
+ColumnFilterResult dropConstantColumns(const Matrix &observations,
+                                       double tolerance = 1e-12);
+
+/** Per-column standardization parameters. */
+struct StandardizeParams
+{
+    Vector means;
+    Vector stddevs; ///< population of columns; zero-variance handled below.
+};
+
+/** Result of standardization: transformed data plus the parameters. */
+struct StandardizeResult
+{
+    Matrix standardized;
+    StandardizeParams params;
+};
+
+/**
+ * Z-score standardize each column: (x - mean) / stddev, using the n-1
+ * sample standard deviation. Columns with zero variance become all-zero
+ * (rather than NaN); callers normally remove them first with
+ * dropConstantColumns().
+ */
+StandardizeResult standardizeColumns(const Matrix &observations);
+
+/** Apply previously-fitted parameters to new observations. */
+Matrix applyStandardization(const Matrix &observations,
+                            const StandardizeParams &params);
+
+/**
+ * Min-max scale each column into [0, 1]. Zero-range columns map to 0.5.
+ * Provided for ablations; the paper uses z-scores.
+ */
+Matrix minMaxScaleColumns(const Matrix &observations);
+
+} // namespace linalg
+} // namespace hiermeans
+
+#endif // HIERMEANS_LINALG_STANDARDIZE_H

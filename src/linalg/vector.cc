@@ -1,0 +1,110 @@
+#include "src/linalg/vector.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace linalg {
+
+namespace {
+
+void
+requireSameSize(const Vector &a, const Vector &b, const char *op)
+{
+    HM_REQUIRE(a.size() == b.size(), op << ": size mismatch " << a.size()
+                                        << " vs " << b.size());
+}
+
+} // namespace
+
+Vector
+add(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b, "add");
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Vector
+sub(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b, "sub");
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+Vector
+scale(const Vector &a, double s)
+{
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+void
+axpy(double alpha, const Vector &x, Vector &y)
+{
+    requireSameSize(x, y, "axpy");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    requireSameSize(a, b, "dot");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm(const Vector &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+double
+sum(const Vector &a)
+{
+    double acc = 0.0;
+    for (double v : a)
+        acc += v;
+    return acc;
+}
+
+double
+mean(const Vector &a)
+{
+    HM_REQUIRE(!a.empty(), "mean of an empty vector");
+    return sum(a) / static_cast<double>(a.size());
+}
+
+void
+fill(Vector &a, double value)
+{
+    for (double &v : a)
+        v = value;
+}
+
+bool
+approxEqual(const Vector &a, const Vector &b, double tol)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::abs(a[i] - b[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace linalg
+} // namespace hiermeans

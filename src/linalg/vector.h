@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dense vector operations.
+ *
+ * hiermeans characteristic vectors are plain `std::vector<double>`; this
+ * header supplies the handful of BLAS-1 style operations the library
+ * needs. Keeping the type an alias (rather than a wrapper class) makes
+ * interop with user code and the synthesizers frictionless.
+ */
+
+#ifndef HIERMEANS_LINALG_VECTOR_H
+#define HIERMEANS_LINALG_VECTOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hiermeans {
+namespace linalg {
+
+/** A dense real vector. */
+using Vector = std::vector<double>;
+
+/** Element-wise sum a + b. Sizes must match. */
+Vector add(const Vector &a, const Vector &b);
+
+/** Element-wise difference a - b. Sizes must match. */
+Vector sub(const Vector &a, const Vector &b);
+
+/** Scalar multiple s * a. */
+Vector scale(const Vector &a, double s);
+
+/** In-place y += alpha * x. Sizes must match. */
+void axpy(double alpha, const Vector &x, Vector &y);
+
+/** Dot product. Sizes must match. */
+double dot(const Vector &a, const Vector &b);
+
+/** Euclidean (L2) norm. */
+double norm(const Vector &a);
+
+/** Sum of elements. */
+double sum(const Vector &a);
+
+/** Arithmetic mean of elements; requires a non-empty vector. */
+double mean(const Vector &a);
+
+/** Fill with a constant. */
+void fill(Vector &a, double value);
+
+/** True when sizes match and |a_i - b_i| <= tol for all i. */
+bool approxEqual(const Vector &a, const Vector &b, double tol);
+
+} // namespace linalg
+} // namespace hiermeans
+
+#endif // HIERMEANS_LINALG_VECTOR_H

@@ -1,0 +1,71 @@
+#include "src/scoring/hierarchical_mean.h"
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace scoring {
+
+std::vector<double>
+clusterRepresentatives(stats::MeanKind kind,
+                       const std::vector<double> &values,
+                       const Partition &partition)
+{
+    HM_REQUIRE(values.size() == partition.size(),
+               "hierarchical mean: " << values.size() << " scores for "
+                                     << partition.size() << " workloads");
+    std::vector<double> reps;
+    reps.reserve(partition.clusterCount());
+    for (const auto &group : partition.groups()) {
+        std::vector<double> cluster_values;
+        cluster_values.reserve(group.size());
+        for (std::size_t item : group)
+            cluster_values.push_back(values[item]);
+        reps.push_back(stats::mean(kind, cluster_values));
+    }
+    return reps;
+}
+
+double
+hierarchicalMean(stats::MeanKind kind, const std::vector<double> &values,
+                 const Partition &partition)
+{
+    return stats::mean(kind,
+                       clusterRepresentatives(kind, values, partition));
+}
+
+double
+hierarchicalGeometricMean(const std::vector<double> &values,
+                          const Partition &partition)
+{
+    return hierarchicalMean(stats::MeanKind::Geometric, values, partition);
+}
+
+double
+hierarchicalArithmeticMean(const std::vector<double> &values,
+                           const Partition &partition)
+{
+    return hierarchicalMean(stats::MeanKind::Arithmetic, values, partition);
+}
+
+double
+hierarchicalHarmonicMean(const std::vector<double> &values,
+                         const Partition &partition)
+{
+    return hierarchicalMean(stats::MeanKind::Harmonic, values, partition);
+}
+
+std::vector<double>
+impliedWeights(const Partition &partition)
+{
+    const std::vector<std::size_t> sizes = partition.clusterSizes();
+    const double k = static_cast<double>(partition.clusterCount());
+    std::vector<double> weights(partition.size(), 0.0);
+    for (std::size_t i = 0; i < partition.size(); ++i) {
+        weights[i] =
+            1.0 / (k * static_cast<double>(sizes[partition.label(i)]));
+    }
+    return weights;
+}
+
+} // namespace scoring
+} // namespace hiermeans

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The hierarchical means — the paper's primary contribution (Section II).
+ *
+ * For a suite of n workloads partitioned into k clusters, a hierarchical
+ * mean first reduces each cluster to a single representative value with
+ * an inner plain mean, then averages the k representatives with an outer
+ * plain mean of the same family:
+ *
+ *   HGM = ( prod_i  GM(cluster_i) )^(1/k)
+ *   HAM = ( sum_i   AM(cluster_i) ) / k
+ *   HHM =   k / ( sum_i 1 / HM(cluster_i) )
+ *
+ * The inner mean cancels workload redundancy inside a cluster; the outer
+ * mean weights every cluster equally. When every cluster is a singleton
+ * the hierarchical mean degenerates gracefully to the plain mean, and
+ * when all workloads share one cluster it equals the plain mean as well
+ * (the outer mean of a single value).
+ */
+
+#ifndef HIERMEANS_SCORING_HIERARCHICAL_MEAN_H
+#define HIERMEANS_SCORING_HIERARCHICAL_MEAN_H
+
+#include <vector>
+
+#include "src/scoring/partition.h"
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace scoring {
+
+/**
+ * Hierarchical mean of @p values under @p partition for the given mean
+ * family. @p values holds one score per workload; its size must equal
+ * partition.size(). Geometric and harmonic variants require strictly
+ * positive scores (DomainError otherwise).
+ */
+double hierarchicalMean(stats::MeanKind kind,
+                        const std::vector<double> &values,
+                        const Partition &partition);
+
+/** Hierarchical Geometric Mean (HGM). */
+double hierarchicalGeometricMean(const std::vector<double> &values,
+                                 const Partition &partition);
+
+/** Hierarchical Arithmetic Mean (HAM). */
+double hierarchicalArithmeticMean(const std::vector<double> &values,
+                                  const Partition &partition);
+
+/** Hierarchical Harmonic Mean (HHM). */
+double hierarchicalHarmonicMean(const std::vector<double> &values,
+                                const Partition &partition);
+
+/**
+ * The per-cluster inner means (cluster representatives), indexed by
+ * cluster id. The hierarchical mean is the plain mean of this vector.
+ */
+std::vector<double> clusterRepresentatives(stats::MeanKind kind,
+                                           const std::vector<double> &values,
+                                           const Partition &partition);
+
+/**
+ * The implicit per-workload weights induced by a hierarchical mean:
+ * workload j in a cluster of size n_i carries weight 1 / (k * n_i)
+ * (these sum to 1). Exposing them makes the relationship to the
+ * weighted-mean workaround explicit: a hierarchical mean IS a weighted
+ * mean whose weights are derived objectively from cluster structure.
+ */
+std::vector<double> impliedWeights(const Partition &partition);
+
+} // namespace scoring
+} // namespace hiermeans
+
+#endif // HIERMEANS_SCORING_HIERARCHICAL_MEAN_H

@@ -1,0 +1,232 @@
+#include "src/scoring/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace scoring {
+
+Partition
+Partition::single(std::size_t num_items)
+{
+    HM_REQUIRE(num_items > 0, "Partition::single of zero items");
+    Partition p;
+    p.labels_.assign(num_items, 0);
+    p.numClusters_ = 1;
+    return p;
+}
+
+Partition
+Partition::discrete(std::size_t num_items)
+{
+    HM_REQUIRE(num_items > 0, "Partition::discrete of zero items");
+    Partition p;
+    p.labels_.resize(num_items);
+    for (std::size_t i = 0; i < num_items; ++i)
+        p.labels_[i] = i;
+    p.numClusters_ = num_items;
+    return p;
+}
+
+Partition
+Partition::fromLabels(const std::vector<std::size_t> &labels)
+{
+    HM_REQUIRE(!labels.empty(), "Partition::fromLabels: empty labels");
+    Partition p;
+    p.labels_ = labels;
+    p.canonicalize();
+    return p;
+}
+
+Partition
+Partition::fromGroups(const std::vector<std::vector<std::size_t>> &groups)
+{
+    std::size_t total = 0;
+    for (const auto &g : groups) {
+        HM_REQUIRE(!g.empty(), "Partition::fromGroups: empty cluster");
+        total += g.size();
+    }
+    HM_REQUIRE(total > 0, "Partition::fromGroups: no items");
+
+    std::vector<std::size_t> labels(total, total); // sentinel = total
+    for (std::size_t c = 0; c < groups.size(); ++c) {
+        for (std::size_t item : groups[c]) {
+            HM_REQUIRE(item < total, "Partition::fromGroups: item "
+                                         << item << " out of range for "
+                                         << total << " items");
+            HM_REQUIRE(labels[item] == total,
+                       "Partition::fromGroups: item " << item
+                                                      << " appears twice");
+            labels[item] = c;
+        }
+    }
+    return fromLabels(labels);
+}
+
+void
+Partition::canonicalize()
+{
+    std::map<std::size_t, std::size_t> remap;
+    std::size_t next = 0;
+    for (std::size_t &label : labels_) {
+        auto [it, inserted] = remap.try_emplace(label, next);
+        if (inserted)
+            ++next;
+        label = it->second;
+    }
+    numClusters_ = next;
+}
+
+std::size_t
+Partition::label(std::size_t item) const
+{
+    HM_REQUIRE(item < labels_.size(), "Partition::label: item " << item
+                                                                << " out of"
+                                                                   " range");
+    return labels_[item];
+}
+
+std::vector<std::size_t>
+Partition::members(std::size_t cluster) const
+{
+    HM_REQUIRE(cluster < numClusters_, "Partition::members: cluster "
+                                           << cluster << " out of range");
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        if (labels_[i] == cluster)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+Partition::groups() const
+{
+    std::vector<std::vector<std::size_t>> out(numClusters_);
+    for (std::size_t i = 0; i < labels_.size(); ++i)
+        out[labels_[i]].push_back(i);
+    return out;
+}
+
+std::vector<std::size_t>
+Partition::clusterSizes() const
+{
+    std::vector<std::size_t> sizes(numClusters_, 0);
+    for (std::size_t label : labels_)
+        ++sizes[label];
+    return sizes;
+}
+
+bool
+Partition::operator==(const Partition &other) const
+{
+    return labels_ == other.labels_;
+}
+
+std::string
+Partition::toString(const std::vector<std::string> &names) const
+{
+    HM_REQUIRE(names.empty() || names.size() == labels_.size(),
+               "Partition::toString: " << names.size() << " names for "
+                                       << labels_.size() << " items");
+    std::ostringstream oss;
+    const auto gs = groups();
+    for (std::size_t c = 0; c < gs.size(); ++c) {
+        if (c > 0)
+            oss << " ";
+        oss << "{";
+        for (std::size_t i = 0; i < gs[c].size(); ++i) {
+            if (i > 0)
+                oss << ", ";
+            if (names.empty())
+                oss << gs[c][i];
+            else
+                oss << names[gs[c][i]];
+        }
+        oss << "}";
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** n choose 2 as a double. */
+double
+pairs(double n)
+{
+    return n * (n - 1.0) / 2.0;
+}
+
+/** Contingency table between two partitions. */
+std::vector<std::vector<std::size_t>>
+contingency(const Partition &a, const Partition &b)
+{
+    std::vector<std::vector<std::size_t>> table(
+        a.clusterCount(), std::vector<std::size_t>(b.clusterCount(), 0));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ++table[a.label(i)][b.label(i)];
+    return table;
+}
+
+} // namespace
+
+double
+randIndex(const Partition &a, const Partition &b)
+{
+    HM_REQUIRE(a.size() == b.size(), "randIndex: partitions cover "
+                                         << a.size() << " vs " << b.size()
+                                         << " items");
+    const std::size_t n = a.size();
+    if (n < 2)
+        return 1.0;
+
+    std::size_t agreements = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const bool same_a = a.label(i) == a.label(j);
+            const bool same_b = b.label(i) == b.label(j);
+            if (same_a == same_b)
+                ++agreements;
+        }
+    }
+    return static_cast<double>(agreements) / pairs(static_cast<double>(n));
+}
+
+double
+adjustedRandIndex(const Partition &a, const Partition &b)
+{
+    HM_REQUIRE(a.size() == b.size(), "adjustedRandIndex: partitions cover "
+                                         << a.size() << " vs " << b.size()
+                                         << " items");
+    const double n = static_cast<double>(a.size());
+    if (a.size() < 2)
+        return 1.0;
+
+    const auto table = contingency(a, b);
+    double sum_cells = 0.0;
+    for (const auto &row : table)
+        for (std::size_t cell : row)
+            sum_cells += pairs(static_cast<double>(cell));
+
+    double sum_a = 0.0;
+    for (std::size_t size : a.clusterSizes())
+        sum_a += pairs(static_cast<double>(size));
+    double sum_b = 0.0;
+    for (std::size_t size : b.clusterSizes())
+        sum_b += pairs(static_cast<double>(size));
+
+    const double expected = sum_a * sum_b / pairs(n);
+    const double max_index = 0.5 * (sum_a + sum_b);
+    if (max_index == expected) {
+        // Degenerate (e.g. both partitions are single or both discrete):
+        // identical groupings count as perfect agreement.
+        return a == b ? 1.0 : 0.0;
+    }
+    return (sum_cells - expected) / (max_index - expected);
+}
+
+} // namespace scoring
+} // namespace hiermeans

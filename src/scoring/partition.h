@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Partition of a workload set into clusters.
+ *
+ * A Partition is the interface between the cluster-analysis side of the
+ * library (SOM + hierarchical clustering) and the scoring side (the
+ * hierarchical means): clustering produces partitions, hierarchical
+ * means consume them.
+ */
+
+#ifndef HIERMEANS_SCORING_PARTITION_H
+#define HIERMEANS_SCORING_PARTITION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace scoring {
+
+/**
+ * A partition of n items into k non-empty clusters.
+ *
+ * Internally stored as a label vector: label(i) in [0, k) is the
+ * cluster of item i. Labels are kept in canonical form — cluster ids
+ * are assigned in order of first appearance — so two partitions with
+ * the same grouping compare equal regardless of how they were built.
+ */
+class Partition
+{
+  public:
+    /** The trivial partition: every item in one single cluster. */
+    static Partition single(std::size_t num_items);
+
+    /** The discrete partition: every item its own cluster. */
+    static Partition discrete(std::size_t num_items);
+
+    /**
+     * Build from a label vector; labels may be arbitrary non-negative
+     * integers and are canonicalized. Throws InvalidArgument when empty.
+     */
+    static Partition fromLabels(const std::vector<std::size_t> &labels);
+
+    /**
+     * Build from explicit member groups, e.g. {{0,1,2}, {3}, {4,5}}.
+     * The groups must cover 0..n-1 exactly once each; throws otherwise.
+     */
+    static Partition
+    fromGroups(const std::vector<std::vector<std::size_t>> &groups);
+
+    /** Number of items. */
+    std::size_t size() const { return labels_.size(); }
+
+    /** Number of clusters k. */
+    std::size_t clusterCount() const { return numClusters_; }
+
+    /** Cluster id of item @p item (bounds-checked). */
+    std::size_t label(std::size_t item) const;
+
+    /** The canonical label vector. */
+    const std::vector<std::size_t> &labels() const { return labels_; }
+
+    /** Members of cluster @p cluster, ascending (bounds-checked). */
+    std::vector<std::size_t> members(std::size_t cluster) const;
+
+    /** All clusters as member lists, indexed by cluster id. */
+    std::vector<std::vector<std::size_t>> groups() const;
+
+    /** Cluster sizes indexed by cluster id. */
+    std::vector<std::size_t> clusterSizes() const;
+
+    /** True when every cluster has exactly one member. */
+    bool isDiscrete() const { return numClusters_ == size(); }
+
+    /** True when there is exactly one cluster. */
+    bool isSingle() const { return numClusters_ == 1; }
+
+    /** True when both partitions group the items identically. */
+    bool operator==(const Partition &other) const;
+
+    /**
+     * Render as "{a, b} {c} {d, e}" using @p names (or indices when
+     * names are empty). Used by reports and dendrogram output.
+     */
+    std::string toString(const std::vector<std::string> &names = {}) const;
+
+  private:
+    std::vector<std::size_t> labels_;
+    std::size_t numClusters_ = 0;
+
+    void canonicalize();
+};
+
+/**
+ * Rand index between two partitions of the same item set, in [0, 1];
+ * 1 means identical groupings. Used to compare clusterings obtained
+ * from different characterizations / machines (Section V).
+ */
+double randIndex(const Partition &a, const Partition &b);
+
+/** Adjusted Rand index (chance-corrected; 1 = identical). */
+double adjustedRandIndex(const Partition &a, const Partition &b);
+
+} // namespace scoring
+} // namespace hiermeans
+
+#endif // HIERMEANS_SCORING_PARTITION_H

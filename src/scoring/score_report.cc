@@ -1,0 +1,185 @@
+#include "src/scoring/score_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/scoring/hierarchical_mean.h"
+#include "src/util/error.h"
+#include "src/util/str.h"
+#include "src/util/text_table.h"
+
+namespace hiermeans {
+namespace scoring {
+
+std::size_t
+ScoreReport::recommendedRow(double tolerance) const
+{
+    HM_REQUIRE(!rows.empty(), "recommendedRow: empty report");
+    if (rows.size() == 1)
+        return 0;
+    // The paper (Section V-B.1) recommends the cluster count where the
+    // ratio stops fluctuating: pick the first row whose ratio differs
+    // from its successor by at most `tolerance`.
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        if (std::abs(rows[i].ratio - rows[i + 1].ratio) <= tolerance)
+            return i;
+    }
+    return rows.size() - 1;
+}
+
+std::string
+ScoreReport::render(const std::string &label_a,
+                    const std::string &label_b) const
+{
+    util::TextTable table({"", label_a, label_b, "ratio(=A/B)"});
+    for (const auto &row : rows) {
+        table.addRow({std::to_string(row.clusterCount) + " Clusters",
+                      str::fixed(row.scoreA, 2), str::fixed(row.scoreB, 2),
+                      str::fixed(row.ratio, 2)});
+    }
+    table.addSeparator();
+    const char *plain_name =
+        kind == stats::MeanKind::Geometric
+            ? "Geometric Mean"
+            : (kind == stats::MeanKind::Arithmetic ? "Arithmetic Mean"
+                                                   : "Harmonic Mean");
+    table.addRow({plain_name, str::fixed(plainA, 2), str::fixed(plainB, 2),
+                  str::fixed(plainRatio, 2)});
+    return table.render();
+}
+
+ScoreReport
+buildScoreReport(stats::MeanKind kind, const std::vector<double> &scores_a,
+                 const std::vector<double> &scores_b,
+                 const std::vector<Partition> &partitions)
+{
+    HM_REQUIRE(scores_a.size() == scores_b.size(),
+               "buildScoreReport: score vectors differ in size");
+    HM_REQUIRE(!scores_a.empty(), "buildScoreReport: no scores");
+
+    ScoreReport report;
+    report.kind = kind;
+    for (const Partition &partition : partitions) {
+        HM_REQUIRE(partition.size() == scores_a.size(),
+                   "buildScoreReport: partition covers "
+                       << partition.size() << " items, scores cover "
+                       << scores_a.size());
+        ScoreReportRow row;
+        row.clusterCount = partition.clusterCount();
+        row.partition = partition;
+        row.scoreA = hierarchicalMean(kind, scores_a, partition);
+        row.scoreB = hierarchicalMean(kind, scores_b, partition);
+        row.ratio = row.scoreA / row.scoreB;
+        report.rows.push_back(std::move(row));
+    }
+    report.plainA = stats::mean(kind, scores_a);
+    report.plainB = stats::mean(kind, scores_b);
+    report.plainRatio = report.plainA / report.plainB;
+    return report;
+}
+
+std::vector<std::size_t>
+MultiMachineReport::ranking(std::size_t row) const
+{
+    HM_REQUIRE(row < rows.size(), "MultiMachineReport::ranking: row "
+                                      << row << " out of range");
+    std::vector<std::size_t> order(machineLabels.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    const std::vector<double> &scores = rows[row].scores;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    return order;
+}
+
+bool
+MultiMachineReport::rankingStable() const
+{
+    if (rows.empty())
+        return true;
+    const auto first = ranking(0);
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        if (ranking(r) != first)
+            return false;
+    }
+    return true;
+}
+
+std::string
+MultiMachineReport::render() const
+{
+    std::vector<std::string> header = {""};
+    for (const std::string &label : machineLabels)
+        header.push_back(label);
+    header.push_back("best");
+    util::TextTable table(std::move(header));
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::vector<std::string> cells = {
+            std::to_string(rows[r].clusterCount) + " Clusters"};
+        for (double score : rows[r].scores)
+            cells.push_back(str::fixed(score, 2));
+        cells.push_back(machineLabels[ranking(r).front()]);
+        table.addRow(std::move(cells));
+    }
+    table.addSeparator();
+    std::vector<std::string> footer = {"plain"};
+    std::size_t best = 0;
+    for (std::size_t m = 0; m < plainScores.size(); ++m) {
+        footer.push_back(str::fixed(plainScores[m], 2));
+        if (plainScores[m] > plainScores[best])
+            best = m;
+    }
+    footer.push_back(machineLabels[best]);
+    table.addRow(std::move(footer));
+    return table.render();
+}
+
+MultiMachineReport
+buildMultiMachineReport(
+    stats::MeanKind kind,
+    const std::vector<std::vector<double>> &machine_scores,
+    const std::vector<std::string> &machine_labels,
+    const std::vector<Partition> &partitions)
+{
+    HM_REQUIRE(machine_scores.size() >= 2,
+               "buildMultiMachineReport: need >= 2 machines");
+    HM_REQUIRE(machine_scores.size() == machine_labels.size(),
+               "buildMultiMachineReport: " << machine_scores.size()
+                                           << " score vectors vs "
+                                           << machine_labels.size()
+                                           << " labels");
+    const std::size_t n = machine_scores.front().size();
+    HM_REQUIRE(n >= 1, "buildMultiMachineReport: no workloads");
+    for (const auto &scores : machine_scores) {
+        HM_REQUIRE(scores.size() == n,
+                   "buildMultiMachineReport: ragged score vectors");
+    }
+
+    MultiMachineReport report;
+    report.kind = kind;
+    report.machineLabels = machine_labels;
+    for (const Partition &partition : partitions) {
+        HM_REQUIRE(partition.size() == n,
+                   "buildMultiMachineReport: partition covers "
+                       << partition.size() << " items, scores cover "
+                       << n);
+        MultiMachineRow row;
+        row.clusterCount = partition.clusterCount();
+        row.partition = partition;
+        for (const auto &scores : machine_scores) {
+            row.scores.push_back(
+                hierarchicalMean(kind, scores, partition));
+        }
+        report.rows.push_back(std::move(row));
+    }
+    for (const auto &scores : machine_scores)
+        report.plainScores.push_back(stats::mean(kind, scores));
+    return report;
+}
+
+} // namespace scoring
+} // namespace hiermeans

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Multi-cluster-count score reports (the shape of Tables IV, V and VI).
+ *
+ * Given the per-workload scores of two machines and a family of
+ * partitions (one per cluster count, normally read off a dendrogram),
+ * the report lists the hierarchical mean of each machine at each
+ * cluster count plus the A/B ratio, ending with the plain-mean row the
+ * paper prints at the bottom of each table.
+ */
+
+#ifndef HIERMEANS_SCORING_SCORE_REPORT_H
+#define HIERMEANS_SCORING_SCORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "src/scoring/partition.h"
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace scoring {
+
+/** One row of a hierarchical-mean comparison table. */
+struct ScoreReportRow
+{
+    std::size_t clusterCount = 0;
+    Partition partition = Partition::single(1);
+    double scoreA = 0.0;
+    double scoreB = 0.0;
+    double ratio = 0.0; ///< scoreA / scoreB.
+};
+
+/** A full Table IV/V/VI style report. */
+struct ScoreReport
+{
+    stats::MeanKind kind = stats::MeanKind::Geometric;
+    std::vector<ScoreReportRow> rows;
+    double plainA = 0.0;
+    double plainB = 0.0;
+    double plainRatio = 0.0;
+
+    /**
+     * The recommended row index per the paper's Section V-B.1 heuristic:
+     * prefer the cluster count where the ratio fluctuation "dampens",
+     * i.e. the smallest k whose ratio change to the next row(s) stays
+     * within @p tolerance. Returns rows.size() - 1 when nothing dampens.
+     */
+    std::size_t recommendedRow(double tolerance = 0.02) const;
+
+    /** Render the report as an aligned text table. */
+    std::string render(const std::string &label_a,
+                       const std::string &label_b) const;
+};
+
+/**
+ * Build a report for @p kind over machine scores @p scores_a and
+ * @p scores_b using one partition per row. All partitions must cover
+ * the same number of workloads as the score vectors.
+ */
+ScoreReport buildScoreReport(stats::MeanKind kind,
+                             const std::vector<double> &scores_a,
+                             const std::vector<double> &scores_b,
+                             const std::vector<Partition> &partitions);
+
+/** One row of an N-machine comparison. */
+struct MultiMachineRow
+{
+    std::size_t clusterCount = 0;
+    Partition partition = Partition::single(1);
+    /** Hierarchical mean per machine, in machine order. */
+    std::vector<double> scores;
+};
+
+/**
+ * N-machine generalization of ScoreReport: vendors rarely compare just
+ * two systems. Rows are hierarchical means per machine per partition;
+ * the footer holds the plain means. Rankings can be read per row.
+ */
+struct MultiMachineReport
+{
+    stats::MeanKind kind = stats::MeanKind::Geometric;
+    std::vector<std::string> machineLabels;
+    std::vector<MultiMachineRow> rows;
+    std::vector<double> plainScores;
+
+    /**
+     * Machine ranking (indices into machineLabels, best first) at row
+     * @p row; ties broken by machine order.
+     */
+    std::vector<std::size_t> ranking(std::size_t row) const;
+
+    /** True when every row ranks the machines identically. */
+    bool rankingStable() const;
+
+    /** Render as an aligned text table. */
+    std::string render() const;
+};
+
+/**
+ * Build an N-machine report: one score vector per machine (all the
+ * same size), one partition per row.
+ */
+MultiMachineReport buildMultiMachineReport(
+    stats::MeanKind kind,
+    const std::vector<std::vector<double>> &machine_scores,
+    const std::vector<std::string> &machine_labels,
+    const std::vector<Partition> &partitions);
+
+} // namespace scoring
+} // namespace hiermeans
+
+#endif // HIERMEANS_SCORING_SCORE_REPORT_H

@@ -1,0 +1,119 @@
+#include "src/scoring/score_table.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace scoring {
+
+ScoreTable::ScoreTable(std::vector<std::string> workload_names,
+                       std::vector<std::string> machine_names)
+    : workloadNames_(std::move(workload_names)),
+      machineNames_(std::move(machine_names))
+{
+    HM_REQUIRE(!workloadNames_.empty(), "ScoreTable: no workloads");
+    HM_REQUIRE(!machineNames_.empty(), "ScoreTable: no machines");
+    times_.assign(workloadNames_.size() * machineNames_.size(), -1.0);
+    populated_.assign(times_.size(), false);
+}
+
+std::size_t
+ScoreTable::workloadIndex(const std::string &name) const
+{
+    auto it = std::find(workloadNames_.begin(), workloadNames_.end(), name);
+    HM_REQUIRE(it != workloadNames_.end(), "unknown workload `" << name
+                                                                << "`");
+    return static_cast<std::size_t>(it - workloadNames_.begin());
+}
+
+std::size_t
+ScoreTable::machineIndex(const std::string &name) const
+{
+    auto it = std::find(machineNames_.begin(), machineNames_.end(), name);
+    HM_REQUIRE(it != machineNames_.end(), "unknown machine `" << name
+                                                              << "`");
+    return static_cast<std::size_t>(it - machineNames_.begin());
+}
+
+std::size_t
+ScoreTable::cell(std::size_t workload, std::size_t machine) const
+{
+    HM_REQUIRE(workload < workloadCount(), "workload index " << workload
+                                                             << " out of "
+                                                                "range");
+    HM_REQUIRE(machine < machineCount(), "machine index " << machine
+                                                          << " out of "
+                                                             "range");
+    return workload * machineCount() + machine;
+}
+
+void
+ScoreTable::setRunTimes(std::size_t workload, std::size_t machine,
+                        const std::vector<double> &seconds)
+{
+    HM_REQUIRE(!seconds.empty(), "setRunTimes: no runs");
+    double acc = 0.0;
+    for (double s : seconds) {
+        HM_DOMAIN_CHECK(s > 0.0, "setRunTimes: non-positive time " << s);
+        acc += s;
+    }
+    setTime(workload, machine, acc / static_cast<double>(seconds.size()));
+}
+
+void
+ScoreTable::setTime(std::size_t workload, std::size_t machine,
+                    double seconds)
+{
+    HM_DOMAIN_CHECK(seconds > 0.0, "setTime: non-positive time "
+                                       << seconds);
+    const std::size_t c = cell(workload, machine);
+    times_[c] = seconds;
+    populated_[c] = true;
+}
+
+double
+ScoreTable::time(std::size_t workload, std::size_t machine) const
+{
+    const std::size_t c = cell(workload, machine);
+    HM_REQUIRE(populated_[c], "time for workload "
+                                  << workloadNames_[workload]
+                                  << " on machine "
+                                  << machineNames_[machine]
+                                  << " was never recorded");
+    return times_[c];
+}
+
+bool
+ScoreTable::complete() const
+{
+    return std::all_of(populated_.begin(), populated_.end(),
+                       [](bool b) { return b; });
+}
+
+double
+ScoreTable::speedup(std::size_t workload, std::size_t machine,
+                    std::size_t reference) const
+{
+    return time(workload, reference) / time(workload, machine);
+}
+
+std::vector<double>
+ScoreTable::speedups(std::size_t machine, std::size_t reference) const
+{
+    std::vector<double> out;
+    out.reserve(workloadCount());
+    for (std::size_t w = 0; w < workloadCount(); ++w)
+        out.push_back(speedup(w, machine, reference));
+    return out;
+}
+
+double
+ScoreTable::plainScore(stats::MeanKind kind, std::size_t machine,
+                       std::size_t reference) const
+{
+    return stats::mean(kind, speedups(machine, reference));
+}
+
+} // namespace scoring
+} // namespace hiermeans

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-workload, per-machine score bookkeeping.
+ *
+ * Matches the paper's experimental method (Section IV-B): each workload
+ * is executed several times per machine, the average execution time is
+ * the representative time, and the score of a workload on a machine is
+ * its speedup over a designated reference machine
+ * (speedup = time_reference / time_machine).
+ */
+
+#ifndef HIERMEANS_SCORING_SCORE_TABLE_H
+#define HIERMEANS_SCORING_SCORE_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace scoring {
+
+/**
+ * A workloads x machines table of raw execution times with speedup
+ * derivation against a reference machine.
+ */
+class ScoreTable
+{
+  public:
+    /**
+     * @param workload_names one name per workload (row).
+     * @param machine_names one name per machine (column).
+     */
+    ScoreTable(std::vector<std::string> workload_names,
+               std::vector<std::string> machine_names);
+
+    std::size_t workloadCount() const { return workloadNames_.size(); }
+    std::size_t machineCount() const { return machineNames_.size(); }
+
+    const std::vector<std::string> &workloadNames() const
+    {
+        return workloadNames_;
+    }
+    const std::vector<std::string> &machineNames() const
+    {
+        return machineNames_;
+    }
+
+    /** Index of a workload by name; throws when unknown. */
+    std::size_t workloadIndex(const std::string &name) const;
+
+    /** Index of a machine by name; throws when unknown. */
+    std::size_t machineIndex(const std::string &name) const;
+
+    /**
+     * Record the execution times of one workload's repeated runs on one
+     * machine; the representative time is their arithmetic mean, as in
+     * the paper. Times must be positive.
+     */
+    void setRunTimes(std::size_t workload, std::size_t machine,
+                     const std::vector<double> &seconds);
+
+    /** Record a single representative time directly. */
+    void setTime(std::size_t workload, std::size_t machine, double seconds);
+
+    /** Representative time; throws when the cell was never set. */
+    double time(std::size_t workload, std::size_t machine) const;
+
+    /** True once every cell has a representative time. */
+    bool complete() const;
+
+    /**
+     * Speedup of @p workload on @p machine relative to @p reference:
+     * time(workload, reference) / time(workload, machine).
+     */
+    double speedup(std::size_t workload, std::size_t machine,
+                   std::size_t reference) const;
+
+    /** Speedups of all workloads on @p machine vs @p reference. */
+    std::vector<double> speedups(std::size_t machine,
+                                 std::size_t reference) const;
+
+    /** Plain mean of speedups on a machine (the classic suite score). */
+    double plainScore(stats::MeanKind kind, std::size_t machine,
+                      std::size_t reference) const;
+
+  private:
+    std::vector<std::string> workloadNames_;
+    std::vector<std::string> machineNames_;
+    std::vector<double> times_;     ///< row-major, -1 = unset.
+    std::vector<bool> populated_;
+
+    std::size_t cell(std::size_t workload, std::size_t machine) const;
+};
+
+} // namespace scoring
+} // namespace hiermeans
+
+#endif // HIERMEANS_SCORING_SCORE_TABLE_H

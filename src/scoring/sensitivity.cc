@@ -1,0 +1,113 @@
+#include "src/scoring/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/scoring/hierarchical_mean.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace scoring {
+
+InjectedSuite
+injectDuplicates(const std::vector<double> &scores, const Partition &base,
+                 std::size_t target, std::size_t copies)
+{
+    HM_REQUIRE(scores.size() == base.size(),
+               "injectDuplicates: scores/partition size mismatch");
+    HM_REQUIRE(target < scores.size(), "injectDuplicates: target "
+                                           << target << " out of range");
+    InjectedSuite out;
+    out.scores = scores;
+    std::vector<std::size_t> labels = base.labels();
+    for (std::size_t i = 0; i < copies; ++i) {
+        out.scores.push_back(scores[target]);
+        labels.push_back(base.label(target));
+    }
+    out.partition = Partition::fromLabels(labels);
+    return out;
+}
+
+std::vector<DriftResult>
+redundancyDriftSweep(stats::MeanKind kind, const std::vector<double> &scores,
+                     const Partition &base, std::size_t target,
+                     std::size_t max_copies)
+{
+    const double plain0 = stats::mean(kind, scores);
+    const double hier0 = hierarchicalMean(kind, scores, base);
+
+    std::vector<DriftResult> results;
+    results.reserve(max_copies + 1);
+    for (std::size_t copies = 0; copies <= max_copies; ++copies) {
+        const InjectedSuite suite =
+            injectDuplicates(scores, base, target, copies);
+        DriftResult r;
+        r.copies = copies;
+        r.plainMean = stats::mean(kind, suite.scores);
+        r.hierarchicalMean =
+            hierarchicalMean(kind, suite.scores, suite.partition);
+        r.plainDrift = std::abs(r.plainMean / plain0 - 1.0);
+        r.hierarchicalDrift = std::abs(r.hierarchicalMean / hier0 - 1.0);
+        results.push_back(r);
+    }
+    return results;
+}
+
+double
+gamingHeadroom(stats::MeanKind kind, const std::vector<double> &scores,
+               std::size_t copies)
+{
+    HM_REQUIRE(!scores.empty(), "gamingHeadroom: empty suite");
+    const double baseline = stats::mean(kind, scores);
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+
+    std::vector<double> gamed = scores;
+    for (std::size_t i = 0; i < copies; ++i)
+        gamed.push_back(scores[best]);
+    return stats::mean(kind, gamed) / baseline - 1.0;
+}
+
+std::vector<WorkloadInfluence>
+leaveOneOutInfluence(stats::MeanKind kind,
+                     const std::vector<double> &scores,
+                     const Partition &partition)
+{
+    HM_REQUIRE(scores.size() == partition.size(),
+               "leaveOneOutInfluence: scores/partition size mismatch");
+    HM_REQUIRE(scores.size() >= 2,
+               "leaveOneOutInfluence: need at least two workloads");
+
+    const double plain_full = stats::mean(kind, scores);
+    const double hier_full = hierarchicalMean(kind, scores, partition);
+
+    std::vector<WorkloadInfluence> out;
+    out.reserve(scores.size());
+    for (std::size_t w = 0; w < scores.size(); ++w) {
+        std::vector<double> reduced_scores;
+        std::vector<std::size_t> reduced_labels;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (i == w)
+                continue;
+            reduced_scores.push_back(scores[i]);
+            reduced_labels.push_back(partition.label(i));
+        }
+        const Partition reduced =
+            Partition::fromLabels(reduced_labels);
+
+        WorkloadInfluence influence;
+        influence.workload = w;
+        influence.plainWithout = stats::mean(kind, reduced_scores);
+        influence.hierarchicalWithout =
+            hierarchicalMean(kind, reduced_scores, reduced);
+        influence.plainInfluence =
+            std::abs(influence.plainWithout / plain_full - 1.0);
+        influence.hierarchicalInfluence =
+            std::abs(influence.hierarchicalWithout / hier_full - 1.0);
+        out.push_back(influence);
+    }
+    return out;
+}
+
+} // namespace scoring
+} // namespace hiermeans

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Redundancy-bias and robustness analysis.
+ *
+ * The paper's motivation (Section I): redundant workloads amplify their
+ * aggregated effect on a plain mean, making the suite score "susceptible
+ * to malicious tweaks". These utilities quantify that effect: inject m
+ * copies of a workload (or of a whole cluster) and measure how far the
+ * plain mean drifts versus the hierarchical mean, assuming the injected
+ * copies are correctly identified as cluster-mates.
+ */
+
+#ifndef HIERMEANS_SCORING_SENSITIVITY_H
+#define HIERMEANS_SCORING_SENSITIVITY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/scoring/partition.h"
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace scoring {
+
+/** Scores + partition after injecting duplicates of one workload. */
+struct InjectedSuite
+{
+    std::vector<double> scores;
+    Partition partition = Partition::single(1);
+};
+
+/**
+ * Duplicate workload @p target @p copies times (appending to the end of
+ * the suite). The returned partition extends @p base by placing every
+ * copy in the target's cluster — the clustering a redundancy-aware
+ * pipeline would discover.
+ */
+InjectedSuite injectDuplicates(const std::vector<double> &scores,
+                               const Partition &base, std::size_t target,
+                               std::size_t copies);
+
+/** Result of one redundancy-drift measurement. */
+struct DriftResult
+{
+    std::size_t copies = 0;
+    double plainMean = 0.0;       ///< plain mean after injection.
+    double hierarchicalMean = 0.0; ///< hierarchical mean after injection.
+    double plainDrift = 0.0;       ///< |plain/plain0 - 1|.
+    double hierarchicalDrift = 0.0; ///< |hier/hier0 - 1|.
+};
+
+/**
+ * Sweep duplicate counts 0..max_copies of workload @p target and record
+ * the drift of the plain vs hierarchical mean relative to the
+ * unperturbed suite. The hierarchical drift is exactly zero for the
+ * geometric/arithmetic/harmonic families because the inner mean of
+ * identical copies equals the original value.
+ */
+std::vector<DriftResult> redundancyDriftSweep(
+    stats::MeanKind kind, const std::vector<double> &scores,
+    const Partition &base, std::size_t target, std::size_t max_copies);
+
+/**
+ * The "gaming headroom" of a suite under a mean: the largest relative
+ * score increase a vendor can obtain by duplicating its single best
+ * workload @p copies times. Plain means reward this; hierarchical
+ * means (with honest clustering) do not.
+ */
+double gamingHeadroom(stats::MeanKind kind,
+                      const std::vector<double> &scores,
+                      std::size_t copies);
+
+/** Influence of one workload on the suite score. */
+struct WorkloadInfluence
+{
+    std::size_t workload = 0;
+    double plainWithout = 0.0;        ///< plain mean, workload removed.
+    double hierarchicalWithout = 0.0; ///< hierarchical mean, removed.
+    /** Relative change of the plain mean when the workload is removed. */
+    double plainInfluence = 0.0;
+    /** Relative change of the hierarchical mean when removed. */
+    double hierarchicalInfluence = 0.0;
+};
+
+/**
+ * Leave-one-out influence of every workload under both the plain mean
+ * and the hierarchical mean for @p partition. Under a plain mean every
+ * member of a redundant block carries full weight, so each redundant
+ * copy shows similar influence; under the hierarchical mean a member
+ * of a large cluster has influence ~1/(k*n_i) — removing one SciMark2
+ * kernel barely moves the HGM. Clusters emptied by the removal simply
+ * disappear (k shrinks by one for singleton clusters).
+ */
+std::vector<WorkloadInfluence> leaveOneOutInfluence(
+    stats::MeanKind kind, const std::vector<double> &scores,
+    const Partition &partition);
+
+} // namespace scoring
+} // namespace hiermeans
+
+#endif // HIERMEANS_SCORING_SENSITIVITY_H

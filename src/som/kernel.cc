@@ -1,0 +1,72 @@
+#include "src/som/kernel.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace som {
+
+const char *
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::Gaussian:
+        return "gaussian";
+      case KernelKind::Bubble:
+        return "bubble";
+    }
+    return "unknown";
+}
+
+KernelKind
+parseKernelKind(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "gaussian")
+        return KernelKind::Gaussian;
+    if (lower == "bubble")
+        return KernelKind::Bubble;
+    throw InvalidArgument("unknown kernel kind `" + name + "`");
+}
+
+double
+kernelValue(KernelKind kind, double grid_distance_squared, double alpha,
+            double sigma)
+{
+    HM_REQUIRE(grid_distance_squared >= 0.0,
+               "kernelValue: negative squared distance");
+    HM_REQUIRE(alpha > 0.0, "kernelValue: alpha must be > 0, got "
+                                << alpha);
+    HM_REQUIRE(sigma > 0.0, "kernelValue: sigma must be > 0, got "
+                                << sigma);
+    switch (kind) {
+      case KernelKind::Gaussian:
+        return alpha *
+               std::exp(-grid_distance_squared / (2.0 * sigma * sigma));
+      case KernelKind::Bubble:
+        return grid_distance_squared <= sigma * sigma ? alpha : 0.0;
+    }
+    throw InternalError("unhandled kernel kind");
+}
+
+double
+kernelSupportRadius(KernelKind kind, double sigma, double threshold)
+{
+    HM_REQUIRE(sigma > 0.0, "kernelSupportRadius: sigma must be > 0");
+    HM_REQUIRE(threshold > 0.0 && threshold < 1.0,
+               "kernelSupportRadius: threshold must be in (0, 1)");
+    switch (kind) {
+      case KernelKind::Gaussian:
+        // alpha * exp(-r^2 / (2 s^2)) < threshold * alpha
+        //   <=>  r > s * sqrt(-2 ln(threshold))
+        return sigma * std::sqrt(-2.0 * std::log(threshold));
+      case KernelKind::Bubble:
+        return sigma;
+    }
+    throw InternalError("unhandled kernel kind");
+}
+
+} // namespace som
+} // namespace hiermeans

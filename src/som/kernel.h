@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SOM neighborhood kernels.
+ *
+ * The paper's update rule (Section III-A):
+ *
+ *   w_i(n+1) = w_i(n) + h_ci(n) * [x(n) - w_i(n)],
+ *   h_ci(n)  = alpha(n) * exp(-||r_c - r_i||^2 / (2 sigma^2(n)))
+ *
+ * The Gaussian kernel is the paper's; the bubble (cut-off) kernel is
+ * the classical alternative, provided for ablations. Figure 2 plots the
+ * Gaussian kernel shrinking over training steps; bench/fig2_kernel
+ * regenerates that series through this interface.
+ */
+
+#ifndef HIERMEANS_SOM_KERNEL_H
+#define HIERMEANS_SOM_KERNEL_H
+
+#include <string>
+
+namespace hiermeans {
+namespace som {
+
+/** Supported neighborhood kernels. */
+enum class KernelKind { Gaussian, Bubble };
+
+/** Name of a kernel kind. */
+const char *kernelKindName(KernelKind kind);
+
+/** Parse a kernel-kind name; throws InvalidArgument on unknown names. */
+KernelKind parseKernelKind(const std::string &name);
+
+/**
+ * Kernel value h_ci for a unit at squared grid distance
+ * @p grid_distance_squared from the BMU, with learning rate @p alpha
+ * and radius @p sigma (both > 0).
+ *
+ * Gaussian: alpha * exp(-d^2 / (2 sigma^2)).
+ * Bubble:   alpha when d <= sigma, else 0.
+ */
+double kernelValue(KernelKind kind, double grid_distance_squared,
+                   double alpha, double sigma);
+
+/**
+ * Effective neighborhood cut-off: grid distances beyond this contribute
+ * less than @p threshold * alpha (Gaussian) or nothing (bubble). Lets
+ * the trainer skip far-away units.
+ */
+double kernelSupportRadius(KernelKind kind, double sigma,
+                           double threshold = 1e-4);
+
+} // namespace som
+} // namespace hiermeans
+
+#endif // HIERMEANS_SOM_KERNEL_H

@@ -1,0 +1,152 @@
+#include "src/som/render.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace som {
+
+namespace {
+
+/** Tag letter for workload i: a..z then A..Z then '?'. */
+char
+tagFor(std::size_t i)
+{
+    if (i < 26)
+        return static_cast<char>('a' + i);
+    if (i < 52)
+        return static_cast<char>('A' + (i - 26));
+    return '?';
+}
+
+} // namespace
+
+std::string
+renderDistributionMap(const SelfOrganizingMap &map,
+                      const std::vector<Placement> &placements,
+                      const std::string &title)
+{
+    const GridTopology &topo = map.topology();
+    // Occupants per unit, in placement order.
+    std::map<std::size_t, std::vector<std::size_t>> occupants;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        HM_REQUIRE(placements[i].unit < topo.unitCount(),
+                   "renderDistributionMap: unit " << placements[i].unit
+                                                  << " out of range");
+        occupants[placements[i].unit].push_back(i);
+    }
+
+    std::ostringstream oss;
+    oss << title << "\n";
+    oss << str::repeat('=', title.size()) << "\n";
+
+    // Column header (Dimension 1).
+    oss << "      ";
+    for (std::size_t c = 0; c < topo.cols(); ++c)
+        oss << " " << c % 10 << " ";
+    oss << "  Dimension 1\n";
+
+    for (std::size_t r = 0; r < topo.rows(); ++r) {
+        oss << "  " << str::padLeft(std::to_string(r), 2) << "  ";
+        for (std::size_t c = 0; c < topo.cols(); ++c) {
+            const std::size_t unit = topo.unitIndex(r, c);
+            auto it = occupants.find(unit);
+            if (it == occupants.end()) {
+                oss << " . ";
+            } else if (it->second.size() == 1) {
+                oss << "[" << tagFor(it->second.front()) << "]";
+            } else {
+                // Multiple workloads on one cell: the "darker cell" of
+                // the paper's figures; show the occupant count.
+                oss << "[" << std::min<std::size_t>(it->second.size(), 9)
+                    << "]";
+            }
+        }
+        oss << "\n";
+    }
+    oss << "  Dimension 2 (rows)\n\n";
+
+    oss << "  Legend:\n";
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        const GridCell cell = topo.cell(placements[i].unit);
+        oss << "    " << tagFor(i) << " = "
+            << str::padRight(placements[i].name, 24) << " @ (dim1="
+            << cell.col << ", dim2=" << cell.row << ")";
+        const auto &cellmates = occupants[placements[i].unit];
+        if (cellmates.size() > 1) {
+            oss << "  [shared cell: ";
+            bool first = true;
+            for (std::size_t j : cellmates) {
+                if (j == i)
+                    continue;
+                if (!first)
+                    oss << ", ";
+                oss << tagFor(j);
+                first = false;
+            }
+            oss << "]";
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+renderDistributionMap(const SelfOrganizingMap &map,
+                      const linalg::Matrix &data,
+                      const std::vector<std::string> &names,
+                      const std::string &title)
+{
+    HM_REQUIRE(names.size() == data.rows(),
+               "renderDistributionMap: " << names.size() << " names for "
+                                         << data.rows() << " rows");
+    std::vector<Placement> placements;
+    placements.reserve(names.size());
+    const std::vector<std::size_t> bmus = map.bmuAll(data);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        placements.push_back(Placement{names[i], bmus[i]});
+    return renderDistributionMap(map, placements, title);
+}
+
+std::string
+renderUMatrix(const linalg::Matrix &umatrix, const std::string &title)
+{
+    static const char shades[] = {' ', '.', ':', '-', '=', '+', '*', '#'};
+    constexpr std::size_t num_shades = sizeof(shades);
+
+    double lo = umatrix(0, 0);
+    double hi = umatrix(0, 0);
+    for (std::size_t r = 0; r < umatrix.rows(); ++r) {
+        for (std::size_t c = 0; c < umatrix.cols(); ++c) {
+            lo = std::min(lo, umatrix(r, c));
+            hi = std::max(hi, umatrix(r, c));
+        }
+    }
+    const double range = hi - lo;
+
+    std::ostringstream oss;
+    oss << title << "\n";
+    for (std::size_t r = 0; r < umatrix.rows(); ++r) {
+        oss << "  ";
+        for (std::size_t c = 0; c < umatrix.cols(); ++c) {
+            std::size_t level = 0;
+            if (range > 0.0) {
+                level = static_cast<std::size_t>(
+                    (umatrix(r, c) - lo) / range *
+                    static_cast<double>(num_shades - 1));
+            }
+            oss << shades[level] << shades[level];
+        }
+        oss << "\n";
+    }
+    oss << "  scale: ' ' = " << str::fixed(lo, 3) << "  '#' = "
+        << str::fixed(hi, 3) << "\n";
+    return oss.str();
+}
+
+} // namespace som
+} // namespace hiermeans

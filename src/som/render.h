@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII rendering of the SOM workload-distribution maps.
+ *
+ * Regenerates the visual content of Figures 3, 5 and 7: a 2-D grid in
+ * which "colored cells represent the location of the workloads on the
+ * reduced dimension" and "darker cells indicate that there are multiple
+ * workloads that map to the same cell". In text form, a single-occupant
+ * cell shows the workload's tag letter, a multi-occupant cell shows the
+ * occupant count, and a legend maps tags to workload names and grid
+ * coordinates.
+ */
+
+#ifndef HIERMEANS_SOM_RENDER_H
+#define HIERMEANS_SOM_RENDER_H
+
+#include <string>
+#include <vector>
+
+#include "src/som/som.h"
+
+namespace hiermeans {
+namespace som {
+
+/** Placement of one named workload on the map. */
+struct Placement
+{
+    std::string name;
+    std::size_t unit = 0;
+};
+
+/**
+ * Render the workload distribution of @p map for named observations.
+ * @param map the trained map (provides topology).
+ * @param placements one entry per workload (name + BMU unit index).
+ * @param title heading line, e.g. "Workload Distribution on Machine A".
+ */
+std::string renderDistributionMap(const SelfOrganizingMap &map,
+                                  const std::vector<Placement> &placements,
+                                  const std::string &title);
+
+/**
+ * Convenience overload: compute BMUs of @p data rows with @p names.
+ * @p names.size() must equal data.rows().
+ */
+std::string renderDistributionMap(const SelfOrganizingMap &map,
+                                  const linalg::Matrix &data,
+                                  const std::vector<std::string> &names,
+                                  const std::string &title);
+
+/**
+ * Render a U-matrix as a grid of shade characters
+ * (' ' low .. '#' high), with the numeric scale in the footer.
+ */
+std::string renderUMatrix(const linalg::Matrix &umatrix,
+                          const std::string &title);
+
+} // namespace som
+} // namespace hiermeans
+
+#endif // HIERMEANS_SOM_RENDER_H

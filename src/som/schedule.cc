@@ -1,0 +1,72 @@
+#include "src/som/schedule.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace som {
+
+const char *
+decayKindName(DecayKind kind)
+{
+    switch (kind) {
+      case DecayKind::Linear:
+        return "linear";
+      case DecayKind::Exponential:
+        return "exponential";
+      case DecayKind::InverseTime:
+        return "inverse-time";
+    }
+    return "unknown";
+}
+
+DecayKind
+parseDecayKind(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "linear")
+        return DecayKind::Linear;
+    if (lower == "exponential" || lower == "exp")
+        return DecayKind::Exponential;
+    if (lower == "inverse-time" || lower == "inverse" || lower == "inv")
+        return DecayKind::InverseTime;
+    throw InvalidArgument("unknown decay kind `" + name + "`");
+}
+
+DecaySchedule::DecaySchedule(DecayKind kind, double start, double end,
+                             std::size_t total_steps)
+    : kind_(kind), start_(start), end_(end), totalSteps_(total_steps)
+{
+    HM_REQUIRE(start_ > 0.0, "DecaySchedule: start must be > 0, got "
+                                 << start_);
+    HM_REQUIRE(end_ > 0.0 && end_ <= start_,
+               "DecaySchedule: end must be in (0, start], got " << end_);
+    HM_REQUIRE(totalSteps_ >= 1, "DecaySchedule: total_steps must be >= 1");
+}
+
+double
+DecaySchedule::value(std::size_t n) const
+{
+    if (totalSteps_ == 1 || n >= totalSteps_ - 1)
+        return end_;
+    const double progress = static_cast<double>(n) /
+                            static_cast<double>(totalSteps_ - 1);
+    switch (kind_) {
+      case DecayKind::Linear:
+        return start_ + (end_ - start_) * progress;
+      case DecayKind::Exponential:
+        return start_ * std::pow(end_ / start_, progress);
+      case DecayKind::InverseTime: {
+        // v(n) = start / (1 + c * n) with c chosen so v(last) == end.
+        const double c = (start_ / end_ - 1.0) /
+                         static_cast<double>(totalSteps_ - 1);
+        return start_ / (1.0 + c * static_cast<double>(n));
+      }
+    }
+    throw InternalError("unhandled decay kind");
+}
+
+} // namespace som
+} // namespace hiermeans

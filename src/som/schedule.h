@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Decay schedules for the SOM learning-rate factor alpha(n) and the
+ * neighborhood radius sigma(n).
+ *
+ * "Both alpha(n) and sigma(n) monotonically decrease as we progress for
+ * each learning step n" (Section III-A). Three standard decay laws are
+ * provided; exponential decay is the default used by the pipeline.
+ */
+
+#ifndef HIERMEANS_SOM_SCHEDULE_H
+#define HIERMEANS_SOM_SCHEDULE_H
+
+#include <cstddef>
+#include <string>
+
+namespace hiermeans {
+namespace som {
+
+/** Supported decay laws. */
+enum class DecayKind { Linear, Exponential, InverseTime };
+
+/** Name of a decay kind. */
+const char *decayKindName(DecayKind kind);
+
+/** Parse a decay-kind name; throws InvalidArgument on unknown names. */
+DecayKind parseDecayKind(const std::string &name);
+
+/**
+ * A monotone decay from @p start at step 0 to @p end at step
+ * @p total_steps - 1.
+ */
+class DecaySchedule
+{
+  public:
+    /**
+     * @param kind decay law.
+     * @param start initial value (> 0).
+     * @param end final value (> 0, <= start).
+     * @param total_steps number of training steps (>= 1).
+     */
+    DecaySchedule(DecayKind kind, double start, double end,
+                  std::size_t total_steps);
+
+    /** Value at step @p n; clamped to `end` for n >= total_steps. */
+    double value(std::size_t n) const;
+
+    double start() const { return start_; }
+    double end() const { return end_; }
+    std::size_t totalSteps() const { return totalSteps_; }
+    DecayKind kind() const { return kind_; }
+
+  private:
+    DecayKind kind_;
+    double start_;
+    double end_;
+    std::size_t totalSteps_;
+};
+
+} // namespace som
+} // namespace hiermeans
+
+#endif // HIERMEANS_SOM_SCHEDULE_H

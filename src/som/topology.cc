@@ -1,0 +1,102 @@
+#include "src/som/topology.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace som {
+
+const char *
+gridKindName(GridKind kind)
+{
+    switch (kind) {
+      case GridKind::Rectangular:
+        return "rectangular";
+      case GridKind::Hexagonal:
+        return "hexagonal";
+    }
+    return "unknown";
+}
+
+GridKind
+parseGridKind(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "rectangular" || lower == "rect")
+        return GridKind::Rectangular;
+    if (lower == "hexagonal" || lower == "hex")
+        return GridKind::Hexagonal;
+    throw InvalidArgument("unknown grid kind `" + name + "`");
+}
+
+GridTopology::GridTopology(std::size_t rows, std::size_t cols, GridKind kind)
+    : rows_(rows), cols_(cols), kind_(kind)
+{
+    HM_REQUIRE(rows_ > 0 && cols_ > 0, "GridTopology: " << rows_ << "x"
+                                                        << cols_);
+}
+
+std::size_t
+GridTopology::unitIndex(std::size_t row, std::size_t col) const
+{
+    HM_REQUIRE(row < rows_ && col < cols_, "unitIndex(" << row << ", "
+                                                        << col
+                                                        << ") out of range");
+    return row * cols_ + col;
+}
+
+GridCell
+GridTopology::cell(std::size_t unit) const
+{
+    HM_REQUIRE(unit < unitCount(), "cell: unit " << unit
+                                                 << " out of range");
+    return GridCell{unit / cols_, unit % cols_};
+}
+
+GridPoint
+GridTopology::location(std::size_t unit) const
+{
+    const GridCell c = cell(unit);
+    if (kind_ == GridKind::Rectangular) {
+        return GridPoint{static_cast<double>(c.col),
+                         static_cast<double>(c.row)};
+    }
+    // Hexagonal: odd rows shifted right by half a cell, rows compressed
+    // to keep all six neighbors equidistant.
+    const double x =
+        static_cast<double>(c.col) + (c.row % 2 == 1 ? 0.5 : 0.0);
+    const double y = static_cast<double>(c.row) * std::sqrt(3.0) / 2.0;
+    return GridPoint{x, y};
+}
+
+double
+GridTopology::gridDistanceSquared(std::size_t unit_a,
+                                  std::size_t unit_b) const
+{
+    const GridPoint a = location(unit_a);
+    const GridPoint b = location(unit_b);
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+double
+GridTopology::gridDistance(std::size_t unit_a, std::size_t unit_b) const
+{
+    return std::sqrt(gridDistanceSquared(unit_a, unit_b));
+}
+
+bool
+GridTopology::areNeighbors(std::size_t unit_a, std::size_t unit_b) const
+{
+    if (unit_a == unit_b)
+        return false;
+    // All lattice neighbors sit at distance ~1 in location space (for
+    // rectangular grids the diagonal is sqrt(2), which we exclude).
+    return gridDistanceSquared(unit_a, unit_b) <= 1.0 + 1e-9;
+}
+
+} // namespace som
+} // namespace hiermeans

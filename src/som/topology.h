@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SOM grid topology: unit layout and location vectors.
+ *
+ * The paper's SOM is "a 2-D array of neurons, called units"; each unit
+ * carries a location vector r_i on the grid and the neighborhood kernel
+ * is a function of ||r_c - r_i||. Rectangular layout matches the paper;
+ * hexagonal layout (Kohonen's default) is provided for ablations.
+ */
+
+#ifndef HIERMEANS_SOM_TOPOLOGY_H
+#define HIERMEANS_SOM_TOPOLOGY_H
+
+#include <cstddef>
+#include <string>
+
+namespace hiermeans {
+namespace som {
+
+/** Grid layouts. */
+enum class GridKind { Rectangular, Hexagonal };
+
+/** Name of a grid kind. */
+const char *gridKindName(GridKind kind);
+
+/** Parse a grid-kind name; throws InvalidArgument on unknown names. */
+GridKind parseGridKind(const std::string &name);
+
+/** A unit's 2-D location on the map. */
+struct GridPoint
+{
+    double x = 0.0; ///< Dimension 1 in the paper's figures.
+    double y = 0.0; ///< Dimension 2.
+};
+
+/** Row/column coordinates of a unit. */
+struct GridCell
+{
+    std::size_t row = 0;
+    std::size_t col = 0;
+
+    bool operator==(const GridCell &other) const
+    {
+        return row == other.row && col == other.col;
+    }
+};
+
+/** A fixed rows x cols unit grid. */
+class GridTopology
+{
+  public:
+    GridTopology(std::size_t rows, std::size_t cols,
+                 GridKind kind = GridKind::Rectangular);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    GridKind kind() const { return kind_; }
+
+    /** Total number of units. */
+    std::size_t unitCount() const { return rows_ * cols_; }
+
+    /** Linear unit index of a cell. */
+    std::size_t unitIndex(std::size_t row, std::size_t col) const;
+
+    /** Cell of a linear unit index. */
+    GridCell cell(std::size_t unit) const;
+
+    /**
+     * Location vector r_i of a unit. Rectangular grids use integer
+     * (col, row); hexagonal grids offset odd rows by 0.5 and compress
+     * row spacing by sqrt(3)/2 so inter-unit distances are uniform.
+     */
+    GridPoint location(std::size_t unit) const;
+
+    /** Euclidean distance between two units' location vectors. */
+    double gridDistance(std::size_t unit_a, std::size_t unit_b) const;
+
+    /** Squared grid distance (the quantity the Gaussian kernel uses). */
+    double gridDistanceSquared(std::size_t unit_a, std::size_t unit_b) const;
+
+    /** True when two units are lattice neighbors (adjacent cells). */
+    bool areNeighbors(std::size_t unit_a, std::size_t unit_b) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    GridKind kind_;
+};
+
+} // namespace som
+} // namespace hiermeans
+
+#endif // HIERMEANS_SOM_TOPOLOGY_H

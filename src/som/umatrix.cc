@@ -1,0 +1,33 @@
+#include "src/som/umatrix.h"
+
+#include "src/linalg/distance.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace som {
+
+linalg::Matrix
+uMatrix(const SelfOrganizingMap &map)
+{
+    const GridTopology &topo = map.topology();
+    linalg::Matrix out(topo.rows(), topo.cols(), 0.0);
+
+    for (std::size_t u = 0; u < topo.unitCount(); ++u) {
+        const linalg::Vector w = map.weight(u);
+        double acc = 0.0;
+        std::size_t neighbors = 0;
+        for (std::size_t v = 0; v < topo.unitCount(); ++v) {
+            if (!topo.areNeighbors(u, v))
+                continue;
+            acc += linalg::euclidean(w, map.weight(v));
+            ++neighbors;
+        }
+        const GridCell cell = topo.cell(u);
+        out(cell.row, cell.col) =
+            neighbors > 0 ? acc / static_cast<double>(neighbors) : 0.0;
+    }
+    return out;
+}
+
+} // namespace som
+} // namespace hiermeans

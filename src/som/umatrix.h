@@ -1,0 +1,29 @@
+/**
+ * @file
+ * U-matrix: per-unit average distance to lattice-neighbor weights.
+ *
+ * The U-matrix is the standard way to visualize cluster boundaries on a
+ * trained SOM — large values mark ridges between clusters, small values
+ * mark dense plateaus (like the SciMark2 blob in Figures 3/5/7).
+ */
+
+#ifndef HIERMEANS_SOM_UMATRIX_H
+#define HIERMEANS_SOM_UMATRIX_H
+
+#include "src/linalg/matrix.h"
+#include "src/som/som.h"
+
+namespace hiermeans {
+namespace som {
+
+/**
+ * Compute the U-matrix of @p map as a rows x cols matrix: entry (r, c)
+ * is the mean Euclidean distance between unit (r, c)'s weight vector
+ * and the weight vectors of its lattice neighbors.
+ */
+linalg::Matrix uMatrix(const SelfOrganizingMap &map);
+
+} // namespace som
+} // namespace hiermeans
+
+#endif // HIERMEANS_SOM_UMATRIX_H

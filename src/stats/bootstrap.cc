@@ -1,0 +1,64 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace stats {
+
+BootstrapInterval
+bootstrapScore(
+    const std::vector<std::vector<double>> &run_times,
+    const std::function<double(const std::vector<double> &)> &statistic,
+    const BootstrapConfig &config)
+{
+    HM_REQUIRE(!run_times.empty(), "bootstrapScore: no workloads");
+    for (std::size_t w = 0; w < run_times.size(); ++w) {
+        HM_REQUIRE(!run_times[w].empty(),
+                   "bootstrapScore: workload " << w << " has no runs");
+    }
+    HM_REQUIRE(config.resamples >= 10,
+               "bootstrapScore: need >= 10 resamples");
+    HM_REQUIRE(config.level > 0.0 && config.level < 1.0,
+               "bootstrapScore: level must be in (0, 1)");
+
+    // Point estimate from the plain per-workload averages.
+    std::vector<double> representative(run_times.size());
+    for (std::size_t w = 0; w < run_times.size(); ++w) {
+        double acc = 0.0;
+        for (double t : run_times[w])
+            acc += t;
+        representative[w] =
+            acc / static_cast<double>(run_times[w].size());
+    }
+
+    BootstrapInterval interval;
+    interval.pointEstimate = statistic(representative);
+    interval.level = config.level;
+    interval.resamples = config.resamples;
+
+    rng::Engine engine(config.seed);
+    std::vector<double> replicates;
+    replicates.reserve(config.resamples);
+    std::vector<double> resampled(run_times.size());
+    for (std::size_t b = 0; b < config.resamples; ++b) {
+        for (std::size_t w = 0; w < run_times.size(); ++w) {
+            const auto &runs = run_times[w];
+            double acc = 0.0;
+            for (std::size_t i = 0; i < runs.size(); ++i)
+                acc += runs[engine.below(runs.size())];
+            resampled[w] = acc / static_cast<double>(runs.size());
+        }
+        replicates.push_back(statistic(resampled));
+    }
+
+    const double alpha = (1.0 - config.level) / 2.0;
+    interval.lower = quantile(replicates, alpha);
+    interval.upper = quantile(replicates, 1.0 - alpha);
+    return interval;
+}
+
+} // namespace stats
+} // namespace hiermeans

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bootstrap confidence intervals for suite scores.
+ *
+ * The paper reports point scores; a production scoring tool should
+ * also say how stable they are under measurement noise. This module
+ * resamples per-workload run times (the 10 repetitions of Section
+ * IV-B) with replacement and rebuilds the score statistic, yielding
+ * percentile confidence intervals for plain and hierarchical means
+ * alike (the statistic is caller-supplied).
+ */
+
+#ifndef HIERMEANS_STATS_BOOTSTRAP_H
+#define HIERMEANS_STATS_BOOTSTRAP_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace stats {
+
+/** A percentile bootstrap interval. */
+struct BootstrapInterval
+{
+    double pointEstimate = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+    double level = 0.95;
+    std::size_t resamples = 0;
+};
+
+/** Bootstrap configuration. */
+struct BootstrapConfig
+{
+    std::size_t resamples = 1000;
+    double level = 0.95; ///< two-sided confidence level in (0, 1).
+    std::uint64_t seed = 0xB005;
+};
+
+/**
+ * Generic percentile bootstrap over per-workload run samples.
+ *
+ * @param run_times one vector of repeated measurements per workload
+ *        (each non-empty).
+ * @param statistic maps a vector of per-workload representative values
+ *        (the mean of a resample of each workload's runs) to the score
+ *        of interest, e.g. a hierarchical geometric mean of speedups.
+ */
+BootstrapInterval bootstrapScore(
+    const std::vector<std::vector<double>> &run_times,
+    const std::function<double(const std::vector<double> &)> &statistic,
+    const BootstrapConfig &config = {});
+
+} // namespace stats
+} // namespace hiermeans
+
+#endif // HIERMEANS_STATS_BOOTSTRAP_H

@@ -1,0 +1,46 @@
+#include "src/stats/correlation.h"
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace stats {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    HM_REQUIRE(x.size() == y.size(), "pearson: size mismatch " << x.size()
+                                                               << " vs "
+                                                               << y.size());
+    HM_REQUIRE(x.size() >= 2, "pearson: need >= 2 points");
+    const double n = static_cast<double>(x.size());
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= n;
+    my /= n;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    HM_DOMAIN_CHECK(sxx > 0.0 && syy > 0.0,
+                    "pearson: zero variance sample");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    return pearson(ranks(x), ranks(y));
+}
+
+} // namespace stats
+} // namespace hiermeans

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Correlation coefficients.
+ *
+ * Pearson correlation backs the cophenetic correlation coefficient in
+ * src/cluster/validity.h (how faithfully a dendrogram preserves the
+ * original pairwise distances); Spearman supports rank-based ablations.
+ */
+
+#ifndef HIERMEANS_STATS_CORRELATION_H
+#define HIERMEANS_STATS_CORRELATION_H
+
+#include <vector>
+
+namespace hiermeans {
+namespace stats {
+
+/**
+ * Pearson product-moment correlation of two equally-sized samples.
+ * Requires >= 2 points and nonzero variance in both samples.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Spearman rank correlation (Pearson on average ranks). */
+double spearman(const std::vector<double> &x, const std::vector<double> &y);
+
+} // namespace stats
+} // namespace hiermeans
+
+#endif // HIERMEANS_STATS_CORRELATION_H

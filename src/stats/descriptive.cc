@@ -1,0 +1,115 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace stats {
+
+Summary
+summarize(const std::vector<double> &sample)
+{
+    HM_REQUIRE(!sample.empty(), "summarize: empty sample");
+    Summary s;
+    s.count = sample.size();
+    s.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+             static_cast<double>(sample.size());
+    s.variance = sampleVariance(sample);
+    s.stddev = std::sqrt(s.variance);
+    auto [lo, hi] = std::minmax_element(sample.begin(), sample.end());
+    s.min = *lo;
+    s.max = *hi;
+    s.median = median(sample);
+    return s;
+}
+
+double
+sampleVariance(const std::vector<double> &sample)
+{
+    HM_REQUIRE(!sample.empty(), "sampleVariance: empty sample");
+    if (sample.size() < 2)
+        return 0.0;
+    const double m = std::accumulate(sample.begin(), sample.end(), 0.0) /
+                     static_cast<double>(sample.size());
+    double acc = 0.0;
+    for (double v : sample) {
+        const double d = v - m;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(sample.size() - 1);
+}
+
+double
+sampleStddev(const std::vector<double> &sample)
+{
+    return std::sqrt(sampleVariance(sample));
+}
+
+double
+median(std::vector<double> sample)
+{
+    HM_REQUIRE(!sample.empty(), "median: empty sample");
+    std::sort(sample.begin(), sample.end());
+    const std::size_t n = sample.size();
+    if (n % 2 == 1)
+        return sample[n / 2];
+    return 0.5 * (sample[n / 2 - 1] + sample[n / 2]);
+}
+
+double
+quantile(std::vector<double> sample, double q)
+{
+    HM_REQUIRE(!sample.empty(), "quantile: empty sample");
+    HM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1], got "
+                                         << q);
+    std::sort(sample.begin(), sample.end());
+    if (sample.size() == 1)
+        return sample[0];
+    const double pos = q * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double
+coefficientOfVariation(const std::vector<double> &sample)
+{
+    HM_REQUIRE(!sample.empty(), "coefficientOfVariation: empty sample");
+    const double m = std::accumulate(sample.begin(), sample.end(), 0.0) /
+                     static_cast<double>(sample.size());
+    HM_REQUIRE(m != 0.0, "coefficientOfVariation: zero mean");
+    return sampleStddev(sample) / std::abs(m);
+}
+
+std::vector<double>
+ranks(const std::vector<double> &sample)
+{
+    const std::size_t n = sample.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return sample[a] < sample[b];
+    });
+
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && sample[order[j + 1]] == sample[order[i]])
+            ++j;
+        // Average rank for the tie group [i, j].
+        const double avg_rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            out[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace hiermeans

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Descriptive statistics over a sample of doubles.
+ *
+ * Used by the SAR counter characterization stage (the paper collects 15
+ * samples per counter and uses the average as the representative value)
+ * and by the redundancy/robustness analyses.
+ */
+
+#ifndef HIERMEANS_STATS_DESCRIPTIVE_H
+#define HIERMEANS_STATS_DESCRIPTIVE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hiermeans {
+namespace stats {
+
+/** Summary of a univariate sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0; ///< n-1 sample variance (0 when count < 2).
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/** Compute the full summary; requires a non-empty sample. */
+Summary summarize(const std::vector<double> &sample);
+
+/** Sample variance with the n-1 denominator (0 when fewer than 2). */
+double sampleVariance(const std::vector<double> &sample);
+
+/** Sample standard deviation. */
+double sampleStddev(const std::vector<double> &sample);
+
+/** Median (average of the two middle values for even sizes). */
+double median(std::vector<double> sample);
+
+/**
+ * Quantile with linear interpolation between order statistics;
+ * @p q in [0, 1]. Requires a non-empty sample.
+ */
+double quantile(std::vector<double> sample, double q);
+
+/**
+ * Coefficient of variation stddev/|mean|; requires a nonzero mean.
+ * Used to quantify how much hierarchical-mean ratios fluctuate across
+ * cluster counts.
+ */
+double coefficientOfVariation(const std::vector<double> &sample);
+
+/** Ranks of the sample values (1-based, ties averaged). */
+std::vector<double> ranks(const std::vector<double> &sample);
+
+} // namespace stats
+} // namespace hiermeans
+
+#endif // HIERMEANS_STATS_DESCRIPTIVE_H

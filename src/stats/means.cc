@@ -1,0 +1,173 @@
+#include "src/stats/means.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace stats {
+
+namespace {
+
+void
+requireNonEmpty(const std::vector<double> &values, const char *op)
+{
+    HM_REQUIRE(!values.empty(), op << " of an empty set");
+}
+
+void
+requirePositive(const std::vector<double> &values, const char *op)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        HM_DOMAIN_CHECK(values[i] > 0.0,
+                        op << " requires strictly positive values; value["
+                           << i << "] = " << values[i]);
+    }
+}
+
+double
+weightSum(const std::vector<double> &values,
+          const std::vector<double> &weights, const char *op)
+{
+    HM_REQUIRE(values.size() == weights.size(),
+               op << ": " << values.size() << " values vs "
+                  << weights.size() << " weights");
+    HM_REQUIRE(!values.empty(), op << " of an empty set");
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        HM_REQUIRE(weights[i] >= 0.0, op << ": weight[" << i
+                                         << "] is negative");
+        total += weights[i];
+    }
+    HM_REQUIRE(total > 0.0, op << ": weights sum to zero");
+    return total;
+}
+
+} // namespace
+
+const char *
+meanKindName(MeanKind kind)
+{
+    switch (kind) {
+      case MeanKind::Arithmetic:
+        return "arithmetic";
+      case MeanKind::Geometric:
+        return "geometric";
+      case MeanKind::Harmonic:
+        return "harmonic";
+    }
+    return "unknown";
+}
+
+MeanKind
+parseMeanKind(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "arithmetic" || lower == "am")
+        return MeanKind::Arithmetic;
+    if (lower == "geometric" || lower == "gm")
+        return MeanKind::Geometric;
+    if (lower == "harmonic" || lower == "hm")
+        return MeanKind::Harmonic;
+    throw InvalidArgument("unknown mean kind `" + name + "`");
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    requireNonEmpty(values, "arithmetic mean");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    requireNonEmpty(values, "geometric mean");
+    requirePositive(values, "geometric mean");
+    double log_acc = 0.0;
+    for (double v : values)
+        log_acc += std::log(v);
+    return std::exp(log_acc / static_cast<double>(values.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    requireNonEmpty(values, "harmonic mean");
+    requirePositive(values, "harmonic mean");
+    double inv_acc = 0.0;
+    for (double v : values)
+        inv_acc += 1.0 / v;
+    return static_cast<double>(values.size()) / inv_acc;
+}
+
+double
+mean(MeanKind kind, const std::vector<double> &values)
+{
+    switch (kind) {
+      case MeanKind::Arithmetic:
+        return arithmeticMean(values);
+      case MeanKind::Geometric:
+        return geometricMean(values);
+      case MeanKind::Harmonic:
+        return harmonicMean(values);
+    }
+    throw InternalError("unhandled mean kind");
+}
+
+double
+weightedArithmeticMean(const std::vector<double> &values,
+                       const std::vector<double> &weights)
+{
+    const double total = weightSum(values, weights, "weighted AM");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        acc += weights[i] * values[i];
+    return acc / total;
+}
+
+double
+weightedGeometricMean(const std::vector<double> &values,
+                      const std::vector<double> &weights)
+{
+    const double total = weightSum(values, weights, "weighted GM");
+    requirePositive(values, "weighted geometric mean");
+    double log_acc = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        log_acc += weights[i] * std::log(values[i]);
+    return std::exp(log_acc / total);
+}
+
+double
+weightedHarmonicMean(const std::vector<double> &values,
+                     const std::vector<double> &weights)
+{
+    const double total = weightSum(values, weights, "weighted HM");
+    requirePositive(values, "weighted harmonic mean");
+    double inv_acc = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        inv_acc += weights[i] / values[i];
+    return total / inv_acc;
+}
+
+double
+weightedMean(MeanKind kind, const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    switch (kind) {
+      case MeanKind::Arithmetic:
+        return weightedArithmeticMean(values, weights);
+      case MeanKind::Geometric:
+        return weightedGeometricMean(values, weights);
+      case MeanKind::Harmonic:
+        return weightedHarmonicMean(values, weights);
+    }
+    throw InternalError("unhandled mean kind");
+}
+
+} // namespace stats
+} // namespace hiermeans

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Plain and weighted means (arithmetic, geometric, harmonic).
+ *
+ * These are the building blocks of the hierarchical means in
+ * src/scoring/hierarchical_mean.h: a hierarchical mean is the plain
+ * mean of the per-cluster plain means. The "war of the benchmark means"
+ * (Smith 1988, Mashey 2004, John 2004) is about which of these to use;
+ * the paper's contribution is orthogonal and applies to all three.
+ */
+
+#ifndef HIERMEANS_STATS_MEANS_H
+#define HIERMEANS_STATS_MEANS_H
+
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace stats {
+
+/** The three classical mean families. */
+enum class MeanKind { Arithmetic, Geometric, Harmonic };
+
+/** Name of a mean kind ("arithmetic", ...). */
+const char *meanKindName(MeanKind kind);
+
+/** Parse a mean-kind name; throws InvalidArgument on unknown names. */
+MeanKind parseMeanKind(const std::string &name);
+
+/** Arithmetic mean; requires a non-empty input. */
+double arithmeticMean(const std::vector<double> &values);
+
+/**
+ * Geometric mean computed in log space; requires non-empty input with
+ * strictly positive values (throws DomainError otherwise).
+ */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Harmonic mean; requires non-empty input with strictly positive values
+ * (throws DomainError otherwise).
+ */
+double harmonicMean(const std::vector<double> &values);
+
+/** Dispatch to one of the three plain means. */
+double mean(MeanKind kind, const std::vector<double> &values);
+
+/**
+ * Weighted arithmetic mean: sum(w_i x_i) / sum(w_i). Weights must be
+ * non-negative with a positive sum.
+ */
+double weightedArithmeticMean(const std::vector<double> &values,
+                              const std::vector<double> &weights);
+
+/**
+ * Weighted geometric mean: exp(sum(w_i ln x_i) / sum(w_i)). Values must
+ * be positive; weights non-negative with a positive sum.
+ */
+double weightedGeometricMean(const std::vector<double> &values,
+                             const std::vector<double> &weights);
+
+/**
+ * Weighted harmonic mean: sum(w_i) / sum(w_i / x_i). Values must be
+ * positive; weights non-negative with a positive sum.
+ */
+double weightedHarmonicMean(const std::vector<double> &values,
+                            const std::vector<double> &weights);
+
+/** Dispatch to one of the three weighted means. */
+double weightedMean(MeanKind kind, const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+} // namespace stats
+} // namespace hiermeans
+
+#endif // HIERMEANS_STATS_MEANS_H

@@ -1,0 +1,114 @@
+#include "src/util/cli.h"
+
+#include <cstdlib>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace util {
+
+CommandLine
+CommandLine::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+CommandLine
+CommandLine::parse(const std::vector<std::string> &args)
+{
+    CommandLine cl;
+    std::size_t start = 0;
+    if (!args.empty()) {
+        cl.program_ = args[0];
+        start = 1;
+    }
+    for (std::size_t i = start; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!str::startsWith(arg, "--")) {
+            cl.positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        HM_REQUIRE(!body.empty(), "bare `--` is not a valid flag");
+        const std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            const std::string name = body.substr(0, eq);
+            HM_REQUIRE(!name.empty(), "flag `" << arg << "` has no name");
+            cl.flags_[name] = body.substr(eq + 1);
+        } else if (i + 1 < args.size() &&
+                   !str::startsWith(args[i + 1], "--")) {
+            cl.flags_[body] = args[i + 1];
+            ++i;
+        } else {
+            cl.flags_[body] = "";
+        }
+    }
+    return cl;
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name,
+                       const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CommandLine::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    HM_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" << name << " expects an integer, got `"
+                         << it->second << "`");
+    return value;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    HM_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" << name << " expects a number, got `"
+                         << it->second << "`");
+    return value;
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    const std::string value = str::toLower(it->second);
+    if (value.empty() || value == "true" || value == "1" || value == "yes" ||
+        value == "on") {
+        return true;
+    }
+    if (value == "false" || value == "0" || value == "no" || value == "off")
+        return false;
+    throw InvalidArgument("flag --" + name + " expects a boolean, got `" +
+                          it->second + "`");
+}
+
+} // namespace util
+} // namespace hiermeans

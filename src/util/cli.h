@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A tiny command-line flag parser for the bench and example binaries.
+ *
+ * Supported syntax: `--name=value`, `--name value`, and bare boolean
+ * flags `--name`. Every binary in bench/ accepts `--help`, `--seed=N`
+ * and experiment-specific flags through this parser.
+ */
+
+#ifndef HIERMEANS_UTIL_CLI_H
+#define HIERMEANS_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace util {
+
+/** Parsed command line: named flags plus positional arguments. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv. Unrecognized tokens that do not start with `--` become
+     * positional arguments. Throws InvalidArgument on `--name=` misuse.
+     */
+    static CommandLine parse(int argc, const char *const *argv);
+
+    /** Parse from a vector (useful in tests). */
+    static CommandLine parse(const std::vector<std::string> &args);
+
+    /** Program name (argv[0]) if available. */
+    const std::string &program() const { return program_; }
+
+    /** True when `--name` or `--name=...` was present. */
+    bool has(const std::string &name) const;
+
+    /** String value of a flag, or @p fallback when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value of a flag; throws on malformed numbers. */
+    std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+
+    /** Double value of a flag; throws on malformed numbers. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /**
+     * Boolean value: `--name`, `--name=true/1/yes/on` are true,
+     * `--name=false/0/no/off` false. Throws otherwise.
+     */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_CLI_H

@@ -1,0 +1,117 @@
+#include "src/util/csv.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace util {
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\r\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+writeCsv(const CsvDocument &doc)
+{
+    std::ostringstream oss;
+    writeCsv(oss, doc);
+    return oss.str();
+}
+
+void
+writeCsv(std::ostream &os, const CsvDocument &doc)
+{
+    for (const auto &row : doc.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            os << csvEscape(row[i]);
+        }
+        os << '\n';
+    }
+}
+
+CsvDocument
+parseCsv(const std::string &text)
+{
+    CsvDocument doc;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+    bool row_started = false;
+
+    auto end_field = [&]() {
+        row.push_back(field);
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&]() {
+        end_field();
+        doc.rows.push_back(row);
+        row.clear();
+        row_started = false;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_quotes = true;
+            field_started = true;
+            row_started = true;
+            break;
+          case ',':
+            end_field();
+            row_started = true;
+            break;
+          case '\r':
+            // Swallow; the following \n (if any) terminates the row.
+            break;
+          case '\n':
+            end_row();
+            break;
+          default:
+            field += c;
+            field_started = true;
+            row_started = true;
+            break;
+        }
+    }
+    HM_REQUIRE(!in_quotes, "unterminated quoted CSV field");
+    if (row_started || field_started || !row.empty())
+        end_row();
+    return doc;
+}
+
+} // namespace util
+} // namespace hiermeans

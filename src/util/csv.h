@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal CSV reading/writing for exporting experiment results.
+ *
+ * The dialect is RFC-4180-ish: comma separated, double-quote quoting,
+ * embedded quotes doubled. This is enough to round-trip every table the
+ * bench harness emits; it is not a general-purpose CSV parser.
+ */
+
+#ifndef HIERMEANS_UTIL_CSV_H
+#define HIERMEANS_UTIL_CSV_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace util {
+
+/** One parsed CSV document: rows of string fields. */
+struct CsvDocument
+{
+    std::vector<std::vector<std::string>> rows;
+
+    /** Number of rows. */
+    std::size_t size() const { return rows.size(); }
+    bool empty() const { return rows.empty(); }
+};
+
+/** Quote a single field if it needs quoting. */
+std::string csvEscape(const std::string &field);
+
+/** Serialize rows to CSV text. */
+std::string writeCsv(const CsvDocument &doc);
+
+/** Serialize rows to a stream. */
+void writeCsv(std::ostream &os, const CsvDocument &doc);
+
+/**
+ * Parse CSV text into rows. Handles quoted fields, doubled quotes and
+ * both \n and \r\n line endings. Throws InvalidArgument on an unclosed
+ * quoted field.
+ */
+CsvDocument parseCsv(const std::string &text);
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_CSV_H

@@ -1,0 +1,19 @@
+#include "src/util/error.h"
+
+#include <sstream>
+
+namespace hiermeans {
+namespace detail {
+
+std::string
+checkMessage(const char *cond, const char *file, int line,
+             const std::string &extra)
+{
+    std::ostringstream oss;
+    oss << extra << " [check `" << cond << "` failed at " << file << ":"
+        << line << "]";
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace hiermeans

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Error types and checking macros used across the hiermeans library.
+ *
+ * Two categories of failures, following the fatal-vs-panic convention:
+ *  - InvalidArgument / DomainError: the caller handed us something the
+ *    API contract forbids (user error). Thrown as recoverable exceptions.
+ *  - InternalError: an invariant of the library itself broke (our bug).
+ */
+
+#ifndef HIERMEANS_UTIL_ERROR_H
+#define HIERMEANS_UTIL_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hiermeans {
+
+/** Base class for all hiermeans exceptions. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown when a caller violates an API precondition. */
+class InvalidArgument : public Error
+{
+  public:
+    explicit InvalidArgument(const std::string &what_arg)
+        : Error("invalid argument: " + what_arg)
+    {}
+};
+
+/**
+ * Thrown when input data is structurally valid but numerically outside
+ * the domain of the requested operation (e.g. a non-positive score fed
+ * to a geometric mean).
+ */
+class DomainError : public Error
+{
+  public:
+    explicit DomainError(const std::string &what_arg)
+        : Error("domain error: " + what_arg)
+    {}
+};
+
+/** Thrown when an internal library invariant is violated (a bug in us). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &what_arg)
+        : Error("internal error: " + what_arg)
+    {}
+};
+
+namespace detail {
+
+/** Builds the exception message for the HM_* macros below. */
+std::string checkMessage(const char *cond, const char *file, int line,
+                         const std::string &extra);
+
+} // namespace detail
+
+} // namespace hiermeans
+
+/**
+ * Precondition check: throws hiermeans::InvalidArgument when @p cond is
+ * false. @p msg is a streamable expression, e.g.
+ * `HM_REQUIRE(k > 0, "k must be positive, got " << k);`
+ */
+#define HM_REQUIRE(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream hm_require_oss_;                            \
+            hm_require_oss_ << msg;                                        \
+            throw ::hiermeans::InvalidArgument(                             \
+                ::hiermeans::detail::checkMessage(#cond, __FILE__,          \
+                                                  __LINE__,                 \
+                                                  hm_require_oss_.str())); \
+        }                                                                   \
+    } while (false)
+
+/** Domain check: throws hiermeans::DomainError when @p cond is false. */
+#define HM_DOMAIN_CHECK(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream hm_domain_oss_;                             \
+            hm_domain_oss_ << msg;                                         \
+            throw ::hiermeans::DomainError(                                 \
+                ::hiermeans::detail::checkMessage(#cond, __FILE__,          \
+                                                  __LINE__,                 \
+                                                  hm_domain_oss_.str()));  \
+        }                                                                   \
+    } while (false)
+
+/** Invariant check: throws hiermeans::InternalError when @p cond fails. */
+#define HM_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream hm_assert_oss_;                             \
+            hm_assert_oss_ << msg;                                         \
+            throw ::hiermeans::InternalError(                               \
+                ::hiermeans::detail::checkMessage(#cond, __FILE__,          \
+                                                  __LINE__,                 \
+                                                  hm_assert_oss_.str())); \
+        }                                                                   \
+    } while (false)
+
+#endif // HIERMEANS_UTIL_ERROR_H

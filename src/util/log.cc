@@ -1,0 +1,88 @@
+#include "src/util/log.h"
+
+#include <iostream>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace log {
+
+namespace {
+
+Level global_level = Level::Warn;
+std::ostream *global_stream = nullptr;
+
+std::ostream &
+stream()
+{
+    return global_stream != nullptr ? *global_stream : std::clog;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Silent:
+        return "silent";
+      case Level::Error:
+        return "error";
+      case Level::Warn:
+        return "warn";
+      case Level::Info:
+        return "info";
+      case Level::Debug:
+        return "debug";
+    }
+    return "unknown";
+}
+
+Level
+parseLevel(const std::string &name)
+{
+    const std::string lower = str::toLower(name);
+    if (lower == "silent")
+        return Level::Silent;
+    if (lower == "error")
+        return Level::Error;
+    if (lower == "warn" || lower == "warning")
+        return Level::Warn;
+    if (lower == "info")
+        return Level::Info;
+    if (lower == "debug")
+        return Level::Debug;
+    throw InvalidArgument("unknown log level `" + name + "`");
+}
+
+void
+setLevel(Level level)
+{
+    global_level = level;
+}
+
+Level
+level()
+{
+    return global_level;
+}
+
+void
+setStream(std::ostream *os)
+{
+    global_stream = os;
+}
+
+void
+write(Level msg_level, const std::string &message)
+{
+    if (msg_level == Level::Silent ||
+        static_cast<int>(msg_level) > static_cast<int>(global_level)) {
+        return;
+    }
+    stream() << "[" << levelName(msg_level) << "] " << message << "\n";
+}
+
+} // namespace log
+} // namespace hiermeans

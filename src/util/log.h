@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal leveled logger.
+ *
+ * Experiments and the pipeline emit progress via this logger; tests set
+ * the level to Silent. The logger is intentionally a process-wide
+ * singleton — experiment binaries are single-threaded drivers, and a
+ * global keeps the call sites terse.
+ */
+
+#ifndef HIERMEANS_UTIL_LOG_H
+#define HIERMEANS_UTIL_LOG_H
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace hiermeans {
+namespace log {
+
+/** Severity levels, most severe first. */
+enum class Level { Silent = 0, Error, Warn, Info, Debug };
+
+/** Name of a level ("error", "warn", ...). */
+const char *levelName(Level level);
+
+/** Parse a level name; throws InvalidArgument on unknown names. */
+Level parseLevel(const std::string &name);
+
+/** Set the global log level (default: Warn). */
+void setLevel(Level level);
+
+/** Current global log level. */
+Level level();
+
+/** Redirect output (default: std::clog). Pass nullptr to restore. */
+void setStream(std::ostream *os);
+
+/** Emit one message at @p level if enabled. */
+void write(Level level, const std::string &message);
+
+namespace detail {
+
+/** RAII line builder behind the HM_LOG macro. */
+class LineBuilder
+{
+  public:
+    explicit LineBuilder(Level level) : level_(level) {}
+    ~LineBuilder() { write(level_, oss_.str()); }
+
+    LineBuilder(const LineBuilder &) = delete;
+    LineBuilder &operator=(const LineBuilder &) = delete;
+
+    template <typename T>
+    LineBuilder &
+    operator<<(const T &value)
+    {
+        oss_ << value;
+        return *this;
+    }
+
+  private:
+    Level level_;
+    std::ostringstream oss_;
+};
+
+} // namespace detail
+} // namespace log
+} // namespace hiermeans
+
+/** Stream-style logging: HM_LOG(Info) << "trained " << n << " steps"; */
+#define HM_LOG(level_token)                                                 \
+    ::hiermeans::log::detail::LineBuilder(                                  \
+        ::hiermeans::log::Level::level_token)
+
+#endif // HIERMEANS_UTIL_LOG_H

@@ -1,0 +1,165 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace rng {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Engine::Engine(std::uint64_t seed_word)
+{
+    seed(seed_word);
+}
+
+void
+Engine::seed(std::uint64_t seed_word)
+{
+    SplitMix64 sm(seed_word);
+    for (auto &word : state_)
+        word = sm.next();
+    // All-zero state is the one forbidden xoshiro state; SplitMix64 cannot
+    // produce four consecutive zeros, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 0x9e3779b97f4a7c15ULL;
+    hasCachedNormal_ = false;
+}
+
+Engine::result_type
+Engine::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+Engine
+Engine::split()
+{
+    // Derive a child seed from two fresh words; xoshiro streams seeded
+    // through SplitMix64 from distinct words are effectively independent.
+    const std::uint64_t a = (*this)();
+    const std::uint64_t b = (*this)();
+    return Engine(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+double
+Engine::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Engine::uniform(double lo, double hi)
+{
+    HM_REQUIRE(lo < hi, "uniform(lo, hi) requires lo < hi, got ["
+                            << lo << ", " << hi << ")");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Engine::below(std::uint64_t n)
+{
+    HM_REQUIRE(n > 0, "below(n) requires n > 0");
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Engine::rangeInclusive(std::int64_t lo, std::int64_t hi)
+{
+    HM_REQUIRE(lo <= hi, "rangeInclusive requires lo <= hi, got ["
+                             << lo << ", " << hi << "]");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) {
+        // Full 64-bit range: every word is valid.
+        return static_cast<std::int64_t>((*this)());
+    }
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Engine::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u1 in (0, 1] so log() is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Engine::normal(double mean, double sigma)
+{
+    HM_REQUIRE(sigma >= 0.0, "normal() requires sigma >= 0, got " << sigma);
+    return mean + sigma * normal();
+}
+
+double
+Engine::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+bool
+Engine::bernoulli(double p)
+{
+    HM_REQUIRE(p >= 0.0 && p <= 1.0,
+               "bernoulli() requires p in [0, 1], got " << p);
+    return uniform() < p;
+}
+
+std::vector<std::size_t>
+permutation(Engine &engine, std::size_t n)
+{
+    std::vector<std::size_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i)
+        indices[i] = i;
+    engine.shuffle(indices);
+    return indices;
+}
+
+} // namespace rng
+} // namespace hiermeans

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in hiermeans (SOM training order, synthetic
+ * counter noise, k-means seeding, ...) draws from an explicit rng::Engine
+ * so that all experiments are reproducible bit-for-bit from a seed. The
+ * engine is xoshiro256** seeded through SplitMix64, a combination with
+ * well-studied statistical quality and trivially portable semantics
+ * (unlike std::default_random_engine, which varies across standard
+ * library implementations).
+ */
+
+#ifndef HIERMEANS_UTIL_RNG_H
+#define HIERMEANS_UTIL_RNG_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hiermeans {
+namespace rng {
+
+/**
+ * SplitMix64: a tiny 64-bit generator used to expand a single seed word
+ * into the 256-bit state of xoshiro256**.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64-bit value. */
+    std::uint64_t next();
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** 1.0 by Blackman and Vigna; public-domain algorithm.
+ *
+ * Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+ * with <random> distributions, though hiermeans uses its own portable
+ * distributions below.
+ */
+class Engine
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a single seed word (expanded via SplitMix64). */
+    explicit Engine(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit word. */
+    result_type operator()();
+
+    /** Reseed in place, equivalent to constructing a fresh engine. */
+    void seed(std::uint64_t seed);
+
+    /**
+     * Fork a statistically independent child engine. Used to give each
+     * subsystem (SOM, noise, ...) its own stream derived from one master
+     * seed so that adding a consumer does not perturb the others.
+     */
+    Engine split();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo < hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. Unbiased (rejection). */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t rangeInclusive(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second draw). */
+    double normal();
+
+    /** Normal with given mean and standard deviation (sigma >= 0). */
+    double normal(double mean, double sigma);
+
+    /** Log-normal: exp(normal(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Bernoulli draw with probability p in [0, 1]. */
+    bool bernoulli(double p);
+
+    /** Fisher-Yates shuffle of @p items. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        if (items.size() < 2)
+            return;
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(below(static_cast<std::uint64_t>(
+                    i + 1)));
+            std::swap(items[i], items[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+/** A shuffled index permutation [0, n) drawn from @p engine. */
+std::vector<std::size_t> permutation(Engine &engine, std::size_t n);
+
+} // namespace rng
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_RNG_H

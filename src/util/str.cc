@@ -1,0 +1,120 @@
+#include "src/util/str.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace str {
+
+std::string
+fixed(double value, int decimals)
+{
+    HM_REQUIRE(decimals >= 0 && decimals <= 17,
+               "decimals must be in [0, 17], got " << decimals);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string
+fixedWidth(double value, int decimals, int width)
+{
+    return padLeft(fixed(value, decimals), static_cast<std::size_t>(
+                                               std::max(width, 0)));
+}
+
+std::string
+padLeft(std::string_view text, std::size_t width)
+{
+    if (text.size() >= width)
+        return std::string(text);
+    return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string
+padRight(std::string_view text, std::size_t width)
+{
+    if (text.size() >= width)
+        return std::string(text);
+    return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string
+center(std::string_view text, std::size_t width)
+{
+    if (text.size() >= width)
+        return std::string(text);
+    const std::size_t total = width - text.size();
+    const std::size_t left = total / 2;
+    return std::string(left, ' ') + std::string(text) +
+           std::string(total - left, ' ');
+}
+
+std::vector<std::string>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == delim) {
+            parts.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return parts;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+repeat(char fill, std::size_t n)
+{
+    return std::string(n, fill);
+}
+
+} // namespace str
+} // namespace hiermeans

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small string and number-formatting helpers shared across the library.
+ */
+
+#ifndef HIERMEANS_UTIL_STR_H
+#define HIERMEANS_UTIL_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hiermeans {
+namespace str {
+
+/** Format @p value with @p decimals digits after the point. */
+std::string fixed(double value, int decimals);
+
+/** Format @p value with @p decimals digits, right-aligned to @p width. */
+std::string fixedWidth(double value, int decimals, int width);
+
+/** Left-pad @p text with spaces to at least @p width characters. */
+std::string padLeft(std::string_view text, std::size_t width);
+
+/** Right-pad @p text with spaces to at least @p width characters. */
+std::string padRight(std::string_view text, std::size_t width);
+
+/** Center @p text within @p width characters (extra space on the right). */
+std::string center(std::string_view text, std::size_t width);
+
+/** Split @p text on @p delim; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** True when @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** A horizontal rule of @p n copies of @p fill. */
+std::string repeat(char fill, std::size_t n);
+
+} // namespace str
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_STR_H

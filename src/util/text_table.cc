@@ -1,0 +1,116 @@
+#include "src/util/text_table.h"
+
+#include <algorithm>
+
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    setHeader(std::move(header));
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::setAlignments(std::vector<Align> alignments)
+{
+    alignments_ = std::move(alignments);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    Row r;
+    r.cells = std::move(row);
+    rows_.push_back(std::move(r));
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    Row r;
+    r.separator = true;
+    rows_.push_back(std::move(r));
+}
+
+std::size_t
+TextTable::columnCount() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.cells.size());
+    return cols;
+}
+
+std::vector<std::size_t>
+TextTable::columnWidths() const
+{
+    std::vector<std::size_t> widths(columnCount(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = std::max(widths[i], header_[i].size());
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+    return widths;
+}
+
+std::string
+TextTable::renderCells(const std::vector<std::string> &cells,
+                       const std::vector<std::size_t> &widths) const
+{
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string cell = i < cells.size() ? cells[i] : "";
+        const Align align =
+            i < alignments_.size()
+                ? alignments_[i]
+                : (i == 0 ? Align::Left : Align::Right);
+        if (i > 0)
+            line += "  ";
+        line += align == Align::Left ? str::padRight(cell, widths[i])
+                                     : str::padLeft(cell, widths[i]);
+    }
+    // Drop trailing spaces so rendered output diffs cleanly.
+    while (!line.empty() && line.back() == ' ')
+        line.pop_back();
+    line += '\n';
+    return line;
+}
+
+std::string
+TextTable::render() const
+{
+    const auto widths = columnWidths();
+    if (widths.empty())
+        return "";
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+
+    std::string out;
+    if (!header_.empty()) {
+        out += renderCells(header_, widths);
+        out += str::repeat('-', total) + "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.separator)
+            out += str::repeat('-', total) + "\n";
+        else
+            out += renderCells(row.cells, widths);
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace hiermeans

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Plain-text table renderer used by the bench harness to print the
+ * paper's tables (Table III-VI) and by the report generator.
+ */
+
+#ifndef HIERMEANS_UTIL_TEXT_TABLE_H
+#define HIERMEANS_UTIL_TEXT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Workload", "A", "B", "ratio(=A/B)"});
+ *   t.addRow({"jvm98.201.compress", "4.75", "3.99", "1.19"});
+ *   t.addSeparator();
+ *   t.addRow({"Geometric Mean", "2.10", "1.94", "1.08"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Horizontal alignment for one column. */
+    enum class Align { Left, Right };
+
+    TextTable() = default;
+
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Set per-column alignment (default: first column left, rest right). */
+    void setAlignments(std::vector<Align> alignments);
+
+    /** Append a data row. Rows may vary in width; short rows are padded. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a full-width horizontal separator. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators not counted). */
+    std::size_t rowCount() const { return numDataRows_; }
+
+    /** Render the table to a string, one trailing newline per line. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Align> alignments_;
+    std::vector<Row> rows_;
+    std::size_t numDataRows_ = 0;
+
+    std::size_t columnCount() const;
+    std::vector<std::size_t> columnWidths() const;
+    std::string renderCells(const std::vector<std::string> &cells,
+                            const std::vector<std::size_t> &widths) const;
+};
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_TEXT_TABLE_H

@@ -1,0 +1,242 @@
+#include "src/workload/execution_model.h"
+
+#include <array>
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace workload {
+
+namespace {
+
+/** Inverse rate row for one machine: 1/r for each of the 5 components. */
+std::array<double, 5>
+inverseRates(const MachineSpec &machine)
+{
+    HM_REQUIRE(machine.cpuRate > 0.0 && machine.memRate > 0.0 &&
+                   machine.mlatRate > 0.0 && machine.sysRate > 0.0 &&
+                   machine.ioRate > 0.0,
+               "machine `" << machine.name << "` has a non-positive rate");
+    return {1.0 / machine.cpuRate, 1.0 / machine.memRate,
+            1.0 / machine.mlatRate, 1.0 / machine.sysRate,
+            1.0 / machine.ioRate};
+}
+
+/**
+ * Solve the dense symmetric system A x = b (n <= 3) by Gaussian
+ * elimination with partial pivoting. Returns false when singular.
+ */
+bool
+solveSmall(std::array<std::array<double, 3>, 3> a, std::array<double, 3> &b,
+           std::size_t n)
+{
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot][col]) < 1e-14)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / a[col][col];
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (std::size_t col = n; col-- > 0;) {
+        double acc = b[col];
+        for (std::size_t c = col + 1; c < n; ++c)
+            acc -= a[col][c] * b[c];
+        b[col] = acc / a[col][col];
+    }
+    return true;
+}
+
+} // namespace
+
+ExecutionModel::ExecutionModel(double noise_sigma)
+    : noiseSigma_(noise_sigma)
+{
+    HM_REQUIRE(noiseSigma_ >= 0.0, "ExecutionModel: negative noise sigma");
+}
+
+double
+ExecutionModel::idealTime(const ComponentWork &work,
+                          const MachineSpec &machine) const
+{
+    HM_DOMAIN_CHECK(work.cpu >= 0.0 && work.mem >= 0.0 &&
+                        work.mlat >= 0.0 && work.sys >= 0.0 &&
+                        work.io >= 0.0,
+                    "negative component work");
+    const auto inv = inverseRates(machine);
+    const double t = work.cpu * inv[0] + work.mem * inv[1] +
+                     work.mlat * inv[2] + work.sys * inv[3] +
+                     work.io * inv[4];
+    HM_DOMAIN_CHECK(t > 0.0, "workload has zero total work");
+    return t;
+}
+
+double
+ExecutionModel::sampleTime(const ComponentWork &work,
+                           const MachineSpec &machine,
+                           rng::Engine &engine) const
+{
+    return idealTime(work, machine) * engine.logNormal(0.0, noiseSigma_);
+}
+
+std::vector<double>
+ExecutionModel::sampleRuns(const ComponentWork &work,
+                           const MachineSpec &machine, rng::Engine &engine,
+                           std::size_t runs) const
+{
+    HM_REQUIRE(runs >= 1, "sampleRuns: need at least one run");
+    std::vector<double> out;
+    out.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i)
+        out.push_back(sampleTime(work, machine, engine));
+    return out;
+}
+
+ComponentWork
+ExecutionModel::workFromProfile(const WorkloadProfile &profile)
+{
+    // A coarse but monotone mapping from profile traits to component
+    // seconds at reference unit rates. Scales chosen so typical
+    // profiles land in the tens-of-seconds regime the paper's
+    // workloads exhibit.
+    ComponentWork w;
+    w.cpu = 0.5 * profile.workUnits * (1.0 + 0.5 * profile.fpFraction);
+    // Memory traffic splits into cache-resident bandwidth and capacity
+    // misses depending on how far the working set exceeds a nominal L2.
+    const double mem_total = 0.15 * profile.workUnits *
+                                 profile.latent[LatentMemoryTraffic] +
+                             0.05 * profile.workingSetMb;
+    const double spill =
+        std::min(1.0, profile.workingSetMb / 64.0); // 64 MB nominal knee
+    w.mem = mem_total * (1.0 - spill);
+    w.mlat = mem_total * spill;
+    w.sys = 0.2 * profile.allocationMbPerSec +
+            5.0 * profile.latent[LatentAllocGc] +
+            2.0 * profile.latent[LatentCodeChurn];
+    w.io = profile.ioShare * 0.4 * profile.workUnits +
+           3.0 * profile.latent[LatentIo];
+    return w;
+}
+
+CalibrationResult
+ExecutionModel::calibrateToSpeedups(const MachineSpec &machine_a,
+                                    const MachineSpec &machine_b,
+                                    const MachineSpec &reference,
+                                    double target_speedup_a,
+                                    double target_speedup_b,
+                                    double ref_time_seconds)
+{
+    HM_REQUIRE(target_speedup_a > 0.0 && target_speedup_b > 0.0,
+               "calibrateToSpeedups: targets must be positive");
+    HM_REQUIRE(ref_time_seconds > 0.0,
+               "calibrateToSpeedups: reference time must be positive");
+
+    // Rows: reference, A, B; columns: the five components.
+    const std::array<std::array<double, 5>, 3> m = {
+        inverseRates(reference), inverseRates(machine_a),
+        inverseRates(machine_b)};
+    const std::array<double, 3> target = {
+        ref_time_seconds, ref_time_seconds / target_speedup_a,
+        ref_time_seconds / target_speedup_b};
+
+    // Non-negative least squares by subset enumeration: with 3
+    // equations, an optimal NNLS solution has at most 3 active
+    // components, so trying every component subset of size 1..3 and
+    // keeping the best feasible solution is exact.
+    double best_residual = std::numeric_limits<double>::infinity();
+    std::array<double, 5> best_x = {0.0, 0.0, 0.0, 0.0, 0.0};
+    bool found = false;
+
+    for (unsigned mask = 1; mask < 32; ++mask) {
+        std::array<std::size_t, 3> cols{};
+        std::size_t n = 0;
+        bool too_big = false;
+        for (std::size_t c = 0; c < 5; ++c) {
+            if (!(mask & (1u << c)))
+                continue;
+            if (n == 3) {
+                too_big = true;
+                break;
+            }
+            cols[n++] = c;
+        }
+        if (too_big)
+            continue;
+
+        // Normal equations (M_S^T M_S) x = M_S^T t.
+        std::array<std::array<double, 3>, 3> ata{};
+        std::array<double, 3> atb{};
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = 0.0;
+                for (std::size_t r = 0; r < 3; ++r)
+                    acc += m[r][cols[i]] * m[r][cols[j]];
+                ata[i][j] = acc;
+            }
+            double acc = 0.0;
+            for (std::size_t r = 0; r < 3; ++r)
+                acc += m[r][cols[i]] * target[r];
+            atb[i] = acc;
+        }
+        std::array<double, 3> x = atb;
+        if (!solveSmall(ata, x, n))
+            continue;
+        bool feasible = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (x[i] < 0.0) {
+                feasible = false;
+                break;
+            }
+        }
+        if (!feasible)
+            continue;
+
+        std::array<double, 5> full = {0.0, 0.0, 0.0, 0.0, 0.0};
+        for (std::size_t i = 0; i < n; ++i)
+            full[cols[i]] = x[i];
+        double residual = 0.0;
+        for (std::size_t r = 0; r < 3; ++r) {
+            double row = 0.0;
+            for (std::size_t c = 0; c < 5; ++c)
+                row += m[r][c] * full[c];
+            const double diff = row - target[r];
+            residual += diff * diff;
+        }
+        if (residual < best_residual) {
+            best_residual = residual;
+            best_x = full;
+            found = true;
+        }
+    }
+    HM_ASSERT(found, "calibrateToSpeedups: no feasible component mix");
+
+    CalibrationResult result;
+    result.work = ComponentWork{best_x[0], best_x[1], best_x[2],
+                                best_x[3], best_x[4]};
+
+    ExecutionModel ideal(0.0);
+    const double t_ref = ideal.idealTime(result.work, reference);
+    result.achievedSpeedupA =
+        t_ref / ideal.idealTime(result.work, machine_a);
+    result.achievedSpeedupB =
+        t_ref / ideal.idealTime(result.work, machine_b);
+    result.relativeError = std::max(
+        std::abs(result.achievedSpeedupA / target_speedup_a - 1.0),
+        std::abs(result.achievedSpeedupB / target_speedup_b - 1.0));
+    return result;
+}
+
+} // namespace workload
+} // namespace hiermeans

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic execution-time model.
+ *
+ * Substitutes for running the Table I workloads on the Table II
+ * machines. Each workload is summarized as *component work* — seconds
+ * of CPU, memory-hierarchy, JVM-system and I/O demand at the reference
+ * machine's unit rates — and a machine executes it additively:
+ *
+ *   T(workload, machine) = cpu/cpuRate + mem/memRate + mlat/mlatRate
+ *                        + sys/sysRate + io/ioRate
+ *
+ * plus multiplicative log-normal measurement noise per run. Component
+ * work can be derived directly from a WorkloadProfile (for synthetic
+ * suites) or *calibrated* so the model reproduces published speedups
+ * (for the paper suite): calibrateToSpeedups() solves a small
+ * non-negative least-squares problem for the component mix that makes
+ * the machine-A and machine-B speedups match the targets.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_EXECUTION_MODEL_H
+#define HIERMEANS_WORKLOAD_EXECUTION_MODEL_H
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/machine.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace workload {
+
+/** Component work of a workload at reference unit rates (seconds). */
+struct ComponentWork
+{
+    double cpu = 0.0;  ///< integer/FP compute.
+    double mem = 0.0;  ///< cache-resident memory traffic.
+    double mlat = 0.0; ///< capacity-miss dominated memory traffic.
+    double sys = 0.0;  ///< JVM/system services (JIT, GC, syscalls).
+    double io = 0.0;   ///< I/O and interrupts.
+
+    double total() const { return cpu + mem + mlat + sys + io; }
+};
+
+/** Result of a speedup calibration. */
+struct CalibrationResult
+{
+    ComponentWork work;
+    double achievedSpeedupA = 0.0;
+    double achievedSpeedupB = 0.0;
+    /** max(|achievedA/targetA - 1|, |achievedB/targetB - 1|). */
+    double relativeError = 0.0;
+};
+
+/** The additive-latency machine model. */
+class ExecutionModel
+{
+  public:
+    /**
+     * Noise level of one run: times are multiplied by
+     * exp(N(0, noiseSigma)). The paper averages 10 runs; 0.5 % noise
+     * keeps averaged speedups stable to two decimals.
+     */
+    explicit ExecutionModel(double noise_sigma = 0.005);
+
+    /** Deterministic (noise-free) execution time. */
+    double idealTime(const ComponentWork &work,
+                     const MachineSpec &machine) const;
+
+    /** One noisy run. */
+    double sampleTime(const ComponentWork &work, const MachineSpec &machine,
+                      rng::Engine &engine) const;
+
+    /** @p runs noisy runs (the paper uses 10). */
+    std::vector<double> sampleRuns(const ComponentWork &work,
+                                   const MachineSpec &machine,
+                                   rng::Engine &engine,
+                                   std::size_t runs) const;
+
+    /**
+     * Derive component work straight from profile traits; used for
+     * synthetic (non-paper) suites where no published targets exist.
+     */
+    static ComponentWork workFromProfile(const WorkloadProfile &profile);
+
+    /**
+     * Find non-negative component work with reference time
+     * @p ref_time_seconds whose speedups on @p machine_a and
+     * @p machine_b (vs @p reference) best match the targets. Exact
+     * when the targets lie in the cone of the machines' rate columns;
+     * otherwise the closest non-negative mix, with the residual
+     * reported in CalibrationResult::relativeError.
+     */
+    static CalibrationResult calibrateToSpeedups(
+        const MachineSpec &machine_a, const MachineSpec &machine_b,
+        const MachineSpec &reference, double target_speedup_a,
+        double target_speedup_b, double ref_time_seconds);
+
+    double noiseSigma() const { return noiseSigma_; }
+
+  private:
+    double noiseSigma_;
+};
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_EXECUTION_MODEL_H

@@ -1,0 +1,114 @@
+#include "src/workload/machine.h"
+
+namespace hiermeans {
+namespace workload {
+
+namespace {
+
+MachineSpec
+buildMachineA()
+{
+    MachineSpec m;
+    m.name = "A";
+    m.cpu = "Dual Intel Xeon CPU 3.00 GHz (HyperThreading disabled)";
+    m.clockGhz = 3.0;
+    m.l2CacheMb = 2.0;
+    m.memoryGb = 2.0;
+    m.busMhz = 800.0;
+    m.os = "Red Hat Enterprise Linux WS release 4 (2.6.9-34.0.1.ELsmp)";
+    m.jvm = "BEA JRockit R26.4.0-jdk1.5.0_06 32 bit Edition";
+    // Service rates relative to the reference machine. The Xeon's
+    // higher clock and the JRockit JIT dominate compute and JVM
+    // services; the 2 MB L2 gives decent cache-resident bandwidth but
+    // loses to the reference's 8 MB L2 on capacity misses (mlat); the
+    // server chipset's longer interrupt/disk path shows up as a lower
+    // I/O rate (this is what lets DaCapo.hsqldb run *slower* on A than
+    // on B, as the paper's Table III reports).
+    m.cpuRate = 6.6;
+    m.memRate = 1.45;
+    m.mlatRate = 0.68;
+    m.sysRate = 4.5;
+    m.ioRate = 0.52;
+    m.memoryPressureFactor = 0.9;
+    return m;
+}
+
+MachineSpec
+buildMachineB()
+{
+    MachineSpec m;
+    m.name = "B";
+    m.cpu = "Intel Pentium 4 CPU 3.00 GHz (HyperThreading disabled)";
+    m.clockGhz = 3.0;
+    m.l2CacheMb = 0.5;
+    m.memoryGb = 0.5;
+    m.busMhz = 800.0;
+    m.os = "Red Hat Enterprise Linux WS release 4 (2.6.9-42.0.3.ELsmp)";
+    m.jvm = "BEA JRockit R26.4.0-jdk1.5.0_06 32 bit Edition";
+    // Same clock as A but a single desktop core: comparable raw compute,
+    // a weak memory hierarchy (512 KB L2, 512 MB RAM) that falls behind
+    // even the reference machine once the working set spills out of L2,
+    // much weaker JVM service throughput (GC has little headroom in
+    // 512 MB), but a short desktop I/O path.
+    m.cpuRate = 6.15;
+    m.memRate = 0.62;
+    m.mlatRate = 0.88;
+    m.sysRate = 1.7;
+    m.ioRate = 1.22;
+    m.memoryPressureFactor = 1.5;
+    return m;
+}
+
+MachineSpec
+buildReference()
+{
+    MachineSpec m;
+    m.name = "reference";
+    m.cpu = "Sun UltraSPARC III Cu 1.2 GHz";
+    m.clockGhz = 1.2;
+    m.l2CacheMb = 8.0;
+    m.memoryGb = 1.0;
+    m.busMhz = 800.0;
+    m.os = "Solaris 8";
+    m.jvm = "Sun Java HotSpot build 1.5.0_09-b01";
+    // The normalization baseline: unit rates by definition.
+    m.cpuRate = 1.0;
+    m.memRate = 1.0;
+    m.mlatRate = 1.0;
+    m.sysRate = 1.0;
+    m.ioRate = 1.0;
+    m.memoryPressureFactor = 1.0;
+    return m;
+}
+
+} // namespace
+
+const MachineSpec &
+machineA()
+{
+    static const MachineSpec m = buildMachineA();
+    return m;
+}
+
+const MachineSpec &
+machineB()
+{
+    static const MachineSpec m = buildMachineB();
+    return m;
+}
+
+const MachineSpec &
+referenceMachine()
+{
+    static const MachineSpec m = buildReference();
+    return m;
+}
+
+std::vector<MachineSpec>
+paperMachines()
+{
+    return {machineA(), machineB(), referenceMachine()};
+}
+
+} // namespace workload
+} // namespace hiermeans

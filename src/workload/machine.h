@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Machine models for the paper's hardware settings (Table II).
+ *
+ * A machine is reduced to the handful of parameters that matter for the
+ * synthetic execution model and counter synthesizer: component service
+ * rates (CPU / memory-hierarchy / JVM-system) plus the raw spec fields
+ * we print in reports.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_MACHINE_H
+#define HIERMEANS_WORKLOAD_MACHINE_H
+
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace workload {
+
+/** A machine under test (or the reference machine). */
+struct MachineSpec
+{
+    std::string name;    ///< "A", "B" or "reference".
+    std::string cpu;     ///< descriptive CPU string from Table II.
+    double clockGhz = 1.0;
+    double l2CacheMb = 1.0;
+    double memoryGb = 1.0;
+    double busMhz = 800.0;
+    std::string os;
+    std::string jvm;
+
+    /**
+     * Component service rates, normalized so the reference machine is
+     * 1.0 on every component. The execution model charges each
+     * workload's component work against these:
+     *  - cpuRate: integer/FP compute throughput;
+     *  - memRate: cache-resident memory bandwidth (L2 fits);
+     *  - mlatRate: large-stride / capacity-miss service rate (where a
+     *    big L2 like the reference machine's 8 MB wins);
+     *  - sysRate: JVM/system services (JIT, GC, syscalls);
+     *  - ioRate: I/O and interrupt path throughput.
+     */
+    double cpuRate = 1.0;
+    double memRate = 1.0;
+    double mlatRate = 1.0;
+    double sysRate = 1.0;
+    double ioRate = 1.0;
+
+    /**
+     * How strongly this machine amplifies memory-side latent behavior
+     * in the counter synthesizer (small caches/memory push paging and
+     * memory-traffic counters up); 1.0 = neutral.
+     */
+    double memoryPressureFactor = 1.0;
+};
+
+/** Machine A: dual Xeon 3.0 GHz, 2 MB L2, 2 GB (Table II). */
+const MachineSpec &machineA();
+
+/** Machine B: Pentium 4 3.0 GHz, 512 KB L2, 512 MB (Table II). */
+const MachineSpec &machineB();
+
+/** Reference machine: UltraSPARC III Cu 1.2 GHz, 8 MB L2 (Table II). */
+const MachineSpec &referenceMachine();
+
+/** {A, B, reference} in that order. */
+std::vector<MachineSpec> paperMachines();
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_MACHINE_H

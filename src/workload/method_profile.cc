@@ -1,0 +1,171 @@
+#include "src/workload/method_profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace workload {
+
+namespace {
+
+/** FNV-1a for stable seed-group streams. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::vector<LibrarySpec>
+builtinLibraries()
+{
+    return {
+        {"jdk.core", "java.lang", 160},
+        {"codec.lzw", "spec.benchmarks.compress", 30},
+        {"rules.engine", "spec.benchmarks.jess", 60},
+        {"compiler.frontend", "spec.benchmarks.javac", 80},
+        {"codec.audio", "spec.benchmarks.mpegaudio", 40},
+        {"graphics.trace", "spec.benchmarks.mtrt", 50},
+        {"math.kernel", "jnt.scimark2", 45},
+        {"db.sql", "org.hsqldb", 70},
+        {"io.jdbc", "java.sql", 35},
+        {"chart.render", "org.jfree.chart", 65},
+        {"io.pdf", "com.lowagie.text", 40},
+        {"xml.parse", "org.apache.xerces", 55},
+        {"xml.transform", "org.apache.xalan", 60},
+    };
+}
+
+/** Synthetic method name c-th of a library. */
+std::string
+methodName(const LibrarySpec &lib, std::size_t index)
+{
+    static const char *const kVerbs[] = {"get",  "set",   "compute",
+                                         "read", "write", "parse",
+                                         "init", "update", "apply",
+                                         "visit"};
+    const char *verb = kVerbs[index % std::size(kVerbs)];
+    return lib.package + ".C" + std::to_string(index / 7) + "." + verb +
+           "M" + std::to_string(index);
+}
+
+} // namespace
+
+std::size_t
+MethodProfile::methodsUsed(std::size_t w) const
+{
+    HM_REQUIRE(w < bits.rows(), "methodsUsed: workload " << w
+                                                         << " out of "
+                                                            "range");
+    std::size_t count = 0;
+    for (std::size_t c = 0; c < bits.cols(); ++c) {
+        if (bits(w, c) != 0.0)
+            ++count;
+    }
+    return count;
+}
+
+MethodProfileSynthesizer::MethodProfileSynthesizer(
+    MethodProfileConfig config)
+    : config_(std::move(config)), libraries_(builtinLibraries())
+{
+    for (const LibrarySpec &lib : config_.extraLibraries) {
+        HM_REQUIRE(lib.methods > 0, "library `" << lib.tag
+                                                << "` has no methods");
+        libraries_.push_back(lib);
+    }
+}
+
+MethodProfile
+MethodProfileSynthesizer::generate(
+    const std::vector<WorkloadProfile> &profiles) const
+{
+    HM_REQUIRE(!profiles.empty(), "MethodProfileSynthesizer: no workloads");
+
+    // Column layout: all library methods first, then per-workload
+    // private methods.
+    struct LibSlot
+    {
+        std::size_t offset;
+        std::size_t libIndex;
+    };
+    std::map<std::string, LibSlot> lib_offset;
+    std::size_t total = 0;
+    for (std::size_t li = 0; li < libraries_.size(); ++li) {
+        lib_offset[libraries_[li].tag] = LibSlot{total, li};
+        total += libraries_[li].methods;
+    }
+    std::size_t private_offset = total;
+    for (const WorkloadProfile &p : profiles)
+        total += p.privateMethods;
+
+    MethodProfile out;
+    out.methodNames.reserve(total);
+    for (const LibrarySpec &lib : libraries_) {
+        for (std::size_t i = 0; i < lib.methods; ++i)
+            out.methodNames.push_back(methodName(lib, i));
+    }
+    for (const WorkloadProfile &p : profiles) {
+        for (std::size_t i = 0; i < p.privateMethods; ++i)
+            out.methodNames.push_back(p.name + ".App.main" +
+                                      std::to_string(i));
+    }
+    out.bits = linalg::Matrix(profiles.size(), total, 0.0);
+
+    std::size_t private_cursor = private_offset;
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const WorkloadProfile &profile = profiles[w];
+        for (const auto &use : profile.libraries) {
+            auto it = lib_offset.find(use.tag);
+            HM_REQUIRE(it != lib_offset.end(),
+                       "workload `" << profile.name
+                                    << "` references unknown library `"
+                                    << use.tag << "`");
+            HM_REQUIRE(use.coverage >= 0.0 && use.coverage <= 1.0,
+                       "workload `" << profile.name << "` has coverage "
+                                    << use.coverage << " for `" << use.tag
+                                    << "`");
+            const LibrarySpec &lib = libraries_[it->second.libIndex];
+            // Subset selection is keyed by (seed group, library): two
+            // workloads in the same group call the same methods of a
+            // shared library.
+            rng::Engine engine(config_.seed ^ fnv1a(profile.methodSeedGroup)
+                               ^ fnv1a(use.tag));
+            for (std::size_t i = 0; i < lib.methods; ++i) {
+                if (engine.bernoulli(use.coverage))
+                    out.bits(w, it->second.offset + i) = 1.0;
+            }
+        }
+        for (std::size_t i = 0; i < profile.privateMethods; ++i)
+            out.bits(w, private_cursor + i) = 1.0;
+        private_cursor += profile.privateMethods;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+selectDiscriminatingMethods(const linalg::Matrix &bits)
+{
+    const std::size_t n = bits.rows();
+    std::vector<std::size_t> kept;
+    for (std::size_t c = 0; c < bits.cols(); ++c) {
+        std::size_t users = 0;
+        for (std::size_t w = 0; w < n; ++w) {
+            if (bits(w, c) != 0.0)
+                ++users;
+        }
+        if (users >= 2 && users < n)
+            kept.push_back(c);
+    }
+    return kept;
+}
+
+} // namespace workload
+} // namespace hiermeans

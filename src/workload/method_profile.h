@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic Java method-utilization profiles.
+ *
+ * Substitutes for Section IV-C's second characterization: hprof method
+ * coverage turned into bit vectors ("when a certain method is called by
+ * a workload, the corresponding bit ... is set to 1"). A registry of
+ * synthetic libraries (JDK core, the SciMark2 self-contained math
+ * kernel library, XML/chart/DB libraries, ...) defines the method
+ * universe; each workload selects a subset of every library it is
+ * tagged with, plus its own private application methods.
+ *
+ * Workloads sharing a methodSeedGroup select the *same* subset of a
+ * shared library — this models the SciMark2 kernels all exercising the
+ * same self-contained math routines, which is why they collapse onto a
+ * single SOM cell in Figure 7. This characterization is entirely
+ * machine-independent, matching the paper's motivation for it.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_METHOD_PROFILE_H
+#define HIERMEANS_WORKLOAD_METHOD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace workload {
+
+/** One library in the synthetic method universe. */
+struct LibrarySpec
+{
+    std::string tag;        ///< e.g. "math.kernel".
+    std::string package;    ///< e.g. "jnt.scimark2.math".
+    std::size_t methods = 0;
+};
+
+/** Configuration of the method-profile synthesizer. */
+struct MethodProfileConfig
+{
+    /** Seed for subset selection. */
+    std::uint64_t seed = 0xBEEF;
+
+    /**
+     * Extra libraries to register besides the built-in registry
+     * (the built-ins cover every tag the Table I profiles use).
+     */
+    std::vector<LibrarySpec> extraLibraries;
+};
+
+/** The generated method-utilization data. */
+struct MethodProfile
+{
+    /** Fully qualified method names, column order of `bits`. */
+    std::vector<std::string> methodNames;
+
+    /** workloads x methods 0/1 matrix, rows in input profile order. */
+    linalg::Matrix bits;
+
+    /** Number of methods workload @p w uses. */
+    std::size_t methodsUsed(std::size_t w) const;
+};
+
+/** Deterministic method-utilization synthesizer. */
+class MethodProfileSynthesizer
+{
+  public:
+    explicit MethodProfileSynthesizer(MethodProfileConfig config = {});
+
+    /** The library registry in effect (built-ins plus extras). */
+    const std::vector<LibrarySpec> &libraries() const { return libraries_; }
+
+    /**
+     * Generate bit vectors for @p profiles. Throws InvalidArgument if a
+     * profile references an unknown library tag.
+     */
+    MethodProfile generate(
+        const std::vector<WorkloadProfile> &profiles) const;
+
+  private:
+    MethodProfileConfig config_;
+    std::vector<LibrarySpec> libraries_;
+};
+
+/**
+ * The paper's filtering rule: "We discarded those methods that 1) only
+ * one workload used, or 2) all the workloads used". Returns the column
+ * indices (into bits) that survive.
+ */
+std::vector<std::size_t> selectDiscriminatingMethods(
+    const linalg::Matrix &bits);
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_METHOD_PROFILE_H

@@ -1,0 +1,179 @@
+#include "src/workload/mica_features.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace workload {
+
+namespace {
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * Normalize @p shares to sum to 1 (all entries must be >= 0 with a
+ * positive total).
+ */
+void
+normalize(std::vector<double> &shares)
+{
+    double total = 0.0;
+    for (double s : shares)
+        total += s;
+    HM_ASSERT(total > 0.0, "mica: degenerate share vector");
+    for (double &s : shares)
+        s /= total;
+}
+
+/**
+ * Geometric-tail histogram over @p buckets with concentration @p decay
+ * in (0, 1): small decay = mass concentrated in the first bucket.
+ */
+std::vector<double>
+geometricHistogram(std::size_t buckets, double decay)
+{
+    std::vector<double> h(buckets);
+    double mass = 1.0;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        h[i] = mass * (1.0 - decay);
+        mass *= decay;
+    }
+    h[buckets - 1] += mass; // fold the tail into the last bucket.
+    return h;
+}
+
+} // namespace
+
+MicaFeatureSynthesizer::MicaFeatureSynthesizer(MicaConfig config)
+    : config_(config)
+{
+    HM_REQUIRE(config_.ilpBuckets >= 2, "MicaConfig: ilpBuckets >= 2");
+    HM_REQUIRE(config_.strideBuckets >= 2,
+               "MicaConfig: strideBuckets >= 2");
+    HM_REQUIRE(config_.jitterSigma >= 0.0,
+               "MicaConfig: negative jitterSigma");
+}
+
+std::size_t
+MicaFeatureSynthesizer::featureCount() const
+{
+    // 6 instruction-mix + ilp + 2 stride histograms + 3 branch
+    // + 2 footprint.
+    return 6 + config_.ilpBuckets + 2 * config_.strideBuckets + 3 + 2;
+}
+
+MicaFeatures
+MicaFeatureSynthesizer::generate(
+    const std::vector<WorkloadProfile> &profiles) const
+{
+    HM_REQUIRE(!profiles.empty(), "MicaFeatureSynthesizer: no workloads");
+
+    MicaFeatures out;
+    out.featureNames = {"imix.load", "imix.store",  "imix.branch",
+                        "imix.int",  "imix.fp",     "imix.other"};
+    for (std::size_t i = 0; i < config_.ilpBuckets; ++i)
+        out.featureNames.push_back("ilp.depdist" + std::to_string(i));
+    for (std::size_t i = 0; i < config_.strideBuckets; ++i)
+        out.featureNames.push_back("stride.load.pow" + std::to_string(i));
+    for (std::size_t i = 0; i < config_.strideBuckets; ++i)
+        out.featureNames.push_back("stride.store.pow" +
+                                   std::to_string(i));
+    out.featureNames.push_back("branch.taken_rate");
+    out.featureNames.push_back("branch.transition_rate");
+    out.featureNames.push_back("branch.mispredict_proxy");
+    out.featureNames.push_back("footprint.blocks32b_log");
+    out.featureNames.push_back("footprint.pages4k_log");
+    HM_ASSERT(out.featureNames.size() == featureCount(),
+              "mica feature layout mismatch");
+
+    out.values = linalg::Matrix(profiles.size(), featureCount(), 0.0);
+
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const WorkloadProfile &p = profiles[w];
+        // Measurement jitter is keyed by the workload name only — the
+        // same workload measures identically regardless of machine.
+        rng::Engine engine(config_.seed ^ fnv1a(p.name));
+
+        const double mem = p.latent[LatentMemoryTraffic];
+        const double fp = p.fpFraction;
+        const double branchy = p.latent[LatentScheduling];
+        const double churn = p.latent[LatentCodeChurn];
+
+        // --- instruction mix ---
+        std::vector<double> mix = {
+            0.18 + 0.22 * mem,              // loads
+            0.06 + 0.10 * p.latent[LatentAllocGc], // stores
+            0.10 + 0.12 * branchy,          // branches
+            0.30 * (1.0 - fp),              // int arithmetic
+            0.30 * fp,                      // fp arithmetic
+            0.05 + 0.05 * churn,            // other
+        };
+        normalize(mix);
+
+        // --- ILP: dependency distances; fp kernels expose more ILP
+        // (flatter histogram), pointer-chasing code less. ---
+        const double ilp_decay = 0.35 + 0.45 * (1.0 - fp) * mem;
+        const std::vector<double> ilp =
+            geometricHistogram(config_.ilpBuckets,
+                               std::min(0.95, ilp_decay));
+
+        // --- strides: dense numeric kernels are unit-stride (mass in
+        // bucket 0); irregular memory spreads the histogram. ---
+        const double irregular =
+            std::min(0.9, 0.2 + 0.6 * mem * (1.0 - fp) +
+                              0.3 * p.latent[LatentAllocGc]);
+        const std::vector<double> load_stride =
+            geometricHistogram(config_.strideBuckets, irregular);
+        const std::vector<double> store_stride = geometricHistogram(
+            config_.strideBuckets, std::min(0.9, irregular * 0.9));
+
+        // --- branches ---
+        const double taken = 0.45 + 0.25 * (1.0 - branchy);
+        const double transition = 0.10 + 0.55 * branchy;
+        const double mispredict = 0.02 + 0.25 * branchy * (1.0 - fp);
+
+        // --- footprint (log scale) ---
+        const double blocks =
+            std::log2(p.workingSetMb * 1024.0 * 1024.0 / 32.0);
+        const double pages =
+            std::log2(p.workingSetMb * 1024.0 * 1024.0 / 4096.0);
+
+        std::size_t col = 0;
+        auto emit = [&](double value) {
+            const double jitter =
+                config_.jitterSigma > 0.0
+                    ? engine.normal(0.0, config_.jitterSigma)
+                    : 0.0;
+            out.values(w, col++) = value * (1.0 + jitter);
+        };
+        for (double v : mix)
+            emit(v);
+        for (double v : ilp)
+            emit(v);
+        for (double v : load_stride)
+            emit(v);
+        for (double v : store_stride)
+            emit(v);
+        emit(taken);
+        emit(transition);
+        emit(mispredict);
+        emit(blocks);
+        emit(pages);
+        HM_ASSERT(col == featureCount(), "mica column count mismatch");
+    }
+    return out;
+}
+
+} // namespace workload
+} // namespace hiermeans

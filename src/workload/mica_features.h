@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Microarchitecture-independent characteristics (MICA-style).
+ *
+ * Sections V-C and VI of the paper point past Java: "By employing
+ * other microarchitecture independent workload features, e.g.,
+ * instruction mix, memory stride, etc. [5], [6], we expect the
+ * workload clusters to appear similar over a variety of machines."
+ * This module synthesizes exactly that feature family from the
+ * workload profiles — and, being a function of the *program* only, it
+ * is identical on every machine by construction, which the ablation
+ * bench verifies against the SAR (machine-dependent) characterization.
+ *
+ * Feature groups, mirroring Hoste & Eeckhout's MICA set:
+ *  - instruction mix (loads, stores, branches, int/fp arithmetic);
+ *  - ILP proxies (dependency distance distribution);
+ *  - memory stride distribution (local/global, load/store);
+ *  - branch predictability proxies (transition rate, taken rate);
+ *  - working-set proxies (unique blocks touched at 32 B / 4 KB grain).
+ */
+
+#ifndef HIERMEANS_WORKLOAD_MICA_FEATURES_H
+#define HIERMEANS_WORKLOAD_MICA_FEATURES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace workload {
+
+/** Configuration of the MICA feature synthesizer. */
+struct MicaConfig
+{
+    /** Buckets in the dependency-distance histogram. */
+    std::size_t ilpBuckets = 6;
+    /** Buckets in each stride histogram (powers of two). */
+    std::size_t strideBuckets = 8;
+    /**
+     * Per-feature deterministic jitter applied per workload — models
+     * profiling-tool measurement granularity. Zero means bit-identical
+     * features for identical profiles.
+     */
+    double jitterSigma = 0.01;
+    std::uint64_t seed = 0x71CA;
+};
+
+/** The synthesized feature panel. */
+struct MicaFeatures
+{
+    std::vector<std::string> featureNames;
+    /** workloads x features, rows in input profile order. */
+    linalg::Matrix values;
+};
+
+/** Deterministic MICA-style feature synthesizer. */
+class MicaFeatureSynthesizer
+{
+  public:
+    explicit MicaFeatureSynthesizer(MicaConfig config = {});
+
+    const MicaConfig &config() const { return config_; }
+
+    /**
+     * Synthesize the panel for @p profiles. Purely a function of the
+     * profiles and the seed — no machine enters, so two calls for
+     * different machines are bit-identical (the property the paper
+     * wants from architecture-independent characterization).
+     */
+    MicaFeatures generate(
+        const std::vector<WorkloadProfile> &profiles) const;
+
+    /** Number of features per workload for the current config. */
+    std::size_t featureCount() const;
+
+  private:
+    MicaConfig config_;
+};
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_MICA_FEATURES_H

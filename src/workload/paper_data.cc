@@ -1,0 +1,99 @@
+#include "src/workload/paper_data.h"
+
+namespace hiermeans {
+namespace workload {
+namespace paper {
+
+const std::vector<SpeedupRow> &
+table3()
+{
+    static const std::vector<SpeedupRow> rows = {
+        {"jvm98.201.compress", 4.75, 3.99, 1.19},
+        {"jvm98.202.jess", 5.32, 3.65, 1.46},
+        {"jvm98.213.javac", 3.97, 2.37, 1.68},
+        {"jvm98.222.mpegaudio", 6.50, 6.11, 1.06},
+        {"jvm98.227.mtrt", 2.57, 1.41, 1.82},
+        {"SciMark2.FFT", 1.09, 1.07, 1.02},
+        {"SciMark2.LU", 1.19, 0.90, 1.32},
+        {"SciMark2.MonteCarlo", 0.75, 0.98, 0.76},
+        {"SciMark2.SOR", 1.22, 1.31, 0.93},
+        {"SciMark2.Sparse", 0.71, 0.90, 0.80},
+        {"DaCapo.hsqldb", 1.16, 2.31, 0.50},
+        {"DaCapo.chart", 5.12, 2.77, 1.85},
+        {"DaCapo.xalan", 1.88, 2.62, 0.71},
+    };
+    return rows;
+}
+
+std::vector<double>
+table3SpeedupsA()
+{
+    std::vector<double> out;
+    for (const SpeedupRow &row : table3())
+        out.push_back(row.speedupA);
+    return out;
+}
+
+std::vector<double>
+table3SpeedupsB()
+{
+    std::vector<double> out;
+    for (const SpeedupRow &row : table3())
+        out.push_back(row.speedupB);
+    return out;
+}
+
+const std::vector<HgmRow> &
+table4()
+{
+    static const std::vector<HgmRow> rows = {
+        {2, 2.58, 2.06, 1.25}, {3, 2.62, 2.18, 1.20},
+        {4, 2.89, 2.22, 1.30}, {5, 2.70, 2.24, 1.21},
+        {6, 2.77, 2.31, 1.20}, {7, 2.63, 2.40, 1.10},
+        {8, 2.34, 2.15, 1.09},
+    };
+    return rows;
+}
+
+const std::vector<HgmRow> &
+table5()
+{
+    static const std::vector<HgmRow> rows = {
+        {2, 2.42, 2.12, 1.14}, {3, 2.39, 2.14, 1.11},
+        {4, 2.88, 2.42, 1.19}, {5, 2.39, 2.34, 1.02},
+        {6, 2.75, 2.64, 1.04}, {7, 2.30, 2.27, 1.01},
+        {8, 2.11, 2.10, 1.00},
+    };
+    return rows;
+}
+
+const std::vector<HgmRow> &
+table6()
+{
+    static const std::vector<HgmRow> rows = {
+        {2, 2.76, 2.30, 1.20}, {3, 2.65, 2.31, 1.15},
+        {4, 2.82, 2.36, 1.20}, {5, 2.59, 2.38, 1.09},
+        {6, 2.57, 2.46, 1.05}, {7, 2.75, 2.52, 1.09},
+        {8, 2.89, 2.52, 1.15},
+    };
+    return rows;
+}
+
+std::vector<std::vector<std::size_t>>
+figure4aFourClusterGroups()
+{
+    // Paper workload order:
+    //  0 compress, 1 jess, 2 javac, 3 mpegaudio, 4 mtrt,
+    //  5 FFT, 6 LU, 7 MonteCarlo, 8 SOR, 9 Sparse,
+    //  10 hsqldb, 11 chart, 12 xalan.
+    return {
+        {2},                      // javac, a cluster of its own
+        {1, 4},                   // jess + mtrt
+        {11, 12},                 // chart + xalan
+        {0, 3, 5, 6, 7, 8, 9, 10} // the rest
+    };
+}
+
+} // namespace paper
+} // namespace workload
+} // namespace hiermeans

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Data published in the paper, embedded verbatim.
+ *
+ * Table III (relative workload speedups on machines A and B) is the
+ * input every scoring table in the paper derives from; embedding it
+ * lets the bench harness validate the mean arithmetic exactly and lets
+ * the execution model calibrate its synthetic run times to the
+ * published measurements. Tables IV-VI are embedded for side-by-side
+ * paper-vs-measured reporting in EXPERIMENTS.md.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_PAPER_DATA_H
+#define HIERMEANS_WORKLOAD_PAPER_DATA_H
+
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace workload {
+namespace paper {
+
+/** One Table III row. */
+struct SpeedupRow
+{
+    std::string workload;
+    double speedupA = 0.0;
+    double speedupB = 0.0;
+    double ratio = 0.0; ///< A/B as printed in the paper (2 decimals).
+};
+
+/** Table III rows in paper order (13 workloads). */
+const std::vector<SpeedupRow> &table3();
+
+/** Speedups on machine A in paper order. */
+std::vector<double> table3SpeedupsA();
+
+/** Speedups on machine B in paper order. */
+std::vector<double> table3SpeedupsB();
+
+/** Plain geometric means printed at the bottom of Table III. */
+inline constexpr double kTable3GeomeanA = 2.10;
+inline constexpr double kTable3GeomeanB = 1.94;
+inline constexpr double kTable3GeomeanRatio = 1.08;
+
+/** One row of a published HGM table (Tables IV, V, VI). */
+struct HgmRow
+{
+    std::size_t clusters = 0;
+    double scoreA = 0.0;
+    double scoreB = 0.0;
+    double ratio = 0.0;
+};
+
+/** Table IV: HGM from machine A SAR-counter clustering, k = 2..8. */
+const std::vector<HgmRow> &table4();
+
+/** Table V: HGM from machine B SAR-counter clustering, k = 2..8. */
+const std::vector<HgmRow> &table5();
+
+/** Table VI: HGM from Java method-utilization clustering, k = 2..8. */
+const std::vector<HgmRow> &table6();
+
+/**
+ * The machine A clustering the paper narrates for Figure 4(a): at
+ * merging distance 4 the suite splits into 4 clusters — {javac},
+ * {jess, mtrt}, {chart, xalan}, and the rest. Indices follow paper
+ * workload order. Used for exact-math validation tests.
+ */
+std::vector<std::vector<std::size_t>> figure4aFourClusterGroups();
+
+} // namespace paper
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_PAPER_DATA_H

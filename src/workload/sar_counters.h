@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic SAR (system activity reporter) counter collection.
+ *
+ * Substitutes for Section IV-C's first characterization: "we used the
+ * SAR counters provided by Linux ... a couple hundred counters ...
+ * 15 samples were collected for each counter, with an even time
+ * interval." Each concrete counter is generated as a mixture of the
+ * workload's latent behavior axes (CPU burn, memory traffic, GC, ...),
+ * modulated by the machine (a small-memory machine amplifies paging
+ * and memory-side activity), with per-sample phase drift and noise.
+ * The panel deliberately contains constant and near-duplicate counters
+ * so the characterization pipeline has real filtering work to do,
+ * exactly as real SAR output does.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_SAR_COUNTERS_H
+#define HIERMEANS_WORKLOAD_SAR_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/workload/machine.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace workload {
+
+/** Configuration of a synthetic SAR collection run. */
+struct SarConfig
+{
+    /** Number of counters in the panel (the paper: "a couple hundred"). */
+    std::size_t counters = 220;
+
+    /** Samples per counter per workload (the paper: 15). */
+    std::size_t samplesPerRun = 15;
+
+    /** Fraction of counters that are constant (e.g. sizing counters). */
+    double constantFraction = 0.12;
+
+    /** Per-sample multiplicative noise sigma. */
+    double noiseSigma = 0.03;
+
+    /** Amplitude of the within-run phase drift (program phases). */
+    double phaseDrift = 0.10;
+
+    /** Seed controlling panel layout and all sampling noise. */
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** One workload's collected samples: samplesPerRun x counters. */
+struct SarRun
+{
+    std::string workload;
+    linalg::Matrix samples;
+};
+
+/** The full panel for one machine. */
+struct SarPanel
+{
+    std::string machine;
+    std::vector<std::string> counterNames;
+    std::vector<SarRun> runs; ///< one per workload, in input order.
+
+    /**
+     * Per-workload average of each counter's samples — the
+     * representative value the paper uses as the characteristic
+     * vector element. Rows follow runs order.
+     */
+    linalg::Matrix averaged() const;
+};
+
+/** Deterministic SAR counter synthesizer. */
+class SarCounterSynthesizer
+{
+  public:
+    explicit SarCounterSynthesizer(SarConfig config = {});
+
+    const SarConfig &config() const { return config_; }
+
+    /**
+     * Collect a panel for @p profiles on @p machine. The same seed
+     * yields the same counter layout on every machine (as with real
+     * SAR, the counter set is fixed by the OS), but sampled values
+     * differ per machine because the machine modulates the latent
+     * behavior (memoryPressureFactor) and the noise stream differs.
+     */
+    SarPanel collect(const std::vector<WorkloadProfile> &profiles,
+                     const MachineSpec &machine) const;
+
+    /** Names of the counters the panel will contain, in column order. */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    SarConfig config_;
+};
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_SAR_COUNTERS_H

@@ -1,0 +1,115 @@
+#include "src/workload/suite.h"
+
+#include "src/util/error.h"
+#include "src/util/log.h"
+#include "src/workload/paper_data.h"
+
+namespace hiermeans {
+namespace workload {
+
+BenchmarkSuite::BenchmarkSuite(std::vector<WorkloadProfile> profiles,
+                               std::vector<ComponentWork> work,
+                               std::vector<MachineSpec> machines)
+    : profiles_(std::move(profiles)),
+      work_(std::move(work)),
+      machines_(std::move(machines))
+{
+    HM_REQUIRE(!profiles_.empty(), "BenchmarkSuite: no workloads");
+    HM_REQUIRE(profiles_.size() == work_.size(),
+               "BenchmarkSuite: " << profiles_.size() << " profiles vs "
+                                  << work_.size() << " work entries");
+    HM_REQUIRE(machines_.size() >= 2,
+               "BenchmarkSuite: need the reference plus at least one "
+               "machine under test");
+    referenceIndex(); // validates that exactly one reference exists.
+}
+
+BenchmarkSuite
+BenchmarkSuite::paperSuite()
+{
+    const auto &profiles = paperSuiteProfiles();
+    const auto &table3 = paper::table3();
+    HM_ASSERT(profiles.size() == table3.size(),
+              "paper suite/table3 size mismatch");
+
+    std::vector<ComponentWork> work;
+    work.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        HM_ASSERT(profiles[i].name == table3[i].workload,
+                  "paper suite order mismatch at " << i);
+        // Reference times vary by workload in reality; 100 s is a
+        // representative magnitude and cancels out of every speedup.
+        const CalibrationResult cal = ExecutionModel::calibrateToSpeedups(
+            machineA(), machineB(), referenceMachine(),
+            table3[i].speedupA, table3[i].speedupB, 100.0);
+        if (cal.relativeError > 0.02) {
+            HM_LOG(Warn) << "calibration residual for "
+                         << profiles[i].name << ": "
+                         << cal.relativeError;
+        }
+        work.push_back(cal.work);
+    }
+    return BenchmarkSuite(profiles, std::move(work), paperMachines());
+}
+
+BenchmarkSuite
+BenchmarkSuite::fromProfiles(std::vector<WorkloadProfile> profiles,
+                             std::vector<MachineSpec> machines)
+{
+    std::vector<ComponentWork> work;
+    work.reserve(profiles.size());
+    for (const WorkloadProfile &p : profiles)
+        work.push_back(ExecutionModel::workFromProfile(p));
+    return BenchmarkSuite(std::move(profiles), std::move(work),
+                          std::move(machines));
+}
+
+std::vector<std::string>
+BenchmarkSuite::workloadNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(profiles_.size());
+    for (const WorkloadProfile &p : profiles_)
+        names.push_back(p.name);
+    return names;
+}
+
+std::size_t
+BenchmarkSuite::referenceIndex() const
+{
+    std::size_t index = machines_.size();
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+        if (machines_[i].name == "reference") {
+            HM_REQUIRE(index == machines_.size(),
+                       "BenchmarkSuite: multiple reference machines");
+            index = i;
+        }
+    }
+    HM_REQUIRE(index < machines_.size(),
+               "BenchmarkSuite: no machine named `reference`");
+    return index;
+}
+
+scoring::ScoreTable
+BenchmarkSuite::run(const RunConfig &config) const
+{
+    std::vector<std::string> machine_names;
+    for (const MachineSpec &m : machines_)
+        machine_names.push_back(m.name);
+
+    scoring::ScoreTable table(workloadNames(), machine_names);
+    const ExecutionModel model(config.noiseSigma);
+    rng::Engine engine(config.seed);
+
+    for (std::size_t w = 0; w < profiles_.size(); ++w) {
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+            const std::vector<double> runs = model.sampleRuns(
+                work_[w], machines_[m], engine, config.runsPerWorkload);
+            table.setRunTimes(w, m, runs);
+        }
+    }
+    return table;
+}
+
+} // namespace workload
+} // namespace hiermeans

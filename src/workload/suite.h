@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Benchmark suite composition and run orchestration.
+ *
+ * Ties the substrate together: a BenchmarkSuite owns workload profiles
+ * and machine specs, runs every workload the configured number of times
+ * on every machine through the ExecutionModel, and produces the
+ * scoring::ScoreTable the rest of the pipeline consumes. For the paper
+ * suite, component work is calibrated to the published Table III
+ * speedups; user-defined suites derive work from their profiles.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_SUITE_H
+#define HIERMEANS_WORKLOAD_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scoring/score_table.h"
+#include "src/workload/execution_model.h"
+#include "src/workload/machine.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace workload {
+
+/** Run configuration (the paper: 10 runs averaged). */
+struct RunConfig
+{
+    std::size_t runsPerWorkload = 10;
+    double noiseSigma = 0.005;
+    std::uint64_t seed = 0xD1CE;
+};
+
+/** A composed benchmark suite bound to a set of machines. */
+class BenchmarkSuite
+{
+  public:
+    /**
+     * @param profiles the workloads, with per-workload ComponentWork.
+     * @param machines machines to run on; exactly one must be named
+     *        "reference" (the normalization baseline).
+     */
+    BenchmarkSuite(std::vector<WorkloadProfile> profiles,
+                   std::vector<ComponentWork> work,
+                   std::vector<MachineSpec> machines);
+
+    /**
+     * The paper's hypothetical SPECjvm2007-like suite (Table I) on the
+     * Table II machines, with component work calibrated so ideal
+     * speedups equal the published Table III values.
+     */
+    static BenchmarkSuite paperSuite();
+
+    /**
+     * A suite whose component work is derived from profile traits
+     * (no calibration targets).
+     */
+    static BenchmarkSuite fromProfiles(
+        std::vector<WorkloadProfile> profiles,
+        std::vector<MachineSpec> machines);
+
+    const std::vector<WorkloadProfile> &profiles() const
+    {
+        return profiles_;
+    }
+    const std::vector<MachineSpec> &machines() const { return machines_; }
+    const std::vector<ComponentWork> &work() const { return work_; }
+
+    /** Workload names in suite order. */
+    std::vector<std::string> workloadNames() const;
+
+    /** Index of the reference machine in machines(). */
+    std::size_t referenceIndex() const;
+
+    /**
+     * Execute every workload @p config.runsPerWorkload times on every
+     * machine and return the populated score table.
+     */
+    scoring::ScoreTable run(const RunConfig &config = {}) const;
+
+  private:
+    std::vector<WorkloadProfile> profiles_;
+    std::vector<ComponentWork> work_;
+    std::vector<MachineSpec> machines_;
+};
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_SUITE_H

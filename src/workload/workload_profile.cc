@@ -1,0 +1,234 @@
+#include "src/workload/workload_profile.h"
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace workload {
+
+const char *
+suiteOriginName(SuiteOrigin origin)
+{
+    switch (origin) {
+      case SuiteOrigin::SpecJvm98:
+        return "SPECjvm98";
+      case SuiteOrigin::SciMark2:
+        return "SciMark2";
+      case SuiteOrigin::DaCapo:
+        return "DaCapo";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using Lib = WorkloadProfile::LibraryUse;
+
+WorkloadProfile
+make(std::string name, SuiteOrigin origin, std::string description,
+     std::array<double, kLatentAxes> latent, std::vector<Lib> libraries,
+     std::size_t private_methods, std::string seed_group = "")
+{
+    WorkloadProfile p;
+    p.name = std::move(name);
+    p.origin = origin;
+    p.description = std::move(description);
+    p.latent = latent;
+    p.libraries = std::move(libraries);
+    p.privateMethods = private_methods;
+    p.methodSeedGroup = seed_group.empty() ? p.name : std::move(seed_group);
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildPaperSuite()
+{
+    // Latent axes:
+    //  {CpuUser, Fp, MemTraffic, AllocGc, Paging, Io, Sched, CodeChurn}
+    //
+    // Designed per the paper's observations: SPECjvm98 spreads along the
+    // CPU-behavior direction (compress/mpegaudio resemble each other;
+    // jess/mtrt resemble each other; javac stands apart via code churn),
+    // the five SciMark2 kernels are nearly identical numeric kernels,
+    // and DaCapo spreads along the memory/GC direction.
+    std::vector<WorkloadProfile> suite;
+
+    // ---- SPECjvm98 ----
+    {
+        WorkloadProfile p = make(
+            "jvm98.201.compress", SuiteOrigin::SpecJvm98,
+            "Java port of 129.compress (modified Lempel-Ziv, LZW)",
+            {0.90, 0.10, 0.50, 0.08, 0.05, 0.10, 0.10, 0.15},
+            {Lib{"jdk.core", 0.40}, Lib{"codec.lzw", 0.90}}, 35);
+        p.workUnits = 120.0;
+        p.fpFraction = 0.05;
+        p.workingSetMb = 24.0;
+        p.allocationMbPerSec = 2.0;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "jvm98.202.jess", SuiteOrigin::SpecJvm98,
+            "Java Expert Shell System solving CLIPS puzzles",
+            {0.70, 0.05, 0.35, 0.45, 0.10, 0.05, 0.45, 0.55},
+            {Lib{"jdk.core", 0.60}, Lib{"rules.engine", 0.85}}, 60);
+        p.workUnits = 90.0;
+        p.fpFraction = 0.02;
+        p.workingSetMb = 40.0;
+        p.allocationMbPerSec = 25.0;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "jvm98.213.javac", SuiteOrigin::SpecJvm98,
+            "The Java compiler from JDK 1.0.2",
+            {0.60, 0.05, 0.45, 0.55, 0.15, 0.15, 0.40, 0.80},
+            {Lib{"jdk.core", 0.75}, Lib{"compiler.frontend", 0.90}}, 80);
+        p.workUnits = 80.0;
+        p.fpFraction = 0.01;
+        p.workingSetMb = 64.0;
+        p.allocationMbPerSec = 40.0;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "jvm98.222.mpegaudio", SuiteOrigin::SpecJvm98,
+            "MPEG Layer-3 audio decoder",
+            {0.92, 0.45, 0.42, 0.06, 0.04, 0.09, 0.12, 0.17},
+            {Lib{"jdk.core", 0.35}, Lib{"codec.audio", 0.90}}, 40);
+        p.workUnits = 130.0;
+        p.fpFraction = 0.45;
+        p.workingSetMb = 16.0;
+        p.allocationMbPerSec = 1.5;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "jvm98.227.mtrt", SuiteOrigin::SpecJvm98,
+            "Multi-threaded raytracer over a dinosaur scene",
+            {0.72, 0.28, 0.40, 0.42, 0.10, 0.04, 0.55, 0.45},
+            {Lib{"jdk.core", 0.55}, Lib{"graphics.trace", 0.88}}, 55);
+        p.workUnits = 70.0;
+        p.fpFraction = 0.35;
+        p.workingSetMb = 48.0;
+        p.allocationMbPerSec = 20.0;
+        p.threads = 2;
+        suite.push_back(std::move(p));
+    }
+
+    // ---- SciMark2: five near-identical numeric kernels sharing one
+    //      self-contained math library and one method seed group. ----
+    const std::array<double, kLatentAxes> scimark_base = {
+        0.85, 0.90, 0.55, 0.03, 0.02, 0.02, 0.08, 0.05};
+    auto scimark = [&](const char *name, const char *desc, double mem_delta,
+                       double cpu_delta, std::size_t priv) {
+        std::array<double, kLatentAxes> latent = scimark_base;
+        latent[LatentMemoryTraffic] += mem_delta;
+        latent[LatentCpuUser] += cpu_delta;
+        WorkloadProfile p = make(
+            std::string("SciMark2.") + name, SuiteOrigin::SciMark2, desc,
+            latent,
+            {Lib{"jdk.core", 0.18}, Lib{"math.kernel", 0.92}}, priv,
+            "scimark.kernel");
+        p.workUnits = 50.0;
+        p.fpFraction = 0.85;
+        p.workingSetMb = 4.0;
+        p.allocationMbPerSec = 0.5;
+        return p;
+    };
+    suite.push_back(scimark(
+        "FFT", "1-D forward FFT of 4K complex numbers", 0.010, 0.000, 4));
+    suite.push_back(scimark(
+        "LU", "LU factorization of a dense 100x100 matrix", 0.015, 0.005,
+        5));
+    suite.push_back(scimark(
+        "MonteCarlo", "Monte Carlo integration approximating Pi", -0.010,
+        0.005, 3));
+    suite.push_back(scimark(
+        "SOR", "Jacobi successive over-relaxation on a 100x100 grid",
+        0.010, -0.003, 4));
+    suite.push_back(scimark(
+        "Sparse", "Sparse matrix multiply in compressed-row format", 0.020,
+        -0.005, 4));
+
+    // ---- DaCapo ----
+    {
+        WorkloadProfile p = make(
+            "DaCapo.hsqldb", SuiteOrigin::DaCapo,
+            "JDBCbench-like in-memory banking transactions",
+            {0.50, 0.05, 0.70, 0.85, 0.50, 0.45, 0.60, 0.50},
+            {Lib{"jdk.core", 0.70}, Lib{"db.sql", 0.85},
+             Lib{"io.jdbc", 0.80}},
+            70);
+        p.workUnits = 60.0;
+        p.fpFraction = 0.02;
+        p.workingSetMb = 320.0;
+        p.allocationMbPerSec = 120.0;
+        p.ioShare = 0.15;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "DaCapo.chart", SuiteOrigin::DaCapo,
+            "JFreeChart line graphs rendered to PDF",
+            {0.65, 0.30, 0.55, 0.65, 0.25, 0.55, 0.35, 0.60},
+            {Lib{"jdk.core", 0.65}, Lib{"chart.render", 0.85},
+             Lib{"io.pdf", 0.80}},
+            65);
+        p.workUnits = 75.0;
+        p.fpFraction = 0.25;
+        p.workingSetMb = 160.0;
+        p.allocationMbPerSec = 80.0;
+        p.ioShare = 0.10;
+        suite.push_back(std::move(p));
+    }
+    {
+        WorkloadProfile p = make(
+            "DaCapo.xalan", SuiteOrigin::DaCapo,
+            "XML-to-HTML transformation",
+            {0.55, 0.05, 0.65, 0.75, 0.35, 0.60, 0.50, 0.55},
+            {Lib{"jdk.core", 0.72}, Lib{"xml.parse", 0.85},
+             Lib{"xml.transform", 0.88}},
+            60);
+        p.workUnits = 65.0;
+        p.fpFraction = 0.02;
+        p.workingSetMb = 200.0;
+        p.allocationMbPerSec = 100.0;
+        p.ioShare = 0.12;
+        suite.push_back(std::move(p));
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+paperSuiteProfiles()
+{
+    static const std::vector<WorkloadProfile> suite = buildPaperSuite();
+    return suite;
+}
+
+std::vector<std::string>
+paperWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadProfile &p : paperSuiteProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<std::size_t>
+indicesOfOrigin(SuiteOrigin origin)
+{
+    std::vector<std::size_t> out;
+    const auto &suite = paperSuiteProfiles();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (suite[i].origin == origin)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace workload
+} // namespace hiermeans

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Behavioral profiles of the 13 workloads in the paper's hypothetical
+ * SPECjvm2007-like suite (Table I).
+ *
+ * We cannot execute 2007-era JVM workloads, so each workload is modeled
+ * by a profile with two facets:
+ *
+ *  - execution traits (work volume, FP share, working set, allocation
+ *    rate, ...) that drive the ExecutionModel's synthetic run times;
+ *  - characterization traits: a latent behavior vector that drives the
+ *    SAR counter synthesizer, and library-usage tags that drive the
+ *    Java method-utilization synthesizer.
+ *
+ * The latent vectors are constructed to encode the relationships the
+ * paper reports: the five SciMark2 kernels are nearly identical pure
+ * numeric kernels sharing a self-contained math library, SPECjvm98
+ * spreads along a CPU-behavior axis, and DaCapo spreads along a
+ * memory/GC axis.
+ */
+
+#ifndef HIERMEANS_WORKLOAD_WORKLOAD_PROFILE_H
+#define HIERMEANS_WORKLOAD_WORKLOAD_PROFILE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace workload {
+
+/** Origin benchmark suite of a workload (Table I). */
+enum class SuiteOrigin { SpecJvm98, SciMark2, DaCapo };
+
+/** Name of a suite origin. */
+const char *suiteOriginName(SuiteOrigin origin);
+
+/** Number of latent behavior axes used by the counter synthesizer. */
+inline constexpr std::size_t kLatentAxes = 8;
+
+/**
+ * Latent behavior axes. Each axis is an abstract intensity in [0, 1]
+ * the SAR counter synthesizer mixes into concrete OS counters.
+ */
+enum LatentAxis : std::size_t
+{
+    LatentCpuUser = 0,   ///< user-mode CPU burn.
+    LatentFpIntensity,   ///< floating-point density.
+    LatentMemoryTraffic, ///< cache/memory pressure.
+    LatentAllocGc,       ///< allocation rate / GC activity.
+    LatentPaging,        ///< page faults / swapping.
+    LatentIo,            ///< file/block I/O.
+    LatentScheduling,    ///< context switches / interrupts.
+    LatentCodeChurn,     ///< JIT / icache working set.
+};
+
+/** A complete behavioral model of one workload. */
+struct WorkloadProfile
+{
+    std::string name;        ///< e.g. "jvm98.201.compress".
+    SuiteOrigin origin = SuiteOrigin::SpecJvm98;
+    std::string description;
+
+    // --- execution traits (drive the ExecutionModel) ---
+    double workUnits = 1.0;      ///< abstract compute volume.
+    double fpFraction = 0.1;     ///< share of FP operations.
+    double workingSetMb = 16.0;  ///< resident data working set.
+    double allocationMbPerSec = 1.0; ///< heap churn (GC pressure).
+    double ioShare = 0.0;        ///< fraction of time in I/O at unit rate.
+    int threads = 1;
+
+    // --- characterization traits ---
+    /** Latent behavior intensities, one per LatentAxis, each in [0, 1]. */
+    std::array<double, kLatentAxes> latent{};
+
+    /**
+     * One library the workload exercises: a tag resolving against the
+     * MethodProfileSynthesizer registry plus the fraction of that
+     * library's methods the workload touches.
+     */
+    struct LibraryUse
+    {
+        std::string tag;
+        double coverage = 0.7;
+    };
+
+    /** Libraries the workload uses, e.g. {{"jdk.core", 0.5}}. */
+    std::vector<LibraryUse> libraries;
+
+    /** Number of workload-private methods (application code). */
+    std::size_t privateMethods = 40;
+
+    /**
+     * Seed group for method-subset selection. Workloads sharing a group
+     * pick the *same* subset of each shared library's methods — the
+     * SciMark2 kernels share one group, which is how their bit vectors
+     * become identical once private methods are filtered out (they all
+     * call the same self-contained math library).
+     */
+    std::string methodSeedGroup;
+};
+
+/**
+ * The 13 workloads of Table I, in the paper's order:
+ * 5 x SPECjvm98, 5 x SciMark2, 3 x DaCapo.
+ */
+const std::vector<WorkloadProfile> &paperSuiteProfiles();
+
+/** Names of the Table I workloads in paper order. */
+std::vector<std::string> paperWorkloadNames();
+
+/** Indices (into paper order) of the workloads from @p origin. */
+std::vector<std::size_t> indicesOfOrigin(SuiteOrigin origin);
+
+} // namespace workload
+} // namespace hiermeans
+
+#endif // HIERMEANS_WORKLOAD_WORKLOAD_PROFILE_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for agglomerative hierarchical clustering (Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <tuple>
+
+#include "src/cluster/agglomerative.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using hiermeans::scoring::Partition;
+
+TEST(AgglomerativeTest, SinglePointYieldsEmptyMergeList)
+{
+    const Dendrogram d = agglomerate(Matrix::fromRows({{1.0, 2.0}}));
+    EXPECT_EQ(d.leafCount(), 1u);
+    EXPECT_TRUE(d.merges().empty());
+}
+
+TEST(AgglomerativeTest, HandCheckedThreePoints)
+{
+    // Points on a line at 0, 1, 10: first merge {0,1} at distance 1,
+    // then complete linkage joins the pair with 10 at distance 10.
+    const Matrix points = Matrix::fromRows({{0.0}, {1.0}, {10.0}});
+    const Dendrogram d = agglomerate(points, Linkage::Complete);
+    ASSERT_EQ(d.merges().size(), 2u);
+    EXPECT_DOUBLE_EQ(d.merges()[0].height, 1.0);
+    EXPECT_EQ(d.merges()[0].left, 0u);
+    EXPECT_EQ(d.merges()[0].right, 1u);
+    EXPECT_DOUBLE_EQ(d.merges()[1].height, 10.0);
+    EXPECT_EQ(d.merges()[1].size, 3u);
+}
+
+TEST(AgglomerativeTest, SingleVsCompleteDifferOnChains)
+{
+    // A chain 0 - 2 - 4 - 6: single linkage merges the whole chain at
+    // distance 2; complete linkage heights grow with cluster diameter.
+    const Matrix points =
+        Matrix::fromRows({{0.0}, {2.0}, {4.0}, {6.0}});
+    const Dendrogram single = agglomerate(points, Linkage::Single);
+    const Dendrogram complete = agglomerate(points, Linkage::Complete);
+    EXPECT_DOUBLE_EQ(single.merges().back().height, 2.0);
+    EXPECT_DOUBLE_EQ(complete.merges().back().height, 6.0);
+}
+
+TEST(AgglomerativeTest, CompleteMatchesBruteForceDefinition)
+{
+    // d(A, B) = max pairwise distance: verify the final merge height
+    // equals the data diameter under complete linkage.
+    hiermeans::rng::Engine engine(21);
+    std::vector<Vector> rows;
+    for (int i = 0; i < 12; ++i)
+        rows.push_back({engine.uniform(0.0, 5.0),
+                        engine.uniform(0.0, 5.0)});
+    const Matrix points = Matrix::fromRows(rows);
+    const Dendrogram d = agglomerate(points, Linkage::Complete);
+
+    const Matrix dist = hiermeans::linalg::pairwiseDistances(points);
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < dist.rows(); ++i)
+        for (std::size_t j = i + 1; j < dist.cols(); ++j)
+            diameter = std::max(diameter, dist(i, j));
+    EXPECT_NEAR(d.merges().back().height, diameter, 1e-9);
+}
+
+TEST(AgglomerativeTest, FromDistancesValidation)
+{
+    Matrix bad(2, 3);
+    EXPECT_THROW(agglomerateFromDistances(bad), InvalidArgument);
+    Matrix diag(2, 2, 0.0);
+    diag(0, 0) = 1.0;
+    EXPECT_THROW(agglomerateFromDistances(diag), InvalidArgument);
+    Matrix asym(2, 2, 0.0);
+    asym(0, 1) = 1.0;
+    asym(1, 0) = 2.0;
+    EXPECT_THROW(agglomerateFromDistances(asym), InvalidArgument);
+    Matrix negative(2, 2, 0.0);
+    negative(0, 1) = -1.0;
+    negative(1, 0) = -1.0;
+    EXPECT_THROW(agglomerateFromDistances(negative), InvalidArgument);
+}
+
+TEST(AgglomerativeTest, WardRequiresEuclidean)
+{
+    const Matrix points = Matrix::fromRows({{0.0}, {1.0}});
+    EXPECT_THROW(agglomerate(points, Linkage::Ward,
+                             hiermeans::linalg::Metric::Manhattan),
+                 InvalidArgument);
+    EXPECT_NO_THROW(agglomerate(points, Linkage::Ward));
+}
+
+TEST(AgglomerativeTest, DeterministicUnderTies)
+{
+    // Four corners of a square: every nearest pair is tied. Two runs
+    // must produce identical merge lists.
+    const Matrix points = Matrix::fromRows(
+        {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}});
+    const Dendrogram a = agglomerate(points);
+    const Dendrogram b = agglomerate(points);
+    ASSERT_EQ(a.merges().size(), b.merges().size());
+    for (std::size_t i = 0; i < a.merges().size(); ++i) {
+        EXPECT_EQ(a.merges()[i].left, b.merges()[i].left);
+        EXPECT_EQ(a.merges()[i].right, b.merges()[i].right);
+        EXPECT_DOUBLE_EQ(a.merges()[i].height, b.merges()[i].height);
+    }
+}
+
+class LinkageMonotonicityProperty
+    : public ::testing::TestWithParam<std::tuple<Linkage, std::uint64_t>>
+{
+};
+
+TEST_P(LinkageMonotonicityProperty, HeightsNeverDecrease)
+{
+    const auto [linkage, seed] = GetParam();
+    hiermeans::rng::Engine engine(seed);
+    const std::size_t n = 4 + engine.below(16);
+    std::vector<Vector> rows;
+    for (std::size_t i = 0; i < n; ++i)
+        rows.push_back({engine.uniform(-3.0, 3.0),
+                        engine.uniform(-3.0, 3.0),
+                        engine.uniform(-3.0, 3.0)});
+    const Dendrogram d = agglomerate(Matrix::fromRows(rows), linkage);
+    EXPECT_TRUE(d.heightsMonotone()) << linkageName(linkage);
+}
+
+TEST_P(LinkageMonotonicityProperty, EveryCutCountReachable)
+{
+    const auto [linkage, seed] = GetParam();
+    hiermeans::rng::Engine engine(seed ^ 0xF00D);
+    const std::size_t n = 3 + engine.below(10);
+    std::vector<Vector> rows;
+    for (std::size_t i = 0; i < n; ++i)
+        rows.push_back({engine.uniform(0.0, 9.0)});
+    const Dendrogram d = agglomerate(Matrix::fromRows(rows), linkage);
+    for (std::size_t k = 1; k <= n; ++k) {
+        const Partition p = d.cutAtCount(k);
+        EXPECT_EQ(p.clusterCount(), k);
+        EXPECT_EQ(p.size(), n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLinkages, LinkageMonotonicityProperty,
+    ::testing::Combine(::testing::Values(Linkage::Single,
+                                         Linkage::Complete,
+                                         Linkage::Average,
+                                         Linkage::Weighted, Linkage::Ward),
+                       ::testing::Values(1u, 17u, 4242u)));
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the batch-mode SOM training.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/som/som.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using namespace hiermeans::som;
+
+Matrix
+twoBlobs()
+{
+    hiermeans::rng::Engine engine(19);
+    std::vector<Vector> rows;
+    for (int i = 0; i < 9; ++i)
+        rows.push_back({engine.normal(0.0, 0.3),
+                        engine.normal(0.0, 0.3)});
+    for (int i = 0; i < 9; ++i)
+        rows.push_back({engine.normal(12.0, 0.3),
+                        engine.normal(12.0, 0.3)});
+    return Matrix::fromRows(rows);
+}
+
+SomConfig
+config()
+{
+    SomConfig c;
+    c.rows = 6;
+    c.cols = 6;
+    c.steps = 1; // batch training ignores the sequential schedule.
+    c.seed = 5;
+    return c;
+}
+
+TEST(BatchSomTest, EpochReducesQuantizationError)
+{
+    const Matrix data = twoBlobs();
+    auto map = SelfOrganizingMap::initialize(data, config());
+    const double before = map.quantizationError(data);
+    map.trainBatch(10);
+    EXPECT_LT(map.quantizationError(data), before);
+}
+
+TEST(BatchSomTest, DeterministicAndOrderIndependent)
+{
+    const Matrix data = twoBlobs();
+    auto a = SelfOrganizingMap::initialize(data, config());
+    auto b = SelfOrganizingMap::initialize(data, config());
+    a.trainBatch(6);
+    b.trainBatch(6);
+    EXPECT_TRUE(a.weights().approxEqual(b.weights(), 0.0));
+
+    // Row order must not matter: a reversed copy of the data trains to
+    // weights with the same quantization error (batch updates sum over
+    // all observations symmetrically).
+    std::vector<Vector> reversed_rows;
+    for (std::size_t r = data.rows(); r-- > 0;)
+        reversed_rows.push_back(data.row(r));
+    const Matrix reversed = Matrix::fromRows(reversed_rows);
+    auto c = SelfOrganizingMap::initialize(reversed, config());
+    c.trainBatch(6);
+    EXPECT_NEAR(c.quantizationError(reversed),
+                a.quantizationError(data), 1e-9);
+}
+
+TEST(BatchSomTest, SeparatesBlobsLikeSequentialTraining)
+{
+    const Matrix data = twoBlobs();
+    auto map = SelfOrganizingMap::initialize(data, config());
+    map.trainBatch(12);
+    const auto bmus = map.bmuAll(data);
+    // No unit shared between the two blobs.
+    std::set<std::size_t> first(bmus.begin(), bmus.begin() + 9);
+    std::set<std::size_t> second(bmus.begin() + 9, bmus.end());
+    for (std::size_t u : first)
+        EXPECT_EQ(second.count(u), 0u);
+}
+
+TEST(BatchSomTest, SingleEpochWithFixedSigma)
+{
+    const Matrix data = twoBlobs();
+    auto map = SelfOrganizingMap::initialize(data, config());
+    EXPECT_NO_THROW(map.batchEpoch(2.0));
+    EXPECT_THROW(map.batchEpoch(0.0), InvalidArgument);
+    EXPECT_THROW(map.trainBatch(0), InvalidArgument);
+}
+
+TEST(BatchSomTest, ConvergesToFixedPoint)
+{
+    // Repeated epochs at a small fixed sigma converge: weights stop
+    // moving once assignments stabilize.
+    const Matrix data = twoBlobs();
+    auto map = SelfOrganizingMap::initialize(data, config());
+    map.trainBatch(8);
+    for (int i = 0; i < 5; ++i)
+        map.batchEpoch(0.4);
+    const Matrix before = map.weights();
+    map.batchEpoch(0.4);
+    EXPECT_TRUE(map.weights().approxEqual(before, 1e-9));
+}
+
+} // namespace

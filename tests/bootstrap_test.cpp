@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the bootstrap confidence intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/stats/bootstrap.h"
+#include "src/stats/means.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::stats;
+using hiermeans::InvalidArgument;
+
+std::vector<std::vector<double>>
+noisyRuns(const std::vector<double> &true_times, double sigma,
+          std::size_t runs, std::uint64_t seed)
+{
+    hiermeans::rng::Engine engine(seed);
+    std::vector<std::vector<double>> out;
+    for (double t : true_times) {
+        std::vector<double> workload_runs;
+        for (std::size_t r = 0; r < runs; ++r)
+            workload_runs.push_back(t * engine.logNormal(0.0, sigma));
+        out.push_back(std::move(workload_runs));
+    }
+    return out;
+}
+
+TEST(BootstrapTest, PointEstimateIsStatisticOfAverages)
+{
+    const std::vector<std::vector<double>> runs = {
+        {1.0, 3.0}, {4.0, 4.0}};
+    const BootstrapInterval ci = bootstrapScore(
+        runs, [](const std::vector<double> &v) {
+            return arithmeticMean(v);
+        });
+    // Averages are 2 and 4 -> statistic 3.
+    EXPECT_DOUBLE_EQ(ci.pointEstimate, 3.0);
+}
+
+TEST(BootstrapTest, IntervalBracketsPointEstimate)
+{
+    const auto runs = noisyRuns({10.0, 20.0, 5.0}, 0.05, 10, 7);
+    const BootstrapInterval ci = bootstrapScore(
+        runs, [](const std::vector<double> &v) {
+            return geometricMean(v);
+        });
+    EXPECT_LE(ci.lower, ci.pointEstimate);
+    EXPECT_GE(ci.upper, ci.pointEstimate);
+    EXPECT_GT(ci.lower, 0.0);
+}
+
+TEST(BootstrapTest, ZeroNoiseGivesDegenerateInterval)
+{
+    const auto runs = noisyRuns({10.0, 20.0}, 0.0, 8, 1);
+    const BootstrapInterval ci = bootstrapScore(
+        runs, [](const std::vector<double> &v) {
+            return arithmeticMean(v);
+        });
+    EXPECT_NEAR(ci.lower, ci.pointEstimate, 1e-12);
+    EXPECT_NEAR(ci.upper, ci.pointEstimate, 1e-12);
+}
+
+TEST(BootstrapTest, WiderNoiseWidensInterval)
+{
+    BootstrapConfig config;
+    config.seed = 3;
+    const auto statistic = [](const std::vector<double> &v) {
+        return geometricMean(v);
+    };
+    const auto narrow_runs = noisyRuns({10.0, 20.0, 5.0}, 0.02, 10, 9);
+    const auto wide_runs = noisyRuns({10.0, 20.0, 5.0}, 0.20, 10, 9);
+    const double narrow_width =
+        bootstrapScore(narrow_runs, statistic, config).upper -
+        bootstrapScore(narrow_runs, statistic, config).lower;
+    const double wide_width =
+        bootstrapScore(wide_runs, statistic, config).upper -
+        bootstrapScore(wide_runs, statistic, config).lower;
+    EXPECT_GT(wide_width, narrow_width);
+}
+
+TEST(BootstrapTest, DeterministicForSeed)
+{
+    const auto runs = noisyRuns({1.0, 2.0}, 0.1, 6, 11);
+    BootstrapConfig config;
+    config.seed = 42;
+    const auto statistic = [](const std::vector<double> &v) {
+        return arithmeticMean(v);
+    };
+    const BootstrapInterval a = bootstrapScore(runs, statistic, config);
+    const BootstrapInterval b = bootstrapScore(runs, statistic, config);
+    EXPECT_DOUBLE_EQ(a.lower, b.lower);
+    EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, LevelControlsWidth)
+{
+    const auto runs = noisyRuns({10.0, 20.0, 5.0}, 0.1, 10, 13);
+    const auto statistic = [](const std::vector<double> &v) {
+        return geometricMean(v);
+    };
+    BootstrapConfig c50;
+    c50.level = 0.5;
+    BootstrapConfig c99;
+    c99.level = 0.99;
+    const BootstrapInterval narrow = bootstrapScore(runs, statistic, c50);
+    const BootstrapInterval wide = bootstrapScore(runs, statistic, c99);
+    EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(BootstrapTest, Validation)
+{
+    const auto statistic = [](const std::vector<double> &v) {
+        return arithmeticMean(v);
+    };
+    EXPECT_THROW(bootstrapScore({}, statistic), InvalidArgument);
+    EXPECT_THROW(bootstrapScore({{1.0}, {}}, statistic),
+                 InvalidArgument);
+    BootstrapConfig bad;
+    bad.resamples = 5;
+    EXPECT_THROW(bootstrapScore({{1.0}}, statistic, bad),
+                 InvalidArgument);
+    bad = BootstrapConfig{};
+    bad.level = 1.0;
+    EXPECT_THROW(bootstrapScore({{1.0}}, statistic, bad),
+                 InvalidArgument);
+}
+
+} // namespace

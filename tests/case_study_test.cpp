@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Integration test: the full case study (Section IV-V).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/case_study.h"
+#include "src/workload/paper_data.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using namespace hiermeans::workload;
+
+/** Shared across tests: the case study is deterministic but not free. */
+const CaseStudyResult &
+paperScores()
+{
+    static const CaseStudyResult result = runCaseStudy(CaseStudyConfig{});
+    return result;
+}
+
+TEST(CaseStudyTest, SpeedupsAreThePublishedOnesByDefault)
+{
+    const CaseStudyResult &r = paperScores();
+    const auto a = paper::table3SpeedupsA();
+    ASSERT_EQ(r.scoresA.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(r.scoresA[i], a[i]);
+    EXPECT_NEAR(r.plainA, paper::kTable3GeomeanA, 0.005);
+    EXPECT_NEAR(r.plainB, paper::kTable3GeomeanB, 0.005);
+}
+
+TEST(CaseStudyTest, AllBranchesSweepKTwoToEight)
+{
+    const CaseStudyResult &r = paperScores();
+    for (const CaseStudyBranch *branch :
+         {&r.sarMachineA, &r.sarMachineB, &r.methods}) {
+        ASSERT_EQ(branch->report.rows.size(), 7u) << branch->label;
+        EXPECT_EQ(branch->report.rows.front().clusterCount, 2u);
+        EXPECT_EQ(branch->report.rows.back().clusterCount, 8u);
+        for (const auto &row : branch->report.rows) {
+            EXPECT_GT(row.scoreA, 0.0);
+            EXPECT_GT(row.scoreB, 0.0);
+        }
+    }
+}
+
+TEST(CaseStudyTest, SciMarkCoagulatesInEveryBranch)
+{
+    // The paper's central finding: SciMark2 forms a dense cluster under
+    // every characterization.
+    const CaseStudyResult &r = paperScores();
+    for (const CaseStudyBranch *branch :
+         {&r.sarMachineA, &r.sarMachineB, &r.methods}) {
+        const GroupRedundancy *scimark = nullptr;
+        for (const auto &g : branch->redundancy.groups) {
+            if (g.name == "SciMark2")
+                scimark = &g;
+        }
+        ASSERT_NE(scimark, nullptr) << branch->label;
+        EXPECT_LT(scimark->coagulation, 0.5) << branch->label;
+        EXPECT_TRUE(scimark->coagulated()) << branch->label;
+    }
+}
+
+TEST(CaseStudyTest, MethodCharacterizationPutsSciMarkOnOneCell)
+{
+    // Figure 7: the five kernels map to a single SOM cell.
+    const CaseStudyResult &r = paperScores();
+    const auto sc = indicesOfOrigin(SuiteOrigin::SciMark2);
+    const std::size_t first = r.methods.analysis.bmus[sc[0]];
+    for (std::size_t i : sc)
+        EXPECT_EQ(r.methods.analysis.bmus[i], first);
+    // And therefore they are an exclusive cluster at distance 0.
+    const GroupRedundancy &g = r.methods.redundancy.groups[1];
+    EXPECT_EQ(g.name, "SciMark2");
+    EXPECT_TRUE(g.appearsAsExclusiveCluster);
+    EXPECT_DOUBLE_EQ(g.connectedAtDistance, 0.0);
+    EXPECT_EQ(g.maxSharedCell, 5u);
+}
+
+TEST(CaseStudyTest, RatiosConvergeTowardPlainRatioAsKGrows)
+{
+    // Table IV/V observation: "as the number of clusters increases,
+    // the ratio ... converges to the ratio of the plain geometric
+    // mean". Check the last row sits closer to the plain ratio than
+    // the most deviant row.
+    const CaseStudyResult &r = paperScores();
+    for (const CaseStudyBranch *branch :
+         {&r.sarMachineA, &r.sarMachineB, &r.methods}) {
+        const double plain = branch->report.plainRatio;
+        double most_deviant = 0.0;
+        for (const auto &row : branch->report.rows) {
+            most_deviant = std::max(most_deviant,
+                                    std::abs(row.ratio - plain));
+        }
+        const double last =
+            std::abs(branch->report.rows.back().ratio - plain);
+        EXPECT_LE(last, most_deviant + 1e-12) << branch->label;
+    }
+}
+
+TEST(CaseStudyTest, SpeedupTableRendersAllWorkloads)
+{
+    const CaseStudyResult &r = paperScores();
+    const std::string table = r.renderSpeedupTable();
+    for (const auto &row : paper::table3())
+        EXPECT_NE(table.find(row.workload), std::string::npos);
+    EXPECT_NE(table.find("Geometric Mean"), std::string::npos);
+}
+
+TEST(CaseStudyTest, SimulatedScoresCloseToPaper)
+{
+    CaseStudyConfig config;
+    config.scoreSource = ScoreSource::Simulated;
+    const CaseStudyResult r = runCaseStudy(config);
+    EXPECT_NEAR(r.plainA, paper::kTable3GeomeanA, 0.03);
+    EXPECT_NEAR(r.plainB, paper::kTable3GeomeanB, 0.03);
+    const auto a = paper::table3SpeedupsA();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(r.scoresA[i], a[i], 0.03 * a[i]);
+}
+
+TEST(CaseStudyTest, RecommendationsInRange)
+{
+    const CaseStudyResult &r = paperScores();
+    for (const CaseStudyBranch *branch :
+         {&r.sarMachineA, &r.sarMachineB, &r.methods}) {
+        EXPECT_GE(branch->recommendation.recommended, 2u);
+        EXPECT_LE(branch->recommendation.recommended, 8u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/cli.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::util::CommandLine;
+
+CommandLine
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<std::string> v(args.begin(), args.end());
+    return CommandLine::parse(v);
+}
+
+TEST(CliTest, EqualsSyntax)
+{
+    const auto cl = parse({"prog", "--seed=42", "--name=abc"});
+    EXPECT_EQ(cl.program(), "prog");
+    EXPECT_EQ(cl.getInt("seed", 0), 42);
+    EXPECT_EQ(cl.getString("name", ""), "abc");
+}
+
+TEST(CliTest, SpaceSyntax)
+{
+    const auto cl = parse({"prog", "--seed", "42"});
+    EXPECT_EQ(cl.getInt("seed", 0), 42);
+}
+
+TEST(CliTest, BareBooleanFlag)
+{
+    const auto cl = parse({"prog", "--verbose"});
+    EXPECT_TRUE(cl.has("verbose"));
+    EXPECT_TRUE(cl.getBool("verbose", false));
+    EXPECT_FALSE(cl.getBool("quiet", false));
+}
+
+TEST(CliTest, BooleanValues)
+{
+    EXPECT_TRUE(parse({"p", "--x=true"}).getBool("x", false));
+    EXPECT_TRUE(parse({"p", "--x=YES"}).getBool("x", false));
+    EXPECT_TRUE(parse({"p", "--x=1"}).getBool("x", false));
+    EXPECT_FALSE(parse({"p", "--x=false"}).getBool("x", true));
+    EXPECT_FALSE(parse({"p", "--x=off"}).getBool("x", true));
+    EXPECT_THROW(parse({"p", "--x=maybe"}).getBool("x", true),
+                 InvalidArgument);
+}
+
+TEST(CliTest, DefaultsWhenAbsent)
+{
+    const auto cl = parse({"prog"});
+    EXPECT_EQ(cl.getInt("k", 7), 7);
+    EXPECT_DOUBLE_EQ(cl.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(cl.getString("s", "d"), "d");
+}
+
+TEST(CliTest, PositionalArguments)
+{
+    const auto cl = parse({"prog", "input.csv", "--k=3", "out.csv"});
+    ASSERT_EQ(cl.positional().size(), 2u);
+    EXPECT_EQ(cl.positional()[0], "input.csv");
+    EXPECT_EQ(cl.positional()[1], "out.csv");
+}
+
+TEST(CliTest, MalformedNumbersThrow)
+{
+    EXPECT_THROW(parse({"p", "--k=abc"}).getInt("k", 0), InvalidArgument);
+    EXPECT_THROW(parse({"p", "--x=1.2.3"}).getDouble("x", 0.0),
+                 InvalidArgument);
+}
+
+TEST(CliTest, DoubleParsing)
+{
+    EXPECT_DOUBLE_EQ(parse({"p", "--x=2.5"}).getDouble("x", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(parse({"p", "--x=-1e3"}).getDouble("x", 0.0),
+                     -1000.0);
+}
+
+TEST(CliTest, BareDoubleDashThrows)
+{
+    EXPECT_THROW(parse({"p", "--"}), InvalidArgument);
+}
+
+TEST(CliTest, FlagFollowedByFlagIsBoolean)
+{
+    const auto cl = parse({"p", "--a", "--b=1"});
+    EXPECT_TRUE(cl.getBool("a", false));
+    EXPECT_EQ(cl.getInt("b", 0), 1);
+}
+
+TEST(CliTest, EmptyArgvTolerated)
+{
+    const auto cl = CommandLine::parse(std::vector<std::string>{});
+    EXPECT_EQ(cl.program(), "");
+    EXPECT_TRUE(cl.positional().empty());
+}
+
+} // namespace

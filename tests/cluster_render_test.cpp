@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the ASCII dendrogram rendering (Figures 4/6/8 equivalents).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/render.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+
+Dendrogram
+sample()
+{
+    std::vector<Merge> merges = {
+        {0, 1, 1.0, 2}, {2, 3, 2.0, 2}, {4, 5, 5.0, 4}};
+    return Dendrogram(4, std::move(merges));
+}
+
+const std::vector<std::string> kNames = {"alpha", "beta", "gamma",
+                                         "delta"};
+
+TEST(ClusterRenderTest, TreeShowsAllLeavesAndHeights)
+{
+    const std::string out = renderTree(sample(), kNames, "Tree");
+    for (const auto &name : kNames)
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+    EXPECT_NE(out.find("[d = 5.00]"), std::string::npos);
+    EXPECT_NE(out.find("[d = 1.00]"), std::string::npos);
+    EXPECT_NE(out.find("Tree"), std::string::npos);
+}
+
+TEST(ClusterRenderTest, SingleLeafTree)
+{
+    const Dendrogram d(1, {});
+    const std::string out = renderTree(d, {"only"}, "T");
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(ClusterRenderTest, CutAtDistanceNarration)
+{
+    const std::string out = renderCutAtDistance(sample(), kNames, 2.0);
+    EXPECT_NE(out.find("merging distance 2.00 -> 2 clusters"),
+              std::string::npos);
+    EXPECT_NE(out.find("{alpha, beta}"), std::string::npos);
+    EXPECT_NE(out.find("{gamma, delta}"), std::string::npos);
+}
+
+TEST(ClusterRenderTest, CutAtCountNarration)
+{
+    const std::string out = renderCutAtCount(sample(), kNames, 3);
+    EXPECT_NE(out.find("3 clusters"), std::string::npos);
+    EXPECT_NE(out.find("{gamma}"), std::string::npos);
+}
+
+TEST(ClusterRenderTest, MergeScheduleListsAllMerges)
+{
+    const std::string out = renderMergeSchedule(sample(), kNames);
+    EXPECT_NE(out.find("{alpha} + {beta}"), std::string::npos);
+    EXPECT_NE(out.find("{gamma} + {delta}"), std::string::npos);
+    EXPECT_NE(out.find("{alpha, beta} + {gamma, delta}"),
+              std::string::npos);
+}
+
+TEST(ClusterRenderTest, NameCountValidated)
+{
+    EXPECT_THROW(renderTree(sample(), {"a", "b"}, "T"), InvalidArgument);
+    EXPECT_THROW(renderCutAtCount(sample(), {"a"}, 2), InvalidArgument);
+    EXPECT_THROW(renderMergeSchedule(sample(), {}), InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for consensus clustering across characterizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/consensus.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::InvalidArgument;
+using hiermeans::scoring::Partition;
+
+TEST(CoAssociationTest, HandComputed)
+{
+    // Two partitions over 3 items: {0,1}{2} and {0}{1,2}.
+    const std::vector<Partition> parts = {
+        Partition::fromGroups({{0, 1}, {2}}),
+        Partition::fromGroups({{0}, {1, 2}}),
+    };
+    const auto co = coAssociation(parts);
+    EXPECT_DOUBLE_EQ(co(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(co(0, 1), 0.5); // together in one of two.
+    EXPECT_DOUBLE_EQ(co(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(co(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(co(2, 0), 0.0); // symmetric.
+}
+
+TEST(CoAssociationTest, Validation)
+{
+    EXPECT_THROW(coAssociation({}), InvalidArgument);
+    EXPECT_THROW(coAssociation(
+                     {Partition::single(2), Partition::single(3)}),
+                 InvalidArgument);
+}
+
+TEST(ConsensusTest, IdenticalInputsReproduceThePartition)
+{
+    const Partition p = Partition::fromGroups({{0, 1, 2}, {3, 4}});
+    const ConsensusResult result =
+        consensusCluster({p, p, p}, 2, 4);
+    EXPECT_DOUBLE_EQ(result.unanimity, 1.0);
+    // The consensus cut at k = 2 is exactly p.
+    EXPECT_EQ(result.partitions.front(), p);
+}
+
+TEST(ConsensusTest, UnanimousPairsNeverSplitBeforeContestedOnes)
+{
+    // Items 0,1 always together; 2 joins them in only one view.
+    const std::vector<Partition> parts = {
+        Partition::fromGroups({{0, 1}, {2}, {3}}),
+        Partition::fromGroups({{0, 1, 2}, {3}}),
+        Partition::fromGroups({{0, 1}, {2, 3}}),
+    };
+    const ConsensusResult result = consensusCluster(parts, 2, 4);
+    // At every consensus cut with k <= 3, 0 and 1 share a cluster.
+    for (const Partition &p : result.partitions) {
+        if (p.clusterCount() <= 3) {
+            EXPECT_EQ(p.label(0), p.label(1)) << p.toString();
+        }
+    }
+}
+
+TEST(ConsensusTest, DisagreementLowersUnanimity)
+{
+    const std::vector<Partition> parts = {
+        Partition::fromGroups({{0, 1}, {2}}),
+        Partition::fromGroups({{0}, {1, 2}}),
+    };
+    const ConsensusResult result = consensusCluster(parts, 1, 3);
+    EXPECT_LT(result.unanimity, 1.0);
+    EXPECT_GT(result.unanimity, 0.0); // pair (0,2) is unanimous (never).
+}
+
+TEST(ConsensusTest, SweepShapesAndValidation)
+{
+    const Partition p = Partition::fromGroups({{0, 1}, {2, 3}});
+    const ConsensusResult result = consensusCluster({p}, 1, 10);
+    // Clamped to n = 4.
+    EXPECT_EQ(result.partitions.size(), 4u);
+    EXPECT_EQ(result.partitions.front().clusterCount(), 1u);
+    EXPECT_EQ(result.partitions.back().clusterCount(), 4u);
+    EXPECT_THROW(consensusCluster({p}, 3, 2), InvalidArgument);
+}
+
+TEST(ConsensusTest, MergesHappenAtDisagreementFractions)
+{
+    // With three views, co-association values are multiples of 1/3 so
+    // merge heights are multiples of 1/3 too.
+    const std::vector<Partition> parts = {
+        Partition::fromGroups({{0, 1}, {2}, {3}}),
+        Partition::fromGroups({{0, 1, 2}, {3}}),
+        Partition::fromGroups({{0, 1}, {2, 3}}),
+    };
+    const ConsensusResult result = consensusCluster(parts, 1, 4);
+    for (double h : result.dendrogram.heights()) {
+        const double scaled = h * 3.0;
+        EXPECT_NEAR(scaled, std::round(scaled), 1e-9) << h;
+    }
+}
+
+} // namespace

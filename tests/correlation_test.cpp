@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for correlation coefficients.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/stats/correlation.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::DomainError;
+using hiermeans::InvalidArgument;
+using hiermeans::stats::pearson;
+using hiermeans::stats::spearman;
+
+TEST(PearsonTest, PerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {6.0, 4.0, 2.0}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariant)
+{
+    const std::vector<double> x = {1.0, 4.0, 2.0, 8.0};
+    const std::vector<double> y = {0.5, 2.5, 1.0, 3.0};
+    const double base = pearson(x, y);
+    std::vector<double> x2 = x;
+    for (double &v : x2)
+        v = 3.0 * v + 10.0;
+    EXPECT_NEAR(pearson(x2, y), base, 1e-12);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero)
+{
+    // Orthogonal pattern.
+    EXPECT_NEAR(pearson({1.0, -1.0, 1.0, -1.0}, {1.0, 1.0, -1.0, -1.0}),
+                0.0, 1e-12);
+}
+
+TEST(PearsonTest, Validation)
+{
+    EXPECT_THROW(pearson({1.0}, {1.0}), InvalidArgument);
+    EXPECT_THROW(pearson({1.0, 2.0}, {1.0}), InvalidArgument);
+    EXPECT_THROW(pearson({1.0, 1.0}, {1.0, 2.0}), DomainError);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect)
+{
+    // y = x^3 is monotone: Spearman 1 even though Pearson < 1.
+    const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> y = {1.0, 8.0, 27.0, 64.0, 125.0};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(SpearmanTest, HandlesTiesViaAverageRanks)
+{
+    const std::vector<double> x = {1.0, 1.0, 2.0};
+    const std::vector<double> y = {3.0, 3.0, 5.0};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+} // namespace

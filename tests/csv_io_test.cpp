@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the CSV interchange used by the hmscore tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/csv_io.h"
+#include "src/util/csv.h"
+#include "src/scoring/score_report.h"
+#include "src/util/error.h"
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::DomainError;
+using hiermeans::InvalidArgument;
+
+const char kScores[] =
+    "workload,X,Y\n"
+    "alpha,2.5,1.5\n"
+    "beta,1.2,1.1\n"
+    "gamma,0.8,1.4\n";
+
+const char kFeatures[] =
+    "workload,ipc,missrate\n"
+    "alpha,1.5,0.02\n"
+    "beta,0.9,0.15\n"
+    "gamma,1.1,0.30\n";
+
+TEST(ScoresCsvTest, ParsesShapeAndValues)
+{
+    const ScoresCsv s = parseScoresCsv(kScores);
+    EXPECT_EQ(s.workloads,
+              (std::vector<std::string>{"alpha", "beta", "gamma"}));
+    EXPECT_EQ(s.machines, (std::vector<std::string>{"X", "Y"}));
+    EXPECT_DOUBLE_EQ(s.scores(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(s.scores(2, 1), 1.4);
+}
+
+TEST(ScoresCsvTest, MachineScoresByName)
+{
+    const ScoresCsv s = parseScoresCsv(kScores);
+    EXPECT_EQ(s.machineScores("Y"),
+              (std::vector<double>{1.5, 1.1, 1.4}));
+    EXPECT_THROW(s.machineScores("Z"), InvalidArgument);
+}
+
+TEST(ScoresCsvTest, RejectsBadDocuments)
+{
+    // Too few rows.
+    EXPECT_THROW(parseScoresCsv("workload,X,Y\nw,1,2\n"),
+                 InvalidArgument);
+    // Ragged row.
+    EXPECT_THROW(
+        parseScoresCsv("workload,X,Y\na,1,2\nb,3\nc,4,5\n"),
+        InvalidArgument);
+    // Single machine column.
+    EXPECT_THROW(parseScoresCsv("workload,X\na,1\nb,2\n"),
+                 InvalidArgument);
+    // Duplicate workload.
+    EXPECT_THROW(
+        parseScoresCsv("workload,X,Y\na,1,2\na,3,4\nc,5,6\n"),
+        InvalidArgument);
+    // Non-numeric score.
+    EXPECT_THROW(
+        parseScoresCsv("workload,X,Y\na,1,2\nb,oops,4\nc,5,6\n"),
+        InvalidArgument);
+    // Non-positive score.
+    EXPECT_THROW(
+        parseScoresCsv("workload,X,Y\na,1,2\nb,0,4\nc,5,6\n"),
+        DomainError);
+}
+
+TEST(FeaturesCsvTest, ParsesAndAllowsAnyValues)
+{
+    const FeaturesCsv f = parseFeaturesCsv(kFeatures);
+    EXPECT_EQ(f.features, (std::vector<std::string>{"ipc", "missrate"}));
+    EXPECT_DOUBLE_EQ(f.values(1, 1), 0.15);
+    // Negative/zero values fine for features.
+    EXPECT_NO_THROW(parseFeaturesCsv(
+        "workload,f\na,-1.0\nb,0.0\n"));
+}
+
+TEST(AlignmentTest, DetectsMismatches)
+{
+    const ScoresCsv s = parseScoresCsv(kScores);
+    const FeaturesCsv f = parseFeaturesCsv(kFeatures);
+    EXPECT_NO_THROW(requireAlignedWorkloads(s, f));
+
+    const FeaturesCsv reordered = parseFeaturesCsv(
+        "workload,ipc\nbeta,1\nalpha,2\ngamma,3\n");
+    EXPECT_THROW(requireAlignedWorkloads(s, reordered),
+                 InvalidArgument);
+    const FeaturesCsv fewer =
+        parseFeaturesCsv("workload,ipc\nalpha,1\nbeta,2\n");
+    EXPECT_THROW(requireAlignedWorkloads(s, fewer), InvalidArgument);
+}
+
+TEST(ScoreReportCsvTest, RoundTripThroughGenericParser)
+{
+    using hiermeans::scoring::buildScoreReport;
+    using hiermeans::scoring::Partition;
+    const std::vector<double> a = {2.0, 4.0, 8.0};
+    const std::vector<double> b = {1.0, 2.0, 4.0};
+    const auto report = buildScoreReport(
+        hiermeans::stats::MeanKind::Geometric, a, b,
+        {Partition::fromGroups({{0, 1}, {2}}), Partition::discrete(3)});
+    const std::string csv = scoreReportToCsv(report, "X", "Y");
+    const auto doc = hiermeans::util::parseCsv(csv);
+    ASSERT_EQ(doc.rows.size(), 4u); // header + 2 rows + plain.
+    EXPECT_EQ(doc.rows[0][0], "clusters");
+    EXPECT_EQ(doc.rows[1][0], "2");
+    EXPECT_EQ(doc.rows[3][0], "plain");
+    // Ratio column round-trips numerically.
+    EXPECT_NEAR(std::stod(doc.rows[1][3]), report.rows[0].ratio, 1e-6);
+}
+
+TEST(PartitionCsvTest, RoundTrip)
+{
+    using hiermeans::scoring::Partition;
+    const std::vector<std::string> workloads = {"a", "b", "c", "d"};
+    const Partition p = Partition::fromGroups({{0, 2}, {1}, {3}});
+    const std::string csv = partitionToCsv(p, workloads);
+    const Partition back = parsePartitionCsv(csv, workloads);
+    EXPECT_EQ(back, p);
+}
+
+TEST(PartitionCsvTest, FileOrderIsFree)
+{
+    using hiermeans::scoring::Partition;
+    const std::string csv =
+        "workload,cluster\n"
+        "c,7\n"
+        "a,7\n"
+        "b,3\n";
+    const Partition p =
+        parsePartitionCsv(csv, {"a", "b", "c"});
+    EXPECT_EQ(p, Partition::fromGroups({{0, 2}, {1}}));
+}
+
+TEST(PartitionCsvTest, Validation)
+{
+    const std::vector<std::string> workloads = {"a", "b"};
+    // Missing workload.
+    EXPECT_THROW(
+        parsePartitionCsv("workload,cluster\na,0\n", workloads),
+        InvalidArgument);
+    // Extra workload.
+    EXPECT_THROW(parsePartitionCsv(
+                     "workload,cluster\na,0\nb,0\nz,1\n", workloads),
+                 InvalidArgument);
+    // Duplicate.
+    EXPECT_THROW(parsePartitionCsv(
+                     "workload,cluster\na,0\na,1\n", workloads),
+                 InvalidArgument);
+    // Non-integer cluster.
+    EXPECT_THROW(parsePartitionCsv(
+                     "workload,cluster\na,x\nb,0\n", workloads),
+                 InvalidArgument);
+    // Negative cluster.
+    EXPECT_THROW(parsePartitionCsv(
+                     "workload,cluster\na,-1\nb,0\n", workloads),
+                 InvalidArgument);
+    // Wrong width.
+    EXPECT_THROW(parsePartitionCsv(
+                     "workload,cluster,extra\na,0,1\nb,0,1\n",
+                     workloads),
+                 InvalidArgument);
+    // Size mismatch against the scoring partition.
+    using hiermeans::scoring::Partition;
+    EXPECT_THROW(partitionToCsv(Partition::single(3), workloads),
+                 InvalidArgument);
+}
+
+TEST(PartitionCsvTest, PaperSuiteReferenceDistribution)
+{
+    // The diagnosed reference distribution for the paper suite
+    // round-trips and preserves the SciMark2 cluster.
+    using hiermeans::scoring::Partition;
+    const auto names = hiermeans::workload::paperWorkloadNames();
+    const Partition reference = Partition::fromGroups(
+        {{0}, {1}, {2}, {3}, {4}, {5, 6, 7, 8, 9}, {10}, {11}, {12}});
+    const Partition back =
+        parsePartitionCsv(partitionToCsv(reference, names), names);
+    EXPECT_EQ(back, reference);
+    EXPECT_EQ(back.members(5),
+              (std::vector<std::size_t>{5, 6, 7, 8, 9}));
+}
+
+} // namespace

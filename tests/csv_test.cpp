@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for CSV serialization and parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/csv.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::util::CsvDocument;
+using hiermeans::util::csvEscape;
+using hiermeans::util::parseCsv;
+using hiermeans::util::writeCsv;
+
+TEST(CsvTest, EscapeOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csvEscape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csvEscape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvTest, WriteSimpleDocument)
+{
+    CsvDocument doc;
+    doc.rows = {{"a", "b"}, {"1", "2"}};
+    EXPECT_EQ(writeCsv(doc), "a,b\n1,2\n");
+}
+
+TEST(CsvTest, ParseSimpleDocument)
+{
+    const CsvDocument doc = parseCsv("a,b\n1,2\n");
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseQuotedFields)
+{
+    const CsvDocument doc =
+        parseCsv("\"x,y\",\"he said \"\"hi\"\"\"\nplain,2\n");
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "x,y");
+    EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseCrLf)
+{
+    const CsvDocument doc = parseCsv("a,b\r\nc,d\r\n");
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.rows[1][1], "d");
+}
+
+TEST(CsvTest, MissingTrailingNewline)
+{
+    const CsvDocument doc = parseCsv("a,b\nc,d");
+    ASSERT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, EmptyFieldsPreserved)
+{
+    const CsvDocument doc = parseCsv("a,,c\n");
+    ASSERT_EQ(doc.size(), 1u);
+    EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvTest, EmptyInputYieldsNoRows)
+{
+    EXPECT_TRUE(parseCsv("").empty());
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(parseCsv("\"open,1\n"), hiermeans::InvalidArgument);
+}
+
+TEST(CsvTest, RoundTripWithSpecials)
+{
+    CsvDocument doc;
+    doc.rows = {{"name", "value"},
+                {"comma,field", "quote\"field"},
+                {"multi\nline", ""}};
+    const CsvDocument parsed = parseCsv(writeCsv(doc));
+    ASSERT_EQ(parsed.size(), doc.size());
+    for (std::size_t r = 0; r < doc.rows.size(); ++r)
+        EXPECT_EQ(parsed.rows[r], doc.rows[r]) << "row " << r;
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::stats;
+using hiermeans::InvalidArgument;
+
+TEST(DescriptiveTest, SummaryHandComputed)
+{
+    const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12); // n-1 denominator.
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(DescriptiveTest, SingleElement)
+{
+    const Summary s = summarize({3.0});
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(DescriptiveTest, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile({5.0}, 0.9), 5.0);
+    EXPECT_THROW(quantile(v, 1.5), InvalidArgument);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation)
+{
+    EXPECT_NEAR(coefficientOfVariation({2.0, 4.0}),
+                std::sqrt(2.0) / 3.0, 1e-12);
+    EXPECT_THROW(coefficientOfVariation({-1.0, 1.0}), InvalidArgument);
+}
+
+TEST(DescriptiveTest, RanksWithoutTies)
+{
+    EXPECT_EQ(ranks({30.0, 10.0, 20.0}),
+              (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(DescriptiveTest, RanksAverageTies)
+{
+    // Values 5, 5 occupy ranks 1 and 2 -> each gets 1.5.
+    EXPECT_EQ(ranks({5.0, 5.0, 9.0}),
+              (std::vector<double>{1.5, 1.5, 3.0}));
+}
+
+TEST(DescriptiveTest, SampleVarianceMatchesStddev)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(sampleStddev(v) * sampleStddev(v), sampleVariance(v),
+                1e-12);
+    EXPECT_DOUBLE_EQ(sampleVariance({7.0}), 0.0);
+}
+
+} // namespace

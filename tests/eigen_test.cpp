@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the Jacobi symmetric eigensolver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/eigen.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::eigenSymmetric;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+TEST(EigenTest, DiagonalMatrix)
+{
+    Matrix m(3, 3, 0.0);
+    m(0, 0) = 1.0;
+    m(1, 1) = 5.0;
+    m(2, 2) = 3.0;
+    const auto eig = eigenSymmetric(m);
+    EXPECT_NEAR(eig.values[0], 5.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo)
+{
+    // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors
+    // (1,1)/sqrt2 and (1,-1)/sqrt2.
+    const Matrix m = Matrix::fromRows({{2.0, 1.0}, {1.0, 2.0}});
+    const auto eig = eigenSymmetric(m);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(std::abs(eig.vectors(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(EigenTest, RejectsNonSquareAndAsymmetric)
+{
+    EXPECT_THROW(eigenSymmetric(Matrix(2, 3)), InvalidArgument);
+    const Matrix asym = Matrix::fromRows({{1.0, 2.0}, {0.0, 1.0}});
+    EXPECT_THROW(eigenSymmetric(asym), InvalidArgument);
+}
+
+TEST(EigenTest, ReconstructionProperty)
+{
+    // A = V diag(lambda) V^T must hold for random symmetric matrices.
+    hiermeans::rng::Engine engine(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 2 + engine.below(6);
+        Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i; j < n; ++j) {
+                a(i, j) = engine.uniform(-2.0, 2.0);
+                a(j, i) = a(i, j);
+            }
+        }
+        const auto eig = eigenSymmetric(a);
+
+        Matrix lambda(n, n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            lambda(i, i) = eig.values[i];
+        const Matrix recon = eig.vectors.multiply(lambda).multiply(
+            eig.vectors.transposed());
+        EXPECT_TRUE(recon.approxEqual(a, 1e-7))
+            << "trial " << trial << " n=" << n;
+    }
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal)
+{
+    hiermeans::rng::Engine engine(13);
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            a(i, j) = engine.uniform(-1.0, 1.0);
+            a(j, i) = a(i, j);
+        }
+    }
+    const auto eig = eigenSymmetric(a);
+    const Matrix vtv =
+        eig.vectors.transposed().multiply(eig.vectors);
+    EXPECT_TRUE(vtv.approxEqual(Matrix::identity(n), 1e-8));
+}
+
+TEST(EigenTest, ValuesSortedDescending)
+{
+    hiermeans::rng::Engine engine(17);
+    const std::size_t n = 6;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            a(i, j) = engine.uniform(-1.0, 1.0);
+            a(j, i) = a(i, j);
+        }
+    }
+    const auto eig = eigenSymmetric(a);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_GE(eig.values[i - 1], eig.values[i] - 1e-12);
+}
+
+TEST(EigenTest, TraceEqualsSumOfEigenvalues)
+{
+    const Matrix m =
+        Matrix::fromRows({{4.0, 1.0, 0.5}, {1.0, 3.0, -1.0},
+                          {0.5, -1.0, 2.0}});
+    const auto eig = eigenSymmetric(m);
+    double sum = 0.0;
+    for (double v : eig.values)
+        sum += v;
+    EXPECT_NEAR(sum, 9.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the error types and check macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::DomainError;
+using hiermeans::Error;
+using hiermeans::InternalError;
+using hiermeans::InvalidArgument;
+
+TEST(ErrorTest, HierarchyIsCatchableAsBase)
+{
+    EXPECT_THROW(throw InvalidArgument("x"), Error);
+    EXPECT_THROW(throw DomainError("x"), Error);
+    EXPECT_THROW(throw InternalError("x"), Error);
+    EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(ErrorTest, MessagesCarryPrefix)
+{
+    try {
+        throw InvalidArgument("bad k");
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("invalid argument"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bad k"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, RequireMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(HM_REQUIRE(1 + 1 == 2, "never"));
+    EXPECT_THROW(HM_REQUIRE(1 + 1 == 3, "math broke"), InvalidArgument);
+}
+
+TEST(ErrorTest, RequireMessageIncludesStreamedValues)
+{
+    const int k = 42;
+    try {
+        HM_REQUIRE(k < 0, "k must be negative, got " << k);
+        FAIL() << "should have thrown";
+    } catch (const InvalidArgument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("got 42"), std::string::npos);
+        EXPECT_NE(what.find("k < 0"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, DomainCheckThrowsDomainError)
+{
+    EXPECT_THROW(HM_DOMAIN_CHECK(false, "neg"), DomainError);
+    EXPECT_NO_THROW(HM_DOMAIN_CHECK(true, "ok"));
+}
+
+TEST(ErrorTest, AssertThrowsInternalError)
+{
+    EXPECT_THROW(HM_ASSERT(false, "bug"), InternalError);
+    EXPECT_NO_THROW(HM_ASSERT(true, "fine"));
+}
+
+TEST(ErrorTest, MacroIsSingleStatementInIfElse)
+{
+    // The do/while(false) idiom must compose with unbraced if/else.
+    bool thrown = false;
+    if (true)
+        HM_DOMAIN_CHECK(true, "x");
+    else
+        HM_DOMAIN_CHECK(false, "y");
+    try {
+        if (false)
+            HM_REQUIRE(true, "a");
+        else
+            HM_REQUIRE(false, "b");
+    } catch (const InvalidArgument &) {
+        thrown = true;
+    }
+    EXPECT_TRUE(thrown);
+}
+
+} // namespace

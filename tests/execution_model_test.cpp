@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the synthetic execution model and its calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/execution_model.h"
+#include "src/workload/paper_data.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+using hiermeans::DomainError;
+using hiermeans::InvalidArgument;
+
+TEST(ExecutionModelTest, IdealTimeIsAdditive)
+{
+    const ExecutionModel model(0.0);
+    const MachineSpec &ref = referenceMachine();
+    ComponentWork w;
+    w.cpu = 10.0;
+    w.mem = 5.0;
+    w.mlat = 2.0;
+    w.sys = 3.0;
+    w.io = 1.0;
+    EXPECT_NEAR(model.idealTime(w, ref), 21.0, 1e-12);
+}
+
+TEST(ExecutionModelTest, FasterRatesShortenTime)
+{
+    const ExecutionModel model(0.0);
+    ComponentWork w;
+    w.cpu = 100.0;
+    EXPECT_LT(model.idealTime(w, machineA()),
+              model.idealTime(w, referenceMachine()));
+}
+
+TEST(ExecutionModelTest, NoiseIsMultiplicativeAndSeeded)
+{
+    const ExecutionModel model(0.05);
+    ComponentWork w;
+    w.cpu = 50.0;
+    hiermeans::rng::Engine e1(3), e2(3);
+    EXPECT_DOUBLE_EQ(model.sampleTime(w, machineA(), e1),
+                     model.sampleTime(w, machineA(), e2));
+    // Zero noise reproduces the ideal time exactly.
+    const ExecutionModel exact(0.0);
+    hiermeans::rng::Engine e3(3);
+    EXPECT_DOUBLE_EQ(exact.sampleTime(w, machineA(), e3),
+                     exact.idealTime(w, machineA()));
+}
+
+TEST(ExecutionModelTest, SampleRunsCountAndPositivity)
+{
+    const ExecutionModel model(0.01);
+    ComponentWork w;
+    w.cpu = 10.0;
+    hiermeans::rng::Engine engine(5);
+    const auto runs = model.sampleRuns(w, machineB(), engine, 10);
+    EXPECT_EQ(runs.size(), 10u);
+    for (double t : runs)
+        EXPECT_GT(t, 0.0);
+    EXPECT_THROW(model.sampleRuns(w, machineB(), engine, 0),
+                 InvalidArgument);
+}
+
+TEST(ExecutionModelTest, Validation)
+{
+    const ExecutionModel model(0.0);
+    ComponentWork w; // all zero -> zero total time.
+    EXPECT_THROW(model.idealTime(w, machineA()), DomainError);
+    w.cpu = -1.0;
+    EXPECT_THROW(model.idealTime(w, machineA()), DomainError);
+    EXPECT_THROW(ExecutionModel(-0.1), InvalidArgument);
+}
+
+TEST(CalibrationTest, ReproducesEveryTable3RowExactly)
+{
+    // The headline property of the substrate: for every workload in
+    // Table III there is a non-negative component mix whose ideal
+    // speedups equal the published values.
+    for (const auto &row : paper::table3()) {
+        const CalibrationResult cal = ExecutionModel::calibrateToSpeedups(
+            machineA(), machineB(), referenceMachine(), row.speedupA,
+            row.speedupB, 100.0);
+        EXPECT_NEAR(cal.achievedSpeedupA, row.speedupA,
+                    0.005 * row.speedupA)
+            << row.workload;
+        EXPECT_NEAR(cal.achievedSpeedupB, row.speedupB,
+                    0.005 * row.speedupB)
+            << row.workload;
+        EXPECT_LT(cal.relativeError, 0.005) << row.workload;
+        EXPECT_GE(cal.work.cpu, 0.0);
+        EXPECT_GE(cal.work.mem, 0.0);
+        EXPECT_GE(cal.work.mlat, 0.0);
+        EXPECT_GE(cal.work.sys, 0.0);
+        EXPECT_GE(cal.work.io, 0.0);
+    }
+}
+
+TEST(CalibrationTest, ReferenceTimeIsRespected)
+{
+    const CalibrationResult cal = ExecutionModel::calibrateToSpeedups(
+        machineA(), machineB(), referenceMachine(), 2.0, 1.5, 60.0);
+    const ExecutionModel model(0.0);
+    EXPECT_NEAR(model.idealTime(cal.work, referenceMachine()), 60.0,
+                0.5);
+}
+
+TEST(CalibrationTest, Validation)
+{
+    EXPECT_THROW(ExecutionModel::calibrateToSpeedups(
+                     machineA(), machineB(), referenceMachine(), 0.0,
+                     1.0, 100.0),
+                 InvalidArgument);
+    EXPECT_THROW(ExecutionModel::calibrateToSpeedups(
+                     machineA(), machineB(), referenceMachine(), 1.0,
+                     1.0, 0.0),
+                 InvalidArgument);
+}
+
+TEST(WorkFromProfileTest, MonotoneInWorkVolume)
+{
+    WorkloadProfile p;
+    p.workUnits = 10.0;
+    p.latent[hiermeans::workload::LatentMemoryTraffic] = 0.5;
+    const ComponentWork small = ExecutionModel::workFromProfile(p);
+    p.workUnits = 100.0;
+    const ComponentWork large = ExecutionModel::workFromProfile(p);
+    EXPECT_GT(large.cpu, small.cpu);
+    EXPECT_GT(large.total(), small.total());
+}
+
+TEST(WorkFromProfileTest, BigWorkingSetsSpillToLatencyComponent)
+{
+    WorkloadProfile p;
+    p.workUnits = 50.0;
+    p.latent[hiermeans::workload::LatentMemoryTraffic] = 0.6;
+    p.workingSetMb = 4.0;
+    const ComponentWork resident = ExecutionModel::workFromProfile(p);
+    p.workingSetMb = 256.0;
+    const ComponentWork spilled = ExecutionModel::workFromProfile(p);
+    EXPECT_GT(spilled.mlat, resident.mlat);
+    EXPECT_LT(spilled.mem, spilled.mlat);
+}
+
+} // namespace

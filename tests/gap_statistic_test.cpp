@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the gap statistic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/gap_statistic.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+Matrix
+blobs(std::size_t groups, std::size_t per, std::uint64_t seed)
+{
+    hiermeans::rng::Engine engine(seed);
+    std::vector<Vector> rows;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const double cx = static_cast<double>(g % 2) * 20.0;
+        const double cy = static_cast<double>(g / 2) * 20.0;
+        for (std::size_t i = 0; i < per; ++i) {
+            rows.push_back({cx + engine.normal(0.0, 0.5),
+                            cy + engine.normal(0.0, 0.5)});
+        }
+    }
+    return Matrix::fromRows(rows);
+}
+
+TEST(GapStatisticTest, FindsThreePlantedClusters)
+{
+    GapConfig config;
+    config.kMin = 1;
+    config.kMax = 6;
+    config.seed = 5;
+    const GapResult result = gapStatistic(blobs(3, 6, 2), config);
+    EXPECT_EQ(result.chosenK, 3u);
+}
+
+TEST(GapStatisticTest, FindsTwoPlantedClusters)
+{
+    GapConfig config;
+    config.kMin = 1;
+    config.kMax = 5;
+    config.seed = 7;
+    const GapResult result = gapStatistic(blobs(2, 8, 3), config);
+    EXPECT_EQ(result.chosenK, 2u);
+}
+
+TEST(GapStatisticTest, PointsShapeAndMonotoneDispersion)
+{
+    GapConfig config;
+    config.kMin = 1;
+    config.kMax = 6;
+    const GapResult result = gapStatistic(blobs(3, 5, 9), config);
+    ASSERT_EQ(result.points.size(), 6u);
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        EXPECT_EQ(result.points[i].k, i + 1);
+        EXPECT_GE(result.points[i].standardError, 0.0);
+        if (i > 0) {
+            // Within-cluster dispersion never grows with k.
+            EXPECT_LE(result.points[i].logDispersion,
+                      result.points[i - 1].logDispersion + 1e-9);
+        }
+    }
+}
+
+TEST(GapStatisticTest, DeterministicForSeed)
+{
+    GapConfig config;
+    config.seed = 11;
+    const GapResult a = gapStatistic(blobs(2, 5, 4), config);
+    const GapResult b = gapStatistic(blobs(2, 5, 4), config);
+    EXPECT_EQ(a.chosenK, b.chosenK);
+    for (std::size_t i = 0; i < a.points.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.points[i].gap, b.points[i].gap);
+}
+
+TEST(GapStatisticTest, KMaxClampedToPointCount)
+{
+    GapConfig config;
+    config.kMin = 1;
+    config.kMax = 50;
+    const GapResult result = gapStatistic(blobs(2, 2, 6), config);
+    EXPECT_EQ(result.points.back().k, 4u);
+}
+
+TEST(GapStatisticTest, Validation)
+{
+    GapConfig config;
+    config.kMin = 0;
+    EXPECT_THROW(gapStatistic(blobs(2, 3, 1), config), InvalidArgument);
+    config = GapConfig{};
+    config.references = 1;
+    EXPECT_THROW(gapStatistic(blobs(2, 3, 1), config), InvalidArgument);
+    EXPECT_THROW(gapStatistic(Matrix::fromRows({{1.0}}), GapConfig{}),
+                 InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for leave-one-out workload influence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/sensitivity.h"
+#include "src/util/error.h"
+#include "src/workload/paper_data.h"
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::scoring;
+using hiermeans::stats::MeanKind;
+
+TEST(InfluenceTest, HandComputedPlainInfluence)
+{
+    // Scores {2, 8}, discrete partition: removing workload 0 leaves
+    // GM 8 vs full GM 4 -> influence 1.0.
+    const std::vector<double> scores = {2.0, 8.0};
+    const auto influences = leaveOneOutInfluence(
+        MeanKind::Geometric, scores, Partition::discrete(2));
+    ASSERT_EQ(influences.size(), 2u);
+    EXPECT_DOUBLE_EQ(influences[0].plainWithout, 8.0);
+    EXPECT_NEAR(influences[0].plainInfluence, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(influences[1].plainWithout, 2.0);
+    EXPECT_NEAR(influences[1].plainInfluence, 0.5, 1e-12);
+}
+
+TEST(InfluenceTest, ClusterMembersHaveLowHierarchicalInfluence)
+{
+    // Three identical cluster-mates plus one singleton: removing one
+    // of the identical members cannot move the hierarchical mean at
+    // all, while the plain mean shifts.
+    const std::vector<double> scores = {2.0, 2.0, 2.0, 8.0};
+    const Partition p = Partition::fromGroups({{0, 1, 2}, {3}});
+    const auto influences =
+        leaveOneOutInfluence(MeanKind::Geometric, scores, p);
+    for (std::size_t w = 0; w < 3; ++w) {
+        EXPECT_NEAR(influences[w].hierarchicalInfluence, 0.0, 1e-12)
+            << "workload " << w;
+        EXPECT_GT(influences[w].plainInfluence, 0.05);
+    }
+    // The singleton dominates the hierarchical mean instead.
+    EXPECT_GT(influences[3].hierarchicalInfluence,
+              influences[0].hierarchicalInfluence);
+}
+
+TEST(InfluenceTest, SingletonRemovalShrinksK)
+{
+    // Removing the only member of a cluster must not blow up: the
+    // partition simply loses that cluster.
+    const std::vector<double> scores = {1.0, 4.0, 9.0};
+    const Partition p = Partition::fromGroups({{0, 1}, {2}});
+    const auto influences =
+        leaveOneOutInfluence(MeanKind::Geometric, scores, p);
+    // Removing workload 2 leaves one cluster {1, 4}: HGM = 2.
+    EXPECT_NEAR(influences[2].hierarchicalWithout, 2.0, 1e-12);
+}
+
+TEST(InfluenceTest, PaperSuiteSciMarkMembersAreLowInfluence)
+{
+    // With SciMark2 as one cluster, each kernel's leave-one-out
+    // influence on the HGM is far below javac's (a singleton).
+    using namespace hiermeans::workload;
+    const auto scores = paper::table3SpeedupsA();
+    const Partition p = Partition::fromGroups({
+        {0}, {1}, {2}, {3}, {4}, {5, 6, 7, 8, 9}, {10}, {11}, {12}});
+    const auto influences =
+        leaveOneOutInfluence(MeanKind::Geometric, scores, p);
+    double worst_scimark = 0.0;
+    for (std::size_t w = 5; w <= 9; ++w) {
+        worst_scimark = std::max(worst_scimark,
+                                 influences[w].hierarchicalInfluence);
+    }
+    EXPECT_LT(worst_scimark, influences[2].hierarchicalInfluence);
+}
+
+TEST(InfluenceTest, WorksForAllFamilies)
+{
+    const std::vector<double> scores = {1.0, 2.0, 3.0};
+    for (MeanKind kind : {MeanKind::Arithmetic, MeanKind::Geometric,
+                          MeanKind::Harmonic}) {
+        const auto influences = leaveOneOutInfluence(
+            kind, scores, Partition::single(3));
+        EXPECT_EQ(influences.size(), 3u);
+        for (const auto &i : influences)
+            EXPECT_GE(i.plainInfluence, 0.0);
+    }
+}
+
+TEST(InfluenceTest, Validation)
+{
+    EXPECT_THROW(leaveOneOutInfluence(MeanKind::Geometric, {1.0},
+                                      Partition::single(1)),
+                 hiermeans::InvalidArgument);
+    EXPECT_THROW(leaveOneOutInfluence(MeanKind::Geometric, {1.0, 2.0},
+                                      Partition::single(3)),
+                 hiermeans::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the SOM neighborhood kernels (the Figure 2 function).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/som/kernel.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::som;
+using hiermeans::InvalidArgument;
+
+TEST(KernelTest, GaussianAtBmuEqualsAlpha)
+{
+    EXPECT_DOUBLE_EQ(kernelValue(KernelKind::Gaussian, 0.0, 0.5, 2.0),
+                     0.5);
+}
+
+TEST(KernelTest, GaussianHandComputed)
+{
+    // h = alpha * exp(-d2 / (2 sigma^2)) with d2 = 8, sigma = 2.
+    EXPECT_NEAR(kernelValue(KernelKind::Gaussian, 8.0, 1.0, 2.0),
+                std::exp(-1.0), 1e-12);
+}
+
+TEST(KernelTest, GaussianMonotoneDecreasingInDistance)
+{
+    double prev = kernelValue(KernelKind::Gaussian, 0.0, 0.3, 1.5);
+    for (double d2 = 0.5; d2 < 20.0; d2 += 0.5) {
+        const double h = kernelValue(KernelKind::Gaussian, d2, 0.3, 1.5);
+        EXPECT_LT(h, prev);
+        prev = h;
+    }
+}
+
+TEST(KernelTest, GaussianShrinksWithSigma)
+{
+    // Figure 2: as training progresses sigma decreases and the kernel
+    // narrows — at a fixed distance the value drops.
+    const double d2 = 4.0;
+    double prev = kernelValue(KernelKind::Gaussian, d2, 0.5, 4.0);
+    for (double sigma : {3.0, 2.0, 1.0, 0.5}) {
+        const double h = kernelValue(KernelKind::Gaussian, d2, 0.5, sigma);
+        EXPECT_LT(h, prev);
+        prev = h;
+    }
+}
+
+TEST(KernelTest, BubbleIsHardCutoff)
+{
+    EXPECT_DOUBLE_EQ(kernelValue(KernelKind::Bubble, 3.9, 0.4, 2.0), 0.4);
+    EXPECT_DOUBLE_EQ(kernelValue(KernelKind::Bubble, 4.0, 0.4, 2.0), 0.4);
+    EXPECT_DOUBLE_EQ(kernelValue(KernelKind::Bubble, 4.1, 0.4, 2.0), 0.0);
+}
+
+TEST(KernelTest, Validation)
+{
+    EXPECT_THROW(kernelValue(KernelKind::Gaussian, -1.0, 0.5, 1.0),
+                 InvalidArgument);
+    EXPECT_THROW(kernelValue(KernelKind::Gaussian, 1.0, 0.0, 1.0),
+                 InvalidArgument);
+    EXPECT_THROW(kernelValue(KernelKind::Gaussian, 1.0, 0.5, 0.0),
+                 InvalidArgument);
+}
+
+TEST(KernelTest, SupportRadiusBoundsContribution)
+{
+    const double sigma = 1.7;
+    const double threshold = 1e-4;
+    const double r =
+        kernelSupportRadius(KernelKind::Gaussian, sigma, threshold);
+    // Just outside the support, the kernel is below threshold * alpha.
+    const double outside =
+        kernelValue(KernelKind::Gaussian, (r + 0.01) * (r + 0.01), 1.0,
+                    sigma);
+    EXPECT_LT(outside, threshold);
+    // Just inside, it is above.
+    const double inside = kernelValue(KernelKind::Gaussian,
+                                      (r - 0.01) * (r - 0.01), 1.0, sigma);
+    EXPECT_GT(inside, threshold);
+}
+
+TEST(KernelTest, BubbleSupportIsSigma)
+{
+    EXPECT_DOUBLE_EQ(kernelSupportRadius(KernelKind::Bubble, 2.5), 2.5);
+}
+
+TEST(KernelTest, KindNamesRoundTrip)
+{
+    EXPECT_EQ(parseKernelKind(kernelKindName(KernelKind::Gaussian)),
+              KernelKind::Gaussian);
+    EXPECT_EQ(parseKernelKind("bubble"), KernelKind::Bubble);
+    EXPECT_THROW(parseKernelKind("mexican-hat"), InvalidArgument);
+}
+
+} // namespace

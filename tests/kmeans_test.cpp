@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the k-means baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <set>
+
+#include "src/cluster/kmeans.h"
+#include "src/linalg/distance.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+Matrix
+threeBlobs()
+{
+    hiermeans::rng::Engine engine(55);
+    std::vector<Vector> rows;
+    const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < 7; ++i) {
+            rows.push_back({centers[c][0] + engine.normal(0.0, 0.4),
+                            centers[c][1] + engine.normal(0.0, 0.4)});
+        }
+    }
+    return Matrix::fromRows(rows);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs)
+{
+    KMeansConfig config;
+    config.k = 3;
+    config.seed = 1;
+    const KMeansResult result = kmeans(threeBlobs(), config);
+    EXPECT_EQ(result.partition.clusterCount(), 3u);
+    // All members of each true blob share a label.
+    for (int blob = 0; blob < 3; ++blob) {
+        const std::size_t base = result.partition.label(blob * 7);
+        for (int i = 1; i < 7; ++i)
+            EXPECT_EQ(result.partition.label(blob * 7 + i), base);
+    }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed)
+{
+    KMeansConfig config;
+    config.k = 3;
+    config.seed = 9;
+    const KMeansResult a = kmeans(threeBlobs(), config);
+    const KMeansResult b = kmeans(threeBlobs(), config);
+    EXPECT_EQ(a.partition, b.partition);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, InertiaMatchesDefinition)
+{
+    KMeansConfig config;
+    config.k = 2;
+    const Matrix points = threeBlobs();
+    const KMeansResult r = kmeans(points, config);
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+        inertia += hiermeans::linalg::squaredEuclidean(
+            points.row(i), r.centroids.row(r.partition.label(i)));
+    }
+    EXPECT_NEAR(r.inertia, inertia, 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseBestInertia)
+{
+    const Matrix points = threeBlobs();
+    double prev = 1e300;
+    for (std::size_t k = 1; k <= 5; ++k) {
+        KMeansConfig config;
+        config.k = k;
+        config.restarts = 8;
+        config.seed = 7;
+        const KMeansResult r = kmeans(points, config);
+        EXPECT_LE(r.inertia, prev + 1e-6) << "k=" << k;
+        prev = r.inertia;
+    }
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia)
+{
+    const Matrix points =
+        Matrix::fromRows({{0.0}, {5.0}, {9.0}});
+    KMeansConfig config;
+    config.k = 3;
+    config.restarts = 4;
+    const KMeansResult r = kmeans(points, config);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+    EXPECT_TRUE(r.partition.isDiscrete());
+}
+
+TEST(KMeansTest, Validation)
+{
+    const Matrix points = Matrix::fromRows({{0.0}, {1.0}});
+    KMeansConfig config;
+    config.k = 3;
+    EXPECT_THROW(kmeans(points, config), InvalidArgument);
+    config.k = 0;
+    EXPECT_THROW(kmeans(points, config), InvalidArgument);
+    config.k = 1;
+    config.restarts = 0;
+    EXPECT_THROW(kmeans(points, config), InvalidArgument);
+    EXPECT_THROW(kmeans(Matrix(), KMeansConfig{}), InvalidArgument);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean)
+{
+    const Matrix points = Matrix::fromRows({{1.0}, {3.0}, {8.0}});
+    KMeansConfig config;
+    config.k = 1;
+    const KMeansResult r = kmeans(points, config);
+    EXPECT_NEAR(r.centroids(0, 0), 4.0, 1e-12);
+    EXPECT_TRUE(r.partition.isSingle());
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Property sweeps over the linear-algebra substrate: metric axioms,
+ * PCA isometry, standardization idempotence and eigensolver
+ * invariants on random inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/distance.h"
+#include "src/linalg/eigen.h"
+#include "src/linalg/pca.h"
+#include "src/linalg/standardize.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::linalg;
+
+class LinalgProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Matrix
+    randomData(std::size_t n, std::size_t d, double scale = 3.0)
+    {
+        hiermeans::rng::Engine engine(GetParam() ^ (n * 131 + d));
+        Matrix m(n, d);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < d; ++c)
+                m(r, c) = engine.normal(0.0, scale);
+        return m;
+    }
+};
+
+TEST_P(LinalgProperty, MetricAxiomsOnRandomVectors)
+{
+    hiermeans::rng::Engine engine(GetParam());
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t d = 1 + engine.below(8);
+        Vector a(d), b(d), c(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            a[i] = engine.uniform(-5.0, 5.0);
+            b[i] = engine.uniform(-5.0, 5.0);
+            c[i] = engine.uniform(-5.0, 5.0);
+        }
+        for (Metric m : {Metric::Euclidean, Metric::Manhattan,
+                         Metric::Chebyshev}) {
+            // Identity, symmetry, triangle inequality.
+            EXPECT_NEAR(distance(m, a, a), 0.0, 1e-12);
+            EXPECT_NEAR(distance(m, a, b), distance(m, b, a), 1e-12);
+            EXPECT_LE(distance(m, a, c),
+                      distance(m, a, b) + distance(m, b, c) + 1e-9);
+        }
+    }
+}
+
+TEST_P(LinalgProperty, MetricOrderingL2BetweenLInfAndL1)
+{
+    hiermeans::rng::Engine engine(GetParam() ^ 0x0F);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t d = 1 + engine.below(10);
+        Vector a(d), b(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            a[i] = engine.uniform(-2.0, 2.0);
+            b[i] = engine.uniform(-2.0, 2.0);
+        }
+        EXPECT_LE(chebyshev(a, b), euclidean(a, b) + 1e-12);
+        EXPECT_LE(euclidean(a, b), manhattan(a, b) + 1e-12);
+    }
+}
+
+TEST_P(LinalgProperty, FullPcaProjectionIsIsometric)
+{
+    // Projecting onto ALL components is a rotation: pairwise
+    // distances are preserved exactly.
+    const Matrix data = randomData(12, 5);
+    const Pca pca = Pca::fit(data);
+    const Matrix projected = pca.projectAll(data, 5);
+    const Matrix before = pairwiseDistances(data);
+    const Matrix after = pairwiseDistances(projected);
+    EXPECT_TRUE(before.approxEqual(after, 1e-7));
+}
+
+TEST_P(LinalgProperty, TruncatedPcaNeverExpandsDistances)
+{
+    const Matrix data = randomData(10, 6);
+    const Pca pca = Pca::fit(data);
+    const Matrix projected = pca.projectAll(data, 2);
+    const Matrix before = pairwiseDistances(data);
+    const Matrix after = pairwiseDistances(projected);
+    for (std::size_t i = 0; i < before.rows(); ++i)
+        for (std::size_t j = i + 1; j < before.cols(); ++j)
+            EXPECT_LE(after(i, j), before(i, j) + 1e-7);
+}
+
+TEST_P(LinalgProperty, StandardizationIsIdempotent)
+{
+    const Matrix data = randomData(9, 4);
+    const Matrix once = standardizeColumns(data).standardized;
+    const Matrix twice = standardizeColumns(once).standardized;
+    EXPECT_TRUE(once.approxEqual(twice, 1e-9));
+}
+
+TEST_P(LinalgProperty, StandardizationIsShiftScaleInvariant)
+{
+    // Affine per-column transforms of the input leave z-scores
+    // unchanged (up to sign of the scale).
+    const Matrix data = randomData(8, 3);
+    Matrix transformed = data;
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+        for (std::size_t r = 0; r < data.rows(); ++r) {
+            transformed(r, c) =
+                data(r, c) * (2.0 + static_cast<double>(c)) - 7.5;
+        }
+    }
+    const Matrix a = standardizeColumns(data).standardized;
+    const Matrix b = standardizeColumns(transformed).standardized;
+    EXPECT_TRUE(a.approxEqual(b, 1e-9));
+}
+
+TEST_P(LinalgProperty, EigenReconstructionAndOrthogonality)
+{
+    hiermeans::rng::Engine engine(GetParam() ^ 0xE1);
+    const std::size_t n = 3 + engine.below(5);
+    Matrix sym(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            sym(i, j) = engine.uniform(-1.0, 1.0);
+            sym(j, i) = sym(i, j);
+        }
+    }
+    const EigenDecomposition eig = eigenSymmetric(sym);
+    Matrix lambda(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        lambda(i, i) = eig.values[i];
+    const Matrix recon = eig.vectors.multiply(lambda).multiply(
+        eig.vectors.transposed());
+    EXPECT_TRUE(recon.approxEqual(sym, 1e-7));
+    EXPECT_TRUE(eig.vectors.transposed()
+                    .multiply(eig.vectors)
+                    .approxEqual(Matrix::identity(n), 1e-8));
+}
+
+TEST_P(LinalgProperty, CovarianceIsPositiveSemiDefinite)
+{
+    const Matrix data = randomData(15, 4);
+    const EigenDecomposition eig = eigenSymmetric(covariance(data));
+    for (double v : eig.values)
+        EXPECT_GE(v, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgProperty,
+                         ::testing::Values(2u, 23u, 0xBEEFu, 777u));
+
+} // namespace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the leveled logger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/error.h"
+#include "src/util/log.h"
+
+namespace {
+
+using namespace hiermeans::log;
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setStream(&capture_);
+        setLevel(Level::Warn);
+    }
+
+    void
+    TearDown() override
+    {
+        setStream(nullptr);
+        setLevel(Level::Warn);
+    }
+
+    std::ostringstream capture_;
+};
+
+TEST_F(LogTest, MessagesAtOrAboveLevelAreEmitted)
+{
+    setLevel(Level::Info);
+    HM_LOG(Error) << "boom";
+    HM_LOG(Info) << "progress";
+    const std::string out = capture_.str();
+    EXPECT_NE(out.find("[error] boom"), std::string::npos);
+    EXPECT_NE(out.find("[info] progress"), std::string::npos);
+}
+
+TEST_F(LogTest, MessagesBelowLevelAreSuppressed)
+{
+    setLevel(Level::Error);
+    HM_LOG(Warn) << "hidden";
+    HM_LOG(Debug) << "also hidden";
+    EXPECT_TRUE(capture_.str().empty());
+}
+
+TEST_F(LogTest, SilentSuppressesEverything)
+{
+    setLevel(Level::Silent);
+    HM_LOG(Error) << "nothing";
+    EXPECT_TRUE(capture_.str().empty());
+}
+
+TEST_F(LogTest, StreamedValuesAreFormatted)
+{
+    setLevel(Level::Debug);
+    HM_LOG(Debug) << "n = " << 42 << ", x = " << 1.5;
+    EXPECT_NE(capture_.str().find("n = 42, x = 1.5"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNamesRoundTrip)
+{
+    for (Level l : {Level::Silent, Level::Error, Level::Warn, Level::Info,
+                    Level::Debug}) {
+        EXPECT_EQ(parseLevel(levelName(l)), l);
+    }
+    EXPECT_EQ(parseLevel("WARNING"), Level::Warn);
+    EXPECT_THROW(parseLevel("loud"), hiermeans::InvalidArgument);
+}
+
+TEST_F(LogTest, LevelQueryReflectsSetting)
+{
+    setLevel(Level::Debug);
+    EXPECT_EQ(level(), Level::Debug);
+}
+
+} // namespace

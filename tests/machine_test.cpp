@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the Table II machine models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/workload/machine.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+
+TEST(MachineTest, SpecsMatchTableII)
+{
+    const MachineSpec &a = machineA();
+    EXPECT_EQ(a.name, "A");
+    EXPECT_DOUBLE_EQ(a.clockGhz, 3.0);
+    EXPECT_DOUBLE_EQ(a.l2CacheMb, 2.0);
+    EXPECT_DOUBLE_EQ(a.memoryGb, 2.0);
+
+    const MachineSpec &b = machineB();
+    EXPECT_EQ(b.name, "B");
+    EXPECT_DOUBLE_EQ(b.l2CacheMb, 0.5);
+    EXPECT_DOUBLE_EQ(b.memoryGb, 0.5);
+
+    const MachineSpec &ref = referenceMachine();
+    EXPECT_EQ(ref.name, "reference");
+    EXPECT_DOUBLE_EQ(ref.clockGhz, 1.2);
+    EXPECT_DOUBLE_EQ(ref.l2CacheMb, 8.0);
+}
+
+TEST(MachineTest, ReferenceHasUnitRates)
+{
+    const MachineSpec &ref = referenceMachine();
+    EXPECT_DOUBLE_EQ(ref.cpuRate, 1.0);
+    EXPECT_DOUBLE_EQ(ref.memRate, 1.0);
+    EXPECT_DOUBLE_EQ(ref.mlatRate, 1.0);
+    EXPECT_DOUBLE_EQ(ref.sysRate, 1.0);
+    EXPECT_DOUBLE_EQ(ref.ioRate, 1.0);
+}
+
+TEST(MachineTest, RatesEncodeQualitativeHardware)
+{
+    const MachineSpec &a = machineA();
+    const MachineSpec &b = machineB();
+    // Both x86 machines far outrun the 1.2 GHz reference on compute.
+    EXPECT_GT(a.cpuRate, 4.0);
+    EXPECT_GT(b.cpuRate, 4.0);
+    // A (server, JRockit, 2 GB) leads B on JVM services.
+    EXPECT_GT(a.sysRate, b.sysRate);
+    // B's 512 KB L2 is the weakest cache-resident memory path.
+    EXPECT_LT(b.memRate, a.memRate);
+    // Both lose to the reference's 8 MB L2 on capacity misses.
+    EXPECT_LT(a.mlatRate, 1.0);
+    EXPECT_LT(b.mlatRate, 1.0);
+    // B's desktop I/O path beats A's server interrupt path.
+    EXPECT_GT(b.ioRate, a.ioRate);
+}
+
+TEST(MachineTest, PaperMachinesOrderAndCount)
+{
+    const auto machines = paperMachines();
+    ASSERT_EQ(machines.size(), 3u);
+    EXPECT_EQ(machines[0].name, "A");
+    EXPECT_EQ(machines[1].name, "B");
+    EXPECT_EQ(machines[2].name, "reference");
+}
+
+TEST(MachineTest, PressureFactorOrdering)
+{
+    // The 512 MB machine is under the most memory pressure.
+    EXPECT_GT(machineB().memoryPressureFactor,
+              machineA().memoryPressureFactor);
+}
+
+} // namespace

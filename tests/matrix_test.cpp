@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the dense matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/matrix.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::covariance;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+TEST(MatrixTest, ConstructionAndShape)
+{
+    const Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_FALSE(m.empty());
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(MatrixTest, FromRowsValidatesWidths)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(Matrix::fromRows({{1.0}, {1.0, 2.0}}), InvalidArgument);
+    EXPECT_TRUE(Matrix::fromRows({}).empty());
+}
+
+TEST(MatrixTest, Identity)
+{
+    const Matrix id = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, AtBoundsChecked)
+{
+    Matrix m(2, 2);
+    EXPECT_NO_THROW(m.at(1, 1));
+    EXPECT_THROW(m.at(2, 0), InvalidArgument);
+    EXPECT_THROW(m.at(0, 2), InvalidArgument);
+}
+
+TEST(MatrixTest, RowColumnAccess)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(m.row(0), (Vector{1.0, 2.0}));
+    EXPECT_EQ(m.column(1), (Vector{2.0, 4.0}));
+    EXPECT_THROW(m.row(2), InvalidArgument);
+    EXPECT_THROW(m.column(2), InvalidArgument);
+}
+
+TEST(MatrixTest, SetRow)
+{
+    Matrix m(2, 2);
+    m.setRow(0, {5.0, 6.0});
+    EXPECT_EQ(m.row(0), (Vector{5.0, 6.0}));
+    EXPECT_THROW(m.setRow(0, {1.0}), InvalidArgument);
+    EXPECT_THROW(m.setRow(2, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(MatrixTest, Transpose)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_TRUE(t.transposed().approxEqual(m, 0.0));
+}
+
+TEST(MatrixTest, MatrixMultiply)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const Matrix b = Matrix::fromRows({{5.0, 6.0}, {7.0, 8.0}});
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+    EXPECT_THROW(a.multiply(Matrix(3, 2)), InvalidArgument);
+}
+
+TEST(MatrixTest, MatrixVectorMultiply)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(a.multiply(Vector{1.0, 1.0}), (Vector{3.0, 7.0}));
+    EXPECT_THROW(a.multiply(Vector{1.0}), InvalidArgument);
+}
+
+TEST(MatrixTest, SelectColumnsAndRows)
+{
+    const Matrix m =
+        Matrix::fromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const Matrix cols = m.selectColumns({2, 0});
+    EXPECT_EQ(cols.row(0), (Vector{3.0, 1.0}));
+    const Matrix rows = m.selectRows({1});
+    EXPECT_EQ(rows.row(0), (Vector{4.0, 5.0, 6.0}));
+    EXPECT_THROW(m.selectColumns({3}), InvalidArgument);
+    EXPECT_THROW(m.selectRows({2}), InvalidArgument);
+}
+
+TEST(MatrixTest, ApproxEqual)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}});
+    Matrix b = a;
+    b(0, 1) += 1e-12;
+    EXPECT_TRUE(a.approxEqual(b, 1e-9));
+    b(0, 1) += 1.0;
+    EXPECT_FALSE(a.approxEqual(b, 1e-9));
+    EXPECT_FALSE(a.approxEqual(Matrix(1, 3), 1e-9));
+}
+
+TEST(MatrixTest, ToStringFormats)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.5}});
+    EXPECT_EQ(m.toString(1), "1.0 2.5\n");
+}
+
+TEST(CovarianceTest, HandComputed)
+{
+    // Two variables, three samples.
+    const Matrix obs =
+        Matrix::fromRows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+    const Matrix cov = covariance(obs);
+    EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);       // var(x) = 1.
+    EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);       // var(y) = 4.
+    EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);       // cov = 2 (y = 2x).
+    EXPECT_NEAR(cov(1, 0), cov(0, 1), 1e-12); // symmetric.
+}
+
+TEST(CovarianceTest, RequiresTwoSamples)
+{
+    EXPECT_THROW(covariance(Matrix(1, 2)), InvalidArgument);
+}
+
+} // namespace

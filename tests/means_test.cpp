@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for plain and weighted means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/means.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::DomainError;
+using hiermeans::InvalidArgument;
+using namespace hiermeans::stats;
+
+TEST(MeansTest, ArithmeticBasic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({-1.0, 1.0}), 0.0);
+}
+
+TEST(MeansTest, GeometricBasic)
+{
+    EXPECT_NEAR(geometricMean({4.0, 9.0}), 6.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(MeansTest, HarmonicBasic)
+{
+    EXPECT_NEAR(harmonicMean({1.0, 1.0}), 1.0, 1e-12);
+    // HM(2, 6) = 2 / (1/2 + 1/6) = 3.
+    EXPECT_NEAR(harmonicMean({2.0, 6.0}), 3.0, 1e-12);
+}
+
+TEST(MeansTest, EmptyInputThrows)
+{
+    EXPECT_THROW(arithmeticMean({}), InvalidArgument);
+    EXPECT_THROW(geometricMean({}), InvalidArgument);
+    EXPECT_THROW(harmonicMean({}), InvalidArgument);
+}
+
+TEST(MeansTest, NonPositiveDomainErrors)
+{
+    EXPECT_THROW(geometricMean({1.0, 0.0}), DomainError);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), DomainError);
+    EXPECT_THROW(harmonicMean({1.0, 0.0}), DomainError);
+    EXPECT_NO_THROW(arithmeticMean({1.0, -1.0}));
+}
+
+TEST(MeansTest, GeometricIsOverflowSafe)
+{
+    // Direct multiplication of these would overflow a double; the
+    // log-space implementation must not.
+    std::vector<double> huge(64, 1e300);
+    EXPECT_NEAR(geometricMean(huge) / 1e300, 1.0, 1e-9);
+    std::vector<double> tiny(64, 1e-300);
+    EXPECT_NEAR(geometricMean(tiny) / 1e-300, 1.0, 1e-9);
+}
+
+TEST(MeansTest, DispatchMatchesDirectCalls)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(MeanKind::Arithmetic, v), arithmeticMean(v));
+    EXPECT_DOUBLE_EQ(mean(MeanKind::Geometric, v), geometricMean(v));
+    EXPECT_DOUBLE_EQ(mean(MeanKind::Harmonic, v), harmonicMean(v));
+}
+
+TEST(MeansTest, KindNamesRoundTrip)
+{
+    for (MeanKind kind : {MeanKind::Arithmetic, MeanKind::Geometric,
+                          MeanKind::Harmonic}) {
+        EXPECT_EQ(parseMeanKind(meanKindName(kind)), kind);
+    }
+    EXPECT_EQ(parseMeanKind("GM"), MeanKind::Geometric);
+    EXPECT_EQ(parseMeanKind("am"), MeanKind::Arithmetic);
+    EXPECT_THROW(parseMeanKind("quadratic"), InvalidArgument);
+}
+
+TEST(WeightedMeansTest, UniformWeightsEqualPlainMeans)
+{
+    const std::vector<double> v = {1.5, 2.5, 3.5};
+    const std::vector<double> w = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(weightedArithmeticMean(v, w), arithmeticMean(v), 1e-12);
+    EXPECT_NEAR(weightedGeometricMean(v, w), geometricMean(v), 1e-12);
+    EXPECT_NEAR(weightedHarmonicMean(v, w), harmonicMean(v), 1e-12);
+}
+
+TEST(WeightedMeansTest, ZeroWeightIgnoresValue)
+{
+    const std::vector<double> v = {1.0, 100.0};
+    const std::vector<double> w = {1.0, 0.0};
+    EXPECT_NEAR(weightedArithmeticMean(v, w), 1.0, 1e-12);
+    EXPECT_NEAR(weightedGeometricMean(v, w), 1.0, 1e-12);
+    EXPECT_NEAR(weightedHarmonicMean(v, w), 1.0, 1e-12);
+}
+
+TEST(WeightedMeansTest, HandComputedValues)
+{
+    const std::vector<double> v = {2.0, 8.0};
+    const std::vector<double> w = {3.0, 1.0};
+    EXPECT_NEAR(weightedArithmeticMean(v, w), (6.0 + 8.0) / 4.0, 1e-12);
+    // WGM = exp((3 ln2 + ln8)/4) = exp((3 ln2 + 3 ln2)/4) = 2^1.5.
+    EXPECT_NEAR(weightedGeometricMean(v, w), std::pow(2.0, 1.5), 1e-12);
+    // WHM = 4 / (3/2 + 1/8) = 4 / 1.625.
+    EXPECT_NEAR(weightedHarmonicMean(v, w), 4.0 / 1.625, 1e-12);
+}
+
+TEST(WeightedMeansTest, InvalidWeightsThrow)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    EXPECT_THROW(weightedArithmeticMean(v, {1.0}), InvalidArgument);
+    EXPECT_THROW(weightedArithmeticMean(v, {-1.0, 2.0}), InvalidArgument);
+    EXPECT_THROW(weightedArithmeticMean(v, {0.0, 0.0}), InvalidArgument);
+}
+
+class MeanInequalityProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MeanInequalityProperty, HmLeGmLeAm)
+{
+    hiermeans::rng::Engine engine(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + engine.below(20);
+        std::vector<double> v;
+        for (std::size_t i = 0; i < n; ++i)
+            v.push_back(engine.uniform(0.01, 100.0));
+        const double am = arithmeticMean(v);
+        const double gm = geometricMean(v);
+        const double hm = harmonicMean(v);
+        EXPECT_LE(hm, gm + 1e-9);
+        EXPECT_LE(gm, am + 1e-9);
+    }
+}
+
+TEST_P(MeanInequalityProperty, WeightedMeanBetweenExtremes)
+{
+    hiermeans::rng::Engine engine(GetParam() ^ 0x77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + engine.below(10);
+        std::vector<double> v, w;
+        for (std::size_t i = 0; i < n; ++i) {
+            v.push_back(engine.uniform(0.1, 50.0));
+            w.push_back(engine.uniform(0.0, 5.0));
+        }
+        w[0] = 1.0; // ensure positive total.
+        const double lo = *std::min_element(v.begin(), v.end());
+        const double hi = *std::max_element(v.begin(), v.end());
+        for (MeanKind kind : {MeanKind::Arithmetic, MeanKind::Geometric,
+                              MeanKind::Harmonic}) {
+            const double m = weightedMean(kind, v, w);
+            EXPECT_GE(m, lo - 1e-9);
+            EXPECT_LE(m, hi + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeanInequalityProperty,
+                         ::testing::Values(1u, 7u, 99u, 2024u));
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the synthetic Java method-utilization profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/error.h"
+#include "src/workload/method_profile.h"
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+using hiermeans::InvalidArgument;
+
+TEST(MethodProfileTest, BitsAreBinaryAndShaped)
+{
+    const MethodProfileSynthesizer synth;
+    const MethodProfile mp = synth.generate(paperSuiteProfiles());
+    EXPECT_EQ(mp.bits.rows(), 13u);
+    EXPECT_EQ(mp.bits.cols(), mp.methodNames.size());
+    for (std::size_t w = 0; w < mp.bits.rows(); ++w) {
+        for (std::size_t c = 0; c < mp.bits.cols(); ++c) {
+            EXPECT_TRUE(mp.bits(w, c) == 0.0 || mp.bits(w, c) == 1.0);
+        }
+    }
+}
+
+TEST(MethodProfileTest, Deterministic)
+{
+    const MethodProfileSynthesizer synth;
+    const MethodProfile a = synth.generate(paperSuiteProfiles());
+    const MethodProfile b = synth.generate(paperSuiteProfiles());
+    EXPECT_TRUE(a.bits.approxEqual(b.bits, 0.0));
+    EXPECT_EQ(a.methodNames, b.methodNames);
+}
+
+TEST(MethodProfileTest, PrivateMethodsUsedByExactlyOneWorkload)
+{
+    const MethodProfileSynthesizer synth;
+    const MethodProfile mp = synth.generate(paperSuiteProfiles());
+    // Count columns with exactly one user; at least the sum of
+    // privateMethods such columns must exist.
+    std::size_t single_user = 0;
+    for (std::size_t c = 0; c < mp.bits.cols(); ++c) {
+        std::size_t users = 0;
+        for (std::size_t w = 0; w < mp.bits.rows(); ++w)
+            users += mp.bits(w, c) != 0.0 ? 1 : 0;
+        if (users == 1)
+            ++single_user;
+    }
+    std::size_t private_total = 0;
+    for (const auto &p : paperSuiteProfiles())
+        private_total += p.privateMethods;
+    EXPECT_GE(single_user, private_total);
+}
+
+TEST(MethodProfileTest, SciMarkBitVectorsIdenticalAfterFiltering)
+{
+    // The mechanism behind Figure 7: once single-user (private) and
+    // universal methods are dropped, the five SciMark2 kernels have
+    // bit-for-bit identical characteristic vectors.
+    const MethodProfileSynthesizer synth;
+    const MethodProfile mp = synth.generate(paperSuiteProfiles());
+    const auto kept = selectDiscriminatingMethods(mp.bits);
+    ASSERT_FALSE(kept.empty());
+    const auto sc = indicesOfOrigin(SuiteOrigin::SciMark2);
+    for (std::size_t c : kept) {
+        for (std::size_t i = 1; i < sc.size(); ++i) {
+            EXPECT_EQ(mp.bits(sc[0], c), mp.bits(sc[i], c))
+                << "column " << c;
+        }
+    }
+}
+
+TEST(MethodProfileTest, FilterDropsUniversalAndUnique)
+{
+    // 3 workloads x 4 methods: col0 all use (dropped), col1 only w0
+    // (dropped), col2 w0+w1 (kept), col3 none (dropped: 0 users).
+    hiermeans::linalg::Matrix bits(3, 4, 0.0);
+    for (std::size_t w = 0; w < 3; ++w)
+        bits(w, 0) = 1.0;
+    bits(0, 1) = 1.0;
+    bits(0, 2) = 1.0;
+    bits(1, 2) = 1.0;
+    EXPECT_EQ(selectDiscriminatingMethods(bits),
+              (std::vector<std::size_t>{2}));
+}
+
+TEST(MethodProfileTest, MethodsUsedCountsBits)
+{
+    const MethodProfileSynthesizer synth;
+    const MethodProfile mp = synth.generate(paperSuiteProfiles());
+    for (std::size_t w = 0; w < mp.bits.rows(); ++w) {
+        std::size_t manual = 0;
+        for (std::size_t c = 0; c < mp.bits.cols(); ++c)
+            manual += mp.bits(w, c) != 0.0 ? 1 : 0;
+        EXPECT_EQ(mp.methodsUsed(w), manual);
+    }
+    EXPECT_THROW(mp.methodsUsed(13), InvalidArgument);
+}
+
+TEST(MethodProfileTest, UnknownLibraryTagThrows)
+{
+    WorkloadProfile p;
+    p.name = "w";
+    p.methodSeedGroup = "w";
+    p.libraries = {{"no.such.library", 0.5}};
+    const MethodProfileSynthesizer synth;
+    EXPECT_THROW(synth.generate({p}), InvalidArgument);
+}
+
+TEST(MethodProfileTest, ExtraLibrariesRegistered)
+{
+    MethodProfileConfig config;
+    config.extraLibraries = {{"custom.lib", "com.custom", 20}};
+    const MethodProfileSynthesizer synth(config);
+    WorkloadProfile p;
+    p.name = "w";
+    p.methodSeedGroup = "w";
+    p.libraries = {{"custom.lib", 1.0}};
+    p.privateMethods = 0;
+    const MethodProfile mp = synth.generate({p});
+    EXPECT_EQ(mp.methodsUsed(0), 20u);
+    // Invalid extra library.
+    MethodProfileConfig bad;
+    bad.extraLibraries = {{"x", "y", 0}};
+    EXPECT_THROW(MethodProfileSynthesizer{bad}, InvalidArgument);
+}
+
+TEST(MethodProfileTest, CoverageValidation)
+{
+    WorkloadProfile p;
+    p.name = "w";
+    p.methodSeedGroup = "w";
+    p.libraries = {{"jdk.core", 1.5}};
+    const MethodProfileSynthesizer synth;
+    EXPECT_THROW(synth.generate({p}), InvalidArgument);
+    EXPECT_THROW(synth.generate({}), InvalidArgument);
+}
+
+TEST(MethodProfileTest, MethodNamesLookLikeJavaMethods)
+{
+    const MethodProfileSynthesizer synth;
+    const MethodProfile mp = synth.generate(paperSuiteProfiles());
+    // Library methods carry their package prefix.
+    const bool has_scimark = std::any_of(
+        mp.methodNames.begin(), mp.methodNames.end(),
+        [](const std::string &n) {
+            return n.find("jnt.scimark2") != std::string::npos;
+        });
+    EXPECT_TRUE(has_scimark);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the MICA-style microarchitecture-independent features.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/characterization.h"
+#include "src/util/error.h"
+#include "src/workload/mica_features.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+using hiermeans::InvalidArgument;
+
+TEST(MicaFeaturesTest, PanelShapeAndNames)
+{
+    const MicaFeatureSynthesizer synth;
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    EXPECT_EQ(f.values.rows(), 13u);
+    EXPECT_EQ(f.values.cols(), synth.featureCount());
+    EXPECT_EQ(f.featureNames.size(), synth.featureCount());
+    EXPECT_EQ(f.featureNames[0], "imix.load");
+    EXPECT_EQ(f.featureNames.back(), "footprint.pages4k_log");
+}
+
+TEST(MicaFeaturesTest, Deterministic)
+{
+    const MicaFeatureSynthesizer synth;
+    const MicaFeatures a = synth.generate(paperSuiteProfiles());
+    const MicaFeatures b = synth.generate(paperSuiteProfiles());
+    EXPECT_TRUE(a.values.approxEqual(b.values, 0.0));
+}
+
+TEST(MicaFeaturesTest, MachineIndependentByConstruction)
+{
+    // generate() takes no machine at all — but verify the stronger
+    // pipeline property: the characterization is identical however
+    // often and in whatever context it is invoked.
+    const MicaFeatureSynthesizer synth;
+    const auto cv1 = hiermeans::core::characterizeFromMica(
+        synth.generate(paperSuiteProfiles()), paperWorkloadNames());
+    const auto cv2 = hiermeans::core::characterizeFromMica(
+        synth.generate(paperSuiteProfiles()), paperWorkloadNames());
+    EXPECT_TRUE(cv1.features.approxEqual(cv2.features, 0.0));
+}
+
+TEST(MicaFeaturesTest, InstructionMixSumsToOne)
+{
+    MicaConfig config;
+    config.jitterSigma = 0.0;
+    const MicaFeatureSynthesizer synth(config);
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    for (std::size_t w = 0; w < f.values.rows(); ++w) {
+        double mix = 0.0;
+        for (std::size_t c = 0; c < 6; ++c)
+            mix += f.values(w, c);
+        EXPECT_NEAR(mix, 1.0, 1e-9) << "workload " << w;
+    }
+}
+
+TEST(MicaFeaturesTest, HistogramsAreDistributions)
+{
+    MicaConfig config;
+    config.jitterSigma = 0.0;
+    const MicaFeatureSynthesizer synth(config);
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    // ILP histogram columns 6 .. 6+ilpBuckets-1.
+    for (std::size_t w = 0; w < f.values.rows(); ++w) {
+        double ilp = 0.0;
+        for (std::size_t c = 6; c < 6 + config.ilpBuckets; ++c) {
+            EXPECT_GE(f.values(w, c), 0.0);
+            ilp += f.values(w, c);
+        }
+        EXPECT_NEAR(ilp, 1.0, 1e-9);
+    }
+}
+
+TEST(MicaFeaturesTest, FpHeavyKernelsDifferFromControlCode)
+{
+    MicaConfig config;
+    config.jitterSigma = 0.0;
+    const MicaFeatureSynthesizer synth(config);
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    // SciMark2.FFT (index 5, fp 0.85) has far more fp arithmetic than
+    // jess (index 1, fp 0.02). imix.fp is column 4.
+    EXPECT_GT(f.values(5, 4), 5.0 * f.values(1, 4));
+    // And jess transitions branches more (branch.transition_rate).
+    const std::size_t transition_col =
+        6 + config.ilpBuckets + 2 * config.strideBuckets + 1;
+    EXPECT_GT(f.values(1, transition_col), f.values(5, transition_col));
+}
+
+TEST(MicaFeaturesTest, SciMarkKernelsTightCluster)
+{
+    const MicaFeatureSynthesizer synth;
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    const auto sc = indicesOfOrigin(SuiteOrigin::SciMark2);
+    // Relative distance between SciMark2 kernels is small versus
+    // distance to DaCapo.hsqldb (index 10).
+    auto dist = [&](std::size_t i, std::size_t j) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < f.values.cols(); ++c) {
+            const double d = f.values(i, c) - f.values(j, c);
+            acc += d * d;
+        }
+        return std::sqrt(acc);
+    };
+    for (std::size_t i : sc) {
+        for (std::size_t j : sc) {
+            if (i < j) {
+                EXPECT_LT(dist(i, j) * 3.0, dist(i, 10));
+            }
+        }
+    }
+}
+
+TEST(MicaFeaturesTest, FootprintIsLogWorkingSet)
+{
+    MicaConfig config;
+    config.jitterSigma = 0.0;
+    const MicaFeatureSynthesizer synth(config);
+    const MicaFeatures f = synth.generate(paperSuiteProfiles());
+    const std::size_t blocks_col = f.values.cols() - 2;
+    // hsqldb (320 MB) touches more blocks than SciMark2.FFT (4 MB).
+    EXPECT_GT(f.values(10, blocks_col), f.values(5, blocks_col));
+    // Exactly log2(ws * 2^20 / 32).
+    EXPECT_NEAR(f.values(5, blocks_col),
+                std::log2(4.0 * 1024.0 * 1024.0 / 32.0), 1e-9);
+}
+
+TEST(MicaFeaturesTest, Validation)
+{
+    MicaConfig config;
+    config.ilpBuckets = 1;
+    EXPECT_THROW(MicaFeatureSynthesizer{config}, InvalidArgument);
+    config = MicaConfig{};
+    config.jitterSigma = -0.1;
+    EXPECT_THROW(MicaFeatureSynthesizer{config}, InvalidArgument);
+    const MicaFeatureSynthesizer synth;
+    EXPECT_THROW(synth.generate({}), InvalidArgument);
+}
+
+} // namespace

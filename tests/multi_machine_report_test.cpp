@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the N-machine score report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/hierarchical_mean.h"
+#include "src/scoring/score_report.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::scoring;
+using hiermeans::InvalidArgument;
+using hiermeans::stats::MeanKind;
+
+MultiMachineReport
+sample()
+{
+    const std::vector<std::vector<double>> scores = {
+        {4.0, 2.0, 1.0},  // X
+        {2.0, 2.0, 2.0},  // Y
+        {1.0, 1.5, 4.0},  // Z
+    };
+    return buildMultiMachineReport(
+        MeanKind::Geometric, scores, {"X", "Y", "Z"},
+        {Partition::fromGroups({{0, 1}, {2}}), Partition::discrete(3)});
+}
+
+TEST(MultiMachineReportTest, ScoresMatchHierarchicalMeans)
+{
+    const MultiMachineReport r = sample();
+    ASSERT_EQ(r.rows.size(), 2u);
+    const Partition p = Partition::fromGroups({{0, 1}, {2}});
+    EXPECT_NEAR(r.rows[0].scores[0],
+                hierarchicalGeometricMean({4.0, 2.0, 1.0}, p), 1e-12);
+    EXPECT_NEAR(r.rows[0].scores[1],
+                hierarchicalGeometricMean({2.0, 2.0, 2.0}, p), 1e-12);
+    ASSERT_EQ(r.plainScores.size(), 3u);
+    EXPECT_NEAR(r.plainScores[1], 2.0, 1e-12);
+}
+
+TEST(MultiMachineReportTest, RankingOrdersByScore)
+{
+    const MultiMachineReport r = sample();
+    // Row 0: X = sqrt(sqrt(8)*1) ~ 1.68, Y = 2, Z = sqrt(sqrt(1.5)*4)
+    // ~ 2.21 -> Z > Y > X.
+    const auto rank = r.ranking(0);
+    EXPECT_EQ(rank[0], 2u);
+    EXPECT_EQ(rank[1], 1u);
+    EXPECT_EQ(rank[2], 0u);
+    EXPECT_THROW(r.ranking(5), InvalidArgument);
+}
+
+TEST(MultiMachineReportTest, RankingStabilityDetection)
+{
+    const MultiMachineReport r = sample();
+    // Row 1 (discrete): X GM = 2, Y = 2, Z ~ 1.82 -> X/Y lead; row 0
+    // ranked Z first, so the ranking is NOT stable across k.
+    EXPECT_FALSE(r.rankingStable());
+
+    // A report where one machine dominates everywhere is stable.
+    const std::vector<std::vector<double>> dominated = {
+        {4.0, 4.0}, {1.0, 1.0}};
+    const MultiMachineReport stable = buildMultiMachineReport(
+        MeanKind::Geometric, dominated, {"fast", "slow"},
+        {Partition::single(2), Partition::discrete(2)});
+    EXPECT_TRUE(stable.rankingStable());
+}
+
+TEST(MultiMachineReportTest, RenderListsMachinesAndBestColumn)
+{
+    const MultiMachineReport r = sample();
+    const std::string out = r.render();
+    for (const char *label : {"X", "Y", "Z", "best", "plain"})
+        EXPECT_NE(out.find(label), std::string::npos) << label;
+    EXPECT_NE(out.find("2 Clusters"), std::string::npos);
+}
+
+TEST(MultiMachineReportTest, TiesBrokenByMachineOrder)
+{
+    const std::vector<std::vector<double>> tied = {{2.0}, {2.0}};
+    const MultiMachineReport r = buildMultiMachineReport(
+        MeanKind::Geometric, tied, {"first", "second"},
+        {Partition::single(1)});
+    EXPECT_EQ(r.ranking(0)[0], 0u);
+}
+
+TEST(MultiMachineReportTest, Validation)
+{
+    EXPECT_THROW(buildMultiMachineReport(MeanKind::Geometric, {{1.0}},
+                                         {"only"}, {}),
+                 InvalidArgument);
+    EXPECT_THROW(buildMultiMachineReport(MeanKind::Geometric,
+                                         {{1.0}, {1.0, 2.0}},
+                                         {"a", "b"}, {}),
+                 InvalidArgument);
+    EXPECT_THROW(
+        buildMultiMachineReport(MeanKind::Geometric, {{1.0}, {2.0}},
+                                {"a", "b"},
+                                {Partition::single(2)}),
+        InvalidArgument);
+}
+
+} // namespace

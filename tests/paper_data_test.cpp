@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the embedded published data and its internal consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/stats/means.h"
+#include "src/workload/paper_data.h"
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+
+TEST(PaperDataTest, Table3Shape)
+{
+    const auto &rows = paper::table3();
+    ASSERT_EQ(rows.size(), 13u);
+    EXPECT_EQ(rows.front().workload, "jvm98.201.compress");
+    EXPECT_EQ(rows.back().workload, "DaCapo.xalan");
+    EXPECT_DOUBLE_EQ(rows[4].speedupA, 2.57); // mtrt.
+    EXPECT_DOUBLE_EQ(rows[10].speedupB, 2.31); // hsqldb.
+}
+
+TEST(PaperDataTest, Table3NamesMatchSuiteProfiles)
+{
+    const auto names = paperWorkloadNames();
+    const auto &rows = paper::table3();
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].workload, names[i]);
+}
+
+TEST(PaperDataTest, Table3RatiosConsistent)
+{
+    // The printed ratio column equals A/B up to the paper's rounding
+    // (the authors rounded from unrounded speedups, so allow two ulps
+    // of the second decimal).
+    for (const auto &row : paper::table3()) {
+        EXPECT_NEAR(row.ratio, row.speedupA / row.speedupB, 0.02)
+            << row.workload;
+    }
+}
+
+TEST(PaperDataTest, Table3GeomeanMatchesPrintedFooter)
+{
+    // Independent validation of the paper's own arithmetic: the plain
+    // geometric means of the columns equal the printed footer values.
+    const auto a = paper::table3SpeedupsA();
+    const auto b = paper::table3SpeedupsB();
+    const double gm_a = hiermeans::stats::geometricMean(a);
+    const double gm_b = hiermeans::stats::geometricMean(b);
+    EXPECT_NEAR(gm_a, paper::kTable3GeomeanA, 0.005);
+    EXPECT_NEAR(gm_b, paper::kTable3GeomeanB, 0.005);
+    EXPECT_NEAR(gm_a / gm_b, paper::kTable3GeomeanRatio, 0.005);
+}
+
+TEST(PaperDataTest, HgmTablesShape)
+{
+    for (const auto *table : {&paper::table4(), &paper::table5(),
+                              &paper::table6()}) {
+        ASSERT_EQ(table->size(), 7u);
+        for (std::size_t i = 0; i < table->size(); ++i) {
+            EXPECT_EQ((*table)[i].clusters, i + 2);
+            EXPECT_GT((*table)[i].scoreA, 0.0);
+            EXPECT_NEAR((*table)[i].ratio,
+                        (*table)[i].scoreA / (*table)[i].scoreB, 0.011);
+        }
+    }
+}
+
+TEST(PaperDataTest, Figure4aGroupsPartitionThirteenWorkloads)
+{
+    const auto groups = paper::figure4aFourClusterGroups();
+    ASSERT_EQ(groups.size(), 4u);
+    std::vector<bool> seen(13, false);
+    for (const auto &g : groups) {
+        for (std::size_t w : g) {
+            ASSERT_LT(w, 13u);
+            EXPECT_FALSE(seen[w]);
+            seen[w] = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+    // The narrated singleton is javac.
+    EXPECT_EQ(groups[0], (std::vector<std::size_t>{2}));
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for scoring::Partition and the Rand indices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/partition.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::scoring::adjustedRandIndex;
+using hiermeans::scoring::Partition;
+using hiermeans::scoring::randIndex;
+
+TEST(PartitionTest, SingleAndDiscrete)
+{
+    const Partition single = Partition::single(5);
+    EXPECT_EQ(single.size(), 5u);
+    EXPECT_EQ(single.clusterCount(), 1u);
+    EXPECT_TRUE(single.isSingle());
+    EXPECT_FALSE(single.isDiscrete());
+
+    const Partition discrete = Partition::discrete(5);
+    EXPECT_EQ(discrete.clusterCount(), 5u);
+    EXPECT_TRUE(discrete.isDiscrete());
+    EXPECT_FALSE(discrete.isSingle());
+
+    const Partition one = Partition::single(1);
+    EXPECT_TRUE(one.isSingle());
+    EXPECT_TRUE(one.isDiscrete());
+}
+
+TEST(PartitionTest, CanonicalizationMakesEquivalentLabelingsEqual)
+{
+    const Partition a = Partition::fromLabels({7, 7, 3, 3, 9});
+    const Partition b = Partition::fromLabels({0, 0, 1, 1, 2});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.labels(), (std::vector<std::size_t>{0, 0, 1, 1, 2}));
+}
+
+TEST(PartitionTest, FromGroupsRoundTrip)
+{
+    const Partition p = Partition::fromGroups({{0, 2}, {1}, {3, 4}});
+    EXPECT_EQ(p.clusterCount(), 3u);
+    EXPECT_EQ(p.members(0), (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(p.members(1), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(p.members(2), (std::vector<std::size_t>{3, 4}));
+    EXPECT_EQ(p.clusterSizes(), (std::vector<std::size_t>{2, 1, 2}));
+}
+
+TEST(PartitionTest, GroupsPartitionAllItems)
+{
+    const Partition p = Partition::fromLabels({0, 1, 0, 2, 1, 0});
+    const auto groups = p.groups();
+    std::size_t total = 0;
+    for (const auto &g : groups)
+        total += g.size();
+    EXPECT_EQ(total, p.size());
+}
+
+TEST(PartitionTest, FromGroupsValidation)
+{
+    // Item appears twice.
+    EXPECT_THROW(Partition::fromGroups({{0, 1}, {1}}), InvalidArgument);
+    // Empty cluster.
+    EXPECT_THROW(Partition::fromGroups({{0}, {}}), InvalidArgument);
+    // Gap: item 2 missing (3 items total implies indices 0..2).
+    EXPECT_THROW(Partition::fromGroups({{0, 1, 3}}), InvalidArgument);
+    // Empty everything.
+    EXPECT_THROW(Partition::fromGroups({}), InvalidArgument);
+}
+
+TEST(PartitionTest, LabelBoundsChecked)
+{
+    const Partition p = Partition::single(3);
+    EXPECT_THROW(p.label(3), InvalidArgument);
+    EXPECT_THROW(p.members(1), InvalidArgument);
+}
+
+TEST(PartitionTest, ToStringWithNames)
+{
+    const Partition p = Partition::fromGroups({{0, 1}, {2}});
+    EXPECT_EQ(p.toString({"a", "b", "c"}), "{a, b} {c}");
+    EXPECT_EQ(p.toString(), "{0, 1} {2}");
+    EXPECT_THROW(p.toString({"a"}), InvalidArgument);
+}
+
+TEST(RandIndexTest, IdenticalPartitionsScoreOne)
+{
+    const Partition p = Partition::fromLabels({0, 0, 1, 2, 2});
+    EXPECT_DOUBLE_EQ(randIndex(p, p), 1.0);
+    EXPECT_DOUBLE_EQ(adjustedRandIndex(p, p), 1.0);
+}
+
+TEST(RandIndexTest, KnownDisagreement)
+{
+    // Pairs: (0,1) same in a, same in b (agree); (0,2) diff/diff
+    // (agree); (1,2) diff/diff (agree) -> hand check a small case.
+    const Partition a = Partition::fromLabels({0, 0, 1});
+    const Partition b = Partition::fromLabels({0, 1, 1});
+    // Pairs: (0,1): a same, b diff -> disagree. (0,2): a diff, b diff
+    // -> agree. (1,2): a diff, b same -> disagree. RI = 1/3.
+    EXPECT_NEAR(randIndex(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RandIndexTest, AdjustedIsChanceCorrected)
+{
+    // Independent random partitions should have ARI near 0 on average;
+    // here just verify ARI <= RI and ARI in [-1, 1] over random pairs.
+    hiermeans::rng::Engine engine(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 4 + engine.below(12);
+        std::vector<std::size_t> la(n), lb(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            la[i] = engine.below(3);
+            lb[i] = engine.below(3);
+        }
+        const Partition a = Partition::fromLabels(la);
+        const Partition b = Partition::fromLabels(lb);
+        const double ari = adjustedRandIndex(a, b);
+        EXPECT_GE(ari, -1.0 - 1e-9);
+        EXPECT_LE(ari, 1.0 + 1e-9);
+    }
+}
+
+TEST(RandIndexTest, SizeMismatchThrows)
+{
+    EXPECT_THROW(randIndex(Partition::single(3), Partition::single(4)),
+                 InvalidArgument);
+    EXPECT_THROW(
+        adjustedRandIndex(Partition::single(3), Partition::single(4)),
+        InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/pca.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Pca;
+using hiermeans::linalg::Vector;
+
+/** Points on the line y = 2x plus tiny jitter along the normal. */
+Matrix
+linePoints()
+{
+    hiermeans::rng::Engine engine(3);
+    std::vector<Vector> rows;
+    for (int i = 0; i < 40; ++i) {
+        const double t = engine.uniform(-5.0, 5.0);
+        const double jitter = engine.normal(0.0, 0.01);
+        // Direction (1,2)/sqrt5; normal (-2,1)/sqrt5.
+        rows.push_back({t * 1.0 / std::sqrt(5.0) - 2.0 * jitter /
+                            std::sqrt(5.0),
+                        t * 2.0 / std::sqrt(5.0) + jitter /
+                            std::sqrt(5.0)});
+    }
+    return Matrix::fromRows(rows);
+}
+
+TEST(PcaTest, FirstComponentAlignsWithDominantDirection)
+{
+    const Pca pca = Pca::fit(linePoints());
+    // First component should be (1,2)/sqrt5 up to sign.
+    const double c0 = pca.components()(0, 0);
+    const double c1 = pca.components()(1, 0);
+    EXPECT_NEAR(std::abs(c1 / c0), 2.0, 0.02);
+    EXPECT_GT(pca.explainedVarianceRatio(0), 0.99);
+}
+
+TEST(PcaTest, ExplainedVarianceSumsToOne)
+{
+    const Pca pca = Pca::fit(linePoints());
+    EXPECT_NEAR(pca.cumulativeExplainedVariance(pca.dimension()), 1.0,
+                1e-9);
+    EXPECT_LE(pca.explainedVarianceRatio(1),
+              pca.explainedVarianceRatio(0));
+}
+
+TEST(PcaTest, FullProjectionReconstructsExactly)
+{
+    const Matrix data = linePoints();
+    const Pca pca = Pca::fit(data);
+    for (std::size_t r = 0; r < 5; ++r) {
+        const Vector x = data.row(r);
+        const Vector z = pca.project(x, pca.dimension());
+        const Vector back = pca.reconstruct(z);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_NEAR(back[i], x[i], 1e-9);
+    }
+}
+
+TEST(PcaTest, TruncatedReconstructionErrorBounded)
+{
+    const Matrix data = linePoints();
+    const Pca pca = Pca::fit(data);
+    // 1-component reconstruction of near-1-D data is near-exact.
+    double worst = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const Vector x = data.row(r);
+        const Vector back = pca.reconstruct(pca.project(x, 1));
+        double err = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            err += (back[i] - x[i]) * (back[i] - x[i]);
+        worst = std::max(worst, std::sqrt(err));
+    }
+    EXPECT_LT(worst, 0.05);
+}
+
+TEST(PcaTest, ProjectAllMatchesRowWise)
+{
+    const Matrix data = linePoints();
+    const Pca pca = Pca::fit(data);
+    const Matrix all = pca.projectAll(data, 2);
+    for (std::size_t r = 0; r < 3; ++r) {
+        const Vector single = pca.project(data.row(r), 2);
+        EXPECT_NEAR(all(r, 0), single[0], 1e-12);
+        EXPECT_NEAR(all(r, 1), single[1], 1e-12);
+    }
+}
+
+TEST(PcaTest, Validation)
+{
+    EXPECT_THROW(Pca::fit(Matrix(1, 3)), InvalidArgument);
+    const Pca pca = Pca::fit(linePoints());
+    EXPECT_THROW(pca.project({1.0, 2.0, 3.0}, 1), InvalidArgument);
+    EXPECT_THROW(pca.project({1.0, 2.0}, 0), InvalidArgument);
+    EXPECT_THROW(pca.project({1.0, 2.0}, 3), InvalidArgument);
+    EXPECT_THROW(pca.explainedVarianceRatio(5), InvalidArgument);
+}
+
+TEST(PcaTest, MeanIsRemoved)
+{
+    const Matrix data =
+        Matrix::fromRows({{10.0, 20.0}, {12.0, 24.0}, {14.0, 28.0}});
+    const Pca pca = Pca::fit(data);
+    EXPECT_NEAR(pca.mean()[0], 12.0, 1e-12);
+    EXPECT_NEAR(pca.mean()[1], 24.0, 1e-12);
+    // Projection of the mean itself is the zero vector.
+    const Vector z = pca.project({12.0, 24.0}, 2);
+    EXPECT_NEAR(z[0], 0.0, 1e-9);
+    EXPECT_NEAR(z[1], 0.0, 1e-9);
+}
+
+} // namespace

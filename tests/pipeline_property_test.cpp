@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Property sweeps over the full pipeline: planted cluster structures
+ * of varying shape must be recovered, and structural invariants must
+ * hold for every seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/pipeline.h"
+#include "src/core/recommendation.h"
+#include "src/scoring/partition.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using hiermeans::scoring::adjustedRandIndex;
+using hiermeans::scoring::Partition;
+using hiermeans::stats::MeanKind;
+
+struct Planted
+{
+    CharacteristicVectors vectors;
+    Partition truth = Partition::single(1);
+};
+
+/** Plant @p groups well-separated clusters in @p dims dimensions. */
+Planted
+plant(std::uint64_t seed, std::size_t groups, std::size_t per_group,
+      std::size_t dims)
+{
+    hiermeans::rng::Engine engine(seed);
+    std::vector<Vector> rows;
+    std::vector<std::size_t> labels;
+    std::vector<std::string> names;
+
+    // Random well-separated centers.
+    std::vector<Vector> centers;
+    for (std::size_t g = 0; g < groups; ++g) {
+        Vector center(dims);
+        for (std::size_t d = 0; d < dims; ++d)
+            center[d] = static_cast<double>(g) * 25.0 +
+                        engine.uniform(-2.0, 2.0);
+        centers.push_back(std::move(center));
+    }
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t i = 0; i < per_group; ++i) {
+            Vector point = centers[g];
+            for (std::size_t d = 0; d < dims; ++d)
+                point[d] += engine.normal(0.0, 0.3);
+            rows.push_back(std::move(point));
+            labels.push_back(g);
+            names.push_back("g" + std::to_string(g) + "w" +
+                            std::to_string(i));
+        }
+    }
+    Planted out;
+    out.vectors.workloadNames = names;
+    out.vectors.features = Matrix::fromRows(rows);
+    for (std::size_t d = 0; d < dims; ++d)
+        out.vectors.featureNames.push_back("f" + std::to_string(d));
+    out.truth = Partition::fromLabels(labels);
+    return out;
+}
+
+class PipelineProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, int /*groups*/, int /*per_group*/>>
+{
+  protected:
+    PipelineConfig
+    config() const
+    {
+        PipelineConfig c;
+        c.som.seed = std::get<0>(GetParam()) ^ 0x50;
+        c.som.steps = 3000;
+        c.kMin = 2;
+        c.kMax = 8;
+        const auto [seed, groups, per] = GetParam();
+        c.autoSizeSom(static_cast<std::size_t>(groups * per));
+        return c;
+    }
+};
+
+TEST_P(PipelineProperty, RecoversPlantedClustersAtTrueK)
+{
+    const auto [seed, groups, per] = GetParam();
+    const Planted planted =
+        plant(seed, static_cast<std::size_t>(groups),
+              static_cast<std::size_t>(per), 4);
+    const ClusterAnalysis analysis =
+        analyzeClusters(planted.vectors, config());
+    const Partition &cut = analysis.dendrogram.cutAtCount(
+        static_cast<std::size_t>(groups));
+    EXPECT_GT(adjustedRandIndex(cut, planted.truth), 0.99)
+        << "groups=" << groups << " per=" << per << " seed=" << seed;
+}
+
+TEST_P(PipelineProperty, PartitionsNestAcrossTheSweep)
+{
+    const auto [seed, groups, per] = GetParam();
+    const Planted planted =
+        plant(seed, static_cast<std::size_t>(groups),
+              static_cast<std::size_t>(per), 4);
+    const ClusterAnalysis analysis =
+        analyzeClusters(planted.vectors, config());
+    for (std::size_t i = 1; i < analysis.partitions.size(); ++i) {
+        const Partition &coarse = analysis.partitions[i - 1];
+        const Partition &fine = analysis.partitions[i];
+        for (const auto &cluster : fine.groups()) {
+            const std::size_t target = coarse.label(cluster.front());
+            for (std::size_t member : cluster)
+                EXPECT_EQ(coarse.label(member), target);
+        }
+    }
+}
+
+TEST_P(PipelineProperty, DendrogramIsMonotoneAndCompleteLinkage)
+{
+    const auto [seed, groups, per] = GetParam();
+    const Planted planted =
+        plant(seed, static_cast<std::size_t>(groups),
+              static_cast<std::size_t>(per), 4);
+    const ClusterAnalysis analysis =
+        analyzeClusters(planted.vectors, config());
+    EXPECT_TRUE(analysis.dendrogram.heightsMonotone());
+    EXPECT_EQ(analysis.dendrogram.leafCount(),
+              planted.vectors.features.rows());
+}
+
+TEST_P(PipelineProperty, RecommendationPrefersTrueKWithSeparatedGroups)
+{
+    const auto [seed, groups, per] = GetParam();
+    const Planted planted =
+        plant(seed, static_cast<std::size_t>(groups),
+              static_cast<std::size_t>(per), 4);
+    const ClusterAnalysis analysis =
+        analyzeClusters(planted.vectors, config());
+
+    // Scores with per-cluster structure so ratio dampening is
+    // informative: group g scores ~ (g+1) on A and ~1 on B.
+    std::vector<double> a, b;
+    hiermeans::rng::Engine engine(seed ^ 0x77);
+    for (std::size_t i = 0; i < planted.truth.size(); ++i) {
+        a.push_back(static_cast<double>(planted.truth.label(i) + 1) *
+                    engine.uniform(0.95, 1.05));
+        b.push_back(engine.uniform(0.95, 1.05));
+    }
+    const auto report = scoreAgainstClusters(
+        analysis, MeanKind::Geometric, a, b);
+    const auto rec = recommendClusterCount(analysis, report);
+    // Silhouette (computed on the SOM grid coordinates) identifies the
+    // planted count for >= 3 groups. With exactly 2 planted groups the
+    // SOM stretches each blob across half the map, creating genuine
+    // sub-structure in grid space, so finer k can legitimately win —
+    // for that case only range sanity is required.
+    if (groups >= 3) {
+        EXPECT_EQ(rec.fromSilhouette, static_cast<std::size_t>(groups));
+    }
+    EXPECT_GE(rec.recommended, 2u);
+    EXPECT_LE(rec.recommended, 8u);
+    // Either way, the cut at the silhouette-preferred k must refine
+    // the planted structure (never mix members of different groups).
+    const Partition &cut =
+        analysis.dendrogram.cutAtCount(rec.fromSilhouette);
+    for (const auto &cluster : cut.groups()) {
+        const std::size_t truth_label =
+            planted.truth.label(cluster.front());
+        for (std::size_t member : cluster)
+            EXPECT_EQ(planted.truth.label(member), truth_label);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlantedShapes, PipelineProperty,
+    ::testing::Combine(::testing::Values(1u, 11u, 101u),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(3, 5)));
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the cluster-count recommendation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/recommendation.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using hiermeans::stats::MeanKind;
+
+/** Vectors with two very tight groups far apart. */
+CharacteristicVectors
+twoGroupVectors()
+{
+    hiermeans::rng::Engine engine(41);
+    std::vector<Vector> rows;
+    std::vector<std::string> names;
+    for (int g = 0; g < 2; ++g) {
+        for (int i = 0; i < 5; ++i) {
+            rows.push_back({g * 30.0 + engine.normal(0.0, 0.1),
+                            g * 30.0 + engine.normal(0.0, 0.1)});
+            names.push_back("g" + std::to_string(g) + "w" +
+                            std::to_string(i));
+        }
+    }
+    CharacteristicVectors cv;
+    cv.workloadNames = names;
+    cv.features = Matrix::fromRows(rows);
+    cv.featureNames = {"f0", "f1"};
+    return cv;
+}
+
+TEST(RecommendationTest, TwoObviousGroupsRecommendK2)
+{
+    PipelineConfig config;
+    config.som.rows = 6;
+    config.som.cols = 6;
+    config.som.steps = 1500;
+    config.kMin = 2;
+    config.kMax = 6;
+    const ClusterAnalysis analysis =
+        analyzeClusters(twoGroupVectors(), config);
+
+    std::vector<double> a = {1.0, 1.1, 1.05, 0.95, 1.0,
+                             3.0, 3.1, 2.9, 3.05, 3.0};
+    std::vector<double> b = {1.0, 1.0, 1.0, 1.0, 1.0,
+                             2.0, 2.0, 2.0, 2.0, 2.0};
+    const auto report = scoreAgainstClusters(
+        analysis, MeanKind::Geometric, a, b);
+    const auto rec = recommendClusterCount(analysis, report);
+    EXPECT_EQ(rec.fromDendrogramGap, 2u);
+    EXPECT_EQ(rec.fromSilhouette, 2u);
+    EXPECT_EQ(rec.recommended, 2u);
+    EXPECT_NE(rec.explain().find("recommended k = 2"),
+              std::string::npos);
+}
+
+TEST(RecommendationTest, RecommendationWithinSweptRange)
+{
+    PipelineConfig config;
+    config.som.rows = 5;
+    config.som.cols = 5;
+    config.som.steps = 800;
+    config.kMin = 2;
+    config.kMax = 5;
+    const ClusterAnalysis analysis =
+        analyzeClusters(twoGroupVectors(), config);
+    std::vector<double> scores(10, 1.0);
+    for (std::size_t i = 0; i < 10; ++i)
+        scores[i] = 1.0 + 0.1 * static_cast<double>(i);
+    const auto report = scoreAgainstClusters(
+        analysis, MeanKind::Geometric, scores, scores);
+    const auto rec = recommendClusterCount(analysis, report);
+    EXPECT_GE(rec.recommended, 2u);
+    EXPECT_LE(rec.recommended, 5u);
+    EXPECT_GE(rec.fromRatioDampening, 2u);
+    EXPECT_LE(rec.fromRatioDampening, 5u);
+}
+
+TEST(RecommendationTest, MismatchedReportThrows)
+{
+    PipelineConfig config;
+    config.som.steps = 500;
+    config.som.rows = 4;
+    config.som.cols = 4;
+    const ClusterAnalysis analysis =
+        analyzeClusters(twoGroupVectors(), config);
+    hiermeans::scoring::ScoreReport report; // empty.
+    EXPECT_THROW(recommendClusterCount(analysis, report),
+                 hiermeans::InvalidArgument);
+}
+
+} // namespace

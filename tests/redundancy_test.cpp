@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the redundancy analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/redundancy.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+/** Nine workloads: indices 0-4 identical blob, 5-8 spread out. */
+CharacteristicVectors
+blobAndSpread()
+{
+    hiermeans::rng::Engine engine(51);
+    std::vector<Vector> rows;
+    std::vector<std::string> names;
+    for (int i = 0; i < 5; ++i) {
+        rows.push_back({engine.normal(0.0, 0.05),
+                        engine.normal(0.0, 0.05)});
+        names.push_back("blob" + std::to_string(i));
+    }
+    const double spread[4][2] = {
+        {20.0, 0.0}, {0.0, 20.0}, {20.0, 20.0}, {10.0, 30.0}};
+    for (int i = 0; i < 4; ++i) {
+        rows.push_back({spread[i][0], spread[i][1]});
+        names.push_back("far" + std::to_string(i));
+    }
+    CharacteristicVectors cv;
+    cv.workloadNames = names;
+    cv.features = Matrix::fromRows(rows);
+    cv.featureNames = {"x", "y"};
+    return cv;
+}
+
+ClusterAnalysis
+analyze()
+{
+    PipelineConfig config;
+    config.som.rows = 7;
+    config.som.cols = 7;
+    config.som.steps = 2000;
+    config.kMax = 8;
+    return analyzeClusters(blobAndSpread(), config);
+}
+
+TEST(RedundancyTest, BlobIsCoagulatedSpreadIsNot)
+{
+    const ClusterAnalysis analysis = analyze();
+    const RedundancyReport report = analyzeRedundancy(
+        analysis, {{"blob", {0, 1, 2, 3, 4}}, {"spread", {5, 6, 7, 8}}});
+    ASSERT_EQ(report.groups.size(), 2u);
+
+    const GroupRedundancy &blob = report.groups[0];
+    const GroupRedundancy &spread = report.groups[1];
+    EXPECT_LT(blob.coagulation, 0.3);
+    EXPECT_TRUE(blob.coagulated());
+    EXPECT_TRUE(blob.appearsAsExclusiveCluster);
+    EXPECT_GT(spread.coagulation, 0.5);
+    EXPECT_FALSE(spread.coagulated());
+    EXPECT_LT(blob.connectedAtDistance, spread.connectedAtDistance);
+    EXPECT_GE(blob.maxSharedCell, 2u);
+}
+
+TEST(RedundancyTest, ConnectedFractionInUnitRange)
+{
+    const ClusterAnalysis analysis = analyze();
+    const RedundancyReport report = analyzeRedundancy(
+        analysis, {{"blob", {0, 1, 2, 3, 4}}});
+    EXPECT_GE(report.groups[0].connectedAtFraction, 0.0);
+    EXPECT_LE(report.groups[0].connectedAtFraction, 1.0);
+}
+
+TEST(RedundancyTest, RenderListsGroups)
+{
+    const ClusterAnalysis analysis = analyze();
+    const RedundancyReport report = analyzeRedundancy(
+        analysis, {{"blob", {0, 1, 2, 3, 4}}, {"spread", {5, 6, 7, 8}}});
+    const std::string out = report.render();
+    EXPECT_NE(out.find("blob"), std::string::npos);
+    EXPECT_NE(out.find("spread"), std::string::npos);
+    EXPECT_NE(out.find("coagulation"), std::string::npos);
+}
+
+TEST(RedundancyTest, Validation)
+{
+    const ClusterAnalysis analysis = analyze();
+    EXPECT_THROW(analyzeRedundancy(analysis, {{"tiny", {0}}}),
+                 hiermeans::InvalidArgument);
+    EXPECT_THROW(analyzeRedundancy(analysis, {{"oob", {0, 99}}}),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(RedundancyTest, PaperOriginGroupsCoverSuite)
+{
+    const auto groups = paperOriginGroups();
+    ASSERT_EQ(groups.size(), 3u);
+    std::size_t total = 0;
+    for (const auto &g : groups)
+        total += g.members.size();
+    EXPECT_EQ(total, 13u);
+    EXPECT_EQ(groups[1].name, "SciMark2");
+    EXPECT_EQ(groups[1].members.size(), 5u);
+}
+
+} // namespace

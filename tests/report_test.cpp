@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the markdown report generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+
+namespace {
+
+using namespace hiermeans::core;
+
+const CaseStudyResult &
+sharedResult()
+{
+    static const CaseStudyResult result = runCaseStudy(CaseStudyConfig{});
+    return result;
+}
+
+TEST(ReportTest, ContainsAllSections)
+{
+    const std::string md = renderMarkdownReport(sharedResult());
+    EXPECT_NE(md.find("# Hierarchical Means Case Study"),
+              std::string::npos);
+    EXPECT_NE(md.find("## Per-workload speedups"), std::string::npos);
+    EXPECT_NE(md.find("## SAR counters, machine A"), std::string::npos);
+    EXPECT_NE(md.find("## SAR counters, machine B"), std::string::npos);
+    EXPECT_NE(md.find("## Java method utilization"), std::string::npos);
+    EXPECT_NE(md.find("## Conclusion"), std::string::npos);
+    EXPECT_NE(md.find("**Recommendation.**"), std::string::npos);
+}
+
+TEST(ReportTest, MentionsEveryWorkload)
+{
+    const std::string md = renderMarkdownReport(sharedResult());
+    for (const auto &name : hiermeans::workload::paperWorkloadNames())
+        EXPECT_NE(md.find(name), std::string::npos) << name;
+}
+
+TEST(ReportTest, OptionsSuppressSections)
+{
+    ReportOptions options;
+    options.includeMaps = false;
+    options.includeDendrograms = false;
+    options.includeRedundancy = false;
+    options.title = "Custom Title";
+    const std::string md =
+        renderMarkdownReport(sharedResult(), options);
+    EXPECT_NE(md.find("# Custom Title"), std::string::npos);
+    EXPECT_EQ(md.find("Workload distribution (SOM)"),
+              std::string::npos);
+    EXPECT_EQ(md.find("Cluster hierarchy"), std::string::npos);
+    EXPECT_EQ(md.find("Redundancy by origin suite"),
+              std::string::npos);
+    // Scores always present.
+    EXPECT_NE(md.find("Hierarchical-mean scores"), std::string::npos);
+}
+
+TEST(ReportTest, FlagsSciMarkCoagulation)
+{
+    const std::string md = renderMarkdownReport(sharedResult());
+    EXPECT_NE(md.find("SciMark2 coagulates into a dense cluster"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using hiermeans::rng::Engine;
+using hiermeans::rng::permutation;
+using hiermeans::rng::SplitMix64;
+
+TEST(RngTest, SplitMix64KnownSequence)
+{
+    // Reference values for seed 0 from the published SplitMix64
+    // algorithm.
+    SplitMix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Engine a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Engine a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream)
+{
+    Engine e(77);
+    const auto first = e();
+    e.seed(77);
+    EXPECT_EQ(e(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Engine e(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = e.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Engine e(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = e.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+    EXPECT_THROW(e.uniform(1.0, 1.0), InvalidArgument);
+}
+
+TEST(RngTest, BelowCoversRangeWithoutBias)
+{
+    Engine e(9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++counts[e.below(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1200);
+    }
+    EXPECT_THROW(e.below(0), InvalidArgument);
+}
+
+TEST(RngTest, RangeInclusiveEndpoints)
+{
+    Engine e(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = e.rangeInclusive(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect)
+{
+    Engine e(13);
+    const int n = 20000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = e.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, NormalScaling)
+{
+    Engine e(13);
+    const double x = e.normal(10.0, 0.0);
+    EXPECT_DOUBLE_EQ(x, 10.0);
+    EXPECT_THROW(e.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(RngTest, LogNormalIsPositive)
+{
+    Engine e(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(e.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Engine e(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(e.bernoulli(0.0));
+        EXPECT_TRUE(e.bernoulli(1.0));
+    }
+    EXPECT_THROW(e.bernoulli(1.5), InvalidArgument);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Engine e(23);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    e.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, PermutationCoversAllIndices)
+{
+    Engine e(29);
+    const auto p = permutation(e, 20);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 20u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams)
+{
+    Engine parent(31);
+    Engine child = parent.split();
+    // Child and parent should not track each other.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent() == child())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+} // namespace

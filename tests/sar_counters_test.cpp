@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the synthetic SAR counter panel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/error.h"
+#include "src/workload/machine.h"
+#include "src/workload/sar_counters.h"
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+using hiermeans::InvalidArgument;
+
+SarConfig
+smallConfig()
+{
+    SarConfig config;
+    config.counters = 60;
+    config.samplesPerRun = 15;
+    config.seed = 99;
+    return config;
+}
+
+TEST(SarCountersTest, PanelShape)
+{
+    const SarCounterSynthesizer synth(smallConfig());
+    const SarPanel panel =
+        synth.collect(paperSuiteProfiles(), machineA());
+    EXPECT_EQ(panel.machine, "A");
+    EXPECT_EQ(panel.counterNames.size(), 60u);
+    ASSERT_EQ(panel.runs.size(), 13u);
+    for (const auto &run : panel.runs) {
+        EXPECT_EQ(run.samples.rows(), 15u);
+        EXPECT_EQ(run.samples.cols(), 60u);
+    }
+}
+
+TEST(SarCountersTest, DeterministicForSeed)
+{
+    const SarCounterSynthesizer synth(smallConfig());
+    const SarPanel a = synth.collect(paperSuiteProfiles(), machineA());
+    const SarPanel b = synth.collect(paperSuiteProfiles(), machineA());
+    EXPECT_TRUE(a.runs[0].samples.approxEqual(b.runs[0].samples, 0.0));
+    EXPECT_TRUE(a.averaged().approxEqual(b.averaged(), 0.0));
+}
+
+TEST(SarCountersTest, MachinesShareLayoutButNotValues)
+{
+    const SarCounterSynthesizer synth(smallConfig());
+    const SarPanel a = synth.collect(paperSuiteProfiles(), machineA());
+    const SarPanel b = synth.collect(paperSuiteProfiles(), machineB());
+    EXPECT_EQ(a.counterNames, b.counterNames);
+    EXPECT_FALSE(a.averaged().approxEqual(b.averaged(), 1e-6));
+}
+
+TEST(SarCountersTest, CounterNamesUniqueAndRealistic)
+{
+    const SarCounterSynthesizer synth(smallConfig());
+    const auto names = synth.counterNames();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+    EXPECT_EQ(names[0], "cpu.user_pct");
+    EXPECT_EQ(names[9], "paging.pgfault_s");
+}
+
+TEST(SarCountersTest, ContainsConstantCounters)
+{
+    // The panel must contain constant columns for the characterization
+    // stage to filter — exactly like real SAR output.
+    SarConfig config = smallConfig();
+    config.counters = 200;
+    config.constantFraction = 0.2;
+    const SarCounterSynthesizer synth(config);
+    const auto averaged =
+        synth.collect(paperSuiteProfiles(), machineA()).averaged();
+    std::size_t constant_columns = 0;
+    for (std::size_t c = 0; c < averaged.cols(); ++c) {
+        bool constant = true;
+        for (std::size_t w = 1; w < averaged.rows(); ++w) {
+            if (std::abs(averaged(w, c) - averaged(0, c)) > 1e-12) {
+                constant = false;
+                break;
+            }
+        }
+        if (constant)
+            ++constant_columns;
+    }
+    EXPECT_GT(constant_columns, 10u);
+    EXPECT_LT(constant_columns, averaged.cols() / 2);
+}
+
+TEST(SarCountersTest, SciMarkRowsAreMutuallyClose)
+{
+    // The core structural property: the five SciMark2 kernels must be
+    // far closer to each other than to the rest of the suite.
+    const SarCounterSynthesizer synth(SarConfig{});
+    const auto averaged =
+        synth.collect(paperSuiteProfiles(), machineA()).averaged();
+
+    auto row_distance = [&](std::size_t i, std::size_t j) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < averaged.cols(); ++c) {
+            // Compare in relative terms per counter.
+            const double scale =
+                std::max(1e-9, std::abs(averaged(i, c)) +
+                                   std::abs(averaged(j, c)));
+            const double d =
+                (averaged(i, c) - averaged(j, c)) / scale;
+            acc += d * d;
+        }
+        return std::sqrt(acc);
+    };
+
+    const auto sc = indicesOfOrigin(SuiteOrigin::SciMark2);
+    double intra = 0.0;
+    std::size_t intra_n = 0;
+    for (std::size_t i : sc) {
+        for (std::size_t j : sc) {
+            if (i < j) {
+                intra += row_distance(i, j);
+                ++intra_n;
+            }
+        }
+    }
+    intra /= static_cast<double>(intra_n);
+
+    double inter = 0.0;
+    std::size_t inter_n = 0;
+    for (std::size_t i : sc) {
+        for (std::size_t j = 0; j < 13; ++j) {
+            if (std::find(sc.begin(), sc.end(), j) == sc.end()) {
+                inter += row_distance(i, j);
+                ++inter_n;
+            }
+        }
+    }
+    inter /= static_cast<double>(inter_n);
+    EXPECT_LT(intra * 3.0, inter);
+}
+
+TEST(SarCountersTest, ConfigValidation)
+{
+    SarConfig config;
+    config.counters = 0;
+    EXPECT_THROW(SarCounterSynthesizer{config}, InvalidArgument);
+    config = SarConfig{};
+    config.samplesPerRun = 0;
+    EXPECT_THROW(SarCounterSynthesizer{config}, InvalidArgument);
+    config = SarConfig{};
+    config.constantFraction = 1.0;
+    EXPECT_THROW(SarCounterSynthesizer{config}, InvalidArgument);
+    config = SarConfig{};
+    config.noiseSigma = -1.0;
+    EXPECT_THROW(SarCounterSynthesizer{config}, InvalidArgument);
+
+    const SarCounterSynthesizer synth{SarConfig{}};
+    EXPECT_THROW(synth.collect({}, machineA()), InvalidArgument);
+}
+
+TEST(SarCountersTest, AveragedMatchesManualAverage)
+{
+    const SarCounterSynthesizer synth(smallConfig());
+    const SarPanel panel =
+        synth.collect(paperSuiteProfiles(), machineB());
+    const auto averaged = panel.averaged();
+    // Check one cell by hand.
+    double acc = 0.0;
+    for (std::size_t s = 0; s < 15; ++s)
+        acc += panel.runs[2].samples(s, 7);
+    EXPECT_NEAR(averaged(2, 7), acc / 15.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for SOM decay schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/som/schedule.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::som;
+using hiermeans::InvalidArgument;
+
+TEST(ScheduleTest, EndpointsRespected)
+{
+    for (DecayKind kind : {DecayKind::Linear, DecayKind::Exponential,
+                           DecayKind::InverseTime}) {
+        const DecaySchedule s(kind, 0.5, 0.01, 100);
+        EXPECT_NEAR(s.value(0), 0.5, 1e-12) << decayKindName(kind);
+        EXPECT_NEAR(s.value(99), 0.01, 1e-12) << decayKindName(kind);
+        // Clamped past the end.
+        EXPECT_NEAR(s.value(1000), 0.01, 1e-12);
+    }
+}
+
+TEST(ScheduleTest, MonotoneNonIncreasing)
+{
+    for (DecayKind kind : {DecayKind::Linear, DecayKind::Exponential,
+                           DecayKind::InverseTime}) {
+        const DecaySchedule s(kind, 2.0, 0.1, 50);
+        for (std::size_t n = 1; n < 50; ++n) {
+            EXPECT_LE(s.value(n), s.value(n - 1) + 1e-12)
+                << decayKindName(kind) << " at step " << n;
+        }
+    }
+}
+
+TEST(ScheduleTest, LinearIsLinear)
+{
+    const DecaySchedule s(DecayKind::Linear, 1.0, 0.0 + 0.2, 5);
+    EXPECT_NEAR(s.value(2), 0.6, 1e-12); // halfway between 1.0 and 0.2.
+}
+
+TEST(ScheduleTest, ExponentialHalvesGeometrically)
+{
+    const DecaySchedule s(DecayKind::Exponential, 1.0, 0.25, 3);
+    // Progress 0, 0.5, 1 -> values 1, 0.5, 0.25.
+    EXPECT_NEAR(s.value(1), 0.5, 1e-12);
+}
+
+TEST(ScheduleTest, SingleStepScheduleIsConstant)
+{
+    const DecaySchedule s(DecayKind::Exponential, 0.5, 0.5, 1);
+    EXPECT_NEAR(s.value(0), 0.5, 1e-12);
+}
+
+TEST(ScheduleTest, ConstantScheduleAllowed)
+{
+    const DecaySchedule s(DecayKind::Linear, 0.3, 0.3, 10);
+    for (std::size_t n = 0; n < 10; ++n)
+        EXPECT_NEAR(s.value(n), 0.3, 1e-12);
+}
+
+TEST(ScheduleTest, Validation)
+{
+    EXPECT_THROW(DecaySchedule(DecayKind::Linear, 0.0, 0.1, 10),
+                 InvalidArgument);
+    EXPECT_THROW(DecaySchedule(DecayKind::Linear, 1.0, 0.0, 10),
+                 InvalidArgument);
+    EXPECT_THROW(DecaySchedule(DecayKind::Linear, 1.0, 2.0, 10),
+                 InvalidArgument);
+    EXPECT_THROW(DecaySchedule(DecayKind::Linear, 1.0, 0.5, 0),
+                 InvalidArgument);
+}
+
+TEST(ScheduleTest, DecayKindNamesRoundTrip)
+{
+    for (DecayKind kind : {DecayKind::Linear, DecayKind::Exponential,
+                           DecayKind::InverseTime}) {
+        EXPECT_EQ(parseDecayKind(decayKindName(kind)), kind);
+    }
+    EXPECT_EQ(parseDecayKind("exp"), DecayKind::Exponential);
+    EXPECT_THROW(parseDecayKind("step"), InvalidArgument);
+}
+
+} // namespace

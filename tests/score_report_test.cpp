@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the multi-cluster-count score report (Tables IV-VI shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/scoring/hierarchical_mean.h"
+#include "src/scoring/score_report.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::InvalidArgument;
+using namespace hiermeans::scoring;
+using hiermeans::stats::MeanKind;
+
+ScoreReport
+sampleReport()
+{
+    const std::vector<double> a = {4.0, 2.0, 1.0, 8.0};
+    const std::vector<double> b = {2.0, 2.0, 1.0, 4.0};
+    const std::vector<Partition> partitions = {
+        Partition::fromGroups({{0, 1}, {2, 3}}),
+        Partition::fromGroups({{0, 1}, {2}, {3}}),
+        Partition::discrete(4),
+    };
+    return buildScoreReport(MeanKind::Geometric, a, b, partitions);
+}
+
+TEST(ScoreReportTest, RowsMatchDirectHierarchicalMeans)
+{
+    const ScoreReport r = sampleReport();
+    ASSERT_EQ(r.rows.size(), 3u);
+    const std::vector<double> a = {4.0, 2.0, 1.0, 8.0};
+    for (const auto &row : r.rows) {
+        EXPECT_NEAR(row.scoreA,
+                    hierarchicalGeometricMean(a, row.partition), 1e-12);
+        EXPECT_NEAR(row.ratio, row.scoreA / row.scoreB, 1e-12);
+    }
+    EXPECT_EQ(r.rows[0].clusterCount, 2u);
+    EXPECT_EQ(r.rows[2].clusterCount, 4u);
+}
+
+TEST(ScoreReportTest, PlainFooterIsPlainMean)
+{
+    const ScoreReport r = sampleReport();
+    EXPECT_NEAR(r.plainA, std::pow(4.0 * 2.0 * 1.0 * 8.0, 0.25), 1e-12);
+    EXPECT_NEAR(r.plainRatio, r.plainA / r.plainB, 1e-12);
+}
+
+TEST(ScoreReportTest, DiscreteRowEqualsPlainMean)
+{
+    const ScoreReport r = sampleReport();
+    EXPECT_NEAR(r.rows.back().scoreA, r.plainA, 1e-12);
+    EXPECT_NEAR(r.rows.back().scoreB, r.plainB, 1e-12);
+}
+
+TEST(ScoreReportTest, RenderContainsRowsAndFooter)
+{
+    const ScoreReport r = sampleReport();
+    const std::string text = r.render("A", "B");
+    EXPECT_NE(text.find("2 Clusters"), std::string::npos);
+    EXPECT_NE(text.find("4 Clusters"), std::string::npos);
+    EXPECT_NE(text.find("Geometric Mean"), std::string::npos);
+    EXPECT_NE(text.find("ratio(=A/B)"), std::string::npos);
+}
+
+TEST(ScoreReportTest, RecommendedRowFindsDampening)
+{
+    ScoreReport r;
+    r.kind = MeanKind::Geometric;
+    const Partition p = Partition::single(2);
+    // Ratios: 1.30, 1.10, 1.11, 1.25 -> first damped pair is rows 1-2.
+    for (double ratio : {1.30, 1.10, 1.11, 1.25}) {
+        ScoreReportRow row;
+        row.partition = p;
+        row.ratio = ratio;
+        r.rows.push_back(row);
+    }
+    EXPECT_EQ(r.recommendedRow(0.02), 1u);
+    // Nothing dampens at a zero tolerance: fall back to the last row.
+    EXPECT_EQ(r.recommendedRow(0.0), 3u);
+}
+
+TEST(ScoreReportTest, Validation)
+{
+    const std::vector<double> a = {1.0, 2.0};
+    EXPECT_THROW(
+        buildScoreReport(MeanKind::Geometric, a, {1.0},
+                         {Partition::single(2)}),
+        InvalidArgument);
+    EXPECT_THROW(
+        buildScoreReport(MeanKind::Geometric, a, a,
+                         {Partition::single(3)}),
+        InvalidArgument);
+    ScoreReport empty;
+    EXPECT_THROW(empty.recommendedRow(), InvalidArgument);
+}
+
+TEST(ScoreReportTest, HarmonicFooterLabel)
+{
+    const std::vector<double> a = {1.0, 2.0};
+    const ScoreReport r = buildScoreReport(MeanKind::Harmonic, a, a,
+                                           {Partition::single(2)});
+    EXPECT_NE(r.render("A", "B").find("Harmonic Mean"),
+              std::string::npos);
+}
+
+} // namespace

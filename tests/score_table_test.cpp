@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the score table (times -> speedups).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/score_table.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::DomainError;
+using hiermeans::InvalidArgument;
+using hiermeans::scoring::ScoreTable;
+using hiermeans::stats::MeanKind;
+
+ScoreTable
+makeTable()
+{
+    return ScoreTable({"w0", "w1"}, {"A", "B", "reference"});
+}
+
+TEST(ScoreTableTest, IndicesByName)
+{
+    const ScoreTable t = makeTable();
+    EXPECT_EQ(t.workloadIndex("w1"), 1u);
+    EXPECT_EQ(t.machineIndex("reference"), 2u);
+    EXPECT_THROW(t.workloadIndex("nope"), InvalidArgument);
+    EXPECT_THROW(t.machineIndex("nope"), InvalidArgument);
+}
+
+TEST(ScoreTableTest, RunTimesAveraged)
+{
+    ScoreTable t = makeTable();
+    t.setRunTimes(0, 0, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(t.time(0, 0), 2.0);
+    EXPECT_THROW(t.setRunTimes(0, 0, {}), InvalidArgument);
+    EXPECT_THROW(t.setRunTimes(0, 0, {1.0, -1.0}), DomainError);
+}
+
+TEST(ScoreTableTest, SpeedupIsRefOverMachine)
+{
+    ScoreTable t = makeTable();
+    t.setTime(0, 0, 10.0);  // w0 on A.
+    t.setTime(0, 2, 40.0);  // w0 on reference.
+    EXPECT_DOUBLE_EQ(t.speedup(0, 0, 2), 4.0);
+}
+
+TEST(ScoreTableTest, UnsetCellThrows)
+{
+    const ScoreTable t = makeTable();
+    EXPECT_THROW(t.time(0, 0), InvalidArgument);
+    EXPECT_FALSE(t.complete());
+}
+
+TEST(ScoreTableTest, CompleteAfterAllCells)
+{
+    ScoreTable t = makeTable();
+    for (std::size_t w = 0; w < 2; ++w)
+        for (std::size_t m = 0; m < 3; ++m)
+            t.setTime(w, m, 1.0 + static_cast<double>(w + m));
+    EXPECT_TRUE(t.complete());
+}
+
+TEST(ScoreTableTest, SpeedupsVectorAndPlainScore)
+{
+    ScoreTable t = makeTable();
+    t.setTime(0, 0, 10.0);
+    t.setTime(1, 0, 5.0);
+    t.setTime(0, 2, 40.0);
+    t.setTime(1, 2, 45.0);
+    const auto s = t.speedups(0, 2);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 4.0);
+    EXPECT_DOUBLE_EQ(s[1], 9.0);
+    EXPECT_DOUBLE_EQ(t.plainScore(MeanKind::Geometric, 0, 2), 6.0);
+    EXPECT_DOUBLE_EQ(t.plainScore(MeanKind::Arithmetic, 0, 2), 6.5);
+}
+
+TEST(ScoreTableTest, ValidationOfConstruction)
+{
+    EXPECT_THROW(ScoreTable({}, {"A"}), InvalidArgument);
+    EXPECT_THROW(ScoreTable({"w"}, {}), InvalidArgument);
+}
+
+TEST(ScoreTableTest, OutOfRangeIndices)
+{
+    ScoreTable t = makeTable();
+    EXPECT_THROW(t.setTime(2, 0, 1.0), InvalidArgument);
+    EXPECT_THROW(t.setTime(0, 3, 1.0), InvalidArgument);
+    EXPECT_THROW(t.setTime(0, 0, 0.0), DomainError);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the redundancy-bias / robustness analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/scoring/sensitivity.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::scoring;
+using hiermeans::stats::MeanKind;
+
+TEST(InjectDuplicatesTest, AppendsCopiesInTargetCluster)
+{
+    const std::vector<double> scores = {1.0, 2.0, 3.0};
+    const Partition base = Partition::fromGroups({{0}, {1, 2}});
+    const InjectedSuite suite = injectDuplicates(scores, base, 1, 2);
+    ASSERT_EQ(suite.scores.size(), 5u);
+    EXPECT_DOUBLE_EQ(suite.scores[3], 2.0);
+    EXPECT_DOUBLE_EQ(suite.scores[4], 2.0);
+    EXPECT_EQ(suite.partition.label(3), suite.partition.label(1));
+    EXPECT_EQ(suite.partition.clusterCount(), 2u);
+}
+
+TEST(InjectDuplicatesTest, ZeroCopiesIsIdentity)
+{
+    const std::vector<double> scores = {1.0, 2.0};
+    const Partition base = Partition::discrete(2);
+    const InjectedSuite suite = injectDuplicates(scores, base, 0, 0);
+    EXPECT_EQ(suite.scores, scores);
+    EXPECT_EQ(suite.partition, base);
+}
+
+TEST(InjectDuplicatesTest, Validation)
+{
+    const std::vector<double> scores = {1.0, 2.0};
+    EXPECT_THROW(injectDuplicates(scores, Partition::single(3), 0, 1),
+                 hiermeans::InvalidArgument);
+    EXPECT_THROW(injectDuplicates(scores, Partition::single(2), 5, 1),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(DriftSweepTest, PlainDriftsHierarchicalDoesNot)
+{
+    // Duplicating the best workload: the plain GM drifts upward while
+    // the hierarchical GM is invariant (copies join the target's
+    // cluster, whose inner mean equals the duplicated value when the
+    // target is a singleton cluster).
+    const std::vector<double> scores = {1.0, 1.0, 8.0};
+    const Partition base = Partition::discrete(3);
+    const auto sweep =
+        redundancyDriftSweep(MeanKind::Geometric, scores, base, 2, 5);
+    ASSERT_EQ(sweep.size(), 6u);
+    EXPECT_DOUBLE_EQ(sweep[0].plainDrift, 0.0);
+    EXPECT_DOUBLE_EQ(sweep[0].hierarchicalDrift, 0.0);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i].plainDrift, sweep[i - 1].plainDrift);
+        EXPECT_NEAR(sweep[i].hierarchicalDrift, 0.0, 1e-12);
+    }
+}
+
+TEST(DriftSweepTest, WorksForAllMeanFamilies)
+{
+    const std::vector<double> scores = {2.0, 4.0, 6.0};
+    const Partition base = Partition::discrete(3);
+    for (MeanKind kind : {MeanKind::Arithmetic, MeanKind::Geometric,
+                          MeanKind::Harmonic}) {
+        const auto sweep =
+            redundancyDriftSweep(kind, scores, base, 0, 3);
+        for (const auto &r : sweep)
+            EXPECT_NEAR(r.hierarchicalDrift, 0.0, 1e-12);
+    }
+}
+
+TEST(GamingHeadroomTest, PositiveForPlainMeans)
+{
+    const std::vector<double> scores = {1.0, 1.0, 4.0};
+    const double headroom =
+        gamingHeadroom(MeanKind::Geometric, scores, 3);
+    // GM grows from (4)^(1/3) toward 4 as copies of 4 stack up.
+    EXPECT_GT(headroom, 0.3);
+    EXPECT_THROW(gamingHeadroom(MeanKind::Geometric, {}, 1),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(GamingHeadroomTest, ZeroWhenAllScoresEqual)
+{
+    const std::vector<double> scores = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(gamingHeadroom(MeanKind::Geometric, scores, 10), 0.0,
+                1e-12);
+    EXPECT_NEAR(gamingHeadroom(MeanKind::Arithmetic, scores, 10), 0.0,
+                1e-12);
+}
+
+TEST(GamingHeadroomTest, MonotoneInCopies)
+{
+    const std::vector<double> scores = {1.0, 5.0};
+    double prev = 0.0;
+    for (std::size_t copies = 1; copies <= 5; ++copies) {
+        const double h =
+            gamingHeadroom(MeanKind::Geometric, scores, copies);
+        EXPECT_GT(h, prev);
+        prev = h;
+    }
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the ASCII SOM map rendering (Figures 3/5/7 equivalents).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/som/render.h"
+#include "src/som/umatrix.h"
+#include "src/util/error.h"
+
+namespace {
+
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using namespace hiermeans::som;
+
+SelfOrganizingMap
+tinyMap()
+{
+    const Matrix data = Matrix::fromRows(
+        {{0.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}});
+    SomConfig config;
+    config.rows = 4;
+    config.cols = 5;
+    config.steps = 400;
+    return SelfOrganizingMap::train(data, config);
+}
+
+TEST(SomRenderTest, MapContainsTitleLegendAndTags)
+{
+    const auto map = tinyMap();
+    std::vector<Placement> placements = {
+        {"alpha", 0}, {"beta", 7}, {"gamma", 19}};
+    const std::string out =
+        renderDistributionMap(map, placements, "My Map");
+    EXPECT_NE(out.find("My Map"), std::string::npos);
+    EXPECT_NE(out.find("Legend:"), std::string::npos);
+    EXPECT_NE(out.find("a = alpha"), std::string::npos);
+    EXPECT_NE(out.find("c = gamma"), std::string::npos);
+    EXPECT_NE(out.find("[a]"), std::string::npos);
+    EXPECT_NE(out.find("Dimension 1"), std::string::npos);
+    EXPECT_NE(out.find("Dimension 2"), std::string::npos);
+}
+
+TEST(SomRenderTest, SharedCellShowsOccupantCount)
+{
+    const auto map = tinyMap();
+    std::vector<Placement> placements = {
+        {"one", 5}, {"two", 5}, {"three", 5}};
+    const std::string out = renderDistributionMap(map, placements, "T");
+    EXPECT_NE(out.find("[3]"), std::string::npos);
+    EXPECT_NE(out.find("shared cell"), std::string::npos);
+}
+
+TEST(SomRenderTest, OutOfRangeUnitThrows)
+{
+    const auto map = tinyMap();
+    std::vector<Placement> placements = {{"x", 999}};
+    EXPECT_THROW(renderDistributionMap(map, placements, "T"),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(SomRenderTest, DataOverloadMatchesBmus)
+{
+    const auto map = tinyMap();
+    const Matrix data =
+        Matrix::fromRows({{0.0, 0.0}, {10.0, 10.0}});
+    const std::string out =
+        renderDistributionMap(map, data, {"p", "q"}, "T");
+    EXPECT_NE(out.find("p"), std::string::npos);
+    EXPECT_NE(out.find("q"), std::string::npos);
+    EXPECT_THROW(renderDistributionMap(map, data, {"p"}, "T"),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(SomRenderTest, UMatrixRenderHasScaleFooter)
+{
+    const auto map = tinyMap();
+    const std::string out = renderUMatrix(uMatrix(map), "U");
+    EXPECT_NE(out.find("U"), std::string::npos);
+    EXPECT_NE(out.find("scale:"), std::string::npos);
+    // One line per row plus title and footer.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              static_cast<long>(map.topology().rows()) + 2);
+}
+
+} // namespace

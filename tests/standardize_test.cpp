@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for standardization and constant-column filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/standardize.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::linalg;
+
+TEST(StandardizeTest, ZScoresHaveZeroMeanUnitVariance)
+{
+    const Matrix obs =
+        Matrix::fromRows({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+    const StandardizeResult r = standardizeColumns(obs);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double mean = 0.0;
+        for (std::size_t row = 0; row < 3; ++row)
+            mean += r.standardized(row, c);
+        EXPECT_NEAR(mean / 3.0, 0.0, 1e-12);
+        double var = 0.0;
+        for (std::size_t row = 0; row < 3; ++row)
+            var += r.standardized(row, c) * r.standardized(row, c);
+        EXPECT_NEAR(var / 2.0, 1.0, 1e-12); // n-1 denominator.
+    }
+}
+
+TEST(StandardizeTest, ParamsRecorded)
+{
+    const Matrix obs = Matrix::fromRows({{2.0}, {4.0}});
+    const StandardizeResult r = standardizeColumns(obs);
+    EXPECT_NEAR(r.params.means[0], 3.0, 1e-12);
+    EXPECT_NEAR(r.params.stddevs[0], std::sqrt(2.0), 1e-12);
+}
+
+TEST(StandardizeTest, ZeroVarianceColumnBecomesZero)
+{
+    const Matrix obs = Matrix::fromRows({{5.0, 1.0}, {5.0, 2.0}});
+    const StandardizeResult r = standardizeColumns(obs);
+    EXPECT_DOUBLE_EQ(r.standardized(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(r.standardized(1, 0), 0.0);
+}
+
+TEST(StandardizeTest, ApplyToNewData)
+{
+    const Matrix train = Matrix::fromRows({{0.0}, {2.0}});
+    const StandardizeResult r = standardizeColumns(train);
+    const Matrix applied =
+        applyStandardization(Matrix::fromRows({{4.0}}), r.params);
+    // mean 1, sd sqrt(2): (4-1)/sqrt(2).
+    EXPECT_NEAR(applied(0, 0), 3.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_THROW(applyStandardization(Matrix(1, 2), r.params),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(DropConstantColumnsTest, DropsExactConstants)
+{
+    const Matrix obs =
+        Matrix::fromRows({{1.0, 7.0, 3.0}, {2.0, 7.0, 4.0}});
+    const ColumnFilterResult r = dropConstantColumns(obs);
+    EXPECT_EQ(r.keptColumns, (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(r.droppedColumns, (std::vector<std::size_t>{1}));
+    EXPECT_EQ(r.filtered.cols(), 2u);
+    EXPECT_DOUBLE_EQ(r.filtered(1, 1), 4.0);
+}
+
+TEST(DropConstantColumnsTest, ToleranceControlsNearConstants)
+{
+    const Matrix obs =
+        Matrix::fromRows({{1.0, 1.000001}, {1.0, 1.000002}});
+    EXPECT_EQ(dropConstantColumns(obs, 1e-12).keptColumns.size(), 1u);
+    EXPECT_EQ(dropConstantColumns(obs, 1e-3).keptColumns.size(), 0u);
+    EXPECT_THROW(dropConstantColumns(obs, -1.0),
+                 hiermeans::InvalidArgument);
+}
+
+TEST(DropConstantColumnsTest, SingleRowDropsEverything)
+{
+    // One observation: no variance anywhere.
+    const Matrix obs = Matrix::fromRows({{1.0, 2.0}});
+    EXPECT_TRUE(dropConstantColumns(obs).keptColumns.empty());
+}
+
+TEST(MinMaxScaleTest, ScalesIntoUnitInterval)
+{
+    const Matrix obs = Matrix::fromRows({{0.0, 5.0}, {10.0, 5.0}});
+    const Matrix scaled = minMaxScaleColumns(obs);
+    EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 1.0);
+    // Zero-range column maps to 0.5.
+    EXPECT_DOUBLE_EQ(scaled(0, 1), 0.5);
+}
+
+} // namespace

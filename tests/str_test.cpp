@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace {
+
+using namespace hiermeans::str;
+
+TEST(StrTest, FixedFormatsDecimals)
+{
+    EXPECT_EQ(fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+    EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+    EXPECT_EQ(fixed(0.005, 2), "0.01"); // rounds half away per printf.
+    EXPECT_THROW(fixed(1.0, -1), hiermeans::InvalidArgument);
+}
+
+TEST(StrTest, FixedWidthPads)
+{
+    EXPECT_EQ(fixedWidth(1.5, 2, 8), "    1.50");
+    EXPECT_EQ(fixedWidth(123.456, 1, 4), "123.5");
+}
+
+TEST(StrTest, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(center("ab", 6), "  ab  ");
+    EXPECT_EQ(center("ab", 5), " ab  ");
+}
+
+TEST(StrTest, SplitKeepsEmptyFields)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split(",a,", ','),
+              (std::vector<std::string>{"", "a", ""}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrTest, JoinRoundTripsSplit)
+{
+    const std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StrTest, Trim)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("hello"), "hello");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(StrTest, ToLower)
+{
+    EXPECT_EQ(toLower("HeLLo123"), "hello123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StrTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-x", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(StrTest, Repeat)
+{
+    EXPECT_EQ(repeat('-', 4), "----");
+    EXPECT_EQ(repeat('x', 0), "");
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for benchmark suite subsetting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/subsetting.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::core;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::scoring::Partition;
+using hiermeans::stats::MeanKind;
+
+// Positions: cluster {0,1,2} around origin with 1 central, cluster
+// {3,4} far away.
+Matrix
+positions()
+{
+    return Matrix::fromRows({{0.0, 0.0},
+                             {1.0, 0.0},
+                             {0.5, 0.0},   // medoid of {0,1,2}.
+                             {10.0, 10.0}, // medoid of {3,4} (tie-break
+                             {10.0, 11.0}  //  first by order).
+    });
+}
+
+const Partition kPartition = Partition::fromGroups({{0, 1, 2}, {3, 4}});
+
+TEST(SubsettingTest, MedoidPicksCentralMember)
+{
+    const std::vector<double> scores = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const SuiteSubset subset = subsetSuite(kPartition, positions(),
+                                           scores,
+                                           RepresentativeRule::Medoid);
+    ASSERT_EQ(subset.representatives.size(), 2u);
+    EXPECT_EQ(subset.representatives[0], 2u); // the central point.
+    // {3,4}: both have equal total distance; ties keep the first.
+    EXPECT_EQ(subset.representatives[1], 3u);
+}
+
+TEST(SubsettingTest, ScoreCentralPicksNearInnerMean)
+{
+    // Cluster {0,1,2} scores {1, 8, 3}: GM ~ 2.88 -> member 2 (3.0).
+    const std::vector<double> scores = {1.0, 8.0, 3.0, 4.0, 4.1};
+    const SuiteSubset subset = subsetSuite(
+        kPartition, positions(), scores,
+        RepresentativeRule::ScoreCentral);
+    EXPECT_EQ(subset.representatives[0], 2u);
+    EXPECT_EQ(subset.representatives[1], 3u); // |4.0 - gm(4,4.1)| least.
+}
+
+TEST(SubsettingTest, OneRepresentativePerCluster)
+{
+    const std::vector<double> scores(5, 1.0);
+    const SuiteSubset subset =
+        subsetSuite(kPartition, positions(), scores);
+    EXPECT_EQ(subset.representatives.size(),
+              kPartition.clusterCount());
+    // Each representative belongs to its own cluster.
+    for (std::size_t c = 0; c < subset.representatives.size(); ++c)
+        EXPECT_EQ(kPartition.label(subset.representatives[c]), c);
+}
+
+TEST(SubsettingTest, NamesResolve)
+{
+    const std::vector<double> scores(5, 1.0);
+    const SuiteSubset subset =
+        subsetSuite(kPartition, positions(), scores);
+    const auto names =
+        subset.names({"a", "b", "c", "d", "e"});
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "c");
+}
+
+TEST(SubsettingTest, FidelityExactWhenClustersHomogeneous)
+{
+    // All cluster members share a score: the subset mean equals both
+    // the hierarchical and... (clusters vote once either way).
+    const std::vector<double> scores = {2.0, 2.0, 2.0, 8.0, 8.0};
+    const SuiteSubset subset =
+        subsetSuite(kPartition, positions(), scores);
+    const SubsetFidelity f =
+        evaluateSubset(subset, MeanKind::Geometric, scores);
+    EXPECT_NEAR(f.subsetMean, f.fullHierarchicalMean, 1e-12);
+    EXPECT_NEAR(f.errorVsHierarchical, 0.0, 1e-12);
+    // The plain mean differs: 2 appears three times.
+    EXPECT_GT(f.errorVsPlain, 0.05);
+}
+
+TEST(SubsettingTest, SubsetTracksHierarchicalBetterThanPlain)
+{
+    // Heterogeneous clusters: subset mean should still sit nearer the
+    // hierarchical mean than the plain mean does, because both weigh
+    // clusters equally.
+    const std::vector<double> scores = {1.8, 2.0, 2.2, 7.5, 8.5};
+    const SuiteSubset subset = subsetSuite(
+        kPartition, positions(), scores,
+        RepresentativeRule::ScoreCentral);
+    const SubsetFidelity f =
+        evaluateSubset(subset, MeanKind::Geometric, scores);
+    EXPECT_LT(f.errorVsHierarchical, f.errorVsPlain);
+}
+
+TEST(SubsettingTest, Validation)
+{
+    const std::vector<double> scores(5, 1.0);
+    EXPECT_THROW(subsetSuite(kPartition, Matrix(3, 2), scores),
+                 InvalidArgument);
+    EXPECT_THROW(subsetSuite(kPartition, positions(), {1.0}),
+                 InvalidArgument);
+    SuiteSubset bogus;
+    bogus.partition = kPartition;
+    bogus.representatives = {0, 3};
+    EXPECT_THROW(evaluateSubset(bogus, MeanKind::Geometric, {1.0}),
+                 InvalidArgument);
+    EXPECT_THROW(bogus.names({"a"}), InvalidArgument);
+}
+
+} // namespace

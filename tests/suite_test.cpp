@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for benchmark suite composition and run orchestration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/stats/means.h"
+#include "src/util/error.h"
+#include "src/workload/paper_data.h"
+#include "src/workload/suite.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+using hiermeans::InvalidArgument;
+using hiermeans::stats::MeanKind;
+
+TEST(SuiteTest, PaperSuiteComposition)
+{
+    const BenchmarkSuite suite = BenchmarkSuite::paperSuite();
+    EXPECT_EQ(suite.profiles().size(), 13u);
+    EXPECT_EQ(suite.machines().size(), 3u);
+    EXPECT_EQ(suite.referenceIndex(), 2u);
+    EXPECT_EQ(suite.workloadNames()[0], "jvm98.201.compress");
+}
+
+TEST(SuiteTest, RunProducesCompleteTable)
+{
+    const BenchmarkSuite suite = BenchmarkSuite::paperSuite();
+    RunConfig config;
+    config.runsPerWorkload = 3;
+    const auto table = suite.run(config);
+    EXPECT_TRUE(table.complete());
+    EXPECT_EQ(table.workloadCount(), 13u);
+    EXPECT_EQ(table.machineCount(), 3u);
+}
+
+TEST(SuiteTest, SimulatedSpeedupsMatchTable3)
+{
+    // With calibrated work and averaged runs, measured speedups land
+    // within a percent of the published Table III values.
+    const BenchmarkSuite suite = BenchmarkSuite::paperSuite();
+    const auto table = suite.run(RunConfig{});
+    const std::size_t a = table.machineIndex("A");
+    const std::size_t b = table.machineIndex("B");
+    const std::size_t ref = table.machineIndex("reference");
+    const auto &t3 = paper::table3();
+    for (std::size_t w = 0; w < 13; ++w) {
+        EXPECT_NEAR(table.speedup(w, a, ref), t3[w].speedupA,
+                    0.02 * t3[w].speedupA)
+            << t3[w].workload;
+        EXPECT_NEAR(table.speedup(w, b, ref), t3[w].speedupB,
+                    0.02 * t3[w].speedupB)
+            << t3[w].workload;
+    }
+}
+
+TEST(SuiteTest, SimulatedGeomeanMatchesPaper)
+{
+    const BenchmarkSuite suite = BenchmarkSuite::paperSuite();
+    const auto table = suite.run(RunConfig{});
+    const std::size_t ref = table.machineIndex("reference");
+    const double gm_a = table.plainScore(
+        MeanKind::Geometric, table.machineIndex("A"), ref);
+    const double gm_b = table.plainScore(
+        MeanKind::Geometric, table.machineIndex("B"), ref);
+    EXPECT_NEAR(gm_a, paper::kTable3GeomeanA, 0.02);
+    EXPECT_NEAR(gm_b, paper::kTable3GeomeanB, 0.02);
+    EXPECT_NEAR(gm_a / gm_b, paper::kTable3GeomeanRatio, 0.01);
+}
+
+TEST(SuiteTest, RunsAreSeedDeterministic)
+{
+    const BenchmarkSuite suite = BenchmarkSuite::paperSuite();
+    RunConfig config;
+    config.runsPerWorkload = 2;
+    config.seed = 7;
+    const auto t1 = suite.run(config);
+    const auto t2 = suite.run(config);
+    for (std::size_t w = 0; w < 13; ++w)
+        for (std::size_t m = 0; m < 3; ++m)
+            EXPECT_DOUBLE_EQ(t1.time(w, m), t2.time(w, m));
+    config.seed = 8;
+    const auto t3 = suite.run(config);
+    EXPECT_NE(t1.time(0, 0), t3.time(0, 0));
+}
+
+TEST(SuiteTest, FromProfilesDerivesWork)
+{
+    std::vector<WorkloadProfile> profiles(2);
+    profiles[0].name = "w0";
+    profiles[0].workUnits = 50.0;
+    profiles[1].name = "w1";
+    profiles[1].workUnits = 100.0;
+    const BenchmarkSuite suite = BenchmarkSuite::fromProfiles(
+        profiles, paperMachines());
+    EXPECT_EQ(suite.work().size(), 2u);
+    EXPECT_GT(suite.work()[1].cpu, suite.work()[0].cpu);
+    EXPECT_TRUE(suite.run(RunConfig{}).complete());
+}
+
+TEST(SuiteTest, RequiresExactlyOneReference)
+{
+    std::vector<WorkloadProfile> profiles(1);
+    profiles[0].name = "w";
+    profiles[0].workUnits = 1.0;
+    // No reference machine.
+    EXPECT_THROW(BenchmarkSuite::fromProfiles(
+                     profiles, {machineA(), machineB()}),
+                 InvalidArgument);
+    // Two reference machines.
+    EXPECT_THROW(BenchmarkSuite::fromProfiles(
+                     profiles,
+                     {referenceMachine(), referenceMachine()}),
+                 InvalidArgument);
+}
+
+TEST(SuiteTest, ConstructionValidation)
+{
+    EXPECT_THROW(BenchmarkSuite({}, {}, paperMachines()),
+                 InvalidArgument);
+    std::vector<WorkloadProfile> profiles(1);
+    profiles[0].name = "w";
+    // Work size mismatch.
+    EXPECT_THROW(BenchmarkSuite(profiles, {}, paperMachines()),
+                 InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/text_table.h"
+
+namespace {
+
+using hiermeans::util::TextTable;
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_EQ(out,
+              "name   value\n"
+              "------------\n"
+              "alpha      1\n"
+              "b         22\n");
+}
+
+TEST(TextTableTest, FirstColumnLeftRestRightByDefault)
+{
+    TextTable t({"w", "x"});
+    t.addRow({"aa", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("aa  1"), std::string::npos);
+}
+
+TEST(TextTableTest, ExplicitAlignments)
+{
+    TextTable t({"a", "b"});
+    t.setAlignments({TextTable::Align::Right, TextTable::Align::Left});
+    t.addRow({"x", "y"});
+    // Column widths are 1, so alignment is invisible here; widen.
+    t.addRow({"long", "val"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("   x  y"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorSpansWidth)
+{
+    TextTable t({"col"});
+    t.addRow({"a"});
+    t.addSeparator();
+    t.addRow({"b"});
+    const std::string out = t.render();
+    // Header rule + explicit separator.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(TextTableTest, ShortRowsArePadded)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTableTest, RowsWiderThanHeaderExtendTable)
+{
+    TextTable t({"a"});
+    t.addRow({"x", "extra"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersNothing)
+{
+    TextTable t;
+    EXPECT_EQ(t.render(), "");
+}
+
+TEST(TextTableTest, NoTrailingWhitespace)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "2"});
+    const std::string out = t.render();
+    std::size_t pos = 0;
+    while ((pos = out.find(" \n", pos)) != std::string::npos)
+        FAIL() << "trailing whitespace at " << pos;
+}
+
+TEST(TextTableTest, HeaderlessTableHasNoRule)
+{
+    TextTable t;
+    t.addRow({"a", "b"});
+    EXPECT_EQ(t.render(), "a  b\n");
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the SOM grid topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/som/topology.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::som;
+using hiermeans::InvalidArgument;
+
+TEST(TopologyTest, IndexCellRoundTrip)
+{
+    const GridTopology topo(3, 4);
+    EXPECT_EQ(topo.unitCount(), 12u);
+    for (std::size_t u = 0; u < topo.unitCount(); ++u) {
+        const GridCell c = topo.cell(u);
+        EXPECT_EQ(topo.unitIndex(c.row, c.col), u);
+    }
+    EXPECT_THROW(topo.cell(12), InvalidArgument);
+    EXPECT_THROW(topo.unitIndex(3, 0), InvalidArgument);
+    EXPECT_THROW(GridTopology(0, 4), InvalidArgument);
+}
+
+TEST(TopologyTest, RectangularLocations)
+{
+    const GridTopology topo(2, 3);
+    const GridPoint p = topo.location(topo.unitIndex(1, 2));
+    EXPECT_DOUBLE_EQ(p.x, 2.0);
+    EXPECT_DOUBLE_EQ(p.y, 1.0);
+}
+
+TEST(TopologyTest, RectangularDistances)
+{
+    const GridTopology topo(4, 4);
+    const std::size_t a = topo.unitIndex(0, 0);
+    const std::size_t b = topo.unitIndex(3, 4 - 1);
+    EXPECT_DOUBLE_EQ(topo.gridDistance(a, a), 0.0);
+    EXPECT_NEAR(topo.gridDistance(a, b), std::sqrt(9.0 + 9.0), 1e-12);
+    EXPECT_NEAR(topo.gridDistanceSquared(a, b), 18.0, 1e-12);
+}
+
+TEST(TopologyTest, RectangularNeighbors)
+{
+    const GridTopology topo(3, 3);
+    const std::size_t center = topo.unitIndex(1, 1);
+    EXPECT_TRUE(topo.areNeighbors(center, topo.unitIndex(0, 1)));
+    EXPECT_TRUE(topo.areNeighbors(center, topo.unitIndex(1, 0)));
+    EXPECT_TRUE(topo.areNeighbors(center, topo.unitIndex(1, 2)));
+    EXPECT_TRUE(topo.areNeighbors(center, topo.unitIndex(2, 1)));
+    // Diagonal is not a lattice neighbor on a rectangular grid.
+    EXPECT_FALSE(topo.areNeighbors(center, topo.unitIndex(0, 0)));
+    EXPECT_FALSE(topo.areNeighbors(center, center));
+}
+
+TEST(TopologyTest, HexagonalRowOffsets)
+{
+    const GridTopology topo(3, 3, GridKind::Hexagonal);
+    const GridPoint even = topo.location(topo.unitIndex(0, 1));
+    const GridPoint odd = topo.location(topo.unitIndex(1, 1));
+    EXPECT_DOUBLE_EQ(even.x, 1.0);
+    EXPECT_DOUBLE_EQ(odd.x, 1.5);
+    EXPECT_NEAR(odd.y, std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(TopologyTest, HexagonalNeighborsEquidistant)
+{
+    const GridTopology topo(4, 4, GridKind::Hexagonal);
+    // Unit (1,1) on a hex grid has six neighbors at distance 1:
+    // (1,0), (1,2), (0,1), (0,2), (2,1), (2,2).
+    const std::size_t u = topo.unitIndex(1, 1);
+    const std::size_t expected_neighbors[] = {
+        topo.unitIndex(1, 0), topo.unitIndex(1, 2), topo.unitIndex(0, 1),
+        topo.unitIndex(0, 2), topo.unitIndex(2, 1), topo.unitIndex(2, 2)};
+    for (std::size_t v : expected_neighbors) {
+        EXPECT_NEAR(topo.gridDistance(u, v), 1.0, 1e-9);
+        EXPECT_TRUE(topo.areNeighbors(u, v));
+    }
+}
+
+TEST(TopologyTest, GridKindNamesRoundTrip)
+{
+    EXPECT_EQ(parseGridKind(gridKindName(GridKind::Rectangular)),
+              GridKind::Rectangular);
+    EXPECT_EQ(parseGridKind("hex"), GridKind::Hexagonal);
+    EXPECT_THROW(parseGridKind("toroidal"), InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the U-matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/som/umatrix.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using namespace hiermeans::som;
+
+Matrix
+blobData()
+{
+    hiermeans::rng::Engine engine(5);
+    std::vector<Vector> rows;
+    for (int i = 0; i < 8; ++i)
+        rows.push_back({engine.normal(0.0, 0.2),
+                        engine.normal(0.0, 0.2)});
+    for (int i = 0; i < 8; ++i)
+        rows.push_back({engine.normal(8.0, 0.2),
+                        engine.normal(8.0, 0.2)});
+    return Matrix::fromRows(rows);
+}
+
+TEST(UMatrixTest, ShapeMatchesTopology)
+{
+    SomConfig config;
+    config.rows = 5;
+    config.cols = 7;
+    config.steps = 800;
+    const auto map = SelfOrganizingMap::train(blobData(), config);
+    const Matrix u = uMatrix(map);
+    EXPECT_EQ(u.rows(), 5u);
+    EXPECT_EQ(u.cols(), 7u);
+}
+
+TEST(UMatrixTest, NonNegativeEverywhere)
+{
+    SomConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.steps = 500;
+    const auto map = SelfOrganizingMap::train(blobData(), config);
+    const Matrix u = uMatrix(map);
+    for (std::size_t r = 0; r < u.rows(); ++r)
+        for (std::size_t c = 0; c < u.cols(); ++c)
+            EXPECT_GE(u(r, c), 0.0);
+}
+
+TEST(UMatrixTest, RidgeSeparatesTwoBlobs)
+{
+    // With two blobs, the maximum U-matrix value (the ridge between
+    // clusters) must clearly exceed the minimum (inside a plateau).
+    SomConfig config;
+    config.rows = 6;
+    config.cols = 6;
+    config.steps = 2000;
+    config.seed = 3;
+    const auto map = SelfOrganizingMap::train(blobData(), config);
+    const Matrix u = uMatrix(map);
+    double lo = u(0, 0), hi = u(0, 0);
+    for (std::size_t r = 0; r < u.rows(); ++r) {
+        for (std::size_t c = 0; c < u.cols(); ++c) {
+            lo = std::min(lo, u(r, c));
+            hi = std::max(hi, u(r, c));
+        }
+    }
+    EXPECT_GT(hi, 3.0 * std::max(lo, 1e-9));
+}
+
+TEST(UMatrixTest, UniformWeightsGiveZeroUMatrix)
+{
+    // A map trained on identical inputs converges to identical
+    // weights: neighbor distances approach zero.
+    std::vector<Vector> rows(6, Vector{2.0, 2.0});
+    SomConfig config;
+    config.rows = 3;
+    config.cols = 3;
+    config.steps = 3000;
+    config.init = InitKind::Random;
+    const auto map =
+        SelfOrganizingMap::train(Matrix::fromRows(rows), config);
+    const Matrix u = uMatrix(map);
+    for (std::size_t r = 0; r < u.rows(); ++r)
+        for (std::size_t c = 0; c < u.cols(); ++c)
+            EXPECT_LT(u(r, c), 0.2);
+}
+
+} // namespace

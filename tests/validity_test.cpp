@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for cluster validity indices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/validity.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+using hiermeans::scoring::Partition;
+
+Matrix
+twoBlobs()
+{
+    hiermeans::rng::Engine engine(77);
+    std::vector<Vector> rows;
+    for (int i = 0; i < 6; ++i)
+        rows.push_back({engine.normal(0.0, 0.2),
+                        engine.normal(0.0, 0.2)});
+    for (int i = 0; i < 6; ++i)
+        rows.push_back({engine.normal(10.0, 0.2),
+                        engine.normal(10.0, 0.2)});
+    return Matrix::fromRows(rows);
+}
+
+Partition
+truePartition()
+{
+    return Partition::fromLabels(
+        {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1});
+}
+
+Partition
+scrambledPartition()
+{
+    return Partition::fromLabels(
+        {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1});
+}
+
+TEST(SilhouetteTest, TruePartitionBeatsScrambled)
+{
+    const Matrix points = twoBlobs();
+    const double good = silhouette(points, truePartition());
+    const double bad = silhouette(points, scrambledPartition());
+    EXPECT_GT(good, 0.9);
+    EXPECT_LT(bad, 0.1);
+    EXPECT_GT(good, bad);
+}
+
+TEST(SilhouetteTest, RangeAndValidation)
+{
+    const Matrix points = twoBlobs();
+    const double s = silhouette(points, truePartition());
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_THROW(silhouette(points, Partition::single(12)),
+                 InvalidArgument);
+    EXPECT_THROW(silhouette(points, Partition::single(3)),
+                 InvalidArgument);
+}
+
+TEST(SilhouetteTest, SingletonsContributeZero)
+{
+    const Matrix points =
+        Matrix::fromRows({{0.0}, {0.1}, {10.0}});
+    const Partition p = Partition::fromGroups({{0, 1}, {2}});
+    // Two near-perfect members + one zero singleton -> about 2/3.
+    const double s = silhouette(points, p);
+    EXPECT_NEAR(s, 2.0 / 3.0, 0.05);
+}
+
+TEST(DaviesBouldinTest, LowerForTruePartition)
+{
+    const Matrix points = twoBlobs();
+    const double good = daviesBouldin(points, truePartition());
+    const double bad = daviesBouldin(points, scrambledPartition());
+    EXPECT_LT(good, bad);
+    EXPECT_LT(good, 0.2);
+    EXPECT_THROW(daviesBouldin(points, Partition::single(12)),
+                 InvalidArgument);
+}
+
+TEST(CopheneticTest, HighForWellStructuredData)
+{
+    const Matrix points = twoBlobs();
+    const Dendrogram d = agglomerate(points, Linkage::Complete);
+    const double c = copheneticCorrelation(points, d);
+    EXPECT_GT(c, 0.9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+}
+
+TEST(CopheneticTest, Validation)
+{
+    const Matrix points = twoBlobs();
+    const Dendrogram d = agglomerate(points);
+    const Matrix other = Matrix::fromRows({{1.0}, {2.0}});
+    EXPECT_THROW(copheneticCorrelation(other, d), InvalidArgument);
+}
+
+TEST(WithinClusterSSTest, ZeroForDiscretePartition)
+{
+    const Matrix points = twoBlobs();
+    EXPECT_NEAR(withinClusterSS(points,
+                                Partition::discrete(points.rows())),
+                0.0, 1e-12);
+}
+
+TEST(WithinClusterSSTest, DecreasesWithFinerPartitions)
+{
+    const Matrix points = twoBlobs();
+    const double one = withinClusterSS(points, Partition::single(12));
+    const double two = withinClusterSS(points, truePartition());
+    EXPECT_LT(two, one);
+    EXPECT_GT(one, 0.0);
+}
+
+TEST(WithinClusterSSTest, HandComputed)
+{
+    const Matrix points = Matrix::fromRows({{0.0}, {2.0}});
+    // One cluster: centroid 1, SS = 1 + 1 = 2.
+    EXPECT_NEAR(withinClusterSS(points, Partition::single(2)), 2.0,
+                1e-12);
+}
+
+} // namespace

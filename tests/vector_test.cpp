@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for vector operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/vector.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans::linalg;
+using hiermeans::InvalidArgument;
+
+TEST(VectorTest, AddSub)
+{
+    const Vector a = {1.0, 2.0, 3.0};
+    const Vector b = {10.0, 20.0, 30.0};
+    EXPECT_EQ(add(a, b), (Vector{11.0, 22.0, 33.0}));
+    EXPECT_EQ(sub(b, a), (Vector{9.0, 18.0, 27.0}));
+    EXPECT_THROW(add(a, {1.0}), InvalidArgument);
+}
+
+TEST(VectorTest, ScaleAndAxpy)
+{
+    const Vector a = {1.0, -2.0};
+    EXPECT_EQ(scale(a, 3.0), (Vector{3.0, -6.0}));
+    Vector y = {1.0, 1.0};
+    axpy(2.0, a, y);
+    EXPECT_EQ(y, (Vector{3.0, -3.0}));
+    Vector too_short = {1.0};
+    EXPECT_THROW(axpy(1.0, a, too_short), InvalidArgument);
+}
+
+TEST(VectorTest, DotAndNorm)
+{
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+    EXPECT_DOUBLE_EQ(norm({3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(norm({}), 0.0);
+}
+
+TEST(VectorTest, SumAndMean)
+{
+    EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.0}), 6.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(sum({}), 0.0);
+    EXPECT_THROW(mean({}), InvalidArgument);
+}
+
+TEST(VectorTest, Fill)
+{
+    Vector v(3, 0.0);
+    fill(v, 7.5);
+    EXPECT_EQ(v, (Vector{7.5, 7.5, 7.5}));
+}
+
+TEST(VectorTest, ApproxEqual)
+{
+    EXPECT_TRUE(approxEqual({1.0, 2.0}, {1.0 + 1e-10, 2.0}, 1e-9));
+    EXPECT_FALSE(approxEqual({1.0, 2.0}, {1.1, 2.0}, 1e-9));
+    EXPECT_FALSE(approxEqual({1.0}, {1.0, 2.0}, 1e-9));
+}
+
+} // namespace

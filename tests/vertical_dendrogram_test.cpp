@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the vertical (paper-style) dendrogram rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/render.h"
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace {
+
+using namespace hiermeans::cluster;
+using hiermeans::InvalidArgument;
+using hiermeans::linalg::Matrix;
+
+Dendrogram
+sample()
+{
+    std::vector<Merge> merges = {
+        {0, 1, 1.0, 2}, {2, 3, 2.0, 2}, {4, 5, 5.0, 4}};
+    return Dendrogram(4, std::move(merges));
+}
+
+const std::vector<std::string> kNames = {"aa", "bb", "cc", "dd"};
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(VerticalDendrogramTest, ContainsTitleScaleAndLabels)
+{
+    const std::string out =
+        renderVerticalDendrogram(sample(), kNames, "My Tree", 12);
+    EXPECT_NE(out.find("My Tree"), std::string::npos);
+    EXPECT_NE(out.find("merging distance"), std::string::npos);
+    // Top scale value equals the root height.
+    EXPECT_NE(out.find("5.00"), std::string::npos);
+    EXPECT_NE(out.find("0.00"), std::string::npos);
+    // Vertical labels: first characters of every name on one line.
+    bool found_initials = false;
+    for (const auto &line : lines(out)) {
+        std::size_t count = 0;
+        for (char c : line)
+            count += (c == 'a' || c == 'b' || c == 'c' || c == 'd');
+        if (count == 4)
+            found_initials = true;
+    }
+    EXPECT_TRUE(found_initials);
+}
+
+TEST(VerticalDendrogramTest, BracketCountMatchesMerges)
+{
+    const std::string out =
+        renderVerticalDendrogram(sample(), kNames, "T", 12);
+    // Each merge draws exactly two '+' corners.
+    const auto plus = std::count(out.begin(), out.end(), '+');
+    // 3 merges * 2 corners + 1 baseline corner of the axis.
+    EXPECT_EQ(plus, 3 * 2 + 1);
+}
+
+TEST(VerticalDendrogramTest, HigherMergesAppearOnEarlierRows)
+{
+    const std::string out =
+        renderVerticalDendrogram(sample(), kNames, "T", 16);
+    const auto all = lines(out);
+    // Find the row index of the root bracket (spanning widest range)
+    // and of the lowest bracket: the root must come first.
+    std::size_t first_bracket = all.size(), last_bracket = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i].find('+') != std::string::npos &&
+            all[i].find("--") != std::string::npos) {
+            first_bracket = std::min(first_bracket, i);
+            last_bracket = std::max(last_bracket, i);
+        }
+    }
+    EXPECT_LT(first_bracket, last_bracket);
+}
+
+TEST(VerticalDendrogramTest, ZeroHeightMergesRenderAtBaseline)
+{
+    std::vector<Merge> merges = {
+        {0, 1, 0.0, 2}, {2, 3, 0.0, 2}, {4, 5, 3.0, 4}};
+    const Dendrogram d(4, std::move(merges));
+    EXPECT_NO_THROW(renderVerticalDendrogram(d, kNames, "T", 10));
+}
+
+TEST(VerticalDendrogramTest, LeafOrderKeepsClustersContiguous)
+{
+    // Points forming two clear pairs: the leaf order must keep each
+    // pair adjacent (no bracket crossings).
+    const Matrix points =
+        Matrix::fromRows({{0.0}, {10.0}, {0.3}, {10.4}});
+    const Dendrogram d = agglomerate(points);
+    const std::string out = renderVerticalDendrogram(
+        d, {"p0", "p1", "p2", "p3"}, "T", 10);
+    // Under each column the vertical labels spell p0 p2 p1 p3 or
+    // p1 p3 p0 p2 etc.; verify by reading the digit row.
+    std::string digit_row;
+    for (const auto &line : lines(out)) {
+        // Label rows carry no axis characters; scale rows do.
+        if (line.find('|') != std::string::npos ||
+            line.find('+') != std::string::npos ||
+            line.find('.') != std::string::npos) {
+            continue;
+        }
+        std::size_t digits = 0;
+        for (char c : line)
+            digits += (c >= '0' && c <= '9');
+        if (digits == 4) {
+            digit_row = line;
+            break;
+        }
+    }
+    ASSERT_FALSE(digit_row.empty());
+    std::string order;
+    for (char c : digit_row) {
+        if (c >= '0' && c <= '9')
+            order += c;
+    }
+    // 0 must be adjacent to 2, and 1 adjacent to 3.
+    const auto pos = [&](char c) { return order.find(c); };
+    EXPECT_EQ(std::abs(static_cast<int>(pos('0')) -
+                       static_cast<int>(pos('2'))),
+              1);
+    EXPECT_EQ(std::abs(static_cast<int>(pos('1')) -
+                       static_cast<int>(pos('3'))),
+              1);
+}
+
+TEST(VerticalDendrogramTest, Validation)
+{
+    EXPECT_THROW(renderVerticalDendrogram(sample(), {"x"}, "T", 10),
+                 InvalidArgument);
+    EXPECT_THROW(renderVerticalDendrogram(sample(), kNames, "T", 3),
+                 InvalidArgument);
+}
+
+TEST(VerticalDendrogramTest, SingleLeaf)
+{
+    const Dendrogram d(1, {});
+    EXPECT_NO_THROW(renderVerticalDendrogram(d, {"only"}, "T", 8));
+}
+
+} // namespace

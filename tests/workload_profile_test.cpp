@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the Table I workload profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload_profile.h"
+
+namespace {
+
+using namespace hiermeans::workload;
+
+TEST(WorkloadProfileTest, ThirteenWorkloadsInPaperOrder)
+{
+    const auto &suite = paperSuiteProfiles();
+    ASSERT_EQ(suite.size(), 13u);
+    EXPECT_EQ(suite[0].name, "jvm98.201.compress");
+    EXPECT_EQ(suite[4].name, "jvm98.227.mtrt");
+    EXPECT_EQ(suite[5].name, "SciMark2.FFT");
+    EXPECT_EQ(suite[9].name, "SciMark2.Sparse");
+    EXPECT_EQ(suite[10].name, "DaCapo.hsqldb");
+    EXPECT_EQ(suite[12].name, "DaCapo.xalan");
+}
+
+TEST(WorkloadProfileTest, OriginCounts)
+{
+    EXPECT_EQ(indicesOfOrigin(SuiteOrigin::SpecJvm98).size(), 5u);
+    EXPECT_EQ(indicesOfOrigin(SuiteOrigin::SciMark2).size(), 5u);
+    EXPECT_EQ(indicesOfOrigin(SuiteOrigin::DaCapo).size(), 3u);
+    EXPECT_EQ(indicesOfOrigin(SuiteOrigin::SciMark2),
+              (std::vector<std::size_t>{5, 6, 7, 8, 9}));
+}
+
+TEST(WorkloadProfileTest, NamesMatchProfiles)
+{
+    const auto names = paperWorkloadNames();
+    const auto &suite = paperSuiteProfiles();
+    ASSERT_EQ(names.size(), suite.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(names[i], suite[i].name);
+}
+
+TEST(WorkloadProfileTest, LatentValuesAreIntensities)
+{
+    for (const auto &profile : paperSuiteProfiles()) {
+        for (double v : profile.latent) {
+            EXPECT_GE(v, 0.0) << profile.name;
+            EXPECT_LE(v, 1.0) << profile.name;
+        }
+    }
+}
+
+TEST(WorkloadProfileTest, SciMarkKernelsAreNearIdentical)
+{
+    // The latent design encodes the paper's core observation: the five
+    // SciMark2 kernels differ by tiny deltas only.
+    const auto &suite = paperSuiteProfiles();
+    const auto sc = indicesOfOrigin(SuiteOrigin::SciMark2);
+    for (std::size_t i : sc) {
+        for (std::size_t j : sc) {
+            for (std::size_t axis = 0; axis < kLatentAxes; ++axis) {
+                EXPECT_NEAR(suite[i].latent[axis], suite[j].latent[axis],
+                            0.05)
+                    << suite[i].name << " vs " << suite[j].name;
+            }
+        }
+    }
+}
+
+TEST(WorkloadProfileTest, SciMarkSharesMethodSeedGroup)
+{
+    const auto &suite = paperSuiteProfiles();
+    for (std::size_t i : indicesOfOrigin(SuiteOrigin::SciMark2))
+        EXPECT_EQ(suite[i].methodSeedGroup, "scimark.kernel");
+    // Everyone else uses a private group.
+    for (std::size_t i : indicesOfOrigin(SuiteOrigin::SpecJvm98))
+        EXPECT_EQ(suite[i].methodSeedGroup, suite[i].name);
+}
+
+TEST(WorkloadProfileTest, EveryWorkloadUsesJdkCore)
+{
+    for (const auto &profile : paperSuiteProfiles()) {
+        bool has_core = false;
+        for (const auto &lib : profile.libraries) {
+            if (lib.tag == "jdk.core")
+                has_core = true;
+            EXPECT_GT(lib.coverage, 0.0);
+            EXPECT_LE(lib.coverage, 1.0);
+        }
+        EXPECT_TRUE(has_core) << profile.name;
+    }
+}
+
+TEST(WorkloadProfileTest, OriginNames)
+{
+    EXPECT_STREQ(suiteOriginName(SuiteOrigin::SpecJvm98), "SPECjvm98");
+    EXPECT_STREQ(suiteOriginName(SuiteOrigin::SciMark2), "SciMark2");
+    EXPECT_STREQ(suiteOriginName(SuiteOrigin::DaCapo), "DaCapo");
+}
+
+} // namespace
