@@ -27,7 +27,8 @@ set(HM_BENCHES
     ablation_suite_merger
     reference_distribution
     consensus_clustering
-    robustness_bootstrap)
+    robustness_bootstrap
+    perf_engine_throughput)
 
 foreach(bench IN LISTS HM_BENCHES)
     add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cpp)

@@ -9,7 +9,6 @@
  */
 
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 
 #include "src/hiermeans.h"
@@ -21,9 +20,7 @@ using namespace hiermeans;
 void
 writeFile(const std::filesystem::path &path, const std::string &content)
 {
-    std::ofstream out(path, std::ios::binary);
-    HM_REQUIRE(out.good(), "cannot write `" << path.string() << "`");
-    out << content;
+    util::writeFile(path.string(), content);
     std::cout << "wrote " << path.string() << "\n";
 }
 

@@ -1,0 +1,310 @@
+#include "src/engine/engine.h"
+
+#include <chrono>
+#include <exception>
+
+#include "src/core/characterization.h"
+#include "src/engine/fingerprint.h"
+#include "src/scoring/hierarchical_mean.h"
+#include "src/stats/means.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace engine {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintRequest(const ScoreRequest &request)
+{
+    // The seed is applied onto the config before hashing so that
+    // "same effective configuration" implies "same fingerprint"
+    // however the caller spelled it.
+    core::PipelineConfig effective = request.config;
+    effective.som.seed = request.seed;
+
+    Fingerprint fp;
+    fp.mix(request.features);
+    fp.mix(static_cast<std::uint64_t>(request.workloads.size()));
+    for (const std::string &name : request.workloads)
+        fp.mix(name);
+    fp.mix(static_cast<std::uint64_t>(request.featureNames.size()));
+    for (const std::string &name : request.featureNames)
+        fp.mix(name);
+    fp.mix(request.scoresA);
+    fp.mix(request.scoresB);
+    fp.mix(request.kind);
+    fp.mix(effective);
+    return fp.digest();
+}
+
+ScoringEngine::ScoringEngine(Config config)
+    : config_(config), cache_(config.cache), pool_(config.threads)
+{}
+
+std::future<ScoreResult>
+ScoringEngine::submit(ScoreRequest request)
+{
+    metrics_.onRequest();
+    const auto received = std::chrono::steady_clock::now();
+    const std::uint64_t fingerprint = fingerprintRequest(request);
+
+    std::promise<ScoreResult> promise;
+    std::future<ScoreResult> future = promise.get_future();
+
+    std::unique_lock<std::mutex> lock(flightsMutex_);
+
+    // Fast path: an identical request already completed and is cached.
+    if (auto cached = cache_.get(fingerprint)) {
+        lock.unlock();
+        metrics_.onCacheHit();
+        ScoreResult result;
+        result.id = std::move(request.id);
+        result.ok = true;
+        result.cacheHit = true;
+        result.fingerprint = fingerprint;
+        result.report = std::move(cached->report);
+        result.analysis = std::move(cached->analysis);
+        result.recommendedK = cached->recommendedK;
+        metrics_.recordRequest(millisSince(received));
+        promise.set_value(std::move(result));
+        return future;
+    }
+
+    // Single-flight: an identical request is already executing — join
+    // its waiter list instead of running the pipeline twice.
+    if (const auto it = flights_.find(fingerprint); it != flights_.end()) {
+        it->second->waiters.emplace_back(std::move(request.id),
+                                         std::move(promise));
+        lock.unlock();
+        metrics_.onDedupedInFlight();
+        return future;
+    }
+
+    // New work: open a flight and hand the request to the pool.
+    auto flight = std::make_shared<Flight>();
+    flight->waiters.emplace_back(std::move(request.id),
+                                 std::move(promise));
+    flights_[fingerprint] = flight;
+    lock.unlock();
+
+    auto shared_request =
+        std::make_shared<const ScoreRequest>(std::move(request));
+    pool_.submit([this, fingerprint, shared_request, received]() {
+        execute(fingerprint, shared_request, received);
+    });
+    return future;
+}
+
+void
+ScoringEngine::execute(std::uint64_t fingerprint,
+                       std::shared_ptr<const ScoreRequest> request,
+                       std::chrono::steady_clock::time_point enqueued)
+{
+    ScoreResult result;
+    result.fingerprint = fingerprint;
+
+    const double queue_wait = millisSince(enqueued);
+    const bool has_deadline = request->timeoutMillis > 0.0;
+    const auto started = std::chrono::steady_clock::now();
+
+    if (has_deadline && queue_wait > request->timeoutMillis) {
+        // Expired while queued: don't burn a worker on a dead request.
+        metrics_.onTimeout();
+        result.error = "timed out after " + std::to_string(queue_wait) +
+                       " ms waiting in queue (timeout " +
+                       std::to_string(request->timeoutMillis) + " ms)";
+    } else {
+        metrics_.onExecution();
+        try {
+            core::PipelineConfig config = request->config;
+            config.som.seed = request->seed;
+
+            const core::CharacteristicVectors vectors =
+                core::characterizeRaw(request->features,
+                                      request->workloads,
+                                      request->featureNames);
+            auto analysis = std::make_shared<const core::ClusterAnalysis>(
+                core::analyzeClusters(vectors, config));
+            scoring::ScoreReport report = scoring::buildScoreReport(
+                request->kind, request->scoresA, request->scoresB,
+                analysis->partitions);
+
+            result.report = std::move(report);
+            result.analysis = std::move(analysis);
+            result.recommendedK =
+                result.report.rows[result.report.recommendedRow()]
+                    .clusterCount;
+            result.ok = true;
+        } catch (const std::exception &e) {
+            metrics_.onFailure();
+            result.error = e.what();
+        }
+        result.wallMillis = millisSince(started);
+        metrics_.recordPipeline(result.wallMillis);
+
+        const double total = millisSince(enqueued);
+        if (result.ok && has_deadline && total > request->timeoutMillis) {
+            // Cooperative deadline: the pipeline cannot be interrupted
+            // mid-SOM, so overruns are detected after the fact.
+            metrics_.onTimeout();
+            result.ok = false;
+            result.report = scoring::ScoreReport{};
+            result.analysis.reset();
+            result.recommendedK = 0;
+            result.error = "timed out after " + std::to_string(total) +
+                           " ms (timeout " +
+                           std::to_string(request->timeoutMillis) +
+                           " ms)";
+        }
+    }
+
+    if (result.ok) {
+        cache_.put(fingerprint,
+                   CachedResult{result.report, result.analysis,
+                                result.recommendedK});
+    }
+
+    // Close the flight *after* the cache insert so a request arriving
+    // in between sees either the flight or the cached entry.
+    std::vector<std::pair<std::string, std::promise<ScoreResult>>> waiters;
+    {
+        std::lock_guard<std::mutex> lock(flightsMutex_);
+        const auto it = flights_.find(fingerprint);
+        HM_ASSERT(it != flights_.end(),
+                  "ScoringEngine: flight vanished for fingerprint "
+                      << fingerprint);
+        waiters = std::move(it->second->waiters);
+        flights_.erase(it);
+    }
+
+    const double total = millisSince(enqueued);
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+        ScoreResult copy = result;
+        copy.id = std::move(waiters[i].first);
+        copy.deduped = i > 0; // waiter 0 is the request that ran.
+        metrics_.recordRequest(total);
+        waiters[i].second.set_value(std::move(copy));
+    }
+}
+
+std::vector<ScoreResult>
+ScoringEngine::runBatch(std::vector<ScoreRequest> requests)
+{
+    std::vector<std::future<ScoreResult>> futures;
+    futures.reserve(requests.size());
+    for (ScoreRequest &request : requests)
+        futures.push_back(submit(std::move(request)));
+    std::vector<ScoreResult> results;
+    results.reserve(futures.size());
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+scoring::ScoreReport
+buildScoreReportParallel(ThreadPool &pool, stats::MeanKind kind,
+                         const std::vector<double> &scores_a,
+                         const std::vector<double> &scores_b,
+                         const std::vector<scoring::Partition> &partitions)
+{
+    HM_REQUIRE(scores_a.size() == scores_b.size(),
+               "buildScoreReportParallel: score vectors differ in size");
+    HM_REQUIRE(!scores_a.empty(), "buildScoreReportParallel: no scores");
+
+    std::vector<std::future<scoring::ScoreReportRow>> rows;
+    rows.reserve(partitions.size());
+    for (const scoring::Partition &partition : partitions) {
+        HM_REQUIRE(partition.size() == scores_a.size(),
+                   "buildScoreReportParallel: partition covers "
+                       << partition.size() << " items, scores cover "
+                       << scores_a.size());
+        rows.push_back(pool.submit([kind, &scores_a, &scores_b,
+                                    &partition]() {
+            scoring::ScoreReportRow row;
+            row.clusterCount = partition.clusterCount();
+            row.partition = partition;
+            row.scoreA = scoring::hierarchicalMean(kind, scores_a,
+                                                   partition);
+            row.scoreB = scoring::hierarchicalMean(kind, scores_b,
+                                                   partition);
+            row.ratio = row.scoreA / row.scoreB;
+            return row;
+        }));
+    }
+
+    scoring::ScoreReport report;
+    report.kind = kind;
+    for (auto &future : rows)
+        report.rows.push_back(future.get());
+    report.plainA = stats::mean(kind, scores_a);
+    report.plainB = stats::mean(kind, scores_b);
+    report.plainRatio = report.plainA / report.plainB;
+    return report;
+}
+
+scoring::MultiMachineReport
+buildMultiMachineReportParallel(
+    ThreadPool &pool, stats::MeanKind kind,
+    const std::vector<std::vector<double>> &machine_scores,
+    const std::vector<std::string> &machine_labels,
+    const std::vector<scoring::Partition> &partitions)
+{
+    HM_REQUIRE(machine_scores.size() >= 2,
+               "buildMultiMachineReportParallel: need >= 2 machines");
+    HM_REQUIRE(machine_scores.size() == machine_labels.size(),
+               "buildMultiMachineReportParallel: "
+                   << machine_scores.size() << " score vectors vs "
+                   << machine_labels.size() << " labels");
+    const std::size_t n = machine_scores.front().size();
+    HM_REQUIRE(n >= 1, "buildMultiMachineReportParallel: no workloads");
+    for (const auto &scores : machine_scores) {
+        HM_REQUIRE(scores.size() == n,
+                   "buildMultiMachineReportParallel: ragged score "
+                   "vectors");
+    }
+
+    // One task per (partition, machine) cell, gathered in order.
+    std::vector<std::future<double>> cells;
+    cells.reserve(partitions.size() * machine_scores.size());
+    for (const scoring::Partition &partition : partitions) {
+        HM_REQUIRE(partition.size() == n,
+                   "buildMultiMachineReportParallel: partition covers "
+                       << partition.size() << " items, scores cover "
+                       << n);
+        for (const auto &scores : machine_scores) {
+            cells.push_back(pool.submit([kind, &scores, &partition]() {
+                return scoring::hierarchicalMean(kind, scores,
+                                                 partition);
+            }));
+        }
+    }
+
+    scoring::MultiMachineReport report;
+    report.kind = kind;
+    report.machineLabels = machine_labels;
+    std::size_t cell = 0;
+    for (const scoring::Partition &partition : partitions) {
+        scoring::MultiMachineRow row;
+        row.clusterCount = partition.clusterCount();
+        row.partition = partition;
+        for (std::size_t m = 0; m < machine_scores.size(); ++m)
+            row.scores.push_back(cells[cell++].get());
+        report.rows.push_back(std::move(row));
+    }
+    for (const auto &scores : machine_scores)
+        report.plainScores.push_back(stats::mean(kind, scores));
+    return report;
+}
+
+} // namespace engine
+} // namespace hiermeans

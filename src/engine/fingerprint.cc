@@ -1,0 +1,101 @@
+#include "src/engine/fingerprint.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace hiermeans {
+namespace engine {
+
+Fingerprint &
+Fingerprint::mixBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state_ ^= static_cast<std::uint64_t>(bytes[i]);
+        state_ *= kPrime;
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(std::uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    return mixBytes(bytes, sizeof(bytes));
+}
+
+Fingerprint &
+Fingerprint::mix(double value)
+{
+    // Numerically equal inputs must hash equally: fold -0.0 into +0.0
+    // and every NaN payload into one canonical quiet NaN.
+    if (value == 0.0)
+        value = 0.0;
+    if (std::isnan(value))
+        value = std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return mix(bits);
+}
+
+Fingerprint &
+Fingerprint::mix(const std::string &value)
+{
+    mix(static_cast<std::uint64_t>(value.size()));
+    return mixBytes(value.data(), value.size());
+}
+
+Fingerprint &
+Fingerprint::mix(const std::vector<double> &values)
+{
+    mix(static_cast<std::uint64_t>(values.size()));
+    for (double value : values)
+        mix(value);
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(const linalg::Matrix &matrix)
+{
+    mix(static_cast<std::uint64_t>(matrix.rows()));
+    mix(static_cast<std::uint64_t>(matrix.cols()));
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+        for (std::size_t c = 0; c < matrix.cols(); ++c)
+            mix(matrix(r, c));
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(const core::PipelineConfig &config)
+{
+    mix(static_cast<std::uint64_t>(config.som.rows));
+    mix(static_cast<std::uint64_t>(config.som.cols));
+    mix(static_cast<std::uint64_t>(config.som.grid));
+    mix(static_cast<std::uint64_t>(config.som.kernel));
+    mix(static_cast<std::uint64_t>(config.som.init));
+    mix(static_cast<std::uint64_t>(config.som.decay));
+    mix(static_cast<std::uint64_t>(config.som.steps));
+    mix(config.som.alphaStart);
+    mix(config.som.alphaEnd);
+    mix(config.som.sigmaStart);
+    mix(config.som.sigmaEnd);
+    mix(config.som.seed);
+    mix(static_cast<std::uint64_t>(config.linkage));
+    mix(static_cast<std::uint64_t>(config.metric));
+    mix(static_cast<std::uint64_t>(config.kMin));
+    mix(static_cast<std::uint64_t>(config.kMax));
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(stats::MeanKind kind)
+{
+    return mix(static_cast<std::uint64_t>(kind));
+}
+
+} // namespace engine
+} // namespace hiermeans

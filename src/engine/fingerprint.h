@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Stable 64-bit content fingerprints for scoring requests.
+ *
+ * The engine's result cache and single-flight dedupe are keyed by a
+ * FNV-1a hash over everything that determines a pipeline result: the
+ * raw feature matrix, the score vectors, every `PipelineConfig` field
+ * (including the SOM geometry/schedule) and the RNG seed. Two requests
+ * with equal fingerprints therefore produce bit-identical reports —
+ * the whole pipeline is deterministic given (data, config, seed).
+ *
+ * The hash mixes lengths before contents so that concatenation-shaped
+ * collisions ({"ab","c"} vs {"a","bc"}) cannot occur, and normalizes
+ * -0.0 and NaN payloads so numerically-equal inputs hash equally.
+ */
+
+#ifndef HIERMEANS_ENGINE_FINGERPRINT_H
+#define HIERMEANS_ENGINE_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/linalg/matrix.h"
+#include "src/stats/means.h"
+
+namespace hiermeans {
+namespace engine {
+
+/** Incremental FNV-1a 64-bit hasher with typed mix-ins. */
+class Fingerprint
+{
+  public:
+    /** FNV-1a 64-bit offset basis. */
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    /** FNV-1a 64-bit prime. */
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    /** Mix raw bytes. */
+    Fingerprint &mixBytes(const void *data, std::size_t size);
+
+    /** Mix one 64-bit word (little-endian byte order, portable). */
+    Fingerprint &mix(std::uint64_t value);
+
+    /** Mix a double by bit pattern (-0.0 and NaN normalized). */
+    Fingerprint &mix(double value);
+
+    /** Mix a length-prefixed string. */
+    Fingerprint &mix(const std::string &value);
+
+    /** Mix a length-prefixed vector of doubles. */
+    Fingerprint &mix(const std::vector<double> &values);
+
+    /** Mix a matrix: dimensions then row-major elements. */
+    Fingerprint &mix(const linalg::Matrix &matrix);
+
+    /** Mix every field of a pipeline configuration. */
+    Fingerprint &mix(const core::PipelineConfig &config);
+
+    /** Mix a mean-family tag. */
+    Fingerprint &mix(stats::MeanKind kind);
+
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+} // namespace engine
+} // namespace hiermeans
+
+#endif // HIERMEANS_ENGINE_FINGERPRINT_H

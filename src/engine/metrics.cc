@@ -1,0 +1,136 @@
+#include "src/engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+#include "src/util/text_table.h"
+
+namespace hiermeans {
+namespace engine {
+
+void
+LatencyHistogram::record(double millis)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(millis);
+    sorted_ = false;
+}
+
+std::size_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    HM_REQUIRE(p >= 0.0 && p <= 100.0,
+               "LatencyHistogram::percentile: p = " << p);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    // Nearest-rank: the smallest sample covering p percent of the mass.
+    const double rank = p / 100.0 * static_cast<double>(samples_.size());
+    std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+    index = index == 0 ? 0 : index - 1;
+    index = std::min(index, samples_.size() - 1);
+    return samples_[index];
+}
+
+double
+LatencyHistogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+LatencyHistogram::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty())
+        return 0.0;
+    const double sum =
+        std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+namespace {
+
+MetricsSnapshot::Latency
+summarize(const LatencyHistogram &histogram)
+{
+    MetricsSnapshot::Latency latency;
+    latency.count = histogram.count();
+    latency.p50 = histogram.percentile(50.0);
+    latency.p95 = histogram.percentile(95.0);
+    latency.max = histogram.max();
+    latency.mean = histogram.mean();
+    return latency;
+}
+
+} // namespace
+
+MetricsSnapshot
+EngineMetrics::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.requests = requests_.load();
+    snap.cacheHits = cacheHits_.load();
+    snap.dedupedInFlight = dedupedInFlight_.load();
+    snap.executions = executions_.load();
+    snap.failures = failures_.load();
+    snap.timeouts = timeouts_.load();
+    if (snap.requests > 0) {
+        snap.cacheHitRatio = static_cast<double>(snap.cacheHits) /
+                             static_cast<double>(snap.requests);
+    }
+    snap.request = summarize(requestLatency_);
+    snap.pipeline = summarize(pipelineLatency_);
+    return snap;
+}
+
+std::string
+EngineMetrics::render() const
+{
+    const MetricsSnapshot snap = snapshot();
+
+    util::TextTable counters({"counter", "value"});
+    counters.addRow({"requests", std::to_string(snap.requests)});
+    counters.addRow({"cache hits", std::to_string(snap.cacheHits)});
+    counters.addRow(
+        {"in-flight dedupes", std::to_string(snap.dedupedInFlight)});
+    counters.addRow({"pipeline executions",
+                     std::to_string(snap.executions)});
+    counters.addRow({"failures", std::to_string(snap.failures)});
+    counters.addRow({"timeouts", std::to_string(snap.timeouts)});
+    counters.addRow(
+        {"cache hit ratio", str::fixed(snap.cacheHitRatio, 3)});
+
+    util::TextTable latency(
+        {"latency (ms)", "count", "p50", "p95", "max", "mean"});
+    const auto add = [&latency](const char *name,
+                                const MetricsSnapshot::Latency &l) {
+        latency.addRow({name, std::to_string(l.count),
+                        str::fixed(l.p50, 2), str::fixed(l.p95, 2),
+                        str::fixed(l.max, 2), str::fixed(l.mean, 2)});
+    };
+    add("request", snap.request);
+    add("pipeline", snap.pipeline);
+
+    return counters.render() + "\n" + latency.render();
+}
+
+} // namespace engine
+} // namespace hiermeans

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Engine observability: request counters and latency histograms.
+ *
+ * Counters (requests, cache hits/misses, in-flight dedupes, failures,
+ * timeouts) are lock-free atomics; latencies are recorded into two
+ * sample histograms — one per executed pipeline, one per served
+ * request (cache hits included) — from which p50/p95/max are read.
+ * `render()` formats everything with the same `util::TextTable` the
+ * report code uses, so an engine summary prints like a paper table.
+ */
+
+#ifndef HIERMEANS_ENGINE_METRICS_H
+#define HIERMEANS_ENGINE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace engine {
+
+/** A latency histogram storing raw samples (milliseconds). */
+class LatencyHistogram
+{
+  public:
+    /** Record one sample. Thread-safe. */
+    void record(double millis);
+
+    /** Number of samples recorded. */
+    std::size_t count() const;
+
+    /**
+     * Percentile @p p in [0, 100] by nearest-rank over the recorded
+     * samples; 0.0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Largest sample, 0.0 when empty. */
+    double max() const;
+
+    /** Arithmetic mean of the samples, 0.0 when empty. */
+    double mean() const;
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Point-in-time copy of every engine metric. */
+struct MetricsSnapshot
+{
+    std::uint64_t requests = 0;       ///< total submits.
+    std::uint64_t cacheHits = 0;      ///< served straight from cache.
+    std::uint64_t dedupedInFlight = 0;///< piggybacked on a running twin.
+    std::uint64_t executions = 0;     ///< pipelines actually run.
+    std::uint64_t failures = 0;       ///< executions that threw.
+    std::uint64_t timeouts = 0;       ///< requests past their deadline.
+
+    /** Cache hits / lookups, 0.0 before the first request. */
+    double cacheHitRatio = 0.0;
+
+    struct Latency
+    {
+        std::size_t count = 0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+    };
+    Latency request;  ///< wall time per served request (hits ~0).
+    Latency pipeline; ///< wall time per executed pipeline.
+};
+
+/** Counters + histograms shared by every engine worker. */
+class EngineMetrics
+{
+  public:
+    void onRequest() { ++requests_; }
+    void onCacheHit() { ++cacheHits_; }
+    void onDedupedInFlight() { ++dedupedInFlight_; }
+    void onExecution() { ++executions_; }
+    void onFailure() { ++failures_; }
+    void onTimeout() { ++timeouts_; }
+
+    /** Record the wall time of one served request. */
+    void recordRequest(double millis) { requestLatency_.record(millis); }
+
+    /** Record the wall time of one executed pipeline. */
+    void recordPipeline(double millis) { pipelineLatency_.record(millis); }
+
+    /** Consistent-enough snapshot of all counters and percentiles. */
+    MetricsSnapshot snapshot() const;
+
+    /** Render the snapshot as two aligned text tables. */
+    std::string render() const;
+
+  private:
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> dedupedInFlight_{0};
+    std::atomic<std::uint64_t> executions_{0};
+    std::atomic<std::uint64_t> failures_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
+    LatencyHistogram requestLatency_;
+    LatencyHistogram pipelineLatency_;
+};
+
+} // namespace engine
+} // namespace hiermeans
+
+#endif // HIERMEANS_ENGINE_METRICS_H

@@ -1,0 +1,124 @@
+#include "src/engine/result_cache.h"
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace engine {
+
+std::size_t
+estimateBytes(const CachedResult &result)
+{
+    std::size_t bytes = sizeof(CachedResult);
+    for (const auto &row : result.report.rows) {
+        bytes += sizeof(row);
+        bytes += row.partition.size() * sizeof(std::size_t);
+    }
+    if (result.analysis) {
+        const auto &a = *result.analysis;
+        bytes += sizeof(core::ClusterAnalysis);
+        bytes += a.vectors.features.rows() * a.vectors.features.cols() *
+                 sizeof(double);
+        for (const auto &name : a.vectors.workloadNames)
+            bytes += name.size() + sizeof(std::string);
+        for (const auto &name : a.vectors.featureNames)
+            bytes += name.size() + sizeof(std::string);
+        bytes += a.map.weights().rows() * a.map.weights().cols() *
+                 sizeof(double);
+        bytes += a.gridPositions.rows() * a.gridPositions.cols() *
+                 sizeof(double);
+        bytes += a.bmus.size() * sizeof(std::size_t);
+        for (const auto &partition : a.partitions)
+            bytes += partition.size() * sizeof(std::size_t);
+        // Dendrogram merge history: ~3 words per merge, n-1 merges.
+        bytes += a.bmus.size() * 3 * sizeof(double);
+    }
+    return bytes;
+}
+
+ResultCache::ResultCache(Config config) : config_(config)
+{
+    HM_REQUIRE(config_.maxEntries >= 1,
+               "ResultCache: maxEntries must be >= 1");
+}
+
+std::optional<CachedResult>
+ResultCache::get(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(fingerprint);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second); // promote to MRU.
+    return it->second->result;
+}
+
+void
+ResultCache::put(std::uint64_t fingerprint, CachedResult result)
+{
+    const std::size_t bytes = estimateBytes(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.insertions;
+
+    const auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+        totalBytes_ -= it->second->bytes;
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    if (bytes > config_.maxBytes)
+        return; // would never fit; treat as an immediate eviction.
+
+    lru_.push_front(Entry{fingerprint, std::move(result), bytes});
+    index_[fingerprint] = lru_.begin();
+    totalBytes_ += bytes;
+    evictUntilBounded();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    totalBytes_ = 0;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+std::size_t
+ResultCache::byteEstimate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalBytes_;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ResultCache::evictUntilBounded()
+{
+    while (lru_.size() > config_.maxEntries ||
+           totalBytes_ > config_.maxBytes) {
+        const Entry &victim = lru_.back();
+        totalBytes_ -= victim.bytes;
+        index_.erase(victim.fingerprint);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+} // namespace engine
+} // namespace hiermeans

@@ -1,0 +1,63 @@
+#include "src/engine/thread_pool.h"
+
+namespace hiermeans {
+namespace engine {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    HM_REQUIRE(num_threads >= 1,
+               "ThreadPool: need at least one worker thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shuttingDown_ && workers_.empty())
+            return;
+        shuttingDown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this]() {
+                return shuttingDown_ || !queue_.empty();
+            });
+            // Drain the queue even during shutdown so no accepted
+            // task (and no future) is abandoned.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception in its future.
+    }
+}
+
+} // namespace engine
+} // namespace hiermeans

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a FIFO task queue and futures.
+ *
+ * The execution substrate of the scoring engine: `submit` hands a
+ * callable to one of N long-lived workers and returns a `std::future`
+ * for its result. Exceptions thrown by a task propagate through the
+ * future (via `std::packaged_task`), so a crashing task never takes a
+ * worker down. Shutdown is clean and drains the queue: every task that
+ * was accepted runs to completion before the workers join, so no
+ * future obtained from `submit` is ever abandoned.
+ */
+
+#ifndef HIERMEANS_ENGINE_THREAD_POOL_H
+#define HIERMEANS_ENGINE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace engine {
+
+/** A fixed-size pool of worker threads executing queued tasks in FIFO
+ *  submission order (start order; completion order is unspecified). */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers. Requires num_threads >= 1. */
+    explicit ThreadPool(std::size_t num_threads);
+
+    /** Drains the queue and joins the workers (see shutdown()). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task and return a future for its result. The task's
+     * return value (or exception) is delivered through the future.
+     * Throws InvalidArgument after shutdown() has begun.
+     */
+    template <typename F>
+    auto
+    submit(F task) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<Result()>>(
+            std::move(task));
+        std::future<Result> future = packaged->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            HM_REQUIRE(!shuttingDown_,
+                       "ThreadPool::submit: pool is shut down");
+            queue_.emplace_back([packaged]() { (*packaged)(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Tasks accepted but not yet started. */
+    std::size_t pendingTasks() const;
+
+    /**
+     * Stop accepting new tasks, run every already-queued task to
+     * completion, and join the workers. Idempotent; called by the
+     * destructor when not invoked explicitly.
+     */
+    void shutdown();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool shuttingDown_ = false;
+};
+
+} // namespace engine
+} // namespace hiermeans
+
+#endif // HIERMEANS_ENGINE_THREAD_POOL_H

@@ -26,6 +26,7 @@
 #include "src/util/cli.h"
 #include "src/util/csv.h"
 #include "src/util/error.h"
+#include "src/util/file.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/str.h"
@@ -89,5 +90,12 @@
 #include "src/core/redundancy.h"
 #include "src/core/report.h"
 #include "src/core/subsetting.h"
+
+// engine — concurrent scoring service core
+#include "src/engine/engine.h"
+#include "src/engine/fingerprint.h"
+#include "src/engine/metrics.h"
+#include "src/engine/result_cache.h"
+#include "src/engine/thread_pool.h"
 
 #endif // HIERMEANS_HIERMEANS_H

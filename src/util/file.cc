@@ -1,0 +1,32 @@
+#include "src/util/file.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace util {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    HM_REQUIRE(in.good(), "cannot open `" << path << "`");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    HM_REQUIRE(out.good(), "cannot write `" << path << "`");
+    out << content;
+    out.flush();
+    HM_REQUIRE(out.good(), "write to `" << path << "` failed");
+}
+
+} // namespace util
+} // namespace hiermeans

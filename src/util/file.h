@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Whole-file I/O helpers shared by the CLI tools and examples.
+ *
+ * Every binary that slurps a CSV or writes a report used to carry its
+ * own four-line `readFile`; these helpers centralize the open-check
+ * (HM_REQUIRE with the offending path in the message) so failures read
+ * identically everywhere.
+ */
+
+#ifndef HIERMEANS_UTIL_FILE_H
+#define HIERMEANS_UTIL_FILE_H
+
+#include <string>
+
+namespace hiermeans {
+namespace util {
+
+/**
+ * Read an entire file into a string (binary mode, no newline
+ * translation). Throws InvalidArgument when the file cannot be opened.
+ */
+std::string readFile(const std::string &path);
+
+/**
+ * Write @p content to @p path (binary mode), replacing any existing
+ * file. Throws InvalidArgument when the file cannot be opened or the
+ * write fails.
+ */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_FILE_H

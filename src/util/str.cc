@@ -67,6 +67,23 @@ split(std::string_view text, char delim)
     return parts;
 }
 
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> parts;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i > start)
+            parts.emplace_back(text.substr(start, i - start));
+    }
+    return parts;
+}
+
 std::string
 join(const std::vector<std::string> &parts, std::string_view sep)
 {

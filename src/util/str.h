@@ -31,6 +31,9 @@ std::string center(std::string_view text, std::size_t width);
 /** Split @p text on @p delim; keeps empty fields. */
 std::vector<std::string> split(std::string_view text, char delim);
 
+/** Split @p text on runs of ASCII whitespace; no empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
 /** Join @p parts with @p sep. */
 std::string join(const std::vector<std::string> &parts,
                  std::string_view sep);

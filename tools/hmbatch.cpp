@@ -1,0 +1,332 @@
+/**
+ * @file
+ * hmbatch — batch front-end for the concurrent scoring engine.
+ *
+ * Reads a manifest with one scoring request per line, executes every
+ * request concurrently through engine::ScoringEngine (thread pool +
+ * content-addressed result cache + in-flight dedupe), and prints one
+ * consolidated report plus an engine metrics summary. A bad line (a
+ * missing CSV, a typo'd machine, degenerate features) fails only that
+ * request; the rest of the batch completes.
+ *
+ * Usage:
+ *   hmbatch --manifest=FILE [--threads=4] [--repeat=1]
+ *           [--cache-entries=256] [--cache-mb=64]
+ *           [--mean=gm] [--kmin=2] [--kmax=8] [--linkage=complete]
+ *           [--seed=N] [--timeout-ms=0] [--out=FILE] [--quiet]
+ *
+ * Manifest format: one request per line of whitespace-separated
+ * key=value tokens (`#` starts a comment, blank lines are skipped):
+ *
+ *   scores=data/scores.csv features=data/features.csv \
+ *       machine-a=machineX machine-b=machineY
+ *
+ * Per-line keys: scores, features, machine-a, machine-b (required);
+ * id, mean, kmin, kmax, linkage, seed, som-rows, som-cols, som-steps,
+ * timeout-ms (optional — tool-level flags provide the defaults).
+ */
+
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+printUsage()
+{
+    std::cout <<
+        "hmbatch: run a manifest of scoring requests through the\n"
+        "concurrent scoring engine\n"
+        "\n"
+        "required flags:\n"
+        "  --manifest=FILE    one request per line (key=value tokens;\n"
+        "                     keys: scores features machine-a machine-b\n"
+        "                     [id mean kmin kmax linkage seed som-rows\n"
+        "                     som-cols som-steps timeout-ms])\n"
+        "\n"
+        "optional flags:\n"
+        "  --threads=N        engine worker threads (default 4)\n"
+        "  --repeat=N         run the whole manifest N times; repeats\n"
+        "                     are served from the result cache\n"
+        "  --cache-entries=N  result cache entry bound (default 256)\n"
+        "  --cache-mb=N       result cache byte bound (default 64)\n"
+        "  --mean/--kmin/--kmax/--linkage/--seed/--timeout-ms\n"
+        "                     defaults for lines that omit the key\n"
+        "  --out=FILE         also write the consolidated report there\n"
+        "  --quiet            print only the consolidated report\n";
+}
+
+/** One manifest line, parsed but not yet turned into a request. */
+struct ManifestLine
+{
+    std::size_t lineNumber = 0;
+    util::CommandLine flags = util::CommandLine::parse({"line"});
+};
+
+std::vector<ManifestLine>
+parseManifest(const std::string &text)
+{
+    std::vector<ManifestLine> lines;
+    std::size_t line_number = 0;
+    for (const std::string &raw : str::split(text, '\n')) {
+        ++line_number;
+        const std::string line = str::trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        std::vector<std::string> argv = {"manifest"};
+        for (const std::string &token : str::splitWhitespace(line)) {
+            HM_REQUIRE(token.find('=') != std::string::npos,
+                       "manifest line " << line_number << ": token `"
+                                        << token
+                                        << "` is not key=value");
+            argv.push_back("--" + token);
+        }
+        lines.push_back(
+            ManifestLine{line_number, util::CommandLine::parse(argv)});
+    }
+    return lines;
+}
+
+/** Parsed-CSV cache so N lines sharing files parse them once. */
+struct CsvCache
+{
+    std::map<std::string, core::ScoresCsv> scores;
+    std::map<std::string, core::FeaturesCsv> features;
+
+    const core::ScoresCsv &
+    scoresFor(const std::string &path)
+    {
+        auto it = scores.find(path);
+        if (it == scores.end()) {
+            it = scores
+                     .emplace(path, core::parseScoresCsv(
+                                        util::readFile(path)))
+                     .first;
+        }
+        return it->second;
+    }
+
+    const core::FeaturesCsv &
+    featuresFor(const std::string &path)
+    {
+        auto it = features.find(path);
+        if (it == features.end()) {
+            it = features
+                     .emplace(path, core::parseFeaturesCsv(
+                                        util::readFile(path)))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+/**
+ * Build the engine request for one manifest line; throws on bad input
+ * (caught by the caller and reported as that line's failure).
+ */
+engine::ScoreRequest
+buildRequest(const ManifestLine &line, const util::CommandLine &cl,
+             CsvCache &csvs)
+{
+    const util::CommandLine &flags = line.flags;
+    const std::string scores_path = flags.getString("scores", "");
+    const std::string features_path = flags.getString("features", "");
+    const std::string machine_a = flags.getString("machine-a", "");
+    const std::string machine_b = flags.getString("machine-b", "");
+    HM_REQUIRE(!scores_path.empty() && !features_path.empty() &&
+                   !machine_a.empty() && !machine_b.empty(),
+               "manifest line "
+                   << line.lineNumber
+                   << ": scores=, features=, machine-a= and machine-b= "
+                      "are required");
+
+    const core::ScoresCsv &scores = csvs.scoresFor(scores_path);
+    const core::FeaturesCsv &features = csvs.featuresFor(features_path);
+    core::requireAlignedWorkloads(scores, features);
+
+    // Per-line keys override the tool-level defaults.
+    const auto flag_int = [&](const char *name, std::int64_t fallback) {
+        return flags.has(name) ? flags.getInt(name, fallback)
+                               : cl.getInt(name, fallback);
+    };
+    const auto flag_str = [&](const char *name,
+                              const std::string &fallback) {
+        return flags.has(name) ? flags.getString(name, fallback)
+                               : cl.getString(name, fallback);
+    };
+
+    engine::ScoreRequest request;
+    request.id = flags.getString(
+        "id", "line" + std::to_string(line.lineNumber));
+    request.features = features.values;
+    request.workloads = features.workloads;
+    request.featureNames = features.features;
+    request.scoresA = scores.machineScores(machine_a);
+    request.scoresB = scores.machineScores(machine_b);
+    request.labelA = machine_a;
+    request.labelB = machine_b;
+    request.kind = stats::parseMeanKind(flag_str("mean", "gm"));
+
+    request.config.kMin =
+        static_cast<std::size_t>(flag_int("kmin", 2));
+    request.config.kMax =
+        static_cast<std::size_t>(flag_int("kmax", 8));
+    request.config.linkage =
+        cluster::parseLinkage(flag_str("linkage", "complete"));
+    request.config.autoSizeSom(features.workloads.size());
+    if (flags.has("som-rows")) {
+        request.config.som.rows =
+            static_cast<std::size_t>(flags.getInt("som-rows", 8));
+    }
+    if (flags.has("som-cols")) {
+        request.config.som.cols =
+            static_cast<std::size_t>(flags.getInt("som-cols", 10));
+    }
+    request.config.som.steps =
+        static_cast<std::size_t>(flag_int("som-steps", 4000));
+    request.seed =
+        static_cast<std::uint64_t>(flag_int("seed", 0x5eed));
+    request.timeoutMillis = static_cast<double>(
+        flags.has("timeout-ms") ? flags.getDouble("timeout-ms", 0.0)
+                                : cl.getDouble("timeout-ms", 0.0));
+    return request;
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    const std::string manifest_path = cl.getString("manifest", "");
+    if (manifest_path.empty()) {
+        printUsage();
+        return 2;
+    }
+    const auto threads =
+        static_cast<std::size_t>(cl.getInt("threads", 4));
+    const auto repeat = static_cast<std::size_t>(cl.getInt("repeat", 1));
+    HM_REQUIRE(repeat >= 1, "--repeat must be >= 1");
+    const bool quiet = cl.getBool("quiet", false);
+
+    const std::vector<ManifestLine> lines =
+        parseManifest(util::readFile(manifest_path));
+    HM_REQUIRE(!lines.empty(),
+               "manifest `" << manifest_path << "` has no requests");
+
+    engine::ScoringEngine::Config engine_config;
+    engine_config.threads = threads;
+    engine_config.cache.maxEntries =
+        static_cast<std::size_t>(cl.getInt("cache-entries", 256));
+    engine_config.cache.maxBytes =
+        static_cast<std::size_t>(cl.getInt("cache-mb", 64)) * 1024 *
+        1024;
+    engine::ScoringEngine engine(engine_config);
+
+    // Build requests up front; a bad line becomes a failed result
+    // without touching the engine (failure isolation starts here).
+    CsvCache csvs;
+    std::vector<std::optional<engine::ScoreRequest>> requests;
+    std::vector<engine::ScoreResult> line_errors(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        try {
+            requests.push_back(buildRequest(lines[i], cl, csvs));
+        } catch (const Error &e) {
+            requests.push_back(std::nullopt);
+            line_errors[i].id =
+                "line" + std::to_string(lines[i].lineNumber);
+            line_errors[i].error = e.what();
+        }
+    }
+
+    util::TextTable table({"request", "machines", "status", "served by",
+                           "k*", "ratio@k*", "plain ratio", "ms"});
+    std::size_t ok_count = 0;
+    std::size_t fail_count = 0;
+
+    for (std::size_t pass = 0; pass < repeat; ++pass) {
+        // Submit the full manifest, then gather in manifest order.
+        std::vector<std::optional<std::future<engine::ScoreResult>>>
+            futures;
+        std::vector<std::string> machines;
+        for (const auto &request : requests) {
+            if (request) {
+                machines.push_back(request->labelA + "/" +
+                                   request->labelB);
+                futures.push_back(engine.submit(*request));
+            } else {
+                machines.push_back("-");
+                futures.push_back(std::nullopt);
+            }
+        }
+
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            const engine::ScoreResult result =
+                futures[i] ? futures[i]->get() : line_errors[i];
+            const bool ok = result.ok;
+            ok ? ++ok_count : ++fail_count;
+
+            std::string served_by = "pipeline";
+            if (result.cacheHit)
+                served_by = "cache";
+            else if (result.deduped)
+                served_by = "dedupe";
+
+            table.addRow(
+                {result.id, machines[i], ok ? "ok" : "FAILED",
+                 ok ? served_by : "-",
+                 ok ? std::to_string(result.recommendedK) : "-",
+                 ok ? str::fixed(
+                          result.report
+                              .rows[result.report.recommendedRow()]
+                              .ratio,
+                          2)
+                    : "-",
+                 ok ? str::fixed(result.report.plainRatio, 2) : "-",
+                 str::fixed(result.wallMillis, 1)});
+            if (!ok && !quiet) {
+                std::cerr << "hmbatch: " << result.id << " failed: "
+                          << result.error << "\n";
+            }
+        }
+        if (pass + 1 < repeat)
+            table.addSeparator();
+    }
+
+    const std::string consolidated = table.render();
+    std::cout << consolidated;
+    std::cout << "\n" << ok_count << " ok, " << fail_count
+              << " failed, " << threads << " threads, " << repeat
+              << " pass(es)\n";
+    if (!quiet) {
+        std::cout << "\nengine metrics:\n"
+                  << engine.metrics().render();
+    }
+
+    const std::string out_path = cl.getString("out", "");
+    if (!out_path.empty()) {
+        util::writeFile(out_path, consolidated);
+        std::cout << "report written to " << out_path << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (cl.has("help")) {
+            printUsage();
+            return 0;
+        }
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmbatch: " << e.what() << "\n";
+        return 1;
+    }
+}

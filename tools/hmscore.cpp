@@ -13,7 +13,7 @@
  *           [--mean=gm|am|hm] [--kmin=2] [--kmax=8] [--linkage=complete]
  *           [--som-rows=8] [--som-cols=10] [--som-steps=4000]
  *           [--seed=N] [--out-csv=report.csv] [--quiet]
- *           [--all-machines] [--influence]
+ *           [--all-machines] [--influence] [--threads=N]
  *
  * With --all-machines the A/B comparison is replaced by an N-machine
  * hierarchical-mean table over every machine column in scores.csv;
@@ -26,23 +26,13 @@
 
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "src/hiermeans.h"
 
 namespace {
 
 using namespace hiermeans;
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    HM_REQUIRE(in.good(), "cannot open `" << path << "`");
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    return oss.str();
-}
+using util::readFile;
 
 void
 printUsage()
@@ -72,7 +62,48 @@ printUsage()
         "                     then optional\n"
         "  --out-partition=F  save the recommended partition as the\n"
         "                     reference cluster distribution\n"
+        "  --threads=N        compute the k-sweep / --all-machines\n"
+        "                     scoring on N engine worker threads\n"
+        "                     (default 1 = serial; results identical)\n"
         "  --quiet            print only the score table\n";
+}
+
+/**
+ * A/B k-sweep, serially or fanned out over an engine thread pool when
+ * --threads > 1 (bit-identical results either way).
+ */
+scoring::ScoreReport
+buildAbReport(std::size_t threads, stats::MeanKind kind,
+              const core::ClusterAnalysis &analysis,
+              const std::vector<double> &scores_a,
+              const std::vector<double> &scores_b)
+{
+    if (threads <= 1)
+        return core::scoreAgainstClusters(analysis, kind, scores_a,
+                                          scores_b);
+    engine::ThreadPool pool(threads);
+    return engine::buildScoreReportParallel(pool, kind, scores_a,
+                                            scores_b,
+                                            analysis.partitions);
+}
+
+/** N-machine counterpart of buildAbReport. */
+scoring::MultiMachineReport
+buildAllMachinesReport(
+    std::size_t threads, stats::MeanKind kind,
+    const std::vector<std::vector<double>> &machine_scores,
+    const std::vector<std::string> &machine_labels,
+    const core::ClusterAnalysis &analysis)
+{
+    if (threads <= 1) {
+        return scoring::buildMultiMachineReport(kind, machine_scores,
+                                                machine_labels,
+                                                analysis.partitions);
+    }
+    engine::ThreadPool pool(threads);
+    return engine::buildMultiMachineReportParallel(
+        pool, kind, machine_scores, machine_labels,
+        analysis.partitions);
 }
 
 int
@@ -156,6 +187,9 @@ run(const util::CommandLine &cl)
         static_cast<std::uint64_t>(cl.getInt("seed", 0x5eed));
     const stats::MeanKind kind =
         stats::parseMeanKind(cl.getString("mean", "gm"));
+    const auto threads =
+        static_cast<std::size_t>(cl.getInt("threads", 1));
+    HM_REQUIRE(threads >= 1, "--threads must be >= 1");
 
     const core::CharacteristicVectors vectors = core::characterizeRaw(
         features.values, features.workloads, features.features);
@@ -178,9 +212,8 @@ run(const util::CommandLine &cl)
         for (const std::string &machine : scores.machines)
             machine_scores.push_back(scores.machineScores(machine));
         const scoring::MultiMachineReport report =
-            scoring::buildMultiMachineReport(kind, machine_scores,
-                                             scores.machines,
-                                             analysis.partitions);
+            buildAllMachinesReport(threads, kind, machine_scores,
+                                   scores.machines, analysis);
         std::cout << report.render() << "\n";
         std::cout << (report.rankingStable()
                           ? "machine ranking is stable across every "
@@ -190,8 +223,8 @@ run(const util::CommandLine &cl)
                             "single number.\n");
         recommended_partition = analysis.partitions.front();
     } else {
-        const scoring::ScoreReport report = core::scoreAgainstClusters(
-            analysis, kind, scores_a, scores_b);
+        const scoring::ScoreReport report = buildAbReport(
+            threads, kind, analysis, scores_a, scores_b);
         const auto recommendation =
             core::recommendClusterCount(analysis, report);
         std::cout << report.render(machine_a, machine_b) << "\n";
