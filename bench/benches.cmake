@@ -28,7 +28,8 @@ set(HM_BENCHES
     reference_distribution
     consensus_clustering
     robustness_bootstrap
-    perf_engine_throughput)
+    perf_engine_throughput
+    perf_server_throughput)
 
 foreach(bench IN LISTS HM_BENCHES)
     add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cpp)

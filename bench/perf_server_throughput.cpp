@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Throughput benchmark for the HTTP serving layer.
+ *
+ * Starts an in-process server::Server on an ephemeral loopback port,
+ * writes a synthetic scores/features CSV pair to a scratch directory,
+ * and drives `POST /v1/score` through the blocking HttpClient in three
+ * phases:
+ *
+ *   1. cold     — every distinct manifest line once; each request
+ *                 executes the full pipeline;
+ *   2. warm     — the same mix repeated; every request is a result
+ *                 cache hit, so this isolates server+codec overhead;
+ *   3. overload — more closed-loop clients than the admission queue
+ *                 admits, counting 503 sheds (clients retry after the
+ *                 advertised Retry-After).
+ *
+ * Emits a table plus one machine-readable JSON line; warm_rps should
+ * exceed cold_rps by orders of magnitude on any machine.
+ *
+ * Flags: --distinct=6 --threads=2 --queue-depth=2 --workloads=12
+ *        --features=8 --som-steps=400 --overload-clients=6
+ *        --overload-s=1 --seed=1 [--json-only]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+/** Synthetic CSV pair on disk; removed on destruction. */
+struct ScratchData
+{
+    std::string scoresPath;
+    std::string featuresPath;
+
+    ScratchData(std::size_t num_workloads, std::size_t num_features,
+                std::uint64_t seed)
+    {
+        const std::string stem =
+            "/tmp/hiermeans_srvbench_" + std::to_string(::getpid());
+        scoresPath = stem + "_scores.csv";
+        featuresPath = stem + "_features.csv";
+
+        rng::Engine rng(seed);
+        std::string scores = "workload,mA,mB\n";
+        std::string features = "workload";
+        for (std::size_t c = 0; c < num_features; ++c)
+            features += ",f" + std::to_string(c);
+        features += "\n";
+        for (std::size_t r = 0; r < num_workloads; ++r) {
+            const std::string name = "w" + std::to_string(r);
+            scores += name + "," + str::fixed(rng.uniform(0.5, 4.0), 6) +
+                      "," + str::fixed(rng.uniform(0.5, 4.0), 6) + "\n";
+            features += name;
+            for (std::size_t c = 0; c < num_features; ++c)
+                features += "," + str::fixed(rng.uniform(-2.0, 2.0), 6);
+            features += "\n";
+        }
+        util::writeFile(scoresPath, scores);
+        util::writeFile(featuresPath, features);
+    }
+
+    ~ScratchData()
+    {
+        std::remove(scoresPath.c_str());
+        std::remove(featuresPath.c_str());
+    }
+};
+
+/** Serial closed-loop pass over @p mix; returns wall milliseconds. */
+double
+runMix(server::HttpClient &client,
+       const std::vector<std::string> &mix)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string &line : mix) {
+        const auto response =
+            client.roundTrip("POST", "/v1/score", line, "text/plain");
+        HM_ASSERT(response.status == 200,
+                  "bench request failed with HTTP "
+                      << response.status << ": " << response.body);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const auto distinct =
+        static_cast<std::size_t>(cl.getInt("distinct", 6));
+    const auto threads =
+        static_cast<std::size_t>(cl.getInt("threads", 2));
+    const auto queue_depth =
+        static_cast<std::size_t>(cl.getInt("queue-depth", 2));
+    const auto num_workloads =
+        static_cast<std::size_t>(cl.getInt("workloads", 12));
+    const auto num_features =
+        static_cast<std::size_t>(cl.getInt("features", 8));
+    const auto som_steps =
+        static_cast<std::size_t>(cl.getInt("som-steps", 400));
+    const auto overload_clients =
+        static_cast<std::size_t>(cl.getInt("overload-clients", 6));
+    const double overload_s = cl.getDouble("overload-s", 1.0);
+    const auto seed = static_cast<std::uint64_t>(cl.getInt("seed", 1));
+    const bool json_only = cl.getBool("json-only", false);
+
+    ScratchData data(num_workloads, num_features, seed);
+
+    std::vector<std::string> mix;
+    for (std::size_t i = 0; i < distinct; ++i) {
+        mix.push_back("id=v" + std::to_string(i) +
+                      " scores=" + data.scoresPath +
+                      " features=" + data.featuresPath +
+                      " machine-a=mA machine-b=mB som-steps=" +
+                      std::to_string(som_steps) + " seed=" +
+                      std::to_string(seed + i));
+    }
+
+    server::Server::Config config;
+    config.port = 0; // ephemeral loopback port.
+    config.engine.threads = threads;
+    config.queueDepth = queue_depth;
+    config.connectionThreads = queue_depth + overload_clients + 2;
+    server::Server server(config);
+    server.start();
+
+    server::HttpClient client("127.0.0.1", server.port());
+
+    // 1. Cold: every pipeline executes.
+    const double cold_ms = runMix(client, mix);
+    // 2. Warm: the identical mix is all cache hits.
+    const double warm_ms = runMix(client, mix);
+
+    // 3. Overload: more closed-loop clients than the queue admits.
+    std::atomic<std::uint64_t> overload_ok{0};
+    std::atomic<std::uint64_t> overload_shed{0};
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(overload_s));
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < overload_clients; ++i) {
+        clients.emplace_back([&, i] {
+            server::HttpClient c("127.0.0.1", server.port());
+            std::size_t next = i;
+            while (std::chrono::steady_clock::now() < deadline) {
+                // Vary the seed so overload requests miss the cache
+                // and occupy the engine long enough to fill the gate.
+                const std::string line =
+                    mix[next % mix.size()] + " seed=" +
+                    std::to_string(seed + 1000 + next * 7 + i);
+                ++next;
+                try {
+                    const auto response = c.roundTrip(
+                        "POST", "/v1/score", line, "text/plain");
+                    if (response.status == 200) {
+                        ++overload_ok;
+                    } else if (response.status == 503) {
+                        ++overload_shed;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(20));
+                    }
+                } catch (const Error &) {
+                    break;
+                }
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    server.stop();
+
+    const auto rps = [](std::size_t n, double ms) {
+        return ms > 0.0 ? static_cast<double>(n) * 1000.0 / ms : 0.0;
+    };
+    const double cold_rps = rps(mix.size(), cold_ms);
+    const double warm_rps = rps(mix.size(), warm_ms);
+
+    if (!json_only) {
+        util::TextTable table({"phase", "requests", "wall ms", "req/s"});
+        table.addRow({"cold", std::to_string(mix.size()),
+                      str::fixed(cold_ms, 1), str::fixed(cold_rps, 1)});
+        table.addRow({"warm", std::to_string(mix.size()),
+                      str::fixed(warm_ms, 1), str::fixed(warm_rps, 1)});
+        table.addRow(
+            {"overload",
+             std::to_string(overload_ok.load() + overload_shed.load()),
+             str::fixed(overload_s * 1000.0, 1),
+             str::fixed(static_cast<double>(overload_ok.load()) /
+                            overload_s,
+                        1)});
+        std::cout << "Serving-layer throughput ("
+                  << threads << " engine threads, queue depth "
+                  << queue_depth << ")\n\n"
+                  << table.render() << "\n"
+                  << "overload: " << overload_ok.load() << " served, "
+                  << overload_shed.load() << " shed with 503\n\n";
+    }
+    std::printf(
+        "{\"bench\":\"perf_server_throughput\",\"distinct\":%zu,"
+        "\"cold_ms\":%s,\"cold_rps\":%s,\"warm_ms\":%s,"
+        "\"warm_rps\":%s,\"warm_speedup\":%s,\"overload_served\":%llu,"
+        "\"overload_shed_503\":%llu}\n",
+        mix.size(), server::json::number(cold_ms).c_str(),
+        server::json::number(cold_rps).c_str(),
+        server::json::number(warm_ms).c_str(),
+        server::json::number(warm_rps).c_str(),
+        server::json::number(warm_ms > 0.0 ? cold_ms / warm_ms : 0.0)
+            .c_str(),
+        static_cast<unsigned long long>(overload_ok.load()),
+        static_cast<unsigned long long>(overload_shed.load()));
+    return warm_rps > cold_rps ? 0 : 1;
+}

@@ -120,6 +120,7 @@ ScoringEngine::execute(std::uint64_t fingerprint,
     if (has_deadline && queue_wait > request->timeoutMillis) {
         // Expired while queued: don't burn a worker on a dead request.
         metrics_.onTimeout();
+        result.timedOut = true;
         result.error = "timed out after " + std::to_string(queue_wait) +
                        " ms waiting in queue (timeout " +
                        std::to_string(request->timeoutMillis) + " ms)";
@@ -158,6 +159,7 @@ ScoringEngine::execute(std::uint64_t fingerprint,
             // mid-SOM, so overruns are detected after the fact.
             metrics_.onTimeout();
             result.ok = false;
+            result.timedOut = true;
             result.report = scoring::ScoreReport{};
             result.analysis.reset();
             result.recommendedK = 0;

@@ -88,6 +88,7 @@ struct ScoreResult
     std::string id;
     bool ok = false;
     std::string error;      ///< set when !ok.
+    bool timedOut = false;  ///< !ok because the deadline lapsed.
     bool cacheHit = false;  ///< served from the result cache.
     bool deduped = false;   ///< piggybacked on an in-flight twin.
     std::uint64_t fingerprint = 0;
@@ -135,6 +136,12 @@ class ScoringEngine
 
     /** Submit every request, then wait; results in request order. */
     std::vector<ScoreResult> runBatch(std::vector<ScoreRequest> requests);
+
+    /**
+     * Requests accepted by the pool but not yet executing — the
+     * backlog a serving layer reports as its queue depth.
+     */
+    std::size_t queueDepth() const { return pool_.pendingTasks(); }
 
     const EngineMetrics &metrics() const { return metrics_; }
     ResultCache &cache() { return cache_; }

@@ -1,0 +1,140 @@
+#include "src/engine/manifest.h"
+
+#include "src/cluster/linkage.h"
+#include "src/util/error.h"
+#include "src/util/file.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace engine {
+
+std::vector<ManifestLine>
+parseManifest(const std::string &text)
+{
+    std::vector<ManifestLine> lines;
+    std::size_t line_number = 0;
+    for (const std::string &raw : str::split(text, '\n')) {
+        ++line_number;
+        const std::string line = str::trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        std::vector<std::string> argv = {"manifest"};
+        for (const std::string &token : str::splitWhitespace(line)) {
+            HM_REQUIRE(token.find('=') != std::string::npos,
+                       "manifest line " << line_number << ": token `"
+                                        << token
+                                        << "` is not key=value");
+            argv.push_back("--" + token);
+        }
+        lines.push_back(
+            ManifestLine{line_number, util::CommandLine::parse(argv)});
+    }
+    return lines;
+}
+
+const core::ScoresCsv &
+CsvCache::scoresFor(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = scores_.find(path);
+    if (it == scores_.end()) {
+        it = scores_
+                 .emplace(path,
+                          core::parseScoresCsv(util::readFile(path)))
+                 .first;
+    }
+    return it->second;
+}
+
+const core::FeaturesCsv &
+CsvCache::featuresFor(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = features_.find(path);
+    if (it == features_.end()) {
+        it = features_
+                 .emplace(path,
+                          core::parseFeaturesCsv(util::readFile(path)))
+                 .first;
+    }
+    return it->second;
+}
+
+ScoreRequest
+buildManifestRequest(const ManifestLine &line,
+                     const util::CommandLine &defaults, CsvCache &csvs)
+{
+    const util::CommandLine &flags = line.flags;
+    const std::string scores_path = flags.getString("scores", "");
+    const std::string features_path = flags.getString("features", "");
+    const std::string machine_a = flags.getString("machine-a", "");
+    const std::string machine_b = flags.getString("machine-b", "");
+    HM_REQUIRE(!scores_path.empty() && !features_path.empty() &&
+                   !machine_a.empty() && !machine_b.empty(),
+               "manifest line "
+                   << line.lineNumber
+                   << ": scores=, features=, machine-a= and machine-b= "
+                      "are required");
+
+    const core::ScoresCsv &scores = csvs.scoresFor(scores_path);
+    const core::FeaturesCsv &features = csvs.featuresFor(features_path);
+    core::requireAlignedWorkloads(scores, features);
+
+    // Per-line keys override the tool-level defaults.
+    const auto flag_int = [&](const char *name, std::int64_t fallback) {
+        return flags.has(name) ? flags.getInt(name, fallback)
+                               : defaults.getInt(name, fallback);
+    };
+    const auto flag_str = [&](const char *name,
+                              const std::string &fallback) {
+        return flags.has(name) ? flags.getString(name, fallback)
+                               : defaults.getString(name, fallback);
+    };
+
+    ScoreRequest request;
+    request.id = flags.getString(
+        "id", "line" + std::to_string(line.lineNumber));
+    request.features = features.values;
+    request.workloads = features.workloads;
+    request.featureNames = features.features;
+    request.scoresA = scores.machineScores(machine_a);
+    request.scoresB = scores.machineScores(machine_b);
+    request.labelA = machine_a;
+    request.labelB = machine_b;
+    request.kind = stats::parseMeanKind(flag_str("mean", "gm"));
+
+    const std::int64_t kmin = flag_int("kmin", 2);
+    const std::int64_t kmax = flag_int("kmax", 8);
+    HM_REQUIRE(kmin >= 1, "manifest line " << line.lineNumber
+                                           << ": kmin must be >= 1, got "
+                                           << kmin);
+    HM_REQUIRE(kmax >= kmin, "manifest line "
+                                 << line.lineNumber
+                                 << ": kmax must be >= kmin, got kmin="
+                                 << kmin << " kmax=" << kmax);
+    request.config.kMin = static_cast<std::size_t>(kmin);
+    request.config.kMax = static_cast<std::size_t>(kmax);
+    request.config.linkage =
+        cluster::parseLinkage(flag_str("linkage", "complete"));
+    request.config.autoSizeSom(features.workloads.size());
+    if (flags.has("som-rows")) {
+        request.config.som.rows =
+            static_cast<std::size_t>(flags.getInt("som-rows", 8));
+    }
+    if (flags.has("som-cols")) {
+        request.config.som.cols =
+            static_cast<std::size_t>(flags.getInt("som-cols", 10));
+    }
+    request.config.som.steps =
+        static_cast<std::size_t>(flag_int("som-steps", 4000));
+    request.seed =
+        static_cast<std::uint64_t>(flag_int("seed", 0x5eed));
+    request.timeoutMillis = static_cast<double>(
+        flags.has("timeout-ms")
+            ? flags.getDouble("timeout-ms", 0.0)
+            : defaults.getDouble("timeout-ms", 0.0));
+    return request;
+}
+
+} // namespace engine
+} // namespace hiermeans

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The scoring-request manifest format, shared by hmbatch and the
+ * server's /v1/score and /v1/batch endpoints.
+ *
+ * One request per line of whitespace-separated `key=value` tokens
+ * (`#` starts a comment, blank lines are skipped):
+ *
+ *   scores=data/scores.csv features=data/features.csv \
+ *       machine-a=machineX machine-b=machineY
+ *
+ * Required keys: scores, features, machine-a, machine-b. Optional keys
+ * (falling back to @p defaults, then to built-in values): id, mean,
+ * kmin, kmax, linkage, seed, som-rows, som-cols, som-steps, timeout-ms.
+ *
+ * Parsing is strictly separated from request building so a syntax
+ * error (a token without `=`) fails the whole document, while a
+ * semantically bad line (missing file, unknown machine, bad k range)
+ * fails only that line — callers catch per line around
+ * buildManifestRequest.
+ */
+
+#ifndef HIERMEANS_ENGINE_MANIFEST_H
+#define HIERMEANS_ENGINE_MANIFEST_H
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/csv_io.h"
+#include "src/engine/engine.h"
+#include "src/util/cli.h"
+
+namespace hiermeans {
+namespace engine {
+
+/** One manifest line, tokenized but not yet turned into a request. */
+struct ManifestLine
+{
+    std::size_t lineNumber = 0;
+    util::CommandLine flags = util::CommandLine::parse({"line"});
+};
+
+/**
+ * Tokenize a manifest document. Throws InvalidArgument on the first
+ * token that is not `key=value` (naming the line number).
+ */
+std::vector<ManifestLine> parseManifest(const std::string &text);
+
+/**
+ * Thread-safe parsed-CSV cache so N lines sharing the same files parse
+ * them once. References returned stay valid for the cache's lifetime
+ * (entries are never evicted).
+ */
+class CsvCache
+{
+  public:
+    /** Parsed scores document for @p path (reads the file on miss). */
+    const core::ScoresCsv &scoresFor(const std::string &path);
+
+    /** Parsed features document for @p path. */
+    const core::FeaturesCsv &featuresFor(const std::string &path);
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string, core::ScoresCsv> scores_;
+    std::map<std::string, core::FeaturesCsv> features_;
+};
+
+/**
+ * Build the engine request for one manifest line. Per-line keys
+ * override @p defaults (a tool-level command line; pass an empty one
+ * for built-in fallbacks). Throws InvalidArgument on missing required
+ * keys, unreadable/misaligned CSVs, bad k ranges (kmin < 1 or
+ * kmax < kmin), unknown linkage or unknown mean family.
+ */
+ScoreRequest buildManifestRequest(const ManifestLine &line,
+                                  const util::CommandLine &defaults,
+                                  CsvCache &csvs);
+
+} // namespace engine
+} // namespace hiermeans
+
+#endif // HIERMEANS_ENGINE_MANIFEST_H

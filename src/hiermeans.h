@@ -28,9 +28,12 @@
 #include "src/util/error.h"
 #include "src/util/file.h"
 #include "src/util/log.h"
+#include "src/util/net.h"
 #include "src/util/rng.h"
+#include "src/util/signal.h"
 #include "src/util/str.h"
 #include "src/util/text_table.h"
+#include "src/util/version.h"
 
 // linalg
 #include "src/linalg/distance.h"
@@ -94,8 +97,18 @@
 // engine — concurrent scoring service core
 #include "src/engine/engine.h"
 #include "src/engine/fingerprint.h"
+#include "src/engine/manifest.h"
 #include "src/engine/metrics.h"
 #include "src/engine/result_cache.h"
 #include "src/engine/thread_pool.h"
+
+// server — HTTP serving layer over the engine
+#include "src/server/admission.h"
+#include "src/server/client.h"
+#include "src/server/http.h"
+#include "src/server/json.h"
+#include "src/server/router.h"
+#include "src/server/server.h"
+#include "src/server/server_metrics.h"
 
 #endif // HIERMEANS_HIERMEANS_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bounded admission for scoring work: backpressure instead of OOM.
+ *
+ * Every /v1/score request (and every /v1/batch document) must win a
+ * slot before it may touch the engine; when all slots are taken the
+ * server answers `503 Retry-After` immediately instead of queueing
+ * without bound. The gate counts *admitted-but-unfinished* requests —
+ * engine executions plus requests waiting on the engine's queue — so
+ * its depth is the server's end-to-end backlog.
+ */
+
+#ifndef HIERMEANS_SERVER_ADMISSION_H
+#define HIERMEANS_SERVER_ADMISSION_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace hiermeans {
+namespace server {
+
+/** A counting gate with a hard capacity; lock-free. */
+class AdmissionGate
+{
+  public:
+    /** Gate with @p capacity slots (>= 1 enforced by clamping). */
+    explicit AdmissionGate(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {}
+
+    AdmissionGate(const AdmissionGate &) = delete;
+    AdmissionGate &operator=(const AdmissionGate &) = delete;
+
+    /**
+     * Claim a slot. False when the gate is full — the caller sheds the
+     * request (and the rejection is counted in shedTotal()).
+     */
+    bool
+    tryEnter()
+    {
+        std::size_t depth = depth_.load(std::memory_order_relaxed);
+        while (depth < capacity_) {
+            if (depth_.compare_exchange_weak(
+                    depth, depth + 1, std::memory_order_acq_rel))
+                return true;
+        }
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Release a slot claimed by tryEnter(). */
+    void
+    leave()
+    {
+        depth_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /** Admitted-but-unfinished requests right now. */
+    std::size_t
+    depth() const
+    {
+        return depth_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Cumulative rejections (503s served because the gate was full). */
+    std::uint64_t
+    shedTotal() const
+    {
+        return shed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const std::size_t capacity_;
+    std::atomic<std::size_t> depth_{0};
+    std::atomic<std::uint64_t> shed_{0};
+};
+
+/** RAII slot: enters on construction, leaves on destruction. */
+class AdmissionTicket
+{
+  public:
+    explicit AdmissionTicket(AdmissionGate &gate)
+        : gate_(gate), admitted_(gate.tryEnter())
+    {}
+
+    ~AdmissionTicket()
+    {
+        if (admitted_)
+            gate_.leave();
+    }
+
+    AdmissionTicket(const AdmissionTicket &) = delete;
+    AdmissionTicket &operator=(const AdmissionTicket &) = delete;
+
+    /** False when the gate was full — the request must be shed. */
+    bool admitted() const { return admitted_; }
+
+  private:
+    AdmissionGate &gate_;
+    const bool admitted_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_ADMISSION_H

@@ -1,0 +1,68 @@
+#include "src/server/client.h"
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace server {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port)
+{}
+
+void
+HttpClient::ensureConnected()
+{
+    if (!socket_.valid()) {
+        socket_ = net::connectTcp(host_, port_);
+        parser_ = HttpResponseParser{};
+    }
+}
+
+void
+HttpClient::disconnect()
+{
+    socket_.close();
+    parser_ = HttpResponseParser{};
+}
+
+HttpResponseParser::Response
+HttpClient::roundTrip(const std::string &method,
+                      const std::string &target, const std::string &body,
+                      const std::string &content_type)
+{
+    ensureConnected();
+
+    std::string wire = method + " " + target + " HTTP/1.1\r\n" +
+                       "Host: " + host_ + "\r\n";
+    if (!body.empty())
+        wire += "Content-Type: " + content_type + "\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) +
+            "\r\n\r\n" + body;
+    net::writeAll(socket_.fd(), wire);
+
+    char buffer[4096];
+    while (parser_.state() == HttpResponseParser::State::NeedMore) {
+        const std::size_t n =
+            net::readSome(socket_.fd(), buffer, sizeof(buffer));
+        if (n == 0) {
+            disconnect();
+            throw Error("connection closed mid-response");
+        }
+        parser_.feed(std::string_view(buffer, n));
+    }
+    if (parser_.state() == HttpResponseParser::State::Error) {
+        const std::string message = parser_.errorMessage();
+        disconnect();
+        throw Error("bad response: " + message);
+    }
+
+    HttpResponseParser::Response response = parser_.response();
+    parser_.reset();
+    static const std::string kKeepAlive = "keep-alive";
+    if (response.header("connection", kKeepAlive) == "close")
+        disconnect();
+    return response;
+}
+
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A small blocking HTTP/1.1 client over the shared codec — the client
+ * half of the serving layer, used by `tools/hmload`, the loopback
+ * integration tests and `bench/perf_server_throughput`. One client =
+ * one connection, kept alive across round trips and transparently
+ * reconnected after the server (or a Connection: close) drops it.
+ */
+
+#ifndef HIERMEANS_SERVER_CLIENT_H
+#define HIERMEANS_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/http.h"
+#include "src/util/net.h"
+
+namespace hiermeans {
+namespace server {
+
+/** Blocking single-connection HTTP client. */
+class HttpClient
+{
+  public:
+    /** Client for @p host:@p port; connects on first use. */
+    HttpClient(std::string host, std::uint16_t port);
+
+    /**
+     * Send one request and wait for the full response. Reconnects if
+     * the connection is closed; throws hiermeans::Error on connect,
+     * I/O or response-parse failures.
+     */
+    HttpResponseParser::Response roundTrip(const std::string &method,
+                                           const std::string &target,
+                                           const std::string &body = "",
+                                           const std::string &content_type =
+                                               "text/plain");
+
+    /** Drop the connection (next roundTrip reconnects). */
+    void disconnect();
+
+    bool connected() const { return socket_.valid(); }
+
+  private:
+    void ensureConnected();
+
+    std::string host_;
+    std::uint16_t port_;
+    net::Socket socket_;
+    HttpResponseParser parser_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_CLIENT_H

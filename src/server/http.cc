@@ -1,0 +1,346 @@
+#include "src/server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace server {
+
+namespace {
+
+/** Locate the end of the header block; 0 when incomplete. Returns the
+ *  total prefix length including the blank-line terminator. */
+std::size_t
+headerBlockEnd(const std::string &buffer)
+{
+    const std::size_t crlf = buffer.find("\r\n\r\n");
+    const std::size_t lf = buffer.find("\n\n");
+    if (crlf == std::string::npos && lf == std::string::npos)
+        return 0;
+    if (crlf == std::string::npos)
+        return lf + 2;
+    if (lf == std::string::npos || crlf < lf)
+        return crlf + 4;
+    return lf + 2;
+}
+
+std::string
+stripCr(std::string line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return line;
+}
+
+/**
+ * Parse `name: value` lines (everything after the start line) into a
+ * lower-cased header map. Returns false on a malformed field line.
+ */
+bool
+parseHeaderFields(const std::vector<std::string> &lines,
+                  std::map<std::string, std::string> &headers)
+{
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::string line = stripCr(lines[i]);
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return false;
+        headers[str::toLower(str::trim(line.substr(0, colon)))] =
+            str::trim(line.substr(colon + 1));
+    }
+    return true;
+}
+
+/** Parse a non-negative decimal; false on anything else. */
+bool
+parseContentLength(const std::string &text, std::size_t &value)
+{
+    if (text.empty())
+        return false;
+    value = 0;
+    for (const char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        if (value > (SIZE_MAX - 9) / 10)
+            return false;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return true;
+}
+
+const std::string kEmpty;
+
+} // namespace
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+    }
+}
+
+std::string
+HttpRequest::path() const
+{
+    const std::size_t query = target.find('?');
+    return query == std::string::npos ? target : target.substr(0, query);
+}
+
+const std::string &
+HttpRequest::header(const std::string &name,
+                    const std::string &fallback) const
+{
+    const auto it = headers.find(name);
+    return it == headers.end() ? fallback : it->second;
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string connection =
+        str::toLower(header("connection", kEmpty));
+    if (connection == "close")
+        return false;
+    if (connection == "keep-alive")
+        return true;
+    return version == "HTTP/1.1"; // 1.1 defaults to persistent.
+}
+
+void
+HttpResponse::set(std::string name, std::string value)
+{
+    headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string
+HttpResponse::serialize() const
+{
+    std::string wire = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusReason(status) + "\r\n";
+    for (const auto &[name, value] : headers)
+        wire += name + ": " + value + "\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    wire += std::string("Connection: ") +
+            (closeConnection ? "close" : "keep-alive") + "\r\n\r\n";
+    wire += body;
+    return wire;
+}
+
+HttpResponse
+textResponse(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.set("Content-Type", "text/plain; charset=utf-8");
+    response.body = std::move(body);
+    return response;
+}
+
+HttpResponse
+jsonResponse(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.set("Content-Type", "application/json");
+    response.body = std::move(body);
+    return response;
+}
+
+HttpRequestParser::HttpRequestParser(Limits limits) : limits_(limits) {}
+
+HttpRequestParser::State
+HttpRequestParser::fail(int status, std::string message)
+{
+    state_ = State::Error;
+    errorStatus_ = status;
+    errorMessage_ = std::move(message);
+    return state_;
+}
+
+HttpRequestParser::State
+HttpRequestParser::feed(std::string_view data)
+{
+    if (state_ != State::NeedMore)
+        return state_;
+    buffer_.append(data.data(), data.size());
+    return tryParse();
+}
+
+HttpRequestParser::State
+HttpRequestParser::tryParse()
+{
+    if (!headersDone_) {
+        const std::size_t end = headerBlockEnd(buffer_);
+        if (end == 0) {
+            if (buffer_.size() > limits_.maxHeaderBytes)
+                return fail(431, "header block exceeds " +
+                                     std::to_string(
+                                         limits_.maxHeaderBytes) +
+                                     " bytes");
+            return state_;
+        }
+        if (end > limits_.maxHeaderBytes)
+            return fail(431,
+                        "header block exceeds " +
+                            std::to_string(limits_.maxHeaderBytes) +
+                            " bytes");
+        headerBytes_ = end;
+
+        const std::vector<std::string> lines =
+            str::split(buffer_.substr(0, end), '\n');
+        const std::string start = stripCr(lines.front());
+        const std::vector<std::string> parts =
+            str::splitWhitespace(start);
+        if (parts.size() != 3 ||
+            !str::startsWith(parts[2], "HTTP/"))
+            return fail(400, "malformed request line `" + start + "`");
+        request_.method = parts[0];
+        request_.target = parts[1];
+        request_.version = parts[2];
+        if (!parseHeaderFields(lines, request_.headers))
+            return fail(400, "malformed header field");
+
+        contentLength_ = 0;
+        const auto it = request_.headers.find("content-length");
+        if (it != request_.headers.end() &&
+            !parseContentLength(it->second, contentLength_))
+            return fail(400, "malformed Content-Length `" + it->second +
+                                 "`");
+        if (contentLength_ > limits_.maxBodyBytes)
+            return fail(413, "body of " +
+                                 std::to_string(contentLength_) +
+                                 " bytes exceeds limit of " +
+                                 std::to_string(limits_.maxBodyBytes));
+        headersDone_ = true;
+    }
+
+    if (buffer_.size() < headerBytes_ + contentLength_)
+        return state_;
+    request_.body =
+        buffer_.substr(headerBytes_, contentLength_);
+    state_ = State::Ready;
+    return state_;
+}
+
+HttpRequestParser::State
+HttpRequestParser::reset()
+{
+    if (state_ == State::Ready) {
+        buffer_.erase(0, headerBytes_ + contentLength_);
+    } else {
+        buffer_.clear(); // errors close the connection; drop leftovers.
+    }
+    request_ = HttpRequest{};
+    state_ = State::NeedMore;
+    errorStatus_ = 400;
+    errorMessage_.clear();
+    headerBytes_ = 0;
+    contentLength_ = 0;
+    headersDone_ = false;
+    if (!buffer_.empty())
+        return tryParse();
+    return state_;
+}
+
+const std::string &
+HttpResponseParser::Response::header(const std::string &name,
+                                     const std::string &fallback) const
+{
+    const auto it = headers.find(name);
+    return it == headers.end() ? fallback : it->second;
+}
+
+HttpResponseParser::State
+HttpResponseParser::feed(std::string_view data)
+{
+    if (state_ != State::NeedMore)
+        return state_;
+    buffer_.append(data.data(), data.size());
+    return tryParse();
+}
+
+HttpResponseParser::State
+HttpResponseParser::tryParse()
+{
+    if (!headersDone_) {
+        const std::size_t end = headerBlockEnd(buffer_);
+        if (end == 0)
+            return state_;
+        headerBytes_ = end;
+
+        const std::vector<std::string> lines =
+            str::split(buffer_.substr(0, end), '\n');
+        const std::string start = stripCr(lines.front());
+        const std::vector<std::string> parts =
+            str::splitWhitespace(start);
+        if (parts.size() < 2 || !str::startsWith(parts[0], "HTTP/")) {
+            state_ = State::Error;
+            errorMessage_ = "malformed status line `" + start + "`";
+            return state_;
+        }
+        try {
+            response_.status = std::stoi(parts[1]);
+        } catch (...) {
+            state_ = State::Error;
+            errorMessage_ = "malformed status code `" + parts[1] + "`";
+            return state_;
+        }
+        if (!parseHeaderFields(lines, response_.headers)) {
+            state_ = State::Error;
+            errorMessage_ = "malformed header field";
+            return state_;
+        }
+        contentLength_ = 0;
+        const auto it = response_.headers.find("content-length");
+        if (it != response_.headers.end() &&
+            !parseContentLength(it->second, contentLength_)) {
+            state_ = State::Error;
+            errorMessage_ =
+                "malformed Content-Length `" + it->second + "`";
+            return state_;
+        }
+        headersDone_ = true;
+    }
+
+    if (buffer_.size() < headerBytes_ + contentLength_)
+        return state_;
+    response_.body = buffer_.substr(headerBytes_, contentLength_);
+    state_ = State::Ready;
+    return state_;
+}
+
+HttpResponseParser::State
+HttpResponseParser::reset()
+{
+    if (state_ == State::Ready)
+        buffer_.erase(0, headerBytes_ + contentLength_);
+    else
+        buffer_.clear();
+    response_ = Response{};
+    state_ = State::NeedMore;
+    errorMessage_.clear();
+    headerBytes_ = 0;
+    contentLength_ = 0;
+    headersDone_ = false;
+    if (!buffer_.empty())
+        return tryParse();
+    return state_;
+}
+
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * A minimal HTTP/1.1 codec for the scoring daemon — request parsing,
+ * response serialization, and the client-side response parser the load
+ * generator reuses. Deliberately small: no chunked transfer encoding,
+ * no multipart, no TLS; bodies are delimited by Content-Length only,
+ * which is all the manifest-line API needs.
+ *
+ * Both parsers are incremental: feed bytes as they arrive off the
+ * socket, poll `state()`, and call `reset()` after consuming a message
+ * to continue with pipelined/keep-alive leftovers. Limits are enforced
+ * while reading, so an oversized header block or body fails fast
+ * (431/413) without buffering the whole thing.
+ */
+
+#ifndef HIERMEANS_SERVER_HTTP_H
+#define HIERMEANS_SERVER_HTTP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hiermeans {
+namespace server {
+
+/** Standard reason phrase for @p status ("OK", "Not Found", ...). */
+const char *statusReason(int status);
+
+/** A parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET", upper-case as received.
+    std::string target;  ///< full request target, query included.
+    std::string version; ///< "HTTP/1.1".
+    /** Header fields; names lower-cased, values trimmed. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** The target's path component (query string stripped). */
+    std::string path() const;
+
+    /** Header value by lower-case name, or @p fallback. */
+    const std::string &header(const std::string &name,
+                              const std::string &fallback) const;
+
+    /** Keep-alive per HTTP/1.1 defaults + Connection header. */
+    bool keepAlive() const;
+};
+
+/** An HTTP response under construction. */
+struct HttpResponse
+{
+    int status = 200;
+    /** Extra headers (Content-Length and Connection are emitted
+     *  automatically by serialize()). */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool closeConnection = false;
+
+    /** Add a header field. */
+    void set(std::string name, std::string value);
+
+    /** Serialize status line + headers + body to the wire format. */
+    std::string serialize() const;
+};
+
+/** Convenience builders used across the router and handlers. */
+HttpResponse textResponse(int status, std::string body);
+HttpResponse jsonResponse(int status, std::string body);
+
+/** Incremental request parser. */
+class HttpRequestParser
+{
+  public:
+    struct Limits
+    {
+        std::size_t maxHeaderBytes = 16 * 1024;
+        std::size_t maxBodyBytes = 256 * 1024;
+    };
+
+    enum class State
+    {
+        NeedMore, ///< keep feeding bytes.
+        Ready,    ///< request() is complete.
+        Error     ///< errorStatus()/errorMessage() describe the 4xx.
+    };
+
+    /** Parser with the default limits. */
+    HttpRequestParser() : HttpRequestParser(Limits{}) {}
+
+    explicit HttpRequestParser(Limits limits);
+
+    /** Append raw bytes and advance the parse. */
+    State feed(std::string_view data);
+
+    State state() const { return state_; }
+
+    /** The parsed request; valid only in State::Ready. */
+    const HttpRequest &request() const { return request_; }
+
+    /** Suggested response status in State::Error (400, 413, 431). */
+    int errorStatus() const { return errorStatus_; }
+    const std::string &errorMessage() const { return errorMessage_; }
+
+    /**
+     * Consume the current request (or error) and re-parse any buffered
+     * leftover bytes — the keep-alive continuation. May return Ready
+     * immediately when a pipelined request was already buffered.
+     */
+    State reset();
+
+    /** True when bytes of a new request have started arriving (used
+     *  by graceful shutdown to decide whether to wait or close). */
+    bool midRequest() const { return !buffer_.empty(); }
+
+  private:
+    State tryParse();
+    State fail(int status, std::string message);
+
+    Limits limits_;
+    std::string buffer_;
+    HttpRequest request_;
+    State state_ = State::NeedMore;
+    int errorStatus_ = 400;
+    std::string errorMessage_;
+    std::size_t headerBytes_ = 0;  ///< prefix length incl. terminator.
+    std::size_t contentLength_ = 0;
+    bool headersDone_ = false;
+};
+
+/** Incremental response parser (client side: hmload, tests, bench). */
+class HttpResponseParser
+{
+  public:
+    struct Response
+    {
+        int status = 0;
+        std::map<std::string, std::string> headers; ///< lower-cased.
+        std::string body;
+
+        const std::string &header(const std::string &name,
+                                  const std::string &fallback) const;
+    };
+
+    enum class State
+    {
+        NeedMore,
+        Ready,
+        Error
+    };
+
+    State feed(std::string_view data);
+    State state() const { return state_; }
+    const Response &response() const { return response_; }
+    const std::string &errorMessage() const { return errorMessage_; }
+
+    /** Consume the current response, keep leftovers (keep-alive). */
+    State reset();
+
+  private:
+    State tryParse();
+
+    std::string buffer_;
+    Response response_;
+    State state_ = State::NeedMore;
+    std::string errorMessage_;
+    std::size_t headerBytes_ = 0;
+    std::size_t contentLength_ = 0;
+    bool headersDone_ = false;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_HTTP_H

@@ -1,0 +1,88 @@
+#include "src/server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hiermeans {
+namespace server {
+namespace json {
+
+std::string
+escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':  out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quote(std::string_view text)
+{
+    return "\"" + escape(text) + "\"";
+}
+
+std::string
+number(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::optional<std::string>
+findRawValue(std::string_view object, std::string_view key)
+{
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const std::size_t at = object.find(needle);
+    if (at == std::string_view::npos)
+        return std::nullopt;
+    std::size_t begin = at + needle.size();
+    while (begin < object.size() && object[begin] == ' ')
+        ++begin;
+    std::size_t end = begin;
+    while (end < object.size() && object[end] != ',' &&
+           object[end] != '}' && object[end] != ']')
+        ++end;
+    if (begin == end)
+        return std::nullopt;
+    return std::string(object.substr(begin, end - begin));
+}
+
+std::optional<double>
+findNumber(std::string_view object, std::string_view key)
+{
+    const auto raw = findRawValue(object, key);
+    if (!raw)
+        return std::nullopt;
+    char *parse_end = nullptr;
+    const double value = std::strtod(raw->c_str(), &parse_end);
+    if (parse_end == raw->c_str())
+        return std::nullopt;
+    return value;
+}
+
+} // namespace json
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tiny JSON emission + extraction helpers for the serving layer.
+ *
+ * The server speaks newline-delimited JSON objects built by hand (no
+ * JSON library in the image); these helpers keep escaping and number
+ * round-tripping in one place. `number()` prints doubles with 17
+ * significant digits so a client parsing the value back gets the
+ * bit-identical double — the integration tests rely on this.
+ */
+
+#ifndef HIERMEANS_SERVER_JSON_H
+#define HIERMEANS_SERVER_JSON_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hiermeans {
+namespace server {
+namespace json {
+
+/** Escape for use inside a JSON string literal (quotes not added). */
+std::string escape(std::string_view text);
+
+/** A quoted, escaped JSON string literal. */
+std::string quote(std::string_view text);
+
+/** Shortest round-trippable decimal for @p value (%.17g; non-finite
+ *  values are emitted as null). */
+std::string number(double value);
+
+/**
+ * Extract the raw value of @p key from a flat JSON object text — a
+ * scanner for tests and the load generator, not a general parser.
+ * Returns the token after `"key":` (string values unescaped are NOT
+ * handled; use for numbers/booleans) or nullopt when absent.
+ */
+std::optional<std::string> findRawValue(std::string_view object,
+                                        std::string_view key);
+
+/** findRawValue parsed as double; nullopt when absent/non-numeric. */
+std::optional<double> findNumber(std::string_view object,
+                                 std::string_view key);
+
+} // namespace json
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_JSON_H

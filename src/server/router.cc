@@ -1,0 +1,48 @@
+#include "src/server/router.h"
+
+#include <exception>
+
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace server {
+
+void
+Router::add(const std::string &method, const std::string &path,
+            Handler handler)
+{
+    routes_[path][method] = std::move(handler);
+}
+
+HttpResponse
+Router::dispatch(const HttpRequest &request) const
+{
+    const auto by_path = routes_.find(request.path());
+    if (by_path == routes_.end()) {
+        return textResponse(404, "no such endpoint: " +
+                                     request.path() + "\n");
+    }
+    const auto by_method = by_path->second.find(request.method);
+    if (by_method == by_path->second.end()) {
+        std::vector<std::string> allowed;
+        for (const auto &[method, handler] : by_path->second)
+            allowed.push_back(method);
+        HttpResponse response = textResponse(
+            405, request.method + " not allowed on " + request.path() +
+                     "\n");
+        response.set("Allow", str::join(allowed, ", "));
+        return response;
+    }
+    try {
+        return by_method->second(request);
+    } catch (const std::exception &e) {
+        return textResponse(500,
+                            std::string("handler failed: ") + e.what() +
+                                "\n");
+    } catch (...) {
+        return textResponse(500, "handler failed\n");
+    }
+}
+
+} // namespace server
+} // namespace hiermeans

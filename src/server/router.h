@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Method+path dispatch for the scoring daemon.
+ *
+ * Exact-path routing (no wildcards — the API surface is four
+ * endpoints): unknown paths answer 404, known paths with the wrong
+ * method answer 405 with an `Allow` header, and a handler that throws
+ * answers 500 with the exception text — a handler bug must never tear
+ * down the connection worker.
+ */
+
+#ifndef HIERMEANS_SERVER_ROUTER_H
+#define HIERMEANS_SERVER_ROUTER_H
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/server/http.h"
+
+namespace hiermeans {
+namespace server {
+
+/** Routes requests to registered handlers. */
+class Router
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /** Register @p handler for @p method on exact @p path. */
+    void add(const std::string &method, const std::string &path,
+             Handler handler);
+
+    /**
+     * Dispatch @p request: the handler's response, or a synthesized
+     * 404/405/500. Never throws.
+     */
+    HttpResponse dispatch(const HttpRequest &request) const;
+
+  private:
+    /** path -> method -> handler. */
+    std::map<std::string, std::map<std::string, Handler>> routes_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_ROUTER_H

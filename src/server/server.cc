@@ -1,0 +1,410 @@
+#include "src/server/server.h"
+
+#include <chrono>
+#include <optional>
+#include <sstream>
+
+#include "src/server/json.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace server {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+Endpoint
+endpointFor(const std::string &path)
+{
+    if (path == "/v1/score")
+        return Endpoint::Score;
+    if (path == "/v1/batch")
+        return Endpoint::Batch;
+    if (path == "/metrics")
+        return Endpoint::Metrics;
+    if (path == "/healthz")
+        return Endpoint::Healthz;
+    return Endpoint::Other;
+}
+
+const char *
+servedBy(const engine::ScoreResult &result)
+{
+    if (result.cacheHit)
+        return "cache";
+    if (result.deduped)
+        return "dedupe";
+    return "pipeline";
+}
+
+/** One score result as a flat JSON object (shared by both POSTs). */
+std::string
+resultJson(const engine::ScoreResult &result)
+{
+    std::ostringstream out;
+    out << "{\"id\":" << json::quote(result.id)
+        << ",\"ok\":" << (result.ok ? "true" : "false");
+    if (!result.ok) {
+        out << ",\"timed_out\":" << (result.timedOut ? "true" : "false")
+            << ",\"error\":" << json::quote(result.error) << "}";
+        return out.str();
+    }
+    const std::size_t recommended = result.report.recommendedRow();
+    out << ",\"served_by\":\"" << servedBy(result) << "\""
+        << ",\"fingerprint\":\"" << std::hex << result.fingerprint
+        << std::dec << "\""
+        << ",\"recommended_k\":" << result.recommendedK
+        << ",\"ratio\":"
+        << json::number(result.report.rows[recommended].ratio)
+        << ",\"plain_ratio\":" << json::number(result.report.plainRatio)
+        << ",\"wall_ms\":" << json::number(result.wallMillis)
+        << ",\"rows\":[";
+    for (std::size_t i = 0; i < result.report.rows.size(); ++i) {
+        const auto &row = result.report.rows[i];
+        if (i > 0)
+            out << ",";
+        out << "{\"k\":" << row.clusterCount
+            << ",\"score_a\":" << json::number(row.scoreA)
+            << ",\"score_b\":" << json::number(row.scoreB)
+            << ",\"ratio\":" << json::number(row.ratio) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+errorJson(const std::string &message)
+{
+    return "{\"ok\":false,\"error\":" + json::quote(message) + "}";
+}
+
+} // namespace
+
+Server::Server(Config config)
+    : config_(config), engine_(config.engine),
+      gate_(config.queueDepth),
+      requestDefaults_(util::CommandLine::parse({"hmserved"}))
+{
+    router_.add("POST", "/v1/score",
+                [this](const HttpRequest &r) { return handleScore(r); });
+    router_.add("POST", "/v1/batch",
+                [this](const HttpRequest &r) { return handleBatch(r); });
+    router_.add("GET", "/metrics", [this](const HttpRequest &r) {
+        return handleMetrics(r);
+    });
+    router_.add("GET", "/healthz", [this](const HttpRequest &r) {
+        return handleHealthz(r);
+    });
+}
+
+Server::~Server() { stop(); }
+
+void
+Server::start()
+{
+    HM_REQUIRE(!running_.load() && !stopping_.load(),
+               "Server::start: already started");
+    listener_ = net::listenTcp(config_.port);
+    port_ = net::localPort(listener_.fd());
+    running_.store(true);
+
+    acceptor_ = std::thread([this]() { acceptLoop(); });
+    workers_.reserve(config_.connectionThreads);
+    for (std::size_t i = 0; i < config_.connectionThreads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (!running_.load())
+        return;
+    stopping_.store(true);
+    pendingCv_.notify_all();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    listener_.close();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+    running_.store(false);
+}
+
+void
+Server::acceptLoop()
+{
+    // Accepted connections beyond this bound get an immediate 503 —
+    // a closed front door beats an unbounded queue of unserved fds.
+    const std::size_t pending_limit = config_.connectionThreads * 2 + 16;
+
+    while (!stopping_.load()) {
+        if (!net::waitReadable(listener_.fd(), 100))
+            continue; // timeout/EINTR: re-check the stop flag.
+        net::Socket accepted = net::acceptConnection(listener_.fd());
+        if (!accepted.valid())
+            continue;
+        metrics_.onConnectionAccepted();
+
+        std::unique_lock<std::mutex> lock(pendingMutex_);
+        if (pending_.size() >= pending_limit) {
+            lock.unlock();
+            metrics_.onConnectionRejected();
+            HttpResponse response = overloadedResponse();
+            response.closeConnection = true;
+            try {
+                net::writeAll(accepted.fd(), response.serialize());
+            } catch (const Error &) {
+                // The rejected peer vanished first; nothing to do.
+            }
+            continue;
+        }
+        pending_.push_back(std::move(accepted));
+        lock.unlock();
+        pendingCv_.notify_one();
+    }
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        net::Socket socket;
+        {
+            std::unique_lock<std::mutex> lock(pendingMutex_);
+            pendingCv_.wait(lock, [this]() {
+                return stopping_.load() || !pending_.empty();
+            });
+            if (pending_.empty()) {
+                if (stopping_.load())
+                    return;
+                continue;
+            }
+            socket = std::move(pending_.front());
+            pending_.pop_front();
+        }
+        try {
+            serveConnection(std::move(socket));
+        } catch (const std::exception &) {
+            // Peer I/O failures close that connection; the worker and
+            // every other connection are unaffected.
+            metrics_.onConnectionClosed();
+        }
+    }
+}
+
+void
+Server::serveConnection(net::Socket socket)
+{
+    metrics_.onConnectionOpened();
+    HttpRequestParser::Limits limits;
+    limits.maxBodyBytes = config_.maxBodyBytes;
+    HttpRequestParser parser(limits);
+
+    // Once shutdown begins, a partially-received request gets this
+    // long to finish arriving before the connection is closed.
+    constexpr double kDrainWindowMillis = 5000.0;
+    const auto serve_start = std::chrono::steady_clock::now();
+
+    char buffer[8192];
+    bool close = false;
+    while (!close) {
+        if (stopping_.load()) {
+            if (!parser.midRequest())
+                break;
+            if (millisSince(serve_start) > kDrainWindowMillis)
+                break;
+        }
+        if (!net::waitReadable(socket.fd(), 100))
+            continue;
+        const std::size_t n =
+            net::readSome(socket.fd(), buffer, sizeof(buffer));
+        if (n == 0)
+            break; // EOF.
+
+        HttpRequestParser::State state =
+            parser.feed(std::string_view(buffer, n));
+        if (state == HttpRequestParser::State::Error) {
+            metrics_.onRequest();
+            metrics_.onMalformed();
+            HttpResponse response = textResponse(
+                parser.errorStatus(), parser.errorMessage() + "\n");
+            response.closeConnection = true;
+            metrics_.onResponse(response.status);
+            net::writeAll(socket.fd(), response.serialize());
+            break;
+        }
+        while (state == HttpRequestParser::State::Ready) {
+            const HttpRequest &request = parser.request();
+            metrics_.onRequest();
+            const auto started = std::chrono::steady_clock::now();
+            HttpResponse response = router_.dispatch(request);
+            const Endpoint endpoint = endpointFor(request.path());
+            metrics_.recordLatency(endpoint, millisSince(started));
+            metrics_.onResponse(response.status);
+            if (stopping_.load() || !request.keepAlive())
+                response.closeConnection = true;
+            net::writeAll(socket.fd(), response.serialize());
+            if (response.closeConnection) {
+                close = true;
+                break;
+            }
+            state = parser.reset(); // may surface a pipelined request.
+        }
+    }
+    metrics_.onConnectionClosed();
+}
+
+HttpResponse
+Server::overloadedResponse()
+{
+    HttpResponse response = jsonResponse(
+        503, errorJson("server overloaded, admission queue full"));
+    response.set("Retry-After", "1");
+    return response;
+}
+
+HttpResponse
+Server::handleScore(const HttpRequest &request)
+{
+    std::vector<engine::ManifestLine> lines;
+    try {
+        lines = engine::parseManifest(request.body);
+    } catch (const Error &e) {
+        metrics_.onMalformed();
+        return jsonResponse(400, errorJson(e.what()));
+    }
+    if (lines.size() != 1) {
+        metrics_.onMalformed();
+        return jsonResponse(
+            400, errorJson("expected exactly one manifest line, got " +
+                           std::to_string(lines.size())));
+    }
+
+    engine::ScoreRequest score_request;
+    try {
+        score_request = engine::buildManifestRequest(
+            lines.front(), requestDefaults_, csvs_);
+    } catch (const Error &e) {
+        metrics_.onMalformed();
+        return jsonResponse(400, errorJson(e.what()));
+    }
+    if (score_request.timeoutMillis <= 0.0)
+        score_request.timeoutMillis = config_.defaultTimeoutMillis;
+
+    AdmissionTicket ticket(gate_);
+    if (!ticket.admitted()) {
+        metrics_.onShed();
+        return overloadedResponse();
+    }
+
+    const engine::ScoreResult result =
+        engine_.submit(std::move(score_request)).get();
+    if (!result.ok && result.timedOut) {
+        metrics_.onTimeout();
+        return jsonResponse(504, resultJson(result));
+    }
+    if (!result.ok)
+        return jsonResponse(400, resultJson(result));
+
+    HttpResponse response = jsonResponse(200, resultJson(result));
+    response.set("X-Hiermeans-Source", servedBy(result));
+    return response;
+}
+
+HttpResponse
+Server::handleBatch(const HttpRequest &request)
+{
+    std::vector<engine::ManifestLine> lines;
+    try {
+        lines = engine::parseManifest(request.body);
+    } catch (const Error &e) {
+        metrics_.onMalformed();
+        return jsonResponse(400, errorJson(e.what()));
+    }
+    if (lines.empty()) {
+        metrics_.onMalformed();
+        return jsonResponse(400, errorJson("manifest has no requests"));
+    }
+
+    // The whole document is one admission unit: it occupies one
+    // connection worker and its lines share the engine pool anyway.
+    AdmissionTicket ticket(gate_);
+    if (!ticket.admitted()) {
+        metrics_.onShed();
+        return overloadedResponse();
+    }
+
+    // Build everything up front so a bad line fails alone without
+    // touching the engine, mirroring hmbatch.
+    std::vector<std::optional<engine::ScoreRequest>> requests;
+    std::vector<engine::ScoreResult> line_errors(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        try {
+            engine::ScoreRequest built = engine::buildManifestRequest(
+                lines[i], requestDefaults_, csvs_);
+            if (built.timeoutMillis <= 0.0)
+                built.timeoutMillis = config_.defaultTimeoutMillis;
+            requests.push_back(std::move(built));
+        } catch (const Error &e) {
+            requests.push_back(std::nullopt);
+            line_errors[i].id =
+                "line" + std::to_string(lines[i].lineNumber);
+            line_errors[i].error = e.what();
+        }
+    }
+
+    std::vector<std::optional<std::future<engine::ScoreResult>>> futures;
+    for (auto &built : requests) {
+        if (built)
+            futures.push_back(engine_.submit(std::move(*built)));
+        else
+            futures.push_back(std::nullopt);
+    }
+
+    std::ostringstream body;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const engine::ScoreResult result =
+            futures[i] ? futures[i]->get() : line_errors[i];
+        if (!result.ok && result.timedOut)
+            metrics_.onTimeout();
+        body << "{\"line\":" << lines[i].lineNumber << ","
+             << resultJson(result).substr(1) << "\n";
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.set("Content-Type", "application/x-ndjson");
+    response.body = body.str();
+    return response;
+}
+
+HttpResponse
+Server::handleMetrics(const HttpRequest &)
+{
+    return textResponse(200, renderMetrics());
+}
+
+HttpResponse
+Server::handleHealthz(const HttpRequest &)
+{
+    return textResponse(200, "ok\n");
+}
+
+std::string
+Server::renderMetrics() const
+{
+    const ServerMetricsSnapshot snap =
+        metrics_.snapshot(gate_.depth(), gate_.capacity());
+    return "server metrics:\n" + ServerMetrics::render(snap) +
+           "\nengine metrics:\n" + engine_.metrics().render();
+}
+
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * `hmserved`'s core: a POSIX-sockets HTTP/1.1 daemon in front of
+ * engine::ScoringEngine.
+ *
+ *   accept loop -> pending-connection queue -> connection workers
+ *        -> HttpRequestParser -> Router -> handler
+ *             -> AdmissionGate -> ScoringEngine -> HttpResponse
+ *
+ * Endpoints:
+ *   POST /v1/score   body = one manifest line; answers one JSON object
+ *                    with an `X-Hiermeans-Source: pipeline|cache|dedupe`
+ *                    provenance header;
+ *   POST /v1/batch   body = a whole manifest; answers one JSON object
+ *                    per line (NDJSON), failures isolated per line;
+ *   GET  /metrics    server + engine counters and latency histograms;
+ *   GET  /healthz    liveness probe.
+ *
+ * Robustness contract:
+ *   - malformed requests answer 400 without touching the engine;
+ *   - a full admission queue answers `503 Retry-After: 1` immediately
+ *     (backpressure; the connection is never dropped silently);
+ *   - per-request deadlines (`timeout-ms`) map onto the engine's
+ *     cooperative timeouts and answer 504;
+ *   - stop() stops accepting, drains in-flight requests, then joins —
+ *     a request already received is always answered.
+ *
+ * The server is usable fully in-process (port 0 = ephemeral), which is
+ * how the integration tests and perf_server_throughput drive it.
+ */
+
+#ifndef HIERMEANS_SERVER_SERVER_H
+#define HIERMEANS_SERVER_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/manifest.h"
+#include "src/server/admission.h"
+#include "src/server/http.h"
+#include "src/server/router.h"
+#include "src/server/server_metrics.h"
+#include "src/util/net.h"
+
+namespace hiermeans {
+namespace server {
+
+/** The scoring daemon. One instance per process is typical. */
+class Server
+{
+  public:
+    struct Config
+    {
+        /** TCP port; 0 binds an ephemeral port (see port()). */
+        std::uint16_t port = 8377;
+
+        /** Connection workers: concurrent connections being served.
+         *  Sized above queueDepth so the admission gate — not the
+         *  worker count — is what sheds scoring load. */
+        std::size_t connectionThreads = 16;
+
+        /** Admission slots for scoring work (score requests + batch
+         *  documents admitted but unfinished). Full gate => 503. */
+        std::size_t queueDepth = 8;
+
+        /** Request body limit; larger bodies answer 413. */
+        std::size_t maxBodyBytes = 256 * 1024;
+
+        /** Deadline for requests that carry no timeout-ms; 0 = none. */
+        double defaultTimeoutMillis = 0.0;
+
+        engine::ScoringEngine::Config engine;
+    };
+
+    explicit Server(Config config);
+
+    /** Stops and drains if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen and spawn the accept loop + workers. Throws when
+     *  the port cannot be bound. One-shot: start/stop once. */
+    void start();
+
+    /**
+     * Graceful shutdown: stop accepting, serve every request already
+     * received, close idle connections, join all threads. Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return port_; }
+
+    engine::ScoringEngine &engine() { return engine_; }
+    AdmissionGate &gate() { return gate_; }
+    const ServerMetrics &metrics() const { return metrics_; }
+
+    /** Server + engine metrics as one text document (the /metrics
+     *  body and the shutdown summary). */
+    std::string renderMetrics() const;
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(net::Socket socket);
+
+    HttpResponse handleScore(const HttpRequest &request);
+    HttpResponse handleBatch(const HttpRequest &request);
+    HttpResponse handleMetrics(const HttpRequest &request);
+    HttpResponse handleHealthz(const HttpRequest &request);
+
+    /** 503 + Retry-After (the admission-shed and overflow answer). */
+    static HttpResponse overloadedResponse();
+
+    Config config_;
+    engine::ScoringEngine engine_;
+    AdmissionGate gate_;
+    ServerMetrics metrics_;
+    Router router_;
+    engine::CsvCache csvs_;
+    util::CommandLine requestDefaults_;
+
+    net::Socket listener_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::mutex pendingMutex_;
+    std::condition_variable pendingCv_;
+    std::deque<net::Socket> pending_;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_SERVER_H

@@ -1,0 +1,109 @@
+#include "src/server/server_metrics.h"
+
+#include "src/util/str.h"
+#include "src/util/text_table.h"
+
+namespace hiermeans {
+namespace server {
+
+const char *
+endpointName(Endpoint endpoint)
+{
+    switch (endpoint) {
+    case Endpoint::Score:   return "/v1/score";
+    case Endpoint::Batch:   return "/v1/batch";
+    case Endpoint::Metrics: return "/metrics";
+    case Endpoint::Healthz: return "/healthz";
+    default:                return "(other)";
+    }
+}
+
+void
+ServerMetrics::onResponse(int status)
+{
+    if (status >= 500)
+        ++responses5xx_;
+    else if (status >= 400)
+        ++responses4xx_;
+    else
+        ++responses2xx_;
+}
+
+void
+ServerMetrics::recordLatency(Endpoint endpoint, double millis)
+{
+    latency_[static_cast<std::size_t>(endpoint)].record(millis);
+}
+
+ServerMetricsSnapshot
+ServerMetrics::snapshot(std::uint64_t queue_depth,
+                        std::uint64_t queue_capacity) const
+{
+    ServerMetricsSnapshot snap;
+    snap.connectionsAccepted = connectionsAccepted_.load();
+    snap.connectionsRejected = connectionsRejected_.load();
+    snap.connectionsActive = connectionsActive_.load();
+    snap.requests = requests_.load();
+    snap.responses2xx = responses2xx_.load();
+    snap.responses4xx = responses4xx_.load();
+    snap.responses5xx = responses5xx_.load();
+    snap.shed503 = shed503_.load();
+    snap.timeouts504 = timeouts504_.load();
+    snap.malformed400 = malformed400_.load();
+    snap.queueDepth = queue_depth;
+    snap.queueCapacity = queue_capacity;
+    for (std::size_t e = 0; e < latency_.size(); ++e) {
+        auto &out = snap.latency[e];
+        const engine::LatencyHistogram &hist = latency_[e];
+        out.count = hist.count();
+        out.p50 = hist.percentile(50.0);
+        out.p95 = hist.percentile(95.0);
+        out.p99 = hist.percentile(99.0);
+        out.max = hist.max();
+    }
+    return snap;
+}
+
+std::string
+ServerMetrics::render(const ServerMetricsSnapshot &snap)
+{
+    util::TextTable counters({"server counter", "value"});
+    counters.addRow({"connections accepted",
+                     std::to_string(snap.connectionsAccepted)});
+    counters.addRow({"connections rejected",
+                     std::to_string(snap.connectionsRejected)});
+    counters.addRow({"connections active",
+                     std::to_string(snap.connectionsActive)});
+    counters.addRow({"requests", std::to_string(snap.requests)});
+    counters.addRow({"responses 2xx",
+                     std::to_string(snap.responses2xx)});
+    counters.addRow({"responses 4xx",
+                     std::to_string(snap.responses4xx)});
+    counters.addRow({"responses 5xx",
+                     std::to_string(snap.responses5xx)});
+    counters.addRow({"shed (503)", std::to_string(snap.shed503)});
+    counters.addRow({"timeouts (504)",
+                     std::to_string(snap.timeouts504)});
+    counters.addRow({"malformed (400)",
+                     std::to_string(snap.malformed400)});
+    counters.addRow({"admission queue depth",
+                     std::to_string(snap.queueDepth) + "/" +
+                         std::to_string(snap.queueCapacity)});
+
+    util::TextTable latency({"endpoint", "count", "p50 ms", "p95 ms",
+                             "p99 ms", "max ms"});
+    for (std::size_t e = 0;
+         e < static_cast<std::size_t>(Endpoint::Count_); ++e) {
+        const auto &lat = snap.latency[e];
+        if (lat.count == 0)
+            continue;
+        latency.addRow({endpointName(static_cast<Endpoint>(e)),
+                        std::to_string(lat.count),
+                        str::fixed(lat.p50, 2), str::fixed(lat.p95, 2),
+                        str::fixed(lat.p99, 2), str::fixed(lat.max, 2)});
+    }
+    return counters.render() + "\n" + latency.render();
+}
+
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Serving-layer observability: connection/request counters and
+ * per-endpoint latency histograms, rendered next to the engine's own
+ * metrics on GET /metrics and in the shutdown summary.
+ *
+ * Counters are lock-free atomics (same discipline as EngineMetrics);
+ * the latency histograms reuse engine::LatencyHistogram so percentiles
+ * are computed identically across layers.
+ */
+
+#ifndef HIERMEANS_SERVER_SERVER_METRICS_H
+#define HIERMEANS_SERVER_SERVER_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/engine/metrics.h"
+
+namespace hiermeans {
+namespace server {
+
+/** The endpoints we attribute latency to. */
+enum class Endpoint : std::size_t
+{
+    Score = 0,
+    Batch,
+    Metrics,
+    Healthz,
+    Other,
+    Count_ // sentinel
+};
+
+/** Endpoint display name ("/v1/score", ...). */
+const char *endpointName(Endpoint endpoint);
+
+/** Point-in-time copy of every server counter. */
+struct ServerMetricsSnapshot
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsRejected = 0; ///< shed before any read.
+    std::uint64_t connectionsActive = 0;   ///< gauge.
+    std::uint64_t requests = 0;
+    std::uint64_t responses2xx = 0;
+    std::uint64_t responses4xx = 0;
+    std::uint64_t responses5xx = 0;
+    std::uint64_t shed503 = 0;     ///< admission queue full.
+    std::uint64_t timeouts504 = 0; ///< request deadline lapsed.
+    std::uint64_t malformed400 = 0;
+
+    std::uint64_t queueDepth = 0;    ///< gauge (admission gate).
+    std::uint64_t queueCapacity = 0;
+
+    struct EndpointLatency
+    {
+        std::size_t count = 0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+        double max = 0.0;
+    };
+    std::array<EndpointLatency,
+               static_cast<std::size_t>(Endpoint::Count_)>
+        latency;
+};
+
+/** Counters + histograms shared by every connection worker. */
+class ServerMetrics
+{
+  public:
+    void onConnectionAccepted() { ++connectionsAccepted_; }
+    void onConnectionRejected() { ++connectionsRejected_; }
+    void onConnectionOpened() { ++connectionsActive_; }
+    void onConnectionClosed() { --connectionsActive_; }
+    void onRequest() { ++requests_; }
+    void onShed() { ++shed503_; }
+    void onTimeout() { ++timeouts504_; }
+    void onMalformed() { ++malformed400_; }
+
+    /** Classify a response status into its class counter. */
+    void onResponse(int status);
+
+    /** Record one served request's wall time for @p endpoint. */
+    void recordLatency(Endpoint endpoint, double millis);
+
+    /** Snapshot; queue gauges are supplied by the caller (the gate
+     *  lives in the Server, not here). */
+    ServerMetricsSnapshot snapshot(std::uint64_t queue_depth,
+                                   std::uint64_t queue_capacity) const;
+
+    /** Render @p snap as aligned text tables (the /metrics body). */
+    static std::string render(const ServerMetricsSnapshot &snap);
+
+  private:
+    std::atomic<std::uint64_t> connectionsAccepted_{0};
+    std::atomic<std::uint64_t> connectionsRejected_{0};
+    std::atomic<std::uint64_t> connectionsActive_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> responses2xx_{0};
+    std::atomic<std::uint64_t> responses4xx_{0};
+    std::atomic<std::uint64_t> responses5xx_{0};
+    std::atomic<std::uint64_t> shed503_{0};
+    std::atomic<std::uint64_t> timeouts504_{0};
+    std::atomic<std::uint64_t> malformed400_{0};
+    std::array<engine::LatencyHistogram,
+               static_cast<std::size_t>(Endpoint::Count_)>
+        latency_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_SERVER_METRICS_H

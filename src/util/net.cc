@@ -1,0 +1,176 @@
+#include "src/util/net.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw Error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Socket::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+Socket
+listenTcp(std::uint16_t port, int backlog)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        throwErrno("socket()");
+
+    const int one = 1;
+    if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0)
+        throwErrno("setsockopt(SO_REUSEADDR)");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind(port " + std::to_string(port) + ")");
+    if (::listen(sock.fd(), backlog) != 0)
+        throwErrno("listen()");
+    return sock;
+}
+
+std::uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        throwErrno("getsockname()");
+    return ntohs(addr.sin_port);
+}
+
+Socket
+connectTcp(const std::string &host, std::uint16_t port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *results = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                 &results);
+    HM_REQUIRE(rc == 0, "cannot resolve host `" << host
+                                                << "`: " << gai_strerror(rc));
+
+    Socket sock;
+    std::string last_error = "no addresses";
+    for (addrinfo *ai = results; ai != nullptr; ai = ai->ai_next) {
+        Socket candidate(
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!candidate.valid()) {
+            last_error = std::strerror(errno);
+            continue;
+        }
+        if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            sock = std::move(candidate);
+            break;
+        }
+        last_error = std::strerror(errno);
+    }
+    ::freeaddrinfo(results);
+    if (!sock.valid()) {
+        throw Error("cannot connect to " + host + ":" +
+                    std::to_string(port) + ": " + last_error);
+    }
+    return sock;
+}
+
+bool
+waitReadable(int fd, int timeout_millis)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_millis);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return false; // caller re-polls; shutdown checks run between.
+        throwErrno("poll()");
+    }
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+std::size_t
+readSome(int fd, char *buffer, std::size_t capacity)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, capacity, 0);
+        if (n >= 0)
+            return static_cast<std::size_t>(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == ECONNRESET)
+            return 0; // the peer is gone; treat like EOF.
+        throwErrno("recv()");
+    }
+}
+
+void
+writeAll(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("send()");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+Socket
+acceptConnection(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0)
+        return Socket(fd);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+        return Socket();
+    throwErrno("accept()");
+}
+
+} // namespace net
+} // namespace hiermeans

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Thin POSIX TCP socket helpers for the serving layer.
+ *
+ * Dependency-free wrappers (no third-party networking library) with the
+ * repo's error convention: every syscall failure throws
+ * `hiermeans::Error` carrying the errno text, and file descriptors are
+ * owned by a move-only RAII `Socket` so no code path leaks an fd. The
+ * server (`src/server`) and the load generator (`tools/hmload`) share
+ * these; nothing here knows about HTTP.
+ */
+
+#ifndef HIERMEANS_UTIL_NET_H
+#define HIERMEANS_UTIL_NET_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hiermeans {
+namespace net {
+
+/** Move-only owner of a socket file descriptor. */
+class Socket
+{
+  public:
+    /** An invalid (empty) socket. */
+    Socket() = default;
+
+    /** Take ownership of @p fd (-1 allowed: empty socket). */
+    explicit Socket(int fd) : fd_(fd) {}
+
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** Give up ownership without closing; returns the fd. */
+    int release();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create a TCP listening socket bound to INADDR_ANY:@p port with
+ * SO_REUSEADDR. @p port 0 binds an ephemeral port (read it back with
+ * localPort). Throws on any failure.
+ */
+Socket listenTcp(std::uint16_t port, int backlog = 64);
+
+/** The local port a bound socket ended up on (resolves port 0). */
+std::uint16_t localPort(int fd);
+
+/**
+ * Blocking TCP connect to @p host:@p port (numeric IPv4 or a name
+ * resolvable via getaddrinfo). Throws when the connection fails.
+ */
+Socket connectTcp(const std::string &host, std::uint16_t port);
+
+/**
+ * Wait up to @p timeout_millis for @p fd to become readable.
+ * Returns true when readable (or the peer hung up — a subsequent read
+ * reports EOF), false on timeout or EINTR.
+ */
+bool waitReadable(int fd, int timeout_millis);
+
+/**
+ * Read up to @p capacity bytes into @p buffer. Returns the byte count,
+ * 0 on orderly EOF (connection reset also reads as EOF — the peer is
+ * gone either way). Throws on other errors.
+ */
+std::size_t readSome(int fd, char *buffer, std::size_t capacity);
+
+/**
+ * Write all of @p data (retrying short writes, SIGPIPE suppressed).
+ * Throws when the peer closed or the write fails.
+ */
+void writeAll(int fd, std::string_view data);
+
+/**
+ * One connection from a listening socket, after the caller saw it
+ * readable. Returns an empty Socket on transient failures (EINTR,
+ * the peer vanishing between poll and accept); throws on real errors.
+ */
+Socket acceptConnection(int listen_fd);
+
+} // namespace net
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_NET_H

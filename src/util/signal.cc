@@ -1,0 +1,101 @@
+#include "src/util/signal.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace util {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+int g_pipe[2] = {-1, -1};
+std::once_flag g_pipe_once;
+
+void
+makePipe()
+{
+    HM_REQUIRE(::pipe(g_pipe) == 0,
+               "shutdown pipe: " << std::strerror(errno));
+    // The write end must never block inside a signal handler.
+    for (const int fd : {g_pipe[0], g_pipe[1]}) {
+        const int flags = ::fcntl(fd, F_GETFL);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+}
+
+extern "C" void
+onShutdownSignal(int)
+{
+    g_requested.store(true, std::memory_order_relaxed);
+    const char byte = 1;
+    // Best effort; the atomic flag is the source of truth.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+}
+
+} // namespace
+
+void
+installShutdownSignals(std::initializer_list<int> signals)
+{
+    std::call_once(g_pipe_once, makePipe);
+    struct sigaction action
+    {};
+    action.sa_handler = onShutdownSignal;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // interrupt blocking syscalls so loops notice.
+    for (const int sig : signals) {
+        HM_REQUIRE(::sigaction(sig, &action, nullptr) == 0,
+                   "sigaction(" << sig
+                                << "): " << std::strerror(errno));
+    }
+}
+
+bool
+shutdownRequested()
+{
+    return g_requested.load(std::memory_order_relaxed);
+}
+
+bool
+waitForShutdown(int timeout_millis)
+{
+    if (shutdownRequested())
+        return true;
+    std::call_once(g_pipe_once, makePipe);
+    pollfd pfd{};
+    pfd.fd = g_pipe[0];
+    pfd.events = POLLIN;
+    ::poll(&pfd, 1, timeout_millis); // EINTR or timeout both fall through.
+    return shutdownRequested();
+}
+
+void
+requestShutdown()
+{
+    std::call_once(g_pipe_once, makePipe);
+    onShutdownSignal(0);
+}
+
+void
+resetShutdownForTesting()
+{
+    g_requested.store(false, std::memory_order_relaxed);
+    if (g_pipe[0] >= 0) {
+        char drain[64];
+        while (::read(g_pipe[0], drain, sizeof(drain)) > 0) {
+        }
+    }
+}
+
+} // namespace util
+} // namespace hiermeans

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Async-signal-safe shutdown notification (the self-pipe trick).
+ *
+ * A daemon cannot do real work inside a signal handler; the handler
+ * here only writes one byte to a pipe and sets an atomic flag. Threads
+ * either poll `shutdownRequested()` between work items or block in
+ * `waitForShutdown()` on the pipe's read end. Process-wide singleton
+ * state by design — there is one SIGINT per process.
+ */
+
+#ifndef HIERMEANS_UTIL_SIGNAL_H
+#define HIERMEANS_UTIL_SIGNAL_H
+
+#include <initializer_list>
+
+namespace hiermeans {
+namespace util {
+
+/**
+ * Install the shutdown handler for @p signals (e.g. {SIGINT, SIGTERM}).
+ * Idempotent per signal; throws on sigaction/pipe failure.
+ */
+void installShutdownSignals(std::initializer_list<int> signals);
+
+/** True once any installed signal has been delivered. */
+bool shutdownRequested();
+
+/**
+ * Block up to @p timeout_millis (-1 = forever) for a shutdown signal.
+ * Returns shutdownRequested() afterwards.
+ */
+bool waitForShutdown(int timeout_millis);
+
+/**
+ * Trip the shutdown flag programmatically (tests, in-process servers).
+ * Safe to call from any thread.
+ */
+void requestShutdown();
+
+/** Clear the flag again (tests only; not signal-safe). */
+void resetShutdownForTesting();
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_SIGNAL_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The one shared version constant printed by every CLI front-end.
+ *
+ * Keep in sync with the `project(... VERSION ...)` declaration in the
+ * top-level CMakeLists.txt; tools print it from here so that hmscore,
+ * hmbatch, hmserved and hmload can never disagree about their version.
+ */
+
+#ifndef HIERMEANS_UTIL_VERSION_H
+#define HIERMEANS_UTIL_VERSION_H
+
+namespace hiermeans {
+namespace util {
+
+/** Library version, e.g. "1.1.0". */
+inline constexpr const char kVersion[] = "1.1.0";
+
+/** Full version string for --help banners: "hiermeans 1.1.0". */
+inline constexpr const char kVersionString[] = "hiermeans 1.1.0";
+
+} // namespace util
+} // namespace hiermeans
+
+#endif // HIERMEANS_UTIL_VERSION_H

@@ -215,11 +215,73 @@ TEST(EngineTest, QueueExpiredRequestsTimeOutWithoutExecuting)
 
     const ScoreResult result = future.get();
     EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(result.timedOut);
     EXPECT_NE(result.error.find("timed out"), std::string::npos)
         << result.error;
     const MetricsSnapshot snap = engine.metrics().snapshot();
     EXPECT_EQ(snap.timeouts, 1u);
     EXPECT_EQ(snap.executions, 0u); // never reached the pipeline.
+}
+
+TEST(EngineTest, OverrunningExecutionTimesOutCooperatively)
+{
+    // A free worker picks the request up well inside the 10 ms
+    // deadline, so the queue check passes — but the pipeline (given a
+    // deliberately huge SOM step budget) overruns it, and the engine
+    // reports a cooperative timeout instead of a result.
+    ScoringEngine engine(smallEngineConfig(1));
+    ScoreRequest request = makeRequest();
+    request.config.som.steps = 200000;
+    request.timeoutMillis = 10.0;
+    const ScoreResult result = engine.submit(std::move(request)).get();
+
+    EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(result.timedOut);
+    const MetricsSnapshot snap = engine.metrics().snapshot();
+    EXPECT_EQ(snap.timeouts, 1u);
+    EXPECT_EQ(snap.executions, 1u); // it ran, then overran.
+
+    // Timed-out results must not poison the cache: the identical
+    // request (deadlines are not part of the fingerprint) without a
+    // deadline executes fresh and succeeds.
+    ScoreRequest retry = makeRequest();
+    retry.config.som.steps = 200000;
+    const ScoreResult retried = engine.submit(std::move(retry)).get();
+    EXPECT_TRUE(retried.ok) << retried.error;
+    EXPECT_FALSE(retried.cacheHit);
+}
+
+TEST(EngineTest, CacheEvictsUnderPressureAndStaysBounded)
+{
+    // A cache big enough for ~2 reports: 8 distinct requests must
+    // evict most of their predecessors yet every result stays correct.
+    ScoringEngine::Config config = smallEngineConfig(2);
+    config.cache.maxEntries = 2;
+    config.cache.maxBytes = 1024 * 1024;
+    ScoringEngine engine(config);
+
+    for (std::uint64_t variant = 0; variant < 8; ++variant) {
+        const ScoreResult result =
+            engine.submit(makeRequest(variant)).get();
+        ASSERT_TRUE(result.ok) << result.error;
+    }
+    EXPECT_LE(engine.cache().size(), 2u);
+    const ResultCache::Stats stats = engine.cache().stats();
+    EXPECT_GE(stats.evictions, 6u);
+
+    // The most recent fingerprint survived; an evicted one re-executes
+    // and still returns a bit-identical report.
+    const ScoreResult recent = engine.submit(makeRequest(7)).get();
+    ASSERT_TRUE(recent.ok);
+    EXPECT_TRUE(recent.cacheHit);
+
+    const std::uint64_t executions_before =
+        engine.metrics().snapshot().executions;
+    const ScoreResult evicted = engine.submit(makeRequest(0)).get();
+    ASSERT_TRUE(evicted.ok);
+    EXPECT_FALSE(evicted.cacheHit);
+    EXPECT_EQ(engine.metrics().snapshot().executions,
+              executions_before + 1);
 }
 
 TEST(EngineTest, IdenticalRequestsAreDeterministicAcrossEngines)

@@ -1,0 +1,210 @@
+/** HTTP/1.1 codec tests: incremental parsing, limits, keep-alive. */
+
+#include <gtest/gtest.h>
+
+#include "src/server/http.h"
+
+namespace {
+
+using namespace hiermeans::server;
+
+using State = HttpRequestParser::State;
+
+TEST(HttpRequestParserTest, ParsesSimpleGet)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET /healthz HTTP/1.1\r\n"
+                          "Host: localhost\r\n\r\n"),
+              State::Ready);
+    const HttpRequest &request = parser.request();
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.target, "/healthz");
+    EXPECT_EQ(request.version, "HTTP/1.1");
+    EXPECT_EQ(request.header("host", ""), "localhost");
+    EXPECT_TRUE(request.body.empty());
+    EXPECT_TRUE(request.keepAlive());
+}
+
+TEST(HttpRequestParserTest, ParsesBodyWithContentLength)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("POST /v1/score HTTP/1.1\r\n"
+                          "Content-Length: 11\r\n\r\n"
+                          "hello world"),
+              State::Ready);
+    EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpRequestParserTest, ByteAtATimeFeedingWorks)
+{
+    const std::string wire = "POST /v1/score HTTP/1.1\r\n"
+                             "Content-Length: 4\r\n\r\nabcd";
+    HttpRequestParser parser;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i)
+        ASSERT_EQ(parser.feed(wire.substr(i, 1)), State::NeedMore)
+            << "byte " << i;
+    ASSERT_EQ(parser.feed(wire.substr(wire.size() - 1)), State::Ready);
+    EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpRequestParserTest, HeaderNamesLowercasedValuesTrimmed)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\n"
+                          "X-Custom-Header:   padded value  \r\n\r\n"),
+              State::Ready);
+    EXPECT_EQ(parser.request().header("x-custom-header", ""),
+              "padded value");
+}
+
+TEST(HttpRequestParserTest, BareLfLineEndingsAccepted)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET /metrics HTTP/1.1\nHost: x\n\n"),
+              State::Ready);
+    EXPECT_EQ(parser.request().path(), "/metrics");
+}
+
+TEST(HttpRequestParserTest, QueryStringStrippedFromPath)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET /metrics?verbose=1 HTTP/1.1\r\n\r\n"),
+              State::Ready);
+    EXPECT_EQ(parser.request().target, "/metrics?verbose=1");
+    EXPECT_EQ(parser.request().path(), "/metrics");
+}
+
+TEST(HttpRequestParserTest, MalformedRequestLineIs400)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("NOT-HTTP\r\n\r\n"), State::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpRequestParserTest, BadContentLengthIs400)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\n"
+                          "Content-Length: banana\r\n\r\n"),
+              State::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpRequestParserTest, OversizedBodyIs413)
+{
+    HttpRequestParser::Limits limits;
+    limits.maxBodyBytes = 8;
+    HttpRequestParser parser(limits);
+    ASSERT_EQ(parser.feed("POST / HTTP/1.1\r\n"
+                          "Content-Length: 9\r\n\r\n"),
+              State::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpRequestParserTest, OversizedHeaderBlockIs431)
+{
+    HttpRequestParser::Limits limits;
+    limits.maxHeaderBytes = 64;
+    HttpRequestParser parser(limits);
+    const std::string padding(128, 'x');
+    ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\nX-Pad: " + padding +
+                          "\r\n\r\n"),
+              State::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpRequestParserTest, ConnectionCloseDisablesKeepAlive)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET / HTTP/1.1\r\n"
+                          "Connection: close\r\n\r\n"),
+              State::Ready);
+    EXPECT_FALSE(parser.request().keepAlive());
+}
+
+TEST(HttpRequestParserTest, Http10DefaultsToClose)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET / HTTP/1.0\r\n\r\n"), State::Ready);
+    EXPECT_FALSE(parser.request().keepAlive());
+}
+
+TEST(HttpRequestParserTest, ResetContinuesWithPipelinedRequest)
+{
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed("GET /a HTTP/1.1\r\n\r\n"
+                          "GET /b HTTP/1.1\r\n\r\n"),
+              State::Ready);
+    EXPECT_EQ(parser.request().path(), "/a");
+    // The second request was already buffered: reset() re-parses it.
+    ASSERT_EQ(parser.reset(), State::Ready);
+    EXPECT_EQ(parser.request().path(), "/b");
+    ASSERT_EQ(parser.reset(), State::NeedMore);
+    EXPECT_FALSE(parser.midRequest());
+}
+
+TEST(HttpRequestParserTest, MidRequestReportsBufferedBytes)
+{
+    HttpRequestParser parser;
+    EXPECT_FALSE(parser.midRequest());
+    ASSERT_EQ(parser.feed("GET /slow HT"), State::NeedMore);
+    EXPECT_TRUE(parser.midRequest());
+}
+
+TEST(HttpResponseTest, SerializeEmitsContentLengthAndConnection)
+{
+    HttpResponse response = textResponse(200, "hello");
+    const std::string wire = response.serialize();
+    EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+
+    response.closeConnection = true;
+    EXPECT_NE(response.serialize().find("Connection: close\r\n"),
+              std::string::npos);
+}
+
+TEST(HttpResponseTest, JsonResponseSetsContentType)
+{
+    const HttpResponse response = jsonResponse(200, "{}");
+    EXPECT_NE(response.serialize().find(
+                  "Content-Type: application/json"),
+              std::string::npos);
+}
+
+TEST(HttpResponseParserTest, RoundTripsSerializedResponse)
+{
+    HttpResponse response = jsonResponse(503, "{\"error\":\"busy\"}");
+    response.set("Retry-After", "1");
+
+    HttpResponseParser parser;
+    ASSERT_EQ(parser.feed(response.serialize()),
+              HttpResponseParser::State::Ready);
+    EXPECT_EQ(parser.response().status, 503);
+    EXPECT_EQ(parser.response().header("retry-after", ""), "1");
+    EXPECT_EQ(parser.response().body, "{\"error\":\"busy\"}");
+}
+
+TEST(HttpResponseParserTest, KeepAliveResetParsesNextResponse)
+{
+    HttpResponseParser parser;
+    const std::string two = textResponse(200, "one").serialize() +
+                            textResponse(404, "two").serialize();
+    ASSERT_EQ(parser.feed(two), HttpResponseParser::State::Ready);
+    EXPECT_EQ(parser.response().body, "one");
+    ASSERT_EQ(parser.reset(), HttpResponseParser::State::Ready);
+    EXPECT_EQ(parser.response().status, 404);
+    EXPECT_EQ(parser.response().body, "two");
+}
+
+TEST(StatusReasonTest, KnownAndUnknownCodes)
+{
+    EXPECT_STREQ(statusReason(200), "OK");
+    EXPECT_STREQ(statusReason(503), "Service Unavailable");
+    EXPECT_STREQ(statusReason(504), "Gateway Timeout");
+    EXPECT_STREQ(statusReason(299), "Unknown");
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/** Shared manifest parsing/building tests (hmbatch + /v1/batch). */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/engine/manifest.h"
+#include "src/util/error.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+
+/** Writes a small scores/features CSV pair; removed on teardown. */
+class ManifestTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const std::string stem =
+            "/tmp/hiermeans_manifest_test_" + std::to_string(::getpid());
+        scoresPath_ = stem + "_scores.csv";
+        featuresPath_ = stem + "_features.csv";
+        util::writeFile(scoresPath_, "workload,mA,mB\n"
+                                     "w0,1.0,2.0\n"
+                                     "w1,2.0,1.0\n"
+                                     "w2,1.5,1.5\n"
+                                     "w3,3.0,1.0\n"
+                                     "w4,1.0,3.0\n"
+                                     "w5,2.5,2.5\n");
+        util::writeFile(featuresPath_, "workload,f0,f1,f2\n"
+                                       "w0,0.1,1.0,-0.5\n"
+                                       "w1,0.9,-1.0,0.5\n"
+                                       "w2,0.2,0.8,-0.4\n"
+                                       "w3,0.8,-0.9,0.6\n"
+                                       "w4,-0.7,0.1,1.2\n"
+                                       "w5,-0.6,0.2,1.1\n");
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(scoresPath_.c_str());
+        std::remove(featuresPath_.c_str());
+    }
+
+    /** A valid line with optional extra tokens appended. */
+    std::string
+    line(const std::string &extra = "") const
+    {
+        return "scores=" + scoresPath_ + " features=" + featuresPath_ +
+               " machine-a=mA machine-b=mB som-steps=100" +
+               (extra.empty() ? "" : " " + extra);
+    }
+
+    engine::ScoreRequest
+    build(const std::string &text,
+          const util::CommandLine &defaults =
+              util::CommandLine::parse({"test"}))
+    {
+        const auto lines = engine::parseManifest(text);
+        EXPECT_EQ(lines.size(), 1u);
+        return engine::buildManifestRequest(lines.at(0), defaults,
+                                            csvs_);
+    }
+
+    std::string scoresPath_;
+    std::string featuresPath_;
+    engine::CsvCache csvs_;
+};
+
+TEST_F(ManifestTest, SkipsCommentsAndBlankLinesKeepsLineNumbers)
+{
+    const auto lines = engine::parseManifest("# header comment\n"
+                                             "\n"
+                                             "a=1 b=2\n"
+                                             "   \n"
+                                             "# another\n"
+                                             "c=3\n");
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].lineNumber, 3u);
+    EXPECT_EQ(lines[1].lineNumber, 6u);
+    EXPECT_EQ(lines[0].flags.getInt("a", 0), 1);
+    EXPECT_EQ(lines[1].flags.getInt("c", 0), 3);
+}
+
+TEST_F(ManifestTest, NonKeyValueTokenThrowsWithLineNumber)
+{
+    try {
+        engine::parseManifest("a=1\nbogus-token\n");
+        FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ManifestTest, BuildsRequestFromValidLine)
+{
+    const engine::ScoreRequest request = build(line("id=req1 seed=7"));
+    EXPECT_EQ(request.id, "req1");
+    EXPECT_EQ(request.labelA, "mA");
+    EXPECT_EQ(request.labelB, "mB");
+    EXPECT_EQ(request.workloads.size(), 6u);
+    EXPECT_EQ(request.featureNames.size(), 3u);
+    EXPECT_EQ(request.seed, 7u);
+    EXPECT_EQ(request.config.som.steps, 100u);
+}
+
+TEST_F(ManifestTest, DefaultIdIsLineNumber)
+{
+    const engine::ScoreRequest request = build("# leading comment\n" +
+                                               line());
+    EXPECT_EQ(request.id, "line2");
+}
+
+TEST_F(ManifestTest, MissingRequiredKeysThrow)
+{
+    EXPECT_THROW(build("features=" + featuresPath_ +
+                       " machine-a=mA machine-b=mB"),
+                 InvalidArgument);
+    EXPECT_THROW(build("scores=" + scoresPath_ +
+                       " machine-a=mA machine-b=mB"),
+                 InvalidArgument);
+    EXPECT_THROW(build("scores=" + scoresPath_ + " features=" +
+                       featuresPath_ + " machine-b=mB"),
+                 InvalidArgument);
+    EXPECT_THROW(build("scores=" + scoresPath_ + " features=" +
+                       featuresPath_ + " machine-a=mA"),
+                 InvalidArgument);
+}
+
+TEST_F(ManifestTest, BadKRangesThrow)
+{
+    EXPECT_THROW(build(line("kmin=0")), InvalidArgument);
+    EXPECT_THROW(build(line("kmin=5 kmax=3")), InvalidArgument);
+}
+
+TEST_F(ManifestTest, UnknownLinkageAndMeanThrow)
+{
+    EXPECT_THROW(build(line("linkage=telepathic")), InvalidArgument);
+    EXPECT_THROW(build(line("mean=mode")), InvalidArgument);
+}
+
+TEST_F(ManifestTest, UnknownMachineThrows)
+{
+    EXPECT_THROW(build("scores=" + scoresPath_ + " features=" +
+                       featuresPath_ +
+                       " machine-a=mZ machine-b=mB som-steps=100"),
+                 Error);
+}
+
+TEST_F(ManifestTest, PerLineKeysOverrideToolDefaults)
+{
+    const auto defaults = util::CommandLine::parse(
+        {"test", "--kmin=3", "--kmax=4", "--seed=11"});
+    // The line carries no kmin/kmax/seed: defaults apply.
+    const engine::ScoreRequest from_defaults = build(line(), defaults);
+    EXPECT_EQ(from_defaults.config.kMin, 3u);
+    EXPECT_EQ(from_defaults.config.kMax, 4u);
+    EXPECT_EQ(from_defaults.seed, 11u);
+    // The line's own keys win over the defaults.
+    const engine::ScoreRequest from_line =
+        build(line("kmin=2 kmax=5 seed=99"), defaults);
+    EXPECT_EQ(from_line.config.kMin, 2u);
+    EXPECT_EQ(from_line.config.kMax, 5u);
+    EXPECT_EQ(from_line.seed, 99u);
+}
+
+TEST_F(ManifestTest, TimeoutKeyReachesRequest)
+{
+    EXPECT_EQ(build(line("timeout-ms=250")).timeoutMillis, 250.0);
+    EXPECT_EQ(build(line()).timeoutMillis, 0.0);
+}
+
+TEST_F(ManifestTest, CsvCacheParsesEachFileOnce)
+{
+    const core::ScoresCsv &first = csvs_.scoresFor(scoresPath_);
+    const core::ScoresCsv &second = csvs_.scoresFor(scoresPath_);
+    EXPECT_EQ(&first, &second);
+    const core::FeaturesCsv &f1 = csvs_.featuresFor(featuresPath_);
+    const core::FeaturesCsv &f2 = csvs_.featuresFor(featuresPath_);
+    EXPECT_EQ(&f1, &f2);
+}
+
+} // namespace

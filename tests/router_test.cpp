@@ -1,0 +1,92 @@
+/** Router tests: dispatch, 404, 405 + Allow, handler isolation. */
+
+#include <gtest/gtest.h>
+
+#include "src/server/router.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::server;
+
+HttpRequest
+makeRequest(const std::string &method, const std::string &target)
+{
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.version = "HTTP/1.1";
+    return request;
+}
+
+Router
+makeRouter()
+{
+    Router router;
+    router.add("GET", "/healthz", [](const HttpRequest &) {
+        return textResponse(200, "ok");
+    });
+    router.add("POST", "/v1/score", [](const HttpRequest &request) {
+        return textResponse(200, "scored:" + request.body);
+    });
+    router.add("GET", "/boom", [](const HttpRequest &) -> HttpResponse {
+        throw InternalError("handler exploded");
+    });
+    return router;
+}
+
+TEST(RouterTest, DispatchesToRegisteredHandler)
+{
+    const Router router = makeRouter();
+    HttpRequest request = makeRequest("POST", "/v1/score");
+    request.body = "line";
+    const HttpResponse response = router.dispatch(request);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "scored:line");
+}
+
+TEST(RouterTest, QueryStringIgnoredForMatching)
+{
+    const Router router = makeRouter();
+    const HttpResponse response =
+        router.dispatch(makeRequest("GET", "/healthz?probe=1"));
+    EXPECT_EQ(response.status, 200);
+}
+
+TEST(RouterTest, UnknownPathIs404)
+{
+    const Router router = makeRouter();
+    const HttpResponse response =
+        router.dispatch(makeRequest("GET", "/nope"));
+    EXPECT_EQ(response.status, 404);
+}
+
+TEST(RouterTest, WrongMethodIs405WithAllow)
+{
+    const Router router = makeRouter();
+    const HttpResponse response =
+        router.dispatch(makeRequest("GET", "/v1/score"));
+    EXPECT_EQ(response.status, 405);
+    bool has_allow = false;
+    for (const auto &[name, value] : response.headers) {
+        if (name == "Allow") {
+            has_allow = true;
+            EXPECT_EQ(value, "POST");
+        }
+    }
+    EXPECT_TRUE(has_allow);
+}
+
+TEST(RouterTest, ThrowingHandlerIs500NotPropagated)
+{
+    const Router router = makeRouter();
+    HttpResponse response;
+    EXPECT_NO_THROW(response =
+                        router.dispatch(makeRequest("GET", "/boom")));
+    EXPECT_EQ(response.status, 500);
+    EXPECT_NE(response.body.find("handler exploded"),
+              std::string::npos);
+}
+
+} // namespace

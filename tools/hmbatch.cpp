@@ -27,7 +27,6 @@
  */
 
 #include <iostream>
-#include <map>
 #include <optional>
 
 #include "src/hiermeans.h"
@@ -40,8 +39,8 @@ void
 printUsage()
 {
     std::cout <<
-        "hmbatch: run a manifest of scoring requests through the\n"
-        "concurrent scoring engine\n"
+        "hmbatch (" << util::kVersionString << "): run a manifest of\n"
+        "scoring requests through the concurrent scoring engine\n"
         "\n"
         "required flags:\n"
         "  --manifest=FILE    one request per line (key=value tokens;\n"
@@ -61,142 +60,6 @@ printUsage()
         "  --quiet            print only the consolidated report\n";
 }
 
-/** One manifest line, parsed but not yet turned into a request. */
-struct ManifestLine
-{
-    std::size_t lineNumber = 0;
-    util::CommandLine flags = util::CommandLine::parse({"line"});
-};
-
-std::vector<ManifestLine>
-parseManifest(const std::string &text)
-{
-    std::vector<ManifestLine> lines;
-    std::size_t line_number = 0;
-    for (const std::string &raw : str::split(text, '\n')) {
-        ++line_number;
-        const std::string line = str::trim(raw);
-        if (line.empty() || line.front() == '#')
-            continue;
-        std::vector<std::string> argv = {"manifest"};
-        for (const std::string &token : str::splitWhitespace(line)) {
-            HM_REQUIRE(token.find('=') != std::string::npos,
-                       "manifest line " << line_number << ": token `"
-                                        << token
-                                        << "` is not key=value");
-            argv.push_back("--" + token);
-        }
-        lines.push_back(
-            ManifestLine{line_number, util::CommandLine::parse(argv)});
-    }
-    return lines;
-}
-
-/** Parsed-CSV cache so N lines sharing files parse them once. */
-struct CsvCache
-{
-    std::map<std::string, core::ScoresCsv> scores;
-    std::map<std::string, core::FeaturesCsv> features;
-
-    const core::ScoresCsv &
-    scoresFor(const std::string &path)
-    {
-        auto it = scores.find(path);
-        if (it == scores.end()) {
-            it = scores
-                     .emplace(path, core::parseScoresCsv(
-                                        util::readFile(path)))
-                     .first;
-        }
-        return it->second;
-    }
-
-    const core::FeaturesCsv &
-    featuresFor(const std::string &path)
-    {
-        auto it = features.find(path);
-        if (it == features.end()) {
-            it = features
-                     .emplace(path, core::parseFeaturesCsv(
-                                        util::readFile(path)))
-                     .first;
-        }
-        return it->second;
-    }
-};
-
-/**
- * Build the engine request for one manifest line; throws on bad input
- * (caught by the caller and reported as that line's failure).
- */
-engine::ScoreRequest
-buildRequest(const ManifestLine &line, const util::CommandLine &cl,
-             CsvCache &csvs)
-{
-    const util::CommandLine &flags = line.flags;
-    const std::string scores_path = flags.getString("scores", "");
-    const std::string features_path = flags.getString("features", "");
-    const std::string machine_a = flags.getString("machine-a", "");
-    const std::string machine_b = flags.getString("machine-b", "");
-    HM_REQUIRE(!scores_path.empty() && !features_path.empty() &&
-                   !machine_a.empty() && !machine_b.empty(),
-               "manifest line "
-                   << line.lineNumber
-                   << ": scores=, features=, machine-a= and machine-b= "
-                      "are required");
-
-    const core::ScoresCsv &scores = csvs.scoresFor(scores_path);
-    const core::FeaturesCsv &features = csvs.featuresFor(features_path);
-    core::requireAlignedWorkloads(scores, features);
-
-    // Per-line keys override the tool-level defaults.
-    const auto flag_int = [&](const char *name, std::int64_t fallback) {
-        return flags.has(name) ? flags.getInt(name, fallback)
-                               : cl.getInt(name, fallback);
-    };
-    const auto flag_str = [&](const char *name,
-                              const std::string &fallback) {
-        return flags.has(name) ? flags.getString(name, fallback)
-                               : cl.getString(name, fallback);
-    };
-
-    engine::ScoreRequest request;
-    request.id = flags.getString(
-        "id", "line" + std::to_string(line.lineNumber));
-    request.features = features.values;
-    request.workloads = features.workloads;
-    request.featureNames = features.features;
-    request.scoresA = scores.machineScores(machine_a);
-    request.scoresB = scores.machineScores(machine_b);
-    request.labelA = machine_a;
-    request.labelB = machine_b;
-    request.kind = stats::parseMeanKind(flag_str("mean", "gm"));
-
-    request.config.kMin =
-        static_cast<std::size_t>(flag_int("kmin", 2));
-    request.config.kMax =
-        static_cast<std::size_t>(flag_int("kmax", 8));
-    request.config.linkage =
-        cluster::parseLinkage(flag_str("linkage", "complete"));
-    request.config.autoSizeSom(features.workloads.size());
-    if (flags.has("som-rows")) {
-        request.config.som.rows =
-            static_cast<std::size_t>(flags.getInt("som-rows", 8));
-    }
-    if (flags.has("som-cols")) {
-        request.config.som.cols =
-            static_cast<std::size_t>(flags.getInt("som-cols", 10));
-    }
-    request.config.som.steps =
-        static_cast<std::size_t>(flag_int("som-steps", 4000));
-    request.seed =
-        static_cast<std::uint64_t>(flag_int("seed", 0x5eed));
-    request.timeoutMillis = static_cast<double>(
-        flags.has("timeout-ms") ? flags.getDouble("timeout-ms", 0.0)
-                                : cl.getDouble("timeout-ms", 0.0));
-    return request;
-}
-
 int
 run(const util::CommandLine &cl)
 {
@@ -211,8 +74,8 @@ run(const util::CommandLine &cl)
     HM_REQUIRE(repeat >= 1, "--repeat must be >= 1");
     const bool quiet = cl.getBool("quiet", false);
 
-    const std::vector<ManifestLine> lines =
-        parseManifest(util::readFile(manifest_path));
+    const std::vector<engine::ManifestLine> lines =
+        engine::parseManifest(util::readFile(manifest_path));
     HM_REQUIRE(!lines.empty(),
                "manifest `" << manifest_path << "` has no requests");
 
@@ -227,12 +90,13 @@ run(const util::CommandLine &cl)
 
     // Build requests up front; a bad line becomes a failed result
     // without touching the engine (failure isolation starts here).
-    CsvCache csvs;
+    engine::CsvCache csvs;
     std::vector<std::optional<engine::ScoreRequest>> requests;
     std::vector<engine::ScoreResult> line_errors(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
         try {
-            requests.push_back(buildRequest(lines[i], cl, csvs));
+            requests.push_back(
+                engine::buildManifestRequest(lines[i], cl, csvs));
         } catch (const Error &e) {
             requests.push_back(std::nullopt);
             line_errors[i].id =

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * hmload — closed-loop load generator for the hmserved scoring daemon.
+ *
+ * Spawns N worker threads, each holding one keep-alive connection, and
+ * drives `POST /v1/score` with the lines of a manifest (round-robin,
+ * offset per worker) for a fixed duration. Closed loop: every worker
+ * waits for its response before sending the next request, so offered
+ * load adapts to what the server sustains.
+ *
+ * Reports one machine-readable JSON line:
+ *   {"rps":..,"requests":..,"http_2xx":..,"http_4xx":..,"http_5xx":..,
+ *    "connect_errors":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
+ *    "max_ms":..,"duration_s":..,"concurrency":..}
+ *
+ * Usage:
+ *   hmload --port=N [--host=127.0.0.1] [--concurrency=2]
+ *          [--duration-s=3] [--manifest=FILE] [--json-only]
+ *
+ * Without --manifest a GET /healthz mix is used, which exercises the
+ * server path without needing data files.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+printUsage()
+{
+    std::cout <<
+        "hmload (" << util::kVersionString << "): closed-loop load\n"
+        "generator for the hmserved scoring daemon\n"
+        "\n"
+        "required flags:\n"
+        "  --port=N           hmserved port\n"
+        "\n"
+        "optional flags:\n"
+        "  --host=NAME        server host (default 127.0.0.1)\n"
+        "  --concurrency=N    worker connections (default 2)\n"
+        "  --duration-s=N     seconds to run (default 3)\n"
+        "  --manifest=FILE    request mix: each line is POSTed to\n"
+        "                     /v1/score (default: GET /healthz probes)\n"
+        "  --json-only        print only the JSON result line\n";
+}
+
+/** Shared tallies across workers. */
+struct Tally
+{
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> http2xx{0};
+    std::atomic<std::uint64_t> http4xx{0};
+    std::atomic<std::uint64_t> http5xx{0};
+    std::atomic<std::uint64_t> connectErrors{0};
+    engine::LatencyHistogram latency;
+};
+
+void
+worker(const std::string &host, std::uint16_t port,
+       const std::vector<std::string> &mix, std::size_t offset,
+       std::chrono::steady_clock::time_point deadline, Tally &tally)
+{
+    server::HttpClient client(host, port);
+    std::size_t next = offset;
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto start = std::chrono::steady_clock::now();
+        server::HttpResponseParser::Response response;
+        try {
+            if (mix.empty()) {
+                response = client.roundTrip("GET", "/healthz", "", "");
+            } else {
+                response = client.roundTrip(
+                    "POST", "/v1/score", mix[next % mix.size()],
+                    "text/plain");
+                ++next;
+            }
+        } catch (const Error &) {
+            ++tally.connectErrors;
+            // Back off briefly so a down server doesn't spin the loop.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            continue;
+        }
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        ++tally.requests;
+        tally.latency.record(elapsed.count());
+        if (response.status >= 200 && response.status < 300)
+            ++tally.http2xx;
+        else if (response.status >= 400 && response.status < 500)
+            ++tally.http4xx;
+        else if (response.status >= 500)
+            ++tally.http5xx;
+    }
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    if (!cl.has("port")) {
+        printUsage();
+        return 2;
+    }
+    const auto port = static_cast<std::uint16_t>(cl.getInt("port", 0));
+    const std::string host = cl.getString("host", "127.0.0.1");
+    const auto concurrency =
+        static_cast<std::size_t>(cl.getInt("concurrency", 2));
+    HM_REQUIRE(concurrency >= 1, "--concurrency must be >= 1");
+    const double duration_s = cl.getDouble("duration-s", 3.0);
+    HM_REQUIRE(duration_s > 0.0, "--duration-s must be > 0");
+    const bool json_only = cl.getBool("json-only", false);
+
+    // The request mix: every non-comment manifest line becomes one
+    // /v1/score body, replayed round-robin.
+    std::vector<std::string> mix;
+    const std::string manifest_path = cl.getString("manifest", "");
+    if (!manifest_path.empty()) {
+        for (const std::string &raw :
+             str::split(util::readFile(manifest_path), '\n')) {
+            const std::string line = str::trim(raw);
+            if (!line.empty() && line.front() != '#')
+                mix.push_back(line);
+        }
+        HM_REQUIRE(!mix.empty(), "manifest `" << manifest_path
+                                              << "` has no requests");
+    }
+
+    if (!json_only) {
+        std::cout << "hmload: " << concurrency << " worker(s), "
+                  << duration_s << "s against " << host << ":" << port
+                  << " ("
+                  << (mix.empty() ? "GET /healthz"
+                                  : std::to_string(mix.size()) +
+                                        "-line score mix")
+                  << ")\n";
+    }
+
+    Tally tally;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(duration_s));
+    std::vector<std::thread> threads;
+    threads.reserve(concurrency);
+    for (std::size_t i = 0; i < concurrency; ++i) {
+        threads.emplace_back([&, i] {
+            worker(host, port, mix, i, deadline, tally);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    const auto requests = tally.requests.load();
+    const double rps =
+        elapsed.count() > 0.0
+            ? static_cast<double>(requests) / elapsed.count()
+            : 0.0;
+    std::printf(
+        "{\"rps\":%s,\"requests\":%llu,\"http_2xx\":%llu,"
+        "\"http_4xx\":%llu,\"http_5xx\":%llu,\"connect_errors\":%llu,"
+        "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s,"
+        "\"duration_s\":%s,\"concurrency\":%llu}\n",
+        server::json::number(rps).c_str(),
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(tally.http2xx.load()),
+        static_cast<unsigned long long>(tally.http4xx.load()),
+        static_cast<unsigned long long>(tally.http5xx.load()),
+        static_cast<unsigned long long>(tally.connectErrors.load()),
+        server::json::number(tally.latency.percentile(50.0)).c_str(),
+        server::json::number(tally.latency.percentile(95.0)).c_str(),
+        server::json::number(tally.latency.percentile(99.0)).c_str(),
+        server::json::number(tally.latency.max()).c_str(),
+        server::json::number(elapsed.count()).c_str(),
+        static_cast<unsigned long long>(concurrency));
+    std::fflush(stdout);
+
+    // A run that never completed a request is a failed run: the server
+    // was unreachable for the whole window.
+    return requests > 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (cl.has("help")) {
+            printUsage();
+            return 0;
+        }
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmload: " << e.what() << "\n";
+        return 1;
+    }
+}

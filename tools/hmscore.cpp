@@ -38,7 +38,8 @@ void
 printUsage()
 {
     std::cout <<
-        "hmscore: score a benchmark suite with hierarchical means\n"
+        "hmscore (" << util::kVersionString
+              << "): score a benchmark suite with hierarchical means\n"
         "\n"
         "required flags:\n"
         "  --scores=FILE      CSV: workload,<machine>,... (positive)\n"

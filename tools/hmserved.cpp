@@ -1,0 +1,111 @@
+/**
+ * @file
+ * hmserved — HTTP scoring daemon over the concurrent scoring engine.
+ *
+ * Binds a POSIX listener, serves the manifest-line scoring API
+ * (`POST /v1/score`, `POST /v1/batch`, `GET /metrics`, `GET /healthz`)
+ * and runs until SIGINT/SIGTERM, at which point it stops accepting,
+ * drains in-flight requests and prints a final metrics summary.
+ *
+ * Usage:
+ *   hmserved [--port=8377] [--threads=4] [--queue-depth=8]
+ *            [--cache-entries=256] [--cache-mb=64] [--max-body-kb=256]
+ *            [--timeout-ms=0] [--quiet]
+ *
+ * `--port=0` picks an ephemeral port; the chosen port is printed (and
+ * flushed) as `listening on port N` so scripts can scrape it.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+printUsage()
+{
+    std::cout <<
+        "hmserved (" << util::kVersionString << "): HTTP scoring\n"
+        "daemon over the concurrent scoring engine\n"
+        "\n"
+        "optional flags:\n"
+        "  --port=N           TCP port (default 8377; 0 = ephemeral)\n"
+        "  --threads=N        engine worker threads (default 4)\n"
+        "  --queue-depth=N    admission queue bound; beyond it requests\n"
+        "                     are shed with 503 (default 8)\n"
+        "  --cache-entries=N  result cache entry bound (default 256)\n"
+        "  --cache-mb=N       result cache byte bound (default 64)\n"
+        "  --max-body-kb=N    request body limit, 413 beyond (default 256)\n"
+        "  --timeout-ms=N     default per-request deadline when the\n"
+        "                     manifest line has no timeout-ms (default 0:\n"
+        "                     no deadline)\n"
+        "  --quiet            suppress the final metrics summary\n"
+        "\n"
+        "endpoints:\n"
+        "  POST /v1/score     body = one manifest line -> score report\n"
+        "  POST /v1/batch     body = manifest -> one result per line\n"
+        "  GET  /metrics      server + engine counters\n"
+        "  GET  /healthz      liveness probe\n";
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    server::Server::Config config;
+    config.port = static_cast<std::uint16_t>(cl.getInt("port", 8377));
+    config.engine.threads =
+        static_cast<std::size_t>(cl.getInt("threads", 4));
+    config.queueDepth =
+        static_cast<std::size_t>(cl.getInt("queue-depth", 8));
+    config.engine.cache.maxEntries =
+        static_cast<std::size_t>(cl.getInt("cache-entries", 256));
+    config.engine.cache.maxBytes =
+        static_cast<std::size_t>(cl.getInt("cache-mb", 64)) * 1024 *
+        1024;
+    config.maxBodyBytes =
+        static_cast<std::size_t>(cl.getInt("max-body-kb", 256)) * 1024;
+    config.defaultTimeoutMillis = cl.getDouble("timeout-ms", 0.0);
+    // Connection workers must outnumber the admission queue or the
+    // gate can never fill; keep a few extra for the cheap endpoints.
+    config.connectionThreads = config.queueDepth + 8;
+
+    util::installShutdownSignals({SIGINT, SIGTERM});
+
+    server::Server server(config);
+    server.start();
+    std::cout << "listening on port " << server.port() << std::endl;
+
+    while (!util::shutdownRequested())
+        util::waitForShutdown(500);
+
+    std::cout << "shutdown requested, draining in-flight requests\n";
+    server.stop();
+
+    if (!cl.getBool("quiet", false))
+        std::cout << "final metrics:\n" << server.renderMetrics();
+    else
+        std::cout << "final metrics: suppressed (--quiet)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (cl.has("help")) {
+            printUsage();
+            return 0;
+        }
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmserved: " << e.what() << "\n";
+        return 1;
+    }
+}

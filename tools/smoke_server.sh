@@ -1,0 +1,58 @@
+#!/bin/sh
+# Loopback smoke test for the serving layer, wired as a ctest:
+#   smoke_server.sh <hmserved> <hmload>
+#
+# Starts hmserved on an ephemeral port, probes /healthz and /v1/score
+# through hmload, then sends SIGTERM and asserts a clean drain: exit
+# status 0 and the final metrics summary in the log. Run from the repo
+# root so the manifest's repo-relative CSV paths resolve.
+set -eu
+
+HMSERVED=${1:?usage: smoke_server.sh <hmserved> <hmload>}
+HMLOAD=${2:?usage: smoke_server.sh <hmserved> <hmload>}
+MANIFEST=examples/data/manifest.txt
+
+LOG=$(mktemp)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the flushed "listening on port N" line (up to ~5s).
+PORT=
+i=0
+while [ $i -lt 50 ]; do
+    PORT=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$LOG")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "smoke_server: hmserved died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "smoke_server: no port line" >&2; exit 1; }
+echo "smoke_server: hmserved pid $SERVER_PID on port $PORT"
+
+# /healthz probes, then a real scoring mix; hmload exits non-zero if
+# no request ever completed.
+"$HMLOAD" --port="$PORT" --concurrency=1 --duration-s=1 --json-only
+"$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=2 \
+    --manifest="$MANIFEST" --json-only
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke_server: hmserved exited $STATUS after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "final metrics" "$LOG" || {
+    echo "smoke_server: no final metrics summary in log" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "smoke_server: clean drain confirmed"
