@@ -1,0 +1,48 @@
+#include "src/client/retry.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace client {
+
+RetrySchedule::RetrySchedule(const RetryPolicy &policy)
+    : policy_(policy), engine_(policy.seed),
+      previousMillis_(policy.baseMillis)
+{
+    HM_REQUIRE(policy_.maxAttempts >= 1,
+               "RetryPolicy: maxAttempts must be >= 1");
+    HM_REQUIRE(policy_.baseMillis >= 0.0,
+               "RetryPolicy: baseMillis must be >= 0");
+    HM_REQUIRE(policy_.capMillis >= policy_.baseMillis,
+               "RetryPolicy: capMillis (" << policy_.capMillis
+                                          << ") must be >= baseMillis ("
+                                          << policy_.baseMillis << ")");
+}
+
+std::optional<double>
+RetrySchedule::nextDelayMillis(double retry_after_millis)
+{
+    // The first attempt is free; only maxAttempts - 1 retries exist.
+    if (retriesGranted_ + 1 >= policy_.maxAttempts)
+        return std::nullopt;
+
+    // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+    const double hi =
+        std::max(policy_.baseMillis + 1e-9, 3.0 * previousMillis_);
+    double delay = std::min(policy_.capMillis,
+                            engine_.uniform(policy_.baseMillis, hi));
+    delay = std::max(delay, retry_after_millis);
+
+    if (sleptMillis_ + delay > policy_.budgetMillis)
+        return std::nullopt;
+
+    previousMillis_ = delay;
+    sleptMillis_ += delay;
+    ++retriesGranted_;
+    return delay;
+}
+
+} // namespace client
+} // namespace hiermeans

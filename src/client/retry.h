@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Client-side retry policy with capped exponential backoff and
+ * decorrelated jitter.
+ *
+ * The policy is pure data (how many attempts, how much sleep); a
+ * RetrySchedule is one request's walk through it. Delays follow the
+ * "decorrelated jitter" scheme — each delay is drawn uniformly from
+ * [base, 3 * previous] and capped — which spreads retrying clients
+ * apart instead of synchronising them into waves the way plain
+ * exponential backoff does. The draw comes from a seeded rng::Engine,
+ * so a fixed seed yields a bit-identical schedule: the chaos harness
+ * depends on this.
+ *
+ * A server-provided `Retry-After` is honoured as a floor: the client
+ * never knocks again earlier than the server asked it to. A total
+ * sleep budget bounds worst-case added latency regardless of the
+ * attempt count.
+ */
+
+#ifndef HIERMEANS_CLIENT_RETRY_H
+#define HIERMEANS_CLIENT_RETRY_H
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/rng.h"
+
+namespace hiermeans {
+namespace client {
+
+/** What to retry, how often, and how long to wait. */
+struct RetryPolicy
+{
+    /** Total tries including the first; 1 means never retry. */
+    std::size_t maxAttempts = 4;
+
+    /** Lower bound of every backoff draw. */
+    double baseMillis = 50.0;
+
+    /** Upper bound of every backoff draw. */
+    double capMillis = 2000.0;
+
+    /** Total sleep allowed across all retries of one request; once a
+     *  delay would exceed the remainder, the request fails instead. */
+    double budgetMillis = 10000.0;
+
+    /** Seed for the jitter stream (deterministic schedules). */
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+    /** Retry connect-level failures (refused / reset / unreachable). */
+    bool retryConnect = true;
+
+    /** Retry 503 overload responses. */
+    bool retryOverload = true;
+
+    /** Retry timeouts (client read deadline or 504). Off by default in
+     *  closed-loop tools would double-count slow work, so callers that
+     *  measure the server usually disable this one. */
+    bool retryTimeout = true;
+};
+
+/** One request's walk through a RetryPolicy. Not thread-safe. */
+class RetrySchedule
+{
+  public:
+    explicit RetrySchedule(const RetryPolicy &policy);
+
+    /**
+     * Ask permission for one more attempt after a retryable failure.
+     * Returns the delay to sleep before it, or nullopt when the
+     * attempt count or the sleep budget is exhausted.
+     *
+     * @p retry_after_millis is the server's Retry-After wish (0 when
+     * absent); the drawn delay is raised to at least that.
+     */
+    std::optional<double> nextDelayMillis(double retry_after_millis = 0.0);
+
+    /** Attempts granted so far (the first attempt is not counted —
+     *  only retries pass through the schedule). */
+    std::size_t retriesGranted() const { return retriesGranted_; }
+
+    /** Total sleep handed out so far. */
+    double sleptMillis() const { return sleptMillis_; }
+
+  private:
+    RetryPolicy policy_;
+    rng::Engine engine_;
+    double previousMillis_;
+    std::size_t retriesGranted_ = 0;
+    double sleptMillis_ = 0.0;
+};
+
+} // namespace client
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLIENT_RETRY_H

@@ -1,0 +1,144 @@
+#include "src/client/scoring_client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace hiermeans {
+namespace client {
+
+const char *
+failureClassName(FailureClass failure)
+{
+    switch (failure) {
+    case FailureClass::None:            return "none";
+    case FailureClass::ConnectRefused:  return "connect-refused";
+    case FailureClass::ConnectionReset: return "connection-reset";
+    case FailureClass::TimedOut:        return "timed-out";
+    case FailureClass::NetOther:        return "net-other";
+    default:                            return "bad-response";
+    }
+}
+
+FailureClass
+classifyNetError(const net::NetError &error)
+{
+    switch (error.kind()) {
+    case net::NetError::Kind::Refused:  return FailureClass::ConnectRefused;
+    case net::NetError::Kind::Reset:    return FailureClass::ConnectionReset;
+    case net::NetError::Kind::TimedOut: return FailureClass::TimedOut;
+    default:                            return FailureClass::NetOther;
+    }
+}
+
+namespace {
+
+/** Retry-After seconds from @p response, as milliseconds (0 absent). */
+double
+retryAfterMillis(const server::HttpResponseParser::Response &response)
+{
+    static const std::string kEmpty;
+    const std::string &value = response.header("retry-after", kEmpty);
+    if (value.empty())
+        return 0.0;
+    char *end = nullptr;
+    const double seconds = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || seconds <= 0.0)
+        return 0.0;
+    return seconds * 1000.0;
+}
+
+} // namespace
+
+ScoringClient::ScoringClient(Config config)
+    : config_(std::move(config)), http_(config_.host, config_.port)
+{
+    http_.setReadTimeoutMillis(config_.readTimeoutMillis);
+}
+
+bool
+ScoringClient::shouldRetry(const Outcome &outcome) const
+{
+    if (outcome.haveResponse) {
+        if (outcome.status == 503)
+            return config_.retry.retryOverload;
+        if (outcome.status == 504)
+            return config_.retry.retryTimeout;
+        return false; // any other answer is final.
+    }
+    switch (outcome.failure) {
+    case FailureClass::ConnectRefused:
+    case FailureClass::ConnectionReset:
+    case FailureClass::NetOther:
+        return config_.retry.retryConnect;
+    case FailureClass::TimedOut:
+        return config_.retry.retryTimeout;
+    default:
+        return false; // BadResponse: the server is confused, not busy.
+    }
+}
+
+Outcome
+ScoringClient::request(const std::string &method, const std::string &target,
+                       const std::string &body,
+                       const std::string &content_type)
+{
+    RetrySchedule schedule(config_.retry);
+    Outcome outcome;
+    for (;;) {
+        outcome.haveResponse = false;
+        outcome.failure = FailureClass::None;
+        outcome.error.clear();
+        try {
+            outcome.response =
+                http_.roundTrip(method, target, body, content_type);
+            outcome.haveResponse = true;
+            outcome.status = outcome.response.status;
+            static const std::string kZero = "0";
+            outcome.stale =
+                outcome.response.header("x-hiermeans-stale", kZero) == "1";
+        } catch (const net::NetError &error) {
+            outcome.failure = classifyNetError(error);
+            outcome.error = error.what();
+        } catch (const Error &error) {
+            outcome.failure = FailureClass::BadResponse;
+            outcome.error = error.what();
+        }
+
+        if (!shouldRetry(outcome))
+            return outcome;
+
+        const double floor_millis =
+            outcome.haveResponse ? retryAfterMillis(outcome.response) : 0.0;
+        const std::optional<double> delay =
+            schedule.nextDelayMillis(floor_millis);
+        if (!delay.has_value())
+            return outcome; // retries exhausted: report the last try.
+
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(*delay));
+        outcome.backoffMillis += *delay;
+        ++outcome.attempts;
+    }
+}
+
+Outcome
+ScoringClient::score(const std::string &line)
+{
+    return request("POST", "/v1/score", line, "text/plain");
+}
+
+Outcome
+ScoringClient::health()
+{
+    return request("GET", "/healthz");
+}
+
+Outcome
+ScoringClient::metrics()
+{
+    return request("GET", "/metrics");
+}
+
+} // namespace client
+} // namespace hiermeans

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The resilient front door to a hiermeans scoring daemon.
+ *
+ * ScoringClient wraps the blocking server::HttpClient with the
+ * client-side half of the resilience story: connection failures are
+ * classified into distinct kinds (refused / reset / timed out / other)
+ * instead of a single opaque error, retryable outcomes are retried per
+ * a RetryPolicy (exponential backoff + decorrelated jitter, honouring
+ * the server's Retry-After), and degraded-mode responses are surfaced
+ * via Outcome::stale so callers can count how often they were served
+ * from the cache instead of a fresh score.
+ *
+ * `tools/hmload` uses it to attribute load-test errors precisely and
+ * `tools/hmctl` uses it to probe a daemon's health from scripts.
+ */
+
+#ifndef HIERMEANS_CLIENT_SCORING_CLIENT_H
+#define HIERMEANS_CLIENT_SCORING_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/client/retry.h"
+#include "src/server/client.h"
+#include "src/util/net.h"
+
+namespace hiermeans {
+namespace client {
+
+/** How a request ultimately failed (None when it got a response). */
+enum class FailureClass
+{
+    None,
+    ConnectRefused,  ///< nothing listening (ECONNREFUSED).
+    ConnectionReset, ///< peer vanished mid-exchange.
+    TimedOut,        ///< client read deadline expired.
+    NetOther,        ///< unreachable / resolution / exotic errno.
+    BadResponse      ///< unparsable HTTP came back.
+};
+
+/** Display name ("none", "connect-refused", ...). */
+const char *failureClassName(FailureClass failure);
+
+/** Map a classified socket error onto the failure taxonomy. */
+FailureClass classifyNetError(const net::NetError &error);
+
+/** Everything a round trip produced, successful or not. */
+struct Outcome
+{
+    bool haveResponse = false; ///< false: see failure/error.
+    int status = 0;
+    server::HttpResponseParser::Response response;
+    FailureClass failure = FailureClass::None;
+    std::string error; ///< human-readable failure detail.
+
+    std::size_t attempts = 1;   ///< round trips performed.
+    double backoffMillis = 0.0; ///< total retry sleep.
+    bool stale = false; ///< response carried X-Hiermeans-Stale.
+
+    bool ok() const { return haveResponse && status == 200; }
+};
+
+/** Retrying HTTP client for one scoring daemon. Not thread-safe. */
+class ScoringClient
+{
+  public:
+    struct Config
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;
+        RetryPolicy retry;
+
+        /** Per-attempt response deadline; 0 waits forever. */
+        int readTimeoutMillis = 0;
+    };
+
+    explicit ScoringClient(Config config);
+
+    /**
+     * One request with retries per the policy. Never throws on
+     * network trouble — the Outcome says what happened.
+     */
+    Outcome request(const std::string &method, const std::string &target,
+                    const std::string &body = "",
+                    const std::string &content_type = "text/plain");
+
+    /** POST one manifest line to /v1/score. */
+    Outcome score(const std::string &line);
+
+    /** GET /healthz. */
+    Outcome health();
+
+    /** GET /metrics. */
+    Outcome metrics();
+
+    /** Drop the connection (next request reconnects). */
+    void disconnect() { http_.disconnect(); }
+
+    const Config &config() const { return config_; }
+
+  private:
+    bool shouldRetry(const Outcome &outcome) const;
+
+    Config config_;
+    server::HttpClient http_;
+};
+
+} // namespace client
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLIENT_SCORING_CLIENT_H

@@ -3,11 +3,14 @@
 #include <chrono>
 #include <exception>
 
+#include <thread>
+
 #include "src/core/characterization.h"
 #include "src/engine/fingerprint.h"
 #include "src/scoring/hierarchical_mean.h"
 #include "src/stats/means.h"
 #include "src/util/error.h"
+#include "src/util/fault.h"
 
 namespace hiermeans {
 namespace engine {
@@ -127,6 +130,20 @@ ScoringEngine::execute(std::uint64_t fingerprint,
     } else {
         metrics_.onExecution();
         try {
+            // Chaos hooks: a stuck worker (`engine.stall`, parameter =
+            // milliseconds) and a task that dies mid-pipeline
+            // (`engine.task`). The stall is what the server-side
+            // watchdog exists to catch.
+            double stall_millis = 0.0;
+            if (HM_FAULT_PARAM("engine.stall", stall_millis) &&
+                stall_millis > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        stall_millis));
+            }
+            if (HM_FAULT("engine.task"))
+                throw Error("injected: engine.task execution failure");
+
             core::PipelineConfig config = request->config;
             config.som.seed = request->seed;
 
@@ -171,9 +188,18 @@ ScoringEngine::execute(std::uint64_t fingerprint,
     }
 
     if (result.ok) {
-        cache_.put(fingerprint,
-                   CachedResult{result.report, result.analysis,
-                                result.recommendedK});
+        // A failed cache insert must never fail the request (the
+        // result is already computed) — and, crucially, must never
+        // skip the flight cleanup below, or every waiter deadlocks.
+        try {
+            if (HM_FAULT("engine.cache.put"))
+                throw Error("injected: engine.cache.put failure");
+            cache_.put(fingerprint,
+                       CachedResult{result.report, result.analysis,
+                                    result.recommendedK});
+        } catch (const std::exception &) {
+            metrics_.onCacheInsertFailure();
+        }
     }
 
     // Close the flight *after* the cache insert so a request arriving

@@ -92,6 +92,7 @@ EngineMetrics::snapshot() const
     snap.executions = executions_.load();
     snap.failures = failures_.load();
     snap.timeouts = timeouts_.load();
+    snap.cacheInsertFailures = cacheInsertFailures_.load();
     if (snap.requests > 0) {
         snap.cacheHitRatio = static_cast<double>(snap.cacheHits) /
                              static_cast<double>(snap.requests);
@@ -115,6 +116,8 @@ EngineMetrics::render() const
                      std::to_string(snap.executions)});
     counters.addRow({"failures", std::to_string(snap.failures)});
     counters.addRow({"timeouts", std::to_string(snap.timeouts)});
+    counters.addRow({"cache insert failures",
+                     std::to_string(snap.cacheInsertFailures)});
     counters.addRow(
         {"cache hit ratio", str::fixed(snap.cacheHitRatio, 3)});
 

@@ -59,6 +59,7 @@ struct MetricsSnapshot
     std::uint64_t executions = 0;     ///< pipelines actually run.
     std::uint64_t failures = 0;       ///< executions that threw.
     std::uint64_t timeouts = 0;       ///< requests past their deadline.
+    std::uint64_t cacheInsertFailures = 0; ///< results served uncached.
 
     /** Cache hits / lookups, 0.0 before the first request. */
     double cacheHitRatio = 0.0;
@@ -85,6 +86,7 @@ class EngineMetrics
     void onExecution() { ++executions_; }
     void onFailure() { ++failures_; }
     void onTimeout() { ++timeouts_; }
+    void onCacheInsertFailure() { ++cacheInsertFailures_; }
 
     /** Record the wall time of one served request. */
     void recordRequest(double millis) { requestLatency_.record(millis); }
@@ -105,6 +107,7 @@ class EngineMetrics
     std::atomic<std::uint64_t> executions_{0};
     std::atomic<std::uint64_t> failures_{0};
     std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> cacheInsertFailures_{0};
     LatencyHistogram requestLatency_;
     LatencyHistogram pipelineLatency_;
 };

@@ -26,6 +26,7 @@
 #include "src/util/cli.h"
 #include "src/util/csv.h"
 #include "src/util/error.h"
+#include "src/util/fault.h"
 #include "src/util/file.h"
 #include "src/util/log.h"
 #include "src/util/net.h"
@@ -107,8 +108,14 @@
 #include "src/server/client.h"
 #include "src/server/http.h"
 #include "src/server/json.h"
+#include "src/server/resilience.h"
 #include "src/server/router.h"
 #include "src/server/server.h"
 #include "src/server/server_metrics.h"
+#include "src/server/watchdog.h"
+
+// client — resilient front door (retries, failure taxonomy)
+#include "src/client/retry.h"
+#include "src/client/scoring_client.h"
 
 #endif // HIERMEANS_HIERMEANS_H

@@ -1,5 +1,7 @@
 #include "src/server/client.h"
 
+#include <chrono>
+
 #include "src/util/error.h"
 
 namespace hiermeans {
@@ -40,13 +42,33 @@ HttpClient::roundTrip(const std::string &method,
             "\r\n\r\n" + body;
     net::writeAll(socket_.fd(), wire);
 
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(readTimeoutMillis_);
+
     char buffer[4096];
     while (parser_.state() == HttpResponseParser::State::NeedMore) {
+        if (readTimeoutMillis_ > 0) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (remaining <= 0 ||
+                !net::waitReadable(socket_.fd(),
+                                   static_cast<int>(remaining))) {
+                disconnect();
+                throw net::NetError(net::NetError::Kind::TimedOut,
+                                    "response timed out after " +
+                                        std::to_string(readTimeoutMillis_) +
+                                        " ms");
+            }
+        }
         const std::size_t n =
             net::readSome(socket_.fd(), buffer, sizeof(buffer));
         if (n == 0) {
             disconnect();
-            throw Error("connection closed mid-response");
+            throw net::NetError(net::NetError::Kind::Reset,
+                                "connection closed mid-response");
         }
         parser_.feed(std::string_view(buffer, n));
     }

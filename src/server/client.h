@@ -27,6 +27,17 @@ class HttpClient
     HttpClient(std::string host, std::uint16_t port);
 
     /**
+     * Cap the time roundTrip may spend waiting for response bytes;
+     * 0 (the default) waits forever. On expiry the connection is
+     * dropped and a NetError(TimedOut) is thrown — the response can
+     * no longer be framed, so the connection cannot be reused.
+     */
+    void setReadTimeoutMillis(int timeout_millis)
+    {
+        readTimeoutMillis_ = timeout_millis;
+    }
+
+    /**
      * Send one request and wait for the full response. Reconnects if
      * the connection is closed; throws hiermeans::Error on connect,
      * I/O or response-parse failures.
@@ -47,6 +58,7 @@ class HttpClient
 
     std::string host_;
     std::uint16_t port_;
+    int readTimeoutMillis_ = 0;
     net::Socket socket_;
     HttpResponseParser parser_;
 };

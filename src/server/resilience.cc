@@ -1,0 +1,202 @@
+#include "src/server/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace server {
+
+bool
+CircuitBreaker::allow()
+{
+    if (!enabled())
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case State::Closed:
+        return true;
+    case State::HalfOpen:
+        // Exactly one probe decides; everyone else keeps fast-failing.
+        if (probeInFlight_) {
+            fastFailures_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        probeInFlight_ = true;
+        return true;
+    case State::Open: {
+        const double open_for =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      openedAt_)
+                .count();
+        if (open_for >= config_.openMillis) {
+            state_ = State::HalfOpen;
+            probeInFlight_ = true;
+            return true;
+        }
+        fastFailures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    }
+    return true; // unreachable.
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutiveFailures_ = 0;
+    probeInFlight_ = false;
+    state_ = State::Closed;
+}
+
+void
+CircuitBreaker::onFailure()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::HalfOpen) {
+        // The probe failed: straight back to open, fresh window.
+        probeInFlight_ = false;
+        state_ = State::Open;
+        openedAt_ = Clock::now();
+        opens_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (state_ == State::Open)
+        return; // already open; nothing new to learn.
+    if (++consecutiveFailures_ >= config_.failureThreshold) {
+        state_ = State::Open;
+        openedAt_ = Clock::now();
+        opens_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+CircuitBreaker::onAbandoned()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    probeInFlight_ = false;
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+const char *
+CircuitBreaker::stateName() const
+{
+    switch (state()) {
+    case State::Closed:   return "closed";
+    case State::Open:     return "open";
+    default:              return "half-open";
+    }
+}
+
+long
+CircuitBreaker::retryAfterSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != State::Open)
+        return 0;
+    const double open_for =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  openedAt_)
+            .count();
+    const double remaining = config_.openMillis - open_for;
+    return std::max(1L, static_cast<long>(std::ceil(remaining / 1000.0)));
+}
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+    case HealthState::Ok:       return "ok";
+    case HealthState::Degraded: return "degraded";
+    default:                    return "draining";
+    }
+}
+
+HealthMonitor::HealthMonitor(Config config) : config_(config)
+{
+    HM_REQUIRE(config_.windowSize >= 1,
+               "HealthMonitor: windowSize must be >= 1");
+    HM_REQUIRE(config_.recoverRatio < config_.degradeRatio,
+               "HealthMonitor: recoverRatio ("
+                   << config_.recoverRatio
+                   << ") must be below degradeRatio ("
+                   << config_.degradeRatio << ")");
+    window_.assign(config_.windowSize, false);
+}
+
+void
+HealthMonitor::recordOutcome(bool shed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (filled_ == window_.size()) {
+        if (window_[next_])
+            --shedInWindow_;
+    } else {
+        ++filled_;
+    }
+    window_[next_] = shed;
+    if (shed)
+        ++shedInWindow_;
+    next_ = (next_ + 1) % window_.size();
+
+    if (filled_ < config_.minSamples)
+        return;
+    const double ratio = static_cast<double>(shedInWindow_) /
+                         static_cast<double>(filled_);
+    if (!degraded_ && ratio >= config_.degradeRatio)
+        degraded_ = true;
+    else if (degraded_ && ratio <= config_.recoverRatio)
+        degraded_ = false;
+}
+
+void
+HealthMonitor::onAdmitted()
+{
+    recordOutcome(false);
+}
+
+void
+HealthMonitor::onShed()
+{
+    recordOutcome(true);
+}
+
+void
+HealthMonitor::onStuckWorkers(std::size_t stuck)
+{
+    stuckWorkers_.store(stuck, std::memory_order_relaxed);
+}
+
+void
+HealthMonitor::setDraining()
+{
+    draining_.store(true, std::memory_order_relaxed);
+}
+
+HealthState
+HealthMonitor::state() const
+{
+    if (draining_.load(std::memory_order_relaxed))
+        return HealthState::Draining;
+    if (stuckWorkers_.load(std::memory_order_relaxed) > 0)
+        return HealthState::Degraded;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_ ? HealthState::Degraded : HealthState::Ok;
+}
+
+} // namespace server
+} // namespace hiermeans

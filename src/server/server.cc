@@ -1,11 +1,13 @@
 #include "src/server/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <sstream>
 
 #include "src/server/json.h"
 #include "src/util/error.h"
+#include "src/util/fault.h"
 
 namespace hiermeans {
 namespace server {
@@ -88,7 +90,8 @@ errorJson(const std::string &message)
 
 Server::Server(Config config)
     : config_(config), engine_(config.engine),
-      gate_(config.queueDepth),
+      gate_(config.queueDepth), breaker_(config.breaker),
+      health_(config.health), watchdog_(config.watchdog),
       requestDefaults_(util::CommandLine::parse({"hmserved"}))
 {
     router_.add("POST", "/v1/score",
@@ -110,6 +113,7 @@ Server::start()
 {
     HM_REQUIRE(!running_.load() && !stopping_.load(),
                "Server::start: already started");
+    net::ignoreSigpipe();
     listener_ = net::listenTcp(config_.port);
     port_ = net::localPort(listener_.fd());
     running_.store(true);
@@ -125,6 +129,7 @@ Server::stop()
 {
     if (!running_.load())
         return;
+    health_.setDraining(); // /healthz flips to 503 for the drain.
     stopping_.store(true);
     pendingCv_.notify_all();
     if (acceptor_.joinable())
@@ -231,16 +236,6 @@ Server::serveConnection(net::Socket socket)
 
         HttpRequestParser::State state =
             parser.feed(std::string_view(buffer, n));
-        if (state == HttpRequestParser::State::Error) {
-            metrics_.onRequest();
-            metrics_.onMalformed();
-            HttpResponse response = textResponse(
-                parser.errorStatus(), parser.errorMessage() + "\n");
-            response.closeConnection = true;
-            metrics_.onResponse(response.status);
-            net::writeAll(socket.fd(), response.serialize());
-            break;
-        }
         while (state == HttpRequestParser::State::Ready) {
             const HttpRequest &request = parser.request();
             metrics_.onRequest();
@@ -251,12 +246,32 @@ Server::serveConnection(net::Socket socket)
             metrics_.onResponse(response.status);
             if (stopping_.load() || !request.keepAlive())
                 response.closeConnection = true;
+            if (HM_FAULT("server.response.write"))
+                throw net::NetError(net::NetError::Kind::Reset,
+                                    "injected: response write reset");
             net::writeAll(socket.fd(), response.serialize());
             if (response.closeConnection) {
                 close = true;
                 break;
             }
             state = parser.reset(); // may surface a pipelined request.
+        }
+        // Reached on a malformed feed *or* when pipelined leftovers
+        // turned out to be junk after the valid requests were served:
+        // either way the offender gets its 400-class answer before the
+        // connection closes.
+        if (state == HttpRequestParser::State::Error) {
+            metrics_.onRequest();
+            metrics_.onMalformed();
+            HttpResponse response = textResponse(
+                parser.errorStatus(), parser.errorMessage() + "\n");
+            response.closeConnection = true;
+            metrics_.onResponse(response.status);
+            if (HM_FAULT("server.response.write"))
+                throw net::NetError(net::NetError::Kind::Reset,
+                                    "injected: response write reset");
+            net::writeAll(socket.fd(), response.serialize());
+            break;
         }
     }
     metrics_.onConnectionClosed();
@@ -269,6 +284,57 @@ Server::overloadedResponse()
         503, errorJson("server overloaded, admission queue full"));
     response.set("Retry-After", "1");
     return response;
+}
+
+std::optional<HttpResponse>
+Server::tryStale(std::uint64_t fingerprint, const std::string &id)
+{
+    if (!config_.serveStale)
+        return std::nullopt;
+    std::optional<engine::CachedResult> cached =
+        engine_.cache().get(fingerprint);
+    if (!cached.has_value())
+        return std::nullopt;
+
+    engine::ScoreResult result;
+    result.id = id;
+    result.ok = true;
+    result.cacheHit = true;
+    result.fingerprint = fingerprint;
+    result.report = std::move(cached->report);
+    result.analysis = std::move(cached->analysis);
+    result.recommendedK = cached->recommendedK;
+
+    metrics_.onStaleServed();
+    HttpResponse response = jsonResponse(200, resultJson(result));
+    response.set("X-Hiermeans-Source", "cache");
+    response.set("X-Hiermeans-Stale", "1");
+    return response;
+}
+
+std::optional<HttpResponse>
+Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
+                          const Watchdog::Token &token,
+                          engine::ScoreResult &result)
+{
+    constexpr auto kSlice = std::chrono::milliseconds(20);
+    for (;;) {
+        if (future.wait_for(kSlice) == std::future_status::ready) {
+            result = future.get();
+            return std::nullopt;
+        }
+        if (token.expired()) {
+            // Abandon the future: the engine task will resolve into a
+            // dead promise; only this connection is rescued.
+            metrics_.onWatchdogTrip();
+            metrics_.onTimeout();
+            breaker_.onFailure();
+            health_.onStuckWorkers(watchdog_.overdue());
+            return jsonResponse(
+                504,
+                errorJson("watchdog: request exceeded its budget"));
+        }
+    }
 }
 
 HttpResponse
@@ -299,21 +365,58 @@ Server::handleScore(const HttpRequest &request)
     if (score_request.timeoutMillis <= 0.0)
         score_request.timeoutMillis = config_.defaultTimeoutMillis;
 
+    // The fingerprint is known before admission so the degraded paths
+    // below (breaker open, gate full) can consult the result cache.
+    const std::uint64_t fingerprint =
+        engine::fingerprintRequest(score_request);
+
+    if (!breaker_.allow()) {
+        metrics_.onBreakerFastFail();
+        if (std::optional<HttpResponse> stale =
+                tryStale(fingerprint, score_request.id))
+            return std::move(*stale);
+        HttpResponse response = jsonResponse(
+            503, errorJson("circuit open on /v1/score"));
+        response.set("Retry-After",
+                     std::to_string(std::max(
+                         1L, breaker_.retryAfterSeconds())));
+        return response;
+    }
+
     AdmissionTicket ticket(gate_);
     if (!ticket.admitted()) {
         metrics_.onShed();
+        health_.onShed();
+        breaker_.onAbandoned(); // a shed is not a probe outcome.
+        if (std::optional<HttpResponse> stale =
+                tryStale(fingerprint, score_request.id))
+            return std::move(*stale);
         return overloadedResponse();
     }
+    health_.onAdmitted();
 
-    const engine::ScoreResult result =
-        engine_.submit(std::move(score_request)).get();
+    const Watchdog::Token token =
+        watchdog_.watch(score_request.timeoutMillis);
+    std::future<engine::ScoreResult> future =
+        engine_.submit(std::move(score_request));
+    engine::ScoreResult result;
+    if (std::optional<HttpResponse> tripped =
+            awaitWithWatchdog(future, token, result))
+        return std::move(*tripped);
+
     if (!result.ok && result.timedOut) {
         metrics_.onTimeout();
+        breaker_.onFailure();
         return jsonResponse(504, resultJson(result));
     }
-    if (!result.ok)
+    if (!result.ok) {
+        // A 400 is the caller's fault, not the server's: the scoring
+        // path is healthy, so it closes a half-open probe as success.
+        breaker_.onSuccess();
         return jsonResponse(400, resultJson(result));
+    }
 
+    breaker_.onSuccess();
     HttpResponse response = jsonResponse(200, resultJson(result));
     response.set("X-Hiermeans-Source", servedBy(result));
     return response;
@@ -339,8 +442,10 @@ Server::handleBatch(const HttpRequest &request)
     AdmissionTicket ticket(gate_);
     if (!ticket.admitted()) {
         metrics_.onShed();
+        health_.onShed();
         return overloadedResponse();
     }
+    health_.onAdmitted();
 
     // Build everything up front so a bad line fails alone without
     // touching the engine, mirroring hmbatch.
@@ -369,10 +474,35 @@ Server::handleBatch(const HttpRequest &request)
             futures.push_back(std::nullopt);
     }
 
+    // One watchdog budget covers the whole document; once it trips,
+    // every remaining line is abandoned as timed out (the futures
+    // resolve into dead promises).
+    const Watchdog::Token token = watchdog_.watch(0.0);
+    constexpr auto kSlice = std::chrono::milliseconds(20);
+
     std::ostringstream body;
     for (std::size_t i = 0; i < futures.size(); ++i) {
-        const engine::ScoreResult result =
-            futures[i] ? futures[i]->get() : line_errors[i];
+        engine::ScoreResult result = line_errors[i];
+        if (futures[i]) {
+            bool tripped = false;
+            while (futures[i]->wait_for(kSlice) !=
+                   std::future_status::ready) {
+                if (token.expired()) {
+                    tripped = true;
+                    break;
+                }
+            }
+            if (tripped) {
+                metrics_.onWatchdogTrip();
+                health_.onStuckWorkers(watchdog_.overdue());
+                result = engine::ScoreResult{};
+                result.id = "line" + std::to_string(lines[i].lineNumber);
+                result.timedOut = true;
+                result.error = "watchdog: batch exceeded its budget";
+            } else {
+                result = futures[i]->get();
+            }
+        }
         if (!result.ok && result.timedOut)
             metrics_.onTimeout();
         body << "{\"line\":" << lines[i].lineNumber << ","
@@ -394,14 +524,33 @@ Server::handleMetrics(const HttpRequest &)
 HttpResponse
 Server::handleHealthz(const HttpRequest &)
 {
-    return textResponse(200, "ok\n");
+    health_.onStuckWorkers(watchdog_.overdue());
+    const HealthState state = healthState();
+    HttpResponse response = textResponse(
+        state == HealthState::Draining ? 503 : 200,
+        std::string(healthStateName(state)) + "\n");
+    response.set("X-Hiermeans-Health", healthStateName(state));
+    return response;
+}
+
+HealthState
+Server::healthState() const
+{
+    HealthState state = health_.state();
+    if (state == HealthState::Ok &&
+        breaker_.state() != CircuitBreaker::State::Closed)
+        state = HealthState::Degraded;
+    return state;
 }
 
 std::string
 Server::renderMetrics() const
 {
-    const ServerMetricsSnapshot snap =
+    ServerMetricsSnapshot snap =
         metrics_.snapshot(gate_.depth(), gate_.capacity());
+    snap.healthState = healthStateName(healthState());
+    snap.breakerState = breaker_.stateName();
+    snap.breakerOpens = breaker_.opens();
     return "server metrics:\n" + ServerMetrics::render(snap) +
            "\nengine metrics:\n" + engine_.metrics().render();
 }

@@ -19,9 +19,20 @@
  * Robustness contract:
  *   - malformed requests answer 400 without touching the engine;
  *   - a full admission queue answers `503 Retry-After: 1` immediately
- *     (backpressure; the connection is never dropped silently);
+ *     (backpressure; the connection is never dropped silently) — unless
+ *     the result cache already holds this request's score, in which
+ *     case the stale copy is served as `200` + `X-Hiermeans-Stale: 1`
+ *     (degraded serving beats shedding);
  *   - per-request deadlines (`timeout-ms`) map onto the engine's
  *     cooperative timeouts and answer 504;
+ *   - a Watchdog backstops wedged engine work: a worker whose request
+ *     blows past its deadline answers `504` instead of hanging the
+ *     connection;
+ *   - a CircuitBreaker in front of /v1/score fast-fails with
+ *     `503 Retry-After` after consecutive hard failures (504s/500s),
+ *     probing half-open once per open window;
+ *   - /healthz reports the HealthMonitor's `ok|degraded|draining`
+ *     state (503 while draining, so balancers stop routing here);
  *   - stop() stops accepting, drains in-flight requests, then joins —
  *     a request already received is always answered.
  *
@@ -36,7 +47,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,8 +58,10 @@
 #include "src/engine/manifest.h"
 #include "src/server/admission.h"
 #include "src/server/http.h"
+#include "src/server/resilience.h"
 #include "src/server/router.h"
 #include "src/server/server_metrics.h"
+#include "src/server/watchdog.h"
 #include "src/util/net.h"
 
 namespace hiermeans {
@@ -76,7 +91,14 @@ class Server
         /** Deadline for requests that carry no timeout-ms; 0 = none. */
         double defaultTimeoutMillis = 0.0;
 
+        /** When the gate is full (or the breaker is open), serve a
+         *  cached stale score instead of 503 when one exists. */
+        bool serveStale = true;
+
         engine::ScoringEngine::Config engine;
+        CircuitBreaker::Config breaker;
+        HealthMonitor::Config health;
+        Watchdog::Config watchdog;
     };
 
     explicit Server(Config config);
@@ -105,6 +127,13 @@ class Server
     engine::ScoringEngine &engine() { return engine_; }
     AdmissionGate &gate() { return gate_; }
     const ServerMetrics &metrics() const { return metrics_; }
+    CircuitBreaker &breaker() { return breaker_; }
+    HealthMonitor &health() { return health_; }
+    const Watchdog &watchdog() const { return watchdog_; }
+
+    /** The /healthz state, breaker-aware (an open breaker on the
+     *  scoring path degrades an otherwise-ok server). */
+    HealthState healthState() const;
 
     /** Server + engine metrics as one text document (the /metrics
      *  body and the shutdown summary). */
@@ -123,10 +152,25 @@ class Server
     /** 503 + Retry-After (the admission-shed and overflow answer). */
     static HttpResponse overloadedResponse();
 
+    /** Cached stale score as 200 + X-Hiermeans-Stale, when available
+     *  and allowed; nullopt sends the caller down the 503 path. */
+    std::optional<HttpResponse> tryStale(std::uint64_t fingerprint,
+                                         const std::string &id);
+
+    /** Wait for @p future, polling @p token; a watchdog trip abandons
+     *  the future and yields a 504 (nullopt = result arrived). */
+    std::optional<HttpResponse>
+    awaitWithWatchdog(std::future<engine::ScoreResult> &future,
+                      const Watchdog::Token &token,
+                      engine::ScoreResult &result);
+
     Config config_;
     engine::ScoringEngine engine_;
     AdmissionGate gate_;
     ServerMetrics metrics_;
+    CircuitBreaker breaker_;
+    HealthMonitor health_;
+    Watchdog watchdog_;
     Router router_;
     engine::CsvCache csvs_;
     util::CommandLine requestDefaults_;

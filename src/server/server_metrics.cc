@@ -50,6 +50,9 @@ ServerMetrics::snapshot(std::uint64_t queue_depth,
     snap.shed503 = shed503_.load();
     snap.timeouts504 = timeouts504_.load();
     snap.malformed400 = malformed400_.load();
+    snap.staleServed = staleServed_.load();
+    snap.watchdogTrips = watchdogTrips_.load();
+    snap.breakerFastFail = breakerFastFail_.load();
     snap.queueDepth = queue_depth;
     snap.queueCapacity = queue_capacity;
     for (std::size_t e = 0; e < latency_.size(); ++e) {
@@ -86,9 +89,22 @@ ServerMetrics::render(const ServerMetricsSnapshot &snap)
                      std::to_string(snap.timeouts504)});
     counters.addRow({"malformed (400)",
                      std::to_string(snap.malformed400)});
+    counters.addRow({"stale served",
+                     std::to_string(snap.staleServed)});
+    counters.addRow({"watchdog trips",
+                     std::to_string(snap.watchdogTrips)});
+    counters.addRow({"breaker fast-fails",
+                     std::to_string(snap.breakerFastFail)});
     counters.addRow({"admission queue depth",
                      std::to_string(snap.queueDepth) + "/" +
                          std::to_string(snap.queueCapacity)});
+    if (!snap.healthState.empty())
+        counters.addRow({"health state", snap.healthState});
+    if (!snap.breakerState.empty()) {
+        counters.addRow({"breaker state", snap.breakerState});
+        counters.addRow({"breaker opens",
+                         std::to_string(snap.breakerOpens)});
+    }
 
     util::TextTable latency({"endpoint", "count", "p50 ms", "p95 ms",
                              "p99 ms", "max ms"});

@@ -49,9 +49,18 @@ struct ServerMetricsSnapshot
     std::uint64_t shed503 = 0;     ///< admission queue full.
     std::uint64_t timeouts504 = 0; ///< request deadline lapsed.
     std::uint64_t malformed400 = 0;
+    std::uint64_t staleServed = 0;   ///< cached scores served degraded.
+    std::uint64_t watchdogTrips = 0; ///< stuck requests failed as 504.
+    std::uint64_t breakerFastFail = 0; ///< 503s from an open circuit.
 
     std::uint64_t queueDepth = 0;    ///< gauge (admission gate).
     std::uint64_t queueCapacity = 0;
+
+    // Resilience gauges, filled in by the Server (the breaker and
+    // health monitor live there, not in ServerMetrics).
+    std::string healthState;   ///< "ok" / "degraded" / "draining".
+    std::string breakerState;  ///< "closed" / "open" / "half-open".
+    std::uint64_t breakerOpens = 0;
 
     struct EndpointLatency
     {
@@ -78,6 +87,9 @@ class ServerMetrics
     void onShed() { ++shed503_; }
     void onTimeout() { ++timeouts504_; }
     void onMalformed() { ++malformed400_; }
+    void onStaleServed() { ++staleServed_; }
+    void onWatchdogTrip() { ++watchdogTrips_; }
+    void onBreakerFastFail() { ++breakerFastFail_; }
 
     /** Classify a response status into its class counter. */
     void onResponse(int status);
@@ -104,6 +116,9 @@ class ServerMetrics
     std::atomic<std::uint64_t> shed503_{0};
     std::atomic<std::uint64_t> timeouts504_{0};
     std::atomic<std::uint64_t> malformed400_{0};
+    std::atomic<std::uint64_t> staleServed_{0};
+    std::atomic<std::uint64_t> watchdogTrips_{0};
+    std::atomic<std::uint64_t> breakerFastFail_{0};
     std::array<engine::LatencyHistogram,
                static_cast<std::size_t>(Endpoint::Count_)>
         latency_;

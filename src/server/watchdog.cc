@@ -1,0 +1,127 @@
+#include "src/server/watchdog.h"
+
+namespace hiermeans {
+namespace server {
+
+Watchdog::Watchdog(Config config) : config_(config)
+{
+    if (enabled())
+        scanner_ = std::thread([this]() { scanLoop(); });
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (scanner_.joinable())
+        scanner_.join();
+}
+
+Watchdog::Token::~Token()
+{
+    if (owner_ != nullptr)
+        owner_->remove(id_);
+}
+
+Watchdog::Token::Token(Token &&other) noexcept
+    : owner_(other.owner_), id_(other.id_),
+      flag_(std::move(other.flag_))
+{
+    other.owner_ = nullptr;
+    other.id_ = 0;
+}
+
+Watchdog::Token &
+Watchdog::Token::operator=(Token &&other) noexcept
+{
+    if (this != &other) {
+        if (owner_ != nullptr)
+            owner_->remove(id_);
+        owner_ = other.owner_;
+        id_ = other.id_;
+        flag_ = std::move(other.flag_);
+        other.owner_ = nullptr;
+        other.id_ = 0;
+    }
+    return *this;
+}
+
+Watchdog::Token
+Watchdog::watch(double deadline_millis)
+{
+    Token token;
+    if (!enabled())
+        return token; // never expires.
+
+    const double budget = deadline_millis > 0.0
+                              ? deadline_millis + config_.graceMillis
+                              : config_.defaultBudgetMillis;
+
+    Entry entry;
+    entry.deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(budget));
+    entry.flag = std::make_shared<std::atomic<bool>>(false);
+
+    token.owner_ = this;
+    token.flag_ = entry.flag;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        token.id_ = nextId_++;
+        entries_.emplace(token.id_, std::move(entry));
+    }
+    return token;
+}
+
+void
+Watchdog::remove(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end())
+        return;
+    entries_.erase(it);
+    // Recount the overdue gauge on removal so an abandoned request
+    // stops counting as stuck the moment its worker gives up on it.
+    std::size_t overdue = 0;
+    for (const auto &[entry_id, entry] : entries_) {
+        (void)entry_id;
+        if (entry.counted)
+            ++overdue;
+    }
+    overdue_.store(overdue, std::memory_order_relaxed);
+}
+
+void
+Watchdog::scanLoop()
+{
+    const auto poll = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(config_.pollMillis));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock, poll, [this]() { return stopping_; });
+        if (stopping_)
+            return;
+        const Clock::time_point now = Clock::now();
+        std::size_t overdue = 0;
+        for (auto &[id, entry] : entries_) {
+            (void)id;
+            if (now < entry.deadline)
+                continue;
+            entry.flag->store(true, std::memory_order_relaxed);
+            if (!entry.counted) {
+                entry.counted = true;
+                trips_.fetch_add(1, std::memory_order_relaxed);
+            }
+            ++overdue;
+        }
+        overdue_.store(overdue, std::memory_order_relaxed);
+    }
+}
+
+} // namespace server
+} // namespace hiermeans

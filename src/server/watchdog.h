@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A deadline watchdog for the connection workers.
+ *
+ * The engine's per-request timeout is cooperative: a pipeline stage
+ * that wedges (or an injected `engine.stall`) never observes its
+ * deadline, and a worker blocked on `future.get()` would wedge the
+ * connection with it. The watchdog is the non-cooperative backstop:
+ * each in-flight request registers a hard deadline, a background
+ * thread marks overdue entries expired, and the waiting worker — which
+ * polls its token between short waits — abandons the future and
+ * answers `504` instead of hanging. The abandoned engine task keeps
+ * running and resolves into a dead future; only the connection is
+ * rescued.
+ *
+ * The watchdog also exposes how many watched requests are overdue
+ * *right now*, which feeds the health monitor (stuck workers force
+ * the `degraded` state).
+ */
+
+#ifndef HIERMEANS_SERVER_WATCHDOG_H
+#define HIERMEANS_SERVER_WATCHDOG_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace hiermeans {
+namespace server {
+
+/** Background deadline scanner; one per Server. */
+class Watchdog
+{
+  public:
+    struct Config
+    {
+        /** Scan period of the background thread. */
+        double pollMillis = 20.0;
+
+        /** Hard budget for requests that carry no deadline of their
+         *  own; 0 disables the watchdog (tokens never expire). */
+        double defaultBudgetMillis = 30000.0;
+
+        /** Slack added on top of a request's own deadline, so the
+         *  engine's cooperative timeout gets to answer first. */
+        double graceMillis = 250.0;
+    };
+
+    explicit Watchdog(Config config);
+    Watchdog() : Watchdog(Config{}) {}
+
+    /** Stops the scanner thread. */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** A watched request. Move-only; deregisters on destruction. */
+    class Token
+    {
+      public:
+        Token() = default;
+        ~Token();
+        Token(Token &&other) noexcept;
+        Token &operator=(Token &&other) noexcept;
+        Token(const Token &) = delete;
+        Token &operator=(const Token &) = delete;
+
+        /** True once the watchdog declared this request overdue. */
+        bool
+        expired() const
+        {
+            return flag_ != nullptr &&
+                   flag_->load(std::memory_order_relaxed);
+        }
+
+      private:
+        friend class Watchdog;
+        Watchdog *owner_ = nullptr;
+        std::uint64_t id_ = 0;
+        std::shared_ptr<std::atomic<bool>> flag_;
+    };
+
+    /**
+     * Watch the current request. @p deadline_millis is the request's
+     * own deadline (its timeout-ms); the watchdog allows it plus
+     * graceMillis. Pass 0 for "no deadline": the default budget
+     * applies (and with a zero default budget the token never
+     * expires — the watchdog is effectively off).
+     */
+    Token watch(double deadline_millis);
+
+    /** Requests declared overdue, cumulatively. */
+    std::uint64_t trips() const
+    {
+        return trips_.load(std::memory_order_relaxed);
+    }
+
+    /** Watched requests overdue right now (gauge). */
+    std::size_t overdue() const
+    {
+        return overdue_.load(std::memory_order_relaxed);
+    }
+
+    bool enabled() const { return config_.defaultBudgetMillis > 0.0; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Entry
+    {
+        Clock::time_point deadline;
+        std::shared_ptr<std::atomic<bool>> flag;
+        bool counted = false; ///< trip already tallied.
+    };
+
+    void scanLoop();
+    void remove(std::uint64_t id);
+
+    Config config_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<std::uint64_t, Entry> entries_;
+    std::uint64_t nextId_ = 1;
+    bool stopping_ = false;
+    std::atomic<std::uint64_t> trips_{0};
+    std::atomic<std::size_t> overdue_{0};
+    std::thread scanner_; ///< last member: joins before the rest dies.
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_WATCHDOG_H

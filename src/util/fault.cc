@@ -1,0 +1,293 @@
+#include "src/util/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace fault {
+
+namespace {
+
+struct Trigger
+{
+    enum class Mode
+    {
+        Once,
+        Always,
+        Nth,
+        EveryNth,
+        FirstN,
+        Probability
+    };
+
+    Mode mode = Mode::Once;
+    std::uint64_t n = 1;      ///< Nth / EveryNth / FirstN operand.
+    double probability = 0.0; ///< Probability operand.
+    double param = 0.0;       ///< optional `@param` payload.
+    std::string spec;         ///< the original fragment, for report().
+};
+
+struct Point
+{
+    Trigger trigger;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Point> points;
+    std::vector<std::string> order; ///< spec order, for report().
+    std::string spec;
+    std::uint64_t seed = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+/** FNV-1a of the point name, to salt the per-hit probability hash. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Parse one `point=trigger[@param]` fragment into the registry. */
+void
+parseFragment(Registry &reg, const std::string &fragment)
+{
+    const std::size_t eq = fragment.find('=');
+    HM_REQUIRE(eq != std::string::npos && eq > 0,
+               "fault spec fragment `" << fragment
+                                       << "` is not point=trigger");
+    const std::string point = str::trim(fragment.substr(0, eq));
+    std::string rest = str::trim(fragment.substr(eq + 1));
+    HM_REQUIRE(!rest.empty(),
+               "fault spec for `" << point << "` has no trigger");
+
+    Trigger trigger;
+    trigger.spec = rest;
+    const std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+        try {
+            trigger.param = std::stod(rest.substr(at + 1));
+        } catch (...) {
+            throw InvalidArgument("fault spec `" + fragment +
+                                  "`: malformed @param");
+        }
+        rest = rest.substr(0, at);
+    }
+
+    const std::size_t colon = rest.find(':');
+    const std::string mode =
+        colon == std::string::npos ? rest : rest.substr(0, colon);
+    const std::string operand =
+        colon == std::string::npos ? "" : rest.substr(colon + 1);
+
+    const auto need_int = [&](const char *what) {
+        try {
+            const long long value = std::stoll(operand);
+            HM_REQUIRE(value >= 1, "fault spec `"
+                                       << fragment << "`: " << what
+                                       << " must be >= 1");
+            return static_cast<std::uint64_t>(value);
+        } catch (const Error &) {
+            throw;
+        } catch (...) {
+            throw InvalidArgument("fault spec `" + fragment +
+                                  "`: malformed " + what);
+        }
+    };
+
+    if (mode == "once" && operand.empty()) {
+        trigger.mode = Trigger::Mode::Once;
+    } else if (mode == "always" && operand.empty()) {
+        trigger.mode = Trigger::Mode::Always;
+    } else if (mode == "nth") {
+        trigger.mode = Trigger::Mode::Nth;
+        trigger.n = need_int("nth operand");
+    } else if (mode == "every") {
+        trigger.mode = Trigger::Mode::EveryNth;
+        trigger.n = need_int("every operand");
+    } else if (mode == "first") {
+        trigger.mode = Trigger::Mode::FirstN;
+        trigger.n = need_int("first operand");
+    } else if (mode == "p") {
+        try {
+            trigger.probability = std::stod(operand);
+        } catch (...) {
+            throw InvalidArgument("fault spec `" + fragment +
+                                  "`: malformed probability");
+        }
+        HM_REQUIRE(trigger.probability >= 0.0 &&
+                       trigger.probability <= 1.0,
+                   "fault spec `" << fragment
+                                  << "`: probability outside [0, 1]");
+        trigger.mode = Trigger::Mode::Probability;
+    } else {
+        throw InvalidArgument("fault spec `" + fragment +
+                              "`: unknown trigger `" + rest + "`");
+    }
+
+    HM_REQUIRE(reg.points.find(point) == reg.points.end(),
+               "fault spec names point `" << point << "` twice");
+    reg.points[point].trigger = trigger;
+    reg.order.push_back(point);
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> armed{false};
+
+bool
+evaluate(const char *point, double *param)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.points.find(point);
+    if (it == reg.points.end())
+        return false;
+
+    Point &p = it->second;
+    const std::uint64_t hit_index = ++p.hits; // 1-based.
+
+    bool fires = false;
+    switch (p.trigger.mode) {
+    case Trigger::Mode::Once:
+        fires = hit_index == 1;
+        break;
+    case Trigger::Mode::Always:
+        fires = true;
+        break;
+    case Trigger::Mode::Nth:
+        fires = hit_index == p.trigger.n;
+        break;
+    case Trigger::Mode::EveryNth:
+        fires = hit_index % p.trigger.n == 0;
+        break;
+    case Trigger::Mode::FirstN:
+        fires = hit_index <= p.trigger.n;
+        break;
+    case Trigger::Mode::Probability: {
+        // Stateless per-hit draw: hashing (seed, point, hit index)
+        // makes the firing set independent of thread interleaving.
+        rng::SplitMix64 mix(reg.seed ^ hashName(it->first) ^
+                            (hit_index * 0x9e3779b97f4a7c15ULL));
+        const double u =
+            static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+        fires = u < p.trigger.probability;
+        break;
+    }
+    }
+
+    if (fires) {
+        ++p.fires;
+        if (param != nullptr)
+            *param = p.trigger.param;
+    }
+    return fires;
+}
+
+} // namespace detail
+
+void
+configure(const std::string &spec, std::uint64_t seed)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.points.clear();
+    reg.order.clear();
+    reg.spec.clear();
+    reg.seed = seed;
+    for (const std::string &raw : str::split(spec, ',')) {
+        const std::string fragment = str::trim(raw);
+        if (fragment.empty())
+            continue;
+        parseFragment(reg, fragment);
+        if (!reg.spec.empty())
+            reg.spec += ",";
+        reg.spec += fragment;
+    }
+    detail::armed.store(!reg.points.empty(),
+                        std::memory_order_relaxed);
+}
+
+void
+configureFromEnv()
+{
+    const char *spec = std::getenv("HIERMEANS_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return;
+    std::uint64_t seed = 0;
+    if (const char *seed_text = std::getenv("HIERMEANS_FAULT_SEED")) {
+        try {
+            seed = std::stoull(seed_text);
+        } catch (...) {
+            throw InvalidArgument(
+                std::string("HIERMEANS_FAULT_SEED `") + seed_text +
+                "` is not an integer");
+        }
+    }
+    configure(spec, seed);
+}
+
+void
+reset()
+{
+    configure("", 0);
+}
+
+std::string
+activeSpec()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.spec;
+}
+
+std::uint64_t
+activeSeed()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.seed;
+}
+
+std::vector<PointReport>
+report()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<PointReport> out;
+    out.reserve(reg.order.size());
+    for (const std::string &name : reg.order) {
+        const Point &p = reg.points.at(name);
+        PointReport entry;
+        entry.point = name;
+        entry.trigger = p.trigger.spec;
+        entry.hits = p.hits;
+        entry.fires = p.fires;
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+} // namespace fault
+} // namespace hiermeans

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for robustness testing.
+ *
+ * Production code marks *fault points* — named places where the real
+ * world can fail (a short write, a reset connection, a cache insert
+ * that dies) — with the HM_FAULT macros. A disarmed process pays one
+ * relaxed atomic load per point; configuring a schedule (via the
+ * HIERMEANS_FAULTS environment variable, a `--faults=` flag, or
+ * `fault::configure` in tests) arms exactly the named points. Building
+ * with -DHIERMEANS_FAULT_INJECTION=OFF compiles every point to a
+ * constant `false` — zero cost, no branches.
+ *
+ * Schedules are deterministic: triggers are keyed to the per-point hit
+ * counter, and probabilistic triggers hash (seed, point, hit index)
+ * through SplitMix64, so the *set* of firing hit indices depends only
+ * on the configured seed — never on thread interleaving or wall time.
+ * The chaos harness leans on this to replay identical fault schedules.
+ *
+ * Spec grammar (comma-separated):
+ *   point=once          fire on the 1st hit only
+ *   point=always        fire on every hit
+ *   point=nth:K         fire on the Kth hit only (1-based)
+ *   point=every:K       fire on every Kth hit (K, 2K, ...)
+ *   point=first:K       fire on hits 1..K
+ *   point=p:0.25        fire each hit with probability 0.25 (seeded)
+ * Any trigger may carry a site-specific parameter: `engine.stall=
+ * nth:3@250` fires on the 3rd hit with parameter 250 (milliseconds for
+ * that particular point).
+ */
+
+#ifndef HIERMEANS_UTIL_FAULT_H
+#define HIERMEANS_UTIL_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace fault {
+
+/**
+ * Arm the schedule described by @p spec (see the grammar above) with
+ * @p seed driving probabilistic triggers. Replaces any previous
+ * schedule and resets all hit counters. An empty spec disarms.
+ * Throws InvalidArgument on a malformed spec.
+ */
+void configure(const std::string &spec, std::uint64_t seed = 0);
+
+/**
+ * Arm from the HIERMEANS_FAULTS / HIERMEANS_FAULT_SEED environment
+ * variables; a no-op when HIERMEANS_FAULTS is unset or empty.
+ */
+void configureFromEnv();
+
+/** Disarm every point and reset all counters. */
+void reset();
+
+/** The canonical armed spec ("" when disarmed) — for logs/reports. */
+std::string activeSpec();
+
+/** The seed the active schedule was armed with. */
+std::uint64_t activeSeed();
+
+/** Hit/fire tallies for one armed point (diagnostics, not replay). */
+struct PointReport
+{
+    std::string point;
+    std::string trigger;     ///< the spec fragment, e.g. "nth:3@250".
+    std::uint64_t hits = 0;  ///< times the point was reached.
+    std::uint64_t fires = 0; ///< times it actually fired.
+};
+
+/** Tallies for every armed point, in spec order. */
+std::vector<PointReport> report();
+
+namespace detail {
+
+/** True when any point is armed; the macro's fast-path gate. */
+extern std::atomic<bool> armed;
+
+/** Slow path: count a hit on @p point and decide whether it fires.
+ *  When it fires and @p param is non-null, the trigger's `@param`
+ *  value (0.0 if none) is stored through it. */
+bool evaluate(const char *point, double *param);
+
+} // namespace detail
+
+/**
+ * Count a hit on @p point and return whether the armed trigger fires.
+ * Near-zero cost while disarmed. Prefer the HM_FAULT macros, which
+ * compile away entirely under -DHIERMEANS_FAULT_INJECTION=OFF.
+ */
+inline bool
+hit(const char *point, double *param = nullptr)
+{
+    if (!detail::armed.load(std::memory_order_relaxed))
+        return false;
+    return detail::evaluate(point, param);
+}
+
+} // namespace fault
+} // namespace hiermeans
+
+#if defined(HIERMEANS_NO_FAULT_INJECTION)
+#define HM_FAULT(point) (false)
+#define HM_FAULT_PARAM(point, param_lvalue) (false)
+#else
+/** True when the named fault point fires now. */
+#define HM_FAULT(point) (::hiermeans::fault::hit(point))
+/** Like HM_FAULT, but also stores the trigger's `@param` value. */
+#define HM_FAULT_PARAM(point, param_lvalue)                                 \
+    (::hiermeans::fault::hit(point, &(param_lvalue)))
+#endif
+
+#endif // HIERMEANS_UTIL_FAULT_H

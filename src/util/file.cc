@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/util/error.h"
+#include "src/util/fault.h"
 
 namespace hiermeans {
 namespace util {
@@ -11,6 +12,8 @@ namespace util {
 std::string
 readFile(const std::string &path)
 {
+    HM_REQUIRE(!HM_FAULT("file.read"),
+               "cannot open `" << path << "` (injected)");
     std::ifstream in(path, std::ios::binary);
     HM_REQUIRE(in.good(), "cannot open `" << path << "`");
     std::ostringstream oss;
@@ -21,6 +24,8 @@ readFile(const std::string &path)
 void
 writeFile(const std::string &path, const std::string &content)
 {
+    HM_REQUIRE(!HM_FAULT("file.write"),
+               "cannot write `" << path << "` (injected)");
     std::ofstream out(path, std::ios::binary);
     HM_REQUIRE(out.good(), "cannot write `" << path << "`");
     out << content;

@@ -1,6 +1,7 @@
 #include "src/util/net.h"
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,8 +12,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 #include "src/util/error.h"
+#include "src/util/fault.h"
 
 namespace hiermeans {
 namespace net {
@@ -22,10 +25,50 @@ namespace {
 [[noreturn]] void
 throwErrno(const std::string &what)
 {
-    throw Error(what + ": " + std::strerror(errno));
+    throw NetError(NetError::classify(errno),
+                   what + ": " + std::strerror(errno));
 }
 
 } // namespace
+
+NetError::Kind
+NetError::classify(int err)
+{
+    switch (err) {
+    case ECONNREFUSED:
+        return Kind::Refused;
+    case ECONNRESET:
+    case EPIPE:
+        return Kind::Reset;
+    case ETIMEDOUT:
+        return Kind::TimedOut;
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+        return Kind::Unreachable;
+    default:
+        return Kind::Other;
+    }
+}
+
+const char *
+NetError::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::Refused:     return "refused";
+    case Kind::Reset:       return "reset";
+    case Kind::TimedOut:    return "timed_out";
+    case Kind::Unreachable: return "unreachable";
+    default:                return "other";
+    }
+}
+
+void
+ignoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, []() { ::signal(SIGPIPE, SIG_IGN); });
+}
 
 void
 Socket::close()
@@ -88,16 +131,21 @@ connectTcp(const std::string &host, std::uint16_t port)
     const std::string service = std::to_string(port);
     const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
                                  &results);
-    HM_REQUIRE(rc == 0, "cannot resolve host `" << host
-                                                << "`: " << gai_strerror(rc));
+    if (rc != 0) {
+        throw NetError(NetError::Kind::Unreachable,
+                       "cannot resolve host `" + host +
+                           "`: " + gai_strerror(rc));
+    }
 
     Socket sock;
     std::string last_error = "no addresses";
+    int last_errno = EHOSTUNREACH;
     for (addrinfo *ai = results; ai != nullptr; ai = ai->ai_next) {
         Socket candidate(
             ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
         if (!candidate.valid()) {
             last_error = std::strerror(errno);
+            last_errno = errno;
             continue;
         }
         if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
@@ -105,11 +153,13 @@ connectTcp(const std::string &host, std::uint16_t port)
             break;
         }
         last_error = std::strerror(errno);
+        last_errno = errno;
     }
     ::freeaddrinfo(results);
     if (!sock.valid()) {
-        throw Error("cannot connect to " + host + ":" +
-                    std::to_string(port) + ": " + last_error);
+        throw NetError(NetError::classify(last_errno),
+                       "cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " + last_error);
     }
     return sock;
 }
@@ -132,7 +182,14 @@ waitReadable(int fd, int timeout_millis)
 std::size_t
 readSome(int fd, char *buffer, std::size_t capacity)
 {
+    bool injected_eintr = false;
     for (;;) {
+        if (HM_FAULT("net.read.reset"))
+            return 0; // injected: the peer is gone.
+        if (!injected_eintr && HM_FAULT("net.read.eintr")) {
+            injected_eintr = true; // injected: one EINTR-style lap.
+            continue;
+        }
         const ssize_t n = ::recv(fd, buffer, capacity, 0);
         if (n >= 0)
             return static_cast<std::size_t>(n);
@@ -149,8 +206,15 @@ writeAll(int fd, std::string_view data)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n = ::send(fd, data.data() + sent,
-                                 data.size() - sent, MSG_NOSIGNAL);
+        if (HM_FAULT("net.write.fail")) {
+            throw NetError(NetError::Kind::Reset,
+                           "send(): injected connection reset");
+        }
+        std::size_t chunk = data.size() - sent;
+        if (chunk > 1 && HM_FAULT("net.write.short"))
+            chunk = chunk / 2; // injected short write; the loop retries.
+        const ssize_t n = ::send(fd, data.data() + sent, chunk,
+                                 MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -163,6 +227,8 @@ writeAll(int fd, std::string_view data)
 Socket
 acceptConnection(int listen_fd)
 {
+    if (HM_FAULT("net.accept"))
+        return Socket(); // injected transient accept failure.
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0)
         return Socket(fd);

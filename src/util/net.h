@@ -17,8 +17,50 @@
 #include <string>
 #include <string_view>
 
+#include "src/util/error.h"
+
 namespace hiermeans {
 namespace net {
+
+/**
+ * A socket-layer failure, classified so callers can distinguish the
+ * retryable kinds (refused, reset, timed out) from programming errors.
+ * Thrown by every helper below in place of a bare hiermeans::Error.
+ */
+class NetError : public Error
+{
+  public:
+    enum class Kind
+    {
+        Refused,     ///< ECONNREFUSED — nothing listening.
+        Reset,       ///< ECONNRESET / EPIPE mid-stream.
+        TimedOut,    ///< ETIMEDOUT or a caller-imposed deadline.
+        Unreachable, ///< EHOSTUNREACH / ENETUNREACH / resolution.
+        Other        ///< everything else (EBADF, ENOMEM, ...).
+    };
+
+    NetError(Kind kind, const std::string &what_arg)
+        : Error(what_arg), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+    /** Map an errno value onto the closest Kind. */
+    static Kind classify(int err);
+
+    /** Display name ("refused", "reset", ...). */
+    static const char *kindName(Kind kind);
+
+  private:
+    Kind kind_;
+};
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent). send() already passes
+ * MSG_NOSIGNAL, but a stray write to a dead peer anywhere else must
+ * surface as EPIPE, never kill the process.
+ */
+void ignoreSigpipe();
 
 /** Move-only owner of a socket file descriptor. */
 class Socket
@@ -88,12 +130,20 @@ bool waitReadable(int fd, int timeout_millis);
  * Read up to @p capacity bytes into @p buffer. Returns the byte count,
  * 0 on orderly EOF (connection reset also reads as EOF — the peer is
  * gone either way). Throws on other errors.
+ *
+ * Fault points: `net.read.reset` (pretend the peer vanished),
+ * `net.read.eintr` (take one extra EINTR-style retry lap).
  */
 std::size_t readSome(int fd, char *buffer, std::size_t capacity);
 
 /**
- * Write all of @p data (retrying short writes, SIGPIPE suppressed).
- * Throws when the peer closed or the write fails.
+ * Write all of @p data, retrying short writes and EINTR; SIGPIPE is
+ * suppressed (MSG_NOSIGNAL). Throws NetError when the peer closed
+ * (Kind::Reset) or the write fails otherwise.
+ *
+ * Fault points: `net.write.short` (truncate one send to half and let
+ * the retry loop finish the job), `net.write.fail` (simulate the peer
+ * resetting mid-write).
  */
 void writeAll(int fd, std::string_view data);
 
@@ -101,6 +151,8 @@ void writeAll(int fd, std::string_view data);
  * One connection from a listening socket, after the caller saw it
  * readable. Returns an empty Socket on transient failures (EINTR,
  * the peer vanishing between poll and accept); throws on real errors.
+ *
+ * Fault point: `net.accept` (pretend the accept was transient).
  */
 Socket acceptConnection(int listen_fd);
 

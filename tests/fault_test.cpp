@@ -1,0 +1,212 @@
+/**
+ * Tests for the deterministic fault-injection framework: the spec
+ * grammar, every trigger mode, the @param payload, seed-stable
+ * probabilistic firing, env configuration and the disarmed fast path.
+ */
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/fault.h"
+
+namespace {
+
+using namespace hiermeans;
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultTest, DisarmedPointsNeverFire)
+{
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(HM_FAULT("some.point"));
+    EXPECT_EQ(fault::activeSpec(), "");
+}
+
+TEST_F(FaultTest, UnnamedPointsStayQuietWhileOthersAreArmed)
+{
+    fault::configure("a.point=always");
+    EXPECT_TRUE(HM_FAULT("a.point"));
+    EXPECT_FALSE(HM_FAULT("b.point"));
+}
+
+TEST_F(FaultTest, OnceFiresOnFirstHitOnly)
+{
+    fault::configure("p=once");
+    EXPECT_TRUE(HM_FAULT("p"));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(HM_FAULT("p"));
+}
+
+TEST_F(FaultTest, AlwaysFiresEveryHit)
+{
+    fault::configure("p=always");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(HM_FAULT("p"));
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnTheNthHit)
+{
+    fault::configure("p=nth:3");
+    EXPECT_FALSE(HM_FAULT("p"));
+    EXPECT_FALSE(HM_FAULT("p"));
+    EXPECT_TRUE(HM_FAULT("p"));
+    EXPECT_FALSE(HM_FAULT("p"));
+}
+
+TEST_F(FaultTest, EveryFiresOnMultiples)
+{
+    fault::configure("p=every:2");
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(HM_FAULT("p"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true,
+                                        false, true}));
+}
+
+TEST_F(FaultTest, FirstFiresOnTheLeadingHits)
+{
+    fault::configure("p=first:2");
+    EXPECT_TRUE(HM_FAULT("p"));
+    EXPECT_TRUE(HM_FAULT("p"));
+    EXPECT_FALSE(HM_FAULT("p"));
+}
+
+TEST_F(FaultTest, ParamTravelsWithTheTrigger)
+{
+    fault::configure("stall=nth:2@250.5");
+    double param = 0.0;
+    EXPECT_FALSE(HM_FAULT_PARAM("stall", param));
+    EXPECT_EQ(param, 0.0) << "param must only be set when firing";
+    EXPECT_TRUE(HM_FAULT_PARAM("stall", param));
+    EXPECT_EQ(param, 250.5);
+}
+
+TEST_F(FaultTest, ProbabilityZeroNeverFiresOneAlwaysFires)
+{
+    fault::configure("never=p:0,ever=p:1", 9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(HM_FAULT("never"));
+        EXPECT_TRUE(HM_FAULT("ever"));
+    }
+}
+
+TEST_F(FaultTest, ProbabilisticFiringSetIsSeedStable)
+{
+    const auto draw = [](std::uint64_t seed) {
+        fault::configure("p=p:0.5", seed);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(HM_FAULT("p"));
+        return fired;
+    };
+    const std::vector<bool> first = draw(42);
+    const std::vector<bool> second = draw(42);
+    const std::vector<bool> other = draw(43);
+    EXPECT_EQ(first, second) << "same seed must replay the same set";
+    EXPECT_NE(first, other) << "different seed must differ somewhere";
+    // Sanity: p=0.5 over 64 draws fires a non-degenerate fraction.
+    const auto fires = std::count(first.begin(), first.end(), true);
+    EXPECT_GT(fires, 10);
+    EXPECT_LT(fires, 54);
+}
+
+TEST_F(FaultTest, ProbabilisticFiringSetIgnoresThreadInterleaving)
+{
+    // The per-hit hash makes hit index -> fires a pure function; the
+    // total fire count over N hits is the same no matter how many
+    // threads raced to produce them.
+    fault::configure("p=p:0.3", 7);
+    std::atomic<int> fires{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&fires] {
+            for (int i = 0; i < 64; ++i)
+                if (HM_FAULT("p"))
+                    ++fires;
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const int threaded = fires.load();
+
+    fault::configure("p=p:0.3", 7);
+    int serial = 0;
+    for (int i = 0; i < 256; ++i)
+        if (HM_FAULT("p"))
+            ++serial;
+    EXPECT_EQ(threaded, serial);
+}
+
+TEST_F(FaultTest, ReportCountsHitsAndFires)
+{
+    fault::configure("a=nth:2@9,b=always");
+    (void)HM_FAULT("a");
+    (void)HM_FAULT("a");
+    (void)HM_FAULT("a");
+    (void)HM_FAULT("b");
+    const auto points = fault::report();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].point, "a");
+    EXPECT_EQ(points[0].trigger, "nth:2@9");
+    EXPECT_EQ(points[0].hits, 3u);
+    EXPECT_EQ(points[0].fires, 1u);
+    EXPECT_EQ(points[1].point, "b");
+    EXPECT_EQ(points[1].hits, 1u);
+    EXPECT_EQ(points[1].fires, 1u);
+}
+
+TEST_F(FaultTest, ConfigureReplacesTheActiveSchedule)
+{
+    fault::configure("a=always");
+    EXPECT_TRUE(HM_FAULT("a"));
+    fault::configure("b=always");
+    EXPECT_FALSE(HM_FAULT("a"));
+    EXPECT_TRUE(HM_FAULT("b"));
+    EXPECT_EQ(fault::activeSpec(), "b=always");
+    fault::reset();
+    EXPECT_FALSE(HM_FAULT("b"));
+}
+
+TEST_F(FaultTest, ConfigureFromEnvArmsAndSeeds)
+{
+    ::setenv("HIERMEANS_FAULTS", "env.point=always", 1);
+    ::setenv("HIERMEANS_FAULT_SEED", "77", 1);
+    fault::configureFromEnv();
+    EXPECT_TRUE(HM_FAULT("env.point"));
+    EXPECT_EQ(fault::activeSeed(), 77u);
+    ::unsetenv("HIERMEANS_FAULTS");
+    ::unsetenv("HIERMEANS_FAULT_SEED");
+}
+
+TEST_F(FaultTest, ConfigureFromEnvIsANoOpWhenUnset)
+{
+    ::unsetenv("HIERMEANS_FAULTS");
+    fault::configure("keep=always");
+    fault::configureFromEnv();
+    EXPECT_EQ(fault::activeSpec(), "keep=always")
+        << "unset env must not clobber an armed schedule";
+}
+
+TEST_F(FaultTest, MalformedSpecsThrowInvalidArgument)
+{
+    EXPECT_THROW(fault::configure("nodelimiter"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p="), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=bogus"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=nth:0"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=nth:x"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=p:1.5"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=p:junk"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=nth:1@junk"), InvalidArgument);
+    EXPECT_THROW(fault::configure("p=once,p=always"), InvalidArgument)
+        << "naming a point twice is a spec bug";
+}
+
+} // namespace

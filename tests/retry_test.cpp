@@ -1,0 +1,141 @@
+/**
+ * Tests for the client retry schedule: determinism per seed, delay
+ * bounds, Retry-After floors, attempt and sleep-budget exhaustion,
+ * and policy validation.
+ */
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "src/client/retry.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using client::RetryPolicy;
+using client::RetrySchedule;
+
+std::vector<double>
+drain(RetrySchedule &schedule, double retry_after = 0.0)
+{
+    std::vector<double> delays;
+    while (auto delay = schedule.nextDelayMillis(retry_after))
+        delays.push_back(*delay);
+    return delays;
+}
+
+TEST(RetryScheduleTest, SameSeedYieldsIdenticalDelays)
+{
+    RetryPolicy policy;
+    policy.seed = 1234;
+    RetrySchedule a(policy);
+    RetrySchedule b(policy);
+    EXPECT_EQ(drain(a), drain(b));
+}
+
+TEST(RetryScheduleTest, DifferentSeedsDiverge)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 8;
+    policy.budgetMillis = 1e9;
+    policy.seed = 1;
+    RetrySchedule a(policy);
+    policy.seed = 2;
+    RetrySchedule b(policy);
+    EXPECT_NE(drain(a), drain(b));
+}
+
+TEST(RetryScheduleTest, DelaysStayWithinBaseAndCap)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 32;
+    policy.baseMillis = 10.0;
+    policy.capMillis = 120.0;
+    policy.budgetMillis = 1e9;
+    RetrySchedule schedule(policy);
+    const auto delays = drain(schedule);
+    EXPECT_EQ(delays.size(), policy.maxAttempts - 1);
+    for (double delay : delays) {
+        EXPECT_GE(delay, policy.baseMillis);
+        EXPECT_LE(delay, policy.capMillis);
+    }
+}
+
+TEST(RetryScheduleTest, RetryAfterIsAFloor)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 16;
+    policy.baseMillis = 1.0;
+    policy.capMillis = 50.0;
+    policy.budgetMillis = 1e9;
+    RetrySchedule schedule(policy);
+    const auto delays = drain(schedule, 200.0);
+    ASSERT_FALSE(delays.empty());
+    for (double delay : delays)
+        EXPECT_GE(delay, 200.0);
+}
+
+TEST(RetryScheduleTest, SingleAttemptPolicyNeverRetries)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 1;
+    RetrySchedule schedule(policy);
+    EXPECT_FALSE(schedule.nextDelayMillis().has_value());
+    EXPECT_EQ(schedule.retriesGranted(), 0u);
+}
+
+TEST(RetryScheduleTest, MaxAttemptsCountsTheFirstAttempt)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.budgetMillis = 1e9;
+    RetrySchedule schedule(policy);
+    EXPECT_EQ(drain(schedule).size(), 3u) << "4 attempts = 3 retries";
+}
+
+TEST(RetryScheduleTest, BudgetStopsRetriesEarly)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 1000;
+    policy.baseMillis = 100.0;
+    policy.capMillis = 100.0; // every delay exactly 100ms
+    policy.budgetMillis = 350.0;
+    RetrySchedule schedule(policy);
+    const auto delays = drain(schedule);
+    EXPECT_EQ(delays.size(), 3u) << "4th 100ms delay would breach 350ms";
+    EXPECT_DOUBLE_EQ(schedule.sleptMillis(), 300.0);
+}
+
+TEST(RetryScheduleTest, AccountingTracksGrantsAndSleep)
+{
+    RetryPolicy policy;
+    policy.budgetMillis = 1e9;
+    RetrySchedule schedule(policy);
+    double total = 0.0;
+    std::size_t grants = 0;
+    while (auto delay = schedule.nextDelayMillis()) {
+        total += *delay;
+        ++grants;
+        EXPECT_EQ(schedule.retriesGranted(), grants);
+        EXPECT_DOUBLE_EQ(schedule.sleptMillis(), total);
+    }
+    EXPECT_GT(grants, 0u);
+}
+
+TEST(RetryScheduleTest, InvalidPoliciesAreRejected)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 0;
+    EXPECT_THROW(RetrySchedule{policy}, InvalidArgument);
+
+    policy = RetryPolicy{};
+    policy.baseMillis = -1.0;
+    EXPECT_THROW(RetrySchedule{policy}, InvalidArgument);
+
+    policy = RetryPolicy{};
+    policy.capMillis = policy.baseMillis - 1.0;
+    EXPECT_THROW(RetrySchedule{policy}, InvalidArgument);
+}
+
+} // namespace

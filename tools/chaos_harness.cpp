@@ -1,0 +1,397 @@
+/**
+ * @file
+ * chaos_harness — deterministic chaos testing of the serving stack.
+ *
+ * Drives an in-process server::Server under seeded fault schedules
+ * (util/fault.h) and checks the robustness contract end to end:
+ *
+ *   (a) the process never crashes — faults surface as error responses
+ *       or closed connections, never as termination;
+ *   (b) no client is ever left hanging: every request either gets a
+ *       response or a promptly-detectable connection failure (a client
+ *       read timeout counts as a violation), and on the server side
+ *       every counted request was answered
+ *       (requests == responses_2xx + 4xx + 5xx);
+ *   (c) every 200 body is bit-identical to the fault-free baseline for
+ *       the same manifest line (volatile fields `wall_ms` and
+ *       `served_by` stripped) — faults may fail requests, but they may
+ *       never corrupt a success.
+ *
+ * Determinism: the fault schedules are derived from --seed, request
+ * counts are fixed (not duration-based), and the report contains only
+ * deterministic fields — so two runs with the same flags must print
+ * bit-identical reports. tools/smoke_chaos.sh diffs exactly that.
+ *
+ * Usage:
+ *   chaos_harness [--seed=1] [--clients=4] [--requests=25]
+ *                 [--schedules=3] [--json-only]
+ *
+ * Prints one JSON report line; exits 0 iff every invariant held.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+printUsage()
+{
+    std::cout <<
+        "chaos_harness (" << util::kVersionString << "): deterministic\n"
+        "chaos testing of the serving stack\n"
+        "\n"
+        "optional flags:\n"
+        "  --seed=N       master seed for the fault schedules (default 1)\n"
+        "  --clients=N    concurrent clients per schedule (default 4)\n"
+        "  --requests=N   requests per client per schedule (default 25)\n"
+        "  --schedules=N  distinct fault schedules to run (default 3)\n"
+        "  --json-only    print only the JSON report line\n";
+}
+
+/** Remove one `"key":value` field (and its comma) from a JSON body. */
+std::string
+stripField(std::string body, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = body.find(needle);
+    if (pos == std::string::npos)
+        return body;
+    std::size_t end = pos + needle.size();
+    if (end < body.size() && body[end] == '"') {
+        end = body.find('"', end + 1);
+        end = (end == std::string::npos) ? body.size() : end + 1;
+    } else {
+        while (end < body.size() && body[end] != ',' && body[end] != '}')
+            ++end;
+    }
+    std::size_t start = pos;
+    if (start > 0 && body[start - 1] == ',')
+        --start;
+    else if (end < body.size() && body[end] == ',')
+        ++end;
+    body.erase(start, end - start);
+    return body;
+}
+
+/** A 200 body with the volatile fields removed. */
+std::string
+canonicalBody(const std::string &body)
+{
+    return stripField(stripField(body, "wall_ms"), "served_by");
+}
+
+/** One seeded fault schedule, derived deterministically from the
+ *  master seed and the schedule index. */
+std::string
+makeSchedule(std::uint64_t seed, std::size_t index)
+{
+    rng::Engine rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+    std::vector<std::string> fragments;
+    // Some network noise is always on; the heavier faults are drawn.
+    fragments.push_back("net.write.short=p:" +
+                        str::fixed(0.05 + 0.15 * rng.uniform(), 3));
+    fragments.push_back("net.read.eintr=p:" +
+                        str::fixed(0.05 + 0.10 * rng.uniform(), 3));
+    if (rng.bernoulli(0.5))
+        fragments.push_back("server.response.write=every:" +
+                            std::to_string(7 + rng.below(20)));
+    if (rng.bernoulli(0.5))
+        fragments.push_back("net.write.fail=every:" +
+                            std::to_string(13 + rng.below(30)));
+    if (rng.bernoulli(0.4))
+        fragments.push_back("net.read.reset=nth:" +
+                            std::to_string(3 + rng.below(40)));
+    if (rng.bernoulli(0.4))
+        fragments.push_back("net.accept=p:" +
+                            str::fixed(0.10 * rng.uniform(), 3));
+    if (rng.bernoulli(0.5))
+        fragments.push_back("engine.task=every:" +
+                            std::to_string(4 + rng.below(10)));
+    if (rng.bernoulli(0.5))
+        fragments.push_back("engine.cache.put=p:" +
+                            str::fixed(0.30 * rng.uniform(), 3));
+    if (rng.bernoulli(0.35))
+        fragments.push_back("engine.stall=nth:" +
+                            std::to_string(1 + rng.below(5)) + "@2500");
+    if (rng.bernoulli(0.3))
+        fragments.push_back("file.read=p:" +
+                            str::fixed(0.05 * rng.uniform(), 3));
+    std::string spec;
+    for (const std::string &fragment : fragments) {
+        if (!spec.empty())
+            spec += ",";
+        spec += fragment;
+    }
+    return spec;
+}
+
+/** Fixture files + distinct manifest lines shared by every schedule. */
+struct Workbench
+{
+    std::string scoresPath;
+    std::string featuresPath;
+    std::vector<std::string> lines;
+
+    Workbench()
+    {
+        const std::string stem = "/tmp/hiermeans_chaos_" +
+                                 std::to_string(::getpid());
+        scoresPath = stem + "_scores.csv";
+        featuresPath = stem + "_features.csv";
+        util::writeFile(scoresPath, "workload,mA,mB\n"
+                                    "w0,1.0,2.0\n"
+                                    "w1,2.0,1.0\n"
+                                    "w2,1.5,1.5\n"
+                                    "w3,3.0,1.0\n"
+                                    "w4,1.0,3.0\n"
+                                    "w5,2.5,2.5\n");
+        util::writeFile(featuresPath, "workload,f0,f1,f2\n"
+                                      "w0,0.1,1.0,-0.5\n"
+                                      "w1,0.9,-1.0,0.5\n"
+                                      "w2,0.2,0.8,-0.4\n"
+                                      "w3,0.8,-0.9,0.6\n"
+                                      "w4,-0.7,0.1,1.2\n"
+                                      "w5,-0.6,0.2,1.1\n");
+        for (int i = 0; i < 3; ++i) {
+            lines.push_back("scores=" + scoresPath +
+                            " features=" + featuresPath +
+                            " machine-a=mA machine-b=mB som-steps=150" +
+                            " id=chaos" + std::to_string(i) +
+                            " seed=" + std::to_string(101 + i));
+        }
+    }
+
+    ~Workbench()
+    {
+        std::remove(scoresPath.c_str());
+        std::remove(featuresPath.c_str());
+    }
+};
+
+server::Server::Config
+chaosServerConfig()
+{
+    server::Server::Config config;
+    config.port = 0;
+    config.engine.threads = 2;
+    config.queueDepth = 2;
+    config.connectionThreads = 8;
+    config.breaker.failureThreshold = 4;
+    config.breaker.openMillis = 300.0;
+    config.watchdog.defaultBudgetMillis = 1500.0;
+    config.watchdog.graceMillis = 100.0;
+    return config;
+}
+
+client::ScoringClient::Config
+chaosClientConfig(std::uint16_t port, std::uint64_t seed)
+{
+    client::ScoringClient::Config config;
+    config.port = port;
+    config.readTimeoutMillis = 10000; // expiry = an unanswered client.
+    config.retry.maxAttempts = 8;
+    config.retry.baseMillis = 10.0;
+    config.retry.capMillis = 250.0;
+    config.retry.budgetMillis = 8000.0;
+    config.retry.seed = seed;
+    // A timeout must be *reported*, not papered over by a retry: the
+    // whole point of the harness is catching hangs.
+    config.retry.retryTimeout = false;
+    return config;
+}
+
+/** Fault-free pass: the canonical 200 body per manifest line. */
+std::vector<std::string>
+recordBaseline(const Workbench &bench)
+{
+    fault::reset();
+    server::Server server(chaosServerConfig());
+    server.start();
+    client::ScoringClient probe(chaosClientConfig(server.port(), 1));
+    std::vector<std::string> baseline;
+    for (const std::string &line : bench.lines) {
+        const client::Outcome outcome = probe.score(line);
+        HM_REQUIRE(outcome.ok(), "chaos baseline request failed: "
+                                     << (outcome.haveResponse
+                                             ? outcome.response.body
+                                             : outcome.error));
+        baseline.push_back(canonicalBody(outcome.response.body));
+    }
+    server.stop();
+    return baseline;
+}
+
+struct ScheduleOutcome
+{
+    std::string spec;
+    std::uint64_t requests = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t unanswered = 0;
+    bool serverInvariantOk = false;
+};
+
+ScheduleOutcome
+runSchedule(const Workbench &bench,
+            const std::vector<std::string> &baseline, std::uint64_t seed,
+            std::size_t index, std::size_t clients,
+            std::size_t requests_per_client, bool verbose)
+{
+    ScheduleOutcome outcome;
+    outcome.spec = makeSchedule(seed, index);
+    outcome.requests =
+        static_cast<std::uint64_t>(clients) * requests_per_client;
+
+    server::Server server(chaosServerConfig());
+    server.start();
+
+    // Arm faults only once the server is up, so startup is clean.
+    fault::configure(outcome.spec, seed ^ (index + 1));
+
+    std::vector<std::uint64_t> mismatches(clients, 0);
+    std::vector<std::uint64_t> unanswered(clients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            client::ScoringClient prober(chaosClientConfig(
+                server.port(), seed + 1000 * (index + 1) + c));
+            for (std::size_t r = 0; r < requests_per_client; ++r) {
+                const std::size_t which =
+                    (c + r) % bench.lines.size();
+                const client::Outcome result =
+                    prober.score(bench.lines[which]);
+                if (!result.haveResponse) {
+                    if (result.failure == client::FailureClass::TimedOut)
+                        ++unanswered[c];
+                    // Other connection failures are detectable (the
+                    // client was not left hanging) — acceptable chaos.
+                    continue;
+                }
+                if (result.status == 200 &&
+                    canonicalBody(result.response.body) !=
+                        baseline[which])
+                    ++mismatches[c];
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // The drain runs with faults still armed — chaos the exit too.
+    server.stop();
+
+    const server::ServerMetricsSnapshot snap =
+        server.metrics().snapshot(0, 0);
+    outcome.serverInvariantOk =
+        snap.requests ==
+        snap.responses2xx + snap.responses4xx + snap.responses5xx;
+
+    for (std::size_t c = 0; c < clients; ++c) {
+        outcome.mismatches += mismatches[c];
+        outcome.unanswered += unanswered[c];
+    }
+
+    if (verbose) {
+        std::cout << "schedule " << index << ": " << outcome.spec
+                  << "\n  requests=" << outcome.requests
+                  << " 2xx=" << snap.responses2xx
+                  << " 4xx=" << snap.responses4xx
+                  << " 5xx=" << snap.responses5xx
+                  << " stale=" << snap.staleServed
+                  << " watchdog=" << snap.watchdogTrips
+                  << " mismatches=" << outcome.mismatches
+                  << " unanswered=" << outcome.unanswered << "\n";
+        for (const fault::PointReport &point : fault::report()) {
+            std::cout << "  fault " << point.point << " ("
+                      << point.trigger << "): " << point.fires << "/"
+                      << point.hits << " fired\n";
+        }
+    }
+    fault::reset();
+    return outcome;
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    const auto seed = static_cast<std::uint64_t>(cl.getInt("seed", 1));
+    const auto clients =
+        static_cast<std::size_t>(cl.getInt("clients", 4));
+    const auto requests =
+        static_cast<std::size_t>(cl.getInt("requests", 25));
+    const auto schedules =
+        static_cast<std::size_t>(cl.getInt("schedules", 3));
+    const bool json_only = cl.getBool("json-only", false);
+    HM_REQUIRE(clients >= 1, "--clients must be >= 1");
+    HM_REQUIRE(requests >= 1, "--requests must be >= 1");
+    HM_REQUIRE(schedules >= 1, "--schedules must be >= 1");
+
+    Workbench bench;
+    const std::vector<std::string> baseline = recordBaseline(bench);
+    if (!json_only)
+        std::cout << "baseline recorded: " << baseline.size()
+                  << " canonical bodies\n";
+
+    std::vector<ScheduleOutcome> outcomes;
+    for (std::size_t s = 0; s < schedules; ++s)
+        outcomes.push_back(runSchedule(bench, baseline, seed, s,
+                                       clients, requests, !json_only));
+
+    bool pass = true;
+    std::string schedules_json = "[";
+    for (std::size_t s = 0; s < outcomes.size(); ++s) {
+        const ScheduleOutcome &o = outcomes[s];
+        if (o.mismatches != 0 || o.unanswered != 0 ||
+            !o.serverInvariantOk)
+            pass = false;
+        if (s > 0)
+            schedules_json += ",";
+        schedules_json +=
+            "{\"spec\":" + server::json::quote(o.spec) +
+            ",\"requests\":" + std::to_string(o.requests) +
+            ",\"mismatches\":" + std::to_string(o.mismatches) +
+            ",\"unanswered\":" + std::to_string(o.unanswered) +
+            ",\"server_invariant_ok\":" +
+            (o.serverInvariantOk ? "true" : "false") + "}";
+    }
+    schedules_json += "]";
+
+    // Deterministic by construction: same flags => identical report.
+    // (Reaching this line at all is the "no crash" invariant.)
+    std::printf("{\"seed\":%llu,\"clients\":%llu,"
+                "\"requests_per_client\":%llu,\"schedules\":%s,"
+                "\"crashes\":0,\"verdict\":\"%s\"}\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(clients),
+                static_cast<unsigned long long>(requests),
+                schedules_json.c_str(), pass ? "pass" : "fail");
+    std::fflush(stdout);
+    return pass ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (cl.has("help")) {
+            printUsage();
+            return 0;
+        }
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "chaos_harness: " << e.what() << "\n";
+        return 1;
+    }
+}

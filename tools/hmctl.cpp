@@ -1,0 +1,171 @@
+/**
+ * @file
+ * hmctl — command-line probe for a running hmserved daemon.
+ *
+ * The operational companion to hmload: where hmload stresses, hmctl
+ * asks. It wraps client::ScoringClient, so probes ride the same retry
+ * policy and failure taxonomy as real clients, and its exit code makes
+ * the health state scriptable:
+ *
+ *   0  server answered and is healthy (ok)
+ *   2  server answered but is degraded
+ *   3  server is draining (graceful shutdown in progress)
+ *   1  unreachable / retries exhausted / unexpected answer
+ *
+ * Usage:
+ *   hmctl --port=N [--host=127.0.0.1] [--health] [--metrics]
+ *         [--score=LINE] [--timeout-ms=2000] [--retries=2]
+ *         [--retry-base-ms=50] [--retry-cap-ms=2000]
+ *         [--retry-budget-ms=10000] [--seed=N] [--json-only]
+ *
+ * Default probe is --health. Output is one JSON line:
+ *   {"probe":"health","ok":true,"status":200,"health":"ok",
+ *    "attempts":1,"backoff_ms":0,"stale":false,"failure":"none"}
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+void
+printUsage()
+{
+    std::cout <<
+        "hmctl (" << util::kVersionString << "): probe for a running\n"
+        "hmserved daemon\n"
+        "\n"
+        "required flags:\n"
+        "  --port=N           hmserved port\n"
+        "\n"
+        "probes (default --health):\n"
+        "  --health           GET /healthz; exit 0 ok, 2 degraded,\n"
+        "                     3 draining, 1 unreachable\n"
+        "  --metrics          GET /metrics; print the metrics body\n"
+        "  --score=LINE       POST one manifest line to /v1/score\n"
+        "\n"
+        "optional flags:\n"
+        "  --host=NAME        server host (default 127.0.0.1)\n"
+        "  --timeout-ms=N     per-attempt response deadline\n"
+        "                     (default 2000; 0 = wait forever)\n"
+        "  --retries=N        extra attempts on retryable failures\n"
+        "                     (default 2)\n"
+        "  --retry-base-ms=N  backoff draw lower bound (default 50)\n"
+        "  --retry-cap-ms=N   backoff draw upper bound (default 2000)\n"
+        "  --retry-budget-ms=N  total backoff sleep (default 10000)\n"
+        "  --seed=N           backoff jitter seed (default 1)\n"
+        "  --json-only        suppress non-JSON output (--metrics body,\n"
+        "                     --score response body)\n";
+}
+
+/** One JSON summary line for any probe outcome. */
+void
+printSummary(const char *probe, const client::Outcome &outcome,
+             const std::string &health)
+{
+    std::printf(
+        "{\"probe\":\"%s\",\"ok\":%s,\"status\":%d,\"health\":%s,"
+        "\"attempts\":%llu,\"backoff_ms\":%s,\"stale\":%s,"
+        "\"failure\":\"%s\"}\n",
+        probe, outcome.ok() ? "true" : "false", outcome.status,
+        health.empty() ? "null" : server::json::quote(health).c_str(),
+        static_cast<unsigned long long>(outcome.attempts),
+        server::json::number(outcome.backoffMillis).c_str(),
+        outcome.stale ? "true" : "false",
+        client::failureClassName(outcome.failure));
+    std::fflush(stdout);
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    if (!cl.has("port")) {
+        printUsage();
+        return 2;
+    }
+
+    client::ScoringClient::Config config;
+    config.host = cl.getString("host", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(cl.getInt("port", 0));
+    config.readTimeoutMillis =
+        static_cast<int>(cl.getInt("timeout-ms", 2000));
+    config.retry.maxAttempts =
+        1 + static_cast<std::size_t>(cl.getInt("retries", 2));
+    config.retry.baseMillis = cl.getDouble("retry-base-ms", 50.0);
+    config.retry.capMillis = cl.getDouble("retry-cap-ms", 2000.0);
+    config.retry.budgetMillis = cl.getDouble("retry-budget-ms", 10000.0);
+    config.retry.seed = static_cast<std::uint64_t>(cl.getInt("seed", 1));
+    const bool json_only = cl.getBool("json-only", false);
+
+    client::ScoringClient client(config);
+
+    if (cl.has("metrics")) {
+        const client::Outcome outcome = client.metrics();
+        if (outcome.haveResponse && !json_only)
+            std::cout << outcome.response.body;
+        printSummary("metrics", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        return outcome.ok() ? 0 : 1;
+    }
+
+    if (cl.has("score")) {
+        const client::Outcome outcome =
+            client.score(cl.getString("score", ""));
+        if (outcome.haveResponse && !json_only)
+            std::cout << outcome.response.body << "\n";
+        printSummary("score", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        return outcome.ok() ? 0 : 1;
+    }
+
+    // Default: the health probe. A draining server answers 503 with
+    // the state in the body/header, so "haveResponse + 503" is still
+    // a successful probe — of a server on its way out.
+    const client::Outcome outcome = client.health();
+    if (!outcome.haveResponse) {
+        printSummary("health", outcome, "");
+        std::cerr << "hmctl: " << outcome.error << "\n";
+        return 1;
+    }
+    static const std::string kEmpty;
+    std::string health =
+        outcome.response.header("x-hiermeans-health", kEmpty);
+    if (health.empty())
+        health = str::trim(outcome.response.body);
+    printSummary("health", outcome, health);
+    if (health == "ok")
+        return 0;
+    if (health == "degraded")
+        return 2;
+    if (health == "draining")
+        return 3;
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (cl.has("help")) {
+            printUsage();
+            return 0;
+        }
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmctl: " << e.what() << "\n";
+        return 1;
+    }
+}

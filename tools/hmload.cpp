@@ -8,14 +8,25 @@
  * waits for its response before sending the next request, so offered
  * load adapts to what the server sustains.
  *
+ * Workers run on client::ScoringClient, so connection-level failures
+ * are attributed to distinct classes (refused / reset / timed out /
+ * other) instead of one opaque counter, degraded-mode responses are
+ * tallied as `stale_served`, and optional retries (off by default — a
+ * closed loop should see errors, not paper over them) follow the
+ * shared RetryPolicy.
+ *
  * Reports one machine-readable JSON line:
  *   {"rps":..,"requests":..,"http_2xx":..,"http_4xx":..,"http_5xx":..,
- *    "connect_errors":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
+ *    "stale_served":..,"connect_errors":..,"connect_refused":..,
+ *    "conn_reset":..,"timeouts":..,"net_other":..,"bad_response":..,
+ *    "retries":..,"backoff_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
  *    "max_ms":..,"duration_s":..,"concurrency":..}
  *
  * Usage:
  *   hmload --port=N [--host=127.0.0.1] [--concurrency=2]
- *          [--duration-s=3] [--manifest=FILE] [--json-only]
+ *          [--duration-s=3] [--manifest=FILE] [--timeout-ms=0]
+ *          [--retries=0] [--retry-base-ms=50] [--retry-cap-ms=2000]
+ *          [--retry-budget-ms=10000] [--seed=N] [--json-only]
  *
  * Without --manifest a GET /healthz mix is used, which exercises the
  * server path without needing data files.
@@ -50,6 +61,15 @@ printUsage()
         "  --duration-s=N     seconds to run (default 3)\n"
         "  --manifest=FILE    request mix: each line is POSTed to\n"
         "                     /v1/score (default: GET /healthz probes)\n"
+        "  --timeout-ms=N     per-attempt response deadline; expiries\n"
+        "                     count as timeouts (default 0: wait forever)\n"
+        "  --retries=N        extra attempts per request on retryable\n"
+        "                     failures (default 0: report every error)\n"
+        "  --retry-base-ms=N  backoff draw lower bound (default 50)\n"
+        "  --retry-cap-ms=N   backoff draw upper bound (default 2000)\n"
+        "  --retry-budget-ms=N  total backoff sleep per request\n"
+        "                     (default 10000)\n"
+        "  --seed=N           backoff jitter seed (default 1)\n"
         "  --json-only        print only the JSON result line\n";
 }
 
@@ -60,31 +80,55 @@ struct Tally
     std::atomic<std::uint64_t> http2xx{0};
     std::atomic<std::uint64_t> http4xx{0};
     std::atomic<std::uint64_t> http5xx{0};
-    std::atomic<std::uint64_t> connectErrors{0};
+    std::atomic<std::uint64_t> staleServed{0};
+    std::atomic<std::uint64_t> connectRefused{0};
+    std::atomic<std::uint64_t> connReset{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> netOther{0};
+    std::atomic<std::uint64_t> badResponse{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> backoffMicros{0};
     engine::LatencyHistogram latency;
 };
 
 void
-worker(const std::string &host, std::uint16_t port,
+worker(const client::ScoringClient::Config &config,
        const std::vector<std::string> &mix, std::size_t offset,
        std::chrono::steady_clock::time_point deadline, Tally &tally)
 {
-    server::HttpClient client(host, port);
+    client::ScoringClient client(config);
     std::size_t next = offset;
     while (std::chrono::steady_clock::now() < deadline) {
         const auto start = std::chrono::steady_clock::now();
-        server::HttpResponseParser::Response response;
-        try {
-            if (mix.empty()) {
-                response = client.roundTrip("GET", "/healthz", "", "");
-            } else {
-                response = client.roundTrip(
-                    "POST", "/v1/score", mix[next % mix.size()],
-                    "text/plain");
-                ++next;
+        client::Outcome outcome;
+        if (mix.empty()) {
+            outcome = client.health();
+        } else {
+            outcome = client.score(mix[next % mix.size()]);
+            ++next;
+        }
+        tally.retries += outcome.attempts - 1;
+        tally.backoffMicros += static_cast<std::uint64_t>(
+            outcome.backoffMillis * 1000.0);
+
+        if (!outcome.haveResponse) {
+            switch (outcome.failure) {
+            case client::FailureClass::ConnectRefused:
+                ++tally.connectRefused;
+                break;
+            case client::FailureClass::ConnectionReset:
+                ++tally.connReset;
+                break;
+            case client::FailureClass::TimedOut:
+                ++tally.timeouts;
+                break;
+            case client::FailureClass::BadResponse:
+                ++tally.badResponse;
+                break;
+            default:
+                ++tally.netOther;
+                break;
             }
-        } catch (const Error &) {
-            ++tally.connectErrors;
             // Back off briefly so a down server doesn't spin the loop.
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
             continue;
@@ -93,11 +137,13 @@ worker(const std::string &host, std::uint16_t port,
             std::chrono::steady_clock::now() - start;
         ++tally.requests;
         tally.latency.record(elapsed.count());
-        if (response.status >= 200 && response.status < 300)
+        if (outcome.stale)
+            ++tally.staleServed;
+        if (outcome.status >= 200 && outcome.status < 300)
             ++tally.http2xx;
-        else if (response.status >= 400 && response.status < 500)
+        else if (outcome.status >= 400 && outcome.status < 500)
             ++tally.http4xx;
-        else if (response.status >= 500)
+        else if (outcome.status >= 500)
             ++tally.http5xx;
     }
 }
@@ -117,6 +163,20 @@ run(const util::CommandLine &cl)
     const double duration_s = cl.getDouble("duration-s", 3.0);
     HM_REQUIRE(duration_s > 0.0, "--duration-s must be > 0");
     const bool json_only = cl.getBool("json-only", false);
+
+    client::ScoringClient::Config client_config;
+    client_config.host = host;
+    client_config.port = port;
+    client_config.readTimeoutMillis =
+        static_cast<int>(cl.getInt("timeout-ms", 0));
+    client_config.retry.maxAttempts =
+        1 + static_cast<std::size_t>(cl.getInt("retries", 0));
+    client_config.retry.baseMillis = cl.getDouble("retry-base-ms", 50.0);
+    client_config.retry.capMillis = cl.getDouble("retry-cap-ms", 2000.0);
+    client_config.retry.budgetMillis =
+        cl.getDouble("retry-budget-ms", 10000.0);
+    client_config.retry.seed =
+        static_cast<std::uint64_t>(cl.getInt("seed", 1));
 
     // The request mix: every non-comment manifest line becomes one
     // /v1/score body, replayed round-robin.
@@ -152,8 +212,11 @@ run(const util::CommandLine &cl)
     std::vector<std::thread> threads;
     threads.reserve(concurrency);
     for (std::size_t i = 0; i < concurrency; ++i) {
-        threads.emplace_back([&, i] {
-            worker(host, port, mix, i, deadline, tally);
+        // Decorrelate each worker's jitter stream.
+        client::ScoringClient::Config worker_config = client_config;
+        worker_config.retry.seed += i;
+        threads.emplace_back([&, worker_config, i] {
+            worker(worker_config, mix, i, deadline, tally);
         });
     }
     for (std::thread &thread : threads)
@@ -162,13 +225,19 @@ run(const util::CommandLine &cl)
         std::chrono::steady_clock::now() - start;
 
     const auto requests = tally.requests.load();
+    const std::uint64_t connect_errors =
+        tally.connectRefused.load() + tally.connReset.load() +
+        tally.timeouts.load() + tally.netOther.load();
     const double rps =
         elapsed.count() > 0.0
             ? static_cast<double>(requests) / elapsed.count()
             : 0.0;
     std::printf(
         "{\"rps\":%s,\"requests\":%llu,\"http_2xx\":%llu,"
-        "\"http_4xx\":%llu,\"http_5xx\":%llu,\"connect_errors\":%llu,"
+        "\"http_4xx\":%llu,\"http_5xx\":%llu,\"stale_served\":%llu,"
+        "\"connect_errors\":%llu,\"connect_refused\":%llu,"
+        "\"conn_reset\":%llu,\"timeouts\":%llu,\"net_other\":%llu,"
+        "\"bad_response\":%llu,\"retries\":%llu,\"backoff_ms\":%s,"
         "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s,"
         "\"duration_s\":%s,\"concurrency\":%llu}\n",
         server::json::number(rps).c_str(),
@@ -176,7 +245,17 @@ run(const util::CommandLine &cl)
         static_cast<unsigned long long>(tally.http2xx.load()),
         static_cast<unsigned long long>(tally.http4xx.load()),
         static_cast<unsigned long long>(tally.http5xx.load()),
-        static_cast<unsigned long long>(tally.connectErrors.load()),
+        static_cast<unsigned long long>(tally.staleServed.load()),
+        static_cast<unsigned long long>(connect_errors),
+        static_cast<unsigned long long>(tally.connectRefused.load()),
+        static_cast<unsigned long long>(tally.connReset.load()),
+        static_cast<unsigned long long>(tally.timeouts.load()),
+        static_cast<unsigned long long>(tally.netOther.load()),
+        static_cast<unsigned long long>(tally.badResponse.load()),
+        static_cast<unsigned long long>(tally.retries.load()),
+        server::json::number(
+            static_cast<double>(tally.backoffMicros.load()) / 1000.0)
+            .c_str(),
         server::json::number(tally.latency.percentile(50.0)).c_str(),
         server::json::number(tally.latency.percentile(95.0)).c_str(),
         server::json::number(tally.latency.percentile(99.0)).c_str(),

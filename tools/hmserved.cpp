@@ -10,10 +10,17 @@
  * Usage:
  *   hmserved [--port=8377] [--threads=4] [--queue-depth=8]
  *            [--cache-entries=256] [--cache-mb=64] [--max-body-kb=256]
- *            [--timeout-ms=0] [--quiet]
+ *            [--timeout-ms=0] [--breaker-failures=8]
+ *            [--breaker-open-ms=2000] [--watchdog-budget-ms=30000]
+ *            [--watchdog-grace-ms=250] [--degrade-ratio=0.5]
+ *            [--no-stale] [--faults=SPEC] [--fault-seed=N] [--quiet]
  *
  * `--port=0` picks an ephemeral port; the chosen port is printed (and
  * flushed) as `listening on port N` so scripts can scrape it.
+ *
+ * Fault injection (chaos testing): `--faults` takes the spec grammar of
+ * util/fault.h (e.g. `net.write.short=p:0.1,engine.task=nth:7`), or set
+ * HIERMEANS_FAULTS / HIERMEANS_FAULT_SEED in the environment.
  */
 
 #include <csignal>
@@ -43,6 +50,28 @@ printUsage()
         "  --timeout-ms=N     default per-request deadline when the\n"
         "                     manifest line has no timeout-ms (default 0:\n"
         "                     no deadline)\n"
+        "\n"
+        "resilience flags:\n"
+        "  --breaker-failures=N   consecutive 5xx that open the /v1/score\n"
+        "                         circuit (default 8; 0 disables)\n"
+        "  --breaker-open-ms=N    open window before a half-open probe\n"
+        "                         (default 2000)\n"
+        "  --watchdog-budget-ms=N hard budget for requests without their\n"
+        "                         own deadline (default 30000; 0 disables\n"
+        "                         the watchdog)\n"
+        "  --watchdog-grace-ms=N  slack beyond a request's own deadline\n"
+        "                         before the watchdog answers 504\n"
+        "                         (default 250)\n"
+        "  --degrade-ratio=X      shed fraction of recent requests that\n"
+        "                         flips /healthz to degraded (default 0.5)\n"
+        "  --no-stale             never serve stale cached scores when\n"
+        "                         shedding (default: serve them with\n"
+        "                         X-Hiermeans-Stale: 1)\n"
+        "\n"
+        "chaos flags:\n"
+        "  --faults=SPEC      deterministic fault spec, e.g.\n"
+        "                     net.write.short=p:0.1,engine.task=nth:7\n"
+        "  --fault-seed=N     seed for probabilistic fault triggers\n"
         "  --quiet            suppress the final metrics summary\n"
         "\n"
         "endpoints:\n"
@@ -69,9 +98,25 @@ run(const util::CommandLine &cl)
     config.maxBodyBytes =
         static_cast<std::size_t>(cl.getInt("max-body-kb", 256)) * 1024;
     config.defaultTimeoutMillis = cl.getDouble("timeout-ms", 0.0);
+    config.breaker.failureThreshold =
+        static_cast<std::size_t>(cl.getInt("breaker-failures", 8));
+    config.breaker.openMillis = cl.getDouble("breaker-open-ms", 2000.0);
+    config.watchdog.defaultBudgetMillis =
+        cl.getDouble("watchdog-budget-ms", 30000.0);
+    config.watchdog.graceMillis = cl.getDouble("watchdog-grace-ms", 250.0);
+    config.health.degradeRatio = cl.getDouble("degrade-ratio", 0.5);
+    config.health.recoverRatio = config.health.degradeRatio / 4.0;
+    config.serveStale = !cl.getBool("no-stale", false);
     // Connection workers must outnumber the admission queue or the
     // gate can never fill; keep a few extra for the cheap endpoints.
     config.connectionThreads = config.queueDepth + 8;
+
+    // Env first, CLI second: --faults overrides HIERMEANS_FAULTS.
+    fault::configureFromEnv();
+    if (cl.has("faults"))
+        fault::configure(cl.getString("faults", ""),
+                         static_cast<std::uint64_t>(
+                             cl.getInt("fault-seed", 0)));
 
     util::installShutdownSignals({SIGINT, SIGTERM});
 
