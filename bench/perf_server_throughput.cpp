@@ -145,6 +145,25 @@ main(int argc, char **argv)
     // 2. Warm: the identical mix is all cache hits.
     const double warm_ms = runMix(client, mix);
 
+    // 2b. Tracing overhead on the warm path: the same all-cache-hit
+    // mix repeated, once with the tracer disarmed (the default) and
+    // once armed, in the same process. The disarmed side is the
+    // shipping configuration — each span site costs one relaxed
+    // atomic load — so armed-vs-disarmed bounds what `--trace` buys.
+    std::vector<std::string> warm_mix;
+    const auto warm_repeat =
+        static_cast<std::size_t>(cl.getInt("warm-repeat", 20));
+    for (std::size_t r = 0; r < warm_repeat; ++r)
+        for (const std::string &line : mix)
+            warm_mix.push_back(line);
+    const double untraced_ms = runMix(client, warm_mix);
+    obs::Tracer::Config trace_config;
+    trace_config.enabled = true;
+    trace_config.keepRecent = 8; // bound memory under the repeat loop.
+    obs::Tracer::instance().configure(trace_config);
+    const double traced_ms = runMix(client, warm_mix);
+    obs::Tracer::instance().reset();
+
     // 3. Overload: more closed-loop clients than the queue admits.
     std::atomic<std::uint64_t> overload_ok{0};
     std::atomic<std::uint64_t> overload_shed{0};
@@ -190,6 +209,11 @@ main(int argc, char **argv)
     };
     const double cold_rps = rps(mix.size(), cold_ms);
     const double warm_rps = rps(mix.size(), warm_ms);
+    const double untraced_rps = rps(warm_mix.size(), untraced_ms);
+    const double traced_rps = rps(warm_mix.size(), traced_ms);
+    const double trace_overhead_pct =
+        untraced_ms > 0.0 ? (traced_ms / untraced_ms - 1.0) * 100.0
+                          : 0.0;
 
     if (!json_only) {
         util::TextTable table({"phase", "requests", "wall ms", "req/s"});
@@ -197,6 +221,12 @@ main(int argc, char **argv)
                       str::fixed(cold_ms, 1), str::fixed(cold_rps, 1)});
         table.addRow({"warm", std::to_string(mix.size()),
                       str::fixed(warm_ms, 1), str::fixed(warm_rps, 1)});
+        table.addRow({"warm untraced", std::to_string(warm_mix.size()),
+                      str::fixed(untraced_ms, 1),
+                      str::fixed(untraced_rps, 1)});
+        table.addRow({"warm traced", std::to_string(warm_mix.size()),
+                      str::fixed(traced_ms, 1),
+                      str::fixed(traced_rps, 1)});
         table.addRow(
             {"overload",
              std::to_string(overload_ok.load() + overload_shed.load()),
@@ -209,12 +239,16 @@ main(int argc, char **argv)
                   << queue_depth << ")\n\n"
                   << table.render() << "\n"
                   << "overload: " << overload_ok.load() << " served, "
-                  << overload_shed.load() << " shed with 503\n\n";
+                  << overload_shed.load() << " shed with 503\n"
+                  << "tracing: " << str::fixed(trace_overhead_pct, 2)
+                  << "% warm-path overhead when armed\n\n";
     }
     std::printf(
         "{\"bench\":\"perf_server_throughput\",\"distinct\":%zu,"
         "\"cold_ms\":%s,\"cold_rps\":%s,\"warm_ms\":%s,"
-        "\"warm_rps\":%s,\"warm_speedup\":%s,\"overload_served\":%llu,"
+        "\"warm_rps\":%s,\"warm_speedup\":%s,"
+        "\"warm_untraced_rps\":%s,\"warm_traced_rps\":%s,"
+        "\"trace_overhead_pct\":%s,\"overload_served\":%llu,"
         "\"overload_shed_503\":%llu}\n",
         mix.size(), server::json::number(cold_ms).c_str(),
         server::json::number(cold_rps).c_str(),
@@ -222,6 +256,9 @@ main(int argc, char **argv)
         server::json::number(warm_rps).c_str(),
         server::json::number(warm_ms > 0.0 ? cold_ms / warm_ms : 0.0)
             .c_str(),
+        server::json::number(untraced_rps).c_str(),
+        server::json::number(traced_rps).c_str(),
+        server::json::number(trace_overhead_pct).c_str(),
         static_cast<unsigned long long>(overload_ok.load()),
         static_cast<unsigned long long>(overload_shed.load()));
     return warm_rps > cold_rps ? 0 : 1;

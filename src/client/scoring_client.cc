@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <thread>
+
+#include "src/server/json.h"
 
 namespace hiermeans {
 namespace client {
@@ -81,22 +84,37 @@ ScoringClient::shouldRetry(const Outcome &outcome) const
 Outcome
 ScoringClient::request(const std::string &method, const std::string &target,
                        const std::string &body,
-                       const std::string &content_type)
+                       const std::string &content_type,
+                       const std::string &trace_id)
 {
+    server::HttpClient::Headers headers;
+    if (!trace_id.empty())
+        headers.emplace_back("X-Hiermeans-Trace", trace_id);
+
     RetrySchedule schedule(config_.retry);
     Outcome outcome;
     for (;;) {
         outcome.haveResponse = false;
         outcome.failure = FailureClass::None;
         outcome.error.clear();
+        outcome.apiError = server::ApiError::None;
         try {
-            outcome.response =
-                http_.roundTrip(method, target, body, content_type);
+            outcome.response = http_.roundTrip(method, target, body,
+                                               content_type, headers);
             outcome.haveResponse = true;
             outcome.status = outcome.response.status;
             static const std::string kZero = "0";
             outcome.stale =
                 outcome.response.header("x-hiermeans-stale", kZero) == "1";
+            outcome.traceId = outcome.response.header(
+                "x-hiermeans-trace", trace_id);
+            if (outcome.status >= 400) {
+                const std::optional<std::string> code =
+                    server::json::findString(outcome.response.body,
+                                             "code");
+                if (code)
+                    outcome.apiError = server::parseApiErrorCode(*code);
+            }
         } catch (const net::NetError &error) {
             outcome.failure = classifyNetError(error);
             outcome.error = error.what();
@@ -123,9 +141,10 @@ ScoringClient::request(const std::string &method, const std::string &target,
 }
 
 Outcome
-ScoringClient::score(const std::string &line)
+ScoringClient::score(const std::string &line,
+                     const std::string &trace_id)
 {
-    return request("POST", "/v1/score", line, "text/plain");
+    return request("POST", "/v1/score", line, "text/plain", trace_id);
 }
 
 Outcome

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/client/retry.h"
+#include "src/server/api.h"
 #include "src/server/client.h"
 #include "src/util/net.h"
 
@@ -58,6 +59,14 @@ struct Outcome
     double backoffMillis = 0.0; ///< total retry sleep.
     bool stale = false; ///< response carried X-Hiermeans-Stale.
 
+    /** Trace ID echoed by the server (X-Hiermeans-Trace), or the one
+     *  we sent; empty when neither side traced the request. */
+    std::string traceId;
+
+    /** The envelope's stable error code (None on 2xx or when the
+     *  body carried no recognizable envelope). */
+    server::ApiError apiError = server::ApiError::None;
+
     bool ok() const { return haveResponse && status == 200; }
 };
 
@@ -79,14 +88,18 @@ class ScoringClient
 
     /**
      * One request with retries per the policy. Never throws on
-     * network trouble — the Outcome says what happened.
+     * network trouble — the Outcome says what happened. A non-empty
+     * @p trace_id is sent as X-Hiermeans-Trace so the server's span
+     * tree can be fetched under it afterwards.
      */
     Outcome request(const std::string &method, const std::string &target,
                     const std::string &body = "",
-                    const std::string &content_type = "text/plain");
+                    const std::string &content_type = "text/plain",
+                    const std::string &trace_id = "");
 
     /** POST one manifest line to /v1/score. */
-    Outcome score(const std::string &line);
+    Outcome score(const std::string &line,
+                  const std::string &trace_id = "");
 
     /** GET /healthz. */
     Outcome health();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/cluster/render.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 
 namespace hiermeans {
@@ -48,11 +49,15 @@ analyzeClusters(const CharacteristicVectors &vectors,
                "analyzeClusters: invalid k range [" << config.kMin << ", "
                                                     << config.kMax << "]");
 
-    som::SelfOrganizingMap map =
-        som::SelfOrganizingMap::train(vectors.features, config.som);
+    som::SelfOrganizingMap map = [&] {
+        obs::ScopedSpan span("pipeline.som_train");
+        return som::SelfOrganizingMap::train(vectors.features,
+                                             config.som);
+    }();
     std::vector<std::size_t> bmus = map.bmuAll(vectors.features);
     linalg::Matrix positions = map.mapAll(vectors.features);
 
+    obs::ScopedSpan clusterSpan("pipeline.cluster");
     cluster::Dendrogram dendrogram =
         cluster::agglomerate(positions, config.linkage, config.metric);
 

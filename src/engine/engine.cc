@@ -61,13 +61,22 @@ ScoringEngine::submit(ScoreRequest request)
     const auto received = std::chrono::steady_clock::now();
     const std::uint64_t fingerprint = fingerprintRequest(request);
 
+    obs::Trace *trace = request.trace.get();
+    const std::size_t traceParent = request.traceParent;
+
     std::promise<ScoreResult> promise;
     std::future<ScoreResult> future = promise.get_future();
 
     std::unique_lock<std::mutex> lock(flightsMutex_);
 
     // Fast path: an identical request already completed and is cached.
-    if (auto cached = cache_.get(fingerprint)) {
+    std::size_t lookupSpan = obs::kNoParent;
+    if (trace != nullptr)
+        lookupSpan = trace->begin("cache.lookup", traceParent);
+    auto cached = cache_.get(fingerprint);
+    if (trace != nullptr)
+        trace->end(lookupSpan);
+    if (cached) {
         lock.unlock();
         metrics_.onCacheHit();
         ScoreResult result;
@@ -90,6 +99,11 @@ ScoringEngine::submit(ScoreRequest request)
                                          std::move(promise));
         lock.unlock();
         metrics_.onDedupedInFlight();
+        if (trace != nullptr) {
+            // An instant marker: this request piggybacks on a running
+            // twin, so its own trace ends at the join point.
+            trace->end(trace->begin("engine.dedupe", traceParent));
+        }
         return future;
     }
 
@@ -100,10 +114,17 @@ ScoringEngine::submit(ScoreRequest request)
     flights_[fingerprint] = flight;
     lock.unlock();
 
+    // The queue-wait span stays open until a worker picks the request
+    // up; execute() closes it.
+    std::size_t queueSpan = obs::kNoParent;
+    if (trace != nullptr)
+        queueSpan = trace->begin("engine.queue", traceParent);
+
     auto shared_request =
         std::make_shared<const ScoreRequest>(std::move(request));
-    pool_.submit([this, fingerprint, shared_request, received]() {
-        execute(fingerprint, shared_request, received);
+    pool_.submit([this, fingerprint, shared_request, received,
+                  queueSpan]() {
+        execute(fingerprint, shared_request, received, queueSpan);
     });
     return future;
 }
@@ -111,10 +132,22 @@ ScoringEngine::submit(ScoreRequest request)
 void
 ScoringEngine::execute(std::uint64_t fingerprint,
                        std::shared_ptr<const ScoreRequest> request,
-                       std::chrono::steady_clock::time_point enqueued)
+                       std::chrono::steady_clock::time_point enqueued,
+                       std::size_t queueSpan)
 {
     ScoreResult result;
     result.fingerprint = fingerprint;
+
+    obs::Trace *trace = request->trace.get();
+    std::size_t executeSpan = obs::kNoParent;
+    if (trace != nullptr) {
+        trace->end(queueSpan);
+        executeSpan = trace->begin("engine.execute",
+                                   request->traceParent);
+    }
+    // Pipeline code below records its stage spans through the
+    // thread-local context, parented under engine.execute.
+    obs::ScopedTraceContext traceContext(trace, executeSpan);
 
     const double queue_wait = millisSince(enqueued);
     const bool has_deadline = request->timeoutMillis > 0.0;
@@ -147,15 +180,28 @@ ScoringEngine::execute(std::uint64_t fingerprint,
             core::PipelineConfig config = request->config;
             config.som.seed = request->seed;
 
-            const core::CharacteristicVectors vectors =
-                core::characterizeRaw(request->features,
-                                      request->workloads,
-                                      request->featureNames);
-            auto analysis = std::make_shared<const core::ClusterAnalysis>(
-                core::analyzeClusters(vectors, config));
-            scoring::ScoreReport report = scoring::buildScoreReport(
-                request->kind, request->scoresA, request->scoresB,
-                analysis->partitions);
+            std::shared_ptr<const core::ClusterAnalysis> analysis;
+            {
+                core::CharacteristicVectors vectors;
+                {
+                    obs::ScopedSpan span("pipeline.characterize");
+                    vectors = core::characterizeRaw(
+                        request->features, request->workloads,
+                        request->featureNames);
+                }
+                // analyzeClusters records its own som_train/cluster
+                // stage spans through the thread-local context.
+                analysis =
+                    std::make_shared<const core::ClusterAnalysis>(
+                        core::analyzeClusters(vectors, config));
+            }
+            scoring::ScoreReport report;
+            {
+                obs::ScopedSpan span("pipeline.score");
+                report = scoring::buildScoreReport(
+                    request->kind, request->scoresA, request->scoresB,
+                    analysis->partitions);
+            }
 
             result.report = std::move(report);
             result.analysis = std::move(analysis);
@@ -191,6 +237,7 @@ ScoringEngine::execute(std::uint64_t fingerprint,
         // A failed cache insert must never fail the request (the
         // result is already computed) — and, crucially, must never
         // skip the flight cleanup below, or every waiter deadlocks.
+        obs::ScopedSpan span("cache.put");
         try {
             if (HM_FAULT("engine.cache.put"))
                 throw Error("injected: engine.cache.put failure");
@@ -201,6 +248,8 @@ ScoringEngine::execute(std::uint64_t fingerprint,
             metrics_.onCacheInsertFailure();
         }
     }
+    if (trace != nullptr)
+        trace->end(executeSpan);
 
     // Close the flight *after* the cache insert so a request arriving
     // in between sees either the flight or the cached entry.

@@ -44,6 +44,7 @@
 
 #include "src/core/pipeline.h"
 #include "src/engine/metrics.h"
+#include "src/obs/trace.h"
 #include "src/engine/result_cache.h"
 #include "src/engine/thread_pool.h"
 #include "src/scoring/score_report.h"
@@ -80,6 +81,17 @@ struct ScoreRequest
 
     /** Cooperative deadline in milliseconds; 0 disables. */
     double timeoutMillis = 0.0;
+
+    /**
+     * Live request trace to record cache/queue/execute/pipeline spans
+     * into; nullptr when tracing is disarmed. Like id/labels this is
+     * presentation-only and never fingerprinted — traced and untraced
+     * twins still dedupe onto one execution.
+     */
+    std::shared_ptr<obs::Trace> trace;
+
+    /** Parent span for the engine's spans inside `trace`. */
+    std::size_t traceParent = obs::kNoParent;
 };
 
 /** The outcome of one request. */
@@ -157,7 +169,8 @@ class ScoringEngine
 
     void execute(std::uint64_t fingerprint,
                  std::shared_ptr<const ScoreRequest> request,
-                 std::chrono::steady_clock::time_point enqueued);
+                 std::chrono::steady_clock::time_point enqueued,
+                 std::size_t queueSpan);
 
     Config config_;
     ResultCache cache_;

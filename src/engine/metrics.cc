@@ -66,6 +66,28 @@ LatencyHistogram::mean() const
     return sum / static_cast<double>(samples_.size());
 }
 
+double
+LatencyHistogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+std::vector<std::uint64_t>
+LatencyHistogram::cumulativeCounts(
+    const std::vector<double> &bounds) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint64_t> counts(bounds.size(), 0);
+    for (const double sample : samples_) {
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+            if (sample <= bounds[i])
+                ++counts[i];
+        }
+    }
+    return counts;
+}
+
 namespace {
 
 MetricsSnapshot::Latency

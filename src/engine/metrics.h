@@ -44,6 +44,17 @@ class LatencyHistogram
     /** Arithmetic mean of the samples, 0.0 when empty. */
     double mean() const;
 
+    /** Sum of all samples (milliseconds), 0.0 when empty. */
+    double sum() const;
+
+    /**
+     * Cumulative counts per upper bound in @p bounds (ascending) —
+     * the Prometheus `_bucket` series; result[i] counts samples
+     * <= bounds[i]. The implicit +Inf bucket equals count().
+     */
+    std::vector<std::uint64_t>
+    cumulativeCounts(const std::vector<double> &bounds) const;
+
   private:
     mutable std::mutex mutex_;
     mutable std::vector<double> samples_;
@@ -96,6 +107,16 @@ class EngineMetrics
 
     /** Consistent-enough snapshot of all counters and percentiles. */
     MetricsSnapshot snapshot() const;
+
+    /** Raw histograms — bucket data for Prometheus exposition. */
+    const LatencyHistogram &requestHistogram() const
+    {
+        return requestLatency_;
+    }
+    const LatencyHistogram &pipelineHistogram() const
+    {
+        return pipelineLatency_;
+    }
 
     /** Render the snapshot as two aligned text tables. */
     std::string render() const;

@@ -36,6 +36,10 @@
 #include "src/util/text_table.h"
 #include "src/util/version.h"
 
+// obs — tracing + Prometheus metrics exposition
+#include "src/obs/prometheus.h"
+#include "src/obs/trace.h"
+
 // linalg
 #include "src/linalg/distance.h"
 #include "src/linalg/eigen.h"
@@ -105,6 +109,7 @@
 
 // server — HTTP serving layer over the engine
 #include "src/server/admission.h"
+#include "src/server/api.h"
 #include "src/server/client.h"
 #include "src/server/http.h"
 #include "src/server/json.h"

@@ -1,0 +1,359 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "src/util/cli.h"
+
+namespace hiermeans {
+namespace obs {
+namespace {
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/* Thread-local trace context: which trace (if any) the current thread
+ * is recording into, and the innermost open span to parent under. */
+thread_local Trace *tlTrace = nullptr;
+thread_local std::size_t tlSpan = kNoParent;
+
+/* splitmix64 — cheap, well-mixed; good enough for trace IDs. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> armed{false};
+
+} // namespace detail
+
+Trace::Trace(std::string id)
+    : id_(std::move(id)), epochNanos_(monotonicNanos())
+{
+    spans_.reserve(16);
+}
+
+std::size_t
+Trace::begin(const std::string &name, std::size_t parent)
+{
+    const std::uint64_t now = monotonicNanos() - epochNanos_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Span span;
+    span.name = name;
+    span.parent = parent;
+    span.startNanos = now;
+    spans_.push_back(std::move(span));
+    return spans_.size() - 1;
+}
+
+void
+Trace::end(std::size_t index)
+{
+    const std::uint64_t now = monotonicNanos() - epochNanos_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < spans_.size())
+        spans_[index].endNanos = now;
+}
+
+std::vector<Span>
+Trace::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+double
+Trace::rootMillis() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spans_.empty() || spans_[0].endNanos == 0)
+        return 0.0;
+    return spans_[0].durationMillis();
+}
+
+std::string
+generateTraceId()
+{
+    /* Seed from the clock and a per-call counter so two IDs generated
+     * in the same nanosecond still differ. Uniqueness matters only
+     * within one process's bounded trace rings. */
+    static std::atomic<std::uint64_t> counter{0};
+    std::uint64_t state =
+        monotonicNanos() ^
+        (counter.fetch_add(1, std::memory_order_relaxed) << 32) ^
+        0x243f6a8885a308d3ULL;
+    const std::uint64_t value = splitmix64(state);
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buffer);
+}
+
+bool
+validTraceId(const std::string &id)
+{
+    if (id.empty() || id.size() > 64)
+        return false;
+    for (char c : id) {
+        const bool ok = (c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::configure(const Config &config)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        config_ = config;
+        if (config_.keepRecent == 0)
+            config_.keepRecent = 1;
+        if (config_.keepSlow == 0)
+            config_.keepSlow = 1;
+        recent_.clear();
+        slow_.clear();
+    }
+    finished_.store(0, std::memory_order_relaxed);
+    slowSampled_.store(0, std::memory_order_relaxed);
+    detail::armed.store(config.enabled, std::memory_order_release);
+}
+
+void
+Tracer::reset()
+{
+    configure(Config{});
+}
+
+Tracer::Config
+Tracer::config() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_;
+}
+
+std::shared_ptr<Trace>
+Tracer::start(const std::string &id)
+{
+    return std::make_shared<Trace>(id);
+}
+
+void
+Tracer::finish(std::shared_ptr<Trace> trace)
+{
+    if (!trace)
+        return;
+    const double millis = trace->rootMillis();
+    finished_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    recent_.push_front(trace);
+    while (recent_.size() > config_.keepRecent)
+        recent_.pop_back();
+    if (millis > config_.slowMillis) {
+        slowSampled_.fetch_add(1, std::memory_order_relaxed);
+        slow_.push_front(std::move(trace));
+        while (slow_.size() > config_.keepSlow)
+            slow_.pop_back();
+    }
+}
+
+std::shared_ptr<const Trace>
+Tracer::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &trace : recent_)
+        if (trace->id() == id)
+            return trace;
+    for (const auto &trace : slow_)
+        if (trace->id() == id)
+            return trace;
+    return nullptr;
+}
+
+std::vector<std::string>
+Tracer::recentIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> ids;
+    ids.reserve(recent_.size());
+    for (const auto &trace : recent_)
+        ids.push_back(trace->id());
+    return ids;
+}
+
+std::vector<std::string>
+Tracer::slowIds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> ids;
+    ids.reserve(slow_.size());
+    for (const auto &trace : slow_)
+        ids.push_back(trace->id());
+    return ids;
+}
+
+std::uint64_t
+Tracer::finishedTotal() const
+{
+    return finished_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::slowTotal() const
+{
+    return slowSampled_.load(std::memory_order_relaxed);
+}
+
+Tracer::Config
+traceConfigFromCommandLine(const util::CommandLine &cl,
+                           Tracer::Config base)
+{
+    if (cl.has("trace"))
+        base.enabled = cl.getBool("trace", true);
+    base.slowMillis = cl.getDouble("trace-slow-ms", base.slowMillis);
+    base.keepRecent = static_cast<std::size_t>(cl.getInt(
+        "trace-keep", static_cast<std::int64_t>(base.keepRecent)));
+    base.keepSlow = static_cast<std::size_t>(cl.getInt(
+        "trace-keep-slow", static_cast<std::int64_t>(base.keepSlow)));
+    return base;
+}
+
+Trace *
+currentTrace()
+{
+    return tlTrace;
+}
+
+std::size_t
+currentSpan()
+{
+    return tlSpan;
+}
+
+ScopedTraceContext::ScopedTraceContext(Trace *trace, std::size_t parent)
+    : previousTrace_(tlTrace), previousSpan_(tlSpan)
+{
+    tlTrace = trace;
+    tlSpan = parent;
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    tlTrace = previousTrace_;
+    tlSpan = previousSpan_;
+}
+
+ScopedSpan::ScopedSpan(const char *name)
+{
+    if (!tracingEnabled())
+        return;
+    Trace *trace = tlTrace;
+    if (trace == nullptr)
+        return;
+    trace_ = trace;
+    previousSpan_ = tlSpan;
+    index_ = trace->begin(name, previousSpan_);
+    tlSpan = index_;
+}
+
+ScopedSpan::~ScopedSpan() { close(); }
+
+void
+ScopedSpan::close()
+{
+    if (trace_ == nullptr)
+        return;
+    trace_->end(index_);
+    tlSpan = previousSpan_;
+    trace_ = nullptr;
+}
+
+std::string
+renderSpanTree(const std::string &id, const std::vector<Span> &spans)
+{
+    std::string out = "trace " + id;
+    if (!spans.empty() && spans[0].endNanos != 0) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "  total %.2f ms",
+                      spans[0].durationMillis());
+        out += buffer;
+    }
+    out += '\n';
+
+    /* Children of each span, in recording order. */
+    std::vector<std::vector<std::size_t>> children(spans.size());
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].parent == kNoParent ||
+            spans[i].parent >= spans.size())
+            roots.push_back(i);
+        else
+            children[spans[i].parent].push_back(i);
+    }
+
+    std::size_t nameWidth = 0;
+    for (const Span &span : spans)
+        nameWidth = std::max(nameWidth, span.name.size());
+
+    struct Frame
+    {
+        std::size_t index;
+        std::size_t depth;
+    };
+    std::vector<Frame> stack;
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+        stack.push_back({*it, 0});
+    while (!stack.empty()) {
+        const Frame frame = stack.back();
+        stack.pop_back();
+        const Span &span = spans[frame.index];
+        const std::string indent(frame.depth * 2, ' ');
+        out += indent + span.name;
+        const std::size_t pad =
+            nameWidth + 4 - std::min(nameWidth + 2, indent.size() +
+                                                        span.name.size());
+        out += std::string(pad, ' ');
+        char buffer[64];
+        if (span.endNanos == 0)
+            std::snprintf(buffer, sizeof(buffer), "(open)");
+        else
+            std::snprintf(buffer, sizeof(buffer), "%9.3f ms",
+                          span.durationMillis());
+        out += buffer;
+        out += '\n';
+        const auto &kids = children[frame.index];
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+            stack.push_back({*it, frame.depth + 1});
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace hiermeans

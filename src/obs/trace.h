@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end request tracing: trace IDs, spans and the process-wide
+ * trace store behind `GET /v1/trace/<id>` and `hmctl --trace`.
+ *
+ * A *trace* is one request's tree of *spans* — named, monotonic-clock
+ * timed intervals with parent links (server accept, admission, queue
+ * wait, engine execute, the pipeline stages). Traces are created by
+ * the serving layer (the ID is generated, or accepted from an
+ * `X-Hiermeans-Trace` request header and echoed back), threaded
+ * through the engine inside ScoreRequest, and — inside a worker
+ * thread — picked up by pipeline code through a thread-local context,
+ * so `core::analyzeClusters` can record its SOM/cluster stages without
+ * knowing who is tracing it.
+ *
+ * Cost discipline (same as util::fault): a *disarmed* process pays one
+ * relaxed atomic load per span site (`ScopedSpan` checks the global
+ * armed flag and returns). Arming allocates per-request Trace objects;
+ * finished traces land in two bounded rings — the most recent N, and
+ * the slowest-sampler ring of traces whose root span exceeded the
+ * configured threshold — from which `/v1/trace/<id>` answers.
+ */
+
+#ifndef HIERMEANS_OBS_TRACE_H
+#define HIERMEANS_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace util {
+class CommandLine;
+} // namespace util
+
+namespace obs {
+
+/** Parent index of a root span. */
+inline constexpr std::size_t kNoParent =
+    static_cast<std::size_t>(-1);
+
+/** One timed interval inside a trace. */
+struct Span
+{
+    std::string name;      ///< stage name, e.g. "pipeline.som_train".
+    std::size_t parent = kNoParent; ///< index into the span list.
+    std::uint64_t startNanos = 0;   ///< monotonic, trace-relative.
+    std::uint64_t endNanos = 0;     ///< 0 while still open.
+
+    double durationMillis() const
+    {
+        return static_cast<double>(endNanos - startNanos) / 1e6;
+    }
+};
+
+/**
+ * One request's spans. Thread-safe: the serving thread and an engine
+ * worker may record into the same trace concurrently.
+ */
+class Trace
+{
+  public:
+    explicit Trace(std::string id);
+
+    const std::string &id() const { return id_; }
+
+    /** Open a span; returns its index (stable for end()). */
+    std::size_t begin(const std::string &name,
+                      std::size_t parent = kNoParent);
+
+    /** Close the span opened as @p index. */
+    void end(std::size_t index);
+
+    /** Snapshot of all spans recorded so far. */
+    std::vector<Span> spans() const;
+
+    /** Wall time of the root span (index 0); 0 when absent/open. */
+    double rootMillis() const;
+
+  private:
+    mutable std::mutex mutex_;
+    const std::string id_;
+    const std::uint64_t epochNanos_; ///< all spans relative to this.
+    std::vector<Span> spans_;
+};
+
+/** A fresh 16-hex-digit trace ID (collision-resistant, not secret). */
+std::string generateTraceId();
+
+/**
+ * True when @p id is acceptable as a caller-supplied trace ID:
+ * 1..64 characters from [A-Za-z0-9._-].
+ */
+bool validTraceId(const std::string &id);
+
+/** The process-wide trace store. */
+class Tracer
+{
+  public:
+    struct Config
+    {
+        /** Arm tracing (span sites become live). */
+        bool enabled = false;
+
+        /** Root spans slower than this land in the slow ring. */
+        double slowMillis = 250.0;
+
+        /** Bound of the most-recent-traces ring. */
+        std::size_t keepRecent = 64;
+
+        /** Bound of the slow-request sampler ring. */
+        std::size_t keepSlow = 16;
+    };
+
+    static Tracer &instance();
+
+    /** Arm/re-arm with @p config; clears both rings. */
+    void configure(const Config &config);
+
+    /** Disarm and clear both rings. */
+    void reset();
+
+    Config config() const;
+
+    /** A new live trace under @p id (call only while enabled). */
+    std::shared_ptr<Trace> start(const std::string &id);
+
+    /** File a finished trace into the recent ring (and the slow ring
+     *  when its root span exceeded the threshold). */
+    void finish(std::shared_ptr<Trace> trace);
+
+    /** A finished (or still-live) trace by ID; nullptr when unknown. */
+    std::shared_ptr<const Trace> find(const std::string &id) const;
+
+    /** IDs in the recent ring, newest first. */
+    std::vector<std::string> recentIds() const;
+
+    /** IDs in the slow-sampler ring, newest first. */
+    std::vector<std::string> slowIds() const;
+
+    /** Traces finished / sampled as slow since configure(). */
+    std::uint64_t finishedTotal() const;
+    std::uint64_t slowTotal() const;
+
+  private:
+    Tracer() = default;
+
+    mutable std::mutex mutex_;
+    Config config_;
+    std::deque<std::shared_ptr<Trace>> recent_; ///< newest at front.
+    std::deque<std::shared_ptr<Trace>> slow_;   ///< newest at front.
+    std::atomic<std::uint64_t> finished_{0};
+    std::atomic<std::uint64_t> slowSampled_{0};
+};
+
+/**
+ * Fold the shared `--trace`, `--trace-slow-ms=N`, `--trace-keep=N`
+ * and `--trace-keep-slow=N` flags into @p base (see util::FlagSet's
+ * standard flag block for the canonical spellings).
+ */
+Tracer::Config traceConfigFromCommandLine(const util::CommandLine &cl,
+                                          Tracer::Config base = {});
+
+namespace detail {
+
+/** True when tracing is armed; every span site's fast-path gate. */
+extern std::atomic<bool> armed;
+
+} // namespace detail
+
+/** One relaxed atomic load: is tracing armed? */
+inline bool
+tracingEnabled()
+{
+    return detail::armed.load(std::memory_order_relaxed);
+}
+
+/** The trace installed on this thread (nullptr outside a request). */
+Trace *currentTrace();
+
+/** The innermost open span on this thread (kNoParent when none). */
+std::size_t currentSpan();
+
+/**
+ * Install @p trace (+ @p parent as the current span) on this thread
+ * for the scope's lifetime — how a worker thread inherits the request
+ * trace across the pool boundary. Restores the previous context on
+ * destruction.
+ */
+class ScopedTraceContext
+{
+  public:
+    ScopedTraceContext(Trace *trace, std::size_t parent);
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    Trace *previousTrace_;
+    std::size_t previousSpan_;
+};
+
+/**
+ * RAII span against the thread's current trace. Near-zero cost while
+ * tracing is disarmed or no trace is installed.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** End the span before scope exit (idempotent). */
+    void close();
+
+    /** Index of the opened span (kNoParent when not recording). */
+    std::size_t index() const { return index_; }
+
+  private:
+    Trace *trace_ = nullptr;
+    std::size_t index_ = kNoParent;
+    std::size_t previousSpan_ = kNoParent;
+};
+
+/**
+ * ASCII span tree with per-stage durations — what `hmctl trace`
+ * prints:
+ *
+ *   trace 4f2a...  total 12.41 ms
+ *   server.request                12.41 ms
+ *     admission                    0.02 ms
+ *     engine.execute               11.80 ms
+ *       pipeline.som_train          9.11 ms
+ */
+std::string renderSpanTree(const std::string &id,
+                           const std::vector<Span> &spans);
+
+} // namespace obs
+} // namespace hiermeans
+
+#endif // HIERMEANS_OBS_TRACE_H

@@ -1,0 +1,109 @@
+#include "src/server/api.h"
+
+#include "src/server/json.h"
+
+namespace hiermeans {
+namespace server {
+namespace {
+
+struct CodeEntry
+{
+    ApiError error;
+    const char *code;
+    int status;
+};
+
+/* Wire contract: append only, never rename. */
+const CodeEntry kCodes[] = {
+    {ApiError::None, "none", 200},
+    {ApiError::BadRequest, "bad_request", 400},
+    {ApiError::BodyTooLarge, "body_too_large", 413},
+    {ApiError::HeadersTooLarge, "headers_too_large", 431},
+    {ApiError::InvalidManifest, "invalid_manifest", 400},
+    {ApiError::Timeout, "timeout", 504},
+    {ApiError::WatchdogTimeout, "watchdog_timeout", 504},
+    {ApiError::Overloaded, "overloaded", 503},
+    {ApiError::CircuitOpen, "circuit_open", 503},
+    {ApiError::Draining, "draining", 503},
+    {ApiError::NotFound, "not_found", 404},
+    {ApiError::MethodNotAllowed, "method_not_allowed", 405},
+    {ApiError::ScoringFailed, "scoring_failed", 422},
+    {ApiError::Internal, "internal", 500},
+};
+
+std::string
+traceIdJson(const std::string &traceId)
+{
+    return traceId.empty() ? "null" : json::quote(traceId);
+}
+
+} // namespace
+
+const char *
+apiErrorCode(ApiError error)
+{
+    for (const CodeEntry &entry : kCodes)
+        if (entry.error == error)
+            return entry.code;
+    return "internal";
+}
+
+ApiError
+parseApiErrorCode(const std::string &code)
+{
+    for (const CodeEntry &entry : kCodes)
+        if (code == entry.code)
+            return entry.error;
+    return ApiError::Internal;
+}
+
+int
+apiErrorStatus(ApiError error)
+{
+    for (const CodeEntry &entry : kCodes)
+        if (entry.error == error)
+            return entry.status;
+    return 500;
+}
+
+std::string
+okEnvelope(const std::string &dataJson, const std::string &traceId)
+{
+    return "{\"ok\":true,\"data\":" + dataJson +
+           ",\"error\":null,\"trace_id\":" + traceIdJson(traceId) +
+           "}";
+}
+
+std::string
+errorEnvelope(ApiError error, const std::string &message,
+              const std::string &traceId,
+              const std::string &extraErrorJson)
+{
+    std::string body = "{\"ok\":false,\"data\":null,\"error\":{";
+    body += "\"code\":\"";
+    body += apiErrorCode(error);
+    body += "\",\"message\":" + json::quote(message);
+    if (!extraErrorJson.empty())
+        body += "," + extraErrorJson;
+    body += "},\"trace_id\":" + traceIdJson(traceId) + "}";
+    return body;
+}
+
+HttpResponse
+okResponse(const std::string &dataJson, const std::string &traceId)
+{
+    return jsonResponse(200, okEnvelope(dataJson, traceId) + "\n");
+}
+
+HttpResponse
+errorResponse(ApiError error, const std::string &message,
+              const std::string &traceId,
+              const std::string &extraErrorJson)
+{
+    return jsonResponse(
+        apiErrorStatus(error),
+        errorEnvelope(error, message, traceId, extraErrorJson) + "\n");
+}
+
+} // namespace server
+} // namespace hiermeans

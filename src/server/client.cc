@@ -32,10 +32,21 @@ HttpClient::roundTrip(const std::string &method,
                       const std::string &target, const std::string &body,
                       const std::string &content_type)
 {
+    return roundTrip(method, target, body, content_type, Headers{});
+}
+
+HttpResponseParser::Response
+HttpClient::roundTrip(const std::string &method,
+                      const std::string &target, const std::string &body,
+                      const std::string &content_type,
+                      const Headers &headers)
+{
     ensureConnected();
 
     std::string wire = method + " " + target + " HTTP/1.1\r\n" +
                        "Host: " + host_ + "\r\n";
+    for (const auto &[name, value] : headers)
+        wire += name + ": " + value + "\r\n";
     if (!body.empty())
         wire += "Content-Type: " + content_type + "\r\n";
     wire += "Content-Length: " + std::to_string(body.size()) +

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/server/http.h"
 #include "src/util/net.h"
@@ -37,6 +39,9 @@ class HttpClient
         readTimeoutMillis_ = timeout_millis;
     }
 
+    /** Extra request headers for the overload below. */
+    using Headers = std::vector<std::pair<std::string, std::string>>;
+
     /**
      * Send one request and wait for the full response. Reconnects if
      * the connection is closed; throws hiermeans::Error on connect,
@@ -47,6 +52,12 @@ class HttpClient
                                            const std::string &body = "",
                                            const std::string &content_type =
                                                "text/plain");
+
+    /** roundTrip with extra request headers (e.g. X-Hiermeans-Trace). */
+    HttpResponseParser::Response
+    roundTrip(const std::string &method, const std::string &target,
+              const std::string &body, const std::string &content_type,
+              const Headers &headers);
 
     /** Drop the connection (next roundTrip reconnects). */
     void disconnect();

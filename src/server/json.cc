@@ -83,6 +83,70 @@ findNumber(std::string_view object, std::string_view key)
     return value;
 }
 
+std::optional<std::string>
+findString(std::string_view object, std::string_view key)
+{
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const std::size_t at = object.find(needle);
+    if (at == std::string_view::npos)
+        return std::nullopt;
+    std::size_t begin = at + needle.size();
+    while (begin < object.size() && object[begin] == ' ')
+        ++begin;
+    if (begin >= object.size() || object[begin] != '"')
+        return std::nullopt;
+    ++begin;
+    std::size_t end = begin;
+    while (end < object.size() && object[end] != '"') {
+        if (object[end] == '\\')
+            ++end;
+        ++end;
+    }
+    if (end >= object.size())
+        return std::nullopt;
+    return unescape(object.substr(begin, end - begin));
+}
+
+std::string
+unescape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c != '\\' || i + 1 >= text.size()) {
+            out += c;
+            continue;
+        }
+        const char next = text[++i];
+        switch (next) {
+        case '"':  out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/':  out += '/'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u':
+            if (i + 4 < text.size()) {
+                const std::string hex(text.substr(i + 1, 4));
+                char *end = nullptr;
+                const long code = std::strtol(hex.c_str(), &end, 16);
+                if (end != nullptr && *end == '\0' && code < 0x80) {
+                    out += static_cast<char>(code);
+                    i += 4;
+                    break;
+                }
+            }
+            out += "\\u"; /* malformed: keep literally */
+            break;
+        default:
+            out += '\\';
+            out += next;
+        }
+    }
+    return out;
+}
+
 } // namespace json
 } // namespace server
 } // namespace hiermeans

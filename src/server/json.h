@@ -43,6 +43,16 @@ std::optional<std::string> findRawValue(std::string_view object,
 std::optional<double> findNumber(std::string_view object,
                                  std::string_view key);
 
+/**
+ * findRawValue for string values: the unescaped contents of the
+ * quoted token after `"key":`, or nullopt when absent / not a string.
+ */
+std::optional<std::string> findString(std::string_view object,
+                                      std::string_view key);
+
+/** Undo escape(): resolve \" \\ \n \r \t and \u00XX sequences. */
+std::string unescape(std::string_view text);
+
 } // namespace json
 } // namespace server
 } // namespace hiermeans

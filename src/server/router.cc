@@ -1,11 +1,31 @@
 #include "src/server/router.h"
 
 #include <exception>
+#include <vector>
 
+#include "src/server/api.h"
 #include "src/util/str.h"
 
 namespace hiermeans {
 namespace server {
+namespace {
+
+HttpResponse
+methodNotAllowed(const RequestContext &ctx,
+                 const std::map<std::string, Router::Handler> &methods)
+{
+    std::vector<std::string> allowed;
+    for (const auto &[method, handler] : methods)
+        allowed.push_back(method);
+    HttpResponse response = errorResponse(
+        ApiError::MethodNotAllowed,
+        ctx.http.method + " not allowed on " + ctx.http.path(),
+        ctx.traceId);
+    response.set("Allow", str::join(allowed, ", "));
+    return response;
+}
+
+} // namespace
 
 void
 Router::add(const std::string &method, const std::string &path,
@@ -14,33 +34,53 @@ Router::add(const std::string &method, const std::string &path,
     routes_[path][method] = std::move(handler);
 }
 
-HttpResponse
-Router::dispatch(const HttpRequest &request) const
+void
+Router::addPrefix(const std::string &method, const std::string &prefix,
+                  Handler handler)
 {
-    const auto by_path = routes_.find(request.path());
-    if (by_path == routes_.end()) {
-        return textResponse(404, "no such endpoint: " +
-                                     request.path() + "\n");
+    prefixes_[prefix][method] = std::move(handler);
+}
+
+HttpResponse
+Router::dispatch(const RequestContext &ctx) const
+{
+    const std::string path = ctx.http.path();
+    const std::map<std::string, Handler> *methods = nullptr;
+
+    const auto by_path = routes_.find(path);
+    if (by_path != routes_.end()) {
+        methods = &by_path->second;
+    } else {
+        /* Longest matching prefix; map order makes the last
+         * not-greater key the longest candidate. */
+        std::size_t best = 0;
+        for (const auto &[prefix, handlers] : prefixes_) {
+            if (path.size() >= prefix.size() &&
+                path.compare(0, prefix.size(), prefix) == 0 &&
+                prefix.size() >= best) {
+                best = prefix.size();
+                methods = &handlers;
+            }
+        }
     }
-    const auto by_method = by_path->second.find(request.method);
-    if (by_method == by_path->second.end()) {
-        std::vector<std::string> allowed;
-        for (const auto &[method, handler] : by_path->second)
-            allowed.push_back(method);
-        HttpResponse response = textResponse(
-            405, request.method + " not allowed on " + request.path() +
-                     "\n");
-        response.set("Allow", str::join(allowed, ", "));
-        return response;
-    }
+
+    if (methods == nullptr)
+        return errorResponse(ApiError::NotFound,
+                             "no such endpoint: " + path, ctx.traceId);
+
+    const auto by_method = methods->find(ctx.http.method);
+    if (by_method == methods->end())
+        return methodNotAllowed(ctx, *methods);
+
     try {
-        return by_method->second(request);
+        return by_method->second(ctx);
     } catch (const std::exception &e) {
-        return textResponse(500,
-                            std::string("handler failed: ") + e.what() +
-                                "\n");
+        return errorResponse(ApiError::Internal,
+                             std::string("handler failed: ") + e.what(),
+                             ctx.traceId);
     } catch (...) {
-        return textResponse(500, "handler failed\n");
+        return errorResponse(ApiError::Internal, "handler failed",
+                             ctx.traceId);
     }
 }
 

@@ -2,44 +2,80 @@
  * @file
  * Method+path dispatch for the scoring daemon.
  *
- * Exact-path routing (no wildcards — the API surface is four
- * endpoints): unknown paths answer 404, known paths with the wrong
- * method answer 405 with an `Allow` header, and a handler that throws
- * answers 500 with the exception text — a handler bug must never tear
- * down the connection worker.
+ * Handlers receive a RequestContext — the parsed request plus the
+ * request's trace identity — and every synthesized answer (404 on an
+ * unknown path, 405 with an `Allow` header on a known path with the
+ * wrong method, 500 when a handler throws) is a /v1 envelope carrying
+ * the stable error code, so clients never see an ad-hoc text body. A
+ * handler bug must never tear down the connection worker.
+ *
+ * Routing is exact-path for the fixed API surface, plus prefix routes
+ * for the one parameterized endpoint (`GET /v1/trace/<id>`); the
+ * longest matching prefix wins.
  */
 
 #ifndef HIERMEANS_SERVER_ROUTER_H
 #define HIERMEANS_SERVER_ROUTER_H
 
+#include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/server/http.h"
 
 namespace hiermeans {
 namespace server {
 
+/** Everything a handler needs to answer one request. */
+struct RequestContext
+{
+    const HttpRequest &http;
+
+    /** The request's trace ID ("" when tracing is disarmed and the
+     *  client supplied none). Echoed in every envelope. */
+    std::string traceId;
+
+    /** Live trace to record spans into (nullptr when not tracing).
+     *  Shared so the engine can keep it alive past an abandoned
+     *  (watchdog-tripped) request. */
+    std::shared_ptr<obs::Trace> trace;
+
+    /** The server.request root span — parent for handler spans. */
+    std::size_t rootSpan = obs::kNoParent;
+};
+
 /** Routes requests to registered handlers. */
 class Router
 {
   public:
-    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+    using Handler = std::function<HttpResponse(const RequestContext &)>;
 
     /** Register @p handler for @p method on exact @p path. */
     void add(const std::string &method, const std::string &path,
              Handler handler);
 
     /**
-     * Dispatch @p request: the handler's response, or a synthesized
-     * 404/405/500. Never throws.
+     * Register @p handler for any path starting with @p prefix (the
+     * handler reads the remainder off ctx.http.path()). Exact routes
+     * win over prefixes; among prefixes the longest match wins.
      */
-    HttpResponse dispatch(const HttpRequest &request) const;
+    void addPrefix(const std::string &method, const std::string &prefix,
+                   Handler handler);
+
+    /**
+     * Dispatch @p ctx: the handler's response, or a synthesized
+     * envelope 404/405/500. Never throws.
+     */
+    HttpResponse dispatch(const RequestContext &ctx) const;
 
   private:
     /** path -> method -> handler. */
     std::map<std::string, std::map<std::string, Handler>> routes_;
+    /** prefix -> method -> handler. */
+    std::map<std::string, std::map<std::string, Handler>> prefixes_;
 };
 
 } // namespace server

@@ -5,9 +5,14 @@
 #include <optional>
 #include <sstream>
 
+#include "src/obs/prometheus.h"
+#include "src/obs/trace.h"
+#include "src/server/api.h"
 #include "src/server/json.h"
 #include "src/util/error.h"
 #include "src/util/fault.h"
+#include "src/util/log.h"
+#include "src/util/version.h"
 
 namespace hiermeans {
 namespace server {
@@ -45,20 +50,14 @@ servedBy(const engine::ScoreResult &result)
     return "pipeline";
 }
 
-/** One score result as a flat JSON object (shared by both POSTs). */
+/** A successful score result as the envelope's `data` value. */
 std::string
-resultJson(const engine::ScoreResult &result)
+resultDataJson(const engine::ScoreResult &result)
 {
     std::ostringstream out;
-    out << "{\"id\":" << json::quote(result.id)
-        << ",\"ok\":" << (result.ok ? "true" : "false");
-    if (!result.ok) {
-        out << ",\"timed_out\":" << (result.timedOut ? "true" : "false")
-            << ",\"error\":" << json::quote(result.error) << "}";
-        return out.str();
-    }
     const std::size_t recommended = result.report.recommendedRow();
-    out << ",\"served_by\":\"" << servedBy(result) << "\""
+    out << "{\"id\":" << json::quote(result.id)
+        << ",\"served_by\":\"" << servedBy(result) << "\""
         << ",\"fingerprint\":\"" << std::hex << result.fingerprint
         << std::dec << "\""
         << ",\"recommended_k\":" << result.recommendedK
@@ -80,10 +79,53 @@ resultJson(const engine::ScoreResult &result)
     return out.str();
 }
 
+/** A failed score result as an error envelope (one score or one
+ *  batch line; @p extra is spliced into the error object). */
 std::string
-errorJson(const std::string &message)
+resultErrorEnvelope(const engine::ScoreResult &result,
+                    const std::string &traceId, std::string extra = "")
 {
-    return "{\"ok\":false,\"error\":" + json::quote(message) + "}";
+    ApiError code = ApiError::ScoringFailed;
+    if (result.timedOut) {
+        code = ApiError::Timeout;
+        extra = extra.empty() ? "\"timed_out\":true"
+                              : extra + ",\"timed_out\":true";
+    }
+    return errorEnvelope(code, result.error, traceId, extra);
+}
+
+/** One span as JSON for the /v1/trace payload. */
+std::string
+spanJson(const obs::Span &span)
+{
+    std::ostringstream out;
+    out << "{\"name\":" << json::quote(span.name) << ",\"parent\":";
+    if (span.parent == obs::kNoParent)
+        out << "null";
+    else
+        out << span.parent;
+    out << ",\"start_ms\":"
+        << json::number(static_cast<double>(span.startNanos) / 1e6)
+        << ",\"duration_ms\":";
+    if (span.endNanos == 0)
+        out << "null";
+    else
+        out << json::number(span.durationMillis());
+    out << "}";
+    return out.str();
+}
+
+std::string
+idListJson(const std::vector<std::string> &ids)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += json::quote(ids[i]);
+    }
+    out += "]";
+    return out;
 }
 
 } // namespace
@@ -94,15 +136,24 @@ Server::Server(Config config)
       health_(config.health), watchdog_(config.watchdog),
       requestDefaults_(util::CommandLine::parse({"hmserved"}))
 {
-    router_.add("POST", "/v1/score",
-                [this](const HttpRequest &r) { return handleScore(r); });
-    router_.add("POST", "/v1/batch",
-                [this](const HttpRequest &r) { return handleBatch(r); });
-    router_.add("GET", "/metrics", [this](const HttpRequest &r) {
-        return handleMetrics(r);
+    router_.add("POST", "/v1/score", [this](const RequestContext &c) {
+        return handleScore(c);
     });
-    router_.add("GET", "/healthz", [this](const HttpRequest &r) {
-        return handleHealthz(r);
+    router_.add("POST", "/v1/batch", [this](const RequestContext &c) {
+        return handleBatch(c);
+    });
+    router_.add("GET", "/v1/traces", [this](const RequestContext &c) {
+        return handleTraces(c);
+    });
+    router_.addPrefix("GET", "/v1/trace/",
+                      [this](const RequestContext &c) {
+                          return handleTrace(c);
+                      });
+    router_.add("GET", "/metrics", [this](const RequestContext &c) {
+        return handleMetrics(c);
+    });
+    router_.add("GET", "/healthz", [this](const RequestContext &c) {
+        return handleHealthz(c);
     });
 }
 
@@ -162,7 +213,7 @@ Server::acceptLoop()
         if (pending_.size() >= pending_limit) {
             lock.unlock();
             metrics_.onConnectionRejected();
-            HttpResponse response = overloadedResponse();
+            HttpResponse response = overloadedResponse("");
             response.closeConnection = true;
             try {
                 net::writeAll(accepted.fd(), response.serialize());
@@ -240,10 +291,43 @@ Server::serveConnection(net::Socket socket)
             const HttpRequest &request = parser.request();
             metrics_.onRequest();
             const auto started = std::chrono::steady_clock::now();
-            HttpResponse response = router_.dispatch(request);
+
+            // Trace identity: accept the caller's ID when valid;
+            // otherwise generate one iff tracing is armed. Disarmed
+            // and header-less requests stay on the one-atomic-load
+            // fast path with an empty traceId.
+            static const std::string kEmpty;
+            RequestContext ctx{request, "", nullptr, obs::kNoParent};
+            const std::string &supplied =
+                request.header("x-hiermeans-trace", kEmpty);
+            if (!supplied.empty() && obs::validTraceId(supplied))
+                ctx.traceId = supplied;
+            if (obs::tracingEnabled()) {
+                if (ctx.traceId.empty())
+                    ctx.traceId = obs::generateTraceId();
+                ctx.trace = obs::Tracer::instance().start(ctx.traceId);
+                ctx.rootSpan = ctx.trace->begin("server.request");
+            }
+            // Handlers and the engine submit path record their spans
+            // through the thread-local context.
+            obs::ScopedTraceContext traceContext(ctx.trace.get(),
+                                                 ctx.rootSpan);
+
+            HttpResponse response = router_.dispatch(ctx);
             const Endpoint endpoint = endpointFor(request.path());
-            metrics_.recordLatency(endpoint, millisSince(started));
+            const double elapsed = millisSince(started);
+            metrics_.recordLatency(endpoint, elapsed);
             metrics_.onResponse(response.status);
+            if (!ctx.traceId.empty())
+                response.set("X-Hiermeans-Trace", ctx.traceId);
+            if (ctx.trace) {
+                ctx.trace->end(ctx.rootSpan);
+                obs::Tracer::instance().finish(ctx.trace);
+                HM_LOG(Debug)
+                    << "trace=" << ctx.traceId << " "
+                    << request.method << " " << request.path() << " -> "
+                    << response.status << " in " << elapsed << " ms";
+            }
             if (stopping_.load() || !request.keepAlive())
                 response.closeConnection = true;
             if (HM_FAULT("server.response.write"))
@@ -263,8 +347,13 @@ Server::serveConnection(net::Socket socket)
         if (state == HttpRequestParser::State::Error) {
             metrics_.onRequest();
             metrics_.onMalformed();
-            HttpResponse response = textResponse(
-                parser.errorStatus(), parser.errorMessage() + "\n");
+            ApiError code = ApiError::BadRequest;
+            if (parser.errorStatus() == 413)
+                code = ApiError::BodyTooLarge;
+            else if (parser.errorStatus() == 431)
+                code = ApiError::HeadersTooLarge;
+            HttpResponse response =
+                errorResponse(code, parser.errorMessage(), "");
             response.closeConnection = true;
             metrics_.onResponse(response.status);
             if (HM_FAULT("server.response.write"))
@@ -278,16 +367,19 @@ Server::serveConnection(net::Socket socket)
 }
 
 HttpResponse
-Server::overloadedResponse()
+Server::overloadedResponse(const std::string &traceId)
 {
-    HttpResponse response = jsonResponse(
-        503, errorJson("server overloaded, admission queue full"));
+    HttpResponse response =
+        errorResponse(ApiError::Overloaded,
+                      "server overloaded, admission queue full",
+                      traceId);
     response.set("Retry-After", "1");
     return response;
 }
 
 std::optional<HttpResponse>
-Server::tryStale(std::uint64_t fingerprint, const std::string &id)
+Server::tryStale(std::uint64_t fingerprint, const std::string &id,
+                 const std::string &traceId)
 {
     if (!config_.serveStale)
         return std::nullopt;
@@ -306,7 +398,8 @@ Server::tryStale(std::uint64_t fingerprint, const std::string &id)
     result.recommendedK = cached->recommendedK;
 
     metrics_.onStaleServed();
-    HttpResponse response = jsonResponse(200, resultJson(result));
+    HttpResponse response =
+        okResponse(resultDataJson(result), traceId);
     response.set("X-Hiermeans-Source", "cache");
     response.set("X-Hiermeans-Stale", "1");
     return response;
@@ -315,7 +408,8 @@ Server::tryStale(std::uint64_t fingerprint, const std::string &id)
 std::optional<HttpResponse>
 Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
                           const Watchdog::Token &token,
-                          engine::ScoreResult &result)
+                          engine::ScoreResult &result,
+                          const std::string &traceId)
 {
     constexpr auto kSlice = std::chrono::milliseconds(20);
     for (;;) {
@@ -330,37 +424,44 @@ Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
             metrics_.onTimeout();
             breaker_.onFailure();
             health_.onStuckWorkers(watchdog_.overdue());
-            return jsonResponse(
-                504,
-                errorJson("watchdog: request exceeded its budget"));
+            return errorResponse(
+                ApiError::WatchdogTimeout,
+                "watchdog: request exceeded its budget", traceId,
+                "\"timed_out\":true");
         }
     }
 }
 
 HttpResponse
-Server::handleScore(const HttpRequest &request)
+Server::handleScore(const RequestContext &ctx)
 {
-    std::vector<engine::ManifestLine> lines;
-    try {
-        lines = engine::parseManifest(request.body);
-    } catch (const Error &e) {
-        metrics_.onMalformed();
-        return jsonResponse(400, errorJson(e.what()));
-    }
-    if (lines.size() != 1) {
-        metrics_.onMalformed();
-        return jsonResponse(
-            400, errorJson("expected exactly one manifest line, got " +
-                           std::to_string(lines.size())));
-    }
-
     engine::ScoreRequest score_request;
-    try {
-        score_request = engine::buildManifestRequest(
-            lines.front(), requestDefaults_, csvs_);
-    } catch (const Error &e) {
-        metrics_.onMalformed();
-        return jsonResponse(400, errorJson(e.what()));
+    {
+        obs::ScopedSpan span("parse.manifest");
+        std::vector<engine::ManifestLine> lines;
+        try {
+            lines = engine::parseManifest(ctx.http.body);
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, e.what(),
+                                 ctx.traceId);
+        }
+        if (lines.size() != 1) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "expected exactly one manifest line, got " +
+                    std::to_string(lines.size()),
+                ctx.traceId);
+        }
+        try {
+            score_request = engine::buildManifestRequest(
+                lines.front(), requestDefaults_, csvs_);
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::InvalidManifest, e.what(),
+                                 ctx.traceId);
+        }
     }
     if (score_request.timeoutMillis <= 0.0)
         score_request.timeoutMillis = config_.defaultTimeoutMillis;
@@ -370,13 +471,15 @@ Server::handleScore(const HttpRequest &request)
     const std::uint64_t fingerprint =
         engine::fingerprintRequest(score_request);
 
+    obs::ScopedSpan admissionSpan("admission");
     if (!breaker_.allow()) {
         metrics_.onBreakerFastFail();
-        if (std::optional<HttpResponse> stale =
-                tryStale(fingerprint, score_request.id))
+        if (std::optional<HttpResponse> stale = tryStale(
+                fingerprint, score_request.id, ctx.traceId))
             return std::move(*stale);
-        HttpResponse response = jsonResponse(
-            503, errorJson("circuit open on /v1/score"));
+        HttpResponse response =
+            errorResponse(ApiError::CircuitOpen,
+                          "circuit open on /v1/score", ctx.traceId);
         response.set("Retry-After",
                      std::to_string(std::max(
                          1L, breaker_.retryAfterSeconds())));
@@ -388,64 +491,83 @@ Server::handleScore(const HttpRequest &request)
         metrics_.onShed();
         health_.onShed();
         breaker_.onAbandoned(); // a shed is not a probe outcome.
-        if (std::optional<HttpResponse> stale =
-                tryStale(fingerprint, score_request.id))
+        if (std::optional<HttpResponse> stale = tryStale(
+                fingerprint, score_request.id, ctx.traceId))
             return std::move(*stale);
-        return overloadedResponse();
+        return overloadedResponse(ctx.traceId);
     }
     health_.onAdmitted();
+    admissionSpan.close();
 
     const Watchdog::Token token =
         watchdog_.watch(score_request.timeoutMillis);
+    if (ctx.trace) {
+        // Hand the live trace to the engine: the submit-side spans
+        // (cache.lookup, engine.queue) and the worker-side spans
+        // (engine.execute, pipeline.*) parent under our root.
+        score_request.trace = ctx.trace;
+        score_request.traceParent = ctx.rootSpan;
+    }
     std::future<engine::ScoreResult> future =
         engine_.submit(std::move(score_request));
+
+    obs::ScopedSpan awaitSpan("server.await");
     engine::ScoreResult result;
     if (std::optional<HttpResponse> tripped =
-            awaitWithWatchdog(future, token, result))
+            awaitWithWatchdog(future, token, result, ctx.traceId))
         return std::move(*tripped);
 
     if (!result.ok && result.timedOut) {
         metrics_.onTimeout();
         breaker_.onFailure();
-        return jsonResponse(504, resultJson(result));
+        return jsonResponse(
+            504, resultErrorEnvelope(result, ctx.traceId) + "\n");
     }
     if (!result.ok) {
-        // A 400 is the caller's fault, not the server's: the scoring
+        // A 4xx is the caller's fault, not the server's: the scoring
         // path is healthy, so it closes a half-open probe as success.
         breaker_.onSuccess();
-        return jsonResponse(400, resultJson(result));
+        return jsonResponse(
+            apiErrorStatus(ApiError::ScoringFailed),
+            resultErrorEnvelope(result, ctx.traceId) + "\n");
     }
 
     breaker_.onSuccess();
-    HttpResponse response = jsonResponse(200, resultJson(result));
+    HttpResponse response =
+        okResponse(resultDataJson(result), ctx.traceId);
     response.set("X-Hiermeans-Source", servedBy(result));
     return response;
 }
 
 HttpResponse
-Server::handleBatch(const HttpRequest &request)
+Server::handleBatch(const RequestContext &ctx)
 {
     std::vector<engine::ManifestLine> lines;
     try {
-        lines = engine::parseManifest(request.body);
+        obs::ScopedSpan span("parse.manifest");
+        lines = engine::parseManifest(ctx.http.body);
     } catch (const Error &e) {
         metrics_.onMalformed();
-        return jsonResponse(400, errorJson(e.what()));
+        return errorResponse(ApiError::BadRequest, e.what(),
+                             ctx.traceId);
     }
     if (lines.empty()) {
         metrics_.onMalformed();
-        return jsonResponse(400, errorJson("manifest has no requests"));
+        return errorResponse(ApiError::BadRequest,
+                             "manifest has no requests", ctx.traceId);
     }
 
     // The whole document is one admission unit: it occupies one
     // connection worker and its lines share the engine pool anyway.
+    obs::ScopedSpan admissionSpan("admission");
     AdmissionTicket ticket(gate_);
     if (!ticket.admitted()) {
         metrics_.onShed();
         health_.onShed();
-        return overloadedResponse();
+        return overloadedResponse(ctx.traceId);
     }
     health_.onAdmitted();
+    admissionSpan.close();
 
     // Build everything up front so a bad line fails alone without
     // touching the engine, mirroring hmbatch.
@@ -457,6 +579,10 @@ Server::handleBatch(const HttpRequest &request)
                 lines[i], requestDefaults_, csvs_);
             if (built.timeoutMillis <= 0.0)
                 built.timeoutMillis = config_.defaultTimeoutMillis;
+            if (ctx.trace) {
+                built.trace = ctx.trace;
+                built.traceParent = ctx.rootSpan;
+            }
             requests.push_back(std::move(built));
         } catch (const Error &e) {
             requests.push_back(std::nullopt);
@@ -480,9 +606,11 @@ Server::handleBatch(const HttpRequest &request)
     const Watchdog::Token token = watchdog_.watch(0.0);
     constexpr auto kSlice = std::chrono::milliseconds(20);
 
+    obs::ScopedSpan awaitSpan("server.await");
     std::ostringstream body;
     for (std::size_t i = 0; i < futures.size(); ++i) {
         engine::ScoreResult result = line_errors[i];
+        bool parse_error = !futures[i].has_value();
         if (futures[i]) {
             bool tripped = false;
             while (futures[i]->wait_for(kSlice) !=
@@ -505,8 +633,22 @@ Server::handleBatch(const HttpRequest &request)
         }
         if (!result.ok && result.timedOut)
             metrics_.onTimeout();
-        body << "{\"line\":" << lines[i].lineNumber << ","
-             << resultJson(result).substr(1) << "\n";
+
+        const std::string line_field =
+            "\"line\":" + std::to_string(lines[i].lineNumber);
+        if (result.ok) {
+            body << okEnvelope("{" + line_field + "," +
+                                   resultDataJson(result).substr(1),
+                               ctx.traceId);
+        } else if (parse_error) {
+            body << errorEnvelope(ApiError::InvalidManifest,
+                                  result.error, ctx.traceId,
+                                  line_field);
+        } else {
+            body << resultErrorEnvelope(result, ctx.traceId,
+                                        line_field);
+        }
+        body << "\n";
     }
     HttpResponse response;
     response.status = 200;
@@ -516,13 +658,18 @@ Server::handleBatch(const HttpRequest &request)
 }
 
 HttpResponse
-Server::handleMetrics(const HttpRequest &)
+Server::handleMetrics(const RequestContext &)
 {
-    return textResponse(200, renderMetrics());
+    HttpResponse response;
+    response.status = 200;
+    response.set("Content-Type",
+                 "text/plain; version=0.0.4; charset=utf-8");
+    response.body = renderPrometheus();
+    return response;
 }
 
 HttpResponse
-Server::handleHealthz(const HttpRequest &)
+Server::handleHealthz(const RequestContext &)
 {
     health_.onStuckWorkers(watchdog_.overdue());
     const HealthState state = healthState();
@@ -531,6 +678,58 @@ Server::handleHealthz(const HttpRequest &)
         std::string(healthStateName(state)) + "\n");
     response.set("X-Hiermeans-Health", healthStateName(state));
     return response;
+}
+
+HttpResponse
+Server::handleTrace(const RequestContext &ctx)
+{
+    constexpr const char *kPrefix = "/v1/trace/";
+    const std::string path = ctx.http.path();
+    const std::string id = path.size() > std::string(kPrefix).size()
+                               ? path.substr(std::string(kPrefix).size())
+                               : "";
+    if (id.empty() || !obs::validTraceId(id))
+        return errorResponse(ApiError::BadRequest,
+                             "missing or invalid trace id", ctx.traceId);
+
+    std::shared_ptr<const obs::Trace> found =
+        obs::Tracer::instance().find(id);
+    if (!found) {
+        std::string message = "no such trace: " + id;
+        if (!obs::tracingEnabled())
+            message += " (tracing is disabled; start hmserved with "
+                       "--trace)";
+        return errorResponse(ApiError::NotFound, message, ctx.traceId);
+    }
+
+    const std::vector<obs::Span> spans = found->spans();
+    std::ostringstream data;
+    data << "{\"id\":" << json::quote(found->id())
+         << ",\"root_ms\":" << json::number(found->rootMillis())
+         << ",\"spans\":[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (i > 0)
+            data << ",";
+        data << spanJson(spans[i]);
+    }
+    data << "],\"tree\":"
+         << json::quote(obs::renderSpanTree(found->id(), spans)) << "}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
+HttpResponse
+Server::handleTraces(const RequestContext &ctx)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    std::ostringstream data;
+    data << "{\"enabled\":"
+         << (obs::tracingEnabled() ? "true" : "false")
+         << ",\"slow_ms\":" << json::number(tracer.config().slowMillis)
+         << ",\"finished_total\":" << tracer.finishedTotal()
+         << ",\"slow_total\":" << tracer.slowTotal()
+         << ",\"recent\":" << idListJson(tracer.recentIds())
+         << ",\"slow\":" << idListJson(tracer.slowIds()) << "}";
+    return okResponse(data.str(), ctx.traceId);
 }
 
 HealthState
@@ -553,6 +752,207 @@ Server::renderMetrics() const
     snap.breakerOpens = breaker_.opens();
     return "server metrics:\n" + ServerMetrics::render(snap) +
            "\nengine metrics:\n" + engine_.metrics().render();
+}
+
+namespace {
+
+/** Shared latency bucket bounds (milliseconds) for every histogram
+ *  on /metrics — one scale across server and engine. */
+const std::vector<double> &
+latencyBounds()
+{
+    static const std::vector<double> kBounds = {
+        0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+        10000};
+    return kBounds;
+}
+
+void
+writeHistogram(obs::PrometheusWriter &writer, const std::string &name,
+               const obs::Labels &labels,
+               const engine::LatencyHistogram &histogram)
+{
+    writer.histogram(name, labels, latencyBounds(),
+                     histogram.cumulativeCounts(latencyBounds()),
+                     histogram.sum(), histogram.count());
+}
+
+/** One-hot state gauge: value 1 on the active state's series. */
+void
+writeStateGauge(obs::PrometheusWriter &writer, const std::string &name,
+                const std::vector<const char *> &states,
+                const std::string &active)
+{
+    for (const char *state : states)
+        writer.gauge(name, {{"state", state}},
+                     active == state ? 1.0 : 0.0);
+}
+
+} // namespace
+
+std::string
+Server::renderPrometheus() const
+{
+    ServerMetricsSnapshot snap =
+        metrics_.snapshot(gate_.depth(), gate_.capacity());
+    const engine::MetricsSnapshot engine_snap =
+        engine_.metrics().snapshot();
+    obs::PrometheusWriter w;
+
+    w.header("hiermeans_build_info",
+             "Build/version of the serving daemon.", "gauge");
+    w.gauge("hiermeans_build_info", {{"version", util::kVersion}}, 1.0);
+
+    // --- server: connections + requests -----------------------------
+    w.header("hiermeans_server_connections_accepted_total",
+             "TCP connections accepted.", "counter");
+    w.counter("hiermeans_server_connections_accepted_total", {},
+              snap.connectionsAccepted);
+    w.header("hiermeans_server_connections_rejected_total",
+             "Connections shed before any read.", "counter");
+    w.counter("hiermeans_server_connections_rejected_total", {},
+              snap.connectionsRejected);
+    w.header("hiermeans_server_connections_active",
+             "Connections currently being served.", "gauge");
+    w.gauge("hiermeans_server_connections_active", {},
+            static_cast<double>(snap.connectionsActive));
+
+    w.header("hiermeans_server_requests_total",
+             "HTTP requests received.", "counter");
+    w.counter("hiermeans_server_requests_total", {}, snap.requests);
+    w.header("hiermeans_server_responses_total",
+             "HTTP responses by status class.", "counter");
+    w.counter("hiermeans_server_responses_total", {{"class", "2xx"}},
+              snap.responses2xx);
+    w.counter("hiermeans_server_responses_total", {{"class", "4xx"}},
+              snap.responses4xx);
+    w.counter("hiermeans_server_responses_total", {{"class", "5xx"}},
+              snap.responses5xx);
+
+    w.header("hiermeans_server_shed_total",
+             "Requests shed by the admission gate (503).", "counter");
+    w.counter("hiermeans_server_shed_total", {}, snap.shed503);
+    w.header("hiermeans_server_timeouts_total",
+             "Requests past their deadline (504).", "counter");
+    w.counter("hiermeans_server_timeouts_total", {}, snap.timeouts504);
+    w.header("hiermeans_server_malformed_total",
+             "Malformed requests (400-class).", "counter");
+    w.counter("hiermeans_server_malformed_total", {}, snap.malformed400);
+    w.header("hiermeans_server_stale_served_total",
+             "Cached scores served on degraded paths.", "counter");
+    w.counter("hiermeans_server_stale_served_total", {},
+              snap.staleServed);
+    w.header("hiermeans_server_watchdog_trips_total",
+             "Stuck requests failed by the watchdog (504).", "counter");
+    w.counter("hiermeans_server_watchdog_trips_total", {},
+              snap.watchdogTrips);
+    w.header("hiermeans_server_breaker_fast_fail_total",
+             "Requests fast-failed by an open circuit (503).",
+             "counter");
+    w.counter("hiermeans_server_breaker_fast_fail_total", {},
+              snap.breakerFastFail);
+    w.header("hiermeans_server_breaker_opens_total",
+             "Times the circuit breaker opened.", "counter");
+    w.counter("hiermeans_server_breaker_opens_total", {},
+              breaker_.opens());
+
+    w.header("hiermeans_server_admission_queue_depth",
+             "Admission slots currently held.", "gauge");
+    w.gauge("hiermeans_server_admission_queue_depth", {},
+            static_cast<double>(snap.queueDepth));
+    w.header("hiermeans_server_admission_queue_capacity",
+             "Admission slot capacity.", "gauge");
+    w.gauge("hiermeans_server_admission_queue_capacity", {},
+            static_cast<double>(snap.queueCapacity));
+
+    // --- server: state gauges ---------------------------------------
+    w.header("hiermeans_server_health_state",
+             "Health state (1 on the active series).", "gauge");
+    writeStateGauge(w, "hiermeans_server_health_state",
+                    {"ok", "degraded", "draining"},
+                    healthStateName(healthState()));
+    w.header("hiermeans_server_breaker_state",
+             "Circuit-breaker state (1 on the active series).",
+             "gauge");
+    writeStateGauge(w, "hiermeans_server_breaker_state",
+                    {"closed", "open", "half-open"},
+                    breaker_.stateName());
+
+    // --- server: per-endpoint latency -------------------------------
+    w.header("hiermeans_server_request_duration_ms",
+             "Request wall time by endpoint (milliseconds).",
+             "histogram");
+    for (std::size_t e = 0;
+         e < static_cast<std::size_t>(Endpoint::Count_); ++e) {
+        const auto endpoint = static_cast<Endpoint>(e);
+        writeHistogram(w, "hiermeans_server_request_duration_ms",
+                       {{"endpoint", endpointName(endpoint)}},
+                       metrics_.histogram(endpoint));
+    }
+
+    // --- engine ------------------------------------------------------
+    w.header("hiermeans_engine_requests_total",
+             "Requests submitted to the scoring engine.", "counter");
+    w.counter("hiermeans_engine_requests_total", {},
+              engine_snap.requests);
+    w.header("hiermeans_engine_cache_hits_total",
+             "Requests served straight from the result cache.",
+             "counter");
+    w.counter("hiermeans_engine_cache_hits_total", {},
+              engine_snap.cacheHits);
+    w.header("hiermeans_engine_dedup_total",
+             "Requests piggybacked on an in-flight twin.", "counter");
+    w.counter("hiermeans_engine_dedup_total", {},
+              engine_snap.dedupedInFlight);
+    w.header("hiermeans_engine_executions_total",
+             "Pipelines actually executed.", "counter");
+    w.counter("hiermeans_engine_executions_total", {},
+              engine_snap.executions);
+    w.header("hiermeans_engine_failures_total",
+             "Executions that raised an error.", "counter");
+    w.counter("hiermeans_engine_failures_total", {},
+              engine_snap.failures);
+    w.header("hiermeans_engine_timeouts_total",
+             "Requests past their cooperative deadline.", "counter");
+    w.counter("hiermeans_engine_timeouts_total", {},
+              engine_snap.timeouts);
+    w.header("hiermeans_engine_cache_insert_failures_total",
+             "Results served but not cached.", "counter");
+    w.counter("hiermeans_engine_cache_insert_failures_total", {},
+              engine_snap.cacheInsertFailures);
+    w.header("hiermeans_engine_cache_hit_ratio",
+             "Cache hits / engine requests.", "gauge");
+    w.gauge("hiermeans_engine_cache_hit_ratio", {},
+            engine_snap.cacheHitRatio);
+
+    w.header("hiermeans_engine_request_duration_ms",
+             "Engine wall time per served request (milliseconds).",
+             "histogram");
+    writeHistogram(w, "hiermeans_engine_request_duration_ms", {},
+                   engine_.metrics().requestHistogram());
+    w.header("hiermeans_engine_pipeline_duration_ms",
+             "Wall time per executed pipeline (milliseconds).",
+             "histogram");
+    writeHistogram(w, "hiermeans_engine_pipeline_duration_ms", {},
+                   engine_.metrics().pipelineHistogram());
+
+    // --- tracing ------------------------------------------------------
+    const obs::Tracer &tracer = obs::Tracer::instance();
+    w.header("hiermeans_trace_enabled",
+             "1 when request tracing is armed.", "gauge");
+    w.gauge("hiermeans_trace_enabled", {},
+            obs::tracingEnabled() ? 1.0 : 0.0);
+    w.header("hiermeans_trace_finished_total",
+             "Traces recorded since tracing was configured.",
+             "counter");
+    w.counter("hiermeans_trace_finished_total", {},
+              tracer.finishedTotal());
+    w.header("hiermeans_trace_slow_sampled_total",
+             "Traces kept by the slow-request sampler.", "counter");
+    w.counter("hiermeans_trace_slow_sampled_total", {},
+              tracer.slowTotal());
+
+    return w.text();
 }
 
 } // namespace server

@@ -7,14 +7,25 @@
  *        -> HttpRequestParser -> Router -> handler
  *             -> AdmissionGate -> ScoringEngine -> HttpResponse
  *
- * Endpoints:
- *   POST /v1/score   body = one manifest line; answers one JSON object
- *                    with an `X-Hiermeans-Source: pipeline|cache|dedupe`
- *                    provenance header;
- *   POST /v1/batch   body = a whole manifest; answers one JSON object
- *                    per line (NDJSON), failures isolated per line;
- *   GET  /metrics    server + engine counters and latency histograms;
- *   GET  /healthz    liveness probe.
+ * Endpoints (every /v1 JSON body is the api.h envelope):
+ *   POST /v1/score     body = one manifest line; answers one envelope
+ *                      with an `X-Hiermeans-Source: pipeline|cache|
+ *                      dedupe` provenance header;
+ *   POST /v1/batch     body = a whole manifest; answers one envelope
+ *                      per line (NDJSON), failures isolated per line;
+ *   GET  /v1/trace/<id> span tree of a finished traced request;
+ *   GET  /v1/traces    recent + slow-sampled trace IDs;
+ *   GET  /metrics      Prometheus text exposition of server + engine
+ *                      counters, gauges and latency histograms;
+ *   GET  /healthz      liveness probe (text).
+ *
+ * Tracing: when obs tracing is armed (hmserved --trace, or
+ * obs::Tracer::configure in tests), every request gets a trace ID —
+ * accepted from an `X-Hiermeans-Trace` request header or generated —
+ * echoed in the response header and envelope, with spans recorded
+ * from accept through admission, queue wait, engine execute and the
+ * pipeline stages. Disarmed tracing costs one relaxed atomic load
+ * per request.
  *
  * Robustness contract:
  *   - malformed requests answer 400 without touching the engine;
@@ -135,34 +146,42 @@ class Server
      *  scoring path degrades an otherwise-ok server). */
     HealthState healthState() const;
 
-    /** Server + engine metrics as one text document (the /metrics
-     *  body and the shutdown summary). */
+    /** Server + engine metrics as human-readable text tables (the
+     *  shutdown summary; /metrics serves renderPrometheus()). */
     std::string renderMetrics() const;
+
+    /** Every server/engine/trace metric in Prometheus text
+     *  exposition format (the /metrics body). */
+    std::string renderPrometheus() const;
 
   private:
     void acceptLoop();
     void workerLoop();
     void serveConnection(net::Socket socket);
 
-    HttpResponse handleScore(const HttpRequest &request);
-    HttpResponse handleBatch(const HttpRequest &request);
-    HttpResponse handleMetrics(const HttpRequest &request);
-    HttpResponse handleHealthz(const HttpRequest &request);
+    HttpResponse handleScore(const RequestContext &ctx);
+    HttpResponse handleBatch(const RequestContext &ctx);
+    HttpResponse handleMetrics(const RequestContext &ctx);
+    HttpResponse handleHealthz(const RequestContext &ctx);
+    HttpResponse handleTrace(const RequestContext &ctx);
+    HttpResponse handleTraces(const RequestContext &ctx);
 
     /** 503 + Retry-After (the admission-shed and overflow answer). */
-    static HttpResponse overloadedResponse();
+    static HttpResponse overloadedResponse(const std::string &traceId);
 
     /** Cached stale score as 200 + X-Hiermeans-Stale, when available
      *  and allowed; nullopt sends the caller down the 503 path. */
     std::optional<HttpResponse> tryStale(std::uint64_t fingerprint,
-                                         const std::string &id);
+                                         const std::string &id,
+                                         const std::string &traceId);
 
     /** Wait for @p future, polling @p token; a watchdog trip abandons
      *  the future and yields a 504 (nullopt = result arrived). */
     std::optional<HttpResponse>
     awaitWithWatchdog(std::future<engine::ScoreResult> &future,
                       const Watchdog::Token &token,
-                      engine::ScoreResult &result);
+                      engine::ScoreResult &result,
+                      const std::string &traceId);
 
     Config config_;
     engine::ScoringEngine engine_;

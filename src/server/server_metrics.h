@@ -102,6 +102,12 @@ class ServerMetrics
     ServerMetricsSnapshot snapshot(std::uint64_t queue_depth,
                                    std::uint64_t queue_capacity) const;
 
+    /** Raw per-endpoint histogram — bucket data for Prometheus. */
+    const engine::LatencyHistogram &histogram(Endpoint endpoint) const
+    {
+        return latency_[static_cast<std::size_t>(endpoint)];
+    }
+
     /** Render @p snap as aligned text tables (the /metrics body). */
     static std::string render(const ServerMetricsSnapshot &snap);
 

@@ -1,9 +1,14 @@
 #include "src/util/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ostream>
+#include <set>
 
 #include "src/util/error.h"
+#include "src/util/fault.h"
 #include "src/util/str.h"
+#include "src/util/version.h"
 
 namespace hiermeans {
 namespace util {
@@ -108,6 +113,150 @@ CommandLine::getBool(const std::string &name, bool fallback) const
         return false;
     throw InvalidArgument("flag --" + name + " expects a boolean, got `" +
                           it->second + "`");
+}
+
+std::vector<std::string>
+CommandLine::flagNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(flags_.size());
+    for (const auto &[name, value] : flags_)
+        names.push_back(name);
+    return names; // map iteration is already sorted.
+}
+
+FlagSet::FlagSet(std::string tool, std::string summary)
+    : tool_(std::move(tool)), summary_(std::move(summary))
+{}
+
+FlagSet &
+FlagSet::section(std::string title)
+{
+    Entry entry;
+    entry.isSection = true;
+    entry.name = std::move(title);
+    entries_.push_back(std::move(entry));
+    return *this;
+}
+
+FlagSet &
+FlagSet::flag(std::string name, std::string value, std::string help)
+{
+    Entry entry;
+    entry.name = std::move(name);
+    entry.value = std::move(value);
+    entry.help = std::move(help);
+    entries_.push_back(std::move(entry));
+    return *this;
+}
+
+FlagSet &
+FlagSet::tracing()
+{
+    return section("tracing flags")
+        .flag("trace", "",
+              "arm request tracing (spans + trace IDs)")
+        .flag("trace-slow-ms", "N",
+              "slow-request sampler threshold (default 250)")
+        .flag("trace-keep", "N",
+              "recent traces kept for /v1/trace (default 64)")
+        .flag("trace-keep-slow", "N",
+              "slow traces kept by the sampler (default 16)");
+}
+
+FlagSet &
+FlagSet::standard()
+{
+    return section("standard flags")
+        .flag("faults", "SPEC",
+              "deterministic fault spec (util/fault.h grammar),\n"
+              "e.g. net.write.short=p:0.1,engine.task=nth:7")
+        .flag("fault-seed", "N", "seed for probabilistic fault triggers")
+        .flag("help", "", "print this help and exit")
+        .flag("version", "", "print the version and exit");
+}
+
+FlagSet &
+FlagSet::epilogue(std::string text)
+{
+    epilogue_ = std::move(text);
+    return *this;
+}
+
+std::string
+FlagSet::usage() const
+{
+    std::string out =
+        tool_ + " (" + kVersionString + "): " + summary_ + "\n";
+
+    std::size_t column = 0;
+    for (const Entry &entry : entries_) {
+        if (entry.isSection)
+            continue;
+        // "  --name=VALUE  " drives the help column.
+        std::size_t width = 4 + entry.name.size();
+        if (!entry.value.empty())
+            width += 1 + entry.value.size();
+        column = std::max(column, width + 2);
+    }
+
+    for (const Entry &entry : entries_) {
+        if (entry.isSection) {
+            out += "\n" + entry.name + ":\n";
+            continue;
+        }
+        std::string lead = "  --" + entry.name;
+        if (!entry.value.empty())
+            lead += "=" + entry.value;
+        lead += std::string(column - lead.size(), ' ');
+        bool first = true;
+        for (const std::string &line : str::split(entry.help, '\n')) {
+            out += first ? lead : std::string(column, ' ');
+            out += line;
+            out += '\n';
+            first = false;
+        }
+    }
+    if (!epilogue_.empty())
+        out += "\n" + epilogue_;
+    return out;
+}
+
+std::vector<std::string>
+FlagSet::unknown(const CommandLine &cl) const
+{
+    std::set<std::string> known;
+    for (const Entry &entry : entries_)
+        if (!entry.isSection)
+            known.insert(entry.name);
+    std::vector<std::string> result;
+    for (const std::string &name : cl.flagNames())
+        if (known.count(name) == 0)
+            result.push_back(name);
+    return result;
+}
+
+bool
+FlagSet::handleStandard(const CommandLine &cl, std::ostream &out) const
+{
+    if (cl.has("help")) {
+        out << usage();
+        return true;
+    }
+    if (cl.has("version")) {
+        out << tool_ << " " << kVersionString << "\n";
+        return true;
+    }
+    for (const std::string &name : unknown(cl))
+        out << tool_ << ": warning: unknown flag --" << name << "\n";
+
+    // Env first, flags second: --faults overrides HIERMEANS_FAULTS.
+    fault::configureFromEnv();
+    if (cl.has("faults"))
+        fault::configure(cl.getString("faults", ""),
+                         static_cast<std::uint64_t>(
+                             cl.getInt("fault-seed", 0)));
+    return false;
 }
 
 } // namespace util

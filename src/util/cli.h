@@ -1,6 +1,10 @@
 /**
  * @file
- * A tiny command-line flag parser for the bench and example binaries.
+ * A tiny command-line flag parser for the tool and bench binaries,
+ * plus the shared flag spec (FlagSet) that keeps the five tools'
+ * standard flags — `--help`, `--version`, `--faults=SPEC`,
+ * `--fault-seed=N` and the `--trace-*` family — spelled and
+ * documented identically.
  *
  * Supported syntax: `--name=value`, `--name value`, and bare boolean
  * flags `--name`. Every binary in bench/ accepts `--help`, `--seed=N`
@@ -11,6 +15,7 @@
 #define HIERMEANS_UTIL_CLI_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,10 +61,88 @@ class CommandLine
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const { return positional_; }
 
+    /** Names of every flag present, sorted (FlagSet validation). */
+    std::vector<std::string> flagNames() const;
+
   private:
     std::string program_;
     std::map<std::string, std::string> flags_;
     std::vector<std::string> positional_;
+};
+
+/**
+ * A tool's declared flags: usage-text rendering, unknown-flag
+ * detection, and uniform handling of the standard block. Typical
+ * front-end shape:
+ *
+ *   util::FlagSet flags("hmctl", "probe a running scoring daemon");
+ *   flags.section("probe flags")
+ *        .flag("port", "N", "daemon port (required)")
+ *        .standard();
+ *   const auto cl = util::CommandLine::parse(argc, argv);
+ *   if (flags.handleStandard(cl, std::cout))
+ *       return 0; // --help or --version answered
+ *
+ * handleStandard also arms fault injection from the environment and
+ * the `--faults`/`--fault-seed` flags, so every tool honours the same
+ * chaos contract. The `--trace-*` flags are declared by tracing() and
+ * *applied* by obs::traceConfigFromCommandLine (the util layer cannot
+ * depend on obs).
+ */
+class FlagSet
+{
+  public:
+    /** Spec for @p tool; @p summary is the one-line banner tail. */
+    FlagSet(std::string tool, std::string summary);
+
+    /** Start a titled section ("resilience flags:"). */
+    FlagSet &section(std::string title);
+
+    /**
+     * Declare `--name`; @p value is the placeholder shown after `=`
+     * ("" for bare booleans) and @p help may span lines with '\n'.
+     */
+    FlagSet &flag(std::string name, std::string value, std::string help);
+
+    /** Declare the `--trace` family (arm, slow-ms, keep, keep-slow). */
+    FlagSet &tracing();
+
+    /** Declare the standard block: --help, --version, --faults=SPEC,
+     *  --fault-seed=N. Call last so it renders at the bottom. */
+    FlagSet &standard();
+
+    /** Append free-form lines after the flags (e.g. an endpoints
+     *  table); rendered verbatim at the end of usage(). */
+    FlagSet &epilogue(std::string text);
+
+    /** The full usage text. */
+    std::string usage() const;
+
+    /** Flags present on @p cl but never declared here, sorted. */
+    std::vector<std::string> unknown(const CommandLine &cl) const;
+
+    /**
+     * Uniform front-end behaviour: `--help` prints usage() and
+     * `--version` prints "tool hiermeans X.Y.Z" (both return true:
+     * the tool should exit 0). Otherwise arms fault injection (env
+     * first, flags override), warns on undeclared flags via @p out,
+     * and returns false.
+     */
+    bool handleStandard(const CommandLine &cl, std::ostream &out) const;
+
+  private:
+    struct Entry
+    {
+        bool isSection = false;
+        std::string name;  ///< flag name, or the section title.
+        std::string value; ///< placeholder after `=`; "" = bare flag.
+        std::string help;
+    };
+
+    std::string tool_;
+    std::string summary_;
+    std::string epilogue_;
+    std::vector<Entry> entries_;
 };
 
 } // namespace util

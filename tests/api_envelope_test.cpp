@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Golden tests for the /v1 API envelope and its stable error-code
+ * table — the wire contract shared by the server (emitting) and
+ * client::ScoringClient (parsing). These strings are load-bearing:
+ * a change that breaks one of the goldens breaks deployed clients.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/server/api.h"
+#include "src/server/json.h"
+
+namespace hiermeans {
+namespace server {
+namespace {
+
+/** Every code in the wire contract, with its string and status. */
+const std::vector<std::tuple<ApiError, const char *, int>> kContract =
+    {
+        {ApiError::None, "none", 200},
+        {ApiError::BadRequest, "bad_request", 400},
+        {ApiError::BodyTooLarge, "body_too_large", 413},
+        {ApiError::HeadersTooLarge, "headers_too_large", 431},
+        {ApiError::InvalidManifest, "invalid_manifest", 400},
+        {ApiError::Timeout, "timeout", 504},
+        {ApiError::WatchdogTimeout, "watchdog_timeout", 504},
+        {ApiError::Overloaded, "overloaded", 503},
+        {ApiError::CircuitOpen, "circuit_open", 503},
+        {ApiError::Draining, "draining", 503},
+        {ApiError::NotFound, "not_found", 404},
+        {ApiError::MethodNotAllowed, "method_not_allowed", 405},
+        {ApiError::ScoringFailed, "scoring_failed", 422},
+        {ApiError::Internal, "internal", 500},
+};
+
+TEST(ApiErrorTest, WireCodesAndStatusesAreStable)
+{
+    for (const auto &[error, code, status] : kContract) {
+        EXPECT_STREQ(apiErrorCode(error), code);
+        EXPECT_EQ(apiErrorStatus(error), status)
+            << "status drifted for code " << code;
+    }
+}
+
+TEST(ApiErrorTest, CodesRoundTripThroughParse)
+{
+    for (const auto &[error, code, status] : kContract)
+        EXPECT_EQ(parseApiErrorCode(code), error) << code;
+}
+
+TEST(ApiErrorTest, UnknownCodesParseAsInternal)
+{
+    EXPECT_EQ(parseApiErrorCode("future_code"), ApiError::Internal);
+    EXPECT_EQ(parseApiErrorCode(""), ApiError::Internal);
+}
+
+TEST(ApiEnvelopeTest, OkEnvelopeGolden)
+{
+    EXPECT_EQ(okEnvelope("{\"id\":\"run-1\"}", "4f2adeadbeef0001"),
+              "{\"ok\":true,\"data\":{\"id\":\"run-1\"},"
+              "\"error\":null,\"trace_id\":\"4f2adeadbeef0001\"}");
+}
+
+TEST(ApiEnvelopeTest, EmptyTraceIdSerializesAsNull)
+{
+    // Bit-identical bodies across repeats when tracing is off: the
+    // chaos harness and stale-serving tests rely on this.
+    EXPECT_EQ(okEnvelope("1", ""),
+              "{\"ok\":true,\"data\":1,\"error\":null,"
+              "\"trace_id\":null}");
+    EXPECT_EQ(errorEnvelope(ApiError::NotFound, "no such trace", ""),
+              "{\"ok\":false,\"data\":null,\"error\":{"
+              "\"code\":\"not_found\","
+              "\"message\":\"no such trace\"},\"trace_id\":null}");
+}
+
+TEST(ApiEnvelopeTest, ErrorEnvelopeGolden4xx)
+{
+    EXPECT_EQ(
+        errorEnvelope(ApiError::BadRequest, "expected one line",
+                      "abc123"),
+        "{\"ok\":false,\"data\":null,\"error\":{"
+        "\"code\":\"bad_request\","
+        "\"message\":\"expected one line\"},"
+        "\"trace_id\":\"abc123\"}");
+}
+
+TEST(ApiEnvelopeTest, ErrorEnvelopeGolden5xxWithExtra)
+{
+    // The degraded/timeout shape: extra error fields splice in after
+    // code/message, e.g. the watchdog's timed_out marker.
+    EXPECT_EQ(
+        errorEnvelope(ApiError::WatchdogTimeout,
+                      "watchdog: request exceeded its budget",
+                      "abc123", "\"timed_out\":true"),
+        "{\"ok\":false,\"data\":null,\"error\":{"
+        "\"code\":\"watchdog_timeout\","
+        "\"message\":\"watchdog: request exceeded its budget\","
+        "\"timed_out\":true},\"trace_id\":\"abc123\"}");
+}
+
+TEST(ApiEnvelopeTest, MessagesAreJsonEscaped)
+{
+    const std::string body = errorEnvelope(
+        ApiError::Internal, "quote \" backslash \\ newline \n", "t");
+    EXPECT_NE(body.find("\\\""), std::string::npos);
+    EXPECT_NE(body.find("\\\\"), std::string::npos);
+    EXPECT_NE(body.find("\\n"), std::string::npos);
+    // And it must parse back out intact.
+    const auto message = json::findString(body, "message");
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(*message, "quote \" backslash \\ newline \n");
+}
+
+TEST(ApiEnvelopeTest, OkResponseWrapsEnvelopeIn200Json)
+{
+    const HttpResponse response = okResponse("{\"x\":1}", "tid");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body,
+              okEnvelope("{\"x\":1}", "tid") + "\n");
+}
+
+TEST(ApiEnvelopeTest, ErrorResponseUsesConventionalStatus)
+{
+    for (const auto &[error, code, status] : kContract) {
+        if (error == ApiError::None)
+            continue;
+        const HttpResponse response =
+            errorResponse(error, "boom", "tid");
+        EXPECT_EQ(response.status, status) << code;
+        const auto parsed = json::findString(response.body, "code");
+        ASSERT_TRUE(parsed.has_value()) << code;
+        EXPECT_EQ(*parsed, code);
+    }
+}
+
+TEST(ApiEnvelopeTest, ClientCanRecoverTheCodeFromAnyErrorBody)
+{
+    // What ScoringClient does with a >=400 body: find "code", parse.
+    for (const auto &[error, code, status] : kContract) {
+        const std::string body =
+            errorEnvelope(error, "detail", "trace");
+        const auto parsed = json::findString(body, "code");
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parseApiErrorCode(*parsed), error);
+    }
+}
+
+} // namespace
+} // namespace server
+} // namespace hiermeans

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the Prometheus text exposition writer and the
+ * lexical lint that `hmctl --check` and smoke_server.sh run against
+ * the live `GET /metrics` body. The key property is the round trip:
+ * every document PrometheusWriter emits must pass lintExposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/obs/prometheus.h"
+
+namespace hiermeans {
+namespace obs {
+namespace {
+
+TEST(PrometheusWriterTest, CounterEmitsHeaderThenSample)
+{
+    PrometheusWriter writer;
+    writer.header("hiermeans_server_requests_total",
+                  "Requests accepted.", "counter");
+    writer.counter("hiermeans_server_requests_total", {}, 42);
+
+    EXPECT_EQ(writer.text(),
+              "# HELP hiermeans_server_requests_total "
+              "Requests accepted.\n"
+              "# TYPE hiermeans_server_requests_total counter\n"
+              "hiermeans_server_requests_total 42\n");
+}
+
+TEST(PrometheusWriterTest, LabelsRenderInDeclarationOrder)
+{
+    PrometheusWriter writer;
+    writer.header("hiermeans_server_responses_total", "By class.",
+                  "counter");
+    writer.counter("hiermeans_server_responses_total",
+                   {{"class", "2xx"}, {"endpoint", "score"}}, 7);
+    EXPECT_NE(writer.text().find(
+                  "hiermeans_server_responses_total"
+                  "{class=\"2xx\",endpoint=\"score\"} 7\n"),
+              std::string::npos);
+}
+
+TEST(PrometheusWriterTest, GaugeFormatsSpecialValues)
+{
+    PrometheusWriter writer;
+    writer.header("hiermeans_test_gauge", "g", "gauge");
+    writer.gauge("hiermeans_test_gauge", {{"k", "inf"}},
+                 std::numeric_limits<double>::infinity());
+    writer.gauge("hiermeans_test_gauge", {{"k", "frac"}}, 0.25);
+    EXPECT_NE(writer.text().find("{k=\"inf\"} +Inf\n"),
+              std::string::npos);
+    EXPECT_NE(writer.text().find("{k=\"frac\"} 0.25\n"),
+              std::string::npos);
+    EXPECT_TRUE(lintExposition(writer.text()).empty());
+}
+
+TEST(PrometheusWriterTest, HistogramEmitsCumulativeBucketsSumCount)
+{
+    PrometheusWriter writer;
+    writer.header("hiermeans_server_request_duration_ms", "Latency.",
+                  "histogram");
+    writer.histogram("hiermeans_server_request_duration_ms",
+                     {{"endpoint", "score"}}, {1.0, 5.0}, {3, 9},
+                     123.5, 10);
+
+    const std::string &text = writer.text();
+    EXPECT_NE(text.find("_bucket{endpoint=\"score\",le=\"1\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("_bucket{endpoint=\"score\",le=\"5\"} 9\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("_bucket{endpoint=\"score\",le=\"+Inf\"} 10\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("_sum{endpoint=\"score\"} 123.5\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("_count{endpoint=\"score\"} 10\n"),
+              std::string::npos);
+    EXPECT_TRUE(lintExposition(text).empty());
+}
+
+TEST(PrometheusWriterTest, LabelValuesAreEscaped)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("a\nb"), "a\\nb");
+
+    PrometheusWriter writer;
+    writer.header("hiermeans_test_total", "t", "counter");
+    writer.counter("hiermeans_test_total", {{"path", "a\"b\\c\nd"}},
+                   1);
+    EXPECT_TRUE(lintExposition(writer.text()).empty());
+}
+
+TEST(PrometheusWriterTest, MetricNameValidation)
+{
+    EXPECT_TRUE(validMetricName("hiermeans_engine_cache_hits_total"));
+    EXPECT_TRUE(validMetricName("_leading_underscore"));
+    EXPECT_TRUE(validMetricName("ns:subsystem:name"));
+    EXPECT_FALSE(validMetricName(""));
+    EXPECT_FALSE(validMetricName("9starts_with_digit"));
+    EXPECT_FALSE(validMetricName("has-dash"));
+    EXPECT_FALSE(validMetricName("has space"));
+}
+
+TEST(LintExpositionTest, RoundTripOfAMixedDocumentIsClean)
+{
+    PrometheusWriter writer;
+    writer.header("hiermeans_build_info", "Build metadata.", "gauge");
+    writer.gauge("hiermeans_build_info", {{"version", "1.3.0"}}, 1);
+    writer.header("hiermeans_server_requests_total", "Requests.",
+                  "counter");
+    writer.counter("hiermeans_server_requests_total", {}, 0);
+    writer.header("hiermeans_engine_pipeline_duration_ms",
+                  "Pipeline wall time.", "histogram");
+    writer.histogram("hiermeans_engine_pipeline_duration_ms", {},
+                     {0.5, 1.0, 2.5}, {0, 1, 2}, 4.25, 3);
+
+    const std::vector<std::string> problems =
+        lintExposition(writer.text());
+    EXPECT_TRUE(problems.empty())
+        << "first problem: " << problems.front();
+}
+
+TEST(LintExpositionTest, EmptyDocumentIsRejected)
+{
+    EXPECT_FALSE(lintExposition("").empty());
+}
+
+TEST(LintExpositionTest, MissingTrailingNewlineIsRejected)
+{
+    const std::string text = "# TYPE m counter\nm 1";
+    EXPECT_FALSE(lintExposition(text).empty());
+}
+
+TEST(LintExpositionTest, SampleWithoutTypeIsRejected)
+{
+    EXPECT_FALSE(lintExposition("orphan_metric 1\n").empty());
+}
+
+TEST(LintExpositionTest, UnknownTypeIsRejected)
+{
+    EXPECT_FALSE(
+        lintExposition("# TYPE m thermometer\nm 1\n").empty());
+}
+
+TEST(LintExpositionTest, MalformedLabelSetIsRejected)
+{
+    const std::string text =
+        "# TYPE m counter\nm{unterminated=\"x} 1\n";
+    EXPECT_FALSE(lintExposition(text).empty());
+}
+
+TEST(LintExpositionTest, NonNumericValueIsRejected)
+{
+    EXPECT_FALSE(
+        lintExposition("# TYPE m counter\nm banana\n").empty());
+}
+
+TEST(LintExpositionTest, HistogramMissingInfBucketIsRejected)
+{
+    const std::string text =
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"1\"} 2\n"
+        "h_sum 3\n"
+        "h_count 2\n";
+    const std::vector<std::string> problems = lintExposition(text);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("+Inf"), std::string::npos);
+}
+
+TEST(LintExpositionTest, HistogramMissingSumOrCountIsRejected)
+{
+    const std::string text =
+        "# TYPE h histogram\n"
+        "h_bucket{le=\"+Inf\"} 2\n";
+    const std::vector<std::string> problems = lintExposition(text);
+    // Both _sum and _count are missing.
+    EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(LintExpositionTest, BucketInNonHistogramFamilyIsRejected)
+{
+    const std::string text =
+        "# TYPE g_bucket counter\n"
+        "# TYPE g gauge\n"
+        "g_bucket{le=\"1\"} 2\n";
+    EXPECT_FALSE(lintExposition(text).empty());
+}
+
+TEST(LintExpositionTest, TimestampsAndBlankLinesAreLegal)
+{
+    const std::string text =
+        "# free-form comment\n"
+        "# TYPE m counter\n"
+        "\n"
+        "m{a=\"b\"} 1 1712345678901\n";
+    EXPECT_TRUE(lintExposition(text).empty());
+}
+
+} // namespace
+} // namespace obs
+} // namespace hiermeans

@@ -1,7 +1,8 @@
-/** Router tests: dispatch, 404, 405 + Allow, handler isolation. */
+/** Router tests: dispatch, prefix routes, 404/405/500 envelopes. */
 
 #include <gtest/gtest.h>
 
+#include "src/server/json.h"
 #include "src/server/router.h"
 #include "src/util/error.h"
 
@@ -24,16 +25,27 @@ Router
 makeRouter()
 {
     Router router;
-    router.add("GET", "/healthz", [](const HttpRequest &) {
+    router.add("GET", "/healthz", [](const RequestContext &) {
         return textResponse(200, "ok");
     });
-    router.add("POST", "/v1/score", [](const HttpRequest &request) {
-        return textResponse(200, "scored:" + request.body);
+    router.add("POST", "/v1/score", [](const RequestContext &ctx) {
+        return textResponse(200, "scored:" + ctx.http.body);
     });
-    router.add("GET", "/boom", [](const HttpRequest &) -> HttpResponse {
+    router.add("GET", "/boom", [](const RequestContext &) -> HttpResponse {
         throw InternalError("handler exploded");
     });
+    router.addPrefix("GET", "/v1/trace/", [](const RequestContext &ctx) {
+        return textResponse(200, "trace:" + ctx.http.path());
+    });
     return router;
+}
+
+HttpResponse
+dispatch(const Router &router, const HttpRequest &request,
+         const std::string &trace_id = "")
+{
+    RequestContext ctx{request, trace_id, nullptr, obs::kNoParent};
+    return router.dispatch(ctx);
 }
 
 TEST(RouterTest, DispatchesToRegisteredHandler)
@@ -41,7 +53,7 @@ TEST(RouterTest, DispatchesToRegisteredHandler)
     const Router router = makeRouter();
     HttpRequest request = makeRequest("POST", "/v1/score");
     request.body = "line";
-    const HttpResponse response = router.dispatch(request);
+    const HttpResponse response = dispatch(router, request);
     EXPECT_EQ(response.status, 200);
     EXPECT_EQ(response.body, "scored:line");
 }
@@ -50,23 +62,37 @@ TEST(RouterTest, QueryStringIgnoredForMatching)
 {
     const Router router = makeRouter();
     const HttpResponse response =
-        router.dispatch(makeRequest("GET", "/healthz?probe=1"));
+        dispatch(router, makeRequest("GET", "/healthz?probe=1"));
     EXPECT_EQ(response.status, 200);
 }
 
-TEST(RouterTest, UnknownPathIs404)
+TEST(RouterTest, PrefixRouteMatchesParameterizedPath)
 {
     const Router router = makeRouter();
     const HttpResponse response =
-        router.dispatch(makeRequest("GET", "/nope"));
+        dispatch(router, makeRequest("GET", "/v1/trace/abc123"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "trace:/v1/trace/abc123");
+}
+
+TEST(RouterTest, UnknownPathIs404Envelope)
+{
+    const Router router = makeRouter();
+    const HttpResponse response =
+        dispatch(router, makeRequest("GET", "/nope"), "tid-404");
     EXPECT_EQ(response.status, 404);
+    EXPECT_NE(response.body.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(response.body.find("\"code\":\"not_found\""),
+              std::string::npos);
+    EXPECT_EQ(json::findString(response.body, "trace_id").value_or(""),
+              "tid-404");
 }
 
 TEST(RouterTest, WrongMethodIs405WithAllow)
 {
     const Router router = makeRouter();
     const HttpResponse response =
-        router.dispatch(makeRequest("GET", "/v1/score"));
+        dispatch(router, makeRequest("GET", "/v1/score"));
     EXPECT_EQ(response.status, 405);
     bool has_allow = false;
     for (const auto &[name, value] : response.headers) {
@@ -76,16 +102,20 @@ TEST(RouterTest, WrongMethodIs405WithAllow)
         }
     }
     EXPECT_TRUE(has_allow);
+    EXPECT_NE(response.body.find("\"code\":\"method_not_allowed\""),
+              std::string::npos);
 }
 
 TEST(RouterTest, ThrowingHandlerIs500NotPropagated)
 {
     const Router router = makeRouter();
     HttpResponse response;
-    EXPECT_NO_THROW(response =
-                        router.dispatch(makeRequest("GET", "/boom")));
+    EXPECT_NO_THROW(
+        response = dispatch(router, makeRequest("GET", "/boom")));
     EXPECT_EQ(response.status, 500);
     EXPECT_NE(response.body.find("handler exploded"),
+              std::string::npos);
+    EXPECT_NE(response.body.find("\"code\":\"internal\""),
               std::string::npos);
 }
 

@@ -257,8 +257,9 @@ TEST_F(ServerResilienceTest, BreakerOpensAfterConsecutiveFailures)
     // them in; a bare ServerMetrics snapshot cannot).
     const Response rendered = c.roundTrip("GET", "/metrics");
     ASSERT_EQ(rendered.status, 200);
-    EXPECT_NE(rendered.body.find("breaker state"), std::string::npos);
-    EXPECT_NE(rendered.body.find("open"), std::string::npos);
+    EXPECT_NE(rendered.body.find(
+                  "hiermeans_server_breaker_state{state=\"open\"} 1"),
+              std::string::npos);
 
     // An open breaker degrades /healthz even though the gate is idle.
     const Response health = c.roundTrip("GET", "/healthz");
@@ -366,11 +367,17 @@ TEST_F(ServerResilienceTest, MetricsBodyCarriesResilienceCounters)
               200);
     const Response metrics = c.roundTrip("GET", "/metrics");
     ASSERT_EQ(metrics.status, 200);
-    EXPECT_NE(metrics.body.find("stale served"), std::string::npos);
-    EXPECT_NE(metrics.body.find("watchdog trips"), std::string::npos);
-    EXPECT_NE(metrics.body.find("breaker fast-fails"),
+    EXPECT_NE(metrics.body.find("hiermeans_server_stale_served_total"),
               std::string::npos);
-    EXPECT_NE(metrics.body.find("health state"), std::string::npos);
+    EXPECT_NE(
+        metrics.body.find("hiermeans_server_watchdog_trips_total"),
+        std::string::npos);
+    EXPECT_NE(
+        metrics.body.find("hiermeans_server_breaker_fast_fail_total"),
+        std::string::npos);
+    EXPECT_NE(metrics.body.find(
+                  "hiermeans_server_health_state{state=\"ok\"} 1"),
+              std::string::npos);
 }
 
 } // namespace

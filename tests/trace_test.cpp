@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for the obs tracing layer: trace IDs, span recording,
+ * the thread-local context, the process-wide Tracer rings (recent +
+ * slow sampler) and the rendered span tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/cli.h"
+
+namespace hiermeans {
+namespace obs {
+namespace {
+
+/** Every test runs against a disarmed, empty Tracer. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Tracer::instance().reset(); }
+    void TearDown() override { Tracer::instance().reset(); }
+
+    static Tracer::Config armedConfig()
+    {
+        Tracer::Config config;
+        config.enabled = true;
+        return config;
+    }
+};
+
+TEST_F(TraceTest, GeneratedIdsAreSixteenHexAndDistinct)
+{
+    const std::string a = generateTraceId();
+    const std::string b = generateTraceId();
+    EXPECT_EQ(a.size(), 16u);
+    EXPECT_EQ(b.size(), 16u);
+    EXPECT_NE(a, b);
+    for (char c : a) {
+        const bool hex =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        EXPECT_TRUE(hex) << "non-hex digit in trace ID: " << a;
+    }
+    EXPECT_TRUE(validTraceId(a));
+}
+
+TEST_F(TraceTest, ValidTraceIdAcceptsTheDocumentedAlphabet)
+{
+    EXPECT_TRUE(validTraceId("a"));
+    EXPECT_TRUE(validTraceId("Az0.9_-x"));
+    EXPECT_TRUE(validTraceId(std::string(64, 'f')));
+
+    EXPECT_FALSE(validTraceId(""));
+    EXPECT_FALSE(validTraceId(std::string(65, 'f')));
+    EXPECT_FALSE(validTraceId("has space"));
+    EXPECT_FALSE(validTraceId("semi;colon"));
+    EXPECT_FALSE(validTraceId("new\nline"));
+    EXPECT_FALSE(validTraceId("slash/"));
+}
+
+TEST_F(TraceTest, SpansRecordParentLinksAndDurations)
+{
+    Trace trace("t1");
+    const std::size_t root = trace.begin("server.request");
+    const std::size_t child = trace.begin("engine.execute", root);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    trace.end(child);
+    trace.end(root);
+
+    const std::vector<Span> spans = trace.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "server.request");
+    EXPECT_EQ(spans[0].parent, kNoParent);
+    EXPECT_EQ(spans[1].name, "engine.execute");
+    EXPECT_EQ(spans[1].parent, root);
+    EXPECT_GE(spans[0].endNanos, spans[0].startNanos);
+    EXPECT_GT(trace.rootMillis(), 0.0);
+    // The child cannot outlast its parent here.
+    EXPECT_LE(spans[1].durationMillis(), spans[0].durationMillis());
+}
+
+TEST_F(TraceTest, RootMillisIsZeroWhileTheRootIsOpen)
+{
+    Trace trace("t2");
+    EXPECT_EQ(trace.rootMillis(), 0.0);
+    const std::size_t root = trace.begin("server.request");
+    EXPECT_EQ(trace.rootMillis(), 0.0); // still open.
+    trace.end(root);
+    EXPECT_GE(trace.rootMillis(), 0.0);
+}
+
+TEST_F(TraceTest, EndingAnOutOfRangeSpanIsHarmless)
+{
+    Trace trace("t3");
+    trace.end(7); // no such span; must not crash or record.
+    EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST_F(TraceTest, DisarmedScopedSpanRecordsNothing)
+{
+    EXPECT_FALSE(tracingEnabled());
+    auto trace = std::make_shared<Trace>("t4");
+    ScopedTraceContext context(trace.get(), kNoParent);
+    {
+        ScopedSpan span("admission");
+        EXPECT_EQ(span.index(), kNoParent);
+    }
+    EXPECT_TRUE(trace->spans().empty());
+}
+
+TEST_F(TraceTest, ScopedSpanNestsThroughTheThreadLocalContext)
+{
+    Tracer::instance().configure(armedConfig());
+    auto trace = Tracer::instance().start("t5");
+    const std::size_t root = trace->begin("server.request");
+    {
+        ScopedTraceContext context(trace.get(), root);
+        ScopedSpan outer("engine.execute");
+        EXPECT_EQ(currentSpan(), outer.index());
+        {
+            ScopedSpan inner("pipeline.score");
+            EXPECT_EQ(currentSpan(), inner.index());
+        }
+        EXPECT_EQ(currentSpan(), outer.index());
+    }
+    trace->end(root);
+
+    const std::vector<Span> spans = trace->spans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[1].parent, root);          // engine.execute
+    EXPECT_EQ(spans[2].parent, spans.size() - 2); // pipeline.score
+    EXPECT_EQ(spans[2].name, "pipeline.score");
+}
+
+TEST_F(TraceTest, ScopedSpanCloseIsIdempotent)
+{
+    Tracer::instance().configure(armedConfig());
+    auto trace = Tracer::instance().start("t6");
+    ScopedTraceContext context(trace.get(), kNoParent);
+
+    ScopedSpan span("admission");
+    const std::size_t index = span.index();
+    ASSERT_NE(index, kNoParent);
+    span.close();
+    const std::uint64_t endNanos = trace->spans()[index].endNanos;
+    EXPECT_NE(endNanos, 0u);
+    EXPECT_EQ(currentSpan(), kNoParent); // context restored early.
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    span.close(); // second close must not move the end time.
+    EXPECT_EQ(trace->spans()[index].endNanos, endNanos);
+}
+
+TEST_F(TraceTest, ContextTransfersAcrossThreads)
+{
+    Tracer::instance().configure(armedConfig());
+    auto trace = Tracer::instance().start("t7");
+    const std::size_t root = trace->begin("server.request");
+
+    std::thread worker([&] {
+        ScopedTraceContext context(trace.get(), root);
+        ScopedSpan span("engine.execute");
+    });
+    worker.join();
+    trace->end(root);
+
+    EXPECT_EQ(currentTrace(), nullptr); // this thread never enrolled.
+    const std::vector<Span> spans = trace->spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[1].name, "engine.execute");
+    EXPECT_EQ(spans[1].parent, root);
+}
+
+TEST_F(TraceTest, RecentRingEvictsOldestBeyondKeep)
+{
+    Tracer::Config config = armedConfig();
+    config.keepRecent = 3;
+    Tracer::instance().configure(config);
+    Tracer &tracer = Tracer::instance();
+
+    for (int i = 0; i < 5; ++i) {
+        auto trace = tracer.start("trace-" + std::to_string(i));
+        const std::size_t root = trace->begin("server.request");
+        trace->end(root);
+        tracer.finish(trace);
+    }
+
+    EXPECT_EQ(tracer.finishedTotal(), 5u);
+    const std::vector<std::string> ids = tracer.recentIds();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(ids[0], "trace-4"); // newest first.
+    EXPECT_EQ(ids[2], "trace-2");
+    EXPECT_EQ(tracer.find("trace-0"), nullptr);
+    ASSERT_NE(tracer.find("trace-4"), nullptr);
+    EXPECT_EQ(tracer.find("trace-4")->id(), "trace-4");
+}
+
+TEST_F(TraceTest, SlowSamplerKeepsTracesBeyondTheThreshold)
+{
+    Tracer::Config config = armedConfig();
+    config.slowMillis = 0.0; // anything with a closed root is "slow".
+    config.keepRecent = 1;   // recent ring evicts almost instantly.
+    Tracer::instance().configure(config);
+    Tracer &tracer = Tracer::instance();
+
+    auto slow = tracer.start("the-slow-one");
+    const std::size_t root = slow->begin("server.request");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    slow->end(root);
+    tracer.finish(slow);
+
+    // Push it out of the recent ring; the sampler must still hold it.
+    auto fresh = tracer.start("fresh");
+    const std::size_t freshRoot = fresh->begin("server.request");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    fresh->end(freshRoot);
+    tracer.finish(fresh);
+
+    EXPECT_GE(tracer.slowTotal(), 1u);
+    ASSERT_NE(tracer.find("the-slow-one"), nullptr);
+    const std::vector<std::string> slowIds = tracer.slowIds();
+    ASSERT_FALSE(slowIds.empty());
+    EXPECT_EQ(slowIds[0], "fresh"); // newest first here too.
+}
+
+TEST_F(TraceTest, FastTracesSkipTheSlowSampler)
+{
+    Tracer::Config config = armedConfig();
+    config.slowMillis = 1e9; // nothing qualifies.
+    Tracer::instance().configure(config);
+    Tracer &tracer = Tracer::instance();
+
+    auto trace = tracer.start("quick");
+    const std::size_t root = trace->begin("server.request");
+    trace->end(root);
+    tracer.finish(trace);
+
+    EXPECT_EQ(tracer.slowTotal(), 0u);
+    EXPECT_TRUE(tracer.slowIds().empty());
+}
+
+TEST_F(TraceTest, ResetDisarmsAndClearsBothRings)
+{
+    Tracer::instance().configure(armedConfig());
+    EXPECT_TRUE(tracingEnabled());
+    auto trace = Tracer::instance().start("gone");
+    const std::size_t root = trace->begin("server.request");
+    trace->end(root);
+    Tracer::instance().finish(trace);
+
+    Tracer::instance().reset();
+    EXPECT_FALSE(tracingEnabled());
+    EXPECT_EQ(Tracer::instance().find("gone"), nullptr);
+    EXPECT_EQ(Tracer::instance().finishedTotal(), 0u);
+}
+
+TEST_F(TraceTest, TraceConfigFromCommandLineOverridesBase)
+{
+    const auto cl = util::CommandLine::parse(
+        {"tool", "--trace", "--trace-slow-ms=12.5", "--trace-keep=9",
+         "--trace-keep-slow=3"});
+    const Tracer::Config config = traceConfigFromCommandLine(cl);
+    EXPECT_TRUE(config.enabled);
+    EXPECT_DOUBLE_EQ(config.slowMillis, 12.5);
+    EXPECT_EQ(config.keepRecent, 9u);
+    EXPECT_EQ(config.keepSlow, 3u);
+
+    // No flags: the base passes through untouched.
+    const auto empty = util::CommandLine::parse({"tool"});
+    Tracer::Config base;
+    base.slowMillis = 77.0;
+    const Tracer::Config kept = traceConfigFromCommandLine(empty, base);
+    EXPECT_FALSE(kept.enabled);
+    EXPECT_DOUBLE_EQ(kept.slowMillis, 77.0);
+
+    // --trace=false disarms explicitly.
+    const auto off =
+        util::CommandLine::parse({"tool", "--trace=false"});
+    Tracer::Config armed;
+    armed.enabled = true;
+    EXPECT_FALSE(traceConfigFromCommandLine(off, armed).enabled);
+}
+
+TEST_F(TraceTest, RenderSpanTreeIndentsChildrenAndMarksOpenSpans)
+{
+    Trace trace("deadbeefcafef00d");
+    const std::size_t root = trace.begin("server.request");
+    const std::size_t engine = trace.begin("engine.execute", root);
+    trace.begin("pipeline.som_train", engine); // left open.
+    trace.end(engine);
+    trace.end(root);
+
+    const std::string tree =
+        renderSpanTree(trace.id(), trace.spans());
+    EXPECT_NE(tree.find("trace deadbeefcafef00d"), std::string::npos);
+    EXPECT_NE(tree.find("total"), std::string::npos);
+    EXPECT_NE(tree.find("server.request"), std::string::npos);
+    EXPECT_NE(tree.find("\n  engine.execute"), std::string::npos);
+    EXPECT_NE(tree.find("\n    pipeline.som_train"),
+              std::string::npos);
+    EXPECT_NE(tree.find("(open)"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace hiermeans

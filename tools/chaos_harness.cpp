@@ -86,7 +86,9 @@ stripField(std::string body, const std::string &key)
 std::string
 canonicalBody(const std::string &body)
 {
-    return stripField(stripField(body, "wall_ms"), "served_by");
+    return stripField(
+        stripField(stripField(body, "wall_ms"), "served_by"),
+        "trace_id");
 }
 
 /** One seeded fault schedule, derived deterministically from the

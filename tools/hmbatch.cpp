@@ -35,29 +35,37 @@ namespace {
 
 using namespace hiermeans;
 
-void
-printUsage()
+util::FlagSet
+flagSpec()
 {
-    std::cout <<
-        "hmbatch (" << util::kVersionString << "): run a manifest of\n"
-        "scoring requests through the concurrent scoring engine\n"
-        "\n"
-        "required flags:\n"
-        "  --manifest=FILE    one request per line (key=value tokens;\n"
-        "                     keys: scores features machine-a machine-b\n"
-        "                     [id mean kmin kmax linkage seed som-rows\n"
-        "                     som-cols som-steps timeout-ms])\n"
-        "\n"
-        "optional flags:\n"
-        "  --threads=N        engine worker threads (default 4)\n"
-        "  --repeat=N         run the whole manifest N times; repeats\n"
-        "                     are served from the result cache\n"
-        "  --cache-entries=N  result cache entry bound (default 256)\n"
-        "  --cache-mb=N       result cache byte bound (default 64)\n"
-        "  --mean/--kmin/--kmax/--linkage/--seed/--timeout-ms\n"
-        "                     defaults for lines that omit the key\n"
-        "  --out=FILE         also write the consolidated report there\n"
-        "  --quiet            print only the consolidated report\n";
+    util::FlagSet flags("hmbatch",
+                        "run a manifest of scoring requests through "
+                        "the concurrent\nscoring engine");
+    flags.section("required flags")
+        .flag("manifest", "FILE",
+              "one request per line (key=value tokens;\n"
+              "keys: scores features machine-a machine-b\n"
+              "[id mean kmin kmax linkage seed som-rows\n"
+              "som-cols som-steps timeout-ms])");
+    flags.section("optional flags")
+        .flag("threads", "N", "engine worker threads (default 4)")
+        .flag("repeat", "N",
+              "run the whole manifest N times; repeats are\n"
+              "served from the result cache")
+        .flag("cache-entries", "N",
+              "result cache entry bound (default 256)")
+        .flag("cache-mb", "N", "result cache byte bound (default 64)")
+        .flag("mean", "gm|am|hm", "default for lines omitting the key")
+        .flag("kmin", "N", "default for lines omitting the key")
+        .flag("kmax", "N", "default for lines omitting the key")
+        .flag("linkage", "NAME", "default for lines omitting the key")
+        .flag("seed", "N", "default for lines omitting the key")
+        .flag("timeout-ms", "N", "default for lines omitting the key")
+        .flag("out", "FILE",
+              "also write the consolidated report there")
+        .flag("quiet", "", "print only the consolidated report");
+    flags.tracing().standard();
+    return flags;
 }
 
 int
@@ -65,9 +73,11 @@ run(const util::CommandLine &cl)
 {
     const std::string manifest_path = cl.getString("manifest", "");
     if (manifest_path.empty()) {
-        printUsage();
+        std::cerr << flagSpec().usage();
         return 2;
     }
+    obs::Tracer::instance().configure(
+        obs::traceConfigFromCommandLine(cl));
     const auto threads =
         static_cast<std::size_t>(cl.getInt("threads", 4));
     const auto repeat = static_cast<std::size_t>(cl.getInt("repeat", 1));
@@ -184,10 +194,8 @@ main(int argc, char **argv)
 {
     try {
         const auto cl = util::CommandLine::parse(argc, argv);
-        if (cl.has("help")) {
-            printUsage();
+        if (flagSpec().handleStandard(cl, std::cout))
             return 0;
-        }
         return run(cl);
     } catch (const hiermeans::Error &e) {
         std::cerr << "hmbatch: " << e.what() << "\n";

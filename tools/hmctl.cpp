@@ -14,9 +14,10 @@
  *
  * Usage:
  *   hmctl --port=N [--host=127.0.0.1] [--health] [--metrics]
- *         [--score=LINE] [--timeout-ms=2000] [--retries=2]
- *         [--retry-base-ms=50] [--retry-cap-ms=2000]
- *         [--retry-budget-ms=10000] [--seed=N] [--json-only]
+ *         [--check] [--score=LINE] [--trace=ID] [--traces]
+ *         [--timeout-ms=2000] [--retries=2] [--retry-base-ms=50]
+ *         [--retry-cap-ms=2000] [--retry-budget-ms=10000] [--seed=N]
+ *         [--json-only]
  *
  * Default probe is --health. Output is one JSON line:
  *   {"probe":"health","ok":true,"status":200,"health":"ok",
@@ -25,6 +26,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "src/hiermeans.h"
 
@@ -32,34 +34,44 @@ namespace {
 
 using namespace hiermeans;
 
-void
-printUsage()
+util::FlagSet
+flagSpec()
 {
-    std::cout <<
-        "hmctl (" << util::kVersionString << "): probe for a running\n"
-        "hmserved daemon\n"
-        "\n"
-        "required flags:\n"
-        "  --port=N           hmserved port\n"
-        "\n"
-        "probes (default --health):\n"
-        "  --health           GET /healthz; exit 0 ok, 2 degraded,\n"
-        "                     3 draining, 1 unreachable\n"
-        "  --metrics          GET /metrics; print the metrics body\n"
-        "  --score=LINE       POST one manifest line to /v1/score\n"
-        "\n"
-        "optional flags:\n"
-        "  --host=NAME        server host (default 127.0.0.1)\n"
-        "  --timeout-ms=N     per-attempt response deadline\n"
-        "                     (default 2000; 0 = wait forever)\n"
-        "  --retries=N        extra attempts on retryable failures\n"
-        "                     (default 2)\n"
-        "  --retry-base-ms=N  backoff draw lower bound (default 50)\n"
-        "  --retry-cap-ms=N   backoff draw upper bound (default 2000)\n"
-        "  --retry-budget-ms=N  total backoff sleep (default 10000)\n"
-        "  --seed=N           backoff jitter seed (default 1)\n"
-        "  --json-only        suppress non-JSON output (--metrics body,\n"
-        "                     --score response body)\n";
+    util::FlagSet flags("hmctl",
+                        "probe for a running hmserved daemon");
+    flags.section("required flags").flag("port", "N", "hmserved port");
+    flags.section("probes (default --health)")
+        .flag("health", "",
+              "GET /healthz; exit 0 ok, 2 degraded,\n"
+              "3 draining, 1 unreachable")
+        .flag("metrics", "", "GET /metrics; print the metrics body")
+        .flag("check", "",
+              "GET /metrics and lint the Prometheus exposition\n"
+              "format; exit 0 clean, 1 with issues listed")
+        .flag("score", "LINE", "POST one manifest line to /v1/score")
+        .flag("trace", "ID",
+              "GET /v1/trace/<ID>; print the span tree (the\n"
+              "daemon must run with --trace)")
+        .flag("traces", "", "GET /v1/traces; list stored trace IDs");
+    flags.section("optional flags")
+        .flag("host", "NAME", "server host (default 127.0.0.1)")
+        .flag("timeout-ms", "N",
+              "per-attempt response deadline\n"
+              "(default 2000; 0 = wait forever)")
+        .flag("retries", "N",
+              "extra attempts on retryable failures (default 2)")
+        .flag("retry-base-ms", "N",
+              "backoff draw lower bound (default 50)")
+        .flag("retry-cap-ms", "N",
+              "backoff draw upper bound (default 2000)")
+        .flag("retry-budget-ms", "N",
+              "total backoff sleep (default 10000)")
+        .flag("seed", "N", "backoff jitter seed (default 1)")
+        .flag("json-only", "",
+              "suppress non-JSON output (--metrics body,\n"
+              "--score response body, span trees)");
+    flags.standard();
+    return flags;
 }
 
 /** One JSON summary line for any probe outcome. */
@@ -84,7 +96,7 @@ int
 run(const util::CommandLine &cl)
 {
     if (!cl.has("port")) {
-        printUsage();
+        std::cerr << flagSpec().usage();
         return 2;
     }
 
@@ -115,9 +127,30 @@ run(const util::CommandLine &cl)
         return outcome.ok() ? 0 : 1;
     }
 
+    if (cl.has("check")) {
+        const client::Outcome outcome = client.metrics();
+        printSummary("check", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        const std::vector<std::string> issues =
+            obs::lintExposition(outcome.response.body);
+        if (issues.empty()) {
+            if (!json_only)
+                std::cout << "exposition format: clean\n";
+            return outcome.ok() ? 0 : 1;
+        }
+        for (const std::string &issue : issues)
+            std::cerr << "hmctl: exposition: " << issue << "\n";
+        return 1;
+    }
+
     if (cl.has("score")) {
-        const client::Outcome outcome =
-            client.score(cl.getString("score", ""));
+        // `--score=LINE --trace=ID` posts under that trace ID, ready
+        // for a follow-up `hmctl --trace=ID` span-tree fetch.
+        const client::Outcome outcome = client.score(
+            cl.getString("score", ""), cl.getString("trace", ""));
         if (outcome.haveResponse && !json_only)
             std::cout << outcome.response.body << "\n";
         printSummary("score", outcome, "");
@@ -125,6 +158,49 @@ run(const util::CommandLine &cl)
             std::cerr << "hmctl: " << outcome.error << "\n";
             return 1;
         }
+        return outcome.ok() ? 0 : 1;
+    }
+
+    if (cl.has("trace")) {
+        const std::string id = cl.getString("trace", "");
+        const client::Outcome outcome =
+            client.request("GET", "/v1/trace/" + id);
+        printSummary("trace", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            const auto message = server::json::findString(
+                outcome.response.body, "message");
+            std::cerr << "hmctl: "
+                      << message.value_or(outcome.response.body)
+                      << "\n";
+            return 1;
+        }
+        if (!json_only) {
+            // The envelope carries the rendered tree; print it rather
+            // than re-deriving it from the span list.
+            const auto tree = server::json::findString(
+                outcome.response.body, "tree");
+            if (tree)
+                std::cout << *tree;
+            else
+                std::cout << outcome.response.body << "\n";
+        }
+        return 0;
+    }
+
+    if (cl.has("traces")) {
+        const client::Outcome outcome =
+            client.request("GET", "/v1/traces");
+        printSummary("traces", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!json_only)
+            std::cout << outcome.response.body;
         return outcome.ok() ? 0 : 1;
     }
 
@@ -159,10 +235,8 @@ main(int argc, char **argv)
 {
     try {
         const auto cl = util::CommandLine::parse(argc, argv);
-        if (cl.has("help")) {
-            printUsage();
+        if (flagSpec().handleStandard(cl, std::cout))
             return 0;
-        }
         return run(cl);
     } catch (const hiermeans::Error &e) {
         std::cerr << "hmctl: " << e.what() << "\n";

@@ -20,7 +20,11 @@
  *    "stale_served":..,"connect_errors":..,"connect_refused":..,
  *    "conn_reset":..,"timeouts":..,"net_other":..,"bad_response":..,
  *    "retries":..,"backoff_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
- *    "max_ms":..,"duration_s":..,"concurrency":..}
+ *    "max_ms":..,"duration_s":..,"concurrency":..,"slow_traces":[..]}
+ *
+ * With --trace every request carries a generated X-Hiermeans-Trace ID;
+ * the IDs of the slowest percentile are reported (slow_traces), ready
+ * for `hmctl --trace=ID` against a daemon started with --trace.
  *
  * Usage:
  *   hmload --port=N [--host=127.0.0.1] [--concurrency=2]
@@ -32,11 +36,14 @@
  * server path without needing data files.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/hiermeans.h"
@@ -45,32 +52,41 @@ namespace {
 
 using namespace hiermeans;
 
-void
-printUsage()
+util::FlagSet
+flagSpec()
 {
-    std::cout <<
-        "hmload (" << util::kVersionString << "): closed-loop load\n"
-        "generator for the hmserved scoring daemon\n"
-        "\n"
-        "required flags:\n"
-        "  --port=N           hmserved port\n"
-        "\n"
-        "optional flags:\n"
-        "  --host=NAME        server host (default 127.0.0.1)\n"
-        "  --concurrency=N    worker connections (default 2)\n"
-        "  --duration-s=N     seconds to run (default 3)\n"
-        "  --manifest=FILE    request mix: each line is POSTed to\n"
-        "                     /v1/score (default: GET /healthz probes)\n"
-        "  --timeout-ms=N     per-attempt response deadline; expiries\n"
-        "                     count as timeouts (default 0: wait forever)\n"
-        "  --retries=N        extra attempts per request on retryable\n"
-        "                     failures (default 0: report every error)\n"
-        "  --retry-base-ms=N  backoff draw lower bound (default 50)\n"
-        "  --retry-cap-ms=N   backoff draw upper bound (default 2000)\n"
-        "  --retry-budget-ms=N  total backoff sleep per request\n"
-        "                     (default 10000)\n"
-        "  --seed=N           backoff jitter seed (default 1)\n"
-        "  --json-only        print only the JSON result line\n";
+    util::FlagSet flags(
+        "hmload",
+        "closed-loop load generator for the hmserved scoring daemon");
+    flags.section("required flags").flag("port", "N", "hmserved port");
+    flags.section("optional flags")
+        .flag("host", "NAME", "server host (default 127.0.0.1)")
+        .flag("concurrency", "N", "worker connections (default 2)")
+        .flag("duration-s", "N", "seconds to run (default 3)")
+        .flag("manifest", "FILE",
+              "request mix: each line is POSTed to /v1/score\n"
+              "(default: GET /healthz probes)")
+        .flag("timeout-ms", "N",
+              "per-attempt response deadline; expiries count\n"
+              "as timeouts (default 0: wait forever)")
+        .flag("retries", "N",
+              "extra attempts per request on retryable\n"
+              "failures (default 0: report every error)")
+        .flag("retry-base-ms", "N",
+              "backoff draw lower bound (default 50)")
+        .flag("retry-cap-ms", "N",
+              "backoff draw upper bound (default 2000)")
+        .flag("retry-budget-ms", "N",
+              "total backoff sleep per request (default 10000)")
+        .flag("seed", "N", "backoff jitter seed (default 1)")
+        .flag("json-only", "", "print only the JSON result line");
+    flags.section("tracing flags")
+        .flag("trace", "",
+              "send a generated X-Hiermeans-Trace ID with every\n"
+              "request and report the slowest percentile's IDs\n"
+              "(retrieve span trees with hmctl --trace=ID)");
+    flags.standard();
+    return flags;
 }
 
 /** Shared tallies across workers. */
@@ -89,22 +105,30 @@ struct Tally
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> backoffMicros{0};
     engine::LatencyHistogram latency;
+
+    /** (latency ms, trace ID) per answered request under --trace. */
+    std::mutex tracedMutex;
+    std::vector<std::pair<double, std::string>> traced;
 };
 
 void
 worker(const client::ScoringClient::Config &config,
        const std::vector<std::string> &mix, std::size_t offset,
-       std::chrono::steady_clock::time_point deadline, Tally &tally)
+       std::chrono::steady_clock::time_point deadline, bool trace,
+       Tally &tally)
 {
     client::ScoringClient client(config);
     std::size_t next = offset;
     while (std::chrono::steady_clock::now() < deadline) {
         const auto start = std::chrono::steady_clock::now();
+        std::string trace_id;
+        if (trace)
+            trace_id = obs::generateTraceId();
         client::Outcome outcome;
         if (mix.empty()) {
             outcome = client.health();
         } else {
-            outcome = client.score(mix[next % mix.size()]);
+            outcome = client.score(mix[next % mix.size()], trace_id);
             ++next;
         }
         tally.retries += outcome.attempts - 1;
@@ -137,6 +161,11 @@ worker(const client::ScoringClient::Config &config,
             std::chrono::steady_clock::now() - start;
         ++tally.requests;
         tally.latency.record(elapsed.count());
+        if (trace && !outcome.traceId.empty()) {
+            std::lock_guard<std::mutex> lock(tally.tracedMutex);
+            tally.traced.emplace_back(elapsed.count(),
+                                      outcome.traceId);
+        }
         if (outcome.stale)
             ++tally.staleServed;
         if (outcome.status >= 200 && outcome.status < 300)
@@ -152,7 +181,7 @@ int
 run(const util::CommandLine &cl)
 {
     if (!cl.has("port")) {
-        printUsage();
+        std::cerr << flagSpec().usage();
         return 2;
     }
     const auto port = static_cast<std::uint16_t>(cl.getInt("port", 0));
@@ -163,6 +192,7 @@ run(const util::CommandLine &cl)
     const double duration_s = cl.getDouble("duration-s", 3.0);
     HM_REQUIRE(duration_s > 0.0, "--duration-s must be > 0");
     const bool json_only = cl.getBool("json-only", false);
+    const bool trace = cl.getBool("trace", false);
 
     client::ScoringClient::Config client_config;
     client_config.host = host;
@@ -216,7 +246,7 @@ run(const util::CommandLine &cl)
         client::ScoringClient::Config worker_config = client_config;
         worker_config.retry.seed += i;
         threads.emplace_back([&, worker_config, i] {
-            worker(worker_config, mix, i, deadline, tally);
+            worker(worker_config, mix, i, deadline, trace, tally);
         });
     }
     for (std::thread &thread : threads)
@@ -232,6 +262,37 @@ run(const util::CommandLine &cl)
         elapsed.count() > 0.0
             ? static_cast<double>(requests) / elapsed.count()
             : 0.0;
+
+    // The slowest percentile's trace IDs (at least 1, at most 10):
+    // the requests worth pulling span trees for.
+    std::string slow_traces = "[";
+    if (!tally.traced.empty()) {
+        std::sort(tally.traced.begin(), tally.traced.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        std::size_t keep = tally.traced.size() / 100;
+        keep = std::min<std::size_t>(std::max<std::size_t>(keep, 1), 10);
+        for (std::size_t i = 0; i < keep; ++i) {
+            if (i > 0)
+                slow_traces += ",";
+            slow_traces +=
+                "{\"ms\":" +
+                server::json::number(tally.traced[i].first) +
+                ",\"trace_id\":" +
+                server::json::quote(tally.traced[i].second) + "}";
+        }
+        if (!json_only) {
+            std::cout << "slowest traced requests (hmctl --trace=ID "
+                         "--port=N to inspect):\n";
+            for (std::size_t i = 0; i < keep; ++i) {
+                std::printf("  %9.3f ms  %s\n", tally.traced[i].first,
+                            tally.traced[i].second.c_str());
+            }
+        }
+    }
+    slow_traces += "]";
+
     std::printf(
         "{\"rps\":%s,\"requests\":%llu,\"http_2xx\":%llu,"
         "\"http_4xx\":%llu,\"http_5xx\":%llu,\"stale_served\":%llu,"
@@ -239,7 +300,8 @@ run(const util::CommandLine &cl)
         "\"conn_reset\":%llu,\"timeouts\":%llu,\"net_other\":%llu,"
         "\"bad_response\":%llu,\"retries\":%llu,\"backoff_ms\":%s,"
         "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s,"
-        "\"duration_s\":%s,\"concurrency\":%llu}\n",
+        "\"duration_s\":%s,\"concurrency\":%llu,"
+        "\"slow_traces\":%s}\n",
         server::json::number(rps).c_str(),
         static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(tally.http2xx.load()),
@@ -261,7 +323,8 @@ run(const util::CommandLine &cl)
         server::json::number(tally.latency.percentile(99.0)).c_str(),
         server::json::number(tally.latency.max()).c_str(),
         server::json::number(elapsed.count()).c_str(),
-        static_cast<unsigned long long>(concurrency));
+        static_cast<unsigned long long>(concurrency),
+        slow_traces.c_str());
     std::fflush(stdout);
 
     // A run that never completed a request is a failed run: the server
@@ -276,10 +339,8 @@ main(int argc, char **argv)
 {
     try {
         const auto cl = util::CommandLine::parse(argc, argv);
-        if (cl.has("help")) {
-            printUsage();
+        if (flagSpec().handleStandard(cl, std::cout))
             return 0;
-        }
         return run(cl);
     } catch (const hiermeans::Error &e) {
         std::cerr << "hmload: " << e.what() << "\n";

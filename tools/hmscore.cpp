@@ -26,6 +26,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "src/hiermeans.h"
 
@@ -34,39 +35,46 @@ namespace {
 using namespace hiermeans;
 using util::readFile;
 
-void
-printUsage()
+util::FlagSet
+flagSpec()
 {
-    std::cout <<
-        "hmscore (" << util::kVersionString
-              << "): score a benchmark suite with hierarchical means\n"
-        "\n"
-        "required flags:\n"
-        "  --scores=FILE      CSV: workload,<machine>,... (positive)\n"
-        "  --features=FILE    CSV: workload,<feature>,...\n"
-        "  --machine-a=NAME   first machine column to compare\n"
-        "  --machine-b=NAME   second machine column to compare\n"
-        "  (or --all-machines to compare every column at once)\n"
-        "\n"
-        "optional flags:\n"
-        "  --mean=gm|am|hm    mean family (default gm)\n"
-        "  --kmin=N --kmax=N  cluster-count sweep (default 2..8)\n"
-        "  --linkage=NAME     single|complete|average|weighted|ward\n"
-        "  --som-rows=N --som-cols=N --som-steps=N   SOM geometry\n"
-        "  --seed=N           RNG seed (default 0x5eed)\n"
-        "  --out-csv=FILE     also write the report as CSV\n"
-        "  --all-machines     N-machine table instead of A/B\n"
-        "  --influence        leave-one-out workload influence\n"
-        "  --partition=FILE   score against a fixed reference cluster\n"
-        "                     distribution (workload,cluster CSV)\n"
-        "                     instead of clustering; --features is\n"
-        "                     then optional\n"
-        "  --out-partition=F  save the recommended partition as the\n"
-        "                     reference cluster distribution\n"
-        "  --threads=N        compute the k-sweep / --all-machines\n"
-        "                     scoring on N engine worker threads\n"
-        "                     (default 1 = serial; results identical)\n"
-        "  --quiet            print only the score table\n";
+    util::FlagSet flags(
+        "hmscore", "score a benchmark suite with hierarchical means");
+    flags.section("required flags")
+        .flag("scores", "FILE",
+              "CSV: workload,<machine>,... (positive)")
+        .flag("features", "FILE", "CSV: workload,<feature>,...")
+        .flag("machine-a", "NAME", "first machine column to compare")
+        .flag("machine-b", "NAME",
+              "second machine column to compare\n"
+              "(or --all-machines to compare every column at once)");
+    flags.section("optional flags")
+        .flag("mean", "gm|am|hm", "mean family (default gm)")
+        .flag("kmin", "N", "cluster-count sweep start (default 2)")
+        .flag("kmax", "N", "cluster-count sweep end (default 8)")
+        .flag("linkage", "NAME",
+              "single|complete|average|weighted|ward")
+        .flag("som-rows", "N", "SOM rows (default: auto-sized)")
+        .flag("som-cols", "N", "SOM columns (default: auto-sized)")
+        .flag("som-steps", "N", "SOM training steps (default 4000)")
+        .flag("seed", "N", "RNG seed (default 0x5eed)")
+        .flag("out-csv", "FILE", "also write the report as CSV")
+        .flag("all-machines", "", "N-machine table instead of A/B")
+        .flag("influence", "", "leave-one-out workload influence")
+        .flag("partition", "FILE",
+              "score against a fixed reference cluster\n"
+              "distribution (workload,cluster CSV) instead of\n"
+              "clustering; --features is then optional")
+        .flag("out-partition", "F",
+              "save the recommended partition as the\n"
+              "reference cluster distribution")
+        .flag("threads", "N",
+              "compute the k-sweep / --all-machines scoring on\n"
+              "N engine worker threads (default 1 = serial;\n"
+              "results identical)")
+        .flag("quiet", "", "print only the score table");
+    flags.tracing().standard();
+    return flags;
 }
 
 /**
@@ -119,7 +127,7 @@ run(const util::CommandLine &cl)
     if (scores_path.empty() ||
         (features_path.empty() && partition_path.empty()) ||
         (!all_machines && (machine_a.empty() || machine_b.empty()))) {
-        printUsage();
+        std::cerr << flagSpec().usage();
         return 2;
     }
 
@@ -191,6 +199,18 @@ run(const util::CommandLine &cl)
     const auto threads =
         static_cast<std::size_t>(cl.getInt("threads", 1));
     HM_REQUIRE(threads >= 1, "--threads must be >= 1");
+
+    // With --trace armed, the pipeline stages below record spans into
+    // a local trace whose tree is printed after the report.
+    obs::Tracer::instance().configure(
+        obs::traceConfigFromCommandLine(cl));
+    std::shared_ptr<obs::Trace> trace;
+    std::size_t trace_root = obs::kNoParent;
+    if (obs::tracingEnabled()) {
+        trace = obs::Tracer::instance().start(obs::generateTraceId());
+        trace_root = trace->begin("hmscore.run");
+    }
+    obs::ScopedTraceContext trace_context(trace.get(), trace_root);
 
     const core::CharacteristicVectors vectors = core::characterizeRaw(
         features.values, features.workloads, features.features);
@@ -274,6 +294,13 @@ run(const util::CommandLine &cl)
         }
         std::cout << table.render();
     }
+
+    if (trace) {
+        trace->end(trace_root);
+        std::cout << "\n"
+                  << obs::renderSpanTree(trace->id(), trace->spans());
+        obs::Tracer::instance().finish(std::move(trace));
+    }
     return 0;
 }
 
@@ -284,10 +311,8 @@ main(int argc, char **argv)
 {
     try {
         const auto cl = util::CommandLine::parse(argc, argv);
-        if (cl.has("help")) {
-            printUsage();
+        if (flagSpec().handleStandard(cl, std::cout))
             return 0;
-        }
         return run(cl);
     } catch (const hiermeans::Error &e) {
         std::cerr << "hmscore: " << e.what() << "\n";

@@ -13,7 +13,9 @@
  *            [--timeout-ms=0] [--breaker-failures=8]
  *            [--breaker-open-ms=2000] [--watchdog-budget-ms=30000]
  *            [--watchdog-grace-ms=250] [--degrade-ratio=0.5]
- *            [--no-stale] [--faults=SPEC] [--fault-seed=N] [--quiet]
+ *            [--no-stale] [--quiet] [--trace] [--trace-slow-ms=250]
+ *            [--trace-keep=64] [--trace-keep-slow=16] [--faults=SPEC]
+ *            [--fault-seed=N]
  *
  * `--port=0` picks an ephemeral port; the chosen port is printed (and
  * flushed) as `listening on port N` so scripts can scrape it.
@@ -32,54 +34,56 @@ namespace {
 
 using namespace hiermeans;
 
-void
-printUsage()
+util::FlagSet
+flagSpec()
 {
-    std::cout <<
-        "hmserved (" << util::kVersionString << "): HTTP scoring\n"
-        "daemon over the concurrent scoring engine\n"
-        "\n"
-        "optional flags:\n"
-        "  --port=N           TCP port (default 8377; 0 = ephemeral)\n"
-        "  --threads=N        engine worker threads (default 4)\n"
-        "  --queue-depth=N    admission queue bound; beyond it requests\n"
-        "                     are shed with 503 (default 8)\n"
-        "  --cache-entries=N  result cache entry bound (default 256)\n"
-        "  --cache-mb=N       result cache byte bound (default 64)\n"
-        "  --max-body-kb=N    request body limit, 413 beyond (default 256)\n"
-        "  --timeout-ms=N     default per-request deadline when the\n"
-        "                     manifest line has no timeout-ms (default 0:\n"
-        "                     no deadline)\n"
-        "\n"
-        "resilience flags:\n"
-        "  --breaker-failures=N   consecutive 5xx that open the /v1/score\n"
-        "                         circuit (default 8; 0 disables)\n"
-        "  --breaker-open-ms=N    open window before a half-open probe\n"
-        "                         (default 2000)\n"
-        "  --watchdog-budget-ms=N hard budget for requests without their\n"
-        "                         own deadline (default 30000; 0 disables\n"
-        "                         the watchdog)\n"
-        "  --watchdog-grace-ms=N  slack beyond a request's own deadline\n"
-        "                         before the watchdog answers 504\n"
-        "                         (default 250)\n"
-        "  --degrade-ratio=X      shed fraction of recent requests that\n"
-        "                         flips /healthz to degraded (default 0.5)\n"
-        "  --no-stale             never serve stale cached scores when\n"
-        "                         shedding (default: serve them with\n"
-        "                         X-Hiermeans-Stale: 1)\n"
-        "\n"
-        "chaos flags:\n"
-        "  --faults=SPEC      deterministic fault spec, e.g.\n"
-        "                     net.write.short=p:0.1,engine.task=nth:7\n"
-        "  --fault-seed=N     seed for probabilistic fault triggers\n"
-        "  --quiet            suppress the final metrics summary\n"
-        "\n"
+    util::FlagSet flags("hmserved",
+                        "HTTP scoring daemon over the concurrent "
+                        "scoring engine");
+    flags.section("serving flags")
+        .flag("port", "N", "TCP port (default 8377; 0 = ephemeral)")
+        .flag("threads", "N", "engine worker threads (default 4)")
+        .flag("queue-depth", "N",
+              "admission queue bound; beyond it requests\n"
+              "are shed with 503 (default 8)")
+        .flag("cache-entries", "N",
+              "result cache entry bound (default 256)")
+        .flag("cache-mb", "N", "result cache byte bound (default 64)")
+        .flag("max-body-kb", "N",
+              "request body limit, 413 beyond (default 256)")
+        .flag("timeout-ms", "N",
+              "default per-request deadline when the manifest\n"
+              "line has no timeout-ms (default 0: no deadline)")
+        .flag("quiet", "", "suppress the final metrics summary");
+    flags.section("resilience flags")
+        .flag("breaker-failures", "N",
+              "consecutive 5xx that open the /v1/score\n"
+              "circuit (default 8; 0 disables)")
+        .flag("breaker-open-ms", "N",
+              "open window before a half-open probe (default 2000)")
+        .flag("watchdog-budget-ms", "N",
+              "hard budget for requests without their own\n"
+              "deadline (default 30000; 0 disables the watchdog)")
+        .flag("watchdog-grace-ms", "N",
+              "slack beyond a request's own deadline before\n"
+              "the watchdog answers 504 (default 250)")
+        .flag("degrade-ratio", "X",
+              "shed fraction of recent requests that flips\n"
+              "/healthz to degraded (default 0.5)")
+        .flag("no-stale", "",
+              "never serve stale cached scores when shedding\n"
+              "(default: serve them with X-Hiermeans-Stale: 1)");
+    flags.tracing().standard().epilogue(
         "endpoints:\n"
-        "  POST /v1/score     body = one manifest line -> score report\n"
-        "  POST /v1/batch     body = manifest -> one result per line\n"
-        "  GET  /metrics      server + engine counters\n"
-        "  GET  /healthz      liveness probe\n";
+        "  POST /v1/score      body = one manifest line -> envelope\n"
+        "  POST /v1/batch      body = manifest -> one envelope per line\n"
+        "  GET  /v1/trace/<id> span tree of a traced request\n"
+        "  GET  /v1/traces     recent + slow-sampled trace IDs\n"
+        "  GET  /metrics       Prometheus text exposition\n"
+        "  GET  /healthz       liveness probe\n");
+    return flags;
 }
+
 
 int
 run(const util::CommandLine &cl)
@@ -111,12 +115,8 @@ run(const util::CommandLine &cl)
     // gate can never fill; keep a few extra for the cheap endpoints.
     config.connectionThreads = config.queueDepth + 8;
 
-    // Env first, CLI second: --faults overrides HIERMEANS_FAULTS.
-    fault::configureFromEnv();
-    if (cl.has("faults"))
-        fault::configure(cl.getString("faults", ""),
-                         static_cast<std::uint64_t>(
-                             cl.getInt("fault-seed", 0)));
+    obs::Tracer::instance().configure(
+        obs::traceConfigFromCommandLine(cl));
 
     util::installShutdownSignals({SIGINT, SIGTERM});
 
@@ -144,10 +144,8 @@ main(int argc, char **argv)
 {
     try {
         const auto cl = util::CommandLine::parse(argc, argv);
-        if (cl.has("help")) {
-            printUsage();
+        if (flagSpec().handleStandard(cl, std::cout))
             return 0;
-        }
         return run(cl);
     } catch (const hiermeans::Error &e) {
         std::cerr << "hmserved: " << e.what() << "\n";

@@ -1,21 +1,29 @@
 #!/bin/sh
 # Loopback smoke test for the serving layer, wired as a ctest:
-#   smoke_server.sh <hmserved> <hmload>
+#   smoke_server.sh <hmserved> <hmload> <hmctl>
 #
-# Starts hmserved on an ephemeral port, probes /healthz and /v1/score
-# through hmload, then sends SIGTERM and asserts a clean drain: exit
-# status 0 and the final metrics summary in the log. Run from the repo
-# root so the manifest's repo-relative CSV paths resolve.
+# Starts hmserved (tracing armed) on an ephemeral port, probes /healthz
+# and /v1/score through hmload, validates the /metrics Prometheus
+# exposition with `hmctl --check`, scores one request under a known
+# trace ID and asserts its span tree is retrievable via `hmctl --trace`,
+# then sends SIGTERM and asserts a clean drain: exit status 0 and the
+# final metrics summary in the log. Run from the repo root so the
+# manifest's repo-relative CSV paths resolve.
 set -eu
 
-HMSERVED=${1:?usage: smoke_server.sh <hmserved> <hmload>}
-HMLOAD=${2:?usage: smoke_server.sh <hmserved> <hmload>}
+HMSERVED=${1:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
+HMLOAD=${2:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
+HMCTL=${3:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
 MANIFEST=examples/data/manifest.txt
 
 LOG=$(mktemp)
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
-"$HMSERVED" --port=0 --threads=2 --queue-depth=4 >"$LOG" 2>&1 &
+# --trace-slow-ms=0 sends every finished trace through the slow
+# sampler too, so a heavy hmload run cannot evict the one trace ID
+# this script fetches back.
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --trace --trace-slow-ms=0 --trace-keep=256 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the flushed "listening on port N" line (up to ~5s).
@@ -35,11 +43,35 @@ done
 [ -n "$PORT" ] || { echo "smoke_server: no port line" >&2; exit 1; }
 echo "smoke_server: hmserved pid $SERVER_PID on port $PORT"
 
-# /healthz probes, then a real scoring mix; hmload exits non-zero if
-# no request ever completed.
+# /healthz probes, then a real scoring mix with trace propagation;
+# hmload exits non-zero if no request ever completed.
 "$HMLOAD" --port="$PORT" --concurrency=1 --duration-s=1 --json-only
 "$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=2 \
-    --manifest="$MANIFEST" --json-only
+    --manifest="$MANIFEST" --trace --json-only
+
+# The /metrics body must be valid Prometheus text exposition.
+"$HMCTL" --port="$PORT" --check --json-only
+echo "smoke_server: /metrics exposition is clean"
+
+# Score one request under a known trace ID, then fetch its span tree
+# and assert the interesting stages are all present. The distinct
+# seed dodges the result cache warmed by the hmload run above — a
+# cache hit would (correctly) skip the engine/pipeline spans.
+TRACE_ID=smoketrace0001
+LINE="$(grep -v '^#' "$MANIFEST" | grep -v '^[[:space:]]*$' | head -1) seed=987654321"
+"$HMCTL" --port="$PORT" --score="$LINE" --trace="$TRACE_ID" --json-only
+# Not --json-only: the rendered span tree only prints in human mode.
+TREE=$("$HMCTL" --port="$PORT" --trace="$TRACE_ID")
+for span in server.request admission engine.queue engine.execute \
+    pipeline.characterize pipeline.som_train pipeline.cluster \
+    pipeline.score; do
+    echo "$TREE" | grep -q "$span" || {
+        echo "smoke_server: span $span missing from trace tree:" >&2
+        echo "$TREE" >&2
+        exit 1
+    }
+done
+echo "smoke_server: trace $TRACE_ID retrieved with full span tree"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
