@@ -29,7 +29,8 @@ set(HM_BENCHES
     consensus_clustering
     robustness_bootstrap
     perf_engine_throughput
-    perf_server_throughput)
+    perf_server_throughput
+    perf_store_replay)
 
 foreach(bench IN LISTS HM_BENCHES)
     add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cpp)

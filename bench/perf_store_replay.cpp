@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Durability cost benchmark for the state store (src/store).
+ *
+ * Two questions the persistence layer must answer with numbers:
+ *
+ *   1. What does the WAL append path cost, and what does the fsync
+ *      cadence buy? Appends --records realistic ScoreRecorded frames
+ *      under fsync-every 0 (page cache only), 32, and 1 (full
+ *      durability) and reports records/s and MB/s for each.
+ *   2. How fast is a cold boot? Builds WALs of increasing length
+ *      (quarter, half, full --records) and times StateStore::open()
+ *      replaying each into a fresh state — the recovery latency a
+ *      restarted hmserved pays before it can listen.
+ *
+ * Emits a human-readable table plus one machine-readable JSON line
+ * for the bench trajectory.
+ *
+ * Flags: --records=4000 --workloads=16 --rows=4 --seed=1 [--json-only]
+ */
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+/** One realistic persisted score: a report with --rows candidate
+ *  partitions over --workloads workloads, like a kmax sweep. */
+store::ScoreRecord
+makeRecord(std::uint64_t sequence, std::size_t num_workloads,
+           std::size_t num_rows, rng::Engine &rng)
+{
+    store::ScoreRecord record;
+    record.sequence = sequence;
+    record.id = "bench-" + std::to_string(sequence);
+    record.fingerprint = rng();
+    record.recommendedK = 1 + sequence % num_rows;
+    record.ratio = rng.uniform(0.8, 1.6);
+    record.plainRatio = record.ratio * rng.uniform(0.9, 1.0);
+    record.wallMillis = rng.uniform(5.0, 80.0);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        scoring::ScoreReportRow row;
+        row.clusterCount = r + 2;
+        std::vector<std::size_t> labels(num_workloads);
+        for (std::size_t w = 0; w < num_workloads; ++w)
+            labels[w] = rng.below(row.clusterCount);
+        row.partition = scoring::Partition::fromLabels(labels);
+        row.scoreB = rng.uniform(1.0, 3.0);
+        row.scoreA = row.scoreB * rng.uniform(0.8, 1.6);
+        row.ratio = row.scoreA / row.scoreB;
+        record.report.rows.push_back(row);
+    }
+    record.report.plainA = rng.uniform(1.0, 3.0);
+    record.report.plainB = rng.uniform(1.0, 3.0);
+    record.report.plainRatio =
+        record.report.plainA / record.report.plainB;
+    return record;
+}
+
+double
+wallMillisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Append @p payloads to a fresh WAL under @p fsync_every; returns
+ *  wall ms (the file is left in place for the caller). */
+double
+appendAll(const std::string &path,
+          const std::vector<std::string> &payloads,
+          std::size_t fsync_every)
+{
+    util::removeFile(path);
+    store::WalWriter wal(path, store::WalWriter::Config{fsync_every});
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string &payload : payloads)
+        wal.append(store::RecordType::ScoreRecorded, payload);
+    return wallMillisSince(start);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const auto records =
+        static_cast<std::size_t>(cl.getInt("records", 4000));
+    const auto num_workloads =
+        static_cast<std::size_t>(cl.getInt("workloads", 16));
+    const auto num_rows = static_cast<std::size_t>(cl.getInt("rows", 4));
+    const auto seed = static_cast<std::uint64_t>(cl.getInt("seed", 1));
+    const bool json_only = cl.getBool("json-only", false);
+    HM_REQUIRE(records >= 4, "--records must be >= 4");
+
+    const std::string dir =
+        "/tmp/hiermeans_perf_store_" + std::to_string(::getpid());
+    util::ensureDir(dir);
+    const std::string wal_path = dir + "/wal.log";
+
+    // Pre-encode every payload so the timers below see only the
+    // framing + I/O cost, not the codec.
+    rng::Engine rng(seed);
+    std::vector<std::string> payloads;
+    payloads.reserve(records);
+    std::uint64_t payload_bytes = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+        payloads.push_back(store::encodeScoreRecorded(
+            makeRecord(i + 1, num_workloads, num_rows, rng)));
+        payload_bytes += payloads.back().size();
+    }
+    const double mb = static_cast<double>(payload_bytes) / 1.0e6;
+
+    // 1. Append throughput across fsync cadences.
+    const std::size_t cadences[] = {0, 32, 1};
+    double append_ms[3] = {0.0, 0.0, 0.0};
+    for (std::size_t c = 0; c < 3; ++c)
+        append_ms[c] = appendAll(wal_path, payloads, cadences[c]);
+    // The cadence-1 file (written last) doubles as the full-length
+    // recovery input below.
+
+    // 2. Cold-boot recovery wall time vs WAL length.
+    const std::size_t lengths[] = {records / 4, records / 2, records};
+    double replay_ms[3] = {0.0, 0.0, 0.0};
+    for (std::size_t l = 0; l < 3; ++l) {
+        // The previous StateStore's destructor snapshots the dir on
+        // close; start each boot from a WAL-only state again.
+        for (const std::string &name : util::listDir(dir))
+            util::removeFile(dir + "/" + name);
+        if (lengths[l] != records) {
+            const std::vector<std::string> prefix(
+                payloads.begin(),
+                payloads.begin() +
+                    static_cast<std::ptrdiff_t>(lengths[l]));
+            appendAll(wal_path, prefix, 0);
+        } else {
+            appendAll(wal_path, payloads, 0);
+        }
+        store::StateStore::Config config;
+        config.dataDir = dir;
+        config.fsyncEvery = 0;
+        config.snapshotEvery = 0;
+        store::StateStore boot(config);
+        const auto start = std::chrono::steady_clock::now();
+        const store::RecoveryInfo info = boot.open();
+        replay_ms[l] = wallMillisSince(start);
+        HM_ASSERT(info.walApplied == lengths[l],
+                  "replay applied " << info.walApplied << " of "
+                                    << lengths[l]);
+    }
+    for (const std::string &name : util::listDir(dir))
+        util::removeFile(dir + "/" + name);
+    ::rmdir(dir.c_str());
+
+    const auto per_second = [records](double ms) {
+        return 1000.0 * static_cast<double>(records) / ms;
+    };
+    if (!json_only) {
+        util::TextTable append_table(
+            {"fsync-every", "wall ms", "records/s", "MB/s"});
+        for (std::size_t c = 0; c < 3; ++c) {
+            append_table.addRow(
+                {std::to_string(cadences[c]),
+                 str::fixed(append_ms[c], 1),
+                 str::fixed(per_second(append_ms[c]), 0),
+                 str::fixed(1000.0 * mb / append_ms[c], 1)});
+        }
+        util::TextTable replay_table(
+            {"wal records", "wall ms", "records/s"});
+        for (std::size_t l = 0; l < 3; ++l) {
+            replay_table.addRow(
+                {std::to_string(lengths[l]),
+                 str::fixed(replay_ms[l], 1),
+                 str::fixed(1000.0 *
+                                static_cast<double>(lengths[l]) /
+                                replay_ms[l],
+                            0)});
+        }
+        std::cout << "WAL append (" << records << " records, "
+                  << str::fixed(mb, 2) << " MB of payload)\n"
+                  << append_table.render() << "\n"
+                  << "durability tax (fsync-every 1 vs 0): x"
+                  << str::fixed(append_ms[2] / append_ms[0], 2)
+                  << " slower\n\n"
+                  << "cold-boot recovery (snapshotless replay)\n"
+                  << replay_table.render() << "\n";
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\":\"perf_store_replay\""
+         << ",\"records\":" << records
+         << ",\"payload_mb\":" << str::fixed(mb, 3)
+         << ",\"append_ms_fsync0\":" << str::fixed(append_ms[0], 3)
+         << ",\"append_ms_fsync32\":" << str::fixed(append_ms[1], 3)
+         << ",\"append_ms_fsync1\":" << str::fixed(append_ms[2], 3)
+         << ",\"appends_per_s_fsync0\":"
+         << str::fixed(per_second(append_ms[0]), 1)
+         << ",\"appends_per_s_fsync1\":"
+         << str::fixed(per_second(append_ms[2]), 1)
+         << ",\"durability_tax\":"
+         << str::fixed(append_ms[2] / append_ms[0], 3)
+         << ",\"replay_ms_quarter\":" << str::fixed(replay_ms[0], 3)
+         << ",\"replay_ms_half\":" << str::fixed(replay_ms[1], 3)
+         << ",\"replay_ms_full\":" << str::fixed(replay_ms[2], 3)
+         << ",\"replays_per_s\":"
+         << str::fixed(1000.0 * static_cast<double>(records) /
+                           replay_ms[2],
+                       1)
+         << "}";
+    std::cout << json.str() << "\n";
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "src/engine/result_cache.h"
 
+#include <algorithm>
+
 #include "src/util/error.h"
 
 namespace hiermeans {
@@ -98,6 +100,21 @@ ResultCache::byteEstimate() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return totalBytes_;
+}
+
+std::vector<std::pair<std::uint64_t, CachedResult>>
+ResultCache::exportEntries(std::size_t limit) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::uint64_t, CachedResult>> entries;
+    entries.reserve(limit == 0 ? lru_.size()
+                               : std::min(limit, lru_.size()));
+    for (const Entry &entry : lru_) {
+        if (limit != 0 && entries.size() >= limit)
+            break;
+        entries.emplace_back(entry.fingerprint, entry.result);
+    }
+    return entries;
 }
 
 ResultCache::Stats

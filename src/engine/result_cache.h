@@ -20,6 +20,8 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/core/pipeline.h"
 #include "src/scoring/score_report.h"
@@ -86,6 +88,16 @@ class ResultCache
 
     /** Remove every entry (counters are preserved). */
     void clear();
+
+    /**
+     * Copies of up to @p limit resident entries, most recently used
+     * first (0 = all). The export half of persistence warm-start:
+     * a serving layer snapshots these (report + recommendedK; the
+     * analysis is not persisted) and re-put()s them after a restart
+     * so the first requests answer hot.
+     */
+    std::vector<std::pair<std::uint64_t, CachedResult>>
+    exportEntries(std::size_t limit = 0) const;
 
     /** Current entry count. */
     std::size_t size() const;

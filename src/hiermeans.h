@@ -107,6 +107,13 @@
 #include "src/engine/result_cache.h"
 #include "src/engine/thread_pool.h"
 
+// store — durable state: WAL + snapshots, suites, score history
+#include "src/store/record.h"
+#include "src/store/snapshot.h"
+#include "src/store/state.h"
+#include "src/store/store.h"
+#include "src/store/wal.h"
+
 // server — HTTP serving layer over the engine
 #include "src/server/admission.h"
 #include "src/server/api.h"

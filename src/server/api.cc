@@ -29,6 +29,8 @@ const CodeEntry kCodes[] = {
     {ApiError::MethodNotAllowed, "method_not_allowed", 405},
     {ApiError::ScoringFailed, "scoring_failed", 422},
     {ApiError::Internal, "internal", 500},
+    {ApiError::SuiteUnknown, "suite_unknown", 404},
+    {ApiError::StoreDisabled, "store_disabled", 503},
 };
 
 std::string

@@ -48,6 +48,8 @@ enum class ApiError
     MethodNotAllowed, ///< known path, wrong method (405).
     ScoringFailed,    ///< pipeline raised a domain error.
     Internal,         ///< unexpected exception (500).
+    SuiteUnknown,     ///< no such registered suite (404).
+    StoreDisabled,    ///< durable store not mounted (503).
 };
 
 /** The wire string for @p error, e.g. "circuit_open". */

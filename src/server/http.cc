@@ -101,6 +101,29 @@ HttpRequest::path() const
     return query == std::string::npos ? target : target.substr(0, query);
 }
 
+std::string
+HttpRequest::queryParam(const std::string &name,
+                        const std::string &fallback) const
+{
+    const std::size_t question = target.find('?');
+    if (question == std::string::npos)
+        return fallback;
+    std::size_t start = question + 1;
+    while (start < target.size()) {
+        std::size_t end = target.find('&', start);
+        if (end == std::string::npos)
+            end = target.size();
+        const std::string pair = target.substr(start, end - start);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string::npos && pair.substr(0, eq) == name)
+            return pair.substr(eq + 1);
+        if (eq == std::string::npos && pair == name)
+            return ""; // bare flag: present, no value.
+        start = end + 1;
+    }
+    return fallback;
+}
+
 const std::string &
 HttpRequest::header(const std::string &name,
                     const std::string &fallback) const

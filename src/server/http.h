@@ -42,6 +42,14 @@ struct HttpRequest
     /** The target's path component (query string stripped). */
     std::string path() const;
 
+    /**
+     * Value of query parameter @p name from the target, or
+     * @p fallback. Splits on `&` and `=` only — no percent-decoding
+     * (the /v1 API's parameters are plain identifiers).
+     */
+    std::string queryParam(const std::string &name,
+                           const std::string &fallback) const;
+
     /** Header value by lower-case name, or @p fallback. */
     const std::string &header(const std::string &name,
                               const std::string &fallback) const;

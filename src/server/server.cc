@@ -1,6 +1,7 @@
 #include "src/server/server.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <optional>
 #include <sstream>
@@ -37,6 +38,10 @@ endpointFor(const std::string &path)
         return Endpoint::Metrics;
     if (path == "/healthz")
         return Endpoint::Healthz;
+    if (path == "/v1/suites")
+        return Endpoint::Suites;
+    if (path == "/v1/history")
+        return Endpoint::History;
     return Endpoint::Other;
 }
 
@@ -115,6 +120,103 @@ spanJson(const obs::Span &span)
     return out.str();
 }
 
+/** A `suite=<name>[@version]` reference found in a request body. */
+struct SuiteRef
+{
+    bool present = false;
+    std::string name;
+    std::uint32_t version = 0; ///< 0 = newest.
+    std::size_t line = 0;      ///< `line=<n>`, 1-based; 0 = all.
+    std::string extras;        ///< leftover tokens, space-joined.
+    std::string error;         ///< set when the reference is bad.
+};
+
+/** Logical manifest lines of @p text: comments stripped, blanks
+ *  skipped, surrounding whitespace trimmed. */
+std::vector<std::string>
+manifestLogicalLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string raw;
+    while (std::getline(in, raw)) {
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream tokens(raw);
+        std::string token, joined;
+        while (tokens >> token) {
+            if (!joined.empty())
+                joined += ' ';
+            joined += token;
+        }
+        if (!joined.empty())
+            lines.push_back(std::move(joined));
+    }
+    return lines;
+}
+
+/**
+ * Scan @p body for a `suite=` reference. The body is treated as one
+ * token stream (a suite-referencing request is a single logical
+ * line); `suite=` and `line=` tokens are consumed, everything else
+ * becomes override tokens appended after the stored manifest text —
+ * the CommandLine last-wins rule turns them into overrides.
+ */
+SuiteRef
+parseSuiteReference(const std::string &body)
+{
+    SuiteRef ref;
+    for (const std::string &line : manifestLogicalLines(body)) {
+        std::istringstream tokens(line);
+        std::string token;
+        while (tokens >> token) {
+            if (token.rfind("suite=", 0) == 0) {
+                if (ref.present) {
+                    ref.error = "multiple suite= references";
+                    return ref;
+                }
+                ref.present = true;
+                std::string spec = token.substr(6);
+                const std::size_t at = spec.find('@');
+                if (at != std::string::npos) {
+                    const std::string digits = spec.substr(at + 1);
+                    try {
+                        ref.version = static_cast<std::uint32_t>(
+                            std::stoul(digits));
+                    } catch (const std::exception &) {
+                        ref.error = "bad suite version `" + digits + "`";
+                        return ref;
+                    }
+                    spec.resize(at);
+                }
+                ref.name = spec;
+                if (ref.name.empty()) {
+                    ref.error = "empty suite name";
+                    return ref;
+                }
+            } else if (token.rfind("line=", 0) == 0) {
+                const std::string digits = token.substr(5);
+                try {
+                    ref.line = std::stoul(digits);
+                } catch (const std::exception &) {
+                    ref.error = "bad line number `" + digits + "`";
+                    return ref;
+                }
+                if (ref.line == 0) {
+                    ref.error = "line= is 1-based";
+                    return ref;
+                }
+            } else {
+                if (!ref.extras.empty())
+                    ref.extras += ' ';
+                ref.extras += token;
+            }
+        }
+    }
+    return ref;
+}
+
 std::string
 idListJson(const std::vector<std::string> &ids)
 {
@@ -155,6 +257,19 @@ Server::Server(Config config)
     router_.add("GET", "/healthz", [this](const RequestContext &c) {
         return handleHealthz(c);
     });
+    router_.add("POST", "/v1/suites", [this](const RequestContext &c) {
+        return handleSuiteRegister(c);
+    });
+    router_.add("GET", "/v1/suites", [this](const RequestContext &c) {
+        return handleSuiteList(c);
+    });
+    router_.add("GET", "/v1/history", [this](const RequestContext &c) {
+        return handleHistory(c);
+    });
+    router_.add("POST", "/v1/admin/snapshot",
+                [this](const RequestContext &c) {
+                    return handleSnapshot(c);
+                });
 }
 
 Server::~Server() { stop(); }
@@ -164,6 +279,20 @@ Server::start()
 {
     HM_REQUIRE(!running_.load() && !stopping_.load(),
                "Server::start: already started");
+    if (!config_.store.dataDir.empty() && store_ == nullptr) {
+        store_ = std::make_unique<store::StateStore>(config_.store);
+        storeRecovery_ = store_->open();
+        warmedEntries_ = warmStartCache();
+        HM_LOG(Info) << "store: " << config_.store.dataDir
+                     << " recovered ("
+                     << store::recoveryOutcomeName(
+                            storeRecovery_.outcome)
+                     << "), seq=" << storeRecovery_.lastSequence
+                     << ", snapshot records="
+                     << storeRecovery_.snapshotRecords
+                     << ", wal applied=" << storeRecovery_.walApplied
+                     << ", cache warmed=" << warmedEntries_;
+    }
     net::ignoreSigpipe();
     listener_ = net::listenTcp(config_.port);
     port_ = net::localPort(listener_.fd());
@@ -192,6 +321,57 @@ Server::stop()
     }
     workers_.clear();
     running_.store(false);
+    if (store_ != nullptr) {
+        try {
+            store_->close(); // final snapshot + WAL compaction.
+        } catch (const Error &e) {
+            HM_LOG(Warn) << "store: final snapshot failed: " << e.what();
+        }
+    }
+}
+
+std::size_t
+Server::warmStartCache()
+{
+    if (store_ == nullptr)
+        return 0;
+    std::size_t warmed = 0;
+    for (store::ScoreRecord &record : store_->scoreRecords()) {
+        if (record.report.rows.empty())
+            continue; // history-only: nothing servable.
+        engine::CachedResult cached;
+        cached.report = std::move(record.report);
+        cached.recommendedK =
+            static_cast<std::size_t>(record.recommendedK);
+        engine_.cache().put(record.fingerprint, std::move(cached));
+        ++warmed;
+    }
+    return warmed;
+}
+
+void
+Server::persistScore(const engine::ScoreResult &result,
+                     const std::string &suite,
+                     std::uint32_t suiteVersion)
+{
+    // Only pipeline executions are recorded: a cache/dedupe answer is
+    // a replay of a score already in the history, and re-appending it
+    // would duplicate ring entries on every retry.
+    if (store_ == nullptr || !result.ok || result.cacheHit ||
+        result.deduped)
+        return;
+    store::ScoreRecord record;
+    record.suite = suite;
+    record.suiteVersion = suiteVersion;
+    record.id = result.id;
+    record.fingerprint = result.fingerprint;
+    record.recommendedK = result.recommendedK;
+    record.ratio =
+        result.report.rows[result.report.recommendedRow()].ratio;
+    record.plainRatio = result.report.plainRatio;
+    record.wallMillis = result.wallMillis;
+    record.report = result.report;
+    store_->recordScore(std::move(record));
 }
 
 void
@@ -435,12 +615,69 @@ Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
 HttpResponse
 Server::handleScore(const RequestContext &ctx)
 {
+    // A `suite=` reference expands to the stored manifest text before
+    // any parsing; appended override tokens win by the CommandLine
+    // last-wins rule.
+    std::string body = ctx.http.body;
+    std::string suite_name;
+    std::uint32_t suite_version = 0;
+    const SuiteRef ref = parseSuiteReference(body);
+    if (ref.present) {
+        if (!ref.error.empty()) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, ref.error,
+                                 ctx.traceId);
+        }
+        if (store_ == nullptr)
+            return errorResponse(
+                ApiError::StoreDisabled,
+                "suite references need a durable store "
+                "(start hmserved with --data-dir)",
+                ctx.traceId);
+        const std::optional<store::SuiteVersion> stored =
+            store_->resolveSuite(ref.name, ref.version);
+        if (!stored.has_value())
+            return errorResponse(
+                ApiError::SuiteUnknown,
+                "no registered suite `" + ref.name + "`" +
+                    (ref.version != 0
+                         ? " at version " + std::to_string(ref.version)
+                         : ""),
+                ctx.traceId);
+        suite_name = ref.name;
+        suite_version = stored->version;
+        const std::vector<std::string> lines =
+            manifestLogicalLines(stored->manifest);
+        if (ref.line > lines.size()) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "suite `" + ref.name + "` has " +
+                    std::to_string(lines.size()) + " lines; line=" +
+                    std::to_string(ref.line) + " is out of range",
+                ctx.traceId);
+        }
+        if (ref.line == 0 && lines.size() != 1) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "suite `" + ref.name + "` has " +
+                    std::to_string(lines.size()) +
+                    " lines; pick one with line=<n> or POST the "
+                    "suite to /v1/batch",
+                ctx.traceId);
+        }
+        body = lines[ref.line == 0 ? 0 : ref.line - 1];
+        if (!ref.extras.empty())
+            body += " " + ref.extras;
+    }
+
     engine::ScoreRequest score_request;
     {
         obs::ScopedSpan span("parse.manifest");
         std::vector<engine::ManifestLine> lines;
         try {
-            lines = engine::parseManifest(ctx.http.body);
+            lines = engine::parseManifest(body);
         } catch (const Error &e) {
             metrics_.onMalformed();
             return errorResponse(ApiError::BadRequest, e.what(),
@@ -533,6 +770,7 @@ Server::handleScore(const RequestContext &ctx)
     }
 
     breaker_.onSuccess();
+    persistScore(result, suite_name, suite_version);
     HttpResponse response =
         okResponse(resultDataJson(result), ctx.traceId);
     response.set("X-Hiermeans-Source", servedBy(result));
@@ -542,10 +780,63 @@ Server::handleScore(const RequestContext &ctx)
 HttpResponse
 Server::handleBatch(const RequestContext &ctx)
 {
+    // `suite=` expands to the whole stored document (or one line of
+    // it with line=<n>), override tokens appended to every line.
+    std::string document = ctx.http.body;
+    std::string suite_name;
+    std::uint32_t suite_version = 0;
+    const SuiteRef ref = parseSuiteReference(document);
+    if (ref.present) {
+        if (!ref.error.empty()) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, ref.error,
+                                 ctx.traceId);
+        }
+        if (store_ == nullptr)
+            return errorResponse(
+                ApiError::StoreDisabled,
+                "suite references need a durable store "
+                "(start hmserved with --data-dir)",
+                ctx.traceId);
+        const std::optional<store::SuiteVersion> stored =
+            store_->resolveSuite(ref.name, ref.version);
+        if (!stored.has_value())
+            return errorResponse(
+                ApiError::SuiteUnknown,
+                "no registered suite `" + ref.name + "`" +
+                    (ref.version != 0
+                         ? " at version " + std::to_string(ref.version)
+                         : ""),
+                ctx.traceId);
+        suite_name = ref.name;
+        suite_version = stored->version;
+        std::vector<std::string> stored_lines =
+            manifestLogicalLines(stored->manifest);
+        if (ref.line > stored_lines.size()) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "suite `" + ref.name + "` has " +
+                    std::to_string(stored_lines.size()) +
+                    " lines; line=" + std::to_string(ref.line) +
+                    " is out of range",
+                ctx.traceId);
+        }
+        if (ref.line != 0)
+            stored_lines = {stored_lines[ref.line - 1]};
+        document.clear();
+        for (const std::string &stored_line : stored_lines) {
+            document += stored_line;
+            if (!ref.extras.empty())
+                document += " " + ref.extras;
+            document += "\n";
+        }
+    }
+
     std::vector<engine::ManifestLine> lines;
     try {
         obs::ScopedSpan span("parse.manifest");
-        lines = engine::parseManifest(ctx.http.body);
+        lines = engine::parseManifest(document);
     } catch (const Error &e) {
         metrics_.onMalformed();
         return errorResponse(ApiError::BadRequest, e.what(),
@@ -637,6 +928,7 @@ Server::handleBatch(const RequestContext &ctx)
         const std::string line_field =
             "\"line\":" + std::to_string(lines[i].lineNumber);
         if (result.ok) {
+            persistScore(result, suite_name, suite_version);
             body << okEnvelope("{" + line_field + "," +
                                    resultDataJson(result).substr(1),
                                ctx.traceId);
@@ -730,6 +1022,158 @@ Server::handleTraces(const RequestContext &ctx)
          << ",\"recent\":" << idListJson(tracer.recentIds())
          << ",\"slow\":" << idListJson(tracer.slowIds()) << "}";
     return okResponse(data.str(), ctx.traceId);
+}
+
+HttpResponse
+Server::handleSuiteRegister(const RequestContext &ctx)
+{
+    if (store_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "no durable store (start hmserved with "
+                             "--data-dir)",
+                             ctx.traceId);
+    const std::string name = ctx.http.queryParam("name", "");
+    if (name.empty()) {
+        metrics_.onMalformed();
+        return errorResponse(ApiError::BadRequest,
+                             "missing `name` query parameter",
+                             ctx.traceId);
+    }
+    for (const char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '.' || c == '_' || c == '-';
+        if (!ok) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "suite names are [A-Za-z0-9._-]+, got `" + name + "`",
+                ctx.traceId);
+        }
+    }
+
+    // Syntax-check the manifest now so junk is never registered;
+    // semantic problems (missing CSVs) stay scoring-time concerns.
+    std::vector<engine::ManifestLine> lines;
+    try {
+        lines = engine::parseManifest(ctx.http.body);
+    } catch (const Error &e) {
+        metrics_.onMalformed();
+        return errorResponse(ApiError::InvalidManifest, e.what(),
+                             ctx.traceId);
+    }
+    if (lines.empty()) {
+        metrics_.onMalformed();
+        return errorResponse(ApiError::InvalidManifest,
+                             "manifest has no requests", ctx.traceId);
+    }
+
+    try {
+        const store::SuiteVersion version =
+            store_->registerSuite(name, ctx.http.body);
+        std::ostringstream data;
+        data << "{\"name\":" << json::quote(name)
+             << ",\"version\":" << version.version
+             << ",\"sequence\":" << version.sequence
+             << ",\"lines\":" << lines.size() << "}";
+        return okResponse(data.str(), ctx.traceId);
+    } catch (const Error &e) {
+        // The WAL refused: the registration is not durable, so it is
+        // not acknowledged.
+        return errorResponse(ApiError::Internal, e.what(), ctx.traceId);
+    }
+}
+
+HttpResponse
+Server::handleSuiteList(const RequestContext &ctx)
+{
+    if (store_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "no durable store (start hmserved with "
+                             "--data-dir)",
+                             ctx.traceId);
+    std::ostringstream data;
+    data << "{\"suites\":[";
+    bool first_suite = true;
+    for (const store::Suite &suite : store_->suites()) {
+        if (!first_suite)
+            data << ",";
+        first_suite = false;
+        data << "{\"name\":" << json::quote(suite.name)
+             << ",\"latest\":" << suite.versions.back().version
+             << ",\"versions\":[";
+        for (std::size_t i = 0; i < suite.versions.size(); ++i) {
+            const store::SuiteVersion &version = suite.versions[i];
+            if (i > 0)
+                data << ",";
+            data << "{\"version\":" << version.version
+                 << ",\"sequence\":" << version.sequence
+                 << ",\"lines\":"
+                 << manifestLogicalLines(version.manifest).size()
+                 << "}";
+        }
+        data << "]}";
+    }
+    data << "]}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
+HttpResponse
+Server::handleHistory(const RequestContext &ctx)
+{
+    if (store_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "no durable store (start hmserved with "
+                             "--data-dir)",
+                             ctx.traceId);
+    // `suite=` selects a registered suite's ring; omitted (or empty)
+    // reads the ad-hoc ring of non-suite scores.
+    const std::string suite = ctx.http.queryParam("suite", "");
+    const std::vector<store::HistoryEntry> entries =
+        store_->history(suite);
+    if (!suite.empty() && entries.empty() &&
+        !store_->resolveSuite(suite).has_value())
+        return errorResponse(ApiError::SuiteUnknown,
+                             "no registered suite `" + suite + "`",
+                             ctx.traceId);
+
+    std::ostringstream data;
+    data << "{\"suite\":" << json::quote(suite)
+         << ",\"count\":" << entries.size() << ",\"entries\":[";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const store::HistoryEntry &entry = entries[i];
+        if (i > 0)
+            data << ",";
+        data << "{\"sequence\":" << entry.sequence
+             << ",\"id\":" << json::quote(entry.id)
+             << ",\"suite_version\":" << entry.suiteVersion
+             << ",\"fingerprint\":\"" << std::hex << entry.fingerprint
+             << std::dec << "\""
+             << ",\"recommended_k\":" << entry.recommendedK
+             << ",\"ratio\":" << json::number(entry.ratio)
+             << ",\"plain_ratio\":" << json::number(entry.plainRatio)
+             << ",\"wall_ms\":" << json::number(entry.wallMillis)
+             << "}";
+    }
+    data << "]}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
+HttpResponse
+Server::handleSnapshot(const RequestContext &ctx)
+{
+    if (store_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "no durable store (start hmserved with "
+                             "--data-dir)",
+                             ctx.traceId);
+    try {
+        const std::uint64_t sequence = store_->snapshotNow();
+        std::ostringstream data;
+        data << "{\"sequence\":" << sequence << "}";
+        return okResponse(data.str(), ctx.traceId);
+    } catch (const Error &e) {
+        return errorResponse(ApiError::Internal, e.what(), ctx.traceId);
+    }
 }
 
 HealthState
@@ -935,6 +1379,86 @@ Server::renderPrometheus() const
              "histogram");
     writeHistogram(w, "hiermeans_engine_pipeline_duration_ms", {},
                    engine_.metrics().pipelineHistogram());
+
+    // --- store (emitted only when persistence is mounted) -------------
+    if (store_ != nullptr) {
+        const store::StoreMetrics sm = store_->metrics();
+        w.header("hiermeans_store_wal_records_total",
+                 "Records appended to the write-ahead log.", "counter");
+        w.counter("hiermeans_store_wal_records_total", {},
+                  sm.walRecords);
+        w.header("hiermeans_store_wal_bytes_total",
+                 "Bytes appended to the write-ahead log.", "counter");
+        w.counter("hiermeans_store_wal_bytes_total", {}, sm.walBytes);
+        w.header("hiermeans_store_wal_fsyncs_total",
+                 "WAL fsync calls.", "counter");
+        w.counter("hiermeans_store_wal_fsyncs_total", {}, sm.walFsyncs);
+        w.header("hiermeans_store_wal_append_failures_total",
+                 "WAL appends that failed (the response was served "
+                 "anyway).",
+                 "counter");
+        w.counter("hiermeans_store_wal_append_failures_total", {},
+                  sm.walAppendFailures);
+        w.header("hiermeans_store_wal_size_bytes",
+                 "Current WAL file size.", "gauge");
+        w.gauge("hiermeans_store_wal_size_bytes", {},
+                static_cast<double>(sm.walSizeBytes));
+
+        w.header("hiermeans_store_snapshots_total",
+                 "Snapshots written (auto + requested + shutdown).",
+                 "counter");
+        w.counter("hiermeans_store_snapshots_total", {},
+                  sm.snapshotsWritten);
+        w.header("hiermeans_store_snapshot_failures_total",
+                 "Snapshot attempts that failed.", "counter");
+        w.counter("hiermeans_store_snapshot_failures_total", {},
+                  sm.snapshotFailures);
+        w.header("hiermeans_store_snapshot_age_seconds",
+                 "Seconds since the last snapshot (or since boot).",
+                 "gauge");
+        w.gauge("hiermeans_store_snapshot_age_seconds", {},
+                sm.sinceSnapshotSeconds);
+
+        w.header("hiermeans_store_recovery_outcome",
+                 "Boot recovery outcome (1 on the active series).",
+                 "gauge");
+        writeStateGauge(
+            w, "hiermeans_store_recovery_outcome",
+            {"clean_start", "clean", "truncated_tail",
+             "snapshot_fallback"},
+            store::recoveryOutcomeName(sm.recoveryOutcome));
+        w.header("hiermeans_store_recovered_records",
+                 "Records replayed at boot (snapshot + WAL tail).",
+                 "gauge");
+        w.gauge("hiermeans_store_recovered_records", {},
+                static_cast<double>(sm.recoveredRecords));
+        w.header("hiermeans_store_recovery_discarded_bytes",
+                 "Torn WAL tail bytes truncated at boot.", "gauge");
+        w.gauge("hiermeans_store_recovery_discarded_bytes", {},
+                static_cast<double>(sm.recoveryDiscardedBytes));
+        w.header("hiermeans_store_warmed_cache_entries",
+                 "Result-cache entries repopulated at boot.", "gauge");
+        w.gauge("hiermeans_store_warmed_cache_entries", {},
+                static_cast<double>(warmedEntries_));
+
+        w.header("hiermeans_store_last_sequence",
+                 "Highest committed record sequence.", "gauge");
+        w.gauge("hiermeans_store_last_sequence", {},
+                static_cast<double>(sm.lastSequence));
+        w.header("hiermeans_store_suites",
+                 "Registered suites.", "gauge");
+        w.gauge("hiermeans_store_suites", {},
+                static_cast<double>(sm.suiteCount));
+        w.header("hiermeans_store_history_entries",
+                 "Score-history entries across every ring.", "gauge");
+        w.gauge("hiermeans_store_history_entries", {},
+                static_cast<double>(sm.historyEntries));
+        w.header("hiermeans_store_results",
+                 "Retained full score records (warm-startable).",
+                 "gauge");
+        w.gauge("hiermeans_store_results", {},
+                static_cast<double>(sm.resultCount));
+    }
 
     // --- tracing ------------------------------------------------------
     const obs::Tracer &tracer = obs::Tracer::instance();

@@ -15,9 +15,24 @@
  *                      per line (NDJSON), failures isolated per line;
  *   GET  /v1/trace/<id> span tree of a finished traced request;
  *   GET  /v1/traces    recent + slow-sampled trace IDs;
+ *   POST /v1/suites?name=X  register the body as the next version of
+ *                      suite X (durable store; 503 when not mounted);
+ *   GET  /v1/suites    registered suites and their versions;
+ *   GET  /v1/history?suite=X  the persisted score-history ring;
+ *   POST /v1/admin/snapshot  force a snapshot + WAL compaction;
  *   GET  /metrics      Prometheus text exposition of server + engine
  *                      counters, gauges and latency histograms;
  *   GET  /healthz      liveness probe (text).
+ *
+ * Persistence: with Config::store.dataDir set (hmserved --data-dir),
+ * a /v1/score or /v1/batch body may be a `suite=<name>[@version]`
+ * reference — plus optional `line=<n>` and override tokens — that
+ * expands to the stored manifest text (appended tokens win, the
+ * CommandLine last-wins rule). Every pipeline-executed score is
+ * WAL-appended to the score history; on boot the engine's result
+ * cache warm-starts from the recovered store, so a restarted daemon
+ * answers previously-scored requests from cache without
+ * re-executing the pipeline.
  *
  * Tracing: when obs tracing is armed (hmserved --trace, or
  * obs::Tracer::configure in tests), every request gets a trace ID —
@@ -59,6 +74,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -73,6 +89,7 @@
 #include "src/server/router.h"
 #include "src/server/server_metrics.h"
 #include "src/server/watchdog.h"
+#include "src/store/store.h"
 #include "src/util/net.h"
 
 namespace hiermeans {
@@ -110,6 +127,12 @@ class Server
         CircuitBreaker::Config breaker;
         HealthMonitor::Config health;
         Watchdog::Config watchdog;
+
+        /** Durable state store (WAL + snapshots). An empty
+         *  `store.dataDir` leaves persistence off: /v1/suites,
+         *  /v1/history and /v1/admin/snapshot answer 503
+         *  store_disabled, and nothing touches disk. */
+        store::StateStore::Config store;
     };
 
     explicit Server(Config config);
@@ -137,6 +160,19 @@ class Server
 
     engine::ScoringEngine &engine() { return engine_; }
     AdmissionGate &gate() { return gate_; }
+
+    /** The durable store; nullptr when persistence is off. */
+    store::StateStore *store() { return store_.get(); }
+
+    /** How start() recovered the store (meaningful iff store()). */
+    const store::RecoveryInfo &storeRecovery() const
+    {
+        return storeRecovery_;
+    }
+
+    /** Cache entries repopulated from the store at start(). */
+    std::size_t warmedCacheEntries() const { return warmedEntries_; }
+
     const ServerMetrics &metrics() const { return metrics_; }
     CircuitBreaker &breaker() { return breaker_; }
     HealthMonitor &health() { return health_; }
@@ -165,6 +201,20 @@ class Server
     HttpResponse handleHealthz(const RequestContext &ctx);
     HttpResponse handleTrace(const RequestContext &ctx);
     HttpResponse handleTraces(const RequestContext &ctx);
+    HttpResponse handleSuiteRegister(const RequestContext &ctx);
+    HttpResponse handleSuiteList(const RequestContext &ctx);
+    HttpResponse handleHistory(const RequestContext &ctx);
+    HttpResponse handleSnapshot(const RequestContext &ctx);
+
+    /** Load every persisted full report into the result cache
+     *  (start()-time warm start). Returns entries repopulated. */
+    std::size_t warmStartCache();
+
+    /** Persist one pipeline-executed score; no-op without a store.
+     *  WAL failures are counted by the store, never propagated. */
+    void persistScore(const engine::ScoreResult &result,
+                      const std::string &suite,
+                      std::uint32_t suiteVersion);
 
     /** 503 + Retry-After (the admission-shed and overflow answer). */
     static HttpResponse overloadedResponse(const std::string &traceId);
@@ -193,6 +243,9 @@ class Server
     Router router_;
     engine::CsvCache csvs_;
     util::CommandLine requestDefaults_;
+    std::unique_ptr<store::StateStore> store_;
+    store::RecoveryInfo storeRecovery_;
+    std::size_t warmedEntries_ = 0;
 
     net::Socket listener_;
     std::uint16_t port_ = 0;

@@ -14,6 +14,8 @@ endpointName(Endpoint endpoint)
     case Endpoint::Batch:   return "/v1/batch";
     case Endpoint::Metrics: return "/metrics";
     case Endpoint::Healthz: return "/healthz";
+    case Endpoint::Suites:  return "/v1/suites";
+    case Endpoint::History: return "/v1/history";
     default:                return "(other)";
     }
 }

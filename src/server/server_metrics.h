@@ -29,6 +29,8 @@ enum class Endpoint : std::size_t
     Batch,
     Metrics,
     Healthz,
+    Suites,
+    History,
     Other,
     Count_ // sentinel
 };

@@ -1,0 +1,272 @@
+#include "src/store/record.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace store {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'R', '1'};
+
+/** The reflected-polynomial lookup table, built once. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = []() {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+appendLe32(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xFF));
+    out.push_back(static_cast<char>((value >> 8) & 0xFF));
+    out.push_back(static_cast<char>((value >> 16) & 0xFF));
+    out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t
+readLe32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint32_t>(u[0]) |
+           (static_cast<std::uint32_t>(u[1]) << 8) |
+           (static_cast<std::uint32_t>(u[2]) << 16) |
+           (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view data)
+{
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data)
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^
+              (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+bool
+knownRecordType(std::uint8_t type)
+{
+    switch (static_cast<RecordType>(type)) {
+    case RecordType::SuiteRegistered:
+    case RecordType::ScoreRecorded:
+    case RecordType::ConfigChanged:
+    case RecordType::SnapshotHeader:
+        return true;
+    }
+    return false;
+}
+
+std::string
+frameRecord(RecordType type, std::string_view payload)
+{
+    std::string checked;
+    checked.reserve(1 + payload.size());
+    checked.push_back(static_cast<char>(type));
+    checked.append(payload);
+
+    std::string frame;
+    frame.reserve(kFrameOverhead + payload.size());
+    frame.append(kMagic, sizeof(kMagic));
+    appendLe32(frame, static_cast<std::uint32_t>(payload.size()));
+    appendLe32(frame, crc32(checked));
+    frame.append(checked);
+    return frame;
+}
+
+bool
+FrameReader::fail(std::string reason)
+{
+    corrupt_ = true;
+    corruption_ = std::move(reason);
+    return false;
+}
+
+bool
+FrameReader::next(Record &record)
+{
+    if (corrupt_ || offset_ >= data_.size())
+        return false;
+    const std::size_t remaining = data_.size() - offset_;
+    if (remaining < kFrameOverhead)
+        return fail("torn frame header (" + std::to_string(remaining) +
+                    " trailing bytes)");
+    const char *frame = data_.data() + offset_;
+    if (std::memcmp(frame, kMagic, sizeof(kMagic)) != 0)
+        return fail("bad record magic at offset " +
+                    std::to_string(offset_));
+    const std::uint32_t length = readLe32(frame + 4);
+    const std::uint32_t expected_crc = readLe32(frame + 8);
+    if (remaining < kFrameOverhead + length)
+        return fail("torn record payload at offset " +
+                    std::to_string(offset_) + " (need " +
+                    std::to_string(kFrameOverhead + length) + ", have " +
+                    std::to_string(remaining) + ")");
+    const std::string_view checked(frame + 12, 1 + length);
+    if (crc32(checked) != expected_crc)
+        return fail("CRC mismatch at offset " + std::to_string(offset_));
+    const auto type = static_cast<std::uint8_t>(checked[0]);
+    if (!knownRecordType(type))
+        return fail("unknown record type " + std::to_string(type) +
+                    " at offset " + std::to_string(offset_));
+
+    record.type = static_cast<RecordType>(type);
+    record.payload.assign(checked.substr(1));
+    offset_ += kFrameOverhead + length;
+    valid_ = offset_;
+    return true;
+}
+
+void
+BinaryWriter::u8(std::uint8_t value)
+{
+    bytes_.push_back(static_cast<char>(value));
+}
+
+void
+BinaryWriter::u32(std::uint32_t value)
+{
+    appendLe32(bytes_, value);
+}
+
+void
+BinaryWriter::u64(std::uint64_t value)
+{
+    appendLe32(bytes_, static_cast<std::uint32_t>(value & 0xFFFFFFFFu));
+    appendLe32(bytes_, static_cast<std::uint32_t>(value >> 32));
+}
+
+void
+BinaryWriter::f64(double value)
+{
+    // Bit-pattern copy: doubles round-trip exactly, NaNs included.
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+BinaryWriter::str(std::string_view value)
+{
+    u32(static_cast<std::uint32_t>(value.size()));
+    bytes_.append(value);
+}
+
+void
+BinaryWriter::u64Vec(const std::vector<std::uint64_t> &values)
+{
+    u32(static_cast<std::uint32_t>(values.size()));
+    for (const std::uint64_t value : values)
+        u64(value);
+}
+
+void
+BinaryWriter::f64Vec(const std::vector<double> &values)
+{
+    u32(static_cast<std::uint32_t>(values.size()));
+    for (const double value : values)
+        f64(value);
+}
+
+void
+BinaryReader::need(std::size_t n) const
+{
+    HM_REQUIRE(data_.size() - offset_ >= n,
+               "record payload truncated: need "
+                   << n << " bytes at offset " << offset_ << " of "
+                   << data_.size());
+}
+
+std::uint8_t
+BinaryReader::u8()
+{
+    need(1);
+    return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t
+BinaryReader::u32()
+{
+    need(4);
+    const std::uint32_t value = readLe32(data_.data() + offset_);
+    offset_ += 4;
+    return value;
+}
+
+std::uint64_t
+BinaryReader::u64()
+{
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+double
+BinaryReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::string
+BinaryReader::str()
+{
+    const std::uint32_t length = u32();
+    need(length);
+    std::string value(data_.substr(offset_, length));
+    offset_ += length;
+    return value;
+}
+
+std::vector<std::uint64_t>
+BinaryReader::u64Vec()
+{
+    const std::uint32_t count = u32();
+    need(static_cast<std::size_t>(count) * 8);
+    std::vector<std::uint64_t> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        values.push_back(u64());
+    return values;
+}
+
+std::vector<double>
+BinaryReader::f64Vec()
+{
+    const std::uint32_t count = u32();
+    need(static_cast<std::size_t>(count) * 8);
+    std::vector<double> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        values.push_back(f64());
+    return values;
+}
+
+void
+BinaryReader::expectDone(const char *what) const
+{
+    HM_REQUIRE(done(), what << ": " << (data_.size() - offset_)
+                            << " trailing payload bytes");
+}
+
+} // namespace store
+} // namespace hiermeans

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The durable-state record codec: CRC32-framed, length-prefixed
+ * binary records (bcsv-style packets) shared by the write-ahead log
+ * and the snapshot files.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *   0       4     magic "HMR1" — per-record sync marker
+ *   4       4     payload length N (u32)
+ *   8       4     CRC32 (IEEE, reflected) of type byte + payload
+ *   12      1     record type (RecordType)
+ *   13      N     payload (BinaryWriter encoding)
+ *
+ * The per-record magic plus the CRC make torn tails detectable: a
+ * reader walking a file stops at the first frame whose magic, length
+ * or checksum does not hold, reporting how many bytes were valid —
+ * recovery truncates the rest. The payloads themselves are built with
+ * BinaryWriter/BinaryReader, a minimal varint-free encoding (fixed
+ * little-endian scalars, u32-length-prefixed strings and vectors)
+ * chosen so encodings are canonical: the same value always produces
+ * the same bytes, which the snapshot bit-identity tests rely on.
+ */
+
+#ifndef HIERMEANS_STORE_RECORD_H
+#define HIERMEANS_STORE_RECORD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hiermeans {
+namespace store {
+
+/** CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of @p data. */
+std::uint32_t crc32(std::string_view data);
+
+/** Typed records; the wire contract of WAL and snapshot files —
+ *  values are stable and append-only. */
+enum class RecordType : std::uint8_t
+{
+    SuiteRegistered = 1, ///< a named, versioned manifest.
+    ScoreRecorded = 2,   ///< one executed score (report included).
+    ConfigChanged = 3,   ///< a store-level setting changed.
+    SnapshotHeader = 100 ///< first record of a snapshot file.
+};
+
+/** True for types this codec version knows how to apply. */
+bool knownRecordType(std::uint8_t type);
+
+/** One decoded frame. */
+struct Record
+{
+    RecordType type = RecordType::SuiteRegistered;
+    std::string payload;
+};
+
+/** Encode one frame (magic + length + CRC + type + payload). */
+std::string frameRecord(RecordType type, std::string_view payload);
+
+/** Fixed frame overhead in bytes (everything but the payload). */
+inline constexpr std::size_t kFrameOverhead = 13;
+
+/**
+ * Walks the frames of one buffer (a WAL or snapshot file image).
+ * Iteration stops at the first torn or corrupt frame; validBytes()
+ * then names the prefix worth keeping.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::string_view data) : data_(data) {}
+
+    /** Decode the next frame into @p record; false at end-of-valid. */
+    bool next(Record &record);
+
+    /** Bytes consumed by successfully decoded frames. */
+    std::size_t validBytes() const { return valid_; }
+
+    /** True when next() stopped on a corrupt/torn frame rather than
+     *  a clean end of buffer. */
+    bool sawCorruption() const { return corrupt_; }
+
+    /** Human-readable reason iff sawCorruption(). */
+    const std::string &corruption() const { return corruption_; }
+
+  private:
+    bool fail(std::string reason);
+
+    std::string_view data_;
+    std::size_t offset_ = 0;
+    std::size_t valid_ = 0;
+    bool corrupt_ = false;
+    std::string corruption_;
+};
+
+/** Canonical little-endian payload builder. */
+class BinaryWriter
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void f64(double value);
+    void str(std::string_view value);          ///< u32 length + bytes.
+    void u64Vec(const std::vector<std::uint64_t> &values);
+    void f64Vec(const std::vector<double> &values);
+
+    const std::string &bytes() const { return bytes_; }
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/** Bounds-checked payload reader; throws InvalidArgument on any
+ *  attempt to read past the end (a malformed payload). */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<std::uint64_t> u64Vec();
+    std::vector<double> f64Vec();
+
+    /** True when every byte has been consumed. */
+    bool done() const { return offset_ == data_.size(); }
+
+    /** Throws InvalidArgument unless done() — trailing garbage. */
+    void expectDone(const char *what) const;
+
+  private:
+    void need(std::size_t n) const;
+
+    std::string_view data_;
+    std::size_t offset_ = 0;
+};
+
+} // namespace store
+} // namespace hiermeans
+
+#endif // HIERMEANS_STORE_RECORD_H

@@ -1,0 +1,450 @@
+#include "src/store/state.h"
+
+#include <algorithm>
+
+#include "src/scoring/partition.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace store {
+
+namespace {
+
+/** Insert @p entry into @p ring keeping ascending sequence order.
+ *  Appends in O(1) for the common already-ascending case. */
+void
+insertSorted(std::deque<HistoryEntry> &ring, HistoryEntry entry)
+{
+    if (ring.empty() || ring.back().sequence < entry.sequence) {
+        ring.push_back(std::move(entry));
+        return;
+    }
+    const auto at = std::upper_bound(
+        ring.begin(), ring.end(), entry.sequence,
+        [](std::uint64_t sequence, const HistoryEntry &other) {
+            return sequence < other.sequence;
+        });
+    ring.insert(at, std::move(entry));
+}
+
+} // namespace
+
+// --- payload codecs --------------------------------------------------
+
+std::size_t
+validateConfigChange(const std::string &key, const std::string &value)
+{
+    HM_REQUIRE(key == "history-capacity" || key == "result-capacity" ||
+                   key == "suite-versions",
+               "ConfigChanged: unknown key `" << key << "`");
+    std::size_t parsed = 0;
+    try {
+        parsed = static_cast<std::size_t>(std::stoull(value));
+    } catch (const std::exception &) {
+        throw InvalidArgument("ConfigChanged: value `" + value +
+                              "` for `" + key + "` is not a number");
+    }
+    HM_REQUIRE(parsed >= 1, "ConfigChanged: `" << key
+                                               << "` must be >= 1");
+    return parsed;
+}
+
+std::string
+encodeSuiteRegistered(const std::string &name,
+                      const SuiteVersion &version)
+{
+    BinaryWriter writer;
+    writer.u64(version.sequence);
+    writer.str(name);
+    writer.u32(version.version);
+    writer.str(version.manifest);
+    return writer.take();
+}
+
+void
+encodeScoreReport(BinaryWriter &writer,
+                  const scoring::ScoreReport &report)
+{
+    writer.u8(static_cast<std::uint8_t>(report.kind));
+    writer.u32(static_cast<std::uint32_t>(report.rows.size()));
+    for (const scoring::ScoreReportRow &row : report.rows) {
+        writer.u64(row.clusterCount);
+        std::vector<std::uint64_t> labels;
+        labels.reserve(row.partition.size());
+        for (const std::size_t label : row.partition.labels())
+            labels.push_back(label);
+        writer.u64Vec(labels);
+        writer.f64(row.scoreA);
+        writer.f64(row.scoreB);
+        writer.f64(row.ratio);
+    }
+    writer.f64(report.plainA);
+    writer.f64(report.plainB);
+    writer.f64(report.plainRatio);
+}
+
+scoring::ScoreReport
+decodeScoreReport(BinaryReader &reader)
+{
+    scoring::ScoreReport report;
+    const std::uint8_t kind = reader.u8();
+    HM_REQUIRE(kind <=
+                   static_cast<std::uint8_t>(stats::MeanKind::Harmonic),
+               "ScoreReport record: bad mean kind " << int(kind));
+    report.kind = static_cast<stats::MeanKind>(kind);
+    const std::uint32_t rows = reader.u32();
+    report.rows.reserve(rows);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        scoring::ScoreReportRow row;
+        row.clusterCount =
+            static_cast<std::size_t>(reader.u64());
+        const std::vector<std::uint64_t> raw = reader.u64Vec();
+        std::vector<std::size_t> labels;
+        labels.reserve(raw.size());
+        for (const std::uint64_t label : raw)
+            labels.push_back(static_cast<std::size_t>(label));
+        row.partition = scoring::Partition::fromLabels(labels);
+        row.scoreA = reader.f64();
+        row.scoreB = reader.f64();
+        row.ratio = reader.f64();
+        report.rows.push_back(std::move(row));
+    }
+    report.plainA = reader.f64();
+    report.plainB = reader.f64();
+    report.plainRatio = reader.f64();
+    return report;
+}
+
+std::string
+encodeScoreRecorded(const ScoreRecord &record)
+{
+    BinaryWriter writer;
+    writer.u64(record.sequence);
+    writer.str(record.suite);
+    writer.u32(record.suiteVersion);
+    writer.str(record.id);
+    writer.u64(record.fingerprint);
+    writer.u64(record.recommendedK);
+    writer.f64(record.ratio);
+    writer.f64(record.plainRatio);
+    writer.f64(record.wallMillis);
+    writer.u8(record.report.rows.empty() ? 0 : 1);
+    if (!record.report.rows.empty())
+        encodeScoreReport(writer, record.report);
+    return writer.take();
+}
+
+std::string
+encodeConfigChanged(const ConfigChange &change)
+{
+    BinaryWriter writer;
+    writer.u64(change.sequence);
+    writer.str(change.key);
+    writer.str(change.value);
+    return writer.take();
+}
+
+std::string
+encodeSnapshotHeader(std::uint64_t last_sequence,
+                     const StoreLimits &limits)
+{
+    BinaryWriter writer;
+    writer.u32(kFormatVersion);
+    writer.u64(last_sequence);
+    writer.u64(limits.historyCapacity);
+    writer.u64(limits.resultCapacity);
+    writer.u64(limits.suiteVersions);
+    return writer.take();
+}
+
+SnapshotHeader
+decodeSnapshotHeader(const std::string &payload)
+{
+    BinaryReader reader(payload);
+    SnapshotHeader header;
+    header.formatVersion = reader.u32();
+    HM_REQUIRE(header.formatVersion == kFormatVersion,
+               "snapshot format version " << header.formatVersion
+                                          << " unsupported (expected "
+                                          << kFormatVersion << ")");
+    header.lastSequence = reader.u64();
+    header.limits.historyCapacity =
+        static_cast<std::size_t>(reader.u64());
+    header.limits.resultCapacity =
+        static_cast<std::size_t>(reader.u64());
+    header.limits.suiteVersions =
+        static_cast<std::size_t>(reader.u64());
+    reader.expectDone("SnapshotHeader");
+    return header;
+}
+
+// --- StoreState ------------------------------------------------------
+
+void
+StoreState::setBaseline(std::uint64_t sequence)
+{
+    baseline_ = sequence;
+    lastSequence_ = std::max(lastSequence_, sequence);
+}
+
+bool
+StoreState::apply(const Record &record)
+{
+    BinaryReader reader(record.payload);
+    // Peek the sequence (first field of every mutating payload)
+    // before decoding the rest: the idempotence guard.
+    const std::uint64_t sequence = reader.u64();
+    if (sequence <= baseline_)
+        return false;
+    pendingSequence_ = sequence;
+
+    switch (record.type) {
+    case RecordType::SuiteRegistered:
+        applySuiteRegistered(reader);
+        break;
+    case RecordType::ScoreRecorded:
+        applyScoreRecorded(reader);
+        break;
+    case RecordType::ConfigChanged:
+        applyConfigChanged(reader);
+        break;
+    case RecordType::SnapshotHeader:
+        throw InvalidArgument(
+            "StoreState::apply: SnapshotHeader is not appliable");
+    }
+    lastSequence_ = std::max(lastSequence_, sequence);
+    return true;
+}
+
+void
+StoreState::applySuiteRegistered(BinaryReader &reader)
+{
+    SuiteVersion version;
+    version.sequence = pendingSequence_;
+    const std::string name = reader.str();
+    version.version = reader.u32();
+    version.manifest = reader.str();
+    reader.expectDone("SuiteRegistered");
+
+    Suite &suite = suites_[name];
+    suite.name = name;
+    // Re-registration of an existing version replaces it (recovery
+    // replays are guarded by the baseline, so this only happens when
+    // a caller explicitly re-registers); otherwise versions append
+    // in ascending order.
+    const auto at = std::find_if(
+        suite.versions.begin(), suite.versions.end(),
+        [&](const SuiteVersion &v) {
+            return v.version == version.version;
+        });
+    if (at != suite.versions.end()) {
+        *at = std::move(version);
+    } else {
+        suite.versions.push_back(std::move(version));
+        std::sort(suite.versions.begin(), suite.versions.end(),
+                  [](const SuiteVersion &a, const SuiteVersion &b) {
+                      return a.version < b.version;
+                  });
+    }
+    while (suite.versions.size() > limits_.suiteVersions)
+        suite.versions.erase(suite.versions.begin());
+}
+
+void
+StoreState::applyScoreRecorded(BinaryReader &reader)
+{
+    ScoreRecord record;
+    record.sequence = pendingSequence_;
+    record.suite = reader.str();
+    record.suiteVersion = reader.u32();
+    record.id = reader.str();
+    record.fingerprint = reader.u64();
+    record.recommendedK = reader.u64();
+    record.ratio = reader.f64();
+    record.plainRatio = reader.f64();
+    record.wallMillis = reader.f64();
+    const bool has_report = reader.u8() != 0;
+    if (has_report)
+        record.report = decodeScoreReport(reader);
+    reader.expectDone("ScoreRecorded");
+
+    HistoryEntry entry;
+    entry.sequence = record.sequence;
+    entry.suite = record.suite;
+    entry.suiteVersion = record.suiteVersion;
+    entry.id = record.id;
+    entry.fingerprint = record.fingerprint;
+    entry.recommendedK = record.recommendedK;
+    entry.ratio = record.ratio;
+    entry.plainRatio = record.plainRatio;
+    entry.wallMillis = record.wallMillis;
+    std::deque<HistoryEntry> &ring = history_[record.suite];
+    insertSorted(ring, std::move(entry));
+    trimHistory(ring);
+
+    if (has_report) {
+        // Latest execution of a fingerprint wins; the superseded
+        // record's sequence slot is released.
+        const auto it = resultsByFingerprint_.find(record.fingerprint);
+        if (it != resultsByFingerprint_.end())
+            resultBySequence_.erase(it->second.sequence);
+        resultBySequence_[record.sequence] = record.fingerprint;
+        resultsByFingerprint_[record.fingerprint] = std::move(record);
+        trimResults();
+    }
+}
+
+void
+StoreState::applyConfigChanged(BinaryReader &reader)
+{
+    const std::string key = reader.str();
+    const std::string value = reader.str();
+    reader.expectDone("ConfigChanged");
+
+    const std::size_t parsed = validateConfigChange(key, value);
+    if (key == "history-capacity") {
+        limits_.historyCapacity = parsed;
+        trimAllHistory();
+    } else if (key == "result-capacity") {
+        limits_.resultCapacity = parsed;
+        trimResults();
+    } else if (key == "suite-versions") {
+        limits_.suiteVersions = parsed;
+        for (auto &[name, suite] : suites_) {
+            while (suite.versions.size() > limits_.suiteVersions)
+                suite.versions.erase(suite.versions.begin());
+        }
+    } else {
+        throw InvalidArgument("ConfigChanged: unknown key `" + key +
+                              "`");
+    }
+}
+
+void
+StoreState::trimHistory(std::deque<HistoryEntry> &ring)
+{
+    while (ring.size() > limits_.historyCapacity)
+        ring.pop_front();
+}
+
+void
+StoreState::trimAllHistory()
+{
+    for (auto &[suite, ring] : history_)
+        trimHistory(ring);
+}
+
+void
+StoreState::trimResults()
+{
+    while (resultBySequence_.size() > limits_.resultCapacity) {
+        const auto oldest = resultBySequence_.begin();
+        resultsByFingerprint_.erase(oldest->second);
+        resultBySequence_.erase(oldest);
+    }
+}
+
+std::uint32_t
+StoreState::latestVersion(const std::string &name) const
+{
+    const auto it = suites_.find(name);
+    if (it == suites_.end() || it->second.versions.empty())
+        return 0;
+    return it->second.versions.back().version;
+}
+
+const SuiteVersion *
+StoreState::findSuite(const std::string &name,
+                      std::uint32_t version) const
+{
+    const auto it = suites_.find(name);
+    if (it == suites_.end() || it->second.versions.empty())
+        return nullptr;
+    if (version == 0)
+        return &it->second.versions.back();
+    for (const SuiteVersion &v : it->second.versions) {
+        if (v.version == version)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::vector<HistoryEntry>
+StoreState::history(const std::string &suite) const
+{
+    const auto it = history_.find(suite);
+    if (it == history_.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+std::map<std::string, std::size_t>
+StoreState::historySizes() const
+{
+    std::map<std::string, std::size_t> sizes;
+    for (const auto &[suite, ring] : history_)
+        sizes[suite] = ring.size();
+    return sizes;
+}
+
+std::vector<const ScoreRecord *>
+StoreState::results() const
+{
+    std::vector<const ScoreRecord *> records;
+    records.reserve(resultBySequence_.size());
+    for (const auto &[sequence, fingerprint] : resultBySequence_)
+        records.push_back(&resultsByFingerprint_.at(fingerprint));
+    return records;
+}
+
+std::string
+StoreState::encodeSnapshotBody() const
+{
+    std::string body;
+
+    // 1. Suites: name ascending, versions ascending.
+    for (const auto &[name, suite] : suites_) {
+        for (const SuiteVersion &version : suite.versions)
+            body += frameRecord(RecordType::SuiteRegistered,
+                                encodeSuiteRegistered(name, version));
+    }
+
+    // 2. Full score records, ascending by sequence.
+    for (const auto &[sequence, fingerprint] : resultBySequence_)
+        body += frameRecord(
+            RecordType::ScoreRecorded,
+            encodeScoreRecorded(resultsByFingerprint_.at(fingerprint)));
+
+    // 3. History entries whose full record is gone: re-encode
+    //    report-stripped, ascending by sequence across all rings.
+    std::vector<const HistoryEntry *> stripped;
+    for (const auto &[suite, ring] : history_) {
+        for (const HistoryEntry &entry : ring) {
+            const auto it = resultBySequence_.find(entry.sequence);
+            if (it == resultBySequence_.end())
+                stripped.push_back(&entry);
+        }
+    }
+    std::sort(stripped.begin(), stripped.end(),
+              [](const HistoryEntry *a, const HistoryEntry *b) {
+                  return a->sequence < b->sequence;
+              });
+    for (const HistoryEntry *entry : stripped) {
+        ScoreRecord record;
+        record.sequence = entry->sequence;
+        record.suite = entry->suite;
+        record.suiteVersion = entry->suiteVersion;
+        record.id = entry->id;
+        record.fingerprint = entry->fingerprint;
+        record.recommendedK = entry->recommendedK;
+        record.ratio = entry->ratio;
+        record.plainRatio = entry->plainRatio;
+        record.wallMillis = entry->wallMillis;
+        body += frameRecord(RecordType::ScoreRecorded,
+                            encodeScoreRecorded(record));
+    }
+    return body;
+}
+
+} // namespace store
+} // namespace hiermeans

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The in-memory image of the durable store, plus the typed record
+ * payload codecs that mutate it.
+ *
+ * Everything the store persists flows through exactly one path:
+ * a typed Record (record.h) whose payload encodes one of the structs
+ * below, applied to a StoreState by `apply()`. Live writes append the
+ * record to the WAL and then apply it; recovery replays the snapshot
+ * body and the WAL tail through the same apply() — so the recovered
+ * state matches the pre-crash committed state by construction, which
+ * `encodeSnapshotBody` makes checkable: the encoding is canonical
+ * (collections ordered by name/sequence, never by apply order), so
+ * equal states produce equal bytes regardless of how they were
+ * reached.
+ *
+ * Idempotence: every mutating record carries a monotonically
+ * increasing sequence number. Loading a snapshot sets a baseline;
+ * apply() ignores records at or below it — a WAL tail that overlaps
+ * the snapshot (crash between snapshot rename and WAL truncation)
+ * double-applies nothing, and replayed history never duplicates.
+ */
+
+#ifndef HIERMEANS_STORE_STATE_H
+#define HIERMEANS_STORE_STATE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/scoring/score_report.h"
+#include "src/store/record.h"
+
+namespace hiermeans {
+namespace store {
+
+/** Snapshot/WAL format version (bumped on incompatible layout). */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/** One registered version of a named manifest. */
+struct SuiteVersion
+{
+    std::uint64_t sequence = 0;
+    std::uint32_t version = 1;
+    std::string manifest; ///< the manifest document text, verbatim.
+};
+
+/** A named suite: every retained version, ascending. */
+struct Suite
+{
+    std::string name;
+    std::vector<SuiteVersion> versions;
+};
+
+/**
+ * One executed score, as persisted. `report` is included so a
+ * restart can re-serve the score from cache without re-executing the
+ * pipeline; history-only records (ring entries whose full report was
+ * evicted from the result set) carry an empty report.
+ */
+struct ScoreRecord
+{
+    std::uint64_t sequence = 0;
+    std::string suite; ///< "" for ad-hoc (non-suite) scores.
+    std::uint32_t suiteVersion = 0;
+    std::string id;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t recommendedK = 0;
+    double ratio = 0.0;      ///< recommended-row A/B ratio.
+    double plainRatio = 0.0; ///< the plain-mean ratio.
+    double wallMillis = 0.0;
+    scoring::ScoreReport report; ///< empty rows = history-only.
+};
+
+/** The history ring's view of one score (the report dropped). */
+struct HistoryEntry
+{
+    std::uint64_t sequence = 0;
+    std::string suite;
+    std::uint32_t suiteVersion = 0;
+    std::string id;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t recommendedK = 0;
+    double ratio = 0.0;
+    double plainRatio = 0.0;
+    double wallMillis = 0.0;
+};
+
+/** A store-level setting change (persisted for audit + replay). */
+struct ConfigChange
+{
+    std::uint64_t sequence = 0;
+    std::string key;
+    std::string value;
+};
+
+/** Retention bounds; changeable at runtime through ConfigChanged
+ *  records (keys "history-capacity", "result-capacity",
+ *  "suite-versions"). */
+struct StoreLimits
+{
+    std::size_t historyCapacity = 256; ///< entries per suite ring.
+    std::size_t resultCapacity = 512;  ///< retained full reports.
+    std::size_t suiteVersions = 16;    ///< versions kept per name.
+
+    bool operator==(const StoreLimits &) const = default;
+};
+
+// --- payload codecs --------------------------------------------------
+
+/**
+ * Validate a ConfigChanged key/value pair (known key, numeric value
+ * >= 1) without applying it; returns the parsed value, throws
+ * InvalidArgument otherwise. The live write path calls this BEFORE
+ * the record reaches the WAL — an invalid change must never become
+ * durable, or recovery would replay the throw at every boot.
+ */
+std::size_t validateConfigChange(const std::string &key,
+                                 const std::string &value);
+
+std::string encodeSuiteRegistered(const std::string &name,
+                                  const SuiteVersion &version);
+std::string encodeScoreRecorded(const ScoreRecord &record);
+std::string encodeConfigChanged(const ConfigChange &change);
+std::string encodeSnapshotHeader(std::uint64_t last_sequence,
+                                 const StoreLimits &limits);
+
+/** Decoded SnapshotHeader payload. */
+struct SnapshotHeader
+{
+    std::uint32_t formatVersion = 0;
+    std::uint64_t lastSequence = 0;
+    StoreLimits limits;
+};
+SnapshotHeader decodeSnapshotHeader(const std::string &payload);
+
+/** Serialize a ScoreReport canonically (partitions as label
+ *  vectors). Shared by ScoreRecorded payloads and tests. */
+void encodeScoreReport(BinaryWriter &writer,
+                       const scoring::ScoreReport &report);
+scoring::ScoreReport decodeScoreReport(BinaryReader &reader);
+
+/** The store's whole mutable image. Not thread-safe — the owning
+ *  StateStore serializes access. */
+class StoreState
+{
+  public:
+    StoreState() = default;
+    explicit StoreState(StoreLimits limits) : limits_(limits) {}
+
+    /**
+     * Apply one record. Returns false (and changes nothing) when the
+     * record's sequence is at or below the baseline — the replay
+     * idempotence guard. Throws InvalidArgument on a malformed
+     * payload or a SnapshotHeader (headers are consumed by snapshot
+     * loading, not apply).
+     */
+    bool apply(const Record &record);
+
+    /** Sequences at or below this are already reflected (set by
+     *  snapshot loading); apply() skips them. */
+    void setBaseline(std::uint64_t sequence);
+    std::uint64_t baseline() const { return baseline_; }
+
+    /** Highest sequence reflected in the state. */
+    std::uint64_t lastSequence() const { return lastSequence_; }
+
+    /** The sequence a live writer should stamp next. */
+    std::uint64_t nextSequence() const { return lastSequence_ + 1; }
+
+    // --- suite registry ---------------------------------------------
+    const std::map<std::string, Suite> &suites() const { return suites_; }
+
+    /** Newest version number of @p name; 0 when unregistered. */
+    std::uint32_t latestVersion(const std::string &name) const;
+
+    /** Manifest of @p name at @p version (0 = newest); nullptr when
+     *  the name or version is unknown or expired. */
+    const SuiteVersion *findSuite(const std::string &name,
+                                  std::uint32_t version = 0) const;
+
+    // --- score history ----------------------------------------------
+    /** History ring for @p suite ("" = ad-hoc), oldest first. */
+    std::vector<HistoryEntry> history(const std::string &suite) const;
+
+    /** Suite name -> entries currently retained (all rings). */
+    std::map<std::string, std::size_t> historySizes() const;
+
+    // --- warm-start results -----------------------------------------
+    /** Retained full score records, ascending by sequence. */
+    std::vector<const ScoreRecord *> results() const;
+
+    std::size_t resultCount() const { return resultBySequence_.size(); }
+
+    const StoreLimits &limits() const { return limits_; }
+
+    /**
+     * Canonical encoding of the full state as a flat record stream
+     * (no header frame): SuiteRegistered records (name asc, version
+     * asc), full ScoreRecorded records (sequence asc), then
+     * history-only ScoreRecorded records (sequence asc). Equal
+     * states produce equal bytes; a SnapshotHeader frame followed by
+     * this body is exactly a snapshot file.
+     */
+    std::string encodeSnapshotBody() const;
+
+  private:
+    void applySuiteRegistered(BinaryReader &reader);
+    void applyScoreRecorded(BinaryReader &reader);
+    void applyConfigChanged(BinaryReader &reader);
+    void trimHistory(std::deque<HistoryEntry> &ring);
+    void trimResults();
+    void trimAllHistory();
+
+    StoreLimits limits_;
+    std::uint64_t baseline_ = 0;
+    std::uint64_t lastSequence_ = 0;
+    /** Sequence of the record apply() is mid-way through (it is the
+     *  first payload field, consumed before dispatch). */
+    std::uint64_t pendingSequence_ = 0;
+    std::map<std::string, Suite> suites_;
+    /** suite -> ring, entries ascending by sequence. */
+    std::map<std::string, std::deque<HistoryEntry>> history_;
+    std::map<std::uint64_t, ScoreRecord> resultsByFingerprint_;
+    /** sequence -> fingerprint: canonical result order + trim order. */
+    std::map<std::uint64_t, std::uint64_t> resultBySequence_;
+};
+
+} // namespace store
+} // namespace hiermeans
+
+#endif // HIERMEANS_STORE_STATE_H

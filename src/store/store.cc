@@ -1,0 +1,301 @@
+#include "src/store/store.h"
+
+#include <exception>
+
+#include "src/util/error.h"
+#include "src/util/file.h"
+
+namespace hiermeans {
+namespace store {
+
+const char *
+recoveryOutcomeName(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+    case RecoveryOutcome::CleanStart:
+        return "clean_start";
+    case RecoveryOutcome::Clean:
+        return "clean";
+    case RecoveryOutcome::TruncatedTail:
+        return "truncated_tail";
+    case RecoveryOutcome::SnapshotFallback:
+        return "snapshot_fallback";
+    case RecoveryOutcome::Count_:
+        break;
+    }
+    return "unknown";
+}
+
+StateStore::StateStore(Config config)
+    : config_(std::move(config)), state_(config_.limits)
+{
+    HM_REQUIRE(!config_.dataDir.empty(),
+               "StateStore: dataDir must not be empty");
+}
+
+StateStore::~StateStore()
+{
+    try {
+        close();
+    } catch (const std::exception &) {
+        // Destructor close is best-effort; the WAL already holds
+        // everything a restart needs.
+    }
+}
+
+RecoveryInfo
+StateStore::open()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HM_REQUIRE(wal_ == nullptr, "StateStore::open called twice");
+    util::ensureDir(config_.dataDir);
+
+    // 1. Newest valid snapshot (falling back past corrupt ones).
+    const SnapshotLoad snapshot =
+        loadLatestSnapshot(config_.dataDir, state_);
+    recovery_.snapshotLoaded = snapshot.loaded;
+    recovery_.snapshotFile = snapshot.file;
+    recovery_.snapshotRecords = snapshot.records;
+    recovery_.snapshotsRejected = snapshot.rejected.size();
+    if (!snapshot.loaded)
+        state_ = StoreState(config_.limits);
+
+    // 2. WAL tail through the same apply() path; the baseline set by
+    //    the snapshot makes an overlapping tail idempotent.
+    const std::string wal_path = config_.dataDir + "/wal.log";
+    const ReplayResult replay =
+        replayWal(wal_path, [this](const Record &record) {
+            if (state_.apply(record))
+                ++recovery_.walApplied;
+        });
+    recovery_.walRecords = replay.records;
+    recovery_.walTorn = replay.torn;
+    recovery_.tornReason = replay.reason;
+
+    // 3. A torn tail is cut before the writer reopens the file.
+    if (replay.torn) {
+        recovery_.walBytesDiscarded =
+            replay.totalBytes - replay.validBytes;
+        truncateWalTail(wal_path, replay.validBytes);
+    }
+
+    recovery_.lastSequence = state_.lastSequence();
+    const bool touched_disk = snapshot.loaded || replay.totalBytes > 0 ||
+                              !snapshot.rejected.empty();
+    if (replay.torn)
+        recovery_.outcome = RecoveryOutcome::TruncatedTail;
+    else if (!snapshot.rejected.empty())
+        recovery_.outcome = RecoveryOutcome::SnapshotFallback;
+    else if (touched_disk)
+        recovery_.outcome = RecoveryOutcome::Clean;
+    else
+        recovery_.outcome = RecoveryOutcome::CleanStart;
+
+    wal_ = std::make_unique<WalWriter>(
+        wal_path, WalWriter::Config{config_.fsyncEvery});
+    lastSnapshotSequence_ = snapshot.loaded ? snapshot.lastSequence : 0;
+    snapshotTime_ = std::chrono::steady_clock::now();
+    return recovery_;
+}
+
+bool
+StateStore::isOpen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wal_ != nullptr;
+}
+
+void
+StateStore::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wal_ == nullptr)
+        return;
+    if (state_.lastSequence() > lastSnapshotSequence_)
+        snapshotLocked();
+    wal_.reset();
+}
+
+void
+StateStore::commit(RecordType type, const std::string &payload)
+{
+    HM_REQUIRE(wal_ != nullptr, "StateStore used before open()");
+    wal_->append(type, payload);
+    const bool applied = state_.apply(Record{type, payload});
+    HM_ASSERT(applied, "freshly stamped record below baseline");
+    ++sinceSnapshot_;
+}
+
+SuiteVersion
+StateStore::registerSuite(const std::string &name,
+                          const std::string &manifest)
+{
+    HM_REQUIRE(!name.empty(), "suite name must not be empty");
+    HM_REQUIRE(!manifest.empty(),
+               "suite `" << name << "`: manifest must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    SuiteVersion version;
+    version.sequence = state_.nextSequence();
+    version.version = state_.latestVersion(name) + 1;
+    version.manifest = manifest;
+    commit(RecordType::SuiteRegistered,
+           encodeSuiteRegistered(name, version));
+    maybeSnapshot();
+    return version;
+}
+
+bool
+StateStore::recordScore(ScoreRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.sequence = state_.nextSequence();
+    try {
+        commit(RecordType::ScoreRecorded, encodeScoreRecorded(record));
+    } catch (const Error &) {
+        return false; // counted by the WAL writer; response unaffected.
+    }
+    maybeSnapshot();
+    return true;
+}
+
+void
+StateStore::changeConfig(const std::string &key, const std::string &value)
+{
+    // Reject bad changes before they become durable: a record that
+    // cannot apply would otherwise replay its throw at every boot.
+    validateConfigChange(key, value);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ConfigChange change;
+    change.sequence = state_.nextSequence();
+    change.key = key;
+    change.value = value;
+    commit(RecordType::ConfigChanged, encodeConfigChanged(change));
+    maybeSnapshot();
+}
+
+std::uint64_t
+StateStore::snapshotNow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HM_REQUIRE(wal_ != nullptr, "StateStore used before open()");
+    return snapshotLocked();
+}
+
+std::uint64_t
+StateStore::snapshotLocked()
+{
+    const std::string name = writeSnapshot(config_.dataDir, state_);
+    // The snapshot is durable; the log it covers is now redundant.
+    if (wal_ != nullptr)
+        wal_->reset();
+    removeOldSnapshots(config_.dataDir, name);
+    ++snapshotsWritten_;
+    sinceSnapshot_ = 0;
+    lastSnapshotSequence_ = state_.lastSequence();
+    snapshotTime_ = std::chrono::steady_clock::now();
+    return state_.lastSequence();
+}
+
+void
+StateStore::maybeSnapshot()
+{
+    if (config_.snapshotEvery == 0 ||
+        sinceSnapshot_ < config_.snapshotEvery)
+        return;
+    try {
+        snapshotLocked();
+    } catch (const Error &) {
+        ++snapshotFailures_;
+        sinceSnapshot_ = 0; // back off a full cadence before retrying.
+    }
+}
+
+std::vector<HistoryEntry>
+StateStore::history(const std::string &suite) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.history(suite);
+}
+
+std::vector<Suite>
+StateStore::suites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Suite> copies;
+    copies.reserve(state_.suites().size());
+    for (const auto &[name, suite] : state_.suites())
+        copies.push_back(suite);
+    return copies;
+}
+
+std::optional<SuiteVersion>
+StateStore::resolveSuite(const std::string &name,
+                         std::uint32_t version) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SuiteVersion *found = state_.findSuite(name, version);
+    if (found == nullptr)
+        return std::nullopt;
+    return *found;
+}
+
+std::vector<ScoreRecord>
+StateStore::scoreRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ScoreRecord> copies;
+    copies.reserve(state_.resultCount());
+    for (const ScoreRecord *record : state_.results())
+        copies.push_back(*record);
+    return copies;
+}
+
+std::uint64_t
+StateStore::lastSequence() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.lastSequence();
+}
+
+std::string
+StateStore::encodeStateBody() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.encodeSnapshotBody();
+}
+
+StoreMetrics
+StateStore::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StoreMetrics m;
+    if (wal_ != nullptr) {
+        const WalWriter::Counters &wal = wal_->counters();
+        m.walRecords = wal.records;
+        m.walBytes = wal.bytes;
+        m.walFsyncs = wal.fsyncs;
+        m.walAppendFailures = wal.appendFailures;
+        m.walSizeBytes = wal_->sizeBytes();
+    }
+    m.snapshotsWritten = snapshotsWritten_;
+    m.snapshotFailures = snapshotFailures_;
+    m.sinceSnapshotSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      snapshotTime_)
+            .count();
+    m.recoveryOutcome = recovery_.outcome;
+    m.recoveredRecords =
+        recovery_.snapshotRecords + recovery_.walApplied;
+    m.recoveryDiscardedBytes = recovery_.walBytesDiscarded;
+    m.lastSequence = state_.lastSequence();
+    m.suiteCount = state_.suites().size();
+    std::uint64_t history_total = 0;
+    for (const auto &[suite, size] : state_.historySizes())
+        history_total += size;
+    m.historyEntries = history_total;
+    m.resultCount = state_.resultCount();
+    return m;
+}
+
+} // namespace store
+} // namespace hiermeans

@@ -1,0 +1,174 @@
+#include "src/store/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/util/error.h"
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace hiermeans {
+namespace store {
+
+namespace {
+
+/** write(2) the whole buffer, retrying EINTR; bytes written so far is
+ *  stored through @p written even on failure. */
+bool
+writeAll(int fd, const char *data, std::size_t size, std::size_t *written)
+{
+    *written = 0;
+    while (*written < size) {
+        const ssize_t n = ::write(fd, data + *written, size - *written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        *written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+WalWriter::WalWriter(std::string path, Config config)
+    : path_(std::move(path)), config_(config)
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    HM_REQUIRE(fd_ >= 0, "cannot open WAL `"
+                             << path_ << "`: " << std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd_, &st) == 0)
+        offset_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+WalWriter::~WalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+WalWriter::repairIfNeeded()
+{
+    if (!needsRepair_)
+        return;
+    HM_REQUIRE(::ftruncate(fd_, static_cast<off_t>(offset_)) == 0,
+               "cannot repair torn WAL tail in `"
+                   << path_ << "`: " << std::strerror(errno));
+    needsRepair_ = false;
+}
+
+void
+WalWriter::append(RecordType type, std::string_view payload)
+{
+    repairIfNeeded();
+
+    if (HM_FAULT("store.wal.append")) {
+        ++counters_.appendFailures;
+        throw InvalidArgument("WAL append to `" + path_ +
+                              "` failed (injected)");
+    }
+
+    const std::string frame = frameRecord(type, payload);
+
+    if (HM_FAULT("store.wal.torn")) {
+        // Simulated crash mid-write: half the frame reaches the file
+        // and stays there. Recovery (or the next append) must cope.
+        std::size_t written = 0;
+        writeAll(fd_, frame.data(), frame.size() / 2, &written);
+        needsRepair_ = true;
+        ++counters_.appendFailures;
+        throw InvalidArgument("WAL append to `" + path_ +
+                              "` torn mid-write (injected)");
+    }
+
+    std::size_t written = 0;
+    if (!writeAll(fd_, frame.data(), frame.size(), &written)) {
+        const int err = errno;
+        ++counters_.appendFailures;
+        // Drop the partial frame so later appends stay decodable.
+        if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0)
+            needsRepair_ = true;
+        throw InvalidArgument("WAL append to `" + path_ +
+                              "` failed: " + std::strerror(err));
+    }
+    offset_ += frame.size();
+    ++counters_.records;
+    counters_.bytes += frame.size();
+
+    if (config_.fsyncEvery != 0 && ++sinceSync_ >= config_.fsyncEvery) {
+        sinceSync_ = 0;
+        if (HM_FAULT("store.wal.fsync"))
+            throw InvalidArgument("WAL fsync of `" + path_ +
+                                  "` failed (injected)");
+        HM_REQUIRE(::fsync(fd_) == 0,
+                   "WAL fsync of `" << path_
+                                    << "` failed: " << std::strerror(errno));
+        ++counters_.fsyncs;
+    }
+}
+
+void
+WalWriter::sync()
+{
+    repairIfNeeded();
+    HM_REQUIRE(::fsync(fd_) == 0,
+               "WAL fsync of `" << path_
+                                << "` failed: " << std::strerror(errno));
+    sinceSync_ = 0;
+    ++counters_.fsyncs;
+}
+
+void
+WalWriter::reset()
+{
+    HM_REQUIRE(::ftruncate(fd_, 0) == 0,
+               "cannot reset WAL `" << path_
+                                    << "`: " << std::strerror(errno));
+    offset_ = 0;
+    sinceSync_ = 0;
+    needsRepair_ = false;
+}
+
+ReplayResult
+replayWal(const std::string &path,
+          const std::function<void(const Record &)> &handler)
+{
+    ReplayResult result;
+    if (!util::fileExists(path))
+        return result;
+
+    const std::string data = util::readFile(path);
+    result.totalBytes = data.size();
+
+    FrameReader frames(data);
+    Record record;
+    while (frames.next(record)) {
+        handler(record);
+        ++result.records;
+    }
+    result.validBytes = frames.validBytes();
+    result.torn = frames.sawCorruption();
+    if (result.torn)
+        result.reason = frames.corruption();
+    return result;
+}
+
+void
+truncateWalTail(const std::string &path, std::size_t validBytes)
+{
+    HM_REQUIRE(::truncate(path.c_str(),
+                          static_cast<off_t>(validBytes)) == 0,
+               "cannot truncate WAL `" << path << "` to " << validBytes
+                                       << " bytes: "
+                                       << std::strerror(errno));
+}
+
+} // namespace store
+} // namespace hiermeans

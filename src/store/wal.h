@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The write-ahead log: an append-only file of framed records
+ * (record.h) that makes every store mutation durable before it is
+ * applied.
+ *
+ * Durability contract: WalWriter::append returns only after the frame
+ * is fully written (and, per the fsync cadence, flushed to stable
+ * storage). A crash mid-append leaves a torn final frame; replayWal
+ * detects it by magic/length/CRC, reports the valid prefix, and
+ * recovery truncates the rest — committed records are never lost,
+ * uncommitted ones never half-applied.
+ *
+ * Fault points (deterministic, see util/fault.h):
+ *   store.wal.append  the append fails before any byte is written.
+ *   store.wal.torn    only a prefix of the frame reaches the file,
+ *                     then the append throws — a simulated crash
+ *                     mid-write. The torn bytes stay on disk (that is
+ *                     the point); the writer self-heals by truncating
+ *                     them away at the start of the next append.
+ *   store.wal.fsync   the cadence fsync fails after a clean write.
+ */
+
+#ifndef HIERMEANS_STORE_WAL_H
+#define HIERMEANS_STORE_WAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/store/record.h"
+
+namespace hiermeans {
+namespace store {
+
+/** Appends framed records to one WAL file. Not thread-safe — the
+ *  owning StateStore serializes access. */
+class WalWriter
+{
+  public:
+    struct Config
+    {
+        /** fsync after every Nth appended record; 0 = never fsync
+         *  (rely on the OS page cache — fast, not crash-durable). */
+        std::size_t fsyncEvery = 1;
+    };
+
+    /** Cumulative counters (monotonic while the writer is open). */
+    struct Counters
+    {
+        std::uint64_t records = 0; ///< frames fully appended.
+        std::uint64_t bytes = 0;   ///< payload+frame bytes appended.
+        std::uint64_t fsyncs = 0;
+        std::uint64_t appendFailures = 0;
+    };
+
+    /** Open @p path for appending, creating it when absent. */
+    WalWriter(std::string path, Config config);
+    ~WalWriter();
+
+    WalWriter(const WalWriter &) = delete;
+    WalWriter &operator=(const WalWriter &) = delete;
+
+    /**
+     * Frame and append one record, fsync'ing per the cadence. Throws
+     * InvalidArgument on any failure; a failed append never leaves
+     * the file in a state that loses *earlier* records — a partial
+     * write is truncated away (immediately, or at the next append
+     * when the fault left it in place deliberately).
+     */
+    void append(RecordType type, std::string_view payload);
+
+    /** Force an fsync now (e.g. before a snapshot cutover). */
+    void sync();
+
+    /** Discard every record: truncate the file to zero bytes. Done
+     *  after a snapshot makes the log redundant. */
+    void reset();
+
+    /** Current file offset = bytes of fully appended frames. */
+    std::uint64_t sizeBytes() const { return offset_; }
+
+    const Counters &counters() const { return counters_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void repairIfNeeded();
+
+    std::string path_;
+    Config config_;
+    int fd_ = -1;
+    std::uint64_t offset_ = 0;
+    std::size_t sinceSync_ = 0;
+    /** A deliberate torn write left trailing garbage after offset_;
+     *  truncate before the next append. */
+    bool needsRepair_ = false;
+    Counters counters_;
+};
+
+/** What replayWal found in a WAL file. */
+struct ReplayResult
+{
+    std::size_t records = 0;    ///< frames decoded and handed out.
+    std::size_t validBytes = 0; ///< prefix worth keeping.
+    std::size_t totalBytes = 0; ///< file size as read.
+    bool torn = false;          ///< trailing corruption detected.
+    std::string reason;         ///< iff torn: what was wrong.
+};
+
+/**
+ * Replay every valid frame of the WAL at @p path through @p handler
+ * in file order. A missing file is an empty log. Corruption after the
+ * valid prefix is reported, not thrown — the caller decides to
+ * truncate (truncateWalTail) and carry on.
+ */
+ReplayResult replayWal(const std::string &path,
+                       const std::function<void(const Record &)> &handler);
+
+/** Truncate the file at @p path to @p validBytes, discarding a torn
+ *  tail found by replayWal. */
+void truncateWalTail(const std::string &path, std::size_t validBytes);
+
+} // namespace store
+} // namespace hiermeans
+
+#endif // HIERMEANS_STORE_WAL_H

@@ -1,7 +1,15 @@
 #include "src/util/file.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "src/util/error.h"
 #include "src/util/fault.h"
@@ -31,6 +39,112 @@ writeFile(const std::string &path, const std::string &content)
     out << content;
     out.flush();
     HM_REQUIRE(out.good(), "write to `" << path << "` failed");
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content,
+                bool sync)
+{
+    const std::string tmp = path + ".tmp";
+    if (HM_FAULT("file.write.atomic")) {
+        ::unlink(tmp.c_str());
+        throw InvalidArgument("cannot write `" + path +
+                              "` atomically (injected)");
+    }
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    HM_REQUIRE(fd >= 0, "cannot open `" << tmp
+                                        << "`: " << std::strerror(errno));
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw InvalidArgument("write to `" + tmp +
+                                  "` failed: " + std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (sync && ::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw InvalidArgument("fsync of `" + tmp +
+                              "` failed: " + std::strerror(err));
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw InvalidArgument("rename `" + tmp + "` -> `" + path +
+                              "` failed: " + std::strerror(err));
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::size_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    HM_REQUIRE(::stat(path.c_str(), &st) == 0,
+               "cannot stat `" << path
+                               << "`: " << std::strerror(errno));
+    return static_cast<std::size_t>(st.st_size);
+}
+
+void
+removeFile(const std::string &path)
+{
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+        throw InvalidArgument("cannot remove `" + path +
+                              "`: " + std::strerror(errno));
+}
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0)
+        return;
+    HM_REQUIRE(errno == EEXIST, "cannot create directory `"
+                                    << path << "`: "
+                                    << std::strerror(errno));
+    struct stat st;
+    HM_REQUIRE(::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode),
+               "`" << path << "` exists but is not a directory");
+}
+
+std::vector<std::string>
+listDir(const std::string &path)
+{
+    DIR *dir = ::opendir(path.c_str());
+    HM_REQUIRE(dir != nullptr, "cannot read directory `"
+                                   << path << "`: "
+                                   << std::strerror(errno));
+    std::vector<std::string> names;
+    while (struct dirent *entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        struct stat st;
+        if (::stat((path + "/" + name).c_str(), &st) == 0 &&
+            S_ISREG(st.st_mode))
+            names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
 }
 
 } // namespace util

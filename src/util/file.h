@@ -11,7 +11,9 @@
 #ifndef HIERMEANS_UTIL_FILE_H
 #define HIERMEANS_UTIL_FILE_H
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace hiermeans {
 namespace util {
@@ -26,8 +28,41 @@ std::string readFile(const std::string &path);
  * Write @p content to @p path (binary mode), replacing any existing
  * file. Throws InvalidArgument when the file cannot be opened or the
  * write fails.
+ *
+ * NOT crash-safe: a crash mid-write leaves a torn file. State that
+ * must survive crashes goes through writeFileAtomic instead.
  */
 void writeFile(const std::string &path, const std::string &content);
+
+/**
+ * Crash-safe replacement write: @p content goes to `<path>.tmp`,
+ * is optionally fsync'd (@p sync), and the temp file is rename()d
+ * over @p path — so readers observe either the old file or the new
+ * one, never a torn mix. Throws InvalidArgument on any failure (the
+ * temp file is removed on the error path).
+ */
+void writeFileAtomic(const std::string &path, const std::string &content,
+                     bool sync = true);
+
+/** True when @p path exists (any file type). */
+bool fileExists(const std::string &path);
+
+/** Size of the regular file at @p path in bytes; throws when absent. */
+std::size_t fileSize(const std::string &path);
+
+/** Delete @p path; quietly succeeds when it does not exist. */
+void removeFile(const std::string &path);
+
+/**
+ * Create directory @p path (one level; parents must exist). A no-op
+ * when it already exists; throws when creation fails or @p path
+ * exists but is not a directory.
+ */
+void ensureDir(const std::string &path);
+
+/** Names (not paths) of regular files in @p path, sorted ascending.
+ *  Throws InvalidArgument when the directory cannot be read. */
+std::vector<std::string> listDir(const std::string &path);
 
 } // namespace util
 } // namespace hiermeans

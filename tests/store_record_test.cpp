@@ -1,0 +1,214 @@
+/**
+ * The durable-record codec: CRC32 framing, the canonical BinaryWriter/
+ * BinaryReader encoding, and — most importantly — that every way a
+ * frame can be damaged (flipped payload byte, torn header, torn
+ * payload, wrong magic, unknown type) stops a FrameReader at the last
+ * valid byte instead of feeding garbage downstream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/store/record.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::store;
+
+TEST(Crc32, MatchesTheIeeeCheckValue)
+{
+    // The canonical CRC-32/IEEE check value for "123456789".
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(BinaryCodec, RoundTripsEveryScalarAndVectorType)
+{
+    BinaryWriter writer;
+    writer.u8(0xAB);
+    writer.u32(0xDEADBEEF);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.f64(3.14159265358979);
+    writer.str("hello \xc3\xa9 world");
+    writer.str("");
+    writer.u64Vec({1, 2, 3});
+    writer.f64Vec({-0.5, 1e300});
+
+    BinaryReader reader(writer.bytes());
+    EXPECT_EQ(reader.u8(), 0xAB);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.f64(), 3.14159265358979);
+    EXPECT_EQ(reader.str(), "hello \xc3\xa9 world");
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_EQ(reader.u64Vec(), (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(reader.f64Vec(), (std::vector<double>{-0.5, 1e300}));
+    EXPECT_TRUE(reader.done());
+    EXPECT_NO_THROW(reader.expectDone("test payload"));
+}
+
+TEST(BinaryCodec, EncodingIsCanonical)
+{
+    const auto encode = [] {
+        BinaryWriter writer;
+        writer.u64(42);
+        writer.str("suite");
+        writer.f64(1.0 / 3.0);
+        return writer.take();
+    };
+    EXPECT_EQ(encode(), encode());
+}
+
+TEST(BinaryCodec, ReadingPastTheEndThrows)
+{
+    BinaryWriter writer;
+    writer.u32(7);
+    BinaryReader reader(writer.bytes());
+    EXPECT_THROW(reader.u64(), InvalidArgument);
+
+    // A string whose length prefix overruns the buffer.
+    BinaryWriter liar;
+    liar.u32(1000); // claims 1000 bytes follow; none do.
+    BinaryReader hungry(liar.bytes());
+    EXPECT_THROW(hungry.str(), InvalidArgument);
+}
+
+TEST(BinaryCodec, ExpectDoneRejectsTrailingGarbage)
+{
+    BinaryWriter writer;
+    writer.u8(1);
+    writer.u8(2);
+    BinaryReader reader(writer.bytes());
+    reader.u8();
+    EXPECT_FALSE(reader.done());
+    EXPECT_THROW(reader.expectDone("short payload"), InvalidArgument);
+}
+
+TEST(FrameReader, RoundTripsASequenceOfRecords)
+{
+    std::string stream;
+    stream += frameRecord(RecordType::SuiteRegistered, "alpha");
+    stream += frameRecord(RecordType::ScoreRecorded, "");
+    stream += frameRecord(RecordType::ConfigChanged, std::string(1000, 'x'));
+
+    FrameReader reader(stream);
+    Record record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.type, RecordType::SuiteRegistered);
+    EXPECT_EQ(record.payload, "alpha");
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.type, RecordType::ScoreRecorded);
+    EXPECT_EQ(record.payload, "");
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.type, RecordType::ConfigChanged);
+    EXPECT_EQ(record.payload.size(), 1000u);
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_FALSE(reader.sawCorruption());
+    EXPECT_EQ(reader.validBytes(), stream.size());
+}
+
+TEST(FrameReader, FrameOverheadMatchesTheLayout)
+{
+    EXPECT_EQ(frameRecord(RecordType::ScoreRecorded, "abc").size(),
+              kFrameOverhead + 3);
+}
+
+TEST(FrameReader, StopsAtAFlippedPayloadByte)
+{
+    const std::string good =
+        frameRecord(RecordType::SuiteRegistered, "first");
+    std::string stream =
+        good + frameRecord(RecordType::ScoreRecorded, "second");
+    stream[good.size() + kFrameOverhead + 2] ^= 0x40; // corrupt "second".
+
+    FrameReader reader(stream);
+    Record record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.payload, "first");
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_NE(reader.corruption().find("CRC"), std::string::npos)
+        << reader.corruption();
+    EXPECT_EQ(reader.validBytes(), good.size())
+        << "the valid prefix must end before the corrupt frame";
+}
+
+TEST(FrameReader, StopsAtATornHeader)
+{
+    const std::string good =
+        frameRecord(RecordType::SuiteRegistered, "kept");
+    const std::string torn =
+        frameRecord(RecordType::ScoreRecorded, "lost");
+    // Only 6 of the 13 header bytes made it to disk.
+    const std::string stream = good + torn.substr(0, 6);
+
+    FrameReader reader(stream);
+    Record record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_EQ(reader.validBytes(), good.size());
+}
+
+TEST(FrameReader, StopsAtATornPayload)
+{
+    const std::string good =
+        frameRecord(RecordType::SuiteRegistered, "kept");
+    const std::string torn =
+        frameRecord(RecordType::ScoreRecorded, "lost payload bytes");
+    // Header complete, payload cut short.
+    const std::string stream = good + torn.substr(0, torn.size() - 5);
+
+    FrameReader reader(stream);
+    Record record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_NE(reader.corruption().find("torn"), std::string::npos)
+        << reader.corruption();
+    EXPECT_EQ(reader.validBytes(), good.size());
+}
+
+TEST(FrameReader, StopsAtABadMagic)
+{
+    std::string stream = frameRecord(RecordType::SuiteRegistered, "x");
+    stream[0] = 'Z';
+    FrameReader reader(stream);
+    Record record;
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_NE(reader.corruption().find("magic"), std::string::npos)
+        << reader.corruption();
+    EXPECT_EQ(reader.validBytes(), 0u);
+}
+
+TEST(FrameReader, StopsAtAnUnknownRecordType)
+{
+    // A well-formed frame (valid CRC) of a type this codec version
+    // does not know: a future-format record must stop replay, not
+    // crash it or be silently skipped.
+    EXPECT_FALSE(knownRecordType(99));
+    EXPECT_TRUE(knownRecordType(
+        static_cast<std::uint8_t>(RecordType::SnapshotHeader)));
+    const std::string stream =
+        frameRecord(static_cast<RecordType>(99), "future");
+    FrameReader reader(stream);
+    Record record;
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_NE(reader.corruption().find("unknown"), std::string::npos)
+        << reader.corruption();
+}
+
+TEST(FrameReader, EmptyBufferIsACleanEnd)
+{
+    FrameReader reader("");
+    Record record;
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_FALSE(reader.sawCorruption());
+    EXPECT_EQ(reader.validBytes(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,368 @@
+/**
+ * StateStore end to end: registry versioning, history-ring retention,
+ * best-effort score recording under injected WAL faults, snapshot
+ * compaction, and — the heart of the durability contract — crash
+ * recovery. Crashes are simulated by copying the live data directory
+ * aside mid-flight (no close(), no final snapshot) and opening a
+ * second store on the copy; the recovered state must be bit-identical
+ * to the committed pre-crash state (StateStore::encodeStateBody).
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/store/store.h"
+#include "src/util/error.h"
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::store;
+
+scoring::ScoreReport
+smallReport(double ratio)
+{
+    scoring::ScoreReport report;
+    scoring::ScoreReportRow row;
+    row.clusterCount = 2;
+    row.partition = scoring::Partition::fromLabels({0, 1, 1});
+    row.scoreA = ratio;
+    row.scoreB = 1.0;
+    row.ratio = ratio;
+    report.rows.push_back(row);
+    report.plainRatio = ratio;
+    return report;
+}
+
+ScoreRecord
+score(const std::string &id, std::uint64_t fingerprint, double ratio,
+      const std::string &suite = "", bool with_report = true)
+{
+    ScoreRecord record;
+    record.suite = suite;
+    record.suiteVersion = suite.empty() ? 0 : 1;
+    record.id = id;
+    record.fingerprint = fingerprint;
+    record.recommendedK = 2;
+    record.ratio = ratio;
+    record.plainRatio = ratio * 0.98;
+    record.wallMillis = 5.0;
+    if (with_report)
+        record.report = smallReport(ratio);
+    return record;
+}
+
+class StoreRecoveryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        stem_ = "/tmp/hiermeans_store_test_" +
+                std::to_string(::getpid());
+        wipe(stem_);
+        wipe(stem_ + "_crash");
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+        wipe(stem_);
+        wipe(stem_ + "_crash");
+    }
+
+    static void
+    wipe(const std::string &dir)
+    {
+        if (!util::fileExists(dir))
+            return;
+        for (const std::string &name : util::listDir(dir))
+            util::removeFile(dir + "/" + name);
+        ::rmdir(dir.c_str());
+    }
+
+    /**
+     * The crash simulator: copy the live data dir byte for byte —
+     * including any torn WAL tail — without giving the store a chance
+     * to close (which would snapshot and tidy up).
+     */
+    std::string
+    crashCopy() const
+    {
+        const std::string to = stem_ + "_crash";
+        wipe(to);
+        util::ensureDir(to);
+        for (const std::string &name : util::listDir(stem_))
+            util::writeFile(to + "/" + name,
+                            util::readFile(stem_ + "/" + name));
+        return to;
+    }
+
+    StateStore::Config
+    config(const std::string &dir, std::size_t snapshot_every = 0) const
+    {
+        StateStore::Config c;
+        c.dataDir = dir;
+        c.fsyncEvery = 1;
+        c.snapshotEvery = snapshot_every;
+        return c;
+    }
+
+    std::string stem_;
+};
+
+TEST_F(StoreRecoveryTest, FreshDirIsACleanStart)
+{
+    StateStore store(config(stem_));
+    const RecoveryInfo info = store.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::CleanStart);
+    EXPECT_EQ(info.lastSequence, 0u);
+    EXPECT_TRUE(store.isOpen());
+    EXPECT_TRUE(util::fileExists(stem_)) << "data dir created";
+}
+
+TEST_F(StoreRecoveryTest, RegistryVersionsMonotonically)
+{
+    StateStore store(config(stem_));
+    store.open();
+    EXPECT_EQ(store.registerSuite("spec", "scores=a.csv").version, 1u);
+    EXPECT_EQ(store.registerSuite("spec", "scores=b.csv").version, 2u);
+    EXPECT_EQ(store.registerSuite("other", "scores=c.csv").version, 1u);
+
+    const auto newest = store.resolveSuite("spec");
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->version, 2u);
+    EXPECT_EQ(newest->manifest, "scores=b.csv");
+    const auto pinned = store.resolveSuite("spec", 1);
+    ASSERT_TRUE(pinned.has_value());
+    EXPECT_EQ(pinned->manifest, "scores=a.csv");
+    EXPECT_FALSE(store.resolveSuite("spec", 9).has_value());
+    EXPECT_FALSE(store.resolveSuite("nope").has_value());
+    EXPECT_EQ(store.suites().size(), 2u);
+}
+
+TEST_F(StoreRecoveryTest, HistoryRingTrimsToCapacity)
+{
+    StateStore::Config c = config(stem_);
+    c.limits.historyCapacity = 3;
+    StateStore store(c);
+    store.open();
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(store.recordScore(score(
+            "run-" + std::to_string(i), 0x100 + i, 1.0 + 0.1 * i)));
+
+    const std::vector<HistoryEntry> ring = store.history("");
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front().id, "run-2") << "oldest entries evicted";
+    EXPECT_EQ(ring.back().id, "run-4");
+    EXPECT_LT(ring.front().sequence, ring.back().sequence);
+}
+
+TEST_F(StoreRecoveryTest, RecordScoreIsBestEffortUnderWalFaults)
+{
+    StateStore store(config(stem_));
+    store.open();
+    ASSERT_TRUE(store.recordScore(score("ok", 0x1, 1.1)));
+    const std::uint64_t seq = store.lastSequence();
+
+    fault::configure("store.wal.append=once");
+    EXPECT_FALSE(store.recordScore(score("dropped", 0x2, 1.2)))
+        << "a WAL failure must be reported, not thrown";
+    EXPECT_EQ(store.lastSequence(), seq)
+        << "the failed record must not touch the state";
+    EXPECT_EQ(store.metrics().walAppendFailures, 1u);
+    EXPECT_TRUE(store.history("").size() == 1u);
+
+    EXPECT_TRUE(store.recordScore(score("after", 0x3, 1.3)));
+    EXPECT_EQ(store.history("").size(), 2u);
+}
+
+TEST_F(StoreRecoveryTest, RegistrationThrowsOnWalFailure)
+{
+    StateStore store(config(stem_));
+    store.open();
+    fault::configure("store.wal.append=once");
+    EXPECT_THROW(store.registerSuite("spec", "scores=a.csv"), Error)
+        << "an unpersisted registration must not be acknowledged";
+    EXPECT_TRUE(store.suites().empty());
+    fault::reset();
+    EXPECT_EQ(store.registerSuite("spec", "scores=a.csv").version, 1u);
+}
+
+TEST_F(StoreRecoveryTest, CrashWithoutCloseLosesNoCommittedRecord)
+{
+    StateStore live(config(stem_));
+    live.open();
+    live.registerSuite("spec", "scores=a.csv machine-a=mA");
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(live.recordScore(score("run-" + std::to_string(i),
+                                           0x200 + i, 1.0 + 0.01 * i,
+                                           "spec")));
+    const std::string committed = live.encodeStateBody();
+
+    // SIGKILL equivalent: the WAL alone must reconstruct everything.
+    StateStore recovered(config(crashCopy()));
+    const RecoveryInfo info = recovered.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::Clean);
+    EXPECT_FALSE(info.snapshotLoaded);
+    EXPECT_EQ(info.walApplied, 5u);
+    EXPECT_EQ(recovered.encodeStateBody(), committed)
+        << "recovered state must be bit-identical to the committed one";
+    EXPECT_EQ(recovered.scoreRecords().size(), 4u)
+        << "full reports survive for warm start";
+}
+
+TEST_F(StoreRecoveryTest, TornFinalRecordIsDetectedAndTruncated)
+{
+    StateStore live(config(stem_));
+    live.open();
+    ASSERT_TRUE(live.recordScore(score("committed", 0x301, 1.25)));
+    const std::string committed = live.encodeStateBody();
+
+    // The crash lands mid-append: half a frame reaches the WAL.
+    fault::configure("store.wal.torn=once");
+    EXPECT_FALSE(live.recordScore(score("torn", 0x302, 1.5)));
+    fault::reset();
+
+    StateStore recovered(config(crashCopy()));
+    const RecoveryInfo info = recovered.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::TruncatedTail);
+    EXPECT_TRUE(info.walTorn);
+    EXPECT_GT(info.walBytesDiscarded, 0u);
+    EXPECT_EQ(recovered.encodeStateBody(), committed)
+        << "the torn record is gone, the committed prefix intact";
+    EXPECT_EQ(recovered.metrics().recoveryDiscardedBytes,
+              info.walBytesDiscarded);
+
+    // The truncation is real: a third open sees a clean log.
+    recovered.recordScore(score("fresh", 0x303, 1.6));
+}
+
+TEST_F(StoreRecoveryTest, GracefulCloseSnapshotsAndReopensClean)
+{
+    {
+        StateStore store(config(stem_));
+        store.open();
+        store.registerSuite("spec", "scores=a.csv");
+        ASSERT_TRUE(store.recordScore(score("r", 0x400, 1.3, "spec")));
+        store.close();
+    }
+    EXPECT_EQ(listSnapshots(stem_).size(), 1u)
+        << "close() must leave a final snapshot";
+    EXPECT_EQ(util::fileSize(stem_ + "/wal.log"), 0u)
+        << "the snapshot makes the WAL redundant";
+
+    StateStore reopened(config(stem_));
+    const RecoveryInfo info = reopened.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::Clean);
+    EXPECT_TRUE(info.snapshotLoaded);
+    EXPECT_EQ(info.walApplied, 0u);
+    EXPECT_EQ(reopened.history("spec").size(), 1u);
+    ASSERT_TRUE(reopened.resolveSuite("spec").has_value());
+}
+
+TEST_F(StoreRecoveryTest, SnapshotCadenceCompactsTheWal)
+{
+    StateStore store(config(stem_, /*snapshot_every=*/3));
+    store.open();
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(store.recordScore(
+            score("run-" + std::to_string(i), 0x500 + i, 1.0)));
+
+    const StoreMetrics metrics = store.metrics();
+    EXPECT_EQ(metrics.snapshotsWritten, 2u) << "after records 3 and 6";
+    EXPECT_EQ(listSnapshots(stem_).size(), 1u)
+        << "compaction removes older generations";
+    EXPECT_EQ(metrics.walRecords, 7u);
+    EXPECT_LT(metrics.walSizeBytes, metrics.walBytes)
+        << "the WAL was truncated at the last snapshot";
+}
+
+TEST_F(StoreRecoveryTest, SnapshotOverlapDoubleAppliesNothing)
+{
+    StateStore live(config(stem_));
+    live.open();
+    live.registerSuite("spec", "scores=a.csv");
+    ASSERT_TRUE(live.recordScore(score("early", 0x600, 1.1, "spec")));
+    const std::string preSnapshotWal =
+        util::readFile(stem_ + "/wal.log");
+    live.snapshotNow();
+    ASSERT_TRUE(live.recordScore(score("late", 0x601, 1.2, "spec")));
+    const std::string committed = live.encodeStateBody();
+
+    // Crash between the snapshot rename and the WAL truncation is
+    // simulated by gluing the pre-snapshot records back in front of
+    // the tail: every one of them is at or below the snapshot's
+    // baseline, so replay must skip them all.
+    const std::string crash = crashCopy();
+    util::writeFile(crash + "/wal.log",
+                    preSnapshotWal +
+                        util::readFile(crash + "/wal.log"));
+    StateStore replayed(config(crash));
+    const RecoveryInfo info = replayed.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::Clean);
+    EXPECT_TRUE(info.snapshotLoaded);
+    EXPECT_EQ(replayed.encodeStateBody(), committed);
+    EXPECT_EQ(replayed.history("spec").size(), 2u)
+        << "no duplicate history entries";
+}
+
+TEST_F(StoreRecoveryTest, CorruptSnapshotIsSkippedNeverFatal)
+{
+    StateStore live(config(stem_));
+    live.open();
+    ASSERT_TRUE(live.recordScore(score("one", 0x700, 1.0)));
+    live.snapshotNow();
+    ASSERT_TRUE(live.recordScore(score("two", 0x701, 1.1)));
+    const std::uint64_t seq = live.lastSequence();
+    live.snapshotNow(); // compaction deletes the first snapshot...
+
+    const std::string crash = crashCopy();
+    const std::string newest = snapshotFileName(seq);
+    std::string damaged = util::readFile(crash + "/" + newest);
+    damaged[damaged.size() - 3] ^= 0x11;
+    util::writeFile(crash + "/" + newest, damaged);
+
+    StateStore recovered(config(crash));
+    const RecoveryInfo info = recovered.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::SnapshotFallback);
+    EXPECT_EQ(info.snapshotsRejected, 1u);
+    // Nothing older to fall back to here: recovery starts empty but
+    // must still come up serving.
+    EXPECT_TRUE(recovered.isOpen());
+}
+
+TEST_F(StoreRecoveryTest, ChangeConfigPersistsAcrossRecovery)
+{
+    StateStore live(config(stem_));
+    live.open();
+    live.changeConfig("history-capacity", "2");
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(live.recordScore(
+            score("run-" + std::to_string(i), 0x800 + i, 1.0)));
+    EXPECT_EQ(live.history("").size(), 2u);
+    EXPECT_THROW(live.changeConfig("no-such-key", "1"), Error);
+
+    StateStore recovered(config(crashCopy()));
+    recovered.open();
+    EXPECT_EQ(recovered.history("").size(), 2u);
+    EXPECT_EQ(recovered.encodeStateBody(), live.encodeStateBody());
+}
+
+TEST_F(StoreRecoveryTest, LatestFingerprintWinsForWarmStart)
+{
+    StateStore store(config(stem_));
+    store.open();
+    ASSERT_TRUE(store.recordScore(score("first", 0x900, 1.0)));
+    ASSERT_TRUE(store.recordScore(score("again", 0x900, 1.0)));
+    EXPECT_EQ(store.scoreRecords().size(), 1u)
+        << "one warm-start entry per fingerprint";
+    EXPECT_EQ(store.scoreRecords()[0].id, "again");
+    EXPECT_EQ(store.history("").size(), 2u)
+        << "history keeps both executions";
+}
+
+} // namespace

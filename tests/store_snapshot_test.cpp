@@ -1,0 +1,239 @@
+/**
+ * Snapshot files: write/load round-trip, bit-identical canonical
+ * encoding (snapshot -> load -> snapshot reproduces the same bytes),
+ * fallback past a corrupted newest snapshot, generation cleanup, and
+ * the store.snapshot.write fault point.
+ */
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/store/snapshot.h"
+#include "src/util/error.h"
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::store;
+
+scoring::ScoreReport
+smallReport(double ratio)
+{
+    scoring::ScoreReport report;
+    scoring::ScoreReportRow row;
+    row.clusterCount = 2;
+    row.partition = scoring::Partition::fromLabels({0, 0, 1});
+    row.scoreA = 2.0 * ratio;
+    row.scoreB = 2.0;
+    row.ratio = ratio;
+    report.rows.push_back(row);
+    report.plainA = 1.9 * ratio;
+    report.plainB = 1.9;
+    report.plainRatio = ratio * 0.97;
+    return report;
+}
+
+/** A state with suites, full results and history-only entries. */
+StoreState
+populatedState()
+{
+    StoreState state;
+    std::uint64_t seq = 0;
+    state.apply({RecordType::SuiteRegistered,
+                 encodeSuiteRegistered(
+                     "alpha", {++seq, 1, "scores=a.csv machine-a=mA"})});
+    state.apply({RecordType::SuiteRegistered,
+                 encodeSuiteRegistered(
+                     "alpha", {++seq, 2, "scores=a2.csv machine-a=mA"})});
+    state.apply({RecordType::SuiteRegistered,
+                 encodeSuiteRegistered(
+                     "beta", {++seq, 1, "scores=b.csv machine-a=mA"})});
+    for (int i = 0; i < 3; ++i) {
+        ScoreRecord record;
+        record.sequence = ++seq;
+        record.suite = i == 2 ? "" : "alpha";
+        record.suiteVersion = i == 2 ? 0 : 2;
+        record.id = "run-" + std::to_string(i);
+        record.fingerprint = 0x1000 + static_cast<std::uint64_t>(i);
+        record.recommendedK = 2;
+        record.ratio = 1.1 + 0.01 * i;
+        record.plainRatio = 1.05;
+        record.wallMillis = 12.5;
+        if (i != 1) // run-1 stays history-only (report evicted).
+            record.report = smallReport(record.ratio);
+        state.apply(
+            {RecordType::ScoreRecorded, encodeScoreRecorded(record)});
+    }
+    return state;
+}
+
+class StoreSnapshotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = "/tmp/hiermeans_snapshot_test_" +
+               std::to_string(::getpid());
+        wipe();
+        util::ensureDir(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+        wipe();
+    }
+
+    void
+    wipe()
+    {
+        if (!util::fileExists(dir_)) // stat(2): dirs count too.
+            return;
+        for (const std::string &name : util::listDir(dir_))
+            util::removeFile(dir_ + "/" + name);
+        ::rmdir(dir_.c_str());
+    }
+
+    std::string dir_;
+};
+
+TEST_F(StoreSnapshotTest, FileNamesSortChronologically)
+{
+    EXPECT_EQ(snapshotFileName(7), "snapshot.000000000007");
+    EXPECT_LT(snapshotFileName(999), snapshotFileName(1000));
+    EXPECT_LT(snapshotFileName(1), snapshotFileName(10));
+}
+
+TEST_F(StoreSnapshotTest, WriteThenLoadReproducesTheStateExactly)
+{
+    const StoreState original = populatedState();
+    const std::string file = writeSnapshot(dir_, original);
+    EXPECT_EQ(listSnapshots(dir_), std::vector<std::string>{file});
+
+    StoreState recovered;
+    const SnapshotLoad load = loadLatestSnapshot(dir_, recovered);
+    ASSERT_TRUE(load.loaded);
+    EXPECT_EQ(load.file, file);
+    EXPECT_EQ(load.lastSequence, original.lastSequence());
+    EXPECT_TRUE(load.rejected.empty());
+    EXPECT_GT(load.records, 0u);
+
+    EXPECT_EQ(recovered.lastSequence(), original.lastSequence());
+    EXPECT_EQ(recovered.baseline(), original.lastSequence())
+        << "an overlapping WAL tail must double-apply nothing";
+    EXPECT_EQ(recovered.limits(), original.limits());
+    EXPECT_EQ(recovered.encodeSnapshotBody(),
+              original.encodeSnapshotBody())
+        << "recovered state must be bit-identical";
+    EXPECT_EQ(recovered.latestVersion("alpha"), 2u);
+    EXPECT_EQ(recovered.history("alpha").size(), 2u);
+    EXPECT_EQ(recovered.resultCount(), 2u); // run-1 was history-only.
+}
+
+TEST_F(StoreSnapshotTest, SnapshotLoadSnapshotIsIdempotent)
+{
+    const StoreState original = populatedState();
+    writeSnapshot(dir_, original);
+    const std::string bytes = util::readFile(
+        dir_ + "/" + snapshotFileName(original.lastSequence()));
+
+    StoreState recovered;
+    ASSERT_TRUE(loadLatestSnapshot(dir_, recovered).loaded);
+    const std::string again = dir_ + "_again";
+    util::ensureDir(again);
+    writeSnapshot(again, recovered);
+    EXPECT_EQ(util::readFile(again + "/" +
+                             snapshotFileName(original.lastSequence())),
+              bytes)
+        << "re-snapshotting a loaded state must reproduce the file";
+    for (const std::string &name : util::listDir(again))
+        util::removeFile(again + "/" + name);
+    ::rmdir(again.c_str());
+}
+
+TEST_F(StoreSnapshotTest, LoadFallsBackPastACorruptNewestSnapshot)
+{
+    StoreState older = populatedState();
+    writeSnapshot(dir_, older);
+
+    // A newer snapshot that gets damaged on disk.
+    StoreState newer = populatedState();
+    ScoreRecord extra;
+    extra.sequence = newer.nextSequence();
+    extra.id = "newest";
+    extra.fingerprint = 0x9999;
+    extra.ratio = 1.5;
+    extra.report = smallReport(1.5);
+    newer.apply({RecordType::ScoreRecorded, encodeScoreRecorded(extra)});
+    const std::string newest = writeSnapshot(dir_, newer);
+    std::string damaged = util::readFile(dir_ + "/" + newest);
+    damaged[damaged.size() / 2] ^= 0x5A;
+    util::writeFile(dir_ + "/" + newest, damaged);
+
+    StoreState recovered;
+    const SnapshotLoad load = loadLatestSnapshot(dir_, recovered);
+    ASSERT_TRUE(load.loaded);
+    EXPECT_EQ(load.lastSequence, older.lastSequence());
+    ASSERT_EQ(load.rejected.size(), 1u);
+    EXPECT_EQ(load.rejected[0], newest);
+    EXPECT_EQ(recovered.encodeSnapshotBody(),
+              older.encodeSnapshotBody());
+}
+
+TEST_F(StoreSnapshotTest, LoadOnAnEmptyDirDoesNothing)
+{
+    StoreState state;
+    const SnapshotLoad load = loadLatestSnapshot(dir_, state);
+    EXPECT_FALSE(load.loaded);
+    EXPECT_EQ(state.lastSequence(), 0u);
+}
+
+TEST_F(StoreSnapshotTest, ANonSnapshotFileInTheHeaderSlotIsRejected)
+{
+    util::writeFile(dir_ + "/" + snapshotFileName(5), "not a snapshot");
+    StoreState state;
+    const SnapshotLoad load = loadLatestSnapshot(dir_, state);
+    EXPECT_FALSE(load.loaded);
+    ASSERT_EQ(load.rejected.size(), 1u);
+    EXPECT_EQ(state.lastSequence(), 0u);
+}
+
+TEST_F(StoreSnapshotTest, RemoveOldSnapshotsKeepsOnlyTheNewest)
+{
+    StoreState state = populatedState();
+    writeSnapshot(dir_, state);
+    const std::string older = snapshotFileName(state.lastSequence());
+
+    ScoreRecord extra;
+    extra.sequence = state.nextSequence();
+    extra.id = "later";
+    extra.fingerprint = 0xAAAA;
+    extra.report = smallReport(1.2);
+    state.apply({RecordType::ScoreRecorded, encodeScoreRecorded(extra)});
+    const std::string newest = writeSnapshot(dir_, state);
+
+    ASSERT_EQ(listSnapshots(dir_).size(), 2u);
+    EXPECT_EQ(removeOldSnapshots(dir_, newest), 1u);
+    EXPECT_EQ(listSnapshots(dir_), std::vector<std::string>{newest});
+    EXPECT_NE(newest, older);
+}
+
+TEST_F(StoreSnapshotTest, WriteFaultThrowsAndLeavesNoFile)
+{
+    const StoreState state = populatedState();
+    fault::configure("store.snapshot.write=once");
+    EXPECT_THROW(writeSnapshot(dir_, state), Error);
+    EXPECT_TRUE(listSnapshots(dir_).empty())
+        << "a failed snapshot must not leave a partial file";
+    // Disarmed, the same write succeeds.
+    fault::reset();
+    EXPECT_EQ(writeSnapshot(dir_, state),
+              snapshotFileName(state.lastSequence()));
+}
+
+} // namespace

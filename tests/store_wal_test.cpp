@@ -1,0 +1,227 @@
+/**
+ * WalWriter / replayWal: append-then-replay fidelity, the fsync
+ * cadence, torn-tail detection + truncation, and the deterministic
+ * fault points (store.wal.append, store.wal.torn, store.wal.fsync)
+ * that the crash-recovery suite and chaos harness lean on.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <unistd.h>
+#include <vector>
+
+#include "src/store/wal.h"
+#include "src/util/error.h"
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::store;
+
+class StoreWalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "/tmp/hiermeans_wal_test_" +
+                std::to_string(::getpid()) + ".log";
+        std::remove(path_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+        std::remove(path_.c_str());
+    }
+
+    /** Replay into (type, payload) pairs. */
+    std::pair<ReplayResult, std::vector<Record>>
+    replay() const
+    {
+        std::vector<Record> records;
+        const ReplayResult result = replayWal(
+            path_, [&](const Record &r) { records.push_back(r); });
+        return {result, records};
+    }
+
+    std::string path_;
+};
+
+TEST_F(StoreWalTest, MissingFileIsAnEmptyLog)
+{
+    const auto [result, records] = replay();
+    EXPECT_EQ(result.records, 0u);
+    EXPECT_EQ(result.totalBytes, 0u);
+    EXPECT_FALSE(result.torn);
+    EXPECT_TRUE(records.empty());
+}
+
+TEST_F(StoreWalTest, AppendedRecordsReplayInOrder)
+{
+    {
+        WalWriter writer(path_, {});
+        writer.append(RecordType::SuiteRegistered, "one");
+        writer.append(RecordType::ScoreRecorded, "two");
+        writer.append(RecordType::ConfigChanged, "three");
+        EXPECT_EQ(writer.counters().records, 3u);
+        EXPECT_EQ(writer.sizeBytes(), util::fileSize(path_));
+    }
+    const auto [result, records] = replay();
+    EXPECT_FALSE(result.torn);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].payload, "one");
+    EXPECT_EQ(records[1].payload, "two");
+    EXPECT_EQ(records[2].type, RecordType::ConfigChanged);
+    EXPECT_EQ(result.validBytes, result.totalBytes);
+}
+
+TEST_F(StoreWalTest, ReopeningAppendsAfterExistingRecords)
+{
+    {
+        WalWriter writer(path_, {});
+        writer.append(RecordType::SuiteRegistered, "first run");
+    }
+    {
+        WalWriter writer(path_, {});
+        EXPECT_GT(writer.sizeBytes(), 0u) << "offset picked up on open";
+        writer.append(RecordType::SuiteRegistered, "second run");
+    }
+    const auto [result, records] = replay();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].payload, "second run");
+    EXPECT_FALSE(result.torn);
+}
+
+TEST_F(StoreWalTest, FsyncCadenceIsHonored)
+{
+    {
+        WalWriter every(path_, {.fsyncEvery = 1});
+        for (int i = 0; i < 4; ++i)
+            every.append(RecordType::ScoreRecorded, "r");
+        EXPECT_EQ(every.counters().fsyncs, 4u);
+    }
+    std::remove(path_.c_str());
+    {
+        WalWriter third(path_, {.fsyncEvery = 3});
+        for (int i = 0; i < 7; ++i)
+            third.append(RecordType::ScoreRecorded, "r");
+        EXPECT_EQ(third.counters().fsyncs, 2u); // after #3 and #6.
+    }
+    std::remove(path_.c_str());
+    {
+        WalWriter never(path_, {.fsyncEvery = 0});
+        for (int i = 0; i < 5; ++i)
+            never.append(RecordType::ScoreRecorded, "r");
+        EXPECT_EQ(never.counters().fsyncs, 0u);
+    }
+}
+
+TEST_F(StoreWalTest, AppendFaultFailsCleanlyAndRecovers)
+{
+    WalWriter writer(path_, {});
+    writer.append(RecordType::SuiteRegistered, "committed");
+    const std::uint64_t before = writer.sizeBytes();
+
+    fault::configure("store.wal.append=once");
+    EXPECT_THROW(writer.append(RecordType::ScoreRecorded, "doomed"),
+                 InvalidArgument);
+    EXPECT_EQ(writer.counters().appendFailures, 1u);
+    EXPECT_EQ(writer.sizeBytes(), before)
+        << "a failed append must not advance the offset";
+    EXPECT_EQ(util::fileSize(path_), before);
+
+    // The trigger was `once`: the next append goes through.
+    writer.append(RecordType::ScoreRecorded, "after");
+    const auto [result, records] = replay();
+    EXPECT_FALSE(result.torn);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].payload, "committed");
+    EXPECT_EQ(records[1].payload, "after");
+}
+
+TEST_F(StoreWalTest, TornFaultLeavesATornTailTheWriterSelfHeals)
+{
+    WalWriter writer(path_, {});
+    writer.append(RecordType::SuiteRegistered, "committed");
+    const std::uint64_t good = writer.sizeBytes();
+
+    // The simulated crash: half a frame reaches the file, the append
+    // throws, and the garbage stays on disk.
+    fault::configure("store.wal.torn=once");
+    EXPECT_THROW(writer.append(RecordType::ScoreRecorded,
+                               "torn away mid-write"),
+                 InvalidArgument);
+    EXPECT_GT(util::fileSize(path_), good) << "torn bytes left behind";
+    {
+        const auto [result, records] = replay();
+        EXPECT_TRUE(result.torn);
+        EXPECT_EQ(result.validBytes, good);
+        ASSERT_EQ(records.size(), 1u);
+    }
+
+    // The next append truncates the torn tail before writing.
+    writer.append(RecordType::ScoreRecorded, "healed");
+    const auto [result, records] = replay();
+    EXPECT_FALSE(result.torn);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].payload, "healed");
+}
+
+TEST_F(StoreWalTest, FsyncFaultThrowsButTheFrameStaysDecodable)
+{
+    WalWriter writer(path_, {.fsyncEvery = 1});
+    fault::configure("store.wal.fsync=once");
+    EXPECT_THROW(writer.append(RecordType::ScoreRecorded, "r"),
+                 InvalidArgument);
+    // The frame was fully written before the fsync failed: durability
+    // is in doubt (the caller treats the append as failed) but the
+    // file is not torn, and later appends land after it cleanly.
+    EXPECT_EQ(writer.counters().fsyncs, 0u);
+    writer.append(RecordType::ScoreRecorded, "r2");
+    const auto [result, records] = replay();
+    EXPECT_FALSE(result.torn);
+    ASSERT_EQ(records.size(), 2u);
+}
+
+TEST_F(StoreWalTest, TruncateWalTailCutsExternallyTornBytes)
+{
+    {
+        WalWriter writer(path_, {});
+        writer.append(RecordType::SuiteRegistered, "keep me");
+    }
+    // Crash damage from outside the writer: raw garbage at the tail.
+    const std::string intact = util::readFile(path_);
+    util::writeFile(path_, intact + "\x13garbage-not-a-frame");
+
+    auto [torn, tornRecords] = replay();
+    EXPECT_TRUE(torn.torn);
+    EXPECT_EQ(torn.validBytes, intact.size());
+    ASSERT_EQ(tornRecords.size(), 1u);
+
+    truncateWalTail(path_, torn.validBytes);
+    const auto [clean, records] = replay();
+    EXPECT_FALSE(clean.torn);
+    EXPECT_EQ(clean.totalBytes, intact.size());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].payload, "keep me");
+}
+
+TEST_F(StoreWalTest, ResetDiscardsEverything)
+{
+    WalWriter writer(path_, {});
+    writer.append(RecordType::ScoreRecorded, "soon gone");
+    writer.reset();
+    EXPECT_EQ(writer.sizeBytes(), 0u);
+    EXPECT_EQ(util::fileSize(path_), 0u);
+    writer.append(RecordType::ScoreRecorded, "fresh");
+    const auto [result, records] = replay();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].payload, "fresh");
+    EXPECT_FALSE(result.torn);
+}
+
+} // namespace

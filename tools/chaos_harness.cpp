@@ -15,7 +15,12 @@
  *   (c) every 200 body is bit-identical to the fault-free baseline for
  *       the same manifest line (volatile fields `wall_ms` and
  *       `served_by` stripped) — faults may fail requests, but they may
- *       never corrupt a success.
+ *       never corrupt a success;
+ *   (d) kill-and-recover: each schedule's server mounts a durable
+ *       store (WAL + snapshots) on a scratch data dir, with store
+ *       faults in the schedule; after the run a fresh fault-free
+ *       StateStore recovers the dir and its canonical state image
+ *       must be bit-identical to what the live server had committed.
  *
  * Determinism: the fault schedules are derived from --seed, request
  * counts are fixed (not duration-based), and the report contains only
@@ -127,6 +132,22 @@ makeSchedule(std::uint64_t seed, std::size_t index)
     if (rng.bernoulli(0.3))
         fragments.push_back("file.read=p:" +
                             str::fixed(0.05 * rng.uniform(), 3));
+    // Store faults: appends that fail, a torn final frame, snapshot
+    // writes that abort. `store.wal.fsync` is deliberately absent —
+    // it fires after the frame is durable, so the disk would hold a
+    // record the live state lacks and (d) would flag a false loss.
+    // The append path sees only a handful of hits per schedule (one
+    // per distinct score plus snapshot cadence), so these triggers
+    // are tuned hot or they would never fire.
+    if (rng.bernoulli(0.4))
+        fragments.push_back("store.wal.append=p:" +
+                            str::fixed(0.25 + 0.35 * rng.uniform(), 3));
+    if (rng.bernoulli(0.4))
+        fragments.push_back("store.wal.torn=nth:" +
+                            std::to_string(1 + rng.below(4)));
+    if (rng.bernoulli(0.35))
+        fragments.push_back("store.snapshot.write=p:" +
+                            str::fixed(0.30 + 0.40 * rng.uniform(), 3));
     std::string spec;
     for (const std::string &fragment : fragments) {
         if (!spec.empty())
@@ -179,8 +200,19 @@ struct Workbench
     }
 };
 
+/** Delete every file in @p path, then the directory itself. */
+void
+wipeDir(const std::string &path)
+{
+    if (!util::fileExists(path))
+        return;
+    for (const std::string &name : util::listDir(path))
+        util::removeFile(path + "/" + name);
+    ::rmdir(path.c_str());
+}
+
 server::Server::Config
-chaosServerConfig()
+chaosServerConfig(const std::string &data_dir = "")
 {
     server::Server::Config config;
     config.port = 0;
@@ -191,6 +223,13 @@ chaosServerConfig()
     config.breaker.openMillis = 300.0;
     config.watchdog.defaultBudgetMillis = 1500.0;
     config.watchdog.graceMillis = 100.0;
+    if (!data_dir.empty()) {
+        config.store.dataDir = data_dir;
+        config.store.fsyncEvery = 1;
+        // A tiny cadence keeps snapshots churning mid-schedule, so
+        // store faults hit compaction as well as the append path.
+        config.store.snapshotEvery = 2;
+    }
     return config;
 }
 
@@ -239,6 +278,8 @@ struct ScheduleOutcome
     std::uint64_t mismatches = 0;
     std::uint64_t unanswered = 0;
     bool serverInvariantOk = false;
+    bool storeInvariantOk = false;
+    std::string recovery; ///< recovery outcome of the post-run reopen.
 };
 
 ScheduleOutcome
@@ -252,7 +293,11 @@ runSchedule(const Workbench &bench,
     outcome.requests =
         static_cast<std::uint64_t>(clients) * requests_per_client;
 
-    server::Server server(chaosServerConfig());
+    const std::string data_dir = "/tmp/hiermeans_chaos_" +
+                                 std::to_string(::getpid()) + "_s" +
+                                 std::to_string(index);
+    wipeDir(data_dir);
+    server::Server server(chaosServerConfig(data_dir));
     server.start();
 
     // Arm faults only once the server is up, so startup is clean.
@@ -288,6 +333,11 @@ runSchedule(const Workbench &bench,
     for (std::thread &thread : threads)
         thread.join();
 
+    // What the live server committed, captured before shutdown. The
+    // final-snapshot attempt in stop() runs with faults still armed
+    // and may fail; recovery must reproduce this image regardless.
+    const std::string committed = server.store()->encodeStateBody();
+
     // The drain runs with faults still armed — chaos the exit too.
     server.stop();
 
@@ -302,6 +352,23 @@ runSchedule(const Workbench &bench,
         outcome.unanswered += unanswered[c];
     }
 
+    // Kill-and-recover: reopen the data dir with faults disarmed and
+    // demand the recovered image match the committed one bit for bit.
+    const std::vector<fault::PointReport> fault_report = fault::report();
+    fault::reset();
+    {
+        store::StateStore::Config cfg;
+        cfg.dataDir = data_dir;
+        cfg.fsyncEvery = 1;
+        cfg.snapshotEvery = 0;
+        store::StateStore recovered(cfg);
+        const store::RecoveryInfo info = recovered.open();
+        outcome.recovery = store::recoveryOutcomeName(info.outcome);
+        outcome.storeInvariantOk =
+            recovered.encodeStateBody() == committed;
+    }
+    wipeDir(data_dir);
+
     if (verbose) {
         std::cout << "schedule " << index << ": " << outcome.spec
                   << "\n  requests=" << outcome.requests
@@ -312,13 +379,16 @@ runSchedule(const Workbench &bench,
                   << " watchdog=" << snap.watchdogTrips
                   << " mismatches=" << outcome.mismatches
                   << " unanswered=" << outcome.unanswered << "\n";
-        for (const fault::PointReport &point : fault::report()) {
+        std::cout << "  store: recovery=" << outcome.recovery
+                  << " invariant="
+                  << (outcome.storeInvariantOk ? "ok" : "VIOLATED")
+                  << "\n";
+        for (const fault::PointReport &point : fault_report) {
             std::cout << "  fault " << point.point << " ("
                       << point.trigger << "): " << point.fires << "/"
                       << point.hits << " fired\n";
         }
     }
-    fault::reset();
     return outcome;
 }
 
@@ -353,7 +423,7 @@ run(const util::CommandLine &cl)
     for (std::size_t s = 0; s < outcomes.size(); ++s) {
         const ScheduleOutcome &o = outcomes[s];
         if (o.mismatches != 0 || o.unanswered != 0 ||
-            !o.serverInvariantOk)
+            !o.serverInvariantOk || !o.storeInvariantOk)
             pass = false;
         if (s > 0)
             schedules_json += ",";
@@ -363,7 +433,12 @@ run(const util::CommandLine &cl)
             ",\"mismatches\":" + std::to_string(o.mismatches) +
             ",\"unanswered\":" + std::to_string(o.unanswered) +
             ",\"server_invariant_ok\":" +
-            (o.serverInvariantOk ? "true" : "false") + "}";
+            (o.serverInvariantOk ? "true" : "false") +
+            ",\"store_invariant_ok\":" +
+            (o.storeInvariantOk ? "true" : "false") + "}";
+        // `recovery` stays out of the JSON: the outcome name depends
+        // on where in the request interleaving the torn/snapshot
+        // faults landed, and the report must diff clean across runs.
     }
     schedules_json += "]";
 

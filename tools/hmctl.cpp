@@ -15,9 +15,16 @@
  * Usage:
  *   hmctl --port=N [--host=127.0.0.1] [--health] [--metrics]
  *         [--check] [--score=LINE] [--trace=ID] [--traces]
+ *         [--register=NAME --manifest=FILE] [--history[=SUITE]]
+ *         [--snapshot]
  *         [--timeout-ms=2000] [--retries=2] [--retry-base-ms=50]
  *         [--retry-cap-ms=2000] [--retry-budget-ms=10000] [--seed=N]
  *         [--json-only]
+ *
+ * The store probes (--register, --history, --snapshot) need a daemon
+ * started with --data-dir; without one they answer 503 store_disabled.
+ * `--history=SUITE` pretty-prints the persisted score-history ring as
+ * a table; omitting the suite shows the ad-hoc (unregistered) ring.
  *
  * Default probe is --health. Output is one JSON line:
  *   {"probe":"health","ok":true,"status":200,"health":"ok",
@@ -52,7 +59,18 @@ flagSpec()
         .flag("trace", "ID",
               "GET /v1/trace/<ID>; print the span tree (the\n"
               "daemon must run with --trace)")
-        .flag("traces", "", "GET /v1/traces; list stored trace IDs");
+        .flag("traces", "", "GET /v1/traces; list stored trace IDs")
+        .flag("register", "NAME",
+              "POST the --manifest file to /v1/suites as the\n"
+              "next version of suite NAME")
+        .flag("manifest", "FILE",
+              "manifest file for --register (required with it)")
+        .flag("history", "SUITE",
+              "GET /v1/history?suite=SUITE and pretty-print\n"
+              "the score-history ring (no SUITE: ad-hoc ring)")
+        .flag("snapshot", "",
+              "POST /v1/admin/snapshot; force a snapshot +\n"
+              "WAL compaction");
     flags.section("optional flags")
         .flag("host", "NAME", "server host (default 127.0.0.1)")
         .flag("timeout-ms", "N",
@@ -73,6 +91,82 @@ flagSpec()
     flags.standard();
     return flags;
 }
+
+/**
+ * Split the flat JSON objects out of the `"entries":[...]` array of a
+ * /v1/history envelope. Brace-depth scan, string-aware; good enough
+ * for the server's own output (entries are flat objects).
+ */
+std::vector<std::string>
+historyEntries(const std::string &body)
+{
+    std::vector<std::string> entries;
+    const std::size_t at = body.find("\"entries\":[");
+    if (at == std::string::npos)
+        return entries;
+    std::size_t i = at + 11;
+    std::size_t start = 0;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < body.size(); ++i) {
+        const char c = body[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            if (depth++ == 0)
+                start = i;
+        } else if (c == '}') {
+            if (--depth == 0)
+                entries.push_back(body.substr(start, i - start + 1));
+        } else if (c == ']' && depth == 0) {
+            break;
+        }
+    }
+    return entries;
+}
+
+
+/** Render one /v1/history envelope as a column-aligned table. */
+std::string
+renderHistoryTable(const std::string &body)
+{
+    util::TextTable table({"seq", "id", "ver", "k", "ratio", "plain",
+                           "wall_ms", "fingerprint"});
+    const auto integer = [](const std::optional<double> &value) {
+        return value ? std::to_string(
+                           static_cast<long long>(*value))
+                     : std::string("-");
+    };
+    const auto real = [](const std::optional<double> &value) {
+        if (!value)
+            return std::string("-");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4g", *value);
+        return std::string(buf);
+    };
+    for (const std::string &entry : historyEntries(body)) {
+        table.addRow({
+            integer(server::json::findNumber(entry, "sequence")),
+            server::json::findString(entry, "id").value_or("-"),
+            integer(server::json::findNumber(entry, "suite_version")),
+            integer(server::json::findNumber(entry, "recommended_k")),
+            real(server::json::findNumber(entry, "ratio")),
+            real(server::json::findNumber(entry, "plain_ratio")),
+            real(server::json::findNumber(entry, "wall_ms")),
+            server::json::findString(entry, "fingerprint")
+                .value_or("-"),
+        });
+    }
+    return table.render();
+}
+
 
 /** One JSON summary line for any probe outcome. */
 void
@@ -202,6 +296,76 @@ run(const util::CommandLine &cl)
         if (!json_only)
             std::cout << outcome.response.body;
         return outcome.ok() ? 0 : 1;
+    }
+
+    if (cl.has("register")) {
+        if (!cl.has("manifest")) {
+            std::cerr << "hmctl: --register needs --manifest=FILE\n";
+            return 1;
+        }
+        const std::string name = cl.getString("register", "");
+        const std::string manifest =
+            util::readFile(cl.getString("manifest", ""));
+        const client::Outcome outcome = client.request(
+            "POST", "/v1/suites?name=" + name, manifest);
+        if (outcome.haveResponse && !json_only)
+            std::cout << outcome.response.body << "\n";
+        printSummary("register", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        return outcome.ok() ? 0 : 1;
+    }
+
+    if (cl.has("history")) {
+        const std::string suite = cl.getString("history", "");
+        const std::string target =
+            suite.empty() ? "/v1/history" : "/v1/history?suite=" + suite;
+        const client::Outcome outcome = client.request("GET", target);
+        printSummary("history", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            const auto message = server::json::findString(
+                outcome.response.body, "message");
+            std::cerr << "hmctl: "
+                      << message.value_or(outcome.response.body)
+                      << "\n";
+            return 1;
+        }
+        if (!json_only)
+            std::cout << renderHistoryTable(outcome.response.body);
+        return 0;
+    }
+
+    if (cl.has("snapshot")) {
+        const client::Outcome outcome =
+            client.request("POST", "/v1/admin/snapshot");
+        printSummary("snapshot", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            const auto message = server::json::findString(
+                outcome.response.body, "message");
+            std::cerr << "hmctl: "
+                      << message.value_or(outcome.response.body)
+                      << "\n";
+            return 1;
+        }
+        if (!json_only) {
+            const auto sequence = server::json::findNumber(
+                outcome.response.body, "sequence");
+            std::cout << "snapshot committed at sequence "
+                      << (sequence ? static_cast<long long>(*sequence)
+                                   : -1)
+                      << "\n";
+        }
+        return 0;
     }
 
     // Default: the health probe. A draining server answers 503 with

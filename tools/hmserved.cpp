@@ -15,7 +15,16 @@
  *            [--watchdog-grace-ms=250] [--degrade-ratio=0.5]
  *            [--no-stale] [--quiet] [--trace] [--trace-slow-ms=250]
  *            [--trace-keep=64] [--trace-keep-slow=16] [--faults=SPEC]
- *            [--fault-seed=N]
+ *            [--fault-seed=N] [--data-dir=DIR] [--fsync-every=1]
+ *            [--snapshot-every=256] [--history-capacity=256]
+ *
+ * Persistence: `--data-dir=DIR` mounts the durable store (WAL +
+ * snapshots). On boot the store recovers — newest valid snapshot plus
+ * WAL tail, torn final record truncated — the result cache is
+ * warm-started from the recovered score records, and a `store
+ * recovered` line is printed. Suites registered via POST /v1/suites
+ * and every executed score survive restarts; graceful shutdown takes
+ * a final snapshot.
  *
  * `--port=0` picks an ephemeral port; the chosen port is printed (and
  * flushed) as `listening on port N` so scripts can scrape it.
@@ -73,12 +82,29 @@ flagSpec()
         .flag("no-stale", "",
               "never serve stale cached scores when shedding\n"
               "(default: serve them with X-Hiermeans-Stale: 1)");
+    flags.section("persistence flags")
+        .flag("data-dir", "DIR",
+              "mount the durable store (WAL + snapshots) here;\n"
+              "unset = no persistence")
+        .flag("fsync-every", "N",
+              "fsync the WAL every Nth record (default 1:\n"
+              "every record; 0 = never, rely on the page cache)")
+        .flag("snapshot-every", "N",
+              "snapshot + compact the WAL every Nth record\n"
+              "(default 256; 0 = only on shutdown/request)")
+        .flag("history-capacity", "N",
+              "score-history entries kept per suite ring\n"
+              "(default 256)");
     flags.tracing().standard().epilogue(
         "endpoints:\n"
         "  POST /v1/score      body = one manifest line -> envelope\n"
         "  POST /v1/batch      body = manifest -> one envelope per line\n"
         "  GET  /v1/trace/<id> span tree of a traced request\n"
         "  GET  /v1/traces     recent + slow-sampled trace IDs\n"
+        "  POST /v1/suites?name=X  register a named manifest version\n"
+        "  GET  /v1/suites     registered suites + versions\n"
+        "  GET  /v1/history?suite=X  persisted score history\n"
+        "  POST /v1/admin/snapshot  force snapshot + compaction\n"
         "  GET  /metrics       Prometheus text exposition\n"
         "  GET  /healthz       liveness probe\n");
     return flags;
@@ -111,6 +137,13 @@ run(const util::CommandLine &cl)
     config.health.degradeRatio = cl.getDouble("degrade-ratio", 0.5);
     config.health.recoverRatio = config.health.degradeRatio / 4.0;
     config.serveStale = !cl.getBool("no-stale", false);
+    config.store.dataDir = cl.getString("data-dir", "");
+    config.store.fsyncEvery =
+        static_cast<std::size_t>(cl.getInt("fsync-every", 1));
+    config.store.snapshotEvery =
+        static_cast<std::size_t>(cl.getInt("snapshot-every", 256));
+    config.store.limits.historyCapacity =
+        static_cast<std::size_t>(cl.getInt("history-capacity", 256));
     // Connection workers must outnumber the admission queue or the
     // gate can never fill; keep a few extra for the cheap endpoints.
     config.connectionThreads = config.queueDepth + 8;
@@ -122,6 +155,17 @@ run(const util::CommandLine &cl)
 
     server::Server server(config);
     server.start();
+    if (server.store() != nullptr) {
+        const store::RecoveryInfo &recovery = server.storeRecovery();
+        std::cout << "store recovered: outcome="
+                  << store::recoveryOutcomeName(recovery.outcome)
+                  << " seq=" << recovery.lastSequence
+                  << " snapshot_records=" << recovery.snapshotRecords
+                  << " wal_applied=" << recovery.walApplied
+                  << " discarded_bytes=" << recovery.walBytesDiscarded
+                  << " cache_warmed=" << server.warmedCacheEntries()
+                  << std::endl;
+    }
     std::cout << "listening on port " << server.port() << std::endl;
 
     while (!util::shutdownRequested())

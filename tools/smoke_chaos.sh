@@ -8,6 +8,12 @@
 # 2. Starts a real hmserved with a fault schedule injected via
 #    --faults, probes it with hmctl and hmload, and asserts a clean
 #    SIGTERM drain — faults may fail requests, never the process.
+# 3. Starts hmserved with a durable store (--data-dir --fsync-every=1),
+#    commits scores, SIGKILLs the daemon under live hmload traffic,
+#    restarts it on the same data dir, and asserts recovery: every
+#    committed score present in /v1/history exactly once (no loss, no
+#    duplicates) and a previously-scored request answered from the
+#    warm cache without re-executing the pipeline.
 #
 # Invoked with no arguments, the script instead configures a dedicated
 # ASan+UBSan build (-DHIERMEANS_SANITIZE=address,undefined) under
@@ -36,9 +42,29 @@ MANIFEST=examples/data/manifest.txt
 LOG=$(mktemp)
 RUN_A=$(mktemp)
 RUN_B=$(mktemp)
+DATA=$(mktemp -d)
 SERVER_PID=
-trap 'kill "$SERVER_PID" 2>/dev/null || true;
-      rm -f "$LOG" "$RUN_A" "$RUN_B"' EXIT
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true;
+      rm -f "$LOG" "$RUN_A" "$RUN_B"; rm -rf "$DATA"' EXIT
+
+# Scrape the flushed "listening on port N" line from $LOG (up to ~5s);
+# sets $PORT or exits.
+wait_port() {
+    PORT=
+    i=0
+    while [ $i -lt 50 ]; do
+        PORT=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$LOG")
+        [ -n "$PORT" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || {
+            echo "smoke_chaos: hmserved died during startup" >&2
+            cat "$LOG" >&2
+            exit 1
+        }
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$PORT" ] || { echo "smoke_chaos: no port line" >&2; exit 1; }
+}
 
 # --- 1. fixed seeds, twice each: reproducible pass reports ----------
 for SEED in 1 7 20260807; do
@@ -66,21 +92,7 @@ done
     --faults='net.write.short=p:0.1,engine.cache.put=p:0.2' \
     --fault-seed=42 >"$LOG" 2>&1 &
 SERVER_PID=$!
-
-PORT=
-i=0
-while [ $i -lt 50 ]; do
-    PORT=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$LOG")
-    [ -n "$PORT" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || {
-        echo "smoke_chaos: hmserved died during startup" >&2
-        cat "$LOG" >&2
-        exit 1
-    }
-    sleep 0.1
-    i=$((i + 1))
-done
-[ -n "$PORT" ] || { echo "smoke_chaos: no port line" >&2; exit 1; }
+wait_port
 echo "smoke_chaos: faulty hmserved pid $SERVER_PID on port $PORT"
 
 "$HMCTL" --port="$PORT" --json-only
@@ -103,3 +115,89 @@ grep -q "final metrics" "$LOG" || {
     exit 1
 }
 echo "smoke_chaos: clean drain under injected faults confirmed"
+
+# --- 3. SIGKILL under load, then recover from the durable store -----
+: >"$LOG"
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --data-dir="$DATA" --fsync-every=1 >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+echo "smoke_chaos: durable hmserved pid $SERVER_PID on port $PORT"
+
+# Commit five distinct scores; --fsync-every=1 means each one is
+# durable on disk before its 200 comes back.
+LINE=$(grep -v '^#' "$MANIFEST" | grep -v '^[[:space:]]*$' | head -1)
+i=1
+while [ $i -le 5 ]; do
+    "$HMCTL" --port="$PORT" \
+        --score="$LINE seed=$((7700 + i)) id=kill-$i" --json-only
+    i=$((i + 1))
+done
+
+# Kill -9 mid-traffic: the load generator may lose in-flight requests
+# (hence || true), but nothing already answered may be lost.
+"$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=5 \
+    --manifest="$MANIFEST" --json-only >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+echo "smoke_chaos: SIGKILL delivered under load"
+
+: >"$LOG"
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --data-dir="$DATA" --fsync-every=1 >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+grep -q "store recovered: outcome=" "$LOG" || {
+    echo "smoke_chaos: no store recovery line after restart" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "smoke_chaos: restarted on port $PORT," \
+    "$(sed -n 's/^store recovered: \(.*\)$/\1/p' "$LOG")"
+
+# Every committed score is in the recovered history exactly once.
+HISTORY=$("$HMCTL" --port="$PORT" --history)
+i=1
+while [ $i -le 5 ]; do
+    COUNT=$(echo "$HISTORY" | grep -c "kill-$i[^0-9]" || true)
+    if [ "$COUNT" -ne 1 ]; then
+        echo "smoke_chaos: score kill-$i appears $COUNT times" \
+            "in recovered history (want exactly 1)" >&2
+        echo "$HISTORY" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+done
+echo "smoke_chaos: all 5 committed scores recovered exactly once"
+
+# A previously-scored request must come back from the warm cache.
+BODY=$("$HMCTL" --port="$PORT" --score="$LINE seed=7701 id=kill-1")
+echo "$BODY" | grep -q '"served_by":"cache"' || {
+    echo "smoke_chaos: recovered score not served from warm cache:" >&2
+    echo "$BODY" >&2
+    exit 1
+}
+# The one-hot outcome gauge must show a recovery that lost nothing
+# committed: clean, or truncated_tail (a torn not-yet-acknowledged
+# final frame is the one thing SIGKILL is allowed to leave behind).
+"$HMCTL" --port="$PORT" --metrics | grep -Eq \
+    '^hiermeans_store_recovery_outcome\{state="(clean|truncated_tail)"\} 1$' || {
+    echo "smoke_chaos: recovery outcome gauge reports a lossy start" >&2
+    "$HMCTL" --port="$PORT" --metrics | grep recovery_outcome >&2 || true
+    exit 1
+}
+echo "smoke_chaos: warm cache answered a pre-kill request"
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=
+[ "$STATUS" -eq 0 ] || {
+    echo "smoke_chaos: recovered hmserved exited $STATUS" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "smoke_chaos: kill-and-recover invariants confirmed"

@@ -2,13 +2,15 @@
 # Loopback smoke test for the serving layer, wired as a ctest:
 #   smoke_server.sh <hmserved> <hmload> <hmctl>
 #
-# Starts hmserved (tracing armed) on an ephemeral port, probes /healthz
-# and /v1/score through hmload, validates the /metrics Prometheus
-# exposition with `hmctl --check`, scores one request under a known
-# trace ID and asserts its span tree is retrievable via `hmctl --trace`,
-# then sends SIGTERM and asserts a clean drain: exit status 0 and the
-# final metrics summary in the log. Run from the repo root so the
-# manifest's repo-relative CSV paths resolve.
+# Starts hmserved (tracing armed, durable store mounted) on an
+# ephemeral port, probes /healthz and /v1/score through hmload,
+# validates the /metrics Prometheus exposition with `hmctl --check`,
+# scores one request under a known trace ID and asserts its span tree
+# is retrievable via `hmctl --trace`, registers a suite and scores it
+# by reference (`hmctl --register` / `suite=` / `--history`), then
+# sends SIGTERM and asserts a clean drain: exit status 0 and the final
+# metrics summary in the log. Run from the repo root so the manifest's
+# repo-relative CSV paths resolve.
 set -eu
 
 HMSERVED=${1:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
@@ -17,13 +19,16 @@ HMCTL=${3:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
 MANIFEST=examples/data/manifest.txt
 
 LOG=$(mktemp)
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+DATA=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true;
+      rm -f "$LOG"; rm -rf "$DATA"' EXIT
 
 # --trace-slow-ms=0 sends every finished trace through the slow
 # sampler too, so a heavy hmload run cannot evict the one trace ID
 # this script fetches back.
 "$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
-    --trace --trace-slow-ms=0 --trace-keep=256 >"$LOG" 2>&1 &
+    --trace --trace-slow-ms=0 --trace-keep=256 \
+    --data-dir="$DATA" >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the flushed "listening on port N" line (up to ~5s).
@@ -72,6 +77,31 @@ for span in server.request admission engine.queue engine.execute \
     }
 done
 echo "smoke_server: trace $TRACE_ID retrieved with full span tree"
+
+# Durable store round trip: register the example manifest as a named
+# suite, score it by reference (line 1 of the stored document), and
+# read the run back from the suite's history ring. The seed override
+# forces a cache miss — cache hits correctly record no new history.
+"$HMCTL" --port="$PORT" --register=smokesuite --manifest="$MANIFEST" \
+    --json-only
+"$HMCTL" --port="$PORT" \
+    --score="suite=smokesuite line=1 id=suite-run-1 seed=424242" \
+    --json-only
+SUITE_HISTORY=$("$HMCTL" --port="$PORT" --history=smokesuite)
+echo "$SUITE_HISTORY" | grep -q "suite-run-1" || {
+    echo "smoke_server: suite-run-1 missing from suite history:" >&2
+    echo "$SUITE_HISTORY" >&2
+    exit 1
+}
+# The ad-hoc ring (no suite= token) holds the earlier direct score
+# made under $TRACE_ID (the manifest's first line, id=gm-default).
+"$HMCTL" --port="$PORT" --history | grep -q "gm-default" || {
+    echo "smoke_server: ad-hoc history misses the traced score" >&2
+    "$HMCTL" --port="$PORT" --history >&2 || true
+    exit 1
+}
+echo "smoke_server: suite registered, scored by reference," \
+    "history retrieved"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
