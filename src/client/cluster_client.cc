@@ -1,0 +1,225 @@
+#include "src/client/cluster_client.h"
+
+#include <utility>
+
+#include "src/util/error.h"
+#include "src/util/str.h"
+
+namespace hiermeans {
+namespace client {
+
+namespace {
+
+/**
+ * Pull host + port out of a redirect Location. Accepts the absolute
+ * form the mesh emits (`http://host:port/path`) and tolerates a bare
+ * `host:port/path`. Returns false when no port can be found.
+ */
+bool
+parseLocation(const std::string &location, std::string &host,
+              std::uint16_t &port)
+{
+    std::string rest = location;
+    const std::string scheme = "http://";
+    if (rest.rfind(scheme, 0) == 0)
+        rest = rest.substr(scheme.size());
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string::npos)
+        rest = rest.substr(0, slash);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= rest.size())
+        return false;
+    host = rest.substr(0, colon);
+    unsigned long parsed = 0;
+    for (std::size_t i = colon + 1; i < rest.size(); ++i) {
+        const char c = rest[i];
+        if (c < '0' || c > '9')
+            return false;
+        parsed = parsed * 10 + static_cast<unsigned long>(c - '0');
+        if (parsed > 65535)
+            return false;
+    }
+    if (host.empty() || parsed == 0)
+        return false;
+    port = static_cast<std::uint16_t>(parsed);
+    return true;
+}
+
+} // namespace
+
+std::vector<ClusterTarget>
+parseTargets(const std::string &spec)
+{
+    std::vector<ClusterTarget> targets;
+    for (const std::string &raw : str::split(spec, ',')) {
+        const std::string entry = str::trim(raw);
+        if (entry.empty())
+            continue;
+        ClusterTarget target;
+        const std::size_t colon = entry.rfind(':');
+        std::string port_text;
+        if (colon == std::string::npos) {
+            // Bare port: loopback shorthand for local meshes.
+            port_text = entry;
+        } else {
+            target.host = entry.substr(0, colon);
+            port_text = entry.substr(colon + 1);
+            HM_REQUIRE(!target.host.empty(),
+                       "targets: empty host in `" << entry << "`");
+        }
+        unsigned long parsed = 0;
+        for (const char c : port_text) {
+            HM_REQUIRE(c >= '0' && c <= '9',
+                       "targets: bad port in `" << entry << "`");
+            parsed = parsed * 10 + static_cast<unsigned long>(c - '0');
+            HM_REQUIRE(parsed <= 65535,
+                       "targets: port out of range in `" << entry << "`");
+        }
+        HM_REQUIRE(parsed != 0,
+                   "targets: missing port in `" << entry << "`");
+        target.port = static_cast<std::uint16_t>(parsed);
+        targets.push_back(std::move(target));
+    }
+    HM_REQUIRE(!targets.empty(),
+               "targets: no host:port entries in `" << spec << "`");
+    return targets;
+}
+
+ClusterClient::ClusterClient(Config config) : config_(std::move(config))
+{
+    HM_REQUIRE(!config_.targets.empty(),
+               "ClusterClient: at least one target required");
+    clients_.reserve(config_.targets.size());
+    stats_.resize(config_.targets.size());
+    for (const ClusterTarget &target : config_.targets) {
+        ScoringClient::Config one;
+        one.host = target.host;
+        one.port = target.port;
+        one.retry = config_.retry;
+        one.readTimeoutMillis = config_.readTimeoutMillis;
+        clients_.push_back(std::make_unique<ScoringClient>(one));
+    }
+}
+
+std::size_t
+ClusterClient::findTarget(const std::string &host,
+                          std::uint16_t port) const
+{
+    for (std::size_t i = 0; i < config_.targets.size(); ++i) {
+        if (config_.targets[i].port == port &&
+            config_.targets[i].host == host)
+            return i;
+    }
+    return config_.targets.size();
+}
+
+Outcome
+ClusterClient::attempt(std::size_t index, const std::string &method,
+                       const std::string &target, const std::string &body,
+                       const std::string &content_type,
+                       const std::string &trace_id)
+{
+    TargetStats &stats = stats_[index];
+    ++stats.attempts;
+    Outcome outcome = clients_[index]->request(method, target, body,
+                                               content_type, trace_id);
+    if (!outcome.haveResponse) {
+        ++stats.byFailure[static_cast<std::size_t>(outcome.failure)];
+        return outcome;
+    }
+    if (outcome.status >= 200 && outcome.status < 300)
+        ++stats.http2xx;
+    else if (outcome.status >= 400 && outcome.status < 500)
+        ++stats.http4xx;
+    else if (outcome.status >= 500)
+        ++stats.http5xx;
+    if (outcome.apiError == server::ApiError::MeshUnreachable)
+        ++stats.meshUnreachable;
+    return outcome;
+}
+
+Outcome
+ClusterClient::request(const std::string &method,
+                       const std::string &target, const std::string &body,
+                       const std::string &content_type,
+                       const std::string &trace_id)
+{
+    const std::size_t lap = clients_.size();
+    Outcome outcome;
+    std::size_t answered = current_;
+    for (std::size_t tried = 0; tried < lap; ++tried) {
+        const std::size_t index = (current_ + tried) % lap;
+        outcome = attempt(index, method, target, body, content_type,
+                          trace_id);
+        // A transport failure or a router that cannot reach the shard
+        // owner both mean "try the next node"; anything else is this
+        // cluster's answer.
+        const bool rotate =
+            !outcome.haveResponse ||
+            outcome.apiError == server::ApiError::MeshUnreachable;
+        if (!rotate) {
+            answered = index;
+            if (tried > 0)
+                ++failovers_;
+            break;
+        }
+        answered = index;
+    }
+
+    // Follow router redirects (reads for suites owned elsewhere).
+    std::size_t hops = 0;
+    while (outcome.haveResponse && outcome.status == 307 &&
+           config_.followRedirects && hops < config_.maxRedirects) {
+        const std::string &location =
+            outcome.response.header("location", "");
+        std::string host;
+        std::uint16_t port = 0;
+        if (!parseLocation(location, host, port))
+            break; // malformed Location: surface the 307 as-is.
+        ++hops;
+        const std::size_t index = findTarget(host, port);
+        if (index < clients_.size()) {
+            outcome = attempt(index, method, target, body, content_type,
+                              trace_id);
+            if (outcome.haveResponse)
+                ++stats_[index].redirectsFollowed;
+            answered = index;
+        } else {
+            // A node outside our target list (partial --targets):
+            // follow it with a one-shot client, unattributed.
+            ScoringClient::Config one;
+            one.host = host;
+            one.port = port;
+            one.retry = config_.retry;
+            one.readTimeoutMillis = config_.readTimeoutMillis;
+            ScoringClient follower(one);
+            outcome = follower.request(method, target, body,
+                                       content_type, trace_id);
+        }
+    }
+
+    if (outcome.haveResponse)
+        current_ = answered; // stick with whoever answered.
+    return outcome;
+}
+
+Outcome
+ClusterClient::score(const std::string &line, const std::string &trace_id)
+{
+    return request("POST", "/v1/score", line, "text/plain", trace_id);
+}
+
+Outcome
+ClusterClient::health()
+{
+    return request("GET", "/healthz");
+}
+
+Outcome
+ClusterClient::cluster()
+{
+    return request("GET", "/v1/cluster");
+}
+
+} // namespace client
+} // namespace hiermeans

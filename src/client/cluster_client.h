@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Multi-target front door to a hiermeans mesh.
+ *
+ * ClusterClient holds one ScoringClient per cluster node and layers
+ * the cluster-side half of the resilience story on top of the
+ * per-connection half (retry.h + scoring_client.h):
+ *
+ *   - *Failover.* A transport-class failure (refused / reset / timed
+ *     out / other) or a `mesh_unreachable` envelope rotates to the
+ *     next target and retries the request there, up to one full lap
+ *     of the target list. The client is sticky: whichever target
+ *     answered last is tried first next time.
+ *   - *Redirects.* A 307 from a router node (reads for a suite owned
+ *     elsewhere) is followed to the Location target — preferring the
+ *     configured target that matches it, so the hop is attributed —
+ *     with a small hop bound against redirect loops.
+ *   - *Attribution.* Every attempt is tallied per target and per
+ *     FailureClass, so `hmload --targets` can print which node ate
+ *     which kind of failure instead of one blended counter.
+ *
+ * Like ScoringClient, one instance is not thread-safe; give each
+ * worker thread its own.
+ */
+
+#ifndef HIERMEANS_CLIENT_CLUSTER_CLIENT_H
+#define HIERMEANS_CLIENT_CLUSTER_CLIENT_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/scoring_client.h"
+
+namespace hiermeans {
+namespace client {
+
+/** One node a ClusterClient may talk to. */
+struct ClusterTarget
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    std::string label() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/**
+ * Parse a target list: comma-separated `host:port` entries, a bare
+ * entry meaning `127.0.0.1:port`. Throws InvalidArgument on malformed
+ * or empty specs.
+ */
+std::vector<ClusterTarget> parseTargets(const std::string &spec);
+
+/** Per-target attempt tallies (for hmload's breakdown). */
+struct TargetStats
+{
+    std::uint64_t attempts = 0;  ///< requests sent to this target.
+    std::uint64_t http2xx = 0;
+    std::uint64_t http4xx = 0;
+    std::uint64_t http5xx = 0;
+    std::uint64_t redirectsFollowed = 0; ///< 307s answered here.
+    std::uint64_t meshUnreachable = 0;   ///< 502 mesh_unreachable.
+
+    /** Transport failures by FailureClass (index = enum value). */
+    std::array<std::uint64_t, 6> byFailure{};
+
+    std::uint64_t transportFailures() const
+    {
+        std::uint64_t total = 0;
+        for (std::size_t i = 1; i < byFailure.size(); ++i)
+            total += byFailure[i];
+        return total;
+    }
+};
+
+/** Failing-over, redirect-following client for a whole mesh. */
+class ClusterClient
+{
+  public:
+    struct Config
+    {
+        std::vector<ClusterTarget> targets;
+        RetryPolicy retry; ///< per-target policy (scoring_client.h).
+
+        /** Per-attempt response deadline; 0 waits forever. */
+        int readTimeoutMillis = 0;
+
+        /** Follow 307 redirects from router nodes. */
+        bool followRedirects = true;
+
+        /** Redirect hop bound (guards against routing loops). */
+        std::size_t maxRedirects = 4;
+    };
+
+    explicit ClusterClient(Config config);
+
+    /**
+     * One request with per-target retries, cross-target failover and
+     * redirect following. Never throws on network trouble — the
+     * returned Outcome is the last target's verdict (so after a full
+     * dead lap it carries the final failure class).
+     */
+    Outcome request(const std::string &method, const std::string &target,
+                    const std::string &body = "",
+                    const std::string &content_type = "text/plain",
+                    const std::string &trace_id = "");
+
+    /** POST one manifest line to /v1/score. */
+    Outcome score(const std::string &line,
+                  const std::string &trace_id = "");
+
+    /** GET /healthz against the current (sticky) target. */
+    Outcome health();
+
+    /** GET /v1/cluster against the current (sticky) target. */
+    Outcome cluster();
+
+    const Config &config() const { return config_; }
+
+    /** Index of the target the last answered request used. */
+    std::size_t currentTarget() const { return current_; }
+
+    /** Tallies, index-aligned with config().targets. */
+    const std::vector<TargetStats> &stats() const { return stats_; }
+
+    /** Cross-target failovers performed (rotations that helped). */
+    std::uint64_t failovers() const { return failovers_; }
+
+  private:
+    /** Index of the configured target matching host:port, or npos. */
+    std::size_t findTarget(const std::string &host,
+                           std::uint16_t port) const;
+
+    /** Issue one attempt against target @p index, tallying it. */
+    Outcome attempt(std::size_t index, const std::string &method,
+                    const std::string &target, const std::string &body,
+                    const std::string &content_type,
+                    const std::string &trace_id);
+
+    Config config_;
+    std::vector<std::unique_ptr<ScoringClient>> clients_;
+    std::vector<TargetStats> stats_;
+    std::size_t current_ = 0;
+    std::uint64_t failovers_ = 0;
+};
+
+} // namespace client
+} // namespace hiermeans
+
+#endif // HIERMEANS_CLIENT_CLUSTER_CLIENT_H

@@ -118,15 +118,25 @@
 #include "src/server/admission.h"
 #include "src/server/api.h"
 #include "src/server/client.h"
+#include "src/server/cluster.h"
 #include "src/server/http.h"
 #include "src/server/json.h"
 #include "src/server/resilience.h"
 #include "src/server/router.h"
 #include "src/server/server.h"
 #include "src/server/server_metrics.h"
+#include "src/server/suite_service.h"
+#include "src/server/transport.h"
 #include "src/server/watchdog.h"
 
+// mesh — multi-node cluster: ring sharding + WAL replication
+#include "src/mesh/config.h"
+#include "src/mesh/replica.h"
+#include "src/mesh/ring.h"
+#include "src/mesh/runtime.h"
+
 // client — resilient front door (retries, failure taxonomy)
+#include "src/client/cluster_client.h"
 #include "src/client/retry.h"
 #include "src/client/scoring_client.h"
 

@@ -1,0 +1,168 @@
+#include "src/mesh/config.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/error.h"
+#include "src/util/file.h"
+
+namespace hiermeans {
+namespace mesh {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    const char *ws = " \t\r";
+    const std::size_t first = text.find_first_not_of(ws);
+    if (first == std::string::npos)
+        return "";
+    const std::size_t last = text.find_last_not_of(ws);
+    return text.substr(first, last - first + 1);
+}
+
+std::size_t
+parseCount(const std::string &value, const char *what, std::size_t line)
+{
+    HM_REQUIRE(!value.empty() &&
+                   value.find_first_not_of("0123456789") ==
+                       std::string::npos,
+               "mesh config line " << line << ": " << what
+                                   << " must be a non-negative integer, "
+                                      "got '"
+                                   << value << "'");
+    return static_cast<std::size_t>(std::stoull(value));
+}
+
+} // namespace
+
+std::vector<std::string>
+MeshConfig::nodeIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(nodes.size());
+    for (const MeshNode &n : nodes)
+        ids.push_back(n.id);
+    return ids;
+}
+
+const MeshNode &
+MeshConfig::self() const
+{
+    return node(selfId);
+}
+
+const MeshNode &
+MeshConfig::node(const std::string &id) const
+{
+    for (const MeshNode &n : nodes)
+        if (n.id == id)
+            return n;
+    throw InvalidArgument("mesh config has no node '" + id + "'");
+}
+
+MeshConfig
+parseMeshConfig(const std::string &text)
+{
+    MeshConfig config;
+    bool sawSelf = false;
+
+    std::istringstream stream(text);
+    std::string raw;
+    std::size_t lineNo = 0;
+    while (std::getline(stream, raw)) {
+        ++lineNo;
+        std::string line = raw;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (line.rfind("node", 0) == 0 &&
+            (line.size() == 4 || line[4] == ' ' || line[4] == '\t')) {
+            std::istringstream fields(line);
+            std::string keyword, id, endpoint, extra;
+            fields >> keyword >> id >> endpoint;
+            HM_REQUIRE(!id.empty() && !endpoint.empty() &&
+                           !(fields >> extra),
+                       "mesh config line "
+                           << lineNo
+                           << ": expected 'node <id> <host>:<port>'");
+            const std::size_t colon = endpoint.rfind(':');
+            HM_REQUIRE(colon != std::string::npos && colon > 0,
+                       "mesh config line " << lineNo
+                                           << ": endpoint '" << endpoint
+                                           << "' has no ':port'");
+            MeshNode node;
+            node.id = id;
+            node.host = endpoint.substr(0, colon);
+            const std::size_t port = parseCount(
+                endpoint.substr(colon + 1), "port", lineNo);
+            HM_REQUIRE(port > 0 && port <= 65535,
+                       "mesh config line " << lineNo << ": port "
+                                           << port
+                                           << " out of range 1..65535");
+            node.port = static_cast<std::uint16_t>(port);
+            config.nodes.push_back(node);
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        HM_REQUIRE(eq != std::string::npos,
+                   "mesh config line " << lineNo
+                                       << ": unrecognized directive '"
+                                       << line << "'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "self") {
+            HM_REQUIRE(!value.empty(), "mesh config line "
+                                           << lineNo
+                                           << ": self must name a node");
+            config.selfId = value;
+            sawSelf = true;
+        } else if (key == "replicas") {
+            config.replicas = parseCount(value, "replicas", lineNo);
+            HM_REQUIRE(config.replicas >= 1,
+                       "mesh config line " << lineNo
+                                           << ": replicas must be >= 1");
+        } else if (key == "vnodes") {
+            config.vnodes = parseCount(value, "vnodes", lineNo);
+            HM_REQUIRE(config.vnodes >= 1,
+                       "mesh config line " << lineNo
+                                           << ": vnodes must be >= 1");
+        } else {
+            throw InvalidArgument("mesh config line " +
+                                  std::to_string(lineNo) +
+                                  ": unknown key '" + key + "'");
+        }
+    }
+
+    HM_REQUIRE(!config.nodes.empty(),
+               "mesh config declares no nodes");
+    HM_REQUIRE(sawSelf, "mesh config is missing 'self = <id>'");
+    std::unordered_set<std::string> ids;
+    for (const MeshNode &n : config.nodes)
+        HM_REQUIRE(ids.insert(n.id).second,
+                   "mesh config declares node '" << n.id << "' twice");
+    HM_REQUIRE(ids.count(config.selfId) == 1,
+               "mesh config self '" << config.selfId
+                                    << "' is not a declared node");
+    HM_REQUIRE(config.replicas <= config.nodes.size(),
+               "mesh config asks for " << config.replicas
+                                       << " replicas but declares only "
+                                       << config.nodes.size()
+                                       << " nodes");
+    return config;
+}
+
+MeshConfig
+loadMeshConfig(const std::string &path)
+{
+    return parseMeshConfig(util::readFile(path));
+}
+
+} // namespace mesh
+} // namespace hiermeans

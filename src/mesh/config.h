@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static mesh membership configuration.
+ *
+ * A mesh config is a small line-oriented text file every node in the
+ * cluster shares verbatim (plus its own `self`):
+ *
+ *     # 3-node loopback cluster
+ *     self = a
+ *     replicas = 2
+ *     vnodes = 64
+ *     node a 127.0.0.1:8377
+ *     node b 127.0.0.1:8378
+ *     node c 127.0.0.1:8379
+ *
+ * `replicas` counts total copies of a shard (leader included), so
+ * `replicas = 2` means each node's WAL is mirrored to one follower.
+ * `vnodes` is the virtual-node count per member on the hash ring;
+ * all nodes must agree on it or their rings diverge. Membership is
+ * static: changing it means editing the file and restarting — the
+ * ring rebalance on such a change is deterministic and minimal
+ * (see ring.h).
+ */
+
+#ifndef HIERMEANS_MESH_CONFIG_H
+#define HIERMEANS_MESH_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace mesh {
+
+/** One cluster member. */
+struct MeshNode
+{
+    std::string id;   ///< unique short name, used for ring hashing
+    std::string host; ///< reachable address for the other members
+    std::uint16_t port = 0;
+};
+
+/** Parsed membership file. */
+struct MeshConfig
+{
+    std::string selfId;        ///< which member this process is
+    std::size_t replicas = 2;  ///< total copies per shard (>= 1)
+    std::size_t vnodes = 64;   ///< ring points per node (>= 1)
+    std::vector<MeshNode> nodes;
+
+    /** Node ids in file order (ring construction input). */
+    std::vector<std::string> nodeIds() const;
+
+    /** The entry named by selfId. */
+    const MeshNode &self() const;
+
+    /** The entry named @p id; throws InvalidArgument when absent. */
+    const MeshNode &node(const std::string &id) const;
+};
+
+/**
+ * Parse a membership file body. Throws InvalidArgument (with the
+ * offending line number) on unknown directives, malformed
+ * `host:port`, duplicate ids, a missing/unknown `self`, fewer nodes
+ * than `replicas`, or out-of-range numbers.
+ */
+MeshConfig parseMeshConfig(const std::string &text);
+
+/** readFile + parseMeshConfig. */
+MeshConfig loadMeshConfig(const std::string &path);
+
+} // namespace mesh
+} // namespace hiermeans
+
+#endif // HIERMEANS_MESH_CONFIG_H

@@ -1,0 +1,206 @@
+#include "src/mesh/replica.h"
+
+#include <exception>
+
+#include "src/util/error.h"
+#include "src/util/file.h"
+
+namespace hiermeans {
+namespace mesh {
+
+namespace {
+
+/** The sequence stamped into a mutating payload (its first field). */
+std::uint64_t
+payloadSequence(const std::string &payload)
+{
+    store::BinaryReader reader(payload);
+    return reader.u64();
+}
+
+} // namespace
+
+ReplicaStore::ReplicaStore(Config config) : config_(std::move(config))
+{
+    HM_REQUIRE(!config_.dataDir.empty(),
+               "ReplicaStore: dataDir must not be empty");
+}
+
+ReplicaStore::~ReplicaStore()
+{
+    try {
+        close();
+    } catch (const std::exception &) {
+        // Best-effort: the WAL already holds everything.
+    }
+}
+
+void
+ReplicaStore::replayRecord(const store::Record &record)
+{
+    if (record.type == store::RecordType::SnapshotHeader) {
+        // An install point: everything before it was superseded.
+        const store::SnapshotHeader header =
+            store::decodeSnapshotHeader(record.payload);
+        state_ = store::StoreState(header.limits);
+        replayHeaderSequence_ = header.lastSequence;
+        return;
+    }
+    if (payloadSequence(record.payload) <= state_.lastSequence())
+        return; // duplicate delivery that made it to disk.
+    state_.apply(record);
+}
+
+void
+ReplicaStore::open()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HM_REQUIRE(wal_ == nullptr, "ReplicaStore::open called twice");
+    util::ensureDir(config_.dataDir);
+
+    const std::string wal_path = config_.dataDir + "/wal.log";
+    replayHeaderSequence_ = 0;
+    const store::ReplayResult replay = store::replayWal(
+        wal_path,
+        [this](const store::Record &record) { replayRecord(record); });
+    if (replay.torn)
+        store::truncateWalTail(wal_path, replay.validBytes);
+    // The install point's sequence stands even when its body was
+    // empty (a leader snapshot of an empty delta).
+    if (replayHeaderSequence_ > state_.lastSequence())
+        state_.setBaseline(replayHeaderSequence_);
+
+    wal_ = std::make_unique<store::WalWriter>(
+        wal_path, store::WalWriter::Config{config_.fsyncEvery});
+}
+
+void
+ReplicaStore::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wal_ == nullptr)
+        return;
+    wal_->sync();
+    wal_.reset();
+}
+
+std::uint64_t
+ReplicaStore::applyFrames(std::string_view frames)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HM_REQUIRE(wal_ != nullptr, "ReplicaStore used before open()");
+    store::FrameReader reader(frames);
+    store::Record record;
+    while (reader.next(record)) {
+        HM_REQUIRE(record.type != store::RecordType::SnapshotHeader,
+                   "ReplicaStore::applyFrames: snapshot images go "
+                   "through installSnapshot");
+        const std::uint64_t sequence = payloadSequence(record.payload);
+        if (sequence <= state_.lastSequence())
+            continue; // duplicate delivery (leader retry).
+        // A gap means the leader shipped from a stale ack (e.g. this
+        // replica lost its disk): refuse, so the leader resyncs from
+        // the acked offset in the error answer instead of leaving a
+        // hole in the mirror.
+        HM_REQUIRE(sequence == state_.lastSequence() + 1,
+                   "ReplicaStore::applyFrames: sequence gap: have "
+                       << state_.lastSequence() << ", got " << sequence);
+        wal_->append(record.type, record.payload);
+        state_.apply(record);
+    }
+    HM_REQUIRE(!reader.sawCorruption(),
+               "ReplicaStore::applyFrames: corrupt frame: "
+                   << reader.corruption());
+    // The ack offset must name durable state.
+    wal_->sync();
+    return state_.lastSequence();
+}
+
+std::uint64_t
+ReplicaStore::installSnapshot(std::string_view image)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HM_REQUIRE(wal_ != nullptr, "ReplicaStore used before open()");
+    store::FrameReader reader(image);
+    store::Record record;
+    HM_REQUIRE(reader.next(record) &&
+                   record.type == store::RecordType::SnapshotHeader,
+               "ReplicaStore::installSnapshot: image must start with "
+               "a SnapshotHeader frame");
+    const store::SnapshotHeader header =
+        store::decodeSnapshotHeader(record.payload);
+
+    // Rebuild the WAL from the image so recovery replays to exactly
+    // this state: header frame first (the install point), body after.
+    wal_->reset();
+    wal_->append(store::RecordType::SnapshotHeader, record.payload);
+    store::StoreState fresh(header.limits);
+    while (reader.next(record)) {
+        wal_->append(record.type, record.payload);
+        fresh.apply(record);
+    }
+    HM_REQUIRE(!reader.sawCorruption(),
+               "ReplicaStore::installSnapshot: corrupt frame: "
+                   << reader.corruption());
+    fresh.setBaseline(header.lastSequence);
+    state_ = std::move(fresh);
+    wal_->sync();
+    return state_.lastSequence();
+}
+
+std::uint64_t
+ReplicaStore::lastSequence() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.lastSequence();
+}
+
+std::optional<store::SuiteVersion>
+ReplicaStore::resolveSuite(const std::string &name,
+                           std::uint32_t version) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const store::SuiteVersion *found = state_.findSuite(name, version);
+    if (found == nullptr)
+        return std::nullopt;
+    return *found;
+}
+
+std::vector<store::HistoryEntry>
+ReplicaStore::history(const std::string &suite) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.history(suite);
+}
+
+std::vector<store::Suite>
+ReplicaStore::suites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<store::Suite> copies;
+    copies.reserve(state_.suites().size());
+    for (const auto &[name, suite] : state_.suites())
+        copies.push_back(suite);
+    return copies;
+}
+
+std::vector<store::ScoreRecord>
+ReplicaStore::scoreRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<store::ScoreRecord> copies;
+    copies.reserve(state_.resultCount());
+    for (const store::ScoreRecord *record : state_.results())
+        copies.push_back(*record);
+    return copies;
+}
+
+std::string
+ReplicaStore::encodeStateBody() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_.encodeSnapshotBody();
+}
+
+} // namespace mesh
+} // namespace hiermeans

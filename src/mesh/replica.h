@@ -1,0 +1,129 @@
+/**
+ * @file
+ * ReplicaStore: a follower's durable image of one leader's store.
+ *
+ * Each mesh node mirrors the stores of the leaders it follows, one
+ * ReplicaStore per leader, in its own directory
+ * (`<dataDir>/replica_<leaderId>/`). The leader ships its committed
+ * WAL records verbatim (the CRC32-framed wire form of record.h);
+ * the replica appends them to its own WAL, applies them to a
+ * StoreState, fsyncs, and only then acknowledges — the ack offset
+ * (`lastSequence`) therefore always names durable state, which is
+ * what lets the leader treat an acked record as safe against its own
+ * loss.
+ *
+ * Sequence spaces are per-leader (every leader stamps its own 1, 2,
+ * 3, ...), which is why replica images are kept apart rather than
+ * merged into the node's own StateStore. Duplicate shipping (a
+ * leader retrying an unacked batch) is idempotent: frames at or
+ * below the replica's lastSequence are skipped before they touch
+ * the WAL.
+ *
+ * Catch-up past the leader's in-memory tail arrives as a full
+ * snapshot image (SnapshotHeader frame + canonical body);
+ * installSnapshot resets the replica WAL and rebuilds state from the
+ * image. Recovery replays the replica WAL through the same paths —
+ * a header frame mid-log marks the last install point.
+ */
+
+#ifndef HIERMEANS_MESH_REPLICA_H
+#define HIERMEANS_MESH_REPLICA_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/store/state.h"
+#include "src/store/wal.h"
+
+namespace hiermeans {
+namespace mesh {
+
+/** A follower-side durable mirror of one leader's store. */
+class ReplicaStore
+{
+  public:
+    struct Config
+    {
+        std::string dataDir; ///< this replica's own directory.
+        /** fsync cadence for the replica WAL (see WalWriter). An
+         *  ack is preceded by an explicit sync regardless. */
+        std::size_t fsyncEvery = 1;
+    };
+
+    explicit ReplicaStore(Config config);
+    ~ReplicaStore();
+
+    ReplicaStore(const ReplicaStore &) = delete;
+    ReplicaStore &operator=(const ReplicaStore &) = delete;
+
+    /**
+     * Create the directory when absent and recover state from the
+     * replica WAL (truncating a torn tail). Call once before any
+     * other method.
+     */
+    void open();
+
+    void close();
+
+    /**
+     * Append + apply a run of framed records shipped by the leader
+     * (tail mode). Frames at or below lastSequence() are skipped
+     * (duplicate delivery); the rest are WAL-appended, applied and
+     * fsync'd. Returns the new durable lastSequence — the ack
+     * offset. Throws InvalidArgument on a corrupt frame or a
+     * SnapshotHeader (snapshots go through installSnapshot).
+     */
+    std::uint64_t applyFrames(std::string_view frames);
+
+    /**
+     * Replace the whole replica with a snapshot image (SnapshotHeader
+     * frame + body, as produced by StateStore::snapshotImage). The
+     * replica WAL is reset and rebuilt from the image so recovery
+     * replays to the same state. Returns the new lastSequence.
+     */
+    std::uint64_t installSnapshot(std::string_view image);
+
+    /** Highest sequence durably applied (the ack offset). */
+    std::uint64_t lastSequence() const;
+
+    // --- reads (copies, like StateStore's) ---------------------------
+
+    std::optional<store::SuiteVersion>
+    resolveSuite(const std::string &name, std::uint32_t version = 0) const;
+
+    std::vector<store::HistoryEntry>
+    history(const std::string &suite) const;
+
+    std::vector<store::Suite> suites() const;
+
+    std::vector<store::ScoreRecord> scoreRecords() const;
+
+    /** Canonical state bytes (bit-comparable to the leader's
+     *  encodeStateBody at the same sequence). */
+    std::string encodeStateBody() const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    /** Shared WAL-replay logic for open(): headers reset the state,
+     *  everything else applies under the duplicate guard. */
+    void replayRecord(const store::Record &record);
+
+    Config config_;
+    mutable std::mutex mutex_;
+    store::StoreState state_;
+    std::unique_ptr<store::WalWriter> wal_;
+    /** lastSequence named by the newest header seen during replay
+     *  (0 when none): baseline once replay finishes. */
+    std::uint64_t replayHeaderSequence_ = 0;
+};
+
+} // namespace mesh
+} // namespace hiermeans
+
+#endif // HIERMEANS_MESH_REPLICA_H

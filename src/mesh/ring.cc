@@ -1,0 +1,114 @@
+#include "src/mesh/ring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace mesh {
+
+namespace {
+
+constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+} // namespace
+
+std::uint64_t
+hash64(const std::string &text)
+{
+    std::uint64_t state = kOffsetBasis;
+    for (unsigned char byte : text) {
+        state ^= byte;
+        state *= kPrime;
+    }
+    return state;
+}
+
+HashRing::HashRing(const std::vector<std::string> &nodeIds,
+                   std::size_t vnodes)
+    : nodes_(nodeIds)
+{
+    HM_REQUIRE(!nodes_.empty(), "ring needs at least one node");
+    HM_REQUIRE(vnodes > 0, "ring needs at least one virtual node");
+    std::unordered_set<std::string> seen;
+    for (const std::string &id : nodes_) {
+        HM_REQUIRE(!id.empty(), "ring node id must be non-empty");
+        HM_REQUIRE(seen.insert(id).second,
+                   "duplicate ring node id: " << id);
+    }
+
+    points_.reserve(nodes_.size() * vnodes);
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+        for (std::size_t k = 0; k < vnodes; ++k)
+            points_.push_back(
+                {hash64(nodes_[n] + "#" + std::to_string(k)), n});
+    // Ties broken by node index so equal-hash points (vanishingly
+    // rare) still order identically on every process.
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.node < b.node;
+              });
+}
+
+std::size_t
+HashRing::firstAt(std::uint64_t hash) const
+{
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), hash,
+        [](const Point &p, std::uint64_t h) { return p.hash < h; });
+    if (it == points_.end())
+        return 0; // wrap around
+    return static_cast<std::size_t>(it - points_.begin());
+}
+
+const std::string &
+HashRing::ownerOf(const std::string &key) const
+{
+    return nodes_[points_[firstAt(hash64(key))].node];
+}
+
+std::vector<std::string>
+HashRing::replicasFor(const std::string &key, std::size_t count) const
+{
+    std::vector<std::string> out;
+    if (count == 0)
+        return out;
+    std::unordered_set<std::size_t> picked;
+    std::size_t at = firstAt(hash64(key));
+    for (std::size_t step = 0;
+         step < points_.size() && out.size() < count; ++step) {
+        const std::size_t node = points_[(at + step) % points_.size()].node;
+        if (picked.insert(node).second)
+            out.push_back(nodes_[node]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+HashRing::successorsOf(const std::string &nodeId,
+                       std::size_t count) const
+{
+    const auto self = std::find(nodes_.begin(), nodes_.end(), nodeId);
+    HM_REQUIRE(self != nodes_.end(),
+               "node not in ring: " << nodeId);
+    std::vector<std::string> out;
+    if (count == 0)
+        return out;
+    const std::size_t selfIndex =
+        static_cast<std::size_t>(self - nodes_.begin());
+    std::unordered_set<std::size_t> picked{selfIndex};
+    std::size_t at = firstAt(hash64(nodeId + "#0"));
+    for (std::size_t step = 0;
+         step < points_.size() && out.size() < count; ++step) {
+        const std::size_t node = points_[(at + step) % points_.size()].node;
+        if (picked.insert(node).second)
+            out.push_back(nodes_[node]);
+    }
+    return out;
+}
+
+} // namespace mesh
+} // namespace hiermeans

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Consistent-hash ring sharding suites across mesh nodes.
+ *
+ * Each node contributes `vnodes` virtual points to a 64-bit hash
+ * ring (FNV-1a, the same constants as engine::Fingerprint); a suite
+ * name is owned by the first point at or clockwise after its hash.
+ * Virtual nodes smooth the per-node share toward 1/N, and because
+ * every point is derived only from the node id, assignment is fully
+ * deterministic: two processes given the same membership list build
+ * bit-identical rings. When a node joins or leaves, only the keys
+ * whose owning arc moved change hands — the rebalance is minimal and
+ * deterministic, never a full reshuffle.
+ *
+ * The ring also defines the replication order: `successorsOf` walks
+ * distinct nodes clockwise from a node's first point, which the mesh
+ * runtime uses to pick the followers that mirror a leader's WAL.
+ */
+
+#ifndef HIERMEANS_MESH_RING_H
+#define HIERMEANS_MESH_RING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hiermeans {
+namespace mesh {
+
+/** FNV-1a 64-bit hash of @p text (shared ring/string hashing). */
+std::uint64_t hash64(const std::string &text);
+
+/** Consistent-hash ring over a static node set with virtual nodes. */
+class HashRing
+{
+  public:
+    /**
+     * Build a ring from unique node ids. @p vnodes points are placed
+     * per node (each hashed from `id#k`). Throws InvalidArgument on
+     * an empty node list, duplicate ids or vnodes == 0.
+     */
+    HashRing(const std::vector<std::string> &nodeIds, std::size_t vnodes);
+
+    /** Node id owning @p key (first point clockwise of hash64(key)). */
+    const std::string &ownerOf(const std::string &key) const;
+
+    /**
+     * Up to @p count distinct node ids for @p key in preference
+     * order: the owner first, then successive distinct nodes
+     * clockwise. Never repeats a node; shorter when the ring has
+     * fewer than @p count nodes.
+     */
+    std::vector<std::string> replicasFor(const std::string &key,
+                                         std::size_t count) const;
+
+    /**
+     * Up to @p count distinct node ids clockwise after @p nodeId's
+     * first ring point, excluding @p nodeId itself. Throws
+     * InvalidArgument when @p nodeId is not a member.
+     */
+    std::vector<std::string> successorsOf(const std::string &nodeId,
+                                          std::size_t count) const;
+
+    /** Member node ids, in construction order. */
+    const std::vector<std::string> &nodes() const { return nodes_; }
+
+    /** Number of ring points (nodes * vnodes). */
+    std::size_t points() const { return points_.size(); }
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::size_t node; ///< index into nodes_
+    };
+
+    /** Index into points_ of the first point at/after @p hash. */
+    std::size_t firstAt(std::uint64_t hash) const;
+
+    std::vector<std::string> nodes_;
+    std::vector<Point> points_; ///< sorted by (hash, node)
+};
+
+} // namespace mesh
+} // namespace hiermeans
+
+#endif // HIERMEANS_MESH_RING_H

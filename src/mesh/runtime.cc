@@ -1,0 +1,608 @@
+#include "src/mesh/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+
+#include "src/obs/trace.h"
+#include "src/server/api.h"
+#include "src/server/json.h"
+#include "src/util/error.h"
+#include "src/util/log.h"
+
+namespace hiermeans {
+namespace mesh {
+
+namespace {
+
+const char *
+healthName(int health)
+{
+    switch (health) {
+    case 1:
+        return "ok";
+    case 2:
+        return "down";
+    default:
+        return "unknown";
+    }
+}
+
+/** The `"acked":N` field of a /v1/mesh/replicate answer (either the
+ *  ok data object or the resync hint in an error object); 0 when
+ *  absent or malformed. */
+std::uint64_t
+parseAcked(const std::string &body)
+{
+    const std::string key = "\"acked\":";
+    const std::size_t at = body.find(key);
+    if (at == std::string::npos)
+        return 0;
+    std::uint64_t value = 0;
+    for (std::size_t i = at + key.size(); i < body.size(); ++i) {
+        const char c = body[i];
+        if (c < '0' || c > '9')
+            break;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+} // namespace
+
+MeshRuntime::MeshRuntime(Config config)
+    : config_(std::move(config)),
+      ring_(config_.mesh.nodeIds(), config_.mesh.vnodes)
+{
+    followers_ =
+        ring_.successorsOf(config_.mesh.selfId, config_.mesh.replicas - 1);
+    for (const MeshNode &node : config_.mesh.nodes) {
+        if (node.id == config_.mesh.selfId)
+            continue;
+        auto peer = std::make_unique<Peer>();
+        peer->node = node;
+        peer->follower = std::find(followers_.begin(), followers_.end(),
+                                   node.id) != followers_.end();
+        peers_.emplace(node.id, std::move(peer));
+    }
+}
+
+MeshRuntime::~MeshRuntime() { stop(); }
+
+std::vector<std::string>
+MeshRuntime::followedLeaders() const
+{
+    std::vector<std::string> leaders;
+    for (const std::string &id : ring_.nodes()) {
+        if (id == config_.mesh.selfId)
+            continue;
+        const std::vector<std::string> successors =
+            ring_.successorsOf(id, config_.mesh.replicas - 1);
+        if (std::find(successors.begin(), successors.end(),
+                      config_.mesh.selfId) != successors.end())
+            leaders.push_back(id);
+    }
+    return leaders;
+}
+
+void
+MeshRuntime::start(store::StateStore *store)
+{
+    HM_REQUIRE(!started_, "MeshRuntime::start: already started");
+    started_ = true;
+    store_ = store;
+    // Open the durable mirrors up front so a freshly-restarted node
+    // can answer promoted reads before any replication arrives.
+    if (!config_.dataDir.empty()) {
+        std::lock_guard<std::mutex> lock(replicaMutex_);
+        for (const std::string &leader : followedLeaders()) {
+            auto replica = std::make_unique<ReplicaStore>(
+                ReplicaStore::Config{
+                    config_.dataDir + "/replica_" + leader, 1});
+            replica->open();
+            HM_LOG(Info) << "mesh: replica of `" << leader
+                         << "` recovered, seq="
+                         << replica->lastSequence();
+            replicas_.emplace(leader, std::move(replica));
+        }
+    }
+    background_ = std::thread([this]() { backgroundLoop(); });
+}
+
+void
+MeshRuntime::stop()
+{
+    if (!started_ || stopping_.load())
+        return;
+    stopping_.store(true);
+    if (background_.joinable())
+        background_.join();
+    std::lock_guard<std::mutex> lock(replicaMutex_);
+    for (auto &[leader, replica] : replicas_) {
+        (void)leader;
+        replica->close();
+    }
+}
+
+MeshRuntime::Peer *
+MeshRuntime::peer(const std::string &nodeId)
+{
+    const auto found = peers_.find(nodeId);
+    return found == peers_.end() ? nullptr : found->second.get();
+}
+
+bool
+MeshRuntime::peerAlive(const std::string &nodeId)
+{
+    const Peer *found = peer(nodeId);
+    // Unprobed peers route optimistically; the first failed relay or
+    // probe marks them down.
+    return found != nullptr && found->health.load() != 2;
+}
+
+server::ClusterRoute
+MeshRuntime::routeSuite(const std::string &suite, bool isWrite)
+{
+    // Preference order: the ring owner, then the nodes that actually
+    // mirror its store. Replication is node-level (a leader ships its
+    // whole WAL to its ring successors), so the per-key clockwise
+    // walk of replicasFor may name nodes holding no copy — failover
+    // must follow successorsOf(owner) instead. Everyone else comes
+    // last: they hold no mirror, but can still accept writes when
+    // the whole replica set is gone.
+    const std::string &owner = ring_.ownerOf(suite);
+    std::vector<std::string> order{owner};
+    if (config_.mesh.replicas > 1) {
+        for (std::string &id :
+             ring_.successorsOf(owner, config_.mesh.replicas - 1))
+            order.push_back(std::move(id));
+    }
+    for (const std::string &id : ring_.nodes()) {
+        if (std::find(order.begin(), order.end(), id) == order.end())
+            order.push_back(id);
+    }
+    for (const std::string &id : order) {
+        if (id == config_.mesh.selfId)
+            return server::ClusterRoute{}; // Local (owner or promoted).
+        if (!peerAlive(id))
+            continue; // dead: fail over clockwise.
+        if (id != order.front())
+            failovers_.fetch_add(1, std::memory_order_relaxed);
+        server::ClusterRoute route;
+        route.action = isWrite ? server::ClusterRoute::Action::Forward
+                               : server::ClusterRoute::Action::Redirect;
+        route.nodeId = id;
+        route.host = config_.mesh.node(id).host;
+        route.port = config_.mesh.node(id).port;
+        return route;
+    }
+    // Every preferred peer is down: serve locally, best effort.
+    return server::ClusterRoute{};
+}
+
+server::HttpResponse
+MeshRuntime::relay(const server::RequestContext &ctx,
+                   const server::ClusterRoute &route)
+{
+    if (route.action == server::ClusterRoute::Action::Redirect) {
+        redirects_.fetch_add(1, std::memory_order_relaxed);
+        server::HttpResponse response;
+        response.status = 307;
+        response.set("Location", "http://" + route.host + ":" +
+                                     std::to_string(route.port) +
+                                     ctx.http.target);
+        response.set("X-Hiermeans-Routed-To", route.nodeId);
+        return response;
+    }
+
+    forwards_.fetch_add(1, std::memory_order_relaxed);
+    obs::ScopedSpan span("mesh.forward");
+    static const std::string kDefaultType = "application/json";
+    server::HttpClient::Headers headers{
+        {server::kForwardedHeader, config_.mesh.selfId}};
+    if (!ctx.traceId.empty())
+        headers.push_back({"X-Hiermeans-Trace", ctx.traceId});
+    try {
+        // One connection per relay: forwards never contend with the
+        // replication client for a peer.
+        server::HttpClient client(route.host, route.port);
+        client.setReadTimeoutMillis(config_.rpcTimeoutMillis);
+        const server::HttpResponseParser::Response relayed =
+            client.roundTrip(
+                ctx.http.method, ctx.http.target, ctx.http.body,
+                ctx.http.header("content-type", kDefaultType), headers);
+        server::HttpResponse response;
+        response.status = relayed.status;
+        response.set("Content-Type",
+                     relayed.header("content-type", kDefaultType));
+        response.set("X-Hiermeans-Routed-To", route.nodeId);
+        response.body = relayed.body;
+        return response;
+    } catch (const std::exception &e) {
+        forwardFailures_.fetch_add(1, std::memory_order_relaxed);
+        if (Peer *target = peer(route.nodeId))
+            target->health.store(2);
+        return server::errorResponse(
+            server::ApiError::MeshUnreachable,
+            "mesh: forward to `" + route.nodeId + "` failed: " +
+                e.what(),
+            ctx.traceId);
+    }
+}
+
+bool
+MeshRuntime::shipTo(Peer &target)
+{
+    if (store_ == nullptr)
+        return true;
+    std::lock_guard<std::mutex> lock(target.rpcMutex);
+
+    std::string body;
+    const char *mode = "tail";
+    std::size_t records = 0;
+    {
+        const std::optional<store::ReplicationBatch> batch =
+            store_->framesSince(target.acked.load());
+        if (batch.has_value()) {
+            if (batch->records == 0)
+                return true; // caught up: nothing to ship.
+            body = batch->frames;
+            records = batch->records;
+        } else {
+            // The tail no longer reaches back to the follower's ack:
+            // reinstall it from a full snapshot image.
+            body = store_->snapshotImage();
+            mode = "snapshot";
+            snapshotInstalls_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    if (target.client == nullptr) {
+        target.client = std::make_unique<server::HttpClient>(
+            target.node.host, target.node.port);
+        target.client->setReadTimeoutMillis(config_.rpcTimeoutMillis);
+    }
+    const std::string path = "/v1/mesh/replicate?leader=" +
+                             config_.mesh.selfId + "&mode=" + mode;
+    try {
+        const server::HttpResponseParser::Response answer =
+            target.client->roundTrip("POST", path, body,
+                                     "application/octet-stream");
+        if (answer.status != 200) {
+            // The follower refused (e.g. a sequence gap after it lost
+            // its disk). Its answer carries the true durable offset;
+            // adopt it so the next ship resyncs from there.
+            replicationFailures_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            target.acked.store(parseAcked(answer.body));
+            return false;
+        }
+        target.acked.store(parseAcked(answer.body));
+        target.health.store(1);
+        replicationBatches_.fetch_add(1, std::memory_order_relaxed);
+        replicationRecords_.fetch_add(records,
+                                      std::memory_order_relaxed);
+        replicationBytes_.fetch_add(body.size(),
+                                    std::memory_order_relaxed);
+        return true;
+    } catch (const std::exception &) {
+        replicationFailures_.fetch_add(1, std::memory_order_relaxed);
+        target.health.store(2);
+        target.client->disconnect();
+        return false;
+    }
+}
+
+void
+MeshRuntime::afterWrite()
+{
+    if (store_ == nullptr)
+        return;
+    obs::ScopedSpan span("mesh.replicate");
+    // Synchronous best-effort: an alive follower holds the record
+    // durably before the client sees the ack; a dead one is marked
+    // down and caught up by the background thread when it returns.
+    for (const std::string &id : followers_) {
+        Peer *target = peer(id);
+        if (target != nullptr && target->health.load() != 2)
+            shipTo(*target);
+    }
+}
+
+std::optional<store::SuiteVersion>
+MeshRuntime::replicaSuite(const std::string &name, std::uint32_t version)
+{
+    std::lock_guard<std::mutex> lock(replicaMutex_);
+    for (const auto &[leader, replica] : replicas_) {
+        (void)leader;
+        std::optional<store::SuiteVersion> found =
+            replica->resolveSuite(name, version);
+        if (found.has_value())
+            return found;
+    }
+    return std::nullopt;
+}
+
+std::vector<store::HistoryEntry>
+MeshRuntime::replicaHistory(const std::string &suite)
+{
+    std::lock_guard<std::mutex> lock(replicaMutex_);
+    for (const auto &[leader, replica] : replicas_) {
+        (void)leader;
+        if (replica->resolveSuite(suite, 0).has_value())
+            return replica->history(suite);
+    }
+    return {};
+}
+
+server::HttpResponse
+MeshRuntime::handleCluster(const server::RequestContext &ctx)
+{
+    std::ostringstream data;
+    data << "{\"self\":" << server::json::quote(config_.mesh.selfId)
+         << ",\"replicas\":" << config_.mesh.replicas
+         << ",\"vnodes\":" << config_.mesh.vnodes
+         << ",\"points\":" << ring_.points() << ",\"store_sequence\":"
+         << (store_ != nullptr ? store_->lastSequence() : 0)
+         << ",\"nodes\":[";
+    bool first = true;
+    for (const MeshNode &node : config_.mesh.nodes) {
+        if (!first)
+            data << ",";
+        first = false;
+        data << "{\"id\":" << server::json::quote(node.id)
+             << ",\"host\":" << server::json::quote(node.host)
+             << ",\"port\":" << node.port;
+        if (node.id == config_.mesh.selfId) {
+            data << ",\"self\":true,\"health\":\"ok\""
+                 << ",\"follower\":false,\"acked\":0}";
+            continue;
+        }
+        const Peer *entry = peers_.at(node.id).get();
+        data << ",\"self\":false,\"health\":\""
+             << healthName(entry->health.load()) << "\""
+             << ",\"follower\":"
+             << (entry->follower ? "true" : "false")
+             << ",\"acked\":" << entry->acked.load() << "}";
+    }
+    data << "],\"follows\":[";
+    {
+        std::lock_guard<std::mutex> lock(replicaMutex_);
+        bool first_replica = true;
+        for (const auto &[leader, replica] : replicas_) {
+            if (!first_replica)
+                data << ",";
+            first_replica = false;
+            data << "{\"leader\":" << server::json::quote(leader)
+                 << ",\"sequence\":" << replica->lastSequence() << "}";
+        }
+    }
+    data << "]}";
+    return server::okResponse(data.str(), ctx.traceId);
+}
+
+server::HttpResponse
+MeshRuntime::handleReplicate(const server::RequestContext &ctx)
+{
+    const std::string leader = ctx.http.queryParam("leader", "");
+    const std::string mode = ctx.http.queryParam("mode", "tail");
+    if (leader.empty() || leader == config_.mesh.selfId)
+        return server::errorResponse(
+            server::ApiError::BadRequest,
+            "replicate: `leader` must name another mesh member",
+            ctx.traceId);
+    bool member = false;
+    for (const MeshNode &node : config_.mesh.nodes)
+        member = member || node.id == leader;
+    if (!member)
+        return server::errorResponse(
+            server::ApiError::BadRequest,
+            "replicate: unknown leader `" + leader + "`", ctx.traceId);
+    if (mode != "tail" && mode != "snapshot")
+        return server::errorResponse(
+            server::ApiError::BadRequest,
+            "replicate: mode is `tail` or `snapshot`, got `" + mode +
+                "`",
+            ctx.traceId);
+    if (config_.dataDir.empty())
+        return server::errorResponse(
+            server::ApiError::StoreDisabled,
+            "replicate: this node has no data directory", ctx.traceId);
+
+    ReplicaStore *replica = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(replicaMutex_);
+        auto found = replicas_.find(leader);
+        if (found == replicas_.end()) {
+            // A leader we did not expect (ring drift is impossible
+            // with a shared config, but a lazily-created mirror is
+            // harmless and keeps the protocol robust).
+            auto fresh = std::make_unique<ReplicaStore>(
+                ReplicaStore::Config{
+                    config_.dataDir + "/replica_" + leader, 1});
+            fresh->open();
+            found = replicas_.emplace(leader, std::move(fresh)).first;
+        }
+        replica = found->second.get();
+    }
+
+    obs::ScopedSpan span("mesh.replicate.apply");
+    const std::uint64_t before = replica->lastSequence();
+    try {
+        const std::uint64_t acked =
+            mode == "snapshot"
+                ? replica->installSnapshot(ctx.http.body)
+                : replica->applyFrames(ctx.http.body);
+        applyBatches_.fetch_add(1, std::memory_order_relaxed);
+        if (acked > before)
+            applyRecords_.fetch_add(acked - before,
+                                    std::memory_order_relaxed);
+        std::ostringstream data;
+        data << "{\"leader\":" << server::json::quote(leader)
+             << ",\"mode\":\"" << mode << "\",\"acked\":" << acked
+             << "}";
+        return server::okResponse(data.str(), ctx.traceId);
+    } catch (const Error &e) {
+        // Carry the durable offset so the leader resyncs from truth.
+        return server::errorResponse(
+            server::ApiError::BadRequest, e.what(), ctx.traceId,
+            "\"acked\":" + std::to_string(replica->lastSequence()));
+    }
+}
+
+void
+MeshRuntime::backgroundLoop()
+{
+    const auto tick = std::chrono::milliseconds(
+        config_.tickMillis > 0 ? config_.tickMillis : 500);
+    while (!stopping_.load()) {
+        for (auto &[id, entry] : peers_) {
+            (void)id;
+            if (stopping_.load())
+                return;
+            // Liveness probe (also how a down peer is noticed coming
+            // back: routing and replication both consult `health`).
+            {
+                std::lock_guard<std::mutex> lock(entry->rpcMutex);
+                if (entry->client == nullptr) {
+                    entry->client =
+                        std::make_unique<server::HttpClient>(
+                            entry->node.host, entry->node.port);
+                    entry->client->setReadTimeoutMillis(
+                        config_.rpcTimeoutMillis);
+                }
+                try {
+                    entry->client->roundTrip("GET", "/healthz");
+                    entry->health.store(1);
+                } catch (const std::exception &) {
+                    entry->health.store(2);
+                    entry->client->disconnect();
+                }
+            }
+            // Catch-up: a follower that is alive but behind gets the
+            // outstanding tail (or a snapshot) outside the write path.
+            if (entry->follower && entry->health.load() == 1 &&
+                store_ != nullptr &&
+                entry->acked.load() < store_->lastSequence())
+                shipTo(*entry);
+        }
+        // Sleep in short slices so stop() never waits a full tick.
+        auto remaining = tick;
+        while (remaining.count() > 0 && !stopping_.load()) {
+            const auto slice =
+                std::min(remaining, std::chrono::milliseconds(50));
+            std::this_thread::sleep_for(slice);
+            remaining -= slice;
+        }
+    }
+}
+
+MeshMetrics
+MeshRuntime::metricsSnapshot() const
+{
+    MeshMetrics m;
+    m.forwards = forwards_.load();
+    m.forwardFailures = forwardFailures_.load();
+    m.redirects = redirects_.load();
+    m.failovers = failovers_.load();
+    m.replicationBatches = replicationBatches_.load();
+    m.replicationRecords = replicationRecords_.load();
+    m.replicationBytes = replicationBytes_.load();
+    m.replicationFailures = replicationFailures_.load();
+    m.snapshotInstalls = snapshotInstalls_.load();
+    m.applyBatches = applyBatches_.load();
+    m.applyRecords = applyRecords_.load();
+    return m;
+}
+
+void
+MeshRuntime::renderMetrics(obs::PrometheusWriter &w)
+{
+    const MeshMetrics m = metricsSnapshot();
+
+    w.header("hiermeans_mesh_nodes", "Configured mesh members.",
+             "gauge");
+    w.gauge("hiermeans_mesh_nodes", {},
+            static_cast<double>(config_.mesh.nodes.size()));
+    std::size_t alive = 1; // self.
+    for (const auto &[id, entry] : peers_) {
+        (void)id;
+        if (entry->health.load() != 2)
+            ++alive;
+    }
+    w.header("hiermeans_mesh_peers_alive",
+             "Members not currently marked down (self included).",
+             "gauge");
+    w.gauge("hiermeans_mesh_peers_alive", {},
+            static_cast<double>(alive));
+
+    w.header("hiermeans_mesh_forwards_total",
+             "Requests proxied to their shard owner.", "counter");
+    w.counter("hiermeans_mesh_forwards_total", {}, m.forwards);
+    w.header("hiermeans_mesh_forward_failures_total",
+             "Proxied requests that failed to reach their target.",
+             "counter");
+    w.counter("hiermeans_mesh_forward_failures_total", {},
+              m.forwardFailures);
+    w.header("hiermeans_mesh_redirects_total",
+             "Requests answered 307 toward their shard owner.",
+             "counter");
+    w.counter("hiermeans_mesh_redirects_total", {}, m.redirects);
+    w.header("hiermeans_mesh_failovers_total",
+             "Routes that skipped a dead owner clockwise.", "counter");
+    w.counter("hiermeans_mesh_failovers_total", {}, m.failovers);
+
+    w.header("hiermeans_mesh_replication_batches_total",
+             "WAL batches shipped to followers.", "counter");
+    w.counter("hiermeans_mesh_replication_batches_total", {},
+              m.replicationBatches);
+    w.header("hiermeans_mesh_replication_records_total",
+             "WAL records shipped to followers.", "counter");
+    w.counter("hiermeans_mesh_replication_records_total", {},
+              m.replicationRecords);
+    w.header("hiermeans_mesh_replication_bytes_total",
+             "Replication payload bytes shipped.", "counter");
+    w.counter("hiermeans_mesh_replication_bytes_total", {},
+              m.replicationBytes);
+    w.header("hiermeans_mesh_replication_failures_total",
+             "Replication ships that failed or were refused.",
+             "counter");
+    w.counter("hiermeans_mesh_replication_failures_total", {},
+              m.replicationFailures);
+    w.header("hiermeans_mesh_snapshot_installs_total",
+             "Followers reinstalled from a full snapshot image.",
+             "counter");
+    w.counter("hiermeans_mesh_snapshot_installs_total", {},
+              m.snapshotInstalls);
+    w.header("hiermeans_mesh_apply_batches_total",
+             "Replication batches applied from leaders.", "counter");
+    w.counter("hiermeans_mesh_apply_batches_total", {},
+              m.applyBatches);
+    w.header("hiermeans_mesh_apply_records_total",
+             "Replication records applied from leaders.", "counter");
+    w.counter("hiermeans_mesh_apply_records_total", {},
+              m.applyRecords);
+
+    w.header("hiermeans_mesh_follower_acked_sequence",
+             "Durable ack offset per follower of this node.", "gauge");
+    for (const auto &[id, entry] : peers_) {
+        if (!entry->follower)
+            continue;
+        w.gauge("hiermeans_mesh_follower_acked_sequence",
+                {{"node", id}},
+                static_cast<double>(entry->acked.load()));
+    }
+    w.header("hiermeans_mesh_replica_sequence",
+             "Durable sequence per mirrored leader.", "gauge");
+    {
+        std::lock_guard<std::mutex> lock(replicaMutex_);
+        for (const auto &[leader, replica] : replicas_)
+            w.gauge("hiermeans_mesh_replica_sequence",
+                    {{"leader", leader}},
+                    static_cast<double>(replica->lastSequence()));
+    }
+}
+
+} // namespace mesh
+} // namespace hiermeans

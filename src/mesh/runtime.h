@@ -1,0 +1,191 @@
+/**
+ * @file
+ * MeshRuntime: the node-side brain of a hiermeans cluster.
+ *
+ * One MeshRuntime per `hmserved --mesh-config` process. It implements
+ * server::ClusterHooks, which is how the suite-service layer consults
+ * it without the server library depending on the mesh:
+ *
+ *   - *Sharding.* A consistent-hash ring (ring.h) over the static
+ *     membership (config.h) assigns every suite name an owner.
+ *     routeSuite()/relay() serve owned suites locally, proxy writes
+ *     to the owner (stamping the X-Hiermeans-Forwarded loop guard)
+ *     and 307-redirect reads.
+ *   - *Replication.* This node is the leader of its own StateStore;
+ *     its `replicas - 1` ring successors follow it. afterWrite()
+ *     ships the committed WAL frames (StateStore::framesSince) to
+ *     each follower via POST /v1/mesh/replicate and records the
+ *     durable ack offset; a follower too far behind the in-memory
+ *     tail is reinstalled from a full snapshot image. The background
+ *     thread retries lagging followers and probes peer health.
+ *   - *Failover.* When the ring owner of a suite is down, requests
+ *     fail over clockwise to the first live replica; a surviving
+ *     follower answers reads from its durable ReplicaStore image
+ *     (replica.h) and accepts writes into its own store.
+ *
+ * Everything here is deterministic given the same membership file:
+ * every node computes the same ring, the same owners, and the same
+ * follower sets.
+ */
+
+#ifndef HIERMEANS_MESH_RUNTIME_H
+#define HIERMEANS_MESH_RUNTIME_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/mesh/config.h"
+#include "src/mesh/replica.h"
+#include "src/mesh/ring.h"
+#include "src/server/client.h"
+#include "src/server/cluster.h"
+#include "src/store/store.h"
+
+namespace hiermeans {
+namespace mesh {
+
+/** Cluster-side counters (all monotonic except gauges). */
+struct MeshMetrics
+{
+    std::uint64_t forwards = 0;
+    std::uint64_t forwardFailures = 0;
+    std::uint64_t redirects = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t replicationBatches = 0;
+    std::uint64_t replicationRecords = 0;
+    std::uint64_t replicationBytes = 0;
+    std::uint64_t replicationFailures = 0;
+    std::uint64_t snapshotInstalls = 0;
+    std::uint64_t applyBatches = 0;
+    std::uint64_t applyRecords = 0;
+};
+
+/** ClusterHooks implementation wiring ring + replication + relays. */
+class MeshRuntime : public server::ClusterHooks
+{
+  public:
+    struct Config
+    {
+        MeshConfig mesh;
+
+        /** Directory holding replica_<leader>/ mirrors (normally the
+         *  node's own store dataDir). */
+        std::string dataDir;
+
+        /** Peer RPC read timeout (replication, forwards, probes). */
+        int rpcTimeoutMillis = 5000;
+
+        /** Background health-probe + follower-catch-up cadence. */
+        int tickMillis = 500;
+    };
+
+    explicit MeshRuntime(Config config);
+    ~MeshRuntime() override;
+
+    MeshRuntime(const MeshRuntime &) = delete;
+    MeshRuntime &operator=(const MeshRuntime &) = delete;
+
+    /**
+     * Attach the node's own (already-open) store, open the durable
+     * replica mirrors for every leader this node follows, and start
+     * the background probe/catch-up thread. @p store may be null
+     * (routing still works; replication is off).
+     */
+    void start(store::StateStore *store);
+
+    /** Join the background thread and close the replica mirrors. */
+    void stop();
+
+    const HashRing &ring() const { return ring_; }
+    const MeshConfig &meshConfig() const { return config_.mesh; }
+
+    /** Node ids whose stores this node mirrors (ring predecessors). */
+    std::vector<std::string> followedLeaders() const;
+
+    /** Node ids mirroring this node's store (ring successors). */
+    const std::vector<std::string> &followers() const
+    {
+        return followers_;
+    }
+
+    MeshMetrics metricsSnapshot() const;
+
+    // --- server::ClusterHooks ----------------------------------------
+    server::ClusterRoute routeSuite(const std::string &suite,
+                                    bool isWrite) override;
+    server::HttpResponse relay(const server::RequestContext &ctx,
+                               const server::ClusterRoute &route) override;
+    void afterWrite() override;
+    std::optional<store::SuiteVersion>
+    replicaSuite(const std::string &name, std::uint32_t version) override;
+    std::vector<store::HistoryEntry>
+    replicaHistory(const std::string &suite) override;
+    server::HttpResponse
+    handleCluster(const server::RequestContext &ctx) override;
+    server::HttpResponse
+    handleReplicate(const server::RequestContext &ctx) override;
+    void renderMetrics(obs::PrometheusWriter &writer) override;
+
+  private:
+    /** Peer-node state: health, replication offset, one RPC client. */
+    struct Peer
+    {
+        MeshNode node;
+        bool follower = false; ///< mirrors this node's store.
+        /** 0 = unprobed, 1 = alive, 2 = down. Unprobed routes
+         *  optimistically (as alive). */
+        std::atomic<int> health{0};
+        /** Follower's durable ack of this node's sequence space. */
+        std::atomic<std::uint64_t> acked{0};
+        std::mutex rpcMutex; ///< serializes `client`.
+        std::unique_ptr<server::HttpClient> client;
+    };
+
+    Peer *peer(const std::string &nodeId);
+    bool peerAlive(const std::string &nodeId);
+
+    /** Ship outstanding frames (or a snapshot image) to @p peer and
+     *  record the returned durable ack. Returns false — and marks the
+     *  peer down — when the RPC fails. */
+    bool shipTo(Peer &peer);
+
+    void backgroundLoop();
+
+    Config config_;
+    HashRing ring_;
+    std::vector<std::string> followers_;
+    store::StateStore *store_ = nullptr;
+
+    std::map<std::string, std::unique_ptr<Peer>> peers_;
+
+    mutable std::mutex replicaMutex_;
+    std::map<std::string, std::unique_ptr<ReplicaStore>> replicas_;
+
+    std::atomic<bool> stopping_{false};
+    std::thread background_;
+    bool started_ = false;
+
+    std::atomic<std::uint64_t> forwards_{0};
+    std::atomic<std::uint64_t> forwardFailures_{0};
+    std::atomic<std::uint64_t> redirects_{0};
+    std::atomic<std::uint64_t> failovers_{0};
+    std::atomic<std::uint64_t> replicationBatches_{0};
+    std::atomic<std::uint64_t> replicationRecords_{0};
+    std::atomic<std::uint64_t> replicationBytes_{0};
+    std::atomic<std::uint64_t> replicationFailures_{0};
+    std::atomic<std::uint64_t> snapshotInstalls_{0};
+    std::atomic<std::uint64_t> applyBatches_{0};
+    std::atomic<std::uint64_t> applyRecords_{0};
+};
+
+} // namespace mesh
+} // namespace hiermeans
+
+#endif // HIERMEANS_MESH_RUNTIME_H

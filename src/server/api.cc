@@ -31,6 +31,7 @@ const CodeEntry kCodes[] = {
     {ApiError::Internal, "internal", 500},
     {ApiError::SuiteUnknown, "suite_unknown", 404},
     {ApiError::StoreDisabled, "store_disabled", 503},
+    {ApiError::MeshUnreachable, "mesh_unreachable", 502},
 };
 
 std::string

@@ -50,6 +50,7 @@ enum class ApiError
     Internal,         ///< unexpected exception (500).
     SuiteUnknown,     ///< no such registered suite (404).
     StoreDisabled,    ///< durable store not mounted (503).
+    MeshUnreachable,  ///< shard owner unreachable via the mesh (502).
 };
 
 /** The wire string for @p error, e.g. "circuit_open". */

@@ -1,7 +1,6 @@
 #include "src/server/server.h"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <optional>
 #include <sstream>
@@ -11,7 +10,6 @@
 #include "src/server/api.h"
 #include "src/server/json.h"
 #include "src/util/error.h"
-#include "src/util/fault.h"
 #include "src/util/log.h"
 #include "src/util/version.h"
 
@@ -19,31 +17,6 @@ namespace hiermeans {
 namespace server {
 
 namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    return std::chrono::duration<double, std::milli>(elapsed).count();
-}
-
-Endpoint
-endpointFor(const std::string &path)
-{
-    if (path == "/v1/score")
-        return Endpoint::Score;
-    if (path == "/v1/batch")
-        return Endpoint::Batch;
-    if (path == "/metrics")
-        return Endpoint::Metrics;
-    if (path == "/healthz")
-        return Endpoint::Healthz;
-    if (path == "/v1/suites")
-        return Endpoint::Suites;
-    if (path == "/v1/history")
-        return Endpoint::History;
-    return Endpoint::Other;
-}
 
 const char *
 servedBy(const engine::ScoreResult &result)
@@ -120,103 +93,6 @@ spanJson(const obs::Span &span)
     return out.str();
 }
 
-/** A `suite=<name>[@version]` reference found in a request body. */
-struct SuiteRef
-{
-    bool present = false;
-    std::string name;
-    std::uint32_t version = 0; ///< 0 = newest.
-    std::size_t line = 0;      ///< `line=<n>`, 1-based; 0 = all.
-    std::string extras;        ///< leftover tokens, space-joined.
-    std::string error;         ///< set when the reference is bad.
-};
-
-/** Logical manifest lines of @p text: comments stripped, blanks
- *  skipped, surrounding whitespace trimmed. */
-std::vector<std::string>
-manifestLogicalLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::istringstream in(text);
-    std::string raw;
-    while (std::getline(in, raw)) {
-        const std::size_t hash = raw.find('#');
-        if (hash != std::string::npos)
-            raw.resize(hash);
-        std::istringstream tokens(raw);
-        std::string token, joined;
-        while (tokens >> token) {
-            if (!joined.empty())
-                joined += ' ';
-            joined += token;
-        }
-        if (!joined.empty())
-            lines.push_back(std::move(joined));
-    }
-    return lines;
-}
-
-/**
- * Scan @p body for a `suite=` reference. The body is treated as one
- * token stream (a suite-referencing request is a single logical
- * line); `suite=` and `line=` tokens are consumed, everything else
- * becomes override tokens appended after the stored manifest text —
- * the CommandLine last-wins rule turns them into overrides.
- */
-SuiteRef
-parseSuiteReference(const std::string &body)
-{
-    SuiteRef ref;
-    for (const std::string &line : manifestLogicalLines(body)) {
-        std::istringstream tokens(line);
-        std::string token;
-        while (tokens >> token) {
-            if (token.rfind("suite=", 0) == 0) {
-                if (ref.present) {
-                    ref.error = "multiple suite= references";
-                    return ref;
-                }
-                ref.present = true;
-                std::string spec = token.substr(6);
-                const std::size_t at = spec.find('@');
-                if (at != std::string::npos) {
-                    const std::string digits = spec.substr(at + 1);
-                    try {
-                        ref.version = static_cast<std::uint32_t>(
-                            std::stoul(digits));
-                    } catch (const std::exception &) {
-                        ref.error = "bad suite version `" + digits + "`";
-                        return ref;
-                    }
-                    spec.resize(at);
-                }
-                ref.name = spec;
-                if (ref.name.empty()) {
-                    ref.error = "empty suite name";
-                    return ref;
-                }
-            } else if (token.rfind("line=", 0) == 0) {
-                const std::string digits = token.substr(5);
-                try {
-                    ref.line = std::stoul(digits);
-                } catch (const std::exception &) {
-                    ref.error = "bad line number `" + digits + "`";
-                    return ref;
-                }
-                if (ref.line == 0) {
-                    ref.error = "line= is 1-based";
-                    return ref;
-                }
-            } else {
-                if (!ref.extras.empty())
-                    ref.extras += ' ';
-                ref.extras += token;
-            }
-        }
-    }
-    return ref;
-}
-
 std::string
 idListJson(const std::vector<std::string> &ids)
 {
@@ -230,14 +106,28 @@ idListJson(const std::vector<std::string> &ids)
     return out;
 }
 
+HttpTransport::Config
+transportConfig(const Server::Config &config)
+{
+    HttpTransport::Config transport;
+    transport.port = config.port;
+    transport.connectionThreads = config.connectionThreads;
+    transport.maxBodyBytes = config.maxBodyBytes;
+    return transport;
+}
+
 } // namespace
 
 Server::Server(Config config)
     : config_(config), engine_(config.engine),
       gate_(config.queueDepth), breaker_(config.breaker),
       health_(config.health), watchdog_(config.watchdog),
+      suites_(metrics_),
+      transport_(transportConfig(config), router_, metrics_),
       requestDefaults_(util::CommandLine::parse({"hmserved"}))
 {
+    suites_.setCluster(config_.cluster);
+
     router_.add("POST", "/v1/score", [this](const RequestContext &c) {
         return handleScore(c);
     });
@@ -258,18 +148,28 @@ Server::Server(Config config)
         return handleHealthz(c);
     });
     router_.add("POST", "/v1/suites", [this](const RequestContext &c) {
-        return handleSuiteRegister(c);
+        return suites_.handleSuiteRegister(c);
     });
     router_.add("GET", "/v1/suites", [this](const RequestContext &c) {
-        return handleSuiteList(c);
+        return suites_.handleSuiteList(c);
     });
     router_.add("GET", "/v1/history", [this](const RequestContext &c) {
-        return handleHistory(c);
+        return suites_.handleHistory(c);
     });
     router_.add("POST", "/v1/admin/snapshot",
                 [this](const RequestContext &c) {
-                    return handleSnapshot(c);
+                    return suites_.handleSnapshot(c);
                 });
+    if (config_.cluster != nullptr) {
+        router_.add("GET", "/v1/cluster",
+                    [this](const RequestContext &c) {
+                        return config_.cluster->handleCluster(c);
+                    });
+        router_.add("POST", "/v1/mesh/replicate",
+                    [this](const RequestContext &c) {
+                        return config_.cluster->handleReplicate(c);
+                    });
+    }
 }
 
 Server::~Server() { stop(); }
@@ -277,273 +177,28 @@ Server::~Server() { stop(); }
 void
 Server::start()
 {
-    HM_REQUIRE(!running_.load() && !stopping_.load(),
-               "Server::start: already started");
-    if (!config_.store.dataDir.empty() && store_ == nullptr) {
-        store_ = std::make_unique<store::StateStore>(config_.store);
-        storeRecovery_ = store_->open();
-        warmedEntries_ = warmStartCache();
-        HM_LOG(Info) << "store: " << config_.store.dataDir
-                     << " recovered ("
-                     << store::recoveryOutcomeName(
-                            storeRecovery_.outcome)
-                     << "), seq=" << storeRecovery_.lastSequence
-                     << ", snapshot records="
-                     << storeRecovery_.snapshotRecords
-                     << ", wal applied=" << storeRecovery_.walApplied
-                     << ", cache warmed=" << warmedEntries_;
+    HM_REQUIRE(!started_, "Server::start: already started");
+    started_ = true;
+    suites_.open(config_.store);
+    if (suites_.store() != nullptr) {
+        warmedEntries_ = suites_.warmStart(engine_);
+        HM_LOG(Info) << "store: cache warmed=" << warmedEntries_;
     }
-    net::ignoreSigpipe();
-    listener_ = net::listenTcp(config_.port);
-    port_ = net::localPort(listener_.fd());
-    running_.store(true);
-
-    acceptor_ = std::thread([this]() { acceptLoop(); });
-    workers_.reserve(config_.connectionThreads);
-    for (std::size_t i = 0; i < config_.connectionThreads; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+    transport_.start();
 }
 
 void
 Server::stop()
 {
-    if (!running_.load())
+    if (!transport_.running())
         return;
     health_.setDraining(); // /healthz flips to 503 for the drain.
-    stopping_.store(true);
-    pendingCv_.notify_all();
-    if (acceptor_.joinable())
-        acceptor_.join();
-    listener_.close();
-    for (std::thread &worker : workers_) {
-        if (worker.joinable())
-            worker.join();
+    transport_.stop();
+    try {
+        suites_.close(); // final snapshot + WAL compaction.
+    } catch (const Error &e) {
+        HM_LOG(Warn) << "store: final snapshot failed: " << e.what();
     }
-    workers_.clear();
-    running_.store(false);
-    if (store_ != nullptr) {
-        try {
-            store_->close(); // final snapshot + WAL compaction.
-        } catch (const Error &e) {
-            HM_LOG(Warn) << "store: final snapshot failed: " << e.what();
-        }
-    }
-}
-
-std::size_t
-Server::warmStartCache()
-{
-    if (store_ == nullptr)
-        return 0;
-    std::size_t warmed = 0;
-    for (store::ScoreRecord &record : store_->scoreRecords()) {
-        if (record.report.rows.empty())
-            continue; // history-only: nothing servable.
-        engine::CachedResult cached;
-        cached.report = std::move(record.report);
-        cached.recommendedK =
-            static_cast<std::size_t>(record.recommendedK);
-        engine_.cache().put(record.fingerprint, std::move(cached));
-        ++warmed;
-    }
-    return warmed;
-}
-
-void
-Server::persistScore(const engine::ScoreResult &result,
-                     const std::string &suite,
-                     std::uint32_t suiteVersion)
-{
-    // Only pipeline executions are recorded: a cache/dedupe answer is
-    // a replay of a score already in the history, and re-appending it
-    // would duplicate ring entries on every retry.
-    if (store_ == nullptr || !result.ok || result.cacheHit ||
-        result.deduped)
-        return;
-    store::ScoreRecord record;
-    record.suite = suite;
-    record.suiteVersion = suiteVersion;
-    record.id = result.id;
-    record.fingerprint = result.fingerprint;
-    record.recommendedK = result.recommendedK;
-    record.ratio =
-        result.report.rows[result.report.recommendedRow()].ratio;
-    record.plainRatio = result.report.plainRatio;
-    record.wallMillis = result.wallMillis;
-    record.report = result.report;
-    store_->recordScore(std::move(record));
-}
-
-void
-Server::acceptLoop()
-{
-    // Accepted connections beyond this bound get an immediate 503 —
-    // a closed front door beats an unbounded queue of unserved fds.
-    const std::size_t pending_limit = config_.connectionThreads * 2 + 16;
-
-    while (!stopping_.load()) {
-        if (!net::waitReadable(listener_.fd(), 100))
-            continue; // timeout/EINTR: re-check the stop flag.
-        net::Socket accepted = net::acceptConnection(listener_.fd());
-        if (!accepted.valid())
-            continue;
-        metrics_.onConnectionAccepted();
-
-        std::unique_lock<std::mutex> lock(pendingMutex_);
-        if (pending_.size() >= pending_limit) {
-            lock.unlock();
-            metrics_.onConnectionRejected();
-            HttpResponse response = overloadedResponse("");
-            response.closeConnection = true;
-            try {
-                net::writeAll(accepted.fd(), response.serialize());
-            } catch (const Error &) {
-                // The rejected peer vanished first; nothing to do.
-            }
-            continue;
-        }
-        pending_.push_back(std::move(accepted));
-        lock.unlock();
-        pendingCv_.notify_one();
-    }
-}
-
-void
-Server::workerLoop()
-{
-    for (;;) {
-        net::Socket socket;
-        {
-            std::unique_lock<std::mutex> lock(pendingMutex_);
-            pendingCv_.wait(lock, [this]() {
-                return stopping_.load() || !pending_.empty();
-            });
-            if (pending_.empty()) {
-                if (stopping_.load())
-                    return;
-                continue;
-            }
-            socket = std::move(pending_.front());
-            pending_.pop_front();
-        }
-        try {
-            serveConnection(std::move(socket));
-        } catch (const std::exception &) {
-            // Peer I/O failures close that connection; the worker and
-            // every other connection are unaffected.
-            metrics_.onConnectionClosed();
-        }
-    }
-}
-
-void
-Server::serveConnection(net::Socket socket)
-{
-    metrics_.onConnectionOpened();
-    HttpRequestParser::Limits limits;
-    limits.maxBodyBytes = config_.maxBodyBytes;
-    HttpRequestParser parser(limits);
-
-    // Once shutdown begins, a partially-received request gets this
-    // long to finish arriving before the connection is closed.
-    constexpr double kDrainWindowMillis = 5000.0;
-    const auto serve_start = std::chrono::steady_clock::now();
-
-    char buffer[8192];
-    bool close = false;
-    while (!close) {
-        if (stopping_.load()) {
-            if (!parser.midRequest())
-                break;
-            if (millisSince(serve_start) > kDrainWindowMillis)
-                break;
-        }
-        if (!net::waitReadable(socket.fd(), 100))
-            continue;
-        const std::size_t n =
-            net::readSome(socket.fd(), buffer, sizeof(buffer));
-        if (n == 0)
-            break; // EOF.
-
-        HttpRequestParser::State state =
-            parser.feed(std::string_view(buffer, n));
-        while (state == HttpRequestParser::State::Ready) {
-            const HttpRequest &request = parser.request();
-            metrics_.onRequest();
-            const auto started = std::chrono::steady_clock::now();
-
-            // Trace identity: accept the caller's ID when valid;
-            // otherwise generate one iff tracing is armed. Disarmed
-            // and header-less requests stay on the one-atomic-load
-            // fast path with an empty traceId.
-            static const std::string kEmpty;
-            RequestContext ctx{request, "", nullptr, obs::kNoParent};
-            const std::string &supplied =
-                request.header("x-hiermeans-trace", kEmpty);
-            if (!supplied.empty() && obs::validTraceId(supplied))
-                ctx.traceId = supplied;
-            if (obs::tracingEnabled()) {
-                if (ctx.traceId.empty())
-                    ctx.traceId = obs::generateTraceId();
-                ctx.trace = obs::Tracer::instance().start(ctx.traceId);
-                ctx.rootSpan = ctx.trace->begin("server.request");
-            }
-            // Handlers and the engine submit path record their spans
-            // through the thread-local context.
-            obs::ScopedTraceContext traceContext(ctx.trace.get(),
-                                                 ctx.rootSpan);
-
-            HttpResponse response = router_.dispatch(ctx);
-            const Endpoint endpoint = endpointFor(request.path());
-            const double elapsed = millisSince(started);
-            metrics_.recordLatency(endpoint, elapsed);
-            metrics_.onResponse(response.status);
-            if (!ctx.traceId.empty())
-                response.set("X-Hiermeans-Trace", ctx.traceId);
-            if (ctx.trace) {
-                ctx.trace->end(ctx.rootSpan);
-                obs::Tracer::instance().finish(ctx.trace);
-                HM_LOG(Debug)
-                    << "trace=" << ctx.traceId << " "
-                    << request.method << " " << request.path() << " -> "
-                    << response.status << " in " << elapsed << " ms";
-            }
-            if (stopping_.load() || !request.keepAlive())
-                response.closeConnection = true;
-            if (HM_FAULT("server.response.write"))
-                throw net::NetError(net::NetError::Kind::Reset,
-                                    "injected: response write reset");
-            net::writeAll(socket.fd(), response.serialize());
-            if (response.closeConnection) {
-                close = true;
-                break;
-            }
-            state = parser.reset(); // may surface a pipelined request.
-        }
-        // Reached on a malformed feed *or* when pipelined leftovers
-        // turned out to be junk after the valid requests were served:
-        // either way the offender gets its 400-class answer before the
-        // connection closes.
-        if (state == HttpRequestParser::State::Error) {
-            metrics_.onRequest();
-            metrics_.onMalformed();
-            ApiError code = ApiError::BadRequest;
-            if (parser.errorStatus() == 413)
-                code = ApiError::BodyTooLarge;
-            else if (parser.errorStatus() == 431)
-                code = ApiError::HeadersTooLarge;
-            HttpResponse response =
-                errorResponse(code, parser.errorMessage(), "");
-            response.closeConnection = true;
-            metrics_.onResponse(response.status);
-            if (HM_FAULT("server.response.write"))
-                throw net::NetError(net::NetError::Kind::Reset,
-                                    "injected: response write reset");
-            net::writeAll(socket.fd(), response.serialize());
-            break;
-        }
-    }
-    metrics_.onConnectionClosed();
 }
 
 HttpResponse
@@ -615,69 +270,16 @@ Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
 HttpResponse
 Server::handleScore(const RequestContext &ctx)
 {
-    // A `suite=` reference expands to the stored manifest text before
-    // any parsing; appended override tokens win by the CommandLine
-    // last-wins rule.
-    std::string body = ctx.http.body;
-    std::string suite_name;
-    std::uint32_t suite_version = 0;
-    const SuiteRef ref = parseSuiteReference(body);
-    if (ref.present) {
-        if (!ref.error.empty()) {
-            metrics_.onMalformed();
-            return errorResponse(ApiError::BadRequest, ref.error,
-                                 ctx.traceId);
-        }
-        if (store_ == nullptr)
-            return errorResponse(
-                ApiError::StoreDisabled,
-                "suite references need a durable store "
-                "(start hmserved with --data-dir)",
-                ctx.traceId);
-        const std::optional<store::SuiteVersion> stored =
-            store_->resolveSuite(ref.name, ref.version);
-        if (!stored.has_value())
-            return errorResponse(
-                ApiError::SuiteUnknown,
-                "no registered suite `" + ref.name + "`" +
-                    (ref.version != 0
-                         ? " at version " + std::to_string(ref.version)
-                         : ""),
-                ctx.traceId);
-        suite_name = ref.name;
-        suite_version = stored->version;
-        const std::vector<std::string> lines =
-            manifestLogicalLines(stored->manifest);
-        if (ref.line > lines.size()) {
-            metrics_.onMalformed();
-            return errorResponse(
-                ApiError::BadRequest,
-                "suite `" + ref.name + "` has " +
-                    std::to_string(lines.size()) + " lines; line=" +
-                    std::to_string(ref.line) + " is out of range",
-                ctx.traceId);
-        }
-        if (ref.line == 0 && lines.size() != 1) {
-            metrics_.onMalformed();
-            return errorResponse(
-                ApiError::BadRequest,
-                "suite `" + ref.name + "` has " +
-                    std::to_string(lines.size()) +
-                    " lines; pick one with line=<n> or POST the "
-                    "suite to /v1/batch",
-                ctx.traceId);
-        }
-        body = lines[ref.line == 0 ? 0 : ref.line - 1];
-        if (!ref.extras.empty())
-            body += " " + ref.extras;
-    }
+    SuiteService::Expansion expanded = suites_.expandScore(ctx);
+    if (expanded.response.has_value())
+        return std::move(*expanded.response);
 
     engine::ScoreRequest score_request;
     {
         obs::ScopedSpan span("parse.manifest");
         std::vector<engine::ManifestLine> lines;
         try {
-            lines = engine::parseManifest(body);
+            lines = engine::parseManifest(expanded.text);
         } catch (const Error &e) {
             metrics_.onMalformed();
             return errorResponse(ApiError::BadRequest, e.what(),
@@ -770,7 +372,7 @@ Server::handleScore(const RequestContext &ctx)
     }
 
     breaker_.onSuccess();
-    persistScore(result, suite_name, suite_version);
+    suites_.persistScore(result, expanded.suite, expanded.suiteVersion);
     HttpResponse response =
         okResponse(resultDataJson(result), ctx.traceId);
     response.set("X-Hiermeans-Source", servedBy(result));
@@ -780,63 +382,14 @@ Server::handleScore(const RequestContext &ctx)
 HttpResponse
 Server::handleBatch(const RequestContext &ctx)
 {
-    // `suite=` expands to the whole stored document (or one line of
-    // it with line=<n>), override tokens appended to every line.
-    std::string document = ctx.http.body;
-    std::string suite_name;
-    std::uint32_t suite_version = 0;
-    const SuiteRef ref = parseSuiteReference(document);
-    if (ref.present) {
-        if (!ref.error.empty()) {
-            metrics_.onMalformed();
-            return errorResponse(ApiError::BadRequest, ref.error,
-                                 ctx.traceId);
-        }
-        if (store_ == nullptr)
-            return errorResponse(
-                ApiError::StoreDisabled,
-                "suite references need a durable store "
-                "(start hmserved with --data-dir)",
-                ctx.traceId);
-        const std::optional<store::SuiteVersion> stored =
-            store_->resolveSuite(ref.name, ref.version);
-        if (!stored.has_value())
-            return errorResponse(
-                ApiError::SuiteUnknown,
-                "no registered suite `" + ref.name + "`" +
-                    (ref.version != 0
-                         ? " at version " + std::to_string(ref.version)
-                         : ""),
-                ctx.traceId);
-        suite_name = ref.name;
-        suite_version = stored->version;
-        std::vector<std::string> stored_lines =
-            manifestLogicalLines(stored->manifest);
-        if (ref.line > stored_lines.size()) {
-            metrics_.onMalformed();
-            return errorResponse(
-                ApiError::BadRequest,
-                "suite `" + ref.name + "` has " +
-                    std::to_string(stored_lines.size()) +
-                    " lines; line=" + std::to_string(ref.line) +
-                    " is out of range",
-                ctx.traceId);
-        }
-        if (ref.line != 0)
-            stored_lines = {stored_lines[ref.line - 1]};
-        document.clear();
-        for (const std::string &stored_line : stored_lines) {
-            document += stored_line;
-            if (!ref.extras.empty())
-                document += " " + ref.extras;
-            document += "\n";
-        }
-    }
+    SuiteService::Expansion expanded = suites_.expandBatch(ctx);
+    if (expanded.response.has_value())
+        return std::move(*expanded.response);
 
     std::vector<engine::ManifestLine> lines;
     try {
         obs::ScopedSpan span("parse.manifest");
-        lines = engine::parseManifest(document);
+        lines = engine::parseManifest(expanded.text);
     } catch (const Error &e) {
         metrics_.onMalformed();
         return errorResponse(ApiError::BadRequest, e.what(),
@@ -928,7 +481,8 @@ Server::handleBatch(const RequestContext &ctx)
         const std::string line_field =
             "\"line\":" + std::to_string(lines[i].lineNumber);
         if (result.ok) {
-            persistScore(result, suite_name, suite_version);
+            suites_.persistScore(result, expanded.suite,
+                                 expanded.suiteVersion);
             body << okEnvelope("{" + line_field + "," +
                                    resultDataJson(result).substr(1),
                                ctx.traceId);
@@ -1022,158 +576,6 @@ Server::handleTraces(const RequestContext &ctx)
          << ",\"recent\":" << idListJson(tracer.recentIds())
          << ",\"slow\":" << idListJson(tracer.slowIds()) << "}";
     return okResponse(data.str(), ctx.traceId);
-}
-
-HttpResponse
-Server::handleSuiteRegister(const RequestContext &ctx)
-{
-    if (store_ == nullptr)
-        return errorResponse(ApiError::StoreDisabled,
-                             "no durable store (start hmserved with "
-                             "--data-dir)",
-                             ctx.traceId);
-    const std::string name = ctx.http.queryParam("name", "");
-    if (name.empty()) {
-        metrics_.onMalformed();
-        return errorResponse(ApiError::BadRequest,
-                             "missing `name` query parameter",
-                             ctx.traceId);
-    }
-    for (const char c : name) {
-        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
-                        c == '.' || c == '_' || c == '-';
-        if (!ok) {
-            metrics_.onMalformed();
-            return errorResponse(
-                ApiError::BadRequest,
-                "suite names are [A-Za-z0-9._-]+, got `" + name + "`",
-                ctx.traceId);
-        }
-    }
-
-    // Syntax-check the manifest now so junk is never registered;
-    // semantic problems (missing CSVs) stay scoring-time concerns.
-    std::vector<engine::ManifestLine> lines;
-    try {
-        lines = engine::parseManifest(ctx.http.body);
-    } catch (const Error &e) {
-        metrics_.onMalformed();
-        return errorResponse(ApiError::InvalidManifest, e.what(),
-                             ctx.traceId);
-    }
-    if (lines.empty()) {
-        metrics_.onMalformed();
-        return errorResponse(ApiError::InvalidManifest,
-                             "manifest has no requests", ctx.traceId);
-    }
-
-    try {
-        const store::SuiteVersion version =
-            store_->registerSuite(name, ctx.http.body);
-        std::ostringstream data;
-        data << "{\"name\":" << json::quote(name)
-             << ",\"version\":" << version.version
-             << ",\"sequence\":" << version.sequence
-             << ",\"lines\":" << lines.size() << "}";
-        return okResponse(data.str(), ctx.traceId);
-    } catch (const Error &e) {
-        // The WAL refused: the registration is not durable, so it is
-        // not acknowledged.
-        return errorResponse(ApiError::Internal, e.what(), ctx.traceId);
-    }
-}
-
-HttpResponse
-Server::handleSuiteList(const RequestContext &ctx)
-{
-    if (store_ == nullptr)
-        return errorResponse(ApiError::StoreDisabled,
-                             "no durable store (start hmserved with "
-                             "--data-dir)",
-                             ctx.traceId);
-    std::ostringstream data;
-    data << "{\"suites\":[";
-    bool first_suite = true;
-    for (const store::Suite &suite : store_->suites()) {
-        if (!first_suite)
-            data << ",";
-        first_suite = false;
-        data << "{\"name\":" << json::quote(suite.name)
-             << ",\"latest\":" << suite.versions.back().version
-             << ",\"versions\":[";
-        for (std::size_t i = 0; i < suite.versions.size(); ++i) {
-            const store::SuiteVersion &version = suite.versions[i];
-            if (i > 0)
-                data << ",";
-            data << "{\"version\":" << version.version
-                 << ",\"sequence\":" << version.sequence
-                 << ",\"lines\":"
-                 << manifestLogicalLines(version.manifest).size()
-                 << "}";
-        }
-        data << "]}";
-    }
-    data << "]}";
-    return okResponse(data.str(), ctx.traceId);
-}
-
-HttpResponse
-Server::handleHistory(const RequestContext &ctx)
-{
-    if (store_ == nullptr)
-        return errorResponse(ApiError::StoreDisabled,
-                             "no durable store (start hmserved with "
-                             "--data-dir)",
-                             ctx.traceId);
-    // `suite=` selects a registered suite's ring; omitted (or empty)
-    // reads the ad-hoc ring of non-suite scores.
-    const std::string suite = ctx.http.queryParam("suite", "");
-    const std::vector<store::HistoryEntry> entries =
-        store_->history(suite);
-    if (!suite.empty() && entries.empty() &&
-        !store_->resolveSuite(suite).has_value())
-        return errorResponse(ApiError::SuiteUnknown,
-                             "no registered suite `" + suite + "`",
-                             ctx.traceId);
-
-    std::ostringstream data;
-    data << "{\"suite\":" << json::quote(suite)
-         << ",\"count\":" << entries.size() << ",\"entries\":[";
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const store::HistoryEntry &entry = entries[i];
-        if (i > 0)
-            data << ",";
-        data << "{\"sequence\":" << entry.sequence
-             << ",\"id\":" << json::quote(entry.id)
-             << ",\"suite_version\":" << entry.suiteVersion
-             << ",\"fingerprint\":\"" << std::hex << entry.fingerprint
-             << std::dec << "\""
-             << ",\"recommended_k\":" << entry.recommendedK
-             << ",\"ratio\":" << json::number(entry.ratio)
-             << ",\"plain_ratio\":" << json::number(entry.plainRatio)
-             << ",\"wall_ms\":" << json::number(entry.wallMillis)
-             << "}";
-    }
-    data << "]}";
-    return okResponse(data.str(), ctx.traceId);
-}
-
-HttpResponse
-Server::handleSnapshot(const RequestContext &ctx)
-{
-    if (store_ == nullptr)
-        return errorResponse(ApiError::StoreDisabled,
-                             "no durable store (start hmserved with "
-                             "--data-dir)",
-                             ctx.traceId);
-    try {
-        const std::uint64_t sequence = store_->snapshotNow();
-        std::ostringstream data;
-        data << "{\"sequence\":" << sequence << "}";
-        return okResponse(data.str(), ctx.traceId);
-    } catch (const Error &e) {
-        return errorResponse(ApiError::Internal, e.what(), ctx.traceId);
-    }
 }
 
 HealthState
@@ -1381,8 +783,9 @@ Server::renderPrometheus() const
                    engine_.metrics().pipelineHistogram());
 
     // --- store (emitted only when persistence is mounted) -------------
-    if (store_ != nullptr) {
-        const store::StoreMetrics sm = store_->metrics();
+    const store::StateStore *mounted = suites_.store();
+    if (mounted != nullptr) {
+        const store::StoreMetrics sm = mounted->metrics();
         w.header("hiermeans_store_wal_records_total",
                  "Records appended to the write-ahead log.", "counter");
         w.counter("hiermeans_store_wal_records_total", {},
@@ -1459,6 +862,10 @@ Server::renderPrometheus() const
         w.gauge("hiermeans_store_results", {},
                 static_cast<double>(sm.resultCount));
     }
+
+    // --- mesh (emitted only in cluster mode) --------------------------
+    if (config_.cluster != nullptr)
+        config_.cluster->renderMetrics(w);
 
     // --- tracing ------------------------------------------------------
     const obs::Tracer &tracer = obs::Tracer::instance();

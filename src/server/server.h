@@ -1,11 +1,11 @@
 /**
  * @file
- * `hmserved`'s core: a POSIX-sockets HTTP/1.1 daemon in front of
- * engine::ScoringEngine.
+ * `hmserved`'s core: the scoring daemon, composed of two layers.
  *
- *   accept loop -> pending-connection queue -> connection workers
- *        -> HttpRequestParser -> Router -> handler
- *             -> AdmissionGate -> ScoringEngine -> HttpResponse
+ *   HttpTransport (transport.h)     connections, parsing, dispatch
+ *        -> Router -> Server handlers (scoring, observability)
+ *             -> SuiteService (suite_service.h)   suites + store
+ *                  -> AdmissionGate -> ScoringEngine -> HttpResponse
  *
  * Endpoints (every /v1 JSON body is the api.h envelope):
  *   POST /v1/score     body = one manifest line; answers one envelope
@@ -23,6 +23,13 @@
  *   GET  /metrics      Prometheus text exposition of server + engine
  *                      counters, gauges and latency histograms;
  *   GET  /healthz      liveness probe (text).
+ *
+ * Cluster mode (Config::cluster attached, hmserved --mesh-config):
+ *   GET  /v1/cluster        membership, ring and per-node health;
+ *   POST /v1/mesh/replicate WAL shipping from a shard leader;
+ * and every suite-affine request above is routed by the consistent-
+ * hash ring — served locally when this node owns the suite, proxied
+ * or 307-redirected to the owner otherwise (see cluster.h).
  *
  * Persistence: with Config::store.dataDir set (hmserved --data-dir),
  * a /v1/score or /v1/batch body may be a `suite=<name>[@version]`
@@ -69,28 +76,24 @@
 #ifndef HIERMEANS_SERVER_SERVER_H
 #define HIERMEANS_SERVER_SERVER_H
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "src/engine/engine.h"
 #include "src/engine/manifest.h"
 #include "src/server/admission.h"
+#include "src/server/cluster.h"
 #include "src/server/http.h"
 #include "src/server/resilience.h"
 #include "src/server/router.h"
 #include "src/server/server_metrics.h"
+#include "src/server/suite_service.h"
+#include "src/server/transport.h"
 #include "src/server/watchdog.h"
 #include "src/store/store.h"
-#include "src/util/net.h"
 
 namespace hiermeans {
 namespace server {
@@ -133,6 +136,11 @@ class Server
          *  /v1/history and /v1/admin/snapshot answer 503
          *  store_disabled, and nothing touches disk. */
         store::StateStore::Config store;
+
+        /** Mesh integration (nullptr = single-node). Must outlive
+         *  the server; routes /v1/cluster, /v1/mesh/replicate and the
+         *  suite-affine routing decisions through it. */
+        ClusterHooks *cluster = nullptr;
     };
 
     explicit Server(Config config);
@@ -153,21 +161,25 @@ class Server
      */
     void stop();
 
-    bool running() const { return running_.load(); }
+    bool running() const { return transport_.running(); }
 
     /** The bound port (resolves port 0 after start()). */
-    std::uint16_t port() const { return port_; }
+    std::uint16_t port() const { return transport_.port(); }
 
     engine::ScoringEngine &engine() { return engine_; }
     AdmissionGate &gate() { return gate_; }
 
     /** The durable store; nullptr when persistence is off. */
-    store::StateStore *store() { return store_.get(); }
+    store::StateStore *store() { return suites_.store(); }
+
+    /** The suite-service layer (reference expansion, registry,
+     *  history, persistence). */
+    SuiteService &suiteService() { return suites_; }
 
     /** How start() recovered the store (meaningful iff store()). */
     const store::RecoveryInfo &storeRecovery() const
     {
-        return storeRecovery_;
+        return suites_.recovery();
     }
 
     /** Cache entries repopulated from the store at start(). */
@@ -191,30 +203,12 @@ class Server
     std::string renderPrometheus() const;
 
   private:
-    void acceptLoop();
-    void workerLoop();
-    void serveConnection(net::Socket socket);
-
     HttpResponse handleScore(const RequestContext &ctx);
     HttpResponse handleBatch(const RequestContext &ctx);
     HttpResponse handleMetrics(const RequestContext &ctx);
     HttpResponse handleHealthz(const RequestContext &ctx);
     HttpResponse handleTrace(const RequestContext &ctx);
     HttpResponse handleTraces(const RequestContext &ctx);
-    HttpResponse handleSuiteRegister(const RequestContext &ctx);
-    HttpResponse handleSuiteList(const RequestContext &ctx);
-    HttpResponse handleHistory(const RequestContext &ctx);
-    HttpResponse handleSnapshot(const RequestContext &ctx);
-
-    /** Load every persisted full report into the result cache
-     *  (start()-time warm start). Returns entries repopulated. */
-    std::size_t warmStartCache();
-
-    /** Persist one pipeline-executed score; no-op without a store.
-     *  WAL failures are counted by the store, never propagated. */
-    void persistScore(const engine::ScoreResult &result,
-                      const std::string &suite,
-                      std::uint32_t suiteVersion);
 
     /** 503 + Retry-After (the admission-shed and overflow answer). */
     static HttpResponse overloadedResponse(const std::string &traceId);
@@ -241,23 +235,12 @@ class Server
     HealthMonitor health_;
     Watchdog watchdog_;
     Router router_;
+    SuiteService suites_;
+    HttpTransport transport_;
     engine::CsvCache csvs_;
     util::CommandLine requestDefaults_;
-    std::unique_ptr<store::StateStore> store_;
-    store::RecoveryInfo storeRecovery_;
     std::size_t warmedEntries_ = 0;
-
-    net::Socket listener_;
-    std::uint16_t port_ = 0;
-    std::atomic<bool> running_{false};
-    std::atomic<bool> stopping_{false};
-
-    std::mutex pendingMutex_;
-    std::condition_variable pendingCv_;
-    std::deque<net::Socket> pending_;
-
-    std::thread acceptor_;
-    std::vector<std::thread> workers_;
+    bool started_ = false;
 };
 
 } // namespace server

@@ -16,8 +16,29 @@ endpointName(Endpoint endpoint)
     case Endpoint::Healthz: return "/healthz";
     case Endpoint::Suites:  return "/v1/suites";
     case Endpoint::History: return "/v1/history";
+    case Endpoint::Mesh:    return "/v1/mesh";
     default:                return "(other)";
     }
+}
+
+Endpoint
+endpointFor(const std::string &path)
+{
+    if (path == "/v1/score")
+        return Endpoint::Score;
+    if (path == "/v1/batch")
+        return Endpoint::Batch;
+    if (path == "/metrics")
+        return Endpoint::Metrics;
+    if (path == "/healthz")
+        return Endpoint::Healthz;
+    if (path == "/v1/suites")
+        return Endpoint::Suites;
+    if (path == "/v1/history")
+        return Endpoint::History;
+    if (path == "/v1/cluster" || path.rfind("/v1/mesh/", 0) == 0)
+        return Endpoint::Mesh;
+    return Endpoint::Other;
 }
 
 void

@@ -31,12 +31,16 @@ enum class Endpoint : std::size_t
     Healthz,
     Suites,
     History,
+    Mesh, ///< /v1/cluster + /v1/mesh/* (cluster mode only).
     Other,
     Count_ // sentinel
 };
 
 /** Endpoint display name ("/v1/score", ...). */
 const char *endpointName(Endpoint endpoint);
+
+/** Classify a request path into its latency-attribution endpoint. */
+Endpoint endpointFor(const std::string &path);
 
 /** Point-in-time copy of every server counter. */
 struct ServerMetricsSnapshot

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The connection-serving half of the daemon, split out of Server:
+ *
+ *   accept loop -> pending-connection queue -> connection workers
+ *        -> HttpRequestParser -> Router::dispatch -> response write
+ *
+ * HttpTransport owns the listener socket and every thread that
+ * touches a connection; it knows nothing about scoring, suites or
+ * persistence — handlers are whatever the Router dispatches to. It
+ * also owns the per-request bookkeeping every handler benefits from:
+ * trace identity (accept or mint the X-Hiermeans-Trace ID, open the
+ * server.request root span), per-endpoint latency attribution, and
+ * the malformed-request answers synthesized from parser errors.
+ *
+ * Shutdown contract (stop()): stop accepting, give every mid-parse
+ * request a bounded drain window to finish arriving, answer
+ * everything already received, then join all threads.
+ */
+
+#ifndef HIERMEANS_SERVER_TRANSPORT_H
+#define HIERMEANS_SERVER_TRANSPORT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/server/http.h"
+#include "src/server/router.h"
+#include "src/server/server_metrics.h"
+#include "src/util/net.h"
+
+namespace hiermeans {
+namespace server {
+
+/** Accepts, parses and answers HTTP connections for a Router. */
+class HttpTransport
+{
+  public:
+    struct Config
+    {
+        /** TCP port; 0 binds an ephemeral port (see port()). */
+        std::uint16_t port = 8377;
+
+        /** Connection workers: concurrent connections being served. */
+        std::size_t connectionThreads = 16;
+
+        /** Request body limit; larger bodies answer 413. */
+        std::size_t maxBodyBytes = 256 * 1024;
+    };
+
+    /** Transport dispatching into @p router; both references must
+     *  outlive the transport. */
+    HttpTransport(Config config, const Router &router,
+                  ServerMetrics &metrics);
+
+    /** Stops and joins if still running. */
+    ~HttpTransport();
+
+    HttpTransport(const HttpTransport &) = delete;
+    HttpTransport &operator=(const HttpTransport &) = delete;
+
+    /** Bind, listen and spawn the accept loop + workers. Throws when
+     *  the port cannot be bound. One-shot: start/stop once. */
+    void start();
+
+    /** Stop accepting, drain in-flight requests, join. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** True once stop() has begun (handlers may consult this to
+     *  close keep-alive connections early). */
+    bool stopping() const { return stopping_.load(); }
+
+    /** The bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(net::Socket socket);
+
+    Config config_;
+    const Router &router_;
+    ServerMetrics &metrics_;
+
+    net::Socket listener_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::mutex pendingMutex_;
+    std::condition_variable pendingCv_;
+    std::deque<net::Socket> pending_;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_TRANSPORT_H

@@ -124,6 +124,12 @@ StateStore::commit(RecordType type, const std::string &payload)
     const bool applied = state_.apply(Record{type, payload});
     HM_ASSERT(applied, "freshly stamped record below baseline");
     ++sinceSnapshot_;
+    if (config_.replicationTail > 0) {
+        tail_.push_back(
+            {state_.lastSequence(), frameRecord(type, payload)});
+        while (tail_.size() > config_.replicationTail)
+            tail_.pop_front();
+    }
 }
 
 SuiteVersion
@@ -262,6 +268,39 @@ StateStore::encodeStateBody() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return state_.encodeSnapshotBody();
+}
+
+std::optional<ReplicationBatch>
+StateStore::framesSince(std::uint64_t afterSequence) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReplicationBatch batch;
+    batch.lastSequence = state_.lastSequence();
+    if (afterSequence >= state_.lastSequence())
+        return batch; // caught up; nothing to ship.
+    // Commit sequences are contiguous, so the tail covers the delta
+    // exactly when its oldest frame starts at afterSequence + 1 or
+    // earlier.
+    if (tail_.empty() || tail_.front().sequence > afterSequence + 1)
+        return std::nullopt; // compacted away: snapshot catch-up.
+    for (const TailFrame &frame : tail_) {
+        if (frame.sequence <= afterSequence)
+            continue;
+        batch.frames += frame.framed;
+        ++batch.records;
+    }
+    batch.lastSequence = tail_.back().sequence;
+    return batch;
+}
+
+std::string
+StateStore::snapshotImage() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frameRecord(RecordType::SnapshotHeader,
+                       encodeSnapshotHeader(state_.lastSequence(),
+                                            state_.limits())) +
+           state_.encodeSnapshotBody();
 }
 
 StoreMetrics

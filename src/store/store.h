@@ -31,6 +31,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -96,6 +97,15 @@ struct StoreMetrics
     std::uint64_t resultCount = 0;    ///< warm-startable reports.
 };
 
+/** A run of committed records in wire (framed) form, ready to ship
+ *  to a replication follower. */
+struct ReplicationBatch
+{
+    std::uint64_t lastSequence = 0; ///< sequence of the last frame.
+    std::size_t records = 0;        ///< frames in the batch.
+    std::string frames;             ///< concatenated framed records.
+};
+
 /**
  * The durable store facade. Thread-safe: one mutex serializes every
  * mutation and read (operations are in-memory map walks plus one
@@ -113,6 +123,10 @@ class StateStore
         /** Snapshot + compact every Nth applied record; 0 = only on
          *  explicit snapshotNow()/close(). */
         std::size_t snapshotEvery = 256;
+        /** Committed records kept in memory (framed) for replication
+         *  shipping; followers further behind than this catch up
+         *  from snapshotImage(). 0 disables the tail. */
+        std::size_t replicationTail = 1024;
         StoreLimits limits;
     };
 
@@ -189,6 +203,22 @@ class StateStore
      *  that a recovered store matches the pre-crash committed one. */
     std::string encodeStateBody() const;
 
+    /**
+     * Framed records with sequence > @p afterSequence, oldest first
+     * (a leader's delta for a follower acked through
+     * @p afterSequence). Empty batch when the follower is caught
+     * up; nullopt when the in-memory tail no longer reaches back to
+     * @p afterSequence — the follower must reinstall from
+     * snapshotImage() instead.
+     */
+    std::optional<ReplicationBatch>
+    framesSince(std::uint64_t afterSequence) const;
+
+    /** A complete snapshot image — SnapshotHeader frame + canonical
+     *  state body, byte-identical to a snapshot file — for follower
+     *  catch-up past the replication tail. */
+    std::string snapshotImage() const;
+
     StoreMetrics metrics() const;
 
     const Config &config() const { return config_; }
@@ -209,10 +239,19 @@ class StateStore
     /** snapshotNow() body. Requires mutex_. */
     std::uint64_t snapshotLocked();
 
+    /** One tail entry: a committed record, already framed. */
+    struct TailFrame
+    {
+        std::uint64_t sequence = 0;
+        std::string framed;
+    };
+
     Config config_;
     mutable std::mutex mutex_;
     StoreState state_;
     std::unique_ptr<WalWriter> wal_;
+    /** Recent commits, contiguous ascending sequence (framesSince). */
+    std::deque<TailFrame> tail_;
     RecoveryInfo recovery_;
     std::uint64_t snapshotsWritten_ = 0;
     std::uint64_t snapshotFailures_ = 0;

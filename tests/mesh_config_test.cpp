@@ -1,0 +1,95 @@
+/**
+ * Mesh membership file parsing: the happy path (comments, defaults,
+ * ordering), the self()/node() accessors, and the rejection paths —
+ * every malformed file must fail loudly at startup, not diverge the
+ * ring at runtime.
+ */
+
+#include <gtest/gtest.h>
+#include <string>
+
+#include "src/mesh/config.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+
+const char kGood[] = "# 3-node loopback cluster\n"
+                     "self = b\n"
+                     "replicas = 2\n"
+                     "vnodes = 32\n"
+                     "node a 127.0.0.1:8377\n"
+                     "node b 127.0.0.1:8378\n"
+                     "node c 127.0.0.1:8379\n";
+
+TEST(MeshConfigTest, ParsesFullFile)
+{
+    const mesh::MeshConfig config = mesh::parseMeshConfig(kGood);
+    EXPECT_EQ(config.selfId, "b");
+    EXPECT_EQ(config.replicas, 2u);
+    EXPECT_EQ(config.vnodes, 32u);
+    ASSERT_EQ(config.nodes.size(), 3u);
+    EXPECT_EQ(config.nodeIds(),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(config.self().id, "b");
+    EXPECT_EQ(config.self().port, 8378);
+    EXPECT_EQ(config.node("c").host, "127.0.0.1");
+    EXPECT_EQ(config.node("c").port, 8379);
+    EXPECT_THROW(config.node("zz"), Error);
+}
+
+TEST(MeshConfigTest, DefaultsApplyWhenDirectivesOmitted)
+{
+    const mesh::MeshConfig config = mesh::parseMeshConfig(
+        "self = a\n"
+        "node a 10.0.0.1:9000\n"
+        "node b 10.0.0.2:9000\n");
+    EXPECT_EQ(config.replicas, 2u);
+    EXPECT_EQ(config.vnodes, 64u);
+}
+
+TEST(MeshConfigTest, RejectsMalformedFiles)
+{
+    // Unknown directive.
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "bogus = 1\n"
+                                       "node a 127.0.0.1:1\n"
+                                       "node b 127.0.0.1:2\n"),
+                 Error);
+    // Malformed host:port.
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "node a 127.0.0.1\n"
+                                       "node b 127.0.0.1:2\n"),
+                 Error);
+    // Duplicate node id.
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "node a 127.0.0.1:1\n"
+                                       "node a 127.0.0.1:2\n"),
+                 Error);
+    // Missing self.
+    EXPECT_THROW(mesh::parseMeshConfig("node a 127.0.0.1:1\n"
+                                       "node b 127.0.0.1:2\n"),
+                 Error);
+    // self names an unknown node.
+    EXPECT_THROW(mesh::parseMeshConfig("self = z\n"
+                                       "node a 127.0.0.1:1\n"
+                                       "node b 127.0.0.1:2\n"),
+                 Error);
+    // Fewer nodes than replicas.
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "replicas = 3\n"
+                                       "node a 127.0.0.1:1\n"
+                                       "node b 127.0.0.1:2\n"),
+                 Error);
+    // Out-of-range numbers.
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "vnodes = 0\n"
+                                       "node a 127.0.0.1:1\n"),
+                 Error);
+    EXPECT_THROW(mesh::parseMeshConfig("self = a\n"
+                                       "node a 127.0.0.1:99999\n"),
+                 Error);
+}
+
+} // namespace

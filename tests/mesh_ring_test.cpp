@@ -1,0 +1,143 @@
+/**
+ * Consistent-hash ring properties the mesh depends on: deterministic
+ * assignment (every node computes the same owners), a roughly uniform
+ * key distribution across members, minimal key movement when the
+ * membership changes (only keys touching the joining/leaving node
+ * move), and coherent replica/successor sets (distinct nodes, owner
+ * first, self excluded).
+ */
+
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mesh/ring.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using mesh::HashRing;
+
+std::vector<std::string>
+keys(std::size_t count)
+{
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back("suite-" + std::to_string(i));
+    return out;
+}
+
+TEST(MeshRingTest, DeterministicAcrossInstances)
+{
+    const HashRing one({"a", "b", "c"}, 64);
+    const HashRing two({"a", "b", "c"}, 64);
+    for (const std::string &key : keys(500))
+        EXPECT_EQ(one.ownerOf(key), two.ownerOf(key)) << key;
+}
+
+TEST(MeshRingTest, Hash64IsStableFnv1a)
+{
+    // Pinned values: a silent hash change would shuffle every shard
+    // in a rolling restart.
+    EXPECT_EQ(mesh::hash64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(mesh::hash64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(mesh::hash64("hiermeans"), mesh::hash64("hiermeans"));
+    EXPECT_NE(mesh::hash64("a#0"), mesh::hash64("a#1"));
+}
+
+TEST(MeshRingTest, DistributionIsRoughlyUniform)
+{
+    const HashRing ring({"a", "b", "c", "d"}, 64);
+    std::map<std::string, std::size_t> counts;
+    const std::size_t total = 4000;
+    for (const std::string &key : keys(total))
+        ++counts[ring.ownerOf(key)];
+    ASSERT_EQ(counts.size(), 4u) << "every node owns some keys";
+    for (const auto &[node, count] : counts) {
+        // Expected 1000 per node; 64 vnodes bounds the skew, but the
+        // arc lengths are random — only guard against gross imbalance.
+        EXPECT_GT(count, total / 20) << node << " underloaded";
+        EXPECT_LT(count, total / 2) << node << " overloaded";
+    }
+}
+
+TEST(MeshRingTest, JoinMovesOnlyKeysTowardTheJoiner)
+{
+    const HashRing before({"a", "b", "c"}, 64);
+    const HashRing after({"a", "b", "c", "d"}, 64);
+    std::size_t moved = 0;
+    const std::size_t total = 2000;
+    for (const std::string &key : keys(total)) {
+        const std::string &was = before.ownerOf(key);
+        const std::string &now = after.ownerOf(key);
+        if (was == now)
+            continue;
+        ++moved;
+        // Minimal rebalance: a key only moves to the new node.
+        EXPECT_EQ(now, "d") << key << " moved " << was << "->" << now;
+    }
+    // d should take roughly a quarter of the space, and nothing else
+    // should shuffle.
+    EXPECT_GT(moved, total / 10);
+    EXPECT_LT(moved, total / 2);
+}
+
+TEST(MeshRingTest, LeaveMovesOnlyTheLeaverKeys)
+{
+    const HashRing before({"a", "b", "c", "d"}, 64);
+    const HashRing after({"a", "b", "c"}, 64);
+    for (const std::string &key : keys(2000)) {
+        if (before.ownerOf(key) != "d")
+            EXPECT_EQ(before.ownerOf(key), after.ownerOf(key)) << key;
+    }
+}
+
+TEST(MeshRingTest, ReplicasAreDistinctAndOwnerFirst)
+{
+    const HashRing ring({"a", "b", "c", "d"}, 32);
+    for (const std::string &key : keys(200)) {
+        const std::vector<std::string> replicas =
+            ring.replicasFor(key, 3);
+        ASSERT_EQ(replicas.size(), 3u);
+        EXPECT_EQ(replicas.front(), ring.ownerOf(key));
+        const std::set<std::string> unique(replicas.begin(),
+                                           replicas.end());
+        EXPECT_EQ(unique.size(), replicas.size()) << key;
+    }
+}
+
+TEST(MeshRingTest, ReplicasClampToMembership)
+{
+    const HashRing ring({"a", "b"}, 16);
+    EXPECT_EQ(ring.replicasFor("k", 5).size(), 2u);
+    EXPECT_TRUE(ring.replicasFor("k", 0).empty());
+}
+
+TEST(MeshRingTest, SuccessorsExcludeSelfAndAreDistinct)
+{
+    const HashRing ring({"a", "b", "c", "d"}, 32);
+    for (const std::string &node : ring.nodes()) {
+        const std::vector<std::string> successors =
+            ring.successorsOf(node, 2);
+        ASSERT_EQ(successors.size(), 2u);
+        std::set<std::string> unique(successors.begin(),
+                                     successors.end());
+        EXPECT_EQ(unique.size(), 2u);
+        EXPECT_EQ(unique.count(node), 0u) << "self in successors";
+    }
+    EXPECT_THROW(ring.successorsOf("nope", 1), Error);
+}
+
+TEST(MeshRingTest, ValidatesConstruction)
+{
+    EXPECT_THROW(HashRing({}, 8), Error);
+    EXPECT_THROW(HashRing({"a", "a"}, 8), Error);
+    EXPECT_THROW(HashRing({"a", ""}, 8), Error);
+    EXPECT_THROW(HashRing({"a"}, 0), Error);
+}
+
+} // namespace

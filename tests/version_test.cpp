@@ -1,0 +1,44 @@
+/**
+ * The version constant every CLI prints must agree with the CMake
+ * project version — a release bump that touches only one of the two
+ * ships tools that disagree about what they are.
+ */
+
+#include <gtest/gtest.h>
+#include <string>
+
+#include "src/util/version.h"
+
+#ifndef HM_CMAKE_VERSION
+#error "version_test needs HM_CMAKE_VERSION from tests/CMakeLists.txt"
+#endif
+
+namespace {
+
+using namespace hiermeans;
+
+TEST(VersionTest, HeaderMatchesCMakeProjectVersion)
+{
+    EXPECT_EQ(std::string(util::kVersion), HM_CMAKE_VERSION);
+}
+
+TEST(VersionTest, BannerStringEmbedsTheVersion)
+{
+    EXPECT_EQ(std::string(util::kVersionString),
+              "hiermeans " + std::string(util::kVersion));
+}
+
+TEST(VersionTest, LooksLikeSemanticVersion)
+{
+    const std::string version = util::kVersion;
+    int dots = 0;
+    for (char c : version) {
+        if (c == '.')
+            ++dots;
+        else
+            EXPECT_TRUE(c >= '0' && c <= '9') << version;
+    }
+    EXPECT_EQ(dots, 2) << version;
+}
+
+} // namespace

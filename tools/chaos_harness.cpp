@@ -20,7 +20,12 @@
  *       store (WAL + snapshots) on a scratch data dir, with store
  *       faults in the schedule; after the run a fresh fault-free
  *       StateStore recovers the dir and its canonical state image
- *       must be bit-identical to what the live server had committed.
+ *       must be bit-identical to what the live server had committed;
+ *   (e) mesh leader kill: a 2-node loopback mesh (replicas=2) takes a
+ *       stream of suite writes, the shard leader dies mid-stream, and
+ *       the surviving node must hold every acknowledged write exactly
+ *       once — replication acks only after the follower is durable,
+ *       so a leader kill may lose nothing and duplicate nothing.
  *
  * Determinism: the fault schedules are derived from --seed, request
  * counts are fixed (not duration-based), and the report contains only
@@ -34,6 +39,7 @@
  * Prints one JSON report line; exits 0 iff every invariant held.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -200,14 +206,25 @@ struct Workbench
     }
 };
 
-/** Delete every file in @p path, then the directory itself. */
+/** Delete every file in @p path (descending into replica_<leader>
+ *  mirror subdirectories), then the directory itself. */
 void
 wipeDir(const std::string &path)
 {
     if (!util::fileExists(path))
         return;
-    for (const std::string &name : util::listDir(path))
-        util::removeFile(path + "/" + name);
+    for (const std::string &name : util::listDir(path)) {
+        const std::string entry = path + "/" + name;
+        if (::rmdir(entry.c_str()) == 0)
+            continue;
+        if (errno == ENOTEMPTY || errno == EEXIST) {
+            for (const std::string &inner : util::listDir(entry))
+                util::removeFile(entry + "/" + inner);
+            ::rmdir(entry.c_str());
+        } else {
+            util::removeFile(entry);
+        }
+    }
     ::rmdir(path.c_str());
 }
 
@@ -392,6 +409,164 @@ runSchedule(const Workbench &bench,
     return outcome;
 }
 
+struct MeshOutcome
+{
+    std::uint64_t writes = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    bool ok = false;
+};
+
+/**
+ * Invariant (e): a 2-node mesh takes suite writes through a failover
+ * client; the shard leader is stopped after half of them; every write
+ * that was acknowledged must be served by the survivor exactly once.
+ * Fault-free and fully sequenced, so the outcome is deterministic.
+ */
+MeshOutcome
+runMeshLeaderKill(const Workbench &bench, bool verbose)
+{
+    fault::reset();
+    MeshOutcome outcome;
+    const std::string stem = "/tmp/hiermeans_chaos_" +
+                             std::to_string(::getpid()) + "_mesh";
+    const auto base = static_cast<std::uint16_t>(
+        23000 + (::getpid() * 17) % 20000);
+    const char *ids[2] = {"a", "b"};
+    std::string dirs[2];
+    std::string meshText;
+    meshText = "replicas = 2\nvnodes = 32\n";
+    for (int i = 0; i < 2; ++i) {
+        dirs[i] = stem + "_" + ids[i];
+        wipeDir(dirs[i]);
+        meshText += std::string("node ") + ids[i] + " 127.0.0.1:" +
+                    std::to_string(base + i) + "\n";
+    }
+
+    std::unique_ptr<mesh::MeshRuntime> runtimes[2];
+    std::unique_ptr<server::Server> servers[2];
+    for (int i = 0; i < 2; ++i) {
+        mesh::MeshRuntime::Config mesh_config;
+        mesh_config.mesh = mesh::parseMeshConfig(
+            std::string("self = ") + ids[i] + "\n" + meshText);
+        mesh_config.dataDir = dirs[i];
+        mesh_config.tickMillis = 100;
+        runtimes[i] =
+            std::make_unique<mesh::MeshRuntime>(mesh_config);
+        server::Server::Config config = chaosServerConfig(dirs[i]);
+        config.port = static_cast<std::uint16_t>(base + i);
+        config.store.snapshotEvery = 0;
+        config.cluster = runtimes[i].get();
+        servers[i] = std::make_unique<server::Server>(config);
+        servers[i]->start();
+        runtimes[i]->start(servers[i]->store());
+    }
+
+    // Both nodes must see each other healthy before routing is
+    // exercised (the very first probe can beat the peer's listener).
+    const auto converged = [&](int node) {
+        server::HttpClient probe("127.0.0.1",
+                                 static_cast<std::uint16_t>(
+                                     base + node));
+        probe.setReadTimeoutMillis(2000);
+        const auto seen = probe.roundTrip("GET", "/v1/cluster");
+        return seen.status == 200 &&
+               seen.body.find("\"health\":\"down\"") ==
+                   std::string::npos &&
+               seen.body.find("\"health\":\"unknown\"") ==
+                   std::string::npos;
+    };
+    for (int i = 0; i < 100 && !(converged(0) && converged(1)); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    client::ClusterClient::Config client_config;
+    for (int i = 0; i < 2; ++i)
+        client_config.targets.push_back(client::ClusterTarget{
+            "127.0.0.1", static_cast<std::uint16_t>(base + i)});
+    client_config.readTimeoutMillis = 10000;
+    client_config.retry.maxAttempts = 4;
+    client_config.retry.baseMillis = 10.0;
+    client_config.retry.capMillis = 100.0;
+    client::ClusterClient client(client_config);
+
+    HM_REQUIRE(client
+                   .request("POST", "/v1/suites?name=chaosmesh",
+                            bench.lines[0])
+                   .ok(),
+               "mesh suite registration failed");
+
+    const std::uint64_t total = 20;
+    std::uint64_t acked = 0;
+    const auto write = [&](std::uint64_t i) {
+        const client::Outcome result = client.score(
+            "suite=chaosmesh id=mesh-" + std::to_string(i) +
+            " seed=" + std::to_string(300 + i));
+        if (result.ok())
+            ++acked;
+        return result.ok();
+    };
+    for (std::uint64_t i = 0; i < total / 2; ++i)
+        HM_REQUIRE(write(i), "pre-kill mesh write " << i << " failed");
+
+    // Drop the shard leader; replication acked each write durably on
+    // the follower before the 200, so nothing acknowledged may vanish.
+    const std::string owner =
+        runtimes[0]->ring().ownerOf("chaosmesh");
+    const int ownerIndex = owner == "a" ? 0 : 1;
+    const int survivor = 1 - ownerIndex;
+    servers[ownerIndex]->stop();
+    runtimes[ownerIndex]->stop();
+    // Wait until the survivor has marked the leader down, so the
+    // post-kill writes route deterministically to the promoted node.
+    for (int i = 0; i < 100; ++i) {
+        server::HttpClient probe("127.0.0.1",
+                                 static_cast<std::uint16_t>(
+                                     base + survivor));
+        probe.setReadTimeoutMillis(2000);
+        if (probe.roundTrip("GET", "/v1/cluster")
+                .body.find("\"health\":\"down\"") !=
+            std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    for (std::uint64_t i = total / 2; i < total; ++i)
+        HM_REQUIRE(write(i), "post-kill mesh write " << i << " failed");
+
+    client::ClusterClient::Config survivor_config;
+    survivor_config.targets = {client::ClusterTarget{
+        "127.0.0.1", static_cast<std::uint16_t>(base + survivor)}};
+    survivor_config.readTimeoutMillis = 10000;
+    client::ClusterClient reader(survivor_config);
+    const client::Outcome history =
+        reader.request("GET", "/v1/history?suite=chaosmesh");
+    HM_REQUIRE(history.ok(), "mesh history read failed");
+    const std::string &body = history.response.body;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const std::string needle =
+            "\"id\":\"mesh-" + std::to_string(i) + "\"";
+        const std::size_t first = body.find(needle);
+        if (first == std::string::npos)
+            ++outcome.lost;
+        else if (body.find(needle, first + 1) != std::string::npos)
+            ++outcome.duplicated;
+    }
+    outcome.writes = acked;
+    outcome.ok = acked == total && outcome.lost == 0 &&
+                 outcome.duplicated == 0;
+
+    servers[survivor]->stop();
+    runtimes[survivor]->stop();
+    for (int i = 0; i < 2; ++i)
+        wipeDir(dirs[i]);
+    if (verbose)
+        std::cout << "mesh leader kill: owner=" << owner
+                  << " acked=" << acked << " lost=" << outcome.lost
+                  << " duplicated=" << outcome.duplicated
+                  << " invariant=" << (outcome.ok ? "ok" : "VIOLATED")
+                  << "\n";
+    return outcome;
+}
+
 int
 run(const util::CommandLine &cl)
 {
@@ -417,8 +592,9 @@ run(const util::CommandLine &cl)
     for (std::size_t s = 0; s < schedules; ++s)
         outcomes.push_back(runSchedule(bench, baseline, seed, s,
                                        clients, requests, !json_only));
+    const MeshOutcome mesh = runMeshLeaderKill(bench, !json_only);
 
-    bool pass = true;
+    bool pass = mesh.ok;
     std::string schedules_json = "[";
     for (std::size_t s = 0; s < outcomes.size(); ++s) {
         const ScheduleOutcome &o = outcomes[s];
@@ -446,11 +622,17 @@ run(const util::CommandLine &cl)
     // (Reaching this line at all is the "no crash" invariant.)
     std::printf("{\"seed\":%llu,\"clients\":%llu,"
                 "\"requests_per_client\":%llu,\"schedules\":%s,"
+                "\"mesh\":{\"writes\":%llu,\"lost\":%llu,"
+                "\"duplicated\":%llu,\"invariant_ok\":%s},"
                 "\"crashes\":0,\"verdict\":\"%s\"}\n",
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(clients),
                 static_cast<unsigned long long>(requests),
-                schedules_json.c_str(), pass ? "pass" : "fail");
+                schedules_json.c_str(),
+                static_cast<unsigned long long>(mesh.writes),
+                static_cast<unsigned long long>(mesh.lost),
+                static_cast<unsigned long long>(mesh.duplicated),
+                mesh.ok ? "true" : "false", pass ? "pass" : "fail");
     std::fflush(stdout);
     return pass ? 0 : 1;
 }

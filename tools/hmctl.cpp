@@ -3,9 +3,10 @@
  * hmctl — command-line probe for a running hmserved daemon.
  *
  * The operational companion to hmload: where hmload stresses, hmctl
- * asks. It wraps client::ScoringClient, so probes ride the same retry
- * policy and failure taxonomy as real clients, and its exit code makes
- * the health state scriptable:
+ * asks. It wraps client::ClusterClient, so probes ride the same retry
+ * policy and failure taxonomy as real clients — and against a mesh
+ * node, probes for suites owned elsewhere follow the 307 redirect to
+ * the owner. Its exit code makes the health state scriptable:
  *
  *   0  server answered and is healthy (ok)
  *   2  server answered but is degraded
@@ -14,7 +15,7 @@
  *
  * Usage:
  *   hmctl --port=N [--host=127.0.0.1] [--health] [--metrics]
- *         [--check] [--score=LINE] [--trace=ID] [--traces]
+ *         [--check] [--cluster] [--score=LINE] [--trace=ID] [--traces]
  *         [--register=NAME --manifest=FILE] [--history[=SUITE]]
  *         [--snapshot]
  *         [--timeout-ms=2000] [--retries=2] [--retry-base-ms=50]
@@ -54,7 +55,14 @@ flagSpec()
         .flag("metrics", "", "GET /metrics; print the metrics body")
         .flag("check", "",
               "GET /metrics and lint the Prometheus exposition\n"
-              "format; exit 0 clean, 1 with issues listed")
+              "format; on a mesh daemon also lint the\n"
+              "/v1/cluster payload and per-shard health;\n"
+              "exit 0 clean, 1 with issues listed")
+        .flag("cluster", "",
+              "GET /v1/cluster; pretty-print membership,\n"
+              "per-node health and replication offsets\n"
+              "(mesh daemons only); exit 0 all nodes ok,\n"
+              "2 with nodes down, 1 unreachable/not a mesh")
         .flag("score", "LINE", "POST one manifest line to /v1/score")
         .flag("trace", "ID",
               "GET /v1/trace/<ID>; print the span tree (the\n"
@@ -93,18 +101,19 @@ flagSpec()
 }
 
 /**
- * Split the flat JSON objects out of the `"entries":[...]` array of a
- * /v1/history envelope. Brace-depth scan, string-aware; good enough
- * for the server's own output (entries are flat objects).
+ * Split the flat JSON objects out of a `"key":[...]` array of a
+ * server envelope. Brace-depth scan, string-aware; good enough for
+ * the server's own output (the array elements are flat objects).
  */
 std::vector<std::string>
-historyEntries(const std::string &body)
+arrayObjects(const std::string &body, const std::string &key)
 {
     std::vector<std::string> entries;
-    const std::size_t at = body.find("\"entries\":[");
+    const std::string marker = "\"" + key + "\":[";
+    const std::size_t at = body.find(marker);
     if (at == std::string::npos)
         return entries;
-    std::size_t i = at + 11;
+    std::size_t i = at + marker.size();
     std::size_t start = 0;
     int depth = 0;
     bool in_string = false;
@@ -151,7 +160,7 @@ renderHistoryTable(const std::string &body)
         std::snprintf(buf, sizeof(buf), "%.4g", *value);
         return std::string(buf);
     };
-    for (const std::string &entry : historyEntries(body)) {
+    for (const std::string &entry : arrayObjects(body, "entries")) {
         table.addRow({
             integer(server::json::findNumber(entry, "sequence")),
             server::json::findString(entry, "id").value_or("-"),
@@ -165,6 +174,98 @@ renderHistoryTable(const std::string &body)
         });
     }
     return table.render();
+}
+
+
+/**
+ * Lint a /v1/cluster payload: required top-level fields, a plausible
+ * membership list, per-node required fields, and per-shard health.
+ * A down node is an issue — the mesh serves, but degraded.
+ */
+std::vector<std::string>
+lintClusterPayload(const std::string &body)
+{
+    std::vector<std::string> issues;
+    if (!server::json::findString(body, "self"))
+        issues.push_back("cluster: missing `self`");
+    const auto replicas = server::json::findNumber(body, "replicas");
+    if (!replicas)
+        issues.push_back("cluster: missing `replicas`");
+    if (!server::json::findNumber(body, "vnodes"))
+        issues.push_back("cluster: missing `vnodes`");
+    if (!server::json::findNumber(body, "store_sequence"))
+        issues.push_back("cluster: missing `store_sequence`");
+    const std::vector<std::string> nodes = arrayObjects(body, "nodes");
+    if (nodes.empty()) {
+        issues.push_back("cluster: empty `nodes` membership");
+        return issues;
+    }
+    if (replicas &&
+        (*replicas < 1.0 ||
+         *replicas > static_cast<double>(nodes.size())))
+        issues.push_back("cluster: `replicas` outside 1..nodes");
+    for (const std::string &node : nodes) {
+        const auto id = server::json::findString(node, "id");
+        if (!id) {
+            issues.push_back("cluster: node without `id`");
+            continue;
+        }
+        if (!server::json::findString(node, "host") ||
+            !server::json::findNumber(node, "port"))
+            issues.push_back("cluster: node `" + *id +
+                             "` missing host/port");
+        const auto health = server::json::findString(node, "health");
+        if (!health)
+            issues.push_back("cluster: node `" + *id +
+                             "` missing `health`");
+        else if (*health == "down")
+            issues.push_back("cluster: node `" + *id + "` is down");
+        else if (*health != "ok" && *health != "unknown")
+            issues.push_back("cluster: node `" + *id +
+                             "` has unrecognized health `" + *health +
+                             "`");
+    }
+    return issues;
+}
+
+
+/** Render a /v1/cluster envelope as a membership table. */
+std::string
+renderClusterTable(const std::string &body)
+{
+    util::TextTable table({"id", "addr", "health", "role", "acked"});
+    for (const std::string &node : arrayObjects(body, "nodes")) {
+        const bool self = node.find("\"self\":true") != std::string::npos;
+        const bool follower =
+            node.find("\"follower\":true") != std::string::npos;
+        const auto port = server::json::findNumber(node, "port");
+        const auto acked = server::json::findNumber(node, "acked");
+        table.addRow({
+            server::json::findString(node, "id").value_or("-"),
+            server::json::findString(node, "host").value_or("-") + ":" +
+                (port ? std::to_string(
+                            static_cast<long long>(*port))
+                      : "-"),
+            server::json::findString(node, "health").value_or("-"),
+            self ? "self" : (follower ? "follower" : "peer"),
+            acked ? std::to_string(static_cast<long long>(*acked))
+                  : "-",
+        });
+    }
+    std::string rendered = table.render();
+    for (const std::string &follow : arrayObjects(body, "follows")) {
+        const auto sequence =
+            server::json::findNumber(follow, "sequence");
+        rendered +=
+            "follows " +
+            server::json::findString(follow, "leader").value_or("-") +
+            " at sequence " +
+            (sequence
+                 ? std::to_string(static_cast<long long>(*sequence))
+                 : "-") +
+            "\n";
+    }
+    return rendered;
 }
 
 
@@ -194,9 +295,13 @@ run(const util::CommandLine &cl)
         return 2;
     }
 
-    client::ScoringClient::Config config;
-    config.host = cl.getString("host", "127.0.0.1");
-    config.port = static_cast<std::uint16_t>(cl.getInt("port", 0));
+    // ClusterClient with one target: against a mesh node, a probe for
+    // a suite owned elsewhere transparently follows the 307 to the
+    // owner instead of dumping the redirect on the operator.
+    client::ClusterClient::Config config;
+    config.targets = {client::ClusterTarget{
+        cl.getString("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(cl.getInt("port", 0))}};
     config.readTimeoutMillis =
         static_cast<int>(cl.getInt("timeout-ms", 2000));
     config.retry.maxAttempts =
@@ -207,10 +312,11 @@ run(const util::CommandLine &cl)
     config.retry.seed = static_cast<std::uint64_t>(cl.getInt("seed", 1));
     const bool json_only = cl.getBool("json-only", false);
 
-    client::ScoringClient client(config);
+    client::ClusterClient client(config);
 
     if (cl.has("metrics")) {
-        const client::Outcome outcome = client.metrics();
+        const client::Outcome outcome =
+            client.request("GET", "/metrics");
         if (outcome.haveResponse && !json_only)
             std::cout << outcome.response.body;
         printSummary("metrics", outcome, "");
@@ -222,22 +328,69 @@ run(const util::CommandLine &cl)
     }
 
     if (cl.has("check")) {
-        const client::Outcome outcome = client.metrics();
+        const client::Outcome outcome =
+            client.request("GET", "/metrics");
         printSummary("check", outcome, "");
         if (!outcome.haveResponse) {
             std::cerr << "hmctl: " << outcome.error << "\n";
             return 1;
         }
-        const std::vector<std::string> issues =
-            obs::lintExposition(outcome.response.body);
+        std::vector<std::string> issues;
+        for (const std::string &issue :
+             obs::lintExposition(outcome.response.body))
+            issues.push_back("exposition: " + issue);
+        // A mesh daemon exposes /v1/cluster; lint its payload and the
+        // per-shard health too. 404 means single-node: nothing to do.
+        const client::Outcome membership =
+            client.request("GET", "/v1/cluster");
+        bool meshed = false;
+        if (membership.haveResponse && membership.status == 200) {
+            meshed = true;
+            for (const std::string &issue :
+                 lintClusterPayload(membership.response.body))
+                issues.push_back(issue);
+        } else if (membership.haveResponse &&
+                   membership.status != 404) {
+            issues.push_back("cluster: /v1/cluster answered " +
+                             std::to_string(membership.status));
+        }
         if (issues.empty()) {
             if (!json_only)
-                std::cout << "exposition format: clean\n";
+                std::cout << (meshed
+                                  ? "exposition format + cluster: clean\n"
+                                  : "exposition format: clean\n");
             return outcome.ok() ? 0 : 1;
         }
         for (const std::string &issue : issues)
-            std::cerr << "hmctl: exposition: " << issue << "\n";
+            std::cerr << "hmctl: " << issue << "\n";
         return 1;
+    }
+
+    if (cl.has("cluster")) {
+        const client::Outcome outcome =
+            client.request("GET", "/v1/cluster");
+        printSummary("cluster", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            std::cerr << "hmctl: /v1/cluster answered "
+                      << outcome.status
+                      << (outcome.status == 404
+                              ? " (not a mesh daemon?)"
+                              : "")
+                      << "\n";
+            return 1;
+        }
+        if (!json_only)
+            std::cout << renderClusterTable(outcome.response.body);
+        bool down = false;
+        for (const std::string &node :
+             arrayObjects(outcome.response.body, "nodes"))
+            down = down || server::json::findString(node, "health")
+                                   .value_or("") == "down";
+        return down ? 2 : 0;
     }
 
     if (cl.has("score")) {

@@ -8,12 +8,18 @@
  * waits for its response before sending the next request, so offered
  * load adapts to what the server sustains.
  *
- * Workers run on client::ScoringClient, so connection-level failures
- * are attributed to distinct classes (refused / reset / timed out /
- * other) instead of one opaque counter, degraded-mode responses are
- * tallied as `stale_served`, and optional retries (off by default — a
- * closed loop should see errors, not paper over them) follow the
- * shared RetryPolicy.
+ * Workers run on client::ClusterClient over client::ScoringClient, so
+ * connection-level failures are attributed to distinct classes
+ * (refused / reset / timed out / other) instead of one opaque counter,
+ * degraded-mode responses are tallied as `stale_served`, and optional
+ * retries (off by default — a closed loop should see errors, not paper
+ * over them) follow the shared RetryPolicy.
+ *
+ * Against a mesh, `--targets=host:port,host:port,...` makes every
+ * worker fail over across the listed nodes (rotating on transport
+ * failures and `mesh_unreachable` answers, following 307 redirects),
+ * and the report gains a per-target breakdown: which node answered,
+ * which node ate which failure class, how many failovers helped.
  *
  * Reports one machine-readable JSON line:
  *   {"rps":..,"requests":..,"http_2xx":..,"http_4xx":..,"http_5xx":..,
@@ -27,7 +33,8 @@
  * for `hmctl --trace=ID` against a daemon started with --trace.
  *
  * Usage:
- *   hmload --port=N [--host=127.0.0.1] [--concurrency=2]
+ *   hmload --port=N [--host=127.0.0.1] [--targets=HOST:PORT,...]
+ *          [--concurrency=2]
  *          [--duration-s=3] [--manifest=FILE] [--timeout-ms=0]
  *          [--retries=0] [--retry-base-ms=50] [--retry-cap-ms=2000]
  *          [--retry-budget-ms=10000] [--seed=N] [--json-only]
@@ -80,6 +87,11 @@ flagSpec()
               "total backoff sleep per request (default 10000)")
         .flag("seed", "N", "backoff jitter seed (default 1)")
         .flag("json-only", "", "print only the JSON result line");
+    flags.section("mesh flags")
+        .flag("targets", "LIST",
+              "comma-separated host:port list: fail over\n"
+              "across these nodes (overrides --host/--port)\n"
+              "and report per-target breakdowns");
     flags.section("tracing flags")
         .flag("trace", "",
               "send a generated X-Hiermeans-Trace ID with every\n"
@@ -109,15 +121,20 @@ struct Tally
     /** (latency ms, trace ID) per answered request under --trace. */
     std::mutex tracedMutex;
     std::vector<std::pair<double, std::string>> traced;
+
+    /** Per-target tallies, index-aligned with the target list. */
+    std::mutex targetMutex;
+    std::vector<client::TargetStats> targets;
+    std::uint64_t failovers = 0;
 };
 
 void
-worker(const client::ScoringClient::Config &config,
+worker(const client::ClusterClient::Config &config,
        const std::vector<std::string> &mix, std::size_t offset,
        std::chrono::steady_clock::time_point deadline, bool trace,
        Tally &tally)
 {
-    client::ScoringClient client(config);
+    client::ClusterClient client(config);
     std::size_t next = offset;
     while (std::chrono::steady_clock::now() < deadline) {
         const auto start = std::chrono::steady_clock::now();
@@ -175,12 +192,28 @@ worker(const client::ScoringClient::Config &config,
         else if (outcome.status >= 500)
             ++tally.http5xx;
     }
+
+    // Fold this worker's per-target attribution into the shared tally.
+    std::lock_guard<std::mutex> lock(tally.targetMutex);
+    const std::vector<client::TargetStats> &stats = client.stats();
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        client::TargetStats &into = tally.targets[i];
+        into.attempts += stats[i].attempts;
+        into.http2xx += stats[i].http2xx;
+        into.http4xx += stats[i].http4xx;
+        into.http5xx += stats[i].http5xx;
+        into.redirectsFollowed += stats[i].redirectsFollowed;
+        into.meshUnreachable += stats[i].meshUnreachable;
+        for (std::size_t c = 0; c < into.byFailure.size(); ++c)
+            into.byFailure[c] += stats[i].byFailure[c];
+    }
+    tally.failovers += client.failovers();
 }
 
 int
 run(const util::CommandLine &cl)
 {
-    if (!cl.has("port")) {
+    if (!cl.has("port") && !cl.has("targets")) {
         std::cerr << flagSpec().usage();
         return 2;
     }
@@ -194,9 +227,12 @@ run(const util::CommandLine &cl)
     const bool json_only = cl.getBool("json-only", false);
     const bool trace = cl.getBool("trace", false);
 
-    client::ScoringClient::Config client_config;
-    client_config.host = host;
-    client_config.port = port;
+    client::ClusterClient::Config client_config;
+    const std::string targets_spec = cl.getString("targets", "");
+    if (!targets_spec.empty())
+        client_config.targets = client::parseTargets(targets_spec);
+    else
+        client_config.targets = {client::ClusterTarget{host, port}};
     client_config.readTimeoutMillis =
         static_cast<int>(cl.getInt("timeout-ms", 0));
     client_config.retry.maxAttempts =
@@ -224,9 +260,11 @@ run(const util::CommandLine &cl)
     }
 
     if (!json_only) {
+        std::string where = client_config.targets.front().label();
+        for (std::size_t i = 1; i < client_config.targets.size(); ++i)
+            where += "," + client_config.targets[i].label();
         std::cout << "hmload: " << concurrency << " worker(s), "
-                  << duration_s << "s against " << host << ":" << port
-                  << " ("
+                  << duration_s << "s against " << where << " ("
                   << (mix.empty() ? "GET /healthz"
                                   : std::to_string(mix.size()) +
                                         "-line score mix")
@@ -234,6 +272,7 @@ run(const util::CommandLine &cl)
     }
 
     Tally tally;
+    tally.targets.resize(client_config.targets.size());
     const auto start = std::chrono::steady_clock::now();
     const auto deadline =
         start + std::chrono::duration_cast<
@@ -243,7 +282,7 @@ run(const util::CommandLine &cl)
     threads.reserve(concurrency);
     for (std::size_t i = 0; i < concurrency; ++i) {
         // Decorrelate each worker's jitter stream.
-        client::ScoringClient::Config worker_config = client_config;
+        client::ClusterClient::Config worker_config = client_config;
         worker_config.retry.seed += i;
         threads.emplace_back([&, worker_config, i] {
             worker(worker_config, mix, i, deadline, trace, tally);
@@ -293,6 +332,66 @@ run(const util::CommandLine &cl)
     }
     slow_traces += "]";
 
+    // Per-target attribution: which node answered what, which node
+    // ate which failure class, whether failing over helped.
+    std::string targets_json = "[";
+    for (std::size_t i = 0; i < tally.targets.size(); ++i) {
+        const client::TargetStats &stats = tally.targets[i];
+        if (i > 0)
+            targets_json += ",";
+        targets_json +=
+            "{\"target\":" +
+            server::json::quote(client_config.targets[i].label()) +
+            ",\"attempts\":" + std::to_string(stats.attempts) +
+            ",\"http_2xx\":" + std::to_string(stats.http2xx) +
+            ",\"http_4xx\":" + std::to_string(stats.http4xx) +
+            ",\"http_5xx\":" + std::to_string(stats.http5xx) +
+            ",\"redirects_followed\":" +
+            std::to_string(stats.redirectsFollowed) +
+            ",\"mesh_unreachable\":" +
+            std::to_string(stats.meshUnreachable);
+        for (std::size_t c = 1; c < stats.byFailure.size(); ++c) {
+            std::string key =
+                client::failureClassName(
+                    static_cast<client::FailureClass>(c));
+            for (char &ch : key)
+                if (ch == '-')
+                    ch = '_';
+            targets_json +=
+                ",\"" + key + "\":" + std::to_string(stats.byFailure[c]);
+        }
+        targets_json += "}";
+    }
+    targets_json += "]";
+    if (!json_only && tally.targets.size() > 1) {
+        std::cout << "per-target breakdown (failovers that helped: "
+                  << tally.failovers << "):\n";
+        for (std::size_t i = 0; i < tally.targets.size(); ++i) {
+            const client::TargetStats &stats = tally.targets[i];
+            std::printf("  %-21s attempts=%llu 2xx=%llu 4xx=%llu "
+                        "5xx=%llu redirected=%llu unreachable=%llu",
+                        client_config.targets[i].label().c_str(),
+                        static_cast<unsigned long long>(stats.attempts),
+                        static_cast<unsigned long long>(stats.http2xx),
+                        static_cast<unsigned long long>(stats.http4xx),
+                        static_cast<unsigned long long>(stats.http5xx),
+                        static_cast<unsigned long long>(
+                            stats.redirectsFollowed),
+                        static_cast<unsigned long long>(
+                            stats.meshUnreachable));
+            for (std::size_t c = 1; c < stats.byFailure.size(); ++c) {
+                if (stats.byFailure[c] == 0)
+                    continue;
+                std::printf(" %s=%llu",
+                            client::failureClassName(
+                                static_cast<client::FailureClass>(c)),
+                            static_cast<unsigned long long>(
+                                stats.byFailure[c]));
+            }
+            std::printf("\n");
+        }
+    }
+
     std::printf(
         "{\"rps\":%s,\"requests\":%llu,\"http_2xx\":%llu,"
         "\"http_4xx\":%llu,\"http_5xx\":%llu,\"stale_served\":%llu,"
@@ -301,6 +400,7 @@ run(const util::CommandLine &cl)
         "\"bad_response\":%llu,\"retries\":%llu,\"backoff_ms\":%s,"
         "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s,"
         "\"duration_s\":%s,\"concurrency\":%llu,"
+        "\"failovers\":%llu,\"targets\":%s,"
         "\"slow_traces\":%s}\n",
         server::json::number(rps).c_str(),
         static_cast<unsigned long long>(requests),
@@ -324,7 +424,8 @@ run(const util::CommandLine &cl)
         server::json::number(tally.latency.max()).c_str(),
         server::json::number(elapsed.count()).c_str(),
         static_cast<unsigned long long>(concurrency),
-        slow_traces.c_str());
+        static_cast<unsigned long long>(tally.failovers),
+        targets_json.c_str(), slow_traces.c_str());
     std::fflush(stdout);
 
     // A run that never completed a request is a failed run: the server

@@ -95,6 +95,17 @@ flagSpec()
         .flag("history-capacity", "N",
               "score-history entries kept per suite ring\n"
               "(default 256)");
+    flags.section("mesh flags")
+        .flag("mesh-config", "FILE",
+              "join the cluster described by FILE (see\n"
+              "src/mesh/config.h for the grammar); requires\n"
+              "--data-dir")
+        .flag("mesh-rpc-timeout-ms", "N",
+              "peer RPC read timeout: replication ships,\n"
+              "forwards and health probes (default 5000)")
+        .flag("mesh-tick-ms", "N",
+              "health-probe + follower-catch-up cadence\n"
+              "(default 500)");
     flags.tracing().standard().epilogue(
         "endpoints:\n"
         "  POST /v1/score      body = one manifest line -> envelope\n"
@@ -153,8 +164,44 @@ run(const util::CommandLine &cl)
 
     util::installShutdownSignals({SIGINT, SIGTERM});
 
+    // Cluster mode: the mesh runtime must outlive the server (the
+    // server holds a ClusterHooks pointer into it).
+    std::unique_ptr<mesh::MeshRuntime> runtime;
+    const std::string mesh_path = cl.getString("mesh-config", "");
+    if (!mesh_path.empty()) {
+        if (config.store.dataDir.empty())
+            throw InvalidArgument(
+                "--mesh-config requires --data-dir (replication "
+                "mirrors live under it)");
+        mesh::MeshRuntime::Config mesh_config;
+        mesh_config.mesh = mesh::loadMeshConfig(mesh_path);
+        mesh_config.dataDir = config.store.dataDir;
+        mesh_config.rpcTimeoutMillis =
+            static_cast<int>(cl.getInt("mesh-rpc-timeout-ms", 5000));
+        mesh_config.tickMillis =
+            static_cast<int>(cl.getInt("mesh-tick-ms", 500));
+        // The advertised port must be the one we actually bind.
+        const mesh::MeshNode &self = mesh_config.mesh.self();
+        if (cl.getString("port", "").empty())
+            config.port = self.port;
+        else if (config.port != self.port)
+            throw InvalidArgument(
+                "--port disagrees with this node's mesh entry (" +
+                std::to_string(self.port) + ")");
+        runtime = std::make_unique<mesh::MeshRuntime>(mesh_config);
+        config.cluster = runtime.get();
+    }
+
     server::Server server(config);
     server.start();
+    if (runtime != nullptr) {
+        runtime->start(server.store());
+        std::cout << "mesh: node `" << runtime->meshConfig().selfId
+                  << "` of " << runtime->meshConfig().nodes.size()
+                  << " (replicas=" << runtime->meshConfig().replicas
+                  << ", ring points=" << runtime->ring().points()
+                  << ")" << std::endl;
+    }
     if (server.store() != nullptr) {
         const store::RecoveryInfo &recovery = server.storeRecovery();
         std::cout << "store recovered: outcome="
@@ -173,6 +220,8 @@ run(const util::CommandLine &cl)
 
     std::cout << "shutdown requested, draining in-flight requests\n";
     server.stop();
+    if (runtime != nullptr)
+        runtime->stop();
 
     if (!cl.getBool("quiet", false))
         std::cout << "final metrics:\n" << server.renderMetrics();

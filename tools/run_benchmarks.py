@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""One-command perf benches: rebuild Release, pin CPUs, repeat-median.
+
+Rebuilds the project into a dedicated Release build tree, pins every
+benchmark process to a fixed CPU set (so background noise and frequency
+migration don't smear the numbers), runs each bench several times, and
+writes one ``BENCH_<name>.json`` file per bench with the median and the
+raw runs — the perf trajectory files that future PRs diff against.
+
+Benches:
+  score_pipeline    hmscore end-to-end wall time on the example data
+  batch_throughput  hmbatch documents/second over the example manifest
+  serve_rps         hmserved + hmload requests/second and latency
+  mesh_failover     2-node mesh under hmload with multi-target failover
+
+Usage:
+  tools/run_benchmarks.py [--repeats=5] [--duration-s=3]
+                          [--build-dir=build-bench] [--skip-build]
+                          [--out-dir=.] [--only=NAME[,NAME...]]
+
+Standard library only; no third-party packages.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MANIFEST = os.path.join("examples", "data", "manifest.txt")
+SCORES = os.path.join("examples", "data", "scores.csv")
+FEATURES = os.path.join("examples", "data", "features.csv")
+
+
+def log(message):
+    print("run_benchmarks: %s" % message, flush=True)
+
+
+def pinned_cpus():
+    """The CPU set every bench process is pinned to: up to 4 of the
+    CPUs this process may run on (all of them on small machines)."""
+    try:
+        available = sorted(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback: no pinning
+        return None
+    return available[: min(4, len(available))]
+
+
+def run(cmd, cpus, **kwargs):
+    """subprocess.run with CPU affinity applied to the child."""
+    preexec = None
+    if cpus is not None:
+        def preexec():
+            os.sched_setaffinity(0, cpus)
+    return subprocess.run(cmd, preexec_fn=preexec, **kwargs)
+
+
+def popen(cmd, cpus, **kwargs):
+    preexec = None
+    if cpus is not None:
+        def preexec():
+            os.sched_setaffinity(0, cpus)
+    return subprocess.Popen(cmd, preexec_fn=preexec, **kwargs)
+
+
+def git_revision():
+    try:
+        out = subprocess.run(
+            ["git", "-C", ROOT, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def build_release(build_dir, cpus):
+    log("configuring Release build in %s" % build_dir)
+    run(["cmake", "-B", build_dir, "-S", ROOT,
+         "-DCMAKE_BUILD_TYPE=Release"],
+        None, check=True, cwd=ROOT,
+        stdout=subprocess.DEVNULL)
+    jobs = str(len(cpus) if cpus else os.cpu_count() or 2)
+    log("building (j%s)" % jobs)
+    run(["cmake", "--build", build_dir, "-j", jobs, "--target",
+         "hmscore", "hmbatch", "hmserved", "hmload", "hmctl"],
+        None, check=True, cwd=ROOT, stdout=subprocess.DEVNULL)
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_http_ok(tool, port, deadline_s=10.0):
+    """Poll hmctl until the daemon on ``port`` answers healthy."""
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        probe = subprocess.run(
+            [tool, "--port=%d" % port, "--json-only"],
+            capture_output=True, cwd=ROOT)
+        if probe.returncode == 0:
+            return
+        time.sleep(0.1)
+    raise RuntimeError("daemon on port %d never became healthy" % port)
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def bench_score_pipeline(tools, cpus, args):
+    """hmscore wall seconds, full SOM + clustering pipeline."""
+    runs = []
+    cmd = [tools["hmscore"], "--scores=" + SCORES,
+           "--features=" + FEATURES, "--machine-a=machineX",
+           "--machine-b=machineY",
+           "--som-steps=4000", "--seed=7", "--quiet"]
+    for _ in range(args.repeats):
+        started = time.monotonic()
+        run(cmd, cpus, check=True, cwd=ROOT,
+            stdout=subprocess.DEVNULL)
+        runs.append(time.monotonic() - started)
+    return {"unit": "seconds", "direction": "down", "runs": runs}
+
+
+def bench_batch_throughput(tools, cpus, args):
+    """hmbatch documents/second over the example manifest."""
+    lines = 0
+    with open(os.path.join(ROOT, MANIFEST)) as manifest:
+        for text in manifest:
+            text = text.strip()
+            if text and not text.startswith("#"):
+                lines += 1
+    repeat = 10
+    runs = []
+    cmd = [tools["hmbatch"], "--manifest=" + MANIFEST,
+           "--threads=%d" % (len(cpus) if cpus else 2),
+           "--repeat=%d" % repeat]
+    for _ in range(args.repeats):
+        started = time.monotonic()
+        run(cmd, cpus, check=True, cwd=ROOT,
+            stdout=subprocess.DEVNULL)
+        elapsed = time.monotonic() - started
+        runs.append(lines * repeat / elapsed)
+    return {"unit": "docs_per_second", "direction": "up", "runs": runs}
+
+
+def load_report(tools, cpus, args, port=None, targets=None):
+    """One hmload run; returns its parsed JSON report."""
+    cmd = [tools["hmload"], "--manifest=" + MANIFEST,
+           "--concurrency=2", "--duration-s=%d" % args.duration_s,
+           "--timeout-ms=10000", "--json-only"]
+    if targets is not None:
+        cmd.append("--targets=" + targets)
+    else:
+        cmd.append("--port=%d" % port)
+    out = run(cmd, cpus, check=True, cwd=ROOT, capture_output=True,
+              text=True)
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def bench_serve_rps(tools, cpus, args):
+    """Single hmserved node: requests/second plus latency tails."""
+    runs, extras = [], []
+    for _ in range(args.repeats):
+        port = free_port()
+        server = popen([tools["hmserved"], "--port=%d" % port,
+                        "--threads=2", "--queue-depth=8"],
+                       cpus, cwd=ROOT, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        try:
+            wait_http_ok(tools["hmctl"], port)
+            report = load_report(tools, cpus, args, port=port)
+        finally:
+            stop(server)
+        runs.append(report["rps"])
+        extras.append({"p50_ms": report["p50_ms"],
+                       "p95_ms": report["p95_ms"],
+                       "p99_ms": report["p99_ms"]})
+    return {"unit": "requests_per_second", "direction": "up",
+            "runs": runs, "latency": extras}
+
+
+def bench_mesh_failover(tools, cpus, args):
+    """2-node mesh driven through hmload's multi-target failover."""
+    runs, extras = [], []
+    for _ in range(args.repeats):
+        ports = [free_port(), free_port()]
+        scratch = tempfile.mkdtemp(prefix="hiermeans_bench_mesh_")
+        members = "".join("node %s 127.0.0.1:%d\n" % (node, port)
+                          for node, port in zip("ab", ports))
+        servers = []
+        try:
+            for node, port in zip("ab", ports):
+                conf = os.path.join(scratch, "mesh_%s.conf" % node)
+                data = os.path.join(scratch, "data_%s" % node)
+                os.mkdir(data)
+                with open(conf, "w") as out:
+                    out.write("self = %s\nreplicas = 2\n%s"
+                              % (node, members))
+                servers.append(popen(
+                    [tools["hmserved"], "--mesh-config=" + conf,
+                     "--data-dir=" + data, "--threads=2",
+                     "--queue-depth=8", "--mesh-tick-ms=100"],
+                    cpus, cwd=ROOT, stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL))
+            for port in ports:
+                wait_http_ok(tools["hmctl"], port)
+            targets = ",".join("127.0.0.1:%d" % port
+                               for port in ports)
+            report = load_report(tools, cpus, args, targets=targets)
+        finally:
+            for server in servers:
+                stop(server)
+            shutil.rmtree(scratch, ignore_errors=True)
+        runs.append(report["rps"])
+        extras.append({"p95_ms": report["p95_ms"],
+                       "failovers": report["failovers"]})
+    return {"unit": "requests_per_second", "direction": "up",
+            "runs": runs, "detail": extras}
+
+
+BENCHES = {
+    "score_pipeline": bench_score_pipeline,
+    "batch_throughput": bench_batch_throughput,
+    "serve_rps": bench_serve_rps,
+    "mesh_failover": bench_mesh_failover,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="rebuild Release, pin CPUs, repeat-median benches")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="runs per bench; the median is reported")
+    parser.add_argument("--duration-s", type=int, default=3,
+                        help="seconds per hmload measurement")
+    parser.add_argument("--build-dir", default="build-bench",
+                        help="Release build tree (default build-bench)")
+    parser.add_argument("--skip-build", action="store_true",
+                        help="reuse existing binaries in --build-dir")
+    parser.add_argument("--out-dir", default=".",
+                        help="where BENCH_*.json files land")
+    parser.add_argument("--only",
+                        help="comma-separated bench names to run")
+    args = parser.parse_args()
+
+    selected = list(BENCHES)
+    if args.only:
+        selected = [name.strip() for name in args.only.split(",")]
+        unknown = [name for name in selected if name not in BENCHES]
+        if unknown:
+            parser.error("unknown benches: %s (have: %s)"
+                         % (", ".join(unknown), ", ".join(BENCHES)))
+
+    cpus = pinned_cpus()
+    log("CPU pin set: %s" % (cpus if cpus else "unavailable"))
+
+    build_dir = os.path.join(ROOT, args.build_dir)
+    if not args.skip_build:
+        build_release(build_dir, cpus)
+    tools = {name: os.path.join(build_dir, "tools", name)
+             for name in ("hmscore", "hmbatch", "hmserved", "hmload",
+                          "hmctl")}
+    for name, path in tools.items():
+        if not os.path.exists(path):
+            log("missing binary %s — run without --skip-build" % path)
+            return 1
+
+    meta = {
+        "git_revision": git_revision(),
+        "build_type": "Release",
+        "cpu_affinity": cpus,
+        "repeats": args.repeats,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    failures = 0
+    for name in selected:
+        log("bench %s (%d runs)" % (name, args.repeats))
+        try:
+            result = BENCHES[name](tools, cpus, args)
+        except Exception as error:  # keep the other benches running
+            log("bench %s FAILED: %s" % (name, error))
+            failures += 1
+            continue
+        result["name"] = name
+        result["median"] = statistics.median(result["runs"])
+        result["meta"] = meta
+        out_path = os.path.join(args.out_dir,
+                                "BENCH_%s.json" % name)
+        with open(out_path, "w") as out:
+            json.dump(result, out, indent=2, sort_keys=True)
+            out.write("\n")
+        log("  median %.4f %s -> %s"
+            % (result["median"], result["unit"], out_path))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,12 @@
 #    committed score present in /v1/history exactly once (no loss, no
 #    duplicates) and a previously-scored request answered from the
 #    warm cache without re-executing the pipeline.
+# 4. Brings up a 2-node mesh (replicas=2), registers a suite on each
+#    shard, SIGKILLs one shard's leader while hmload drives both
+#    targets, and asserts the survivor: client failover stays 200,
+#    the dead shard's acknowledged score is served from the promoted
+#    mirror exactly once and recomputes bit-identically, and writes
+#    keep flowing.
 #
 # Invoked with no arguments, the script instead configures a dedicated
 # ASan+UBSan build (-DHIERMEANS_SANITIZE=address,undefined) under
@@ -43,9 +49,12 @@ LOG=$(mktemp)
 RUN_A=$(mktemp)
 RUN_B=$(mktemp)
 DATA=$(mktemp -d)
+MESH_DIR=$(mktemp -d)
 SERVER_PID=
-trap 'kill -9 "$SERVER_PID" 2>/dev/null || true;
-      rm -f "$LOG" "$RUN_A" "$RUN_B"; rm -rf "$DATA"' EXIT
+MESH_PID_A=
+MESH_PID_B=
+trap 'kill -9 "$SERVER_PID" "$MESH_PID_A" "$MESH_PID_B" 2>/dev/null || true;
+      rm -f "$LOG" "$RUN_A" "$RUN_B"; rm -rf "$DATA" "$MESH_DIR"' EXIT
 
 # Scrape the flushed "listening on port N" line from $LOG (up to ~5s);
 # sets $PORT or exits.
@@ -201,3 +210,131 @@ SERVER_PID=
     exit 1
 }
 echo "smoke_chaos: kill-and-recover invariants confirmed"
+
+# --- 4. two-shard mesh: SIGKILL a shard leader under load -----------
+# Two nodes, replicas=2: each mirrors the other's store. `shard-alpha`
+# hashes to node a and `shard-beta` to node b on the (deterministic)
+# id ring, so killing node a is a leader kill for shard-alpha — the
+# surviving node must answer with every acknowledged score exactly
+# once, bit-identical, and keep taking writes.
+PORT_A=$((21000 + $$ % 10000))
+PORT_B=$((PORT_A + 1))
+for NODE in a b; do
+    {
+        echo "self = $NODE"
+        echo "replicas = 2"
+        echo "node a 127.0.0.1:$PORT_A"
+        echo "node b 127.0.0.1:$PORT_B"
+    } >"$MESH_DIR/mesh_$NODE.conf"
+    mkdir -p "$MESH_DIR/data_$NODE"
+done
+"$HMSERVED" --mesh-config="$MESH_DIR/mesh_a.conf" \
+    --data-dir="$MESH_DIR/data_a" --fsync-every=1 --threads=2 \
+    --queue-depth=4 --mesh-tick-ms=100 >"$MESH_DIR/a.log" 2>&1 &
+MESH_PID_A=$!
+"$HMSERVED" --mesh-config="$MESH_DIR/mesh_b.conf" \
+    --data-dir="$MESH_DIR/data_b" --fsync-every=1 --threads=2 \
+    --queue-depth=4 --mesh-tick-ms=100 >"$MESH_DIR/b.log" 2>&1 &
+MESH_PID_B=$!
+
+# Both nodes up and each seeing the other healthy (--cluster exits 2
+# while any peer is still marked down).
+i=0
+while [ $i -lt 50 ]; do
+    if "$HMCTL" --port="$PORT_A" --cluster --json-only \
+            >/dev/null 2>&1 &&
+        "$HMCTL" --port="$PORT_B" --cluster --json-only \
+            >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+[ $i -lt 50 ] || {
+    echo "smoke_chaos: mesh never converged" >&2
+    cat "$MESH_DIR/a.log" "$MESH_DIR/b.log" >&2
+    exit 1
+}
+echo "smoke_chaos: 2-node mesh up on ports $PORT_A/$PORT_B"
+
+# Register both suites through node b: shard-alpha is misrouted and
+# must be forwarded to its owner a.
+"$HMCTL" --port="$PORT_B" --register=shard-alpha \
+    --manifest="$MANIFEST" --json-only
+"$HMCTL" --port="$PORT_B" --register=shard-beta \
+    --manifest="$MANIFEST" --json-only
+PRE_ALPHA=$("$HMCTL" --port="$PORT_B" \
+    --score="suite=shard-alpha line=1 seed=9901 id=pre-alpha")
+"$HMCTL" --port="$PORT_B" \
+    --score="suite=shard-beta line=1 seed=9902 id=pre-beta" \
+    --json-only
+ALPHA_RATIO=$(echo "$PRE_ALPHA" | grep -o '"ratio":[0-9.eE+-]*' |
+    head -1)
+[ -n "$ALPHA_RATIO" ] || {
+    echo "smoke_chaos: no ratio in pre-kill score:" >&2
+    echo "$PRE_ALPHA" >&2
+    exit 1
+}
+# Let the follower ack the shipped WAL tail before the kill.
+sleep 1
+
+# SIGKILL the shard-alpha leader while hmload drives both targets;
+# the client must fail over to the survivor and keep getting 200s.
+"$HMLOAD" --targets="127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
+    --concurrency=2 --duration-s=4 --manifest="$MANIFEST" \
+    --retries=3 --timeout-ms=10000 --json-only >"$RUN_A" 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$MESH_PID_A"
+wait "$MESH_PID_A" 2>/dev/null || true
+MESH_PID_A=
+STATUS=0
+wait "$LOAD_PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke_chaos: hmload failed over the dead leader ($STATUS)" >&2
+    cat "$RUN_A" >&2
+    exit 1
+fi
+# First http_2xx in the report is the top-level aggregate (the
+# per-target breakdown comes later in the same line).
+TWOXX=$(grep -o '"http_2xx":[0-9]*' "$RUN_A" | head -1 | cut -d: -f2)
+[ -n "$TWOXX" ] && [ "$TWOXX" -gt 0 ] || {
+    echo "smoke_chaos: hmload saw no successes during failover" >&2
+    cat "$RUN_A" >&2
+    exit 1
+}
+echo "smoke_chaos: leader SIGKILLed, hmload failover clean"
+
+# The survivor serves shard-alpha from its promoted mirror: the
+# acknowledged score exactly once, and a recompute of the same line
+# must reproduce the identical ratio.
+ALPHA_HISTORY=$("$HMCTL" --port="$PORT_B" --history=shard-alpha)
+COUNT=$(echo "$ALPHA_HISTORY" | grep -c "pre-alpha" || true)
+[ "$COUNT" -eq 1 ] || {
+    echo "smoke_chaos: pre-alpha appears $COUNT times after" \
+        "promotion (want exactly 1)" >&2
+    echo "$ALPHA_HISTORY" >&2
+    exit 1
+}
+POST_ALPHA=$("$HMCTL" --port="$PORT_B" \
+    --score="suite=shard-alpha line=1 seed=9901 id=post-alpha")
+echo "$POST_ALPHA" | grep -qF "$ALPHA_RATIO" || {
+    echo "smoke_chaos: post-promotion score diverged from the" \
+        "acknowledged $ALPHA_RATIO:" >&2
+    echo "$POST_ALPHA" >&2
+    exit 1
+}
+"$HMCTL" --port="$PORT_B" --history=shard-beta | grep -q "pre-beta" || {
+    echo "smoke_chaos: shard-beta history lost its score" >&2
+    exit 1
+}
+kill -TERM "$MESH_PID_B"
+STATUS=0
+wait "$MESH_PID_B" || STATUS=$?
+MESH_PID_B=
+[ "$STATUS" -eq 0 ] || {
+    echo "smoke_chaos: surviving mesh node exited $STATUS" >&2
+    cat "$MESH_DIR/b.log" >&2
+    exit 1
+}
+echo "smoke_chaos: shard leader kill lost nothing, duplicated nothing"
