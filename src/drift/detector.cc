@@ -1,0 +1,170 @@
+#include "src/drift/detector.h"
+
+#include "src/drift/online_som.h"
+#include "src/scoring/partition.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace drift {
+
+namespace {
+
+/** QE ratio cap: a dead (near-zero) baseline with a live window
+ *  error is "infinitely" inflated; this keeps the metric finite. */
+constexpr double kQeRatioCap = 1e6;
+constexpr double kTinyQe = 1e-12;
+
+} // namespace
+
+const char *
+driftStateName(DriftState state)
+{
+    switch (state) {
+    case DriftState::Fresh:
+        return "fresh";
+    case DriftState::Drifting:
+        return "drifting";
+    case DriftState::Stale:
+        return "stale";
+    }
+    return "unknown";
+}
+
+DriftState
+parseDriftState(const std::string &name)
+{
+    if (name == "fresh")
+        return DriftState::Fresh;
+    if (name == "drifting")
+        return DriftState::Drifting;
+    if (name == "stale")
+        return DriftState::Stale;
+    throw InvalidArgument("unknown drift state `" + name +
+                          "` (fresh|drifting|stale)");
+}
+
+const char *
+driftSeverityName(DriftSeverity severity)
+{
+    switch (severity) {
+    case DriftSeverity::Calm:
+        return "calm";
+    case DriftSeverity::Mild:
+        return "mild";
+    case DriftSeverity::Severe:
+        return "severe";
+    }
+    return "unknown";
+}
+
+DriftSeverity
+classifySeverity(const DriftMetrics &metrics,
+                 const DriftThresholds &thresholds)
+{
+    if (metrics.churn >= thresholds.churnStale ||
+        metrics.stability <= thresholds.stabilityStale ||
+        metrics.qeRatio >= thresholds.qeStale)
+        return DriftSeverity::Severe;
+    if (metrics.churn >= thresholds.churnDrifting ||
+        metrics.stability <= thresholds.stabilityDrifting ||
+        metrics.qeRatio >= thresholds.qeDrifting)
+        return DriftSeverity::Mild;
+    return DriftSeverity::Calm;
+}
+
+DriftMetrics
+computeDriftMetrics(const linalg::Matrix &published,
+                    const linalg::Matrix &online,
+                    const std::vector<linalg::Vector> &window,
+                    double publishedQe)
+{
+    DriftMetrics metrics;
+    metrics.window = window.size();
+    if (window.empty())
+        return metrics;
+
+    const std::vector<std::size_t> labels_published =
+        assignAll(published, window);
+    const std::vector<std::size_t> labels_online =
+        assignAll(online, window);
+
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        if (labels_published[i] != labels_online[i])
+            ++moved;
+    }
+    metrics.churn =
+        static_cast<double>(moved) / static_cast<double>(window.size());
+
+    if (moved == 0) {
+        metrics.stability = 1.0;
+    } else {
+        metrics.stability = scoring::adjustedRandIndex(
+            scoring::Partition::fromLabels(labels_published),
+            scoring::Partition::fromLabels(labels_online));
+    }
+
+    const double window_qe = quantizationError(published, window);
+    if (publishedQe <= kTinyQe)
+        metrics.qeRatio = window_qe <= kTinyQe ? 1.0 : kQeRatioCap;
+    else
+        metrics.qeRatio =
+            std::min(window_qe / publishedQe, kQeRatioCap);
+    return metrics;
+}
+
+DriftDetector::DriftDetector(DriftThresholds thresholds)
+    : thresholds_(thresholds)
+{
+    HM_REQUIRE(thresholds.churnStale >= thresholds.churnDrifting,
+               "DriftThresholds: churnStale below churnDrifting");
+    HM_REQUIRE(thresholds.stabilityStale <=
+                   thresholds.stabilityDrifting,
+               "DriftThresholds: stabilityStale above "
+               "stabilityDrifting");
+    HM_REQUIRE(thresholds.qeStale >= thresholds.qeDrifting,
+               "DriftThresholds: qeStale below qeDrifting");
+    HM_REQUIRE(thresholds.calmTicks >= 1,
+               "DriftThresholds: calmTicks must be >= 1");
+}
+
+DriftState
+DriftDetector::tick(const DriftMetrics &metrics)
+{
+    ++ticks_;
+    switch (classifySeverity(metrics, thresholds_)) {
+    case DriftSeverity::Severe:
+        // A severe window is decisive evidence; no hysteresis on the
+        // way up — the published mean is misleading *now*.
+        state_ = DriftState::Stale;
+        calmStreak_ = 0;
+        break;
+    case DriftSeverity::Mild:
+        calmStreak_ = 0;
+        if (state_ == DriftState::Fresh)
+            state_ = DriftState::Drifting;
+        break;
+    case DriftSeverity::Calm:
+        if (state_ == DriftState::Fresh)
+            break;
+        if (++calmStreak_ >= thresholds_.calmTicks) {
+            state_ = state_ == DriftState::Stale ? DriftState::Drifting
+                                                 : DriftState::Fresh;
+            calmStreak_ = 0;
+        }
+        break;
+    }
+    return state_;
+}
+
+void
+DriftDetector::restore(DriftState state, std::uint32_t calmStreak,
+                       std::uint64_t ticks)
+{
+    state_ = state;
+    calmStreak_ = calmStreak;
+    ticks_ = ticks;
+}
+
+} // namespace drift
+} // namespace hiermeans

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Drift metrics and the hysteresis state machine.
+ *
+ * A suite's drift is scored by re-clustering the current observation
+ * window twice — once under the frozen *published* codebook (the one
+ * whose hierarchical mean clients are consuming) and once under the
+ * live online codebook — and comparing the two partitions:
+ *
+ *   churn      fraction of window observations whose cluster
+ *              assignment differs between the two codebooks;
+ *   stability  MICA-style adjusted Rand index between the two
+ *              partitions (1 = identical grouping, the machinery of
+ *              bench/ablation_mica_stability);
+ *   qeRatio    quantization error of the window under the published
+ *              codebook, relative to the error measured when that
+ *              codebook was published — a mean shift inflates this
+ *              within a single window, before churn can accumulate.
+ *
+ * The detector classifies each tick's metrics as calm / mild / severe
+ * against two threshold rungs and advances a hysteresis machine over
+ * fresh -> drifting -> stale: severe jumps straight to stale, mild
+ * degrades fresh to drifting, and a configurable streak of calm
+ * ticks steps the state back down one level at a time — so a single
+ * noisy window can neither publish a panic nor clear a real drift.
+ */
+
+#ifndef HIERMEANS_DRIFT_DETECTOR_H
+#define HIERMEANS_DRIFT_DETECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace hiermeans {
+namespace drift {
+
+/** Staleness of a suite's published hierarchical mean. Values are
+ *  persisted (DriftUpdated records) — stable and append-only. */
+enum class DriftState : std::uint8_t
+{
+    Fresh = 0,    ///< published mean tracks the stream.
+    Drifting = 1, ///< sustained mild divergence; watch it.
+    Stale = 2     ///< published mean no longer describes the stream.
+};
+
+/** Wire/display name of a state ("fresh" | "drifting" | "stale"). */
+const char *driftStateName(DriftState state);
+
+/** Parse a state name; throws InvalidArgument on unknown names. */
+DriftState parseDriftState(const std::string &name);
+
+/** One tick's drift measurements. */
+struct DriftMetrics
+{
+    double churn = 0.0;     ///< assignment-churn fraction, [0, 1].
+    double stability = 1.0; ///< adjusted Rand index, <= 1.
+    double qeRatio = 1.0;   ///< window QE / published baseline QE.
+    std::size_t window = 0; ///< observations scored this tick.
+};
+
+/** Per-tick severity (the input of the hysteresis machine). */
+enum class DriftSeverity
+{
+    Calm,  ///< all metrics inside the drifting thresholds.
+    Mild,  ///< at least one metric past its drifting threshold.
+    Severe ///< at least one metric past its stale threshold.
+};
+
+const char *driftSeverityName(DriftSeverity severity);
+
+/** Two-rung thresholds; the stale rung must be at least as extreme
+ *  as the drifting rung. */
+struct DriftThresholds
+{
+    double churnDrifting = 0.25;
+    double churnStale = 0.55;
+    double stabilityDrifting = 0.7; ///< ARI below this is mild.
+    double stabilityStale = 0.3;    ///< ARI below this is severe.
+    double qeDrifting = 1.6;        ///< QE ratio above this is mild.
+    double qeStale = 2.5;           ///< QE ratio above this is severe.
+
+    /** Consecutive calm ticks required per step-down (stale ->
+     *  drifting -> fresh). */
+    std::uint32_t calmTicks = 2;
+};
+
+/** Severity of @p metrics against @p thresholds. */
+DriftSeverity classifySeverity(const DriftMetrics &metrics,
+                               const DriftThresholds &thresholds);
+
+/**
+ * Score the current @p window under the frozen @p published codebook
+ * and the live @p online codebook. @p publishedQe is the baseline
+ * quantization error measured at publish time; a near-zero baseline
+ * treats any nonzero window error as maximally inflated.
+ */
+DriftMetrics computeDriftMetrics(const linalg::Matrix &published,
+                                 const linalg::Matrix &online,
+                                 const std::vector<linalg::Vector> &window,
+                                 double publishedQe);
+
+/** The hysteresis state machine. */
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(DriftThresholds thresholds = {});
+
+    /** Fold one tick's metrics in; returns the new state. */
+    DriftState tick(const DriftMetrics &metrics);
+
+    DriftState state() const { return state_; }
+    std::uint32_t calmStreak() const { return calmStreak_; }
+    std::uint64_t ticks() const { return ticks_; }
+    const DriftThresholds &thresholds() const { return thresholds_; }
+
+    /** Reinstall persisted machine state (crash recovery). */
+    void restore(DriftState state, std::uint32_t calmStreak,
+                 std::uint64_t ticks);
+
+  private:
+    DriftThresholds thresholds_;
+    DriftState state_ = DriftState::Fresh;
+    std::uint32_t calmStreak_ = 0;
+    std::uint64_t ticks_ = 0;
+};
+
+} // namespace drift
+} // namespace hiermeans
+
+#endif // HIERMEANS_DRIFT_DETECTOR_H

@@ -1,0 +1,280 @@
+#include "src/drift/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/trace.h"
+#include "src/scoring/hierarchical_mean.h"
+#include "src/scoring/partition.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace drift {
+
+namespace {
+
+/** Geometric/harmonic means reject non-positive scores; a stored
+ *  ratio of zero (possible for degraded runs) is clamped up to this
+ *  floor rather than poisoning the whole published mean. */
+constexpr double kRatioFloor = 1e-12;
+
+linalg::Vector
+observationOf(const store::HistoryEntry &entry)
+{
+    return linalg::Vector{entry.ratio, entry.plainRatio};
+}
+
+} // namespace
+
+DriftMonitor::DriftMonitor(Config config, store::StateStore *store)
+    : config_(config), store_(store)
+{
+    HM_REQUIRE(store_ != nullptr, "DriftMonitor requires a store");
+    HM_REQUIRE(config_.window >= 2,
+               "drift window must hold at least 2 observations");
+    HM_REQUIRE(config_.minWindow >= 2 &&
+                   config_.minWindow <= config_.window,
+               "drift minWindow must be in [2, window]");
+}
+
+DriftMonitor::SuiteDrift &
+DriftMonitor::machineLocked(const std::string &name)
+{
+    auto it = suites_.find(name);
+    if (it == suites_.end()) {
+        SuiteDrift machine;
+        machine.online = std::make_unique<OnlineSom>(kObservationDim,
+                                                     config_.som);
+        machine.detector = DriftDetector(config_.thresholds);
+        it = suites_.emplace(name, std::move(machine)).first;
+    }
+    return it->second;
+}
+
+void
+DriftMonitor::absorbLocked(SuiteDrift &suite,
+                           const std::vector<store::HistoryEntry> &history)
+{
+    for (const store::HistoryEntry &entry : history) {
+        if (entry.sequence <= suite.lastSeen)
+            continue;
+        suite.online->observe(observationOf(entry));
+        suite.lastSeen = entry.sequence;
+    }
+}
+
+void
+DriftMonitor::absorb(const std::string &suite)
+{
+    obs::ScopedSpan span("drift.absorb");
+    const std::vector<store::HistoryEntry> history =
+        store_->history(suite);
+    std::lock_guard<std::mutex> lock(mutex_);
+    absorbLocked(machineLocked(suite), history);
+}
+
+void
+DriftMonitor::publishLocked(SuiteDrift &suite,
+                            const std::vector<linalg::Vector> &window,
+                            const std::vector<double> &ratios)
+{
+    suite.published = suite.online->codebook();
+    suite.publishedQe = quantizationError(suite.published, window);
+
+    // The published single number: the hierarchical geometric mean of
+    // the window's ratios under the clustering the codebook induces.
+    std::vector<double> clamped = ratios;
+    for (double &value : clamped)
+        value = std::max(value, kRatioFloor);
+    const scoring::Partition partition =
+        scoring::Partition::fromLabels(assignAll(suite.published, window));
+    suite.publishedMean =
+        scoring::hierarchicalGeometricMean(clamped, partition);
+}
+
+void
+DriftMonitor::persistLocked(const std::string &name,
+                            const SuiteDrift &suite)
+{
+    store::DriftStateRecord record;
+    record.suite = name;
+    record.state = static_cast<std::uint8_t>(suite.detector.state());
+    record.ticks = suite.ticks;
+    record.observations = suite.online->observed();
+    record.calmStreak = suite.detector.calmStreak();
+    record.lastSeenSequence = suite.lastSeen;
+    record.churn = suite.lastMetrics.churn;
+    record.stability = suite.lastMetrics.stability;
+    record.qeRatio = suite.lastMetrics.qeRatio;
+    record.metricWindow =
+        static_cast<std::uint32_t>(suite.lastMetrics.window);
+    record.publishedQe = suite.publishedQe;
+    record.publishedMean = suite.publishedMean;
+    record.somRows = static_cast<std::uint32_t>(config_.som.rows);
+    record.somCols = static_cast<std::uint32_t>(config_.som.cols);
+    record.dim = static_cast<std::uint32_t>(kObservationDim);
+    record.onlineWeights = suite.online->exportWeights();
+    if (suite.published.rows() > 0) {
+        record.publishedWeights.reserve(suite.published.rows() *
+                                        suite.published.cols());
+        for (std::size_t r = 0; r < suite.published.rows(); ++r)
+            for (std::size_t c = 0; c < suite.published.cols(); ++c)
+                record.publishedWeights.push_back(suite.published(r, c));
+    }
+    store_->recordDriftState(std::move(record));
+}
+
+DriftMonitor::Report
+DriftMonitor::reportLocked(const std::string &name,
+                           const SuiteDrift &suite) const
+{
+    Report report;
+    report.suite = name;
+    report.state = suite.detector.state();
+    report.metrics = suite.lastMetrics;
+    report.published = suite.published.rows() > 0;
+    report.publishedMean = suite.publishedMean;
+    report.publishedQe = suite.publishedQe;
+    report.ticks = suite.ticks;
+    report.observations = suite.online->observed();
+    report.calmStreak = suite.detector.calmStreak();
+    report.lastSequence = suite.lastSeen;
+    return report;
+}
+
+DriftMonitor::Report
+DriftMonitor::tick(const std::string &name)
+{
+    obs::ScopedSpan span("drift.tick");
+    const std::vector<store::HistoryEntry> history =
+        store_->history(name);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    SuiteDrift &suite = machineLocked(name);
+    absorbLocked(suite, history);
+    ++suite.ticks;
+
+    // The re-cluster window: the newest `window` history entries.
+    const std::size_t take = std::min(config_.window, history.size());
+    std::vector<linalg::Vector> window;
+    std::vector<double> ratios;
+    window.reserve(take);
+    ratios.reserve(take);
+    for (std::size_t i = history.size() - take; i < history.size(); ++i) {
+        window.push_back(observationOf(history[i]));
+        ratios.push_back(history[i].ratio);
+    }
+
+    if (suite.published.rows() == 0) {
+        // Nothing published yet: publish the first clustering once
+        // the map is seeded and the window is statistically worth
+        // quoting. Until then the suite simply reports Fresh.
+        if (suite.online->ready() && window.size() >= config_.minWindow)
+            publishLocked(suite, window, ratios);
+    } else if (!window.empty()) {
+        suite.lastMetrics = computeDriftMetrics(
+            suite.published, suite.online->codebook(), window,
+            suite.publishedQe);
+        const DriftState state = suite.detector.tick(suite.lastMetrics);
+        // While the stream still matches the published clustering,
+        // let the published number follow it. Once drifting, freeze
+        // the baseline so divergence stays measurable.
+        if (state == DriftState::Fresh)
+            publishLocked(suite, window, ratios);
+    }
+
+    persistLocked(name, suite);
+    return reportLocked(name, suite);
+}
+
+std::vector<DriftMonitor::Report>
+DriftMonitor::tickAll()
+{
+    std::vector<std::string> names;
+    for (const store::Suite &suite : store_->suites())
+        names.push_back(suite.name);
+    {
+        // Suites with history but no registry entry (ad-hoc rings are
+        // keyed "", which we skip) plus machines that already exist.
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, machine] : suites_)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+
+    std::vector<Report> reports;
+    reports.reserve(names.size());
+    for (const std::string &name : names)
+        reports.push_back(tick(name));
+    return reports;
+}
+
+std::optional<DriftMonitor::Report>
+DriftMonitor::report(const std::string &suite) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = suites_.find(suite);
+    if (it == suites_.end())
+        return std::nullopt;
+    return reportLocked(suite, it->second);
+}
+
+std::vector<DriftMonitor::Report>
+DriftMonitor::reports() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Report> all;
+    all.reserve(suites_.size());
+    for (const auto &[name, machine] : suites_)
+        all.push_back(reportLocked(name, machine));
+    return all;
+}
+
+std::size_t
+DriftMonitor::warmStart()
+{
+    const std::vector<store::DriftStateRecord> records =
+        store_->driftStates();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t restored = 0;
+    for (const store::DriftStateRecord &record : records) {
+        if (record.dim != kObservationDim ||
+            record.somRows != config_.som.rows ||
+            record.somCols != config_.som.cols)
+            continue; // shape changed across restarts: start fresh.
+        SuiteDrift machine;
+        machine.online = std::make_unique<OnlineSom>(kObservationDim,
+                                                     config_.som);
+        machine.online->restore(record.onlineWeights,
+                                record.observations);
+        if (!record.publishedWeights.empty()) {
+            machine.published =
+                linalg::Matrix(record.somRows * record.somCols,
+                               record.dim, 0.0);
+            std::size_t k = 0;
+            for (std::size_t r = 0; r < machine.published.rows(); ++r)
+                for (std::size_t c = 0; c < machine.published.cols();
+                     ++c)
+                    machine.published(r, c) =
+                        record.publishedWeights[k++];
+        }
+        machine.publishedQe = record.publishedQe;
+        machine.publishedMean = record.publishedMean;
+        machine.detector = DriftDetector(config_.thresholds);
+        machine.detector.restore(static_cast<DriftState>(record.state),
+                                 record.calmStreak, record.ticks);
+        machine.lastMetrics.churn = record.churn;
+        machine.lastMetrics.stability = record.stability;
+        machine.lastMetrics.qeRatio = record.qeRatio;
+        machine.lastMetrics.window = record.metricWindow;
+        machine.lastSeen = record.lastSeenSequence;
+        machine.ticks = record.ticks;
+        suites_[record.suite] = std::move(machine);
+        ++restored;
+    }
+    return restored;
+}
+
+} // namespace drift
+} // namespace hiermeans

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * DriftMonitor: per-suite streaming re-clustering over the store's
+ * score-history rings.
+ *
+ * One monitor per daemon. For every registered suite it keeps
+ *
+ *   - an OnlineSom over the suite's observation stream (each history
+ *     entry contributes the vector (ratio, plainRatio));
+ *   - the *published* clustering: a frozen copy of the codebook, its
+ *     baseline quantization error, and the hierarchical geometric
+ *     mean of the window it was published from — the single number
+ *     clients should be quoting;
+ *   - a DriftDetector classifying the suite fresh|drifting|stale.
+ *
+ * tick() is one re-cluster period: fold any new history entries into
+ * the online map, re-cluster the current window, score drift against
+ * the published clustering, advance the hysteresis machine, and —
+ * while the suite is Fresh — republish (codebook, baseline and mean
+ * follow the stream). A Drifting/Stale suite keeps its published
+ * clustering frozen so the divergence stays measurable and the
+ * staleness flag stays honest.
+ *
+ * Every tick persists the whole per-suite machine as one DriftUpdated
+ * WAL record (best-effort, like score recording): recovery restores
+ * the exact codebooks, counters and hysteresis position, so a
+ * SIGKILLed daemon resumes drift-watching bit-identically — and mesh
+ * replication ships drift state to followers with no extra code.
+ */
+
+#ifndef HIERMEANS_DRIFT_MONITOR_H
+#define HIERMEANS_DRIFT_MONITOR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/drift/detector.h"
+#include "src/drift/online_som.h"
+#include "src/store/store.h"
+
+namespace hiermeans {
+namespace drift {
+
+/** Observation dimensionality: (ratio, plainRatio) per score. */
+inline constexpr std::size_t kObservationDim = 2;
+
+/** Watches every suite's history ring for drift. Thread-safe. */
+class DriftMonitor
+{
+  public:
+    struct Config
+    {
+        /** Newest history entries re-clustered per tick. */
+        std::size_t window = 64;
+
+        /** Observations required before the first publish. */
+        std::size_t minWindow = 8;
+
+        DriftThresholds thresholds;
+
+        /** Streaming-map shape. Observations are 2-D, so a small
+         *  grid is plenty; 2x2 keeps assignment churn meaningful on
+         *  the default 8-observation minimum window. */
+        OnlineSomConfig som{.rows = 2, .cols = 2, .decaySteps = 200};
+    };
+
+    /** One suite's drift report (the /v1 drift payload). */
+    struct Report
+    {
+        std::string suite;
+        DriftState state = DriftState::Fresh;
+        DriftMetrics metrics;
+        bool published = false;    ///< a baseline clustering exists.
+        double publishedMean = 0.0; ///< HGM at last publish; 0 until.
+        double publishedQe = 0.0;
+        std::uint64_t ticks = 0;
+        std::uint64_t observations = 0;
+        std::uint32_t calmStreak = 0;
+        std::uint64_t lastSequence = 0; ///< history watermark.
+    };
+
+    /** @p store must outlive the monitor and be open. */
+    DriftMonitor(Config config, store::StateStore *store);
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Fold any history entries newer than the suite's watermark into
+     * its online codebook — the per-observation update, without a
+     * detector tick. Called after each /observe append.
+     */
+    void absorb(const std::string &suite);
+
+    /** One re-cluster period for @p suite (fold, score, advance the
+     *  machine, persist). Creates the suite's machine on first use. */
+    Report tick(const std::string &suite);
+
+    /** tick() every registered suite; reports in suite-name order. */
+    std::vector<Report> tickAll();
+
+    /** Current report without advancing anything; nullopt when the
+     *  suite has no drift machine yet. */
+    std::optional<Report> report(const std::string &suite) const;
+
+    /** Reports for every tracked suite, suite-name order. */
+    std::vector<Report> reports() const;
+
+    /** Rebuild per-suite machines from persisted DriftUpdated
+     *  records (boot warm start). Returns machines restored. */
+    std::size_t warmStart();
+
+  private:
+    struct SuiteDrift
+    {
+        std::unique_ptr<OnlineSom> online;
+        linalg::Matrix published; ///< empty until first publish.
+        double publishedQe = 0.0;
+        double publishedMean = 0.0;
+        DriftDetector detector;
+        DriftMetrics lastMetrics;
+        std::uint64_t lastSeen = 0; ///< history-sequence watermark.
+        std::uint64_t ticks = 0;
+    };
+
+    /** Fold history entries past the watermark. Requires mutex_. */
+    void absorbLocked(SuiteDrift &suite,
+                      const std::vector<store::HistoryEntry> &history);
+
+    /** Freeze the online codebook as the published clustering and
+     *  recompute baseline QE + hierarchical mean over @p window. */
+    void publishLocked(SuiteDrift &suite,
+                       const std::vector<linalg::Vector> &window,
+                       const std::vector<double> &ratios);
+
+    /** Persist the machine as a DriftUpdated record (best-effort). */
+    void persistLocked(const std::string &name,
+                       const SuiteDrift &suite);
+
+    Report reportLocked(const std::string &name,
+                        const SuiteDrift &suite) const;
+
+    SuiteDrift &machineLocked(const std::string &name);
+
+    Config config_;
+    store::StateStore *store_;
+    mutable std::mutex mutex_;
+    std::map<std::string, SuiteDrift> suites_;
+};
+
+} // namespace drift
+} // namespace hiermeans
+
+#endif // HIERMEANS_DRIFT_MONITOR_H

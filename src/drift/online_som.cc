@@ -1,0 +1,204 @@
+#include "src/drift/online_som.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace drift {
+
+namespace {
+
+double
+sigmaStartFor(const OnlineSomConfig &config)
+{
+    if (config.sigmaStart > 0.0)
+        return config.sigmaStart;
+    return std::max(config.rows, config.cols) / 2.0;
+}
+
+double
+distanceToRow(const linalg::Matrix &codebook, std::size_t row,
+              const linalg::Vector &x)
+{
+    const double *w = codebook.rowData(row);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        const double diff = x[c] - w[c];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+std::size_t
+nearestAmong(const linalg::Matrix &codebook, std::size_t count,
+             const linalg::Vector &x)
+{
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t u = 0; u < count; ++u) {
+        const double dist = distanceToRow(codebook, u, x);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = u;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+OnlineSom::OnlineSom(std::size_t dim, const OnlineSomConfig &config)
+    : config_(config),
+      topology_(config.rows, config.cols, config.grid), dim_(dim),
+      codebook_(topology_.unitCount(), dim, 0.0),
+      alpha_(config.decay, config.alphaStart, config.alphaEnd,
+             std::max<std::size_t>(config.decaySteps, 1)),
+      sigma_(config.decay, sigmaStartFor(config), config.sigmaEnd,
+             std::max<std::size_t>(config.decaySteps, 1))
+{
+    HM_REQUIRE(dim >= 1, "OnlineSom: dim must be >= 1");
+    HM_REQUIRE(config.rows >= 1 && config.cols >= 1,
+               "OnlineSom: grid must be at least 1x1");
+}
+
+void
+OnlineSom::observe(const linalg::Vector &x)
+{
+    HM_REQUIRE(x.size() == dim_, "OnlineSom::observe: vector has "
+                                     << x.size() << " features, map expects "
+                                     << dim_);
+    if (seeded_ < topology_.unitCount()) {
+        // Data-driven init: the first unitCount observations become
+        // the units, verbatim. Deterministic, and already at data
+        // scale — the decaying neighborhood updates that follow sort
+        // the topology out.
+        double *w = codebook_.rowData(seeded_);
+        for (std::size_t c = 0; c < dim_; ++c)
+            w[c] = x[c];
+        ++seeded_;
+        ++observed_;
+        return;
+    }
+
+    const std::size_t bmu = bestMatchingUnit(x);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(observed_, config_.decaySteps));
+    const double alpha = alpha_.value(n);
+    const double sigma = sigma_.value(n);
+    const double support = som::kernelSupportRadius(config_.kernel, sigma);
+    const double support_sq = support * support;
+    for (std::size_t u = 0; u < topology_.unitCount(); ++u) {
+        const double dist_sq = topology_.gridDistanceSquared(bmu, u);
+        if (dist_sq > support_sq)
+            continue;
+        const double h =
+            som::kernelValue(config_.kernel, dist_sq, alpha, sigma);
+        if (h <= 0.0)
+            continue;
+        double *w = codebook_.rowData(u);
+        for (std::size_t c = 0; c < dim_; ++c)
+            w[c] += h * (x[c] - w[c]);
+    }
+    ++observed_;
+}
+
+std::size_t
+OnlineSom::bestMatchingUnit(const linalg::Vector &x) const
+{
+    HM_REQUIRE(x.size() == dim_, "OnlineSom::bestMatchingUnit: vector has "
+                                     << x.size()
+                                     << " features, map expects " << dim_);
+    return nearestAmong(codebook_, std::max<std::size_t>(seeded_, 1), x);
+}
+
+double
+OnlineSom::quantizationError(
+    const std::vector<linalg::Vector> &window) const
+{
+    if (window.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const linalg::Vector &x : window)
+        total += std::sqrt(
+            distanceToRow(codebook_, bestMatchingUnit(x), x));
+    return total / static_cast<double>(window.size());
+}
+
+std::vector<double>
+OnlineSom::exportWeights() const
+{
+    std::vector<double> flat;
+    flat.reserve(topology_.unitCount() * dim_);
+    for (std::size_t u = 0; u < topology_.unitCount(); ++u) {
+        const double *w = codebook_.rowData(u);
+        flat.insert(flat.end(), w, w + dim_);
+    }
+    return flat;
+}
+
+void
+OnlineSom::restore(const std::vector<double> &weights,
+                   std::uint64_t observed)
+{
+    HM_REQUIRE(weights.size() == topology_.unitCount() * dim_,
+               "OnlineSom::restore: " << weights.size()
+                                      << " weights for a "
+                                      << topology_.unitCount() << "x"
+                                      << dim_ << " codebook");
+    for (std::size_t u = 0; u < topology_.unitCount(); ++u) {
+        double *w = codebook_.rowData(u);
+        for (std::size_t c = 0; c < dim_; ++c)
+            w[c] = weights[u * dim_ + c];
+    }
+    observed_ = observed;
+    seeded_ = static_cast<std::size_t>(std::min<std::uint64_t>(
+        observed, topology_.unitCount()));
+}
+
+std::size_t
+nearestUnit(const linalg::Matrix &codebook, const linalg::Vector &x)
+{
+    HM_REQUIRE(!codebook.empty(), "nearestUnit: empty codebook");
+    HM_REQUIRE(x.size() == codebook.cols(),
+               "nearestUnit: vector has " << x.size()
+                                          << " features, codebook has "
+                                          << codebook.cols());
+    return nearestAmong(codebook, codebook.rows(), x);
+}
+
+std::vector<std::size_t>
+assignAll(const linalg::Matrix &codebook,
+          const std::vector<linalg::Vector> &window)
+{
+    std::vector<std::size_t> labels;
+    labels.reserve(window.size());
+    for (const linalg::Vector &x : window)
+        labels.push_back(nearestUnit(codebook, x));
+    return labels;
+}
+
+double
+quantizationError(const linalg::Matrix &codebook,
+                  const std::vector<linalg::Vector> &window)
+{
+    if (window.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const linalg::Vector &x : window) {
+        const std::size_t unit = nearestUnit(codebook, x);
+        const double *w = codebook.rowData(unit);
+        double acc = 0.0;
+        for (std::size_t c = 0; c < x.size(); ++c) {
+            const double diff = x[c] - w[c];
+            acc += diff * diff;
+        }
+        total += std::sqrt(acc);
+    }
+    return total / static_cast<double>(window.size());
+}
+
+} // namespace drift
+} // namespace hiermeans

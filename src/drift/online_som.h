@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Online (streaming) self-organizing map.
+ *
+ * The batch pipeline (src/som) retrains a map from scratch over a
+ * static observation matrix. Streaming suites instead fold each new
+ * observation into an existing codebook with one application of the
+ * paper's sequential rule
+ *
+ *   w_i <- w_i + h_ci(n) * (x - w_i)
+ *
+ * where n is the number of observations absorbed so far and the
+ * alpha/sigma schedules decay to a *floor* instead of to zero — an
+ * online map must keep adapting forever, just slowly, or it could
+ * never follow a drifting workload population.
+ *
+ * Initialization is data-driven and deterministic: the first
+ * unitCount observations seed the units directly (no RNG), after
+ * which the neighborhood updates take over. The codebook is plain
+ * state — exportWeights()/restore() round-trip it exactly, which is
+ * how drift state survives crashes bit-identically (store WAL).
+ */
+
+#ifndef HIERMEANS_DRIFT_ONLINE_SOM_H
+#define HIERMEANS_DRIFT_ONLINE_SOM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+#include "src/som/kernel.h"
+#include "src/som/schedule.h"
+#include "src/som/topology.h"
+
+namespace hiermeans {
+namespace drift {
+
+/** Streaming-map configuration. */
+struct OnlineSomConfig
+{
+    std::size_t rows = 4;
+    std::size_t cols = 4;
+    som::GridKind grid = som::GridKind::Rectangular;
+    som::KernelKind kernel = som::KernelKind::Gaussian;
+    som::DecayKind decay = som::DecayKind::Exponential;
+
+    /** Learning rate: decays from start to end over decaySteps
+     *  observations, then stays at end (the adaptation floor). */
+    double alphaStart = 0.3;
+    double alphaEnd = 0.02;
+
+    /** Neighborhood radius; sigmaStart <= 0 selects the conventional
+     *  max(rows, cols) / 2. Decays like alpha, floors at sigmaEnd. */
+    double sigmaStart = 0.0;
+    double sigmaEnd = 0.5;
+
+    /** Observations over which the schedules decay to their floors. */
+    std::size_t decaySteps = 1000;
+};
+
+/** A codebook updated one observation at a time. */
+class OnlineSom
+{
+  public:
+    /** An empty map for @p dim-dimensional observations (dim >= 1). */
+    OnlineSom(std::size_t dim, const OnlineSomConfig &config);
+
+    /** Fold one observation into the codebook (the online update). */
+    void observe(const linalg::Vector &x);
+
+    /** Units seeded so far; the map is ready once every unit is. */
+    bool ready() const { return seeded_ == topology_.unitCount(); }
+
+    /** Observations absorbed so far. */
+    std::uint64_t observed() const { return observed_; }
+
+    std::size_t dim() const { return dim_; }
+    const OnlineSomConfig &config() const { return config_; }
+    const som::GridTopology &topology() const { return topology_; }
+
+    /** The live codebook (unitCount x dim; unseeded rows are zero). */
+    const linalg::Matrix &codebook() const { return codebook_; }
+
+    /** BMU of @p x among the seeded units (lowest index on ties). */
+    std::size_t bestMatchingUnit(const linalg::Vector &x) const;
+
+    /** Mean distance between each window vector and its BMU weight. */
+    double quantizationError(const std::vector<linalg::Vector> &window) const;
+
+    /** The codebook flattened row-major (for persistence). */
+    std::vector<double> exportWeights() const;
+
+    /**
+     * Restore a persisted codebook: @p weights must hold exactly
+     * unitCount * dim values; @p observed rebuilds the schedule
+     * position (seeded units are derived from it).
+     */
+    void restore(const std::vector<double> &weights,
+                 std::uint64_t observed);
+
+  private:
+    OnlineSomConfig config_;
+    som::GridTopology topology_;
+    std::size_t dim_;
+    linalg::Matrix codebook_;
+    som::DecaySchedule alpha_;
+    som::DecaySchedule sigma_;
+    std::uint64_t observed_ = 0;
+    std::size_t seeded_ = 0;
+};
+
+// --- codebook helpers (shared with the frozen published codebook) ----
+
+/** Index of the row of @p codebook closest to @p x (Euclidean,
+ *  lowest index on ties). Requires a non-empty codebook. */
+std::size_t nearestUnit(const linalg::Matrix &codebook,
+                        const linalg::Vector &x);
+
+/** nearestUnit for every vector of @p window. */
+std::vector<std::size_t>
+assignAll(const linalg::Matrix &codebook,
+          const std::vector<linalg::Vector> &window);
+
+/** Mean distance between each window vector and its nearest row. */
+double quantizationError(const linalg::Matrix &codebook,
+                         const std::vector<linalg::Vector> &window);
+
+} // namespace drift
+} // namespace hiermeans
+
+#endif // HIERMEANS_DRIFT_ONLINE_SOM_H

@@ -114,6 +114,11 @@
 #include "src/store/store.h"
 #include "src/store/wal.h"
 
+// drift — streaming suites: online re-clustering + drift detection
+#include "src/drift/detector.h"
+#include "src/drift/monitor.h"
+#include "src/drift/online_som.h"
+
 // server — HTTP serving layer over the engine
 #include "src/server/admission.h"
 #include "src/server/api.h"

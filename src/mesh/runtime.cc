@@ -378,7 +378,10 @@ MeshRuntime::handleCluster(const server::RequestContext &ctx)
                  << ",\"sequence\":" << replica->lastSequence() << "}";
         }
     }
-    data << "]}";
+    data << "]";
+    if (driftSummary_)
+        data << ",\"drift\":" << driftSummary_();
+    data << "}";
     return server::okResponse(data.str(), ctx.traceId);
 }
 

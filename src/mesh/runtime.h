@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +118,17 @@ class MeshRuntime : public server::ClusterHooks
 
     MeshMetrics metricsSnapshot() const;
 
+    /**
+     * Attach a provider of a drift-summary JSON value; its output is
+     * spliced into /v1/cluster as the `drift` field. Set by hmserved
+     * (Server::driftSummaryJson) — a std::function keeps the mesh
+     * layer free of a drift dependency. Call before start().
+     */
+    void setDriftSummary(std::function<std::string()> provider)
+    {
+        driftSummary_ = std::move(provider);
+    }
+
     // --- server::ClusterHooks ----------------------------------------
     server::ClusterRoute routeSuite(const std::string &suite,
                                     bool isWrite) override;
@@ -162,6 +174,7 @@ class MeshRuntime : public server::ClusterHooks
     HashRing ring_;
     std::vector<std::string> followers_;
     store::StateStore *store_ = nullptr;
+    std::function<std::string()> driftSummary_;
 
     std::map<std::string, std::unique_ptr<Peer>> peers_;
 

@@ -160,6 +160,21 @@ Server::Server(Config config)
                 [this](const RequestContext &c) {
                     return suites_.handleSnapshot(c);
                 });
+    router_.add("GET", "/v1/drift", [this](const RequestContext &c) {
+        return handleDriftList(c);
+    });
+    router_.add("POST", "/v1/admin/recluster",
+                [this](const RequestContext &c) {
+                    return handleRecluster(c);
+                });
+    router_.addPrefix("GET", "/v1/suites/",
+                      [this](const RequestContext &c) {
+                          return handleSuiteGet(c);
+                      });
+    router_.addPrefix("POST", "/v1/suites/",
+                      [this](const RequestContext &c) {
+                          return handleSuitePost(c);
+                      });
     if (config_.cluster != nullptr) {
         router_.add("GET", "/v1/cluster",
                     [this](const RequestContext &c) {
@@ -183,13 +198,49 @@ Server::start()
     if (suites_.store() != nullptr) {
         warmedEntries_ = suites_.warmStart(engine_);
         HM_LOG(Info) << "store: cache warmed=" << warmedEntries_;
+        drift_ = std::make_unique<drift::DriftMonitor>(
+            config_.drift, suites_.store());
+        const std::size_t machines = drift_->warmStart();
+        if (machines > 0)
+            HM_LOG(Info) << "drift: restored " << machines
+                         << " suite monitor(s)";
+        if (config_.reclusterEverySeconds > 0.0)
+            reclusterThread_ = std::thread([this] { reclusterLoop(); });
     }
     transport_.start();
 }
 
 void
+Server::reclusterLoop()
+{
+    // Sleep in short slices so stop() never waits a whole period.
+    constexpr auto kSlice = std::chrono::milliseconds(20);
+    const auto period = std::chrono::duration<double>(
+        config_.reclusterEverySeconds);
+    auto next = std::chrono::steady_clock::now() + period;
+    while (!reclusterStop_.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() < next) {
+            std::this_thread::sleep_for(kSlice);
+            continue;
+        }
+        next += period;
+        try {
+            const std::size_t ticked = drift_->tickAll().size();
+            if (ticked > 0 && config_.cluster != nullptr)
+                config_.cluster->afterWrite();
+        } catch (const std::exception &e) {
+            HM_LOG(Warn) << "drift: recluster pass failed: "
+                         << e.what();
+        }
+    }
+}
+
+void
 Server::stop()
 {
+    reclusterStop_.store(true, std::memory_order_relaxed);
+    if (reclusterThread_.joinable())
+        reclusterThread_.join();
     if (!transport_.running())
         return;
     health_.setDraining(); // /healthz flips to 503 for the drain.
@@ -578,6 +629,178 @@ Server::handleTraces(const RequestContext &ctx)
     return okResponse(data.str(), ctx.traceId);
 }
 
+namespace {
+
+/** One suite's drift report as a JSON object (the /v1 payloads). */
+std::string
+driftReportJson(const drift::DriftMonitor::Report &report)
+{
+    std::ostringstream out;
+    out << "{\"suite\":" << json::quote(report.suite)
+        << ",\"state\":\"" << drift::driftStateName(report.state)
+        << "\",\"published\":" << (report.published ? "true" : "false")
+        << ",\"published_mean\":" << json::number(report.publishedMean)
+        << ",\"published_qe\":" << json::number(report.publishedQe)
+        << ",\"churn\":" << json::number(report.metrics.churn)
+        << ",\"stability\":" << json::number(report.metrics.stability)
+        << ",\"qe_ratio\":" << json::number(report.metrics.qeRatio)
+        << ",\"window\":" << report.metrics.window
+        << ",\"ticks\":" << report.ticks
+        << ",\"observations\":" << report.observations
+        << ",\"calm_streak\":" << report.calmStreak
+        << ",\"last_sequence\":" << report.lastSequence << "}";
+    return out.str();
+}
+
+/** Split a /v1/suites/ sub-path into "<name>" and the "<action>"
+ *  after the next slash ("" when absent). */
+void
+splitSuitePath(const std::string &path, std::string &name,
+               std::string &action)
+{
+    static const std::string kPrefix = "/v1/suites/";
+    const std::string rest =
+        path.size() > kPrefix.size() ? path.substr(kPrefix.size()) : "";
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+        name = rest;
+        action.clear();
+    } else {
+        name = rest.substr(0, slash);
+        action = rest.substr(slash + 1);
+    }
+}
+
+} // namespace
+
+HttpResponse
+Server::handleDriftList(const RequestContext &ctx)
+{
+    if (drift_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "drift monitoring needs a durable store "
+                             "(start hmserved with --data-dir)",
+                             ctx.traceId);
+    const std::vector<drift::DriftMonitor::Report> reports =
+        drift_->reports();
+    std::ostringstream data;
+    data << "{\"count\":" << reports.size()
+         << ",\"recluster_every_seconds\":"
+         << json::number(config_.reclusterEverySeconds)
+         << ",\"suites\":[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i > 0)
+            data << ",";
+        data << driftReportJson(reports[i]);
+    }
+    data << "]}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
+HttpResponse
+Server::handleSuiteGet(const RequestContext &ctx)
+{
+    std::string name, action;
+    splitSuitePath(ctx.http.path(), name, action);
+    if (name.empty() || action != "drift")
+        return errorResponse(ApiError::NotFound,
+                             "no such endpoint: " + ctx.http.path(),
+                             ctx.traceId);
+    const ClusterRoute route = suites_.route(ctx, name, false);
+    if (route.action != ClusterRoute::Action::Local)
+        return suites_.cluster()->relay(ctx, route);
+    if (drift_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "drift monitoring needs a durable store "
+                             "(start hmserved with --data-dir)",
+                             ctx.traceId);
+    std::optional<drift::DriftMonitor::Report> report =
+        drift_->report(name);
+    if (!report.has_value()) {
+        if (!suites_.store()->resolveSuite(name).has_value())
+            return errorResponse(ApiError::SuiteUnknown,
+                                 "no registered suite `" + name + "`",
+                                 ctx.traceId);
+        // Registered but never observed or ticked: a default-fresh
+        // report, so pollers need no special case before first tick.
+        report = drift::DriftMonitor::Report{};
+        report->suite = name;
+    }
+    return okResponse(driftReportJson(*report), ctx.traceId);
+}
+
+HttpResponse
+Server::handleSuitePost(const RequestContext &ctx)
+{
+    std::string name, action;
+    splitSuitePath(ctx.http.path(), name, action);
+    if (name.empty() || action != "observe")
+        return errorResponse(ApiError::NotFound,
+                             "no such endpoint: " + ctx.http.path(),
+                             ctx.traceId);
+    HttpResponse response = suites_.handleObserve(ctx, name);
+    // Fold the fresh observation into the online map right away so a
+    // drift probe between ticks already sees it.
+    if (response.status == 200 && drift_ != nullptr)
+        drift_->absorb(name);
+    return response;
+}
+
+HttpResponse
+Server::handleRecluster(const RequestContext &ctx)
+{
+    obs::ScopedSpan span("drift.recluster");
+    if (drift_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "drift monitoring needs a durable store "
+                             "(start hmserved with --data-dir)",
+                             ctx.traceId);
+    const std::string suite = ctx.http.queryParam("suite", "");
+    std::vector<drift::DriftMonitor::Report> reports;
+    if (!suite.empty()) {
+        if (!suites_.store()->resolveSuite(suite).has_value() &&
+            !drift_->report(suite).has_value())
+            return errorResponse(ApiError::SuiteUnknown,
+                                 "no registered suite `" + suite + "`",
+                                 ctx.traceId);
+        reports.push_back(drift_->tick(suite));
+    } else {
+        reports = drift_->tickAll();
+    }
+    if (!reports.empty() && config_.cluster != nullptr)
+        config_.cluster->afterWrite();
+    std::ostringstream data;
+    data << "{\"ticked\":" << reports.size() << ",\"suites\":[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i > 0)
+            data << ",";
+        data << driftReportJson(reports[i]);
+    }
+    data << "]}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
+std::string
+Server::driftSummaryJson() const
+{
+    if (drift_ == nullptr)
+        return "[]";
+    const std::vector<drift::DriftMonitor::Report> reports =
+        drift_->reports();
+    std::string out = "[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += "{\"suite\":" + json::quote(reports[i].suite) +
+               ",\"state\":\"" +
+               drift::driftStateName(reports[i].state) +
+               "\",\"published_mean\":" +
+               json::number(reports[i].publishedMean) + "}";
+    }
+    out += "]";
+    return out;
+}
+
 HealthState
 Server::healthState() const
 {
@@ -861,6 +1084,62 @@ Server::renderPrometheus() const
                  "gauge");
         w.gauge("hiermeans_store_results", {},
                 static_cast<double>(sm.resultCount));
+    }
+
+    // --- drift (emitted only when the monitor is running) -------------
+    if (drift_ != nullptr) {
+        const std::vector<drift::DriftMonitor::Report> reports =
+            drift_->reports();
+        w.header("hiermeans_drift_suites",
+                 "Suites with a drift monitor attached.", "gauge");
+        w.gauge("hiermeans_drift_suites", {},
+                static_cast<double>(reports.size()));
+        w.header("hiermeans_drift_state",
+                 "Per-suite staleness (1 on the active series).",
+                 "gauge");
+        for (const drift::DriftMonitor::Report &r : reports) {
+            const char *active = drift::driftStateName(r.state);
+            for (const char *state : {"fresh", "drifting", "stale"})
+                w.gauge("hiermeans_drift_state",
+                        {{"suite", r.suite}, {"state", state}},
+                        std::string_view(active) == state ? 1.0 : 0.0);
+        }
+        w.header("hiermeans_drift_churn",
+                 "Assignment churn vs the published clustering "
+                 "(fraction of the window).",
+                 "gauge");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.gauge("hiermeans_drift_churn", {{"suite", r.suite}},
+                    r.metrics.churn);
+        w.header("hiermeans_drift_stability",
+                 "Adjusted Rand index vs the published clustering.",
+                 "gauge");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.gauge("hiermeans_drift_stability", {{"suite", r.suite}},
+                    r.metrics.stability);
+        w.header("hiermeans_drift_qe_ratio",
+                 "Window quantization error over the published "
+                 "baseline.",
+                 "gauge");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.gauge("hiermeans_drift_qe_ratio", {{"suite", r.suite}},
+                    r.metrics.qeRatio);
+        w.header("hiermeans_drift_published_mean",
+                 "Hierarchical geometric mean at last publish.",
+                 "gauge");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.gauge("hiermeans_drift_published_mean",
+                    {{"suite", r.suite}}, r.publishedMean);
+        w.header("hiermeans_drift_ticks_total",
+                 "Re-cluster ticks per suite.", "counter");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.counter("hiermeans_drift_ticks_total",
+                      {{"suite", r.suite}}, r.ticks);
+        w.header("hiermeans_drift_observations_total",
+                 "Observations folded into the online map.", "counter");
+        for (const drift::DriftMonitor::Report &r : reports)
+            w.counter("hiermeans_drift_observations_total",
+                      {{"suite", r.suite}}, r.observations);
     }
 
     // --- mesh (emitted only in cluster mode) --------------------------

@@ -76,12 +76,15 @@
 #ifndef HIERMEANS_SERVER_SERVER_H
 #define HIERMEANS_SERVER_SERVER_H
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "src/drift/monitor.h"
 #include "src/engine/engine.h"
 #include "src/engine/manifest.h"
 #include "src/server/admission.h"
@@ -141,6 +144,15 @@ class Server
          *  the server; routes /v1/cluster, /v1/mesh/replicate and the
          *  suite-affine routing decisions through it. */
         ClusterHooks *cluster = nullptr;
+
+        /** Seconds between automatic drift re-cluster passes
+         *  (hmserved --recluster-every). 0 disables the background
+         *  job; POST /v1/admin/recluster still ticks on demand. */
+        double reclusterEverySeconds = 0.0;
+
+        /** Drift-monitor tuning (window sizes, thresholds, map
+         *  shape). Only consulted when the store is mounted. */
+        drift::DriftMonitor::Config drift;
     };
 
     explicit Server(Config config);
@@ -185,6 +197,15 @@ class Server
     /** Cache entries repopulated from the store at start(). */
     std::size_t warmedCacheEntries() const { return warmedEntries_; }
 
+    /** The drift monitor; nullptr until start(), or when persistence
+     *  is off (drift needs the history rings). */
+    drift::DriftMonitor *driftMonitor() { return drift_.get(); }
+
+    /** Compact per-suite drift states as a JSON value (the `drift`
+     *  field a mesh node splices into /v1/cluster); "[]" when drift
+     *  monitoring is off. */
+    std::string driftSummaryJson() const;
+
     const ServerMetrics &metrics() const { return metrics_; }
     CircuitBreaker &breaker() { return breaker_; }
     HealthMonitor &health() { return health_; }
@@ -209,6 +230,18 @@ class Server
     HttpResponse handleHealthz(const RequestContext &ctx);
     HttpResponse handleTrace(const RequestContext &ctx);
     HttpResponse handleTraces(const RequestContext &ctx);
+
+    /** GET /v1/drift: every tracked suite's drift report. */
+    HttpResponse handleDriftList(const RequestContext &ctx);
+    /** GET /v1/suites/<name>/drift (and 404s for other suffixes). */
+    HttpResponse handleSuiteGet(const RequestContext &ctx);
+    /** POST /v1/suites/<name>/observe (other suffixes 404). */
+    HttpResponse handleSuitePost(const RequestContext &ctx);
+    /** POST /v1/admin/recluster[?suite=X]: force a drift tick. */
+    HttpResponse handleRecluster(const RequestContext &ctx);
+
+    /** The --recluster-every background job. */
+    void reclusterLoop();
 
     /** 503 + Retry-After (the admission-shed and overflow answer). */
     static HttpResponse overloadedResponse(const std::string &traceId);
@@ -239,6 +272,9 @@ class Server
     HttpTransport transport_;
     engine::CsvCache csvs_;
     util::CommandLine requestDefaults_;
+    std::unique_ptr<drift::DriftMonitor> drift_;
+    std::thread reclusterThread_;
+    std::atomic<bool> reclusterStop_{false};
     std::size_t warmedEntries_ = 0;
     bool started_ = false;
 };

@@ -496,6 +496,73 @@ SuiteService::handleSnapshot(const RequestContext &ctx)
     }
 }
 
+HttpResponse
+SuiteService::handleObserve(const RequestContext &ctx,
+                            const std::string &suite)
+{
+    if (suite.empty()) {
+        metrics_.onMalformed();
+        return errorResponse(ApiError::BadRequest,
+                             "observe needs a suite name in the path",
+                             ctx.traceId);
+    }
+    const ClusterRoute route = routeFor(ctx, suite, true);
+    if (route.action != ClusterRoute::Action::Local)
+        return cluster_->relay(ctx, route);
+    if (store_ == nullptr)
+        return errorResponse(ApiError::StoreDisabled,
+                             "no durable store (start hmserved with "
+                             "--data-dir)",
+                             ctx.traceId);
+    const std::optional<store::SuiteVersion> stored =
+        resolveAnywhere(suite, 0);
+    if (!stored.has_value())
+        return errorResponse(ApiError::SuiteUnknown,
+                             "no registered suite `" + suite + "`",
+                             ctx.traceId);
+
+    const std::optional<double> ratio =
+        json::findNumber(ctx.http.body, "ratio");
+    if (!ratio.has_value() || !(*ratio > 0.0)) {
+        metrics_.onMalformed();
+        return errorResponse(
+            ApiError::BadRequest,
+            "observe body needs a positive numeric `ratio`",
+            ctx.traceId);
+    }
+    const double plain_ratio =
+        json::findNumber(ctx.http.body, "plain_ratio").value_or(*ratio);
+    const std::string id =
+        json::findString(ctx.http.body, "id").value_or("observe");
+
+    store::ScoreRecord record; // empty report = history-only entry.
+    record.suite = suite;
+    record.suiteVersion = stored->version;
+    record.id = id;
+    record.fingerprint =
+        store::crc32(suite + "\n" + id + "\n" + json::number(*ratio) +
+                     "\n" + json::number(plain_ratio));
+    record.ratio = *ratio;
+    record.plainRatio = plain_ratio;
+    if (!store_->recordScore(std::move(record)))
+        return errorResponse(ApiError::Internal,
+                             "observation not persisted (WAL append "
+                             "failed)",
+                             ctx.traceId);
+    if (cluster_ != nullptr)
+        cluster_->afterWrite();
+
+    const std::vector<store::HistoryEntry> entries =
+        store_->history(suite);
+    std::ostringstream data;
+    data << "{\"suite\":" << json::quote(suite)
+         << ",\"sequence\":" << store_->lastSequence()
+         << ",\"ratio\":" << json::number(*ratio)
+         << ",\"plain_ratio\":" << json::number(plain_ratio)
+         << ",\"history\":" << entries.size() << "}";
+    return okResponse(data.str(), ctx.traceId);
+}
+
 void
 SuiteService::persistScore(const engine::ScoreResult &result,
                            const std::string &suite,

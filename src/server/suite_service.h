@@ -98,6 +98,25 @@ class SuiteService
     HttpResponse handleHistory(const RequestContext &ctx);
     HttpResponse handleSnapshot(const RequestContext &ctx);
 
+    /**
+     * POST /v1/suites/<name>/observe: append one externally-measured
+     * observation (`{"ratio":r[,"plain_ratio":p][,"id":"..."]}`) to
+     * @p suite's history ring without re-registering or re-scoring —
+     * the streaming feed the drift monitor folds in. Unlike score
+     * persistence this write IS the request, so a WAL failure answers
+     * 500 instead of being swallowed.
+     */
+    HttpResponse handleObserve(const RequestContext &ctx,
+                               const std::string &suite);
+
+    /** The routing decision for @p suite (public face of routeFor,
+     *  for handlers living outside this service). */
+    ClusterRoute route(const RequestContext &ctx,
+                       const std::string &suite, bool isWrite) const
+    {
+        return routeFor(ctx, suite, isWrite);
+    }
+
     /** Persist one pipeline-executed score (then replicate, in
      *  cluster mode); no-op without a store. WAL failures are
      *  counted by the store, never propagated. */

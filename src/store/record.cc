@@ -68,6 +68,7 @@ knownRecordType(std::uint8_t type)
     case RecordType::SuiteRegistered:
     case RecordType::ScoreRecorded:
     case RecordType::ConfigChanged:
+    case RecordType::DriftUpdated:
     case RecordType::SnapshotHeader:
         return true;
     }

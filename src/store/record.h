@@ -45,6 +45,7 @@ enum class RecordType : std::uint8_t
     SuiteRegistered = 1, ///< a named, versioned manifest.
     ScoreRecorded = 2,   ///< one executed score (report included).
     ConfigChanged = 3,   ///< a store-level setting changed.
+    DriftUpdated = 4,    ///< one suite's drift-monitor state.
     SnapshotHeader = 100 ///< first record of a snapshot file.
 };
 

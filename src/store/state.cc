@@ -145,6 +145,31 @@ encodeConfigChanged(const ConfigChange &change)
 }
 
 std::string
+encodeDriftUpdated(const DriftStateRecord &record)
+{
+    BinaryWriter writer;
+    writer.u64(record.sequence);
+    writer.str(record.suite);
+    writer.u8(record.state);
+    writer.u64(record.ticks);
+    writer.u64(record.observations);
+    writer.u32(record.calmStreak);
+    writer.u64(record.lastSeenSequence);
+    writer.f64(record.churn);
+    writer.f64(record.stability);
+    writer.f64(record.qeRatio);
+    writer.u32(record.metricWindow);
+    writer.f64(record.publishedQe);
+    writer.f64(record.publishedMean);
+    writer.u32(record.somRows);
+    writer.u32(record.somCols);
+    writer.u32(record.dim);
+    writer.f64Vec(record.onlineWeights);
+    writer.f64Vec(record.publishedWeights);
+    return writer.take();
+}
+
+std::string
 encodeSnapshotHeader(std::uint64_t last_sequence,
                      const StoreLimits &limits)
 {
@@ -207,6 +232,9 @@ StoreState::apply(const Record &record)
         break;
     case RecordType::ConfigChanged:
         applyConfigChanged(reader);
+        break;
+    case RecordType::DriftUpdated:
+        applyDriftUpdated(reader);
         break;
     case RecordType::SnapshotHeader:
         throw InvalidArgument(
@@ -321,6 +349,48 @@ StoreState::applyConfigChanged(BinaryReader &reader)
 }
 
 void
+StoreState::applyDriftUpdated(BinaryReader &reader)
+{
+    DriftStateRecord record;
+    record.sequence = pendingSequence_;
+    record.suite = reader.str();
+    record.state = reader.u8();
+    record.ticks = reader.u64();
+    record.observations = reader.u64();
+    record.calmStreak = reader.u32();
+    record.lastSeenSequence = reader.u64();
+    record.churn = reader.f64();
+    record.stability = reader.f64();
+    record.qeRatio = reader.f64();
+    record.metricWindow = reader.u32();
+    record.publishedQe = reader.f64();
+    record.publishedMean = reader.f64();
+    record.somRows = reader.u32();
+    record.somCols = reader.u32();
+    record.dim = reader.u32();
+    record.onlineWeights = reader.f64Vec();
+    record.publishedWeights = reader.f64Vec();
+    reader.expectDone("DriftUpdated");
+    HM_REQUIRE(record.state <= 2, "DriftUpdated: bad state "
+                                      << int(record.state));
+    HM_REQUIRE(record.onlineWeights.size() ==
+                   std::size_t(record.somRows) * record.somCols *
+                       record.dim,
+               "DriftUpdated: online codebook shape mismatch");
+    HM_REQUIRE(record.publishedWeights.empty() ||
+                   record.publishedWeights.size() ==
+                       record.onlineWeights.size(),
+               "DriftUpdated: published codebook shape mismatch");
+
+    // Latest state wins; stale replays (out-of-order replication
+    // batches) must not roll a suite's machine backwards.
+    const auto it = drift_.find(record.suite);
+    if (it != drift_.end() && it->second.sequence >= record.sequence)
+        return;
+    drift_[record.suite] = std::move(record);
+}
+
+void
 StoreState::trimHistory(std::deque<HistoryEntry> &ring)
 {
     while (ring.size() > limits_.historyCapacity)
@@ -387,6 +457,13 @@ StoreState::historySizes() const
     return sizes;
 }
 
+const DriftStateRecord *
+StoreState::driftState(const std::string &suite) const
+{
+    const auto it = drift_.find(suite);
+    return it == drift_.end() ? nullptr : &it->second;
+}
+
 std::vector<const ScoreRecord *>
 StoreState::results() const
 {
@@ -443,6 +520,11 @@ StoreState::encodeSnapshotBody() const
         body += frameRecord(RecordType::ScoreRecorded,
                             encodeScoreRecorded(record));
     }
+
+    // 4. Drift state, suite name ascending (one latest record each).
+    for (const auto &[suite, record] : drift_)
+        body += frameRecord(RecordType::DriftUpdated,
+                            encodeDriftUpdated(record));
     return body;
 }
 

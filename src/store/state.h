@@ -96,6 +96,40 @@ struct ConfigChange
     std::string value;
 };
 
+/**
+ * One suite's drift-monitor state, as persisted (DriftUpdated). The
+ * store treats it as opaque latest-wins state keyed by suite; the
+ * drift subsystem (src/drift) owns the semantics. Carrying the full
+ * online + published codebooks makes recovery bit-identical: a
+ * restarted monitor resumes from exactly the machine the crash
+ * interrupted, and replication ships drift state to followers for
+ * free.
+ */
+struct DriftStateRecord
+{
+    std::uint64_t sequence = 0;
+    std::string suite;
+    std::uint8_t state = 0; ///< drift::DriftState numeric value.
+    std::uint64_t ticks = 0;
+    std::uint64_t observations = 0;
+    std::uint32_t calmStreak = 0;
+    /** Highest history-ring sequence folded into the online map. */
+    std::uint64_t lastSeenSequence = 0;
+    double churn = 0.0;
+    double stability = 1.0;
+    double qeRatio = 1.0;
+    std::uint32_t metricWindow = 0;
+    double publishedQe = 0.0;
+    double publishedMean = 0.0;
+    std::uint32_t somRows = 0;
+    std::uint32_t somCols = 0;
+    std::uint32_t dim = 0;
+    std::vector<double> onlineWeights;
+    std::vector<double> publishedWeights; ///< empty = never published.
+
+    bool operator==(const DriftStateRecord &) const = default;
+};
+
 /** Retention bounds; changeable at runtime through ConfigChanged
  *  records (keys "history-capacity", "result-capacity",
  *  "suite-versions"). */
@@ -124,6 +158,7 @@ std::string encodeSuiteRegistered(const std::string &name,
                                   const SuiteVersion &version);
 std::string encodeScoreRecorded(const ScoreRecord &record);
 std::string encodeConfigChanged(const ConfigChange &change);
+std::string encodeDriftUpdated(const DriftStateRecord &record);
 std::string encodeSnapshotHeader(std::uint64_t last_sequence,
                                  const StoreLimits &limits);
 
@@ -188,6 +223,16 @@ class StoreState
     /** Suite name -> entries currently retained (all rings). */
     std::map<std::string, std::size_t> historySizes() const;
 
+    // --- drift state ------------------------------------------------
+    /** Latest persisted drift state per suite (DriftUpdated wins). */
+    const std::map<std::string, DriftStateRecord> &driftStates() const
+    {
+        return drift_;
+    }
+
+    /** Latest drift state of @p suite; nullptr when never recorded. */
+    const DriftStateRecord *driftState(const std::string &suite) const;
+
     // --- warm-start results -----------------------------------------
     /** Retained full score records, ascending by sequence. */
     std::vector<const ScoreRecord *> results() const;
@@ -199,10 +244,11 @@ class StoreState
     /**
      * Canonical encoding of the full state as a flat record stream
      * (no header frame): SuiteRegistered records (name asc, version
-     * asc), full ScoreRecorded records (sequence asc), then
-     * history-only ScoreRecorded records (sequence asc). Equal
-     * states produce equal bytes; a SnapshotHeader frame followed by
-     * this body is exactly a snapshot file.
+     * asc), full ScoreRecorded records (sequence asc), history-only
+     * ScoreRecorded records (sequence asc), then DriftUpdated
+     * records (suite name asc). Equal states produce equal bytes; a
+     * SnapshotHeader frame followed by this body is exactly a
+     * snapshot file.
      */
     std::string encodeSnapshotBody() const;
 
@@ -210,6 +256,7 @@ class StoreState
     void applySuiteRegistered(BinaryReader &reader);
     void applyScoreRecorded(BinaryReader &reader);
     void applyConfigChanged(BinaryReader &reader);
+    void applyDriftUpdated(BinaryReader &reader);
     void trimHistory(std::deque<HistoryEntry> &ring);
     void trimResults();
     void trimAllHistory();
@@ -226,6 +273,8 @@ class StoreState
     std::map<std::uint64_t, ScoreRecord> resultsByFingerprint_;
     /** sequence -> fingerprint: canonical result order + trim order. */
     std::map<std::uint64_t, std::uint64_t> resultBySequence_;
+    /** suite -> latest drift state (DriftUpdated, latest wins). */
+    std::map<std::string, DriftStateRecord> drift_;
 };
 
 } // namespace store

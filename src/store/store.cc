@@ -164,6 +164,22 @@ StateStore::recordScore(ScoreRecord record)
     return true;
 }
 
+bool
+StateStore::recordDriftState(DriftStateRecord record)
+{
+    HM_REQUIRE(!record.suite.empty(),
+               "recordDriftState: suite must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.sequence = state_.nextSequence();
+    try {
+        commit(RecordType::DriftUpdated, encodeDriftUpdated(record));
+    } catch (const Error &) {
+        return false; // counted by the WAL writer; monitor unaffected.
+    }
+    maybeSnapshot();
+    return true;
+}
+
 void
 StateStore::changeConfig(const std::string &key, const std::string &value)
 {
@@ -254,6 +270,27 @@ StateStore::scoreRecords() const
     for (const ScoreRecord *record : state_.results())
         copies.push_back(*record);
     return copies;
+}
+
+std::vector<DriftStateRecord>
+StateStore::driftStates() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<DriftStateRecord> copies;
+    copies.reserve(state_.driftStates().size());
+    for (const auto &[suite, record] : state_.driftStates())
+        copies.push_back(record);
+    return copies;
+}
+
+std::optional<DriftStateRecord>
+StateStore::driftState(const std::string &suite) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const DriftStateRecord *found = state_.driftState(suite);
+    if (found == nullptr)
+        return std::nullopt;
+    return *found;
 }
 
 std::uint64_t

@@ -175,6 +175,15 @@ class StateStore
     void changeConfig(const std::string &key, const std::string &value);
 
     /**
+     * Persist one suite's drift-monitor state (record.sequence is
+     * assigned here; latest record per suite wins on replay). Best
+     * effort like recordScore: returns false — and counts the
+     * failure — when the WAL append fails; the monitor keeps its
+     * in-memory state regardless.
+     */
+    bool recordDriftState(DriftStateRecord record);
+
+    /**
      * Write a snapshot now, truncate the WAL, and delete older
      * snapshot generations. Returns the sequence it captured.
      * Throws when the snapshot cannot be written (the WAL is left
@@ -194,6 +203,14 @@ class StateStore
 
     /** Every retained full score record (warm-start feed). */
     std::vector<ScoreRecord> scoreRecords() const;
+
+    /** Latest persisted drift state per suite (warm-start feed for
+     *  the drift monitor). */
+    std::vector<DriftStateRecord> driftStates() const;
+
+    /** Latest drift state of @p suite; nullopt when never recorded. */
+    std::optional<DriftStateRecord>
+    driftState(const std::string &suite) const;
 
     std::uint64_t lastSequence() const;
 

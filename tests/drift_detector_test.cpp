@@ -1,0 +1,228 @@
+/**
+ * Drift metrics and the hysteresis machine: severity classification
+ * against both threshold rungs, the churn/stability/QE-ratio math on
+ * hand-built codebooks (including the churn-vs-ARI distinction: a
+ * relabeled partition churns but stays stable), and every transition
+ * of the fresh -> drifting -> stale machine — severe jumps straight
+ * up, step-downs need a full calm streak, and a single mild tick
+ * resets the streak.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/drift/detector.h"
+#include "src/drift/online_som.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::drift;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+DriftMetrics
+metrics(double churn, double stability, double qe_ratio)
+{
+    DriftMetrics m;
+    m.churn = churn;
+    m.stability = stability;
+    m.qeRatio = qe_ratio;
+    m.window = 16;
+    return m;
+}
+
+TEST(DriftStateTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(driftStateName(DriftState::Fresh), "fresh");
+    EXPECT_STREQ(driftStateName(DriftState::Drifting), "drifting");
+    EXPECT_STREQ(driftStateName(DriftState::Stale), "stale");
+    EXPECT_EQ(parseDriftState("fresh"), DriftState::Fresh);
+    EXPECT_EQ(parseDriftState("drifting"), DriftState::Drifting);
+    EXPECT_EQ(parseDriftState("stale"), DriftState::Stale);
+    EXPECT_THROW(parseDriftState("frozen"), InvalidArgument);
+}
+
+TEST(ClassifySeverityTest, EachMetricTriggersItsRung)
+{
+    const DriftThresholds t; // 0.25/0.55, 0.7/0.3, 1.6/2.5
+    EXPECT_EQ(classifySeverity(metrics(0.0, 1.0, 1.0), t),
+              DriftSeverity::Calm);
+    // Churn rungs (thresholds are inclusive).
+    EXPECT_EQ(classifySeverity(metrics(0.25, 1.0, 1.0), t),
+              DriftSeverity::Mild);
+    EXPECT_EQ(classifySeverity(metrics(0.55, 1.0, 1.0), t),
+              DriftSeverity::Severe);
+    // Stability rungs (low ARI is bad).
+    EXPECT_EQ(classifySeverity(metrics(0.0, 0.7, 1.0), t),
+              DriftSeverity::Mild);
+    EXPECT_EQ(classifySeverity(metrics(0.0, 0.3, 1.0), t),
+              DriftSeverity::Severe);
+    // QE-ratio rungs.
+    EXPECT_EQ(classifySeverity(metrics(0.0, 1.0, 1.6), t),
+              DriftSeverity::Mild);
+    EXPECT_EQ(classifySeverity(metrics(0.0, 1.0, 2.5), t),
+              DriftSeverity::Severe);
+    // One severe metric dominates two calm ones.
+    EXPECT_EQ(classifySeverity(metrics(0.6, 1.0, 1.0), t),
+              DriftSeverity::Severe);
+    EXPECT_STREQ(driftSeverityName(DriftSeverity::Mild), "mild");
+}
+
+TEST(ComputeDriftMetricsTest, IdenticalCodebooksAreCalm)
+{
+    const Matrix published = Matrix::fromRows({{0.0, 0.0}, {10.0, 10.0}});
+    const std::vector<Vector> window = {
+        {0.1, 0.2}, {9.8, 10.1}, {0.0, -0.1}, {10.2, 9.9}};
+    const double baseline = quantizationError(published, window);
+    const DriftMetrics m =
+        computeDriftMetrics(published, published, window, baseline);
+    EXPECT_EQ(m.window, 4u);
+    EXPECT_DOUBLE_EQ(m.churn, 0.0);
+    EXPECT_DOUBLE_EQ(m.stability, 1.0);
+    EXPECT_NEAR(m.qeRatio, 1.0, 1e-12);
+}
+
+TEST(ComputeDriftMetricsTest, RelabeledPartitionChurnsButStaysStable)
+{
+    // The online codebook is the published one with the unit rows
+    // swapped: every observation's BMU index changes (churn 1.0) but
+    // the induced grouping is identical, so the ARI stays 1.0 — the
+    // two metrics measure genuinely different things.
+    const Matrix published = Matrix::fromRows({{0.0, 0.0}, {10.0, 10.0}});
+    const Matrix swapped = Matrix::fromRows({{10.0, 10.0}, {0.0, 0.0}});
+    const std::vector<Vector> window = {
+        {0.1, 0.2}, {9.8, 10.1}, {0.0, -0.1}, {10.2, 9.9}};
+    const double baseline = quantizationError(published, window);
+    const DriftMetrics m =
+        computeDriftMetrics(published, swapped, window, baseline);
+    EXPECT_DOUBLE_EQ(m.churn, 1.0);
+    EXPECT_DOUBLE_EQ(m.stability, 1.0);
+}
+
+TEST(ComputeDriftMetricsTest, MeanShiftInflatesTheQeRatio)
+{
+    // Published codebook fits data near the origin; the live window
+    // has shifted far away. Assignments cannot churn (the online map
+    // is the same matrix), but the QE ratio explodes — the early
+    // tripwire for a mean shift.
+    const Matrix published = Matrix::fromRows({{0.0, 0.0}, {1.0, 1.0}});
+    const std::vector<Vector> at_publish = {{0.1, 0.0}, {0.9, 1.1}};
+    const std::vector<Vector> shifted = {{8.0, 8.0}, {9.0, 9.0}};
+    const double baseline = quantizationError(published, at_publish);
+    const DriftMetrics m =
+        computeDriftMetrics(published, published, shifted, baseline);
+    EXPECT_DOUBLE_EQ(m.churn, 0.0);
+    EXPECT_GT(m.qeRatio, 2.5) << "must clear the stale rung";
+}
+
+TEST(ComputeDriftMetricsTest, DegenerateWindowsAreHandled)
+{
+    const Matrix codebook = Matrix::fromRows({{0.0, 0.0}, {1.0, 1.0}});
+    // Empty window: identity metrics, nothing to score.
+    const DriftMetrics empty =
+        computeDriftMetrics(codebook, codebook, {}, 1.0);
+    EXPECT_EQ(empty.window, 0u);
+    EXPECT_DOUBLE_EQ(empty.churn, 0.0);
+    EXPECT_DOUBLE_EQ(empty.qeRatio, 1.0);
+
+    // A zero baseline with zero window error is calm (ratio 1)...
+    const std::vector<Vector> exact = {{0.0, 0.0}, {1.0, 1.0}};
+    EXPECT_DOUBLE_EQ(
+        computeDriftMetrics(codebook, codebook, exact, 0.0).qeRatio, 1.0);
+    // ...but any live error over a dead baseline is capped, not inf.
+    const std::vector<Vector> off = {{5.0, 5.0}};
+    const double capped =
+        computeDriftMetrics(codebook, codebook, off, 0.0).qeRatio;
+    EXPECT_GT(capped, 1e5);
+    EXPECT_TRUE(std::isfinite(capped));
+}
+
+TEST(DriftDetectorTest, SevereJumpsStraightToStale)
+{
+    DriftDetector detector;
+    EXPECT_EQ(detector.state(), DriftState::Fresh);
+    EXPECT_EQ(detector.tick(metrics(0.9, 0.1, 5.0)), DriftState::Stale);
+    EXPECT_EQ(detector.ticks(), 1u);
+    EXPECT_EQ(detector.calmStreak(), 0u);
+}
+
+TEST(DriftDetectorTest, MildDegradesFreshAndHoldsElsewhere)
+{
+    DriftDetector detector;
+    EXPECT_EQ(detector.tick(metrics(0.3, 1.0, 1.0)),
+              DriftState::Drifting);
+    // Mild keeps a drifting suite drifting — it never escalates to
+    // stale on its own, however long it lasts.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(detector.tick(metrics(0.3, 1.0, 1.0)),
+                  DriftState::Drifting);
+}
+
+TEST(DriftDetectorTest, CalmStreakStepsDownOneLevelAtATime)
+{
+    DriftThresholds t;
+    t.calmTicks = 2;
+    DriftDetector detector(t);
+    detector.tick(metrics(0.9, 0.1, 5.0)); // -> stale
+    const DriftMetrics calm = metrics(0.0, 1.0, 1.0);
+    EXPECT_EQ(detector.tick(calm), DriftState::Stale)
+        << "one calm tick is not a streak";
+    EXPECT_EQ(detector.calmStreak(), 1u);
+    EXPECT_EQ(detector.tick(calm), DriftState::Drifting)
+        << "a full streak steps down exactly one level";
+    EXPECT_EQ(detector.calmStreak(), 0u);
+    EXPECT_EQ(detector.tick(calm), DriftState::Drifting);
+    EXPECT_EQ(detector.tick(calm), DriftState::Fresh);
+    // Fresh stays fresh under calm, streak untouched.
+    EXPECT_EQ(detector.tick(calm), DriftState::Fresh);
+    EXPECT_EQ(detector.calmStreak(), 0u);
+}
+
+TEST(DriftDetectorTest, AMildTickResetsTheCalmStreak)
+{
+    DriftThresholds t;
+    t.calmTicks = 2;
+    DriftDetector detector(t);
+    detector.tick(metrics(0.9, 0.1, 5.0)); // -> stale
+    detector.tick(metrics(0.0, 1.0, 1.0)); // streak 1
+    detector.tick(metrics(0.3, 1.0, 1.0)); // mild: streak back to 0
+    EXPECT_EQ(detector.state(), DriftState::Stale);
+    EXPECT_EQ(detector.calmStreak(), 0u);
+    detector.tick(metrics(0.0, 1.0, 1.0));
+    EXPECT_EQ(detector.state(), DriftState::Stale)
+        << "the interrupted streak must restart from scratch";
+}
+
+TEST(DriftDetectorTest, RestoreReinstallsTheMachinePosition)
+{
+    DriftDetector detector;
+    detector.restore(DriftState::Stale, 1, 42);
+    EXPECT_EQ(detector.state(), DriftState::Stale);
+    EXPECT_EQ(detector.calmStreak(), 1u);
+    EXPECT_EQ(detector.ticks(), 42u);
+    // The restored streak continues counting: one more calm tick
+    // completes the default streak of two.
+    EXPECT_EQ(detector.tick(metrics(0.0, 1.0, 1.0)),
+              DriftState::Drifting);
+    EXPECT_EQ(detector.ticks(), 43u);
+}
+
+TEST(DriftDetectorTest, ThresholdsMustKeepTheRungsOrdered)
+{
+    DriftThresholds churn_flipped;
+    churn_flipped.churnStale = 0.1; // below churnDrifting
+    EXPECT_THROW(DriftDetector{churn_flipped}, Error);
+    DriftThresholds stability_flipped;
+    stability_flipped.stabilityStale = 0.9; // above stabilityDrifting
+    EXPECT_THROW(DriftDetector{stability_flipped}, Error);
+    DriftThresholds qe_flipped;
+    qe_flipped.qeStale = 1.0; // below qeDrifting
+    EXPECT_THROW(DriftDetector{qe_flipped}, Error);
+    DriftThresholds no_streak;
+    no_streak.calmTicks = 0;
+    EXPECT_THROW(DriftDetector{no_streak}, Error);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+/**
+ * The streaming SOM behind the drift monitor: deterministic
+ * data-driven seeding, the never-zero adaptation floor, exact
+ * exportWeights()/restore() round-trips (the bit-identical crash
+ * recovery contract), the shared codebook helpers, and — the
+ * acceptance bar — convergence: an online map folding the paper's
+ * Table III speedup stream one observation at a time must land on a
+ * codebook that quantizes the data about as well as a from-scratch
+ * batch retrain over the same grid.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/drift/online_som.h"
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+#include "src/som/som.h"
+#include "src/util/error.h"
+#include "src/workload/paper_data.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::drift;
+using hiermeans::linalg::Matrix;
+using hiermeans::linalg::Vector;
+
+OnlineSomConfig
+smallConfig()
+{
+    OnlineSomConfig c;
+    c.rows = 2;
+    c.cols = 2;
+    c.decaySteps = 200;
+    return c;
+}
+
+/** Table III as a 2-D observation stream: (speedupA, speedupB). */
+std::vector<Vector>
+paperStream()
+{
+    const std::vector<double> a = workload::paper::table3SpeedupsA();
+    const std::vector<double> b = workload::paper::table3SpeedupsB();
+    std::vector<Vector> stream;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        stream.push_back({a[i], b[i]});
+    return stream;
+}
+
+TEST(OnlineSomTest, FirstObservationsSeedTheUnitsVerbatim)
+{
+    OnlineSom map(2, smallConfig());
+    EXPECT_FALSE(map.ready());
+    EXPECT_EQ(map.observed(), 0u);
+
+    const std::vector<Vector> seeds = {
+        {1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_FALSE(map.ready()) << "not ready before unit " << i;
+        map.observe(seeds[i]);
+    }
+    EXPECT_TRUE(map.ready());
+    EXPECT_EQ(map.observed(), 4u);
+    for (std::size_t u = 0; u < 4; ++u) {
+        EXPECT_DOUBLE_EQ(map.codebook()(u, 0), seeds[u][0]);
+        EXPECT_DOUBLE_EQ(map.codebook()(u, 1), seeds[u][1]);
+    }
+
+    // The fifth observation is a neighborhood update, not a seed.
+    map.observe({100.0, 100.0});
+    EXPECT_NE(map.codebook()(0, 0), 100.0);
+}
+
+TEST(OnlineSomTest, IdenticalStreamsProduceIdenticalCodebooks)
+{
+    OnlineSom a(2, smallConfig());
+    OnlineSom b(2, smallConfig());
+    for (int pass = 0; pass < 10; ++pass)
+        for (const Vector &x : paperStream()) {
+            a.observe(x);
+            b.observe(x);
+        }
+    EXPECT_EQ(a.exportWeights(), b.exportWeights())
+        << "the online update must be deterministic (no RNG)";
+}
+
+TEST(OnlineSomTest, AdaptationNeverStops)
+{
+    // Long past decaySteps the learning rate sits at its floor, not
+    // zero: a late mean shift must still move the codebook.
+    OnlineSom map(2, smallConfig());
+    for (int pass = 0; pass < 50; ++pass) // 650 >> decaySteps=200
+        for (const Vector &x : paperStream())
+            map.observe(x);
+    const std::vector<double> before = map.exportWeights();
+    map.observe({50.0, 50.0});
+    EXPECT_NE(map.exportWeights(), before)
+        << "the schedule floor must keep the map adapting";
+}
+
+TEST(OnlineSomTest, RestoreRoundTripsBitIdentically)
+{
+    OnlineSom live(2, smallConfig());
+    for (int pass = 0; pass < 3; ++pass)
+        for (const Vector &x : paperStream())
+            live.observe(x);
+
+    OnlineSom recovered(2, smallConfig());
+    recovered.restore(live.exportWeights(), live.observed());
+    EXPECT_TRUE(recovered.ready());
+    EXPECT_EQ(recovered.observed(), live.observed());
+    EXPECT_EQ(recovered.exportWeights(), live.exportWeights());
+
+    // The schedule position is part of the state: both maps must
+    // evolve identically from here on.
+    for (const Vector &x : paperStream()) {
+        live.observe(x);
+        recovered.observe(x);
+    }
+    EXPECT_EQ(recovered.exportWeights(), live.exportWeights())
+        << "restore must reinstall the decay-schedule position too";
+}
+
+TEST(OnlineSomTest, RestoreBeforeSeedingCompletesDerivesSeededCount)
+{
+    OnlineSom half(2, smallConfig());
+    half.observe({1.0, 1.0});
+    half.observe({2.0, 2.0});
+    OnlineSom recovered(2, smallConfig());
+    recovered.restore(half.exportWeights(), half.observed());
+    EXPECT_FALSE(recovered.ready()) << "2 of 4 units seeded";
+    recovered.observe({3.0, 3.0});
+    recovered.observe({4.0, 4.0});
+    EXPECT_TRUE(recovered.ready());
+    EXPECT_DOUBLE_EQ(recovered.codebook()(3, 0), 4.0)
+        << "seeding must resume at the next unseeded unit";
+}
+
+TEST(OnlineSomTest, InvalidArgumentsThrow)
+{
+    EXPECT_THROW(OnlineSom(0, smallConfig()), Error);
+    OnlineSomConfig flat = smallConfig();
+    flat.rows = 0;
+    EXPECT_THROW(OnlineSom(2, flat), Error);
+
+    OnlineSom map(2, smallConfig());
+    EXPECT_THROW(map.observe({1.0}), Error) << "dimension mismatch";
+    EXPECT_THROW(map.restore({1.0, 2.0, 3.0}, 3), Error)
+        << "wrong flattened size (needs unitCount * dim = 8)";
+}
+
+TEST(CodebookHelpersTest, NearestUnitAssignAllAndQe)
+{
+    const Matrix codebook = Matrix::fromRows({{0.0, 0.0}, {10.0, 10.0}});
+    EXPECT_EQ(nearestUnit(codebook, {1.0, 1.0}), 0u);
+    EXPECT_EQ(nearestUnit(codebook, {9.0, 9.0}), 1u);
+    EXPECT_EQ(nearestUnit(codebook, {5.0, 5.0}), 0u)
+        << "exact ties go to the lowest index";
+
+    const std::vector<Vector> window = {{1.0, 1.0}, {9.0, 9.0}};
+    const std::vector<std::size_t> labels = assignAll(codebook, window);
+    ASSERT_EQ(labels.size(), 2u);
+    EXPECT_EQ(labels[0], 0u);
+    EXPECT_EQ(labels[1], 1u);
+
+    // Both window points sit sqrt(2) from their unit.
+    EXPECT_NEAR(quantizationError(codebook, window), std::sqrt(2.0),
+                1e-12);
+    EXPECT_DOUBLE_EQ(quantizationError(codebook, {}), 0.0);
+    EXPECT_THROW(nearestUnit(Matrix(), {1.0, 1.0}), Error);
+}
+
+TEST(OnlineSomTest, ConvergesToBatchQualityOnPaperData)
+{
+    // The acceptance bar: stream the Table III speedups through the
+    // online rule (several epochs' worth of arrivals) and retrain a
+    // batch map of the same 2x2 shape from scratch; the two codebooks
+    // must agree — comparable quantization error and an equivalent
+    // induced clustering of the 13 workloads.
+    const std::vector<Vector> stream = paperStream();
+    const Matrix data = Matrix::fromRows(stream);
+
+    OnlineSom online(2, smallConfig());
+    for (int pass = 0; pass < 60; ++pass)
+        for (const Vector &x : stream)
+            online.observe(x);
+
+    som::SomConfig batch_config;
+    batch_config.rows = 2;
+    batch_config.cols = 2;
+    batch_config.steps = 1;
+    batch_config.seed = 7;
+    auto batch = som::SelfOrganizingMap::initialize(data, batch_config);
+    batch.trainBatch(20);
+
+    const double online_qe = online.quantizationError(stream);
+    const double batch_qe = batch.quantizationError(data);
+    EXPECT_LT(online_qe, batch_qe * 1.5 + 1e-9)
+        << "online " << online_qe << " vs batch " << batch_qe;
+
+    // Same grouping of the workloads (ARI over BMU partitions).
+    const double ari = scoring::adjustedRandIndex(
+        scoring::Partition::fromLabels(assignAll(online.codebook(),
+                                                 stream)),
+        scoring::Partition::fromLabels(batch.bmuAll(data)));
+    EXPECT_GT(ari, 0.6) << "online and batch clusterings must agree";
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+/**
+ * DriftUpdated persistence: the payload codec round-trips every field
+ * (codebooks included), replay is latest-wins per suite, the state's
+ * canonical encoding carries the drift section, recordDriftState is
+ * best-effort under WAL faults — and, the contract the monitor's
+ * crash recovery stands on, a SIGKILL-style crash copy replayed
+ * through the WAL reproduces the drift state bit-identically.
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/store/state.h"
+#include "src/store/store.h"
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::store;
+
+DriftStateRecord
+sample(const std::string &suite, std::uint64_t sequence = 1)
+{
+    DriftStateRecord record;
+    record.sequence = sequence;
+    record.suite = suite;
+    record.state = 2; // stale
+    record.ticks = 7;
+    record.observations = 42;
+    record.calmStreak = 1;
+    record.lastSeenSequence = 40;
+    record.churn = 0.625;
+    record.stability = 0.41;
+    record.qeRatio = 2.75;
+    record.metricWindow = 16;
+    record.publishedQe = 0.125;
+    record.publishedMean = 1.0625;
+    record.somRows = 2;
+    record.somCols = 2;
+    record.dim = 2;
+    record.onlineWeights = {1.0, 1.1, 2.0, 2.1, 3.0, 3.1, 4.0, 4.1};
+    record.publishedWeights = {1.5, 1.6, 2.5, 2.6, 3.5, 3.6, 4.5, 4.6};
+    return record;
+}
+
+TEST(DriftRecordCodecTest, PayloadRoundTripsEveryField)
+{
+    const DriftStateRecord original = sample("nightly");
+    Record record;
+    record.type = RecordType::DriftUpdated;
+    record.payload = encodeDriftUpdated(original);
+
+    StoreState state;
+    ASSERT_TRUE(state.apply(record));
+    const DriftStateRecord *applied = state.driftState("nightly");
+    ASSERT_NE(applied, nullptr);
+    EXPECT_EQ(*applied, original)
+        << "every field including both codebooks must survive";
+    EXPECT_EQ(state.lastSequence(), original.sequence);
+    EXPECT_EQ(state.driftState("other"), nullptr);
+}
+
+TEST(DriftRecordCodecTest, NeverPublishedCodebookStaysEmpty)
+{
+    DriftStateRecord original = sample("young", 3);
+    original.publishedWeights.clear();
+    Record record;
+    record.type = RecordType::DriftUpdated;
+    record.payload = encodeDriftUpdated(original);
+    StoreState state;
+    ASSERT_TRUE(state.apply(record));
+    ASSERT_NE(state.driftState("young"), nullptr);
+    EXPECT_TRUE(state.driftState("young")->publishedWeights.empty());
+}
+
+TEST(DriftRecordCodecTest, ReplayIsLatestWinsPerSuite)
+{
+    StoreState state;
+    for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+        DriftStateRecord update = sample("nightly", seq);
+        update.ticks = seq;
+        Record record;
+        record.type = RecordType::DriftUpdated;
+        record.payload = encodeDriftUpdated(update);
+        ASSERT_TRUE(state.apply(record));
+    }
+    EXPECT_EQ(state.driftStates().size(), 1u);
+    EXPECT_EQ(state.driftState("nightly")->ticks, 3u);
+
+    // The idempotence guard holds for drift records too.
+    Record stale_replay;
+    stale_replay.type = RecordType::DriftUpdated;
+    stale_replay.payload = encodeDriftUpdated(sample("nightly", 2));
+    state.setBaseline(3);
+    EXPECT_FALSE(state.apply(stale_replay));
+    EXPECT_EQ(state.driftState("nightly")->ticks, 3u);
+}
+
+TEST(DriftRecordCodecTest, DriftSectionIsInTheCanonicalEncoding)
+{
+    // Two states holding the same final drift image — reached through
+    // different apply orders — must encode identically: the drift
+    // section is ordered by suite name, not by arrival.
+    auto wrap = [](const DriftStateRecord &r) {
+        Record record;
+        record.type = RecordType::DriftUpdated;
+        record.payload = encodeDriftUpdated(r);
+        return record;
+    };
+    StoreState forward;
+    ASSERT_TRUE(forward.apply(wrap(sample("alpha", 1))));
+    ASSERT_TRUE(forward.apply(wrap(sample("beta", 2))));
+    ASSERT_TRUE(forward.apply(wrap(sample("alpha", 3))));
+    ASSERT_TRUE(forward.apply(wrap(sample("beta", 4))));
+
+    StoreState backward;
+    ASSERT_TRUE(backward.apply(wrap(sample("beta", 2))));
+    ASSERT_TRUE(backward.apply(wrap(sample("beta", 4))));
+    ASSERT_TRUE(backward.apply(wrap(sample("alpha", 1))));
+    ASSERT_TRUE(backward.apply(wrap(sample("alpha", 3))));
+
+    EXPECT_NE(forward.encodeSnapshotBody().find("alpha"),
+              std::string::npos)
+        << "the drift section must be present in the canonical body";
+    EXPECT_EQ(forward.encodeSnapshotBody(),
+              backward.encodeSnapshotBody())
+        << "equal states must produce equal bytes";
+}
+
+class DriftStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        stem_ = "/tmp/hiermeans_drift_store_test_" +
+                std::to_string(::getpid());
+        wipe(stem_);
+        wipe(stem_ + "_crash");
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+        wipe(stem_);
+        wipe(stem_ + "_crash");
+    }
+
+    static void
+    wipe(const std::string &dir)
+    {
+        if (!util::fileExists(dir))
+            return;
+        for (const std::string &name : util::listDir(dir))
+            util::removeFile(dir + "/" + name);
+        ::rmdir(dir.c_str());
+    }
+
+    /** Byte-for-byte copy of the live data dir — no close(), exactly
+     *  what a SIGKILL leaves behind. */
+    std::string
+    crashCopy() const
+    {
+        const std::string to = stem_ + "_crash";
+        wipe(to);
+        util::ensureDir(to);
+        for (const std::string &name : util::listDir(stem_))
+            util::writeFile(to + "/" + name,
+                            util::readFile(stem_ + "/" + name));
+        return to;
+    }
+
+    StateStore::Config
+    config(const std::string &dir) const
+    {
+        StateStore::Config c;
+        c.dataDir = dir;
+        c.fsyncEvery = 1;
+        c.snapshotEvery = 0;
+        return c;
+    }
+
+    std::string stem_;
+};
+
+TEST_F(DriftStoreTest, RecordAndReadBack)
+{
+    StateStore store(config(stem_));
+    store.open();
+    ASSERT_TRUE(store.recordDriftState(sample("nightly")));
+    ASSERT_TRUE(store.recordDriftState(sample("weekly")));
+
+    EXPECT_EQ(store.driftStates().size(), 2u);
+    const auto nightly = store.driftState("nightly");
+    ASSERT_TRUE(nightly.has_value());
+    EXPECT_EQ(nightly->ticks, 7u);
+    EXPECT_EQ(nightly->onlineWeights.size(), 8u);
+    EXPECT_FALSE(store.driftState("nope").has_value());
+}
+
+TEST_F(DriftStoreTest, RecordIsBestEffortUnderWalFaults)
+{
+    StateStore store(config(stem_));
+    store.open();
+    ASSERT_TRUE(store.recordDriftState(sample("nightly")));
+    const std::uint64_t seq = store.lastSequence();
+
+    fault::configure("store.wal.append=once");
+    EXPECT_FALSE(store.recordDriftState(sample("dropped")))
+        << "a WAL failure must be reported, not thrown";
+    EXPECT_EQ(store.lastSequence(), seq);
+    EXPECT_EQ(store.metrics().walAppendFailures, 1u);
+    EXPECT_FALSE(store.driftState("dropped").has_value());
+
+    EXPECT_TRUE(store.recordDriftState(sample("after")));
+    EXPECT_EQ(store.driftStates().size(), 2u);
+}
+
+TEST_F(DriftStoreTest, CrashRecoveryIsBitIdentical)
+{
+    StateStore live(config(stem_));
+    live.open();
+    live.registerSuite("nightly", "scores=a.csv");
+    ASSERT_TRUE(live.recordDriftState(sample("nightly")));
+    DriftStateRecord moved = sample("nightly");
+    moved.ticks = 8;
+    moved.onlineWeights[0] = 9.9;
+    ASSERT_TRUE(live.recordDriftState(moved));
+    const std::string committed = live.encodeStateBody();
+
+    StateStore recovered(config(crashCopy()));
+    const RecoveryInfo info = recovered.open();
+    EXPECT_EQ(info.outcome, RecoveryOutcome::Clean);
+    EXPECT_FALSE(info.snapshotLoaded);
+    EXPECT_EQ(recovered.encodeStateBody(), committed)
+        << "WAL replay must reproduce the drift state byte for byte";
+    const auto drift = recovered.driftState("nightly");
+    ASSERT_TRUE(drift.has_value());
+    EXPECT_EQ(drift->ticks, 8u);
+    EXPECT_DOUBLE_EQ(drift->onlineWeights[0], 9.9);
+}
+
+TEST_F(DriftStoreTest, SnapshotCarriesDriftStateAcrossReopen)
+{
+    {
+        StateStore store(config(stem_));
+        store.open();
+        ASSERT_TRUE(store.recordDriftState(sample("nightly")));
+        store.close(); // final snapshot; WAL truncated.
+    }
+    EXPECT_EQ(util::fileSize(stem_ + "/wal.log"), 0u);
+    StateStore reopened(config(stem_));
+    const RecoveryInfo info = reopened.open();
+    EXPECT_TRUE(info.snapshotLoaded);
+    const auto drift = reopened.driftState("nightly");
+    ASSERT_TRUE(drift.has_value());
+    EXPECT_EQ(*drift, [] {
+        DriftStateRecord expected = sample("nightly");
+        expected.sequence = 1;
+        return expected;
+    }()) << "the snapshot path must preserve every field too";
+}
+
+} // namespace

@@ -17,7 +17,8 @@
  *   hmctl --port=N [--host=127.0.0.1] [--health] [--metrics]
  *         [--check] [--cluster] [--score=LINE] [--trace=ID] [--traces]
  *         [--register=NAME --manifest=FILE] [--history[=SUITE]]
- *         [--snapshot]
+ *         [--snapshot] [--drift[=SUITE]] [--recluster[=SUITE]]
+ *         [--observe=SUITE --ratio=R [--plain-ratio=R] [--id=NAME]]
  *         [--timeout-ms=2000] [--retries=2] [--retry-base-ms=50]
  *         [--retry-cap-ms=2000] [--retry-budget-ms=10000] [--seed=N]
  *         [--json-only]
@@ -34,6 +35,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/hiermeans.h"
@@ -78,7 +82,25 @@ flagSpec()
               "the score-history ring (no SUITE: ad-hoc ring)")
         .flag("snapshot", "",
               "POST /v1/admin/snapshot; force a snapshot +\n"
-              "WAL compaction");
+              "WAL compaction")
+        .flag("drift", "SUITE",
+              "GET /v1/suites/<SUITE>/drift (no SUITE: every\n"
+              "tracked suite via /v1/drift) and pretty-print\n"
+              "the staleness table; exit 0 all fresh,\n"
+              "2 when any probed suite is stale")
+        .flag("recluster", "SUITE",
+              "POST /v1/admin/recluster[?suite=SUITE]; force\n"
+              "a drift tick and print the resulting table")
+        .flag("observe", "SUITE",
+              "POST one observation to\n"
+              "/v1/suites/<SUITE>/observe; feeds the drift\n"
+              "monitor without running the pipeline\n"
+              "(requires --ratio)")
+        .flag("ratio", "R", "observed ratio for --observe")
+        .flag("plain-ratio", "R",
+              "plain-mean ratio for --observe\n"
+              "(default: the --ratio value)")
+        .flag("id", "NAME", "observation id for --observe");
     flags.section("optional flags")
         .flag("host", "NAME", "server host (default 127.0.0.1)")
         .flag("timeout-ms", "N",
@@ -174,6 +196,94 @@ renderHistoryTable(const std::string &body)
         });
     }
     return table.render();
+}
+
+
+/** Render drift report objects as a column-aligned table. */
+std::string
+renderDriftTable(const std::vector<std::string> &reports)
+{
+    util::TextTable table({"suite", "state", "mean", "churn",
+                           "stability", "qe_ratio", "window", "ticks",
+                           "obs"});
+    const auto integer = [](const std::optional<double> &value) {
+        return value ? std::to_string(static_cast<long long>(*value))
+                     : std::string("-");
+    };
+    const auto real = [](const std::optional<double> &value) {
+        if (!value)
+            return std::string("-");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4g", *value);
+        return std::string(buf);
+    };
+    for (const std::string &report : reports) {
+        table.addRow({
+            server::json::findString(report, "suite").value_or("-"),
+            server::json::findString(report, "state").value_or("-"),
+            real(server::json::findNumber(report, "published_mean")),
+            real(server::json::findNumber(report, "churn")),
+            real(server::json::findNumber(report, "stability")),
+            real(server::json::findNumber(report, "qe_ratio")),
+            integer(server::json::findNumber(report, "window")),
+            integer(server::json::findNumber(report, "ticks")),
+            integer(server::json::findNumber(report, "observations")),
+        });
+    }
+    return table.render();
+}
+
+
+/**
+ * Lint the hiermeans_drift_* family of a /metrics body: every suite's
+ * staleness gauge must be one-hot over fresh|drifting|stale, and each
+ * suite carrying a state must also expose the churn / stability /
+ * qe_ratio gauges. A body without the family (drift off) is clean.
+ */
+std::vector<std::string>
+lintDriftExposition(const std::string &body)
+{
+    std::vector<std::string> issues;
+    // suite -> sum of the three hiermeans_drift_state series.
+    std::map<std::string, double> one_hot;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("hiermeans_drift_state{", 0) != 0)
+            continue;
+        const std::size_t suite_at = line.find("suite=\"");
+        const std::size_t value_at = line.rfind('}');
+        if (suite_at == std::string::npos ||
+            value_at == std::string::npos) {
+            issues.push_back("drift: malformed series: " + line);
+            continue;
+        }
+        const std::size_t name_start = suite_at + 7;
+        const std::size_t name_end = line.find('"', name_start);
+        const std::string suite =
+            line.substr(name_start, name_end - name_start);
+        try {
+            one_hot[suite] += std::stod(line.substr(value_at + 1));
+        } catch (const std::exception &) {
+            issues.push_back("drift: non-numeric value: " + line);
+        }
+    }
+    for (const auto &[suite, sum] : one_hot) {
+        if (sum != 1.0)
+            issues.push_back("drift: suite `" + suite +
+                             "` staleness gauge is not one-hot (sum=" +
+                             server::json::number(sum) + ")");
+        for (const char *gauge :
+             {"hiermeans_drift_churn", "hiermeans_drift_stability",
+              "hiermeans_drift_qe_ratio"}) {
+            const std::string series =
+                std::string(gauge) + "{suite=\"" + suite + "\"}";
+            if (body.find(series) == std::string::npos)
+                issues.push_back("drift: suite `" + suite +
+                                 "` missing " + gauge);
+        }
+    }
+    return issues;
 }
 
 
@@ -339,6 +449,9 @@ run(const util::CommandLine &cl)
         for (const std::string &issue :
              obs::lintExposition(outcome.response.body))
             issues.push_back("exposition: " + issue);
+        for (const std::string &issue :
+             lintDriftExposition(outcome.response.body))
+            issues.push_back(issue);
         // A mesh daemon exposes /v1/cluster; lint its payload and the
         // per-shard health too. 404 means single-node: nothing to do.
         const client::Outcome membership =
@@ -492,6 +605,85 @@ run(const util::CommandLine &cl)
         if (!json_only)
             std::cout << renderHistoryTable(outcome.response.body);
         return 0;
+    }
+
+    if (cl.has("observe")) {
+        if (!cl.has("ratio")) {
+            std::cerr << "hmctl: --observe needs --ratio=R\n";
+            return 1;
+        }
+        const std::string suite = cl.getString("observe", "");
+        std::string body =
+            "{\"ratio\":" +
+            server::json::number(cl.getDouble("ratio", 0.0));
+        if (cl.has("plain-ratio"))
+            body += ",\"plain_ratio\":" +
+                    server::json::number(
+                        cl.getDouble("plain-ratio", 0.0));
+        if (cl.has("id"))
+            body += ",\"id\":" +
+                    server::json::quote(cl.getString("id", ""));
+        body += "}";
+        const client::Outcome outcome = client.request(
+            "POST", "/v1/suites/" + suite + "/observe", body);
+        if (outcome.haveResponse && !json_only)
+            std::cout << outcome.response.body << "\n";
+        printSummary("observe", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            const auto message = server::json::findString(
+                outcome.response.body, "message");
+            std::cerr << "hmctl: "
+                      << message.value_or(outcome.response.body)
+                      << "\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    if (cl.has("drift") || cl.has("recluster")) {
+        const bool force = cl.has("recluster");
+        const std::string suite =
+            cl.getString(force ? "recluster" : "drift", "");
+        std::string target;
+        if (force)
+            target = suite.empty()
+                         ? "/v1/admin/recluster"
+                         : "/v1/admin/recluster?suite=" + suite;
+        else
+            target = suite.empty() ? "/v1/drift"
+                                   : "/v1/suites/" + suite + "/drift";
+        const client::Outcome outcome =
+            client.request(force ? "POST" : "GET", target);
+        printSummary(force ? "recluster" : "drift", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            const auto message = server::json::findString(
+                outcome.response.body, "message");
+            std::cerr << "hmctl: "
+                      << message.value_or(outcome.response.body)
+                      << "\n";
+            return 1;
+        }
+        // A single-suite probe answers the report object itself; the
+        // list endpoints answer {"suites":[...]}.
+        std::vector<std::string> reports =
+            arrayObjects(outcome.response.body, "suites");
+        if (reports.empty() && !suite.empty() && !force)
+            reports = {outcome.response.body};
+        if (!json_only)
+            std::cout << renderDriftTable(reports);
+        bool stale = false;
+        for (const std::string &report : reports)
+            stale = stale || server::json::findString(report, "state")
+                                     .value_or("") == "stale";
+        return stale ? 2 : 0;
     }
 
     if (cl.has("snapshot")) {

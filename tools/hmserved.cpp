@@ -17,6 +17,13 @@
  *            [--trace-keep=64] [--trace-keep-slow=16] [--faults=SPEC]
  *            [--fault-seed=N] [--data-dir=DIR] [--fsync-every=1]
  *            [--snapshot-every=256] [--history-capacity=256]
+ *            [--recluster-every=SECONDS] [--drift-window=64]
+ *            [--drift-min-window=8] [--drift-calm-ticks=2]
+ *
+ * Drift: with a store mounted, every suite's score history feeds an
+ * online SOM; `--recluster-every` re-clusters each suite's window on
+ * that cadence and classifies it fresh|drifting|stale (see
+ * GET /v1/suites/<name>/drift and the hiermeans_drift_* metrics).
  *
  * Persistence: `--data-dir=DIR` mounts the durable store (WAL +
  * snapshots). On boot the store recovers — newest valid snapshot plus
@@ -95,6 +102,20 @@ flagSpec()
         .flag("history-capacity", "N",
               "score-history entries kept per suite ring\n"
               "(default 256)");
+    flags.section("drift flags")
+        .flag("recluster-every", "SECONDS",
+              "re-cluster every suite's history window and\n"
+              "re-score drift on this cadence (default 0:\n"
+              "only on POST /v1/admin/recluster)")
+        .flag("drift-window", "N",
+              "newest history entries re-clustered per tick\n"
+              "(default 64)")
+        .flag("drift-min-window", "N",
+              "observations required before the first\n"
+              "clustering is published (default 8)")
+        .flag("drift-calm-ticks", "N",
+              "consecutive calm ticks per staleness\n"
+              "step-down (default 2)");
     flags.section("mesh flags")
         .flag("mesh-config", "FILE",
               "join the cluster described by FILE (see\n"
@@ -115,6 +136,10 @@ flagSpec()
         "  POST /v1/suites?name=X  register a named manifest version\n"
         "  GET  /v1/suites     registered suites + versions\n"
         "  GET  /v1/history?suite=X  persisted score history\n"
+        "  POST /v1/suites/<name>/observe  append one observation\n"
+        "  GET  /v1/suites/<name>/drift    suite drift report\n"
+        "  GET  /v1/drift      every tracked suite's drift state\n"
+        "  POST /v1/admin/recluster[?suite=X]  force a drift tick\n"
         "  POST /v1/admin/snapshot  force snapshot + compaction\n"
         "  GET  /metrics       Prometheus text exposition\n"
         "  GET  /healthz       liveness probe\n");
@@ -155,6 +180,13 @@ run(const util::CommandLine &cl)
         static_cast<std::size_t>(cl.getInt("snapshot-every", 256));
     config.store.limits.historyCapacity =
         static_cast<std::size_t>(cl.getInt("history-capacity", 256));
+    config.reclusterEverySeconds = cl.getDouble("recluster-every", 0.0);
+    config.drift.window =
+        static_cast<std::size_t>(cl.getInt("drift-window", 64));
+    config.drift.minWindow =
+        static_cast<std::size_t>(cl.getInt("drift-min-window", 8));
+    config.drift.thresholds.calmTicks =
+        static_cast<std::uint32_t>(cl.getInt("drift-calm-ticks", 2));
     // Connection workers must outnumber the admission queue or the
     // gate can never fill; keep a few extra for the cheap endpoints.
     config.connectionThreads = config.queueDepth + 8;
@@ -195,6 +227,8 @@ run(const util::CommandLine &cl)
     server::Server server(config);
     server.start();
     if (runtime != nullptr) {
+        runtime->setDriftSummary(
+            [&server] { return server.driftSummaryJson(); });
         runtime->start(server.store());
         std::cout << "mesh: node `" << runtime->meshConfig().selfId
                   << "` of " << runtime->meshConfig().nodes.size()

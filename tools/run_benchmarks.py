@@ -13,10 +13,17 @@ Benches:
   serve_rps         hmserved + hmload requests/second and latency
   mesh_failover     2-node mesh under hmload with multi-target failover
 
+Before overwriting, the committed baselines in ``--out-dir`` are read
+and a regression table is printed comparing each fresh median to its
+baseline (sign-aware: ``direction`` names which way is better). With
+``--max-regress=PCT`` any bench regressing by more than PCT percent
+fails the run — the CI guard-rail; without it the table is a report.
+
 Usage:
   tools/run_benchmarks.py [--repeats=5] [--duration-s=3]
                           [--build-dir=build-bench] [--skip-build]
                           [--out-dir=.] [--only=NAME[,NAME...]]
+                          [--max-regress=PCT]
 
 Standard library only; no third-party packages.
 """
@@ -242,6 +249,69 @@ BENCHES = {
 }
 
 
+def load_baselines(out_dir, names):
+    """The committed BENCH_*.json medians, before we overwrite them."""
+    baselines = {}
+    for name in names:
+        path = os.path.join(out_dir, "BENCH_%s.json" % name)
+        try:
+            with open(path) as stream:
+                doc = json.load(stream)
+            baselines[name] = {"median": float(doc["median"]),
+                               "unit": doc.get("unit", ""),
+                               "direction": doc.get("direction", "up"),
+                               "revision": doc.get("meta", {}).get(
+                                   "git_revision", "?")}
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # no baseline yet: the bench reports as new.
+    return baselines
+
+
+def regression_percent(baseline, result):
+    """Signed regression: positive = worse, in percent of baseline.
+
+    ``direction`` "up" means bigger is better (throughput), "down"
+    means smaller is better (wall time); the sign flip makes the
+    table read the same way for both.
+    """
+    base = baseline["median"]
+    if base == 0:
+        return 0.0
+    change = (result["median"] - base) / base * 100.0
+    return -change if result["direction"] == "up" else change
+
+
+def print_regression_table(baselines, results, max_regress):
+    """The trajectory diff; returns the benches over the threshold."""
+    rows = []
+    regressed = []
+    for name, result in sorted(results.items()):
+        baseline = baselines.get(name)
+        if baseline is None:
+            rows.append((name, "-", "%.4f" % result["median"],
+                         "-", "new baseline"))
+            continue
+        regress = regression_percent(baseline, result)
+        if max_regress is not None and regress > max_regress:
+            verdict = "REGRESSED"
+            regressed.append(name)
+        elif regress > 0:
+            verdict = "worse"
+        else:
+            verdict = "better"
+        rows.append((name, "%.4f" % baseline["median"],
+                     "%.4f" % result["median"],
+                     "%+.1f%%" % regress,
+                     "%s vs %s" % (verdict, baseline["revision"])))
+    header = ("bench", "baseline", "fresh", "regress", "verdict")
+    widths = [max(len(str(row[i])) for row in rows + [header])
+              for i in range(len(header))]
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+    return regressed
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="rebuild Release, pin CPUs, repeat-median benches")
@@ -257,6 +327,10 @@ def main():
                         help="where BENCH_*.json files land")
     parser.add_argument("--only",
                         help="comma-separated bench names to run")
+    parser.add_argument("--max-regress", type=float, default=None,
+                        metavar="PCT",
+                        help="fail when any bench regresses more than "
+                             "PCT percent vs its committed baseline")
     args = parser.parse_args()
 
     selected = list(BENCHES)
@@ -289,7 +363,9 @@ def main():
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     os.makedirs(args.out_dir, exist_ok=True)
+    baselines = load_baselines(args.out_dir, selected)
     failures = 0
+    results = {}
     for name in selected:
         log("bench %s (%d runs)" % (name, args.repeats))
         try:
@@ -301,6 +377,7 @@ def main():
         result["name"] = name
         result["median"] = statistics.median(result["runs"])
         result["meta"] = meta
+        results[name] = result
         out_path = os.path.join(args.out_dir,
                                 "BENCH_%s.json" % name)
         with open(out_path, "w") as out:
@@ -308,6 +385,14 @@ def main():
             out.write("\n")
         log("  median %.4f %s -> %s"
             % (result["median"], result["unit"], out_path))
+    if results:
+        print()
+        regressed = print_regression_table(baselines, results,
+                                           args.max_regress)
+        if regressed:
+            log("regressions over %.1f%%: %s"
+                % (args.max_regress, ", ".join(regressed)))
+            return 1
     return 1 if failures else 0
 
 

@@ -7,10 +7,13 @@
 # validates the /metrics Prometheus exposition with `hmctl --check`,
 # scores one request under a known trace ID and asserts its span tree
 # is retrievable via `hmctl --trace`, registers a suite and scores it
-# by reference (`hmctl --register` / `suite=` / `--history`), then
-# sends SIGTERM and asserts a clean drain: exit status 0 and the final
-# metrics summary in the log. Run from the repo root so the manifest's
-# repo-relative CSV paths resolve.
+# by reference (`hmctl --register` / `suite=` / `--history`), walks a
+# second suite through the drift lifecycle (stationary stream stays
+# `fresh`, a mild mean shift demotes it to `drifting`, a large one to
+# `stale`, with the one-hot hiermeans_drift_state gauge following),
+# then sends SIGTERM and asserts a clean drain: exit status 0 and the
+# final metrics summary in the log. Run from the repo root so the
+# manifest's repo-relative CSV paths resolve.
 set -eu
 
 HMSERVED=${1:?usage: smoke_server.sh <hmserved> <hmload> <hmctl>}
@@ -28,7 +31,8 @@ trap 'kill "$SERVER_PID" 2>/dev/null || true;
 # this script fetches back.
 "$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
     --trace --trace-slow-ms=0 --trace-keep=256 \
-    --data-dir="$DATA" >"$LOG" 2>&1 &
+    --data-dir="$DATA" \
+    --drift-window=16 --drift-min-window=8 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the flushed "listening on port N" line (up to ~5s).
@@ -102,6 +106,80 @@ echo "$SUITE_HISTORY" | grep -q "suite-run-1" || {
 }
 echo "smoke_server: suite registered, scored by reference," \
     "history retrieved"
+
+# Drift round trip: a dedicated suite fed through the observation
+# intake (no pipeline). The stream visits four well-separated levels
+# round-robin with a small deterministic jitter; `--recluster` forces
+# drift ticks. Stationary traffic must stay `fresh`, a mild mean
+# shift (QE ratio in the drifting band) must demote to `drifting`,
+# and a large one must jump to `stale` — with `hmctl --drift` exit
+# code 2 and the one-hot Prometheus staleness gauge following along.
+observe_level() { # $1=mean shift, $2=count, $3=id tag
+    awk -v d="$1" -v n="$2" 'BEGIN {
+        for (i = 0; i < n; i++)
+            printf "%.4f\n", (i % 4) + 1 + d + 0.05 * (i % 5);
+    }' | {
+        j=0
+        while read -r ratio; do
+            "$HMCTL" --port="$PORT" --observe=driftsuite \
+                --ratio="$ratio" --id="$3-$j" --json-only >/dev/null
+            j=$((j + 1))
+        done
+    }
+}
+drift_state() { # state column of the forced-tick drift table
+    "$HMCTL" --port="$PORT" --recluster=driftsuite |
+        awk '$1 == "driftsuite" { print $2 }'
+}
+expect_gauge() { # $1=state expected to be the hot one
+    METRICS=$("$HMCTL" --port="$PORT" --metrics)
+    echo "$METRICS" | grep -q \
+        "hiermeans_drift_state{suite=\"driftsuite\",state=\"$1\"} 1" || {
+        echo "smoke_server: staleness gauge not one-hot on $1:" >&2
+        echo "$METRICS" | grep "^hiermeans_drift_" >&2
+        exit 1
+    }
+}
+
+"$HMCTL" --port="$PORT" --register=driftsuite --manifest="$MANIFEST" \
+    --json-only
+observe_level 0 24 warm
+STATE=$(drift_state)
+[ "$STATE" = "fresh" ] || {
+    echo "smoke_server: warm-up published $STATE, wanted fresh" >&2
+    exit 1
+}
+observe_level 0 8 hold
+STATE=$(drift_state)
+[ "$STATE" = "fresh" ] || {
+    echo "smoke_server: stationary stream drifted to $STATE" >&2
+    exit 1
+}
+expect_gauge fresh
+
+observe_level 0.9 16 mild
+STATE=$(drift_state)
+[ "$STATE" = "drifting" ] || {
+    echo "smoke_server: mild shift gave $STATE, wanted drifting" >&2
+    exit 1
+}
+expect_gauge drifting
+
+observe_level 8 16 shift
+STATE=$(drift_state)
+[ "$STATE" = "stale" ] || {
+    echo "smoke_server: mean shift gave $STATE, wanted stale" >&2
+    exit 1
+}
+expect_gauge stale
+STATUS=0
+"$HMCTL" --port="$PORT" --drift=driftsuite --json-only || STATUS=$?
+[ "$STATUS" -eq 2 ] || {
+    echo "smoke_server: --drift on a stale suite exited $STATUS" >&2
+    exit 1
+}
+echo "smoke_server: drift lifecycle fresh -> drifting -> stale" \
+    "confirmed, gauge one-hot throughout"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
