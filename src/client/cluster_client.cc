@@ -1,5 +1,6 @@
 #include "src/client/cluster_client.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/util/error.h"
@@ -117,12 +118,14 @@ Outcome
 ClusterClient::attempt(std::size_t index, const std::string &method,
                        const std::string &target, const std::string &body,
                        const std::string &content_type,
-                       const std::string &trace_id)
+                       const std::string &trace_id,
+                       double deadline_millis)
 {
     TargetStats &stats = stats_[index];
     ++stats.attempts;
-    Outcome outcome = clients_[index]->request(method, target, body,
-                                               content_type, trace_id);
+    Outcome outcome =
+        clients_[index]->request(method, target, body, content_type,
+                                 trace_id, deadline_millis);
     if (!outcome.haveResponse) {
         ++stats.byFailure[static_cast<std::size_t>(outcome.failure)];
         return outcome;
@@ -145,24 +148,55 @@ ClusterClient::request(const std::string &method,
                        const std::string &trace_id)
 {
     const std::size_t lap = clients_.size();
+    const auto started = std::chrono::steady_clock::now();
+    const bool has_deadline = config_.deadlineMillis > 0.0;
+    // Remaining lap budget (-1 = no deadline, passed through to the
+    // per-target client as "use your own config").
+    const auto remaining = [&]() {
+        if (!has_deadline)
+            return -1.0;
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        return config_.deadlineMillis - elapsed;
+    };
+    const auto budgetSpent = [&](double left) {
+        return has_deadline && left <= 0.0;
+    };
+
     Outcome outcome;
     std::size_t answered = current_;
     for (std::size_t tried = 0; tried < lap; ++tried) {
+        const double left = remaining();
+        if (budgetSpent(left)) {
+            outcome.haveResponse = false;
+            outcome.failure = FailureClass::DeadlineExpired;
+            outcome.error = "deadline budget spent after " +
+                            std::to_string(tried) + " target(s)";
+            return outcome;
+        }
         const std::size_t index = (current_ + tried) % lap;
         outcome = attempt(index, method, target, body, content_type,
-                          trace_id);
-        // A transport failure or a router that cannot reach the shard
-        // owner both mean "try the next node"; anything else is this
-        // cluster's answer.
+                          trace_id, left);
+        // A transport failure, a router that cannot reach the shard
+        // owner, and a node draining for restart all mean "try the
+        // next node"; anything else is this cluster's answer.
         const bool rotate =
             !outcome.haveResponse ||
-            outcome.apiError == server::ApiError::MeshUnreachable;
+            outcome.apiError == server::ApiError::MeshUnreachable ||
+            outcome.apiError == server::ApiError::Draining;
         if (!rotate) {
             answered = index;
             if (tried > 0)
                 ++failovers_;
             break;
         }
+        if (outcome.haveResponse &&
+            outcome.apiError == server::ApiError::Draining)
+            ++stats_[index].drainRotations;
+        if (outcome.failure == FailureClass::DeadlineExpired)
+            return outcome; // the lap budget died mid-attempt.
         answered = index;
     }
 
@@ -177,10 +211,18 @@ ClusterClient::request(const std::string &method,
         if (!parseLocation(location, host, port))
             break; // malformed Location: surface the 307 as-is.
         ++hops;
+        const double left = remaining();
+        if (budgetSpent(left)) {
+            outcome.haveResponse = false;
+            outcome.failure = FailureClass::DeadlineExpired;
+            outcome.error =
+                "deadline budget spent following redirects";
+            break;
+        }
         const std::size_t index = findTarget(host, port);
         if (index < clients_.size()) {
             outcome = attempt(index, method, target, body, content_type,
-                              trace_id);
+                              trace_id, left);
             if (outcome.haveResponse)
                 ++stats_[index].redirectsFollowed;
             answered = index;
@@ -194,7 +236,7 @@ ClusterClient::request(const std::string &method,
             one.readTimeoutMillis = config_.readTimeoutMillis;
             ScoringClient follower(one);
             outcome = follower.request(method, target, body,
-                                       content_type, trace_id);
+                                       content_type, trace_id, left);
         }
     }
 

@@ -65,9 +65,10 @@ struct TargetStats
     std::uint64_t http5xx = 0;
     std::uint64_t redirectsFollowed = 0; ///< 307s answered here.
     std::uint64_t meshUnreachable = 0;   ///< 502 mesh_unreachable.
+    std::uint64_t drainRotations = 0;    ///< 503 draining answers.
 
     /** Transport failures by FailureClass (index = enum value). */
-    std::array<std::uint64_t, 6> byFailure{};
+    std::array<std::uint64_t, kFailureClassCount> byFailure{};
 
     std::uint64_t transportFailures() const
     {
@@ -89,6 +90,14 @@ class ClusterClient
 
         /** Per-attempt response deadline; 0 waits forever. */
         int readTimeoutMillis = 0;
+
+        /**
+         * End-to-end budget per request() call in millis (0 = none),
+         * spanning the whole failover lap and any redirect hops:
+         * each attempt carries what's left as X-Hiermeans-Deadline,
+         * and the lap stops when the budget is spent.
+         */
+        double deadlineMillis = 0.0;
 
         /** Follow 307 redirects from router nodes. */
         bool followRedirects = true;
@@ -136,11 +145,13 @@ class ClusterClient
     std::size_t findTarget(const std::string &host,
                            std::uint16_t port) const;
 
-    /** Issue one attempt against target @p index, tallying it. */
+    /** Issue one attempt against target @p index, tallying it.
+     *  @p deadline_millis: remaining budget (-1 = no deadline). */
     Outcome attempt(std::size_t index, const std::string &method,
                     const std::string &target, const std::string &body,
                     const std::string &content_type,
-                    const std::string &trace_id);
+                    const std::string &trace_id,
+                    double deadline_millis = -1.0);
 
     Config config_;
     std::vector<std::unique_ptr<ScoringClient>> clients_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/server/json.h"
+#include "src/server/router.h"
 
 namespace hiermeans {
 namespace client {
@@ -19,7 +20,8 @@ failureClassName(FailureClass failure)
     case FailureClass::ConnectionReset: return "connection-reset";
     case FailureClass::TimedOut:        return "timed-out";
     case FailureClass::NetOther:        return "net-other";
-    default:                            return "bad-response";
+    case FailureClass::BadResponse:     return "bad-response";
+    default:                            return "deadline-expired";
     }
 }
 
@@ -64,9 +66,16 @@ ScoringClient::shouldRetry(const Outcome &outcome) const
 {
     if (outcome.haveResponse) {
         if (outcome.status == 503)
-            return config_.retry.retryOverload;
+            // `draining` is a promise the node is going away, not a
+            // transient: retrying it here only burns backoff budget.
+            // The cluster layer rotates to another node instead.
+            return outcome.apiError != server::ApiError::Draining &&
+                   config_.retry.retryOverload;
         if (outcome.status == 504)
-            return config_.retry.retryTimeout;
+            // A spent end-to-end deadline is final: retrying cannot
+            // conjure budget back. Server-side timeouts may retry.
+            return outcome.apiError != server::ApiError::DeadlineExpired &&
+                   config_.retry.retryTimeout;
         return false; // any other answer is final.
     }
     switch (outcome.failure) {
@@ -85,11 +94,28 @@ Outcome
 ScoringClient::request(const std::string &method, const std::string &target,
                        const std::string &body,
                        const std::string &content_type,
-                       const std::string &trace_id)
+                       const std::string &trace_id,
+                       double deadline_override_millis)
 {
+    // A non-negative override (ClusterClient threading one budget
+    // across a failover lap) wins over the configured default.
+    const double deadline = deadline_override_millis >= 0.0
+                                ? deadline_override_millis
+                                : config_.deadlineMillis;
     server::HttpClient::Headers headers;
     if (!trace_id.empty())
         headers.emplace_back("X-Hiermeans-Trace", trace_id);
+
+    const auto started = std::chrono::steady_clock::now();
+    const auto remainingBudget = [&]() {
+        if (deadline <= 0.0)
+            return 0.0; // no deadline.
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        return deadline - elapsed;
+    };
 
     RetrySchedule schedule(config_.retry);
     Outcome outcome;
@@ -98,9 +124,27 @@ ScoringClient::request(const std::string &method, const std::string &target,
         outcome.failure = FailureClass::None;
         outcome.error.clear();
         outcome.apiError = server::ApiError::None;
+
+        server::HttpClient::Headers attempt_headers = headers;
+        if (deadline > 0.0) {
+            const double remaining = remainingBudget();
+            if (remaining <= 0.0) {
+                // The budget died between attempts (backoff ate it):
+                // fail locally, no round trip.
+                outcome.failure = FailureClass::DeadlineExpired;
+                outcome.error = "deadline budget spent after " +
+                                std::to_string(outcome.attempts - 1) +
+                                " attempt(s)";
+                return outcome;
+            }
+            attempt_headers.emplace_back(
+                server::kDeadlineHeader,
+                server::json::number(remaining));
+        }
         try {
             outcome.response = http_.roundTrip(method, target, body,
-                                               content_type, headers);
+                                               content_type,
+                                               attempt_headers);
             outcome.haveResponse = true;
             outcome.status = outcome.response.status;
             static const std::string kZero = "0";
@@ -125,6 +169,15 @@ ScoringClient::request(const std::string &method, const std::string &target,
 
         if (!shouldRetry(outcome))
             return outcome;
+        if (deadline > 0.0 && remainingBudget() <= 0.0) {
+            if (!outcome.haveResponse) {
+                outcome.failure = FailureClass::DeadlineExpired;
+                outcome.error = "deadline budget spent after " +
+                                std::to_string(outcome.attempts) +
+                                " attempt(s)";
+            }
+            return outcome; // no budget left to retry in.
+        }
 
         const double floor_millis =
             outcome.haveResponse ? retryAfterMillis(outcome.response) : 0.0;

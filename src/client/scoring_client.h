@@ -18,6 +18,7 @@
 #ifndef HIERMEANS_CLIENT_SCORING_CLIENT_H
 #define HIERMEANS_CLIENT_SCORING_CLIENT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -37,8 +38,12 @@ enum class FailureClass
     ConnectionReset, ///< peer vanished mid-exchange.
     TimedOut,        ///< client read deadline expired.
     NetOther,        ///< unreachable / resolution / exotic errno.
-    BadResponse      ///< unparsable HTTP came back.
+    BadResponse,     ///< unparsable HTTP came back.
+    DeadlineExpired  ///< the end-to-end deadline budget ran out.
 };
+
+/** Number of FailureClass values (for per-class tallies). */
+inline constexpr std::size_t kFailureClassCount = 7;
 
 /** Display name ("none", "connect-refused", ...). */
 const char *failureClassName(FailureClass failure);
@@ -82,6 +87,18 @@ class ScoringClient
 
         /** Per-attempt response deadline; 0 waits forever. */
         int readTimeoutMillis = 0;
+
+        /**
+         * End-to-end budget per request() call in millis (0 = none).
+         * The remaining budget rides every attempt as
+         * X-Hiermeans-Deadline — decremented across retries and
+         * backoff sleeps — so the server can shed work the caller
+         * has already given up on. When the budget is spent before
+         * an attempt starts, the request fails locally with
+         * FailureClass::DeadlineExpired instead of burning a round
+         * trip.
+         */
+        double deadlineMillis = 0.0;
     };
 
     explicit ScoringClient(Config config);
@@ -95,7 +112,8 @@ class ScoringClient
     Outcome request(const std::string &method, const std::string &target,
                     const std::string &body = "",
                     const std::string &content_type = "text/plain",
-                    const std::string &trace_id = "");
+                    const std::string &trace_id = "",
+                    double deadline_override_millis = -1.0);
 
     /** POST one manifest line to /v1/score. */
     Outcome score(const std::string &line,

@@ -153,6 +153,22 @@ ScoringEngine::execute(std::uint64_t fingerprint,
     const bool has_deadline = request->timeoutMillis > 0.0;
     const auto started = std::chrono::steady_clock::now();
 
+    // Thrown at a stage boundary when the request's CancelToken fired
+    // mid-pipeline; classified below as timed-out or cancelled.
+    struct CancelledMidPipeline
+    {};
+    const auto classifyCancel = [&](const char *where) {
+        if (request->cancel.remainingMillis() <= 0.0) {
+            metrics_.onTimeout();
+            result.timedOut = true;
+            result.error = std::string("deadline expired ") + where;
+        } else {
+            metrics_.onCancelled();
+            result.cancelled = true;
+            result.error = std::string("cancelled ") + where;
+        }
+    };
+
     if (has_deadline && queue_wait > request->timeoutMillis) {
         // Expired while queued: don't burn a worker on a dead request.
         metrics_.onTimeout();
@@ -160,6 +176,13 @@ ScoringEngine::execute(std::uint64_t fingerprint,
         result.error = "timed out after " + std::to_string(queue_wait) +
                        " ms waiting in queue (timeout " +
                        std::to_string(request->timeoutMillis) + " ms)";
+        if (trace != nullptr)
+            trace->end(trace->begin("engine.purge", executeSpan));
+    } else if (request->cancel.cancelled()) {
+        // Purged from the queue: the caller gave up while we waited.
+        classifyCancel("while queued");
+        if (trace != nullptr)
+            trace->end(trace->begin("engine.purge", executeSpan));
     } else {
         metrics_.onExecution();
         try {
@@ -189,12 +212,16 @@ ScoringEngine::execute(std::uint64_t fingerprint,
                         request->features, request->workloads,
                         request->featureNames);
                 }
+                if (request->cancel.cancelled())
+                    throw CancelledMidPipeline{};
                 // analyzeClusters records its own som_train/cluster
                 // stage spans through the thread-local context.
                 analysis =
                     std::make_shared<const core::ClusterAnalysis>(
                         core::analyzeClusters(vectors, config));
             }
+            if (request->cancel.cancelled())
+                throw CancelledMidPipeline{};
             scoring::ScoreReport report;
             {
                 obs::ScopedSpan span("pipeline.score");
@@ -209,6 +236,8 @@ ScoringEngine::execute(std::uint64_t fingerprint,
                 result.report.rows[result.report.recommendedRow()]
                     .clusterCount;
             result.ok = true;
+        } catch (const CancelledMidPipeline &) {
+            classifyCancel("between pipeline stages");
         } catch (const std::exception &e) {
             metrics_.onFailure();
             result.error = e.what();

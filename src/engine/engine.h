@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/engine/cancel.h"
 #include "src/engine/metrics.h"
 #include "src/obs/trace.h"
 #include "src/engine/result_cache.h"
@@ -83,6 +84,14 @@ struct ScoreRequest
     double timeoutMillis = 0.0;
 
     /**
+     * Cooperative cancellation: polled at dequeue (an entry whose
+     * token fired is purged from the queue instead of executed) and
+     * between pipeline stages. A null token never cancels. Like
+     * trace/id this is never fingerprinted.
+     */
+    CancelToken cancel;
+
+    /**
      * Live request trace to record cache/queue/execute/pipeline spans
      * into; nullptr when tracing is disarmed. Like id/labels this is
      * presentation-only and never fingerprinted — traced and untraced
@@ -101,6 +110,7 @@ struct ScoreResult
     bool ok = false;
     std::string error;      ///< set when !ok.
     bool timedOut = false;  ///< !ok because the deadline lapsed.
+    bool cancelled = false; ///< !ok because the caller gave up.
     bool cacheHit = false;  ///< served from the result cache.
     bool deduped = false;   ///< piggybacked on an in-flight twin.
     std::uint64_t fingerprint = 0;

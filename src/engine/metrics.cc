@@ -114,6 +114,7 @@ EngineMetrics::snapshot() const
     snap.executions = executions_.load();
     snap.failures = failures_.load();
     snap.timeouts = timeouts_.load();
+    snap.cancellations = cancellations_.load();
     snap.cacheInsertFailures = cacheInsertFailures_.load();
     if (snap.requests > 0) {
         snap.cacheHitRatio = static_cast<double>(snap.cacheHits) /
@@ -138,6 +139,8 @@ EngineMetrics::render() const
                      std::to_string(snap.executions)});
     counters.addRow({"failures", std::to_string(snap.failures)});
     counters.addRow({"timeouts", std::to_string(snap.timeouts)});
+    counters.addRow(
+        {"cancellations", std::to_string(snap.cancellations)});
     counters.addRow({"cache insert failures",
                      std::to_string(snap.cacheInsertFailures)});
     counters.addRow(

@@ -70,6 +70,7 @@ struct MetricsSnapshot
     std::uint64_t executions = 0;     ///< pipelines actually run.
     std::uint64_t failures = 0;       ///< executions that threw.
     std::uint64_t timeouts = 0;       ///< requests past their deadline.
+    std::uint64_t cancellations = 0;  ///< requests whose caller gave up.
     std::uint64_t cacheInsertFailures = 0; ///< results served uncached.
 
     /** Cache hits / lookups, 0.0 before the first request. */
@@ -97,6 +98,7 @@ class EngineMetrics
     void onExecution() { ++executions_; }
     void onFailure() { ++failures_; }
     void onTimeout() { ++timeouts_; }
+    void onCancelled() { ++cancellations_; }
     void onCacheInsertFailure() { ++cacheInsertFailures_; }
 
     /** Record the wall time of one served request. */
@@ -128,6 +130,7 @@ class EngineMetrics
     std::atomic<std::uint64_t> executions_{0};
     std::atomic<std::uint64_t> failures_{0};
     std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> cancellations_{0};
     std::atomic<std::uint64_t> cacheInsertFailures_{0};
     LatencyHistogram requestLatency_;
     LatencyHistogram pipelineLatency_;

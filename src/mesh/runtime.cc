@@ -203,11 +203,28 @@ MeshRuntime::relay(const server::RequestContext &ctx,
         {server::kForwardedHeader, config_.mesh.selfId}};
     if (!ctx.traceId.empty())
         headers.push_back({"X-Hiermeans-Trace", ctx.traceId});
+    // Hand the remaining budget downstream and cap our own wait to
+    // it — the forwarded hop must not out-wait the client.
+    double wait = config_.rpcTimeoutMillis;
+    if (ctx.hasDeadline()) {
+        const double remaining = ctx.remainingMillis();
+        if (remaining <= 0.0) {
+            forwardFailures_.fetch_add(1, std::memory_order_relaxed);
+            return server::errorResponse(
+                server::ApiError::DeadlineExpired,
+                "mesh: client deadline spent before forward",
+                ctx.traceId, "\"timed_out\":true");
+        }
+        headers.push_back({server::kDeadlineHeader,
+                           server::json::number(remaining)});
+        if (remaining < wait)
+            wait = remaining;
+    }
     try {
         // One connection per relay: forwards never contend with the
         // replication client for a peer.
         server::HttpClient client(route.host, route.port);
-        client.setReadTimeoutMillis(config_.rpcTimeoutMillis);
+        client.setReadTimeoutMillis(wait);
         const server::HttpResponseParser::Response relayed =
             client.roundTrip(
                 ctx.http.method, ctx.http.target, ctx.http.body,
@@ -232,7 +249,7 @@ MeshRuntime::relay(const server::RequestContext &ctx,
 }
 
 bool
-MeshRuntime::shipTo(Peer &target)
+MeshRuntime::shipTo(Peer &target, double budget_millis)
 {
     if (store_ == nullptr)
         return true;
@@ -261,8 +278,13 @@ MeshRuntime::shipTo(Peer &target)
     if (target.client == nullptr) {
         target.client = std::make_unique<server::HttpClient>(
             target.node.host, target.node.port);
-        target.client->setReadTimeoutMillis(config_.rpcTimeoutMillis);
     }
+    // The ack wait honors the requester's remaining deadline: a
+    // caller with 200 ms left must not block 5 s on a slow follower.
+    double wait = config_.rpcTimeoutMillis;
+    if (budget_millis > 0.0 && budget_millis < wait)
+        wait = budget_millis;
+    target.client->setReadTimeoutMillis(wait);
     const std::string path = "/v1/mesh/replicate?leader=" +
                              config_.mesh.selfId + "&mode=" + mode;
     try {
@@ -295,7 +317,7 @@ MeshRuntime::shipTo(Peer &target)
 }
 
 void
-MeshRuntime::afterWrite()
+MeshRuntime::afterWrite(double budget_millis)
 {
     if (store_ == nullptr)
         return;
@@ -306,7 +328,7 @@ MeshRuntime::afterWrite()
     for (const std::string &id : followers_) {
         Peer *target = peer(id);
         if (target != nullptr && target->health.load() != 2)
-            shipTo(*target);
+            shipTo(*target, budget_millis);
     }
 }
 
@@ -355,7 +377,9 @@ MeshRuntime::handleCluster(const server::RequestContext &ctx)
              << ",\"host\":" << server::json::quote(node.host)
              << ",\"port\":" << node.port;
         if (node.id == config_.mesh.selfId) {
-            data << ",\"self\":true,\"health\":\"ok\""
+            data << ",\"self\":true,\"health\":"
+                 << server::json::quote(selfHealth_ ? selfHealth_()
+                                                    : "ok")
                  << ",\"follower\":false,\"acked\":0}";
             continue;
         }

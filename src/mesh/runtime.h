@@ -129,12 +129,25 @@ class MeshRuntime : public server::ClusterHooks
         driftSummary_ = std::move(provider);
     }
 
+    /**
+     * Attach a provider of this node's own health word ("ok" /
+     * "draining") for /v1/cluster's self entry. Set by hmserved from
+     * Server::draining() so peers planning a failover see the drain
+     * before the socket closes. Call before start(); defaults to
+     * "ok".
+     */
+    void setSelfHealth(std::function<std::string()> provider)
+    {
+        selfHealth_ = std::move(provider);
+    }
+
     // --- server::ClusterHooks ----------------------------------------
     server::ClusterRoute routeSuite(const std::string &suite,
                                     bool isWrite) override;
     server::HttpResponse relay(const server::RequestContext &ctx,
                                const server::ClusterRoute &route) override;
-    void afterWrite() override;
+    void afterWrite(double budget_millis) override;
+    using server::ClusterHooks::afterWrite;
     std::optional<store::SuiteVersion>
     replicaSuite(const std::string &name, std::uint32_t version) override;
     std::vector<store::HistoryEntry>
@@ -165,8 +178,9 @@ class MeshRuntime : public server::ClusterHooks
 
     /** Ship outstanding frames (or a snapshot image) to @p peer and
      *  record the returned durable ack. Returns false — and marks the
-     *  peer down — when the RPC fails. */
-    bool shipTo(Peer &peer);
+     *  peer down — when the RPC fails. @p budget_millis caps the ack
+     *  wait below the RPC timeout (0 = full timeout). */
+    bool shipTo(Peer &peer, double budget_millis = 0.0);
 
     void backgroundLoop();
 
@@ -175,6 +189,7 @@ class MeshRuntime : public server::ClusterHooks
     std::vector<std::string> followers_;
     store::StateStore *store_ = nullptr;
     std::function<std::string()> driftSummary_;
+    std::function<std::string()> selfHealth_;
 
     std::map<std::string, std::unique_ptr<Peer>> peers_;
 

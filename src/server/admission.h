@@ -8,6 +8,13 @@
  * without bound. The gate counts *admitted-but-unfinished* requests —
  * engine executions plus requests waiting on the engine's queue — so
  * its depth is the server's end-to-end backlog.
+ *
+ * Two priority lanes share the capacity. Interactive traffic
+ * (/v1/score) may fill every slot; bulk traffic (/v1/batch, observe
+ * intake) is additionally capped at a fraction of the capacity, so a
+ * burst of batch documents can never occupy the whole gate and starve
+ * interactive requests. Both lane depths live packed in one atomic,
+ * which keeps admission a single lock-free CAS.
  */
 
 #ifndef HIERMEANS_SERVER_ADMISSION_H
@@ -19,76 +26,148 @@
 namespace hiermeans {
 namespace server {
 
-/** A counting gate with a hard capacity; lock-free. */
+/** Admission priority: which lane a request competes in. */
+enum class Lane
+{
+    Interactive = 0, ///< /v1/score — may use the full capacity.
+    Bulk = 1         ///< /v1/batch, observe — capped below capacity.
+};
+
+inline constexpr std::size_t kLaneCount = 2;
+
+/** Lane name for metrics labels ("interactive" / "bulk"). */
+inline const char *
+laneName(Lane lane)
+{
+    return lane == Lane::Bulk ? "bulk" : "interactive";
+}
+
+/** A two-lane counting gate with a hard capacity; lock-free. */
 class AdmissionGate
 {
   public:
-    /** Gate with @p capacity slots (>= 1 enforced by clamping). */
-    explicit AdmissionGate(std::size_t capacity)
-        : capacity_(capacity == 0 ? 1 : capacity)
+    /**
+     * Gate with @p capacity total slots (>= 1 enforced by clamping).
+     * @p bulk_capacity caps the bulk lane; 0 picks the default of
+     * half the capacity (at least one slot), which always leaves
+     * interactive headroom on gates with >= 2 slots.
+     */
+    explicit AdmissionGate(std::size_t capacity,
+                           std::size_t bulk_capacity = 0)
+        : capacity_(capacity == 0 ? 1 : capacity),
+          bulkCapacity_(bulk_capacity == 0
+                            ? (capacity_ >= 2 ? capacity_ / 2 : 1)
+                            : (bulk_capacity > capacity_ ? capacity_
+                                                         : bulk_capacity))
     {}
 
     AdmissionGate(const AdmissionGate &) = delete;
     AdmissionGate &operator=(const AdmissionGate &) = delete;
 
     /**
-     * Claim a slot. False when the gate is full — the caller sheds the
-     * request (and the rejection is counted in shedTotal()).
+     * Claim a slot in @p lane. False when the gate is full — or, for
+     * bulk, when the bulk lane has hit its cap — and the caller sheds
+     * the request (counted in shedTotal()/shedTotal(lane)).
      */
     bool
-    tryEnter()
+    tryEnter(Lane lane = Lane::Interactive)
     {
-        std::size_t depth = depth_.load(std::memory_order_relaxed);
-        while (depth < capacity_) {
-            if (depth_.compare_exchange_weak(
-                    depth, depth + 1, std::memory_order_acq_rel))
+        std::uint64_t packed = depths_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::size_t interactive = unpackInteractive(packed);
+            const std::size_t bulk = unpackBulk(packed);
+            if (interactive + bulk >= capacity_ ||
+                (lane == Lane::Bulk && bulk >= bulkCapacity_)) {
+                shed_[static_cast<std::size_t>(lane)].fetch_add(
+                    1, std::memory_order_relaxed);
+                return false;
+            }
+            const std::uint64_t next =
+                lane == Lane::Bulk ? packed + (1ULL << 32) : packed + 1;
+            if (depths_.compare_exchange_weak(packed, next,
+                                              std::memory_order_acq_rel))
                 return true;
         }
-        shed_.fetch_add(1, std::memory_order_relaxed);
-        return false;
     }
 
-    /** Release a slot claimed by tryEnter(). */
+    /** Release a slot claimed by tryEnter() in the same lane. */
     void
-    leave()
+    leave(Lane lane = Lane::Interactive)
     {
-        depth_.fetch_sub(1, std::memory_order_acq_rel);
+        depths_.fetch_sub(lane == Lane::Bulk ? (1ULL << 32) : 1,
+                          std::memory_order_acq_rel);
     }
 
-    /** Admitted-but-unfinished requests right now. */
+    /** Admitted-but-unfinished requests right now (both lanes). */
     std::size_t
     depth() const
     {
-        return depth_.load(std::memory_order_relaxed);
+        const std::uint64_t packed =
+            depths_.load(std::memory_order_relaxed);
+        return unpackInteractive(packed) + unpackBulk(packed);
+    }
+
+    /** Admitted-but-unfinished requests in one lane. */
+    std::size_t
+    depth(Lane lane) const
+    {
+        const std::uint64_t packed =
+            depths_.load(std::memory_order_relaxed);
+        return lane == Lane::Bulk ? unpackBulk(packed)
+                                  : unpackInteractive(packed);
     }
 
     std::size_t capacity() const { return capacity_; }
+
+    /** The bulk lane's cap (< capacity on gates with headroom). */
+    std::size_t bulkCapacity() const { return bulkCapacity_; }
 
     /** Cumulative rejections (503s served because the gate was full). */
     std::uint64_t
     shedTotal() const
     {
-        return shed_.load(std::memory_order_relaxed);
+        return shed_[0].load(std::memory_order_relaxed) +
+               shed_[1].load(std::memory_order_relaxed);
+    }
+
+    /** Cumulative rejections in one lane. */
+    std::uint64_t
+    shedTotal(Lane lane) const
+    {
+        return shed_[static_cast<std::size_t>(lane)].load(
+            std::memory_order_relaxed);
     }
 
   private:
+    static std::size_t unpackInteractive(std::uint64_t packed)
+    {
+        return static_cast<std::size_t>(packed & 0xffffffffULL);
+    }
+    static std::size_t unpackBulk(std::uint64_t packed)
+    {
+        return static_cast<std::size_t>(packed >> 32);
+    }
+
     const std::size_t capacity_;
-    std::atomic<std::size_t> depth_{0};
-    std::atomic<std::uint64_t> shed_{0};
+    const std::size_t bulkCapacity_;
+    /** Interactive depth in the low 32 bits, bulk in the high 32. */
+    std::atomic<std::uint64_t> depths_{0};
+    std::atomic<std::uint64_t> shed_[kLaneCount] = {{0}, {0}};
 };
 
 /** RAII slot: enters on construction, leaves on destruction. */
 class AdmissionTicket
 {
   public:
-    explicit AdmissionTicket(AdmissionGate &gate)
-        : gate_(gate), admitted_(gate.tryEnter())
+    explicit AdmissionTicket(AdmissionGate &gate,
+                             Lane lane = Lane::Interactive)
+        : gate_(gate), lane_(lane), admitted_(gate.tryEnter(lane))
     {}
 
     ~AdmissionTicket()
     {
         if (admitted_)
-            gate_.leave();
+            gate_.leave(lane_);
     }
 
     AdmissionTicket(const AdmissionTicket &) = delete;
@@ -97,8 +176,11 @@ class AdmissionTicket
     /** False when the gate was full — the request must be shed. */
     bool admitted() const { return admitted_; }
 
+    Lane lane() const { return lane_; }
+
   private:
     AdmissionGate &gate_;
+    const Lane lane_;
     const bool admitted_;
 };
 

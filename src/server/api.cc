@@ -32,6 +32,7 @@ const CodeEntry kCodes[] = {
     {ApiError::SuiteUnknown, "suite_unknown", 404},
     {ApiError::StoreDisabled, "store_disabled", 503},
     {ApiError::MeshUnreachable, "mesh_unreachable", 502},
+    {ApiError::DeadlineExpired, "deadline_expired", 504},
 };
 
 std::string

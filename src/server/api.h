@@ -51,6 +51,7 @@ enum class ApiError
     SuiteUnknown,     ///< no such registered suite (404).
     StoreDisabled,    ///< durable store not mounted (503).
     MeshUnreachable,  ///< shard owner unreachable via the mesh (502).
+    DeadlineExpired,  ///< client budget spent before execution (504).
 };
 
 /** The wire string for @p error, e.g. "circuit_open". */

@@ -81,8 +81,15 @@ class ClusterHooks
     /** Ship outstanding local commits to this node's followers and
      *  wait for their durable acks (bounded; an unreachable follower
      *  is marked lagging, not waited for). Called after every local
-     *  durable write, before the response is sent. */
-    virtual void afterWrite() = 0;
+     *  durable write, before the response is sent. @p budget_millis
+     *  is the requester's remaining deadline budget (0 = none): the
+     *  per-follower ack wait is capped to it so replication never
+     *  outlives the caller's patience. */
+    virtual void afterWrite(double budget_millis) = 0;
+
+    /** Background/no-deadline form: replicate with the full RPC
+     *  timeout. */
+    void afterWrite() { afterWrite(0.0); }
 
     /** Resolve @p name from the replica images this node holds —
      *  the read path for a dead leader's shard. */

@@ -17,8 +17,10 @@
 #ifndef HIERMEANS_SERVER_ROUTER_H
 #define HIERMEANS_SERVER_ROUTER_H
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -45,7 +47,35 @@ struct RequestContext
 
     /** The server.request root span — parent for handler spans. */
     std::size_t rootSpan = obs::kNoParent;
+
+    /**
+     * Remaining client budget from X-Hiermeans-Deadline in millis
+     * (0 = the client sent none), and when it was read off the wire.
+     * remainingMillis() is the budget still left *now*; handlers
+     * shed a request whose budget is spent before touching the
+     * engine, and forwards hand the remainder downstream.
+     */
+    double deadlineMillis = 0.0;
+    std::chrono::steady_clock::time_point arrived =
+        std::chrono::steady_clock::now();
+
+    bool hasDeadline() const { return deadlineMillis > 0.0; }
+
+    /** Budget left right now (may be negative); +inf without one. */
+    double remainingMillis() const
+    {
+        if (!hasDeadline())
+            return std::numeric_limits<double>::infinity();
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - arrived)
+                .count();
+        return deadlineMillis - elapsed;
+    }
 };
+
+/** Wire header carrying the remaining request budget in millis. */
+inline constexpr const char *kDeadlineHeader = "X-Hiermeans-Deadline";
 
 /** Routes requests to registered handlers. */
 class Router

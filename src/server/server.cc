@@ -11,6 +11,7 @@
 #include "src/server/json.h"
 #include "src/util/error.h"
 #include "src/util/log.h"
+#include "src/util/signal.h"
 #include "src/util/version.h"
 
 namespace hiermeans {
@@ -68,6 +69,10 @@ resultErrorEnvelope(const engine::ScoreResult &result,
         code = ApiError::Timeout;
         extra = extra.empty() ? "\"timed_out\":true"
                               : extra + ",\"timed_out\":true";
+    } else if (result.cancelled) {
+        // Cancelled without an expired deadline: the server gave up
+        // (drain), not the work — retryable elsewhere.
+        code = ApiError::Draining;
     }
     return errorEnvelope(code, result.error, traceId, extra);
 }
@@ -120,7 +125,8 @@ transportConfig(const Server::Config &config)
 
 Server::Server(Config config)
     : config_(config), engine_(config.engine),
-      gate_(config.queueDepth), breaker_(config.breaker),
+      gate_(config.queueDepth, config.bulkQueueDepth),
+      breaker_(config.breaker),
       health_(config.health), watchdog_(config.watchdog),
       suites_(metrics_),
       transport_(transportConfig(config), router_, metrics_),
@@ -166,6 +172,10 @@ Server::Server(Config config)
     router_.add("POST", "/v1/admin/recluster",
                 [this](const RequestContext &c) {
                     return handleRecluster(c);
+                });
+    router_.add("POST", "/v1/admin/drain",
+                [this](const RequestContext &c) {
+                    return handleDrain(c);
                 });
     router_.addPrefix("GET", "/v1/suites/",
                       [this](const RequestContext &c) {
@@ -236,6 +246,17 @@ Server::reclusterLoop()
 }
 
 void
+Server::beginDrain()
+{
+    if (draining_.exchange(true))
+        return;
+    health_.setDraining(); // /healthz flips to 503 for the drain.
+    metrics_.setDraining();
+    HM_LOG(Info) << "drain: started (deadline "
+                 << config_.drainDeadlineMillis << " ms)";
+}
+
+void
 Server::stop()
 {
     reclusterStop_.store(true, std::memory_order_relaxed);
@@ -243,13 +264,48 @@ Server::stop()
         reclusterThread_.join();
     if (!transport_.running())
         return;
-    health_.setDraining(); // /healthz flips to 503 for the drain.
+
+    // The drain state machine: advertise first (new scoring work is
+    // shed with the `draining` code, cluster clients fail over), wait
+    // for admitted work against the drain deadline, then cancel
+    // whatever is still in flight so the transport can drain its
+    // connections without a worker wedged mid-pipeline.
+    beginDrain();
+    constexpr auto kSlice = std::chrono::milliseconds(20);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(
+            config_.drainDeadlineMillis);
+    while (gate_.depth() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(kSlice);
+    if (gate_.depth() > 0) {
+        HM_LOG(Warn) << "drain: deadline exceeded with "
+                     << gate_.depth()
+                     << " request(s) in flight; cancelling";
+        drainSource_.cancel();
+    }
     transport_.stop();
     try {
         suites_.close(); // final snapshot + WAL compaction.
     } catch (const Error &e) {
         HM_LOG(Warn) << "store: final snapshot failed: " << e.what();
     }
+}
+
+HttpResponse
+Server::handleDrain(const RequestContext &ctx)
+{
+    // Flip to draining immediately (this request's own answer already
+    // advertises it), then ask the process to shut down: hmserved's
+    // main loop observes the flag and runs stop() — the same path a
+    // SIGTERM takes.
+    beginDrain();
+    util::requestShutdown();
+    return okResponse("{\"draining\":true,\"drain_deadline_ms\":" +
+                          json::number(config_.drainDeadlineMillis) +
+                          "}",
+                      ctx.traceId);
 }
 
 HttpResponse
@@ -294,6 +350,7 @@ Server::tryStale(std::uint64_t fingerprint, const std::string &id,
 std::optional<HttpResponse>
 Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
                           const Watchdog::Token &token,
+                          engine::CancelSource *cancel,
                           engine::ScoreResult &result,
                           const std::string &traceId)
 {
@@ -305,7 +362,11 @@ Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
         }
         if (token.expired()) {
             // Abandon the future: the engine task will resolve into a
-            // dead promise; only this connection is rescued.
+            // dead promise; only this connection is rescued. Cancel
+            // the request's token too so a still-queued entry is
+            // purged instead of executed into the dead promise.
+            if (cancel != nullptr)
+                cancel->cancel();
             metrics_.onWatchdogTrip();
             metrics_.onTimeout();
             breaker_.onFailure();
@@ -321,6 +382,28 @@ Server::awaitWithWatchdog(std::future<engine::ScoreResult> &future,
 HttpResponse
 Server::handleScore(const RequestContext &ctx)
 {
+    // Draining: shed before any work so cluster clients fail over to
+    // a peer immediately instead of racing the shutdown.
+    if (draining_.load()) {
+        metrics_.onDrainShed();
+        HttpResponse response =
+            errorResponse(ApiError::Draining,
+                          "server draining, try another node",
+                          ctx.traceId);
+        response.set("Retry-After", "1");
+        return response;
+    }
+    // A request whose client budget is already spent is shed before
+    // it touches the breaker, the gate or the engine: nobody is
+    // waiting for the answer. Not a breaker event — the server is
+    // healthy, the budget was just too small.
+    if (ctx.hasDeadline() && ctx.remainingMillis() <= 0.0) {
+        metrics_.onDeadlineExpired();
+        return errorResponse(ApiError::DeadlineExpired,
+                             "client deadline spent before admission",
+                             ctx.traceId, "\"timed_out\":true");
+    }
+
     SuiteService::Expansion expanded = suites_.expandScore(ctx);
     if (expanded.response.has_value())
         return std::move(*expanded.response);
@@ -355,6 +438,14 @@ Server::handleScore(const RequestContext &ctx)
     }
     if (score_request.timeoutMillis <= 0.0)
         score_request.timeoutMillis = config_.defaultTimeoutMillis;
+    // The remaining client budget caps the engine deadline: any work
+    // past it is wasted even when the server-side timeout is looser.
+    const double budget = ctx.hasDeadline()
+                              ? ctx.remainingMillis()
+                              : config_.defaultDeadlineMillis;
+    if (budget > 0.0 && (score_request.timeoutMillis <= 0.0 ||
+                         budget < score_request.timeoutMillis))
+        score_request.timeoutMillis = budget;
 
     // The fingerprint is known before admission so the degraded paths
     // below (breaker open, gate full) can consult the result cache.
@@ -376,9 +467,10 @@ Server::handleScore(const RequestContext &ctx)
         return response;
     }
 
-    AdmissionTicket ticket(gate_);
+    AdmissionTicket ticket(gate_, Lane::Interactive);
     if (!ticket.admitted()) {
         metrics_.onShed();
+        metrics_.onLaneShed(Lane::Interactive);
         health_.onShed();
         breaker_.onAbandoned(); // a shed is not a probe outcome.
         if (std::optional<HttpResponse> stale = tryStale(
@@ -391,6 +483,14 @@ Server::handleScore(const RequestContext &ctx)
 
     const Watchdog::Token token =
         watchdog_.watch(score_request.timeoutMillis);
+    // Per-request cancellation, chained to the drain source: the
+    // engine purges this entry from its queue (and stops at the next
+    // stage boundary) when the deadline fires, the watchdog trips or
+    // the process drains.
+    engine::CancelSource cancelSource(drainSource_.token());
+    if (score_request.timeoutMillis > 0.0)
+        cancelSource.setDeadline(score_request.timeoutMillis);
+    score_request.cancel = cancelSource.token();
     if (ctx.trace) {
         // Hand the live trace to the engine: the submit-side spans
         // (cache.lookup, engine.queue) and the worker-side spans
@@ -403,10 +503,21 @@ Server::handleScore(const RequestContext &ctx)
 
     obs::ScopedSpan awaitSpan("server.await");
     engine::ScoreResult result;
-    if (std::optional<HttpResponse> tripped =
-            awaitWithWatchdog(future, token, result, ctx.traceId))
+    if (std::optional<HttpResponse> tripped = awaitWithWatchdog(
+            future, token, &cancelSource, result, ctx.traceId))
         return std::move(*tripped);
 
+    if (!result.ok && result.cancelled) {
+        // Cancelled by the drain state machine, not by load: answer
+        // the draining code so the client fails over, and release any
+        // half-open breaker probe without counting an outcome.
+        metrics_.onCancelled();
+        breaker_.onAbandoned();
+        HttpResponse response = errorResponse(
+            ApiError::Draining, result.error, ctx.traceId);
+        response.set("Retry-After", "1");
+        return response;
+    }
     if (!result.ok && result.timedOut) {
         metrics_.onTimeout();
         breaker_.onFailure();
@@ -423,7 +534,11 @@ Server::handleScore(const RequestContext &ctx)
     }
 
     breaker_.onSuccess();
-    suites_.persistScore(result, expanded.suite, expanded.suiteVersion);
+    suites_.persistScore(result, expanded.suite, expanded.suiteVersion,
+                         ctx.hasDeadline() ? ctx.remainingMillis()
+                                           : 0.0);
+    if (ctx.hasDeadline() && ctx.remainingMillis() < 0.0)
+        metrics_.onDeadlineMiss();
     HttpResponse response =
         okResponse(resultDataJson(result), ctx.traceId);
     response.set("X-Hiermeans-Source", servedBy(result));
@@ -433,6 +548,22 @@ Server::handleScore(const RequestContext &ctx)
 HttpResponse
 Server::handleBatch(const RequestContext &ctx)
 {
+    if (draining_.load()) {
+        metrics_.onDrainShed();
+        HttpResponse response =
+            errorResponse(ApiError::Draining,
+                          "server draining, try another node",
+                          ctx.traceId);
+        response.set("Retry-After", "1");
+        return response;
+    }
+    if (ctx.hasDeadline() && ctx.remainingMillis() <= 0.0) {
+        metrics_.onDeadlineExpired();
+        return errorResponse(ApiError::DeadlineExpired,
+                             "client deadline spent before admission",
+                             ctx.traceId, "\"timed_out\":true");
+    }
+
     SuiteService::Expansion expanded = suites_.expandBatch(ctx);
     if (expanded.response.has_value())
         return std::move(*expanded.response);
@@ -454,10 +585,13 @@ Server::handleBatch(const RequestContext &ctx)
 
     // The whole document is one admission unit: it occupies one
     // connection worker and its lines share the engine pool anyway.
+    // Batch competes in the bulk lane, which is capped below the
+    // gate's capacity so it can never starve /v1/score.
     obs::ScopedSpan admissionSpan("admission");
-    AdmissionTicket ticket(gate_);
+    AdmissionTicket ticket(gate_, Lane::Bulk);
     if (!ticket.admitted()) {
         metrics_.onShed();
+        metrics_.onLaneShed(Lane::Bulk);
         health_.onShed();
         return overloadedResponse(ctx.traceId);
     }
@@ -466,6 +600,12 @@ Server::handleBatch(const RequestContext &ctx)
 
     // Build everything up front so a bad line fails alone without
     // touching the engine, mirroring hmbatch.
+    // One cancel source covers the document: drain (via the chained
+    // parent) or the document deadline purges every unfinished line.
+    engine::CancelSource batchCancel(drainSource_.token());
+    if (ctx.hasDeadline() && ctx.remainingMillis() > 0.0)
+        batchCancel.setDeadline(ctx.remainingMillis());
+
     std::vector<std::optional<engine::ScoreRequest>> requests;
     std::vector<engine::ScoreResult> line_errors(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -474,6 +614,14 @@ Server::handleBatch(const RequestContext &ctx)
                 lines[i], requestDefaults_, csvs_);
             if (built.timeoutMillis <= 0.0)
                 built.timeoutMillis = config_.defaultTimeoutMillis;
+            const double line_budget =
+                ctx.hasDeadline() ? ctx.remainingMillis()
+                                  : config_.defaultDeadlineMillis;
+            if (line_budget > 0.0 &&
+                (built.timeoutMillis <= 0.0 ||
+                 line_budget < built.timeoutMillis))
+                built.timeoutMillis = line_budget;
+            built.cancel = batchCancel.token();
             if (ctx.trace) {
                 built.trace = ctx.trace;
                 built.traceParent = ctx.rootSpan;
@@ -528,6 +676,8 @@ Server::handleBatch(const RequestContext &ctx)
         }
         if (!result.ok && result.timedOut)
             metrics_.onTimeout();
+        if (!result.ok && result.cancelled)
+            metrics_.onCancelled();
 
         const std::string line_field =
             "\"line\":" + std::to_string(lines[i].lineNumber);
@@ -738,6 +888,30 @@ Server::handleSuitePost(const RequestContext &ctx)
         return errorResponse(ApiError::NotFound,
                              "no such endpoint: " + ctx.http.path(),
                              ctx.traceId);
+    if (draining_.load()) {
+        metrics_.onDrainShed();
+        HttpResponse shed =
+            errorResponse(ApiError::Draining,
+                          "server draining, try another node",
+                          ctx.traceId);
+        shed.set("Retry-After", "1");
+        return shed;
+    }
+    if (ctx.hasDeadline() && ctx.remainingMillis() <= 0.0) {
+        metrics_.onDeadlineExpired();
+        return errorResponse(ApiError::DeadlineExpired,
+                             "client deadline spent before admission",
+                             ctx.traceId, "\"timed_out\":true");
+    }
+    // Observations are feed traffic: bulk lane, so a firehose of
+    // observes can never crowd interactive scores out of the gate.
+    AdmissionTicket ticket(gate_, Lane::Bulk);
+    if (!ticket.admitted()) {
+        metrics_.onShed();
+        metrics_.onLaneShed(Lane::Bulk);
+        health_.onShed();
+        return overloadedResponse(ctx.traceId);
+    }
     HttpResponse response = suites_.handleObserve(ctx, name);
     // Fold the fresh observation into the online map right away so a
     // drift probe between ticks already sees it.
@@ -925,6 +1099,41 @@ Server::renderPrometheus() const
     w.counter("hiermeans_server_breaker_opens_total", {},
               breaker_.opens());
 
+    // --- server: overload & drain -----------------------------------
+    w.header("hiermeans_overload_shed_total",
+             "Admission sheds by lane (503).", "counter");
+    w.counter("hiermeans_overload_shed_total",
+              {{"lane", "interactive"}}, snap.shedInteractive);
+    w.counter("hiermeans_overload_shed_total", {{"lane", "bulk"}},
+              snap.shedBulk);
+    w.header("hiermeans_overload_deadline_expired_total",
+             "Requests whose client deadline was spent before "
+             "admission (504).",
+             "counter");
+    w.counter("hiermeans_overload_deadline_expired_total", {},
+              snap.deadlineExpired);
+    w.header("hiermeans_overload_cancelled_total",
+             "Admitted requests cancelled mid-pipeline (drain or "
+             "deadline).",
+             "counter");
+    w.counter("hiermeans_overload_cancelled_total", {},
+              snap.cancelled);
+    w.header("hiermeans_overload_deadline_miss_total",
+             "Answers delivered after the client deadline had "
+             "passed.",
+             "counter");
+    w.counter("hiermeans_overload_deadline_miss_total", {},
+              snap.deadlineMisses);
+    w.header("hiermeans_overload_drain_shed_total",
+             "Requests refused because the server is draining.",
+             "counter");
+    w.counter("hiermeans_overload_drain_shed_total", {},
+              snap.drainSheds);
+    w.header("hiermeans_overload_draining",
+             "1 while the drain state machine is active.", "gauge");
+    w.gauge("hiermeans_overload_draining", {},
+            snap.draining ? 1.0 : 0.0);
+
     w.header("hiermeans_server_admission_queue_depth",
              "Admission slots currently held.", "gauge");
     w.gauge("hiermeans_server_admission_queue_depth", {},
@@ -977,6 +1186,12 @@ Server::renderPrometheus() const
              "Pipelines actually executed.", "counter");
     w.counter("hiermeans_engine_executions_total", {},
               engine_snap.executions);
+    w.header("hiermeans_engine_cancellations_total",
+             "Requests abandoned on a cancel token (drain or "
+             "explicit).",
+             "counter");
+    w.counter("hiermeans_engine_cancellations_total", {},
+              engine_snap.cancellations);
     w.header("hiermeans_engine_failures_total",
              "Executions that raised an error.", "counter");
     w.counter("hiermeans_engine_failures_total", {},

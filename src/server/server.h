@@ -122,8 +122,21 @@ class Server
         /** Request body limit; larger bodies answer 413. */
         std::size_t maxBodyBytes = 256 * 1024;
 
+        /** Bulk-lane cap inside queueDepth (/v1/batch + observe);
+         *  0 = half the queue depth. Interactive /v1/score may use
+         *  every slot, so bulk can never starve it. */
+        std::size_t bulkQueueDepth = 0;
+
         /** Deadline for requests that carry no timeout-ms; 0 = none. */
         double defaultTimeoutMillis = 0.0;
+
+        /** Deadline assumed for requests that carry no
+         *  X-Hiermeans-Deadline header; 0 = none. */
+        double defaultDeadlineMillis = 0.0;
+
+        /** How long stop() waits for admitted work to finish before
+         *  cancelling it (the drain state machine's budget). */
+        double drainDeadlineMillis = 5000.0;
 
         /** When the gate is full (or the breaker is open), serve a
          *  cached stale score instead of 503 when one exists. */
@@ -168,10 +181,23 @@ class Server
     void start();
 
     /**
-     * Graceful shutdown: stop accepting, serve every request already
-     * received, close idle connections, join all threads. Idempotent.
+     * Graceful shutdown: beginDrain(), wait for admitted work up to
+     * Config::drainDeadlineMillis, cancel what is still in flight,
+     * serve every request already received, flush a final snapshot,
+     * close idle connections, join all threads. Idempotent.
      */
     void stop();
+
+    /**
+     * Enter the draining state without stopping yet: /healthz flips
+     * to 503, /v1/cluster advertises `draining`, and new scoring
+     * work is shed with the `draining` code so clients fail over
+     * proactively. One-way; stop() calls this first. Idempotent.
+     */
+    void beginDrain();
+
+    /** True once beginDrain() (or stop()) has run. */
+    bool draining() const { return draining_.load(); }
 
     bool running() const { return transport_.running(); }
 
@@ -239,6 +265,8 @@ class Server
     HttpResponse handleSuitePost(const RequestContext &ctx);
     /** POST /v1/admin/recluster[?suite=X]: force a drift tick. */
     HttpResponse handleRecluster(const RequestContext &ctx);
+    /** POST /v1/admin/drain: request a graceful process drain. */
+    HttpResponse handleDrain(const RequestContext &ctx);
 
     /** The --recluster-every background job. */
     void reclusterLoop();
@@ -257,6 +285,7 @@ class Server
     std::optional<HttpResponse>
     awaitWithWatchdog(std::future<engine::ScoreResult> &future,
                       const Watchdog::Token &token,
+                      engine::CancelSource *cancel,
                       engine::ScoreResult &result,
                       const std::string &traceId);
 
@@ -277,6 +306,10 @@ class Server
     std::atomic<bool> reclusterStop_{false};
     std::size_t warmedEntries_ = 0;
     bool started_ = false;
+
+    /** Parent of every per-request cancel source; drain fires it. */
+    engine::CancelSource drainSource_;
+    std::atomic<bool> draining_{false};
 };
 
 } // namespace server

@@ -76,6 +76,13 @@ ServerMetrics::snapshot(std::uint64_t queue_depth,
     snap.staleServed = staleServed_.load();
     snap.watchdogTrips = watchdogTrips_.load();
     snap.breakerFastFail = breakerFastFail_.load();
+    snap.shedInteractive = shedInteractive_.load();
+    snap.shedBulk = shedBulk_.load();
+    snap.deadlineExpired = deadlineExpired_.load();
+    snap.cancelled = cancelled_.load();
+    snap.deadlineMisses = deadlineMisses_.load();
+    snap.drainSheds = drainSheds_.load();
+    snap.draining = draining_.load();
     snap.queueDepth = queue_depth;
     snap.queueCapacity = queue_capacity;
     for (std::size_t e = 0; e < latency_.size(); ++e) {
@@ -118,6 +125,16 @@ ServerMetrics::render(const ServerMetricsSnapshot &snap)
                      std::to_string(snap.watchdogTrips)});
     counters.addRow({"breaker fast-fails",
                      std::to_string(snap.breakerFastFail)});
+    counters.addRow({"shed interactive lane",
+                     std::to_string(snap.shedInteractive)});
+    counters.addRow({"shed bulk lane",
+                     std::to_string(snap.shedBulk)});
+    counters.addRow({"deadline expired",
+                     std::to_string(snap.deadlineExpired)});
+    counters.addRow({"cancelled", std::to_string(snap.cancelled)});
+    counters.addRow({"deadline misses",
+                     std::to_string(snap.deadlineMisses)});
+    counters.addRow({"drain sheds", std::to_string(snap.drainSheds)});
     counters.addRow({"admission queue depth",
                      std::to_string(snap.queueDepth) + "/" +
                          std::to_string(snap.queueCapacity)});

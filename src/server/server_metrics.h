@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/engine/metrics.h"
+#include "src/server/admission.h"
 
 namespace hiermeans {
 namespace server {
@@ -59,6 +60,15 @@ struct ServerMetricsSnapshot
     std::uint64_t watchdogTrips = 0; ///< stuck requests failed as 504.
     std::uint64_t breakerFastFail = 0; ///< 503s from an open circuit.
 
+    // Overload-control counters (the hiermeans_overload_* family).
+    std::uint64_t shedInteractive = 0; ///< interactive-lane sheds.
+    std::uint64_t shedBulk = 0;        ///< bulk-lane sheds.
+    std::uint64_t deadlineExpired = 0; ///< shed pre-admission: budget spent.
+    std::uint64_t cancelled = 0;       ///< admitted work cancelled mid-flight.
+    std::uint64_t deadlineMisses = 0;  ///< answered past the client budget.
+    std::uint64_t drainSheds = 0;      ///< 503 draining answers.
+    bool draining = false;             ///< gauge: drain in progress.
+
     std::uint64_t queueDepth = 0;    ///< gauge (admission gate).
     std::uint64_t queueCapacity = 0;
 
@@ -96,6 +106,16 @@ class ServerMetrics
     void onStaleServed() { ++staleServed_; }
     void onWatchdogTrip() { ++watchdogTrips_; }
     void onBreakerFastFail() { ++breakerFastFail_; }
+    void onLaneShed(Lane lane)
+    {
+        ++(lane == Lane::Bulk ? shedBulk_ : shedInteractive_);
+    }
+    void onDeadlineExpired() { ++deadlineExpired_; }
+    void onCancelled() { ++cancelled_; }
+    void onDeadlineMiss() { ++deadlineMisses_; }
+    void onDrainShed() { ++drainSheds_; }
+    void setDraining() { draining_.store(true); }
+    bool draining() const { return draining_.load(); }
 
     /** Classify a response status into its class counter. */
     void onResponse(int status);
@@ -131,6 +151,13 @@ class ServerMetrics
     std::atomic<std::uint64_t> staleServed_{0};
     std::atomic<std::uint64_t> watchdogTrips_{0};
     std::atomic<std::uint64_t> breakerFastFail_{0};
+    std::atomic<std::uint64_t> shedInteractive_{0};
+    std::atomic<std::uint64_t> shedBulk_{0};
+    std::atomic<std::uint64_t> deadlineExpired_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> deadlineMisses_{0};
+    std::atomic<std::uint64_t> drainSheds_{0};
+    std::atomic<bool> draining_{false};
     std::array<engine::LatencyHistogram,
                static_cast<std::size_t>(Endpoint::Count_)>
         latency_;

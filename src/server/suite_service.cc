@@ -371,7 +371,8 @@ SuiteService::handleSuiteRegister(const RequestContext &ctx)
         const store::SuiteVersion version =
             store_->registerSuite(name, ctx.http.body);
         if (cluster_ != nullptr)
-            cluster_->afterWrite();
+            cluster_->afterWrite(
+                ctx.hasDeadline() ? ctx.remainingMillis() : 0.0);
         std::ostringstream data;
         data << "{\"name\":" << json::quote(name)
              << ",\"version\":" << version.version
@@ -550,7 +551,8 @@ SuiteService::handleObserve(const RequestContext &ctx,
                              "failed)",
                              ctx.traceId);
     if (cluster_ != nullptr)
-        cluster_->afterWrite();
+        cluster_->afterWrite(
+            ctx.hasDeadline() ? ctx.remainingMillis() : 0.0);
 
     const std::vector<store::HistoryEntry> entries =
         store_->history(suite);
@@ -566,7 +568,8 @@ SuiteService::handleObserve(const RequestContext &ctx,
 void
 SuiteService::persistScore(const engine::ScoreResult &result,
                            const std::string &suite,
-                           std::uint32_t suiteVersion)
+                           std::uint32_t suiteVersion,
+                           double budget_millis)
 {
     // Only pipeline executions are recorded: a cache/dedupe answer is
     // a replay of a score already in the history, and re-appending it
@@ -586,7 +589,7 @@ SuiteService::persistScore(const engine::ScoreResult &result,
     record.wallMillis = result.wallMillis;
     record.report = result.report;
     if (store_->recordScore(std::move(record)) && cluster_ != nullptr)
-        cluster_->afterWrite();
+        cluster_->afterWrite(budget_millis);
 }
 
 } // namespace server

@@ -119,10 +119,13 @@ class SuiteService
 
     /** Persist one pipeline-executed score (then replicate, in
      *  cluster mode); no-op without a store. WAL failures are
-     *  counted by the store, never propagated. */
+     *  counted by the store, never propagated. @p budget_millis is
+     *  the client's remaining deadline budget (0 = none), forwarded
+     *  so replication ack waits stay inside it. */
     void persistScore(const engine::ScoreResult &result,
                       const std::string &suite,
-                      std::uint32_t suiteVersion);
+                      std::uint32_t suiteVersion,
+                      double budget_millis = 0.0);
 
   private:
     /** The routing decision for @p suite, honoring the loop guard

@@ -1,6 +1,7 @@
 #include "src/server/transport.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <string_view>
 
 #include "src/obs/trace.h"
@@ -175,6 +176,18 @@ HttpTransport::serveConnection(net::Socket socket)
                 request.header("x-hiermeans-trace", kEmpty);
             if (!supplied.empty() && obs::validTraceId(supplied))
                 ctx.traceId = supplied;
+            // Remaining client budget, if the caller sent one. A
+            // malformed value is ignored (no deadline) rather than
+            // rejected — the header is advisory, not part of the body
+            // contract.
+            const std::string &budget =
+                request.header("x-hiermeans-deadline", kEmpty);
+            if (!budget.empty()) {
+                char *end = nullptr;
+                const double millis = std::strtod(budget.c_str(), &end);
+                if (end != nullptr && *end == '\0' && millis > 0.0)
+                    ctx.deadlineMillis = millis;
+            }
             if (obs::tracingEnabled()) {
                 if (ctx.traceId.empty())
                     ctx.traceId = obs::generateTraceId();

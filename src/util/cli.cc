@@ -13,6 +13,29 @@
 namespace hiermeans {
 namespace util {
 
+double
+parseDurationMillis(const std::string &text, const std::string &what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    HM_REQUIRE(!text.empty() && end != text.c_str(),
+               what << " expects a duration (250ms, 2s, 1m), got `"
+                    << text << "`");
+    const std::string suffix(end);
+    double scale = 1.0;
+    if (suffix.empty() || suffix == "ms")
+        scale = 1.0;
+    else if (suffix == "s")
+        scale = 1000.0;
+    else if (suffix == "m")
+        scale = 60.0 * 1000.0;
+    else
+        throw InvalidArgument(what + " has unknown duration suffix `" +
+                              suffix + "` (want ms, s or m) in `" + text +
+                              "`");
+    return value * scale;
+}
+
 CommandLine
 CommandLine::parse(int argc, const char *const *argv)
 {
@@ -96,6 +119,16 @@ CommandLine::getDouble(const std::string &name, double fallback) const
                "flag --" << name << " expects a number, got `"
                          << it->second << "`");
     return value;
+}
+
+double
+CommandLine::getDurationMillis(const std::string &name,
+                               double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    return parseDurationMillis(it->second, "flag --" + name);
 }
 
 bool

@@ -23,6 +23,14 @@
 namespace hiermeans {
 namespace util {
 
+/**
+ * Parse a duration literal to milliseconds: a bare number is millis,
+ * and the suffixes `ms`, `s`, `m` scale it (`250ms`, `2s`, `1.5s`,
+ * `1m`). Throws InvalidArgument on anything else; @p what names the
+ * offending flag in the message.
+ */
+double parseDurationMillis(const std::string &text, const std::string &what);
+
 /** Parsed command line: named flags plus positional arguments. */
 class CommandLine
 {
@@ -51,6 +59,13 @@ class CommandLine
 
     /** Double value of a flag; throws on malformed numbers. */
     double getDouble(const std::string &name, double fallback) const;
+
+    /**
+     * Duration value in milliseconds. Accepts a bare number (millis)
+     * or a number with a `ms`, `s` or `m` suffix: `250ms`, `2s`,
+     * `1.5s`, `1m`. Throws on malformed values or unknown suffixes.
+     */
+    double getDurationMillis(const std::string &name, double fallback) const;
 
     /**
      * Boolean value: `--name`, `--name=true/1/yes/on` are true,

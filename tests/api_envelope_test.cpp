@@ -36,6 +36,7 @@ const std::vector<std::tuple<ApiError, const char *, int>> kContract =
         {ApiError::MethodNotAllowed, "method_not_allowed", 405},
         {ApiError::ScoringFailed, "scoring_failed", 422},
         {ApiError::Internal, "internal", 500},
+        {ApiError::DeadlineExpired, "deadline_expired", 504},
 };
 
 TEST(ApiErrorTest, WireCodesAndStatusesAreStable)

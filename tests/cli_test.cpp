@@ -95,6 +95,43 @@ TEST(CliTest, FlagFollowedByFlagIsBoolean)
     EXPECT_EQ(cl.getInt("b", 0), 1);
 }
 
+TEST(CliTest, DurationBareNumberIsMillis)
+{
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=250"}).getDurationMillis("t", 0.0), 250.0);
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=0"}).getDurationMillis("t", 7.0), 0.0);
+}
+
+TEST(CliTest, DurationSuffixes)
+{
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=250ms"}).getDurationMillis("t", 0.0), 250.0);
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=2s"}).getDurationMillis("t", 0.0), 2000.0);
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=1.5s"}).getDurationMillis("t", 0.0), 1500.0);
+    EXPECT_DOUBLE_EQ(
+        parse({"p", "--t=1m"}).getDurationMillis("t", 0.0), 60000.0);
+}
+
+TEST(CliTest, DurationDefaultsWhenAbsent)
+{
+    EXPECT_DOUBLE_EQ(parse({"p"}).getDurationMillis("t", 123.0), 123.0);
+}
+
+TEST(CliTest, DurationMalformedThrows)
+{
+    EXPECT_THROW(parse({"p", "--t=abc"}).getDurationMillis("t", 0.0),
+                 InvalidArgument);
+    EXPECT_THROW(parse({"p", "--t=10h"}).getDurationMillis("t", 0.0),
+                 InvalidArgument);
+    EXPECT_THROW(parse({"p", "--t=2 s"}).getDurationMillis("t", 0.0),
+                 InvalidArgument);
+    EXPECT_THROW(parse({"p", "--t="}).getDurationMillis("t", 0.0),
+                 InvalidArgument);
+}
+
 TEST(CliTest, EmptyArgvTolerated)
 {
     const auto cl = CommandLine::parse(std::vector<std::string>{});

@@ -33,11 +33,13 @@
  *    "attempts":1,"backoff_ms":0,"stale":false,"failure":"none"}
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/hiermeans.h"
@@ -83,6 +85,11 @@ flagSpec()
         .flag("snapshot", "",
               "POST /v1/admin/snapshot; force a snapshot +\n"
               "WAL compaction")
+        .flag("drain", "",
+              "POST /v1/admin/drain: begin graceful shutdown,\n"
+              "then watch until the daemon exits; exit 0 when\n"
+              "it drained inside its deadline, 2 when the\n"
+              "drain deadline was exceeded, 1 unreachable")
         .flag("drift", "SUITE",
               "GET /v1/suites/<SUITE>/drift (no SUITE: every\n"
               "tracked suite via /v1/drift) and pretty-print\n"
@@ -711,6 +718,59 @@ run(const util::CommandLine &cl)
                       << "\n";
         }
         return 0;
+    }
+
+    if (cl.has("drain")) {
+        const client::Outcome outcome =
+            client.request("POST", "/v1/admin/drain");
+        printSummary("drain", outcome, "");
+        if (!outcome.haveResponse) {
+            std::cerr << "hmctl: " << outcome.error << "\n";
+            return 1;
+        }
+        if (!outcome.ok()) {
+            std::cerr << "hmctl: /v1/admin/drain answered "
+                      << outcome.status << "\n";
+            return 1;
+        }
+        const double advertised =
+            server::json::findNumber(outcome.response.body,
+                                     "drain_deadline_ms")
+                .value_or(5000.0);
+        // Watch the daemon leave: poll /healthz with a one-shot,
+        // no-retry client until the connect is refused. Give it the
+        // advertised deadline plus slack for snapshot + exit.
+        const double grace_ms = advertised + 5000.0;
+        client::ScoringClient::Config probe_config;
+        probe_config.host = cl.getString("host", "127.0.0.1");
+        probe_config.port =
+            static_cast<std::uint16_t>(cl.getInt("port", 0));
+        probe_config.readTimeoutMillis = 1000;
+        probe_config.retry.maxAttempts = 1;
+        const auto started = std::chrono::steady_clock::now();
+        for (;;) {
+            client::ScoringClient probe(probe_config);
+            const client::Outcome alive = probe.health();
+            const double waited =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            if (!alive.haveResponse &&
+                alive.failure == client::FailureClass::ConnectRefused) {
+                if (!json_only)
+                    std::cout << "drained and exited after "
+                              << static_cast<long>(waited) << " ms\n";
+                return 0;
+            }
+            if (waited > grace_ms) {
+                std::cerr << "hmctl: drain deadline exceeded ("
+                          << static_cast<long>(waited)
+                          << " ms and still serving)\n";
+                return 2;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
     }
 
     // Default: the health probe. A draining server answers 503 with

@@ -25,7 +25,10 @@
  *   {"rps":..,"requests":..,"http_2xx":..,"http_4xx":..,"http_5xx":..,
  *    "stale_served":..,"connect_errors":..,"connect_refused":..,
  *    "conn_reset":..,"timeouts":..,"net_other":..,"bad_response":..,
- *    "retries":..,"backoff_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
+ *    "deadline_expired":..,"shed":..,"drain_sheds":..,
+ *    "server_expired":..,"cancelled":..,"deadline_misses":..,
+ *    "deadline_miss_rate":..,"retries":..,"backoff_ms":..,
+ *    "p50_ms":..,"p95_ms":..,"p99_ms":..,"p99_9_ms":..,
  *    "max_ms":..,"duration_s":..,"concurrency":..,"slow_traces":[..]}
  *
  * With --trace every request carries a generated X-Hiermeans-Trace ID;
@@ -76,6 +79,11 @@ flagSpec()
         .flag("timeout-ms", "N",
               "per-attempt response deadline; expiries count\n"
               "as timeouts (default 0: wait forever)")
+        .flag("deadline-ms", "N",
+              "end-to-end budget per request, sent as\n"
+              "X-Hiermeans-Deadline and spanning retries and\n"
+              "failover; answers landing after it count as\n"
+              "deadline misses (default 0: none)")
         .flag("retries", "N",
               "extra attempts per request on retryable\n"
               "failures (default 0: report every error)")
@@ -114,6 +122,12 @@ struct Tally
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> netOther{0};
     std::atomic<std::uint64_t> badResponse{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+    std::atomic<std::uint64_t> shed{0};        ///< 503 overloaded.
+    std::atomic<std::uint64_t> drainSheds{0};  ///< 503 draining.
+    std::atomic<std::uint64_t> serverExpired{0}; ///< 504 deadline_expired.
+    std::atomic<std::uint64_t> cancelled{0};   ///< 503 after admission.
+    std::atomic<std::uint64_t> deadlineMisses{0}; ///< late answers.
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> backoffMicros{0};
     engine::LatencyHistogram latency;
@@ -132,7 +146,7 @@ void
 worker(const client::ClusterClient::Config &config,
        const std::vector<std::string> &mix, std::size_t offset,
        std::chrono::steady_clock::time_point deadline, bool trace,
-       Tally &tally)
+       double deadline_ms, Tally &tally)
 {
     client::ClusterClient client(config);
     std::size_t next = offset;
@@ -166,6 +180,9 @@ worker(const client::ClusterClient::Config &config,
             case client::FailureClass::BadResponse:
                 ++tally.badResponse;
                 break;
+            case client::FailureClass::DeadlineExpired:
+                ++tally.deadlineExpired;
+                break;
             default:
                 ++tally.netOther;
                 break;
@@ -178,6 +195,25 @@ worker(const client::ClusterClient::Config &config,
             std::chrono::steady_clock::now() - start;
         ++tally.requests;
         tally.latency.record(elapsed.count());
+        if (deadline_ms > 0.0 && elapsed.count() > deadline_ms)
+            ++tally.deadlineMisses;
+        switch (outcome.apiError) {
+        case server::ApiError::Overloaded:
+        case server::ApiError::CircuitOpen:
+            ++tally.shed;
+            break;
+        case server::ApiError::Draining:
+            // Pre-admission drain refusals and post-admission
+            // cancellations share the code; both mean "go elsewhere".
+            ++tally.drainSheds;
+            ++tally.cancelled;
+            break;
+        case server::ApiError::DeadlineExpired:
+            ++tally.serverExpired;
+            break;
+        default:
+            break;
+        }
         if (trace && !outcome.traceId.empty()) {
             std::lock_guard<std::mutex> lock(tally.tracedMutex);
             tally.traced.emplace_back(elapsed.count(),
@@ -226,6 +262,7 @@ run(const util::CommandLine &cl)
     HM_REQUIRE(duration_s > 0.0, "--duration-s must be > 0");
     const bool json_only = cl.getBool("json-only", false);
     const bool trace = cl.getBool("trace", false);
+    const double deadline_ms = cl.getDouble("deadline-ms", 0.0);
 
     client::ClusterClient::Config client_config;
     const std::string targets_spec = cl.getString("targets", "");
@@ -235,6 +272,7 @@ run(const util::CommandLine &cl)
         client_config.targets = {client::ClusterTarget{host, port}};
     client_config.readTimeoutMillis =
         static_cast<int>(cl.getInt("timeout-ms", 0));
+    client_config.deadlineMillis = deadline_ms;
     client_config.retry.maxAttempts =
         1 + static_cast<std::size_t>(cl.getInt("retries", 0));
     client_config.retry.baseMillis = cl.getDouble("retry-base-ms", 50.0);
@@ -285,7 +323,8 @@ run(const util::CommandLine &cl)
         client::ClusterClient::Config worker_config = client_config;
         worker_config.retry.seed += i;
         threads.emplace_back([&, worker_config, i] {
-            worker(worker_config, mix, i, deadline, trace, tally);
+            worker(worker_config, mix, i, deadline, trace, deadline_ms,
+                   tally);
         });
     }
     for (std::thread &thread : threads)
@@ -397,8 +436,13 @@ run(const util::CommandLine &cl)
         "\"http_4xx\":%llu,\"http_5xx\":%llu,\"stale_served\":%llu,"
         "\"connect_errors\":%llu,\"connect_refused\":%llu,"
         "\"conn_reset\":%llu,\"timeouts\":%llu,\"net_other\":%llu,"
-        "\"bad_response\":%llu,\"retries\":%llu,\"backoff_ms\":%s,"
-        "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s,"
+        "\"bad_response\":%llu,\"deadline_expired\":%llu,"
+        "\"shed\":%llu,\"drain_sheds\":%llu,"
+        "\"server_expired\":%llu,\"cancelled\":%llu,"
+        "\"deadline_misses\":%llu,\"deadline_miss_rate\":%s,"
+        "\"retries\":%llu,\"backoff_ms\":%s,"
+        "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,"
+        "\"p99_9_ms\":%s,\"max_ms\":%s,"
         "\"duration_s\":%s,\"concurrency\":%llu,"
         "\"failovers\":%llu,\"targets\":%s,"
         "\"slow_traces\":%s}\n",
@@ -414,6 +458,18 @@ run(const util::CommandLine &cl)
         static_cast<unsigned long long>(tally.timeouts.load()),
         static_cast<unsigned long long>(tally.netOther.load()),
         static_cast<unsigned long long>(tally.badResponse.load()),
+        static_cast<unsigned long long>(tally.deadlineExpired.load()),
+        static_cast<unsigned long long>(tally.shed.load()),
+        static_cast<unsigned long long>(tally.drainSheds.load()),
+        static_cast<unsigned long long>(tally.serverExpired.load()),
+        static_cast<unsigned long long>(tally.cancelled.load()),
+        static_cast<unsigned long long>(tally.deadlineMisses.load()),
+        server::json::number(
+            requests > 0 ? static_cast<double>(
+                               tally.deadlineMisses.load()) /
+                               static_cast<double>(requests)
+                         : 0.0)
+            .c_str(),
         static_cast<unsigned long long>(tally.retries.load()),
         server::json::number(
             static_cast<double>(tally.backoffMicros.load()) / 1000.0)
@@ -421,6 +477,7 @@ run(const util::CommandLine &cl)
         server::json::number(tally.latency.percentile(50.0)).c_str(),
         server::json::number(tally.latency.percentile(95.0)).c_str(),
         server::json::number(tally.latency.percentile(99.0)).c_str(),
+        server::json::number(tally.latency.percentile(99.9)).c_str(),
         server::json::number(tally.latency.max()).c_str(),
         server::json::number(elapsed.count()).c_str(),
         static_cast<unsigned long long>(concurrency),

@@ -67,9 +67,14 @@ flagSpec()
         .flag("cache-mb", "N", "result cache byte bound (default 64)")
         .flag("max-body-kb", "N",
               "request body limit, 413 beyond (default 256)")
-        .flag("timeout-ms", "N",
+        .flag("timeout-ms", "DUR",
               "default per-request deadline when the manifest\n"
-              "line has no timeout-ms (default 0: no deadline)")
+              "line has no timeout-ms; accepts duration\n"
+              "suffixes (250ms, 2s, 1m; default 0: no deadline)")
+        .flag("bulk-queue-depth", "N",
+              "admission slots the bulk lane (/v1/batch,\n"
+              "observe) may hold; interactive /v1/score owns\n"
+              "the rest (default 0: half of --queue-depth)")
         .flag("quiet", "", "suppress the final metrics summary");
     flags.section("resilience flags")
         .flag("breaker-failures", "N",
@@ -88,7 +93,15 @@ flagSpec()
               "/healthz to degraded (default 0.5)")
         .flag("no-stale", "",
               "never serve stale cached scores when shedding\n"
-              "(default: serve them with X-Hiermeans-Stale: 1)");
+              "(default: serve them with X-Hiermeans-Stale: 1)")
+        .flag("default-deadline", "DUR",
+              "deadline budget assumed for requests that\n"
+              "carry no X-Hiermeans-Deadline (e.g. 2s;\n"
+              "default 0: none)")
+        .flag("drain-deadline", "DUR",
+              "how long SIGTERM waits for in-flight work\n"
+              "before cancelling it (e.g. 5s, 1m;\n"
+              "default 5s)");
     flags.section("persistence flags")
         .flag("data-dir", "DIR",
               "mount the durable store (WAL + snapshots) here;\n"
@@ -141,6 +154,7 @@ flagSpec()
         "  GET  /v1/drift      every tracked suite's drift state\n"
         "  POST /v1/admin/recluster[?suite=X]  force a drift tick\n"
         "  POST /v1/admin/snapshot  force snapshot + compaction\n"
+        "  POST /v1/admin/drain    begin graceful drain + exit\n"
         "  GET  /metrics       Prometheus text exposition\n"
         "  GET  /healthz       liveness probe\n");
     return flags;
@@ -163,13 +177,21 @@ run(const util::CommandLine &cl)
         1024;
     config.maxBodyBytes =
         static_cast<std::size_t>(cl.getInt("max-body-kb", 256)) * 1024;
-    config.defaultTimeoutMillis = cl.getDouble("timeout-ms", 0.0);
+    config.defaultTimeoutMillis = cl.getDurationMillis("timeout-ms", 0.0);
+    config.bulkQueueDepth =
+        static_cast<std::size_t>(cl.getInt("bulk-queue-depth", 0));
+    config.defaultDeadlineMillis =
+        cl.getDurationMillis("default-deadline", 0.0);
+    config.drainDeadlineMillis =
+        cl.getDurationMillis("drain-deadline", 5000.0);
     config.breaker.failureThreshold =
         static_cast<std::size_t>(cl.getInt("breaker-failures", 8));
-    config.breaker.openMillis = cl.getDouble("breaker-open-ms", 2000.0);
+    config.breaker.openMillis =
+        cl.getDurationMillis("breaker-open-ms", 2000.0);
     config.watchdog.defaultBudgetMillis =
-        cl.getDouble("watchdog-budget-ms", 30000.0);
-    config.watchdog.graceMillis = cl.getDouble("watchdog-grace-ms", 250.0);
+        cl.getDurationMillis("watchdog-budget-ms", 30000.0);
+    config.watchdog.graceMillis =
+        cl.getDurationMillis("watchdog-grace-ms", 250.0);
     config.health.degradeRatio = cl.getDouble("degrade-ratio", 0.5);
     config.health.recoverRatio = config.health.degradeRatio / 4.0;
     config.serveStale = !cl.getBool("no-stale", false);
@@ -229,6 +251,9 @@ run(const util::CommandLine &cl)
     if (runtime != nullptr) {
         runtime->setDriftSummary(
             [&server] { return server.driftSummaryJson(); });
+        runtime->setSelfHealth([&server]() -> std::string {
+            return server.draining() ? "draining" : "ok";
+        });
         runtime->start(server.store());
         std::cout << "mesh: node `" << runtime->meshConfig().selfId
                   << "` of " << runtime->meshConfig().nodes.size()

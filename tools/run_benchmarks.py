@@ -12,6 +12,7 @@ Benches:
   batch_throughput  hmbatch documents/second over the example manifest
   serve_rps         hmserved + hmload requests/second and latency
   mesh_failover     2-node mesh under hmload with multi-target failover
+  overload_shed     goodput at 1x/2x/4x capacity with deadlines
 
 Before overwriting, the committed baselines in ``--out-dir`` are read
 and a regression table is printed comparing each fresh median to its
@@ -241,11 +242,64 @@ def bench_mesh_failover(tools, cpus, args):
             "runs": runs, "detail": extras}
 
 
+def bench_overload_shed(tools, cpus, args):
+    """Goodput under deadline-aware shedding at 1x/2x/4x capacity.
+
+    One small hmserved (2 engine threads, queue depth 4) is driven by
+    closed-loop hmload at concurrency equal to, twice and four times
+    the admission capacity, every request carrying a 10 s end-to-end
+    deadline. The reported number is goodput (2xx per second) at 4x:
+    with deadline-aware shedding it should stay within ~10% of the 1x
+    capacity instead of collapsing under queueing, and no admitted
+    request should be answered past its deadline (deadline_misses).
+    """
+    depth = 4
+    runs, detail = [], []
+    for _ in range(args.repeats):
+        port = free_port()
+        server = popen([tools["hmserved"], "--port=%d" % port,
+                        "--threads=2", "--queue-depth=%d" % depth,
+                        "--timeout-ms=10000"],
+                       cpus, cwd=ROOT, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        levels = {}
+        try:
+            wait_http_ok(tools["hmctl"], port)
+            for mult in (1, 2, 4):
+                cmd = [tools["hmload"], "--manifest=" + MANIFEST,
+                       "--port=%d" % port,
+                       "--concurrency=%d" % (depth * mult),
+                       "--duration-s=%d" % args.duration_s,
+                       "--deadline-ms=10000", "--timeout-ms=12000",
+                       "--json-only"]
+                out = run(cmd, cpus, check=True, cwd=ROOT,
+                          capture_output=True, text=True)
+                report = json.loads(out.stdout.splitlines()[-1])
+                goodput = (report["http_2xx"] / report["duration_s"]
+                           if report["duration_s"] > 0 else 0.0)
+                levels["%dx" % mult] = {
+                    "goodput_rps": goodput,
+                    "p99_ms": report["p99_ms"],
+                    "p99_9_ms": report.get("p99_9_ms", 0.0),
+                    "shed": report.get("shed", 0),
+                    "server_expired": report.get("server_expired", 0),
+                    "deadline_misses": report.get(
+                        "deadline_misses", 0),
+                }
+        finally:
+            stop(server)
+        runs.append(levels["4x"]["goodput_rps"])
+        detail.append(levels)
+    return {"unit": "goodput_rps", "direction": "up", "runs": runs,
+            "detail": detail}
+
+
 BENCHES = {
     "score_pipeline": bench_score_pipeline,
     "batch_throughput": bench_batch_throughput,
     "serve_rps": bench_serve_rps,
     "mesh_failover": bench_mesh_failover,
+    "overload_shed": bench_overload_shed,
 }
 
 

@@ -20,6 +20,10 @@
 #    the dead shard's acknowledged score is served from the promoted
 #    mirror exactly once and recomputes bit-identically, and writes
 #    keep flowing.
+# 5. SIGTERMs a durable hmserved while hmload is driving it and
+#    asserts the graceful drain: exit 0 inside the drain deadline,
+#    every acknowledged score recovered exactly once from the final
+#    snapshot, nothing duplicated.
 #
 # Invoked with no arguments, the script instead configures a dedicated
 # ASan+UBSan build (-DHIERMEANS_SANITIZE=address,undefined) under
@@ -53,8 +57,10 @@ MESH_DIR=$(mktemp -d)
 SERVER_PID=
 MESH_PID_A=
 MESH_PID_B=
+DRAIN_DATA=
 trap 'kill -9 "$SERVER_PID" "$MESH_PID_A" "$MESH_PID_B" 2>/dev/null || true;
-      rm -f "$LOG" "$RUN_A" "$RUN_B"; rm -rf "$DATA" "$MESH_DIR"' EXIT
+      rm -f "$LOG" "$RUN_A" "$RUN_B";
+      rm -rf "$DATA" "$MESH_DIR" "$DRAIN_DATA"' EXIT
 
 # Scrape the flushed "listening on port N" line from $LOG (up to ~5s);
 # sets $PORT or exits.
@@ -338,3 +344,95 @@ MESH_PID_B=
     exit 1
 }
 echo "smoke_chaos: shard leader kill lost nothing, duplicated nothing"
+
+# --- 5. SIGTERM graceful drain under live load ----------------------
+# A drain must lose zero admitted requests: every score the daemon
+# acknowledged with a 200 before (or during) the drain is in the
+# recovered history exactly once, the process exits 0 inside its
+# drain deadline, and the final snapshot it flushed recovers clean.
+: >"$LOG"
+DRAIN_DATA=$(mktemp -d)
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --data-dir="$DRAIN_DATA" --fsync-every=1 --drain-deadline=10s \
+    >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+echo "smoke_chaos: drain-stage hmserved pid $SERVER_PID on port $PORT"
+
+# Live background traffic for the drain to contend with.
+"$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=6 \
+    --manifest="$MANIFEST" --deadline-ms=8000 --json-only \
+    >"$RUN_A" 2>&1 &
+LOAD_PID=$!
+sleep 1
+
+# Acknowledged writes that must survive the drain.
+i=1
+while [ $i -le 5 ]; do
+    "$HMCTL" --port="$PORT" \
+        --score="$LINE seed=$((8800 + i)) id=drain-$i" --json-only
+    i=$((i + 1))
+done
+
+kill -TERM "$SERVER_PID"
+DRAIN_START=$(date +%s)
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+DRAIN_SECS=$(($(date +%s) - DRAIN_START))
+SERVER_PID=
+wait "$LOAD_PID" 2>/dev/null || true
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke_chaos: drain exited $STATUS (want 0)" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if [ "$DRAIN_SECS" -gt 15 ]; then
+    echo "smoke_chaos: drain took ${DRAIN_SECS}s, past its deadline" >&2
+    exit 1
+fi
+grep -q "draining in-flight requests" "$LOG" || {
+    echo "smoke_chaos: no drain-start line in log" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+grep -q "final metrics" "$LOG" || {
+    echo "smoke_chaos: no final metrics after drain" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+grep -Eq "health state +draining" "$LOG" || {
+    echo "smoke_chaos: final metrics never flipped to draining" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "smoke_chaos: SIGTERM drain under load exited 0 in ${DRAIN_SECS}s"
+
+# Restart on the drained store: the final snapshot must recover with
+# nothing lost and nothing duplicated.
+: >"$LOG"
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --data-dir="$DRAIN_DATA" --fsync-every=1 >"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+grep -Eq "store recovered: outcome=(clean|truncated_tail)" "$LOG" || {
+    echo "smoke_chaos: drained store did not recover clean" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+HISTORY=$("$HMCTL" --port="$PORT" --history)
+i=1
+while [ $i -le 5 ]; do
+    COUNT=$(echo "$HISTORY" | grep -c "drain-$i[^0-9]" || true)
+    if [ "$COUNT" -ne 1 ]; then
+        echo "smoke_chaos: admitted score drain-$i appears $COUNT" \
+            "times after the drain (want exactly 1)" >&2
+        echo "$HISTORY" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+done
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+rm -rf "$DRAIN_DATA"
+echo "smoke_chaos: graceful drain lost nothing, duplicated nothing"
