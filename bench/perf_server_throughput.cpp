@@ -11,16 +11,22 @@
  *                 executes the full pipeline;
  *   2. warm     — the same mix repeated; every request is a result
  *                 cache hit, so this isolates server+codec overhead;
- *   3. overload — more closed-loop clients than the admission queue
+ *   3. wire A/B — the same all-cache-hit mix once more, as JSON and
+ *                 as negotiated binary frames, on /v1/score and
+ *                 /v1/batch: what the binary wire format buys in
+ *                 latency and bytes per request;
+ *   4. overload — more closed-loop clients than the admission queue
  *                 admits, counting 503 sheds (clients retry after the
  *                 advertised Retry-After).
  *
  * Emits a table plus one machine-readable JSON line; warm_rps should
- * exceed cold_rps by orders of magnitude on any machine.
+ * exceed cold_rps by orders of magnitude on any machine, and the
+ * binary batch path must move fewer bytes per line than NDJSON (the
+ * exit code asserts both).
  *
  * Flags: --distinct=6 --threads=2 --queue-depth=2 --workloads=12
- *        --features=8 --som-steps=400 --overload-clients=6
- *        --overload-s=1 --seed=1 [--json-only]
+ *        --features=8 --som-steps=400 --batch-repeat=5
+ *        --overload-clients=6 --overload-s=1 --seed=1 [--json-only]
  */
 
 #include <atomic>
@@ -94,6 +100,107 @@ runMix(server::HttpClient &client,
     return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+/** One timed pass of a wire-format A/B arm. */
+struct WirePass
+{
+    double ms = 0.0;
+    std::size_t requests = 0;
+    std::size_t requestBytes = 0;
+    std::size_t responseBytes = 0;
+
+    double
+    bytesPerRequest() const
+    {
+        return requests == 0
+                   ? 0.0
+                   : static_cast<double>(requestBytes + responseBytes) /
+                         static_cast<double>(requests);
+    }
+};
+
+/** /v1/score over @p mix in one negotiated format. */
+WirePass
+runScoreFormat(server::HttpClient &client,
+               const std::vector<std::string> &mix, bool binary)
+{
+    const server::HttpClient::Headers headers =
+        binary ? server::HttpClient::Headers{
+                     {"Accept", wire::acceptBoth()}}
+               : server::HttpClient::Headers{};
+    WirePass pass;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string &line : mix) {
+        const std::string body =
+            binary ? wire::encodeScoreRequest(line) : line;
+        const auto response = client.roundTrip(
+            "POST", "/v1/score", body,
+            binary ? wire::kMediaType : "text/plain", headers);
+        HM_ASSERT(response.status == 200,
+                  "wire A/B request failed with HTTP "
+                      << response.status << ": " << response.body);
+        ++pass.requests;
+        pass.requestBytes += body.size();
+        pass.responseBytes += response.body.size();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    pass.ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    return pass;
+}
+
+/** /v1/batch over @p mix as one document, @p repeat times. */
+WirePass
+runBatchFormat(server::HttpClient &client,
+               const std::vector<std::string> &mix, std::size_t repeat,
+               bool binary)
+{
+    std::string text;
+    for (const std::string &line : mix)
+        text += line + "\n";
+    const std::string body =
+        binary ? wire::encodeBatchManifest(mix) : text;
+    const server::HttpClient::Headers headers =
+        binary ? server::HttpClient::Headers{
+                     {"Accept", wire::acceptBoth()}}
+               : server::HttpClient::Headers{};
+    WirePass pass;
+    std::string last;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < repeat; ++r) {
+        const auto response = client.roundTrip(
+            "POST", "/v1/batch", body,
+            binary ? wire::kMediaType : "text/plain", headers);
+        HM_ASSERT(response.status == 200,
+                  "wire A/B batch failed with HTTP "
+                      << response.status << ": " << response.body);
+        pass.requests += mix.size();
+        pass.requestBytes += body.size();
+        pass.responseBytes += response.body.size();
+        last = response.body;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    pass.ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+
+    // Sanity outside the timed loop: every line answered.
+    std::size_t answered = 0;
+    if (binary) {
+        wire::FrameReader reader(last);
+        wire::Frame frame;
+        while (reader.next(frame))
+            ++answered;
+        HM_ASSERT(!reader.sawCorruption(),
+                  "corrupt batch stream: " << reader.corruption());
+    } else {
+        for (const std::string &row : str::split(last, '\n'))
+            answered += row.empty() ? 0 : 1;
+    }
+    HM_ASSERT(answered == mix.size(),
+              "batch answered " << answered << " of " << mix.size()
+                                << " lines");
+    return pass;
+}
+
 } // namespace
 
 int
@@ -164,7 +271,21 @@ main(int argc, char **argv)
     const double traced_ms = runMix(client, warm_mix);
     obs::Tracer::instance().reset();
 
-    // 3. Overload: more closed-loop clients than the queue admits.
+    // 3. Wire A/B: the all-cache-hit mix as JSON and as binary, on
+    // both endpoints. Cache hits isolate codec + transport cost —
+    // exactly the part the binary format is meant to shrink.
+    const auto batch_repeat =
+        static_cast<std::size_t>(cl.getInt("batch-repeat", 5));
+    const WirePass score_json =
+        runScoreFormat(client, warm_mix, false);
+    const WirePass score_binary =
+        runScoreFormat(client, warm_mix, true);
+    const WirePass batch_json =
+        runBatchFormat(client, warm_mix, batch_repeat, false);
+    const WirePass batch_binary =
+        runBatchFormat(client, warm_mix, batch_repeat, true);
+
+    // 4. Overload: more closed-loop clients than the queue admits.
     std::atomic<std::uint64_t> overload_ok{0};
     std::atomic<std::uint64_t> overload_shed{0};
     const auto deadline =
@@ -227,6 +348,24 @@ main(int argc, char **argv)
         table.addRow({"warm traced", std::to_string(warm_mix.size()),
                       str::fixed(traced_ms, 1),
                       str::fixed(traced_rps, 1)});
+        table.addRow({"score json", std::to_string(score_json.requests),
+                      str::fixed(score_json.ms, 1),
+                      str::fixed(rps(score_json.requests, score_json.ms),
+                                 1)});
+        table.addRow(
+            {"score binary", std::to_string(score_binary.requests),
+             str::fixed(score_binary.ms, 1),
+             str::fixed(rps(score_binary.requests, score_binary.ms),
+                        1)});
+        table.addRow({"batch json", std::to_string(batch_json.requests),
+                      str::fixed(batch_json.ms, 1),
+                      str::fixed(rps(batch_json.requests, batch_json.ms),
+                                 1)});
+        table.addRow(
+            {"batch binary", std::to_string(batch_binary.requests),
+             str::fixed(batch_binary.ms, 1),
+             str::fixed(rps(batch_binary.requests, batch_binary.ms),
+                        1)});
         table.addRow(
             {"overload",
              std::to_string(overload_ok.load() + overload_shed.load()),
@@ -241,14 +380,30 @@ main(int argc, char **argv)
                   << "overload: " << overload_ok.load() << " served, "
                   << overload_shed.load() << " shed with 503\n"
                   << "tracing: " << str::fixed(trace_overhead_pct, 2)
-                  << "% warm-path overhead when armed\n\n";
+                  << "% warm-path overhead when armed\n"
+                  << "wire: binary moves "
+                  << str::fixed(score_binary.bytesPerRequest(), 1)
+                  << " B/req on /v1/score (json "
+                  << str::fixed(score_json.bytesPerRequest(), 1)
+                  << ") and "
+                  << str::fixed(batch_binary.bytesPerRequest(), 1)
+                  << " B/line on /v1/batch (json "
+                  << str::fixed(batch_json.bytesPerRequest(), 1)
+                  << ")\n\n";
     }
     std::printf(
         "{\"bench\":\"perf_server_throughput\",\"distinct\":%zu,"
         "\"cold_ms\":%s,\"cold_rps\":%s,\"warm_ms\":%s,"
         "\"warm_rps\":%s,\"warm_speedup\":%s,"
         "\"warm_untraced_rps\":%s,\"warm_traced_rps\":%s,"
-        "\"trace_overhead_pct\":%s,\"overload_served\":%llu,"
+        "\"trace_overhead_pct\":%s,"
+        "\"score_json_ms\":%s,\"score_binary_ms\":%s,"
+        "\"score_json_bytes_per_request\":%s,"
+        "\"score_binary_bytes_per_request\":%s,"
+        "\"batch_json_ms\":%s,\"batch_binary_ms\":%s,"
+        "\"batch_json_bytes_per_line\":%s,"
+        "\"batch_binary_bytes_per_line\":%s,"
+        "\"overload_served\":%llu,"
         "\"overload_shed_503\":%llu}\n",
         mix.size(), server::json::number(cold_ms).c_str(),
         server::json::number(cold_rps).c_str(),
@@ -259,7 +414,21 @@ main(int argc, char **argv)
         server::json::number(untraced_rps).c_str(),
         server::json::number(traced_rps).c_str(),
         server::json::number(trace_overhead_pct).c_str(),
+        server::json::number(score_json.ms).c_str(),
+        server::json::number(score_binary.ms).c_str(),
+        server::json::number(score_json.bytesPerRequest()).c_str(),
+        server::json::number(score_binary.bytesPerRequest()).c_str(),
+        server::json::number(batch_json.ms).c_str(),
+        server::json::number(batch_binary.ms).c_str(),
+        server::json::number(batch_json.bytesPerRequest()).c_str(),
+        server::json::number(batch_binary.bytesPerRequest()).c_str(),
         static_cast<unsigned long long>(overload_ok.load()),
         static_cast<unsigned long long>(overload_shed.load()));
-    return warm_rps > cold_rps ? 0 : 1;
+    // Bytes per request are deterministic, so the binary-must-beat-
+    // JSON contract is safe to enforce; latency is reported but left
+    // to the caller (timing on shared machines is noisy).
+    const bool binary_smaller =
+        score_binary.bytesPerRequest() < score_json.bytesPerRequest() &&
+        batch_binary.bytesPerRequest() < batch_json.bytesPerRequest();
+    return warm_rps > cold_rps && binary_smaller ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "src/util/error.h"
 #include "src/util/str.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace client {
@@ -98,6 +99,7 @@ ClusterClient::ClusterClient(Config config) : config_(std::move(config))
         one.port = target.port;
         one.retry = config_.retry;
         one.readTimeoutMillis = config_.readTimeoutMillis;
+        one.binaryWire = config_.binaryWire;
         clients_.push_back(std::make_unique<ScoringClient>(one));
     }
 }
@@ -234,6 +236,7 @@ ClusterClient::request(const std::string &method,
             one.port = port;
             one.retry = config_.retry;
             one.readTimeoutMillis = config_.readTimeoutMillis;
+            one.binaryWire = config_.binaryWire;
             ScoringClient follower(one);
             outcome = follower.request(method, target, body,
                                        content_type, trace_id, left);
@@ -248,6 +251,17 @@ ClusterClient::request(const std::string &method,
 Outcome
 ClusterClient::score(const std::string &line, const std::string &trace_id)
 {
+    if (config_.binaryWire && !jsonFallback_) {
+        Outcome outcome =
+            request("POST", "/v1/score", wire::encodeScoreRequest(line),
+                    wire::kMediaType, trace_id);
+        if (!outcome.haveResponse ||
+            outcome.apiError != server::ApiError::UnsupportedMediaType)
+            return outcome;
+        // One node refusing the format downgrades the whole lap: a
+        // mixed-version mesh serves every node the format it speaks.
+        jsonFallback_ = true;
+    }
     return request("POST", "/v1/score", line, "text/plain", trace_id);
 }
 

@@ -104,6 +104,13 @@ class ClusterClient
 
         /** Redirect hop bound (guards against routing loops). */
         std::size_t maxRedirects = 4;
+
+        /** Speak the binary wire format on score() by default, with
+         *  the same sticky JSON fallback as ScoringClient. The flag
+         *  is copied into every per-target client (and into one-shot
+         *  redirect followers), so a mesh relay carrying the
+         *  negotiated type end-to-end stays binary across nodes. */
+        bool binaryWire = true;
     };
 
     explicit ClusterClient(Config config);
@@ -119,7 +126,8 @@ class ClusterClient
                     const std::string &content_type = "text/plain",
                     const std::string &trace_id = "");
 
-    /** POST one manifest line to /v1/score. */
+    /** POST one manifest line to /v1/score (binary wire format when
+     *  Config::binaryWire, with sticky cluster-wide JSON fallback). */
     Outcome score(const std::string &line,
                   const std::string &trace_id = "");
 
@@ -158,6 +166,7 @@ class ClusterClient
     std::vector<TargetStats> stats_;
     std::size_t current_ = 0;
     std::uint64_t failovers_ = 0;
+    bool jsonFallback_ = false; ///< sticky: set by the first 415.
 };
 
 } // namespace client

@@ -7,6 +7,8 @@
 
 #include "src/server/json.h"
 #include "src/server/router.h"
+#include "src/server/wire_json.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace client {
@@ -105,6 +107,10 @@ ScoringClient::request(const std::string &method, const std::string &target,
     server::HttpClient::Headers headers;
     if (!trace_id.empty())
         headers.emplace_back("X-Hiermeans-Trace", trace_id);
+    // A binary request announces both response formats it can decode
+    // (error envelopes are always JSON, so JSON must stay accepted).
+    if (wire::isWireMediaType(content_type))
+        headers.emplace_back("Accept", wire::acceptBoth());
 
     const auto started = std::chrono::steady_clock::now();
     const auto remainingBudget = [&]() {
@@ -147,11 +153,37 @@ ScoringClient::request(const std::string &method, const std::string &target,
                                                attempt_headers);
             outcome.haveResponse = true;
             outcome.status = outcome.response.status;
+            outcome.requestBodyBytes = body.size();
+            outcome.responseBodyBytes = outcome.response.body.size();
             static const std::string kZero = "0";
             outcome.stale =
                 outcome.response.header("x-hiermeans-stale", kZero) == "1";
             outcome.traceId = outcome.response.header(
                 "x-hiermeans-trace", trace_id);
+            static const std::string kEmpty;
+            if (wire::isWireMediaType(
+                    outcome.response.header("content-type", kEmpty)) &&
+                outcome.status == 200 && target == "/v1/score") {
+                // Decode the binary answer back into the canonical
+                // JSON envelope — byte-identical to the JSON path —
+                // so everything downstream stays codec-blind.
+                try {
+                    const wire::ScoreDocument doc =
+                        wire::decodeScoreReport(outcome.response.body);
+                    outcome.wireBinary = true;
+                    outcome.response.body =
+                        server::okEnvelope(
+                            server::scoreDocumentJson(doc),
+                            outcome.traceId) +
+                        "\n";
+                } catch (const Error &decode_error) {
+                    outcome.haveResponse = false;
+                    outcome.failure = FailureClass::BadResponse;
+                    outcome.error =
+                        std::string("binary response decode failed: ") +
+                        decode_error.what();
+                }
+            }
             if (outcome.status >= 400) {
                 const std::optional<std::string> code =
                     server::json::findString(outcome.response.body,
@@ -197,6 +229,18 @@ Outcome
 ScoringClient::score(const std::string &line,
                      const std::string &trace_id)
 {
+    if (config_.binaryWire && !jsonFallback_) {
+        Outcome outcome =
+            request("POST", "/v1/score", wire::encodeScoreRequest(line),
+                    wire::kMediaType, trace_id);
+        if (!outcome.haveResponse ||
+            outcome.apiError != server::ApiError::UnsupportedMediaType)
+            return outcome;
+        // The daemon does not speak the binary format: downgrade to
+        // JSON for the rest of this client's life and resend, so the
+        // caller never sees the 415.
+        jsonFallback_ = true;
+    }
     return request("POST", "/v1/score", line, "text/plain", trace_id);
 }
 

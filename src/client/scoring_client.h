@@ -64,6 +64,17 @@ struct Outcome
     double backoffMillis = 0.0; ///< total retry sleep.
     bool stale = false; ///< response carried X-Hiermeans-Stale.
 
+    /** Body bytes on the wire for the answered attempt (request sent,
+     *  response received before any decode) — how hmload measures the
+     *  binary format's size win. */
+    std::size_t requestBodyBytes = 0;
+    std::size_t responseBodyBytes = 0;
+
+    /** The response arrived as a binary wire frame. Its body has been
+     *  rewritten to the canonical JSON envelope (bit-identical to the
+     *  JSON path), so consumers stay codec-blind. */
+    bool wireBinary = false;
+
     /** Trace ID echoed by the server (X-Hiermeans-Trace), or the one
      *  we sent; empty when neither side traced the request. */
     std::string traceId;
@@ -99,6 +110,17 @@ class ScoringClient
          * trip.
          */
         double deadlineMillis = 0.0;
+
+        /**
+         * Speak the binary wire format by default: score() posts one
+         * ScoreRequest frame with `Accept: application/x-hiermeans-wire,
+         * application/json` and decodes a binary answer back into the
+         * canonical JSON envelope. A 415 `unsupported_media_type`
+         * (an older daemon, or injected via the server.wire.reject
+         * fault) downgrades this client to JSON for its lifetime and
+         * resends — callers never see the fallback happen.
+         */
+        bool binaryWire = true;
     };
 
     explicit ScoringClient(Config config);
@@ -115,9 +137,13 @@ class ScoringClient
                     const std::string &trace_id = "",
                     double deadline_override_millis = -1.0);
 
-    /** POST one manifest line to /v1/score. */
+    /** POST one manifest line to /v1/score (binary wire format when
+     *  Config::binaryWire, with automatic sticky JSON fallback). */
     Outcome score(const std::string &line,
                   const std::string &trace_id = "");
+
+    /** True once a 415 downgraded this client to JSON. */
+    bool jsonFallback() const { return jsonFallback_; }
 
     /** GET /healthz. */
     Outcome health();
@@ -135,6 +161,7 @@ class ScoringClient
 
     Config config_;
     server::HttpClient http_;
+    bool jsonFallback_ = false; ///< sticky: set by the first 415.
 };
 
 } // namespace client

@@ -114,6 +114,9 @@
 #include "src/store/store.h"
 #include "src/store/wal.h"
 
+// wire — negotiated binary framing for the /v1 API surface
+#include "src/wire/wire.h"
+
 // drift — streaming suites: online re-clustering + drift detection
 #include "src/drift/detector.h"
 #include "src/drift/monitor.h"
@@ -133,6 +136,7 @@
 #include "src/server/suite_service.h"
 #include "src/server/transport.h"
 #include "src/server/watchdog.h"
+#include "src/server/wire_json.h"
 
 // mesh — multi-node cluster: ring sharding + WAL replication
 #include "src/mesh/config.h"

@@ -10,6 +10,7 @@
 #include "src/server/json.h"
 #include "src/util/error.h"
 #include "src/util/log.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace mesh {
@@ -199,10 +200,16 @@ MeshRuntime::relay(const server::RequestContext &ctx,
     forwards_.fetch_add(1, std::memory_order_relaxed);
     obs::ScopedSpan span("mesh.forward");
     static const std::string kDefaultType = "application/json";
+    static const std::string kEmpty;
     server::HttpClient::Headers headers{
         {server::kForwardedHeader, config_.mesh.selfId}};
     if (!ctx.traceId.empty())
         headers.push_back({"X-Hiermeans-Trace", ctx.traceId});
+    // Forward the negotiated response format too: a client that asked
+    // the router for binary gets binary from the shard owner.
+    const std::string &accept = ctx.http.header("accept", kEmpty);
+    if (!accept.empty())
+        headers.push_back({"Accept", accept});
     // Hand the remaining budget downstream and cap our own wait to
     // it — the forwarded hop must not out-wait the client.
     double wait = config_.rpcTimeoutMillis;
@@ -403,6 +410,11 @@ MeshRuntime::handleCluster(const server::RequestContext &ctx)
         }
     }
     data << "]";
+    // Advertise the binary wire formats this build speaks, so
+    // `hmctl --check` can lint version agreement across a mesh.
+    data << ",\"wire\":{\"version\":"
+         << static_cast<unsigned>(wire::kWireVersion)
+         << ",\"formats\":[\"json\",\"binary\"]}";
     if (driftSummary_)
         data << ",\"drift\":" << driftSummary_();
     data << "}";

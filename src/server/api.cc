@@ -33,6 +33,8 @@ const CodeEntry kCodes[] = {
     {ApiError::StoreDisabled, "store_disabled", 503},
     {ApiError::MeshUnreachable, "mesh_unreachable", 502},
     {ApiError::DeadlineExpired, "deadline_expired", 504},
+    {ApiError::UnsupportedMediaType, "unsupported_media_type", 415},
+    {ApiError::NotAcceptable, "not_acceptable", 406},
 };
 
 std::string
@@ -107,6 +109,34 @@ errorResponse(ApiError error, const std::string &message,
     return jsonResponse(
         apiErrorStatus(error),
         errorEnvelope(error, message, traceId, extraErrorJson) + "\n");
+}
+
+std::optional<HttpResponse>
+parseListLimit(const RequestContext &ctx, std::size_t fallback,
+               std::size_t &limit)
+{
+    const std::string raw = ctx.http.queryParam("limit", "");
+    if (raw.empty()) {
+        limit = fallback;
+        return std::nullopt;
+    }
+    std::size_t value = 0;
+    bool valid = true;
+    for (const char c : raw) {
+        if (c < '0' || c > '9' || value > kMaxListLimit) {
+            valid = false;
+            break;
+        }
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (!valid || value == 0 || value > kMaxListLimit)
+        return errorResponse(
+            ApiError::BadRequest,
+            "limit must be an integer in [1, " +
+                std::to_string(kMaxListLimit) + "], got `" + raw + "`",
+            ctx.traceId);
+    limit = value;
+    return std::nullopt;
 }
 
 } // namespace server

@@ -24,9 +24,12 @@
 #ifndef HIERMEANS_SERVER_API_H
 #define HIERMEANS_SERVER_API_H
 
+#include <cstddef>
+#include <optional>
 #include <string>
 
 #include "src/server/http.h"
+#include "src/server/router.h"
 
 namespace hiermeans {
 namespace server {
@@ -52,6 +55,8 @@ enum class ApiError
     StoreDisabled,    ///< durable store not mounted (503).
     MeshUnreachable,  ///< shard owner unreachable via the mesh (502).
     DeadlineExpired,  ///< client budget spent before execution (504).
+    UnsupportedMediaType, ///< request Content-Type not spoken (415).
+    NotAcceptable,    ///< no response format satisfies Accept (406).
 };
 
 /** The wire string for @p error, e.g. "circuit_open". */
@@ -86,6 +91,21 @@ HttpResponse okResponse(const std::string &dataJson,
 HttpResponse errorResponse(ApiError error, const std::string &message,
                            const std::string &traceId,
                            const std::string &extraErrorJson = "");
+
+/** The shared upper bound for list-endpoint `?limit=` parameters
+ *  (/v1/traces, /v1/history, /v1/drift). */
+inline constexpr std::size_t kMaxListLimit = 1000;
+
+/**
+ * Parse the bounded `?limit=` query parameter every list endpoint
+ * shares: absent sets @p limit to @p fallback; a positive integer
+ * within kMaxListLimit sets it verbatim. A malformed, zero or
+ * over-bound value returns an engaged bad_request envelope whose
+ * message names the bound — the caller answers it as-is.
+ */
+std::optional<HttpResponse> parseListLimit(const RequestContext &ctx,
+                                           std::size_t fallback,
+                                           std::size_t &limit);
 
 } // namespace server
 } // namespace hiermeans

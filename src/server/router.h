@@ -27,6 +27,7 @@
 
 #include "src/obs/trace.h"
 #include "src/server/http.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace server {
@@ -58,6 +59,24 @@ struct RequestContext
     double deadlineMillis = 0.0;
     std::chrono::steady_clock::time_point arrived =
         std::chrono::steady_clock::now();
+
+    /**
+     * Content negotiation, settled by the transport before dispatch:
+     * `binaryBody` is true when the request body is one
+     * application/x-hiermeans-wire frame (handlers decode it instead
+     * of treating the body as text/JSON), and `accept` is the
+     * negotiated response format — Binary only when the Accept
+     * header named the wire type explicitly. Unsupported request
+     * types (415) and unsatisfiable Accepts (406) never reach a
+     * handler.
+     */
+    bool binaryBody = false;
+    wire::ResponseFormat accept = wire::ResponseFormat::Json;
+
+    bool wantsBinary() const
+    {
+        return accept == wire::ResponseFormat::Binary;
+    }
 
     bool hasDeadline() const { return deadlineMillis > 0.0; }
 

@@ -9,10 +9,12 @@
 #include "src/obs/trace.h"
 #include "src/server/api.h"
 #include "src/server/json.h"
+#include "src/server/wire_json.h"
 #include "src/util/error.h"
 #include "src/util/log.h"
 #include "src/util/signal.h"
 #include "src/util/version.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace server {
@@ -29,33 +31,58 @@ servedBy(const engine::ScoreResult &result)
     return "pipeline";
 }
 
+/**
+ * A successful score result as the codec-neutral wire document —
+ * the single source both response formats are rendered from, which
+ * is what keeps the JSON and binary answers bit-identical (the JSON
+ * body is always scoreDocumentJson() of this struct).
+ */
+wire::ScoreDocument
+resultDocument(const engine::ScoreResult &result)
+{
+    wire::ScoreDocument doc;
+    doc.id = result.id;
+    doc.servedBy = servedBy(result);
+    doc.fingerprint = result.fingerprint;
+    doc.recommendedK = result.recommendedK;
+    doc.ratio = result.report.rows[result.report.recommendedRow()].ratio;
+    doc.plainRatio = result.report.plainRatio;
+    doc.wallMillis = result.wallMillis;
+    doc.rows.reserve(result.report.rows.size());
+    for (const auto &row : result.report.rows) {
+        wire::ScoreRow out;
+        out.k = static_cast<std::uint32_t>(row.clusterCount);
+        out.scoreA = row.scoreA;
+        out.scoreB = row.scoreB;
+        out.ratio = row.ratio;
+        doc.rows.push_back(out);
+    }
+    return doc;
+}
+
 /** A successful score result as the envelope's `data` value. */
 std::string
 resultDataJson(const engine::ScoreResult &result)
 {
-    std::ostringstream out;
-    const std::size_t recommended = result.report.recommendedRow();
-    out << "{\"id\":" << json::quote(result.id)
-        << ",\"served_by\":\"" << servedBy(result) << "\""
-        << ",\"fingerprint\":\"" << std::hex << result.fingerprint
-        << std::dec << "\""
-        << ",\"recommended_k\":" << result.recommendedK
-        << ",\"ratio\":"
-        << json::number(result.report.rows[recommended].ratio)
-        << ",\"plain_ratio\":" << json::number(result.report.plainRatio)
-        << ",\"wall_ms\":" << json::number(result.wallMillis)
-        << ",\"rows\":[";
-    for (std::size_t i = 0; i < result.report.rows.size(); ++i) {
-        const auto &row = result.report.rows[i];
-        if (i > 0)
-            out << ",";
-        out << "{\"k\":" << row.clusterCount
-            << ",\"score_a\":" << json::number(row.scoreA)
-            << ",\"score_b\":" << json::number(row.scoreB)
-            << ",\"ratio\":" << json::number(row.ratio) << "}";
+    return scoreDocumentJson(resultDocument(result));
+}
+
+/** The negotiated /v1/score success response: the JSON envelope by
+ *  default, one binary ScoreReport frame when Accept asked for it. */
+HttpResponse
+scoredResponse(const engine::ScoreResult &result,
+               const RequestContext &ctx)
+{
+    HttpResponse response;
+    if (ctx.wantsBinary()) {
+        response.status = 200;
+        response.set("Content-Type", wire::kMediaType);
+        response.body = wire::encodeScoreReport(resultDocument(result));
+    } else {
+        response = okResponse(resultDataJson(result), ctx.traceId);
     }
-    out << "]}";
-    return out.str();
+    response.set("X-Hiermeans-Source", servedBy(result));
+    return response;
 }
 
 /** A failed score result as an error envelope (one score or one
@@ -321,7 +348,7 @@ Server::overloadedResponse(const std::string &traceId)
 
 std::optional<HttpResponse>
 Server::tryStale(std::uint64_t fingerprint, const std::string &id,
-                 const std::string &traceId)
+                 const RequestContext &ctx)
 {
     if (!config_.serveStale)
         return std::nullopt;
@@ -340,9 +367,7 @@ Server::tryStale(std::uint64_t fingerprint, const std::string &id,
     result.recommendedK = cached->recommendedK;
 
     metrics_.onStaleServed();
-    HttpResponse response =
-        okResponse(resultDataJson(result), traceId);
-    response.set("X-Hiermeans-Source", "cache");
+    HttpResponse response = scoredResponse(result, ctx);
     response.set("X-Hiermeans-Stale", "1");
     return response;
 }
@@ -404,7 +429,19 @@ Server::handleScore(const RequestContext &ctx)
                              ctx.traceId, "\"timed_out\":true");
     }
 
-    SuiteService::Expansion expanded = suites_.expandScore(ctx);
+    // Decode the body to manifest text before expansion: from here
+    // on the pipeline is codec-agnostic.
+    std::string text = ctx.http.body;
+    if (ctx.binaryBody) {
+        try {
+            text = wire::decodeScoreRequest(ctx.http.body);
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, e.what(),
+                                 ctx.traceId);
+        }
+    }
+    SuiteService::Expansion expanded = suites_.expandScore(ctx, text);
     if (expanded.response.has_value())
         return std::move(*expanded.response);
 
@@ -455,8 +492,8 @@ Server::handleScore(const RequestContext &ctx)
     obs::ScopedSpan admissionSpan("admission");
     if (!breaker_.allow()) {
         metrics_.onBreakerFastFail();
-        if (std::optional<HttpResponse> stale = tryStale(
-                fingerprint, score_request.id, ctx.traceId))
+        if (std::optional<HttpResponse> stale =
+                tryStale(fingerprint, score_request.id, ctx))
             return std::move(*stale);
         HttpResponse response =
             errorResponse(ApiError::CircuitOpen,
@@ -473,8 +510,8 @@ Server::handleScore(const RequestContext &ctx)
         metrics_.onLaneShed(Lane::Interactive);
         health_.onShed();
         breaker_.onAbandoned(); // a shed is not a probe outcome.
-        if (std::optional<HttpResponse> stale = tryStale(
-                fingerprint, score_request.id, ctx.traceId))
+        if (std::optional<HttpResponse> stale =
+                tryStale(fingerprint, score_request.id, ctx))
             return std::move(*stale);
         return overloadedResponse(ctx.traceId);
     }
@@ -539,10 +576,7 @@ Server::handleScore(const RequestContext &ctx)
                                            : 0.0);
     if (ctx.hasDeadline() && ctx.remainingMillis() < 0.0)
         metrics_.onDeadlineMiss();
-    HttpResponse response =
-        okResponse(resultDataJson(result), ctx.traceId);
-    response.set("X-Hiermeans-Source", servedBy(result));
-    return response;
+    return scoredResponse(result, ctx);
 }
 
 HttpResponse
@@ -564,7 +598,17 @@ Server::handleBatch(const RequestContext &ctx)
                              ctx.traceId, "\"timed_out\":true");
     }
 
-    SuiteService::Expansion expanded = suites_.expandBatch(ctx);
+    std::string text = ctx.http.body;
+    if (ctx.binaryBody) {
+        try {
+            text = wire::BatchView(ctx.http.body).manifestText();
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, e.what(),
+                                 ctx.traceId);
+        }
+    }
+    SuiteService::Expansion expanded = suites_.expandBatch(ctx, text);
     if (expanded.response.has_value())
         return std::move(*expanded.response);
 
@@ -679,11 +723,38 @@ Server::handleBatch(const RequestContext &ctx)
         if (!result.ok && result.cancelled)
             metrics_.onCancelled();
 
+        if (result.ok)
+            suites_.persistScore(result, expanded.suite,
+                                 expanded.suiteVersion);
+
+        if (ctx.wantsBinary()) {
+            // Binary stream: one BatchItem frame per manifest line,
+            // in line order (the NDJSON stream's binary twin).
+            wire::BatchItem item;
+            item.line =
+                static_cast<std::uint32_t>(lines[i].lineNumber);
+            item.ok = result.ok;
+            if (result.ok) {
+                item.doc = resultDocument(result);
+            } else {
+                ApiError code = ApiError::ScoringFailed;
+                if (parse_error)
+                    code = ApiError::InvalidManifest;
+                else if (result.timedOut)
+                    code = ApiError::Timeout;
+                else if (result.cancelled)
+                    code = ApiError::Draining;
+                item.errorCode = apiErrorCode(code);
+                item.error = result.error;
+                item.timedOut = result.timedOut;
+            }
+            body << wire::encodeBatchItem(item);
+            continue;
+        }
+
         const std::string line_field =
             "\"line\":" + std::to_string(lines[i].lineNumber);
         if (result.ok) {
-            suites_.persistScore(result, expanded.suite,
-                                 expanded.suiteVersion);
             body << okEnvelope("{" + line_field + "," +
                                    resultDataJson(result).substr(1),
                                ctx.traceId);
@@ -699,7 +770,9 @@ Server::handleBatch(const RequestContext &ctx)
     }
     HttpResponse response;
     response.status = 200;
-    response.set("Content-Type", "application/x-ndjson");
+    response.set("Content-Type", ctx.wantsBinary()
+                                     ? wire::kMediaType
+                                     : "application/x-ndjson");
     response.body = body.str();
     return response;
 }
@@ -767,15 +840,24 @@ Server::handleTrace(const RequestContext &ctx)
 HttpResponse
 Server::handleTraces(const RequestContext &ctx)
 {
+    std::size_t limit = 0;
+    if (auto bad = parseListLimit(ctx, kMaxListLimit, limit))
+        return std::move(*bad);
     obs::Tracer &tracer = obs::Tracer::instance();
+    std::vector<std::string> recent = tracer.recentIds();
+    std::vector<std::string> slow = tracer.slowIds();
+    if (recent.size() > limit)
+        recent.resize(limit);
+    if (slow.size() > limit)
+        slow.resize(limit);
     std::ostringstream data;
     data << "{\"enabled\":"
          << (obs::tracingEnabled() ? "true" : "false")
          << ",\"slow_ms\":" << json::number(tracer.config().slowMillis)
          << ",\"finished_total\":" << tracer.finishedTotal()
          << ",\"slow_total\":" << tracer.slowTotal()
-         << ",\"recent\":" << idListJson(tracer.recentIds())
-         << ",\"slow\":" << idListJson(tracer.slowIds()) << "}";
+         << ",\"recent\":" << idListJson(recent)
+         << ",\"slow\":" << idListJson(slow) << "}";
     return okResponse(data.str(), ctx.traceId);
 }
 
@@ -831,8 +913,13 @@ Server::handleDriftList(const RequestContext &ctx)
                              "drift monitoring needs a durable store "
                              "(start hmserved with --data-dir)",
                              ctx.traceId);
-    const std::vector<drift::DriftMonitor::Report> reports =
+    std::size_t limit = 0;
+    if (auto bad = parseListLimit(ctx, kMaxListLimit, limit))
+        return std::move(*bad);
+    std::vector<drift::DriftMonitor::Report> reports =
         drift_->reports();
+    if (reports.size() > limit)
+        reports.resize(limit);
     std::ostringstream data;
     data << "{\"count\":" << reports.size()
          << ",\"recluster_every_seconds\":"
@@ -1133,6 +1220,19 @@ Server::renderPrometheus() const
              "1 while the drain state machine is active.", "gauge");
     w.gauge("hiermeans_overload_draining", {},
             snap.draining ? 1.0 : 0.0);
+
+    // --- wire-format negotiation --------------------------------------
+    w.header("hiermeans_wire_requests_total",
+             "Requests by negotiated wire format.", "counter");
+    w.counter("hiermeans_wire_requests_total", {{"format", "json"}},
+              snap.wireJson);
+    w.counter("hiermeans_wire_requests_total", {{"format", "binary"}},
+              snap.wireBinary);
+    w.header("hiermeans_wire_supported",
+             "1 for each binary wire version this build speaks.",
+             "gauge");
+    w.gauge("hiermeans_wire_supported",
+            {{"version", std::to_string(wire::kWireVersion)}}, 1.0);
 
     w.header("hiermeans_server_admission_queue_depth",
              "Admission slots currently held.", "gauge");

@@ -274,11 +274,12 @@ class Server
     /** 503 + Retry-After (the admission-shed and overflow answer). */
     static HttpResponse overloadedResponse(const std::string &traceId);
 
-    /** Cached stale score as 200 + X-Hiermeans-Stale, when available
-     *  and allowed; nullopt sends the caller down the 503 path. */
+    /** Cached stale score as 200 + X-Hiermeans-Stale (in the
+     *  request's negotiated format), when available and allowed;
+     *  nullopt sends the caller down the 503 path. */
     std::optional<HttpResponse> tryStale(std::uint64_t fingerprint,
                                          const std::string &id,
-                                         const std::string &traceId);
+                                         const RequestContext &ctx);
 
     /** Wait for @p future, polling @p token; a watchdog trip abandons
      *  the future and yields a 504 (nullopt = result arrived). */

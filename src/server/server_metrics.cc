@@ -82,6 +82,8 @@ ServerMetrics::snapshot(std::uint64_t queue_depth,
     snap.cancelled = cancelled_.load();
     snap.deadlineMisses = deadlineMisses_.load();
     snap.drainSheds = drainSheds_.load();
+    snap.wireJson = wireJson_.load();
+    snap.wireBinary = wireBinary_.load();
     snap.draining = draining_.load();
     snap.queueDepth = queue_depth;
     snap.queueCapacity = queue_capacity;
@@ -135,6 +137,10 @@ ServerMetrics::render(const ServerMetricsSnapshot &snap)
     counters.addRow({"deadline misses",
                      std::to_string(snap.deadlineMisses)});
     counters.addRow({"drain sheds", std::to_string(snap.drainSheds)});
+    counters.addRow({"wire format json",
+                     std::to_string(snap.wireJson)});
+    counters.addRow({"wire format binary",
+                     std::to_string(snap.wireBinary)});
     counters.addRow({"admission queue depth",
                      std::to_string(snap.queueDepth) + "/" +
                          std::to_string(snap.queueCapacity)});

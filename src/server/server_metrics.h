@@ -69,6 +69,10 @@ struct ServerMetricsSnapshot
     std::uint64_t drainSheds = 0;      ///< 503 draining answers.
     bool draining = false;             ///< gauge: drain in progress.
 
+    // Negotiated wire formats (hiermeans_wire_requests_total).
+    std::uint64_t wireJson = 0;   ///< JSON/text requests.
+    std::uint64_t wireBinary = 0; ///< binary-wire requests.
+
     std::uint64_t queueDepth = 0;    ///< gauge (admission gate).
     std::uint64_t queueCapacity = 0;
 
@@ -114,6 +118,12 @@ class ServerMetrics
     void onCancelled() { ++cancelled_; }
     void onDeadlineMiss() { ++deadlineMisses_; }
     void onDrainShed() { ++drainSheds_; }
+    /** Count one request's negotiated wire format: binary when the
+     *  body or the negotiated response format was the wire type. */
+    void onWireFormat(bool binary)
+    {
+        ++(binary ? wireBinary_ : wireJson_);
+    }
     void setDraining() { draining_.store(true); }
     bool draining() const { return draining_.load(); }
 
@@ -157,6 +167,8 @@ class ServerMetrics
     std::atomic<std::uint64_t> cancelled_{0};
     std::atomic<std::uint64_t> deadlineMisses_{0};
     std::atomic<std::uint64_t> drainSheds_{0};
+    std::atomic<std::uint64_t> wireJson_{0};
+    std::atomic<std::uint64_t> wireBinary_{0};
     std::atomic<bool> draining_{false};
     std::array<engine::LatencyHistogram,
                static_cast<std::size_t>(Endpoint::Count_)>

@@ -6,8 +6,10 @@
 #include "src/engine/manifest.h"
 #include "src/server/api.h"
 #include "src/server/json.h"
+#include "src/server/wire_json.h"
 #include "src/util/error.h"
 #include "src/util/log.h"
+#include "src/wire/wire.h"
 
 namespace hiermeans {
 namespace server {
@@ -181,13 +183,14 @@ SuiteService::resolveAnywhere(const std::string &name,
 }
 
 SuiteService::Expansion
-SuiteService::expandScore(const RequestContext &ctx)
+SuiteService::expandScore(const RequestContext &ctx,
+                          const std::string &body)
 {
     // A `suite=` reference expands to the stored manifest text before
     // any parsing; appended override tokens win by the CommandLine
     // last-wins rule.
     Expansion out;
-    out.text = ctx.http.body;
+    out.text = body;
     const SuiteRef ref = parseSuiteReference(out.text);
     if (!ref.present)
         return out;
@@ -254,12 +257,13 @@ SuiteService::expandScore(const RequestContext &ctx)
 }
 
 SuiteService::Expansion
-SuiteService::expandBatch(const RequestContext &ctx)
+SuiteService::expandBatch(const RequestContext &ctx,
+                          const std::string &body)
 {
     // `suite=` expands to the whole stored document (or one line of
     // it with line=<n>), override tokens appended to every line.
     Expansion out;
-    out.text = ctx.http.body;
+    out.text = body;
     const SuiteRef ref = parseSuiteReference(out.text);
     if (!ref.present)
         return out;
@@ -351,11 +355,24 @@ SuiteService::handleSuiteRegister(const RequestContext &ctx)
                              "--data-dir)",
                              ctx.traceId);
 
+    // A binary body is a BatchManifest frame; decode it to manifest
+    // text so registration is codec-agnostic from here down.
+    std::string manifest = ctx.http.body;
+    if (ctx.binaryBody) {
+        try {
+            manifest = wire::BatchView(ctx.http.body).manifestText();
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, e.what(),
+                                 ctx.traceId);
+        }
+    }
+
     // Syntax-check the manifest now so junk is never registered;
     // semantic problems (missing CSVs) stay scoring-time concerns.
     std::vector<engine::ManifestLine> lines;
     try {
-        lines = engine::parseManifest(ctx.http.body);
+        lines = engine::parseManifest(manifest);
     } catch (const Error &e) {
         metrics_.onMalformed();
         return errorResponse(ApiError::InvalidManifest, e.what(),
@@ -369,7 +386,7 @@ SuiteService::handleSuiteRegister(const RequestContext &ctx)
 
     try {
         const store::SuiteVersion version =
-            store_->registerSuite(name, ctx.http.body);
+            store_->registerSuite(name, manifest);
         if (cluster_ != nullptr)
             cluster_->afterWrite(
                 ctx.hasDeadline() ? ctx.remainingMillis() : 0.0);
@@ -456,6 +473,14 @@ SuiteService::handleHistory(const RequestContext &ctx)
             entries = std::move(merged);
         }
     }
+    // `?limit=` keeps the newest N entries (shared bound with
+    // /v1/traces and /v1/drift).
+    std::size_t limit = 0;
+    if (auto bad = parseListLimit(ctx, kMaxListLimit, limit))
+        return std::move(*bad);
+    if (entries.size() > limit)
+        entries.erase(entries.begin(),
+                      entries.end() - static_cast<std::ptrdiff_t>(limit));
 
     std::ostringstream data;
     data << "{\"suite\":" << json::quote(suite)
@@ -522,28 +547,45 @@ SuiteService::handleObserve(const RequestContext &ctx,
                              "no registered suite `" + suite + "`",
                              ctx.traceId);
 
-    const std::optional<double> ratio =
-        json::findNumber(ctx.http.body, "ratio");
-    if (!ratio.has_value() || !(*ratio > 0.0)) {
+    // Decode the intake from whichever wire format carried it; the
+    // rest of the handler consumes the struct, not the codec.
+    wire::Observation observation;
+    if (ctx.binaryBody) {
+        try {
+            observation = wire::decodeObservation(ctx.http.body);
+        } catch (const Error &e) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest, e.what(),
+                                 ctx.traceId);
+        }
+    } else if (!observationFromJson(ctx.http.body, observation)) {
         metrics_.onMalformed();
         return errorResponse(
             ApiError::BadRequest,
             "observe body needs a positive numeric `ratio`",
             ctx.traceId);
     }
-    const double plain_ratio =
-        json::findNumber(ctx.http.body, "plain_ratio").value_or(*ratio);
+    if (!(observation.ratio > 0.0)) {
+        metrics_.onMalformed();
+        return errorResponse(
+            ApiError::BadRequest,
+            "observe body needs a positive numeric `ratio`",
+            ctx.traceId);
+    }
+    const double plain_ratio = observation.hasPlain
+                                   ? observation.plainRatio
+                                   : observation.ratio;
     const std::string id =
-        json::findString(ctx.http.body, "id").value_or("observe");
+        observation.id.empty() ? "observe" : observation.id;
 
     store::ScoreRecord record; // empty report = history-only entry.
     record.suite = suite;
     record.suiteVersion = stored->version;
     record.id = id;
-    record.fingerprint =
-        store::crc32(suite + "\n" + id + "\n" + json::number(*ratio) +
-                     "\n" + json::number(plain_ratio));
-    record.ratio = *ratio;
+    record.fingerprint = store::crc32(
+        suite + "\n" + id + "\n" + json::number(observation.ratio) +
+        "\n" + json::number(plain_ratio));
+    record.ratio = observation.ratio;
     record.plainRatio = plain_ratio;
     if (!store_->recordScore(std::move(record)))
         return errorResponse(ApiError::Internal,
@@ -559,7 +601,7 @@ SuiteService::handleObserve(const RequestContext &ctx,
     std::ostringstream data;
     data << "{\"suite\":" << json::quote(suite)
          << ",\"sequence\":" << store_->lastSequence()
-         << ",\"ratio\":" << json::number(*ratio)
+         << ",\"ratio\":" << json::number(observation.ratio)
          << ",\"plain_ratio\":" << json::number(plain_ratio)
          << ",\"history\":" << entries.size() << "}";
     return okResponse(data.str(), ctx.traceId);

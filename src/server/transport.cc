@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <string_view>
 
 #include "src/obs/trace.h"
@@ -20,6 +21,23 @@ millisSince(std::chrono::steady_clock::time_point start)
 {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/** Request media types any endpoint can consume ("" = no header,
+ *  the parser's default). Anything else is answered 415 before
+ *  dispatch. */
+bool
+supportedMediaType(const std::string &content_type)
+{
+    const std::string type = wire::mediaType(content_type);
+    return type.empty() || type == "text/plain" ||
+           type == "application/json" ||
+           type == "application/x-ndjson" ||
+           type == "application/octet-stream" ||
+           // curl's default for --data-binary; the manifest grammar
+           // is key=value tokens, so honour the claim as text.
+           type == "application/x-www-form-urlencoded" ||
+           type == wire::kMediaType;
 }
 
 } // namespace
@@ -194,12 +212,58 @@ HttpTransport::serveConnection(net::Socket socket)
                 ctx.trace = obs::Tracer::instance().start(ctx.traceId);
                 ctx.rootSpan = ctx.trace->begin("server.request");
             }
+            // Content negotiation, settled before dispatch so no
+            // handler ever answers a bad Content-Type with a bare
+            // 400: unsupported request types get the 415 envelope,
+            // unsatisfiable Accepts the 406 envelope, and the
+            // negotiated formats ride in the context.
+            std::optional<HttpResponse> refused;
+            const std::string &content_type =
+                request.header("content-type", kEmpty);
+            ctx.binaryBody = wire::isWireMediaType(content_type);
+            if (!request.body.empty() &&
+                !supportedMediaType(content_type)) {
+                refused = errorResponse(
+                    ApiError::UnsupportedMediaType,
+                    "unsupported Content-Type `" + content_type +
+                        "` (supported: text/plain, application/json, "
+                        "application/x-ndjson, "
+                        "application/x-www-form-urlencoded, "
+                        "application/octet-stream, " +
+                        std::string(wire::kMediaType) + ")",
+                    ctx.traceId);
+            } else if (ctx.binaryBody &&
+                       HM_FAULT("server.wire.reject")) {
+                // Deterministic negotiation chaos: pretend this
+                // build does not speak the binary format, so client
+                // JSON fallback is testable against a real server.
+                refused = errorResponse(
+                    ApiError::UnsupportedMediaType,
+                    "injected: binary wire format refused",
+                    ctx.traceId);
+            }
+            const wire::Negotiated negotiated = wire::negotiateAccept(
+                request.header("accept", kEmpty));
+            if (!refused && !negotiated.acceptable)
+                refused = errorResponse(
+                    ApiError::NotAcceptable,
+                    "no offered response format satisfies Accept `" +
+                        request.header("accept", kEmpty) +
+                        "` (offered: application/json, " +
+                        std::string(wire::kMediaType) + ")",
+                    ctx.traceId);
+            ctx.accept = negotiated.format;
+            metrics_.onWireFormat(ctx.binaryBody ||
+                                  ctx.wantsBinary());
+
             // Handlers and the engine submit path record their spans
             // through the thread-local context.
             obs::ScopedTraceContext traceContext(ctx.trace.get(),
                                                  ctx.rootSpan);
 
-            HttpResponse response = router_.dispatch(ctx);
+            HttpResponse response = refused
+                                        ? std::move(*refused)
+                                        : router_.dispatch(ctx);
             const Endpoint endpoint = endpointFor(request.path());
             const double elapsed = millisSince(started);
             metrics_.recordLatency(endpoint, elapsed);

@@ -1,0 +1,152 @@
+#include "src/server/wire_json.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/server/json.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace server {
+
+namespace {
+
+std::uint64_t
+parseHex(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 16);
+    HM_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+               what << ": malformed hex value `" << text << "`");
+    return static_cast<std::uint64_t>(value);
+}
+
+std::uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    HM_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+               what << ": malformed integer `" << text << "`");
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+std::string
+scoreDocumentJson(const wire::ScoreDocument &doc)
+{
+    std::ostringstream out;
+    out << "{\"id\":" << json::quote(doc.id)
+        << ",\"served_by\":" << json::quote(doc.servedBy)
+        << ",\"fingerprint\":\"" << std::hex << doc.fingerprint
+        << std::dec << "\""
+        << ",\"recommended_k\":" << doc.recommendedK
+        << ",\"ratio\":" << json::number(doc.ratio)
+        << ",\"plain_ratio\":" << json::number(doc.plainRatio)
+        << ",\"wall_ms\":" << json::number(doc.wallMillis)
+        << ",\"rows\":[";
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        const wire::ScoreRow &row = doc.rows[i];
+        if (i > 0)
+            out << ",";
+        out << "{\"k\":" << row.k
+            << ",\"score_a\":" << json::number(row.scoreA)
+            << ",\"score_b\":" << json::number(row.scoreB)
+            << ",\"ratio\":" << json::number(row.ratio) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+wire::ScoreDocument
+scoreDocumentFromJson(const std::string &dataJson)
+{
+    // Split off the rows array first: the top-level `ratio` must be
+    // read from the prefix so a row's `ratio` cannot shadow it.
+    const std::size_t rows_at = dataJson.find("\"rows\":[");
+    HM_REQUIRE(rows_at != std::string::npos,
+               "score document: missing `rows` array");
+    const std::string head = dataJson.substr(0, rows_at);
+
+    wire::ScoreDocument doc;
+    const auto id = json::findString(head, "id");
+    const auto served = json::findString(head, "served_by");
+    const auto fingerprint = json::findString(head, "fingerprint");
+    const auto recommended = json::findRawValue(head, "recommended_k");
+    const auto ratio = json::findNumber(head, "ratio");
+    const auto plain = json::findNumber(head, "plain_ratio");
+    const auto wall = json::findNumber(head, "wall_ms");
+    HM_REQUIRE(id && served && fingerprint && recommended && ratio &&
+                   plain && wall,
+               "score document: missing required fields");
+    doc.id = *id;
+    doc.servedBy = *served;
+    doc.fingerprint = parseHex(*fingerprint, "score document");
+    doc.recommendedK = parseU64(*recommended, "score document");
+    doc.ratio = *ratio;
+    doc.plainRatio = *plain;
+    doc.wallMillis = *wall;
+
+    // Rows are flat objects (no nesting), so scanning `{...}` chunks
+    // up to the closing `]` is a complete parse.
+    std::size_t at = rows_at + std::string("\"rows\":[").size();
+    while (at < dataJson.size() && dataJson[at] != ']') {
+        const std::size_t open = dataJson.find('{', at);
+        HM_REQUIRE(open != std::string::npos,
+                   "score document: malformed rows array");
+        const std::size_t close = dataJson.find('}', open);
+        HM_REQUIRE(close != std::string::npos,
+                   "score document: unterminated row object");
+        const std::string row_text =
+            dataJson.substr(open, close - open + 1);
+        const auto k = json::findRawValue(row_text, "k");
+        const auto score_a = json::findNumber(row_text, "score_a");
+        const auto score_b = json::findNumber(row_text, "score_b");
+        const auto row_ratio = json::findNumber(row_text, "ratio");
+        HM_REQUIRE(k && score_a && score_b && row_ratio,
+                   "score document: row missing required fields");
+        wire::ScoreRow row;
+        row.k = static_cast<std::uint32_t>(parseU64(*k, "score row"));
+        row.scoreA = *score_a;
+        row.scoreB = *score_b;
+        row.ratio = *row_ratio;
+        doc.rows.push_back(row);
+        at = close + 1;
+        while (at < dataJson.size() &&
+               (dataJson[at] == ',' || dataJson[at] == ' '))
+            ++at;
+    }
+    return doc;
+}
+
+std::string
+observationJson(const wire::Observation &obs)
+{
+    std::string body = "{\"ratio\":" + json::number(obs.ratio);
+    if (obs.hasPlain)
+        body += ",\"plain_ratio\":" + json::number(obs.plainRatio);
+    if (!obs.id.empty())
+        body += ",\"id\":" + json::quote(obs.id);
+    body += "}";
+    return body;
+}
+
+bool
+observationFromJson(const std::string &body, wire::Observation &obs)
+{
+    const auto ratio = json::findNumber(body, "ratio");
+    if (!ratio.has_value())
+        return false;
+    obs.ratio = *ratio;
+    const auto plain = json::findNumber(body, "plain_ratio");
+    obs.hasPlain = plain.has_value();
+    obs.plainRatio = plain.value_or(*ratio);
+    obs.id = json::findString(body, "id").value_or("");
+    return true;
+}
+
+} // namespace server
+} // namespace hiermeans

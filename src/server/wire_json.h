@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The JSON face of the wire-format documents: rendering a
+ * wire::ScoreDocument as the /v1 envelope's `data` value and parsing
+ * one back. This is the bit-identity pivot of the content-negotiation
+ * redesign — the JSON path, the binary path, the client's re-rendered
+ * envelopes and `hmconvert` all funnel through scoreDocumentJson, so
+ * the same manifest produces byte-identical score documents whichever
+ * wire format carried them.
+ *
+ * Lives in the server layer (not src/wire) because it needs the
+ * server's canonical JSON helpers (%.17g doubles, string escaping);
+ * the wire codec stays JSON-free and below the server in the link
+ * graph.
+ */
+
+#ifndef HIERMEANS_SERVER_WIRE_JSON_H
+#define HIERMEANS_SERVER_WIRE_JSON_H
+
+#include <string>
+
+#include "src/wire/wire.h"
+
+namespace hiermeans {
+namespace server {
+
+/** @p doc as the canonical `data` JSON object of a score answer. */
+std::string scoreDocumentJson(const wire::ScoreDocument &doc);
+
+/**
+ * Parse a score `data` object (the scoreDocumentJson shape) back
+ * into a document; throws InvalidArgument on a body missing the
+ * required fields. Round-trips bit-identically: parsing a
+ * scoreDocumentJson rendering and re-rendering reproduces the input.
+ */
+wire::ScoreDocument scoreDocumentFromJson(const std::string &dataJson);
+
+/** @p obs as the observe-intake JSON body
+ *  (`{"ratio":r[,"plain_ratio":p][,"id":"..."]}`). */
+std::string observationJson(const wire::Observation &obs);
+
+/**
+ * Parse an observe-intake JSON body. Returns false (leaving @p obs
+ * untouched) when the body has no numeric `ratio` — the caller's
+ * bad-request path; range checks stay with the caller.
+ */
+bool observationFromJson(const std::string &body,
+                         wire::Observation &obs);
+
+} // namespace server
+} // namespace hiermeans
+
+#endif // HIERMEANS_SERVER_WIRE_JSON_H

@@ -1,0 +1,420 @@
+#include "src/wire/wire.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "src/store/record.h"
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace wire {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'W', '1'};
+
+void
+appendLe32(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xFF));
+    out.push_back(static_cast<char>((value >> 8) & 0xFF));
+    out.push_back(static_cast<char>((value >> 16) & 0xFF));
+    out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t
+readLe32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint32_t>(u[0]) |
+           (static_cast<std::uint32_t>(u[1]) << 8) |
+           (static_cast<std::uint32_t>(u[2]) << 16) |
+           (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+/** The CRC input: version byte + type byte + payload. */
+std::uint32_t
+frameCrc(std::uint8_t version, std::uint8_t type,
+         std::string_view payload)
+{
+    char head[2] = {static_cast<char>(version),
+                    static_cast<char>(type)};
+    std::string checked;
+    checked.reserve(sizeof(head) + payload.size());
+    checked.append(head, sizeof(head));
+    checked.append(payload);
+    return store::crc32(checked);
+}
+
+void
+encodeDocument(store::BinaryWriter &w, const ScoreDocument &doc)
+{
+    w.str(doc.id);
+    w.str(doc.servedBy);
+    w.u64(doc.fingerprint);
+    w.u64(doc.recommendedK);
+    w.f64(doc.ratio);
+    w.f64(doc.plainRatio);
+    w.f64(doc.wallMillis);
+    w.u32(static_cast<std::uint32_t>(doc.rows.size()));
+    for (const ScoreRow &row : doc.rows) {
+        w.u32(row.k);
+        w.f64(row.scoreA);
+        w.f64(row.scoreB);
+        w.f64(row.ratio);
+    }
+}
+
+ScoreDocument
+decodeDocument(store::BinaryReader &r)
+{
+    ScoreDocument doc;
+    doc.id = r.str();
+    doc.servedBy = r.str();
+    doc.fingerprint = r.u64();
+    doc.recommendedK = r.u64();
+    doc.ratio = r.f64();
+    doc.plainRatio = r.f64();
+    doc.wallMillis = r.f64();
+    const std::uint32_t rows = r.u32();
+    doc.rows.reserve(rows);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        ScoreRow row;
+        row.k = r.u32();
+        row.scoreA = r.f64();
+        row.scoreB = r.f64();
+        row.ratio = r.f64();
+        doc.rows.push_back(row);
+    }
+    return doc;
+}
+
+/** The single frame of @p body, checked to be of @p expected type. */
+Frame
+expectFrame(std::string_view body, MessageType expected,
+            const char *what)
+{
+    const Frame frame = decodeSingleFrame(body);
+    HM_REQUIRE(frame.type == expected,
+               what << ": expected message type "
+                    << static_cast<int>(expected) << ", got "
+                    << static_cast<int>(frame.type));
+    return frame;
+}
+
+} // namespace
+
+bool
+knownMessageType(std::uint8_t type)
+{
+    switch (static_cast<MessageType>(type)) {
+    case MessageType::ScoreRequest:
+    case MessageType::BatchManifest:
+    case MessageType::ScoreReport:
+    case MessageType::BatchItem:
+    case MessageType::ObserveIntake:
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+decodeFrame(std::string_view data, Frame &frame)
+{
+    HM_REQUIRE(data.size() >= kFrameOverhead,
+               "wire: torn frame header (" << data.size()
+                                           << " bytes, need "
+                                           << kFrameOverhead << ")");
+    HM_REQUIRE(std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0,
+               "wire: bad frame magic (not an "
+               "application/x-hiermeans-wire body)");
+    const std::uint32_t length = readLe32(data.data() + 4);
+    HM_REQUIRE(length <= kMaxPayloadBytes,
+               "wire: oversized length prefix (" << length
+                                                 << " bytes, cap "
+                                                 << kMaxPayloadBytes
+                                                 << ")");
+    HM_REQUIRE(data.size() >= kFrameOverhead + length,
+               "wire: torn frame payload (have "
+                   << (data.size() - kFrameOverhead) << " of "
+                   << length << " payload bytes)");
+    const std::uint32_t expected_crc = readLe32(data.data() + 8);
+    const auto version =
+        static_cast<std::uint8_t>(data[12]);
+    const auto type = static_cast<std::uint8_t>(data[13]);
+    const std::string_view payload = data.substr(kFrameOverhead, length);
+    HM_REQUIRE(frameCrc(version, type, payload) == expected_crc,
+               "wire: frame CRC mismatch");
+    HM_REQUIRE(version == kWireVersion,
+               "wire: unsupported wire version "
+                   << static_cast<int>(version) << " (this codec "
+                   << "speaks version "
+                   << static_cast<int>(kWireVersion) << ")");
+    HM_REQUIRE(knownMessageType(type),
+               "wire: unknown message type " << static_cast<int>(type));
+    frame.version = version;
+    frame.type = static_cast<MessageType>(type);
+    frame.payload = payload;
+    return kFrameOverhead + length;
+}
+
+Frame
+decodeSingleFrame(std::string_view data)
+{
+    Frame frame;
+    const std::size_t consumed = decodeFrame(data, frame);
+    HM_REQUIRE(consumed == data.size(),
+               "wire: " << (data.size() - consumed)
+                        << " trailing bytes after the frame");
+    return frame;
+}
+
+std::string
+encodeFrame(MessageType type, std::string_view payload)
+{
+    std::string frame;
+    frame.reserve(kFrameOverhead + payload.size());
+    frame.append(kMagic, sizeof(kMagic));
+    appendLe32(frame, static_cast<std::uint32_t>(payload.size()));
+    appendLe32(frame, frameCrc(kWireVersion,
+                               static_cast<std::uint8_t>(type),
+                               payload));
+    frame.push_back(static_cast<char>(kWireVersion));
+    frame.push_back(static_cast<char>(type));
+    frame.append(payload);
+    return frame;
+}
+
+bool
+FrameReader::next(Frame &frame)
+{
+    if (corrupt_ || offset_ >= data_.size())
+        return false;
+    try {
+        offset_ += decodeFrame(data_.substr(offset_), frame);
+    } catch (const Error &e) {
+        corrupt_ = true;
+        corruption_ = e.what();
+        return false;
+    }
+    valid_ = offset_;
+    return true;
+}
+
+std::string
+encodeScoreRequest(std::string_view manifest_line)
+{
+    store::BinaryWriter w;
+    w.str(manifest_line);
+    return encodeFrame(MessageType::ScoreRequest, w.bytes());
+}
+
+std::string
+decodeScoreRequest(std::string_view body)
+{
+    const Frame frame =
+        expectFrame(body, MessageType::ScoreRequest, "score request");
+    store::BinaryReader r(frame.payload);
+    std::string line = r.str();
+    r.expectDone("wire score-request payload");
+    return line;
+}
+
+std::string
+encodeBatchManifest(const std::vector<std::string> &lines)
+{
+    store::BinaryWriter w;
+    w.u32(static_cast<std::uint32_t>(lines.size()));
+    for (const std::string &line : lines)
+        w.str(line);
+    return encodeFrame(MessageType::BatchManifest, w.bytes());
+}
+
+BatchView::BatchView(std::string_view body)
+{
+    const Frame frame =
+        expectFrame(body, MessageType::BatchManifest, "batch manifest");
+    // Walk the rows by hand so each row stays a view into the frame
+    // buffer — BinaryReader::str() would copy.
+    const std::string_view payload = frame.payload;
+    HM_REQUIRE(payload.size() >= 4,
+               "wire: batch manifest payload too short for row count");
+    const std::uint32_t count = readLe32(payload.data());
+    rows_.reserve(count);
+    std::size_t offset = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        HM_REQUIRE(payload.size() - offset >= 4,
+                   "wire: batch row " << (i + 1)
+                                      << " length prefix torn");
+        const std::uint32_t length = readLe32(payload.data() + offset);
+        offset += 4;
+        HM_REQUIRE(payload.size() - offset >= length,
+                   "wire: batch row " << (i + 1) << " torn (need "
+                                      << length << " bytes)");
+        rows_.push_back(payload.substr(offset, length));
+        offset += length;
+    }
+    HM_REQUIRE(offset == payload.size(),
+               "wire: " << (payload.size() - offset)
+                        << " trailing bytes after batch rows");
+}
+
+std::string
+BatchView::manifestText() const
+{
+    std::size_t total = 0;
+    for (const std::string_view row : rows_)
+        total += row.size() + 1;
+    std::string text;
+    text.reserve(total);
+    for (const std::string_view row : rows_) {
+        text.append(row);
+        text.push_back('\n');
+    }
+    return text;
+}
+
+std::string
+encodeScoreReport(const ScoreDocument &doc)
+{
+    store::BinaryWriter w;
+    encodeDocument(w, doc);
+    return encodeFrame(MessageType::ScoreReport, w.bytes());
+}
+
+ScoreDocument
+decodeScoreReport(std::string_view body)
+{
+    const Frame frame =
+        expectFrame(body, MessageType::ScoreReport, "score report");
+    store::BinaryReader r(frame.payload);
+    ScoreDocument doc = decodeDocument(r);
+    r.expectDone("wire score-report payload");
+    return doc;
+}
+
+std::string
+encodeBatchItem(const BatchItem &item)
+{
+    store::BinaryWriter w;
+    w.u32(item.line);
+    w.u8(item.ok ? 1 : 0);
+    if (item.ok) {
+        encodeDocument(w, item.doc);
+    } else {
+        w.str(item.errorCode);
+        w.str(item.error);
+        w.u8(item.timedOut ? 1 : 0);
+    }
+    return encodeFrame(MessageType::BatchItem, w.bytes());
+}
+
+BatchItem
+decodeBatchItem(const Frame &frame)
+{
+    HM_REQUIRE(frame.type == MessageType::BatchItem,
+               "batch item: expected message type "
+                   << static_cast<int>(MessageType::BatchItem)
+                   << ", got " << static_cast<int>(frame.type));
+    store::BinaryReader r(frame.payload);
+    BatchItem item;
+    item.line = r.u32();
+    item.ok = r.u8() != 0;
+    if (item.ok) {
+        item.doc = decodeDocument(r);
+    } else {
+        item.errorCode = r.str();
+        item.error = r.str();
+        item.timedOut = r.u8() != 0;
+    }
+    r.expectDone("wire batch-item payload");
+    return item;
+}
+
+std::string
+encodeObservation(const Observation &obs)
+{
+    store::BinaryWriter w;
+    w.f64(obs.ratio);
+    w.u8(obs.hasPlain ? 1 : 0);
+    w.f64(obs.plainRatio);
+    w.str(obs.id);
+    return encodeFrame(MessageType::ObserveIntake, w.bytes());
+}
+
+Observation
+decodeObservation(std::string_view body)
+{
+    const Frame frame =
+        expectFrame(body, MessageType::ObserveIntake, "observation");
+    store::BinaryReader r(frame.payload);
+    Observation obs;
+    obs.ratio = r.f64();
+    obs.hasPlain = r.u8() != 0;
+    obs.plainRatio = r.f64();
+    obs.id = r.str();
+    r.expectDone("wire observe payload");
+    return obs;
+}
+
+std::string
+mediaType(std::string_view content_type)
+{
+    const std::size_t semi = content_type.find(';');
+    if (semi != std::string_view::npos)
+        content_type = content_type.substr(0, semi);
+    std::string type;
+    type.reserve(content_type.size());
+    for (const char c : content_type) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        type.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return type;
+}
+
+bool
+isWireMediaType(std::string_view content_type)
+{
+    return mediaType(content_type) == kMediaType;
+}
+
+Negotiated
+negotiateAccept(std::string_view accept_header)
+{
+    Negotiated result;
+    if (accept_header.empty())
+        return result;
+    bool any_known = false;
+    std::size_t start = 0;
+    while (start <= accept_header.size()) {
+        std::size_t comma = accept_header.find(',', start);
+        if (comma == std::string_view::npos)
+            comma = accept_header.size();
+        const std::string type =
+            mediaType(accept_header.substr(start, comma - start));
+        start = comma + 1;
+        if (type.empty())
+            continue;
+        if (type == kMediaType) {
+            result.format = ResponseFormat::Binary;
+            return result;
+        }
+        if (type == "*/*" || type == "application/*" ||
+            type == "text/*" || type == "application/json" ||
+            type == "application/x-ndjson" || type == "text/plain")
+            any_known = true;
+    }
+    result.acceptable = any_known;
+    return result;
+}
+
+const char *
+acceptBoth()
+{
+    return "application/x-hiermeans-wire, application/json";
+}
+
+} // namespace wire
+} // namespace hiermeans

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The negotiated binary wire format for the /v1 API surface: a
+ * versioned, self-describing, CRC32-framed encoding of score
+ * requests, batch manifests, score reports, batch result items and
+ * observe intake — the serving-layer twin of the store's record
+ * codec (src/store/record.h), sharing its BinaryWriter/BinaryReader
+ * canonical little-endian payload encoding and its CRC32.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *   0       4     magic "HMW1" — per-frame sync marker
+ *   4       4     payload length N (u32)
+ *   8       4     CRC32 (IEEE, reflected) of version + type + payload
+ *   12      1     wire version (kWireVersion)
+ *   13      1     message type (MessageType)
+ *   14      N     payload (BinaryWriter encoding)
+ *
+ * A request body is exactly one frame; a binary batch response is a
+ * concatenation of BatchItem frames (the binary twin of the NDJSON
+ * stream, one frame per manifest line, in line order). The magic +
+ * CRC make truncation and corruption detectable frame-by-frame, and
+ * the version byte lets the format evolve without breaking old
+ * readers: a decoder refuses versions it does not know with a
+ * stable error instead of misparsing.
+ *
+ * Negotiation (transport layer, RFC-ish but deliberately minimal):
+ *  - a request body is binary iff `Content-Type:
+ *    application/x-hiermeans-wire`; any other unknown type on a
+ *    body-carrying request is answered 415 `unsupported_media_type`.
+ *  - a response is binary iff the request's `Accept` header names
+ *    `application/x-hiermeans-wire` explicitly; wildcards keep the
+ *    JSON default. An Accept that matches neither JSON, text nor the
+ *    wire type is answered 406 `not_acceptable`.
+ *  - error envelopes are always JSON: a client that negotiates
+ *    binary must (and ScoringClient does) accept both.
+ *
+ * Zero-copy: BatchView iterates the rows of a BatchManifest frame as
+ * std::string_views into the request buffer, so /v1/batch decodes
+ * without a per-row allocation.
+ */
+
+#ifndef HIERMEANS_WIRE_WIRE_H
+#define HIERMEANS_WIRE_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hiermeans {
+namespace wire {
+
+/** The negotiated binary media type. */
+inline constexpr const char *kMediaType = "application/x-hiermeans-wire";
+
+/** The wire-format version this codec speaks. */
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/** Fixed frame overhead in bytes (everything but the payload). */
+inline constexpr std::size_t kFrameOverhead = 14;
+
+/** Refuse length prefixes beyond this (64 MiB): a corrupt or hostile
+ *  length must not drive a giant allocation before the CRC check. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
+
+/** Typed frames; values are stable and append-only. */
+enum class MessageType : std::uint8_t
+{
+    ScoreRequest = 1,  ///< one manifest line (POST /v1/score body).
+    BatchManifest = 2, ///< a whole manifest (POST /v1/batch body).
+    ScoreReport = 3,   ///< one score document (200 response body).
+    BatchItem = 4,     ///< one batch line's outcome (response stream).
+    ObserveIntake = 5  ///< one external observation (observe body).
+};
+
+/** True for types this codec version knows how to decode. */
+bool knownMessageType(std::uint8_t type);
+
+/** One decoded frame header; payload views into the source buffer. */
+struct Frame
+{
+    std::uint8_t version = kWireVersion;
+    MessageType type = MessageType::ScoreRequest;
+    std::string_view payload;
+};
+
+/**
+ * Decode the frame starting at @p data's first byte. On success
+ * @p frame views into @p data and the frame's total size is
+ * returned; throws InvalidArgument (with a stable, human-readable
+ * reason) on bad magic, an oversized or torn length prefix, a CRC
+ * mismatch, an unsupported wire version or an unknown message type.
+ */
+std::size_t decodeFrame(std::string_view data, Frame &frame);
+
+/**
+ * Decode exactly one frame spanning all of @p data (the shape of a
+ * request body); throws InvalidArgument on trailing garbage too.
+ */
+Frame decodeSingleFrame(std::string_view data);
+
+/** Encode one frame around @p payload. */
+std::string encodeFrame(MessageType type, std::string_view payload);
+
+/**
+ * Walks a concatenation of frames (a binary batch response).
+ * Mirrors store::FrameReader: iteration stops at the first torn or
+ * corrupt frame, sawCorruption()/corruption() say why.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::string_view data) : data_(data) {}
+
+    /** Decode the next frame into @p frame; false at end-of-valid. */
+    bool next(Frame &frame);
+
+    /** Bytes consumed by successfully decoded frames. */
+    std::size_t validBytes() const { return valid_; }
+
+    bool sawCorruption() const { return corrupt_; }
+    const std::string &corruption() const { return corruption_; }
+
+  private:
+    std::string_view data_;
+    std::size_t offset_ = 0;
+    std::size_t valid_ = 0;
+    bool corrupt_ = false;
+    std::string corruption_;
+};
+
+// --- messages ---------------------------------------------------------
+
+/** ScoreRequest frame: one manifest line. */
+std::string encodeScoreRequest(std::string_view manifest_line);
+
+/** Decode a ScoreRequest request body; throws InvalidArgument. */
+std::string decodeScoreRequest(std::string_view body);
+
+/** BatchManifest frame from logical manifest lines. */
+std::string encodeBatchManifest(const std::vector<std::string> &lines);
+
+/**
+ * Zero-copy row iteration over a BatchManifest frame: rows() yields
+ * std::string_views aliasing the frame buffer, so a batch decodes
+ * without per-row allocation. The view must not outlive the buffer.
+ */
+class BatchView
+{
+  public:
+    /** Parse @p body (one BatchManifest frame); throws
+     *  InvalidArgument on framing or payload errors. */
+    explicit BatchView(std::string_view body);
+
+    std::size_t rowCount() const { return rows_.size(); }
+    const std::vector<std::string_view> &rows() const { return rows_; }
+
+    /** The rows joined back into manifest text (one allocation) —
+     *  what the codec-agnostic handler layer parses. */
+    std::string manifestText() const;
+
+  private:
+    std::vector<std::string_view> rows_;
+};
+
+/** One k-sweep row of a score document. */
+struct ScoreRow
+{
+    std::uint32_t k = 0;
+    double scoreA = 0.0;
+    double scoreB = 0.0;
+    double ratio = 0.0;
+};
+
+/**
+ * The codec-agnostic score document — the `data` value of a
+ * successful /v1/score answer, decoded from either wire format.
+ * JSON rendering lives in src/server/wire_json.h (the wire layer
+ * cannot depend on the server's JSON helpers).
+ */
+struct ScoreDocument
+{
+    std::string id;
+    std::string servedBy; ///< "cache" | "dedupe" | "pipeline".
+    std::uint64_t fingerprint = 0;
+    std::uint64_t recommendedK = 0;
+    double ratio = 0.0;
+    double plainRatio = 0.0;
+    double wallMillis = 0.0;
+    std::vector<ScoreRow> rows;
+};
+
+/** ScoreReport frame around one document. */
+std::string encodeScoreReport(const ScoreDocument &doc);
+
+/** Decode a ScoreReport response body; throws InvalidArgument. */
+ScoreDocument decodeScoreReport(std::string_view body);
+
+/** One line's outcome in a binary batch response. */
+struct BatchItem
+{
+    std::uint32_t line = 0; ///< 1-based manifest line number.
+    bool ok = false;
+    ScoreDocument doc;     ///< set when ok.
+    std::string errorCode; ///< stable ApiError code when !ok.
+    std::string error;     ///< human-readable message when !ok.
+    bool timedOut = false; ///< when !ok: the line's deadline lapsed.
+};
+
+/** BatchItem frame (appended to the batch response stream). */
+std::string encodeBatchItem(const BatchItem &item);
+
+/** Decode one BatchItem frame's payload (from FrameReader). */
+BatchItem decodeBatchItem(const Frame &frame);
+
+/** The codec-agnostic observe-intake body. */
+struct Observation
+{
+    double ratio = 0.0;
+    bool hasPlain = false;
+    double plainRatio = 0.0;
+    std::string id; ///< "" = the caller sent none.
+};
+
+/** ObserveIntake frame. */
+std::string encodeObservation(const Observation &obs);
+
+/** Decode an ObserveIntake request body; throws InvalidArgument. */
+Observation decodeObservation(std::string_view body);
+
+// --- negotiation helpers ----------------------------------------------
+
+/** The media type of @p content_type lower-cased with parameters
+ *  (`; charset=...`) and surrounding whitespace stripped. */
+std::string mediaType(std::string_view content_type);
+
+/** True when @p content_type names the binary wire type. */
+bool isWireMediaType(std::string_view content_type);
+
+/** Response formats a request can negotiate. */
+enum class ResponseFormat
+{
+    Json,  ///< the default: /v1 envelopes (or NDJSON for batch).
+    Binary ///< wire frames; chosen only on an explicit Accept.
+};
+
+/** An Accept negotiation outcome; !acceptable means answer 406. */
+struct Negotiated
+{
+    bool acceptable = true;
+    ResponseFormat format = ResponseFormat::Json;
+};
+
+/**
+ * Negotiate the response format from an Accept header value: the
+ * wire type (named explicitly) selects Binary; JSON, NDJSON, text
+ * and wildcard types keep the Json default; a non-empty header
+ * matching none of those is not acceptable. An absent/empty header
+ * accepts anything.
+ */
+Negotiated negotiateAccept(std::string_view accept_header);
+
+/** The Accept value a binary-speaking client sends: the wire type
+ *  first, JSON second (error envelopes are always JSON). */
+const char *acceptBoth();
+
+} // namespace wire
+} // namespace hiermeans
+
+#endif // HIERMEANS_WIRE_WIRE_H

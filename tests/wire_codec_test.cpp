@@ -1,0 +1,360 @@
+/**
+ * The binary wire codec in isolation: framing round-trips for every
+ * message type, the BatchView zero-copy guarantee, the negotiation
+ * helpers, the JSON pivot's bit-identity, and every decode error
+ * path — both programmatically corrupted frames and the checked-in
+ * corpus under tests/data/wire (truncated tail, bad CRC, oversized
+ * length prefix, wrong wire version, unknown type, bad magic).
+ */
+
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "src/server/wire_json.h"
+#include "src/store/record.h"
+#include "src/util/error.h"
+#include "src/util/file.h"
+#include "src/wire/wire.h"
+
+namespace {
+
+using namespace hiermeans;
+
+/** Expect an InvalidArgument whose message contains @p needle. */
+void
+expectDecodeError(const std::string &body, const std::string &needle)
+{
+    try {
+        wire::Frame frame;
+        wire::decodeFrame(body, frame);
+        FAIL() << "decode accepted a frame that should fail: "
+               << needle;
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "got: " << e.what();
+    }
+}
+
+/** Rewrite the stored CRC to match the (possibly patched) version,
+ *  type and payload bytes — isolates non-CRC decode checks. */
+void
+restampCrc(std::string &frame)
+{
+    const std::uint32_t crc =
+        store::crc32(std::string_view(frame).substr(12));
+    for (int i = 0; i < 4; ++i)
+        frame[8 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+}
+
+wire::ScoreDocument
+sampleDocument()
+{
+    wire::ScoreDocument doc;
+    doc.id = "suiteX";
+    doc.servedBy = "pipeline";
+    doc.fingerprint = 0xDEADBEEFCAFEF00Dull;
+    doc.recommendedK = 3;
+    doc.ratio = 1.25;
+    doc.plainRatio = 1.125;
+    doc.wallMillis = 17.5;
+    for (std::uint32_t k = 1; k <= 3; ++k)
+        doc.rows.push_back({k, 1.0 + k, 2.0 - 0.25 * k,
+                            0.5 + 0.125 * k});
+    return doc;
+}
+
+TEST(WireCodec, ScoreRequestRoundTrips)
+{
+    const std::string line =
+        "scores=s.csv features=f.csv machine-a=mA machine-b=mB";
+    const std::string body = wire::encodeScoreRequest(line);
+    EXPECT_EQ(body.substr(0, 4), "HMW1");
+    EXPECT_EQ(wire::decodeScoreRequest(body), line);
+}
+
+TEST(WireCodec, BatchManifestRoundTripsAndViewsAreZeroCopy)
+{
+    const std::vector<std::string> lines = {
+        "scores=s.csv features=f.csv machine-a=mA machine-b=mB",
+        "# a comment line survives verbatim",
+        "",
+        "scores=s.csv features=f.csv machine-a=mA machine-b=mB k=4"};
+    const std::string body = wire::encodeBatchManifest(lines);
+    wire::BatchView view(body);
+    ASSERT_EQ(view.rowCount(), lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(view.rows()[i], lines[i]);
+        if (!lines[i].empty()) {
+            // Zero-copy: every row aliases the frame buffer.
+            EXPECT_GE(view.rows()[i].data(), body.data());
+            EXPECT_LE(view.rows()[i].data() + view.rows()[i].size(),
+                      body.data() + body.size());
+        }
+    }
+    EXPECT_EQ(view.manifestText(), lines[0] + "\n" + lines[1] +
+                                       "\n\n" + lines[3] + "\n");
+}
+
+TEST(WireCodec, ScoreReportRoundTrips)
+{
+    const wire::ScoreDocument doc = sampleDocument();
+    const wire::ScoreDocument back =
+        wire::decodeScoreReport(wire::encodeScoreReport(doc));
+    EXPECT_EQ(back.id, doc.id);
+    EXPECT_EQ(back.servedBy, doc.servedBy);
+    EXPECT_EQ(back.fingerprint, doc.fingerprint);
+    EXPECT_EQ(back.recommendedK, doc.recommendedK);
+    EXPECT_EQ(back.ratio, doc.ratio);
+    EXPECT_EQ(back.plainRatio, doc.plainRatio);
+    EXPECT_EQ(back.wallMillis, doc.wallMillis);
+    ASSERT_EQ(back.rows.size(), doc.rows.size());
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        EXPECT_EQ(back.rows[i].k, doc.rows[i].k);
+        EXPECT_EQ(back.rows[i].scoreA, doc.rows[i].scoreA);
+        EXPECT_EQ(back.rows[i].scoreB, doc.rows[i].scoreB);
+        EXPECT_EQ(back.rows[i].ratio, doc.rows[i].ratio);
+    }
+}
+
+TEST(WireCodec, BatchItemStreamRoundTripsInOrder)
+{
+    wire::BatchItem ok;
+    ok.line = 1;
+    ok.ok = true;
+    ok.doc = sampleDocument();
+    wire::BatchItem failed;
+    failed.line = 2;
+    failed.errorCode = "timeout";
+    failed.error = "scoring timed out after 10ms";
+    failed.timedOut = true;
+    const std::string stream =
+        wire::encodeBatchItem(ok) + wire::encodeBatchItem(failed);
+
+    wire::FrameReader reader(stream);
+    wire::Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    const wire::BatchItem first = wire::decodeBatchItem(frame);
+    EXPECT_EQ(first.line, 1u);
+    EXPECT_TRUE(first.ok);
+    EXPECT_EQ(first.doc.id, ok.doc.id);
+    ASSERT_TRUE(reader.next(frame));
+    const wire::BatchItem second = wire::decodeBatchItem(frame);
+    EXPECT_EQ(second.line, 2u);
+    EXPECT_FALSE(second.ok);
+    EXPECT_EQ(second.errorCode, "timeout");
+    EXPECT_EQ(second.error, failed.error);
+    EXPECT_TRUE(second.timedOut);
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_FALSE(reader.sawCorruption());
+    EXPECT_EQ(reader.validBytes(), stream.size());
+}
+
+TEST(WireCodec, FrameReaderStopsAtTornTailKeepingValidPrefix)
+{
+    wire::BatchItem item;
+    item.line = 1;
+    item.errorCode = "scoring_failed";
+    item.error = "x";
+    const std::string whole = wire::encodeBatchItem(item);
+    const std::string torn =
+        whole + whole.substr(0, whole.size() - 5);
+    wire::FrameReader reader(torn);
+    wire::Frame frame;
+    EXPECT_TRUE(reader.next(frame));
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_TRUE(reader.sawCorruption());
+    EXPECT_EQ(reader.validBytes(), whole.size());
+    EXPECT_NE(reader.corruption().find("torn"), std::string::npos);
+}
+
+TEST(WireCodec, ObservationRoundTripsWithAndWithoutPlain)
+{
+    wire::Observation full;
+    full.ratio = 1.25;
+    full.hasPlain = true;
+    full.plainRatio = 1.5;
+    full.id = "nightly";
+    const wire::Observation back =
+        wire::decodeObservation(wire::encodeObservation(full));
+    EXPECT_EQ(back.ratio, full.ratio);
+    EXPECT_TRUE(back.hasPlain);
+    EXPECT_EQ(back.plainRatio, full.plainRatio);
+    EXPECT_EQ(back.id, full.id);
+
+    wire::Observation bare;
+    bare.ratio = 2.0;
+    const wire::Observation bareBack =
+        wire::decodeObservation(wire::encodeObservation(bare));
+    EXPECT_EQ(bareBack.ratio, 2.0);
+    EXPECT_FALSE(bareBack.hasPlain);
+    EXPECT_TRUE(bareBack.id.empty());
+}
+
+TEST(WireCodec, TypeConfusionIsRejected)
+{
+    const std::string observe =
+        wire::encodeObservation(wire::Observation{1.0, false, 0.0, ""});
+    EXPECT_THROW(wire::decodeScoreRequest(observe), Error);
+    EXPECT_THROW((void)wire::BatchView(observe), Error);
+    EXPECT_THROW(wire::decodeScoreReport(observe), Error);
+}
+
+// --- malformed frames, built programmatically -------------------------
+
+TEST(WireCodec, TruncatedFramesAreTorn)
+{
+    const std::string body = wire::encodeScoreRequest("a line");
+    expectDecodeError(body.substr(0, 6), "torn frame header");
+    expectDecodeError(body.substr(0, body.size() - 2),
+                      "torn frame payload");
+}
+
+TEST(WireCodec, BadCrcIsRejected)
+{
+    std::string body = wire::encodeScoreRequest("a line");
+    body[wire::kFrameOverhead + 2] ^= 0x01;
+    expectDecodeError(body, "CRC mismatch");
+}
+
+TEST(WireCodec, OversizedLengthPrefixIsRejectedBeforeAllocation)
+{
+    std::string body = wire::encodeScoreRequest("a line");
+    body[4] = '\xFF';
+    body[5] = '\xFF';
+    body[6] = '\xFF';
+    body[7] = '\x7F';
+    expectDecodeError(body, "oversized length prefix");
+}
+
+TEST(WireCodec, WrongWireVersionIsRefusedWithStableError)
+{
+    std::string body = wire::encodeScoreRequest("a line");
+    body[12] = 9;
+    restampCrc(body);
+    expectDecodeError(body, "unsupported wire version 9");
+}
+
+TEST(WireCodec, UnknownMessageTypeIsRefused)
+{
+    std::string body = wire::encodeScoreRequest("a line");
+    body[13] = static_cast<char>(200);
+    restampCrc(body);
+    expectDecodeError(body, "unknown message type 200");
+}
+
+TEST(WireCodec, BadMagicAndTrailingGarbageAreRejected)
+{
+    std::string body = wire::encodeScoreRequest("a line");
+    std::string magic = body;
+    magic[0] = 'X';
+    expectDecodeError(magic, "bad frame magic");
+    EXPECT_THROW(wire::decodeSingleFrame(body + "junk"), Error);
+}
+
+// --- malformed frames, from the checked-in corpus ---------------------
+
+TEST(WireCodec, CorpusFramesFailExactlyAsLabeled)
+{
+    const std::string dir = HM_WIRE_CORPUS_DIR;
+    const std::string valid =
+        util::readFile(dir + "/valid_score_request.bin");
+    EXPECT_FALSE(wire::decodeScoreRequest(valid).empty());
+    const struct
+    {
+        const char *file;
+        const char *needle;
+    } cases[] = {
+        {"truncated.bin", "torn frame payload"},
+        {"bad_crc.bin", "CRC mismatch"},
+        {"bad_version.bin", "unsupported wire version 9"},
+        {"unknown_type.bin", "unknown message type 200"},
+        {"oversized_length.bin", "oversized length prefix"},
+        {"bad_magic.bin", "bad frame magic"},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.file);
+        expectDecodeError(util::readFile(dir + "/" + c.file),
+                          c.needle);
+    }
+}
+
+// --- negotiation helpers ----------------------------------------------
+
+TEST(WireNegotiation, MediaTypeStripsParametersAndCase)
+{
+    EXPECT_EQ(wire::mediaType("Application/JSON; charset=utf-8"),
+              "application/json");
+    EXPECT_EQ(wire::mediaType("  text/plain  "), "text/plain");
+    EXPECT_TRUE(wire::isWireMediaType(
+        "application/x-hiermeans-wire; q=1.0"));
+    EXPECT_FALSE(wire::isWireMediaType("application/json"));
+}
+
+TEST(WireNegotiation, AcceptSelectsBinaryOnlyWhenNamedExplicitly)
+{
+    EXPECT_EQ(wire::negotiateAccept("").format,
+              wire::ResponseFormat::Json);
+    EXPECT_EQ(wire::negotiateAccept("*/*").format,
+              wire::ResponseFormat::Json);
+    EXPECT_EQ(wire::negotiateAccept("application/json").format,
+              wire::ResponseFormat::Json);
+    EXPECT_EQ(
+        wire::negotiateAccept("application/x-hiermeans-wire").format,
+        wire::ResponseFormat::Binary);
+    const wire::Negotiated both = wire::negotiateAccept(
+        "application/x-hiermeans-wire, application/json");
+    EXPECT_TRUE(both.acceptable);
+    EXPECT_EQ(both.format, wire::ResponseFormat::Binary);
+    EXPECT_EQ(wire::negotiateAccept(wire::acceptBoth()).format,
+              wire::ResponseFormat::Binary);
+}
+
+TEST(WireNegotiation, UnservableAcceptIsNotAcceptable)
+{
+    const wire::Negotiated refused =
+        wire::negotiateAccept("application/xml");
+    EXPECT_FALSE(refused.acceptable);
+    EXPECT_TRUE(wire::negotiateAccept("text/*").acceptable);
+    EXPECT_TRUE(
+        wire::negotiateAccept("application/x-ndjson").acceptable);
+}
+
+// --- the JSON pivot ---------------------------------------------------
+
+TEST(WireJson, ScoreDocumentJsonRoundTripsBitIdentically)
+{
+    const wire::ScoreDocument doc = sampleDocument();
+    const std::string json = server::scoreDocumentJson(doc);
+    const std::string again = server::scoreDocumentJson(
+        server::scoreDocumentFromJson(json));
+    EXPECT_EQ(json, again);
+}
+
+TEST(WireJson, BinaryAndJsonPathsRenderTheSameDocument)
+{
+    // The server's two response paths: render the document as JSON,
+    // or frame it and have the client decode + render. Both must be
+    // byte-identical.
+    const wire::ScoreDocument doc = sampleDocument();
+    const std::string direct = server::scoreDocumentJson(doc);
+    const std::string viaWire = server::scoreDocumentJson(
+        wire::decodeScoreReport(wire::encodeScoreReport(doc)));
+    EXPECT_EQ(direct, viaWire);
+}
+
+TEST(WireJson, ObservationJsonIsAFixedPoint)
+{
+    wire::Observation obs;
+    obs.ratio = 1.25;
+    obs.hasPlain = true;
+    obs.plainRatio = 1.5;
+    obs.id = "smoke";
+    const std::string json = server::observationJson(obs);
+    wire::Observation back;
+    ASSERT_TRUE(server::observationFromJson(json, back));
+    EXPECT_EQ(server::observationJson(back), json);
+}
+
+} // namespace

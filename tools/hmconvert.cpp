@@ -1,0 +1,227 @@
+/**
+ * @file
+ * hmconvert — convert /v1 payloads between their JSON/text form and
+ * the negotiated binary wire format (src/wire/wire.h).
+ *
+ * The offline companion to the content negotiation the server does
+ * per request: anything a client could POST or receive in either
+ * format can be flipped on the command line, which makes the binary
+ * format inspectable (`hmconvert < response.bin`) and scriptable
+ * (`hmconvert --kind=manifest < suite.txt | curl --data-binary @-`).
+ *
+ * Direction defaults to auto-detection: input starting with the
+ * frame magic "HMW1" is decoded to JSON/text, anything else is
+ * encoded to binary. `--to=binary|json` forces a direction (and
+ * makes a mis-detected input a hard error instead of a surprise).
+ *
+ * When encoding, `--kind` says what the payload is:
+ *   score      one manifest line        -> ScoreRequest frame
+ *   manifest   manifest text            -> BatchManifest frame
+ *   report     score document JSON      -> ScoreReport frame
+ *   observe    observe-intake JSON      -> ObserveIntake frame
+ * When decoding, the frame's own type byte picks the output shape
+ * (`--kind` is ignored), and a BatchItem stream — the binary batch
+ * response — decodes to one JSON line per item.
+ *
+ * Round-trips are bit-identical for newline-terminated inputs:
+ * `hmconvert --kind=report < doc.json | hmconvert` reproduces
+ * doc.json byte for byte (the wire suite asserts this).
+ *
+ * Usage:
+ *   hmconvert [--kind=score|manifest|report|observe] [--to=binary|json]
+ *             [--in=FILE] [--out=FILE]
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+util::FlagSet
+flagSpec()
+{
+    util::FlagSet flags(
+        "hmconvert",
+        "convert /v1 payloads between JSON and the binary wire format");
+    flags.section("conversion flags")
+        .flag("kind", "K",
+              "payload kind when encoding to binary:\n"
+              "score | manifest | report | observe\n"
+              "(default manifest; ignored when decoding —\n"
+              "the frame's type byte decides)")
+        .flag("to", "FMT",
+              "binary | json | auto (default auto:\n"
+              "input starting with the frame magic is\n"
+              "decoded, anything else is encoded)")
+        .flag("in", "FILE", "input file (default stdin)")
+        .flag("out", "FILE", "output file (default stdout)")
+        .standard();
+    return flags;
+}
+
+std::string
+readInput(const util::CommandLine &cl)
+{
+    const std::string path = cl.getString("in", "");
+    if (!path.empty())
+        return util::readFile(path);
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+}
+
+void
+writeOutput(const util::CommandLine &cl, const std::string &data)
+{
+    const std::string path = cl.getString("out", "");
+    if (!path.empty()) {
+        util::writeFile(path, data);
+        return;
+    }
+    std::cout.write(data.data(),
+                    static_cast<std::streamsize>(data.size()));
+}
+
+/** Manifest text as logical lines, dropping the final-newline
+ *  artifact so text -> frame -> text round-trips bit-identically. */
+std::vector<std::string>
+manifestLines(const std::string &text)
+{
+    std::vector<std::string> lines = str::split(text, '\n');
+    if (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+    return lines;
+}
+
+/** Strip one trailing newline (the score round-trip's counterpart of
+ *  the '\n' appended when decoding). */
+std::string
+chompLine(const std::string &text)
+{
+    std::string line = text;
+    if (!line.empty() && line.back() == '\n')
+        line.pop_back();
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return line;
+}
+
+std::string
+encodeToBinary(const std::string &kind, const std::string &input)
+{
+    if (kind == "score")
+        return wire::encodeScoreRequest(chompLine(input));
+    if (kind == "manifest")
+        return wire::encodeBatchManifest(manifestLines(input));
+    if (kind == "report")
+        return wire::encodeScoreReport(
+            server::scoreDocumentFromJson(input));
+    if (kind == "observe") {
+        wire::Observation obs;
+        HM_REQUIRE(server::observationFromJson(input, obs),
+                   "observe input needs a numeric `ratio` field");
+        return wire::encodeObservation(obs);
+    }
+    HM_REQUIRE(false, "--kind must be score, manifest, report or "
+                      "observe, got `"
+                          << kind << "`");
+    return ""; // unreachable
+}
+
+/** One decoded BatchItem as its NDJSON line (the JSON batch
+ *  response's per-line shape, minus the envelope). */
+std::string
+batchItemJson(const wire::BatchItem &item)
+{
+    std::ostringstream line;
+    line << "{\"line\":" << item.line;
+    if (item.ok) {
+        // Splice the document's fields after "line": drop the
+        // document object's opening brace.
+        line << "," << server::scoreDocumentJson(item.doc).substr(1);
+    } else {
+        line << ",\"code\":" << server::json::quote(item.errorCode)
+             << ",\"error\":" << server::json::quote(item.error)
+             << ",\"timed_out\":" << (item.timedOut ? "true" : "false")
+             << "}";
+    }
+    return line.str();
+}
+
+std::string
+decodeToText(const std::string &input)
+{
+    wire::Frame first;
+    wire::decodeFrame(input, first);
+    if (first.type == wire::MessageType::BatchItem) {
+        // A batch response stream: one frame per line, in order.
+        wire::FrameReader reader(input);
+        std::ostringstream out;
+        wire::Frame frame;
+        while (reader.next(frame)) {
+            HM_REQUIRE(frame.type == wire::MessageType::BatchItem,
+                       "mixed frame types in batch stream");
+            out << batchItemJson(wire::decodeBatchItem(frame)) << "\n";
+        }
+        HM_REQUIRE(!reader.sawCorruption(),
+                   "batch stream: " << reader.corruption());
+        return out.str();
+    }
+    switch (first.type) {
+    case wire::MessageType::ScoreRequest:
+        return wire::decodeScoreRequest(input) + "\n";
+    case wire::MessageType::BatchManifest:
+        return wire::BatchView(input).manifestText();
+    case wire::MessageType::ScoreReport:
+        return server::scoreDocumentJson(
+                   wire::decodeScoreReport(input)) +
+               "\n";
+    case wire::MessageType::ObserveIntake:
+        return server::observationJson(wire::decodeObservation(input)) +
+               "\n";
+    default:
+        HM_REQUIRE(false, "unconvertible frame type");
+    }
+    return ""; // unreachable
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    const std::string input = readInput(cl);
+    std::string to = cl.getString("to", "auto");
+    HM_REQUIRE(to == "auto" || to == "binary" || to == "json",
+               "--to must be binary, json or auto, got `" << to
+                                                          << "`");
+    if (to == "auto")
+        to = input.rfind("HMW1", 0) == 0 ? "json" : "binary";
+    if (to == "binary")
+        writeOutput(cl,
+                    encodeToBinary(cl.getString("kind", "manifest"),
+                                   input));
+    else
+        writeOutput(cl, decodeToText(input));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (flagSpec().handleStandard(cl, std::cout))
+            return 0;
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmconvert: " << e.what() << "\n";
+        return 1;
+    }
+}

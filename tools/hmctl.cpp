@@ -61,8 +61,9 @@ flagSpec()
         .flag("metrics", "", "GET /metrics; print the metrics body")
         .flag("check", "",
               "GET /metrics and lint the Prometheus exposition\n"
-              "format; on a mesh daemon also lint the\n"
-              "/v1/cluster payload and per-shard health;\n"
+              "format and wire-version advertisement; on a\n"
+              "mesh daemon also lint the /v1/cluster payload,\n"
+              "per-shard health and `wire` advertisement;\n"
               "exit 0 clean, 1 with issues listed")
         .flag("cluster", "",
               "GET /v1/cluster; pretty-print membership,\n"
@@ -295,8 +296,39 @@ lintDriftExposition(const std::string &body)
 
 
 /**
+ * Lint the wire-format family of a /metrics body: the
+ * hiermeans_wire_requests_total counter must carry both format
+ * labels (json and binary), and hiermeans_wire_supported must
+ * advertise the wire version this build's clients lead with —
+ * the signal an operator checks before rolling binary-default
+ * clients against a node.
+ */
+std::vector<std::string>
+lintWireExposition(const std::string &body)
+{
+    std::vector<std::string> issues;
+    for (const char *series :
+         {"hiermeans_wire_requests_total{format=\"json\"}",
+          "hiermeans_wire_requests_total{format=\"binary\"}"}) {
+        if (body.find(series) == std::string::npos)
+            issues.push_back(std::string("wire: missing series ") +
+                             series);
+    }
+    const std::string version =
+        std::to_string(static_cast<unsigned>(wire::kWireVersion));
+    if (body.find("hiermeans_wire_supported{version=\"" + version +
+                  "\"}") == std::string::npos)
+        issues.push_back(
+            "wire: exposition does not advertise wire version " +
+            version);
+    return issues;
+}
+
+
+/**
  * Lint a /v1/cluster payload: required top-level fields, a plausible
- * membership list, per-node required fields, and per-shard health.
+ * membership list, per-node required fields, per-shard health, and
+ * the wire-format advertisement clients use to pick an encoding.
  * A down node is an issue — the mesh serves, but degraded.
  */
 std::vector<std::string>
@@ -312,6 +344,31 @@ lintClusterPayload(const std::string &body)
         issues.push_back("cluster: missing `vnodes`");
     if (!server::json::findNumber(body, "store_sequence"))
         issues.push_back("cluster: missing `store_sequence`");
+    // The negotiation advertisement: a node that does not list the
+    // version our clients speak forces the JSON fallback lap.
+    const std::size_t wire_at = body.find("\"wire\":{");
+    if (wire_at == std::string::npos) {
+        issues.push_back("cluster: missing `wire` advertisement");
+    } else {
+        const std::size_t wire_end = body.find('}', wire_at);
+        const std::string advert = body.substr(
+            wire_at, wire_end == std::string::npos
+                         ? std::string::npos
+                         : wire_end - wire_at + 1);
+        const std::string version = std::to_string(
+            static_cast<unsigned>(wire::kWireVersion));
+        if (advert.find("\"version\":" + version) ==
+            std::string::npos)
+            issues.push_back(
+                "cluster: `wire` does not advertise version " +
+                version);
+        for (const char *format : {"\"json\"", "\"binary\""}) {
+            if (advert.find(format) == std::string::npos)
+                issues.push_back(
+                    std::string("cluster: `wire` missing format ") +
+                    format);
+        }
+    }
     const std::vector<std::string> nodes = arrayObjects(body, "nodes");
     if (nodes.empty()) {
         issues.push_back("cluster: empty `nodes` membership");
@@ -458,6 +515,9 @@ run(const util::CommandLine &cl)
             issues.push_back("exposition: " + issue);
         for (const std::string &issue :
              lintDriftExposition(outcome.response.body))
+            issues.push_back(issue);
+        for (const std::string &issue :
+             lintWireExposition(outcome.response.body))
             issues.push_back(issue);
         // A mesh daemon exposes /v1/cluster; lint its payload and the
         // per-shard health too. 404 means single-node: nothing to do.

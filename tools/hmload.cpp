@@ -40,7 +40,13 @@
  *          [--concurrency=2]
  *          [--duration-s=3] [--manifest=FILE] [--timeout-ms=0]
  *          [--retries=0] [--retry-base-ms=50] [--retry-cap-ms=2000]
- *          [--retry-budget-ms=10000] [--seed=N] [--json-only]
+ *          [--retry-budget-ms=10000] [--seed=N] [--wire=binary|json]
+ *          [--json-only]
+ *
+ * --wire picks the /v1/score request format: `binary` (default) posts
+ * negotiated application/x-hiermeans-wire frames, `json` the classic
+ * text path; the report's `wire_format` and `*_bytes_per_request`
+ * fields make the two directly comparable.
  *
  * Without --manifest a GET /healthz mix is used, which exercises the
  * server path without needing data files.
@@ -94,6 +100,10 @@ flagSpec()
         .flag("retry-budget-ms", "N",
               "total backoff sleep per request (default 10000)")
         .flag("seed", "N", "backoff jitter seed (default 1)")
+        .flag("wire", "FMT",
+              "score request format: `binary` (the negotiated\n"
+              "wire frames, default) or `json` (the text paths);\n"
+              "binary falls back to json on a 415")
         .flag("json-only", "", "print only the JSON result line");
     flags.section("mesh flags")
         .flag("targets", "LIST",
@@ -130,6 +140,8 @@ struct Tally
     std::atomic<std::uint64_t> deadlineMisses{0}; ///< late answers.
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> backoffMicros{0};
+    std::atomic<std::uint64_t> requestBytes{0};  ///< bodies sent.
+    std::atomic<std::uint64_t> responseBytes{0}; ///< bodies received.
     engine::LatencyHistogram latency;
 
     /** (latency ms, trace ID) per answered request under --trace. */
@@ -194,6 +206,8 @@ worker(const client::ClusterClient::Config &config,
         const std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         ++tally.requests;
+        tally.requestBytes += outcome.requestBodyBytes;
+        tally.responseBytes += outcome.responseBodyBytes;
         tally.latency.record(elapsed.count());
         if (deadline_ms > 0.0 && elapsed.count() > deadline_ms)
             ++tally.deadlineMisses;
@@ -281,6 +295,11 @@ run(const util::CommandLine &cl)
         cl.getDouble("retry-budget-ms", 10000.0);
     client_config.retry.seed =
         static_cast<std::uint64_t>(cl.getInt("seed", 1));
+    const std::string wire_format = cl.getString("wire", "binary");
+    HM_REQUIRE(wire_format == "binary" || wire_format == "json",
+               "--wire must be `binary` or `json`, got `"
+                   << wire_format << "`");
+    client_config.binaryWire = wire_format == "binary";
 
     // The request mix: every non-comment manifest line becomes one
     // /v1/score body, replayed round-robin.
@@ -444,6 +463,9 @@ run(const util::CommandLine &cl)
         "\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,"
         "\"p99_9_ms\":%s,\"max_ms\":%s,"
         "\"duration_s\":%s,\"concurrency\":%llu,"
+        "\"wire_format\":\"%s\","
+        "\"request_bytes_per_request\":%s,"
+        "\"response_bytes_per_request\":%s,"
         "\"failovers\":%llu,\"targets\":%s,"
         "\"slow_traces\":%s}\n",
         server::json::number(rps).c_str(),
@@ -481,6 +503,19 @@ run(const util::CommandLine &cl)
         server::json::number(tally.latency.max()).c_str(),
         server::json::number(elapsed.count()).c_str(),
         static_cast<unsigned long long>(concurrency),
+        wire_format.c_str(),
+        server::json::number(
+            requests > 0
+                ? static_cast<double>(tally.requestBytes.load()) /
+                      static_cast<double>(requests)
+                : 0.0)
+            .c_str(),
+        server::json::number(
+            requests > 0
+                ? static_cast<double>(tally.responseBytes.load()) /
+                      static_cast<double>(requests)
+                : 0.0)
+            .c_str(),
         static_cast<unsigned long long>(tally.failovers),
         targets_json.c_str(), slow_traces.c_str());
     std::fflush(stdout);

@@ -13,6 +13,8 @@ Benches:
   serve_rps         hmserved + hmload requests/second and latency
   mesh_failover     2-node mesh under hmload with multi-target failover
   overload_shed     goodput at 1x/2x/4x capacity with deadlines
+  wire_format       JSON vs negotiated-binary /v1/score (latency and
+                    bytes per request, via hmload --wire)
 
 Before overwriting, the committed baselines in ``--out-dir`` are read
 and a regression table is printed comparing each fresh median to its
@@ -294,12 +296,60 @@ def bench_overload_shed(tools, cpus, args):
             "detail": detail}
 
 
+def bench_wire_format(tools, cpus, args):
+    """JSON vs negotiated-binary scoring through hmload --wire.
+
+    One hmserved node is driven twice per repeat with identical load —
+    once forcing JSON (``--wire=json``) and once leading with binary
+    frames (``--wire=binary``, the client default). The reported
+    number is the binary arm's requests/second; ``detail`` keeps both
+    arms' latency percentiles and bytes moved per request, which is
+    where the binary format's advantage is deterministic.
+    """
+    runs, detail = [], []
+    for _ in range(args.repeats):
+        port = free_port()
+        server = popen([tools["hmserved"], "--port=%d" % port,
+                        "--threads=2", "--queue-depth=8"],
+                       cpus, cwd=ROOT, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+        arms = {}
+        try:
+            wait_http_ok(tools["hmctl"], port)
+            for wire in ("json", "binary"):
+                cmd = [tools["hmload"], "--manifest=" + MANIFEST,
+                       "--port=%d" % port, "--concurrency=2",
+                       "--duration-s=%d" % args.duration_s,
+                       "--timeout-ms=10000", "--wire=" + wire,
+                       "--json-only"]
+                out = run(cmd, cpus, check=True, cwd=ROOT,
+                          capture_output=True, text=True)
+                report = json.loads(out.stdout.splitlines()[-1])
+                arms[wire] = {
+                    "rps": report["rps"],
+                    "p50_ms": report["p50_ms"],
+                    "p95_ms": report["p95_ms"],
+                    "p99_ms": report["p99_ms"],
+                    "bytes_per_request":
+                        report.get("request_bytes_per_request", 0.0)
+                        + report.get("response_bytes_per_request",
+                                     0.0),
+                }
+        finally:
+            stop(server)
+        runs.append(arms["binary"]["rps"])
+        detail.append(arms)
+    return {"unit": "binary_rps", "direction": "up", "runs": runs,
+            "detail": detail}
+
+
 BENCHES = {
     "score_pipeline": bench_score_pipeline,
     "batch_throughput": bench_batch_throughput,
     "serve_rps": bench_serve_rps,
     "mesh_failover": bench_mesh_failover,
     "overload_shed": bench_overload_shed,
+    "wire_format": bench_wire_format,
 }
 
 

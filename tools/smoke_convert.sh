@@ -1,0 +1,63 @@
+#!/bin/sh
+# hmconvert round-trip smoke, wired as a ctest (label `wire`):
+#   smoke_convert.sh <hmconvert> <manifest.txt>
+#
+# 1. manifest text -> BatchManifest frame -> text must be
+#    bit-identical (the codec's round-trip contract, exercised
+#    through the CLI and its auto-detection).
+# 2. A single manifest line -> ScoreRequest frame -> line likewise.
+# 3. An observe-intake JSON body -> ObserveIntake frame -> JSON
+#    reproduces the canonical rendering on a second lap (the first
+#    lap normalizes field order/number formatting; after that the
+#    form is a fixed point).
+# 4. The binary artifacts really are framed: they start with the
+#    "HMW1" magic and a truncated frame is rejected with exit 1.
+set -eu
+
+HMCONVERT=$1
+MANIFEST=$2
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hmconvert_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail() {
+    echo "smoke_convert: FAIL: $1" >&2
+    exit 1
+}
+
+# --- 1. manifest round-trip -----------------------------------------
+"$HMCONVERT" --kind=manifest --in="$MANIFEST" \
+    --out="$WORK/manifest.bin"
+"$HMCONVERT" --in="$WORK/manifest.bin" --out="$WORK/manifest.txt"
+cmp -s "$MANIFEST" "$WORK/manifest.txt" ||
+    fail "manifest round-trip is not bit-identical"
+
+# --- 2. score-line round-trip ---------------------------------------
+head -n 1 "$MANIFEST" > "$WORK/line.txt"
+"$HMCONVERT" --kind=score --in="$WORK/line.txt" --out="$WORK/line.bin"
+"$HMCONVERT" --in="$WORK/line.bin" --out="$WORK/line.rt"
+cmp -s "$WORK/line.txt" "$WORK/line.rt" ||
+    fail "score-line round-trip is not bit-identical"
+
+# --- 3. observe fixed point -----------------------------------------
+printf '{"ratio":1.25,"plain_ratio":1.5,"id":"smoke"}\n' \
+    > "$WORK/observe.json"
+"$HMCONVERT" --kind=observe --in="$WORK/observe.json" \
+    --out="$WORK/observe.bin"
+"$HMCONVERT" --in="$WORK/observe.bin" --out="$WORK/observe1.json"
+"$HMCONVERT" --kind=observe --in="$WORK/observe1.json" \
+    --out="$WORK/observe2.bin"
+"$HMCONVERT" --in="$WORK/observe2.bin" --out="$WORK/observe2.json"
+cmp -s "$WORK/observe1.json" "$WORK/observe2.json" ||
+    fail "observe rendering is not a fixed point"
+
+# --- 4. framing sanity ----------------------------------------------
+MAGIC=$(head -c 4 "$WORK/manifest.bin")
+[ "$MAGIC" = "HMW1" ] || fail "binary output lacks the HMW1 magic"
+head -c 10 "$WORK/manifest.bin" > "$WORK/torn.bin"
+if "$HMCONVERT" --in="$WORK/torn.bin" --out="$WORK/torn.out" \
+    2> /dev/null; then
+    fail "truncated frame was accepted"
+fi
+
+echo "smoke_convert: PASS"

@@ -3,7 +3,8 @@
 #   smoke_server.sh <hmserved> <hmload> <hmctl>
 #
 # Starts hmserved (tracing armed, durable store mounted) on an
-# ephemeral port, probes /healthz and /v1/score through hmload,
+# ephemeral port, probes /healthz and /v1/score through hmload (in
+# JSON and again over the negotiated binary wire codec),
 # validates the /metrics Prometheus exposition with `hmctl --check`,
 # scores one request under a known trace ID and asserts its span tree
 # is retrievable via `hmctl --trace`, registers a suite and scores it
@@ -57,6 +58,17 @@ echo "smoke_server: hmserved pid $SERVER_PID on port $PORT"
 "$HMLOAD" --port="$PORT" --concurrency=1 --duration-s=1 --json-only
 "$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=2 \
     --manifest="$MANIFEST" --trace --json-only
+
+# The same mix over the negotiated binary codec; the report must tag
+# the format so a silent JSON fallback cannot pass as a binary run.
+WIRE_REPORT=$("$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=1 \
+    --manifest="$MANIFEST" --wire=binary --json-only | tail -1)
+echo "$WIRE_REPORT" | grep -q '"wire_format":"binary"' || {
+    echo "smoke_server: binary wire report missing format tag:" >&2
+    echo "$WIRE_REPORT" >&2
+    exit 1
+}
+echo "smoke_server: binary wire mix served"
 
 # The /metrics body must be valid Prometheus text exposition.
 "$HMCTL" --port="$PORT" --check --json-only
