@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: planted-partition recovery per synthetic workload family.
+ *
+ * The `src/gen` families plant the cluster structure first and
+ * synthesize features around it, so the pipeline's recovered
+ * clustering can be judged against exact ground truth — the check a
+ * real suite can never offer. For each family this bench sweeps a
+ * seed range, runs the full MICA -> SOM -> linkage pipeline on the
+ * generated features, and reports the adjusted Rand index between the
+ * recovered partition (at the planted k) and the planted one:
+ * min / mean over seeds, plus how often recovery clears the 0.8 floor
+ * the `ctest -L gen` suite pins on the default seed.
+ *
+ * Flags: --seeds=N (default 20), --seed=N (sweep base, default 0x6E11).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiermeans;
+    const auto cl = util::CommandLine::parse(argc, argv);
+    const auto base =
+        static_cast<std::uint64_t>(cl.getInt("seed", 0x6E11));
+    const auto seeds =
+        static_cast<std::uint64_t>(cl.getInt("seeds", 20));
+
+    std::cout << "Ablation: planted-partition recovery (adjusted Rand "
+                 "index vs ground truth, "
+              << seeds << " seeds per family)\n\n";
+    util::TextTable table(
+        {"family", "min ARI", "mean ARI", ">= 0.8", "exact"});
+    for (const std::string &family : gen::familyNames()) {
+        const gen::FamilyKind kind = gen::familyFromName(family);
+        double min_ari = 1.0, sum_ari = 0.0;
+        std::size_t floor_hits = 0, exact = 0;
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+            const gen::FamilyConfig config =
+                gen::defaultConfig(kind, base + s);
+            const gen::GeneratedSuite suite = gen::generateSuite(config);
+            const core::CharacteristicVectors vectors =
+                core::characterizeFromMica(suite.features,
+                                           suite.workloadNames());
+            core::PipelineConfig pipeline;
+            pipeline.autoSizeSom(config.workloads);
+            const core::ClusterAnalysis analysis =
+                core::analyzeClusters(vectors, pipeline);
+            const scoring::Partition *recovered = nullptr;
+            for (const auto &partition : analysis.partitions)
+                if (partition.clusterCount() == config.clusters)
+                    recovered = &partition;
+            HM_REQUIRE(recovered != nullptr,
+                       "k sweep missed the planted cluster count "
+                           << config.clusters);
+            const double ari =
+                scoring::adjustedRandIndex(*recovered, suite.planted);
+            min_ari = std::min(min_ari, ari);
+            sum_ari += ari;
+            floor_hits += ari >= 0.8 ? 1 : 0;
+            exact += ari >= 1.0 ? 1 : 0;
+        }
+        const double n = static_cast<double>(seeds);
+        table.addRow({gen::familyName(kind), str::fixed(min_ari, 3),
+                      str::fixed(sum_ari / n, 3),
+                      std::to_string(floor_hits) + "/" +
+                          std::to_string(seeds),
+                      std::to_string(exact) + "/" +
+                          std::to_string(seeds)});
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "\nreading: well-separated families (bigdata) should "
+                 "recover near-exactly on every seed; the stress "
+                 "families (correlated-cluster, heavy-tail) are built "
+                 "to sit closer to the floor — a clustering change "
+                 "that moves their min ARI moved real behavior.\n";
+    return 0;
+}

@@ -25,6 +25,7 @@ set(HM_BENCHES
     ablation_batch_som
     ablation_influence
     ablation_suite_merger
+    ablation_gen_recovery
     reference_distribution
     consensus_clustering
     robustness_bootstrap

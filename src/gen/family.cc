@@ -1,0 +1,423 @@
+#include "src/gen/family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/workload/execution_model.h"
+
+namespace hiermeans {
+namespace gen {
+
+namespace {
+
+const char *const kFamilyNames[kFamilyCount] = {
+    "bigdata",
+    "spec-int-historical",
+    "correlated-cluster",
+    "heavy-tail",
+};
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+double
+clamp01(double v)
+{
+    return std::min(0.99, std::max(0.01, v));
+}
+
+/**
+ * A cluster archetype expressed through the profile fields the MICA
+ * synthesizer actually consumes (memory-traffic / alloc-GC /
+ * scheduling / code-churn latents, fpFraction, log2 working set) plus
+ * the execution traits that shape scores. Cluster separation planted
+ * anywhere else would be invisible to the characterization.
+ */
+struct Archetype
+{
+    const char *tag;
+    double mem;    ///< latent[LatentMemoryTraffic] center.
+    double alloc;  ///< latent[LatentAllocGc] center.
+    double sched;  ///< latent[LatentScheduling] center.
+    double churn;  ///< latent[LatentCodeChurn] center.
+    double fp;     ///< fpFraction center.
+    double wsLog2; ///< log2(workingSetMb) center.
+    double io;     ///< ioShare center (execution model only).
+    double work;   ///< workUnits center.
+};
+
+// Datacenter/big-data styles after Jia et al.: large working sets,
+// heavy memory traffic and I/O, near-zero FP outside analytics.
+const Archetype kBigData[] = {
+    {"batch-analytics", 0.75, 0.45, 0.35, 0.30, 0.10, 10.0, 0.30, 3.0},
+    {"kv-serving", 0.35, 0.25, 0.80, 0.55, 0.05, 7.0, 0.15, 1.2},
+    {"stream-ingest", 0.55, 0.80, 0.55, 0.40, 0.08, 8.5, 0.45, 1.8},
+    {"ml-train", 0.60, 0.30, 0.25, 0.20, 0.75, 9.5, 0.10, 4.0},
+    {"graph-traverse", 0.85, 0.35, 0.45, 0.35, 0.05, 11.0, 0.20, 2.5},
+    {"log-compact", 0.45, 0.60, 0.30, 0.25, 0.03, 9.0, 0.60, 1.5},
+    {"web-render", 0.30, 0.55, 0.65, 0.75, 0.10, 6.5, 0.12, 1.0},
+    {"olap-scan", 0.80, 0.20, 0.20, 0.15, 0.30, 11.5, 0.35, 3.5},
+};
+
+// SPEC-integer generations after Wang et al.: integer/branch heavy,
+// footprint and work volume growing generation over generation.
+const Archetype kSpecInt[] = {
+    {"gen92-compress", 0.20, 0.08, 0.20, 0.15, 0.05, 3.5, 0.02, 0.8},
+    {"gen95-gcc", 0.40, 0.35, 0.55, 0.75, 0.04, 5.5, 0.05, 1.2},
+    {"gen2000-parser", 0.62, 0.55, 0.35, 0.40, 0.03, 7.5, 0.04, 1.8},
+    {"gen2006-mcf", 0.90, 0.30, 0.60, 0.20, 0.02, 9.5, 0.03, 2.6},
+    {"gen92-eqntott", 0.25, 0.08, 0.55, 0.15, 0.03, 3.5, 0.02, 0.7},
+    {"gen95-perl", 0.40, 0.50, 0.50, 0.60, 0.05, 5.0, 0.06, 1.1},
+    {"gen2000-vortex", 0.55, 0.55, 0.40, 0.55, 0.03, 6.8, 0.08, 1.6},
+    {"gen2006-xalanc", 0.70, 0.60, 0.60, 0.65, 0.04, 8.2, 0.05, 2.2},
+};
+
+// Stress case: centers separated only along two correlated axis
+// pairs (memory traffic moves with footprint, scheduling with code
+// churn) — the shape naive single-feature subsetting collapses.
+const Archetype kCorrelated[] = {
+    {"lo-lo", 0.20, 0.30, 0.20, 0.20, 0.25, 5.0, 0.05, 1.2},
+    {"hi-lo", 0.55, 0.30, 0.20, 0.20, 0.25, 8.0, 0.05, 1.8},
+    {"lo-hi", 0.20, 0.30, 0.55, 0.55, 0.25, 5.0, 0.05, 1.4},
+    {"hi-hi", 0.55, 0.30, 0.55, 0.55, 0.25, 8.0, 0.05, 2.0},
+    {"xhi-lo", 0.90, 0.30, 0.20, 0.20, 0.25, 10.5, 0.05, 2.6},
+    {"lo-xhi", 0.20, 0.30, 0.90, 0.90, 0.25, 5.0, 0.05, 1.0},
+    {"xhi-xhi", 0.90, 0.30, 0.90, 0.90, 0.25, 10.5, 0.05, 2.8},
+    {"hi-xhi", 0.55, 0.30, 0.90, 0.90, 0.25, 8.0, 0.05, 1.6},
+};
+
+// One dominant body plus small clusters at feature extremes; work
+// volumes get an extra log-normal tail.
+const Archetype kHeavyTail[] = {
+    {"body", 0.45, 0.40, 0.45, 0.40, 0.20, 7.0, 0.10, 1.5},
+    {"tail-mem", 0.97, 0.25, 0.15, 0.10, 0.03, 12.5, 0.05, 5.0},
+    {"tail-fp", 0.15, 0.10, 0.10, 0.05, 0.95, 4.5, 0.02, 4.0},
+    {"tail-churn", 0.25, 0.90, 0.90, 0.95, 0.03, 5.5, 0.30, 0.6},
+    {"tail-io", 0.15, 0.25, 0.75, 0.30, 0.03, 10.0, 0.85, 0.9},
+    {"tail-tiny", 0.10, 0.05, 0.10, 0.05, 0.10, 3.0, 0.01, 0.3},
+    {"tail-wide", 0.75, 0.70, 0.60, 0.70, 0.40, 11.0, 0.25, 3.0},
+    {"tail-branch", 0.20, 0.20, 0.95, 0.85, 0.02, 4.5, 0.05, 0.8},
+};
+
+std::size_t
+anchorCount(FamilyKind kind)
+{
+    switch (kind) {
+    case FamilyKind::BigData:
+        return sizeof(kBigData) / sizeof(kBigData[0]);
+    case FamilyKind::SpecIntHistorical:
+        return sizeof(kSpecInt) / sizeof(kSpecInt[0]);
+    case FamilyKind::CorrelatedCluster:
+        return sizeof(kCorrelated) / sizeof(kCorrelated[0]);
+    case FamilyKind::HeavyTail:
+        return sizeof(kHeavyTail) / sizeof(kHeavyTail[0]);
+    }
+    return 0;
+}
+
+const Archetype *
+anchors(FamilyKind kind)
+{
+    switch (kind) {
+    case FamilyKind::BigData:
+        return kBigData;
+    case FamilyKind::SpecIntHistorical:
+        return kSpecInt;
+    case FamilyKind::CorrelatedCluster:
+        return kCorrelated;
+    case FamilyKind::HeavyTail:
+        return kHeavyTail;
+    }
+    return nullptr;
+}
+
+workload::SuiteOrigin
+familyOrigin(FamilyKind kind)
+{
+    switch (kind) {
+    case FamilyKind::SpecIntHistorical:
+        return workload::SuiteOrigin::SpecJvm98;
+    case FamilyKind::CorrelatedCluster:
+        return workload::SuiteOrigin::SciMark2;
+    case FamilyKind::BigData:
+    case FamilyKind::HeavyTail:
+        break;
+    }
+    return workload::SuiteOrigin::DaCapo;
+}
+
+/**
+ * Cluster centers for @p clusters. The first anchorCount() come from
+ * the hand-tuned tables (the default configs never go past them);
+ * extras are drawn from @p engine with the same separation scale so
+ * over-sized configs stay deterministic and clusterable.
+ */
+std::vector<Archetype>
+clusterCenters(FamilyKind kind, std::size_t clusters, rng::Engine &engine)
+{
+    const Archetype *table = anchors(kind);
+    const std::size_t available = anchorCount(kind);
+    std::vector<Archetype> centers;
+    centers.reserve(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+        if (c < available) {
+            centers.push_back(table[c]);
+            continue;
+        }
+        Archetype extra = table[c % available];
+        extra.tag = "extra";
+        extra.mem = clamp01(engine.uniform(0.05, 0.95));
+        extra.alloc = clamp01(engine.uniform(0.05, 0.95));
+        extra.sched = clamp01(engine.uniform(0.05, 0.95));
+        extra.churn = clamp01(engine.uniform(0.05, 0.95));
+        extra.fp = clamp01(engine.uniform(0.02, 0.9));
+        extra.wsLog2 = engine.uniform(3.0, 12.0);
+        centers.push_back(extra);
+    }
+    return centers;
+}
+
+/**
+ * Planted labels in workload order. Balanced contiguous blocks for
+ * most families; heavy-tail gives cluster 0 the body and each tail
+ * cluster a small fixed share.
+ */
+std::vector<std::size_t>
+plantedLabels(FamilyKind kind, std::size_t workloads, std::size_t clusters)
+{
+    std::vector<std::size_t> labels(workloads, 0);
+    if (kind == FamilyKind::HeavyTail && clusters >= 2) {
+        // Skewed but not overwhelming: a too-dominant body hogs SOM
+        // units (magnification follows data density) and splits on
+        // the map before the tails separate.
+        std::size_t tail = std::max<std::size_t>(2, workloads / 6);
+        // Keep the body dominant even for small workload counts.
+        while (clusters >= 2 && tail * (clusters - 1) > workloads / 2 &&
+               tail > 1)
+            --tail;
+        const std::size_t body = workloads - tail * (clusters - 1);
+        std::size_t next = body;
+        for (std::size_t c = 1; c < clusters; ++c)
+            for (std::size_t i = 0; i < tail; ++i)
+                labels[next++] = c;
+        return labels;
+    }
+    for (std::size_t i = 0; i < workloads; ++i)
+        labels[i] = i * clusters / workloads;
+    return labels;
+}
+
+} // namespace
+
+const char *
+familyName(FamilyKind kind)
+{
+    const std::size_t index = static_cast<std::size_t>(kind);
+    HM_REQUIRE(index < kFamilyCount, "unknown family kind " << index);
+    return kFamilyNames[index];
+}
+
+const std::vector<std::string> &
+familyNames()
+{
+    static const std::vector<std::string> names(kFamilyNames,
+                                                kFamilyNames + kFamilyCount);
+    return names;
+}
+
+FamilyKind
+familyFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFamilyCount; ++i)
+        if (name == kFamilyNames[i])
+            return static_cast<FamilyKind>(i);
+    throw InvalidArgument("unknown workload family '" + name + "'");
+}
+
+bool
+isFamilyName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFamilyCount; ++i)
+        if (name == kFamilyNames[i])
+            return true;
+    return false;
+}
+
+std::size_t
+familyMetricSlot(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFamilyCount; ++i)
+        if (name == kFamilyNames[i])
+            return i;
+    return kFamilyCount;
+}
+
+std::vector<std::string>
+GeneratedSuite::workloadNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        names.push_back(profile.name);
+    return names;
+}
+
+GeneratedSuite
+generateSuite(const FamilyConfig &config)
+{
+    HM_REQUIRE(config.workloads >= 4,
+               "need at least 4 workloads, got " << config.workloads);
+    HM_REQUIRE(config.clusters >= 2,
+               "need at least 2 planted clusters, got " << config.clusters);
+    HM_REQUIRE(config.clusters <= config.workloads,
+               "clusters (" << config.clusters << ") exceed workloads ("
+                            << config.workloads << ")");
+    HM_REQUIRE(config.machines >= 2,
+               "need at least 2 machines, got " << config.machines);
+    HM_REQUIRE(config.withinJitter >= 0.0, "withinJitter must be >= 0");
+    HM_REQUIRE(config.scoreNoise >= 0.0, "scoreNoise must be >= 0");
+
+    const char *family = familyName(config.kind);
+
+    GeneratedSuite suite;
+    suite.config = config;
+    suite.name = config.name.empty() ? std::string("gen.") + family
+                                     : config.name;
+
+    // One master stream per (family, seed); subsystem streams are
+    // split in a fixed order so adding a consumer later cannot
+    // perturb the existing ones.
+    rng::Engine master(config.seed ^ fnv1a(family));
+    rng::Engine centersEngine = master.split();
+    rng::Engine jitterEngine = master.split();
+    rng::Engine machineEngine = master.split();
+    rng::Engine scoreEngine = master.split();
+
+    const std::vector<Archetype> centers =
+        clusterCenters(config.kind, config.clusters, centersEngine);
+    const std::vector<std::size_t> labels =
+        plantedLabels(config.kind, config.workloads, config.clusters);
+    suite.planted = scoring::Partition::fromLabels(labels);
+
+    // The correlated-cluster stress case narrows within-cluster
+    // spread to keep its deliberately small center separation
+    // recoverable; heavy-tail keeps its dominant body tight so the
+    // linkage cut isolates the tails instead of splitting the body
+    // (its heavy tail lives in the work volumes, not the features).
+    double jitter = config.withinJitter;
+    if (config.kind == FamilyKind::CorrelatedCluster)
+        jitter *= 0.7;
+    else if (config.kind == FamilyKind::HeavyTail)
+        jitter *= 0.5;
+
+    suite.profiles.reserve(config.workloads);
+    for (std::size_t i = 0; i < config.workloads; ++i) {
+        const std::size_t cluster = labels[i];
+        const Archetype &base = centers[cluster];
+
+        const double mem = clamp01(base.mem + jitterEngine.normal(0.0, jitter));
+        const double alloc =
+            clamp01(base.alloc + jitterEngine.normal(0.0, jitter));
+        const double sched =
+            clamp01(base.sched + jitterEngine.normal(0.0, jitter));
+        const double churn =
+            clamp01(base.churn + jitterEngine.normal(0.0, jitter));
+        const double fp = clamp01(base.fp + jitterEngine.normal(0.0, jitter));
+        const double wsLog2 =
+            base.wsLog2 + jitterEngine.normal(0.0, 4.0 * jitter);
+        const double io =
+            std::min(0.9, std::max(0.0, base.io +
+                                            jitterEngine.normal(0.0, jitter)));
+        double work = base.work * std::exp(jitterEngine.normal(0.0, 0.1));
+        if (config.kind == FamilyKind::HeavyTail)
+            work *= jitterEngine.logNormal(0.0, 0.6);
+
+        workload::WorkloadProfile profile;
+        char name[96];
+        std::snprintf(name, sizeof(name), "%s.%s.w%02zu", family, base.tag, i);
+        profile.name = name;
+        profile.origin = familyOrigin(config.kind);
+        profile.description = std::string(family) + " cluster " +
+                              std::to_string(cluster) + " (" + base.tag + ")";
+        profile.workUnits = work;
+        profile.fpFraction = fp;
+        profile.workingSetMb = std::pow(2.0, wsLog2);
+        profile.allocationMbPerSec = 0.5 + 40.0 * alloc;
+        profile.ioShare = io;
+        profile.threads = 1 + static_cast<int>(base.sched * 7.0);
+        profile.latent[workload::LatentCpuUser] =
+            clamp01(1.0 - 0.5 * mem - 0.5 * io);
+        profile.latent[workload::LatentFpIntensity] = fp;
+        profile.latent[workload::LatentMemoryTraffic] = mem;
+        profile.latent[workload::LatentAllocGc] = alloc;
+        profile.latent[workload::LatentPaging] =
+            clamp01(0.5 * mem + (wsLog2 - 4.0) / 16.0);
+        profile.latent[workload::LatentIo] = io;
+        profile.latent[workload::LatentScheduling] = sched;
+        profile.latent[workload::LatentCodeChurn] = churn;
+        profile.methodSeedGroup = suite.name;
+        suite.profiles.push_back(std::move(profile));
+    }
+
+    // MICA panel: function of the profiles and a seed derived from the
+    // suite seed only — no machine, no wall clock.
+    workload::MicaConfig mica;
+    mica.seed = config.seed ^ 0xA5C39E0D17ULL;
+    suite.features = workload::MicaFeatureSynthesizer(mica).generate(
+        suite.profiles);
+
+    // Machines: [0] is the unit-rate reference; the rest draw their
+    // component rates from the machine stream in a fixed order.
+    suite.machines.reserve(config.machines);
+    workload::MachineSpec reference;
+    reference.name = "ref";
+    reference.cpu = "synthetic reference";
+    suite.machines.push_back(reference);
+    for (std::size_t m = 1; m < config.machines; ++m) {
+        workload::MachineSpec spec;
+        spec.name = "m" + std::to_string(m);
+        spec.cpu = "synthetic machine " + std::to_string(m);
+        spec.cpuRate = machineEngine.uniform(0.5, 3.0);
+        spec.memRate = machineEngine.uniform(0.5, 2.5);
+        spec.mlatRate = machineEngine.uniform(0.4, 2.5);
+        spec.sysRate = machineEngine.uniform(0.5, 2.0);
+        spec.ioRate = machineEngine.uniform(0.4, 2.0);
+        spec.clockGhz = spec.cpuRate * 1.2;
+        spec.l2CacheMb = spec.mlatRate * 2.0;
+        spec.memoryGb = spec.memRate * 2.0;
+        spec.memoryPressureFactor = machineEngine.uniform(0.8, 1.5);
+        suite.machines.push_back(std::move(spec));
+    }
+
+    // Scores: ideal-speedup vs the reference plus multiplicative
+    // log-normal measurement noise, accumulated in fixed (w, m) order.
+    const workload::ExecutionModel model(0.0);
+    suite.scores = linalg::Matrix(config.workloads, config.machines, 0.0);
+    for (std::size_t w = 0; w < config.workloads; ++w) {
+        const workload::ComponentWork work =
+            workload::ExecutionModel::workFromProfile(suite.profiles[w]);
+        const double refTime = model.idealTime(work, suite.machines[0]);
+        for (std::size_t m = 0; m < config.machines; ++m) {
+            const double time = model.idealTime(work, suite.machines[m]);
+            const double noise =
+                std::exp(scoreEngine.normal(0.0, config.scoreNoise));
+            suite.scores(w, m) = (refTime / time) * noise;
+        }
+    }
+
+    return suite;
+}
+
+} // namespace gen
+} // namespace hiermeans

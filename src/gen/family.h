@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic synthetic workload-family generators.
+ *
+ * The paper (Sections V-C, VI) argues the hierarchical-means method
+ * generalizes past its 13 Java workloads once characterization uses
+ * microarchitecture-independent features. This module supplies the
+ * suites to prove it on: seeded family models that synthesize
+ * workload::WorkloadProfile populations with *planted* cluster
+ * structure — the ground-truth partition is known by construction, so
+ * a generated suite can assert that the SOM + linkage pipeline
+ * recovers it (ARI against the planted labels).
+ *
+ * Determinism contract: a GeneratedSuite is a pure function of its
+ * FamilyConfig. All random draws come from rng::Engine streams split
+ * in a fixed order, every loop accumulates in a fixed order, and the
+ * MICA synthesizer is seeded from the suite seed — so the same seed
+ * yields bit-identical suites (and bit-identical rendered artifacts),
+ * making generated suites valid WAL/snapshot citizens.
+ *
+ * The four families:
+ *  - bigdata: datacenter/big-data style (Jia et al.) — I/O and
+ *    memory-traffic heavy clusters with large working sets;
+ *  - spec-int-historical: SPEC-integer generations (Wang et al.) —
+ *    integer/branch-heavy clusters whose work volume and footprint
+ *    grow generation over generation;
+ *  - correlated-cluster: a stress case — cluster centers separated
+ *    only along correlated axis pairs, the shape that defeats naive
+ *    single-feature subsetting;
+ *  - heavy-tail: one dominant body cluster plus small outlier
+ *    clusters at feature extremes, with heavy-tailed work volumes.
+ */
+
+#ifndef HIERMEANS_GEN_FAMILY_H
+#define HIERMEANS_GEN_FAMILY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/scoring/partition.h"
+#include "src/workload/machine.h"
+#include "src/workload/mica_features.h"
+#include "src/workload/workload_profile.h"
+
+namespace hiermeans {
+namespace gen {
+
+/** The synthetic workload families. */
+enum class FamilyKind : std::size_t
+{
+    BigData = 0,
+    SpecIntHistorical,
+    CorrelatedCluster,
+    HeavyTail,
+};
+
+/** Number of families (metric label sets add an "other" slot). */
+inline constexpr std::size_t kFamilyCount = 4;
+
+/** Wire/CLI name of @p kind ("bigdata", "spec-int-historical", ...). */
+const char *familyName(FamilyKind kind);
+
+/** All family names, in FamilyKind order. */
+const std::vector<std::string> &familyNames();
+
+/** Parse a family name; throws InvalidArgument on unknown names. */
+FamilyKind familyFromName(const std::string &name);
+
+/** True when @p name is one of familyNames(). */
+bool isFamilyName(const std::string &name);
+
+/**
+ * Metric label slot for @p name: the FamilyKind index for a known
+ * family, kFamilyCount (the "other" slot) for anything else. Keeps
+ * the hiermeans_gen_* label set bounded no matter what clients send.
+ */
+std::size_t familyMetricSlot(const std::string &name);
+
+/** Configuration of one generated suite. */
+struct FamilyConfig
+{
+    FamilyKind kind = FamilyKind::BigData;
+    std::uint64_t seed = 0x6E11;
+    /** Suite name; "" derives "gen.<family>". */
+    std::string name;
+    std::size_t workloads = 24;
+    /** Planted cluster count (>= 2, <= workloads). */
+    std::size_t clusters = 4;
+    /** Machines including the reference (machines[0]); >= 2. */
+    std::size_t machines = 4;
+    /** Within-cluster latent jitter (std dev per axis). */
+    double withinJitter = 0.03;
+    /** Multiplicative measurement noise on scores (log-normal). */
+    double scoreNoise = 0.005;
+};
+
+/** A fully synthesized suite with its planted ground truth. */
+struct GeneratedSuite
+{
+    std::string name;
+    FamilyConfig config;
+    std::vector<workload::WorkloadProfile> profiles;
+    /** Ground truth: the planted partition, in profile order. */
+    scoring::Partition planted = scoring::Partition::single(1);
+    /** MICA-style features, rows in profile order. */
+    workload::MicaFeatures features;
+    /** machines[0] is the reference (unit rates). */
+    std::vector<workload::MachineSpec> machines;
+    /** workloads x machines speedups vs the reference; all positive. */
+    linalg::Matrix scores;
+
+    /** Profile names, in order (CSV row labels). */
+    std::vector<std::string> workloadNames() const;
+};
+
+/**
+ * Synthesize a suite from @p config. Pure function of the config:
+ * identical configs yield bit-identical suites. Throws
+ * InvalidArgument on degenerate configs (fewer than 2 clusters or
+ * machines, clusters > workloads, workloads < 4).
+ */
+GeneratedSuite generateSuite(const FamilyConfig &config);
+
+} // namespace gen
+} // namespace hiermeans
+
+#endif // HIERMEANS_GEN_FAMILY_H

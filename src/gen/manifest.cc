@@ -1,0 +1,157 @@
+#include "src/gen/manifest.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/csv_io.h"
+#include "src/util/error.h"
+#include "src/wire/wire.h"
+
+namespace hiermeans {
+namespace gen {
+
+namespace {
+
+std::string
+joinPath(const std::string &dir, const char *file)
+{
+    std::string base = dir.empty() ? "." : dir;
+    if (base.back() != '/')
+        base.push_back('/');
+    return base + file;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+SuiteArtifacts
+renderArtifacts(const GeneratedSuite &suite, const std::string &data_dir)
+{
+    HM_REQUIRE(!suite.profiles.empty(), "suite has no workloads");
+    HM_REQUIRE(suite.machines.size() >= 2, "suite has fewer than 2 machines");
+
+    SuiteArtifacts out;
+    const std::vector<std::string> names = suite.workloadNames();
+
+    // scores.csv
+    {
+        std::ostringstream csv;
+        csv << "workload";
+        for (const auto &machine : suite.machines)
+            csv << ',' << machine.name;
+        csv << '\n';
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            csv << names[w];
+            for (std::size_t m = 0; m < suite.machines.size(); ++m)
+                csv << ',' << formatDouble(suite.scores(w, m));
+            csv << '\n';
+        }
+        out.scoresCsv = csv.str();
+    }
+
+    // features.csv
+    {
+        std::ostringstream csv;
+        csv << "workload";
+        for (const auto &feature : suite.features.featureNames)
+            csv << ',' << feature;
+        csv << '\n';
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            csv << names[w];
+            for (std::size_t f = 0; f < suite.features.values.cols(); ++f)
+                csv << ',' << formatDouble(suite.features.values(w, f));
+            csv << '\n';
+        }
+        out.featuresCsv = csv.str();
+    }
+
+    out.truthCsv = core::partitionToCsv(suite.planted, names);
+
+    const std::string scoresPath = joinPath(data_dir, "scores.csv");
+    const std::string featuresPath = joinPath(data_dir, "features.csv");
+    for (std::size_t m = 1; m < suite.machines.size(); ++m) {
+        std::ostringstream line;
+        line << "id=" << suite.name << '.' << suite.machines[m].name
+             << " scores=" << scoresPath << " features=" << featuresPath
+             << " machine-a=" << suite.machines[m].name << " machine-b="
+             << suite.machines[0].name << " som-steps=150 seed="
+             << suite.config.seed;
+        out.manifestLines.push_back(line.str());
+    }
+
+    for (const auto &line : out.manifestLines) {
+        out.manifestText += line;
+        out.manifestText.push_back('\n');
+    }
+    out.manifestBinary = wire::encodeBatchManifest(out.manifestLines);
+
+    {
+        std::ostringstream json;
+        json << "{\"suite\":\"" << jsonEscape(suite.name) << "\",\"family\":\""
+             << familyName(suite.config.kind) << "\",\"seed\":"
+             << suite.config.seed << ",\"workloads\":" << names.size()
+             << ",\"clusters\":" << suite.planted.clusterCount()
+             << ",\"machines\":[";
+        for (std::size_t m = 0; m < suite.machines.size(); ++m) {
+            if (m)
+                json << ',';
+            json << '"' << jsonEscape(suite.machines[m].name) << '"';
+        }
+        json << "],\"lines\":[";
+        for (std::size_t i = 0; i < out.manifestLines.size(); ++i) {
+            if (i)
+                json << ',';
+            json << '"' << jsonEscape(out.manifestLines[i]) << '"';
+        }
+        json << "]}\n";
+        out.manifestJson = json.str();
+    }
+
+    return out;
+}
+
+} // namespace gen
+} // namespace hiermeans

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Rendering of a GeneratedSuite into on-disk / on-wire artifacts.
+ *
+ * One GeneratedSuite becomes the document set the rest of the stack
+ * consumes: scores/features CSVs (core::parseScoresCsv /
+ * parseFeaturesCsv compatible), the planted ground-truth partition
+ * CSV (core::parsePartitionCsv compatible), and a registration
+ * manifest in all three wire shapes — engine manifest text, a JSON
+ * description, and an HMW1 BatchManifest frame. Text and binary agree
+ * bit-for-bit: BatchView(manifestBinary).manifestText() ==
+ * manifestText, so an hmconvert round trip is cmp-identical.
+ *
+ * All floating-point values are printed with %.17g so parsing them
+ * back reproduces the exact double — rendering is as deterministic as
+ * generation.
+ */
+
+#ifndef HIERMEANS_GEN_MANIFEST_H
+#define HIERMEANS_GEN_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "src/gen/family.h"
+
+namespace hiermeans {
+namespace gen {
+
+/** The rendered artifact set of one generated suite. */
+struct SuiteArtifacts
+{
+    /** scores.csv: workload,<machines...> rows (all positive). */
+    std::string scoresCsv;
+    /** features.csv: workload,<mica features...> rows. */
+    std::string featuresCsv;
+    /** truth.csv: the planted partition as workload,cluster rows. */
+    std::string truthCsv;
+    /** One engine manifest line per non-reference machine. */
+    std::vector<std::string> manifestLines;
+    /** The lines joined, every line newline-terminated. */
+    std::string manifestText;
+    /** JSON description (suite, family, seed, machines, lines). */
+    std::string manifestJson;
+    /** One HMW1 BatchManifest frame over manifestLines. */
+    std::string manifestBinary;
+};
+
+/**
+ * Render @p suite. @p data_dir is the directory prefix baked into the
+ * manifest's scores=/features= keys (where the caller will write
+ * scores.csv and features.csv); "" means ".".
+ */
+SuiteArtifacts renderArtifacts(const GeneratedSuite &suite,
+                               const std::string &data_dir);
+
+/** %.17g rendering shared by the artifact writers and tests. */
+std::string formatDouble(double value);
+
+} // namespace gen
+} // namespace hiermeans
+
+#endif // HIERMEANS_GEN_MANIFEST_H

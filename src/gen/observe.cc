@@ -1,0 +1,36 @@
+#include "src/gen/observe.h"
+
+#include <string>
+
+#include "src/util/error.h"
+
+namespace hiermeans {
+namespace gen {
+
+ObservationSchedule
+generateSchedule(const ObserveConfig &config)
+{
+    HM_REQUIRE(config.shiftTarget > 0.0, "shiftTarget must be positive");
+
+    static const double kBases[4] = {1.0, 2.0, 3.0, 4.0};
+
+    ObservationSchedule schedule;
+    schedule.shiftIndex = config.stationary;
+    schedule.observations.reserve(config.stationary + config.shifted);
+    for (std::size_t i = 0; i < config.stationary + config.shifted; ++i) {
+        const double wobble = 0.002 * static_cast<double>(i % 7);
+        const double ratio = i < config.stationary
+                                 ? kBases[i % 4] + wobble
+                                 : config.shiftTarget + wobble;
+        wire::Observation obs;
+        obs.ratio = ratio;
+        obs.hasPlain = true;
+        obs.plainRatio = ratio - 0.001 * static_cast<double>(i % 5);
+        obs.id = "gen-obs-" + std::to_string(i);
+        schedule.observations.push_back(std::move(obs));
+    }
+    return schedule;
+}
+
+} // namespace gen
+} // namespace hiermeans

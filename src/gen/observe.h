@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Generated observation streams with a known mean-shift schedule.
+ *
+ * The drift monitor (src/drift) promises fresh→drifting→stale
+ * hysteresis under a mean shift; this module manufactures the input
+ * that proves it: a deterministic observation stream whose first
+ * @ref ObserveConfig::stationary ticks cycle a fixed set of base
+ * ratios (stationary regime) and whose remaining ticks jump to
+ * @ref ObserveConfig::shiftTarget (shifted regime). The shift index
+ * is part of the schedule, so a test or bench can assert *where*
+ * detection should fire. No RNG: the stream is a pure function of
+ * the config, same as every other gen artifact.
+ */
+
+#ifndef HIERMEANS_GEN_OBSERVE_H
+#define HIERMEANS_GEN_OBSERVE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/wire/wire.h"
+
+namespace hiermeans {
+namespace gen {
+
+/** Shape of a generated observation stream. */
+struct ObserveConfig
+{
+    /** Ticks before the mean shift (cycling base ratios 1..4). */
+    std::size_t stationary = 60;
+    /** Ticks after the shift. */
+    std::size_t shifted = 24;
+    /** The shifted-regime mean ratio (far outside the bases). */
+    double shiftTarget = 9.0;
+};
+
+/** The generated stream plus its ground-truth shift position. */
+struct ObservationSchedule
+{
+    std::vector<wire::Observation> observations;
+    /** Index of the first shifted observation (== config.stationary). */
+    std::size_t shiftIndex = 0;
+};
+
+/** Generate the stream for @p config (deterministic, RNG-free). */
+ObservationSchedule generateSchedule(const ObserveConfig &config);
+
+} // namespace gen
+} // namespace hiermeans
+
+#endif // HIERMEANS_GEN_OBSERVE_H

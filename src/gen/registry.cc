@@ -1,0 +1,46 @@
+#include "src/gen/registry.h"
+
+namespace hiermeans {
+namespace gen {
+
+const std::vector<std::string> &
+genMetricLabels()
+{
+    static const std::vector<std::string> labels = [] {
+        std::vector<std::string> out = familyNames();
+        out.push_back("other");
+        return out;
+    }();
+    return labels;
+}
+
+FamilyConfig
+defaultConfig(FamilyKind kind, std::uint64_t seed)
+{
+    FamilyConfig config;
+    config.kind = kind;
+    config.seed = seed;
+    switch (kind) {
+    case FamilyKind::BigData:
+    case FamilyKind::SpecIntHistorical:
+        break;
+    case FamilyKind::CorrelatedCluster:
+        // The stress case keeps only a 0.35 center separation; more
+        // samples per cluster keep recovery above the ARI floor.
+        config.workloads = 28;
+        break;
+    case FamilyKind::HeavyTail:
+        // One 12-workload body plus three 4-workload tails.
+        break;
+    }
+    return config;
+}
+
+GeneratedSuite
+generateNamed(const std::string &family, std::uint64_t seed)
+{
+    return generateSuite(defaultConfig(familyFromName(family), seed));
+}
+
+} // namespace gen
+} // namespace hiermeans

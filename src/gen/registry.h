@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Named presets over the family generators.
+ *
+ * The registry is the stable vocabulary shared by hmgen, the server's
+ * per-family registration metrics and the benches: each family has a
+ * default configuration (the one the `ctest -L gen` acceptance checks
+ * run against) and a bounded metric label set — the four family names
+ * plus an "other" slot for anything clients invent.
+ */
+
+#ifndef HIERMEANS_GEN_REGISTRY_H
+#define HIERMEANS_GEN_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gen/family.h"
+
+namespace hiermeans {
+namespace gen {
+
+/** Metric label slots: one per family plus the trailing "other". */
+inline constexpr std::size_t kGenMetricSlots = kFamilyCount + 1;
+
+/** Label strings per metric slot, "other" last. */
+const std::vector<std::string> &genMetricLabels();
+
+/**
+ * The default configuration of @p kind at @p seed — the config the
+ * determinism and ground-truth-recovery acceptance tests pin down.
+ */
+FamilyConfig defaultConfig(FamilyKind kind, std::uint64_t seed);
+
+/** Generate @p family (by name) at its default config and @p seed. */
+GeneratedSuite generateNamed(const std::string &family, std::uint64_t seed);
+
+} // namespace gen
+} // namespace hiermeans
+
+#endif // HIERMEANS_GEN_REGISTRY_H

@@ -122,6 +122,12 @@
 #include "src/drift/monitor.h"
 #include "src/drift/online_som.h"
 
+// gen — deterministic synthetic workload-family generators
+#include "src/gen/family.h"
+#include "src/gen/manifest.h"
+#include "src/gen/observe.h"
+#include "src/gen/registry.h"
+
 // server — HTTP serving layer over the engine
 #include "src/server/admission.h"
 #include "src/server/api.h"

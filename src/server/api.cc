@@ -35,6 +35,7 @@ const CodeEntry kCodes[] = {
     {ApiError::DeadlineExpired, "deadline_expired", 504},
     {ApiError::UnsupportedMediaType, "unsupported_media_type", 415},
     {ApiError::NotAcceptable, "not_acceptable", 406},
+    {ApiError::SuiteVersionConflict, "suite_version_conflict", 409},
 };
 
 std::string

@@ -57,6 +57,7 @@ enum class ApiError
     DeadlineExpired,  ///< client budget spent before execution (504).
     UnsupportedMediaType, ///< request Content-Type not spoken (415).
     NotAcceptable,    ///< no response format satisfies Accept (406).
+    SuiteVersionConflict, ///< re-registration changes a version (409).
 };
 
 /** The wire string for @p error, e.g. "circuit_open". */
@@ -93,7 +94,7 @@ HttpResponse errorResponse(ApiError error, const std::string &message,
                            const std::string &extraErrorJson = "");
 
 /** The shared upper bound for list-endpoint `?limit=` parameters
- *  (/v1/traces, /v1/history, /v1/drift). */
+ *  (/v1/traces, /v1/history, /v1/drift, /v1/suites). */
 inline constexpr std::size_t kMaxListLimit = 1000;
 
 /**

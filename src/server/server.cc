@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "src/gen/registry.h"
 #include "src/obs/prometheus.h"
 #include "src/obs/trace.h"
 #include "src/server/api.h"
@@ -1233,6 +1234,22 @@ Server::renderPrometheus() const
              "gauge");
     w.gauge("hiermeans_wire_supported",
             {{"version", std::to_string(wire::kWireVersion)}}, 1.0);
+
+    // --- synthetic suite generators ----------------------------------
+    // Every family label is pre-seeded at zero so dashboards (and the
+    // hmctl --check lint) see the full label set before any traffic.
+    w.header("hiermeans_gen_registrations_total",
+             "Generator-tagged suite registrations by family.",
+             "counter");
+    {
+        const std::vector<std::string> families = gen::genMetricLabels();
+        for (std::size_t s = 0; s < families.size(); ++s)
+            w.counter("hiermeans_gen_registrations_total",
+                      {{"family", families[s]}},
+                      s < snap.genRegistrations.size()
+                          ? snap.genRegistrations[s]
+                          : 0);
+    }
 
     w.header("hiermeans_server_admission_queue_depth",
              "Admission slots currently held.", "gauge");

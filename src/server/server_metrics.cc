@@ -84,6 +84,8 @@ ServerMetrics::snapshot(std::uint64_t queue_depth,
     snap.drainSheds = drainSheds_.load();
     snap.wireJson = wireJson_.load();
     snap.wireBinary = wireBinary_.load();
+    for (std::size_t s = 0; s < genRegistrations_.size(); ++s)
+        snap.genRegistrations[s] = genRegistrations_[s].load();
     snap.draining = draining_.load();
     snap.queueDepth = queue_depth;
     snap.queueCapacity = queue_capacity;

@@ -37,6 +37,15 @@ enum class Endpoint : std::size_t
     Count_ // sentinel
 };
 
+/**
+ * Label slots of the hiermeans_gen_registrations_total counter: one
+ * per generator family plus the trailing "other" bucket. Must equal
+ * gen::kGenMetricSlots (static_asserted where both are visible) —
+ * kept as a plain constant here so the metrics layer stays decoupled
+ * from src/gen.
+ */
+inline constexpr std::size_t kGenFamilySlots = 5;
+
 /** Endpoint display name ("/v1/score", ...). */
 const char *endpointName(Endpoint endpoint);
 
@@ -72,6 +81,10 @@ struct ServerMetricsSnapshot
     // Negotiated wire formats (hiermeans_wire_requests_total).
     std::uint64_t wireJson = 0;   ///< JSON/text requests.
     std::uint64_t wireBinary = 0; ///< binary-wire requests.
+
+    // Generator-family suite registrations, by family slot
+    // (hiermeans_gen_registrations_total).
+    std::array<std::uint64_t, kGenFamilySlots> genRegistrations{};
 
     std::uint64_t queueDepth = 0;    ///< gauge (admission gate).
     std::uint64_t queueCapacity = 0;
@@ -124,6 +137,13 @@ class ServerMetrics
     {
         ++(binary ? wireBinary_ : wireJson_);
     }
+    /** Count one generator-tagged suite registration; @p slot is a
+     *  gen::familyMetricSlot value (out-of-range goes to "other"). */
+    void onGenRegistered(std::size_t slot)
+    {
+        ++genRegistrations_[slot < kGenFamilySlots ? slot
+                                                   : kGenFamilySlots - 1];
+    }
     void setDraining() { draining_.store(true); }
     bool draining() const { return draining_.load(); }
 
@@ -169,6 +189,8 @@ class ServerMetrics
     std::atomic<std::uint64_t> drainSheds_{0};
     std::atomic<std::uint64_t> wireJson_{0};
     std::atomic<std::uint64_t> wireBinary_{0};
+    std::array<std::atomic<std::uint64_t>, kGenFamilySlots>
+        genRegistrations_{};
     std::atomic<bool> draining_{false};
     std::array<engine::LatencyHistogram,
                static_cast<std::size_t>(Endpoint::Count_)>

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/engine/manifest.h"
+#include "src/gen/registry.h"
 #include "src/server/api.h"
 #include "src/server/json.h"
 #include "src/server/wire_json.h"
@@ -13,6 +14,9 @@
 
 namespace hiermeans {
 namespace server {
+
+static_assert(kGenFamilySlots == gen::kGenMetricSlots,
+              "server metric slots must track gen::kGenMetricSlots");
 
 namespace {
 
@@ -384,17 +388,71 @@ SuiteService::handleSuiteRegister(const RequestContext &ctx)
                              "manifest has no requests", ctx.traceId);
     }
 
+    // `version=` pins the registration: an existing version with an
+    // identical payload is an idempotent no-op, a differing payload
+    // is refused 409 (versions are immutable), a gap past latest+1
+    // is a 400. Absent (or 0) keeps append-next semantics.
+    std::uint64_t requested_version = 0;
+    const std::string version_param = ctx.http.queryParam("version", "");
+    if (!version_param.empty()) {
+        std::size_t consumed = 0;
+        unsigned long long parsed = 0;
+        try {
+            parsed = std::stoull(version_param, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+        if (consumed != version_param.size()) {
+            metrics_.onMalformed();
+            return errorResponse(ApiError::BadRequest,
+                                 "version must be a non-negative "
+                                 "integer, got `" +
+                                     version_param + "`",
+                                 ctx.traceId);
+        }
+        requested_version = parsed;
+    }
+
     try {
-        const store::SuiteVersion version =
-            store_->registerSuite(name, manifest);
-        if (cluster_ != nullptr)
+        const store::StateStore::RegisterOutcome outcome =
+            store_->registerSuiteVersion(name, manifest,
+                                         requested_version);
+        if (outcome.conflict) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::SuiteVersionConflict,
+                "suite `" + name + "` version " +
+                    std::to_string(requested_version) +
+                    " already exists with a different manifest; "
+                    "versions are immutable — register the next "
+                    "version instead",
+                ctx.traceId);
+        }
+        if (outcome.gap) {
+            metrics_.onMalformed();
+            return errorResponse(
+                ApiError::BadRequest,
+                "suite `" + name + "` version " +
+                    std::to_string(requested_version) +
+                    " would leave a gap (latest is " +
+                    std::to_string(outcome.version.version) + ")",
+                ctx.traceId);
+        }
+        if (outcome.created && cluster_ != nullptr)
             cluster_->afterWrite(
                 ctx.hasDeadline() ? ctx.remainingMillis() : 0.0);
+        // Per-family registration counter; unknown family names land
+        // in the bounded "other" slot.
+        const std::string generator =
+            ctx.http.queryParam("generator", "");
+        if (outcome.created && !generator.empty())
+            metrics_.onGenRegistered(gen::familyMetricSlot(generator));
         std::ostringstream data;
         data << "{\"name\":" << json::quote(name)
-             << ",\"version\":" << version.version
-             << ",\"sequence\":" << version.sequence
-             << ",\"lines\":" << lines.size() << "}";
+             << ",\"version\":" << outcome.version.version
+             << ",\"sequence\":" << outcome.version.sequence
+             << ",\"lines\":" << lines.size() << ",\"created\":"
+             << (outcome.created ? "true" : "false") << "}";
         return okResponse(data.str(), ctx.traceId);
     } catch (const Error &e) {
         // The WAL refused: the registration is not durable, so it is
@@ -411,10 +469,17 @@ SuiteService::handleSuiteList(const RequestContext &ctx)
                              "no durable store (start hmserved with "
                              "--data-dir)",
                              ctx.traceId);
+    std::size_t limit = 0;
+    if (auto bad = parseListLimit(ctx, kMaxListLimit, limit))
+        return std::move(*bad);
+    std::vector<store::Suite> all = store_->suites();
+    const std::size_t total = all.size();
+    if (all.size() > limit)
+        all.resize(limit);
     std::ostringstream data;
-    data << "{\"suites\":[";
+    data << "{\"count\":" << total << ",\"suites\":[";
     bool first_suite = true;
-    for (const store::Suite &suite : store_->suites()) {
+    for (const store::Suite &suite : all) {
         if (!first_suite)
             data << ",";
         first_suite = false;

@@ -150,6 +150,44 @@ StateStore::registerSuite(const std::string &name,
     return version;
 }
 
+StateStore::RegisterOutcome
+StateStore::registerSuiteVersion(const std::string &name,
+                                 const std::string &manifest,
+                                 std::uint64_t requested_version)
+{
+    HM_REQUIRE(!name.empty(), "suite name must not be empty");
+    HM_REQUIRE(!manifest.empty(),
+               "suite `" << name << "`: manifest must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t latest = state_.latestVersion(name);
+    RegisterOutcome outcome;
+    if (requested_version != 0 && requested_version <= latest) {
+        const SuiteVersion *existing =
+            state_.findSuite(name, requested_version);
+        if (existing != nullptr && existing->manifest == manifest) {
+            outcome.version = *existing; // idempotent replay, no WAL write.
+            return outcome;
+        }
+        // Different payload — or a version compacted out of the
+        // retained window, which we can no longer prove identical.
+        outcome.conflict = true;
+        return outcome;
+    }
+    if (requested_version > latest + 1) {
+        outcome.gap = true;
+        outcome.version.version = latest; // reported in the error.
+        return outcome;
+    }
+    outcome.version.sequence = state_.nextSequence();
+    outcome.version.version = latest + 1;
+    outcome.version.manifest = manifest;
+    commit(RecordType::SuiteRegistered,
+           encodeSuiteRegistered(name, outcome.version));
+    maybeSnapshot();
+    outcome.created = true;
+    return outcome;
+}
+
 bool
 StateStore::recordScore(ScoreRecord record)
 {

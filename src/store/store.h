@@ -163,6 +163,34 @@ class StateStore
     SuiteVersion registerSuite(const std::string &name,
                                const std::string &manifest);
 
+    /** Outcome of a versioned registration attempt. */
+    struct RegisterOutcome
+    {
+        SuiteVersion version;
+        /** True when a new version was appended to the WAL. */
+        bool created = false;
+        /** True when the requested version exists with a *different*
+         *  manifest (or was compacted away) — never overwritten. */
+        bool conflict = false;
+        /** True when the requested version would leave a gap
+         *  (> latest + 1). */
+        bool gap = false;
+    };
+
+    /**
+     * Register @p manifest under @p name at @p requested_version:
+     * 0 or latest+1 appends the next version (created=true); an
+     * existing version with a byte-identical manifest is an
+     * idempotent no-op (created=false, the stored version returned);
+     * an existing version with a different payload — or one already
+     * compacted out of the retained window — is a conflict and the
+     * store is left untouched; a version past latest+1 is a gap.
+     * All outcomes are decided under the store mutex.
+     */
+    RegisterOutcome registerSuiteVersion(const std::string &name,
+                                         const std::string &manifest,
+                                         std::uint64_t requested_version);
+
     /**
      * Persist one executed score (record.sequence is assigned here).
      * Returns false — and counts the failure — when the WAL append

@@ -13,11 +13,11 @@
 namespace hiermeans {
 namespace util {
 
-/** Library version, e.g. "1.8.0". */
-inline constexpr const char kVersion[] = "1.8.0";
+/** Library version, e.g. "1.9.0". */
+inline constexpr const char kVersion[] = "1.9.0";
 
-/** Full version string for --help banners: "hiermeans 1.8.0". */
-inline constexpr const char kVersionString[] = "hiermeans 1.8.0";
+/** Full version string for --help banners: "hiermeans 1.9.0". */
+inline constexpr const char kVersionString[] = "hiermeans 1.9.0";
 
 } // namespace util
 } // namespace hiermeans

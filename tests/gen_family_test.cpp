@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the synthetic workload-family generators: seed
+ * determinism (bit-identical suites), planted-structure invariants,
+ * and ground-truth recovery (the full SOM + linkage pipeline must
+ * find the planted partition with ARI >= 0.8 on default configs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/characterization.h"
+#include "src/core/pipeline.h"
+#include "src/gen/family.h"
+#include "src/gen/manifest.h"
+#include "src/gen/registry.h"
+#include "src/scoring/partition.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::gen;
+
+const FamilyKind kAllFamilies[] = {
+    FamilyKind::BigData,
+    FamilyKind::SpecIntHistorical,
+    FamilyKind::CorrelatedCluster,
+    FamilyKind::HeavyTail,
+};
+
+TEST(GenFamilyTest, NamesRoundTrip)
+{
+    EXPECT_EQ(familyNames().size(), kFamilyCount);
+    for (const FamilyKind kind : kAllFamilies) {
+        const std::string name = familyName(kind);
+        EXPECT_TRUE(isFamilyName(name));
+        EXPECT_EQ(familyFromName(name), kind);
+        EXPECT_EQ(familyMetricSlot(name), static_cast<std::size_t>(kind));
+    }
+    EXPECT_FALSE(isFamilyName("nope"));
+    EXPECT_EQ(familyMetricSlot("nope"), kFamilyCount);
+    EXPECT_THROW(familyFromName("nope"), InvalidArgument);
+    EXPECT_EQ(genMetricLabels().size(), kGenMetricSlots);
+    EXPECT_EQ(genMetricLabels().back(), "other");
+}
+
+TEST(GenFamilyTest, SameSeedBitIdentical)
+{
+    for (const FamilyKind kind : kAllFamilies) {
+        const FamilyConfig config = defaultConfig(kind, 1234);
+        const GeneratedSuite a = generateSuite(config);
+        const GeneratedSuite b = generateSuite(config);
+        SCOPED_TRACE(familyName(kind));
+        ASSERT_EQ(a.profiles.size(), b.profiles.size());
+        EXPECT_EQ(a.workloadNames(), b.workloadNames());
+        EXPECT_TRUE(a.planted == b.planted);
+        // Bit-identity, not approximate equality: the rendered
+        // artifacts are byte-for-byte equal.
+        const SuiteArtifacts ra = renderArtifacts(a, "d");
+        const SuiteArtifacts rb = renderArtifacts(b, "d");
+        EXPECT_EQ(ra.scoresCsv, rb.scoresCsv);
+        EXPECT_EQ(ra.featuresCsv, rb.featuresCsv);
+        EXPECT_EQ(ra.truthCsv, rb.truthCsv);
+        EXPECT_EQ(ra.manifestText, rb.manifestText);
+        EXPECT_EQ(ra.manifestJson, rb.manifestJson);
+        EXPECT_EQ(ra.manifestBinary, rb.manifestBinary);
+    }
+}
+
+TEST(GenFamilyTest, DifferentSeedsDiffer)
+{
+    for (const FamilyKind kind : kAllFamilies) {
+        const GeneratedSuite a = generateSuite(defaultConfig(kind, 1));
+        const GeneratedSuite b = generateSuite(defaultConfig(kind, 2));
+        SCOPED_TRACE(familyName(kind));
+        EXPECT_NE(renderArtifacts(a, "d").scoresCsv,
+                  renderArtifacts(b, "d").scoresCsv);
+    }
+}
+
+TEST(GenFamilyTest, PlantedStructureInvariants)
+{
+    for (const FamilyKind kind : kAllFamilies) {
+        const FamilyConfig config = defaultConfig(kind, 7);
+        const GeneratedSuite suite = generateSuite(config);
+        SCOPED_TRACE(familyName(kind));
+        EXPECT_EQ(suite.profiles.size(), config.workloads);
+        EXPECT_EQ(suite.planted.size(), config.workloads);
+        EXPECT_EQ(suite.planted.clusterCount(), config.clusters);
+        EXPECT_EQ(suite.machines.size(), config.machines);
+        EXPECT_EQ(suite.machines[0].name, "ref");
+        EXPECT_EQ(suite.features.values.rows(), config.workloads);
+        ASSERT_EQ(suite.scores.rows(), config.workloads);
+        ASSERT_EQ(suite.scores.cols(), config.machines);
+        for (std::size_t w = 0; w < suite.scores.rows(); ++w)
+            for (std::size_t m = 0; m < suite.scores.cols(); ++m)
+                EXPECT_GT(suite.scores(w, m), 0.0);
+        // Workload names are unique (CSV parsers require it).
+        auto names = suite.workloadNames();
+        std::sort(names.begin(), names.end());
+        EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+    }
+}
+
+TEST(GenFamilyTest, HeavyTailBodyDominates)
+{
+    const GeneratedSuite suite =
+        generateSuite(defaultConfig(FamilyKind::HeavyTail, 11));
+    const auto sizes = suite.planted.clusterSizes();
+    for (std::size_t c = 1; c < sizes.size(); ++c)
+        EXPECT_GT(sizes[0], sizes[c]);
+}
+
+TEST(GenFamilyTest, RecoversPlantedPartition)
+{
+    for (const FamilyKind kind : kAllFamilies) {
+        const FamilyConfig config =
+            defaultConfig(kind, FamilyConfig().seed);
+        const GeneratedSuite suite = generateSuite(config);
+        SCOPED_TRACE(familyName(kind));
+
+        const core::CharacteristicVectors vectors =
+            core::characterizeFromMica(suite.features,
+                                       suite.workloadNames());
+        core::PipelineConfig pipeline;
+        pipeline.autoSizeSom(config.workloads);
+        const core::ClusterAnalysis analysis =
+            core::analyzeClusters(vectors, pipeline);
+
+        // Judge recovery at the planted k (the sweep covers it:
+        // kMin=2 <= clusters <= kMax=8 on default configs).
+        const scoring::Partition *recovered = nullptr;
+        for (const auto &partition : analysis.partitions)
+            if (partition.clusterCount() == config.clusters)
+                recovered = &partition;
+        ASSERT_NE(recovered, nullptr);
+        const double ari = scoring::adjustedRandIndex(*recovered,
+                                                      suite.planted);
+        EXPECT_GE(ari, 0.8) << "ARI " << ari << " below recovery floor";
+    }
+}
+
+TEST(GenFamilyTest, InvalidConfigsThrow)
+{
+    FamilyConfig config;
+    config.workloads = 3;
+    EXPECT_THROW(generateSuite(config), InvalidArgument);
+    config = FamilyConfig();
+    config.clusters = 1;
+    EXPECT_THROW(generateSuite(config), InvalidArgument);
+    config = FamilyConfig();
+    config.clusters = config.workloads + 1;
+    EXPECT_THROW(generateSuite(config), InvalidArgument);
+    config = FamilyConfig();
+    config.machines = 1;
+    EXPECT_THROW(generateSuite(config), InvalidArgument);
+    config = FamilyConfig();
+    config.withinJitter = -0.1;
+    EXPECT_THROW(generateSuite(config), InvalidArgument);
+}
+
+} // namespace

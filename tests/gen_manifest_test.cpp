@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for generated-suite artifact rendering: CSV parse-back and
+ * alignment, manifest syntax, text/binary bit-identity through the
+ * wire codec, planted-truth round trip, and the deterministic
+ * observation schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/csv_io.h"
+#include "src/engine/manifest.h"
+#include "src/gen/manifest.h"
+#include "src/gen/observe.h"
+#include "src/gen/registry.h"
+#include "src/wire/wire.h"
+
+namespace {
+
+using namespace hiermeans;
+using namespace hiermeans::gen;
+
+GeneratedSuite
+sampleSuite(FamilyKind kind = FamilyKind::BigData)
+{
+    return generateSuite(defaultConfig(kind, 99));
+}
+
+TEST(GenManifestTest, CsvArtifactsParseBackAligned)
+{
+    const GeneratedSuite suite = sampleSuite();
+    const SuiteArtifacts artifacts = renderArtifacts(suite, "/tmp/gen");
+
+    const core::ScoresCsv scores = core::parseScoresCsv(artifacts.scoresCsv);
+    const core::FeaturesCsv features =
+        core::parseFeaturesCsv(artifacts.featuresCsv);
+    core::requireAlignedWorkloads(scores, features);
+    EXPECT_EQ(scores.workloads, suite.workloadNames());
+    ASSERT_EQ(scores.machines.size(), suite.machines.size());
+    EXPECT_EQ(scores.machines[0], "ref");
+    // %.17g printing reproduces the exact doubles.
+    for (std::size_t w = 0; w < suite.scores.rows(); ++w)
+        for (std::size_t m = 0; m < suite.scores.cols(); ++m)
+            EXPECT_EQ(scores.scores(w, m), suite.scores(w, m));
+    for (std::size_t w = 0; w < suite.features.values.rows(); ++w)
+        for (std::size_t f = 0; f < suite.features.values.cols(); ++f)
+            EXPECT_EQ(features.values(w, f), suite.features.values(w, f));
+}
+
+TEST(GenManifestTest, TruthCsvRoundTripsPlantedPartition)
+{
+    const GeneratedSuite suite = sampleSuite(FamilyKind::HeavyTail);
+    const SuiteArtifacts artifacts = renderArtifacts(suite, ".");
+    const scoring::Partition truth =
+        core::parsePartitionCsv(artifacts.truthCsv, suite.workloadNames());
+    EXPECT_TRUE(truth == suite.planted);
+}
+
+TEST(GenManifestTest, ManifestLinesParseAndPointAtArtifacts)
+{
+    const GeneratedSuite suite = sampleSuite();
+    const SuiteArtifacts artifacts = renderArtifacts(suite, "/data/x");
+    ASSERT_EQ(artifacts.manifestLines.size(), suite.machines.size() - 1);
+    const std::vector<engine::ManifestLine> entries =
+        engine::parseManifest(artifacts.manifestText);
+    ASSERT_EQ(entries.size(), artifacts.manifestLines.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].flags.getString("scores", ""),
+                  "/data/x/scores.csv");
+        EXPECT_EQ(entries[i].flags.getString("features", ""),
+                  "/data/x/features.csv");
+        EXPECT_EQ(entries[i].flags.getString("machine-a", ""),
+                  suite.machines[i + 1].name);
+        EXPECT_EQ(entries[i].flags.getString("machine-b", ""), "ref");
+    }
+}
+
+TEST(GenManifestTest, BinaryManifestIsBitIdenticalTwin)
+{
+    for (const std::string &family : familyNames()) {
+        const GeneratedSuite suite = generateNamed(family, 5);
+        const SuiteArtifacts artifacts = renderArtifacts(suite, "d");
+        SCOPED_TRACE(family);
+        // Text and binary agree byte-for-byte through the codec —
+        // the hmconvert round-trip guarantee.
+        const wire::BatchView view(artifacts.manifestBinary);
+        EXPECT_EQ(view.manifestText(), artifacts.manifestText);
+        EXPECT_EQ(wire::encodeBatchManifest(artifacts.manifestLines),
+                  artifacts.manifestBinary);
+    }
+}
+
+TEST(GenManifestTest, ManifestJsonNamesFamilyAndLines)
+{
+    const GeneratedSuite suite = sampleSuite(FamilyKind::CorrelatedCluster);
+    const SuiteArtifacts artifacts = renderArtifacts(suite, ".");
+    EXPECT_NE(artifacts.manifestJson.find("\"family\":\"correlated-cluster\""),
+              std::string::npos);
+    EXPECT_NE(artifacts.manifestJson.find("\"suite\":\"gen.correlated-cluster\""),
+              std::string::npos);
+    EXPECT_NE(artifacts.manifestJson.find("machine-a=m1"), std::string::npos);
+}
+
+TEST(GenManifestTest, ObservationScheduleIsDeterministicWithKnownShift)
+{
+    const ObserveConfig config;
+    const ObservationSchedule a = generateSchedule(config);
+    const ObservationSchedule b = generateSchedule(config);
+    ASSERT_EQ(a.observations.size(), config.stationary + config.shifted);
+    EXPECT_EQ(a.shiftIndex, config.stationary);
+    for (std::size_t i = 0; i < a.observations.size(); ++i) {
+        EXPECT_EQ(a.observations[i].ratio, b.observations[i].ratio);
+        EXPECT_EQ(a.observations[i].id, b.observations[i].id);
+        EXPECT_TRUE(a.observations[i].hasPlain);
+        if (i < a.shiftIndex)
+            EXPECT_LT(a.observations[i].ratio, 5.0);
+        else
+            EXPECT_GE(a.observations[i].ratio, config.shiftTarget);
+    }
+    // Observations encode as wire frames (the observe intake body).
+    const std::string frame = wire::encodeObservation(a.observations[0]);
+    const wire::Observation back = wire::decodeObservation(frame);
+    EXPECT_EQ(back.ratio, a.observations[0].ratio);
+    EXPECT_EQ(back.id, a.observations[0].id);
+}
+
+} // namespace

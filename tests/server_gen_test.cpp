@@ -1,0 +1,342 @@
+/**
+ * The generated-suite serving surface, end to end over loopback HTTP:
+ * a gen-rendered manifest registers as a versioned suite (text and
+ * binary bodies agree on the stored payload), `?version=` pinning is
+ * idempotent for identical payloads and a typed 409 for differing
+ * ones, GET /v1/suites honours the bounded `?limit=`, a registered
+ * generated suite scores by `suite=<name> line=<n>` reference, the
+ * generated observation schedule drives the drift monitor
+ * fresh→stale exactly at its known shift, and the
+ * hiermeans_gen_registrations_total family is exposed zero-preseeded
+ * and lint-clean.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/gen/manifest.h"
+#include "src/gen/observe.h"
+#include "src/gen/registry.h"
+#include "src/obs/prometheus.h"
+#include "src/server/client.h"
+#include "src/server/json.h"
+#include "src/server/server.h"
+#include "src/util/file.h"
+
+namespace {
+
+using namespace hiermeans;
+using Response = server::HttpResponseParser::Response;
+
+class ServerGenTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dataDir_ = "/tmp/hiermeans_server_gen_test_" +
+                   std::to_string(::getpid()) + "_data";
+        suiteDir_ = "/tmp/hiermeans_server_gen_test_" +
+                    std::to_string(::getpid()) + "_suite";
+        wipeDir(dataDir_);
+        wipeDir(suiteDir_);
+        ::mkdir(suiteDir_.c_str(), 0755);
+
+        // A small bigdata suite keeps pipeline runs in the test fast;
+        // the artifacts are written where the manifest points.
+        gen::FamilyConfig config =
+            gen::defaultConfig(gen::FamilyKind::BigData, 0x6E11);
+        config.workloads = 12;
+        config.clusters = 3;
+        config.machines = 3;
+        suite_ = gen::generateSuite(config);
+        artifacts_ = gen::renderArtifacts(suite_, suiteDir_);
+        util::writeFile(suiteDir_ + "/scores.csv", artifacts_.scoresCsv);
+        util::writeFile(suiteDir_ + "/features.csv",
+                        artifacts_.featuresCsv);
+
+        startServer();
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_ != nullptr)
+            server_->stop();
+        server_.reset();
+        wipeDir(suiteDir_);
+        wipeDir(dataDir_);
+    }
+
+    void
+    startServer()
+    {
+        server::Server::Config config;
+        config.port = 0;
+        config.engine.threads = 2;
+        config.queueDepth = 4;
+        config.connectionThreads = 8;
+        config.store.dataDir = dataDir_;
+        config.store.fsyncEvery = 1;
+        config.store.snapshotEvery = 0;
+        config.drift.window = 16;
+        config.drift.minWindow = 8;
+        config.drift.som.decaySteps = 50;
+        server_ = std::make_unique<server::Server>(config);
+        server_->start();
+    }
+
+    static void
+    wipeDir(const std::string &dir)
+    {
+        if (!util::fileExists(dir))
+            return;
+        for (const std::string &name : util::listDir(dir))
+            util::removeFile(dir + "/" + name);
+        ::rmdir(dir.c_str());
+    }
+
+    server::HttpClient
+    client() const
+    {
+        return server::HttpClient("127.0.0.1", server_->port());
+    }
+
+    static Response
+    registerSuite(server::HttpClient &c, const std::string &target,
+                  const std::string &manifest)
+    {
+        return c.roundTrip("POST", target, manifest);
+    }
+
+    std::string dataDir_;
+    std::string suiteDir_;
+    gen::GeneratedSuite suite_;
+    gen::SuiteArtifacts artifacts_;
+    std::unique_ptr<server::Server> server_;
+};
+
+TEST_F(ServerGenTest, GeneratedSuiteRegistersListsAndScores)
+{
+    auto c = client();
+    const Response reg = registerSuite(
+        c, "/v1/suites?name=gen.bigdata&generator=bigdata",
+        artifacts_.manifestText);
+    ASSERT_EQ(reg.status, 200) << reg.body;
+    EXPECT_EQ(server::json::findString(reg.body, "name"), "gen.bigdata");
+    EXPECT_EQ(server::json::findNumber(reg.body, "version"), 1.0);
+    EXPECT_EQ(server::json::findNumber(reg.body, "lines"),
+              static_cast<double>(artifacts_.manifestLines.size()));
+    EXPECT_NE(reg.body.find("\"created\":true"), std::string::npos);
+
+    const Response list = c.roundTrip("GET", "/v1/suites");
+    ASSERT_EQ(list.status, 200);
+    EXPECT_EQ(server::json::findNumber(list.body, "count"), 1.0);
+    EXPECT_NE(list.body.find("\"name\":\"gen.bigdata\""),
+              std::string::npos);
+    EXPECT_NE(list.body.find("\"latest\":1"), std::string::npos);
+
+    // A registered generated suite scores like any other: by
+    // reference, expanding the stored manifest line.
+    const Response scored = c.roundTrip(
+        "POST", "/v1/score", "suite=gen.bigdata line=1 id=gen-smoke");
+    ASSERT_EQ(scored.status, 200) << scored.body;
+    EXPECT_EQ(scored.header("x-hiermeans-source", ""), "pipeline");
+    const auto ratio = server::json::findNumber(scored.body, "ratio");
+    ASSERT_TRUE(ratio.has_value());
+    EXPECT_GT(*ratio, 0.0);
+}
+
+TEST_F(ServerGenTest, VersionPinningIsIdempotentAndImmutable)
+{
+    auto c = client();
+    ASSERT_EQ(registerSuite(c, "/v1/suites?name=pinned",
+                            artifacts_.manifestText)
+                  .status,
+              200);
+
+    // Replaying the identical payload at its version is a no-op ack.
+    const Response replay = registerSuite(
+        c, "/v1/suites?name=pinned&version=1", artifacts_.manifestText);
+    ASSERT_EQ(replay.status, 200) << replay.body;
+    EXPECT_EQ(server::json::findNumber(replay.body, "version"), 1.0);
+    EXPECT_NE(replay.body.find("\"created\":false"), std::string::npos);
+
+    // A differing payload at an existing version is refused with the
+    // typed conflict envelope: versions are immutable.
+    const std::string mutated =
+        artifacts_.manifestText + "id=extra scores=" + suiteDir_ +
+        "/scores.csv features=" + suiteDir_ +
+        "/features.csv machine-a=m1 machine-b=ref\n";
+    const Response conflict =
+        registerSuite(c, "/v1/suites?name=pinned&version=1", mutated);
+    EXPECT_EQ(conflict.status, 409) << conflict.body;
+    EXPECT_NE(conflict.body.find("suite_version_conflict"),
+              std::string::npos);
+
+    // Pinning past latest+1 would leave a gap: 400.
+    const Response gap = registerSuite(
+        c, "/v1/suites?name=pinned&version=5", artifacts_.manifestText);
+    EXPECT_EQ(gap.status, 400) << gap.body;
+    EXPECT_NE(gap.body.find("gap"), std::string::npos);
+
+    // Malformed version values never reach the store.
+    EXPECT_EQ(registerSuite(c, "/v1/suites?name=pinned&version=abc",
+                            artifacts_.manifestText)
+                  .status,
+              400);
+
+    // Pinning exactly latest+1 appends, same as the unpinned path.
+    const Response next =
+        registerSuite(c, "/v1/suites?name=pinned&version=2", mutated);
+    ASSERT_EQ(next.status, 200) << next.body;
+    EXPECT_EQ(server::json::findNumber(next.body, "version"), 2.0);
+    EXPECT_NE(next.body.find("\"created\":true"), std::string::npos);
+}
+
+TEST_F(ServerGenTest, BinaryRegistrationMatchesTextPayload)
+{
+    auto c = client();
+    ASSERT_EQ(registerSuite(c, "/v1/suites?name=twin",
+                            artifacts_.manifestText)
+                  .status,
+              200);
+    // The HMW1 frame decodes to the identical manifest text, so a
+    // binary replay of version 1 is the idempotent no-op, not a 409.
+    const Response binary =
+        c.roundTrip("POST", "/v1/suites?name=twin&version=1",
+                    artifacts_.manifestBinary, wire::kMediaType);
+    ASSERT_EQ(binary.status, 200) << binary.body;
+    EXPECT_EQ(server::json::findNumber(binary.body, "version"), 1.0);
+    EXPECT_NE(binary.body.find("\"created\":false"), std::string::npos);
+}
+
+TEST_F(ServerGenTest, SuiteListHonoursBoundedLimit)
+{
+    auto c = client();
+    for (const char *name : {"list.a", "list.b", "list.c"})
+        ASSERT_EQ(registerSuite(c,
+                                std::string("/v1/suites?name=") + name,
+                                artifacts_.manifestText)
+                      .status,
+                  200);
+
+    const Response all = c.roundTrip("GET", "/v1/suites");
+    ASSERT_EQ(all.status, 200);
+    EXPECT_EQ(server::json::findNumber(all.body, "count"), 3.0);
+
+    // `count` reports the total even when the page is truncated.
+    const Response one = c.roundTrip("GET", "/v1/suites?limit=1");
+    ASSERT_EQ(one.status, 200);
+    EXPECT_EQ(server::json::findNumber(one.body, "count"), 3.0);
+    std::size_t names = 0;
+    for (std::size_t at = one.body.find("\"name\":");
+         at != std::string::npos;
+         at = one.body.find("\"name\":", at + 1))
+        ++names;
+    EXPECT_EQ(names, 1u) << one.body;
+
+    // Out-of-range and malformed limits are typed 400s.
+    for (const char *bad : {"limit=0", "limit=abc", "limit=100000"}) {
+        const Response refused =
+            c.roundTrip("GET", std::string("/v1/suites?") + bad);
+        EXPECT_EQ(refused.status, 400) << bad;
+        EXPECT_NE(refused.body.find("bad_request"), std::string::npos)
+            << bad;
+    }
+}
+
+TEST_F(ServerGenTest, ObservationScheduleDrivesFreshThenStale)
+{
+    auto c = client();
+    ASSERT_EQ(registerSuite(c, "/v1/suites?name=gen.stream",
+                            artifacts_.manifestText)
+                  .status,
+              200);
+
+    const gen::ObservationSchedule schedule =
+        gen::generateSchedule(gen::ObserveConfig{});
+    ASSERT_EQ(schedule.shiftIndex, 60u);
+
+    auto post = [&](const wire::Observation &obs) {
+        std::ostringstream body;
+        body << "{\"ratio\":" << server::json::number(obs.ratio)
+             << ",\"plain_ratio\":"
+             << server::json::number(obs.plainRatio) << ",\"id\":\""
+             << obs.id << "\"}";
+        return c.roundTrip("POST", "/v1/suites/gen.stream/observe",
+                           body.str());
+    };
+
+    // The stationary prefix publishes a clustering that stays fresh.
+    for (std::size_t i = 0; i < schedule.shiftIndex; ++i)
+        ASSERT_EQ(post(schedule.observations[i]).status, 200) << i;
+    const Response fresh =
+        c.roundTrip("POST", "/v1/admin/recluster?suite=gen.stream", "");
+    ASSERT_EQ(fresh.status, 200) << fresh.body;
+    EXPECT_EQ(server::json::findString(fresh.body, "state"), "fresh");
+
+    // The shifted suffix must flip the suite stale within one
+    // re-cluster period — the schedule's ground truth.
+    for (std::size_t i = schedule.shiftIndex;
+         i < schedule.observations.size(); ++i)
+        ASSERT_EQ(post(schedule.observations[i]).status, 200) << i;
+    const Response stale =
+        c.roundTrip("POST", "/v1/admin/recluster?suite=gen.stream", "");
+    ASSERT_EQ(stale.status, 200) << stale.body;
+    EXPECT_EQ(server::json::findString(stale.body, "state"), "stale")
+        << stale.body;
+}
+
+TEST_F(ServerGenTest, MetricsExposeEveryFamilyZeroPreseeded)
+{
+    auto c = client();
+    const Response before = c.roundTrip("GET", "/metrics");
+    ASSERT_EQ(before.status, 200);
+    for (const std::string &family : gen::genMetricLabels())
+        EXPECT_NE(
+            before.body.find("hiermeans_gen_registrations_total{family"
+                             "=\"" +
+                             family + "\"} 0"),
+            std::string::npos)
+            << family;
+
+    // A generator-tagged registration counts its family; an unknown
+    // family lands in the bounded "other" slot. Replays (not created)
+    // never double-count.
+    ASSERT_EQ(registerSuite(c,
+                            "/v1/suites?name=tagged&generator=bigdata",
+                            artifacts_.manifestText)
+                  .status,
+              200);
+    ASSERT_EQ(registerSuite(
+                  c,
+                  "/v1/suites?name=tagged&generator=bigdata&version=1",
+                  artifacts_.manifestText)
+                  .status,
+              200);
+    ASSERT_EQ(registerSuite(
+                  c, "/v1/suites?name=oddball&generator=mystery",
+                  artifacts_.manifestText)
+                  .status,
+              200);
+
+    const Response after = c.roundTrip("GET", "/metrics");
+    ASSERT_EQ(after.status, 200);
+    EXPECT_NE(after.body.find("hiermeans_gen_registrations_total{family"
+                              "=\"bigdata\"} 1"),
+              std::string::npos)
+        << after.body.substr(0, 2000);
+    EXPECT_NE(after.body.find("hiermeans_gen_registrations_total{family"
+                              "=\"other\"} 1"),
+              std::string::npos);
+    for (const std::string &issue : obs::lintExposition(after.body))
+        ADD_FAILURE() << "exposition lint: " << issue;
+}
+
+} // namespace

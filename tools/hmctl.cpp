@@ -33,6 +33,7 @@
  *    "attempts":1,"backoff_ms":0,"stale":false,"failure":"none"}
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -61,7 +62,10 @@ flagSpec()
         .flag("metrics", "", "GET /metrics; print the metrics body")
         .flag("check", "",
               "GET /metrics and lint the Prometheus exposition\n"
-              "format and wire-version advertisement; on a\n"
+              "format, wire-version advertisement and the\n"
+              "generator-family registration counters; on a\n"
+              "store daemon also cross-check that every\n"
+              "drift-tracked suite is still registered; on a\n"
               "mesh daemon also lint the /v1/cluster payload,\n"
               "per-shard health and `wire` advertisement;\n"
               "exit 0 clean, 1 with issues listed")
@@ -326,6 +330,33 @@ lintWireExposition(const std::string &body)
 
 
 /**
+ * Lint the generator family of a /metrics body: the per-family
+ * registration counter must be pre-seeded for the whole bounded label
+ * set (the four family names plus "other") — a missing series means
+ * dashboards silently read "no registrations" as "no metric" — and a
+ * store-enabled daemon must expose the hiermeans_store_suites gauge
+ * the registration counters are read against.
+ */
+std::vector<std::string>
+lintGenExposition(const std::string &body)
+{
+    std::vector<std::string> issues;
+    for (const std::string &family : gen::genMetricLabels()) {
+        const std::string series =
+            "hiermeans_gen_registrations_total{family=\"" + family +
+            "\"}";
+        if (body.find(series) == std::string::npos)
+            issues.push_back("gen: missing series " + series);
+    }
+    if (body.find("hiermeans_store_") != std::string::npos &&
+        body.find("hiermeans_store_suites") == std::string::npos)
+        issues.push_back(
+            "gen: store daemon without hiermeans_store_suites gauge");
+    return issues;
+}
+
+
+/**
  * Lint a /v1/cluster payload: required top-level fields, a plausible
  * membership list, per-node required fields, per-shard health, and
  * the wire-format advertisement clients use to pick an encoding.
@@ -519,6 +550,37 @@ run(const util::CommandLine &cl)
         for (const std::string &issue :
              lintWireExposition(outcome.response.body))
             issues.push_back(issue);
+        for (const std::string &issue :
+             lintGenExposition(outcome.response.body))
+            issues.push_back(issue);
+        // Registry cross-check: every suite the drift monitor tracks
+        // must still be registered — a monitor outliving its suite
+        // serves staleness for ghosts. Both endpoints answer 503
+        // without a store (and /v1/drift is absent pre-drift builds);
+        // skip unless both answer 200.
+        const client::Outcome drift = client.request("GET", "/v1/drift");
+        const client::Outcome suites =
+            client.request("GET", "/v1/suites");
+        if (drift.haveResponse && drift.status == 200 &&
+            suites.haveResponse && suites.status == 200) {
+            std::vector<std::string> registered;
+            for (const std::string &entry :
+                 arrayObjects(suites.response.body, "suites")) {
+                if (const auto name =
+                        server::json::findString(entry, "name"))
+                    registered.push_back(*name);
+            }
+            for (const std::string &report :
+                 arrayObjects(drift.response.body, "suites")) {
+                const auto name =
+                    server::json::findString(report, "suite");
+                if (name && std::find(registered.begin(),
+                                      registered.end(),
+                                      *name) == registered.end())
+                    issues.push_back("registry: drift-tracked suite `" +
+                                     *name + "` is not registered");
+            }
+        }
         // A mesh daemon exposes /v1/cluster; lint its payload and the
         // per-shard health too. 404 means single-node: nothing to do.
         const client::Outcome membership =

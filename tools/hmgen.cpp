@@ -1,0 +1,287 @@
+/**
+ * @file
+ * hmgen — synthesize workload-family suites (src/gen) and wire them
+ * into the serving stack.
+ *
+ * A generated suite is a pure function of (family, seed, shape): the
+ * same flags always reproduce the same artifacts byte for byte, so a
+ * generated suite is as reproducible a benchmark input as a checked-in
+ * CSV — with the planted cluster structure (truth.csv) that a real
+ * suite can never supply.
+ *
+ * Three modes:
+ *
+ *  - Artifact rendering (`--out=DIR`): write the full artifact set —
+ *    scores.csv, features.csv, truth.csv, manifest.txt, manifest.json
+ *    and manifest.hmw1 (the HMW1 BatchManifest frame) — into DIR. The
+ *    manifest's scores=/features= paths point at `--data-dir` (default
+ *    DIR), so the manifest is servable as soon as it is written.
+ *    Without --out the manifest alone goes to stdout in the shape
+ *    `--format` picks (text | json | binary).
+ *
+ *  - Registration (`--register --port=N`): POST the manifest to
+ *    /v1/suites as a versioned suite registration, tagged with
+ *    `generator=<family>` so the daemon's per-family counter
+ *    (hiermeans_gen_registrations_total) attributes it.
+ *    `--suite-version=N`
+ *    pins the version (replays are idempotent, conflicting payloads
+ *    are refused 409); `--wire=binary` posts the HMW1 frame instead
+ *    of manifest text — both register the identical payload.
+ *
+ *  - Observation streaming (`--observe-stream`): emit the family's
+ *    deterministic drift schedule — `--stationary` ticks of the base
+ *    ratios, then `--shifted` ticks at `--shift-target` — as NDJSON
+ *    on stdout, or POST each tick to /v1/suites/<name>/observe when
+ *    `--port` is given. The shift index is printed to stderr so
+ *    drivers know where detection should fire.
+ *
+ * Usage:
+ *   hmgen --list
+ *   hmgen --family=NAME [--seed=N] [--workloads=N] [--clusters=N]
+ *         [--machines=N] [--name=SUITE] [--out=DIR] [--data-dir=DIR]
+ *         [--format=text|json|binary]
+ *   hmgen --family=NAME --register --port=N [--host=127.0.0.1]
+ *         [--suite-version=N] [--wire=text|binary] [--data-dir=DIR]
+ *   hmgen --family=NAME --observe-stream [--port=N]
+ *         [--stationary=N] [--shifted=N] [--shift-target=R]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/hiermeans.h"
+
+namespace {
+
+using namespace hiermeans;
+
+util::FlagSet
+flagSpec()
+{
+    util::FlagSet flags(
+        "hmgen",
+        "synthesize workload-family suites with planted ground truth");
+    flags.section("generation flags")
+        .flag("list", "", "print the family names and exit")
+        .flag("family", "NAME",
+              "workload family to generate (see --list)")
+        .flag("seed", "N", "generator seed (default 28177)")
+        .flag("workloads", "N",
+              "workload count (default: the family preset)")
+        .flag("clusters", "N",
+              "planted cluster count (default: the family preset)")
+        .flag("machines", "N",
+              "machine count incl. the reference (default:\n"
+              "the family preset)")
+        .flag("name", "SUITE",
+              "suite name (default gen.<family>)");
+    flags.section("output flags")
+        .flag("out", "DIR",
+              "write scores.csv, features.csv, truth.csv,\n"
+              "manifest.txt, manifest.json and manifest.hmw1\n"
+              "into DIR (created if missing); without --out\n"
+              "the manifest goes to stdout")
+        .flag("data-dir", "DIR",
+              "directory prefix baked into the manifest's\n"
+              "scores=/features= paths (default: --out, else `.`)")
+        .flag("format", "FMT",
+              "stdout manifest shape without --out:\n"
+              "text | json | binary (default text)");
+    flags.section("registration flags")
+        .flag("register", "",
+              "POST the manifest to /v1/suites?name=...&\n"
+              "generator=<family> on --host:--port")
+        .flag("port", "N", "hmserved port (--register / streaming)")
+        .flag("host", "NAME", "server host (default 127.0.0.1)")
+        .flag("suite-version", "N",
+              "pin the registered version (replaying an\n"
+              "identical payload is a no-op; a differing one\n"
+              "is refused 409; default: append the next)")
+        .flag("wire", "FMT",
+              "registration body: text (manifest text,\n"
+              "default) or binary (one HMW1 frame)");
+    flags.section("observation flags")
+        .flag("observe-stream", "",
+              "emit the family's drift schedule as NDJSON, or\n"
+              "POST each observation to\n"
+              "/v1/suites/<name>/observe when --port is given")
+        .flag("stationary", "N",
+              "pre-shift observation count (default 60)")
+        .flag("shifted", "N",
+              "post-shift observation count (default 24)")
+        .flag("shift-target", "R",
+              "shifted-regime mean ratio (default 9.0)");
+    flags.standard();
+    return flags;
+}
+
+/** Build the FamilyConfig the flags describe. */
+gen::FamilyConfig
+configFromFlags(const util::CommandLine &cl)
+{
+    const std::string family = cl.getString("family", "");
+    HM_REQUIRE(!family.empty(),
+               "--family is required (try --list for the names)");
+    const auto seed =
+        static_cast<std::uint64_t>(cl.getInt("seed", 0x6E11));
+    gen::FamilyConfig config =
+        gen::defaultConfig(gen::familyFromName(family), seed);
+    if (cl.has("workloads"))
+        config.workloads =
+            static_cast<std::size_t>(cl.getInt("workloads", 0));
+    if (cl.has("clusters"))
+        config.clusters =
+            static_cast<std::size_t>(cl.getInt("clusters", 0));
+    if (cl.has("machines"))
+        config.machines =
+            static_cast<std::size_t>(cl.getInt("machines", 0));
+    if (cl.has("name"))
+        config.name = cl.getString("name", "");
+    return config;
+}
+
+int
+observeStream(const util::CommandLine &cl, const std::string &suite)
+{
+    gen::ObserveConfig config;
+    config.stationary =
+        static_cast<std::size_t>(cl.getInt("stationary", 60));
+    config.shifted = static_cast<std::size_t>(cl.getInt("shifted", 24));
+    config.shiftTarget = cl.getDouble("shift-target", 9.0);
+    const gen::ObservationSchedule schedule =
+        gen::generateSchedule(config);
+    std::cerr << "hmgen: " << schedule.observations.size()
+              << " observations, shift at index " << schedule.shiftIndex
+              << "\n";
+    if (!cl.has("port")) {
+        for (const wire::Observation &obs : schedule.observations)
+            std::cout << server::observationJson(obs) << "\n";
+        return 0;
+    }
+    server::HttpClient client(
+        cl.getString("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(cl.getInt("port", 0)));
+    const std::string target = "/v1/suites/" + suite + "/observe";
+    for (std::size_t i = 0; i < schedule.observations.size(); ++i) {
+        const auto response = client.roundTrip(
+            "POST", target,
+            server::observationJson(schedule.observations[i]));
+        HM_REQUIRE(response.status == 200,
+                   "observation " << i << ": " << target << " answered "
+                                  << response.status << ": "
+                                  << response.body);
+    }
+    std::cout << "hmgen: streamed " << schedule.observations.size()
+              << " observations to " << suite << "\n";
+    return 0;
+}
+
+int
+registerSuite(const util::CommandLine &cl,
+              const gen::GeneratedSuite &suite,
+              const gen::SuiteArtifacts &artifacts)
+{
+    HM_REQUIRE(cl.has("port"), "--register needs --port=N");
+    const std::string wire_format = cl.getString("wire", "text");
+    HM_REQUIRE(wire_format == "text" || wire_format == "binary",
+               "--wire must be text or binary, got `" << wire_format
+                                                      << "`");
+    std::string target = "/v1/suites?name=" + suite.name +
+                         "&generator=" +
+                         gen::familyName(suite.config.kind);
+    const long version = cl.getInt("suite-version", 0);
+    if (version > 0)
+        target += "&version=" + std::to_string(version);
+    server::HttpClient client(
+        cl.getString("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(cl.getInt("port", 0)));
+    const auto response =
+        wire_format == "binary"
+            ? client.roundTrip("POST", target, artifacts.manifestBinary,
+                               wire::kMediaType)
+            : client.roundTrip("POST", target, artifacts.manifestText);
+    std::cout << response.body;
+    if (response.status != 200) {
+        std::cerr << "hmgen: registration answered " << response.status
+                  << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+run(const util::CommandLine &cl)
+{
+    if (cl.getBool("list", false)) {
+        for (const std::string &name : gen::familyNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    const gen::FamilyConfig config = configFromFlags(cl);
+    const gen::GeneratedSuite suite = gen::generateSuite(config);
+
+    if (cl.getBool("observe-stream", false))
+        return observeStream(cl, suite.name);
+
+    const std::string out_dir = cl.getString("out", "");
+    const std::string data_dir =
+        cl.getString("data-dir", out_dir.empty() ? "." : out_dir);
+    const gen::SuiteArtifacts artifacts =
+        gen::renderArtifacts(suite, data_dir);
+
+    if (!out_dir.empty()) {
+        util::ensureDir(out_dir);
+        util::writeFile(out_dir + "/scores.csv", artifacts.scoresCsv);
+        util::writeFile(out_dir + "/features.csv",
+                        artifacts.featuresCsv);
+        util::writeFile(out_dir + "/truth.csv", artifacts.truthCsv);
+        util::writeFile(out_dir + "/manifest.txt",
+                        artifacts.manifestText);
+        util::writeFile(out_dir + "/manifest.json",
+                        artifacts.manifestJson);
+        util::writeFile(out_dir + "/manifest.hmw1",
+                        artifacts.manifestBinary);
+        std::cerr << "hmgen: wrote " << suite.name << " ("
+                  << config.workloads << " workloads, "
+                  << config.clusters << " clusters, " << config.machines
+                  << " machines) to " << out_dir << "\n";
+    }
+
+    if (cl.getBool("register", false))
+        return registerSuite(cl, suite, artifacts);
+
+    if (out_dir.empty()) {
+        const std::string format = cl.getString("format", "text");
+        if (format == "text")
+            std::cout << artifacts.manifestText;
+        else if (format == "json")
+            std::cout << artifacts.manifestJson;
+        else if (format == "binary")
+            std::cout.write(artifacts.manifestBinary.data(),
+                            static_cast<std::streamsize>(
+                                artifacts.manifestBinary.size()));
+        else
+            HM_REQUIRE(false, "--format must be text, json or binary, "
+                              "got `"
+                                  << format << "`");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const auto cl = util::CommandLine::parse(argc, argv);
+        if (flagSpec().handleStandard(cl, std::cout))
+            return 0;
+        return run(cl);
+    } catch (const hiermeans::Error &e) {
+        std::cerr << "hmgen: " << e.what() << "\n";
+        return 1;
+    }
+}

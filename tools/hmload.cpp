@@ -38,7 +38,8 @@
  * Usage:
  *   hmload --port=N [--host=127.0.0.1] [--targets=HOST:PORT,...]
  *          [--concurrency=2]
- *          [--duration-s=3] [--manifest=FILE] [--timeout-ms=0]
+ *          [--duration-s=3] [--manifest=FILE] [--suite=NAME]
+ *          [--timeout-ms=0]
  *          [--retries=0] [--retry-base-ms=50] [--retry-cap-ms=2000]
  *          [--retry-budget-ms=10000] [--seed=N] [--wire=binary|json]
  *          [--json-only]
@@ -82,6 +83,11 @@ flagSpec()
         .flag("manifest", "FILE",
               "request mix: each line is POSTed to /v1/score\n"
               "(default: GET /healthz probes)")
+        .flag("suite", "NAME",
+              "request mix from a registered suite: one\n"
+              "`suite=NAME line=K` body per manifest line of\n"
+              "its latest version (fetched from /v1/suites;\n"
+              "mutually exclusive with --manifest)")
         .flag("timeout-ms", "N",
               "per-attempt response deadline; expiries count\n"
               "as timeouts (default 0: wait forever)")
@@ -117,6 +123,53 @@ flagSpec()
               "(retrieve span trees with hmctl --trace=ID)");
     flags.standard();
     return flags;
+}
+
+/**
+ * Build the `suite=NAME line=K` request mix for a registered suite:
+ * ask GET /v1/suites for the registry, find @p suite's entry, and emit
+ * one body per manifest line of its latest version. Throws when the
+ * suite is unknown or the endpoint is unavailable (no store).
+ */
+std::vector<std::string>
+suiteMix(const std::string &host, std::uint16_t port,
+         const std::string &suite)
+{
+    server::HttpClient probe(host, port);
+    const auto response = probe.roundTrip("GET", "/v1/suites");
+    HM_REQUIRE(response.status == 200, "GET /v1/suites answered "
+                                           << response.status << ": "
+                                           << response.body);
+    const std::string needle = "\"name\":" + server::json::quote(suite);
+    const std::size_t at = response.body.find(needle);
+    HM_REQUIRE(at != std::string::npos,
+               "no registered suite `" << suite << "`");
+    // The suite's entry runs to its matching close brace; its last
+    // versions element is the latest, so the last "lines" value
+    // inside the entry is the line count to spread load across.
+    const std::size_t open = response.body.rfind('{', at);
+    std::size_t end = open;
+    int depth = 0;
+    for (std::size_t i = open; i < response.body.size(); ++i) {
+        if (response.body[i] == '{') {
+            ++depth;
+        } else if (response.body[i] == '}' && --depth == 0) {
+            end = i;
+            break;
+        }
+    }
+    const std::string entry = response.body.substr(open, end - open + 1);
+    const std::size_t lines_at = entry.rfind("\"lines\":");
+    HM_REQUIRE(lines_at != std::string::npos,
+               "suite `" << suite << "` entry carries no line count");
+    const auto lines =
+        server::json::findNumber(entry.substr(lines_at), "lines");
+    HM_REQUIRE(lines && *lines >= 1.0,
+               "suite `" << suite << "` has no manifest lines");
+    std::vector<std::string> mix;
+    for (std::size_t k = 1; k <= static_cast<std::size_t>(*lines); ++k)
+        mix.push_back("suite=" + suite + " line=" + std::to_string(k));
+    return mix;
 }
 
 /** Shared tallies across workers. */
@@ -305,6 +358,9 @@ run(const util::CommandLine &cl)
     // /v1/score body, replayed round-robin.
     std::vector<std::string> mix;
     const std::string manifest_path = cl.getString("manifest", "");
+    const std::string suite = cl.getString("suite", "");
+    HM_REQUIRE(manifest_path.empty() || suite.empty(),
+               "--manifest and --suite are mutually exclusive");
     if (!manifest_path.empty()) {
         for (const std::string &raw :
              str::split(util::readFile(manifest_path), '\n')) {
@@ -314,6 +370,12 @@ run(const util::CommandLine &cl)
         }
         HM_REQUIRE(!mix.empty(), "manifest `" << manifest_path
                                               << "` has no requests");
+    } else if (!suite.empty()) {
+        // Reference bodies: the server expands the stored manifest
+        // line, so the mix stresses the registry path as well.
+        const client::ClusterTarget &target =
+            client_config.targets.front();
+        mix = suiteMix(target.host, target.port, suite);
     }
 
     if (!json_only) {

@@ -15,6 +15,9 @@ Benches:
   overload_shed     goodput at 1x/2x/4x capacity with deadlines
   wire_format       JSON vs negotiated-binary /v1/score (latency and
                     bytes per request, via hmload --wire)
+  gen_families      per-family generated suites (hmgen): registration
+                    round trip, hmload --suite score throughput and
+                    drift-detection wall time
 
 Before overwriting, the committed baselines in ``--out-dir`` are read
 and a regression table is printed comparing each fresh median to its
@@ -99,7 +102,7 @@ def build_release(build_dir, cpus):
     jobs = str(len(cpus) if cpus else os.cpu_count() or 2)
     log("building (j%s)" % jobs)
     run(["cmake", "--build", build_dir, "-j", jobs, "--target",
-         "hmscore", "hmbatch", "hmserved", "hmload", "hmctl"],
+         "hmscore", "hmbatch", "hmserved", "hmload", "hmctl", "hmgen"],
         None, check=True, cwd=ROOT, stdout=subprocess.DEVNULL)
 
 
@@ -343,6 +346,102 @@ def bench_wire_format(tools, cpus, args):
             "detail": detail}
 
 
+def bench_gen_families(tools, cpus, args):
+    """Per-family generated-suite serving with hmgen.
+
+    Every workload family gets its own hmserved node (durable store,
+    16-observation drift window) serving a freshly generated suite.
+    Three numbers per family: the versioned-registration round trip,
+    hmload ``--suite`` score throughput, and the wall time for the
+    family's shifted observation schedule to drive the drift monitor
+    stale (stream + recluster + verdict). The reported number is the
+    mean score throughput across families.
+    """
+    families = ("bigdata", "spec-int-historical",
+                "correlated-cluster", "heavy-tail")
+    runs, detail = [], []
+    for _ in range(args.repeats):
+        per_family = {}
+        for family in families:
+            port = free_port()
+            scratch = tempfile.mkdtemp(prefix="hiermeans_bench_gen_")
+            suite = "bench." + family.replace("-", "_")
+            data = os.path.join(scratch, "data")
+            os.mkdir(data)
+            server = popen([tools["hmserved"], "--port=%d" % port,
+                            "--threads=2", "--queue-depth=8",
+                            "--data-dir=" + data,
+                            "--drift-window=16",
+                            "--drift-min-window=8"],
+                           cpus, cwd=ROOT, stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+            try:
+                run([tools["hmgen"], "--family=" + family,
+                     "--name=" + suite, "--out=" + scratch,
+                     "--data-dir=" + scratch],
+                    cpus, check=True, cwd=ROOT,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL)
+                wait_http_ok(tools["hmctl"], port)
+                started = time.monotonic()
+                run([tools["hmgen"], "--family=" + family,
+                     "--name=" + suite, "--data-dir=" + scratch,
+                     "--register", "--port=%d" % port,
+                     "--suite-version=1"],
+                    cpus, check=True, cwd=ROOT,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL)
+                register_ms = (time.monotonic() - started) * 1000.0
+                out = run([tools["hmload"], "--port=%d" % port,
+                           "--suite=" + suite, "--concurrency=2",
+                           "--duration-s=%d" % args.duration_s,
+                           "--timeout-ms=10000", "--json-only"],
+                          cpus, check=True, cwd=ROOT,
+                          capture_output=True, text=True)
+                report = json.loads(out.stdout.splitlines()[-1])
+                # Baseline the monitor on the stationary prefix, then
+                # time the shifted suffix through to the stale verdict.
+                run([tools["hmgen"], "--family=" + family,
+                     "--name=" + suite, "--observe-stream",
+                     "--shifted=0", "--port=%d" % port],
+                    cpus, check=True, cwd=ROOT,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL)
+                run([tools["hmctl"], "--port=%d" % port,
+                     "--recluster=" + suite, "--json-only"],
+                    cpus, cwd=ROOT, stdout=subprocess.DEVNULL)
+                started = time.monotonic()
+                run([tools["hmgen"], "--family=" + family,
+                     "--name=" + suite, "--observe-stream",
+                     "--stationary=0", "--port=%d" % port],
+                    cpus, check=True, cwd=ROOT,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL)
+                run([tools["hmctl"], "--port=%d" % port,
+                     "--recluster=" + suite, "--json-only"],
+                    cpus, cwd=ROOT, stdout=subprocess.DEVNULL)
+                verdict = run([tools["hmctl"], "--port=%d" % port,
+                               "--drift=" + suite, "--json-only"],
+                              cpus, cwd=ROOT,
+                              stdout=subprocess.DEVNULL)
+                detect_ms = (time.monotonic() - started) * 1000.0
+                per_family[family] = {
+                    "register_ms": register_ms,
+                    "score_rps": report["rps"],
+                    "p95_ms": report["p95_ms"],
+                    "detect_ms": detect_ms,
+                    "stale": verdict.returncode == 2,
+                }
+            finally:
+                stop(server)
+                shutil.rmtree(scratch, ignore_errors=True)
+        detail.append(per_family)
+        runs.append(statistics.fmean(
+            entry["score_rps"] for entry in per_family.values()))
+    return {"unit": "mean_suite_rps", "direction": "up", "runs": runs,
+            "detail": detail}
+
+
 BENCHES = {
     "score_pipeline": bench_score_pipeline,
     "batch_throughput": bench_batch_throughput,
@@ -350,6 +449,7 @@ BENCHES = {
     "mesh_failover": bench_mesh_failover,
     "overload_shed": bench_overload_shed,
     "wire_format": bench_wire_format,
+    "gen_families": bench_gen_families,
 }
 
 
@@ -453,7 +553,7 @@ def main():
         build_release(build_dir, cpus)
     tools = {name: os.path.join(build_dir, "tools", name)
              for name in ("hmscore", "hmbatch", "hmserved", "hmload",
-                          "hmctl")}
+                          "hmctl", "hmgen")}
     for name, path in tools.items():
         if not os.path.exists(path):
             log("missing binary %s — run without --skip-build" % path)

@@ -1,0 +1,178 @@
+#!/bin/sh
+# Loopback smoke test for the synthetic-suite generator, wired as a
+# ctest:
+#   smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>
+#
+# Determinism first: every family renders its artifact set twice and
+# the two runs must be byte-identical, and the HMW1 manifest frame
+# must decode (through hmconvert) back to the exact manifest text.
+# Then the serving round trip: hmserved comes up with a durable
+# store, hmgen registers a generated suite (version-pinned replay is
+# idempotent; a conflicting payload is refused 409), hmload drives
+# the suite by `suite=NAME line=K` reference, `hmctl --check` lints
+# the exposition including the per-family registration counters, and
+# the generated observation schedule walks the drift monitor from
+# `fresh` to `stale` at its known shift.
+set -eu
+
+HMGEN=${1:?usage: smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>}
+HMCONVERT=${2:?usage: smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>}
+HMSERVED=${3:?usage: smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>}
+HMLOAD=${4:?usage: smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>}
+HMCTL=${5:?usage: smoke_gen.sh <hmgen> <hmconvert> <hmserved> <hmload> <hmctl>}
+
+LOG=$(mktemp)
+DATA=$(mktemp -d)
+GEN=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true;
+      rm -f "$LOG"; rm -rf "$DATA" "$GEN"' EXIT
+SERVER_PID=
+
+# --list must name the four families.
+FAMILIES=$("$HMGEN" --list)
+for family in bigdata spec-int-historical correlated-cluster heavy-tail; do
+    echo "$FAMILIES" | grep -qx "$family" || {
+        echo "smoke_gen: --list misses family $family" >&2
+        exit 1
+    }
+done
+
+# Same seed -> bit-identical artifacts, for every family; and the
+# binary manifest must decode back to the text manifest exactly.
+for family in $FAMILIES; do
+    "$HMGEN" --family="$family" --out="$GEN/a" --data-dir=data 2>/dev/null
+    "$HMGEN" --family="$family" --out="$GEN/b" --data-dir=data 2>/dev/null
+    for artifact in scores.csv features.csv truth.csv manifest.txt \
+        manifest.json manifest.hmw1; do
+        cmp -s "$GEN/a/$artifact" "$GEN/b/$artifact" || {
+            echo "smoke_gen: $family $artifact differs across runs" >&2
+            exit 1
+        }
+    done
+    "$HMCONVERT" --in="$GEN/a/manifest.hmw1" --out="$GEN/a/decoded.txt"
+    cmp -s "$GEN/a/manifest.txt" "$GEN/a/decoded.txt" || {
+        echo "smoke_gen: $family binary manifest decode mismatch" >&2
+        exit 1
+    }
+    rm -rf "$GEN/a" "$GEN/b"
+done
+echo "smoke_gen: all families deterministic, binary manifests agree"
+
+# A different seed must produce different scores.
+"$HMGEN" --family=bigdata --seed=1 --out="$GEN/s1" --data-dir=data \
+    2>/dev/null
+"$HMGEN" --family=bigdata --seed=2 --out="$GEN/s2" --data-dir=data \
+    2>/dev/null
+cmp -s "$GEN/s1/scores.csv" "$GEN/s2/scores.csv" && {
+    echo "smoke_gen: different seeds produced identical scores" >&2
+    exit 1
+}
+echo "smoke_gen: seeds decorrelate"
+
+# Serving round trip: a small suite whose manifest points at the
+# rendered CSVs.
+"$HMGEN" --family=bigdata --workloads=12 --clusters=3 --machines=3 \
+    --name=gensmoke --out="$GEN/suite" --data-dir="$GEN/suite" \
+    2>/dev/null
+
+"$HMSERVED" --port=0 --threads=2 --queue-depth=4 \
+    --data-dir="$DATA" \
+    --drift-window=16 --drift-min-window=8 >"$LOG" 2>&1 &
+SERVER_PID=$!
+PORT=
+i=0
+while [ $i -lt 50 ]; do
+    PORT=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$LOG")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "smoke_gen: hmserved died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "smoke_gen: no port line" >&2; exit 1; }
+echo "smoke_gen: hmserved pid $SERVER_PID on port $PORT"
+
+# Register at version 1, twice: the replay must be the idempotent
+# no-op, not a new version.
+"$HMGEN" --family=bigdata --workloads=12 --clusters=3 --machines=3 \
+    --name=gensmoke --data-dir="$GEN/suite" \
+    --register --port="$PORT" --suite-version=1 | grep -q '"created":true' || {
+    echo "smoke_gen: first registration not created" >&2
+    exit 1
+}
+"$HMGEN" --family=bigdata --workloads=12 --clusters=3 --machines=3 \
+    --name=gensmoke --data-dir="$GEN/suite" \
+    --register --port="$PORT" --suite-version=1 | grep -q '"created":false' || {
+    echo "smoke_gen: version-pinned replay was not idempotent" >&2
+    exit 1
+}
+# A different payload at the same version must be refused 409.
+STATUS=0
+"$HMGEN" --family=bigdata --workloads=12 --clusters=3 --machines=3 \
+    --name=gensmoke --seed=777 --data-dir="$GEN/suite" \
+    --register --port="$PORT" --suite-version=1 >"$GEN/conflict.json" \
+    2>/dev/null || STATUS=$?
+[ "$STATUS" -ne 0 ] || {
+    echo "smoke_gen: conflicting re-registration was accepted" >&2
+    exit 1
+}
+grep -q "suite_version_conflict" "$GEN/conflict.json" || {
+    echo "smoke_gen: conflict answer misses the typed code:" >&2
+    cat "$GEN/conflict.json" >&2
+    exit 1
+}
+echo "smoke_gen: versioned registration (idempotent replay, 409 on" \
+    "conflict)"
+
+# Drive the registered suite by reference; hmload exits non-zero if
+# no request ever completed.
+"$HMLOAD" --port="$PORT" --concurrency=2 --duration-s=1 \
+    --suite=gensmoke --json-only
+echo "smoke_gen: hmload --suite mix served"
+
+# The exposition lint now also covers the per-family registration
+# counters and the drift/registry cross-check.
+"$HMCTL" --port="$PORT" --check --json-only
+METRICS=$("$HMCTL" --port="$PORT" --metrics)
+echo "$METRICS" | grep -q \
+    'hiermeans_gen_registrations_total{family="bigdata"} 1' || {
+    echo "smoke_gen: bigdata registration not counted:" >&2
+    echo "$METRICS" | grep "^hiermeans_gen_" >&2
+    exit 1
+}
+echo "smoke_gen: exposition clean, registration counted"
+
+# The generated observation schedule: stationary prefix stays fresh,
+# the shifted suffix flips the suite stale within one tick.
+"$HMGEN" --family=bigdata --name=gensmoke --observe-stream \
+    --shifted=0 --port="$PORT"
+"$HMCTL" --port="$PORT" --recluster=gensmoke |
+    awk '$1 == "gensmoke" { print $2 }' | grep -qx fresh || {
+    echo "smoke_gen: stationary schedule did not publish fresh" >&2
+    exit 1
+}
+"$HMGEN" --family=bigdata --name=gensmoke --observe-stream \
+    --stationary=0 --shifted=24 --port="$PORT"
+STATUS=0
+"$HMCTL" --port="$PORT" --recluster=gensmoke --json-only || STATUS=$?
+STATUS=0
+"$HMCTL" --port="$PORT" --drift=gensmoke --json-only || STATUS=$?
+[ "$STATUS" -eq 2 ] || {
+    echo "smoke_gen: shifted schedule left exit $STATUS, wanted 2" >&2
+    "$HMCTL" --port="$PORT" --drift=gensmoke >&2 || true
+    exit 1
+}
+echo "smoke_gen: observation schedule drove fresh -> stale"
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || {
+    echo "smoke_gen: hmserved exited $STATUS after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "smoke_gen: clean drain confirmed"
